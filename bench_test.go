@@ -1,0 +1,368 @@
+package cadinterop
+
+// One benchmark per constructed experiment (the paper has no tables or
+// figures of its own — see DESIGN.md §4 and EXPERIMENTS.md). Each
+// BenchmarkExpN drives the same code path as the corresponding
+// internal/experiments harness entry; run with
+//
+//	go test -bench=. -benchmem ./...
+
+import (
+	"fmt"
+	"testing"
+
+	"cadinterop/internal/backplane"
+	"cadinterop/internal/core"
+	"cadinterop/internal/experiments"
+	"cadinterop/internal/hdl"
+	"cadinterop/internal/migrate"
+	"cadinterop/internal/naming"
+	"cadinterop/internal/place"
+	"cadinterop/internal/route"
+	"cadinterop/internal/sim"
+	"cadinterop/internal/synth"
+	"cadinterop/internal/workflow"
+	"cadinterop/internal/workgen"
+)
+
+// BenchmarkExp1ComponentReplacement measures the Figure 1 migration
+// (rip-up/reroute component replacement) end to end, including
+// verification, at several design sizes.
+func BenchmarkExp1ComponentReplacement(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		b.Run(fmt.Sprintf("insts=%d", n), func(b *testing.B) {
+			w := workgen.Schematic(workgen.SchematicOptions{Instances: n, Pages: 1 + n/60, Seed: 42})
+			opts := w.MigrateOptions()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, rep, err := migrate.Migrate(w.Design, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Verification) != 0 {
+					b.Fatalf("verification diffs: %d", len(rep.Verification))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExp2MigrationAblation measures the full migration with each
+// translation rule ablated (the verification pass dominates).
+func BenchmarkExp2MigrationAblation(b *testing.B) {
+	w := workgen.Schematic(workgen.SchematicOptions{Instances: 100, Pages: 3, Seed: 42})
+	cases := map[string]func(*migrate.Options){
+		"full":          func(*migrate.Options) {},
+		"no-busxlate":   func(o *migrate.Options) { o.DisableBusXlate = true },
+		"no-connectors": func(o *migrate.Options) { o.DisableConnectors = true },
+	}
+	for name, mod := range cases {
+		b.Run(name, func(b *testing.B) {
+			opts := w.MigrateOptions()
+			mod(&opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := migrate.Migrate(w.Design, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExp3SchedulerDivergence measures simulating the racy design
+// under every legitimate event-ordering policy.
+func BenchmarkExp3SchedulerDivergence(b *testing.B) {
+	src := workgen.RacyDesign(4, false)
+	d := hdl.MustParse(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range sim.AllPolicies() {
+			k, err := sim.Elaborate(d, "top", sim.Options{Policy: pol, DisableTrace: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := k.Run(1000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExp4TimingCompat measures the timing-check sweep under both
+// semantics.
+func BenchmarkExp4TimingCompat(b *testing.B) {
+	src := workgen.TimingDesign(3, []int{0, 1, 2, 3, 4})
+	d := hdl.MustParse(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pre := range []bool{false, true} {
+			k, err := sim.Elaborate(d, "top", sim.Options{Pre16aPaths: pre, DisableTrace: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := k.Run(100000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExp5CoSim measures a lockstep co-simulation run through the
+// strict value bridge.
+func BenchmarkExp5CoSim(b *testing.B) {
+	srcA := `
+module partA;
+  reg drive;
+  wire mid;
+  assign mid = drive;
+  initial begin
+    drive = 0;
+    #10 drive = 1;
+    #30 drive = 0;
+  end
+endmodule`
+	srcB := `
+module partB;
+  wire mid_in;
+  wire out;
+  assign out = mid_in;
+endmodule`
+	da := hdl.MustParse(srcA)
+	db := hdl.MustParse(srcB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ka, err := sim.Elaborate(da, "partA", sim.Options{DisableTrace: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		kb, err := sim.Elaborate(db, "partB", sim.Options{DisableTrace: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs, err := sim.NewCoSim(ka, kb, []sim.BoundarySignal{{A: "mid", B: "mid_in", AtoB: true}}, sim.Strict)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cs.Run(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp6SubsetIntersection measures subset checking a model corpus
+// against all vendor profiles plus the intersection.
+func BenchmarkExp6SubsetIntersection(b *testing.B) {
+	var designs []*hdl.Design
+	for i := 0; i < 20; i++ {
+		src := workgen.CombModule("m", workgen.HDLOptions{
+			Gates: 25, Inputs: 3, Seed: int64(i),
+			UseMultiply: i%3 == 0, UsePartSelect: i%4 == 1, UseRelational: i%2 == 1})
+		designs = append(designs, hdl.MustParse(src))
+	}
+	profiles := append(synth.AllVendors(), synth.Intersection(synth.AllVendors()...))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range designs {
+			for _, p := range profiles {
+				synth.CheckProfile(d, p)
+			}
+		}
+	}
+}
+
+// BenchmarkExp7SensitivityCompletion measures synthesis with sensitivity
+// completion plus gate-level re-simulation of the emitted netlist.
+func BenchmarkExp7SensitivityCompletion(b *testing.B) {
+	src := workgen.SensitivityDesign(6)
+	d := hdl.MustParse(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nl, _, err := synth.Synthesize(d, "style", synth.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, err := synth.EmitVerilog(nl, "style")
+		if err != nil {
+			b.Fatal(err)
+		}
+		gd, err := hdl.Parse(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k, err := sim.Elaborate(gd, "style", sim.Options{DisableTrace: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := k.Run(10); err != nil {
+			b.Fatal(err)
+		}
+		k.Kill()
+	}
+}
+
+// BenchmarkExp8Naming measures alias detection, keyword renaming and
+// hierarchy flattening over a name corpus.
+func BenchmarkExp8Naming(b *testing.B) {
+	corpus := workgen.NameCorpus(400, 17)
+	paths := workgen.HierPaths(400, 5, 23)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naming.FindAliases(corpus, 8)
+		f := naming.NewFlattener("_", 0)
+		for _, p := range paths {
+			if _, err := f.Flatten(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExp9BackplaneLoss measures the full translate-place-route-audit
+// flow per tool dialect.
+func BenchmarkExp9BackplaneLoss(b *testing.B) {
+	for _, tool := range backplane.AllTools() {
+		b.Run(tool.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, fp, err := workgen.PhysDesign(workgen.PhysOptions{
+					Cells: 32, Seed: 11, CriticalNets: 3, Keepouts: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := backplane.RunFlow(d, fp, tool, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExp10Workflow measures instantiating and running the
+// hierarchical tapeout flow with a rework trigger.
+func BenchmarkExp10Workflow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E10Workflow(6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExp11Methodology measures flow analysis of the ~200-task
+// methodology under both task/tool mappings.
+func BenchmarkExp11Methodology(b *testing.B) {
+	g := core.CellBasedMethodology(12)
+	cat := core.DefaultCatalog(12)
+	single := core.SingleVendorMapping(g)
+	multi := core.BestInClassMapping(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Analyze(g, cat, single)
+		core.Analyze(g, cat, multi)
+	}
+}
+
+// BenchmarkWorkflowScaling shows engine cost versus block count (ablation
+// of the hierarchical expansion).
+func BenchmarkWorkflowScaling(b *testing.B) {
+	for _, blocks := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("blocks=%d", blocks), func(b *testing.B) {
+			names := make([]string, blocks)
+			for i := range names {
+				names[i] = fmt.Sprintf("b%02d", i)
+			}
+			sub := &workflow.Template{Name: "s", Steps: []*workflow.StepDef{
+				{Name: "work", Action: workflow.FuncAction{Fn: func(*workflow.Ctx) int { return 0 }}},
+			}}
+			tpl := &workflow.Template{Name: "t", Steps: []*workflow.StepDef{
+				{Name: "blocks", SubFlow: sub},
+			}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in, err := workflow.Instantiate(tpl, nil, names)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := in.Run("u"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMethodologyScaling shows analysis cost versus methodology size.
+func BenchmarkMethodologyScaling(b *testing.B) {
+	for _, blocks := range []int{6, 12, 24} {
+		g := core.CellBasedMethodology(blocks)
+		cat := core.DefaultCatalog(blocks)
+		m := core.BestInClassMapping(g)
+		b.Run(fmt.Sprintf("tasks=%d", g.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Analyze(g, cat, m)
+			}
+		})
+	}
+}
+
+// BenchmarkRouteCongestionAblation compares the congestion-aware cost
+// function against plain BFS — the router's central design choice. The
+// interesting output is the failure count (reported as sub-benchmark
+// names would hide it, so failures fail the bench).
+func BenchmarkRouteCongestionAblation(b *testing.B) {
+	for _, plain := range []bool{false, true} {
+		name := "congestion-aware"
+		if plain {
+			name = "plain-bfs"
+		}
+		b.Run(name, func(b *testing.B) {
+			var failed int
+			for i := 0; i < b.N; i++ {
+				d, _, err := workgen.PhysDesign(workgen.PhysOptions{Cells: 40, Seed: 13})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := place.Place(d, place.Options{Seed: 2}); err != nil {
+					b.Fatal(err)
+				}
+				res, err := route.Route(d, route.Options{Pitch: 5, PlainBFS: plain})
+				if err != nil {
+					b.Fatal(err)
+				}
+				failed += len(res.Failed)
+			}
+			b.ReportMetric(float64(failed)/float64(b.N), "failed-nets/op")
+		})
+	}
+}
+
+// BenchmarkPlaceImprovementAblation compares packing-only placement with
+// the swap-improvement pass, reporting the HPWL ratio.
+func BenchmarkPlaceImprovementAblation(b *testing.B) {
+	for _, passes := range []int{1, 8} {
+		b.Run(fmt.Sprintf("swap-passes=%d", passes), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				d, _, err := workgen.PhysDesign(workgen.PhysOptions{Cells: 60, Seed: 21})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := place.Place(d, place.Options{Seed: 4, SwapPasses: passes})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio += float64(res.FinalHPWL) / float64(res.InitialHPWL)
+			}
+			b.ReportMetric(ratio/float64(b.N), "hpwl-ratio")
+		})
+	}
+}
+
+// BenchmarkExp12Interchange measures writing and reading the neutral
+// interchange format under a restricted consumer.
+func BenchmarkExp12Interchange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E12Interchange(20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command bplane demonstrates the Section 4 P&R backplane: one floorplan
+// translated into each tool dialect, with the loss report and the measured
+// quality damage when the design is actually placed and routed under the
+// translated (possibly impoverished) constraints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cadinterop/internal/backplane"
+	"cadinterop/internal/workgen"
+)
+
+func main() {
+	var (
+		cells = flag.Int("cells", 24, "standard cell count in the generated design")
+		seed  = flag.Int64("seed", 11, "generator seed")
+		tool  = flag.String("tool", "", "run only one tool dialect (toolP|toolQ|toolR)")
+		loss  = flag.Bool("loss", false, "print the full loss report")
+	)
+	flag.Parse()
+	if err := run(*cells, *seed, *tool, *loss); err != nil {
+		fmt.Fprintln(os.Stderr, "bplane:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cells int, seed int64, only string, printLoss bool) error {
+	tools := backplane.AllTools()
+	if only != "" {
+		var sel []backplane.ToolDialect
+		for _, t := range tools {
+			if t.Name == only {
+				sel = append(sel, t)
+			}
+		}
+		if len(sel) == 0 {
+			return fmt.Errorf("unknown tool %q", only)
+		}
+		tools = sel
+	}
+	fmt.Printf("%-8s %6s %10s %8s %8s %6s %12s %10s\n",
+		"tool", "lost", "degraded", "HPWL", "wirelen", "vias", "violations", "unrouted")
+	for _, tool := range tools {
+		d, fp, err := workgen.PhysDesign(workgen.PhysOptions{
+			Cells: cells, Seed: seed, CriticalNets: 3, Keepouts: 1})
+		if err != nil {
+			return err
+		}
+		res, err := backplane.RunFlow(d, fp, tool, 5)
+		if err != nil {
+			return err
+		}
+		var dropped, degraded int
+		for _, it := range res.Loss.Items {
+			if it.Kind == backplane.LossDropped {
+				dropped++
+			} else {
+				degraded++
+			}
+		}
+		fmt.Printf("%-8s %6d %10d %8d %8d %6d %12d %10d\n",
+			tool.Name, dropped, degraded, res.Place.FinalHPWL,
+			res.Route.Wirelength, res.Route.Vias, len(res.Violations), len(res.Route.Failed))
+		if printLoss {
+			for _, it := range res.Loss.Items {
+				fmt.Println("   ", it)
+			}
+			for _, v := range res.Violations {
+				fmt.Println("    AUDIT:", v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunAllTools(t *testing.T) {
+	if err := run(20, 11, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneToolWithLoss(t *testing.T) {
+	if err := run(16, 7, "toolQ", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownTool(t *testing.T) {
+	if err := run(16, 7, "toolZ", false); err == nil {
+		t.Error("unknown tool accepted")
+	}
+}

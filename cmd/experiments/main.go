@@ -1,0 +1,29 @@
+// Command experiments runs the full constructed-experiment harness
+// (E1–E11, see EXPERIMENTS.md) and prints every report. Pass experiment
+// ids to run a subset.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cadinterop/internal/experiments"
+)
+
+func main() {
+	reports, err := experiments.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	want := map[string]bool{}
+	for _, arg := range os.Args[1:] {
+		want[arg] = true
+	}
+	for _, r := range reports {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fmt.Println(r.String())
+	}
+}

@@ -1,0 +1,129 @@
+// Command flowrun executes the built-in hierarchical tapeout workflow
+// (Section 5): per-block sub-flows from one template, default zero/non-zero
+// status policy, data-maturity gates, trigger-based rework and collected
+// metrics. A mid-run floorplan change demonstrates the rework
+// notification path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cadinterop/internal/workflow"
+)
+
+func main() {
+	var (
+		blocks    = flag.Int("blocks", 4, "design blocks in the hierarchy")
+		store     = flag.String("store", "mem", "data manager: mem|versioned")
+		events    = flag.Bool("events", false, "print the event log")
+		dot       = flag.Bool("dot", false, "print the flow graph in Graphviz dot syntax and exit")
+		injectFix = flag.Bool("rework", true, "change the floorplan mid-run to fire rework triggers")
+	)
+	flag.Parse()
+	if err := run(*blocks, *store, *events, *injectFix, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "flowrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(blocks int, storeKind string, printEvents, rework, printDot bool) error {
+	var store workflow.DataStore
+	switch storeKind {
+	case "mem":
+		store = workflow.NewMemStore()
+	case "versioned":
+		store = workflow.NewVersionedStore()
+	default:
+		return fmt.Errorf("unknown store %q", storeKind)
+	}
+	blockNames := make([]string, blocks)
+	for i := range blockNames {
+		blockNames[i] = fmt.Sprintf("blk%02d", i)
+	}
+	sub := &workflow.Template{Name: "blockflow", Steps: []*workflow.StepDef{
+		{Name: "rtl", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			c.Data().Put("rtl:"+c.Block, "module "+c.Block)
+			return 0
+		}}},
+		{Name: "synth", Action: workflow.FuncAction{Language: "tcl", Fn: func(c *workflow.Ctx) int {
+			c.Data().Put("netlist:"+c.Block, "gates for "+c.Block)
+			return 0
+		}}, StartAfter: []string{"rtl"}},
+		{Name: "verify", Action: workflow.FuncAction{Language: "perl", Fn: func(c *workflow.Ctx) int {
+			if _, _, ok := c.Data().Get("netlist:" + c.Block); !ok {
+				return 1
+			}
+			return 0
+		}}, StartAfter: []string{"synth"}},
+	}}
+	tpl := &workflow.Template{Name: "tapeout", Steps: []*workflow.StepDef{
+		{Name: "plan", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			c.Data().Put("floorplan", "rev1")
+			c.SetVar("floorplan.rev", "1")
+			return 0
+		}}, Outputs: []string{"floorplan"}},
+		{Name: "blocks", SubFlow: sub, StartAfter: []string{"plan"}},
+		{Name: "assemble", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int { return 0 }},
+			StartAfter: []string{"blocks"},
+			Inputs:     []workflow.MaturityCheck{{Item: "floorplan", Exists: true}}},
+		{Name: "signoff", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int { return 0 }},
+			StartAfter: []string{"assemble"}, Permissions: []string{"manager"}},
+	}}
+	in, err := workflow.Instantiate(tpl, store, blockNames)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instantiated %q: %d tasks over %d blocks (store: %s)\n",
+		tpl.Name, len(in.Tasks), blocks, storeKind)
+	if printDot {
+		fmt.Print(in.DOT(tpl.Name))
+		return nil
+	}
+	if err := in.Run("engineer"); err != nil {
+		return err
+	}
+	if err := in.Run("manager"); err != nil {
+		return err
+	}
+	fmt.Printf("first pass complete: %v\n", statusLine(in))
+
+	if rework {
+		if err := in.Reset("plan", "engineer"); err != nil {
+			return err
+		}
+		if err := in.RunTask("plan", "engineer"); err != nil {
+			return err
+		}
+		for _, n := range in.Notifications {
+			fmt.Println("NOTIFY:", n)
+		}
+		if err := in.Run("engineer"); err != nil {
+			return err
+		}
+		if err := in.Run("manager"); err != nil {
+			return err
+		}
+		fmt.Printf("after rework: %v\n", statusLine(in))
+	}
+
+	m := workflow.CollectMetrics(in)
+	fmt.Println("metrics:", m.Summary())
+	fmt.Println("bottlenecks:", m.Bottlenecks(3))
+	if printEvents {
+		for _, e := range in.Events {
+			fmt.Printf("t=%-4d %-28s %-8s %s\n", e.Tick, e.Task, e.Kind, e.Msg)
+		}
+	}
+	if vs, ok := store.(*workflow.VersionedStore); ok {
+		fmt.Println("data history:", vs.History())
+	}
+	return nil
+}
+
+func statusLine(in *workflow.Instance) string {
+	s := in.Status()
+	return fmt.Sprintf("done=%d failed=%d pending=%d complete=%v",
+		s[workflow.Done], s[workflow.Failed], s[workflow.Pending], in.Complete())
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunMemStore(t *testing.T) {
+	if err := run(3, "mem", true, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVersionedNoRework(t *testing.T) {
+	if err := run(2, "versioned", false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadStore(t *testing.T) {
+	if err := run(2, "cloud", false, false, false); err == nil {
+		t.Error("unknown store accepted")
+	}
+}
+
+func TestRunDotMode(t *testing.T) {
+	if err := run(2, "mem", false, false, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Command hdlsim compiles and simulates a Verilog-subset source file. The
+// event-ordering policy and the timing-check compatibility switch are
+// command-line options precisely because the paper's Section 3.1 shows
+// that both legitimately vary between simulators — run the same model
+// under -policy fifo and -policy lifo and compare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cadinterop/internal/hdl"
+	"cadinterop/internal/sim"
+)
+
+func main() {
+	var (
+		top     = flag.String("top", "top", "top module to elaborate")
+		policy  = flag.String("policy", "fifo", "simultaneous-event ordering: fifo|lifo|byname|reversename")
+		pre16a  = flag.Bool("pre16a", false, "pre-1.6a timing-check compatibility (+pre_16a_path)")
+		maxTime = flag.Uint64("time", 100000, "simulation time limit")
+		trace   = flag.Bool("trace", false, "print the value-change trace")
+		finals  = flag.Bool("finals", false, "print final signal values")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hdlsim [flags] design.v")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *top, *policy, *pre16a, *maxTime, *trace, *finals); err != nil {
+		fmt.Fprintln(os.Stderr, "hdlsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, top, policy string, pre16a bool, maxTime uint64, trace, finals bool) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	design, err := hdl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	if probs := hdl.Check(design); len(probs) > 0 {
+		for _, p := range probs {
+			fmt.Fprintln(os.Stderr, "  ", p)
+		}
+		return fmt.Errorf("%d semantic problems", len(probs))
+	}
+	var pol sim.Policy
+	switch policy {
+	case "fifo":
+		pol = sim.PolicyFIFO
+	case "lifo":
+		pol = sim.PolicyLIFO
+	case "byname":
+		pol = sim.PolicyByName
+	case "reversename":
+		pol = sim.PolicyReverseName
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+	k, err := sim.Elaborate(design, top, sim.Options{Policy: pol, Pre16aPaths: pre16a, DisableTrace: !trace})
+	if err != nil {
+		return err
+	}
+	if err := k.Run(maxTime); err != nil {
+		return err
+	}
+	fmt.Printf("simulation finished at t=%d (policy %s)\n", k.Now(), pol)
+	for _, line := range k.Log() {
+		fmt.Println(line)
+	}
+	for _, v := range k.Violations() {
+		fmt.Println("TIMING:", v)
+	}
+	for _, r := range k.Races() {
+		fmt.Println("RACE:", r)
+	}
+	if trace {
+		for _, c := range k.Trace() {
+			fmt.Printf("t=%-8d %-24s %s -> %s\n", c.Time, c.Signal, c.Old, c.New)
+		}
+	}
+	if finals {
+		fv := k.FinalValues()
+		names := make([]string, 0, len(fv))
+		for n := range fv {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-24s = %s\n", n, fv[n])
+		}
+	}
+	return nil
+}

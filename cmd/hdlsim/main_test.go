@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunSimple(t *testing.T) {
+	f := writeTemp(t, "d.v", `
+module top;
+  reg a;
+  initial begin
+    a = 0;
+    #5 a = 1;
+    $display("a=%d", a);
+    $finish;
+  end
+endmodule`)
+	for _, pol := range []string{"fifo", "lifo", "byname", "reversename"} {
+		if err := run(f, "top", pol, false, 1000, true, true); err != nil {
+			t.Errorf("policy %s: %v", pol, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent.v", "top", "fifo", false, 10, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeTemp(t, "bad.v", "module m(; endmodule")
+	if err := run(bad, "m", "fifo", false, 10, false, false); err == nil {
+		t.Error("syntax error accepted")
+	}
+	semErr := writeTemp(t, "sem.v", "module m(); assign ghost = 1; endmodule")
+	if err := run(semErr, "m", "fifo", false, 10, false, false); err == nil {
+		t.Error("semantic error accepted")
+	}
+	ok := writeTemp(t, "ok.v", "module top; endmodule")
+	if err := run(ok, "top", "zigzag", false, 10, false, false); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if err := run(ok, "missing", "fifo", false, 10, false, false); err == nil {
+		t.Error("bad top accepted")
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunPlain(t *testing.T) {
+	if err := run(6, "", false, 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScenarioAndOptimize(t *testing.T) {
+	if err := run(6, "prototype", true, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(6, "asic", false, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadScenario(t *testing.T) {
+	if err := run(6, "zebra", false, 0, false); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/migrate"
+	"cadinterop/internal/schematic"
+	"cadinterop/internal/schematic/cd"
+	"cadinterop/internal/schematic/vl"
+	"cadinterop/internal/workgen"
+)
+
+func TestRunGenMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "out.cd")
+	if err := run("", "", "", out, 30, 42, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := cd.Read(f, cd.ReadOptions{Lint: true}); err != nil {
+		t.Errorf("output fails strict read: %v", err)
+	}
+}
+
+func TestRunFileMode(t *testing.T) {
+	dir := t.TempDir()
+	w := workgen.Schematic(workgen.SchematicOptions{Instances: 12, Pages: 1, Seed: 3})
+
+	// Source design in vl format.
+	src := filepath.Join(dir, "in.vl")
+	sf, err := os.Create(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vl.Write(sf, w.Design); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+
+	// Target libraries shipped as a cd design file.
+	libD := schematic.NewDesign("targets", geom.GridSixteenth)
+	for _, lib := range w.Targets {
+		dst := libD.EnsureLibrary(lib.Name)
+		for _, s := range lib.Symbols {
+			cp := *s
+			cp.Pins = append([]schematic.SymbolPin(nil), s.Pins...)
+			if err := dst.AddSymbol(&cp); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	libFile := filepath.Join(dir, "targets.cd")
+	lf, err := os.Create(libFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cd.Write(lf, libD); err != nil {
+		t.Fatal(err)
+	}
+	lf.Close()
+
+	// Map file with every directive kind.
+	script := filepath.Join(dir, "spice.al")
+	if err := os.WriteFile(script, []byte(`(define (transform name value)
+	   (map (lambda (p)
+	          (let ((kv (string-split p ":")))
+	            (list (string-append "m_" (string-downcase (car kv))) (nth 1 kv))))
+	        (string-split value " ")))`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mapFile := filepath.Join(dir, "maps.txt")
+	mapText := `# symbol replacement maps
+SYM vlstd:nand2:sym cdstd:nd2:symbol A=IN1 B=IN2 Y=OUT
+SYM vlstd:res:sym cdstd:resistor:symbol P=PLUS N=MINUS
+GLOBAL VDD vdd!
+GLOBAL GND gnd!
+PROP rename refdes instName
+PROP add view symbol
+CALLBACK spice ` + script + `
+`
+	if err := os.WriteFile(mapFile, []byte(mapText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "out.cd")
+	if err := run(src, libFile, mapFile, out, 0, 0, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	of, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer of.Close()
+	got, err := cd.Read(of, cd.ReadOptions{Lint: true})
+	if err != nil {
+		t.Fatalf("strict read of output: %v", err)
+	}
+	if len(got.Cells) == 0 {
+		t.Error("empty output design")
+	}
+}
+
+func TestRunArgErrors(t *testing.T) {
+	if err := run("", "", "", "", 0, 0, false); err == nil {
+		t.Error("missing args accepted")
+	}
+	if err := run("/nope.vl", "/nope.cd", "/nope.map", "", 0, 0, false); err == nil {
+		t.Error("missing files accepted")
+	}
+}
+
+func TestParseMapFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct{ name, text string }{
+		{"bad directive", "FROB x y\n"},
+		{"bad sym", "SYM onlyone\n"},
+		{"bad key", "SYM ab cd:ef:gh\n"},
+		{"bad pinmap", "SYM a:b:c d:e:f nopins\n"},
+		{"bad global", "GLOBAL onlyone\n"},
+		{"bad prop", "PROP frobnicate x\n"},
+		{"bad prop rename", "PROP rename onlyold\n"},
+		{"bad callback", "CALLBACK propname\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := filepath.Join(dir, "m.txt")
+			if err := os.WriteFile(p, []byte(c.text), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var opts migrate.Options
+			if err := parseMapFile(p, &opts); err == nil {
+				t.Errorf("accepted %q", c.text)
+			}
+		})
+	}
+	// Comments and blanks are fine.
+	p := filepath.Join(dir, "ok.txt")
+	os.WriteFile(p, []byte("# comment\n\nGLOBAL a b\n"), 0o644)
+	var opts migrate.Options
+	if err := parseMapFile(p, &opts); err != nil {
+		t.Errorf("clean file rejected: %v", err)
+	}
+	if opts.GlobalMap["a"] != "b" {
+		t.Errorf("GlobalMap = %v", opts.GlobalMap)
+	}
+}

@@ -1,0 +1,105 @@
+// Command synthcheck checks a Verilog-subset model against each vendor's
+// synthesizable subset and against their intersection (the paper's
+// portability rule), and optionally synthesizes the design to gates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cadinterop/internal/hdl"
+	"cadinterop/internal/synth"
+)
+
+func main() {
+	var (
+		doSynth = flag.Bool("synth", false, "synthesize to gates and emit Verilog")
+		top     = flag.String("top", "", "top module for synthesis (default: first module)")
+		vendor  = flag.String("vendor", "", "restrict synthesis to one vendor's subset")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: synthcheck [flags] design.v")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *doSynth, *top, *vendor); err != nil {
+		fmt.Fprintln(os.Stderr, "synthcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file string, doSynth bool, top, vendor string) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	design, err := hdl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	profiles := append(synth.AllVendors(), synth.Intersection(synth.AllVendors()...))
+	accepted := map[string]bool{}
+	for _, p := range profiles {
+		v := synth.CheckProfile(design, p)
+		accepted[p.Name] = v.Accepted
+		verdict := "ACCEPT"
+		if !v.Accepted {
+			verdict = "REJECT"
+		}
+		fmt.Printf("%-36s %s (%d rejections, %d warnings)\n", p.Name, verdict, len(v.Rejections), len(v.Warnings))
+		for i, rej := range v.Rejections {
+			if i >= 5 {
+				fmt.Printf("    ... %d more\n", len(v.Rejections)-5)
+				break
+			}
+			fmt.Printf("    %s at %s (%s)\n", rej.Feature, rej.Pos, rej.Detail)
+		}
+	}
+	if !doSynth {
+		return nil
+	}
+	if top == "" {
+		if len(design.Order) == 0 {
+			return fmt.Errorf("no modules")
+		}
+		top = design.Order[0]
+	}
+	opts := synth.Options{}
+	if vendor != "" {
+		found := false
+		for _, p := range synth.AllVendors() {
+			if p.Name == vendor {
+				pp := p
+				opts.Profile = &pp
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown vendor %q", vendor)
+		}
+	}
+	nl, rep, err := synth.Synthesize(design, top, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("synthesized %s: %d gates, %d DFFs, %d latches, %d sensitivity completions\n",
+		top, rep.Gates, rep.DFFs, len(rep.Latches), len(rep.Completions))
+	for _, c := range rep.Completions {
+		fmt.Printf("  NOTE %s: sensitivity list completed; missing %v — simulation will disagree with hardware\n",
+			c.Pos, c.Missing)
+	}
+	for _, l := range rep.Latches {
+		fmt.Printf("  NOTE latch inferred on %s.%s (%d bits)\n", l.Module, l.Signal, l.Bits)
+	}
+	for _, w := range rep.Warnings {
+		fmt.Printf("  WARN %s\n", w)
+	}
+	v, err := synth.EmitVerilog(nl, top)
+	if err != nil {
+		fmt.Printf("  (gate emission unavailable: %v)\n", err)
+		return nil
+	}
+	fmt.Print(v)
+	return nil
+}

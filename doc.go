@@ -1,0 +1,10 @@
+// Package cadinterop is a CAD tool interoperability workbench: a Go
+// reproduction of "Issues and Answers in CAD Tool Interoperability"
+// (DAC 1996).
+//
+// The library lives under internal/ — one package per subsystem the paper
+// describes — with runnable tools in cmd/, worked examples in examples/,
+// and the constructed-experiment harness in internal/experiments. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the measured
+// results; the benchmarks in bench_test.go regenerate every experiment.
+package cadinterop

@@ -1,0 +1,75 @@
+// P&R hand-off: Section 4's backplane scenario. One floorplan — block
+// rules, keepouts, net width/spacing/shield constraints, literal pin
+// locations — is translated to three P&R tool dialects. What each dialect
+// cannot express is reported as loss, and the placed-and-routed result is
+// audited against the designer's full intent so the loss shows up as DRC
+// and coupling damage, not just a warning.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cadinterop/internal/backplane"
+	"cadinterop/internal/floorplan"
+	"cadinterop/internal/geom"
+	"cadinterop/internal/workgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pnr_handoff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// First: the floorplanner itself on a block-level plan.
+	fp := &floorplan.Floorplan{
+		Name: "demo",
+		Die:  geom.R(0, 0, 200, 200),
+		Blocks: []*floorplan.Block{
+			{Name: "cpu", Area: 8000, AspectMin: 0.5, AspectMax: 2},
+			{Name: "dsp", Area: 6000, AspectMin: 0.5, AspectMax: 2},
+			{Name: "sram", Area: 5000, AspectMin: 0.8, AspectMax: 1.25},
+			{Name: "io", Area: 2500, AspectMin: 0.25, AspectMax: 4},
+		},
+	}
+	if err := fp.Plan(); err != nil {
+		return err
+	}
+	fmt.Printf("floorplanned %d blocks, utilization %.0f%%, violations: %d\n",
+		len(fp.Blocks), fp.Utilization()*100, len(fp.Validate()))
+	for _, b := range fp.Blocks {
+		fmt.Printf("  %-5s at %v (%d x %d)\n", b.Name, b.Rect.Min, b.Rect.Dx(), b.Rect.Dy())
+	}
+
+	// Then: the constraint hand-off into each P&R dialect.
+	fmt.Printf("\n%-8s %6s %10s %8s %12s %10s\n", "tool", "lost", "degraded", "wirelen", "violations", "unrouted")
+	for _, tool := range backplane.AllTools() {
+		d, flatFp, err := workgen.PhysDesign(workgen.PhysOptions{
+			Cells: 24, Seed: 7, CriticalNets: 3, Keepouts: 1})
+		if err != nil {
+			return err
+		}
+		res, err := backplane.RunFlow(d, flatFp, tool, 7)
+		if err != nil {
+			return err
+		}
+		var dropped, degraded int
+		for _, it := range res.Loss.Items {
+			if it.Kind == backplane.LossDropped {
+				dropped++
+			} else {
+				degraded++
+			}
+		}
+		fmt.Printf("%-8s %6d %10d %8d %12d %10d\n",
+			tool.Name, dropped, degraded, res.Route.Wirelength,
+			len(res.Violations), len(res.Route.Failed))
+		for _, it := range res.Loss.Items {
+			fmt.Println("    loss:", it)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+// Quickstart: the Section 6 methodology in thirty lines. Define user tasks
+// with normalized inputs/outputs, model two tools whose data models
+// disagree, map tasks to tools, and let the flow analysis name the
+// interoperability problems you were going to hit anyway.
+package main
+
+import (
+	"fmt"
+
+	"cadinterop/internal/core"
+)
+
+func main() {
+	// 1. System specification: tool-independent user tasks.
+	g := core.NewGraph()
+	g.MustAdd(&core.Task{ID: "rtl", Desc: "develop RTL model", Phase: core.Creation,
+		Inputs: []string{"spec"}, Outputs: []string{"rtl-model"}})
+	g.MustAdd(&core.Task{ID: "synth", Desc: "synthesize to gates", Phase: core.Creation,
+		Inputs: []string{"rtl-model"}, Outputs: []string{"netlist"}})
+	g.MustAdd(&core.Task{ID: "sta", Desc: "static timing analysis", Phase: core.Analysis,
+		Inputs: []string{"netlist"}, Outputs: []string{"timing-report"}})
+
+	// 2. Tool models: data classified into persistence / behavior /
+	// structure / namespace; control as interfaces.
+	hier := core.DataModel{Persistence: "file:verilog", Behavior: "logic:4value",
+		Structure: "hierarchical", Namespace: "long-case-sensitive"}
+	flat8 := core.DataModel{Persistence: "file:binary", Behavior: "logic:9value",
+		Structure: "flat", Namespace: "8char"}
+	tools := core.Catalog{}
+	tools.Add(&core.Tool{Name: "editor", Function: "RTL entry",
+		Inputs:    []core.Port{{Info: "spec", Model: hier}},
+		Outputs:   []core.Port{{Info: "rtl-model", Model: hier}},
+		ControlIn: []core.Interface{"cli"}, ControlOut: []core.Interface{"exit-status"}})
+	tools.Add(&core.Tool{Name: "synthesizer", Function: "synthesis",
+		Inputs:    []core.Port{{Info: "rtl-model", Model: hier}},
+		Outputs:   []core.Port{{Info: "netlist", Model: hier}},
+		ControlIn: []core.Interface{"tcl"}, ControlOut: []core.Interface{"exit-status"}})
+	tools.Add(&core.Tool{Name: "timer", Function: "timing analysis",
+		Inputs:    []core.Port{{Info: "netlist", Model: flat8}}, // trouble!
+		Outputs:   []core.Port{{Info: "timing-report", Model: hier}},
+		ControlIn: []core.Interface{"gui"}, ControlOut: []core.Interface{"log-file"}})
+
+	// 3. Task-to-tool mapping and analysis.
+	m := core.NewMapping()
+	m.Assign["rtl"] = []string{"editor"}
+	m.Assign["synth"] = []string{"synthesizer"}
+	m.Assign["sta"] = []string{"timer"}
+	res := core.Analyze(g, tools, m)
+
+	fmt.Printf("analyzed %d hand-offs, found %d problems (cost %d):\n",
+		res.EdgesAnalyzed, len(res.Problems), res.TotalCost())
+	for _, p := range res.Problems {
+		fmt.Println("  -", p)
+	}
+}

@@ -1,0 +1,106 @@
+// Tapeout flow: Section 5's workflow characteristics in one runnable
+// scenario — per-block sub-flows instantiated from a single template,
+// actions in "different languages", the default zero/non-zero status
+// policy with an explicit API override, data-maturity gates, a permission-
+// guarded signoff step, trigger-based rework when upstream data changes,
+// and the collected metrics that close the tuning loop.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"cadinterop/internal/workflow"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tapeout_flow:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	store := workflow.NewVersionedStore()
+	blocks := []string{"cpu", "dsp", "io"}
+
+	sub := &workflow.Template{Name: "blockflow", Steps: []*workflow.StepDef{
+		{Name: "rtl", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			c.Data().Put("rtl:"+c.Block, "module "+c.Block+"; endmodule")
+			return 0
+		}}},
+		{Name: "synth", Action: workflow.FuncAction{Language: "tcl", Fn: func(c *workflow.Ctx) int {
+			rtl, _, _ := c.Data().Get("rtl:" + c.Block)
+			c.Data().Put("netlist:"+c.Block, "GATES["+rtl+"]")
+			return 0
+		}}, StartAfter: []string{"rtl"}},
+		{Name: "sta", Action: workflow.FuncAction{Language: "perl", Fn: func(c *workflow.Ctx) int {
+			// The timing tool exits 1 on any warning; the integration knows
+			// warnings are fine and overrides via the API.
+			c.SetStatus(workflow.Done)
+			return 1
+		}}, StartAfter: []string{"synth"}},
+	}}
+	tpl := &workflow.Template{Name: "tapeout", Steps: []*workflow.StepDef{
+		{Name: "floorplan", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			c.Data().Put("floorplan", "rev-A")
+			return 0
+		}}, Outputs: []string{"floorplan"}},
+		{Name: "blocks", SubFlow: sub, StartAfter: []string{"floorplan"}},
+		{Name: "assemble", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			var all []string
+			for _, b := range []string{"cpu", "dsp", "io"} {
+				n, _, _ := c.Data().Get("netlist:" + b)
+				all = append(all, n)
+			}
+			c.Data().Put("chip", strings.Join(all, "+"))
+			return 0
+		}}, StartAfter: []string{"blocks"},
+			Inputs: []workflow.MaturityCheck{{Item: "floorplan", Exists: true}}},
+		{Name: "signoff", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int { return 0 }},
+			StartAfter: []string{"assemble"}, Permissions: []string{"manager"},
+			Inputs: []workflow.MaturityCheck{{Item: "chip", Exists: true, Contains: "GATES"}}},
+	}}
+
+	in, err := workflow.Instantiate(tpl, store, blocks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployed template %q: %d tasks across %d blocks\n",
+		tpl.Name, len(in.Tasks), len(blocks))
+
+	// The engineer drives everything they may touch...
+	if err := in.Run("engineer"); err != nil {
+		return err
+	}
+	fmt.Printf("engineer pass: %v (signoff waits for the manager)\n", in.Status()[workflow.Done])
+	// ...and the manager completes the gated step.
+	if err := in.Run("manager"); err != nil {
+		return err
+	}
+	fmt.Printf("flow complete: %v\n", in.Complete())
+
+	// A floorplan change fires the rework trigger.
+	if err := in.Reset("floorplan", "engineer"); err != nil {
+		return err
+	}
+	if err := in.RunTask("floorplan", "engineer"); err != nil {
+		return err
+	}
+	for _, n := range in.Notifications {
+		fmt.Println("NOTIFY:", n)
+	}
+	if err := in.Run("engineer"); err != nil {
+		return err
+	}
+	if err := in.Run("manager"); err != nil {
+		return err
+	}
+
+	m := workflow.CollectMetrics(in)
+	fmt.Println("metrics:", m.Summary())
+	fmt.Println("bottlenecks:", m.Bottlenecks(3))
+	fmt.Println("data versions:", store.History())
+	return nil
+}

@@ -1,0 +1,3 @@
+module cadinterop
+
+go 1.22

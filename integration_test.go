@@ -1,0 +1,352 @@
+package cadinterop
+
+// Cross-subsystem integration tests: each one chains several internal
+// packages the way a real flow would, so seams between substrates get
+// exercised, not just the substrates.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cadinterop/internal/exchange"
+	"cadinterop/internal/geom"
+	"cadinterop/internal/hdl"
+	"cadinterop/internal/migrate"
+	"cadinterop/internal/netlist"
+	"cadinterop/internal/phys"
+	"cadinterop/internal/place"
+	"cadinterop/internal/route"
+	"cadinterop/internal/schematic"
+	"cadinterop/internal/schematic/cd"
+	"cadinterop/internal/schematic/vl"
+	"cadinterop/internal/sim"
+	"cadinterop/internal/synth"
+	"cadinterop/internal/workflow"
+	"cadinterop/internal/workgen"
+)
+
+// TestRTLToSiliconPipeline drives one design through the longest chain in
+// the repository: HDL parse -> synthesis -> neutral interchange round trip
+// -> physical design -> placement -> routing, with validity checks at every
+// hand-off.
+func TestRTLToSiliconPipeline(t *testing.T) {
+	src := workgen.CombModule("unit", workgen.HDLOptions{Gates: 12, Inputs: 3, Seed: 5})
+	design := hdl.MustParse(src)
+	nl, rep, err := synth.Synthesize(design, "unit", synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gates == 0 {
+		t.Fatal("no gates")
+	}
+
+	// Ship the netlist through the neutral interchange format with an
+	// 8-character consumer; it must come back identical.
+	var buf bytes.Buffer
+	if err := exchange.Write(&buf, nl, exchange.WriteOptions{NameLimit: 8}); err != nil {
+		t.Fatal(err)
+	}
+	shipped, err := exchange.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := netlist.Compare(nl, shipped, netlist.CompareOptions{}); len(diffs) != 0 {
+		t.Fatalf("interchange diffs: %v", diffs)
+	}
+
+	// Build macros for every gate primitive used, flatten is not needed:
+	// the top cell instantiates only primitives.
+	lib := phys.NewLibrary(workgen.PhysTech())
+	for _, cn := range shipped.CellNames() {
+		c := shipped.Cells[cn]
+		if !c.Primitive {
+			continue
+		}
+		m := &phys.Macro{Name: cn, Size: geom.Pt(40, 20), Site: "core"}
+		for i, p := range c.Ports {
+			m.Pins = append(m.Pins, &phys.Pin{
+				Name: p.Name, Dir: p.Dir,
+				Shapes: []phys.Shape{{Layer: "M1", Rect: geom.R(i*8, 8, i*8+4, 12)}},
+				Access: phys.AccessAll,
+			})
+		}
+		if err := lib.AddMacro(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lib.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	top := shipped.Cells["unit"]
+	cellCount := len(top.Instances)
+	side := 200
+	for side*side < cellCount*800*8 {
+		side += 100
+	}
+	pd, err := phys.NewDesign("unit", geom.R(0, 0, side, side), lib, shipped, "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := place.Place(pd, place.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pd.CheckPlacement(); err != nil {
+		t.Fatalf("placement: %v", err)
+	}
+	if pres.FinalHPWL > pres.InitialHPWL {
+		t.Errorf("placement got worse: %d -> %d", pres.InitialHPWL, pres.FinalHPWL)
+	}
+	rres, err := route.Route(pd, route.Options{Pitch: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rres.Failed) != 0 {
+		t.Fatalf("unrouted nets: %v", rres.Failed)
+	}
+	t.Logf("pipeline: %d gates, HPWL %d, wirelength %d, vias %d",
+		rep.Gates, pres.FinalHPWL, rres.Wirelength, rres.Vias)
+}
+
+// TestSchematicFileFormatMigrationLoop exercises the complete Section 2
+// story including both native file formats: generate -> write vl -> read
+// vl -> migrate -> write cd -> read cd (strict lint ON) -> re-extract and
+// verify against the original.
+func TestSchematicFileFormatMigrationLoop(t *testing.T) {
+	w := workgen.Schematic(workgen.SchematicOptions{Instances: 40, Pages: 2, Seed: 77})
+
+	var vlBuf bytes.Buffer
+	if err := vl.Write(&vlBuf, w.Design); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := vl.Read(bytes.NewReader(vlBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, rep, err := migrate.Migrate(loaded, w.MigrateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Verification) != 0 {
+		t.Fatalf("verification: %s", netlist.Summary(rep.Verification))
+	}
+
+	var cdBuf bytes.Buffer
+	if err := cd.Write(&cdBuf, out); err != nil {
+		t.Fatal(err)
+	}
+	// The strict reader lints against the CD dialect: the migrated design
+	// must be conformant.
+	final, err := cd.Read(bytes.NewReader(cdBuf.Bytes()), cd.ReadOptions{Lint: true})
+	if err != nil {
+		t.Fatalf("strict cd read: %v", err)
+	}
+
+	// Final connectivity must still verify against the in-memory result.
+	nlA, err := schematic.Extract(out, schematic.CD.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlB, err := schematic.Extract(final, schematic.CD.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := netlist.Compare(nlA, nlB, netlist.CompareOptions{}); len(diffs) != 0 {
+		t.Errorf("file round trip changed connectivity: %v", diffs)
+	}
+}
+
+// TestSimVsSynthRandomEquivalence cross-checks the simulator and the
+// synthesizer on random combinational designs: RTL simulation and
+// simulation of the emitted gate netlist must agree on every sampled
+// input vector.
+func TestSimVsSynthRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 3; trial++ {
+		src := workgen.CombModule("dut", workgen.HDLOptions{
+			Gates: 15 + trial*10, Inputs: 3, Seed: int64(trial) + 100})
+		d := hdl.MustParse(src)
+		nl, _, err := synth.Synthesize(d, "dut", synth.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := synth.EmitVerilog(nl, "dut")
+		if err != nil {
+			t.Fatal(err)
+		}
+		gd := hdl.MustParse(v)
+		for sample := 0; sample < 4; sample++ {
+			ins := make(map[string]uint64, 3)
+			for i := 0; i < 3; i++ {
+				ins[fmt.Sprintf("i%d", i)] = rng.Uint64() & 0xF
+			}
+			rtl := evalCombOut(t, d, ins, false)
+			gates := evalCombOut(t, gd, ins, true)
+			if rtl != gates {
+				t.Fatalf("trial %d sample %d (%v): rtl=%d gates=%d", trial, sample, ins, rtl, gates)
+			}
+		}
+	}
+}
+
+// evalCombOut drives inputs into a combinational module and reads "out"
+// (4 bits). Gate-level modules use escaped per-bit signals.
+func evalCombOut(t *testing.T, d *hdl.Design, ins map[string]uint64, gateLevel bool) uint64 {
+	t.Helper()
+	k, err := sim.Elaborate(d, "dut", sim.Options{DisableTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Kill()
+	k.Bootstrap()
+	for name, val := range ins {
+		if gateLevel {
+			for i := 0; i < 4; i++ {
+				if err := k.Inject(fmt.Sprintf("\\%s[%d]", name, i), sim.NewValue(1, val>>uint(i)&1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			if err := k.Inject(name, sim.NewValue(4, val)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := k.RunUntil(1000); err != nil {
+		t.Fatal(err)
+	}
+	if gateLevel {
+		var out uint64
+		for i := 0; i < 4; i++ {
+			s, ok := k.Signal(fmt.Sprintf("\\out[%d]", i))
+			if !ok || s.Value().HasXZ() {
+				t.Fatalf("gate out[%d] bad", i)
+			}
+			out |= (s.Value().Val & 1) << uint(i)
+		}
+		return out
+	}
+	s, ok := k.Signal("out")
+	if !ok || s.Value().HasXZ() {
+		t.Fatalf("rtl out bad: %v", s.Value())
+	}
+	return s.Value().Val
+}
+
+// TestWorkflowDrivesRealTools integrates Sections 3 and 5: workflow steps
+// whose actions invoke the actual parser, synthesizer and simulator, with
+// the default status policy translating tool failures into flow state.
+func TestWorkflowDrivesRealTools(t *testing.T) {
+	store := workflow.NewMemStore()
+	tpl := &workflow.Template{Name: "rtl2gates", Steps: []*workflow.StepDef{
+		{Name: "write-rtl", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			c.Data().Put("rtl.v", workgen.CombModule("dut", workgen.HDLOptions{Gates: 8, Inputs: 2, Seed: 3}))
+			return 0
+		}}, Outputs: []string{"rtl.v"}},
+		{Name: "lint", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			src, _, _ := c.Data().Get("rtl.v")
+			d, err := hdl.Parse(src)
+			if err != nil {
+				return 1
+			}
+			if len(hdl.Check(d)) > 0 {
+				return 2
+			}
+			return 0
+		}}, StartAfter: []string{"write-rtl"},
+			Inputs: []workflow.MaturityCheck{{Item: "rtl.v", Exists: true}}},
+		{Name: "synth", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			src, _, _ := c.Data().Get("rtl.v")
+			d, err := hdl.Parse(src)
+			if err != nil {
+				return 1
+			}
+			nl, _, err := synth.Synthesize(d, "dut", synth.Options{})
+			if err != nil {
+				return 2
+			}
+			v, err := synth.EmitVerilog(nl, "dut")
+			if err != nil {
+				return 3
+			}
+			c.Data().Put("gates.v", v)
+			c.SetVar("gates.count", fmt.Sprint(len(nl.Cells["dut"].Instances)))
+			return 0
+		}}, StartAfter: []string{"lint"}},
+		{Name: "simulate", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			src, _, _ := c.Data().Get("gates.v")
+			d, err := hdl.Parse(src)
+			if err != nil {
+				return 1
+			}
+			k, err := sim.Elaborate(d, "dut", sim.Options{DisableTrace: true})
+			if err != nil {
+				return 2
+			}
+			defer k.Kill()
+			if err := k.Run(100); err != nil {
+				return 3
+			}
+			return 0
+		}}, StartAfter: []string{"synth"},
+			Inputs: []workflow.MaturityCheck{{Item: "gates.v", Exists: true, Contains: "module dut"}}},
+	}}
+	in, err := workflow.Instantiate(tpl, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run("eng"); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Complete() {
+		t.Fatalf("flow incomplete: %v", in.Status())
+	}
+	if v, ok := in.Vars["gates.count"]; !ok || v == "0" {
+		t.Errorf("gates.count = %q", v)
+	}
+	// Break the RTL and rerun: the default status policy must fail lint
+	// and hold everything downstream.
+	store.Put("rtl.v", "module broken(")
+	in2, _ := workflow.Instantiate(tpl, store, nil)
+	// Skip write-rtl to keep the broken file: run lint directly.
+	in2.Tasks["write-rtl"].Def.Action = workflow.FuncAction{Fn: func(*workflow.Ctx) int { return 0 }}
+	if err := in2.Run("eng"); err != nil {
+		t.Fatal(err)
+	}
+	if in2.Tasks["lint"].State != workflow.Failed {
+		t.Errorf("lint = %v, want Failed", in2.Tasks["lint"].State)
+	}
+	if in2.Tasks["synth"].State == workflow.Done {
+		t.Error("synth ran after failed lint")
+	}
+}
+
+// TestMigrationThenInterchange covers schematic extraction feeding the
+// neutral interchange format — the §1 scenario of sharing design data
+// between organizations with different tool suites.
+func TestMigrationThenInterchange(t *testing.T) {
+	w := workgen.Schematic(workgen.SchematicOptions{Instances: 20, Pages: 1, Seed: 8})
+	nl, err := schematic.Extract(w.Design, schematic.VL.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := exchange.Write(&buf, nl, exchange.WriteOptions{VHDLSafe: true, NameLimit: 12}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := exchange.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := netlist.Compare(nl, back, netlist.CompareOptions{}); len(diffs) != 0 {
+		t.Errorf("interchange diffs: %v", diffs)
+	}
+	if !strings.Contains(buf.String(), "(rename") {
+		t.Error("restricted consumer should have produced renames")
+	}
+}

@@ -1,0 +1,596 @@
+// Package al implements a/L, the small Lisp dialect the paper's Section 2
+// credits for Exar's fully automated schematic migration: "By using the a/L
+// interpreted language to handle the unique formatting requirements, Exar
+// achieved a high degree of automation with no manual post translation
+// cleanup."
+//
+// a/L here is a lexically scoped Lisp-1 with the special forms quote, if,
+// cond, define, set!, lambda, let, let*, begin, and, or, plus a library of
+// list and string builtins chosen for property-reformatting work. Host code
+// (the migrator) exposes the design hierarchy to callbacks by registering
+// foreign functions with Env.RegisterFunc.
+package al
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Value is any a/L datum. The concrete types are Symbol, Str, Num, Bool,
+// List, *Builtin, *Closure and Foreign.
+type Value interface {
+	// Repr renders the value in written (read-back) form.
+	Repr() string
+}
+
+// Symbol is an identifier.
+type Symbol string
+
+// Str is a string literal.
+type Str string
+
+// Num is a number; a/L has a single numeric tower of float64, like many
+// small embedded Lisps.
+type Num float64
+
+// Bool is #t or #f.
+type Bool bool
+
+// List is a proper list. The empty List is nil/'().
+type List []Value
+
+// Foreign wraps an arbitrary host object passed through a/L untouched.
+type Foreign struct {
+	Tag string
+	Obj any
+}
+
+// Builtin is a native function.
+type Builtin struct {
+	Name string
+	Fn   func(args []Value) (Value, error)
+}
+
+// Closure is a user-defined function.
+type Closure struct {
+	Params   []Symbol
+	Variadic bool // last param collects the rest as a List
+	Body     []Value
+	Env      *Env
+}
+
+// Repr implementations.
+func (s Symbol) Repr() string { return string(s) }
+func (s Str) Repr() string    { return strconv.Quote(string(s)) }
+func (n Num) Repr() string {
+	if n == Num(int64(n)) {
+		return strconv.FormatInt(int64(n), 10)
+	}
+	return strconv.FormatFloat(float64(n), 'g', -1, 64)
+}
+func (b Bool) Repr() string {
+	if b {
+		return "#t"
+	}
+	return "#f"
+}
+func (l List) Repr() string {
+	parts := make([]string, len(l))
+	for i, v := range l {
+		parts[i] = v.Repr()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+func (f Foreign) Repr() string  { return fmt.Sprintf("#<foreign:%s>", f.Tag) }
+func (b *Builtin) Repr() string { return fmt.Sprintf("#<builtin:%s>", b.Name) }
+func (c *Closure) Repr() string { return fmt.Sprintf("#<lambda/%d>", len(c.Params)) }
+
+// Truthy follows Scheme: everything except #f is true.
+func Truthy(v Value) bool {
+	b, ok := v.(Bool)
+	return !ok || bool(b)
+}
+
+// Errors.
+var (
+	// ErrParse reports malformed source text.
+	ErrParse = errors.New("al: parse error")
+	// ErrEval reports a runtime evaluation failure.
+	ErrEval = errors.New("al: eval error")
+	// ErrUnbound reports a reference to an undefined symbol.
+	ErrUnbound = errors.New("al: unbound symbol")
+)
+
+// ---------------------------------------------------------------------------
+// Reader
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (lx *lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == ';' { // comment to end of line
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			lx.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (lx *lexer) next() (tok string, err error) {
+	lx.skipSpace()
+	if lx.pos >= len(lx.src) {
+		return "", nil // EOF signalled by empty token
+	}
+	c := lx.src[lx.pos]
+	switch c {
+	case '(', ')', '\'':
+		lx.pos++
+		return string(c), nil
+	case '"':
+		start := lx.pos
+		lx.pos++
+		for lx.pos < len(lx.src) {
+			if lx.src[lx.pos] == '\\' {
+				lx.pos += 2
+				continue
+			}
+			if lx.src[lx.pos] == '"' {
+				lx.pos++
+				return lx.src[start:lx.pos], nil
+			}
+			lx.pos++
+		}
+		return "", fmt.Errorf("%w: unterminated string", ErrParse)
+	default:
+		start := lx.pos
+		for lx.pos < len(lx.src) {
+			c := lx.src[lx.pos]
+			if c == '(' || c == ')' || c == '\'' || c == '"' || c == ';' ||
+				c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+				break
+			}
+			lx.pos++
+		}
+		return lx.src[start:lx.pos], nil
+	}
+}
+
+func (lx *lexer) peek() (string, error) {
+	save := lx.pos
+	tok, err := lx.next()
+	lx.pos = save
+	return tok, err
+}
+
+// Parse reads all expressions in src.
+func Parse(src string) ([]Value, error) {
+	lx := &lexer{src: src}
+	var out []Value
+	for {
+		tok, err := lx.peek()
+		if err != nil {
+			return nil, err
+		}
+		if tok == "" {
+			return out, nil
+		}
+		v, err := parseExpr(lx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+}
+
+// ParseOne reads exactly one expression.
+func ParseOne(src string) (Value, error) {
+	vs, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(vs) != 1 {
+		return nil, fmt.Errorf("%w: expected one expression, got %d", ErrParse, len(vs))
+	}
+	return vs[0], nil
+}
+
+func parseExpr(lx *lexer) (Value, error) {
+	tok, err := lx.next()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case tok == "":
+		return nil, fmt.Errorf("%w: unexpected end of input", ErrParse)
+	case tok == "(":
+		var items List
+		for {
+			p, err := lx.peek()
+			if err != nil {
+				return nil, err
+			}
+			if p == "" {
+				return nil, fmt.Errorf("%w: unterminated list", ErrParse)
+			}
+			if p == ")" {
+				lx.next()
+				return items, nil
+			}
+			item, err := parseExpr(lx)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, item)
+		}
+	case tok == ")":
+		return nil, fmt.Errorf("%w: unexpected )", ErrParse)
+	case tok == "'":
+		q, err := parseExpr(lx)
+		if err != nil {
+			return nil, err
+		}
+		return List{Symbol("quote"), q}, nil
+	case tok[0] == '"':
+		s, err := strconv.Unquote(tok)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad string %s: %v", ErrParse, tok, err)
+		}
+		return Str(s), nil
+	case tok == "#t":
+		return Bool(true), nil
+	case tok == "#f":
+		return Bool(false), nil
+	default:
+		if n, err := strconv.ParseFloat(tok, 64); err == nil {
+			return Num(n), nil
+		}
+		return Symbol(tok), nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Environment
+
+// Env is a lexical scope frame.
+type Env struct {
+	vars   map[Symbol]Value
+	parent *Env
+}
+
+// NewEnv returns a fresh global environment with the standard library bound.
+func NewEnv() *Env {
+	e := &Env{vars: make(map[Symbol]Value)}
+	registerStdlib(e)
+	return e
+}
+
+// Child returns a new scope nested in e.
+func (e *Env) Child() *Env {
+	return &Env{vars: make(map[Symbol]Value), parent: e}
+}
+
+// Lookup resolves a symbol.
+func (e *Env) Lookup(s Symbol) (Value, error) {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[s]; ok {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrUnbound, s)
+}
+
+// Define binds s in this frame.
+func (e *Env) Define(s Symbol, v Value) { e.vars[s] = v }
+
+// Set rebinds the nearest existing binding of s.
+func (e *Env) Set(s Symbol, v Value) error {
+	for env := e; env != nil; env = env.parent {
+		if _, ok := env.vars[s]; ok {
+			env.vars[s] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: set! of %s", ErrUnbound, s)
+}
+
+// RegisterFunc exposes a Go function to a/L programs. This is the hook the
+// migrator uses to let callbacks "interact with the entire design hierarchy"
+// as the paper puts it.
+func (e *Env) RegisterFunc(name string, fn func(args []Value) (Value, error)) {
+	e.Define(Symbol(name), &Builtin{Name: name, Fn: fn})
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator
+
+// Eval evaluates one expression in env.
+func Eval(expr Value, env *Env) (Value, error) {
+	for { // tail-call loop
+		switch v := expr.(type) {
+		case Num, Str, Bool, Foreign, *Builtin, *Closure:
+			return v, nil
+		case Symbol:
+			return env.Lookup(v)
+		case List:
+			if len(v) == 0 {
+				return List(nil), nil
+			}
+			if head, ok := v[0].(Symbol); ok {
+				switch head {
+				case "quote":
+					if len(v) != 2 {
+						return nil, fmt.Errorf("%w: quote wants 1 arg", ErrEval)
+					}
+					return v[1], nil
+				case "if":
+					if len(v) != 3 && len(v) != 4 {
+						return nil, fmt.Errorf("%w: if wants 2 or 3 args", ErrEval)
+					}
+					c, err := Eval(v[1], env)
+					if err != nil {
+						return nil, err
+					}
+					if Truthy(c) {
+						expr = v[2]
+						continue
+					}
+					if len(v) == 4 {
+						expr = v[3]
+						continue
+					}
+					return Bool(false), nil
+				case "cond":
+					matched := false
+					for _, clause := range v[1:] {
+						cl, ok := clause.(List)
+						if !ok || len(cl) < 2 {
+							return nil, fmt.Errorf("%w: malformed cond clause", ErrEval)
+						}
+						if sym, ok := cl[0].(Symbol); ok && sym == "else" {
+							expr = List(append(List{Symbol("begin")}, cl[1:]...))
+							matched = true
+							break
+						}
+						c, err := Eval(cl[0], env)
+						if err != nil {
+							return nil, err
+						}
+						if Truthy(c) {
+							expr = List(append(List{Symbol("begin")}, cl[1:]...))
+							matched = true
+							break
+						}
+					}
+					if !matched {
+						return Bool(false), nil
+					}
+					continue
+				case "define":
+					if len(v) < 3 {
+						return nil, fmt.Errorf("%w: define wants 2+ args", ErrEval)
+					}
+					// (define (f a b) body...) sugar.
+					if sig, ok := v[1].(List); ok {
+						if len(sig) == 0 {
+							return nil, fmt.Errorf("%w: empty define signature", ErrEval)
+						}
+						name, ok := sig[0].(Symbol)
+						if !ok {
+							return nil, fmt.Errorf("%w: define name must be a symbol", ErrEval)
+						}
+						cl, err := makeClosure(sig[1:], v[2:], env)
+						if err != nil {
+							return nil, err
+						}
+						env.Define(name, cl)
+						return name, nil
+					}
+					name, ok := v[1].(Symbol)
+					if !ok {
+						return nil, fmt.Errorf("%w: define name must be a symbol", ErrEval)
+					}
+					val, err := Eval(v[2], env)
+					if err != nil {
+						return nil, err
+					}
+					env.Define(name, val)
+					return name, nil
+				case "set!":
+					if len(v) != 3 {
+						return nil, fmt.Errorf("%w: set! wants 2 args", ErrEval)
+					}
+					name, ok := v[1].(Symbol)
+					if !ok {
+						return nil, fmt.Errorf("%w: set! name must be a symbol", ErrEval)
+					}
+					val, err := Eval(v[2], env)
+					if err != nil {
+						return nil, err
+					}
+					if err := env.Set(name, val); err != nil {
+						return nil, err
+					}
+					return val, nil
+				case "lambda":
+					if len(v) < 3 {
+						return nil, fmt.Errorf("%w: lambda wants params and body", ErrEval)
+					}
+					params, ok := v[1].(List)
+					if !ok {
+						return nil, fmt.Errorf("%w: lambda params must be a list", ErrEval)
+					}
+					return makeClosure(params, v[2:], env)
+				case "let", "let*":
+					if len(v) < 3 {
+						return nil, fmt.Errorf("%w: %s wants bindings and body", ErrEval, head)
+					}
+					binds, ok := v[1].(List)
+					if !ok {
+						return nil, fmt.Errorf("%w: %s bindings must be a list", ErrEval, head)
+					}
+					child := env.Child()
+					evalEnv := env
+					if head == "let*" {
+						evalEnv = child
+					}
+					for _, b := range binds {
+						pair, ok := b.(List)
+						if !ok || len(pair) != 2 {
+							return nil, fmt.Errorf("%w: malformed %s binding", ErrEval, head)
+						}
+						name, ok := pair[0].(Symbol)
+						if !ok {
+							return nil, fmt.Errorf("%w: %s binding name must be a symbol", ErrEval, head)
+						}
+						val, err := Eval(pair[1], evalEnv)
+						if err != nil {
+							return nil, err
+						}
+						child.Define(name, val)
+					}
+					env = child
+					expr = List(append(List{Symbol("begin")}, v[2:]...))
+					continue
+				case "begin":
+					if len(v) == 1 {
+						return Bool(false), nil
+					}
+					for _, e := range v[1 : len(v)-1] {
+						if _, err := Eval(e, env); err != nil {
+							return nil, err
+						}
+					}
+					expr = v[len(v)-1]
+					continue
+				case "and":
+					res := Value(Bool(true))
+					for _, e := range v[1:] {
+						r, err := Eval(e, env)
+						if err != nil {
+							return nil, err
+						}
+						if !Truthy(r) {
+							return Bool(false), nil
+						}
+						res = r
+					}
+					return res, nil
+				case "or":
+					for _, e := range v[1:] {
+						r, err := Eval(e, env)
+						if err != nil {
+							return nil, err
+						}
+						if Truthy(r) {
+							return r, nil
+						}
+					}
+					return Bool(false), nil
+				}
+			}
+			// Application.
+			fn, err := Eval(v[0], env)
+			if err != nil {
+				return nil, err
+			}
+			args := make([]Value, len(v)-1)
+			for i, a := range v[1:] {
+				args[i], err = Eval(a, env)
+				if err != nil {
+					return nil, err
+				}
+			}
+			switch f := fn.(type) {
+			case *Builtin:
+				return f.Fn(args)
+			case *Closure:
+				child := f.Env.Child()
+				if err := bindParams(f, args, child); err != nil {
+					return nil, err
+				}
+				env = child
+				expr = List(append(List{Symbol("begin")}, f.Body...))
+				continue
+			default:
+				return nil, fmt.Errorf("%w: %s is not callable", ErrEval, v[0].Repr())
+			}
+		case nil:
+			return nil, fmt.Errorf("%w: nil expression", ErrEval)
+		default:
+			return nil, fmt.Errorf("%w: unknown value type %T", ErrEval, expr)
+		}
+	}
+}
+
+func makeClosure(params List, body []Value, env *Env) (*Closure, error) {
+	cl := &Closure{Env: env, Body: body}
+	for i, p := range params {
+		s, ok := p.(Symbol)
+		if !ok {
+			return nil, fmt.Errorf("%w: lambda param must be a symbol", ErrEval)
+		}
+		if s == "." {
+			if i != len(params)-2 {
+				return nil, fmt.Errorf("%w: misplaced rest marker", ErrEval)
+			}
+			rest, ok := params[i+1].(Symbol)
+			if !ok {
+				return nil, fmt.Errorf("%w: rest param must be a symbol", ErrEval)
+			}
+			cl.Params = append(cl.Params, rest)
+			cl.Variadic = true
+			return cl, nil
+		}
+		cl.Params = append(cl.Params, s)
+	}
+	return cl, nil
+}
+
+func bindParams(f *Closure, args []Value, env *Env) error {
+	if f.Variadic {
+		fixed := len(f.Params) - 1
+		if len(args) < fixed {
+			return fmt.Errorf("%w: want at least %d args, got %d", ErrEval, fixed, len(args))
+		}
+		for i := 0; i < fixed; i++ {
+			env.Define(f.Params[i], args[i])
+		}
+		env.Define(f.Params[fixed], List(append([]Value(nil), args[fixed:]...)))
+		return nil
+	}
+	if len(args) != len(f.Params) {
+		return fmt.Errorf("%w: want %d args, got %d", ErrEval, len(f.Params), len(args))
+	}
+	for i, p := range f.Params {
+		env.Define(p, args[i])
+	}
+	return nil
+}
+
+// Run parses and evaluates src, returning the value of the last expression.
+func Run(src string, env *Env) (Value, error) {
+	exprs, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var last Value = Bool(false)
+	for _, e := range exprs {
+		last, err = Eval(e, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}

@@ -1,0 +1,551 @@
+package al
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// registerStdlib binds the builtin library into a fresh global environment.
+func registerStdlib(e *Env) {
+	num2 := func(name string, args []Value) (float64, float64, error) {
+		if len(args) != 2 {
+			return 0, 0, fmt.Errorf("%w: %s wants 2 args", ErrEval, name)
+		}
+		a, ok1 := args[0].(Num)
+		b, ok2 := args[1].(Num)
+		if !ok1 || !ok2 {
+			return 0, 0, fmt.Errorf("%w: %s wants numbers, got %s %s", ErrEval, name, args[0].Repr(), args[1].Repr())
+		}
+		return float64(a), float64(b), nil
+	}
+	str1 := func(name string, args []Value) (string, error) {
+		if len(args) != 1 {
+			return "", fmt.Errorf("%w: %s wants 1 arg", ErrEval, name)
+		}
+		s, ok := args[0].(Str)
+		if !ok {
+			return "", fmt.Errorf("%w: %s wants a string, got %s", ErrEval, name, args[0].Repr())
+		}
+		return string(s), nil
+	}
+	list1 := func(name string, args []Value) (List, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%w: %s wants 1 arg", ErrEval, name)
+		}
+		l, ok := args[0].(List)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants a list, got %s", ErrEval, name, args[0].Repr())
+		}
+		return l, nil
+	}
+
+	// Arithmetic.
+	e.RegisterFunc("+", func(args []Value) (Value, error) {
+		var sum float64
+		for _, a := range args {
+			n, ok := a.(Num)
+			if !ok {
+				return nil, fmt.Errorf("%w: + wants numbers", ErrEval)
+			}
+			sum += float64(n)
+		}
+		return Num(sum), nil
+	})
+	e.RegisterFunc("*", func(args []Value) (Value, error) {
+		prod := 1.0
+		for _, a := range args {
+			n, ok := a.(Num)
+			if !ok {
+				return nil, fmt.Errorf("%w: * wants numbers", ErrEval)
+			}
+			prod *= float64(n)
+		}
+		return Num(prod), nil
+	})
+	e.RegisterFunc("-", func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return nil, fmt.Errorf("%w: - wants at least 1 arg", ErrEval)
+		}
+		first, ok := args[0].(Num)
+		if !ok {
+			return nil, fmt.Errorf("%w: - wants numbers", ErrEval)
+		}
+		if len(args) == 1 {
+			return Num(-first), nil
+		}
+		acc := float64(first)
+		for _, a := range args[1:] {
+			n, ok := a.(Num)
+			if !ok {
+				return nil, fmt.Errorf("%w: - wants numbers", ErrEval)
+			}
+			acc -= float64(n)
+		}
+		return Num(acc), nil
+	})
+	e.RegisterFunc("/", func(args []Value) (Value, error) {
+		a, b, err := num2("/", args)
+		if err != nil {
+			return nil, err
+		}
+		if b == 0 {
+			return nil, fmt.Errorf("%w: division by zero", ErrEval)
+		}
+		return Num(a / b), nil
+	})
+	e.RegisterFunc("mod", func(args []Value) (Value, error) {
+		a, b, err := num2("mod", args)
+		if err != nil {
+			return nil, err
+		}
+		if b == 0 {
+			return nil, fmt.Errorf("%w: mod by zero", ErrEval)
+		}
+		return Num(math.Mod(a, b)), nil
+	})
+	e.RegisterFunc("floor", func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%w: floor wants 1 arg", ErrEval)
+		}
+		n, ok := args[0].(Num)
+		if !ok {
+			return nil, fmt.Errorf("%w: floor wants a number", ErrEval)
+		}
+		return Num(math.Floor(float64(n))), nil
+	})
+	e.RegisterFunc("round", func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%w: round wants 1 arg", ErrEval)
+		}
+		n, ok := args[0].(Num)
+		if !ok {
+			return nil, fmt.Errorf("%w: round wants a number", ErrEval)
+		}
+		return Num(math.Round(float64(n))), nil
+	})
+	cmp := func(name string, ok func(a, b float64) bool) {
+		e.RegisterFunc(name, func(args []Value) (Value, error) {
+			a, b, err := num2(name, args)
+			if err != nil {
+				return nil, err
+			}
+			return Bool(ok(a, b)), nil
+		})
+	}
+	cmp("<", func(a, b float64) bool { return a < b })
+	cmp(">", func(a, b float64) bool { return a > b })
+	cmp("<=", func(a, b float64) bool { return a <= b })
+	cmp(">=", func(a, b float64) bool { return a >= b })
+	cmp("=", func(a, b float64) bool { return a == b })
+
+	// Predicates and equality.
+	e.RegisterFunc("not", func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%w: not wants 1 arg", ErrEval)
+		}
+		return Bool(!Truthy(args[0])), nil
+	})
+	e.RegisterFunc("eq?", func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%w: eq? wants 2 args", ErrEval)
+		}
+		return Bool(Equal(args[0], args[1])), nil
+	})
+	e.RegisterFunc("null?", func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%w: null? wants 1 arg", ErrEval)
+		}
+		l, ok := args[0].(List)
+		return Bool(ok && len(l) == 0), nil
+	})
+	typePred := func(name string, ok func(Value) bool) {
+		e.RegisterFunc(name, func(args []Value) (Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("%w: %s wants 1 arg", ErrEval, name)
+			}
+			return Bool(ok(args[0])), nil
+		})
+	}
+	typePred("string?", func(v Value) bool { _, ok := v.(Str); return ok })
+	typePred("number?", func(v Value) bool { _, ok := v.(Num); return ok })
+	typePred("symbol?", func(v Value) bool { _, ok := v.(Symbol); return ok })
+	typePred("list?", func(v Value) bool { _, ok := v.(List); return ok })
+
+	// Lists.
+	e.RegisterFunc("car", func(args []Value) (Value, error) {
+		l, err := list1("car", args)
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 {
+			return nil, fmt.Errorf("%w: car of empty list", ErrEval)
+		}
+		return l[0], nil
+	})
+	e.RegisterFunc("cdr", func(args []Value) (Value, error) {
+		l, err := list1("cdr", args)
+		if err != nil {
+			return nil, err
+		}
+		if len(l) == 0 {
+			return nil, fmt.Errorf("%w: cdr of empty list", ErrEval)
+		}
+		return List(append([]Value(nil), l[1:]...)), nil
+	})
+	e.RegisterFunc("cons", func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%w: cons wants 2 args", ErrEval)
+		}
+		tail, ok := args[1].(List)
+		if !ok {
+			// a/L lists are proper; an improper cons becomes a 2-list.
+			return List{args[0], args[1]}, nil
+		}
+		out := make(List, 0, len(tail)+1)
+		out = append(out, args[0])
+		out = append(out, tail...)
+		return out, nil
+	})
+	e.RegisterFunc("list", func(args []Value) (Value, error) {
+		return List(append([]Value(nil), args...)), nil
+	})
+	e.RegisterFunc("length", func(args []Value) (Value, error) {
+		switch v := args[0].(type) {
+		case List:
+			return Num(len(v)), nil
+		case Str:
+			return Num(len(v)), nil
+		}
+		return nil, fmt.Errorf("%w: length wants a list or string", ErrEval)
+	})
+	e.RegisterFunc("append", func(args []Value) (Value, error) {
+		var out List
+		for _, a := range args {
+			l, ok := a.(List)
+			if !ok {
+				return nil, fmt.Errorf("%w: append wants lists", ErrEval)
+			}
+			out = append(out, l...)
+		}
+		return out, nil
+	})
+	e.RegisterFunc("reverse", func(args []Value) (Value, error) {
+		l, err := list1("reverse", args)
+		if err != nil {
+			return nil, err
+		}
+		out := make(List, len(l))
+		for i, v := range l {
+			out[len(l)-1-i] = v
+		}
+		return out, nil
+	})
+	e.RegisterFunc("nth", func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%w: nth wants 2 args", ErrEval)
+		}
+		n, ok := args[0].(Num)
+		l, ok2 := args[1].(List)
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("%w: nth wants (index list)", ErrEval)
+		}
+		i := int(n)
+		if i < 0 || i >= len(l) {
+			return nil, fmt.Errorf("%w: nth index %d out of range [0,%d)", ErrEval, i, len(l))
+		}
+		return l[i], nil
+	})
+	e.RegisterFunc("assoc", func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%w: assoc wants 2 args", ErrEval)
+		}
+		l, ok := args[1].(List)
+		if !ok {
+			return nil, fmt.Errorf("%w: assoc wants an alist", ErrEval)
+		}
+		for _, item := range l {
+			pair, ok := item.(List)
+			if ok && len(pair) >= 1 && Equal(pair[0], args[0]) {
+				return pair, nil
+			}
+		}
+		return Bool(false), nil
+	})
+	e.RegisterFunc("map", func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%w: map wants 2 args", ErrEval)
+		}
+		l, ok := args[1].(List)
+		if !ok {
+			return nil, fmt.Errorf("%w: map wants a list", ErrEval)
+		}
+		out := make(List, len(l))
+		for i, item := range l {
+			r, err := Apply(args[0], []Value{item})
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	})
+	e.RegisterFunc("filter", func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%w: filter wants 2 args", ErrEval)
+		}
+		l, ok := args[1].(List)
+		if !ok {
+			return nil, fmt.Errorf("%w: filter wants a list", ErrEval)
+		}
+		var out List
+		for _, item := range l {
+			r, err := Apply(args[0], []Value{item})
+			if err != nil {
+				return nil, err
+			}
+			if Truthy(r) {
+				out = append(out, item)
+			}
+		}
+		return out, nil
+	})
+	e.RegisterFunc("sort-strings", func(args []Value) (Value, error) {
+		l, err := list1("sort-strings", args)
+		if err != nil {
+			return nil, err
+		}
+		ss := make([]string, len(l))
+		for i, v := range l {
+			s, ok := v.(Str)
+			if !ok {
+				return nil, fmt.Errorf("%w: sort-strings wants strings", ErrEval)
+			}
+			ss[i] = string(s)
+		}
+		sort.Strings(ss)
+		out := make(List, len(ss))
+		for i, s := range ss {
+			out[i] = Str(s)
+		}
+		return out, nil
+	})
+
+	// Strings — the property-reformatting workhorses.
+	e.RegisterFunc("string-append", func(args []Value) (Value, error) {
+		var b strings.Builder
+		for _, a := range args {
+			switch v := a.(type) {
+			case Str:
+				b.WriteString(string(v))
+			case Symbol:
+				b.WriteString(string(v))
+			case Num:
+				b.WriteString(v.Repr())
+			default:
+				return nil, fmt.Errorf("%w: string-append cannot take %s", ErrEval, a.Repr())
+			}
+		}
+		return Str(b.String()), nil
+	})
+	e.RegisterFunc("string-upcase", func(args []Value) (Value, error) {
+		s, err := str1("string-upcase", args)
+		if err != nil {
+			return nil, err
+		}
+		return Str(strings.ToUpper(s)), nil
+	})
+	e.RegisterFunc("string-downcase", func(args []Value) (Value, error) {
+		s, err := str1("string-downcase", args)
+		if err != nil {
+			return nil, err
+		}
+		return Str(strings.ToLower(s)), nil
+	})
+	e.RegisterFunc("substring", func(args []Value) (Value, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("%w: substring wants (str start end)", ErrEval)
+		}
+		s, ok := args[0].(Str)
+		a, ok1 := args[1].(Num)
+		b, ok2 := args[2].(Num)
+		if !ok || !ok1 || !ok2 {
+			return nil, fmt.Errorf("%w: substring wants (str start end)", ErrEval)
+		}
+		i, j := int(a), int(b)
+		if i < 0 || j > len(s) || i > j {
+			return nil, fmt.Errorf("%w: substring range [%d,%d) of %q", ErrEval, i, j, string(s))
+		}
+		return Str(string(s)[i:j]), nil
+	})
+	e.RegisterFunc("string-split", func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%w: string-split wants (str sep)", ErrEval)
+		}
+		s, ok := args[0].(Str)
+		sep, ok2 := args[1].(Str)
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("%w: string-split wants strings", ErrEval)
+		}
+		parts := strings.Split(string(s), string(sep))
+		out := make(List, len(parts))
+		for i, p := range parts {
+			out[i] = Str(p)
+		}
+		return out, nil
+	})
+	e.RegisterFunc("string-join", func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%w: string-join wants (list sep)", ErrEval)
+		}
+		l, ok := args[0].(List)
+		sep, ok2 := args[1].(Str)
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("%w: string-join wants (list sep)", ErrEval)
+		}
+		parts := make([]string, len(l))
+		for i, v := range l {
+			s, ok := v.(Str)
+			if !ok {
+				return nil, fmt.Errorf("%w: string-join wants strings", ErrEval)
+			}
+			parts[i] = string(s)
+		}
+		return Str(strings.Join(parts, string(sep))), nil
+	})
+	e.RegisterFunc("string-contains?", func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%w: string-contains? wants 2 args", ErrEval)
+		}
+		s, ok := args[0].(Str)
+		sub, ok2 := args[1].(Str)
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("%w: string-contains? wants strings", ErrEval)
+		}
+		return Bool(strings.Contains(string(s), string(sub))), nil
+	})
+	e.RegisterFunc("string-prefix?", func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%w: string-prefix? wants 2 args", ErrEval)
+		}
+		s, ok := args[0].(Str)
+		p, ok2 := args[1].(Str)
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("%w: string-prefix? wants strings", ErrEval)
+		}
+		return Bool(strings.HasPrefix(string(s), string(p))), nil
+	})
+	e.RegisterFunc("string-replace", func(args []Value) (Value, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("%w: string-replace wants (str old new)", ErrEval)
+		}
+		s, ok := args[0].(Str)
+		old, ok1 := args[1].(Str)
+		nw, ok2 := args[2].(Str)
+		if !ok || !ok1 || !ok2 {
+			return nil, fmt.Errorf("%w: string-replace wants strings", ErrEval)
+		}
+		return Str(strings.ReplaceAll(string(s), string(old), string(nw))), nil
+	})
+	e.RegisterFunc("string->number", func(args []Value) (Value, error) {
+		s, err := str1("string->number", args)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return Bool(false), nil // Scheme convention: #f on failure
+		}
+		return Num(n), nil
+	})
+	e.RegisterFunc("number->string", func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%w: number->string wants 1 arg", ErrEval)
+		}
+		n, ok := args[0].(Num)
+		if !ok {
+			return nil, fmt.Errorf("%w: number->string wants a number", ErrEval)
+		}
+		return Str(n.Repr()), nil
+	})
+	e.RegisterFunc("symbol->string", func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%w: symbol->string wants 1 arg", ErrEval)
+		}
+		s, ok := args[0].(Symbol)
+		if !ok {
+			return nil, fmt.Errorf("%w: symbol->string wants a symbol", ErrEval)
+		}
+		return Str(string(s)), nil
+	})
+	e.RegisterFunc("string->symbol", func(args []Value) (Value, error) {
+		s, err := str1("string->symbol", args)
+		if err != nil {
+			return nil, err
+		}
+		return Symbol(s), nil
+	})
+	e.RegisterFunc("error", func(args []Value) (Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			if s, ok := a.(Str); ok {
+				parts[i] = string(s)
+			} else {
+				parts[i] = a.Repr()
+			}
+		}
+		return nil, fmt.Errorf("%w: %s", ErrEval, strings.Join(parts, " "))
+	})
+}
+
+// Apply invokes a callable value (builtin or closure) on args from Go.
+func Apply(fn Value, args []Value) (Value, error) {
+	switch f := fn.(type) {
+	case *Builtin:
+		return f.Fn(args)
+	case *Closure:
+		child := f.Env.Child()
+		if err := bindParams(f, args, child); err != nil {
+			return nil, err
+		}
+		return Eval(List(append(List{Symbol("begin")}, f.Body...)), child)
+	default:
+		return nil, fmt.Errorf("%w: not callable: %s", ErrEval, fn.Repr())
+	}
+}
+
+// Equal compares two values structurally.
+func Equal(a, b Value) bool {
+	switch x := a.(type) {
+	case Symbol:
+		y, ok := b.(Symbol)
+		return ok && x == y
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case Num:
+		y, ok := b.(Num)
+		return ok && x == y
+	case Bool:
+		y, ok := b.(Bool)
+		return ok && x == y
+	case List:
+		y, ok := b.(List)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case Foreign:
+		y, ok := b.(Foreign)
+		return ok && x.Obj == y.Obj
+	default:
+		return a == b
+	}
+}

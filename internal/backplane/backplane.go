@@ -1,0 +1,354 @@
+// Package backplane reproduces Section 4's P&R backplane: one floorplan
+// (the designer's full intent) is translated into each P&R tool's dialect,
+// and whatever a dialect cannot express is dropped or degraded — with a
+// loss report, because "though vendors will argue that these features
+// competitively differentiate their tool ... there is no standard as to how
+// they should be defined and presented". RunFlow then drives the real
+// placer and router with the translated (possibly impoverished) constraint
+// set and audits the result against the original intent, turning semantic
+// loss into measured quality-of-results damage.
+package backplane
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cadinterop/internal/floorplan"
+	"cadinterop/internal/geom"
+	"cadinterop/internal/phys"
+	"cadinterop/internal/place"
+	"cadinterop/internal/route"
+)
+
+// ErrTranslate reports translation failures.
+var ErrTranslate = errors.New("backplane: translate error")
+
+// ConnSupport describes how a tool ingests one pin connection property.
+type ConnSupport uint8
+
+// Connection-property support levels — "Some tools read connection types as
+// a set of literal properties on the pin, others require an external file,
+// and a few have no predefined support for some connection types."
+const (
+	ConnLiteral ConnSupport = iota
+	ConnExternalFile
+	ConnUnsupported
+)
+
+var connSupportNames = [...]string{"literal", "external-file", "unsupported"}
+
+// String implements fmt.Stringer.
+func (c ConnSupport) String() string {
+	if int(c) < len(connSupportNames) {
+		return connSupportNames[c]
+	}
+	return fmt.Sprintf("ConnSupport(%d)", uint8(c))
+}
+
+// ToolDialect is one P&R tool's constraint vocabulary.
+type ToolDialect struct {
+	Name string
+	// AccessAsProperty: the tool reads pin access direction as a property;
+	// otherwise it derives access from routing blockages.
+	AccessAsProperty bool
+	// ConnSupport per connection property kind.
+	ConnSupport map[phys.ConnType]ConnSupport
+	// Net topology constraint support.
+	SupportsNetWidth   bool
+	SupportsNetSpacing bool
+	SupportsShielding  bool
+	SupportsCoupling   bool
+	// SupportsKeepouts: keep-out zones convey; otherwise they are dropped.
+	SupportsKeepouts bool
+	// SupportsLiteralPins: literal pin offsets convey; otherwise only the
+	// edge (general location) does.
+	SupportsLiteralPins bool
+}
+
+// Three synthetic tools spanning the support matrix of real ones.
+var (
+	// ToolP is the full-featured tool: everything conveys.
+	ToolP = ToolDialect{
+		Name:             "toolP",
+		AccessAsProperty: true,
+		ConnSupport: map[phys.ConnType]ConnSupport{
+			phys.MultipleConnect: ConnLiteral, phys.EquivalentConnect: ConnLiteral,
+			phys.MustConnect: ConnLiteral, phys.ConnectByAbutment: ConnLiteral,
+		},
+		SupportsNetWidth: true, SupportsNetSpacing: true,
+		SupportsShielding: true, SupportsCoupling: true,
+		SupportsKeepouts: true, SupportsLiteralPins: true,
+	}
+	// ToolQ derives access from blockages and wants connection types in an
+	// external sidecar file; no shielding.
+	ToolQ = ToolDialect{
+		Name:             "toolQ",
+		AccessAsProperty: false,
+		ConnSupport: map[phys.ConnType]ConnSupport{
+			phys.MultipleConnect: ConnExternalFile, phys.EquivalentConnect: ConnExternalFile,
+			phys.MustConnect: ConnExternalFile, phys.ConnectByAbutment: ConnUnsupported,
+		},
+		SupportsNetWidth: true, SupportsNetSpacing: true,
+		SupportsShielding: false, SupportsCoupling: false,
+		SupportsKeepouts: true, SupportsLiteralPins: false,
+	}
+	// ToolR is the minimal tool: no net topology control at all.
+	ToolR = ToolDialect{
+		Name:             "toolR",
+		AccessAsProperty: true,
+		ConnSupport: map[phys.ConnType]ConnSupport{
+			phys.MultipleConnect: ConnLiteral, phys.EquivalentConnect: ConnUnsupported,
+			phys.MustConnect: ConnLiteral, phys.ConnectByAbutment: ConnUnsupported,
+		},
+		SupportsNetWidth: false, SupportsNetSpacing: false,
+		SupportsShielding: false, SupportsCoupling: false,
+		SupportsKeepouts: false, SupportsLiteralPins: true,
+	}
+)
+
+// AllTools lists the built-in dialects.
+func AllTools() []ToolDialect { return []ToolDialect{ToolP, ToolQ, ToolR} }
+
+// LossKind classifies translation loss.
+type LossKind uint8
+
+// Loss kinds.
+const (
+	LossDropped LossKind = iota
+	LossDegraded
+)
+
+// String implements fmt.Stringer.
+func (k LossKind) String() string {
+	if k == LossDropped {
+		return "dropped"
+	}
+	return "degraded"
+}
+
+// LossItem is one constraint the dialect could not fully express.
+type LossItem struct {
+	Kind   LossKind
+	Class  string // "net-width", "shield", "keepout", "pin-literal", "conn-type", "access"
+	Object string
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (l LossItem) String() string {
+	return fmt.Sprintf("%s %s %q: %s", l.Kind, l.Class, l.Object, l.Detail)
+}
+
+// Loss is the full translation loss report.
+type Loss struct {
+	Tool  string
+	Items []LossItem
+}
+
+// Count returns the number of loss items of a class ("" = all).
+func (l *Loss) Count(class string) int {
+	if class == "" {
+		return len(l.Items)
+	}
+	n := 0
+	for _, it := range l.Items {
+		if it.Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+// ToolInput is the constraint set as one tool receives it.
+type ToolInput struct {
+	Tool string
+	// RouteRules is the per-net rule set after degradation.
+	RouteRules map[string]route.Rule
+	// Keepouts conveyed to the tool.
+	Keepouts []geom.Rect
+	// PinPositions resolved per top-level pin.
+	PinPositions map[string]geom.Point
+	// PinAccess resolved per "macro.pin".
+	PinAccess map[string]phys.AccessDir
+	// ConnProps carries literal connection properties per "macro.pin".
+	ConnProps map[string][]phys.ConnType
+	// SidecarFile is the external connection-type file for tools that
+	// demand one (empty when unused).
+	SidecarFile string
+}
+
+// Translate converts the floorplan intent plus library into one tool's
+// input, reporting every loss.
+func Translate(fp *floorplan.Floorplan, lib *phys.Library, tool ToolDialect) (*ToolInput, *Loss) {
+	in := &ToolInput{
+		Tool:         tool.Name,
+		RouteRules:   make(map[string]route.Rule),
+		PinPositions: make(map[string]geom.Point),
+		PinAccess:    make(map[string]phys.AccessDir),
+		ConnProps:    make(map[string][]phys.ConnType),
+	}
+	loss := &Loss{Tool: tool.Name}
+
+	// Net topology rules.
+	for _, r := range fp.NetRules {
+		out := route.Rule{WidthTracks: 1}
+		if r.WidthTracks > 1 {
+			if tool.SupportsNetWidth {
+				out.WidthTracks = r.WidthTracks
+			} else {
+				loss.Items = append(loss.Items, LossItem{Kind: LossDropped, Class: "net-width",
+					Object: r.Net, Detail: fmt.Sprintf("width %d tracks -> minimum", r.WidthTracks)})
+			}
+		}
+		if r.SpacingTracks > 0 {
+			if tool.SupportsNetSpacing {
+				out.SpacingTracks = r.SpacingTracks
+			} else {
+				loss.Items = append(loss.Items, LossItem{Kind: LossDropped, Class: "net-spacing",
+					Object: r.Net, Detail: fmt.Sprintf("spacing %d tracks dropped", r.SpacingTracks)})
+			}
+		}
+		if r.Shield {
+			if tool.SupportsShielding {
+				out.Shield = true
+			} else {
+				loss.Items = append(loss.Items, LossItem{Kind: LossDropped, Class: "shield",
+					Object: r.Net, Detail: "shield request dropped"})
+			}
+		}
+		if r.MaxCoupledLen > 0 {
+			if tool.SupportsCoupling {
+				out.MaxCoupledLen = r.MaxCoupledLen
+			} else {
+				loss.Items = append(loss.Items, LossItem{Kind: LossDropped, Class: "coupling",
+					Object: r.Net, Detail: fmt.Sprintf("max coupled length %d dropped", r.MaxCoupledLen)})
+			}
+		}
+		if out.WidthTracks > 1 || out.SpacingTracks > 0 || out.Shield || out.MaxCoupledLen > 0 {
+			in.RouteRules[r.Net] = out
+		}
+	}
+
+	// Keepouts.
+	if tool.SupportsKeepouts {
+		for _, k := range fp.Keepouts {
+			in.Keepouts = append(in.Keepouts, k.Rect)
+		}
+	} else {
+		for _, k := range fp.Keepouts {
+			loss.Items = append(loss.Items, LossItem{Kind: LossDropped, Class: "keepout",
+				Object: k.Reason, Detail: k.Rect.String()})
+		}
+	}
+
+	// Pin locations.
+	for _, pc := range fp.Pins {
+		if pc.Offset >= 0 && !tool.SupportsLiteralPins {
+			general := floorplan.PinConstraint{Pin: pc.Pin, Edge: pc.Edge, Offset: -1}
+			in.PinPositions[pc.Pin] = general.Position(fp.Die)
+			loss.Items = append(loss.Items, LossItem{Kind: LossDegraded, Class: "pin-literal",
+				Object: pc.Pin, Detail: fmt.Sprintf("literal offset %d degraded to edge midpoint", pc.Offset)})
+			continue
+		}
+		in.PinPositions[pc.Pin] = pc.Position(fp.Die)
+	}
+
+	// Pin access and connection properties per macro.
+	macros := make([]string, 0, len(lib.Macros))
+	for n := range lib.Macros {
+		macros = append(macros, n)
+	}
+	sort.Strings(macros)
+	var sidecar strings.Builder
+	for _, mn := range macros {
+		m := lib.Macros[mn]
+		for _, p := range m.Pins {
+			key := mn + "." + p.Name
+			if tool.AccessAsProperty {
+				in.PinAccess[key] = p.Access
+			} else {
+				derived := m.DeriveAccess(p)
+				in.PinAccess[key] = derived
+				if derived != p.Access {
+					loss.Items = append(loss.Items, LossItem{Kind: LossDegraded, Class: "access",
+						Object: key, Detail: fmt.Sprintf("property says %v, blockage derivation says %v", p.Access, derived)})
+				}
+			}
+			kinds := make([]phys.ConnType, 0, len(p.Conn))
+			for ct, on := range p.Conn {
+				if on {
+					kinds = append(kinds, ct)
+				}
+			}
+			sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+			for _, ct := range kinds {
+				switch tool.ConnSupport[ct] {
+				case ConnLiteral:
+					in.ConnProps[key] = append(in.ConnProps[key], ct)
+				case ConnExternalFile:
+					fmt.Fprintf(&sidecar, "CONN %s %s\n", key, ct)
+				default:
+					loss.Items = append(loss.Items, LossItem{Kind: LossDropped, Class: "conn-type",
+						Object: key, Detail: ct.String()})
+				}
+			}
+		}
+	}
+	in.SidecarFile = sidecar.String()
+	return in, loss
+}
+
+// FlowResult is the outcome of driving one tool with translated input.
+type FlowResult struct {
+	Tool       string
+	Place      *place.Result
+	Route      *route.Result
+	Violations []route.Violation
+	Loss       *Loss
+}
+
+// FullRules converts the floorplan's net rules to router form, for
+// auditing results against the original intent.
+func FullRules(fp *floorplan.Floorplan) map[string]route.Rule {
+	out := make(map[string]route.Rule, len(fp.NetRules))
+	for _, r := range fp.NetRules {
+		w := r.WidthTracks
+		if w < 1 {
+			w = 1
+		}
+		out[r.Net] = route.Rule{
+			WidthTracks:   w,
+			SpacingTracks: r.SpacingTracks,
+			Shield:        r.Shield,
+			MaxCoupledLen: r.MaxCoupledLen,
+		}
+	}
+	return out
+}
+
+// RunFlow places and routes the design using ONE tool's translated
+// constraints, then audits against the full floorplan intent.
+func RunFlow(d *phys.Design, fp *floorplan.Floorplan, tool ToolDialect, seed int64) (*FlowResult, error) {
+	in, loss := Translate(fp, d.Lib, tool)
+	pres, err := place.Place(d, place.Options{Seed: seed, Keepouts: in.Keepouts})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", tool.Name, err)
+	}
+	rres, err := route.Route(d, route.Options{
+		Pitch:    5, // half the layer pitch: room for width/spacing rules
+		Rules:    in.RouteRules,
+		Keepouts: in.Keepouts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", tool.Name, err)
+	}
+	return &FlowResult{
+		Tool:       tool.Name,
+		Place:      pres,
+		Route:      rres,
+		Violations: route.Audit(rres, FullRules(fp)),
+		Loss:       loss,
+	}, nil
+}

@@ -1,0 +1,173 @@
+package backplane
+
+import (
+	"strings"
+	"testing"
+
+	"cadinterop/internal/floorplan"
+	"cadinterop/internal/phys"
+	"cadinterop/internal/route"
+	"cadinterop/internal/workgen"
+)
+
+func genCase(t testing.TB, cells int) (*phys.Design, *floorplan.Floorplan) {
+	t.Helper()
+	d, fp, err := workgen.PhysDesign(workgen.PhysOptions{
+		Cells: cells, Seed: 11, CriticalNets: 3, Keepouts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, fp
+}
+
+func TestTranslateFullToolIsLossless(t *testing.T) {
+	d, fp := genCase(t, 20)
+	in, loss := Translate(fp, d.Lib, ToolP)
+	// ToolP conveys everything except access derivation (it reads the
+	// property, so no degradation there either).
+	if loss.Count("") != 0 {
+		t.Errorf("toolP loss: %v", loss.Items)
+	}
+	if len(in.RouteRules) != 3 {
+		t.Errorf("route rules = %d, want 3", len(in.RouteRules))
+	}
+	if len(in.Keepouts) != 1 {
+		t.Errorf("keepouts = %d", len(in.Keepouts))
+	}
+	if in.SidecarFile != "" {
+		t.Error("toolP should not need a sidecar file")
+	}
+	// Conn props conveyed literally.
+	if len(in.ConnProps["NAND2X1.A"]) == 0 {
+		t.Errorf("conn props lost: %v", in.ConnProps)
+	}
+}
+
+func TestTranslateToolQDegradations(t *testing.T) {
+	d, fp := genCase(t, 20)
+	in, loss := Translate(fp, d.Lib, ToolQ)
+	// Shield rules dropped (one of the three nets has Shield).
+	if loss.Count("shield") == 0 {
+		t.Errorf("expected shield loss: %v", loss.Items)
+	}
+	// Connection types via sidecar file.
+	if !strings.Contains(in.SidecarFile, "CONN NAND2X1.A must-connect") {
+		t.Errorf("sidecar = %q", in.SidecarFile)
+	}
+	// ConnectByAbutment unsupported.
+	if loss.Count("conn-type") == 0 {
+		t.Errorf("expected conn-type loss: %v", loss.Items)
+	}
+	// Access derived from blockages disagrees with the property on
+	// NAND2X1.A (blockage seals the north corridor).
+	found := false
+	for _, it := range loss.Items {
+		if it.Class == "access" && it.Object == "NAND2X1.A" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected access degradation on NAND2X1.A: %v", loss.Items)
+	}
+	if in.PinAccess["NAND2X1.A"]&phys.AccessNorth != 0 {
+		t.Errorf("derived access should exclude north: %v", in.PinAccess["NAND2X1.A"])
+	}
+	// Literal pin constraint degraded to edge midpoint.
+	if loss.Count("pin-literal") == 0 {
+		t.Errorf("expected pin-literal degradation: %v", loss.Items)
+	}
+	// Width/spacing still convey.
+	for net, r := range in.RouteRules {
+		if r.Shield {
+			t.Errorf("net %s kept shield through toolQ", net)
+		}
+	}
+}
+
+func TestTranslateToolRDropsTopology(t *testing.T) {
+	d, fp := genCase(t, 20)
+	in, loss := Translate(fp, d.Lib, ToolR)
+	if len(in.RouteRules) != 0 {
+		t.Errorf("toolR should drop all topology rules, kept %v", in.RouteRules)
+	}
+	if loss.Count("net-width") == 0 || loss.Count("net-spacing") == 0 {
+		t.Errorf("losses: %v", loss.Items)
+	}
+	if loss.Count("keepout") != 1 {
+		t.Errorf("keepout loss = %d", loss.Count("keepout"))
+	}
+	if len(in.Keepouts) != 0 {
+		t.Error("toolR conveyed keepouts")
+	}
+}
+
+// TestRunFlowQoRDegradesWithLoss is E9 in miniature: the same design
+// through three dialects; the weaker the dialect, the more violations the
+// audit against full intent finds.
+func TestRunFlowQoRDegradesWithLoss(t *testing.T) {
+	results := map[string]*FlowResult{}
+	for _, tool := range AllTools() {
+		d, fp := genCase(t, 24)
+		res, err := RunFlow(d, fp, tool, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", tool.Name, err)
+		}
+		results[tool.Name] = res
+	}
+	vp := len(results["toolP"].Violations)
+	vq := len(results["toolQ"].Violations)
+	vr := len(results["toolR"].Violations)
+	if vp > vq || vq > vr {
+		t.Errorf("violations should not decrease with weaker dialects: P=%d Q=%d R=%d", vp, vq, vr)
+	}
+	if vr == 0 {
+		t.Error("toolR (all topology dropped) should violate the intent")
+	}
+	if vp != 0 {
+		t.Errorf("toolP (full support) should meet the intent, got %v", results["toolP"].Violations)
+	}
+	// Loss counts are also ordered.
+	if results["toolP"].Loss.Count("") > results["toolQ"].Loss.Count("") {
+		t.Error("toolP lost more than toolQ")
+	}
+}
+
+func TestFullRules(t *testing.T) {
+	fp := &floorplan.Floorplan{NetRules: []floorplan.NetRule{
+		{Net: "clk", WidthTracks: 0, SpacingTracks: 2, Shield: true, MaxCoupledLen: 9},
+	}}
+	rules := FullRules(fp)
+	r, ok := rules["clk"]
+	if !ok || r.WidthTracks != 1 || r.SpacingTracks != 2 || !r.Shield || r.MaxCoupledLen != 9 {
+		t.Errorf("rules = %+v", rules)
+	}
+}
+
+func TestConnSupportString(t *testing.T) {
+	if ConnLiteral.String() != "literal" || ConnUnsupported.String() != "unsupported" {
+		t.Error("ConnSupport names wrong")
+	}
+	if LossDropped.String() != "dropped" || LossDegraded.String() != "degraded" {
+		t.Error("LossKind names wrong")
+	}
+	it := LossItem{Kind: LossDropped, Class: "shield", Object: "clk", Detail: "x"}
+	if !strings.Contains(it.String(), "shield") {
+		t.Errorf("LossItem.String = %q", it)
+	}
+}
+
+func TestRouteRulesActuallyBindTheRouter(t *testing.T) {
+	// Sanity: a flow through toolP routes critical nets at their width.
+	d, fp := genCase(t, 16)
+	res, err := RunFlow(d, fp, ToolP, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Route.Failed) != 0 {
+		t.Fatalf("failed nets: %v", res.Route.Failed)
+	}
+	if vs := route.Audit(res.Route, FullRules(fp)); len(vs) != 0 {
+		t.Errorf("full-tool audit: %v", vs)
+	}
+}

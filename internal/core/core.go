@@ -1,0 +1,287 @@
+// Package core implements the paper's Section 6 research contribution: a
+// system-level CAD software design methodology for building truly
+// interoperable tool systems. It has the three parts the paper describes —
+// system specification (user tasks with normalized inputs/outputs forming a
+// directed task graph, plus scenarios that prune it), system analysis
+// (task-to-tool mapping with hole/overlap detection, tool models whose data
+// is classified into persistence, behavioral semantics, structural model
+// and namespace, and control modeled as interfaces; data/control flow
+// analysis that surfaces the five classic interoperability problems), and
+// system optimization (tool boundary repartitioning, data conventions, and
+// technology substitution).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors.
+var (
+	ErrGraph = errors.New("core: bad task graph")
+	ErrScope = errors.New("core: bad scenario")
+)
+
+// Phase classifies tasks the way the paper does: "the major design
+// creation, analysis, and validation steps".
+type Phase uint8
+
+// Task phases.
+const (
+	Creation Phase = iota
+	Analysis
+	Validation
+)
+
+var phaseNames = [...]string{"creation", "analysis", "validation"}
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("Phase(%d)", uint8(p))
+}
+
+// Task is one user task: "a textual description of what work is performed,
+// the set of inputs required in order to perform the task, and the set of
+// outputs produced by the task. Note that tasks are defined in a tool
+// independent way."
+type Task struct {
+	ID      string
+	Desc    string
+	Phase   Phase
+	Inputs  []string // normalized information names, NOT file formats
+	Outputs []string
+}
+
+// Graph is the task graph: "Tasks are represented as nodes in a directed
+// graph which are linked together through the specified inputs and
+// outputs."
+type Graph struct {
+	Tasks map[string]*Task
+	order []string
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{Tasks: make(map[string]*Task)}
+}
+
+// Add registers a task.
+func (g *Graph) Add(t *Task) error {
+	if t.ID == "" {
+		return fmt.Errorf("%w: empty task id", ErrGraph)
+	}
+	if _, dup := g.Tasks[t.ID]; dup {
+		return fmt.Errorf("%w: duplicate task %q", ErrGraph, t.ID)
+	}
+	g.Tasks[t.ID] = t
+	g.order = append(g.order, t.ID)
+	return nil
+}
+
+// MustAdd panics on error; for generators.
+func (g *Graph) MustAdd(t *Task) {
+	if err := g.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// TaskIDs returns task ids in insertion order.
+func (g *Graph) TaskIDs() []string { return append([]string(nil), g.order...) }
+
+// Len is the task count.
+func (g *Graph) Len() int { return len(g.Tasks) }
+
+// Producers returns tasks producing the given information, sorted.
+func (g *Graph) Producers(info string) []string {
+	var out []string
+	for _, id := range g.order {
+		for _, o := range g.Tasks[id].Outputs {
+			if o == info {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Consumers returns tasks consuming the given information, sorted.
+func (g *Graph) Consumers(info string) []string {
+	var out []string
+	for _, id := range g.order {
+		for _, i := range g.Tasks[id].Inputs {
+			if i == info {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Edge is one information hand-off between tasks.
+type Edge struct {
+	From, To string
+	Info     string
+}
+
+// Edges derives all hand-offs. The same info may flow along many edges —
+// "task graphs more faithfully represent the designer's choices in what
+// steps to do next", including loops back to earlier tasks.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, from := range g.order {
+		t := g.Tasks[from]
+		for _, info := range t.Outputs {
+			for _, to := range g.Consumers(info) {
+				if to == from {
+					continue
+				}
+				out = append(out, Edge{From: from, To: to, Info: info})
+			}
+		}
+	}
+	return out
+}
+
+// Infos returns every information name in the graph, sorted.
+func (g *Graph) Infos() []string {
+	set := make(map[string]bool)
+	for _, t := range g.Tasks {
+		for _, i := range t.Inputs {
+			set[i] = true
+		}
+		for _, o := range t.Outputs {
+			set[o] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PrimaryInputs are infos consumed but never produced (external givens:
+// the product spec, purchased IP, library data).
+func (g *Graph) PrimaryInputs() []string {
+	var out []string
+	for _, info := range g.Infos() {
+		if len(g.Producers(info)) == 0 && len(g.Consumers(info)) > 0 {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// FinalOutputs are infos produced but never consumed (deliverables).
+func (g *Graph) FinalOutputs() []string {
+	var out []string
+	for _, info := range g.Infos() {
+		if len(g.Consumers(info)) == 0 && len(g.Producers(info)) > 0 {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// Problem-free structural validation: every task input is either produced
+// by some task or declared a primary input of the methodology.
+func (g *Graph) Validate(primaries []string) error {
+	prim := make(map[string]bool, len(primaries))
+	for _, p := range primaries {
+		prim[p] = true
+	}
+	var probs []string
+	for _, id := range g.order {
+		t := g.Tasks[id]
+		for _, in := range t.Inputs {
+			if len(g.Producers(in)) == 0 && !prim[in] {
+				probs = append(probs, fmt.Sprintf("task %q input %q has no producer and is not primary", id, in))
+			}
+		}
+		if len(t.Outputs) == 0 && len(t.Inputs) == 0 {
+			probs = append(probs, fmt.Sprintf("task %q is disconnected", id))
+		}
+	}
+	if len(probs) > 0 {
+		sort.Strings(probs)
+		return fmt.Errorf("%w: %d problems (first: %s)", ErrGraph, len(probs), probs[0])
+	}
+	return nil
+}
+
+// Scenario is "a set of boundary conditions to be applied to the set of
+// tasks previously defined": user profile, mandated tools, and driving
+// functions. "The purpose of the scenarios is to prune the task graph."
+type Scenario struct {
+	Name string
+	// TeamSize and Experience describe the end-user profile.
+	TeamSize   int
+	Experience string
+	// MustUseTools lists tools already purchased or developed.
+	MustUseTools []string
+	// Driving lists end-user driving functions (cost, size, performance,
+	// technology).
+	Driving map[string]string
+	// DropTasks removes tasks not applicable in this context.
+	DropTasks []string
+	// DropInfos removes information items (and severs the edges through
+	// them).
+	DropInfos []string
+}
+
+// Prune applies the scenario to the graph, returning a reduced copy:
+// dropped tasks vanish; dropped infos are removed from task ports; tasks
+// left with no ports are dropped as collateral.
+func (g *Graph) Prune(sc Scenario) (*Graph, error) {
+	drop := make(map[string]bool, len(sc.DropTasks))
+	for _, t := range sc.DropTasks {
+		if _, ok := g.Tasks[t]; !ok {
+			return nil, fmt.Errorf("%w: scenario %q drops unknown task %q", ErrScope, sc.Name, t)
+		}
+		drop[t] = true
+	}
+	dropInfo := make(map[string]bool, len(sc.DropInfos))
+	for _, i := range sc.DropInfos {
+		dropInfo[i] = true
+	}
+	out := NewGraph()
+	for _, id := range g.order {
+		if drop[id] {
+			continue
+		}
+		t := g.Tasks[id]
+		nt := &Task{ID: t.ID, Desc: t.Desc, Phase: t.Phase}
+		for _, in := range t.Inputs {
+			if !dropInfo[in] {
+				nt.Inputs = append(nt.Inputs, in)
+			}
+		}
+		for _, o := range t.Outputs {
+			if !dropInfo[o] {
+				nt.Outputs = append(nt.Outputs, o)
+			}
+		}
+		if len(nt.Inputs) == 0 && len(nt.Outputs) == 0 {
+			continue // collateral drop
+		}
+		out.MustAdd(nt)
+	}
+	return out, nil
+}
+
+// PruneFactor reports the interaction reduction a scenario achieves:
+// 1 - (pruned edges / original edges).
+func PruneFactor(orig, pruned *Graph) float64 {
+	oe := len(orig.Edges())
+	if oe == 0 {
+		return 0
+	}
+	return 1 - float64(len(pruned.Edges()))/float64(oe)
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Data/control flow diagrams — the paper: "Once models have been developed,
+// then data flow and control flow diagrams are created for the entire
+// task/tool map. These diagrams are then analyzed." DOT renders the
+// diagram; problems from an analysis are overlaid as colored edges so the
+// classic interoperability problems are visible where they occur.
+
+// DOT renders the task graph in Graphviz dot syntax. Tasks are nodes
+// (shaped by phase); every information hand-off is an edge labeled with
+// the information name.
+func (g *Graph) DOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", title)
+	for _, id := range g.TaskIDs() {
+		t := g.Tasks[id]
+		shape := "box"
+		switch t.Phase {
+		case Analysis:
+			shape = "ellipse"
+		case Validation:
+			shape = "diamond"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s label=%q];\n", id, shape, id)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q fontsize=8];\n", e.From, e.To, e.Info)
+	}
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}
+
+// FlowDOT renders the analyzed task/tool map: nodes carry their assigned
+// tools and problem edges are colored by the dominant problem kind, with
+// the problem count in the label.
+func FlowDOT(g *Graph, m *Mapping, res *AnalysisResult, title string) string {
+	// Index problems per (from,to) pair.
+	type pair struct{ from, to string }
+	probs := make(map[pair][]Problem)
+	for _, p := range res.Problems {
+		if p.Edge.From == "" {
+			continue
+		}
+		k := pair{p.Edge.From, p.Edge.To}
+		probs[k] = append(probs[k], p)
+	}
+	colors := map[ProblemKind]string{
+		ProblemPerformance:      "orange",
+		ProblemNameMapping:      "blue",
+		ProblemStructureMapping: "purple",
+		ProblemSemantic:         "red",
+		ProblemToolControl:      "brown",
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10 shape=box];\n", title)
+	for _, id := range g.TaskIDs() {
+		tools := m.Assign[id]
+		label := id
+		if len(tools) > 0 {
+			label = fmt.Sprintf("%s\\n[%s]", id, strings.Join(tools, ","))
+		}
+		fill := "white"
+		if len(tools) == 0 {
+			fill = "gray" // hole
+		}
+		fmt.Fprintf(&b, "  %q [label=%q style=filled fillcolor=%s];\n", id, label, fill)
+	}
+	drawn := make(map[pair]bool)
+	for _, e := range g.Edges() {
+		k := pair{e.From, e.To}
+		if drawn[k] {
+			continue
+		}
+		drawn[k] = true
+		ps := probs[k]
+		if len(ps) == 0 {
+			fmt.Fprintf(&b, "  %q -> %q [color=gray];\n", e.From, e.To)
+			continue
+		}
+		// Dominant kind = highest total cost.
+		costByKind := make(map[ProblemKind]int)
+		for _, p := range ps {
+			costByKind[p.Kind] += p.Cost
+		}
+		kinds := make([]ProblemKind, 0, len(costByKind))
+		for kind := range costByKind {
+			kinds = append(kinds, kind)
+		}
+		sort.Slice(kinds, func(i, j int) bool {
+			if costByKind[kinds[i]] != costByKind[kinds[j]] {
+				return costByKind[kinds[i]] > costByKind[kinds[j]]
+			}
+			return kinds[i] < kinds[j]
+		})
+		color, ok := colors[kinds[0]]
+		if !ok {
+			color = "black"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [color=%s penwidth=2 label=\"%d problems\" fontsize=8];\n",
+			e.From, e.To, color, len(ps))
+	}
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphDOT(t *testing.T) {
+	g := tinyGraph(t)
+	dot := g.DOT("flow")
+	for _, want := range []string{
+		`digraph "flow"`,
+		`"rtl" [shape=box`,
+		`"sta" [shape=ellipse`, // Analysis phase
+		`"sim" [shape=diamond`, // Validation phase
+		`"rtl" -> "synth" [label="rtl-model"`,
+		`"synth" -> "sta" [label="netlist"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Balanced braces (crude syntax sanity).
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestFlowDOTProblemOverlay(t *testing.T) {
+	g := tinyGraph(t)
+	c, m := catalogFor(t)
+	res := Analyze(g, c, m)
+	dot := FlowDOT(g, m, res, "analyzed")
+	// The synth->sta hand-off carries every classic problem; the dominant
+	// kind by cost is semantic (cost 5) -> red edge with a count label.
+	if !strings.Contains(dot, `"synth" -> "sta" [color=red penwidth=2 label="5 problems"`) {
+		t.Errorf("problem edge wrong:\n%s", dot)
+	}
+	// Clean-data edges are gray... rtl->synth has only a control problem
+	// (brown), rtl->sim also control.
+	if !strings.Contains(dot, "color=brown") {
+		t.Errorf("control-problem edge missing:\n%s", dot)
+	}
+	// Tool assignments appear in node labels.
+	if !strings.Contains(dot, `[synthTool]`) {
+		t.Errorf("tool label missing:\n%s", dot)
+	}
+	// A hole renders gray.
+	delete(m.Assign, "sta")
+	res2 := Analyze(g, c, m)
+	dot2 := FlowDOT(g, m, res2, "holes")
+	if !strings.Contains(dot2, "fillcolor=gray") {
+		t.Errorf("hole fill missing:\n%s", dot2)
+	}
+}
+
+func TestMethodologyDOTScales(t *testing.T) {
+	g := CellBasedMethodology(4)
+	dot := g.DOT("methodology")
+	if strings.Count(dot, "->") < 100 {
+		t.Errorf("suspiciously few edges: %d", strings.Count(dot, "->"))
+	}
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CellBasedMethodology generates the paper's reference-scale specification:
+// "In our experience, we found that it takes approximately 200 tasks to
+// describe a cell based design methodology that spans from product
+// specification to final mask tapeout." The generated graph spans product
+// spec through block-level development (per design block) to chip assembly
+// and tapeout, with normalized information items (never file formats) on
+// every port.
+func CellBasedMethodology(blocks int) *Graph {
+	if blocks <= 0 {
+		blocks = 12
+	}
+	g := NewGraph()
+	add := func(id, desc string, ph Phase, ins, outs []string) {
+		g.MustAdd(&Task{ID: id, Desc: desc, Phase: ph, Inputs: ins, Outputs: outs})
+	}
+
+	// Product specification (5).
+	add("spec.market", "capture market requirements", Creation,
+		[]string{"market-data"}, []string{"product-requirements"})
+	add("spec.product", "write product specification", Creation,
+		[]string{"product-requirements"}, []string{"product-spec"})
+	add("spec.review", "review product specification", Validation,
+		[]string{"product-spec"}, []string{"spec-signoff"})
+	add("spec.testplan", "derive system test plan", Creation,
+		[]string{"product-spec"}, []string{"system-test-plan"})
+	add("spec.budget", "derive area/power/timing budgets", Analysis,
+		[]string{"product-spec"}, []string{"design-budgets"})
+
+	// Architecture (7).
+	add("arch.partition", "partition into design blocks", Creation,
+		[]string{"product-spec", "spec-signoff", "design-budgets"}, []string{"block-partition"})
+	add("arch.ifspec", "specify inter-block interfaces", Creation,
+		[]string{"block-partition"}, []string{"interface-spec"})
+	add("arch.model", "build architectural model", Creation,
+		[]string{"block-partition", "interface-spec"}, []string{"arch-model"})
+	add("arch.perf", "architectural performance analysis", Analysis,
+		[]string{"arch-model", "design-budgets"}, []string{"arch-perf-report"})
+	add("arch.review", "architecture review", Validation,
+		[]string{"arch-model", "arch-perf-report"}, []string{"arch-signoff"})
+	add("arch.libsel", "select cell library and process", Creation,
+		[]string{"design-budgets"}, []string{"cell-library"})
+	add("arch.floorspec", "initial chip floorplan spec", Creation,
+		[]string{"block-partition", "cell-library"}, []string{"floorplan-spec"})
+
+	// Per-block development (13 tasks per block).
+	for b := 0; b < blocks; b++ {
+		blk := fmt.Sprintf("b%02d", b)
+		rtl := "rtl:" + blk
+		tb := "testbench:" + blk
+		simRep := "sim-report:" + blk
+		lintRep := "lint-report:" + blk
+		net := "gate-netlist:" + blk
+		cons := "constraints:" + blk
+		staRep := "sta-report:" + blk
+		dftNet := "dft-netlist:" + blk
+		plNet := "placed-netlist:" + blk
+		rtNet := "routed-block:" + blk
+		blkRep := "block-signoff:" + blk
+
+		add("blk."+blk+".plan", "plan block "+blk, Creation,
+			[]string{"block-partition", "interface-spec"}, []string{"block-plan:" + blk})
+		add("blk."+blk+".rtl", "develop RTL model for "+blk, Creation,
+			[]string{"block-plan:" + blk, "arch-signoff"}, []string{rtl})
+		add("blk."+blk+".lint", "lint RTL for "+blk, Analysis,
+			[]string{rtl}, []string{lintRep})
+		add("blk."+blk+".tb", "write block testbench for "+blk, Creation,
+			[]string{"block-plan:" + blk, "system-test-plan"}, []string{tb})
+		add("blk."+blk+".sim", "simulate RTL for "+blk, Validation,
+			[]string{rtl, tb}, []string{simRep})
+		add("blk."+blk+".cons", "write synthesis constraints for "+blk, Creation,
+			[]string{"block-plan:" + blk, "design-budgets"}, []string{cons})
+		add("blk."+blk+".synth", "synthesize "+blk, Creation,
+			[]string{rtl, cons, "cell-library"}, []string{net})
+		add("blk."+blk+".gatesim", "gate-level simulation for "+blk, Validation,
+			[]string{net, tb}, []string{"gatesim-report:" + blk})
+		add("blk."+blk+".sta", "block static timing for "+blk, Analysis,
+			[]string{net, cons}, []string{staRep})
+		add("blk."+blk+".dft", "insert test logic in "+blk, Creation,
+			[]string{net}, []string{dftNet})
+		add("blk."+blk+".place", "place block "+blk, Creation,
+			[]string{dftNet, "floorplan-spec"}, []string{plNet})
+		add("blk."+blk+".route", "route block "+blk, Creation,
+			[]string{plNet}, []string{rtNet})
+		add("blk."+blk+".signoff", "block signoff review for "+blk, Validation,
+			[]string{rtNet, staRep, simRep, lintRep, "gatesim-report:" + blk}, []string{blkRep})
+	}
+
+	// Chip integration and signoff (~20).
+	blockOuts := func(prefix string) []string {
+		var out []string
+		for b := 0; b < blocks; b++ {
+			out = append(out, fmt.Sprintf("%s:b%02d", prefix, b))
+		}
+		return out
+	}
+	add("chip.integrate", "assemble chip-level netlist", Creation,
+		append(blockOuts("gate-netlist"), "interface-spec"), []string{"chip-netlist"})
+	add("chip.tb", "build chip testbench", Creation,
+		[]string{"system-test-plan", "chip-netlist"}, []string{"chip-testbench"})
+	add("chip.sim", "full-chip simulation", Validation,
+		[]string{"chip-netlist", "chip-testbench"}, []string{"chip-sim-report"})
+	add("chip.floorplan", "finalize chip floorplan", Creation,
+		append(blockOuts("routed-block"), "floorplan-spec"), []string{"chip-floorplan"})
+	add("chip.power", "plan power distribution", Creation,
+		[]string{"chip-floorplan", "design-budgets"}, []string{"power-plan"})
+	add("chip.clock", "design clock distribution", Creation,
+		[]string{"chip-floorplan", "design-budgets"}, []string{"clock-plan"})
+	add("chip.place", "chip-level placement", Creation,
+		[]string{"chip-netlist", "chip-floorplan", "power-plan"}, []string{"chip-placed"})
+	add("chip.route", "chip-level routing", Creation,
+		[]string{"chip-placed", "clock-plan"}, []string{"chip-routed"})
+	add("chip.extract", "parasitic extraction", Analysis,
+		[]string{"chip-routed"}, []string{"parasitics"})
+	add("chip.sta", "signoff static timing", Analysis,
+		[]string{"chip-netlist", "parasitics"}, []string{"chip-sta-report"})
+	add("chip.power-analysis", "power analysis", Analysis,
+		[]string{"chip-routed", "parasitics"}, []string{"power-report"})
+	add("chip.drc", "design rule check", Validation,
+		[]string{"chip-routed"}, []string{"drc-report"})
+	add("chip.lvs", "layout versus schematic", Validation,
+		[]string{"chip-routed", "chip-netlist"}, []string{"lvs-report"})
+	add("chip.erc", "electrical rule check", Validation,
+		[]string{"chip-routed"}, []string{"erc-report"})
+	add("chip.signoff", "chip signoff review", Validation,
+		append(blockOuts("block-signoff"),
+			"chip-sim-report", "chip-sta-report", "drc-report", "lvs-report", "erc-report", "power-report"),
+		[]string{"chip-signoff"})
+	add("chip.pg", "generate pattern data", Creation,
+		[]string{"chip-routed", "chip-signoff"}, []string{"mask-data"})
+	add("chip.maskcheck", "mask data verification", Validation,
+		[]string{"mask-data"}, []string{"mask-check-report"})
+	add("chip.tapeout", "final tapeout", Creation,
+		[]string{"mask-data", "mask-check-report"}, []string{"tapeout-package"})
+
+	return g
+}
+
+// MethodologyPrimaries lists the external inputs of the generated
+// methodology.
+func MethodologyPrimaries() []string {
+	return []string{"market-data"}
+}
+
+// Vendor data-model shorthands for the catalog.
+var (
+	mdlVendorXDB   = DataModel{Persistence: "db:vendorX", Behavior: "logic:4value", Structure: "hierarchical", Namespace: "long-case-sensitive"}
+	mdlVendorYFile = DataModel{Persistence: "file:vendorY", Behavior: "logic:4value", Structure: "hierarchical", Namespace: "escaped-verilog"}
+	mdlVendorZFlat = DataModel{Persistence: "file:vendorZ", Behavior: "logic:9value", Structure: "flat", Namespace: "8char"}
+	mdlText        = DataModel{Persistence: "file:text", Behavior: "document", Structure: "flat", Namespace: "long-case-sensitive"}
+)
+
+// ModelVendorYFile returns vendorY's file-based data model (exported for
+// experiment harnesses that extend the catalog).
+func ModelVendorYFile() DataModel { return mdlVendorYFile }
+
+// ModelVendorXDB returns the vendorX database model.
+func ModelVendorXDB() DataModel { return mdlVendorXDB }
+
+// ModelText returns the plain-document model.
+func ModelText() DataModel { return mdlText }
+
+func textIO(infos ...string) []Port {
+	out := make([]Port, len(infos))
+	for i, info := range infos {
+		out[i] = Port{Info: info, Model: mdlText}
+	}
+	return out
+}
+
+func modelIO(m DataModel, infos ...string) []Port {
+	out := make([]Port, len(infos))
+	for i, info := range infos {
+		out[i] = Port{Info: info, Model: m}
+	}
+	return out
+}
+
+// DefaultCatalog builds the tool models used by the E11 experiment: a
+// single-vendor suite (vendorX) plus best-in-class point tools from
+// vendorY and vendorZ whose data models disagree in persistence,
+// namespace, structure and semantics, and whose control interfaces only
+// partly overlap.
+func DefaultCatalog(blocks int) Catalog {
+	if blocks <= 0 {
+		blocks = 12
+	}
+	c := Catalog{}
+	blockInfos := func(prefix string) []string {
+		var out []string
+		for b := 0; b < blocks; b++ {
+			out = append(out, fmt.Sprintf("%s:b%02d", prefix, b))
+		}
+		return out
+	}
+	all := func(lists ...[]string) []string {
+		var out []string
+		for _, l := range lists {
+			out = append(out, l...)
+		}
+		return out
+	}
+
+	// Document-world tools.
+	c.Add(&Tool{Name: "docSuite", Function: "specification authoring",
+		Inputs: textIO("market-data", "product-requirements", "product-spec", "arch-perf-report",
+			"arch-model", "design-budgets", "block-partition", "cell-library",
+			"interface-spec", "spec-signoff"),
+		Outputs: textIO("product-requirements", "product-spec", "spec-signoff", "system-test-plan",
+			"design-budgets", "block-partition", "interface-spec", "arch-model",
+			"arch-perf-report", "arch-signoff", "cell-library", "floorplan-spec"),
+		ControlIn: []Interface{"cli"}, ControlOut: []Interface{"exit-status"}, Internal: true})
+
+	// vendorX full-flow suite: one database, one namespace.
+	xIn := all(
+		[]string{"arch-signoff", "system-test-plan", "design-budgets", "block-partition",
+			"interface-spec", "cell-library", "floorplan-spec", "chip-netlist", "chip-testbench",
+			"chip-floorplan", "power-plan", "clock-plan", "chip-placed", "chip-routed",
+			"parasitics", "chip-signoff", "mask-data", "chip-sim-report", "chip-sta-report",
+			"power-report", "drc-report", "lvs-report", "erc-report", "mask-check-report"},
+		blockInfos("block-plan"), blockInfos("rtl"), blockInfos("testbench"),
+		blockInfos("constraints"), blockInfos("gate-netlist"), blockInfos("dft-netlist"),
+		blockInfos("placed-netlist"), blockInfos("routed-block"),
+		blockInfos("sta-report"), blockInfos("sim-report"), blockInfos("lint-report"),
+		blockInfos("gatesim-report"), blockInfos("block-signoff"))
+	xOut := all(
+		[]string{"chip-netlist", "chip-testbench", "chip-sim-report", "chip-floorplan",
+			"power-plan", "clock-plan", "chip-placed", "chip-routed", "parasitics",
+			"chip-sta-report", "power-report", "drc-report", "lvs-report", "erc-report",
+			"chip-signoff", "mask-data", "mask-check-report", "tapeout-package"},
+		blockInfos("block-plan"), blockInfos("rtl"), blockInfos("testbench"),
+		blockInfos("constraints"), blockInfos("gate-netlist"), blockInfos("dft-netlist"),
+		blockInfos("placed-netlist"), blockInfos("routed-block"),
+		blockInfos("sta-report"), blockInfos("sim-report"), blockInfos("lint-report"),
+		blockInfos("gatesim-report"), blockInfos("block-signoff"))
+	c.Add(&Tool{Name: "suiteX", Function: "single-vendor full flow",
+		Inputs:    modelIO(mdlVendorXDB, xIn...),
+		Outputs:   modelIO(mdlVendorXDB, xOut...),
+		ControlIn: []Interface{"cli", "tcl"}, ControlOut: []Interface{"exit-status", "tcl"}})
+
+	// Best-in-class point tools.
+	c.Add(&Tool{Name: "simY", Function: "event simulator",
+		Inputs: modelIO(mdlVendorYFile, all(blockInfos("rtl"), blockInfos("testbench"),
+			blockInfos("gate-netlist"), blockInfos("dft-netlist"), blockInfos("block-plan"),
+			[]string{"chip-netlist", "chip-testbench", "system-test-plan"})...),
+		Outputs: modelIO(mdlVendorYFile, all(blockInfos("sim-report"),
+			blockInfos("gatesim-report"), blockInfos("testbench"),
+			[]string{"chip-sim-report", "chip-testbench"})...),
+		ControlIn: []Interface{"cli"}, ControlOut: []Interface{"exit-status", "pli"}})
+	c.Add(&Tool{Name: "synthY", Function: "logic synthesis",
+		Inputs: modelIO(mdlVendorYFile, all(blockInfos("rtl"), blockInfos("constraints"),
+			[]string{"cell-library"})...),
+		Outputs:   modelIO(mdlVendorYFile, blockInfos("gate-netlist")...),
+		ControlIn: []Interface{"tcl"}, ControlOut: []Interface{"exit-status"}})
+	c.Add(&Tool{Name: "pnrZ", Function: "place and route",
+		Inputs: modelIO(mdlVendorZFlat, all(blockInfos("dft-netlist"), blockInfos("placed-netlist"),
+			[]string{"floorplan-spec", "chip-netlist", "chip-floorplan", "power-plan",
+				"clock-plan", "chip-placed"})...),
+		Outputs: modelIO(mdlVendorZFlat, all(blockInfos("placed-netlist"), blockInfos("routed-block"),
+			[]string{"chip-placed", "chip-routed"})...),
+		ControlIn: []Interface{"gui", "batch-deck"}, ControlOut: []Interface{"log-file"}})
+	c.Add(&Tool{Name: "staZ", Function: "static timing analysis",
+		Inputs: modelIO(mdlVendorZFlat, all(blockInfos("gate-netlist"), blockInfos("constraints"),
+			[]string{"chip-netlist", "parasitics"})...),
+		Outputs:   modelIO(mdlVendorZFlat, all(blockInfos("sta-report"), []string{"chip-sta-report"})...),
+		ControlIn: []Interface{"cli", "tcl"}, ControlOut: []Interface{"exit-status"}})
+
+	return c
+}
+
+// SingleVendorMapping maps every tool-performable task to the vendorX
+// suite (docSuite handles the document world).
+func SingleVendorMapping(g *Graph) *Mapping {
+	m := NewMapping()
+	for _, id := range g.TaskIDs() {
+		if isDocTask(id) {
+			m.Assign[id] = []string{"docSuite"}
+		} else {
+			m.Assign[id] = []string{"suiteX"}
+		}
+	}
+	return m
+}
+
+// BestInClassMapping mixes vendors by task family: simulation on simY,
+// synthesis on synthY, P&R on pnrZ, STA on staZ, everything else on the
+// vendorX suite.
+func BestInClassMapping(g *Graph) *Mapping {
+	m := NewMapping()
+	for _, id := range g.TaskIDs() {
+		switch {
+		case isDocTask(id):
+			m.Assign[id] = []string{"docSuite"}
+		case suffixIn(id, ".sim", ".gatesim", ".tb") || id == "chip.sim" || id == "chip.tb":
+			m.Assign[id] = []string{"simY"}
+		case suffixIn(id, ".synth"):
+			m.Assign[id] = []string{"synthY"}
+		case suffixIn(id, ".place", ".route") || id == "chip.place" || id == "chip.route":
+			m.Assign[id] = []string{"pnrZ"}
+		case suffixIn(id, ".sta") || id == "chip.sta":
+			m.Assign[id] = []string{"staZ"}
+		default:
+			m.Assign[id] = []string{"suiteX"}
+		}
+	}
+	return m
+}
+
+func isDocTask(id string) bool {
+	return len(id) > 5 && (id[:5] == "spec." || id[:5] == "arch.")
+}
+
+func suffixIn(id string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if len(id) >= len(s) && id[len(id)-len(s):] == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ReportTable renders per-kind problem counts as aligned rows for the
+// experiment harness.
+func ReportTable(results map[string]*AnalysisResult) []string {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var rows []string
+	rows = append(rows, fmt.Sprintf("%-24s %12s %8s %s", "mapping", "problems", "cost", "per-kind"))
+	for _, n := range names {
+		r := results[n]
+		per := r.PerKind()
+		kinds := make([]string, 0, len(per))
+		for k := ProblemKind(0); k < problemKindCount; k++ {
+			if per[k] > 0 {
+				kinds = append(kinds, fmt.Sprintf("%s=%d", k, per[k]))
+			}
+		}
+		rows = append(rows, fmt.Sprintf("%-24s %12d %8d %v", n, len(r.Problems), r.TotalCost(), kinds))
+	}
+	return rows
+}

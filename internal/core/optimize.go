@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// System optimization — the paper's three improvement moves:
+//
+//  1. Repartition: "by peeling back the tool's general purpose interface,
+//     there is typically a level where a lower overhead interchange of data
+//     and control can take place" (vendors or internal tools only);
+//  2. Conventions: "analysis results will lead to things like internal
+//     naming conventions, bus usage conventions, etc.";
+//  3. Technology substitution: "new technologies (such as formal logic
+//     verification) replace a large number of tasks with a single task".
+
+// System bundles a methodology state so optimization moves can transform
+// it and the improvement can be measured.
+type System struct {
+	Graph   *Graph
+	Tools   Catalog
+	Mapping *Mapping
+}
+
+// Analyze runs the flow analysis on the current state.
+func (s *System) Analyze() *AnalysisResult {
+	return Analyze(s.Graph, s.Tools, s.Mapping)
+}
+
+// Clone deep-copies the system.
+func (s *System) Clone() *System {
+	ng := NewGraph()
+	for _, id := range s.Graph.TaskIDs() {
+		t := s.Graph.Tasks[id]
+		ng.MustAdd(&Task{ID: t.ID, Desc: t.Desc, Phase: t.Phase,
+			Inputs:  append([]string(nil), t.Inputs...),
+			Outputs: append([]string(nil), t.Outputs...)})
+	}
+	nc := Catalog{}
+	for name, t := range s.Tools {
+		nt := &Tool{Name: t.Name, Function: t.Function, Internal: t.Internal,
+			Inputs:     append([]Port(nil), t.Inputs...),
+			Outputs:    append([]Port(nil), t.Outputs...),
+			ControlIn:  append([]Interface(nil), t.ControlIn...),
+			ControlOut: append([]Interface(nil), t.ControlOut...)}
+		nc[name] = nt
+	}
+	nm := NewMapping()
+	for task, tools := range s.Mapping.Assign {
+		nm.Assign[task] = append([]string(nil), tools...)
+	}
+	return &System{Graph: ng, Tools: nc, Mapping: nm}
+}
+
+// Improvement reports the effect of one optimization move.
+type Improvement struct {
+	Move        string
+	BeforeCount int
+	AfterCount  int
+	BeforeCost  int
+	AfterCost   int
+}
+
+// String implements fmt.Stringer.
+func (i Improvement) String() string {
+	return fmt.Sprintf("%s: problems %d -> %d, cost %d -> %d",
+		i.Move, i.BeforeCount, i.AfterCount, i.BeforeCost, i.AfterCost)
+}
+
+// Repartition merges the data boundary between two tools: their shared
+// hand-off ports switch to a common in-memory model with unified semantics,
+// and a private control interface is added. Only vendors (for their own
+// tools) or owners of internal tools can do this; both tools must be
+// Internal here.
+func (s *System) Repartition(toolA, toolB string) (*System, Improvement, error) {
+	a, okA := s.Tools[toolA]
+	b, okB := s.Tools[toolB]
+	if !okA || !okB {
+		return nil, Improvement{}, fmt.Errorf("%w: unknown tool", ErrScope)
+	}
+	if !a.Internal || !b.Internal {
+		return nil, Improvement{}, fmt.Errorf("%w: repartition requires owning both tools (%s internal=%v, %s internal=%v)",
+			ErrScope, toolA, a.Internal, toolB, b.Internal)
+	}
+	before := s.Analyze()
+	ns := s.Clone()
+	na, nb := ns.Tools[toolA], ns.Tools[toolB]
+	// For every info B consumes that A produces (and vice versa), adopt a
+	// shared low-overhead model taken from the producer side.
+	fuse := func(prod, cons *Tool) {
+		for oi := range prod.Outputs {
+			info := prod.Outputs[oi].Info
+			for ii := range cons.Inputs {
+				if cons.Inputs[ii].Info != info {
+					continue
+				}
+				shared := DataModel{
+					Persistence: "memory",
+					Behavior:    prod.Outputs[oi].Model.Behavior,
+					Structure:   prod.Outputs[oi].Model.Structure,
+					Namespace:   prod.Outputs[oi].Model.Namespace,
+				}
+				prod.Outputs[oi].Model = shared
+				cons.Inputs[ii].Model = shared
+			}
+		}
+	}
+	fuse(na, nb)
+	fuse(nb, na)
+	private := Interface("private:" + toolA + "+" + toolB)
+	na.ControlOut = append(na.ControlOut, private)
+	na.ControlIn = append(na.ControlIn, private)
+	nb.ControlIn = append(nb.ControlIn, private)
+	nb.ControlOut = append(nb.ControlOut, private)
+	after := ns.Analyze()
+	return ns, Improvement{
+		Move:        fmt.Sprintf("repartition(%s,%s)", toolA, toolB),
+		BeforeCount: len(before.Problems), AfterCount: len(after.Problems),
+		BeforeCost: before.TotalCost(), AfterCost: after.TotalCost(),
+	}, nil
+}
+
+// AdoptConvention imposes a project-wide data convention on one aspect of
+// every tool port carrying the given information: "improvements in data
+// interoperability ... internal naming conventions, bus usage conventions".
+// aspect is one of "namespace", "structure", "behavior".
+func (s *System) AdoptConvention(info, aspect, value string) (*System, Improvement, error) {
+	switch aspect {
+	case "namespace", "structure", "behavior":
+	default:
+		return nil, Improvement{}, fmt.Errorf("%w: unknown aspect %q", ErrScope, aspect)
+	}
+	before := s.Analyze()
+	ns := s.Clone()
+	names := make([]string, 0, len(ns.Tools))
+	for n := range ns.Tools {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	apply := func(m *DataModel) {
+		switch aspect {
+		case "namespace":
+			m.Namespace = value
+		case "structure":
+			m.Structure = value
+		case "behavior":
+			m.Behavior = value
+		}
+	}
+	for _, n := range names {
+		t := ns.Tools[n]
+		for i := range t.Inputs {
+			if info == "" || t.Inputs[i].Info == info {
+				apply(&t.Inputs[i].Model)
+			}
+		}
+		for i := range t.Outputs {
+			if info == "" || t.Outputs[i].Info == info {
+				apply(&t.Outputs[i].Model)
+			}
+		}
+	}
+	after := ns.Analyze()
+	return ns, Improvement{
+		Move:        fmt.Sprintf("convention(%s,%s=%s)", infoLabel(info), aspect, value),
+		BeforeCount: len(before.Problems), AfterCount: len(after.Problems),
+		BeforeCost: before.TotalCost(), AfterCost: after.TotalCost(),
+	}, nil
+}
+
+func infoLabel(info string) string {
+	if info == "" {
+		return "*"
+	}
+	return info
+}
+
+// SubstituteTechnology replaces a set of tasks with one new task performed
+// by a new tool — the paper's formal-verification example, where a
+// technology collapses "a large number of tasks" into one.
+func (s *System) SubstituteTechnology(newTask *Task, tool *Tool, replaces []string) (*System, Improvement, error) {
+	for _, r := range replaces {
+		if _, ok := s.Graph.Tasks[r]; !ok {
+			return nil, Improvement{}, fmt.Errorf("%w: replaces unknown task %q", ErrScope, r)
+		}
+	}
+	before := s.Analyze()
+	ns := s.Clone()
+	dead := make(map[string]bool, len(replaces))
+	for _, r := range replaces {
+		dead[r] = true
+	}
+	ng := NewGraph()
+	for _, id := range ns.Graph.TaskIDs() {
+		if dead[id] {
+			delete(ns.Mapping.Assign, id)
+			continue
+		}
+		ng.MustAdd(ns.Graph.Tasks[id])
+	}
+	if err := ng.Add(newTask); err != nil {
+		return nil, Improvement{}, err
+	}
+	ns.Graph = ng
+	if err := ns.Tools.Add(tool); err != nil {
+		return nil, Improvement{}, err
+	}
+	ns.Mapping.Assign[newTask.ID] = []string{tool.Name}
+	after := ns.Analyze()
+	return ns, Improvement{
+		Move:        fmt.Sprintf("substitute(%s replaces %d tasks)", newTask.ID, len(replaces)),
+		BeforeCount: len(before.Problems), AfterCount: len(after.Problems),
+		BeforeCost: before.TotalCost(), AfterCost: after.TotalCost(),
+	}, nil
+}

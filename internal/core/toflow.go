@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cadinterop/internal/workflow"
+)
+
+// ToWorkflow deploys a specified methodology as an executable workflow —
+// closing the loop between Section 6 (the methodology as analysis object)
+// and Section 5 (the methodology as a managed process). Every task becomes
+// a step whose start dependencies are the producers of its inputs, whose
+// action produces its output information items into the flow's data store,
+// and whose inputs are guarded by existence maturity checks. Custom actions
+// (real tool invocations) can be supplied per task id; tasks without one
+// get a default producer action labeled with the mapped tool's name.
+func ToWorkflow(g *Graph, m *Mapping, actions map[string]workflow.Action) (*workflow.Template, error) {
+	// Dependency sets from the information flow.
+	deps := make(map[string]map[string]bool, g.Len())
+	for _, e := range g.Edges() {
+		if deps[e.To] == nil {
+			deps[e.To] = make(map[string]bool)
+		}
+		deps[e.To][e.From] = true
+	}
+	tpl := &workflow.Template{Name: "methodology"}
+	for _, id := range g.TaskIDs() {
+		t := g.Tasks[id]
+		var after []string
+		for d := range deps[id] {
+			after = append(after, d)
+		}
+		sort.Strings(after)
+		action := actions[id]
+		if action == nil {
+			lang := "builtin"
+			if tools := m.Assign[id]; len(tools) > 0 {
+				lang = tools[0]
+			}
+			outputs := append([]string(nil), t.Outputs...)
+			action = workflow.FuncAction{Language: lang, Fn: func(c *workflow.Ctx) int {
+				for _, info := range outputs {
+					c.Data().Put(info, fmt.Sprintf("%s produced by %s", info, c.Task))
+				}
+				return 0
+			}}
+		}
+		step := &workflow.StepDef{
+			Name:    id,
+			Action:  action,
+			Outputs: append([]string(nil), t.Outputs...),
+		}
+		step.StartAfter = after
+		// Guard on produced inputs only; primary inputs are external givens
+		// the flow cannot wait for.
+		for _, in := range t.Inputs {
+			if len(g.Producers(in)) > 0 {
+				step.Inputs = append(step.Inputs, workflow.MaturityCheck{Item: in, Exists: true})
+			}
+		}
+		tpl.Steps = append(tpl.Steps, step)
+	}
+	if err := tpl.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: graph is not deployable as a flow: %v", ErrGraph, err)
+	}
+	return tpl, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cadinterop/internal/workflow"
+)
+
+func TestToWorkflowTinyGraph(t *testing.T) {
+	g := tinyGraph(t)
+	_, m := catalogFor(t)
+	tpl, err := ToWorkflow(g, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workflow.Instantiate(tpl, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run("eng"); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Complete() {
+		t.Fatalf("flow incomplete: %v", in.Status())
+	}
+	// Outputs landed in the data store.
+	for _, info := range []string{"rtl-model", "netlist", "sta-report", "sim-report"} {
+		if _, _, ok := in.Data.Get(info); !ok {
+			t.Errorf("info %q not produced", info)
+		}
+	}
+	// Actions carry the mapped tool as their language.
+	for _, s := range tpl.Steps {
+		if s.Name == "synth" && s.Action.Lang() != "synthTool" {
+			t.Errorf("synth action lang = %q", s.Action.Lang())
+		}
+	}
+}
+
+func TestToWorkflowCustomActionAndFailure(t *testing.T) {
+	g := tinyGraph(t)
+	_, m := catalogFor(t)
+	// The synthesis "tool" fails: everything downstream must hold.
+	tpl, err := ToWorkflow(g, m, map[string]workflow.Action{
+		"synth": workflow.FuncAction{Fn: func(*workflow.Ctx) int { return 1 }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workflow.Instantiate(tpl, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run("eng"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks["synth"].State != workflow.Failed {
+		t.Errorf("synth = %v", in.Tasks["synth"].State)
+	}
+	if in.Tasks["sta"].State == workflow.Done {
+		t.Error("sta ran without a netlist")
+	}
+	// sim does not depend on synth: it completes.
+	if in.Tasks["sim"].State != workflow.Done {
+		t.Errorf("sim = %v", in.Tasks["sim"].State)
+	}
+}
+
+// TestToWorkflowMethodologyScale deploys the full ~200-task methodology as
+// a flow and runs it to completion — Section 6's specification driving
+// Section 5's engine.
+func TestToWorkflowMethodologyScale(t *testing.T) {
+	g := CellBasedMethodology(12)
+	m := BestInClassMapping(g)
+	tpl, err := ToWorkflow(g, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workflow.Instantiate(tpl, workflow.NewVersionedStore(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run("eng"); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Complete() {
+		pending := 0
+		for _, task := range in.Tasks {
+			if task.State != workflow.Done && task.State != workflow.Skipped {
+				pending++
+			}
+		}
+		t.Fatalf("methodology flow incomplete: %d tasks unfinished (%v)", pending, in.Status())
+	}
+	if _, _, ok := in.Data.Get("tapeout-package"); !ok {
+		t.Error("tapeout-package never produced")
+	}
+	metrics := workflow.CollectMetrics(in)
+	if !strings.Contains(metrics.Summary(), "failures=0") {
+		t.Errorf("metrics = %s", metrics.Summary())
+	}
+}

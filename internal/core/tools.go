@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DataModel classifies one data port the way the paper prescribes: "Data
+// input and output is classified into four parts, persistence, behavioral
+// semantics, structural model, and namespace."
+type DataModel struct {
+	// Persistence: how the data materializes ("file:edif", "db:oa",
+	// "memory", "file:vendor-binary").
+	Persistence string
+	// Behavior: the semantic interpretation ("logic:4value",
+	// "logic:9value", "timing:pre16a", ...).
+	Behavior string
+	// Structure: "hierarchical" or "flat" (or richer ids).
+	Structure string
+	// Namespace: identifier rules ("long-case-sensitive", "8char",
+	// "escaped-verilog", "vhdl-keywords").
+	Namespace string
+}
+
+// Interface is one control interface id: "This interface model is
+// analogous to the software component models like Corba and Com."
+type Interface string
+
+// Port binds an information item to the data model a tool uses for it.
+type Port struct {
+	Info  string
+	Model DataModel
+}
+
+// Tool is one tool model: "a description of the function, data inputs,
+// data outputs, control inputs, and control outputs."
+type Tool struct {
+	Name     string
+	Function string
+	Inputs   []Port
+	Outputs  []Port
+	// ControlIn is how the tool is driven; ControlOut is how it drives or
+	// reports (return codes, callbacks, logs).
+	ControlIn  []Interface
+	ControlOut []Interface
+	// Internal marks tools the organization owns (repartitionable).
+	Internal bool
+}
+
+// Input finds the tool's port for an information item.
+func (t *Tool) Input(info string) (Port, bool) {
+	for _, p := range t.Inputs {
+		if p.Info == info {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// Output finds the tool's output port for an information item.
+func (t *Tool) Output(info string) (Port, bool) {
+	for _, p := range t.Outputs {
+		if p.Info == info {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// Catalog is a set of tool models.
+type Catalog map[string]*Tool
+
+// Add registers a tool.
+func (c Catalog) Add(t *Tool) error {
+	if _, dup := c[t.Name]; dup {
+		return fmt.Errorf("%w: duplicate tool %q", ErrScope, t.Name)
+	}
+	c[t.Name] = t
+	return nil
+}
+
+// Mapping assigns tools to tasks: "The first step in the analysis is to
+// perform a task to tool mapping."
+type Mapping struct {
+	// Assign maps task id -> tool names able to perform it.
+	Assign map[string][]string
+}
+
+// NewMapping returns an empty mapping.
+func NewMapping() *Mapping {
+	return &Mapping{Assign: make(map[string][]string)}
+}
+
+// Coverage reports holes and overlaps: "Typically, this is the first point
+// where holes and overlaps of functionality are identified."
+type Coverage struct {
+	// Holes are tasks no tool covers.
+	Holes []string
+	// Overlaps are tasks covered by more than one tool.
+	Overlaps map[string][]string
+}
+
+// Cover computes coverage of a graph by a mapping.
+func (m *Mapping) Cover(g *Graph) Coverage {
+	cov := Coverage{Overlaps: make(map[string][]string)}
+	for _, id := range g.TaskIDs() {
+		tools := m.Assign[id]
+		switch {
+		case len(tools) == 0:
+			cov.Holes = append(cov.Holes, id)
+		case len(tools) > 1:
+			cov.Overlaps[id] = append([]string(nil), tools...)
+		}
+	}
+	return cov
+}
+
+// CheckScenarioTools verifies that a mapping honors a scenario's
+// "tools that must be used (already purchased or developed)" boundary
+// condition, returning the mandated tools the mapping never assigns.
+func CheckScenarioTools(sc Scenario, m *Mapping) []string {
+	used := make(map[string]bool)
+	for _, tools := range m.Assign {
+		for _, t := range tools {
+			used[t] = true
+		}
+	}
+	var missing []string
+	for _, t := range sc.MustUseTools {
+		if !used[t] {
+			missing = append(missing, t)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// ProblemKind enumerates the classic interoperability problems the paper
+// says this analysis "clearly identifies": "performance, name mapping,
+// structure mapping, semantic interpretation errors, and tool control".
+type ProblemKind uint8
+
+// Problem kinds.
+const (
+	ProblemPerformance ProblemKind = iota
+	ProblemNameMapping
+	ProblemStructureMapping
+	ProblemSemantic
+	ProblemToolControl
+	ProblemHole
+	ProblemOverlap
+	problemKindCount
+)
+
+var problemKindNames = [...]string{
+	"performance", "name-mapping", "structure-mapping",
+	"semantic-interpretation", "tool-control", "hole", "overlap",
+}
+
+// String implements fmt.Stringer.
+func (k ProblemKind) String() string {
+	if int(k) < len(problemKindNames) {
+		return problemKindNames[k]
+	}
+	return fmt.Sprintf("ProblemKind(%d)", uint8(k))
+}
+
+// Problem is one finding on a flow edge or task.
+type Problem struct {
+	Kind   ProblemKind
+	Edge   Edge   // zero-valued for task-level problems
+	Task   string // for hole/overlap
+	Tools  [2]string
+	Detail string
+	// Cost is a relative effort estimate (translation cost, glue code).
+	Cost int
+}
+
+// String implements fmt.Stringer.
+func (p Problem) String() string {
+	if p.Task != "" {
+		return fmt.Sprintf("[%s] task %s: %s", p.Kind, p.Task, p.Detail)
+	}
+	return fmt.Sprintf("[%s] %s->%s via %s (%s->%s): %s",
+		p.Kind, p.Edge.From, p.Edge.To, p.Edge.Info, p.Tools[0], p.Tools[1], p.Detail)
+}
+
+// AnalysisResult is the full data/control flow analysis output.
+type AnalysisResult struct {
+	Problems []Problem
+	// EdgesAnalyzed counts tool-to-tool hand-offs examined.
+	EdgesAnalyzed int
+}
+
+// PerKind tallies problems by kind.
+func (a *AnalysisResult) PerKind() map[ProblemKind]int {
+	out := make(map[ProblemKind]int)
+	for _, p := range a.Problems {
+		out[p.Kind]++
+	}
+	return out
+}
+
+// TotalCost sums problem costs.
+func (a *AnalysisResult) TotalCost() int {
+	t := 0
+	for _, p := range a.Problems {
+		t += p.Cost
+	}
+	return t
+}
+
+// persistenceCost estimates the hand-off overhead between two persistence
+// models: staying in one database is free; file exchange costs a
+// write+parse; crossing persistence worlds costs a translator.
+func persistenceCost(a, b string) int {
+	if a == b {
+		if a == "memory" {
+			return 0
+		}
+		return 1 // same format: still a write+parse round trip
+	}
+	return 4 // different worlds: a translator must exist and run
+}
+
+// Analyze runs the data/control flow analysis over a pruned graph, a tool
+// catalog and a task/tool mapping.
+func Analyze(g *Graph, tools Catalog, m *Mapping) *AnalysisResult {
+	res := &AnalysisResult{}
+	cov := m.Cover(g)
+	for _, h := range cov.Holes {
+		res.Problems = append(res.Problems, Problem{
+			Kind: ProblemHole, Task: h, Detail: "no tool covers this task", Cost: 8})
+	}
+	overlapTasks := make([]string, 0, len(cov.Overlaps))
+	for t := range cov.Overlaps {
+		overlapTasks = append(overlapTasks, t)
+	}
+	sort.Strings(overlapTasks)
+	for _, t := range overlapTasks {
+		res.Problems = append(res.Problems, Problem{
+			Kind: ProblemOverlap, Task: t,
+			Detail: fmt.Sprintf("covered by %v; pick or reconcile", cov.Overlaps[t]), Cost: 1})
+	}
+
+	for _, e := range g.Edges() {
+		fromTools := m.Assign[e.From]
+		toTools := m.Assign[e.To]
+		for _, ft := range fromTools {
+			for _, tt := range toTools {
+				res.EdgesAnalyzed++
+				res.Problems = append(res.Problems, analyzeHandoff(e, tools[ft], tools[tt])...)
+			}
+		}
+	}
+	return res
+}
+
+// analyzeHandoff inspects one producer-tool to consumer-tool hand-off.
+func analyzeHandoff(e Edge, from, to *Tool) []Problem {
+	if from == nil || to == nil {
+		return nil
+	}
+	var out []Problem
+	op, okO := from.Output(e.Info)
+	ip, okI := to.Input(e.Info)
+	if !okO || !okI {
+		// The mapping claimed the tool covers the task but its model lacks
+		// the port: a modeling hole.
+		out = append(out, Problem{
+			Kind: ProblemHole, Edge: e, Tools: [2]string{from.Name, to.Name},
+			Detail: fmt.Sprintf("tool model missing port for %q", e.Info), Cost: 8})
+		return out
+	}
+	pair := [2]string{from.Name, to.Name}
+	if c := persistenceCost(op.Model.Persistence, ip.Model.Persistence); c > 1 {
+		out = append(out, Problem{Kind: ProblemPerformance, Edge: e, Tools: pair,
+			Detail: fmt.Sprintf("persistence %q -> %q needs translation", op.Model.Persistence, ip.Model.Persistence),
+			Cost:   c})
+	}
+	if op.Model.Namespace != ip.Model.Namespace {
+		out = append(out, Problem{Kind: ProblemNameMapping, Edge: e, Tools: pair,
+			Detail: fmt.Sprintf("namespace %q -> %q", op.Model.Namespace, ip.Model.Namespace), Cost: 3})
+	}
+	if op.Model.Structure != ip.Model.Structure {
+		out = append(out, Problem{Kind: ProblemStructureMapping, Edge: e, Tools: pair,
+			Detail: fmt.Sprintf("structure %q -> %q", op.Model.Structure, ip.Model.Structure), Cost: 3})
+	}
+	if op.Model.Behavior != ip.Model.Behavior {
+		out = append(out, Problem{Kind: ProblemSemantic, Edge: e, Tools: pair,
+			Detail: fmt.Sprintf("behavioral semantics %q -> %q", op.Model.Behavior, ip.Model.Behavior), Cost: 5})
+	}
+	if from.Name != to.Name && !shareInterface(from.ControlOut, to.ControlIn) {
+		out = append(out, Problem{Kind: ProblemToolControl, Edge: e, Tools: pair,
+			Detail: fmt.Sprintf("no common control interface (%v vs %v)", from.ControlOut, to.ControlIn), Cost: 2})
+	}
+	return out
+}
+
+// NormalizationLint enforces the paper's specification rule: "it is
+// important that task inputs and outputs be normalized. Normalization means
+// that the fundamental information being consumed or produced is
+// identified, rather than the file format which some tool may use to
+// represent it." Info names that look like file formats are flagged.
+func NormalizationLint(g *Graph) []string {
+	suspicious := []string{
+		".edif", ".v", ".vhd", ".def", ".lef", ".gds", ".sdf", ".spf",
+		".lib", ".db", ".wir", ".dat", ".txt",
+	}
+	formatWords := []string{"edif-file", "verilog-file", "vhdl-file", "gdsii", "binary-dump"}
+	var out []string
+	for _, info := range g.Infos() {
+		lower := toLower(info)
+		for _, s := range suspicious {
+			if len(lower) > len(s) && lower[len(lower)-len(s):] == s {
+				out = append(out, fmt.Sprintf("info %q names a file format (%s); name the information, not the representation", info, s))
+			}
+		}
+		for _, w := range formatWords {
+			if lower == w {
+				out = append(out, fmt.Sprintf("info %q names a file format; name the information, not the representation", info))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func toLower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}
+
+func shareInterface(a, b []Interface) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}

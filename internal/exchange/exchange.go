@@ -1,0 +1,411 @@
+// Package exchange is a neutral netlist interchange format in the EDIF
+// tradition — the standards answer to the paper's Section 1 observation
+// that "companies who wish to use design information from other groups have
+// found the limiting factor to be the format of the data itself."
+//
+// Like real EDIF, the format is s-expressions, and like real EDIF it has a
+// rename mechanism: when the consuming tool cannot accept a name (length
+// limits, keyword collisions), the writer externalizes a legal alias and
+// records `(rename alias "original")` so the identity survives the trip.
+// The reader restores original names, so a round trip through even a
+// heavily restricted consumer is lossless — which is precisely what ad-hoc
+// vendor formats of the era failed to guarantee.
+package exchange
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"cadinterop/internal/al"
+	"cadinterop/internal/naming"
+	"cadinterop/internal/netlist"
+)
+
+// ErrFormat reports malformed interchange input.
+var ErrFormat = errors.New("exchange: format error")
+
+// WriteOptions models the consuming tool's name restrictions.
+type WriteOptions struct {
+	// NameLimit truncates externalized names to this many significant
+	// characters (0 = unlimited). Originals are preserved via renames.
+	NameLimit int
+	// VHDLSafe additionally renames VHDL keywords and illegal characters.
+	VHDLSafe bool
+}
+
+// Write serializes the netlist.
+func Write(w io.Writer, nl *netlist.Netlist, opts WriteOptions) error {
+	bw := bufio.NewWriter(w)
+	ext := newExternalizer(opts)
+
+	fmt.Fprintf(bw, "(edif %s\n", ext.name(nlName(nl)))
+	for _, cn := range nl.CellNames() {
+		c := nl.Cells[cn]
+		fmt.Fprintf(bw, "  (cell %s\n    (interface", ext.name(cn))
+		for _, p := range c.Ports {
+			fmt.Fprintf(bw, " (port %s %s)", ext.name(p.Name), p.Dir)
+		}
+		fmt.Fprintf(bw, ")\n")
+		if c.Primitive {
+			fmt.Fprintf(bw, "    (primitive)\n")
+		}
+		if len(c.Nets) > 0 || len(c.Instances) > 0 {
+			fmt.Fprintf(bw, "    (contents\n")
+			for _, nn := range c.NetNames() {
+				nt := c.Nets[nn]
+				fmt.Fprintf(bw, "      (net %s", ext.name(nn))
+				if nt.Global {
+					fmt.Fprintf(bw, " (global)")
+				}
+				writeAttrs(bw, nt.Attrs)
+				fmt.Fprintf(bw, ")\n")
+			}
+			for _, in := range c.InstanceNames() {
+				inst := c.Instances[in]
+				fmt.Fprintf(bw, "      (instance %s (of %s) (joined", ext.name(in), ext.name(inst.Master))
+				ports := make([]string, 0, len(inst.Conns))
+				for p := range inst.Conns {
+					ports = append(ports, p)
+				}
+				sort.Strings(ports)
+				for _, p := range ports {
+					fmt.Fprintf(bw, " (%s %s)", ext.name(p), ext.name(inst.Conns[p]))
+				}
+				fmt.Fprintf(bw, ")")
+				writeAttrs(bw, inst.Attrs)
+				fmt.Fprintf(bw, ")\n")
+			}
+			fmt.Fprintf(bw, "    )\n")
+		}
+		fmt.Fprintf(bw, "  )\n")
+	}
+	// Rename table: alias -> original, sorted for stable output.
+	aliases := make([]string, 0, len(ext.renames))
+	for a := range ext.renames {
+		aliases = append(aliases, a)
+	}
+	sort.Strings(aliases)
+	for _, a := range aliases {
+		fmt.Fprintf(bw, "  (rename %s %s)\n", a, strconv.Quote(ext.renames[a]))
+	}
+	if nl.Top != "" {
+		fmt.Fprintf(bw, "  (design %s)\n", ext.name(nl.Top))
+	}
+	fmt.Fprintf(bw, ")\n")
+	return bw.Flush()
+}
+
+func nlName(nl *netlist.Netlist) string {
+	if nl.Top != "" {
+		return nl.Top
+	}
+	return "library"
+}
+
+func writeAttrs(w io.Writer, attrs map[string]string) {
+	if len(attrs) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, " (property %s %s)", k, strconv.Quote(attrs[k]))
+	}
+}
+
+// externalizer maps internal names to names the consumer accepts,
+// recording renames.
+type externalizer struct {
+	opts    WriteOptions
+	out     map[string]string // original -> alias
+	used    map[string]bool
+	renames map[string]string // alias -> original
+}
+
+func newExternalizer(opts WriteOptions) *externalizer {
+	return &externalizer{
+		opts:    opts,
+		out:     make(map[string]string),
+		used:    make(map[string]bool),
+		renames: make(map[string]string),
+	}
+}
+
+// name externalizes one identifier.
+func (e *externalizer) name(n string) string {
+	if a, ok := e.out[n]; ok {
+		return a
+	}
+	alias := n
+	if e.opts.VHDLSafe {
+		m, err := naming.RenameForVHDL([]string{alias})
+		if err == nil {
+			if nw, ok := m[alias]; ok {
+				alias = nw
+			}
+		}
+	}
+	if e.opts.NameLimit > 0 {
+		alias = naming.Truncate(alias, e.opts.NameLimit)
+	}
+	if alias == "" || needsQuoting(alias) {
+		alias = "id" + alias
+	}
+	// Uniquify within the file.
+	base := alias
+	for i := 2; e.used[alias]; i++ {
+		suffix := fmt.Sprintf("_%d", i)
+		if e.opts.NameLimit > 0 && len(base)+len(suffix) > e.opts.NameLimit {
+			alias = naming.Truncate(base, e.opts.NameLimit-len(suffix)) + suffix
+		} else {
+			alias = base + suffix
+		}
+	}
+	e.used[alias] = true
+	e.out[n] = alias
+	if alias != n {
+		e.renames[alias] = n
+	}
+	return alias
+}
+
+// needsQuoting reports whether a name cannot be an s-expression symbol.
+func needsQuoting(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '(' || c == ')' || c == '"' || c == ';' || c == '\'' {
+			return true
+		}
+	}
+	return s[0] >= '0' && s[0] <= '9'
+}
+
+// Read parses an interchange file, restoring renamed identifiers.
+func Read(r io.Reader) (*netlist.Netlist, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	exprs, err := al.Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if len(exprs) != 1 {
+		return nil, fmt.Errorf("%w: expected one (edif ...) form", ErrFormat)
+	}
+	top, ok := exprs[0].(al.List)
+	if !ok || len(top) < 2 || !isSym(top[0], "edif") {
+		return nil, fmt.Errorf("%w: missing (edif ...) form", ErrFormat)
+	}
+
+	// First pass: collect the rename table.
+	renames := make(map[string]string)
+	for _, item := range top[2:] {
+		l, ok := item.(al.List)
+		if !ok || len(l) == 0 {
+			continue
+		}
+		if isSym(l[0], "rename") && len(l) == 3 {
+			alias, err1 := symStr(l[1])
+			orig, err2 := symStr(l[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("%w: bad rename", ErrFormat)
+			}
+			renames[alias] = orig
+		}
+	}
+	restore := func(alias string) string {
+		if orig, ok := renames[alias]; ok {
+			return orig
+		}
+		return alias
+	}
+
+	nl := netlist.New()
+	for _, item := range top[2:] {
+		l, ok := item.(al.List)
+		if !ok || len(l) == 0 {
+			return nil, fmt.Errorf("%w: unexpected item %s", ErrFormat, item.Repr())
+		}
+		head, _ := l[0].(al.Symbol)
+		switch head {
+		case "rename":
+			// handled in the first pass
+		case "design":
+			name, err := symStr(l[1])
+			if err != nil {
+				return nil, fmt.Errorf("%w: design name", ErrFormat)
+			}
+			nl.Top = restore(name)
+		case "cell":
+			if err := readCell(nl, l, restore); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown form %q", ErrFormat, head)
+		}
+	}
+	return nl, nil
+}
+
+func readCell(nl *netlist.Netlist, l al.List, restore func(string) string) error {
+	if len(l) < 2 {
+		return fmt.Errorf("%w: cell needs a name", ErrFormat)
+	}
+	name, err := symStr(l[1])
+	if err != nil {
+		return fmt.Errorf("%w: cell name", ErrFormat)
+	}
+	c, err := nl.AddCell(restore(name))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	for _, item := range l[2:] {
+		il, ok := item.(al.List)
+		if !ok || len(il) == 0 {
+			return fmt.Errorf("%w: bad cell item %s", ErrFormat, item.Repr())
+		}
+		head, _ := il[0].(al.Symbol)
+		switch head {
+		case "interface":
+			for _, pi := range il[1:] {
+				pl, ok := pi.(al.List)
+				if !ok || len(pl) != 3 || !isSym(pl[0], "port") {
+					return fmt.Errorf("%w: bad port %s", ErrFormat, pi.Repr())
+				}
+				pname, err1 := symStr(pl[1])
+				dname, err2 := symStr(pl[2])
+				if err1 != nil || err2 != nil {
+					return fmt.Errorf("%w: port fields", ErrFormat)
+				}
+				dir, err := netlist.ParsePortDir(dname)
+				if err != nil {
+					return fmt.Errorf("%w: %v", ErrFormat, err)
+				}
+				if err := c.AddPort(restore(pname), dir); err != nil {
+					return fmt.Errorf("%w: %v", ErrFormat, err)
+				}
+			}
+		case "primitive":
+			c.Primitive = true
+		case "contents":
+			if err := readContents(c, il, restore); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unknown cell item %q", ErrFormat, head)
+		}
+	}
+	return nil
+}
+
+func readContents(c *netlist.Cell, l al.List, restore func(string) string) error {
+	for _, item := range l[1:] {
+		il, ok := item.(al.List)
+		if !ok || len(il) == 0 {
+			return fmt.Errorf("%w: bad contents item", ErrFormat)
+		}
+		head, _ := il[0].(al.Symbol)
+		switch head {
+		case "net":
+			name, err := symStr(il[1])
+			if err != nil {
+				return fmt.Errorf("%w: net name", ErrFormat)
+			}
+			nt := c.EnsureNet(restore(name))
+			for _, sub := range il[2:] {
+				sl, ok := sub.(al.List)
+				if !ok || len(sl) == 0 {
+					continue
+				}
+				switch {
+				case isSym(sl[0], "global"):
+					nt.Global = true
+				case isSym(sl[0], "property") && len(sl) == 3:
+					k, _ := symStr(sl[1])
+					v, _ := symStr(sl[2])
+					nt.Attrs[k] = v
+				}
+			}
+		case "instance":
+			name, err := symStr(il[1])
+			if err != nil {
+				return fmt.Errorf("%w: instance name", ErrFormat)
+			}
+			var master string
+			var inst *netlist.Instance
+			for _, sub := range il[2:] {
+				sl, ok := sub.(al.List)
+				if !ok || len(sl) == 0 {
+					continue
+				}
+				switch {
+				case isSym(sl[0], "of") && len(sl) == 2:
+					m, err := symStr(sl[1])
+					if err != nil {
+						return fmt.Errorf("%w: master", ErrFormat)
+					}
+					master = restore(m)
+					inst, err = c.AddInstance(restore(name), master)
+					if err != nil {
+						return fmt.Errorf("%w: %v", ErrFormat, err)
+					}
+				case isSym(sl[0], "joined"):
+					if inst == nil {
+						return fmt.Errorf("%w: joined before of", ErrFormat)
+					}
+					for _, ji := range sl[1:] {
+						jl, ok := ji.(al.List)
+						if !ok || len(jl) != 2 {
+							return fmt.Errorf("%w: bad joined pair %s", ErrFormat, ji.Repr())
+						}
+						port, err1 := symStr(jl[0])
+						net, err2 := symStr(jl[1])
+						if err1 != nil || err2 != nil {
+							return fmt.Errorf("%w: joined fields", ErrFormat)
+						}
+						if err := c.Connect(restore(name), restore(port), restore(net)); err != nil {
+							return fmt.Errorf("%w: %v", ErrFormat, err)
+						}
+					}
+				case isSym(sl[0], "property") && len(sl) == 3:
+					if inst == nil {
+						return fmt.Errorf("%w: property before of", ErrFormat)
+					}
+					k, _ := symStr(sl[1])
+					v, _ := symStr(sl[2])
+					inst.Attrs[k] = v
+				}
+			}
+			if inst == nil {
+				return fmt.Errorf("%w: instance %q missing (of ...)", ErrFormat, name)
+			}
+		default:
+			return fmt.Errorf("%w: unknown contents item %q", ErrFormat, head)
+		}
+	}
+	return nil
+}
+
+func isSym(v al.Value, s string) bool {
+	sym, ok := v.(al.Symbol)
+	return ok && string(sym) == s
+}
+
+func symStr(v al.Value) (string, error) {
+	switch x := v.(type) {
+	case al.Symbol:
+		return string(x), nil
+	case al.Str:
+		return string(x), nil
+	default:
+		return "", fmt.Errorf("expected name, got %s", v.Repr())
+	}
+}

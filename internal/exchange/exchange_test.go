@@ -1,0 +1,207 @@
+package exchange
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cadinterop/internal/netlist"
+)
+
+// sample builds a netlist with awkward names: long, VHDL keywords, and
+// characters needing care.
+func sample(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New()
+	inv := nl.MustCell("INV")
+	inv.Primitive = true
+	inv.AddPort("A", netlist.Input)
+	inv.AddPort("Y", netlist.Output)
+	top := nl.MustCell("top_level_module_with_a_long_name")
+	top.AddPort("in", netlist.Input)   // VHDL keyword
+	top.AddPort("out", netlist.Output) // VHDL keyword
+	top.EnsureNet("in")
+	top.EnsureNet("out")
+	vdd := top.EnsureNet("VDD")
+	vdd.Global = true
+	vdd.Attrs["voltage"] = "3.3"
+	top.AddInstance("u_first_stage_inverter_cell", "INV")
+	top.AddInstance("u2", "INV")
+	top.Connect("u_first_stage_inverter_cell", "A", "in")
+	top.Connect("u_first_stage_inverter_cell", "Y", "intermediate_signal_name")
+	top.Connect("u2", "A", "intermediate_signal_name")
+	top.Connect("u2", "Y", "out")
+	top.Instances["u2"].Attrs["orientation"] = "R90 mirrored"
+	nl.Top = "top_level_module_with_a_long_name"
+	return nl
+}
+
+func TestRoundTripIdentity(t *testing.T) {
+	nl := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Top != nl.Top {
+		t.Errorf("top = %q", got.Top)
+	}
+	if diffs := netlist.Compare(nl, got, netlist.CompareOptions{}); len(diffs) != 0 {
+		t.Errorf("round trip diffs: %v", diffs)
+	}
+	// Attributes survive.
+	top := got.Cells[nl.Top]
+	if top.Nets["VDD"].Attrs["voltage"] != "3.3" {
+		t.Errorf("net attrs = %v", top.Nets["VDD"].Attrs)
+	}
+	if top.Instances["u2"].Attrs["orientation"] != "R90 mirrored" {
+		t.Errorf("inst attrs = %v", top.Instances["u2"].Attrs)
+	}
+	if !got.Cells["INV"].Primitive {
+		t.Error("primitive flag lost")
+	}
+}
+
+// TestRenameMechanismRestoresOriginals is the EDIF rename story: a consumer
+// with 8 significant characters and VHDL rules gets legal aliases, yet the
+// reader restores every original identifier exactly.
+func TestRenameMechanismRestoresOriginals(t *testing.T) {
+	nl := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, WriteOptions{NameLimit: 8, VHDLSafe: true}); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	// The file must not contain the long names outside rename records.
+	if strings.Contains(strings.Split(text, "(rename")[0], "u_first_stage_inverter_cell") {
+		t.Error("long name leaked into the body")
+	}
+	if !strings.Contains(text, "(rename") {
+		t.Error("no rename records emitted")
+	}
+	got, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Read: %v\n%s", err, text)
+	}
+	if diffs := netlist.Compare(nl, got, netlist.CompareOptions{}); len(diffs) != 0 {
+		t.Errorf("restored netlist differs: %v\n%s", diffs, text)
+	}
+	if got.Top != nl.Top {
+		t.Errorf("top = %q", got.Top)
+	}
+}
+
+func TestNameLimitUniquification(t *testing.T) {
+	// Two names sharing an 8-char prefix must externalize uniquely.
+	nl := netlist.New()
+	c := nl.MustCell("c")
+	c.EnsureNet("cntr_reset1")
+	c.EnsureNet("cntr_reset2")
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, WriteOptions{NameLimit: 8}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := got.Cells["c"]
+	if _, ok := gc.Nets["cntr_reset1"]; !ok {
+		t.Errorf("nets = %v", gc.NetNames())
+	}
+	if _, ok := gc.Nets["cntr_reset2"]; !ok {
+		t.Errorf("nets = %v", gc.NetNames())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ""},
+		{"not edif", "(foo)"},
+		{"two forms", "(edif a)(edif b)"},
+		{"unknown form", "(edif a (mystery))"},
+		{"bad port", "(edif a (cell c (interface (port))))"},
+		{"bad dir", "(edif a (cell c (interface (port p sideways))))"},
+		{"dup cell", "(edif a (cell c (interface)) (cell c (interface)))"},
+		{"joined before of", `(edif a (cell c (interface) (contents (instance i (joined (p n))))))`},
+		{"instance no of", `(edif a (cell c (interface) (contents (instance i))))`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(c.src)); !errors.Is(err, ErrFormat) {
+				t.Errorf("error = %v, want ErrFormat", err)
+			}
+		})
+	}
+}
+
+func TestNeedsQuoting(t *testing.T) {
+	if !needsQuoting("a b") || !needsQuoting("8start") || !needsQuoting(`x"y`) {
+		t.Error("quoting detection broken")
+	}
+	if needsQuoting("plain_name") {
+		t.Error("plain name flagged")
+	}
+}
+
+// Property: any chain netlist round-trips losslessly at any name limit.
+func TestQuickRoundTripAnyLimit(t *testing.T) {
+	f := func(n, limit uint8) bool {
+		size := int(n%10) + 1
+		lim := int(limit % 24) // 0..23; 0 = unlimited
+		nl := netlist.New()
+		inv := nl.MustCell("INV")
+		inv.Primitive = true
+		inv.AddPort("A", netlist.Input)
+		inv.AddPort("Y", netlist.Output)
+		top := nl.MustCell("extremely_long_top_cell_name")
+		prev := "primary_input_net_name"
+		top.EnsureNet(prev)
+		for i := 0; i < size; i++ {
+			name := fmt.Sprintf("buffer_instance_number_%d", i)
+			top.AddInstance(name, "INV")
+			next := fmt.Sprintf("intermediate_net_number_%d", i)
+			top.Connect(name, "A", prev)
+			top.Connect(name, "Y", next)
+			prev = next
+		}
+		nl.Top = "extremely_long_top_cell_name"
+		var buf bytes.Buffer
+		if err := Write(&buf, nl, WriteOptions{NameLimit: lim}); err != nil {
+			return false
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		return len(netlist.Compare(nl, got, netlist.CompareOptions{})) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Robustness: arbitrary damage to the file must produce an error or a
+// different netlist, never a panic.
+func TestReadNeverPanicsOnMutations(t *testing.T) {
+	nl := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, WriteOptions{NameLimit: 10}); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+	for i := 0; i < 400; i++ {
+		mut := append([]byte(nil), base...)
+		mut[(i*31)%len(mut)] = byte(i * 7)
+		_, _ = Read(bytes.NewReader(mut))
+	}
+	for i := 0; i <= len(base); i += 9 {
+		_, _ = Read(bytes.NewReader(base[:i]))
+	}
+}

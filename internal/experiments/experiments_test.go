@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE1(t *testing.T) {
+	r, err := E1ComponentReplacement([]int{30, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Lines) != 3 {
+		t.Fatalf("lines = %v", r.Lines)
+	}
+	for _, l := range r.Lines[1:] {
+		if !strings.Contains(l, "clean") {
+			t.Errorf("migration not clean: %q", l)
+		}
+	}
+}
+
+func TestE2(t *testing.T) {
+	r, err := E2MigrationAblation(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 6 rows; "none" row has 0 diffs; bus/connector ablations
+	// have non-zero diffs.
+	if len(r.Lines) != 7 {
+		t.Fatalf("lines = %v", r.Lines)
+	}
+	if !strings.Contains(r.Lines[1], " 0 ") {
+		t.Errorf("full migration row = %q", r.Lines[1])
+	}
+	for _, i := range []int{2, 3} { // bus-translation, connectors
+		if strings.Contains(r.Lines[i], "     0 ") {
+			t.Errorf("ablation row should show diffs: %q", r.Lines[i])
+		}
+	}
+}
+
+func TestE3(t *testing.T) {
+	r, err := E3SchedulerDivergence(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Racy row shows >1 distinct results; race-free row exactly 1.
+	racy, clean := r.Lines[1], r.Lines[2]
+	if !strings.HasPrefix(racy, "racy") || !strings.HasPrefix(clean, "race-free") {
+		t.Fatalf("rows: %v", r.Lines)
+	}
+	var rd, rr, cd, cr int
+	if _, err := scan(racy, &rd, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scan(clean, &cd, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if rd < 2 || rr == 0 {
+		t.Errorf("racy: distinct=%d races=%d", rd, rr)
+	}
+	if cd != 1 || cr != 0 {
+		t.Errorf("clean: distinct=%d races=%d", cd, cr)
+	}
+}
+
+// scan pulls the last two integers from a row.
+func scan(row string, a, b *int) (int, error) {
+	f := strings.Fields(row)
+	var x, y int
+	n, err := parseInt(f[len(f)-2], &x)
+	if err != nil {
+		return n, err
+	}
+	if _, err := parseInt(f[len(f)-1], &y); err != nil {
+		return 0, err
+	}
+	*a, *b = x, y
+	return 2, nil
+}
+
+func parseInt(s string, out *int) (int, error) {
+	v := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, nil
+		}
+		v = v*10 + int(c-'0')
+	}
+	*out = v
+	return 1, nil
+}
+
+func TestE4(t *testing.T) {
+	r, err := E4TimingCompat(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "DRIFT") {
+		t.Errorf("no drift found:\n%s", joined)
+	}
+	if !strings.Contains(joined, "verdict changes across simulator versions: 1") {
+		t.Errorf("drift summary wrong:\n%s", joined)
+	}
+}
+
+func TestE5(t *testing.T) {
+	r, err := E5CoSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "x propagated (faithful)") {
+		t.Errorf("strict row wrong:\n%s", joined)
+	}
+	if !strings.Contains(joined, "x silently became 0") {
+		t.Errorf("optimistic row wrong:\n%s", joined)
+	}
+}
+
+func TestE6(t *testing.T) {
+	r, err := E6SubsetIntersection(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "intersection") {
+		t.Errorf("report:\n%s", joined)
+	}
+}
+
+func TestE7(t *testing.T) {
+	r, err := E7SensitivityCompletion(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "mismatches after c-only change: 4/4") {
+		t.Errorf("report:\n%s", joined)
+	}
+}
+
+func TestE8(t *testing.T) {
+	r, err := E8Naming(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "alias groups") || !strings.Contains(joined, "keyword collisions") {
+		t.Errorf("report:\n%s", joined)
+	}
+	if !strings.Contains(joined, "round trips: 200/200 exact") {
+		t.Errorf("flatten fidelity:\n%s", joined)
+	}
+}
+
+func TestE9(t *testing.T) {
+	r, err := E9BackplaneLoss(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Lines) != 4 {
+		t.Fatalf("lines = %v", r.Lines)
+	}
+	// toolP row should show 0 lost constraints and 0 violations.
+	if !strings.HasPrefix(r.Lines[1], "toolP") {
+		t.Fatalf("row order: %v", r.Lines)
+	}
+}
+
+func TestE10(t *testing.T) {
+	r, err := E10Workflow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "notifications=1") {
+		t.Errorf("report:\n%s", joined)
+	}
+	if !strings.Contains(joined, "metrics:") {
+		t.Errorf("report:\n%s", joined)
+	}
+}
+
+func TestE11(t *testing.T) {
+	r, err := E11Methodology(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "tasks=") || !strings.Contains(joined, "best-in-class") {
+		t.Errorf("report:\n%s", joined)
+	}
+	if !strings.Contains(joined, "optimize: convention") || !strings.Contains(joined, "optimize: substitute") {
+		t.Errorf("optimization lines missing:\n%s", joined)
+	}
+}
+
+func TestAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in short mode")
+	}
+	reports, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 12 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.String() == "" || len(r.Lines) == 0 {
+			t.Errorf("empty report %s", r.ID)
+		}
+	}
+}
+
+func TestE12(t *testing.T) {
+	r, err := E12Interchange(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	if strings.Contains(joined, "diffs") {
+		t.Errorf("interchange should be lossless at every limit:\n%s", joined)
+	}
+	if !strings.Contains(joined, "unlimited") {
+		t.Errorf("report:\n%s", joined)
+	}
+}
+
+// TestAllDeterministic: the entire harness must be bit-for-bit reproducible
+// (fixed seeds, no wall-clock dependence) so EXPERIMENTS.md can promise it.
+func TestAllDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double harness run in short mode")
+	}
+	a, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("report counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Errorf("%s not deterministic:\n--- first\n%s\n--- second\n%s",
+				a[i].ID, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Package floorplan implements block-level floorplanning for Section 4:
+// block aspect ratios and sizes, general and literal pin locations, keep-out
+// zones, global routing strategies for power/ground/clock, and interconnect
+// topology constraints (net widths, spacing, shielding). The floorplan is
+// the designer's intent; the backplane package translates it — with
+// measurable loss — into each P&R tool's dialect.
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cadinterop/internal/geom"
+)
+
+// ErrPlan reports floorplanning failures.
+var ErrPlan = errors.New("floorplan: error")
+
+// Block is one floorplan block: an area demand with an aspect range, and a
+// placed rectangle once planned.
+type Block struct {
+	Name      string
+	Area      int
+	AspectMin float64 // min width/height
+	AspectMax float64 // max width/height
+	Rect      geom.Rect
+	Placed    bool
+}
+
+// Edge names a die edge for pin constraints.
+type Edge uint8
+
+// Die edges.
+const (
+	North Edge = iota
+	South
+	East
+	West
+)
+
+var edgeNames = [...]string{"north", "south", "east", "west"}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string {
+	if int(e) < len(edgeNames) {
+		return edgeNames[e]
+	}
+	return fmt.Sprintf("Edge(%d)", uint8(e))
+}
+
+// PinConstraint pins a top-level port to a die edge, optionally at a
+// literal offset along that edge ("general and literal pin locations").
+type PinConstraint struct {
+	Pin  string
+	Edge Edge
+	// Offset along the edge in DBU; negative means "anywhere on the edge".
+	Offset int
+}
+
+// Position returns the constrained pin location on the die boundary (for
+// literal constraints) or the edge midpoint (for general ones).
+func (pc PinConstraint) Position(die geom.Rect) geom.Point {
+	off := pc.Offset
+	switch pc.Edge {
+	case North:
+		if off < 0 {
+			off = die.Dx() / 2
+		}
+		return geom.Pt(die.Min.X+off, die.Max.Y)
+	case South:
+		if off < 0 {
+			off = die.Dx() / 2
+		}
+		return geom.Pt(die.Min.X+off, die.Min.Y)
+	case East:
+		if off < 0 {
+			off = die.Dy() / 2
+		}
+		return geom.Pt(die.Max.X, die.Min.Y+off)
+	default:
+		if off < 0 {
+			off = die.Dy() / 2
+		}
+		return geom.Pt(die.Min.X, die.Min.Y+off)
+	}
+}
+
+// Keepout is a blocked region ("special blockages marking keep out zones").
+type Keepout struct {
+	Rect   geom.Rect
+	Reason string
+}
+
+// NetRule is an interconnect topology constraint: "routers should be able
+// to accept width specifications for selected nets", plus the coupling
+// controls (spacing, shielding).
+type NetRule struct {
+	Net string
+	// WidthTracks is the required routing width in tracks (1 = minimum).
+	WidthTracks int
+	// SpacingTracks is the required clearance to foreign nets in tracks.
+	SpacingTracks int
+	// Shield requests grounded shield wires alongside the net.
+	Shield bool
+	// MaxCoupledLen bounds the parallel run length with any single
+	// aggressor, in grid units; 0 = unconstrained.
+	MaxCoupledLen int
+}
+
+// GlobalStyle is a power/ground/clock distribution strategy.
+type GlobalStyle uint8
+
+// Global routing styles.
+const (
+	StyleRing GlobalStyle = iota
+	StyleSpine
+	StyleTree
+)
+
+var styleNames = [...]string{"ring", "spine", "tree"}
+
+// String implements fmt.Stringer.
+func (s GlobalStyle) String() string {
+	if int(s) < len(styleNames) {
+		return styleNames[s]
+	}
+	return fmt.Sprintf("GlobalStyle(%d)", uint8(s))
+}
+
+// GlobalStrategy describes how one global net is distributed.
+type GlobalStrategy struct {
+	Net   string
+	Style GlobalStyle
+	Layer string
+	Width int
+}
+
+// Floorplan is the complete designer intent.
+type Floorplan struct {
+	Name     string
+	Die      geom.Rect
+	Blocks   []*Block
+	Pins     []PinConstraint
+	Keepouts []Keepout
+	NetRules []NetRule
+	Globals  []GlobalStrategy
+}
+
+// Rule finds the net rule for a net.
+func (fp *Floorplan) Rule(net string) (NetRule, bool) {
+	for _, r := range fp.NetRules {
+		if r.Net == net {
+			return r, true
+		}
+	}
+	return NetRule{}, false
+}
+
+// Plan places all blocks by recursive area bisection: the block list is
+// split into two area-balanced halves and the region is cut along its
+// longer axis proportionally; leaves size each block to its area within
+// its aspect range.
+func (fp *Floorplan) Plan() error {
+	total := 0
+	for _, b := range fp.Blocks {
+		if b.Area <= 0 {
+			return fmt.Errorf("%w: block %q has area %d", ErrPlan, b.Name, b.Area)
+		}
+		if b.AspectMin <= 0 || b.AspectMax < b.AspectMin {
+			return fmt.Errorf("%w: block %q has bad aspect range [%v,%v]", ErrPlan, b.Name, b.AspectMin, b.AspectMax)
+		}
+		total += b.Area
+	}
+	if total > fp.Die.Area() {
+		return fmt.Errorf("%w: blocks need %d but die has %d", ErrPlan, total, fp.Die.Area())
+	}
+	blocks := append([]*Block(nil), fp.Blocks...)
+	sort.Slice(blocks, func(i, j int) bool {
+		if blocks[i].Area != blocks[j].Area {
+			return blocks[i].Area > blocks[j].Area
+		}
+		return blocks[i].Name < blocks[j].Name
+	})
+	return bisect(blocks, fp.Die)
+}
+
+func bisect(blocks []*Block, region geom.Rect) error {
+	if len(blocks) == 0 {
+		return nil
+	}
+	if len(blocks) == 1 {
+		return sizeBlock(blocks[0], region)
+	}
+	// Area-balanced split: greedy partition of the sorted list.
+	var aL, aR int
+	var left, right []*Block
+	for _, b := range blocks {
+		if aL <= aR {
+			left = append(left, b)
+			aL += b.Area
+		} else {
+			right = append(right, b)
+			aR += b.Area
+		}
+	}
+	frac := float64(aL) / float64(aL+aR)
+	var rL, rR geom.Rect
+	if region.Dx() >= region.Dy() {
+		cut := region.Min.X + int(math.Round(float64(region.Dx())*frac))
+		rL = geom.R(region.Min.X, region.Min.Y, cut, region.Max.Y)
+		rR = geom.R(cut, region.Min.Y, region.Max.X, region.Max.Y)
+	} else {
+		cut := region.Min.Y + int(math.Round(float64(region.Dy())*frac))
+		rL = geom.R(region.Min.X, region.Min.Y, region.Max.X, cut)
+		rR = geom.R(region.Min.X, cut, region.Max.X, region.Max.Y)
+	}
+	if err := bisect(left, rL); err != nil {
+		return err
+	}
+	return bisect(right, rR)
+}
+
+// sizeBlock shapes a block to its area within the region, clamping aspect
+// to the block's range, and centers it.
+func sizeBlock(b *Block, region geom.Rect) error {
+	if region.Dx() <= 0 || region.Dy() <= 0 {
+		return fmt.Errorf("%w: degenerate region for block %q", ErrPlan, b.Name)
+	}
+	// Ideal: same aspect as region.
+	aspect := float64(region.Dx()) / float64(region.Dy())
+	if aspect < b.AspectMin {
+		aspect = b.AspectMin
+	}
+	if aspect > b.AspectMax {
+		aspect = b.AspectMax
+	}
+	w := int(math.Ceil(math.Sqrt(float64(b.Area) * aspect)))
+	if w < 1 {
+		w = 1
+	}
+	h := (b.Area + w - 1) / w
+	// Fit inside the region, adjusting the other dimension to keep area.
+	if w > region.Dx() {
+		w = region.Dx()
+		h = (b.Area + w - 1) / w
+	}
+	if h > region.Dy() {
+		h = region.Dy()
+		w = (b.Area + h - 1) / h
+		if w > region.Dx() {
+			return fmt.Errorf("%w: block %q (area %d) does not fit region %v", ErrPlan, b.Name, b.Area, region)
+		}
+	}
+	cx, cy := region.Center().X, region.Center().Y
+	b.Rect = geom.R(cx-w/2, cy-h/2, cx-w/2+w, cy-h/2+h)
+	// Clamp into the region (centering may push off by rounding).
+	dx, dy := 0, 0
+	if b.Rect.Min.X < region.Min.X {
+		dx = region.Min.X - b.Rect.Min.X
+	}
+	if b.Rect.Max.X > region.Max.X {
+		dx = region.Max.X - b.Rect.Max.X
+	}
+	if b.Rect.Min.Y < region.Min.Y {
+		dy = region.Min.Y - b.Rect.Min.Y
+	}
+	if b.Rect.Max.Y > region.Max.Y {
+		dy = region.Max.Y - b.Rect.Max.Y
+	}
+	b.Rect = b.Rect.Translate(geom.Pt(dx, dy))
+	b.Placed = true
+	return nil
+}
+
+// Violation is one floorplan rule breach.
+type Violation struct {
+	Kind   string
+	Object string
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", v.Kind, v.Object, v.Detail)
+}
+
+// Validate audits the planned floorplan: every block placed in-die with
+// requested area and aspect, no block overlaps, no keepout intrusions.
+func (fp *Floorplan) Validate() []Violation {
+	var out []Violation
+	for _, b := range fp.Blocks {
+		if !b.Placed {
+			out = append(out, Violation{Kind: "unplaced", Object: b.Name})
+			continue
+		}
+		if !fp.Die.ContainsRect(b.Rect) {
+			out = append(out, Violation{Kind: "out-of-die", Object: b.Name, Detail: b.Rect.String()})
+		}
+		if b.Rect.Area() < b.Area {
+			out = append(out, Violation{Kind: "under-area", Object: b.Name,
+				Detail: fmt.Sprintf("placed %d < requested %d", b.Rect.Area(), b.Area)})
+		}
+		if b.Rect.Dy() > 0 {
+			aspect := float64(b.Rect.Dx()) / float64(b.Rect.Dy())
+			const tol = 0.35 // integer rounding slack
+			if aspect < b.AspectMin*(1-tol) || aspect > b.AspectMax*(1+tol) {
+				out = append(out, Violation{Kind: "aspect", Object: b.Name,
+					Detail: fmt.Sprintf("aspect %.2f outside [%.2f,%.2f]", aspect, b.AspectMin, b.AspectMax)})
+			}
+		}
+		for _, k := range fp.Keepouts {
+			if inter, ok := b.Rect.Intersect(k.Rect); ok && inter.Area() > 0 {
+				out = append(out, Violation{Kind: "keepout", Object: b.Name,
+					Detail: fmt.Sprintf("intrudes on %s keepout at %v", k.Reason, k.Rect)})
+			}
+		}
+	}
+	for i := 0; i < len(fp.Blocks); i++ {
+		for j := i + 1; j < len(fp.Blocks); j++ {
+			a, b := fp.Blocks[i], fp.Blocks[j]
+			if !a.Placed || !b.Placed {
+				continue
+			}
+			if inter, ok := a.Rect.Intersect(b.Rect); ok && inter.Area() > 0 {
+				out = append(out, Violation{Kind: "overlap", Object: a.Name + "/" + b.Name})
+			}
+		}
+	}
+	for _, pc := range fp.Pins {
+		p := pc.Position(fp.Die)
+		if !fp.Die.Contains(p) {
+			out = append(out, Violation{Kind: "pin", Object: pc.Pin, Detail: "position outside die"})
+		}
+	}
+	return out
+}
+
+// Utilization is total block area over die area.
+func (fp *Floorplan) Utilization() float64 {
+	total := 0
+	for _, b := range fp.Blocks {
+		total += b.Area
+	}
+	if fp.Die.Area() == 0 {
+		return 0
+	}
+	return float64(total) / float64(fp.Die.Area())
+}
+
+// GlobalWires expands each global strategy into concrete wire rectangles:
+// a ring around the die margin, a vertical spine with taps, or an H-tree.
+func (fp *Floorplan) GlobalWires(g GlobalStrategy) []geom.Rect {
+	die := fp.Die
+	w := g.Width
+	if w < 1 {
+		w = 1
+	}
+	switch g.Style {
+	case StyleRing:
+		m := 2 * w // margin
+		return []geom.Rect{
+			geom.R(die.Min.X+m, die.Min.Y+m, die.Max.X-m, die.Min.Y+m+w), // bottom
+			geom.R(die.Min.X+m, die.Max.Y-m-w, die.Max.X-m, die.Max.Y-m), // top
+			geom.R(die.Min.X+m, die.Min.Y+m, die.Min.X+m+w, die.Max.Y-m), // left
+			geom.R(die.Max.X-m-w, die.Min.Y+m, die.Max.X-m, die.Max.Y-m), // right
+		}
+	case StyleSpine:
+		cx := die.Center().X
+		wires := []geom.Rect{geom.R(cx-w/2, die.Min.Y, cx-w/2+w, die.Max.Y)}
+		// Taps at quarter heights.
+		for _, fy := range []float64{0.25, 0.5, 0.75} {
+			y := die.Min.Y + int(float64(die.Dy())*fy)
+			wires = append(wires, geom.R(die.Min.X, y, die.Max.X, y+w))
+		}
+		return wires
+	default: // StyleTree: one-level H tree
+		cy := die.Center().Y
+		qx1 := die.Min.X + die.Dx()/4
+		qx2 := die.Min.X + 3*die.Dx()/4
+		return []geom.Rect{
+			geom.R(qx1, cy-w/2, qx2, cy-w/2+w),                                     // horizontal bar
+			geom.R(qx1-w/2, die.Min.Y+die.Dy()/4, qx1-w/2+w, die.Max.Y-die.Dy()/4), // left vertical
+			geom.R(qx2-w/2, die.Min.Y+die.Dy()/4, qx2-w/2+w, die.Max.Y-die.Dy()/4), // right vertical
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package floorplan
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"cadinterop/internal/geom"
+)
+
+func blocksOf(areas ...int) []*Block {
+	out := make([]*Block, len(areas))
+	for i, a := range areas {
+		out[i] = &Block{Name: fmt.Sprintf("b%d", i), Area: a, AspectMin: 0.25, AspectMax: 4}
+	}
+	return out
+}
+
+func TestPlanSimple(t *testing.T) {
+	fp := &Floorplan{
+		Die:    geom.R(0, 0, 100, 100),
+		Blocks: blocksOf(2000, 1500, 1000, 800),
+	}
+	if err := fp.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := fp.Validate(); len(vs) != 0 {
+		t.Errorf("violations: %v", vs)
+	}
+	for _, b := range fp.Blocks {
+		if !b.Placed {
+			t.Errorf("block %s unplaced", b.Name)
+		}
+		if b.Rect.Area() < b.Area {
+			t.Errorf("block %s area %d < %d", b.Name, b.Rect.Area(), b.Area)
+		}
+	}
+	u := fp.Utilization()
+	if u <= 0.5 || u > 1 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestPlanSingleBlock(t *testing.T) {
+	fp := &Floorplan{Die: geom.R(0, 0, 50, 50), Blocks: blocksOf(900)}
+	if err := fp.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := fp.Validate(); len(vs) != 0 {
+		t.Errorf("violations: %v", vs)
+	}
+}
+
+func TestPlanAspectClamping(t *testing.T) {
+	// A block demanding a wide aspect in a tall region must clamp.
+	fp := &Floorplan{
+		Die: geom.R(0, 0, 40, 200),
+		Blocks: []*Block{
+			{Name: "wide", Area: 1200, AspectMin: 0.8, AspectMax: 1.2},
+		},
+	}
+	if err := fp.Plan(); err != nil {
+		t.Fatal(err)
+	}
+	b := fp.Blocks[0]
+	aspect := float64(b.Rect.Dx()) / float64(b.Rect.Dy())
+	if aspect < 0.5 || aspect > 1.6 {
+		t.Errorf("aspect = %v, should approach [0.8,1.2]", aspect)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	// Overfull die.
+	fp := &Floorplan{Die: geom.R(0, 0, 10, 10), Blocks: blocksOf(200)}
+	if err := fp.Plan(); !errors.Is(err, ErrPlan) {
+		t.Errorf("overfull: %v", err)
+	}
+	// Zero area.
+	fp = &Floorplan{Die: geom.R(0, 0, 10, 10), Blocks: blocksOf(0)}
+	if err := fp.Plan(); !errors.Is(err, ErrPlan) {
+		t.Errorf("zero area: %v", err)
+	}
+	// Bad aspect.
+	fp = &Floorplan{Die: geom.R(0, 0, 100, 100), Blocks: []*Block{
+		{Name: "x", Area: 10, AspectMin: 2, AspectMax: 1}}}
+	if err := fp.Plan(); !errors.Is(err, ErrPlan) {
+		t.Errorf("bad aspect: %v", err)
+	}
+}
+
+func TestValidateDetectsProblems(t *testing.T) {
+	fp := &Floorplan{
+		Die: geom.R(0, 0, 100, 100),
+		Blocks: []*Block{
+			{Name: "a", Area: 100, AspectMin: 1, AspectMax: 1, Placed: true, Rect: geom.R(0, 0, 10, 10)},
+			{Name: "b", Area: 200, AspectMin: 1, AspectMax: 1, Placed: true, Rect: geom.R(5, 5, 15, 15)},
+			{Name: "c", Area: 100, AspectMin: 1, AspectMax: 1},
+			{Name: "d", Area: 400, AspectMin: 1, AspectMax: 1, Placed: true, Rect: geom.R(90, 90, 110, 110)},
+		},
+		Keepouts: []Keepout{{Rect: geom.R(0, 0, 8, 8), Reason: "analog"}},
+	}
+	vs := fp.Validate()
+	kinds := map[string]int{}
+	for _, v := range vs {
+		kinds[v.Kind]++
+	}
+	if kinds["overlap"] == 0 || kinds["unplaced"] == 0 || kinds["out-of-die"] == 0 || kinds["keepout"] == 0 || kinds["under-area"] == 0 {
+		t.Errorf("kinds = %v (%v)", kinds, vs)
+	}
+}
+
+func TestPinConstraintPositions(t *testing.T) {
+	die := geom.R(0, 0, 100, 60)
+	cases := []struct {
+		pc   PinConstraint
+		want geom.Point
+	}{
+		{PinConstraint{Pin: "a", Edge: North, Offset: 20}, geom.Pt(20, 60)},
+		{PinConstraint{Pin: "b", Edge: South, Offset: -1}, geom.Pt(50, 0)},
+		{PinConstraint{Pin: "c", Edge: East, Offset: 10}, geom.Pt(100, 10)},
+		{PinConstraint{Pin: "d", Edge: West, Offset: -1}, geom.Pt(0, 30)},
+	}
+	for _, c := range cases {
+		if got := c.pc.Position(die); got != c.want {
+			t.Errorf("%s: %v, want %v", c.pc.Pin, got, c.want)
+		}
+	}
+}
+
+func TestRuleLookup(t *testing.T) {
+	fp := &Floorplan{NetRules: []NetRule{{Net: "clk", WidthTracks: 2, Shield: true}}}
+	r, ok := fp.Rule("clk")
+	if !ok || r.WidthTracks != 2 || !r.Shield {
+		t.Errorf("Rule = %+v %v", r, ok)
+	}
+	if _, ok := fp.Rule("data"); ok {
+		t.Error("found rule for unconstrained net")
+	}
+}
+
+func TestGlobalWires(t *testing.T) {
+	fp := &Floorplan{Die: geom.R(0, 0, 100, 100)}
+	ring := fp.GlobalWires(GlobalStrategy{Net: "VDD", Style: StyleRing, Width: 2})
+	if len(ring) != 4 {
+		t.Errorf("ring wires = %d", len(ring))
+	}
+	for _, r := range ring {
+		if !fp.Die.ContainsRect(r) {
+			t.Errorf("ring wire %v outside die", r)
+		}
+	}
+	spine := fp.GlobalWires(GlobalStrategy{Net: "GND", Style: StyleSpine, Width: 2})
+	if len(spine) != 4 { // spine + 3 taps
+		t.Errorf("spine wires = %d", len(spine))
+	}
+	tree := fp.GlobalWires(GlobalStrategy{Net: "clk", Style: StyleTree, Width: 1})
+	if len(tree) != 3 {
+		t.Errorf("tree wires = %d", len(tree))
+	}
+	if StyleRing.String() != "ring" || StyleTree.String() != "tree" {
+		t.Error("style names wrong")
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	if North.String() != "north" || West.String() != "west" {
+		t.Error("edge names wrong")
+	}
+}
+
+// Property: for any feasible block set the plan validates with no
+// violations.
+func TestQuickPlanAlwaysValid(t *testing.T) {
+	f := func(seed uint8, n uint8) bool {
+		count := int(n%6) + 1
+		blocks := make([]*Block, count)
+		total := 0
+		for i := range blocks {
+			area := 100 + int(seed)*int(i+1)*7%900
+			blocks[i] = &Block{Name: fmt.Sprintf("b%d", i), Area: area, AspectMin: 0.25, AspectMax: 4}
+			total += area
+		}
+		// Die with 3x headroom.
+		side := 1
+		for side*side < total*3 {
+			side++
+		}
+		fp := &Floorplan{Die: geom.R(0, 0, side, side), Blocks: blocks}
+		if err := fp.Plan(); err != nil {
+			return false
+		}
+		return len(fp.Validate()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,372 @@
+// Package geom provides the shared geometric substrate for the schematic
+// and physical-design packages: integer points and rectangles in database
+// units, grid systems with rational rescaling between grids, and the eight
+// Manhattan orientations used for symbol and cell placement.
+//
+// Schematic tools disagree about grid pitch (the paper's Viewlogic-like
+// dialect draws on a 1/10 inch grid, the Cadence-like dialect on 1/16 inch),
+// so all cross-tool coordinate work funnels through Grid and Transform.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in integer database units (DBU).
+type Point struct {
+	X, Y int
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int) Point { return Point{x, y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p with both coordinates multiplied by k.
+func (p Point) Scale(k int) Point { return Point{p.X * k, p.Y * k} }
+
+// Manhattan returns the L1 distance between p and q.
+func (p Point) Manhattan(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Rect is an axis-aligned rectangle. Min is inclusive, Max is exclusive for
+// area purposes, but degenerate rectangles (zero width or height) are legal
+// and represent wire segments and point pins.
+type Rect struct {
+	Min, Max Point
+}
+
+// R returns a normalized rectangle covering the two corner points.
+func R(x0, y0, x1, y1 int) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Point{x0, y0}, Point{x1, y1}}
+}
+
+// Canon returns r with Min/Max ordered on both axes.
+func (r Rect) Canon() Rect {
+	return R(r.Min.X, r.Min.Y, r.Max.X, r.Max.Y)
+}
+
+// Dx returns the width of r.
+func (r Rect) Dx() int { return r.Max.X - r.Min.X }
+
+// Dy returns the height of r.
+func (r Rect) Dy() int { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r in square DBU.
+func (r Rect) Area() int { return r.Dx() * r.Dy() }
+
+// Empty reports whether r encloses zero area and zero length.
+func (r Rect) Empty() bool { return r.Dx() == 0 && r.Dy() == 0 }
+
+// Contains reports whether p lies inside r (inclusive of all edges).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely inside r (edges inclusive).
+func (r Rect) ContainsRect(s Rect) bool {
+	return r.Contains(s.Min) && r.Contains(s.Max)
+}
+
+// Overlaps reports whether r and s share any point, edges included.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// Intersect returns the common region of r and s; ok is false when they do
+// not overlap at all.
+func (r Rect) Intersect(s Rect) (Rect, bool) {
+	if !r.Overlaps(s) {
+		return Rect{}, false
+	}
+	return Rect{
+		Point{maxi(r.Min.X, s.Min.X), maxi(r.Min.Y, s.Min.Y)},
+		Point{mini(r.Max.X, s.Max.X), mini(r.Max.Y, s.Max.Y)},
+	}, true
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Point{mini(r.Min.X, s.Min.X), mini(r.Min.Y, s.Min.Y)},
+		Point{maxi(r.Max.X, s.Max.X), maxi(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Translate returns r moved by d.
+func (r Rect) Translate(d Point) Rect {
+	return Rect{r.Min.Add(d), r.Max.Add(d)}
+}
+
+// Center returns the midpoint of r, rounding toward Min.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Expand grows r by m on every side (negative m shrinks; the result is
+// re-canonicalized so a collapsed rectangle stays well formed).
+func (r Rect) Expand(m int) Rect {
+	return R(r.Min.X-m, r.Min.Y-m, r.Max.X+m, r.Max.Y+m)
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s %s]", r.Min, r.Max)
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Orientation is one of the eight Manhattan placements: four rotations and
+// their mirror images. Values match the customary R0/R90/... naming.
+type Orientation uint8
+
+// The eight legal orientations.
+const (
+	R0 Orientation = iota
+	R90
+	R180
+	R270
+	MX   // mirrored about the X axis (flip vertically)
+	MX90 // mirrored then rotated 90
+	MY   // mirrored about the Y axis (flip horizontally)
+	MY90 // mirrored then rotated 90
+)
+
+var orientNames = [...]string{"R0", "R90", "R180", "R270", "MX", "MX90", "MY", "MY90"}
+
+// String implements fmt.Stringer.
+func (o Orientation) String() string {
+	if int(o) < len(orientNames) {
+		return orientNames[o]
+	}
+	return fmt.Sprintf("Orientation(%d)", uint8(o))
+}
+
+// ParseOrientation converts a name such as "R90" or "MY" back to its value.
+func ParseOrientation(s string) (Orientation, error) {
+	for i, n := range orientNames {
+		if n == s {
+			return Orientation(i), nil
+		}
+	}
+	return R0, fmt.Errorf("geom: unknown orientation %q", s)
+}
+
+// Valid reports whether o is one of the eight defined orientations.
+func (o Orientation) Valid() bool { return o <= MY90 }
+
+// Apply maps a point expressed in a symbol's local frame through the
+// orientation (about the local origin).
+func (o Orientation) Apply(p Point) Point {
+	switch o {
+	case R0:
+		return p
+	case R90:
+		return Point{-p.Y, p.X}
+	case R180:
+		return Point{-p.X, -p.Y}
+	case R270:
+		return Point{p.Y, -p.X}
+	case MX:
+		return Point{p.X, -p.Y}
+	case MX90:
+		return Point{-p.Y, -p.X} // MX then R90
+	case MY:
+		return Point{-p.X, p.Y}
+	case MY90:
+		return Point{p.Y, p.X} // MY then R90
+	default:
+		return p
+	}
+}
+
+// Compose returns the orientation equivalent to applying o first and then q.
+func (o Orientation) Compose(q Orientation) Orientation {
+	// Derived by applying both to basis vectors; table indexed [o][q].
+	return composeTable[o][q]
+}
+
+var composeTable [8][8]Orientation
+
+func init() {
+	// Build the composition table by brute force over two probe points.
+	probe := [2]Point{{1, 0}, {0, 1}}
+	sig := func(o Orientation) [2]Point {
+		return [2]Point{o.Apply(probe[0]), o.Apply(probe[1])}
+	}
+	var sigs [8][2]Point
+	for o := R0; o <= MY90; o++ {
+		sigs[o] = sig(o)
+	}
+	for o := R0; o <= MY90; o++ {
+		for q := R0; q <= MY90; q++ {
+			want := [2]Point{q.Apply(o.Apply(probe[0])), q.Apply(o.Apply(probe[1]))}
+			found := false
+			for r := R0; r <= MY90; r++ {
+				if sigs[r] == want {
+					composeTable[o][q] = r
+					found = true
+					break
+				}
+			}
+			if !found {
+				panic("geom: orientation composition not closed")
+			}
+		}
+	}
+}
+
+// Inverse returns the orientation that undoes o.
+func (o Orientation) Inverse() Orientation {
+	for r := R0; r <= MY90; r++ {
+		if o.Compose(r) == R0 {
+			return r
+		}
+	}
+	panic("geom: orientation has no inverse") // unreachable: group is closed
+}
+
+// Transform is a placement: orient about the origin, then translate.
+type Transform struct {
+	Orient Orientation
+	Offset Point
+}
+
+// Identity is the do-nothing transform.
+var Identity = Transform{R0, Point{0, 0}}
+
+// Apply maps a local-frame point to the parent frame.
+func (t Transform) Apply(p Point) Point {
+	return t.Orient.Apply(p).Add(t.Offset)
+}
+
+// ApplyRect maps a local-frame rectangle to the parent frame, renormalizing
+// the corners.
+func (t Transform) ApplyRect(r Rect) Rect {
+	a, b := t.Apply(r.Min), t.Apply(r.Max)
+	return R(a.X, a.Y, b.X, b.Y)
+}
+
+// Then returns the transform equivalent to applying t first, then u.
+func (t Transform) Then(u Transform) Transform {
+	return Transform{
+		Orient: t.Orient.Compose(u.Orient),
+		Offset: u.Apply(t.Offset),
+	}
+}
+
+// Invert returns the transform that undoes t.
+func (t Transform) Invert() Transform {
+	inv := t.Orient.Inverse()
+	return Transform{Orient: inv, Offset: inv.Apply(t.Offset).Scale(-1)}
+}
+
+// Grid describes a drawing grid as a pitch in nanometers per grid unit.
+// The paper's schematic dialects use 1/10 inch (2,540,000 nm) and
+// 1/16 inch (1,587,500 nm) pitches.
+type Grid struct {
+	Name    string
+	PitchNM int64 // nanometers per grid unit
+}
+
+// Common schematic grids from the paper's Section 2.
+var (
+	// GridTenth is the Viewlogic-like 1/10 inch schematic grid.
+	GridTenth = Grid{Name: "1/10in", PitchNM: 2_540_000}
+	// GridSixteenth is the Cadence-like 1/16 inch schematic grid.
+	GridSixteenth = Grid{Name: "1/16in", PitchNM: 1_587_500}
+)
+
+// Rescale converts a coordinate value measured in grid units of g into grid
+// units of dst, preserving physical position exactly when the pitches are
+// commensurable and rounding to nearest otherwise. exact reports whether the
+// conversion was lossless.
+func (g Grid) Rescale(v int, dst Grid) (converted int, exact bool) {
+	if g.PitchNM == dst.PitchNM {
+		return v, true
+	}
+	num := int64(v) * g.PitchNM
+	q := num / dst.PitchNM
+	r := num % dst.PitchNM
+	if r == 0 {
+		return int(q), true
+	}
+	// Round half away from zero.
+	if r < 0 {
+		r = -r
+	}
+	if 2*r >= dst.PitchNM {
+		if num < 0 {
+			q--
+		} else {
+			q++
+		}
+	}
+	return int(q), false
+}
+
+// RescalePoint converts p from grid g to grid dst. exact is true only when
+// both coordinates converted losslessly.
+func (g Grid) RescalePoint(p Point, dst Grid) (Point, bool) {
+	x, ex := g.Rescale(p.X, dst)
+	y, ey := g.Rescale(p.Y, dst)
+	return Point{x, y}, ex && ey
+}
+
+// ScaleRatio returns the real-valued ratio of source pitch to destination
+// pitch, i.e. the factor by which coordinates grow when re-expressed on dst.
+func (g Grid) ScaleRatio(dst Grid) float64 {
+	return float64(g.PitchNM) / float64(dst.PitchNM)
+}
+
+// Snap returns the multiple of step closest to v. A step of 0 or 1 returns v.
+func Snap(v, step int) int {
+	if step <= 1 {
+		return v
+	}
+	q := math.Round(float64(v) / float64(step))
+	return int(q) * step
+}
+
+// OnGrid reports whether v is a multiple of step.
+func OnGrid(v, step int) bool {
+	if step <= 1 {
+		return true
+	}
+	return v%step == 0
+}

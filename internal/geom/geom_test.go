@@ -1,0 +1,334 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, -4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, -2) {
+		t.Errorf("Add = %v, want (2,-2)", got)
+	}
+	if got := p.Sub(q); got != Pt(4, -6) {
+		t.Errorf("Sub = %v, want (4,-6)", got)
+	}
+	if got := p.Scale(3); got != Pt(9, -12) {
+		t.Errorf("Scale = %v, want (9,-12)", got)
+	}
+	if got := p.Manhattan(q); got != 10 {
+		t.Errorf("Manhattan = %d, want 10", got)
+	}
+	if got := p.Manhattan(p); got != 0 {
+		t.Errorf("Manhattan self = %d, want 0", got)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := R(10, 20, 2, 4)
+	if r.Min != Pt(2, 4) || r.Max != Pt(10, 20) {
+		t.Fatalf("R did not normalize: %v", r)
+	}
+	if r.Dx() != 8 || r.Dy() != 16 {
+		t.Errorf("Dx/Dy = %d/%d, want 8/16", r.Dx(), r.Dy())
+	}
+	if r.Area() != 128 {
+		t.Errorf("Area = %d, want 128", r.Area())
+	}
+}
+
+func TestRectContainsOverlaps(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},
+		{Pt(10, 10), true}, // edges inclusive
+		{Pt(5, 5), true},
+		{Pt(11, 5), false},
+		{Pt(-1, 0), false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !r.Overlaps(R(10, 10, 20, 20)) {
+		t.Error("edge-touching rects should overlap")
+	}
+	if r.Overlaps(R(11, 11, 20, 20)) {
+		t.Error("disjoint rects should not overlap")
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	got, ok := a.Intersect(b)
+	if !ok || got != R(5, 5, 10, 10) {
+		t.Errorf("Intersect = %v,%v want [5,5,10,10],true", got, ok)
+	}
+	if _, ok := a.Intersect(R(20, 20, 30, 30)); ok {
+		t.Error("disjoint Intersect reported ok")
+	}
+	if u := a.Union(b); u != R(0, 0, 15, 15) {
+		t.Errorf("Union = %v", u)
+	}
+}
+
+func TestRectExpandAndCenter(t *testing.T) {
+	r := R(0, 0, 10, 20)
+	if e := r.Expand(2); e != R(-2, -2, 12, 22) {
+		t.Errorf("Expand = %v", e)
+	}
+	if c := r.Center(); c != Pt(5, 10) {
+		t.Errorf("Center = %v", c)
+	}
+	// Shrinking past collapse must stay canonical.
+	s := r.Expand(-8)
+	if s.Min.X > s.Max.X || s.Min.Y > s.Max.Y {
+		t.Errorf("over-shrunk rect not canonical: %v", s)
+	}
+}
+
+func TestDegenerateRects(t *testing.T) {
+	seg := R(0, 5, 10, 5) // horizontal wire segment
+	if seg.Empty() {
+		t.Error("a segment has extent; Empty should be false")
+	}
+	if seg.Area() != 0 {
+		t.Error("segment area must be 0")
+	}
+	pin := R(3, 3, 3, 3)
+	if !pin.Empty() {
+		t.Error("a point rect is Empty")
+	}
+	if !seg.Contains(Pt(5, 5)) {
+		t.Error("segment should contain its midpoint")
+	}
+}
+
+func TestOrientationApplyKnown(t *testing.T) {
+	p := Pt(2, 1)
+	cases := []struct {
+		o    Orientation
+		want Point
+	}{
+		{R0, Pt(2, 1)},
+		{R90, Pt(-1, 2)},
+		{R180, Pt(-2, -1)},
+		{R270, Pt(1, -2)},
+		{MX, Pt(2, -1)},
+		{MY, Pt(-2, 1)},
+		{MX90, Pt(-1, -2)},
+		{MY90, Pt(1, 2)},
+	}
+	for _, c := range cases {
+		if got := c.o.Apply(p); got != c.want {
+			t.Errorf("%v.Apply(%v) = %v, want %v", c.o, p, got, c.want)
+		}
+	}
+}
+
+func TestOrientationGroupClosure(t *testing.T) {
+	// Compose must agree with sequential application on arbitrary points.
+	rng := rand.New(rand.NewSource(1))
+	for o := R0; o <= MY90; o++ {
+		for q := R0; q <= MY90; q++ {
+			c := o.Compose(q)
+			for i := 0; i < 20; i++ {
+				p := Pt(rng.Intn(200)-100, rng.Intn(200)-100)
+				want := q.Apply(o.Apply(p))
+				if got := c.Apply(p); got != want {
+					t.Fatalf("Compose(%v,%v)=%v: Apply(%v)=%v want %v", o, q, c, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestOrientationInverse(t *testing.T) {
+	for o := R0; o <= MY90; o++ {
+		inv := o.Inverse()
+		if got := o.Compose(inv); got != R0 {
+			t.Errorf("%v.Compose(%v) = %v, want R0", o, inv, got)
+		}
+		p := Pt(7, -3)
+		if got := inv.Apply(o.Apply(p)); got != p {
+			t.Errorf("inverse round trip for %v: got %v", o, got)
+		}
+	}
+}
+
+func TestOrientationParseString(t *testing.T) {
+	for o := R0; o <= MY90; o++ {
+		back, err := ParseOrientation(o.String())
+		if err != nil || back != o {
+			t.Errorf("round trip %v: %v, %v", o, back, err)
+		}
+	}
+	if _, err := ParseOrientation("R45"); err == nil {
+		t.Error("ParseOrientation accepted a bogus name")
+	}
+	if Orientation(9).Valid() {
+		t.Error("Orientation(9) should be invalid")
+	}
+}
+
+func TestTransformApplyAndInvert(t *testing.T) {
+	tr := Transform{Orient: R90, Offset: Pt(10, 20)}
+	p := Pt(3, 4)
+	got := tr.Apply(p)
+	if got != Pt(6, 23) { // R90(3,4)=(-4,3); +(10,20)=(6,23)
+		t.Fatalf("Apply = %v, want (6,23)", got)
+	}
+	inv := tr.Invert()
+	if back := inv.Apply(got); back != p {
+		t.Errorf("Invert round trip = %v, want %v", back, p)
+	}
+}
+
+func TestTransformThen(t *testing.T) {
+	a := Transform{Orient: R90, Offset: Pt(5, 0)}
+	b := Transform{Orient: MX, Offset: Pt(-2, 7)}
+	c := a.Then(b)
+	for _, p := range []Point{Pt(0, 0), Pt(1, 2), Pt(-3, 8)} {
+		want := b.Apply(a.Apply(p))
+		if got := c.Apply(p); got != want {
+			t.Errorf("Then.Apply(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestTransformApplyRect(t *testing.T) {
+	tr := Transform{Orient: R90, Offset: Pt(0, 0)}
+	r := R(0, 0, 4, 2)
+	got := tr.ApplyRect(r)
+	if got != R(-2, 0, 0, 4) {
+		t.Errorf("ApplyRect = %v, want [-2,0,0,4]", got)
+	}
+}
+
+func TestGridRescaleExactAndRounded(t *testing.T) {
+	// 1/10in -> 1/16in: factor 16/10, exact when v*16 divisible by 10.
+	v, exact := GridTenth.Rescale(5, GridSixteenth)
+	if v != 8 || !exact {
+		t.Errorf("Rescale(5) = %d,%v want 8,true", v, exact)
+	}
+	v, exact = GridTenth.Rescale(10, GridSixteenth)
+	if v != 16 || !exact {
+		t.Errorf("Rescale(10) = %d,%v want 16,true", v, exact)
+	}
+	// 1 tenth-inch unit = 1.6 sixteenth units -> rounds to 2, inexact.
+	v, exact = GridTenth.Rescale(1, GridSixteenth)
+	if v != 2 || exact {
+		t.Errorf("Rescale(1) = %d,%v want 2,false", v, exact)
+	}
+	// Negative coordinates round symmetrically.
+	v, _ = GridTenth.Rescale(-1, GridSixteenth)
+	if v != -2 {
+		t.Errorf("Rescale(-1) = %d, want -2", v)
+	}
+	// Same grid is identity.
+	if v, exact := GridTenth.Rescale(37, GridTenth); v != 37 || !exact {
+		t.Errorf("same-grid Rescale = %d,%v", v, exact)
+	}
+}
+
+func TestGridScaleRatio(t *testing.T) {
+	r := GridTenth.ScaleRatio(GridSixteenth)
+	if r < 1.59 || r > 1.61 {
+		t.Errorf("ScaleRatio = %v, want 1.6", r)
+	}
+}
+
+func TestSnapOnGrid(t *testing.T) {
+	if Snap(7, 5) != 5 || Snap(8, 5) != 10 || Snap(-7, 5) != -5 {
+		t.Errorf("Snap wrong: %d %d %d", Snap(7, 5), Snap(8, 5), Snap(-7, 5))
+	}
+	if Snap(13, 0) != 13 || Snap(13, 1) != 13 {
+		t.Error("Snap with step<=1 must be identity")
+	}
+	if !OnGrid(15, 5) || OnGrid(16, 5) || !OnGrid(16, 1) {
+		t.Error("OnGrid wrong")
+	}
+}
+
+// Property: orientation application preserves Manhattan length from origin.
+func TestQuickOrientationPreservesNorm(t *testing.T) {
+	f := func(x, y int16, o8 uint8) bool {
+		o := Orientation(o8 % 8)
+		p := Pt(int(x), int(y))
+		q := o.Apply(p)
+		return abs(p.X)+abs(p.Y) == abs(q.X)+abs(q.Y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transform round trip through Invert is the identity.
+func TestQuickTransformInvertRoundTrip(t *testing.T) {
+	f := func(x, y, ox, oy int16, o8 uint8) bool {
+		tr := Transform{Orient: Orientation(o8 % 8), Offset: Pt(int(ox), int(oy))}
+		p := Pt(int(x), int(y))
+		return tr.Invert().Apply(tr.Apply(p)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Then is associative.
+func TestQuickTransformAssociative(t *testing.T) {
+	f := func(a8, b8, c8 uint8, ax, ay, bx, by, cx, cy, px, py int8) bool {
+		a := Transform{Orientation(a8 % 8), Pt(int(ax), int(ay))}
+		b := Transform{Orientation(b8 % 8), Pt(int(bx), int(by))}
+		c := Transform{Orientation(c8 % 8), Pt(int(cx), int(cy))}
+		p := Pt(int(px), int(py))
+		return a.Then(b).Then(c).Apply(p) == a.Then(b.Then(c)).Apply(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: grid rescale is lossless both ways for multiples of the pitch LCM.
+func TestQuickGridRoundTripOnCommensurables(t *testing.T) {
+	// 2_540_000 / gcd with 1_587_500: v multiples of 5 convert exactly
+	// (5 * 2.54e6 = 12.7e6 = 8 * 1.5875e6).
+	f := func(k int16) bool {
+		v := int(k) * 5
+		w, exact := GridTenth.Rescale(v, GridSixteenth)
+		if !exact {
+			return false
+		}
+		back, exact2 := GridSixteenth.Rescale(w, GridTenth)
+		return exact2 && back == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rect Union contains both inputs; Intersect is contained in both.
+func TestQuickRectLattice(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy int8) bool {
+		a := R(int(ax), int(ay), int(bx), int(by))
+		b := R(int(cx), int(cy), int(dx), int(dy))
+		u := a.Union(b)
+		if !u.ContainsRect(a) || !u.ContainsRect(b) {
+			return false
+		}
+		if i, ok := a.Intersect(b); ok {
+			return a.ContainsRect(i) && b.ContainsRect(i)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,420 @@
+// Package hdl implements the front end for a compact Verilog-like hardware
+// description language: lexer, parser and AST. It is the substrate for the
+// paper's Section 3 — the simulator (internal/sim) and synthesizer
+// (internal/synth) both consume this AST, and their diverging
+// interpretations of the same source text are the interoperability failures
+// the section catalogs.
+//
+// The subset covers modules with port lists, wire/reg declarations with
+// vector ranges, continuous assignments with delays, always and initial
+// blocks (blocking and non-blocking assignment, if/else, case, begin/end,
+// delay control), module instantiation (named and positional), system
+// tasks, module-level timing checks ($setup/$hold), and escaped
+// identifiers — enough to reproduce every issue in Sections 3.1–3.3.
+package hdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a source location.
+type Pos struct {
+	Line, Col int
+}
+
+// String implements fmt.Stringer.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Design is a set of parsed modules.
+type Design struct {
+	Modules map[string]*Module
+	// Order preserves source order for deterministic processing.
+	Order []string
+}
+
+// Module finds a module by name.
+func (d *Design) Module(name string) (*Module, bool) {
+	m, ok := d.Modules[name]
+	return m, ok
+}
+
+// Module is one module definition.
+type Module struct {
+	Name  string
+	Ports []string
+	Items []Item
+	Pos   Pos
+}
+
+// DeclKind classifies signal declarations.
+type DeclKind uint8
+
+// Declaration kinds.
+const (
+	DeclInput DeclKind = iota
+	DeclOutput
+	DeclInout
+	DeclWire
+	DeclReg
+)
+
+var declNames = [...]string{"input", "output", "inout", "wire", "reg"}
+
+// String implements fmt.Stringer.
+func (k DeclKind) String() string {
+	if int(k) < len(declNames) {
+		return declNames[k]
+	}
+	return fmt.Sprintf("DeclKind(%d)", uint8(k))
+}
+
+// Range is a vector range [MSB:LSB].
+type Range struct {
+	MSB, LSB int
+}
+
+// Width is the number of bits the range spans.
+func (r Range) Width() int {
+	d := r.MSB - r.LSB
+	if d < 0 {
+		d = -d
+	}
+	return d + 1
+}
+
+// Item is a module-level item.
+type Item interface{ itemNode() }
+
+// Decl declares one or more signals.
+type Decl struct {
+	Kind  DeclKind
+	Range *Range // nil for scalars
+	Names []string
+	Pos   Pos
+}
+
+// Assign is a continuous assignment with optional delay.
+type Assign struct {
+	Delay uint64
+	LHS   *Ident
+	RHS   Expr
+	Pos   Pos
+}
+
+// EdgeKind is a sensitivity edge qualifier.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	EdgeAny EdgeKind = iota
+	EdgePos
+	EdgeNeg
+)
+
+// SensItem is one sensitivity-list entry.
+type SensItem struct {
+	Edge   EdgeKind
+	Signal string
+}
+
+// SensList is an always block's sensitivity list.
+type SensList struct {
+	All   bool // @* or @(*)
+	Items []SensItem
+}
+
+// Always is an always block.
+type Always struct {
+	Sens SensList
+	// NoSens marks `always begin ... end` with no event control — a free
+	// running process (legal; the paper's race example uses one).
+	NoSens bool
+	Body   Stmt
+	Pos    Pos
+}
+
+// Initial is an initial block.
+type Initial struct {
+	Body Stmt
+	Pos  Pos
+}
+
+// Conn is one port connection on an instance.
+type Conn struct {
+	Port string // empty for positional
+	Expr Expr   // nil for explicitly open .port()
+}
+
+// Instance instantiates another module.
+type Instance struct {
+	Module string
+	Name   string
+	Conns  []Conn
+	Pos    Pos
+}
+
+// TimingCheck is a module-level $setup/$hold style check. LimitExpr must be
+// a constant; the simulator evaluates the window.
+type TimingCheck struct {
+	Name  string // "setup" or "hold"
+	Data  string // data signal
+	Ref   string // reference (clock) signal
+	Limit uint64
+	Pos   Pos
+}
+
+func (*Decl) itemNode()        {}
+func (*Assign) itemNode()      {}
+func (*Always) itemNode()      {}
+func (*Initial) itemNode()     {}
+func (*Instance) itemNode()    {}
+func (*TimingCheck) itemNode() {}
+
+// Stmt is a procedural statement.
+type Stmt interface{ stmtNode() }
+
+// Block is begin...end.
+type Block struct {
+	Stmts []Stmt
+}
+
+// AssignStmt is a blocking (=) or non-blocking (<=) procedural assignment
+// with optional intra-assignment delay.
+type AssignStmt struct {
+	NonBlocking bool
+	Delay       uint64
+	LHS         *Ident
+	RHS         Expr
+	Pos         Pos
+}
+
+// If is if/else.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// CaseItem is one arm of a case statement.
+type CaseItem struct {
+	// Exprs empty means default.
+	Exprs []Expr
+	Body  Stmt
+}
+
+// Case is a case statement.
+type Case struct {
+	Subject Expr
+	Items   []CaseItem
+}
+
+// DelayStmt is #n stmt (stmt may be nil for a bare wait).
+type DelayStmt struct {
+	Delay uint64
+	Stmt  Stmt // may be nil
+}
+
+// EventWait is @(sens) stmt — wait for an event then run stmt (may be nil).
+type EventWait struct {
+	Sens SensList
+	Stmt Stmt
+}
+
+// SysCall is a system task invocation ($display, $finish, $stop, ...).
+type SysCall struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// Forever is `forever stmt`.
+type Forever struct {
+	Body Stmt
+}
+
+func (*Block) stmtNode()      {}
+func (*AssignStmt) stmtNode() {}
+func (*If) stmtNode()         {}
+func (*Case) stmtNode()       {}
+func (*DelayStmt) stmtNode()  {}
+func (*EventWait) stmtNode()  {}
+func (*SysCall) stmtNode()    {}
+func (*Forever) stmtNode()    {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Ident references a signal, optionally with a bit or part select.
+type Ident struct {
+	Name string
+	// Index selects a bit when non-nil (constant expression required by
+	// the simulator for lvalues).
+	Index Expr
+	// PartMSB/PartLSB select a part range when HasPart.
+	HasPart          bool
+	PartMSB, PartLSB int
+	Pos              Pos
+}
+
+// Number is a literal with explicit width and 4-state bits. Bit i of Val is
+// the a-bit and bit i of XZ the b-bit using the usual (a,b) encoding:
+// 0=(0,0), 1=(1,0), z=(0,1), x=(1,1).
+type Number struct {
+	Width int
+	Val   uint64
+	XZ    uint64
+	Pos   Pos
+}
+
+// Unary is a unary operation: ~ ! & | ^ - (reduction and/or/xor included).
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Cond, Then, Else Expr
+}
+
+// Concat is {a, b, c}.
+type Concat struct {
+	Parts []Expr
+}
+
+// StringLit is a string literal argument to system tasks.
+type StringLit struct {
+	Value string
+}
+
+func (*Ident) exprNode()     {}
+func (*Number) exprNode()    {}
+func (*Unary) exprNode()     {}
+func (*Binary) exprNode()    {}
+func (*Ternary) exprNode()   {}
+func (*Concat) exprNode()    {}
+func (*StringLit) exprNode() {}
+
+// ExprString renders an expression back to (approximately) source form,
+// used in diagnostics and reports.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		s := x.Name
+		if x.Index != nil {
+			s += "[" + ExprString(x.Index) + "]"
+		}
+		if x.HasPart {
+			s += fmt.Sprintf("[%d:%d]", x.PartMSB, x.PartLSB)
+		}
+		return s
+	case *Number:
+		if x.XZ != 0 {
+			return fmt.Sprintf("%d'b%s", x.Width, bitsString(x))
+		}
+		return fmt.Sprintf("%d", x.Val)
+	case *Unary:
+		return x.Op + "(" + ExprString(x.X) + ")"
+	case *Binary:
+		return "(" + ExprString(x.L) + " " + x.Op + " " + ExprString(x.R) + ")"
+	case *Ternary:
+		return "(" + ExprString(x.Cond) + " ? " + ExprString(x.Then) + " : " + ExprString(x.Else) + ")"
+	case *Concat:
+		parts := make([]string, len(x.Parts))
+		for i, p := range x.Parts {
+			parts[i] = ExprString(p)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *StringLit:
+		return fmt.Sprintf("%q", x.Value)
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+func bitsString(n *Number) string {
+	var b strings.Builder
+	for i := n.Width - 1; i >= 0; i-- {
+		a := n.Val >> uint(i) & 1
+		x := n.XZ >> uint(i) & 1
+		switch {
+		case a == 0 && x == 0:
+			b.WriteByte('0')
+		case a == 1 && x == 0:
+			b.WriteByte('1')
+		case a == 0 && x == 1:
+			b.WriteByte('z')
+		default:
+			b.WriteByte('x')
+		}
+	}
+	return b.String()
+}
+
+// WalkExprs calls fn for every sub-expression of e, depth first.
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Ident:
+		WalkExprs(x.Index, fn)
+	case *Unary:
+		WalkExprs(x.X, fn)
+	case *Binary:
+		WalkExprs(x.L, fn)
+		WalkExprs(x.R, fn)
+	case *Ternary:
+		WalkExprs(x.Cond, fn)
+		WalkExprs(x.Then, fn)
+		WalkExprs(x.Else, fn)
+	case *Concat:
+		for _, p := range x.Parts {
+			WalkExprs(p, fn)
+		}
+	}
+}
+
+// WalkStmts calls fn for every statement in s, depth first.
+func WalkStmts(s Stmt, fn func(Stmt)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	switch x := s.(type) {
+	case *Block:
+		for _, st := range x.Stmts {
+			WalkStmts(st, fn)
+		}
+	case *If:
+		WalkStmts(x.Then, fn)
+		WalkStmts(x.Else, fn)
+	case *Case:
+		for _, it := range x.Items {
+			WalkStmts(it.Body, fn)
+		}
+	case *DelayStmt:
+		WalkStmts(x.Stmt, fn)
+	case *EventWait:
+		WalkStmts(x.Stmt, fn)
+	case *Forever:
+		WalkStmts(x.Body, fn)
+	}
+}
+
+// ReadSignals collects the set of signal names read by an expression.
+func ReadSignals(e Expr, into map[string]bool) {
+	WalkExprs(e, func(sub Expr) {
+		if id, ok := sub.(*Ident); ok {
+			into[id.Name] = true
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package hdl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SignalInfo describes a declared signal within a module.
+type SignalInfo struct {
+	Name  string
+	Kind  DeclKind // the storage kind (wire/reg); ports also record Dir
+	Dir   DeclKind // DeclInput/DeclOutput/DeclInout for ports, else DeclWire
+	Width int
+	MSB   int
+	LSB   int
+	// IsPort reports whether the signal appears in the port list.
+	IsPort bool
+}
+
+// Signals builds the signal table of a module, merging port-direction and
+// storage declarations ("output reg q" style input accepted as two decls).
+func Signals(m *Module) map[string]*SignalInfo {
+	out := make(map[string]*SignalInfo)
+	portSet := make(map[string]bool, len(m.Ports))
+	for _, p := range m.Ports {
+		portSet[p] = true
+	}
+	for _, item := range m.Items {
+		d, ok := item.(*Decl)
+		if !ok {
+			continue
+		}
+		for _, name := range d.Names {
+			si := out[name]
+			if si == nil {
+				si = &SignalInfo{Name: name, Kind: DeclWire, Dir: DeclWire, Width: 1}
+				out[name] = si
+			}
+			si.IsPort = portSet[name]
+			if d.Range != nil {
+				si.Width = d.Range.Width()
+				si.MSB, si.LSB = d.Range.MSB, d.Range.LSB
+			}
+			switch d.Kind {
+			case DeclInput, DeclOutput, DeclInout:
+				si.Dir = d.Kind
+			case DeclReg:
+				si.Kind = DeclReg
+			case DeclWire:
+				// explicit wire: keep Kind as wire
+			}
+		}
+	}
+	return out
+}
+
+// Problem is one semantic issue found by Check.
+type Problem struct {
+	Module string
+	Pos    Pos
+	Msg    string
+}
+
+// String implements fmt.Stringer.
+func (p Problem) String() string {
+	return fmt.Sprintf("%s: module %s: %s", p.Pos, p.Module, p.Msg)
+}
+
+// Check performs semantic validation across the design: referenced signals
+// are declared, instantiated modules exist, named connections match ports,
+// positional connection counts match, ports have directions, and lvalues of
+// procedural assignments are regs while lvalues of continuous assignments
+// are wires (the classic simulator/synthesizer acceptance split).
+func Check(d *Design) []Problem {
+	var probs []Problem
+	for _, name := range d.Order {
+		m := d.Modules[name]
+		sigs := Signals(m)
+		report := func(pos Pos, format string, args ...any) {
+			probs = append(probs, Problem{Module: name, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+		}
+		for _, p := range m.Ports {
+			si, ok := sigs[p]
+			if !ok {
+				report(m.Pos, "port %q has no declaration", p)
+				continue
+			}
+			if si.Dir == DeclWire {
+				report(m.Pos, "port %q has no direction declaration", p)
+			}
+		}
+		for _, si := range sigs {
+			if si.Width > 64 {
+				report(m.Pos, "signal %q is %d bits wide; this implementation supports at most 64", si.Name, si.Width)
+			}
+		}
+		checkExpr := func(e Expr, pos Pos) {
+			WalkExprs(e, func(sub Expr) {
+				if id, ok := sub.(*Ident); ok {
+					if _, ok := sigs[id.Name]; !ok {
+						report(pos, "undeclared signal %q", id.Name)
+					}
+				}
+			})
+		}
+		var checkStmt func(s Stmt, pos Pos)
+		checkStmt = func(s Stmt, pos Pos) {
+			WalkStmts(s, func(sub Stmt) {
+				switch st := sub.(type) {
+				case *AssignStmt:
+					si, ok := sigs[st.LHS.Name]
+					if !ok {
+						report(st.Pos, "undeclared lvalue %q", st.LHS.Name)
+					} else if si.Kind != DeclReg {
+						report(st.Pos, "procedural assignment to non-reg %q", st.LHS.Name)
+					}
+					checkExpr(st.RHS, st.Pos)
+					if st.LHS.Index != nil {
+						checkExpr(st.LHS.Index, st.Pos)
+					}
+				case *If:
+					checkExpr(st.Cond, pos)
+				case *Case:
+					checkExpr(st.Subject, pos)
+					for _, it := range st.Items {
+						for _, e := range it.Exprs {
+							checkExpr(e, pos)
+						}
+					}
+				case *EventWait:
+					for _, it := range st.Sens.Items {
+						if _, ok := sigs[it.Signal]; !ok {
+							report(pos, "undeclared signal %q in event control", it.Signal)
+						}
+					}
+				case *SysCall:
+					for _, a := range st.Args {
+						if _, isStr := a.(*StringLit); !isStr {
+							checkExpr(a, st.Pos)
+						}
+					}
+				}
+			})
+		}
+		for _, item := range m.Items {
+			switch it := item.(type) {
+			case *Assign:
+				si, ok := sigs[it.LHS.Name]
+				if !ok {
+					report(it.Pos, "undeclared lvalue %q", it.LHS.Name)
+				} else if si.Kind == DeclReg {
+					report(it.Pos, "continuous assignment to reg %q", it.LHS.Name)
+				}
+				checkExpr(it.RHS, it.Pos)
+			case *Always:
+				for _, s := range it.Sens.Items {
+					if _, ok := sigs[s.Signal]; !ok {
+						report(it.Pos, "undeclared signal %q in sensitivity list", s.Signal)
+					}
+				}
+				checkStmt(it.Body, it.Pos)
+			case *Initial:
+				checkStmt(it.Body, it.Pos)
+			case *Instance:
+				sub, ok := d.Modules[it.Module]
+				if !ok {
+					report(it.Pos, "instantiates unknown module %q", it.Module)
+					continue
+				}
+				named := false
+				for _, c := range it.Conns {
+					if c.Port != "" {
+						named = true
+						found := false
+						for _, p := range sub.Ports {
+							if p == c.Port {
+								found = true
+								break
+							}
+						}
+						if !found {
+							report(it.Pos, "connection to unknown port %q of module %q", c.Port, it.Module)
+						}
+					}
+					if c.Expr != nil {
+						checkExpr(c.Expr, it.Pos)
+					}
+				}
+				if !named && len(it.Conns) != len(sub.Ports) {
+					report(it.Pos, "positional connection count %d does not match module %q port count %d",
+						len(it.Conns), it.Module, len(sub.Ports))
+				}
+			case *TimingCheck:
+				for _, s := range []string{it.Data, it.Ref} {
+					if _, ok := sigs[s]; !ok {
+						report(it.Pos, "timing check references undeclared signal %q", s)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(probs, func(i, j int) bool {
+		if probs[i].Module != probs[j].Module {
+			return probs[i].Module < probs[j].Module
+		}
+		if probs[i].Pos.Line != probs[j].Pos.Line {
+			return probs[i].Pos.Line < probs[j].Pos.Line
+		}
+		return probs[i].Msg < probs[j].Msg
+	})
+	return probs
+}

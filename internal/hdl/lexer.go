@@ -1,0 +1,254 @@
+package hdl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrSyntax reports lexical or parse failures.
+var ErrSyntax = errors.New("hdl: syntax error")
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tKeyword
+	tNumber   // raw number text, decoded by the parser
+	tString   // "..." literal
+	tSysName  // $display etc.
+	tPunct    // operators and punctuation
+	tEscIdent // escaped identifier \foo␠ (paper §3.3)
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// keywords of the subset.
+var keywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"inout": true, "wire": true, "reg": true, "assign": true,
+	"always": true, "initial": true, "begin": true, "end": true,
+	"if": true, "else": true, "case": true, "endcase": true,
+	"default": true, "posedge": true, "negedge": true, "or": true,
+	"forever": true,
+}
+
+// Keywords returns the language's keyword set (used by the naming package's
+// cross-language collision checks).
+func Keywords() map[string]bool {
+	out := make(map[string]bool, len(keywords))
+	for k := range keywords {
+		out[k] = true
+	}
+	return out
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+// lex tokenizes the whole source up front.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		lx.toks = append(lx.toks, tok)
+		if tok.kind == tEOF {
+			return lx.toks, nil
+		}
+	}
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peek2() byte {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := Pos{lx.line, lx.col}
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return fmt.Errorf("%w: %s: unterminated block comment", ErrSyntax, start)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '$'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNumChar(c byte) bool {
+	// Digits plus based-literal characters; the parser validates.
+	return isDigit(c) || c == '_' || c == '\'' ||
+		(c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') ||
+		c == 'x' || c == 'X' || c == 'z' || c == 'Z' ||
+		c == 'h' || c == 'H' || c == 'b' || c == 'B' || c == 'o' || c == 'O' || c == 'd' || c == 'D'
+}
+
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	pos := Pos{lx.line, lx.col}
+	if lx.pos >= len(lx.src) {
+		return token{kind: tEOF, pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case c == '\\':
+		// Escaped identifier: backslash to next whitespace (§3.3: "names
+		// that begin with \ and terminate with a white space").
+		lx.advance()
+		var b strings.Builder
+		for lx.pos < len(lx.src) {
+			c := lx.peek()
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+				break
+			}
+			b.WriteByte(lx.advance())
+		}
+		if b.Len() == 0 {
+			return token{}, fmt.Errorf("%w: %s: empty escaped identifier", ErrSyntax, pos)
+		}
+		return token{kind: tEscIdent, text: b.String(), pos: pos}, nil
+	case c == '$':
+		lx.advance()
+		var b strings.Builder
+		for lx.pos < len(lx.src) && isIdentChar(lx.peek()) {
+			b.WriteByte(lx.advance())
+		}
+		if b.Len() == 0 {
+			return token{}, fmt.Errorf("%w: %s: bare $", ErrSyntax, pos)
+		}
+		return token{kind: tSysName, text: b.String(), pos: pos}, nil
+	case c == '"':
+		lx.advance()
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, fmt.Errorf("%w: %s: unterminated string", ErrSyntax, pos)
+			}
+			c := lx.advance()
+			if c == '\\' && lx.pos < len(lx.src) {
+				e := lx.advance()
+				switch e {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				default:
+					b.WriteByte(e)
+				}
+				continue
+			}
+			if c == '"' {
+				return token{kind: tString, text: b.String(), pos: pos}, nil
+			}
+			b.WriteByte(c)
+		}
+	case isIdentStart(c):
+		var b strings.Builder
+		for lx.pos < len(lx.src) && isIdentChar(lx.peek()) {
+			b.WriteByte(lx.advance())
+		}
+		text := b.String()
+		if keywords[text] {
+			return token{kind: tKeyword, text: text, pos: pos}, nil
+		}
+		return token{kind: tIdent, text: text, pos: pos}, nil
+	case isDigit(c) || c == '\'':
+		var b strings.Builder
+		for lx.pos < len(lx.src) && isNumChar(lx.peek()) {
+			b.WriteByte(lx.advance())
+		}
+		return token{kind: tNumber, text: b.String(), pos: pos}, nil
+	default:
+		// Multi-character operators first.
+		two := ""
+		if lx.pos+1 < len(lx.src) {
+			two = lx.src[lx.pos : lx.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "==", "!=", "&&", "||", "<<", ">>":
+			lx.advance()
+			lx.advance()
+			return token{kind: tPunct, text: two, pos: pos}, nil
+		}
+		switch c {
+		case '(', ')', '[', ']', '{', '}', ';', ',', ':', '.', '#', '@',
+			'=', '<', '>', '&', '|', '^', '~', '!', '+', '-', '*', '/', '%', '?':
+			lx.advance()
+			return token{kind: tPunct, text: string(c), pos: pos}, nil
+		}
+		return token{}, fmt.Errorf("%w: %s: unexpected character %q", ErrSyntax, pos, string(c))
+	}
+}

@@ -1,0 +1,866 @@
+package hdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses Verilog-subset source text into a Design.
+func Parse(src string) (*Design, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	d := &Design{Modules: make(map[string]*Module)}
+	for !p.at(tEOF, "") {
+		m, err := p.parseModule()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := d.Modules[m.Name]; dup {
+			return nil, fmt.Errorf("%w: %s: duplicate module %q", ErrSyntax, m.Pos, m.Name)
+		}
+		d.Modules[m.Name] = m
+		d.Order = append(d.Order, m.Name)
+	}
+	return d, nil
+}
+
+// MustParse is Parse for tests and generators; it panics on error.
+func MustParse(src string) *Design {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, fmt.Errorf("%w: %s: expected %q, got %q", ErrSyntax, t.pos, want, t.text)
+}
+
+// identLike accepts plain or escaped identifiers.
+func (p *parser) identLike() (string, Pos, error) {
+	t := p.cur()
+	if t.kind == tIdent || t.kind == tEscIdent {
+		p.i++
+		name := t.text
+		if t.kind == tEscIdent {
+			name = "\\" + name
+		}
+		return name, t.pos, nil
+	}
+	return "", t.pos, fmt.Errorf("%w: %s: expected identifier, got %q", ErrSyntax, t.pos, t.text)
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	t, err := p.expect(tKeyword, "module")
+	if err != nil {
+		return nil, err
+	}
+	name, _, err := p.identLike()
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name, Pos: t.pos}
+	if p.accept(tPunct, "(") {
+		for !p.at(tPunct, ")") {
+			pn, _, err := p.identLike()
+			if err != nil {
+				return nil, err
+			}
+			m.Ports = append(m.Ports, pn)
+			if !p.accept(tPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tPunct, ";"); err != nil {
+		return nil, err
+	}
+	for !p.at(tKeyword, "endmodule") {
+		if p.at(tEOF, "") {
+			return nil, fmt.Errorf("%w: %s: unexpected EOF in module %q", ErrSyntax, p.cur().pos, name)
+		}
+		item, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		m.Items = append(m.Items, item)
+	}
+	p.next() // endmodule
+	return m, nil
+}
+
+func (p *parser) parseItem() (Item, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tKeyword:
+		switch t.text {
+		case "input", "output", "inout", "wire", "reg":
+			return p.parseDecl()
+		case "assign":
+			return p.parseAssign()
+		case "always":
+			return p.parseAlways()
+		case "initial":
+			p.next()
+			body, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			return &Initial{Body: body, Pos: t.pos}, nil
+		}
+		return nil, fmt.Errorf("%w: %s: unexpected keyword %q", ErrSyntax, t.pos, t.text)
+	case t.kind == tSysName:
+		return p.parseTimingCheck()
+	case t.kind == tIdent || t.kind == tEscIdent:
+		return p.parseInstance()
+	default:
+		return nil, fmt.Errorf("%w: %s: unexpected token %q", ErrSyntax, t.pos, t.text)
+	}
+}
+
+func (p *parser) parseDecl() (Item, error) {
+	t := p.next()
+	var kind DeclKind
+	switch t.text {
+	case "input":
+		kind = DeclInput
+	case "output":
+		kind = DeclOutput
+	case "inout":
+		kind = DeclInout
+	case "wire":
+		kind = DeclWire
+	case "reg":
+		kind = DeclReg
+	}
+	// "output reg" combination: treat as reg and record the port direction
+	// by emitting two decls is overkill; the subset treats "output reg x"
+	// as a reg named x that is also listed in the ports.
+	if kind == DeclOutput && p.at(tKeyword, "reg") {
+		p.next()
+		kind = DeclReg
+	}
+	d := &Decl{Kind: kind, Pos: t.pos}
+	if p.accept(tPunct, "[") {
+		msb, err := p.parseConstInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ":"); err != nil {
+			return nil, err
+		}
+		lsb, err := p.parseConstInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, "]"); err != nil {
+			return nil, err
+		}
+		d.Range = &Range{MSB: msb, LSB: lsb}
+	}
+	for {
+		name, _, err := p.identLike()
+		if err != nil {
+			return nil, err
+		}
+		d.Names = append(d.Names, name)
+		if !p.accept(tPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tPunct, ";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) parseConstInt() (int, error) {
+	neg := p.accept(tPunct, "-")
+	t, err := p.expect(tNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(strings.ReplaceAll(t.text, "_", ""))
+	if err != nil {
+		return 0, fmt.Errorf("%w: %s: bad integer %q", ErrSyntax, t.pos, t.text)
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+func (p *parser) parseAssign() (Item, error) {
+	t := p.next() // assign
+	a := &Assign{Pos: t.pos}
+	if p.accept(tPunct, "#") {
+		d, err := p.parseConstInt()
+		if err != nil {
+			return nil, err
+		}
+		a.Delay = uint64(d)
+	}
+	lhs, err := p.parseLValue()
+	if err != nil {
+		return nil, err
+	}
+	a.LHS = lhs
+	if _, err := p.expect(tPunct, "="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	a.RHS = rhs
+	if _, err := p.expect(tPunct, ";"); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (p *parser) parseLValue() (*Ident, error) {
+	name, pos, err := p.identLike()
+	if err != nil {
+		return nil, err
+	}
+	id := &Ident{Name: name, Pos: pos}
+	if p.accept(tPunct, "[") {
+		// Bit or part select.
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(tPunct, ":") {
+			msb, ok := constOf(first)
+			if !ok {
+				return nil, fmt.Errorf("%w: %s: part select bounds must be constant", ErrSyntax, pos)
+			}
+			lsb, err := p.parseConstInt()
+			if err != nil {
+				return nil, err
+			}
+			id.HasPart = true
+			id.PartMSB, id.PartLSB = msb, lsb
+		} else {
+			id.Index = first
+		}
+		if _, err := p.expect(tPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	return id, nil
+}
+
+func constOf(e Expr) (int, bool) {
+	n, ok := e.(*Number)
+	if !ok || n.XZ != 0 {
+		return 0, false
+	}
+	return int(n.Val), true
+}
+
+func (p *parser) parseSensList() (SensList, error) {
+	var s SensList
+	if p.accept(tPunct, "*") {
+		s.All = true
+		return s, nil
+	}
+	paren := p.accept(tPunct, "(")
+	if paren && p.accept(tPunct, "*") {
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return s, err
+		}
+		s.All = true
+		return s, nil
+	}
+	for {
+		item := SensItem{Edge: EdgeAny}
+		if p.accept(tKeyword, "posedge") {
+			item.Edge = EdgePos
+		} else if p.accept(tKeyword, "negedge") {
+			item.Edge = EdgeNeg
+		}
+		name, _, err := p.identLike()
+		if err != nil {
+			return s, err
+		}
+		item.Signal = name
+		s.Items = append(s.Items, item)
+		if p.accept(tKeyword, "or") || p.accept(tPunct, ",") {
+			continue
+		}
+		break
+	}
+	if paren {
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseAlways() (Item, error) {
+	t := p.next() // always
+	a := &Always{Pos: t.pos}
+	if p.accept(tPunct, "@") {
+		sens, err := p.parseSensList()
+		if err != nil {
+			return nil, err
+		}
+		a.Sens = sens
+	} else {
+		a.NoSens = true
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	a.Body = body
+	return a, nil
+}
+
+func (p *parser) parseTimingCheck() (Item, error) {
+	t := p.next() // $name
+	if t.text != "setup" && t.text != "hold" {
+		return nil, fmt.Errorf("%w: %s: unsupported module-level system task $%s", ErrSyntax, t.pos, t.text)
+	}
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	a, _, err := p.identLike()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ","); err != nil {
+		return nil, err
+	}
+	b, _, err := p.identLike()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ","); err != nil {
+		return nil, err
+	}
+	lim, err := p.parseConstInt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ";"); err != nil {
+		return nil, err
+	}
+	tc := &TimingCheck{Name: t.text, Limit: uint64(lim), Pos: t.pos}
+	// $setup(data, clk, lim); $hold(clk, data, lim): normalize to Data/Ref.
+	if t.text == "setup" {
+		tc.Data, tc.Ref = a, b
+	} else {
+		tc.Ref, tc.Data = a, b
+	}
+	return tc, nil
+}
+
+func (p *parser) parseInstance() (Item, error) {
+	mod, pos, err := p.identLike()
+	if err != nil {
+		return nil, err
+	}
+	name, _, err := p.identLike()
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{Module: mod, Name: name, Pos: pos}
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	if !p.at(tPunct, ")") {
+		named := p.at(tPunct, ".")
+		for {
+			if named {
+				if _, err := p.expect(tPunct, "."); err != nil {
+					return nil, err
+				}
+				port, _, err := p.identLike()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tPunct, "("); err != nil {
+					return nil, err
+				}
+				var ex Expr
+				if !p.at(tPunct, ")") {
+					ex, err = p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+				}
+				if _, err := p.expect(tPunct, ")"); err != nil {
+					return nil, err
+				}
+				inst.Conns = append(inst.Conns, Conn{Port: port, Expr: ex})
+			} else {
+				ex, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				inst.Conns = append(inst.Conns, Conn{Expr: ex})
+			}
+			if !p.accept(tPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ";"); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tKeyword && t.text == "begin":
+		p.next()
+		b := &Block{}
+		for !p.at(tKeyword, "end") {
+			if p.at(tEOF, "") {
+				return nil, fmt.Errorf("%w: %s: unexpected EOF in begin block", ErrSyntax, t.pos)
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			b.Stmts = append(b.Stmts, s)
+		}
+		p.next()
+		return b, nil
+	case t.kind == tKeyword && t.text == "if":
+		p.next()
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		node := &If{Cond: cond, Then: then}
+		if p.accept(tKeyword, "else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+		return node, nil
+	case t.kind == tKeyword && t.text == "case":
+		return p.parseCase()
+	case t.kind == tKeyword && t.text == "forever":
+		p.next()
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Forever{Body: body}, nil
+	case t.kind == tPunct && t.text == "#":
+		p.next()
+		d, err := p.parseConstInt()
+		if err != nil {
+			return nil, err
+		}
+		ds := &DelayStmt{Delay: uint64(d)}
+		if p.accept(tPunct, ";") {
+			return ds, nil
+		}
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		ds.Stmt = inner
+		return ds, nil
+	case t.kind == tPunct && t.text == "@":
+		p.next()
+		sens, err := p.parseSensList()
+		if err != nil {
+			return nil, err
+		}
+		ew := &EventWait{Sens: sens}
+		if p.accept(tPunct, ";") {
+			return ew, nil
+		}
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		ew.Stmt = inner
+		return ew, nil
+	case t.kind == tSysName:
+		p.next()
+		sc := &SysCall{Name: t.text, Pos: t.pos}
+		if p.accept(tPunct, "(") {
+			for !p.at(tPunct, ")") {
+				if p.at(tString, "") {
+					s := p.next()
+					sc.Args = append(sc.Args, &StringLit{Value: s.text})
+				} else {
+					ex, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					sc.Args = append(sc.Args, ex)
+				}
+				if !p.accept(tPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tPunct, ")"); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return sc, nil
+	case t.kind == tIdent || t.kind == tEscIdent:
+		lhs, err := p.parseLValue()
+		if err != nil {
+			return nil, err
+		}
+		nb := false
+		if p.accept(tPunct, "<=") {
+			nb = true
+		} else if _, err := p.expect(tPunct, "="); err != nil {
+			return nil, err
+		}
+		st := &AssignStmt{NonBlocking: nb, LHS: lhs, Pos: t.pos}
+		if p.accept(tPunct, "#") {
+			d, err := p.parseConstInt()
+			if err != nil {
+				return nil, err
+			}
+			st.Delay = uint64(d)
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.RHS = rhs
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	default:
+		return nil, fmt.Errorf("%w: %s: unexpected token %q in statement", ErrSyntax, t.pos, t.text)
+	}
+}
+
+func (p *parser) parseCase() (Stmt, error) {
+	p.next() // case
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	subject, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	c := &Case{Subject: subject}
+	for !p.at(tKeyword, "endcase") {
+		if p.at(tEOF, "") {
+			return nil, fmt.Errorf("%w: unexpected EOF in case", ErrSyntax)
+		}
+		var item CaseItem
+		if p.accept(tKeyword, "default") {
+			p.accept(tPunct, ":")
+		} else {
+			for {
+				ex, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				item.Exprs = append(item.Exprs, ex)
+				if !p.accept(tPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tPunct, ":"); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		item.Body = body
+		c.Items = append(c.Items, item)
+	}
+	if len(c.Items) == 0 {
+		return nil, fmt.Errorf("%w: case statement with no items", ErrSyntax)
+	}
+	p.next()
+	return c, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseTernary()
+}
+
+func (p *parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tPunct, "?") {
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ":"); err != nil {
+			return nil, err
+		}
+		els, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Ternary{Cond: cond, Then: then, Else: els}, nil
+	}
+	return cond, nil
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tPunct {
+			return left, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		// "<=" in expression position within statements is ambiguous with
+		// non-blocking assignment; the statement parser consumes it first,
+		// so here it is always the comparison.
+		p.next()
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: t.text, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tPunct {
+		switch t.text {
+		case "~", "!", "-", "&", "|", "^":
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.text, X: x}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tPunct && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tPunct && t.text == "{":
+		p.next()
+		c := &Concat{}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Parts = append(c.Parts, e)
+			if !p.accept(tPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tPunct, "}"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case t.kind == tNumber:
+		p.next()
+		return parseNumber(t)
+	case t.kind == tIdent || t.kind == tEscIdent:
+		return p.parseLValue()
+	case t.kind == tString:
+		p.next()
+		return &StringLit{Value: t.text}, nil
+	default:
+		return nil, fmt.Errorf("%w: %s: unexpected token %q in expression", ErrSyntax, t.pos, t.text)
+	}
+}
+
+// parseNumber decodes plain decimal and sized based literals
+// (8'hff, 4'b10xz, 3'o7, 16'd255).
+func parseNumber(t token) (*Number, error) {
+	text := strings.ReplaceAll(t.text, "_", "")
+	q := strings.IndexByte(text, '\'')
+	if q < 0 {
+		v, err := strconv.ParseUint(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: bad number %q", ErrSyntax, t.pos, t.text)
+		}
+		return &Number{Width: 32, Val: v, Pos: t.pos}, nil
+	}
+	width := 32
+	if q > 0 {
+		w, err := strconv.Atoi(text[:q])
+		if err != nil || w <= 0 || w > 64 {
+			return nil, fmt.Errorf("%w: %s: bad width in %q", ErrSyntax, t.pos, t.text)
+		}
+		width = w
+	}
+	if q+1 >= len(text) {
+		return nil, fmt.Errorf("%w: %s: missing base in %q", ErrSyntax, t.pos, t.text)
+	}
+	base := text[q+1]
+	digits := text[q+2:]
+	n := &Number{Width: width, Pos: t.pos}
+	var perDigit uint
+	switch base {
+	case 'b', 'B':
+		perDigit = 1
+	case 'o', 'O':
+		perDigit = 3
+	case 'h', 'H':
+		perDigit = 4
+	case 'd', 'D':
+		v, err := strconv.ParseUint(digits, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: bad decimal %q", ErrSyntax, t.pos, t.text)
+		}
+		n.Val = v & widthMask(width)
+		return n, nil
+	default:
+		return nil, fmt.Errorf("%w: %s: bad base %q", ErrSyntax, t.pos, string(base))
+	}
+	if digits == "" {
+		return nil, fmt.Errorf("%w: %s: missing digits in %q", ErrSyntax, t.pos, t.text)
+	}
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		n.Val <<= perDigit
+		n.XZ <<= perDigit
+		ones := uint64(1)<<perDigit - 1
+		switch {
+		case c == 'x' || c == 'X':
+			n.Val |= ones
+			n.XZ |= ones
+		case c == 'z' || c == 'Z':
+			n.XZ |= ones
+		default:
+			var dv uint64
+			switch {
+			case c >= '0' && c <= '9':
+				dv = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				dv = uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				dv = uint64(c-'A') + 10
+			default:
+				return nil, fmt.Errorf("%w: %s: bad digit %q in %q", ErrSyntax, t.pos, string(c), t.text)
+			}
+			if dv > ones {
+				return nil, fmt.Errorf("%w: %s: digit %q out of range for base", ErrSyntax, t.pos, string(c))
+			}
+			n.Val |= dv
+		}
+	}
+	n.Val &= widthMask(width)
+	n.XZ &= widthMask(width)
+	return n, nil
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(w) - 1
+}

@@ -1,0 +1,479 @@
+package hdl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleModule(t *testing.T) {
+	d, err := Parse(`
+module top(a, b, y);
+  input a, b;
+  output y;
+  assign y = a & b;
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := d.Module("top")
+	if !ok {
+		t.Fatal("module top missing")
+	}
+	if len(m.Ports) != 3 || m.Ports[2] != "y" {
+		t.Errorf("ports = %v", m.Ports)
+	}
+	if len(m.Items) != 3 {
+		t.Fatalf("items = %d", len(m.Items))
+	}
+	a, ok := m.Items[2].(*Assign)
+	if !ok {
+		t.Fatalf("item 2 = %T", m.Items[2])
+	}
+	if a.LHS.Name != "y" {
+		t.Errorf("lhs = %s", a.LHS.Name)
+	}
+	if ExprString(a.RHS) != "(a & b)" {
+		t.Errorf("rhs = %s", ExprString(a.RHS))
+	}
+}
+
+func TestParseVectorsAndSelects(t *testing.T) {
+	d := MustParse(`
+module v(d, q);
+  input [7:0] d;
+  output [7:0] q;
+  wire [3:0] nib;
+  assign q = d;
+  assign nib = d[3:0];
+  wire b0;
+  assign b0 = d[0];
+endmodule`)
+	m := d.Modules["v"]
+	sigs := Signals(m)
+	if sigs["d"].Width != 8 || sigs["d"].MSB != 7 || sigs["d"].LSB != 0 {
+		t.Errorf("d info = %+v", sigs["d"])
+	}
+	if sigs["nib"].Width != 4 {
+		t.Errorf("nib width = %d", sigs["nib"].Width)
+	}
+	// Part select and bit select forms.
+	found := 0
+	for _, item := range m.Items {
+		if a, ok := item.(*Assign); ok {
+			if id, ok := a.RHS.(*Ident); ok {
+				if id.HasPart && id.PartMSB == 3 && id.PartLSB == 0 {
+					found++
+				}
+				if id.Index != nil {
+					found++
+				}
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("selects found = %d", found)
+	}
+}
+
+func TestParseAlwaysForms(t *testing.T) {
+	d := MustParse(`
+module a(clk, d, q);
+  input clk, d;
+  output q;
+  reg q;
+  reg tmp;
+  always @(posedge clk) q <= d;
+  always @(d or clk) tmp = d;
+  always @* tmp = d;
+  always begin
+    tmp = d;
+    #5 tmp = ~d;
+  end
+endmodule`)
+	m := d.Modules["a"]
+	var als []*Always
+	for _, it := range m.Items {
+		if a, ok := it.(*Always); ok {
+			als = append(als, a)
+		}
+	}
+	if len(als) != 4 {
+		t.Fatalf("always blocks = %d", len(als))
+	}
+	if als[0].Sens.Items[0].Edge != EdgePos || als[0].Sens.Items[0].Signal != "clk" {
+		t.Errorf("posedge sens = %+v", als[0].Sens)
+	}
+	if len(als[1].Sens.Items) != 2 || als[1].Sens.Items[1].Signal != "clk" {
+		t.Errorf("or sens = %+v", als[1].Sens)
+	}
+	if !als[2].Sens.All {
+		t.Errorf("@* sens = %+v", als[2].Sens)
+	}
+	if !als[3].NoSens {
+		t.Error("free-running always not flagged NoSens")
+	}
+	st, ok := als[0].Body.(*AssignStmt)
+	if !ok || !st.NonBlocking {
+		t.Errorf("posedge body = %#v", als[0].Body)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	d := MustParse(`
+module s(x);
+  input x;
+  reg a, b;
+  initial begin
+    a = 0;
+    b <= #3 1;
+    if (x) a = 1; else a = 0;
+    case (a)
+      1'b0: b = 0;
+      1'b1, 1'bx: b = 1;
+      default: b = 0;
+    endcase
+    #10;
+    @(posedge x);
+    $display("done %d", a);
+    $finish;
+  end
+endmodule`)
+	m := d.Modules["s"]
+	init := m.Items[2].(*Initial)
+	blk := init.Body.(*Block)
+	if len(blk.Stmts) != 8 {
+		t.Fatalf("stmts = %d", len(blk.Stmts))
+	}
+	if st := blk.Stmts[1].(*AssignStmt); !st.NonBlocking || st.Delay != 3 {
+		t.Errorf("nb assign = %+v", st)
+	}
+	ifst := blk.Stmts[2].(*If)
+	if ifst.Else == nil {
+		t.Error("else missing")
+	}
+	cs := blk.Stmts[3].(*Case)
+	if len(cs.Items) != 3 || len(cs.Items[1].Exprs) != 2 || len(cs.Items[2].Exprs) != 0 {
+		t.Errorf("case = %+v", cs)
+	}
+	if ds := blk.Stmts[4].(*DelayStmt); ds.Delay != 10 || ds.Stmt != nil {
+		t.Errorf("delay = %+v", ds)
+	}
+	if ew := blk.Stmts[5].(*EventWait); ew.Sens.Items[0].Edge != EdgePos {
+		t.Errorf("event wait = %+v", ew)
+	}
+	if sc := blk.Stmts[6].(*SysCall); sc.Name != "display" || len(sc.Args) != 2 {
+		t.Errorf("syscall = %+v", sc)
+	}
+}
+
+func TestParseInstances(t *testing.T) {
+	d := MustParse(`
+module inv(a, y);
+  input a;
+  output y;
+  assign y = ~a;
+endmodule
+module top(i, o);
+  input i;
+  output o;
+  wire m;
+  inv u1(.a(i), .y(m));
+  inv u2(m, o);
+  inv u3(.a(m), .y());
+endmodule`)
+	m := d.Modules["top"]
+	var insts []*Instance
+	for _, it := range m.Items {
+		if i, ok := it.(*Instance); ok {
+			insts = append(insts, i)
+		}
+	}
+	if len(insts) != 3 {
+		t.Fatalf("instances = %d", len(insts))
+	}
+	if insts[0].Conns[0].Port != "a" || ExprString(insts[0].Conns[0].Expr) != "i" {
+		t.Errorf("named conn = %+v", insts[0].Conns[0])
+	}
+	if insts[1].Conns[0].Port != "" {
+		t.Errorf("positional conn = %+v", insts[1].Conns[0])
+	}
+	if insts[2].Conns[1].Expr != nil {
+		t.Errorf("open conn = %+v", insts[2].Conns[1])
+	}
+	if probs := Check(d); len(probs) != 0 {
+		t.Errorf("Check = %v", probs)
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	cases := []struct {
+		lit     string
+		width   int
+		val, xz uint64
+	}{
+		{"42", 32, 42, 0},
+		{"8'hff", 8, 0xff, 0},
+		{"4'b1010", 4, 10, 0},
+		{"4'b10xz", 4, 0b1010, 0b0011}, // x=(1,1), z=(0,1)
+		{"3'o7", 3, 7, 0},
+		{"16'd255", 16, 255, 0},
+		{"8'hx", 8, 0xf, 0xf},
+		{"12'h_f_f", 12, 0xff, 0},
+	}
+	for _, c := range cases {
+		d, err := Parse("module n(); wire w; assign w = " + c.lit + "; endmodule")
+		if err != nil {
+			t.Errorf("Parse(%s): %v", c.lit, err)
+			continue
+		}
+		a := d.Modules["n"].Items[1].(*Assign)
+		n, ok := a.RHS.(*Number)
+		if !ok {
+			t.Errorf("%s: not a Number: %T", c.lit, a.RHS)
+			continue
+		}
+		if n.Width != c.width || n.Val != c.val || n.XZ != c.xz {
+			t.Errorf("%s = width %d val %#x xz %#x, want %d %#x %#x",
+				c.lit, n.Width, n.Val, n.XZ, c.width, c.val, c.xz)
+		}
+	}
+}
+
+func TestParseEscapedIdentifiers(t *testing.T) {
+	// §3.3: escaped identifiers begin with \ and end at whitespace.
+	d, err := Parse(`
+module e(\bus[0] , y);
+  input \bus[0] ;
+  output y;
+  assign y = \bus[0] ;
+endmodule`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Modules["e"]
+	if m.Ports[0] != `\bus[0]` {
+		t.Errorf("escaped port = %q", m.Ports[0])
+	}
+	a := m.Items[2].(*Assign)
+	if id, ok := a.RHS.(*Ident); !ok || id.Name != `\bus[0]` {
+		t.Errorf("escaped rhs = %s", ExprString(a.RHS))
+	}
+	if probs := Check(d); len(probs) != 0 {
+		t.Errorf("Check = %v", probs)
+	}
+}
+
+func TestParseTimingChecks(t *testing.T) {
+	d := MustParse(`
+module t(clk, d);
+  input clk, d;
+  $setup(d, clk, 3);
+  $hold(clk, d, 2);
+endmodule`)
+	m := d.Modules["t"]
+	tc1 := m.Items[1].(*TimingCheck)
+	if tc1.Name != "setup" || tc1.Data != "d" || tc1.Ref != "clk" || tc1.Limit != 3 {
+		t.Errorf("setup = %+v", tc1)
+	}
+	tc2 := m.Items[2].(*TimingCheck)
+	if tc2.Name != "hold" || tc2.Data != "d" || tc2.Ref != "clk" || tc2.Limit != 2 {
+		t.Errorf("hold = %+v", tc2)
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	d := MustParse(`
+module p(); wire w; assign w = 1 + 2 * 3 == 7 && 1 | 0; endmodule`)
+	a := d.Modules["p"].Items[1].(*Assign)
+	// && binds looser than |, which binds looser than ==.
+	got := ExprString(a.RHS)
+	want := "(((1 + (2 * 3)) == 7) && (1 | 0))"
+	if got != want {
+		t.Errorf("precedence: %s, want %s", got, want)
+	}
+}
+
+func TestParseTernaryAndConcat(t *testing.T) {
+	d := MustParse(`
+module tc(s, a, b);
+  input s, a, b;
+  wire y;
+  wire [1:0] pair;
+  assign y = s ? a : b;
+  assign pair = {a, b};
+endmodule`)
+	items := d.Modules["tc"].Items
+	if _, ok := items[3].(*Assign).RHS.(*Ternary); !ok {
+		t.Errorf("ternary = %T", items[3].(*Assign).RHS)
+	}
+	if c, ok := items[4].(*Assign).RHS.(*Concat); !ok || len(c.Parts) != 2 {
+		t.Errorf("concat = %+v", items[4].(*Assign).RHS)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	d, err := Parse(`
+// line comment
+module c(); /* block
+   comment */ wire w; assign w = 1; endmodule`)
+	if err != nil || len(d.Modules) != 1 {
+		t.Errorf("comments: %v %v", d, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing semicolon", "module m() wire w; endmodule"},
+		{"unterminated module", "module m();"},
+		{"bad number", "module m(); wire w; assign w = 4'q0; endmodule"},
+		{"digit out of base", "module m(); wire w; assign w = 2'b3; endmodule"},
+		{"unterminated string", `module m(); initial $display("x; endmodule`},
+		{"unterminated comment", "module m(); /* oops"},
+		{"duplicate module", "module m(); endmodule module m(); endmodule"},
+		{"empty escaped ident", "module m(); wire \\\n; endmodule"},
+		{"stray token", "module m(); ^; endmodule"},
+		{"bad case", "module m(); reg r; initial case (r) endcase endmodule"},
+		{"bad timing task", "module m(); $skew(a, b, 1); endmodule"},
+		{"width overflow", "module m(); wire w; assign w = 99'h0; endmodule"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); !errors.Is(err, ErrSyntax) {
+				t.Errorf("Parse error = %v, want ErrSyntax", err)
+			}
+		})
+	}
+}
+
+func TestCheckSemantics(t *testing.T) {
+	cases := []struct {
+		name, src, wantMsg string
+	}{
+		{"undeclared rhs", "module m(y); output y; assign y = ghost; endmodule", "undeclared signal"},
+		{"undeclared lvalue", "module m(); assign ghost = 1; endmodule", "undeclared lvalue"},
+		{"assign to reg", "module m(); reg r; assign r = 1; endmodule", "continuous assignment to reg"},
+		{"procedural to wire", "module m(); wire w; initial w = 1; endmodule", "procedural assignment to non-reg"},
+		{"port undeclared", "module m(p); endmodule", "no declaration"},
+		{"port no direction", "module m(p); wire p; endmodule", "no direction"},
+		{"unknown module", "module m(); ghost u1(); endmodule", "unknown module"},
+		{"unknown port", "module s(a); input a; endmodule module m(); wire w; s u1(.b(w)); endmodule", "unknown port"},
+		{"positional count", "module s(a); input a; endmodule module m(); wire w; s u1(w, w); endmodule", "positional connection count"},
+		{"sens undeclared", "module m(); reg r; always @(ghost) r = 1; endmodule", "sensitivity list"},
+		{"timing undeclared", "module m(); $setup(a, b, 1); endmodule", "timing check references"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d, err := Parse(c.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			probs := Check(d)
+			found := false
+			for _, p := range probs {
+				if strings.Contains(p.Msg, c.wantMsg) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("problems = %v, want one containing %q", probs, c.wantMsg)
+			}
+		})
+	}
+}
+
+func TestCheckCleanDesign(t *testing.T) {
+	d := MustParse(`
+module dff(clk, d, q);
+  input clk, d;
+  output q;
+  reg q;
+  always @(posedge clk) q <= d;
+endmodule
+module top(clk, din, dout);
+  input clk, din;
+  output dout;
+  wire stage;
+  dff f1(.clk(clk), .d(din), .q(stage));
+  dff f2(.clk(clk), .d(stage), .q(dout));
+endmodule`)
+	if probs := Check(d); len(probs) != 0 {
+		t.Errorf("clean design: %v", probs)
+	}
+}
+
+func TestWalkHelpers(t *testing.T) {
+	d := MustParse(`
+module w(a, b);
+  input a, b;
+  wire y;
+  assign y = (a & b) | (a ? b : ~a);
+endmodule`)
+	a := d.Modules["w"].Items[2].(*Assign)
+	reads := map[string]bool{}
+	ReadSignals(a.RHS, reads)
+	if !reads["a"] || !reads["b"] || len(reads) != 2 {
+		t.Errorf("reads = %v", reads)
+	}
+	count := 0
+	WalkExprs(a.RHS, func(Expr) { count++ })
+	if count < 8 {
+		t.Errorf("WalkExprs visited %d nodes", count)
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	d := MustParse(`
+module x();
+  wire [3:0] v;
+  wire w;
+  assign w = v[2];
+  assign v = {1'b1, 3'b0xz};
+endmodule`)
+	items := d.Modules["x"].Items
+	if s := ExprString(items[2].(*Assign).RHS); s != "v[2]" {
+		t.Errorf("bit select = %s", s)
+	}
+	s := ExprString(items[3].(*Assign).RHS)
+	if !strings.Contains(s, "3'b0xz") {
+		t.Errorf("xz literal = %s", s)
+	}
+}
+
+func TestKeywordsExported(t *testing.T) {
+	kw := Keywords()
+	if !kw["module"] || !kw["endcase"] {
+		t.Errorf("keywords = %v", kw)
+	}
+	kw["module"] = false
+	if !Keywords()["module"] {
+		t.Error("Keywords must return a copy")
+	}
+}
+
+func TestCheckRejectsWideVectors(t *testing.T) {
+	d := MustParse(`
+module w(q);
+  output [99:0] q;
+endmodule`)
+	probs := Check(d)
+	found := false
+	for _, p := range probs {
+		if strings.Contains(p.Msg, "at most 64") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("wide vector not rejected: %v", probs)
+	}
+	// 64 bits exactly is fine.
+	d2 := MustParse(`
+module ok(q);
+  output [63:0] q;
+endmodule`)
+	for _, p := range Check(d2) {
+		if strings.Contains(p.Msg, "at most 64") {
+			t.Errorf("64-bit vector rejected: %v", p)
+		}
+	}
+}

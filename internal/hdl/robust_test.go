@@ -1,0 +1,66 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: the parser must never panic, whatever bytes arrive. Errors
+// are fine; crashes are not — a tool that dies on a rival tool's output is
+// the paper's Section 1 complaint in its purest form.
+
+func TestParseNeverPanicsOnMutations(t *testing.T) {
+	base := `
+module dff(clk, d, q);
+  input clk, d;
+  output q;
+  reg q;
+  always @(posedge clk) q <= d;
+endmodule
+module top(o);
+  output o;
+  wire m;
+  dff u(.clk(m), .d(m), .q(o));
+  initial begin
+    if (m) $display("x=%d", m);
+    case (m) 1'b1: $finish; default: $stop; endcase
+  end
+endmodule`
+	f := func(pos uint16, b byte) bool {
+		mut := []byte(base)
+		mut[int(pos)%len(mut)] = b
+		_, _ = Parse(string(mut)) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNeverPanicsOnTruncations(t *testing.T) {
+	base := `module m(a); input a; wire w; assign w = a ? 4'hbeef : {a, ~a}; endmodule`
+	for i := 0; i <= len(base); i++ {
+		_, _ = Parse(base[:i])
+	}
+}
+
+func TestParseNeverPanicsOnRandomTokens(t *testing.T) {
+	tokens := []string{
+		"module", "endmodule", "begin", "end", "always", "@", "(", ")",
+		"posedge", ";", "=", "<=", "#", "5", "4'bxz01", "\\esc ", "$task",
+		"{", "}", "[", "]", "?", ":", "\"str\"", "case", "endcase", "if",
+	}
+	f := func(picks []uint8) bool {
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(tokens[int(p)%len(tokens)])
+			b.WriteByte(' ')
+		}
+		_, _ = Parse(b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,302 @@
+package hdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cadinterop/internal/naming"
+)
+
+// VHDL emission — the §3.3 model-translation scenario made concrete:
+// "'in' and 'out' are valid Verilog HDL identifiers ... that are reserved
+// keywords in VHDL. Even if a translation tool can rename Verilog
+// identifiers so that VHDL syntax errors are avoided, the identifier names
+// will no longer match between models, and simulation analysis scripts may
+// need to be modified." EmitVHDL performs exactly that translation and
+// returns the rename map so the script damage is measurable.
+
+// VHDLResult is the outcome of a module translation.
+type VHDLResult struct {
+	Source string
+	// Renames maps original Verilog identifiers to their VHDL-legal forms —
+	// every entry is a potential broken analysis script.
+	Renames map[string]string
+}
+
+// EmitVHDL translates one module of the synthesizable subset
+// (declarations, continuous assignments, single-edge clocked always blocks
+// with non-blocking assignments) into VHDL-93. Unsupported constructs
+// return an error naming the item, the way real translators bail.
+func EmitVHDL(d *Design, top string) (*VHDLResult, error) {
+	m, ok := d.Module(top)
+	if !ok {
+		return nil, fmt.Errorf("%w: no module %q", ErrSyntax, top)
+	}
+	sigs := Signals(m)
+
+	// Build the identifier rename map over every name in the module.
+	names := make([]string, 0, len(sigs)+1)
+	for n := range sigs {
+		names = append(names, naming.UnescapeVerilog(n))
+	}
+	names = append(names, top)
+	sort.Strings(names)
+	renames, err := naming.RenameForVHDL(names)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	vname := func(n string) string {
+		raw := naming.UnescapeVerilog(n)
+		if r, ok := renames[raw]; ok {
+			return r
+		}
+		return raw
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "library ieee;\nuse ieee.std_logic_1164.all;\n\n")
+	fmt.Fprintf(&b, "entity %s is\n  port (\n", vname(top))
+	var portLines []string
+	for _, p := range m.Ports {
+		si := sigs[p]
+		dir := "in"
+		switch si.Dir {
+		case DeclOutput:
+			dir = "out"
+		case DeclInout:
+			dir = "inout"
+		}
+		typ := "std_logic"
+		if si.Width > 1 {
+			typ = fmt.Sprintf("std_logic_vector(%d downto %d)", si.MSB, si.LSB)
+		}
+		portLines = append(portLines, fmt.Sprintf("    %s : %s %s", vname(p), dir, typ))
+	}
+	b.WriteString(strings.Join(portLines, ";\n"))
+	fmt.Fprintf(&b, "\n  );\nend entity %s;\n\n", vname(top))
+	fmt.Fprintf(&b, "architecture rtl of %s is\n", vname(top))
+	// Internal signals.
+	internal := make([]string, 0, len(sigs))
+	for n, si := range sigs {
+		if !si.IsPort {
+			internal = append(internal, n)
+		}
+	}
+	sort.Strings(internal)
+	for _, n := range internal {
+		si := sigs[n]
+		typ := "std_logic"
+		if si.Width > 1 {
+			typ = fmt.Sprintf("std_logic_vector(%d downto %d)", si.MSB, si.LSB)
+		}
+		fmt.Fprintf(&b, "  signal %s : %s;\n", vname(n), typ)
+	}
+	fmt.Fprintf(&b, "begin\n")
+
+	procN := 0
+	for _, item := range m.Items {
+		switch it := item.(type) {
+		case *Decl:
+			// handled above
+		case *Assign:
+			rhs, err := vhdlExpr(it.RHS, sigs, vname)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&b, "  %s <= %s;\n", vname(it.LHS.Name), rhs)
+		case *Always:
+			if err := vhdlAlways(&b, it, sigs, vname, &procN); err != nil {
+				return nil, err
+			}
+		case *Initial:
+			// Initial blocks have no synthesis/VHDL-structural meaning.
+		default:
+			return nil, fmt.Errorf("%w: cannot translate %T to VHDL", ErrSyntax, item)
+		}
+	}
+	fmt.Fprintf(&b, "end architecture rtl;\n")
+	return &VHDLResult{Source: b.String(), Renames: renames}, nil
+}
+
+func vhdlAlways(b *strings.Builder, a *Always, sigs map[string]*SignalInfo, vname func(string) string, procN *int) error {
+	edges := 0
+	var clk string
+	var neg bool
+	for _, s := range a.Sens.Items {
+		if s.Edge != EdgeAny {
+			edges++
+			clk = s.Signal
+			neg = s.Edge == EdgeNeg
+		}
+	}
+	if edges != 1 {
+		return fmt.Errorf("%w: only single-edge clocked always blocks translate", ErrSyntax)
+	}
+	*procN++
+	fmt.Fprintf(b, "  p%d : process (%s)\n  begin\n", *procN, vname(clk))
+	edgeFn := "rising_edge"
+	if neg {
+		edgeFn = "falling_edge"
+	}
+	fmt.Fprintf(b, "    if %s(%s) then\n", edgeFn, vname(clk))
+	if err := vhdlStmt(b, a.Body, sigs, vname, "      "); err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "    end if;\n  end process;\n")
+	return nil
+}
+
+func vhdlStmt(b *strings.Builder, s Stmt, sigs map[string]*SignalInfo, vname func(string) string, indent string) error {
+	switch st := s.(type) {
+	case *Block:
+		for _, sub := range st.Stmts {
+			if err := vhdlStmt(b, sub, sigs, vname, indent); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *AssignStmt:
+		if st.Delay > 0 {
+			return fmt.Errorf("%w: intra-assignment delays do not translate to VHDL", ErrSyntax)
+		}
+		rhs, err := vhdlExpr(st.RHS, sigs, vname)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "%s%s <= %s;\n", indent, vname(st.LHS.Name), rhs)
+		return nil
+	case *If:
+		cond, err := vhdlCond(st.Cond, sigs, vname)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "%sif %s then\n", indent, cond)
+		if err := vhdlStmt(b, st.Then, sigs, vname, indent+"  "); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			fmt.Fprintf(b, "%selse\n", indent)
+			if err := vhdlStmt(b, st.Else, sigs, vname, indent+"  "); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(b, "%send if;\n", indent)
+		return nil
+	default:
+		return fmt.Errorf("%w: statement %T does not translate to VHDL", ErrSyntax, s)
+	}
+}
+
+// vhdlCond renders a boolean context (VHDL needs explicit comparisons).
+func vhdlCond(e Expr, sigs map[string]*SignalInfo, vname func(string) string) (string, error) {
+	switch x := e.(type) {
+	case *Binary:
+		if x.Op == "==" || x.Op == "!=" {
+			l, err := vhdlExpr(x.L, sigs, vname)
+			if err != nil {
+				return "", err
+			}
+			r, err := vhdlExpr(x.R, sigs, vname)
+			if err != nil {
+				return "", err
+			}
+			op := "="
+			if x.Op == "!=" {
+				op = "/="
+			}
+			return fmt.Sprintf("%s %s %s", l, op, r), nil
+		}
+	case *Unary:
+		if x.Op == "!" || x.Op == "~" {
+			inner, err := vhdlCond(x.X, sigs, vname)
+			if err != nil {
+				return "", err
+			}
+			return "not (" + inner + ")", nil
+		}
+	}
+	// Scalar truthiness: sig = '1'.
+	s, err := vhdlExpr(e, sigs, vname)
+	if err != nil {
+		return "", err
+	}
+	return s + " = '1'", nil
+}
+
+func vhdlExpr(e Expr, sigs map[string]*SignalInfo, vname func(string) string) (string, error) {
+	switch x := e.(type) {
+	case *Ident:
+		out := vname(x.Name)
+		if x.Index != nil {
+			idx, ok := constOf(x.Index)
+			if !ok {
+				return "", fmt.Errorf("%w: non-constant index does not translate", ErrSyntax)
+			}
+			out = fmt.Sprintf("%s(%d)", out, idx)
+		}
+		if x.HasPart {
+			out = fmt.Sprintf("%s(%d downto %d)", out, x.PartMSB, x.PartLSB)
+		}
+		return out, nil
+	case *Number:
+		if x.XZ != 0 {
+			return "", fmt.Errorf("%w: x/z literals do not translate", ErrSyntax)
+		}
+		if x.Width == 1 {
+			return fmt.Sprintf("'%d'", x.Val&1), nil
+		}
+		bits := make([]byte, x.Width)
+		for i := 0; i < x.Width; i++ {
+			bits[x.Width-1-i] = byte('0' + (x.Val >> uint(i) & 1))
+		}
+		return `"` + string(bits) + `"`, nil
+	case *Unary:
+		inner, err := vhdlExpr(x.X, sigs, vname)
+		if err != nil {
+			return "", err
+		}
+		switch x.Op {
+		case "~", "!":
+			return "not (" + inner + ")", nil
+		}
+		return "", fmt.Errorf("%w: unary %q does not translate", ErrSyntax, x.Op)
+	case *Binary:
+		l, err := vhdlExpr(x.L, sigs, vname)
+		if err != nil {
+			return "", err
+		}
+		r, err := vhdlExpr(x.R, sigs, vname)
+		if err != nil {
+			return "", err
+		}
+		var op string
+		switch x.Op {
+		case "&":
+			op = "and"
+		case "|":
+			op = "or"
+		case "^":
+			op = "xor"
+		default:
+			return "", fmt.Errorf("%w: binary %q does not translate", ErrSyntax, x.Op)
+		}
+		return fmt.Sprintf("(%s %s %s)", l, op, r), nil
+	case *Ternary:
+		cond, err := vhdlCond(x.Cond, sigs, vname)
+		if err != nil {
+			return "", err
+		}
+		tv, err := vhdlExpr(x.Then, sigs, vname)
+		if err != nil {
+			return "", err
+		}
+		ev, err := vhdlExpr(x.Else, sigs, vname)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s when %s else %s)", tv, cond, ev), nil
+	default:
+		return "", fmt.Errorf("%w: expression %T does not translate", ErrSyntax, e)
+	}
+}

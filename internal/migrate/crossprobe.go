@@ -1,0 +1,74 @@
+package migrate
+
+import (
+	"cadinterop/internal/geom"
+)
+
+// CrossProbe maps objects between the source and migrated databases.
+// Exar's whole goal in Section 2 was to "maintain their schematic front end
+// in Viewlogic, and at the same time use several of the Cadence back end
+// capabilities, like crossprobing" — which only works if something can
+// translate object identity across the migration. Instance names survive
+// migration unchanged; nets map through the recorded renames; coordinates
+// map through the pin-pitch scaling.
+type CrossProbe struct {
+	netFwd   map[string]string // source net name -> target
+	netRev   map[string]string // target net name -> source
+	num, den int               // coordinate scale: target = source*num/den
+}
+
+// NewCrossProbe builds the mapping from a completed migration's report and
+// options.
+func NewCrossProbe(rep *Report, opts Options) *CrossProbe {
+	cp := &CrossProbe{
+		netFwd: make(map[string]string, len(rep.NetRenames)),
+		netRev: make(map[string]string, len(rep.NetRenames)),
+		num:    opts.To.PinSpacing,
+		den:    opts.From.PinSpacing,
+	}
+	if opts.DisableScaling || cp.num == 0 || cp.den == 0 {
+		cp.num, cp.den = 1, 1
+	}
+	for src, dst := range rep.NetRenames {
+		cp.netFwd[src] = dst
+		cp.netRev[dst] = src
+	}
+	return cp
+}
+
+// TargetNet maps a source net name into the migrated database (identity
+// when the migration did not rename it).
+func (cp *CrossProbe) TargetNet(src string) string {
+	if dst, ok := cp.netFwd[src]; ok {
+		return dst
+	}
+	return src
+}
+
+// SourceNet maps a migrated net name back to the source database.
+func (cp *CrossProbe) SourceNet(dst string) string {
+	if src, ok := cp.netRev[dst]; ok {
+		return src
+	}
+	return dst
+}
+
+// Instance maps an instance name across the migration. Component
+// replacement preserves instance identity, so this is the identity map —
+// exposed as a method so callers don't bake that assumption in.
+func (cp *CrossProbe) Instance(name string) string { return name }
+
+// TargetPoint maps a source-sheet coordinate into the migrated sheet.
+func (cp *CrossProbe) TargetPoint(p geom.Point) geom.Point {
+	x, _ := scaleCoord(p.X, cp.num, cp.den)
+	y, _ := scaleCoord(p.Y, cp.num, cp.den)
+	return geom.Pt(x, y)
+}
+
+// SourcePoint maps a migrated-sheet coordinate back; exact reports whether
+// the reverse mapping is lossless (it is not when the scale rounded).
+func (cp *CrossProbe) SourcePoint(p geom.Point) (geom.Point, bool) {
+	x, ex := scaleCoord(p.X, cp.den, cp.num)
+	y, ey := scaleCoord(p.Y, cp.den, cp.num)
+	return geom.Pt(x, y), ex && ey
+}

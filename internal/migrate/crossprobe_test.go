@@ -1,0 +1,64 @@
+package migrate
+
+import (
+	"testing"
+
+	"cadinterop/internal/geom"
+)
+
+func TestCrossProbeNets(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	opts := stdOptions(libs, maps)
+	_, rep, err := Migrate(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := NewCrossProbe(rep, opts)
+	// Renamed nets map both ways.
+	if cp.TargetNet("A0") != "A<0>" {
+		t.Errorf("TargetNet(A0) = %q", cp.TargetNet("A0"))
+	}
+	if cp.SourceNet("A<0>") != "A0" {
+		t.Errorf("SourceNet(A<0>) = %q", cp.SourceNet("A<0>"))
+	}
+	if cp.TargetNet("VDD") != "vdd!" || cp.SourceNet("vdd!") != "VDD" {
+		t.Error("global mapping broken")
+	}
+	// Unrenamed nets pass through.
+	if cp.TargetNet("net1") != "net1" || cp.SourceNet("net1") != "net1" {
+		t.Error("identity mapping broken")
+	}
+	// Instances are identity.
+	if cp.Instance("u1") != "u1" {
+		t.Error("instance mapping broken")
+	}
+	// Paper dialects share pin pitch: coordinates are identity.
+	if cp.TargetPoint(geom.Pt(10, 20)) != geom.Pt(10, 20) {
+		t.Error("coordinate mapping should be identity at equal pitch")
+	}
+}
+
+func TestCrossProbeScaledCoordinates(t *testing.T) {
+	rep := &Report{NetRenames: map[string]string{}}
+	opts := Options{}
+	opts.From.PinSpacing = 2
+	opts.To.PinSpacing = 4
+	cp := NewCrossProbe(rep, opts)
+	if got := cp.TargetPoint(geom.Pt(3, 5)); got != geom.Pt(6, 10) {
+		t.Errorf("TargetPoint = %v", got)
+	}
+	back, exact := cp.SourcePoint(geom.Pt(6, 10))
+	if !exact || back != geom.Pt(3, 5) {
+		t.Errorf("SourcePoint = %v %v", back, exact)
+	}
+	// Odd target coordinates cannot come from the source grid exactly.
+	if _, exact := cp.SourcePoint(geom.Pt(7, 10)); exact {
+		t.Error("odd coordinate should be inexact")
+	}
+	// DisableScaling forces identity.
+	opts.DisableScaling = true
+	cp2 := NewCrossProbe(rep, opts)
+	if cp2.TargetPoint(geom.Pt(3, 5)) != geom.Pt(3, 5) {
+		t.Error("DisableScaling should give identity coordinates")
+	}
+}

@@ -1,0 +1,658 @@
+package migrate
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+	"cadinterop/internal/schematic"
+)
+
+// exarFixture builds a miniature version of the paper's Exar migration:
+// a vl-dialect design using source-library components, with condensed and
+// postfix bus labels, an implicit cross-page net, a global, and an analog
+// component carrying a non-standard "spice" property. The returned target
+// libraries hold the replacement components (different pin names AND
+// different pin positions, so rip-up/reroute is exercised).
+func exarFixture(t testing.TB) (*schematic.Design, []*schematic.Library, []SymbolMap) {
+	t.Helper()
+	d := schematic.NewDesign("exar", geom.GridTenth)
+	d.Globals = []string{"VDD"}
+
+	vlstd := d.EnsureLibrary("vlstd")
+	nand2 := &schematic.Symbol{
+		Name: "nand2", View: "sym", Body: geom.R(0, 0, 4, 4),
+		Pins: []schematic.SymbolPin{
+			{Name: "A", Pos: geom.Pt(0, 0), Dir: netlist.Input},
+			{Name: "B", Pos: geom.Pt(0, 2), Dir: netlist.Input},
+			{Name: "Y", Pos: geom.Pt(4, 0), Dir: netlist.Output},
+		},
+	}
+	res := &schematic.Symbol{
+		Name: "res", View: "sym", Body: geom.R(0, 0, 2, 2),
+		Pins: []schematic.SymbolPin{
+			{Name: "P", Pos: geom.Pt(0, 0), Dir: netlist.Inout},
+			{Name: "N", Pos: geom.Pt(0, 2), Dir: netlist.Inout},
+		},
+	}
+	if err := vlstd.AddSymbol(nand2); err != nil {
+		t.Fatal(err)
+	}
+	if err := vlstd.AddSymbol(res); err != nil {
+		t.Fatal(err)
+	}
+
+	c := d.MustCell("top")
+	c.Ports = []netlist.Port{
+		{Name: "in", Dir: netlist.Input},
+		{Name: "out", Dir: netlist.Output},
+	}
+	p1 := c.AddPage(geom.R(0, 0, 110, 85))
+	// u1: nand2 at (10,10); pins A(10,10) B(10,12) Y(14,10).
+	p1.AddInstance(&schematic.Instance{
+		Name: "u1", Sym: schematic.SymbolKey{Lib: "vlstd", Name: "nand2", View: "sym"},
+		Placement: geom.Transform{Offset: geom.Pt(10, 10)},
+		Props: []schematic.Property{
+			{Name: "refdes", Value: "U1", Visible: true, Size: 8},
+			{Name: "simfile", Value: "old.dat", Size: 8},
+		},
+	})
+	p1.Wires = append(p1.Wires,
+		&schematic.Wire{Points: []geom.Point{geom.Pt(4, 10), geom.Pt(10, 10)}},  // in -> u1.A
+		&schematic.Wire{Points: []geom.Point{geom.Pt(10, 10), geom.Pt(10, 12)}}, // tie A-B
+		&schematic.Wire{Points: []geom.Point{geom.Pt(14, 10), geom.Pt(24, 10)}}, // u1.Y -> r1.P
+	)
+	p1.Labels = append(p1.Labels,
+		&schematic.Label{Text: "in", At: geom.Pt(4, 10), Size: 8},
+		&schematic.Label{Text: "net1", At: geom.Pt(20, 10), Size: 8},
+	)
+	// r1: analog resistor at (24,10); P(24,10) N(24,12).
+	p1.AddInstance(&schematic.Instance{
+		Name: "r1", Sym: schematic.SymbolKey{Lib: "vlstd", Name: "res", View: "sym"},
+		Placement: geom.Transform{Offset: geom.Pt(24, 10)},
+		Props: []schematic.Property{
+			{Name: "refdes", Value: "R1", Visible: true, Size: 8},
+			{Name: "spice", Value: "W:2.5 L:0.35", Size: 8},
+		},
+	})
+	// r1.N -> cross-page net "xlink" (implicit in vl).
+	p1.Wires = append(p1.Wires,
+		&schematic.Wire{Points: []geom.Point{geom.Pt(24, 12), geom.Pt(24, 14), geom.Pt(30, 14)}})
+	p1.Labels = append(p1.Labels, &schematic.Label{Text: "xlink", At: geom.Pt(30, 14), Size: 8})
+	// A condensed bus bit "A0" (bus A declared by a range label) plus the
+	// range itself with a postfix marker elsewhere.
+	p1.AddInstance(&schematic.Instance{
+		Name: "u2", Sym: schematic.SymbolKey{Lib: "vlstd", Name: "nand2", View: "sym"},
+		Placement: geom.Transform{Offset: geom.Pt(50, 30)},
+	})
+	p1.Wires = append(p1.Wires,
+		&schematic.Wire{Points: []geom.Point{geom.Pt(44, 30), geom.Pt(50, 30)}}, // A0 -> u2.A
+		&schematic.Wire{Points: []geom.Point{geom.Pt(44, 32), geom.Pt(50, 32)}}, // bus stub on u2.B
+		&schematic.Wire{Points: []geom.Point{geom.Pt(54, 30), geom.Pt(60, 30)}}, // u2.Y out stub
+	)
+	p1.Labels = append(p1.Labels,
+		&schematic.Label{Text: "A0", At: geom.Pt(44, 30), Size: 8},
+		&schematic.Label{Text: "A<0:3>", At: geom.Pt(44, 32), Size: 8},
+		&schematic.Label{Text: "myBus<0:3>-", At: geom.Pt(60, 30), Size: 8},
+	)
+	// Global VDD on u1 via a labelled stub from B pin tie (10,12) upward.
+	p1.Wires = append(p1.Wires,
+		&schematic.Wire{Points: []geom.Point{geom.Pt(70, 10), geom.Pt(74, 10)}})
+	p1.Labels = append(p1.Labels, &schematic.Label{Text: "VDD", At: geom.Pt(70, 10), Size: 8})
+	p1.AddInstance(&schematic.Instance{
+		Name: "u4", Sym: schematic.SymbolKey{Lib: "vlstd", Name: "nand2", View: "sym"},
+		Placement: geom.Transform{Offset: geom.Pt(74, 10)},
+	})
+	p1.Texts = append(p1.Texts, &schematic.Text{S: "EXAR page 1", At: geom.Pt(5, 80), SizePts: 8})
+
+	// Page 2: the other side of "xlink" and the "out" port, plus VDD again.
+	p2 := c.AddPage(geom.R(0, 0, 110, 85))
+	p2.AddInstance(&schematic.Instance{
+		Name: "u3", Sym: schematic.SymbolKey{Lib: "vlstd", Name: "nand2", View: "sym"},
+		Placement: geom.Transform{Offset: geom.Pt(20, 20)},
+	})
+	p2.Wires = append(p2.Wires,
+		&schematic.Wire{Points: []geom.Point{geom.Pt(14, 20), geom.Pt(20, 20)}}, // xlink -> u3.A
+		&schematic.Wire{Points: []geom.Point{geom.Pt(14, 22), geom.Pt(20, 22)}}, // VDD -> u3.B
+		&schematic.Wire{Points: []geom.Point{geom.Pt(24, 20), geom.Pt(30, 20)}}, // u3.Y -> out
+	)
+	p2.Labels = append(p2.Labels,
+		&schematic.Label{Text: "xlink", At: geom.Pt(14, 20), Size: 8},
+		&schematic.Label{Text: "VDD", At: geom.Pt(14, 22), Size: 8},
+		&schematic.Label{Text: "out", At: geom.Pt(30, 20), Size: 8},
+	)
+	d.Top = "top"
+
+	// Target library: same logical parts, different names, pin names and
+	// pin positions (nd2's inputs sit at x=0,y=0/2 like the source, but the
+	// output pin is one unit lower, forcing a reroute; the resistor's pins
+	// are renamed PLUS/MINUS).
+	cdstd := &schematic.Library{Name: "cdstd", Symbols: map[string]*schematic.Symbol{}}
+	nd2 := &schematic.Symbol{
+		Name: "nd2", View: "symbol", Body: geom.R(0, 0, 4, 4),
+		Pins: []schematic.SymbolPin{
+			{Name: "IN1", Pos: geom.Pt(0, 0), Dir: netlist.Input},
+			{Name: "IN2", Pos: geom.Pt(0, 2), Dir: netlist.Input},
+			{Name: "OUT", Pos: geom.Pt(2, 4), Dir: netlist.Output}, // moved diagonally!
+		},
+	}
+	rescd := &schematic.Symbol{
+		Name: "resistor", View: "symbol", Body: geom.R(0, 0, 2, 2),
+		Pins: []schematic.SymbolPin{
+			{Name: "PLUS", Pos: geom.Pt(0, 0), Dir: netlist.Inout},
+			{Name: "MINUS", Pos: geom.Pt(0, 2), Dir: netlist.Inout},
+		},
+	}
+	cdstd.AddSymbol(nd2)
+	cdstd.AddSymbol(rescd)
+
+	maps := []SymbolMap{
+		{
+			From:   schematic.SymbolKey{Lib: "vlstd", Name: "nand2", View: "sym"},
+			To:     schematic.SymbolKey{Lib: "cdstd", Name: "nd2", View: "symbol"},
+			PinMap: map[string]string{"A": "IN1", "B": "IN2", "Y": "OUT"},
+		},
+		{
+			From:   schematic.SymbolKey{Lib: "vlstd", Name: "res", View: "sym"},
+			To:     schematic.SymbolKey{Lib: "cdstd", Name: "resistor", View: "symbol"},
+			PinMap: map[string]string{"P": "PLUS", "N": "MINUS"},
+		},
+	}
+	return d, []*schematic.Library{cdstd}, maps
+}
+
+// stdOptions builds the full Exar migration options.
+func stdOptions(libs []*schematic.Library, maps []SymbolMap) Options {
+	return Options{
+		From:       schematic.VL,
+		To:         schematic.CD,
+		TargetLibs: libs,
+		Symbols:    maps,
+		PropRules: []PropRule{
+			{Action: PropRename, Name: "refdes", NewName: "instName"},
+			{Action: PropDelete, Name: "simfile"},
+			{Action: PropAdd, Name: "view", NewValue: "symbol"},
+		},
+		Callbacks: []Callback{{
+			PropName: "spice",
+			Script: `(define (transform name value)
+			           (map (lambda (p)
+			                  (let ((kv (string-split p ":")))
+			                    (list (string-append "m_" (string-downcase (car kv)))
+			                          (nth 1 kv))))
+			                (string-split value " ")))`,
+		}},
+		GlobalMap: map[string]string{"VDD": "vdd!"},
+	}
+}
+
+func TestMigrateEndToEndVerifiesClean(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	out, rep, err := Migrate(d, stdOptions(libs, maps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Verification) != 0 {
+		for _, diff := range rep.Verification {
+			t.Logf("diff: %s", diff)
+		}
+		t.Fatalf("verification found %d diffs: %s", len(rep.Verification), netlist.Summary(rep.Verification))
+	}
+	if rep.ReplacedInstances != 5 {
+		t.Errorf("ReplacedInstances = %d, want 5", rep.ReplacedInstances)
+	}
+	// Output must conform to the target dialect.
+	if vs := schematic.CD.Check(out); len(vs) != 0 {
+		t.Errorf("migrated design violates CD dialect: %v", vs)
+	}
+	if out.Grid != schematic.CD.Grid {
+		t.Errorf("grid = %v", out.Grid)
+	}
+}
+
+func TestMigrateRipUpReroute(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	_, rep, err := Migrate(d, stdOptions(libs, maps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The nd2 OUT pin moved from (4,0) to (4,2): every connected Y pin
+	// forces a reroute. u1.Y, u2.Y and u3.Y are wired (u4.Y is not).
+	if rep.ReroutedPins != 3 {
+		t.Errorf("ReroutedPins = %d, want 3", rep.ReroutedPins)
+	}
+	if rep.RippedSegments == 0 || rep.AddedSegments == 0 {
+		t.Errorf("rip-up stats: ripped=%d added=%d", rep.RippedSegments, rep.AddedSegments)
+	}
+	if rep.GeometricSimilarity <= 0 || rep.GeometricSimilarity >= 1 {
+		t.Errorf("GeometricSimilarity = %v, want in (0,1)", rep.GeometricSimilarity)
+	}
+}
+
+func TestMigratePropertyRules(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	out, rep, err := Migrate(d, stdOptions(libs, maps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := out.Cells["top"].Pages[0].Instances["u1"]
+	if _, ok := schematic.FindProp(u1.Props, "refdes"); ok {
+		t.Error("refdes survived rename")
+	}
+	p, ok := schematic.FindProp(u1.Props, "instName")
+	if !ok || p.Value != "U1" {
+		t.Errorf("instName = %+v %v", p, ok)
+	}
+	if _, ok := schematic.FindProp(u1.Props, "simfile"); ok {
+		t.Error("simfile survived delete")
+	}
+	if _, ok := schematic.FindProp(u1.Props, "view"); !ok {
+		t.Error("view not added")
+	}
+	if rep.PropChanges == 0 {
+		t.Error("PropChanges not counted")
+	}
+}
+
+func TestMigrateCallbackSplitsAnalogProperty(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	out, rep, err := Migrate(d, stdOptions(libs, maps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := out.Cells["top"].Pages[0].Instances["r1"]
+	if _, ok := schematic.FindProp(r1.Props, "spice"); ok {
+		t.Error("spice property should be consumed by the callback")
+	}
+	w, ok := schematic.FindProp(r1.Props, "m_w")
+	if !ok || w.Value != "2.5" {
+		t.Errorf("m_w = %+v %v", w, ok)
+	}
+	l, ok := schematic.FindProp(r1.Props, "m_l")
+	if !ok || l.Value != "0.35" {
+		t.Errorf("m_l = %+v %v", l, ok)
+	}
+	if rep.CallbackRuns != 1 || rep.CallbackProps != 2 {
+		t.Errorf("callback stats: runs=%d props=%d", rep.CallbackRuns, rep.CallbackProps)
+	}
+}
+
+func TestMigrateBusTranslation(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	out, rep, err := Migrate(d, stdOptions(libs, maps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, l := range out.Cells["top"].Pages[0].Labels {
+		texts = append(texts, l.Text)
+	}
+	joined := strings.Join(texts, " ")
+	if strings.Contains(joined, "A0") && !strings.Contains(joined, "A<0>") {
+		t.Errorf("condensed bit not expanded: %v", texts)
+	}
+	if strings.Contains(joined, "myBus<0:3>-") {
+		t.Errorf("postfix indicator survived: %v", texts)
+	}
+	if !strings.Contains(joined, "myBus_n<0:3>") {
+		t.Errorf("postfix not folded: %v", texts)
+	}
+	if rep.BusRenames < 2 {
+		t.Errorf("BusRenames = %d", rep.BusRenames)
+	}
+	if rep.NetRenames["A0"] != "A<0>" {
+		t.Errorf("NetRenames[A0] = %q", rep.NetRenames["A0"])
+	}
+}
+
+func TestMigrateGlobals(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	out, rep, err := Migrate(d, stdOptions(libs, maps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Globals) != 1 || out.Globals[0] != "vdd!" {
+		t.Errorf("Globals = %v", out.Globals)
+	}
+	if rep.GlobalRenames != 1 {
+		t.Errorf("GlobalRenames = %d", rep.GlobalRenames)
+	}
+	for _, pg := range out.Cells["top"].Pages {
+		for _, l := range pg.Labels {
+			if l.Text == "VDD" {
+				t.Error("VDD label not renamed")
+			}
+		}
+	}
+}
+
+func TestMigrateConnectorsInserted(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	out, rep, err := Migrate(d, stdOptions(libs, maps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ConnectorsAdded == 0 {
+		t.Fatal("no connectors added")
+	}
+	// Hierarchy connectors for both ports.
+	kinds := map[schematic.ConnKind]int{}
+	names := map[string]bool{}
+	for _, pg := range out.Cells["top"].Pages {
+		for _, cn := range pg.Conns {
+			kinds[cn.Kind]++
+			names[cn.Name] = true
+		}
+	}
+	if !names["in"] || !names["out"] {
+		t.Errorf("hier connectors missing: %v", names)
+	}
+	// Off-page connectors on both pages for the cross-page net.
+	if kinds[schematic.ConnOffPage] < 2 {
+		t.Errorf("off-page connectors = %d, want >= 2", kinds[schematic.ConnOffPage])
+	}
+	if !names["xlink"] {
+		t.Errorf("xlink connector missing: %v", names)
+	}
+}
+
+func TestMigrateCosmetics(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	out, rep, err := Migrate(d, stdOptions(libs, maps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8pt VL text scales to 10pt CD text.
+	tx := out.Cells["top"].Pages[0].Texts[0]
+	if tx.SizePts != 10 {
+		t.Errorf("text size = %d, want 10", tx.SizePts)
+	}
+	if tx.BaselineOffset != schematic.CD.Font.BaselineOffset {
+		t.Errorf("baseline offset = %d", tx.BaselineOffset)
+	}
+	if rep.TextAdjusted == 0 {
+		t.Error("TextAdjusted not counted")
+	}
+}
+
+func TestMigrateUnmappedSymbol(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	opts := stdOptions(libs, maps[:1]) // drop the resistor map
+	_, _, err := Migrate(d, opts)
+	if !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("error = %v, want ErrUnmapped", err)
+	}
+	opts.KeepUnmapped = true
+	opts.SkipVerify = true // the unmapped instance has no symbol in the output
+	_, rep, err := Migrate(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.UnmappedInstances) != 1 || rep.UnmappedInstances[0] != "top/r1" {
+		t.Errorf("UnmappedInstances = %v", rep.UnmappedInstances)
+	}
+}
+
+func TestMigrateSourceUnmodified(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	before := d.Stats()
+	beforeLabels := d.Cells["top"].Pages[0].Labels[0].Text
+	if _, _, err := Migrate(d, stdOptions(libs, maps)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats() != before {
+		t.Error("source design mutated")
+	}
+	if d.Cells["top"].Pages[0].Labels[0].Text != beforeLabels {
+		t.Error("source labels mutated")
+	}
+	if d.Globals[0] != "VDD" {
+		t.Error("source globals mutated")
+	}
+}
+
+// Ablations: disabling each translation rule must surface verification
+// diffs (or dialect violations), proving each rule is load-bearing. This is
+// the E2 experiment in miniature.
+func TestMigrateAblations(t *testing.T) {
+	t.Run("bus-translation", func(t *testing.T) {
+		d, libs, maps := exarFixture(t)
+		opts := stdOptions(libs, maps)
+		opts.DisableBusXlate = true
+		_, rep, err := Migrate(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Verification) == 0 {
+			t.Error("disabling bus translation should break verification: the condensed A0 bit silently becomes a different net")
+		}
+	})
+	t.Run("connectors", func(t *testing.T) {
+		d, libs, maps := exarFixture(t)
+		opts := stdOptions(libs, maps)
+		opts.DisableConnectors = true
+		out, rep, err := Migrate(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Verification) == 0 {
+			t.Error("without off-page connectors the cross-page net must split under the strict dialect")
+		}
+		if vs := schematic.CD.Check(out); len(vs) == 0 {
+			t.Error("CD.Check should flag the missing connectors")
+		}
+	})
+	t.Run("globals", func(t *testing.T) {
+		d, libs, maps := exarFixture(t)
+		opts := stdOptions(libs, maps)
+		opts.DisableGlobals = true
+		out, _, err := Migrate(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The VDD labels survive untranslated.
+		found := false
+		for _, pg := range out.Cells["top"].Pages {
+			for _, l := range pg.Labels {
+				if l.Text == "VDD" {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Error("globals should be untouched when disabled")
+		}
+	})
+	t.Run("cosmetics", func(t *testing.T) {
+		d, libs, maps := exarFixture(t)
+		opts := stdOptions(libs, maps)
+		opts.DisableCosmetics = true
+		out, rep, err := Migrate(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TextAdjusted != 0 {
+			t.Error("TextAdjusted should be zero when cosmetics disabled")
+		}
+		if out.Cells["top"].Pages[0].Texts[0].SizePts != 8 {
+			t.Error("text size should be unchanged")
+		}
+	})
+	t.Run("props", func(t *testing.T) {
+		d, libs, maps := exarFixture(t)
+		opts := stdOptions(libs, maps)
+		opts.DisableProps = true
+		out, _, err := Migrate(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u1 := out.Cells["top"].Pages[0].Instances["u1"]
+		if _, ok := schematic.FindProp(u1.Props, "refdes"); !ok {
+			t.Error("refdes should survive when prop rules disabled")
+		}
+	})
+}
+
+func TestMigrateCallbackErrors(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	opts := stdOptions(libs, maps)
+	opts.Callbacks = []Callback{{PropName: "spice", Script: "(define x 1)"}} // no transform
+	if _, _, err := Migrate(d, opts); !errors.Is(err, ErrCallback) {
+		t.Errorf("missing transform: %v", err)
+	}
+	opts.Callbacks = []Callback{{PropName: "spice", Script: "((("}}
+	if _, _, err := Migrate(d, opts); !errors.Is(err, ErrCallback) {
+		t.Errorf("parse error: %v", err)
+	}
+	opts.Callbacks = []Callback{{PropName: "spice",
+		Script: `(define (transform n v) 42)`}} // wrong return type
+	if _, _, err := Migrate(d, opts); !errors.Is(err, ErrCallback) {
+		t.Errorf("bad return: %v", err)
+	}
+}
+
+func TestMigrateCallbackOnSymbolFilter(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	opts := stdOptions(libs, maps)
+	// Restrict to the nand2 symbol: the resistor's spice prop must survive.
+	opts.Callbacks[0].OnSymbol = schematic.SymbolKey{Lib: "vlstd", Name: "nand2", View: "sym"}
+	out, rep, err := Migrate(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := out.Cells["top"].Pages[0].Instances["r1"]
+	if _, ok := schematic.FindProp(r1.Props, "spice"); !ok {
+		t.Error("spice should survive: callback filtered to nand2")
+	}
+	if rep.CallbackRuns != 0 {
+		t.Errorf("CallbackRuns = %d, want 0", rep.CallbackRuns)
+	}
+}
+
+func TestMigrateCallbackHierarchyAccess(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	opts := stdOptions(libs, maps)
+	opts.Callbacks = []Callback{{
+		PropName: "spice",
+		Script: `(define (transform name value)
+		           (list (list "origin"
+		                       (string-append (design-name) "/" (cell-name) "/" (inst-name)))))`,
+	}}
+	out, _, err := Migrate(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := out.Cells["top"].Pages[0].Instances["r1"]
+	p, ok := schematic.FindProp(r1.Props, "origin")
+	if !ok || p.Value != "exar/top/r1" {
+		t.Errorf("origin = %+v %v", p, ok)
+	}
+}
+
+func TestJogHelpers(t *testing.T) {
+	// Axis-aligned: single segment, no corner.
+	pts := appendJog([]geom.Point{geom.Pt(0, 0), geom.Pt(5, 0)}, geom.Pt(5, 0), geom.Pt(9, 0))
+	if len(pts) != 3 || pts[2] != geom.Pt(9, 0) {
+		t.Errorf("appendJog aligned = %v", pts)
+	}
+	// Diagonal: corner inserted.
+	pts = appendJog([]geom.Point{geom.Pt(0, 0), geom.Pt(5, 0)}, geom.Pt(5, 0), geom.Pt(7, 3))
+	if len(pts) != 4 || pts[2] != geom.Pt(7, 0) || pts[3] != geom.Pt(7, 3) {
+		t.Errorf("appendJog diagonal = %v", pts)
+	}
+	pts = prependJog([]geom.Point{geom.Pt(5, 0), geom.Pt(9, 0)}, geom.Pt(5, 0), geom.Pt(3, 2))
+	if len(pts) != 4 || pts[0] != geom.Pt(3, 2) || pts[1] != geom.Pt(3, 0) {
+		t.Errorf("prependJog diagonal = %v", pts)
+	}
+	if jogCount(geom.Pt(0, 0), geom.Pt(0, 5)) != 1 || jogCount(geom.Pt(0, 0), geom.Pt(2, 5)) != 2 {
+		t.Error("jogCount wrong")
+	}
+}
+
+func TestScaleCoord(t *testing.T) {
+	// Identity.
+	if v, exact := scaleCoord(7, 2, 2); v != 7 || !exact {
+		t.Errorf("identity = %d %v", v, exact)
+	}
+	// Double.
+	if v, exact := scaleCoord(7, 4, 2); v != 14 || !exact {
+		t.Errorf("double = %d %v", v, exact)
+	}
+	// Halve with rounding.
+	if v, exact := scaleCoord(7, 1, 2); v != 4 || exact {
+		t.Errorf("halve = %d %v", v, exact)
+	}
+	if v, _ := scaleCoord(-7, 1, 2); v != -4 {
+		t.Errorf("negative halve = %d", v)
+	}
+}
+
+func TestMigrateScalingStage(t *testing.T) {
+	// Use a synthetic target dialect with 4-unit pin pitch to force real
+	// coordinate scaling (the paper's dialects share pitch 2, making the
+	// logical transform the identity).
+	d, libs, maps := exarFixture(t)
+	opts := stdOptions(libs, maps)
+	wide := schematic.CD
+	wide.PinSpacing = 4
+	opts.To = wide
+	// Target symbols must sit on the wider pitch.
+	for _, s := range libs[0].Symbols {
+		for i := range s.Pins {
+			s.Pins[i].Pos = s.Pins[i].Pos.Scale(2)
+		}
+		s.Body = geom.R(s.Body.Min.X*2, s.Body.Min.Y*2, s.Body.Max.X*2, s.Body.Max.Y*2)
+	}
+	out, rep, err := Migrate(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Verification) != 0 {
+		t.Fatalf("scaled migration verification: %s", netlist.Summary(rep.Verification))
+	}
+	// All coordinates doubled: u1 placed at (20,20).
+	u1 := out.Cells["top"].Pages[0].Instances["u1"]
+	if u1.Placement.Offset != geom.Pt(20, 20) {
+		t.Errorf("u1 offset = %v, want (20,20)", u1.Placement.Offset)
+	}
+	if rep.InexactPoints != 0 {
+		t.Errorf("InexactPoints = %d for a 2x scale", rep.InexactPoints)
+	}
+}
+
+// TestStructuralFallbackSeparatesNamingFromDamage: the fingerprint second
+// opinion distinguishes "only names broke" from "wires broke".
+func TestStructuralFallbackSeparatesNamingFromDamage(t *testing.T) {
+	// Globals ablation on a design where the global rename matters for
+	// names only: force diffs via bus ablation (pure naming fallout —
+	// but bus splits DO change connectivity grouping, so check the other
+	// direction too).
+	d, libs, maps := exarFixture(t)
+	opts := stdOptions(libs, maps)
+	opts.DisableConnectors = true // severs cross-page nets: real damage
+	_, rep, err := Migrate(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Verification) == 0 {
+		t.Fatal("expected verification diffs")
+	}
+	if rep.StructuralMatch == nil {
+		t.Fatal("StructuralMatch not computed")
+	}
+	if *rep.StructuralMatch {
+		t.Error("severed cross-page nets should break structural equivalence")
+	}
+
+	// Clean migration: no diffs, no second opinion needed.
+	d2, libs2, maps2 := exarFixture(t)
+	_, rep2, err := Migrate(d2, stdOptions(libs2, maps2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.StructuralMatch != nil {
+		t.Error("clean migration should not compute the fallback")
+	}
+}

@@ -1,0 +1,386 @@
+// Package naming implements the identifier interoperability machinery of
+// the paper's Section 3.3: significance-limited name truncation and the
+// aliasing it causes, escaped-identifier interpretation differences,
+// Verilog/VHDL keyword collisions and safe renaming, and hierarchy
+// flattening with back-mapping to the original hierarchical names.
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrCollision reports an unresolvable name collision.
+var ErrCollision = errors.New("naming: collision")
+
+// Truncate returns the significant prefix of name under a tool that honors
+// only limit characters ("several PC based simulators consider only the
+// first eight characters as significant"). limit <= 0 means unlimited.
+func Truncate(name string, limit int) string {
+	if limit <= 0 || len(name) <= limit {
+		return name
+	}
+	return name[:limit]
+}
+
+// AliasGroup is a set of distinct names a significance-limited tool treats
+// as the same identifier.
+type AliasGroup struct {
+	Truncated string
+	Names     []string
+}
+
+// FindAliases reports every group of names that collide after truncation —
+// the paper's cntr_reset1/cntr_reset2 both reading as cntr_res.
+func FindAliases(names []string, limit int) []AliasGroup {
+	if limit <= 0 {
+		return nil
+	}
+	byTrunc := make(map[string][]string)
+	for _, n := range names {
+		t := Truncate(n, limit)
+		byTrunc[t] = append(byTrunc[t], n)
+	}
+	var out []AliasGroup
+	for t, group := range byTrunc {
+		uniq := dedup(group)
+		if len(uniq) > 1 {
+			sort.Strings(uniq)
+			out = append(out, AliasGroup{Truncated: t, Names: uniq})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Truncated < out[j].Truncated })
+	return out
+}
+
+func dedup(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DisambiguateTruncated produces a rename map that keeps every name within
+// limit characters while restoring uniqueness, by reserving a numeric
+// suffix inside the budget. It fails when the namespace is too dense.
+func DisambiguateTruncated(names []string, limit int) (map[string]string, error) {
+	out := make(map[string]string, len(names))
+	used := make(map[string]bool)
+	for _, n := range dedup(names) {
+		t := Truncate(n, limit)
+		if !used[t] {
+			used[t] = true
+			out[n] = t
+			continue
+		}
+		resolved := false
+		for i := 1; i < 10000; i++ {
+			suffix := fmt.Sprintf("%d", i)
+			budget := limit - len(suffix)
+			if budget < 1 {
+				break
+			}
+			cand := Truncate(n, budget) + suffix
+			if !used[cand] {
+				used[cand] = true
+				out[n] = cand
+				resolved = true
+				break
+			}
+		}
+		if !resolved {
+			return nil, fmt.Errorf("%w: cannot fit %q uniquely in %d significant characters", ErrCollision, n, limit)
+		}
+	}
+	return out, nil
+}
+
+// vhdlKeywords is the VHDL-87/93 reserved word list (lowercase). The
+// paper's example: "in" and "out" are valid Verilog identifiers that are
+// reserved in VHDL.
+var vhdlKeywords = map[string]bool{
+	"abs": true, "access": true, "after": true, "alias": true, "all": true,
+	"and": true, "architecture": true, "array": true, "assert": true,
+	"attribute": true, "begin": true, "block": true, "body": true,
+	"buffer": true, "bus": true, "case": true, "component": true,
+	"configuration": true, "constant": true, "disconnect": true,
+	"downto": true, "else": true, "elsif": true, "end": true, "entity": true,
+	"exit": true, "file": true, "for": true, "function": true,
+	"generate": true, "generic": true, "group": true, "guarded": true,
+	"if": true, "impure": true, "in": true, "inertial": true, "inout": true,
+	"is": true, "label": true, "library": true, "linkage": true,
+	"literal": true, "loop": true, "map": true, "mod": true, "nand": true,
+	"new": true, "next": true, "nor": true, "not": true, "null": true,
+	"of": true, "on": true, "open": true, "or": true, "others": true,
+	"out": true, "package": true, "port": true, "postponed": true,
+	"procedure": true, "process": true, "pure": true, "range": true,
+	"record": true, "register": true, "reject": true, "rem": true,
+	"report": true, "return": true, "rol": true, "ror": true, "select": true,
+	"severity": true, "shared": true, "signal": true, "sla": true,
+	"sll": true, "sra": true, "srl": true, "subtype": true, "then": true,
+	"to": true, "transport": true, "type": true, "unaffected": true,
+	"units": true, "until": true, "use": true, "variable": true,
+	"wait": true, "when": true, "while": true, "with": true, "xnor": true,
+	"xor": true,
+}
+
+// IsVHDLKeyword reports whether name is reserved in VHDL (case
+// insensitive, as VHDL is).
+func IsVHDLKeyword(name string) bool {
+	return vhdlKeywords[strings.ToLower(name)]
+}
+
+// CollisionsAgainst returns the subset of names appearing in an arbitrary
+// reserved-word set — e.g. hdl.Keywords() for the VHDL-to-Verilog
+// direction, since the keyword problem cuts both ways.
+func CollisionsAgainst(names []string, reserved map[string]bool, caseInsensitive bool) []string {
+	var out []string
+	for _, n := range dedup(names) {
+		key := n
+		if caseInsensitive {
+			key = strings.ToLower(n)
+		}
+		if reserved[key] {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KeywordCollisions returns the subset of names that are VHDL reserved
+// words — the identifiers a Verilog-to-VHDL translation must rename.
+func KeywordCollisions(names []string) []string {
+	var out []string
+	for _, n := range dedup(names) {
+		if IsVHDLKeyword(n) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RenameForVHDL produces a rename map making every name legal VHDL: keyword
+// collisions get a suffix, characters illegal in VHDL basic identifiers are
+// replaced, and uniqueness is preserved. The map contains entries only for
+// names that changed — the paper's warning that "identifier names will no
+// longer match between models" is measured by the map's size.
+func RenameForVHDL(names []string) (map[string]string, error) {
+	out := make(map[string]string)
+	used := make(map[string]bool)
+	for _, n := range dedup(names) {
+		legal := legalizeVHDL(n)
+		if legal == n && !IsVHDLKeyword(n) {
+			if used[strings.ToLower(legal)] {
+				return nil, fmt.Errorf("%w: %q (VHDL is case-insensitive)", ErrCollision, n)
+			}
+			used[strings.ToLower(legal)] = true
+			continue
+		}
+		if IsVHDLKeyword(legal) {
+			legal += "_sig"
+		}
+		cand := legal
+		for i := 2; used[strings.ToLower(cand)]; i++ {
+			cand = fmt.Sprintf("%s%d", legal, i)
+		}
+		used[strings.ToLower(cand)] = true
+		out[n] = cand
+	}
+	return out, nil
+}
+
+// legalizeVHDL rewrites a name into a legal VHDL basic identifier: letters,
+// digits and single underscores, starting with a letter, not ending with an
+// underscore.
+func legalizeVHDL(n string) string {
+	var b strings.Builder
+	prevUnderscore := false
+	for i := 0; i < len(n); i++ {
+		c := n[i]
+		ok := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if ok {
+			b.WriteByte(c)
+			prevUnderscore = false
+			continue
+		}
+		if !prevUnderscore && b.Len() > 0 {
+			b.WriteByte('_')
+			prevUnderscore = true
+		}
+	}
+	s := strings.TrimRight(b.String(), "_")
+	if s == "" {
+		return "sig"
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		s = "s_" + s
+	}
+	return s
+}
+
+// EscapeVerilog wraps a name in Verilog escaped-identifier syntax when it
+// contains characters outside the simple identifier set.
+func EscapeVerilog(name string) string {
+	if name == "" {
+		return name
+	}
+	simple := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !(c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9')) {
+			simple = false
+			break
+		}
+	}
+	if simple && !(name[0] >= '0' && name[0] <= '9') {
+		return name
+	}
+	return "\\" + name + " "
+}
+
+// UnescapeVerilog strips escaped-identifier syntax, returning the raw name.
+func UnescapeVerilog(name string) string {
+	if strings.HasPrefix(name, "\\") {
+		return strings.TrimRight(strings.TrimPrefix(name, "\\"), " ")
+	}
+	return name
+}
+
+// EscapedInterpretation captures how a naive analysis tool (mis)reads an
+// escaped identifier. The paper: "Some analysis tools always assume that
+// the use of [] implies a bit on a bus, or a * implies an active low
+// signal. Such specific interpretations are not valid across all tools."
+type EscapedInterpretation struct {
+	Raw string
+	// AssumedBusBit is set when the tool reads trailing [n] as a bus bit.
+	AssumedBusBit bool
+	BusBase       string
+	BusIndex      int
+	// AssumedActiveLow is set when the tool reads a '*' as an active-low
+	// marker.
+	AssumedActiveLow bool
+}
+
+// NaiveInterpret mimics such a tool. Correct tools treat the whole escaped
+// name as opaque; comparing NaiveInterpret against the opaque reading
+// quantifies the interoperability hazard.
+func NaiveInterpret(escaped string) EscapedInterpretation {
+	raw := UnescapeVerilog(escaped)
+	out := EscapedInterpretation{Raw: raw}
+	if strings.Contains(raw, "*") {
+		out.AssumedActiveLow = true
+	}
+	if open := strings.LastIndexByte(raw, '['); open >= 0 && strings.HasSuffix(raw, "]") {
+		idx := raw[open+1 : len(raw)-1]
+		n := 0
+		valid := len(idx) > 0
+		for i := 0; i < len(idx); i++ {
+			if idx[i] < '0' || idx[i] > '9' {
+				valid = false
+				break
+			}
+			n = n*10 + int(idx[i]-'0')
+		}
+		if valid {
+			out.AssumedBusBit = true
+			out.BusBase = raw[:open]
+			out.BusIndex = n
+		}
+	}
+	return out
+}
+
+// Flattener flattens hierarchical instance paths into single-level names
+// (for tools that "work only on a flat design description") and keeps the
+// inverse map so flat-domain problems can be reported against hierarchical
+// names.
+type Flattener struct {
+	Sep     string
+	Limit   int // significance limit of the flat-domain tool; 0 = none
+	forward map[string]string
+	back    map[string]string
+}
+
+// NewFlattener creates a Flattener joining path elements with sep.
+func NewFlattener(sep string, limit int) *Flattener {
+	if sep == "" {
+		sep = "_"
+	}
+	return &Flattener{
+		Sep:     sep,
+		Limit:   limit,
+		forward: make(map[string]string),
+		back:    make(map[string]string),
+	}
+}
+
+// Flatten converts a hierarchical path to a flat name, guaranteeing
+// uniqueness in the flat namespace even under the significance limit.
+func (f *Flattener) Flatten(path []string) (string, error) {
+	if len(path) == 0 {
+		return "", fmt.Errorf("%w: empty path", ErrCollision)
+	}
+	hier := strings.Join(path, "/")
+	if flat, ok := f.forward[hier]; ok {
+		return flat, nil
+	}
+	base := strings.Join(path, f.Sep)
+	cand := Truncate(base, f.Limit)
+	if _, taken := f.back[cand]; taken {
+		resolved := false
+		for i := 1; i < 100000; i++ {
+			suffix := fmt.Sprintf("%s%d", f.Sep, i)
+			budget := len(base)
+			if f.Limit > 0 {
+				budget = f.Limit - len(suffix)
+				if budget < 1 {
+					break
+				}
+			}
+			c := Truncate(base, budget) + suffix
+			if _, taken := f.back[c]; !taken {
+				cand = c
+				resolved = true
+				break
+			}
+		}
+		if !resolved {
+			return "", fmt.Errorf("%w: flat namespace exhausted for %q", ErrCollision, hier)
+		}
+	}
+	f.forward[hier] = cand
+	f.back[cand] = hier
+	return cand, nil
+}
+
+// BackMap recovers the hierarchical path for a flat name — the paper's
+// "if a problem is found in the flat representation, the user must map back
+// to the name used in hierarchical representation".
+func (f *Flattener) BackMap(flat string) ([]string, bool) {
+	hier, ok := f.back[flat]
+	if !ok {
+		return nil, false
+	}
+	return strings.Split(hier, "/"), true
+}
+
+// Mappings returns a copy of the flat->hierarchical table, sorted by flat
+// name, for reports.
+func (f *Flattener) Mappings() [][2]string {
+	out := make([][2]string, 0, len(f.back))
+	for flat, hier := range f.back {
+		out = append(out, [2]string{flat, hier})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

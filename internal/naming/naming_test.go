@@ -1,0 +1,360 @@
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTruncate(t *testing.T) {
+	if Truncate("cntr_reset1", 8) != "cntr_res" {
+		t.Errorf("Truncate = %q", Truncate("cntr_reset1", 8))
+	}
+	if Truncate("short", 8) != "short" {
+		t.Error("short name must pass through")
+	}
+	if Truncate("anything", 0) != "anything" {
+		t.Error("limit 0 means unlimited")
+	}
+}
+
+func TestFindAliasesPaperExample(t *testing.T) {
+	// §3.3: cntr_reset1 and cntr_reset2 are treated as the same name.
+	groups := FindAliases([]string{"cntr_reset1", "cntr_reset2", "clk", "cntr_res"}, 8)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	g := groups[0]
+	if g.Truncated != "cntr_res" || len(g.Names) != 3 {
+		t.Errorf("group = %+v", g)
+	}
+	if FindAliases([]string{"a", "b"}, 8) != nil {
+		t.Error("no aliases expected")
+	}
+	if FindAliases([]string{"longname1", "longname2"}, 0) != nil {
+		t.Error("unlimited tools never alias")
+	}
+}
+
+func TestFindAliasesDedups(t *testing.T) {
+	groups := FindAliases([]string{"same_name_x", "same_name_x"}, 8)
+	if len(groups) != 0 {
+		t.Errorf("duplicate identical names are not an alias: %v", groups)
+	}
+}
+
+func TestDisambiguateTruncated(t *testing.T) {
+	names := []string{"cntr_reset1", "cntr_reset2", "cntr_reset3", "clk"}
+	m, err := DisambiguateTruncated(names, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		out := m[n]
+		if len(out) > 8 {
+			t.Errorf("%q -> %q exceeds limit", n, out)
+		}
+		if seen[out] {
+			t.Errorf("collision on %q", out)
+		}
+		seen[out] = true
+	}
+	if m["clk"] != "clk" {
+		t.Errorf("clk renamed to %q", m["clk"])
+	}
+}
+
+func TestDisambiguateExhaustion(t *testing.T) {
+	var names []string
+	for i := 0; i < 12; i++ {
+		names = append(names, fmt.Sprintf("x_%08d", i))
+	}
+	// Limit 1: only 10 suffixes fit in zero budget -> must fail.
+	if _, err := DisambiguateTruncated(names, 1); !errors.Is(err, ErrCollision) {
+		t.Errorf("error = %v, want ErrCollision", err)
+	}
+}
+
+func TestVHDLKeywords(t *testing.T) {
+	// The paper's example: "in" and "out" are valid Verilog identifiers
+	// that are VHDL reserved words.
+	for _, kw := range []string{"in", "out", "signal", "ENTITY", "Process"} {
+		if !IsVHDLKeyword(kw) {
+			t.Errorf("%q should be a VHDL keyword", kw)
+		}
+	}
+	for _, id := range []string{"clk", "data_in", "q1"} {
+		if IsVHDLKeyword(id) {
+			t.Errorf("%q should not be a keyword", id)
+		}
+	}
+	got := KeywordCollisions([]string{"in", "clk", "out", "buffer", "y"})
+	want := []string{"buffer", "in", "out"}
+	if len(got) != len(want) {
+		t.Fatalf("collisions = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("collisions[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRenameForVHDL(t *testing.T) {
+	m, err := RenameForVHDL([]string{"in", "out", "clk", "data$bus", "_lead", "9lives", "a__b_"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["clk"] != "" {
+		t.Errorf("clk should be untouched, got %q", m["clk"])
+	}
+	if m["in"] != "in_sig" || m["out"] != "out_sig" {
+		t.Errorf("keyword renames = %v", m)
+	}
+	if got := m["data$bus"]; got != "data_bus" {
+		t.Errorf("data$bus -> %q", got)
+	}
+	if got := m["9lives"]; !strings.HasPrefix(got, "s_") {
+		t.Errorf("9lives -> %q", got)
+	}
+	if got := m["a__b_"]; got != "a_b" {
+		t.Errorf("a__b_ -> %q", got)
+	}
+	// All outputs legal and unique.
+	seen := map[string]bool{}
+	for from, to := range m {
+		if IsVHDLKeyword(to) {
+			t.Errorf("%q -> %q still a keyword", from, to)
+		}
+		if seen[strings.ToLower(to)] {
+			t.Errorf("duplicate output %q", to)
+		}
+		seen[strings.ToLower(to)] = true
+	}
+}
+
+func TestRenameForVHDLCaseCollision(t *testing.T) {
+	// VHDL is case-insensitive: Clk and clk collide.
+	if _, err := RenameForVHDL([]string{"Clk", "clk"}); !errors.Is(err, ErrCollision) {
+		t.Errorf("error = %v, want ErrCollision", err)
+	}
+}
+
+func TestRenameForVHDLSuffixCollision(t *testing.T) {
+	// "in" renames to in_sig; a pre-existing in_sig forces in_sig2.
+	m, err := RenameForVHDL([]string{"in_sig", "in"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["in"] != "in_sig2" {
+		t.Errorf("in -> %q, want in_sig2", m["in"])
+	}
+}
+
+func TestEscapeUnescapeVerilog(t *testing.T) {
+	cases := []struct {
+		in      string
+		escaped bool
+	}{
+		{"plain_name1", false},
+		{"bus[3]", true},
+		{"reset*", true},
+		{"9start", true},
+		{"a-b", true},
+	}
+	for _, c := range cases {
+		out := EscapeVerilog(c.in)
+		if c.escaped {
+			if !strings.HasPrefix(out, "\\") || !strings.HasSuffix(out, " ") {
+				t.Errorf("EscapeVerilog(%q) = %q", c.in, out)
+			}
+		} else if out != c.in {
+			t.Errorf("EscapeVerilog(%q) = %q, want unchanged", c.in, out)
+		}
+		if back := UnescapeVerilog(out); back != c.in {
+			t.Errorf("round trip %q -> %q -> %q", c.in, out, back)
+		}
+	}
+}
+
+func TestNaiveInterpret(t *testing.T) {
+	// A tool that reads [] as a bus bit.
+	i := NaiveInterpret(`\data[3] `)
+	if !i.AssumedBusBit || i.BusBase != "data" || i.BusIndex != 3 {
+		t.Errorf("interpretation = %+v", i)
+	}
+	// A tool that reads * as active low.
+	i = NaiveInterpret(`\reset* `)
+	if !i.AssumedActiveLow {
+		t.Errorf("interpretation = %+v", i)
+	}
+	// Opaque name: neither.
+	i = NaiveInterpret(`\just_odd-name `)
+	if i.AssumedBusBit || i.AssumedActiveLow {
+		t.Errorf("interpretation = %+v", i)
+	}
+	// Non-numeric index is not a bus bit.
+	i = NaiveInterpret(`\tbl[abc] `)
+	if i.AssumedBusBit {
+		t.Errorf("interpretation = %+v", i)
+	}
+}
+
+func TestFlattenerRoundTrip(t *testing.T) {
+	f := NewFlattener("_", 0)
+	paths := [][]string{
+		{"top", "cpu", "alu", "carry"},
+		{"top", "cpu", "alu2", "carry"},
+		{"top", "io", "uart", "txd"},
+	}
+	flats := make([]string, len(paths))
+	for i, p := range paths {
+		flat, err := f.Flatten(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flats[i] = flat
+		back, ok := f.BackMap(flat)
+		if !ok {
+			t.Fatalf("BackMap(%q) missing", flat)
+		}
+		if strings.Join(back, "/") != strings.Join(p, "/") {
+			t.Errorf("round trip %v -> %q -> %v", p, flat, back)
+		}
+	}
+	if flats[0] != "top_cpu_alu_carry" {
+		t.Errorf("flat[0] = %q", flats[0])
+	}
+	// Idempotent for the same path.
+	again, _ := f.Flatten(paths[0])
+	if again != flats[0] {
+		t.Errorf("Flatten not stable: %q vs %q", again, flats[0])
+	}
+}
+
+func TestFlattenerCollisionUnderSeparatorAmbiguity(t *testing.T) {
+	// a/b_c and a_b/c both flatten to a_b_c — the flattener must keep them
+	// distinct and both must back-map correctly.
+	f := NewFlattener("_", 0)
+	f1, err := f.Flatten([]string{"a", "b_c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := f.Flatten([]string{"a_b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 == f2 {
+		t.Fatalf("ambiguous flatten: both %q", f1)
+	}
+	b1, _ := f.BackMap(f1)
+	b2, _ := f.BackMap(f2)
+	if strings.Join(b1, "/") != "a/b_c" || strings.Join(b2, "/") != "a_b/c" {
+		t.Errorf("back maps: %v %v", b1, b2)
+	}
+}
+
+func TestFlattenerWithSignificanceLimit(t *testing.T) {
+	// Flat-domain tool with 8 significant chars: long distinct paths must
+	// stay unique within the budget.
+	f := NewFlattener("_", 8)
+	seen := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		flat, err := f.Flatten([]string{"chip", "core", fmt.Sprintf("block%d", i), "net"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(flat) > 8 {
+			t.Errorf("flat %q exceeds 8 chars", flat)
+		}
+		if seen[flat] {
+			t.Errorf("collision on %q", flat)
+		}
+		seen[flat] = true
+	}
+}
+
+func TestFlattenerErrors(t *testing.T) {
+	f := NewFlattener("", 0) // empty sep defaults to _
+	if f.Sep != "_" {
+		t.Errorf("default sep = %q", f.Sep)
+	}
+	if _, err := f.Flatten(nil); !errors.Is(err, ErrCollision) {
+		t.Errorf("empty path error = %v", err)
+	}
+	if _, ok := f.BackMap("nothere"); ok {
+		t.Error("BackMap of unknown flat name")
+	}
+}
+
+func TestFlattenerMappings(t *testing.T) {
+	f := NewFlattener("_", 0)
+	f.Flatten([]string{"b", "x"})
+	f.Flatten([]string{"a", "y"})
+	m := f.Mappings()
+	if len(m) != 2 || m[0][0] != "a_y" || m[1][0] != "b_x" {
+		t.Errorf("mappings = %v", m)
+	}
+}
+
+// Property: flatten/backmap is a bijection on arbitrary paths.
+func TestQuickFlattenBijection(t *testing.T) {
+	f := NewFlattener("_", 0)
+	check := func(a, b uint8) bool {
+		path := []string{fmt.Sprintf("m%d", a%16), fmt.Sprintf("n%d", b%16)}
+		flat, err := f.Flatten(path)
+		if err != nil {
+			return false
+		}
+		back, ok := f.BackMap(flat)
+		if !ok || len(back) != 2 {
+			return false
+		}
+		return back[0] == path[0] && back[1] == path[1]
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DisambiguateTruncated always returns unique in-budget names
+// when the limit is generous.
+func TestQuickDisambiguateUnique(t *testing.T) {
+	check := func(seed uint8, count uint8) bool {
+		n := int(count%20) + 2
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("sig_%d_%d", seed, i)
+		}
+		m, err := DisambiguateTruncated(names, 10)
+		if err != nil {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, out := range m {
+			if len(out) > 10 || seen[out] {
+				return false
+			}
+			seen[out] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollisionsAgainst(t *testing.T) {
+	reserved := map[string]bool{"module": true, "always": true}
+	got := CollisionsAgainst([]string{"module", "clk", "ALWAYS", "module"}, reserved, false)
+	if len(got) != 1 || got[0] != "module" {
+		t.Errorf("case-sensitive = %v", got)
+	}
+	got = CollisionsAgainst([]string{"ALWAYS", "clk"}, reserved, true)
+	if len(got) != 1 || got[0] != "ALWAYS" {
+		t.Errorf("case-insensitive = %v", got)
+	}
+}

@@ -1,0 +1,365 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffKind classifies a single discrepancy found by Compare.
+type DiffKind uint8
+
+// Diff kinds.
+const (
+	DiffMissingCell DiffKind = iota
+	DiffExtraCell
+	DiffMissingNet
+	DiffExtraNet
+	DiffMissingInstance
+	DiffExtraInstance
+	DiffMasterMismatch
+	DiffConnMismatch
+	DiffPortMismatch
+	DiffGlobalMismatch
+)
+
+var diffKindNames = [...]string{
+	"missing-cell", "extra-cell", "missing-net", "extra-net",
+	"missing-instance", "extra-instance", "master-mismatch",
+	"connection-mismatch", "port-mismatch", "global-mismatch",
+}
+
+// String implements fmt.Stringer.
+func (k DiffKind) String() string {
+	if int(k) < len(diffKindNames) {
+		return diffKindNames[k]
+	}
+	return fmt.Sprintf("DiffKind(%d)", uint8(k))
+}
+
+// Diff is one discrepancy between two netlists.
+type Diff struct {
+	Kind   DiffKind
+	Cell   string // enclosing cell, or the cell itself for cell-level diffs
+	Object string // net, instance or port name
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (d Diff) String() string {
+	s := fmt.Sprintf("%s: cell %q", d.Kind, d.Cell)
+	if d.Object != "" {
+		s += fmt.Sprintf(" object %q", d.Object)
+	}
+	if d.Detail != "" {
+		s += ": " + d.Detail
+	}
+	return s
+}
+
+// NameMap rewrites names when comparing netlists whose tools renamed
+// objects (the paper's "name mapping" classic problem). A nil map is the
+// identity. Missing keys pass through unchanged.
+type NameMap map[string]string
+
+// Apply maps a name through m.
+func (m NameMap) Apply(name string) string {
+	if m == nil {
+		return name
+	}
+	if v, ok := m[name]; ok {
+		return v
+	}
+	return name
+}
+
+// CompareOptions controls Compare.
+type CompareOptions struct {
+	// NetRename maps golden-side net names to candidate-side names before
+	// matching (per cell scope is not needed: migrations rename uniformly).
+	NetRename NameMap
+	// CellRename maps golden-side cell/master names to candidate-side names.
+	CellRename NameMap
+	// InstRename maps golden-side instance names to candidate-side names.
+	InstRename NameMap
+	// PinRename maps, per golden-side master name, the master's pin names
+	// to candidate-side pin names (the paper's "pin name map").
+	PinRename map[string]NameMap
+	// IgnoreGlobalsFlag skips Global flag mismatches on nets.
+	IgnoreGlobalsFlag bool
+	// IgnoreCells names cells (golden side) excluded from comparison, e.g.
+	// connector pseudo-cells a dialect requires but the other omits.
+	IgnoreCells map[string]bool
+}
+
+// Compare verifies that candidate implements the same connectivity as
+// golden, modulo the renames in opts. It returns the full list of
+// discrepancies (empty means equivalent).
+func Compare(golden, candidate *Netlist, opts CompareOptions) []Diff {
+	var diffs []Diff
+	seen := make(map[string]bool)
+	for _, gname := range golden.CellNames() {
+		if opts.IgnoreCells[gname] {
+			continue
+		}
+		cname := opts.CellRename.Apply(gname)
+		seen[cname] = true
+		gc := golden.Cells[gname]
+		cc, ok := candidate.Cells[cname]
+		if !ok {
+			diffs = append(diffs, Diff{Kind: DiffMissingCell, Cell: cname})
+			continue
+		}
+		diffs = append(diffs, compareCell(gc, cc, opts)...)
+	}
+	for _, cname := range candidate.CellNames() {
+		if !seen[cname] && !opts.IgnoreCells[cname] {
+			diffs = append(diffs, Diff{Kind: DiffExtraCell, Cell: cname})
+		}
+	}
+	return diffs
+}
+
+func compareCell(gc, cc *Cell, opts CompareOptions) []Diff {
+	var diffs []Diff
+	// Ports: set comparison under rename, with direction check. A port name
+	// maps through the cell's own pin map when one exists (library masters
+	// whose pins were renamed), otherwise through the net map (cell ports
+	// correspond to nets).
+	ownPins := opts.PinRename[gc.Name]
+	mapPort := func(name string) string {
+		if ownPins != nil {
+			if v, ok := ownPins[name]; ok {
+				return v
+			}
+		}
+		return opts.NetRename.Apply(name)
+	}
+	gPorts := make(map[string]PortDir)
+	for _, p := range gc.Ports {
+		gPorts[mapPort(p.Name)] = p.Dir
+	}
+	for _, p := range cc.Ports {
+		dir, ok := gPorts[p.Name]
+		if !ok {
+			diffs = append(diffs, Diff{Kind: DiffPortMismatch, Cell: cc.Name, Object: p.Name, Detail: "port only in candidate"})
+			continue
+		}
+		if dir != p.Dir {
+			diffs = append(diffs, Diff{Kind: DiffPortMismatch, Cell: cc.Name, Object: p.Name,
+				Detail: fmt.Sprintf("direction %v in golden, %v in candidate", dir, p.Dir)})
+		}
+		delete(gPorts, p.Name)
+	}
+	for name := range gPorts {
+		diffs = append(diffs, Diff{Kind: DiffPortMismatch, Cell: cc.Name, Object: name, Detail: "port only in golden"})
+	}
+
+	// Nets.
+	matchedNets := make(map[string]bool)
+	for _, gn := range gc.NetNames() {
+		want := opts.NetRename.Apply(gn)
+		cn, ok := cc.Nets[want]
+		if !ok {
+			diffs = append(diffs, Diff{Kind: DiffMissingNet, Cell: cc.Name, Object: want,
+				Detail: fmt.Sprintf("golden net %q has no counterpart", gn)})
+			continue
+		}
+		matchedNets[want] = true
+		if !opts.IgnoreGlobalsFlag && gc.Nets[gn].Global != cn.Global {
+			diffs = append(diffs, Diff{Kind: DiffGlobalMismatch, Cell: cc.Name, Object: want,
+				Detail: fmt.Sprintf("global=%v in golden, %v in candidate", gc.Nets[gn].Global, cn.Global)})
+		}
+	}
+	for _, cn := range cc.NetNames() {
+		if !matchedNets[cn] {
+			diffs = append(diffs, Diff{Kind: DiffExtraNet, Cell: cc.Name, Object: cn})
+		}
+	}
+
+	// Instances.
+	matchedInsts := make(map[string]bool)
+	for _, gi := range gc.InstanceNames() {
+		want := opts.InstRename.Apply(gi)
+		ci, ok := cc.Instances[want]
+		gInst := gc.Instances[gi]
+		if !ok {
+			diffs = append(diffs, Diff{Kind: DiffMissingInstance, Cell: cc.Name, Object: want,
+				Detail: fmt.Sprintf("golden instance %q has no counterpart", gi)})
+			continue
+		}
+		matchedInsts[want] = true
+		wantMaster := opts.CellRename.Apply(gInst.Master)
+		if ci.Master != wantMaster {
+			diffs = append(diffs, Diff{Kind: DiffMasterMismatch, Cell: cc.Name, Object: want,
+				Detail: fmt.Sprintf("master %q in golden (maps to %q), %q in candidate", gInst.Master, wantMaster, ci.Master)})
+		}
+		// Connections, with pin names mapped through the master's pin map.
+		pinMap := opts.PinRename[gInst.Master]
+		for port, gnet := range gInst.Conns {
+			wantNet := opts.NetRename.Apply(gnet)
+			cnet, ok := ci.Conns[pinMap.Apply(port)]
+			if !ok {
+				diffs = append(diffs, Diff{Kind: DiffConnMismatch, Cell: cc.Name, Object: want,
+					Detail: fmt.Sprintf("port %q unconnected in candidate (golden: %q)", port, gnet)})
+				continue
+			}
+			if cnet != wantNet {
+				diffs = append(diffs, Diff{Kind: DiffConnMismatch, Cell: cc.Name, Object: want,
+					Detail: fmt.Sprintf("port %q on net %q in candidate, want %q", port, cnet, wantNet)})
+			}
+		}
+		for port := range ci.Conns {
+			// Reverse check: candidate connections not present in golden.
+			found := false
+			for gport := range gInst.Conns {
+				if pinMap.Apply(gport) == port {
+					found = true
+					break
+				}
+			}
+			if !found {
+				diffs = append(diffs, Diff{Kind: DiffConnMismatch, Cell: cc.Name, Object: want,
+					Detail: fmt.Sprintf("port %q connected only in candidate", port)})
+			}
+		}
+	}
+	for _, ci := range cc.InstanceNames() {
+		if !matchedInsts[ci] {
+			diffs = append(diffs, Diff{Kind: DiffExtraInstance, Cell: cc.Name, Object: ci})
+		}
+	}
+	return diffs
+}
+
+// Fingerprint computes a rename-insensitive structural signature of a cell
+// using iterative refinement (Weisfeiler–Lehman style) over the bipartite
+// instance/net graph. Two cells with equal fingerprints are structurally
+// identical up to renaming with very high probability; unequal fingerprints
+// prove a structural difference. This is the fallback verifier when name
+// maps are unavailable — exactly the situation Section 2's "Verification"
+// paragraph warns about.
+func Fingerprint(n *Netlist, cell string, rounds int) (string, error) {
+	c, ok := n.Cells[cell]
+	if !ok {
+		return "", fmt.Errorf("%w: cell %q", ErrNotFound, cell)
+	}
+	if rounds <= 0 {
+		rounds = 4
+	}
+	// Node set: instances (colored by master) and nets (colored by degree
+	// and by sorted multiset of attached (master, port) pairs).
+	instNames := c.InstanceNames()
+	netNames := c.NetNames()
+	instColor := make(map[string]string, len(instNames))
+	netColor := make(map[string]string, len(netNames))
+	// net -> list of (instance, port)
+	attach := make(map[string][][2]string)
+	for _, in := range instNames {
+		inst := c.Instances[in]
+		instColor[in] = "M:" + inst.Master
+		for port, net := range inst.Conns {
+			attach[net] = append(attach[net], [2]string{in, port})
+		}
+	}
+	// Ports participate as external anchors: a net tied to a cell port of a
+	// given direction is distinguishable from an internal net.
+	portNet := make(map[string]string)
+	for _, p := range c.Ports {
+		// By convention a port's net shares the port name if present.
+		if _, ok := c.Nets[p.Name]; ok {
+			portNet[p.Name] = "P:" + p.Dir.String()
+		}
+	}
+	for _, nn := range netNames {
+		base := fmt.Sprintf("N:deg=%d", len(attach[nn]))
+		if ext, ok := portNet[nn]; ok {
+			base += ";" + ext
+		}
+		if c.Nets[nn].Global {
+			// Globals connect by name across the design; keep their name.
+			base += ";G:" + nn
+		}
+		netColor[nn] = base
+	}
+	for r := 0; r < rounds; r++ {
+		newInst := make(map[string]string, len(instNames))
+		for _, in := range instNames {
+			inst := c.Instances[in]
+			var parts []string
+			for port, net := range inst.Conns {
+				parts = append(parts, port+"="+netColor[net])
+			}
+			sort.Strings(parts)
+			newInst[in] = hash(instColor[in] + "|" + strings.Join(parts, ","))
+		}
+		newNet := make(map[string]string, len(netNames))
+		for _, nn := range netNames {
+			var parts []string
+			for _, ap := range attach[nn] {
+				parts = append(parts, ap[1]+"@"+instColor[ap[0]])
+			}
+			sort.Strings(parts)
+			newNet[nn] = hash(netColor[nn] + "|" + strings.Join(parts, ","))
+		}
+		instColor, netColor = newInst, newNet
+	}
+	var all []string
+	for _, in := range instNames {
+		all = append(all, "I"+instColor[in])
+	}
+	for _, nn := range netNames {
+		all = append(all, "N"+netColor[nn])
+	}
+	sort.Strings(all)
+	return hash(strings.Join(all, "\n")), nil
+}
+
+// hash is a small stable FNV-1a over the string, hex encoded.
+func hash(s string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// StructurallyEquivalent reports whether the named cells in two netlists
+// have equal structural fingerprints.
+func StructurallyEquivalent(a *Netlist, cellA string, b *Netlist, cellB string) (bool, error) {
+	fa, err := Fingerprint(a, cellA, 5)
+	if err != nil {
+		return false, err
+	}
+	fb, err := Fingerprint(b, cellB, 5)
+	if err != nil {
+		return false, err
+	}
+	return fa == fb, nil
+}
+
+// Summary renders a diff list compactly for reports, grouped by kind.
+func Summary(diffs []Diff) string {
+	if len(diffs) == 0 {
+		return "equivalent"
+	}
+	counts := make(map[DiffKind]int)
+	for _, d := range diffs {
+		counts[d.Kind]++
+	}
+	kinds := make([]int, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	var parts []string
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", DiffKind(k), counts[DiffKind(k)]))
+	}
+	return fmt.Sprintf("%d diffs (%s)", len(diffs), strings.Join(parts, ", "))
+}

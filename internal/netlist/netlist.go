@@ -1,0 +1,324 @@
+// Package netlist provides a tool-independent structural netlist: cells
+// with ports, instances and nets, plus validation and comparison.
+//
+// The paper's Section 2 ends with a warning that "design data translations
+// must be independently verified"; this package is that independent
+// verifier. Connectivity is extracted from both the source and the migrated
+// schematic (or from a synthesized design) into this neutral form and then
+// compared, either strictly by name or structurally (rename-tolerant), the
+// latter because name mapping is itself one of the classic interoperability
+// problems the paper enumerates.
+package netlist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PortDir is the direction of a cell port.
+type PortDir uint8
+
+// Port directions.
+const (
+	Input PortDir = iota
+	Output
+	Inout
+)
+
+var dirNames = [...]string{"input", "output", "inout"}
+
+// String implements fmt.Stringer.
+func (d PortDir) String() string {
+	if int(d) < len(dirNames) {
+		return dirNames[d]
+	}
+	return fmt.Sprintf("PortDir(%d)", uint8(d))
+}
+
+// ParsePortDir converts "input"/"output"/"inout" to a PortDir.
+func ParsePortDir(s string) (PortDir, error) {
+	for i, n := range dirNames {
+		if n == s {
+			return PortDir(i), nil
+		}
+	}
+	return Input, fmt.Errorf("netlist: unknown port direction %q", s)
+}
+
+// Port is a named connection point on a cell boundary.
+type Port struct {
+	Name string
+	Dir  PortDir
+}
+
+// Net is a named electrical node inside a cell. Global nets (power, ground,
+// clocks distributed by name) are flagged so translators can special-case
+// them, mirroring the "Globals" issue in Section 2.
+type Net struct {
+	Name   string
+	Global bool
+	Attrs  map[string]string
+}
+
+// Instance is a placed occurrence of a master cell. Conns maps the master's
+// port names to net names in the enclosing cell.
+type Instance struct {
+	Name   string
+	Master string
+	Conns  map[string]string
+	Attrs  map[string]string
+}
+
+// Cell is a definition: an interface of ports plus contents.
+type Cell struct {
+	Name      string
+	Ports     []Port
+	Nets      map[string]*Net
+	Instances map[string]*Instance
+	// Primitive marks leaf cells (library components, gates) whose contents
+	// live outside the netlist.
+	Primitive bool
+}
+
+// Netlist is a set of cells, one of which is usually designated top.
+type Netlist struct {
+	Cells map[string]*Cell
+	Top   string
+}
+
+// New returns an empty netlist.
+func New() *Netlist {
+	return &Netlist{Cells: make(map[string]*Cell)}
+}
+
+// Errors returned by construction and validation.
+var (
+	ErrDuplicate = errors.New("netlist: duplicate name")
+	ErrNotFound  = errors.New("netlist: not found")
+	ErrDangling  = errors.New("netlist: dangling reference")
+)
+
+// AddCell creates and registers a new cell definition.
+func (n *Netlist) AddCell(name string) (*Cell, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty cell name", ErrNotFound)
+	}
+	if _, ok := n.Cells[name]; ok {
+		return nil, fmt.Errorf("%w: cell %q", ErrDuplicate, name)
+	}
+	c := &Cell{
+		Name:      name,
+		Nets:      make(map[string]*Net),
+		Instances: make(map[string]*Instance),
+	}
+	n.Cells[name] = c
+	return c, nil
+}
+
+// MustCell is AddCell for static construction in tests and generators;
+// it panics on error.
+func (n *Netlist) MustCell(name string) *Cell {
+	c, err := n.AddCell(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Cell returns a cell definition by name.
+func (n *Netlist) Cell(name string) (*Cell, bool) {
+	c, ok := n.Cells[name]
+	return c, ok
+}
+
+// CellNames returns the sorted names of all cells.
+func (n *Netlist) CellNames() []string {
+	out := make([]string, 0, len(n.Cells))
+	for name := range n.Cells {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddPort appends a port to the cell interface.
+func (c *Cell) AddPort(name string, dir PortDir) error {
+	for _, p := range c.Ports {
+		if p.Name == name {
+			return fmt.Errorf("%w: port %q on cell %q", ErrDuplicate, name, c.Name)
+		}
+	}
+	c.Ports = append(c.Ports, Port{Name: name, Dir: dir})
+	return nil
+}
+
+// Port finds a port by name.
+func (c *Cell) Port(name string) (Port, bool) {
+	for _, p := range c.Ports {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// AddNet creates a net inside the cell.
+func (c *Cell) AddNet(name string) (*Net, error) {
+	if _, ok := c.Nets[name]; ok {
+		return nil, fmt.Errorf("%w: net %q in cell %q", ErrDuplicate, name, c.Name)
+	}
+	nt := &Net{Name: name, Attrs: make(map[string]string)}
+	c.Nets[name] = nt
+	return nt, nil
+}
+
+// EnsureNet returns the named net, creating it if absent.
+func (c *Cell) EnsureNet(name string) *Net {
+	if nt, ok := c.Nets[name]; ok {
+		return nt
+	}
+	nt := &Net{Name: name, Attrs: make(map[string]string)}
+	c.Nets[name] = nt
+	return nt
+}
+
+// AddInstance places an occurrence of master inside the cell.
+func (c *Cell) AddInstance(name, master string) (*Instance, error) {
+	if _, ok := c.Instances[name]; ok {
+		return nil, fmt.Errorf("%w: instance %q in cell %q", ErrDuplicate, name, c.Name)
+	}
+	inst := &Instance{
+		Name:   name,
+		Master: master,
+		Conns:  make(map[string]string),
+		Attrs:  make(map[string]string),
+	}
+	c.Instances[name] = inst
+	return inst, nil
+}
+
+// Connect binds an instance port to a net (created on demand).
+func (c *Cell) Connect(inst, port, net string) error {
+	i, ok := c.Instances[inst]
+	if !ok {
+		return fmt.Errorf("%w: instance %q in cell %q", ErrNotFound, inst, c.Name)
+	}
+	c.EnsureNet(net)
+	i.Conns[port] = net
+	return nil
+}
+
+// NetNames returns the sorted net names of the cell.
+func (c *Cell) NetNames() []string {
+	out := make([]string, 0, len(c.Nets))
+	for name := range c.Nets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InstanceNames returns the sorted instance names of the cell.
+func (c *Cell) InstanceNames() []string {
+	out := make([]string, 0, len(c.Instances))
+	for name := range c.Instances {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks referential integrity across the netlist: every instance
+// master must exist (or the cell must be declared primitive elsewhere is NOT
+// assumed — unknown masters are errors), every instance connection must name
+// a port of the master and a net of the parent, and the top cell, when set,
+// must exist. All problems are collected, not just the first.
+func (n *Netlist) Validate() error {
+	var probs []string
+	if n.Top != "" {
+		if _, ok := n.Cells[n.Top]; !ok {
+			probs = append(probs, fmt.Sprintf("top cell %q undefined", n.Top))
+		}
+	}
+	for _, cname := range n.CellNames() {
+		c := n.Cells[cname]
+		for _, iname := range c.InstanceNames() {
+			inst := c.Instances[iname]
+			master, ok := n.Cells[inst.Master]
+			if !ok {
+				probs = append(probs, fmt.Sprintf("cell %q instance %q: master %q undefined", cname, iname, inst.Master))
+				continue
+			}
+			for port, net := range inst.Conns {
+				if _, ok := master.Port(port); !ok {
+					probs = append(probs, fmt.Sprintf("cell %q instance %q: master %q has no port %q", cname, iname, inst.Master, port))
+				}
+				if _, ok := c.Nets[net]; !ok {
+					probs = append(probs, fmt.Sprintf("cell %q instance %q: connection to undefined net %q", cname, iname, net))
+				}
+			}
+		}
+	}
+	if len(probs) == 0 {
+		return nil
+	}
+	sort.Strings(probs)
+	return fmt.Errorf("%w: %s", ErrDangling, strings.Join(probs, "; "))
+}
+
+// Clone returns a deep copy of the netlist.
+func (n *Netlist) Clone() *Netlist {
+	out := New()
+	out.Top = n.Top
+	for name, c := range n.Cells {
+		nc := &Cell{
+			Name:      c.Name,
+			Ports:     append([]Port(nil), c.Ports...),
+			Nets:      make(map[string]*Net, len(c.Nets)),
+			Instances: make(map[string]*Instance, len(c.Instances)),
+			Primitive: c.Primitive,
+		}
+		for nn, nt := range c.Nets {
+			cp := &Net{Name: nt.Name, Global: nt.Global, Attrs: copyAttrs(nt.Attrs)}
+			nc.Nets[nn] = cp
+		}
+		for in, inst := range c.Instances {
+			ci := &Instance{Name: inst.Name, Master: inst.Master, Conns: make(map[string]string, len(inst.Conns)), Attrs: copyAttrs(inst.Attrs)}
+			for p, nn := range inst.Conns {
+				ci.Conns[p] = nn
+			}
+			nc.Instances[in] = ci
+		}
+		out.Cells[name] = nc
+	}
+	return out
+}
+
+func copyAttrs(a map[string]string) map[string]string {
+	out := make(map[string]string, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Stats summarises a netlist for reports.
+type Stats struct {
+	Cells, Nets, Instances, Pins int
+}
+
+// Stats computes aggregate counts across all cells.
+func (n *Netlist) Stats() Stats {
+	var s Stats
+	s.Cells = len(n.Cells)
+	for _, c := range n.Cells {
+		s.Nets += len(c.Nets)
+		s.Instances += len(c.Instances)
+		for _, inst := range c.Instances {
+			s.Pins += len(inst.Conns)
+		}
+	}
+	return s
+}

@@ -1,0 +1,425 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildInverterChain constructs a netlist with a chain of n inverters
+// between ports "in" and "out".
+func buildInverterChain(t testing.TB, n int) *Netlist {
+	t.Helper()
+	nl := New()
+	inv := nl.MustCell("INV")
+	inv.Primitive = true
+	if err := inv.AddPort("A", Input); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.AddPort("Y", Output); err != nil {
+		t.Fatal(err)
+	}
+	top := nl.MustCell("top")
+	top.AddPort("in", Input)
+	top.AddPort("out", Output)
+	top.EnsureNet("in")
+	top.EnsureNet("out")
+	prev := "in"
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("u%d", i)
+		if _, err := top.AddInstance(name, "INV"); err != nil {
+			t.Fatal(err)
+		}
+		next := fmt.Sprintf("n%d", i)
+		if i == n-1 {
+			next = "out"
+		}
+		top.Connect(name, "A", prev)
+		top.Connect(name, "Y", next)
+		prev = next
+	}
+	nl.Top = "top"
+	return nl
+}
+
+func TestAddCellDuplicate(t *testing.T) {
+	nl := New()
+	if _, err := nl.AddCell("a"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := nl.AddCell("a")
+	if !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate AddCell error = %v, want ErrDuplicate", err)
+	}
+	if _, err := nl.AddCell(""); err == nil {
+		t.Error("empty cell name accepted")
+	}
+}
+
+func TestPortsNetsInstances(t *testing.T) {
+	nl := New()
+	c := nl.MustCell("c")
+	if err := c.AddPort("p", Input); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPort("p", Output); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate port error = %v", err)
+	}
+	p, ok := c.Port("p")
+	if !ok || p.Dir != Input {
+		t.Errorf("Port lookup = %v,%v", p, ok)
+	}
+	if _, ok := c.Port("zz"); ok {
+		t.Error("found nonexistent port")
+	}
+	if _, err := c.AddNet("n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddNet("n"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate net error = %v", err)
+	}
+	if nt := c.EnsureNet("n"); nt.Name != "n" {
+		t.Error("EnsureNet should return existing net")
+	}
+	if _, err := c.AddInstance("i", "m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddInstance("i", "m"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate instance error = %v", err)
+	}
+	if err := c.Connect("zz", "p", "n"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Connect to missing instance error = %v", err)
+	}
+	if err := c.Connect("i", "p", "fresh"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Nets["fresh"]; !ok {
+		t.Error("Connect should create the net on demand")
+	}
+}
+
+func TestValidateCatchesDanglingRefs(t *testing.T) {
+	nl := buildInverterChain(t, 3)
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("valid netlist rejected: %v", err)
+	}
+
+	// Unknown master.
+	bad := nl.Clone()
+	bad.Cells["top"].AddInstance("ghost", "NOSUCH")
+	if err := bad.Validate(); !errors.Is(err, ErrDangling) {
+		t.Errorf("unknown master: %v", err)
+	}
+
+	// Unknown port on master.
+	bad2 := nl.Clone()
+	bad2.Cells["top"].Instances["u0"].Conns["Q"] = "in"
+	if err := bad2.Validate(); !errors.Is(err, ErrDangling) {
+		t.Errorf("unknown port: %v", err)
+	}
+
+	// Undefined net reference.
+	bad3 := nl.Clone()
+	bad3.Cells["top"].Instances["u0"].Conns["A"] = "neverDeclared"
+	if err := bad3.Validate(); !errors.Is(err, ErrDangling) {
+		t.Errorf("undefined net: %v", err)
+	}
+
+	// Missing top.
+	bad4 := nl.Clone()
+	bad4.Top = "gone"
+	if err := bad4.Validate(); !errors.Is(err, ErrDangling) {
+		t.Errorf("missing top: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	nl := buildInverterChain(t, 2)
+	cp := nl.Clone()
+	cp.Cells["top"].Instances["u0"].Conns["A"] = "mutated"
+	cp.Cells["top"].Nets["in"].Global = true
+	if nl.Cells["top"].Instances["u0"].Conns["A"] == "mutated" {
+		t.Error("Clone shares instance connection maps")
+	}
+	if nl.Cells["top"].Nets["in"].Global {
+		t.Error("Clone shares net objects")
+	}
+}
+
+func TestStats(t *testing.T) {
+	nl := buildInverterChain(t, 4)
+	s := nl.Stats()
+	if s.Cells != 2 || s.Instances != 4 || s.Pins != 8 {
+		t.Errorf("Stats = %+v", s)
+	}
+	// nets: in, out, n0..n2 = 5
+	if s.Nets != 5 {
+		t.Errorf("Nets = %d, want 5", s.Nets)
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a := buildInverterChain(t, 5)
+	b := buildInverterChain(t, 5)
+	if diffs := Compare(a, b, CompareOptions{}); len(diffs) != 0 {
+		t.Errorf("identical netlists differ: %v", diffs)
+	}
+	if Summary(nil) != "equivalent" {
+		t.Error("Summary(nil) should read equivalent")
+	}
+}
+
+func TestCompareDetectsEachKind(t *testing.T) {
+	golden := buildInverterChain(t, 3)
+
+	t.Run("missing-cell", func(t *testing.T) {
+		cand := buildInverterChain(t, 3)
+		delete(cand.Cells, "INV")
+		diffs := Compare(golden, cand, CompareOptions{})
+		if !hasKind(diffs, DiffMissingCell) {
+			t.Errorf("diffs = %v", diffs)
+		}
+	})
+	t.Run("extra-cell", func(t *testing.T) {
+		cand := buildInverterChain(t, 3)
+		cand.MustCell("stray")
+		diffs := Compare(golden, cand, CompareOptions{})
+		if !hasKind(diffs, DiffExtraCell) {
+			t.Errorf("diffs = %v", diffs)
+		}
+	})
+	t.Run("missing-net", func(t *testing.T) {
+		cand := buildInverterChain(t, 3)
+		delete(cand.Cells["top"].Nets, "n0")
+		diffs := Compare(golden, cand, CompareOptions{})
+		if !hasKind(diffs, DiffMissingNet) {
+			t.Errorf("diffs = %v", diffs)
+		}
+	})
+	t.Run("extra-net", func(t *testing.T) {
+		cand := buildInverterChain(t, 3)
+		cand.Cells["top"].EnsureNet("dangler")
+		diffs := Compare(golden, cand, CompareOptions{})
+		if !hasKind(diffs, DiffExtraNet) {
+			t.Errorf("diffs = %v", diffs)
+		}
+	})
+	t.Run("missing-and-extra-instance", func(t *testing.T) {
+		cand := buildInverterChain(t, 3)
+		inst := cand.Cells["top"].Instances["u1"]
+		delete(cand.Cells["top"].Instances, "u1")
+		inst.Name = "renamed"
+		cand.Cells["top"].Instances["renamed"] = inst
+		diffs := Compare(golden, cand, CompareOptions{})
+		if !hasKind(diffs, DiffMissingInstance) || !hasKind(diffs, DiffExtraInstance) {
+			t.Errorf("diffs = %v", diffs)
+		}
+		// With an instance rename map the same pair is equivalent.
+		diffs = Compare(golden, cand, CompareOptions{InstRename: NameMap{"u1": "renamed"}})
+		if len(diffs) != 0 {
+			t.Errorf("renamed compare: %v", diffs)
+		}
+	})
+	t.Run("master-mismatch", func(t *testing.T) {
+		cand := buildInverterChain(t, 3)
+		buf := cand.MustCell("BUF")
+		buf.AddPort("A", Input)
+		buf.AddPort("Y", Output)
+		cand.Cells["top"].Instances["u0"].Master = "BUF"
+		diffs := Compare(golden, cand, CompareOptions{})
+		if !hasKind(diffs, DiffMasterMismatch) {
+			t.Errorf("diffs = %v", diffs)
+		}
+	})
+	t.Run("conn-mismatch", func(t *testing.T) {
+		cand := buildInverterChain(t, 3)
+		cand.Cells["top"].Instances["u1"].Conns["A"] = "out" // miswired
+		diffs := Compare(golden, cand, CompareOptions{})
+		if !hasKind(diffs, DiffConnMismatch) {
+			t.Errorf("diffs = %v", diffs)
+		}
+	})
+	t.Run("port-mismatch", func(t *testing.T) {
+		cand := buildInverterChain(t, 3)
+		cand.Cells["top"].Ports[0].Dir = Output
+		diffs := Compare(golden, cand, CompareOptions{})
+		if !hasKind(diffs, DiffPortMismatch) {
+			t.Errorf("diffs = %v", diffs)
+		}
+	})
+	t.Run("global-mismatch", func(t *testing.T) {
+		cand := buildInverterChain(t, 3)
+		cand.Cells["top"].Nets["in"].Global = true
+		diffs := Compare(golden, cand, CompareOptions{})
+		if !hasKind(diffs, DiffGlobalMismatch) {
+			t.Errorf("diffs = %v", diffs)
+		}
+		diffs = Compare(golden, cand, CompareOptions{IgnoreGlobalsFlag: true})
+		if hasKind(diffs, DiffGlobalMismatch) {
+			t.Errorf("IgnoreGlobalsFlag not honored: %v", diffs)
+		}
+	})
+}
+
+func TestCompareWithRenameMaps(t *testing.T) {
+	golden := buildInverterChain(t, 2)
+	cand := New()
+	inv := cand.MustCell("INVX1") // vendor renamed the master
+	inv.Primitive = true
+	inv.AddPort("A", Input)
+	inv.AddPort("Y", Output)
+	top := cand.MustCell("top")
+	top.AddPort("in", Input)
+	top.AddPort("out", Output)
+	top.EnsureNet("in")
+	top.EnsureNet("out")
+	top.AddInstance("u0", "INVX1")
+	top.AddInstance("u1", "INVX1")
+	top.Connect("u0", "A", "in")
+	top.Connect("u0", "Y", "mid") // net n0 renamed to mid
+	top.Connect("u1", "A", "mid")
+	top.Connect("u1", "Y", "out")
+
+	diffs := Compare(golden, cand, CompareOptions{
+		CellRename: NameMap{"INV": "INVX1"},
+		NetRename:  NameMap{"n0": "mid"},
+	})
+	if len(diffs) != 0 {
+		t.Errorf("rename-aware compare: %v", diffs)
+	}
+	// Without the maps there must be diffs.
+	if diffs := Compare(golden, cand, CompareOptions{}); len(diffs) == 0 {
+		t.Error("compare without maps should fail")
+	}
+}
+
+func TestCompareIgnoreCells(t *testing.T) {
+	golden := buildInverterChain(t, 1)
+	cand := buildInverterChain(t, 1)
+	golden.MustCell("offpage_conn") // pseudo-cell only golden has
+	diffs := Compare(golden, cand, CompareOptions{IgnoreCells: map[string]bool{"offpage_conn": true}})
+	if len(diffs) != 0 {
+		t.Errorf("IgnoreCells not honored: %v", diffs)
+	}
+}
+
+func TestFingerprintRenameInsensitive(t *testing.T) {
+	a := buildInverterChain(t, 6)
+	// b: same structure, every internal name scrambled.
+	b := buildInverterChain(t, 6)
+	top := b.Cells["top"]
+	// Rename nets n0..n4 -> w0..w4 consistently.
+	for i := 0; i < 5; i++ {
+		old := fmt.Sprintf("n%d", i)
+		nw := fmt.Sprintf("w%d", i)
+		nt := top.Nets[old]
+		delete(top.Nets, old)
+		nt.Name = nw
+		top.Nets[nw] = nt
+		for _, inst := range top.Instances {
+			for p, net := range inst.Conns {
+				if net == old {
+					inst.Conns[p] = nw
+				}
+			}
+		}
+	}
+	eq, err := StructurallyEquivalent(a, "top", b, "top")
+	if err != nil || !eq {
+		t.Errorf("renamed chain should be structurally equivalent: %v %v", eq, err)
+	}
+	// A genuinely different structure must differ.
+	c := buildInverterChain(t, 7)
+	eq, err = StructurallyEquivalent(a, "top", c, "top")
+	if err != nil || eq {
+		t.Errorf("different lengths reported equivalent: %v %v", eq, err)
+	}
+}
+
+func TestFingerprintMiswireDetected(t *testing.T) {
+	a := buildInverterChain(t, 4)
+	b := buildInverterChain(t, 4)
+	// Swap two connections: structure changes even though counts match.
+	b.Cells["top"].Instances["u2"].Conns["A"] = "in"
+	eq, err := StructurallyEquivalent(a, "top", b, "top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("miswired netlist reported structurally equivalent")
+	}
+}
+
+func TestFingerprintErrors(t *testing.T) {
+	nl := New()
+	if _, err := Fingerprint(nl, "nope", 3); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Fingerprint missing cell error = %v", err)
+	}
+}
+
+func TestParsePortDir(t *testing.T) {
+	for _, d := range []PortDir{Input, Output, Inout} {
+		back, err := ParsePortDir(d.String())
+		if err != nil || back != d {
+			t.Errorf("round trip %v: %v %v", d, back, err)
+		}
+	}
+	if _, err := ParsePortDir("sideways"); err == nil {
+		t.Error("ParsePortDir accepted nonsense")
+	}
+}
+
+func TestSummaryGroupsByKind(t *testing.T) {
+	diffs := []Diff{
+		{Kind: DiffMissingNet, Cell: "a", Object: "n1"},
+		{Kind: DiffMissingNet, Cell: "a", Object: "n2"},
+		{Kind: DiffExtraCell, Cell: "b"},
+	}
+	s := Summary(diffs)
+	if !strings.Contains(s, "missing-net=2") || !strings.Contains(s, "extra-cell=1") {
+		t.Errorf("Summary = %q", s)
+	}
+	if d := diffs[0].String(); !strings.Contains(d, "missing-net") || !strings.Contains(d, "n1") {
+		t.Errorf("Diff.String = %q", d)
+	}
+}
+
+// Property: comparing any generated chain against itself yields no diffs,
+// and the fingerprint equals itself (reflexivity).
+func TestQuickCompareReflexive(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%20) + 1
+		nl := buildInverterChain(t, size)
+		if len(Compare(nl, nl, CompareOptions{})) != 0 {
+			return false
+		}
+		f1, err1 := Fingerprint(nl, "top", 4)
+		f2, err2 := Fingerprint(nl, "top", 4)
+		return err1 == nil && err2 == nil && f1 == f2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cloning then comparing is always equivalent.
+func TestQuickCloneEquivalent(t *testing.T) {
+	f := func(n uint8) bool {
+		nl := buildInverterChain(t, int(n%15)+1)
+		return len(Compare(nl, nl.Clone(), CompareOptions{})) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func hasKind(diffs []Diff, k DiffKind) bool {
+	for _, d := range diffs {
+		if d.Kind == k {
+			return true
+		}
+	}
+	return false
+}

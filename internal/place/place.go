@@ -1,0 +1,264 @@
+// Package place is a row-based standard-cell placer: BFS-ordered initial
+// packing followed by randomized pairwise-swap improvement on half-perimeter
+// wirelength. It is one of the "real tools" the Section 4 backplane drives,
+// so that constraint loss in translation shows up as measurable quality
+// degradation rather than hand-waving.
+package place
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/phys"
+)
+
+// ErrPlace reports placement failures.
+var ErrPlace = errors.New("place: error")
+
+// Options configures placement.
+type Options struct {
+	// Seed makes the improvement pass deterministic.
+	Seed int64
+	// SwapPasses is the number of improvement sweeps (default 4).
+	SwapPasses int
+	// Keepouts are regions no cell may overlap.
+	Keepouts []geom.Rect
+}
+
+// Result reports placement quality.
+type Result struct {
+	InitialHPWL int
+	FinalHPWL   int
+	Swaps       int
+	Rows        int
+}
+
+// Place assigns a legal location to every instance of d's top cell.
+func Place(d *phys.Design, opts Options) (*Result, error) {
+	if opts.SwapPasses == 0 {
+		opts.SwapPasses = 4
+	}
+	top := d.TopCell()
+	names := top.InstanceNames()
+	if len(names) == 0 {
+		return &Result{}, nil
+	}
+	rowH := d.Lib.Tech.SiteHeight
+	if rowH <= 0 {
+		return nil, fmt.Errorf("%w: site height %d", ErrPlace, rowH)
+	}
+
+	order := bfsOrder(d, names)
+
+	// Pack rows left-to-right, skipping keepouts.
+	type slot struct {
+		pos  geom.Point
+		w, h int
+	}
+	var placedOrder []string
+	rows := 0
+	y := d.Die.Min.Y
+	i := 0
+	for i < len(order) {
+		if y+rowH > d.Die.Max.Y {
+			return nil, fmt.Errorf("%w: design does not fit die (placed %d of %d)", ErrPlace, i, len(order))
+		}
+		x := d.Die.Min.X
+		rows++
+		for i < len(order) {
+			inst := top.Instances[order[i]]
+			m, _ := d.Lib.Macro(inst.Master)
+			if x+m.Size.X > d.Die.Max.X {
+				break // next row
+			}
+			r := geom.R(x, y, x+m.Size.X, y+rowH)
+			if ko := hitKeepout(r, opts.Keepouts); ko != nil {
+				// Jump past the keepout.
+				x = ko.Max.X
+				continue
+			}
+			d.Placements[order[i]] = phys.Placement{Pos: geom.Pt(x, y), Orient: geom.R0}
+			placedOrder = append(placedOrder, order[i])
+			x += m.Size.X
+			i++
+		}
+		y += rowH
+	}
+
+	res := &Result{Rows: rows}
+	hp, err := d.HPWL()
+	if err != nil {
+		return nil, err
+	}
+	res.InitialHPWL = hp
+
+	// Pairwise swap improvement among equal-width cells.
+	idx := buildNetIndex(d)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := len(placedOrder)
+	for pass := 0; pass < opts.SwapPasses; pass++ {
+		for trial := 0; trial < n*4; trial++ {
+			a := placedOrder[rng.Intn(n)]
+			b := placedOrder[rng.Intn(n)]
+			if a == b {
+				continue
+			}
+			ma, _ := d.Lib.Macro(top.Instances[a].Master)
+			mb, _ := d.Lib.Macro(top.Instances[b].Master)
+			if ma.Size != mb.Size {
+				continue
+			}
+			before := idx.hpwlAround(d, a) + idx.hpwlAround(d, b)
+			pa, pb := d.Placements[a], d.Placements[b]
+			d.Placements[a], d.Placements[b] = pb, pa
+			after := idx.hpwlAround(d, a) + idx.hpwlAround(d, b)
+			if after >= before {
+				d.Placements[a], d.Placements[b] = pa, pb
+				continue
+			}
+			res.Swaps++
+		}
+	}
+	hp, err = d.HPWL()
+	if err != nil {
+		return nil, err
+	}
+	res.FinalHPWL = hp
+	return res, nil
+}
+
+func hitKeepout(r geom.Rect, kos []geom.Rect) *geom.Rect {
+	for i := range kos {
+		if inter, ok := r.Intersect(kos[i]); ok && inter.Area() > 0 {
+			return &kos[i]
+		}
+	}
+	return nil
+}
+
+// bfsOrder orders instances by connectivity from the most-connected seed,
+// so tightly coupled cells land near each other in the packing.
+func bfsOrder(d *phys.Design, names []string) []string {
+	top := d.TopCell()
+	// adjacency via shared nets
+	netInsts := make(map[string][]string)
+	for _, in := range names {
+		for _, net := range top.Instances[in].Conns {
+			netInsts[net] = append(netInsts[net], in)
+		}
+	}
+	degree := make(map[string]int)
+	for _, in := range names {
+		degree[in] = len(top.Instances[in].Conns)
+	}
+	seed := names[0]
+	for _, in := range names {
+		if degree[in] > degree[seed] || (degree[in] == degree[seed] && in < seed) {
+			seed = in
+		}
+	}
+	visited := map[string]bool{}
+	var order []string
+	queue := []string{seed}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if visited[cur] {
+			continue
+		}
+		visited[cur] = true
+		order = append(order, cur)
+		var nbrs []string
+		for _, net := range top.Instances[cur].Conns {
+			nbrs = append(nbrs, netInsts[net]...)
+		}
+		sort.Strings(nbrs)
+		for _, nb := range nbrs {
+			if !visited[nb] {
+				queue = append(queue, nb)
+			}
+		}
+	}
+	// Disconnected leftovers in name order.
+	for _, in := range names {
+		if !visited[in] {
+			order = append(order, in)
+		}
+	}
+	return order
+}
+
+// netIndex accelerates incremental HPWL deltas.
+type netIndex struct {
+	// instNets lists nets touching each instance.
+	instNets map[string][]string
+	// netPins lists (inst, pin) per net.
+	netPins map[string][][2]string
+}
+
+func buildNetIndex(d *phys.Design) *netIndex {
+	top := d.TopCell()
+	ni := &netIndex{
+		instNets: make(map[string][]string),
+		netPins:  make(map[string][][2]string),
+	}
+	for _, in := range top.InstanceNames() {
+		inst := top.Instances[in]
+		seen := map[string]bool{}
+		pins := make([]string, 0, len(inst.Conns))
+		for pin := range inst.Conns {
+			pins = append(pins, pin)
+		}
+		sort.Strings(pins)
+		for _, pin := range pins {
+			net := inst.Conns[pin]
+			ni.netPins[net] = append(ni.netPins[net], [2]string{in, pin})
+			if !seen[net] {
+				seen[net] = true
+				ni.instNets[in] = append(ni.instNets[in], net)
+			}
+		}
+	}
+	return ni
+}
+
+// hpwlAround sums HPWL over nets touching one instance.
+func (ni *netIndex) hpwlAround(d *phys.Design, inst string) int {
+	total := 0
+	for _, net := range ni.instNets[inst] {
+		pins := ni.netPins[net]
+		if len(pins) < 2 {
+			continue
+		}
+		first := true
+		var minX, minY, maxX, maxY int
+		for _, ip := range pins {
+			p, err := d.PinPos(ip[0], ip[1])
+			if err != nil {
+				continue
+			}
+			if first {
+				minX, maxX, minY, maxY = p.X, p.X, p.Y, p.Y
+				first = false
+				continue
+			}
+			if p.X < minX {
+				minX = p.X
+			}
+			if p.X > maxX {
+				maxX = p.X
+			}
+			if p.Y < minY {
+				minY = p.Y
+			}
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+		}
+		total += (maxX - minX) + (maxY - minY)
+	}
+	return total
+}

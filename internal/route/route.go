@@ -1,0 +1,813 @@
+// Package route is a two-layer grid maze router that honours per-net
+// topology rules — width in tracks, spacing to foreign nets, and grounded
+// shields — exactly the constraint classes Section 4 says the designer must
+// push into P&R tools: "routers should be able to accept width
+// specifications for selected nets. Some tools can not support these
+// requirements..." The Audit function measures what happens when they
+// don't: a design routed with dropped rules is checked against the full
+// rules and the damage is counted.
+package route
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/phys"
+)
+
+// ErrRoute reports routing failures.
+var ErrRoute = errors.New("route: error")
+
+// Rule is a per-net routing rule, all distances in tracks.
+type Rule struct {
+	WidthTracks   int
+	SpacingTracks int
+	Shield        bool
+	// MaxCoupledLen bounds the parallel run with any single foreign net,
+	// in grid units; 0 = unconstrained.
+	MaxCoupledLen int
+}
+
+// Options configures routing.
+type Options struct {
+	// Pitch is the routing grid pitch in DBU; default 10.
+	Pitch int
+	// Rules are the per-net rules the router enforces.
+	Rules map[string]Rule
+	// Keepouts block routing.
+	Keepouts []geom.Rect
+	// SkipNets are excluded (power/ground distributed by the floorplan).
+	SkipNets map[string]bool
+	// PlainBFS disables the congestion-aware cost function (vias and
+	// pin-adjacent cells cost the same as open fabric) — the ablation knob
+	// for the router's key design choice.
+	PlainBFS bool
+}
+
+// Segment is one routed wire piece in grid coordinates.
+type Segment struct {
+	Layer int // 0 = horizontal layer, 1 = vertical layer
+	A, B  geom.Point
+}
+
+// Result is the routing outcome plus the occupancy grid for auditing.
+type Result struct {
+	Segments    map[string][]Segment
+	Wirelength  int
+	Vias        int
+	Failed      []string
+	FailReasons []string
+	ShieldLen   int
+	grid        *Grid
+	rules       map[string]Rule
+}
+
+// Grid is the routing fabric occupancy: per layer, per cell, the owning
+// net ("" = free, "#" = blocked, "!"+net = shield of net, "~"+net =
+// clearance halo of net, "?"+net = pending pin reservation).
+type Grid struct {
+	W, H  int
+	Pitch int
+	own   [2][]string
+	pin   []bool // pin landing cells (both layers), exempt from spacing
+	// plainBFS disables congestion-aware costs (ablation).
+	plainBFS bool
+}
+
+// NewGrid allocates a fabric covering the die.
+func NewGrid(die geom.Rect, pitch int) *Grid {
+	w := die.Dx()/pitch + 1
+	h := die.Dy()/pitch + 1
+	g := &Grid{W: w, H: h, Pitch: pitch, pin: make([]bool, w*h)}
+	for l := 0; l < 2; l++ {
+		g.own[l] = make([]string, w*h)
+	}
+	return g
+}
+
+// isPin reports whether a cell is a pin landing pad.
+func (g *Grid) isPin(x, y int) bool {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return false
+	}
+	return g.pin[y*g.W+x]
+}
+
+// Owner returns the occupant of a cell.
+func (g *Grid) Owner(layer, x, y int) string {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return "#"
+	}
+	return g.own[layer][y*g.W+x]
+}
+
+func (g *Grid) set(layer, x, y int, net string) {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return
+	}
+	g.own[layer][y*g.W+x] = net
+}
+
+// Route connects every multi-pin net of the design's top cell.
+func Route(d *phys.Design, opts Options) (*Result, error) {
+	if opts.Pitch <= 0 {
+		opts.Pitch = 10
+	}
+	g := NewGrid(d.Die, opts.Pitch)
+	g.plainBFS = opts.PlainBFS
+	// Block keepouts on both layers.
+	for _, ko := range opts.Keepouts {
+		x0 := (ko.Min.X - d.Die.Min.X) / opts.Pitch
+		y0 := (ko.Min.Y - d.Die.Min.Y) / opts.Pitch
+		// The max edge is exclusive: a cell starting exactly at Max lies
+		// outside the keepout.
+		x1 := gridMax(ko.Max.X-d.Die.Min.X, opts.Pitch)
+		y1 := gridMax(ko.Max.Y-d.Die.Min.Y, opts.Pitch)
+		for x := x0; x <= x1; x++ {
+			for y := y0; y <= y1; y++ {
+				g.set(0, x, y, "#")
+				g.set(1, x, y, "#")
+			}
+		}
+	}
+
+	res := &Result{
+		Segments: make(map[string][]Segment),
+		grid:     g,
+		rules:    opts.Rules,
+	}
+	top := d.TopCell()
+
+	// Gather pins per net in grid coordinates.
+	netPins := make(map[string][]geom.Point)
+	for _, in := range top.InstanceNames() {
+		inst := top.Instances[in]
+		pins := make([]string, 0, len(inst.Conns))
+		for p := range inst.Conns {
+			pins = append(pins, p)
+		}
+		sort.Strings(pins)
+		for _, pin := range pins {
+			net := inst.Conns[pin]
+			if opts.SkipNets[net] {
+				continue
+			}
+			pos, err := d.PinPos(in, pin)
+			if err != nil {
+				return nil, err
+			}
+			gp := geom.Pt((pos.X-d.Die.Min.X)/opts.Pitch, (pos.Y-d.Die.Min.Y)/opts.Pitch)
+			netPins[net] = append(netPins[net], gp)
+		}
+	}
+
+	// Pre-reserve every pin cell on both layers so no net can route
+	// through another net's landing pad. Reserved cells carry a pending
+	// marker ("?net"): foreign nets treat them as obstacles, the owning
+	// net may claim them, and they do not count as connected yet.
+	{
+		names := make([]string, 0, len(netPins))
+		for n := range netPins {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			for _, p := range netPins[n] {
+				if p.X >= 0 && p.Y >= 0 && p.X < g.W && p.Y < g.H {
+					g.pin[p.Y*g.W+p.X] = true
+				}
+				// Pins live on the horizontal layer only; the layer above
+				// stays routable for through-traffic.
+				if g.Owner(0, p.X, p.Y) == "" {
+					g.set(0, p.X, p.Y, "?"+n)
+				}
+			}
+		}
+	}
+
+	// Net ordering: constrained nets first (they need clean fabric), then
+	// by pin count descending, then name.
+	nets := make([]string, 0, len(netPins))
+	for n, ps := range netPins {
+		if len(ps) >= 2 {
+			nets = append(nets, n)
+		}
+	}
+	sort.Slice(nets, func(i, j int) bool {
+		_, ci := opts.Rules[nets[i]]
+		_, cj := opts.Rules[nets[j]]
+		if ci != cj {
+			return ci
+		}
+		if len(netPins[nets[i]]) != len(netPins[nets[j]]) {
+			return len(netPins[nets[i]]) > len(netPins[nets[j]])
+		}
+		return nets[i] < nets[j]
+	})
+
+	routeAll(g, res, nets, netPins, opts)
+	if len(res.Failed) == 0 {
+		return res, nil
+	}
+
+	// Rip-up and retry: rebuild the fabric from scratch with the failed
+	// nets promoted to the front of the order (they get virgin fabric), up
+	// to a few passes; keep the best attempt.
+	best := res
+	order := nets
+	for pass := 0; pass < 6 && len(best.Failed) > 0; pass++ {
+		order = promoteFailed(order, best.Failed)
+		if pass > 0 {
+			// Perturb the tail so successive passes explore different
+			// packings once the failed set stabilizes.
+			order = rotateTail(order, len(best.Failed), pass)
+		}
+		attempt := &Result{Segments: make(map[string][]Segment), rules: opts.Rules}
+		g2 := freshGrid(d, opts, netPins)
+		attempt.grid = g2
+		routeAll(g2, attempt, order, netPins, opts)
+		if len(attempt.Failed) < len(best.Failed) {
+			best = attempt
+		}
+	}
+	return best, nil
+}
+
+// rotateTail rotates the portion of order after the first keep entries by
+// k positions.
+func rotateTail(order []string, keep, k int) []string {
+	if keep >= len(order) {
+		return order
+	}
+	tail := append([]string(nil), order[keep:]...)
+	n := len(tail)
+	k = k % n
+	out := append([]string(nil), order[:keep]...)
+	out = append(out, tail[k:]...)
+	out = append(out, tail[:k]...)
+	return out
+}
+
+// routeAll routes every net in order on the given fabric.
+func routeAll(g *Grid, res *Result, order []string, netPins map[string][]geom.Point, opts Options) {
+	for _, net := range order {
+		rule := opts.Rules[net]
+		if rule.WidthTracks < 1 {
+			rule.WidthTracks = 1
+		}
+		if err := routeNet(g, res, net, netPins[net], rule); err != nil {
+			res.Failed = append(res.Failed, net)
+			res.FailReasons = append(res.FailReasons, err.Error())
+		}
+	}
+}
+
+// promoteFailed moves failed nets to the front, preserving relative order
+// elsewhere.
+func promoteFailed(order, failed []string) []string {
+	bad := make(map[string]bool, len(failed))
+	for _, f := range failed {
+		bad[f] = true
+	}
+	out := make([]string, 0, len(order))
+	for _, n := range order {
+		if bad[n] {
+			out = append(out, n)
+		}
+	}
+	for _, n := range order {
+		if !bad[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// freshGrid rebuilds the fabric with keepouts and pin reservations.
+func freshGrid(d *phys.Design, opts Options, netPins map[string][]geom.Point) *Grid {
+	g := NewGrid(d.Die, opts.Pitch)
+	g.plainBFS = opts.PlainBFS
+	for _, ko := range opts.Keepouts {
+		x0 := (ko.Min.X - d.Die.Min.X) / opts.Pitch
+		y0 := (ko.Min.Y - d.Die.Min.Y) / opts.Pitch
+		x1 := gridMax(ko.Max.X-d.Die.Min.X, opts.Pitch)
+		y1 := gridMax(ko.Max.Y-d.Die.Min.Y, opts.Pitch)
+		for x := x0; x <= x1; x++ {
+			for y := y0; y <= y1; y++ {
+				g.set(0, x, y, "#")
+				g.set(1, x, y, "#")
+			}
+		}
+	}
+	names := make([]string, 0, len(netPins))
+	for n := range netPins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, p := range netPins[n] {
+			if p.X >= 0 && p.Y >= 0 && p.X < g.W && p.Y < g.H {
+				g.pin[p.Y*g.W+p.X] = true
+			}
+			if g.Owner(0, p.X, p.Y) == "" {
+				g.set(0, p.X, p.Y, "?"+n)
+			}
+		}
+	}
+	return g
+}
+
+// gridMax converts an exclusive DBU bound to an inclusive grid index.
+func gridMax(v, pitch int) int {
+	if v%pitch == 0 {
+		return v/pitch - 1
+	}
+	return v / pitch
+}
+
+type node struct {
+	l, x, y int
+}
+
+// routeNet maze-routes one net, connecting pins one at a time to the grown
+// net region.
+func routeNet(g *Grid, res *Result, net string, pins []geom.Point, rule Rule) error {
+	// Seed: first pin on both layers. Pins claim at width 1 — the width
+	// rule governs wires; pad cells must not stomp on neighbors' halos.
+	seed := pins[0]
+	pinRule := Rule{WidthTracks: 1}
+	claim(g, net, node{0, seed.X, seed.Y}, pinRule)
+	for _, target := range pins[1:] {
+		if g.Owner(0, target.X, target.Y) == net {
+			continue // already on the net (shared pin cell)
+		}
+		path, err := bfs(g, net, node{0, target.X, target.Y}, rule)
+		if err != nil {
+			return err
+		}
+		// Claim the path and record segments. The pin landing itself
+		// claims at width 1 like the seed did, and the success cell
+		// (path[0]) is already owned by the net — re-claiming it at full
+		// width would stomp neighbors the search never verified.
+		for i, n := range path {
+			switch {
+			case i == 0:
+				// already owned; no claim
+			case i == len(path)-1:
+				claim(g, net, n, pinRule)
+			default:
+				claim(g, net, n, rule)
+			}
+			if i > 0 {
+				p := path[i-1]
+				if p.l != n.l {
+					res.Vias++
+				} else {
+					res.Wirelength++
+					res.Segments[net] = append(res.Segments[net], Segment{
+						Layer: n.l, A: geom.Pt(p.x, p.y), B: geom.Pt(n.x, n.y)})
+				}
+			}
+		}
+	}
+	if rule.Shield {
+		res.ShieldLen += addShields(g, res, net)
+	}
+	if rule.SpacingTracks > 0 {
+		// Spacing is symmetric: reserve a clearance halo so nets routed
+		// later cannot violate this net's rule either.
+		addHalo(g, net, rule.SpacingTracks)
+	}
+	return nil
+}
+
+// addHalo reserves free cells within dist perpendicular tracks of the
+// net's wires using the clearance marker "~net" — an obstacle to foreign
+// nets that audits ignore, distinct from the shield marker because a
+// clearance halo is empty space, not a grounded wire.
+func addHalo(g *Grid, net string, dist int) {
+	marker := "~" + net
+	for l := 0; l < 2; l++ {
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				if g.Owner(l, x, y) != net {
+					continue
+				}
+				for s := 1; s <= dist; s++ {
+					var cells []node
+					if l == 0 {
+						cells = []node{{l, x, y - s}, {l, x, y + s}}
+					} else {
+						cells = []node{{l, x - s, y}, {l, x + s, y}}
+					}
+					for _, c := range cells {
+						if c.x >= 0 && c.y >= 0 && c.x < g.W && c.y < g.H && g.Owner(c.l, c.x, c.y) == "" {
+							g.set(c.l, c.x, c.y, marker)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// claim marks a cell (and its width expansion) as owned by net.
+func claim(g *Grid, net string, n node, rule Rule) {
+	g.set(n.l, n.x, n.y, net)
+	// Width expansion perpendicular to the layer direction.
+	for w := 1; w < rule.WidthTracks; w++ {
+		if n.l == 0 {
+			g.set(n.l, n.x, n.y+w, net)
+		} else {
+			g.set(n.l, n.x+w, n.y, net)
+		}
+	}
+}
+
+// usable reports whether the net may occupy cell n under its rule: the
+// cell (and width expansion) must be free or already the net's own, and
+// the spacing clearance must hold against foreign nets.
+func usable(g *Grid, net string, n node, rule Rule) bool {
+	cells := []node{n}
+	for w := 1; w < rule.WidthTracks; w++ {
+		if n.l == 0 {
+			cells = append(cells, node{n.l, n.x, n.y + w})
+		} else {
+			cells = append(cells, node{n.l, n.x + w, n.y})
+		}
+	}
+	for _, c := range cells {
+		if c.x < 0 || c.y < 0 || c.x >= g.W || c.y >= g.H {
+			return false
+		}
+		if o := g.Owner(c.l, c.x, c.y); !ownCell(o, net) && o != "" {
+			return false
+		}
+		// Spacing: foreign occupants within the clearance window fail.
+		// Pin landing pads are exempt — spacing rules govern parallel
+		// wires, not fixed pin geometry.
+		if g.isPin(c.x, c.y) {
+			continue
+		}
+		for s := 1; s <= rule.SpacingTracks; s++ {
+			var cells2 []node
+			if c.l == 0 {
+				cells2 = []node{{c.l, c.x, c.y - s}, {c.l, c.x, c.y + s}}
+			} else {
+				cells2 = []node{{c.l, c.x - s, c.y}, {c.l, c.x + s, c.y}}
+			}
+			for _, c2 := range cells2 {
+				if g.isPin(c2.x, c2.y) {
+					continue
+				}
+				// Spacing measures to real foreign wires; shields, halos
+				// and blockages are not aggressors.
+				o := g.Owner(c2.l, c2.x, c2.y)
+				if o != "" && !ownCell(o, net) && o != "#" && o[0] != '!' && o[0] != '~' {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ownCell reports whether a cell owner is the net itself or its pending
+// pin reservation.
+func ownCell(owner, net string) bool {
+	return owner == net || owner == "?"+net
+}
+
+// foreignSignal reports whether a cell owner is another net's signal wire
+// (not free, not blockage, not shield, not halo, not a pending pin, not
+// our own).
+func foreignSignal(owner, net string) bool {
+	return owner != "" && !ownCell(owner, net) && owner != "#" &&
+		owner[0] != '!' && owner[0] != '~' && owner[0] != '?'
+}
+
+func isShieldOf(owner, net string) bool {
+	return owner == "!"+net
+}
+
+// bfs is a uniform-cost search from the target back to any cell already
+// owned by net. The cost function is congestion-aware: vias cost extra and
+// cells adjacent to pin landing pads are discouraged, so wires prefer open
+// fabric and leave pin escapes for the nets that need them.
+func bfs(g *Grid, net string, from node, rule Rule) ([]node, error) {
+	// The pin landing needs only its own cell (width rules govern wires).
+	if !usable(g, net, from, Rule{WidthTracks: 1}) {
+		return nil, fmt.Errorf("%w: net %s pin cell blocked", ErrRoute, net)
+	}
+	viaCost, pinAdjCost := 3, 4
+	if g.plainBFS {
+		viaCost, pinAdjCost = 1, 0
+	}
+	prev := make(map[node]node)
+	dist := map[node]int{from: 0}
+	// Bucket queue: costs are small integers.
+	buckets := map[int][]node{0: {from}}
+	maxCost := 0
+	for d := 0; d <= maxCost+1; d++ {
+		for len(buckets[d]) > 0 {
+			cur := buckets[d][len(buckets[d])-1]
+			buckets[d] = buckets[d][:len(buckets[d])-1]
+			if dist[cur] != d {
+				continue // stale entry
+			}
+			if g.Owner(cur.l, cur.x, cur.y) == net {
+				var path []node
+				for n := cur; ; {
+					path = append(path, n)
+					p, ok := prev[n]
+					if !ok {
+						break
+					}
+					n = p
+				}
+				return path, nil
+			}
+			for _, nb := range neighbors(cur) {
+				owner := g.Owner(nb.l, nb.x, nb.y)
+				if !(owner == net || (ownCell(owner, net) || owner == "") && usable(g, net, nb, rule)) {
+					continue
+				}
+				step := 1
+				if nb.l != cur.l {
+					step = viaCost
+				}
+				if owner != net && nearPin(g, nb) {
+					step += pinAdjCost
+				}
+				nd := d + step
+				if old, ok := dist[nb]; ok && old <= nd {
+					continue
+				}
+				dist[nb] = nd
+				prev[nb] = cur
+				buckets[nd] = append(buckets[nd], nb)
+				if nd > maxCost {
+					maxCost = nd
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: net %s unroutable", ErrRoute, net)
+}
+
+// nearPin reports whether a cell is a pin pad or directly adjacent to one.
+func nearPin(g *Grid, n node) bool {
+	if g.isPin(n.x, n.y) {
+		return true
+	}
+	return g.isPin(n.x-1, n.y) || g.isPin(n.x+1, n.y) ||
+		g.isPin(n.x, n.y-1) || g.isPin(n.x, n.y+1)
+}
+
+// neighbors yields legal moves: along the layer's direction, plus vias.
+func neighbors(n node) []node {
+	var out []node
+	if n.l == 0 { // horizontal layer
+		out = append(out, node{0, n.x - 1, n.y}, node{0, n.x + 1, n.y})
+	} else {
+		out = append(out, node{1, n.x, n.y - 1}, node{1, n.x, n.y + 1})
+	}
+	out = append(out, node{1 - n.l, n.x, n.y})
+	return out
+}
+
+// addShields occupies free tracks adjacent to the net's wires with shield
+// markers and returns the shield wirelength added.
+func addShields(g *Grid, res *Result, net string) int {
+	added := 0
+	marker := "!" + net
+	for l := 0; l < 2; l++ {
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				if g.Owner(l, x, y) != net {
+					continue
+				}
+				var adj []node
+				if l == 0 {
+					adj = []node{{l, x, y - 1}, {l, x, y + 1}}
+				} else {
+					adj = []node{{l, x - 1, y}, {l, x + 1, y}}
+				}
+				for _, a := range adj {
+					if a.x >= 0 && a.y >= 0 && a.x < g.W && a.y < g.H && g.Owner(a.l, a.x, a.y) == "" {
+						g.set(a.l, a.x, a.y, marker)
+						added++
+					}
+				}
+			}
+		}
+	}
+	return added
+}
+
+// --- audit -------------------------------------------------------------
+
+// Violation is one audit finding.
+type Violation struct {
+	Net    string
+	Kind   string // "width", "spacing", "shield", "coupling", "unrouted"
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("net %s: %s violation: %s", v.Net, v.Kind, v.Detail)
+}
+
+// CouplingRun measures the longest parallel adjacency between a net and
+// any single foreign net, in grid units.
+func (r *Result) CouplingRun(net string) (worstNet string, run int) {
+	g := r.grid
+	runs := make(map[string]int)
+	for l := 0; l < 2; l++ {
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				if g.Owner(l, x, y) != net {
+					continue
+				}
+				var adj []node
+				if l == 0 {
+					adj = []node{{l, x, y - 1}, {l, x, y + 1}}
+				} else {
+					adj = []node{{l, x - 1, y}, {l, x + 1, y}}
+				}
+				for _, a := range adj {
+					if o := g.Owner(a.l, a.x, a.y); foreignSignal(o, net) {
+						runs[o]++
+					}
+				}
+			}
+		}
+	}
+	for n, c := range runs {
+		if c > run || (c == run && n < worstNet) {
+			worstNet, run = n, c
+		}
+	}
+	return worstNet, run
+}
+
+// actualMinWidth computes the narrowest point of a routed net in tracks.
+func (r *Result) actualMinWidth(net string) int {
+	g := r.grid
+	min := 1 << 30
+	found := false
+	for l := 0; l < 2; l++ {
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				if g.Owner(l, x, y) != net || g.isPin(x, y) {
+					continue
+				}
+				found = true
+				// Count contiguous own cells perpendicular.
+				w := 1
+				if l == 0 {
+					for d := 1; g.Owner(l, x, y+d) == net; d++ {
+						w++
+					}
+					for d := 1; g.Owner(l, x, y-d) == net; d++ {
+						w++
+					}
+				} else {
+					for d := 1; g.Owner(l, x+d, y) == net; d++ {
+						w++
+					}
+					for d := 1; g.Owner(l, x-d, y) == net; d++ {
+						w++
+					}
+				}
+				if w < min {
+					min = w
+				}
+			}
+		}
+	}
+	if !found {
+		return 0
+	}
+	return min
+}
+
+// minClearance finds the smallest distance (tracks) from the net's wires to
+// any foreign signal wire.
+func (r *Result) minClearance(net string, window int) int {
+	g := r.grid
+	min := window + 1
+	for l := 0; l < 2; l++ {
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				if g.Owner(l, x, y) != net || g.isPin(x, y) {
+					continue
+				}
+				for s := 1; s <= window; s++ {
+					var cells []node
+					if l == 0 {
+						cells = []node{{l, x, y - s}, {l, x, y + s}}
+					} else {
+						cells = []node{{l, x - s, y}, {l, x + s, y}}
+					}
+					for _, c := range cells {
+						if g.isPin(c.x, c.y) {
+							continue
+						}
+						if o := g.Owner(c.l, c.x, c.y); foreignSignal(o, net) {
+							if s < min {
+								min = s
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return min
+}
+
+// shieldCoverage reports the fraction of the net's adjacent tracks that are
+// shield- or self-occupied.
+func (r *Result) shieldCoverage(net string) float64 {
+	g := r.grid
+	var total, covered int
+	for l := 0; l < 2; l++ {
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				if g.Owner(l, x, y) != net || g.isPin(x, y) {
+					continue
+				}
+				var adj []node
+				if l == 0 {
+					adj = []node{{l, x, y - 1}, {l, x, y + 1}}
+				} else {
+					adj = []node{{l, x - 1, y}, {l, x + 1, y}}
+				}
+				for _, a := range adj {
+					if a.x < 0 || a.y < 0 || a.x >= g.W || a.y >= g.H {
+						continue
+					}
+					total++
+					o := g.Owner(a.l, a.x, a.y)
+					if ownCell(o, net) || isShieldOf(o, net) || g.isPin(a.x, a.y) {
+						covered++
+					}
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 1 // no wire cells outside pins: nothing needs shielding
+	}
+	return float64(covered) / float64(total)
+}
+
+// Audit checks the routed result against a full rule set — typically the
+// floorplan's original intent, not the possibly-degraded rules the router
+// was given — and reports every breach.
+func Audit(res *Result, fullRules map[string]Rule) []Violation {
+	var out []Violation
+	nets := make([]string, 0, len(fullRules))
+	for n := range fullRules {
+		nets = append(nets, n)
+	}
+	sort.Strings(nets)
+	failed := make(map[string]bool, len(res.Failed))
+	for _, f := range res.Failed {
+		failed[f] = true
+	}
+	for _, net := range nets {
+		rule := fullRules[net]
+		if failed[net] {
+			out = append(out, Violation{Net: net, Kind: "unrouted", Detail: "router gave up"})
+			continue
+		}
+		if w := res.actualMinWidth(net); rule.WidthTracks > 1 && w > 0 && w < rule.WidthTracks {
+			out = append(out, Violation{Net: net, Kind: "width",
+				Detail: fmt.Sprintf("routed %d tracks, need %d", w, rule.WidthTracks)})
+		}
+		if rule.SpacingTracks > 0 {
+			if c := res.minClearance(net, rule.SpacingTracks); c <= rule.SpacingTracks {
+				out = append(out, Violation{Net: net, Kind: "spacing",
+					Detail: fmt.Sprintf("clearance %d tracks, need > %d", c, rule.SpacingTracks)})
+			}
+		}
+		if rule.Shield {
+			if cov := res.shieldCoverage(net); cov < 0.9 {
+				out = append(out, Violation{Net: net, Kind: "shield",
+					Detail: fmt.Sprintf("coverage %.0f%%, need 90%%", cov*100)})
+			}
+		}
+		if rule.MaxCoupledLen > 0 {
+			if agg, run := res.CouplingRun(net); run > rule.MaxCoupledLen {
+				out = append(out, Violation{Net: net, Kind: "coupling",
+					Detail: fmt.Sprintf("parallel run %d with %s exceeds %d", run, agg, rule.MaxCoupledLen)})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package schematic
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Bus naming is one of the paper's concrete Section 2 battles: the
+// Viewlogic-like dialect allows condensed syntax ("A0" is bit 0 of bus
+// A<0:15>) and postfix indicators ("myBus<0:15>-"); the Cadence-like
+// dialect requires fully explicit syntax and rejects both. BusSyntax
+// captures a dialect's rules; Parse/Format translate between them.
+
+// ErrBusSyntax reports a name that violates the active bus syntax rules.
+var ErrBusSyntax = errors.New("schematic: bus syntax error")
+
+// BusSyntax describes one tool's naming rules.
+type BusSyntax struct {
+	// Condensed permits "A0" to denote bit 0 of a bus named A when a bus
+	// of that base name is known in scope.
+	Condensed bool
+	// PostfixIndicators permits trailing marker characters ('-', '+')
+	// after a bus range.
+	PostfixIndicators bool
+	// ExplicitOnly requires every bus reference to use <..> notation;
+	// "A0" is then a scalar net name distinct from "A<0>".
+	ExplicitOnly bool
+}
+
+// Pre-built syntaxes for the two dialects of Section 2.
+var (
+	// VLSyntax models the permissive source tool.
+	VLSyntax = BusSyntax{Condensed: true, PostfixIndicators: true}
+	// CDSyntax models the strict target tool.
+	CDSyntax = BusSyntax{ExplicitOnly: true}
+)
+
+// RefKind is the shape of a parsed net reference.
+type RefKind uint8
+
+// Reference kinds.
+const (
+	RefScalar RefKind = iota // plain net: "clk"
+	RefBit                   // single bus bit: "A<3>"
+	RefRange                 // bus slice: "A<0:15>"
+)
+
+// BusRef is a parsed net name.
+type BusRef struct {
+	Base    string
+	Kind    RefKind
+	Msb     int // first index in written order
+	Lsb     int // second index (== Msb for RefBit)
+	Postfix string
+}
+
+// Width returns the number of bits the reference denotes.
+func (r BusRef) Width() int {
+	if r.Kind == RefScalar {
+		return 1
+	}
+	d := r.Msb - r.Lsb
+	if d < 0 {
+		d = -d
+	}
+	return d + 1
+}
+
+// Bits expands the reference into explicit single-bit names in written
+// order, always using canonical "<n>" notation.
+func (r BusRef) Bits() []string {
+	switch r.Kind {
+	case RefScalar:
+		return []string{r.Base}
+	case RefBit:
+		return []string{fmt.Sprintf("%s<%d>", r.Base, r.Msb)}
+	default:
+		step := 1
+		if r.Msb > r.Lsb {
+			step = -1
+		}
+		var out []string
+		for i := r.Msb; ; i += step {
+			out = append(out, fmt.Sprintf("%s<%d>", r.Base, i))
+			if i == r.Lsb {
+				break
+			}
+		}
+		return out
+	}
+}
+
+// ParseBus parses name under the given syntax rules. knownBuses supplies the
+// bus base names in scope, which condensed syntax needs to disambiguate
+// ("A0" is bit 0 of A only if a bus A exists; otherwise it is scalar "A0").
+func ParseBus(name string, syn BusSyntax, knownBuses map[string]bool) (BusRef, error) {
+	if name == "" {
+		return BusRef{}, fmt.Errorf("%w: empty name", ErrBusSyntax)
+	}
+	ref := BusRef{Base: name, Kind: RefScalar}
+
+	// Postfix indicators.
+	core := name
+	if strings.HasSuffix(core, "-") || strings.HasSuffix(core, "+") {
+		if idx := strings.IndexAny(core, "<"); idx >= 0 || syn.Condensed {
+			// A trailing marker after a range or condensed name.
+			post := core[len(core)-1:]
+			if !syn.PostfixIndicators {
+				return BusRef{}, fmt.Errorf("%w: postfix indicator %q not permitted in %q", ErrBusSyntax, post, name)
+			}
+			ref.Postfix = post
+			core = core[:len(core)-1]
+		}
+	}
+
+	// Explicit <...> forms.
+	if open := strings.IndexByte(core, '<'); open >= 0 {
+		if !strings.HasSuffix(core, ">") {
+			return BusRef{}, fmt.Errorf("%w: unterminated range in %q", ErrBusSyntax, name)
+		}
+		base := core[:open]
+		if base == "" {
+			return BusRef{}, fmt.Errorf("%w: missing base name in %q", ErrBusSyntax, name)
+		}
+		inner := core[open+1 : len(core)-1]
+		ref.Base = base
+		if colon := strings.IndexByte(inner, ':'); colon >= 0 {
+			msb, err1 := strconv.Atoi(inner[:colon])
+			lsb, err2 := strconv.Atoi(inner[colon+1:])
+			if err1 != nil || err2 != nil {
+				return BusRef{}, fmt.Errorf("%w: bad range %q in %q", ErrBusSyntax, inner, name)
+			}
+			ref.Kind = RefRange
+			ref.Msb, ref.Lsb = msb, lsb
+			return ref, nil
+		}
+		bit, err := strconv.Atoi(inner)
+		if err != nil {
+			return BusRef{}, fmt.Errorf("%w: bad bit index %q in %q", ErrBusSyntax, inner, name)
+		}
+		ref.Kind = RefBit
+		ref.Msb, ref.Lsb = bit, bit
+		return ref, nil
+	}
+
+	// Condensed form: trailing digits denote a bit when the base is a
+	// known bus.
+	if syn.Condensed {
+		i := len(core)
+		for i > 0 && core[i-1] >= '0' && core[i-1] <= '9' {
+			i--
+		}
+		if i > 0 && i < len(core) {
+			base := core[:i]
+			if knownBuses[base] {
+				bit, err := strconv.Atoi(core[i:])
+				if err != nil {
+					return BusRef{}, fmt.Errorf("%w: bad condensed bit in %q", ErrBusSyntax, name)
+				}
+				ref.Base = base
+				ref.Kind = RefBit
+				ref.Msb, ref.Lsb = bit, bit
+				return ref, nil
+			}
+		}
+	}
+
+	ref.Base = core
+	return ref, nil
+}
+
+// FormatBus renders a reference under the target syntax. Postfix markers are
+// preserved where legal; under a syntax that forbids them the marker is
+// folded into the base name (the paper: "the postfix indicators were
+// adjusted to keep the net names unique"). renamed reports whether the
+// output differs from what the source tool wrote.
+func FormatBus(r BusRef, syn BusSyntax) (string, error) {
+	var core string
+	switch r.Kind {
+	case RefScalar:
+		core = r.Base
+	case RefBit:
+		core = fmt.Sprintf("%s<%d>", r.Base, r.Msb)
+	case RefRange:
+		core = fmt.Sprintf("%s<%d:%d>", r.Base, r.Msb, r.Lsb)
+	default:
+		return "", fmt.Errorf("%w: unknown ref kind %d", ErrBusSyntax, r.Kind)
+	}
+	if r.Postfix == "" {
+		return core, nil
+	}
+	if syn.PostfixIndicators {
+		return core + r.Postfix, nil
+	}
+	// Fold the marker into the base to keep names unique without the
+	// forbidden trailing indicator.
+	suffix := "_n"
+	if r.Postfix == "+" {
+		suffix = "_p"
+	}
+	switch r.Kind {
+	case RefScalar:
+		return r.Base + suffix, nil
+	case RefBit:
+		return fmt.Sprintf("%s%s<%d>", r.Base, suffix, r.Msb), nil
+	default:
+		return fmt.Sprintf("%s%s<%d:%d>", r.Base, suffix, r.Msb, r.Lsb), nil
+	}
+}
+
+// TranslateBusName converts a net name from one syntax to another,
+// returning the rewritten name and whether it changed. knownBuses aids
+// condensed-form disambiguation on the source side.
+func TranslateBusName(name string, from, to BusSyntax, knownBuses map[string]bool) (string, bool, error) {
+	ref, err := ParseBus(name, from, knownBuses)
+	if err != nil {
+		return "", false, err
+	}
+	out, err := FormatBus(ref, to)
+	if err != nil {
+		return "", false, err
+	}
+	return out, out != name, nil
+}
+
+// CollectBusBases scans a cell's labels and returns the set of base names
+// that appear with explicit range syntax — the "known buses" condensed
+// references resolve against.
+func CollectBusBases(c *Cell) map[string]bool {
+	out := make(map[string]bool)
+	for _, pg := range c.Pages {
+		for _, l := range pg.Labels {
+			if open := strings.IndexByte(l.Text, '<'); open > 0 {
+				out[l.Text[:open]] = true
+			}
+		}
+	}
+	return out
+}

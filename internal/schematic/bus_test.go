@@ -1,0 +1,220 @@
+package schematic
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBusExplicit(t *testing.T) {
+	cases := []struct {
+		name string
+		want BusRef
+	}{
+		{"clk", BusRef{Base: "clk", Kind: RefScalar}},
+		{"A<3>", BusRef{Base: "A", Kind: RefBit, Msb: 3, Lsb: 3}},
+		{"A<0:15>", BusRef{Base: "A", Kind: RefRange, Msb: 0, Lsb: 15}},
+		{"data<15:0>", BusRef{Base: "data", Kind: RefRange, Msb: 15, Lsb: 0}},
+	}
+	for _, c := range cases {
+		got, err := ParseBus(c.name, CDSyntax, nil)
+		if err != nil {
+			t.Errorf("ParseBus(%q): %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBus(%q) = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestParseBusCondensed(t *testing.T) {
+	known := map[string]bool{"A": true}
+	// "A0" with bus A known: bit 0 of A (the paper's example).
+	got, err := ParseBus("A0", VLSyntax, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base != "A" || got.Kind != RefBit || got.Msb != 0 {
+		t.Errorf("condensed A0 = %+v", got)
+	}
+	// "B0" with no bus B: a scalar named B0.
+	got, err = ParseBus("B0", VLSyntax, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base != "B0" || got.Kind != RefScalar {
+		t.Errorf("scalar B0 = %+v", got)
+	}
+	// Under CD syntax "A0" is always scalar — this asymmetry is exactly the
+	// paper's "A0 is not equivalent to A<0>".
+	got, err = ParseBus("A0", CDSyntax, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base != "A0" || got.Kind != RefScalar {
+		t.Errorf("CD A0 = %+v", got)
+	}
+}
+
+func TestParseBusPostfix(t *testing.T) {
+	got, err := ParseBus("myBus<0:15>-", VLSyntax, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base != "myBus" || got.Kind != RefRange || got.Postfix != "-" {
+		t.Errorf("postfix parse = %+v", got)
+	}
+	// CD rejects the postfix indicator outright.
+	if _, err := ParseBus("myBus<0:15>-", CDSyntax, nil); !errors.Is(err, ErrBusSyntax) {
+		t.Errorf("CD postfix error = %v", err)
+	}
+}
+
+func TestParseBusErrors(t *testing.T) {
+	for _, bad := range []string{"", "A<0:15", "A<x>", "A<1:y>", "<3>"} {
+		if _, err := ParseBus(bad, VLSyntax, nil); !errors.Is(err, ErrBusSyntax) {
+			t.Errorf("ParseBus(%q) error = %v, want ErrBusSyntax", bad, err)
+		}
+	}
+}
+
+func TestBusWidthAndBits(t *testing.T) {
+	r := BusRef{Base: "A", Kind: RefRange, Msb: 0, Lsb: 3}
+	if r.Width() != 4 {
+		t.Errorf("Width = %d", r.Width())
+	}
+	bits := r.Bits()
+	want := []string{"A<0>", "A<1>", "A<2>", "A<3>"}
+	if len(bits) != 4 {
+		t.Fatalf("Bits = %v", bits)
+	}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Errorf("Bits[%d] = %q, want %q", i, bits[i], want[i])
+		}
+	}
+	// Descending range.
+	r2 := BusRef{Base: "D", Kind: RefRange, Msb: 2, Lsb: 0}
+	bits2 := r2.Bits()
+	if len(bits2) != 3 || bits2[0] != "D<2>" || bits2[2] != "D<0>" {
+		t.Errorf("descending Bits = %v", bits2)
+	}
+	s := BusRef{Base: "x", Kind: RefScalar}
+	if s.Width() != 1 || s.Bits()[0] != "x" {
+		t.Errorf("scalar = %d %v", s.Width(), s.Bits())
+	}
+	b := BusRef{Base: "q", Kind: RefBit, Msb: 7, Lsb: 7}
+	if b.Width() != 1 || b.Bits()[0] != "q<7>" {
+		t.Errorf("bit = %d %v", b.Width(), b.Bits())
+	}
+}
+
+func TestFormatBusPostfixFolding(t *testing.T) {
+	r := BusRef{Base: "myBus", Kind: RefRange, Msb: 0, Lsb: 15, Postfix: "-"}
+	// Legal where postfix is allowed.
+	s, err := FormatBus(r, VLSyntax)
+	if err != nil || s != "myBus<0:15>-" {
+		t.Errorf("vl format = %q, %v", s, err)
+	}
+	// Folded where it is not.
+	s, err = FormatBus(r, CDSyntax)
+	if err != nil || s != "myBus_n<0:15>" {
+		t.Errorf("cd format = %q, %v", s, err)
+	}
+	rp := BusRef{Base: "en", Kind: RefScalar, Postfix: "+"}
+	s, err = FormatBus(rp, CDSyntax)
+	if err != nil || s != "en_p" {
+		t.Errorf("cd scalar plus = %q, %v", s, err)
+	}
+	rb := BusRef{Base: "q", Kind: RefBit, Msb: 2, Lsb: 2, Postfix: "-"}
+	s, err = FormatBus(rb, CDSyntax)
+	if err != nil || s != "q_n<2>" {
+		t.Errorf("cd bit fold = %q, %v", s, err)
+	}
+}
+
+func TestTranslateBusName(t *testing.T) {
+	known := map[string]bool{"A": true}
+	cases := []struct {
+		in      string
+		want    string
+		changed bool
+	}{
+		{"A0", "A<0>", true}, // condensed -> explicit
+		{"A<0:15>", "A<0:15>", false},
+		{"clk", "clk", false},
+		{"myBus<0:15>-", "myBus_n<0:15>", true}, // postfix folded
+		{"B7", "B7", false},                     // not a known bus: scalar stays
+	}
+	for _, c := range cases {
+		got, changed, err := TranslateBusName(c.in, VLSyntax, CDSyntax, known)
+		if err != nil {
+			t.Errorf("Translate(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want || changed != c.changed {
+			t.Errorf("Translate(%q) = %q,%v want %q,%v", c.in, got, changed, c.want, c.changed)
+		}
+	}
+}
+
+func TestCollectBusBases(t *testing.T) {
+	c := &Cell{Name: "x"}
+	pg := c.AddPage(R00(100, 100))
+	pg.Labels = append(pg.Labels,
+		&Label{Text: "A<0:3>"},
+		&Label{Text: "clk"},
+		&Label{Text: "data<7>"},
+	)
+	bases := CollectBusBases(c)
+	if !bases["A"] || !bases["data"] || bases["clk"] {
+		t.Errorf("bases = %v", bases)
+	}
+}
+
+// Property: translating vl->cd then re-parsing under cd gives the same
+// logical reference (base/kind/indices), i.e. translation is semantics
+// preserving.
+func TestQuickTranslatePreservesSemantics(t *testing.T) {
+	f := func(base uint8, msb, lsb uint8, kindSel uint8) bool {
+		name := string(rune('a'+base%26)) + "bus"
+		known := map[string]bool{name: true}
+		var ref BusRef
+		switch kindSel % 3 {
+		case 0:
+			ref = BusRef{Base: name, Kind: RefScalar}
+		case 1:
+			ref = BusRef{Base: name, Kind: RefBit, Msb: int(msb), Lsb: int(msb)}
+		default:
+			ref = BusRef{Base: name, Kind: RefRange, Msb: int(msb), Lsb: int(lsb)}
+		}
+		src, err := FormatBus(ref, VLSyntax)
+		if err != nil {
+			return false
+		}
+		out, _, err := TranslateBusName(src, VLSyntax, CDSyntax, known)
+		if err != nil {
+			return false
+		}
+		back, err := ParseBus(out, CDSyntax, nil)
+		if err != nil {
+			return false
+		}
+		return back.Base == ref.Base && back.Kind == ref.Kind && back.Msb == ref.Msb && back.Lsb == ref.Lsb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bits() length always equals Width().
+func TestQuickBitsMatchesWidth(t *testing.T) {
+	f := func(msb, lsb int8) bool {
+		r := BusRef{Base: "n", Kind: RefRange, Msb: int(msb), Lsb: int(lsb)}
+		return len(r.Bits()) == r.Width()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

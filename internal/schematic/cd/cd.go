@@ -1,0 +1,619 @@
+// Package cd serializes schematic designs in the Cadence-like dialect's
+// native file format: an s-expression database in the spirit of a
+// SKILL-built tool. The reader is deliberately strict — it enforces the
+// dialect's explicit bus syntax and connector requirements at import time,
+// the way the paper's target tool rejected data the source tool was happy
+// with.
+package cd
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cadinterop/internal/al"
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+	"cadinterop/internal/schematic"
+)
+
+// ErrFormat reports malformed cd input.
+var ErrFormat = errors.New("cd: format error")
+
+// Dialect is the Cadence-like dialect description.
+var Dialect = schematic.CD
+
+// Write serializes the design as s-expressions.
+func Write(w io.Writer, d *schematic.Design) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "(design %s\n  (grid %s)\n", quoteSym(d.Name), strconv.Quote(d.Grid.Name))
+	if len(d.Globals) > 0 {
+		fmt.Fprintf(bw, "  (globals")
+		for _, g := range d.Globals {
+			fmt.Fprintf(bw, " %s", strconv.Quote(g))
+		}
+		fmt.Fprintf(bw, ")\n")
+	}
+	libNames := make([]string, 0, len(d.Libraries))
+	for n := range d.Libraries {
+		libNames = append(libNames, n)
+	}
+	sort.Strings(libNames)
+	for _, ln := range libNames {
+		lib := d.Libraries[ln]
+		fmt.Fprintf(bw, "  (library %s\n", quoteSym(ln))
+		keys := make([]string, 0, len(lib.Symbols))
+		for k := range lib.Symbols {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := lib.Symbols[k]
+			fmt.Fprintf(bw, "    (symbol %s %s (body %d %d %d %d)\n", quoteSym(s.Name), quoteSym(s.View),
+				s.Body.Min.X, s.Body.Min.Y, s.Body.Max.X, s.Body.Max.Y)
+			for _, p := range s.Pins {
+				fmt.Fprintf(bw, "      (pin %s %d %d %s)\n", quoteSym(p.Name), p.Pos.X, p.Pos.Y, p.Dir)
+			}
+			for _, pr := range s.Props {
+				writeProp(bw, "      ", pr)
+			}
+			fmt.Fprintf(bw, "    )\n")
+		}
+		fmt.Fprintf(bw, "  )\n")
+	}
+	for _, cn := range d.CellNames() {
+		c := d.Cells[cn]
+		fmt.Fprintf(bw, "  (cell %s\n", quoteSym(cn))
+		for _, p := range c.Ports {
+			fmt.Fprintf(bw, "    (port %s %s)\n", quoteSym(p.Name), p.Dir)
+		}
+		for _, pg := range c.Pages {
+			fmt.Fprintf(bw, "    (page %d (size %d %d %d %d)\n", pg.Index,
+				pg.Size.Min.X, pg.Size.Min.Y, pg.Size.Max.X, pg.Size.Max.Y)
+			for _, in := range pg.InstanceNames() {
+				inst := pg.Instances[in]
+				fmt.Fprintf(bw, "      (inst %s (of %s %s %s) (at %d %d) (orient %s)\n",
+					quoteSym(inst.Name), quoteSym(inst.Sym.Lib), quoteSym(inst.Sym.Name), quoteSym(inst.Sym.View),
+					inst.Placement.Offset.X, inst.Placement.Offset.Y, inst.Placement.Orient)
+				for _, pr := range inst.Props {
+					writeProp(bw, "        ", pr)
+				}
+				fmt.Fprintf(bw, "      )\n")
+			}
+			for _, wr := range pg.Wires {
+				fmt.Fprintf(bw, "      (wire")
+				for _, pt := range wr.Points {
+					fmt.Fprintf(bw, " (%d %d)", pt.X, pt.Y)
+				}
+				fmt.Fprintf(bw, ")\n")
+			}
+			for _, l := range pg.Labels {
+				fmt.Fprintf(bw, "      (label %s (at %d %d) (size %d) (offset %d %d))\n",
+					strconv.Quote(l.Text), l.At.X, l.At.Y, l.Size, l.Offset.X, l.Offset.Y)
+			}
+			for _, cx := range pg.Conns {
+				fmt.Fprintf(bw, "      (conn %s %s (at %d %d) (of %s %s %s) (orient %s))\n",
+					cx.Kind, strconv.Quote(cx.Name), cx.At.X, cx.At.Y,
+					quoteSym(cx.Sym.Lib), quoteSym(cx.Sym.Name), quoteSym(cx.Sym.View), cx.Orient)
+			}
+			for _, tx := range pg.Texts {
+				fmt.Fprintf(bw, "      (text %s (at %d %d) (size %d) (baseline %d))\n",
+					strconv.Quote(tx.S), tx.At.X, tx.At.Y, tx.SizePts, tx.BaselineOffset)
+			}
+			fmt.Fprintf(bw, "    )\n")
+		}
+		fmt.Fprintf(bw, "  )\n")
+	}
+	fmt.Fprintf(bw, ")\n")
+	return bw.Flush()
+}
+
+func writeProp(w io.Writer, indent string, p schematic.Property) {
+	vis := ""
+	if p.Visible {
+		vis = " visible"
+	}
+	fmt.Fprintf(w, "%s(prop %s %s (at %d %d) (size %d)%s)\n", indent,
+		quoteSym(p.Name), strconv.Quote(p.Value), p.At.X, p.At.Y, p.Size, vis)
+}
+
+// quoteSym emits an identifier, quoting only when necessary.
+func quoteSym(s string) string {
+	if s == "" || strings.ContainsAny(s, " ()\"';\t\n") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// ReadOptions controls strictness.
+type ReadOptions struct {
+	// Lint runs the CD dialect checker after parsing and fails the read on
+	// violations — modeling the target tool rejecting nonconforming data.
+	Lint bool
+}
+
+// Read parses a design from s-expression form.
+func Read(r io.Reader, opts ReadOptions) (*schematic.Design, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	exprs, err := al.Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if len(exprs) != 1 {
+		return nil, fmt.Errorf("%w: expected one (design ...) form, got %d", ErrFormat, len(exprs))
+	}
+	top, ok := exprs[0].(al.List)
+	if !ok || len(top) < 2 || !isSym(top[0], "design") {
+		return nil, fmt.Errorf("%w: missing (design ...) form", ErrFormat)
+	}
+	name, err := symOrStr(top[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: design name: %v", ErrFormat, err)
+	}
+	d := schematic.NewDesign(name, geom.GridSixteenth)
+	for _, item := range top[2:] {
+		l, ok := item.(al.List)
+		if !ok || len(l) == 0 {
+			return nil, fmt.Errorf("%w: unexpected item %s", ErrFormat, item.Repr())
+		}
+		head, _ := l[0].(al.Symbol)
+		switch head {
+		case "grid":
+			gname, err := symOrStr(l[1])
+			if err != nil {
+				return nil, fmt.Errorf("%w: grid: %v", ErrFormat, err)
+			}
+			switch gname {
+			case geom.GridTenth.Name:
+				d.Grid = geom.GridTenth
+			case geom.GridSixteenth.Name:
+				d.Grid = geom.GridSixteenth
+			default:
+				return nil, fmt.Errorf("%w: unknown grid %q", ErrFormat, gname)
+			}
+		case "globals":
+			for _, g := range l[1:] {
+				s, err := symOrStr(g)
+				if err != nil {
+					return nil, fmt.Errorf("%w: global: %v", ErrFormat, err)
+				}
+				d.Globals = append(d.Globals, s)
+			}
+		case "library":
+			if err := readLibrary(d, l); err != nil {
+				return nil, err
+			}
+		case "cell":
+			if err := readCell(d, l); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown form %q", ErrFormat, head)
+		}
+	}
+	if opts.Lint {
+		if vs := schematic.CD.Check(d); len(vs) > 0 {
+			return nil, fmt.Errorf("%w: dialect violations: %d (first: %s)", ErrFormat, len(vs), vs[0])
+		}
+	}
+	return d, nil
+}
+
+func readLibrary(d *schematic.Design, l al.List) error {
+	if len(l) < 2 {
+		return fmt.Errorf("%w: library needs a name", ErrFormat)
+	}
+	name, err := symOrStr(l[1])
+	if err != nil {
+		return fmt.Errorf("%w: library name: %v", ErrFormat, err)
+	}
+	lib := d.EnsureLibrary(name)
+	for _, item := range l[2:] {
+		sl, ok := item.(al.List)
+		if !ok || len(sl) < 3 || !isSym(sl[0], "symbol") {
+			return fmt.Errorf("%w: expected (symbol ...), got %s", ErrFormat, item.Repr())
+		}
+		sname, err1 := symOrStr(sl[1])
+		sview, err2 := symOrStr(sl[2])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("%w: symbol name/view", ErrFormat)
+		}
+		sym := &schematic.Symbol{Name: sname, View: sview}
+		for _, sub := range sl[3:] {
+			ssl, ok := sub.(al.List)
+			if !ok || len(ssl) == 0 {
+				return fmt.Errorf("%w: bad symbol item %s", ErrFormat, sub.Repr())
+			}
+			h, _ := ssl[0].(al.Symbol)
+			switch h {
+			case "body":
+				xs, err := nums(ssl[1:], 4)
+				if err != nil {
+					return fmt.Errorf("%w: body: %v", ErrFormat, err)
+				}
+				sym.Body = geom.R(xs[0], xs[1], xs[2], xs[3])
+			case "pin":
+				if len(ssl) != 5 {
+					return fmt.Errorf("%w: pin wants (pin name x y dir)", ErrFormat)
+				}
+				pname, err := symOrStr(ssl[1])
+				if err != nil {
+					return fmt.Errorf("%w: pin name: %v", ErrFormat, err)
+				}
+				xs, err := nums(ssl[2:4], 2)
+				if err != nil {
+					return fmt.Errorf("%w: pin pos: %v", ErrFormat, err)
+				}
+				dname, err := symOrStr(ssl[4])
+				if err != nil {
+					return fmt.Errorf("%w: pin dir: %v", ErrFormat, err)
+				}
+				dir, err := netlist.ParsePortDir(dname)
+				if err != nil {
+					return fmt.Errorf("%w: %v", ErrFormat, err)
+				}
+				sym.Pins = append(sym.Pins, schematic.SymbolPin{Name: pname, Pos: geom.Pt(xs[0], xs[1]), Dir: dir})
+			case "prop":
+				p, err := readProp(ssl)
+				if err != nil {
+					return err
+				}
+				sym.Props = append(sym.Props, p)
+			default:
+				return fmt.Errorf("%w: unknown symbol item %q", ErrFormat, h)
+			}
+		}
+		if err := lib.AddSymbol(sym); err != nil {
+			return fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+	}
+	return nil
+}
+
+func readCell(d *schematic.Design, l al.List) error {
+	if len(l) < 2 {
+		return fmt.Errorf("%w: cell needs a name", ErrFormat)
+	}
+	name, err := symOrStr(l[1])
+	if err != nil {
+		return fmt.Errorf("%w: cell name: %v", ErrFormat, err)
+	}
+	cell, err := d.AddCell(name)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	for _, item := range l[2:] {
+		cl, ok := item.(al.List)
+		if !ok || len(cl) == 0 {
+			return fmt.Errorf("%w: bad cell item %s", ErrFormat, item.Repr())
+		}
+		h, _ := cl[0].(al.Symbol)
+		switch h {
+		case "port":
+			if len(cl) != 3 {
+				return fmt.Errorf("%w: port wants (port name dir)", ErrFormat)
+			}
+			pname, err1 := symOrStr(cl[1])
+			dname, err2 := symOrStr(cl[2])
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("%w: port fields", ErrFormat)
+			}
+			dir, err := netlist.ParsePortDir(dname)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			cell.Ports = append(cell.Ports, netlist.Port{Name: pname, Dir: dir})
+		case "page":
+			if err := readPage(cell, cl); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unknown cell item %q", ErrFormat, h)
+		}
+	}
+	return nil
+}
+
+func readPage(cell *schematic.Cell, l al.List) error {
+	var size geom.Rect
+	body := l[2:]
+	if len(l) >= 3 {
+		if sl, ok := l[2].(al.List); ok && len(sl) == 5 && isSym(sl[0], "size") {
+			xs, err := nums(sl[1:], 4)
+			if err != nil {
+				return fmt.Errorf("%w: page size: %v", ErrFormat, err)
+			}
+			size = geom.R(xs[0], xs[1], xs[2], xs[3])
+			body = l[3:]
+		}
+	}
+	pg := cell.AddPage(size)
+	for _, item := range body {
+		il, ok := item.(al.List)
+		if !ok || len(il) == 0 {
+			return fmt.Errorf("%w: bad page item %s", ErrFormat, item.Repr())
+		}
+		h, _ := il[0].(al.Symbol)
+		switch h {
+		case "inst":
+			inst := &schematic.Instance{}
+			iname, err := symOrStr(il[1])
+			if err != nil {
+				return fmt.Errorf("%w: inst name: %v", ErrFormat, err)
+			}
+			inst.Name = iname
+			for _, sub := range il[2:] {
+				sl, ok := sub.(al.List)
+				if !ok || len(sl) == 0 {
+					return fmt.Errorf("%w: bad inst item %s", ErrFormat, sub.Repr())
+				}
+				sh, _ := sl[0].(al.Symbol)
+				switch sh {
+				case "of":
+					if len(sl) != 4 {
+						return fmt.Errorf("%w: of wants lib name view", ErrFormat)
+					}
+					lib, e1 := symOrStr(sl[1])
+					nm, e2 := symOrStr(sl[2])
+					vw, e3 := symOrStr(sl[3])
+					if e1 != nil || e2 != nil || e3 != nil {
+						return fmt.Errorf("%w: of fields", ErrFormat)
+					}
+					inst.Sym = schematic.SymbolKey{Lib: lib, Name: nm, View: vw}
+				case "at":
+					xs, err := nums(sl[1:], 2)
+					if err != nil {
+						return fmt.Errorf("%w: at: %v", ErrFormat, err)
+					}
+					inst.Placement.Offset = geom.Pt(xs[0], xs[1])
+				case "orient":
+					oname, err := symOrStr(sl[1])
+					if err != nil {
+						return fmt.Errorf("%w: orient: %v", ErrFormat, err)
+					}
+					o, err := geom.ParseOrientation(oname)
+					if err != nil {
+						return fmt.Errorf("%w: %v", ErrFormat, err)
+					}
+					inst.Placement.Orient = o
+				case "prop":
+					p, err := readProp(sl)
+					if err != nil {
+						return err
+					}
+					inst.Props = append(inst.Props, p)
+				default:
+					return fmt.Errorf("%w: unknown inst item %q", ErrFormat, sh)
+				}
+			}
+			if err := pg.AddInstance(inst); err != nil {
+				return fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+		case "wire":
+			var pts []geom.Point
+			for _, sub := range il[1:] {
+				pl, ok := sub.(al.List)
+				if !ok || len(pl) != 2 {
+					return fmt.Errorf("%w: wire point %s", ErrFormat, sub.Repr())
+				}
+				xs, err := nums(pl, 2)
+				if err != nil {
+					return fmt.Errorf("%w: wire point: %v", ErrFormat, err)
+				}
+				pts = append(pts, geom.Pt(xs[0], xs[1]))
+			}
+			pg.Wires = append(pg.Wires, &schematic.Wire{Points: pts})
+		case "label":
+			lb := &schematic.Label{}
+			txt, err := symOrStr(il[1])
+			if err != nil {
+				return fmt.Errorf("%w: label text: %v", ErrFormat, err)
+			}
+			lb.Text = txt
+			for _, sub := range il[2:] {
+				sl, _ := sub.(al.List)
+				if sl == nil || len(sl) == 0 {
+					continue
+				}
+				sh, _ := sl[0].(al.Symbol)
+				switch sh {
+				case "at":
+					xs, err := nums(sl[1:], 2)
+					if err != nil {
+						return fmt.Errorf("%w: label at: %v", ErrFormat, err)
+					}
+					lb.At = geom.Pt(xs[0], xs[1])
+				case "size":
+					xs, err := nums(sl[1:], 1)
+					if err != nil {
+						return fmt.Errorf("%w: label size: %v", ErrFormat, err)
+					}
+					lb.Size = xs[0]
+				case "offset":
+					xs, err := nums(sl[1:], 2)
+					if err != nil {
+						return fmt.Errorf("%w: label offset: %v", ErrFormat, err)
+					}
+					lb.Offset = geom.Pt(xs[0], xs[1])
+				}
+			}
+			pg.Labels = append(pg.Labels, lb)
+		case "conn":
+			if len(il) < 3 {
+				return fmt.Errorf("%w: conn wants kind and name", ErrFormat)
+			}
+			kname, err := symOrStr(il[1])
+			if err != nil {
+				return fmt.Errorf("%w: conn kind: %v", ErrFormat, err)
+			}
+			kind, err := schematic.ParseConnKind(kname)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			cname, err := symOrStr(il[2])
+			if err != nil {
+				return fmt.Errorf("%w: conn name: %v", ErrFormat, err)
+			}
+			cx := &schematic.Connector{Kind: kind, Name: cname}
+			for _, sub := range il[3:] {
+				sl, _ := sub.(al.List)
+				if sl == nil || len(sl) == 0 {
+					continue
+				}
+				sh, _ := sl[0].(al.Symbol)
+				switch sh {
+				case "at":
+					xs, err := nums(sl[1:], 2)
+					if err != nil {
+						return fmt.Errorf("%w: conn at: %v", ErrFormat, err)
+					}
+					cx.At = geom.Pt(xs[0], xs[1])
+				case "of":
+					if len(sl) != 4 {
+						return fmt.Errorf("%w: conn of wants 3 parts", ErrFormat)
+					}
+					lib, e1 := symOrStr(sl[1])
+					nm, e2 := symOrStr(sl[2])
+					vw, e3 := symOrStr(sl[3])
+					if e1 != nil || e2 != nil || e3 != nil {
+						return fmt.Errorf("%w: conn of fields", ErrFormat)
+					}
+					cx.Sym = schematic.SymbolKey{Lib: lib, Name: nm, View: vw}
+				case "orient":
+					oname, err := symOrStr(sl[1])
+					if err != nil {
+						return fmt.Errorf("%w: conn orient: %v", ErrFormat, err)
+					}
+					o, err := geom.ParseOrientation(oname)
+					if err != nil {
+						return fmt.Errorf("%w: %v", ErrFormat, err)
+					}
+					cx.Orient = o
+				}
+			}
+			pg.Conns = append(pg.Conns, cx)
+		case "text":
+			tx := &schematic.Text{}
+			s, err := symOrStr(il[1])
+			if err != nil {
+				return fmt.Errorf("%w: text: %v", ErrFormat, err)
+			}
+			tx.S = s
+			for _, sub := range il[2:] {
+				sl, _ := sub.(al.List)
+				if sl == nil || len(sl) == 0 {
+					continue
+				}
+				sh, _ := sl[0].(al.Symbol)
+				switch sh {
+				case "at":
+					xs, err := nums(sl[1:], 2)
+					if err != nil {
+						return fmt.Errorf("%w: text at: %v", ErrFormat, err)
+					}
+					tx.At = geom.Pt(xs[0], xs[1])
+				case "size":
+					xs, err := nums(sl[1:], 1)
+					if err != nil {
+						return fmt.Errorf("%w: text size: %v", ErrFormat, err)
+					}
+					tx.SizePts = xs[0]
+				case "baseline":
+					xs, err := nums(sl[1:], 1)
+					if err != nil {
+						return fmt.Errorf("%w: text baseline: %v", ErrFormat, err)
+					}
+					tx.BaselineOffset = xs[0]
+				}
+			}
+			pg.Texts = append(pg.Texts, tx)
+		default:
+			return fmt.Errorf("%w: unknown page item %q", ErrFormat, h)
+		}
+	}
+	return nil
+}
+
+func readProp(l al.List) (schematic.Property, error) {
+	var p schematic.Property
+	if len(l) < 3 {
+		return p, fmt.Errorf("%w: prop wants name and value", ErrFormat)
+	}
+	name, err := symOrStr(l[1])
+	if err != nil {
+		return p, fmt.Errorf("%w: prop name: %v", ErrFormat, err)
+	}
+	val, err := symOrStr(l[2])
+	if err != nil {
+		return p, fmt.Errorf("%w: prop value: %v", ErrFormat, err)
+	}
+	p.Name, p.Value = name, val
+	for _, sub := range l[3:] {
+		switch sv := sub.(type) {
+		case al.Symbol:
+			if sv == "visible" {
+				p.Visible = true
+			}
+		case al.List:
+			if len(sv) == 0 {
+				continue
+			}
+			sh, _ := sv[0].(al.Symbol)
+			switch sh {
+			case "at":
+				xs, err := nums(sv[1:], 2)
+				if err != nil {
+					return p, fmt.Errorf("%w: prop at: %v", ErrFormat, err)
+				}
+				p.At = geom.Pt(xs[0], xs[1])
+			case "size":
+				xs, err := nums(sv[1:], 1)
+				if err != nil {
+					return p, fmt.Errorf("%w: prop size: %v", ErrFormat, err)
+				}
+				p.Size = xs[0]
+			}
+		}
+	}
+	return p, nil
+}
+
+func isSym(v al.Value, s string) bool {
+	sym, ok := v.(al.Symbol)
+	return ok && string(sym) == s
+}
+
+func symOrStr(v al.Value) (string, error) {
+	switch x := v.(type) {
+	case al.Symbol:
+		return string(x), nil
+	case al.Str:
+		return string(x), nil
+	case al.Num:
+		return x.Repr(), nil
+	default:
+		return "", fmt.Errorf("expected name, got %s", v.Repr())
+	}
+}
+
+func nums(vs []al.Value, n int) ([]int, error) {
+	if len(vs) != n {
+		return nil, fmt.Errorf("want %d numbers, got %d", n, len(vs))
+	}
+	out := make([]int, n)
+	for i, v := range vs {
+		num, ok := v.(al.Num)
+		if !ok {
+			return nil, fmt.Errorf("not a number: %s", v.Repr())
+		}
+		out[i] = int(num)
+	}
+	return out, nil
+}

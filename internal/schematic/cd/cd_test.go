@@ -1,0 +1,198 @@
+package cd
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+	"cadinterop/internal/schematic"
+)
+
+// sampleDesign builds a CD-conformant design (explicit bus syntax, off-page
+// and hierarchy connectors present).
+func sampleDesign(t testing.TB) *schematic.Design {
+	t.Helper()
+	d := schematic.NewDesign("sample", geom.GridSixteenth)
+	d.Globals = []string{"VDD"}
+	lib := d.EnsureLibrary("cdlib")
+	sym := &schematic.Symbol{
+		Name: "nand2", View: "symbol", Body: geom.R(0, 0, 4, 4),
+		Pins: []schematic.SymbolPin{
+			{Name: "A", Pos: geom.Pt(0, 0), Dir: netlist.Input},
+			{Name: "Y", Pos: geom.Pt(4, 0), Dir: netlist.Output},
+		},
+	}
+	if err := lib.AddSymbol(sym); err != nil {
+		t.Fatal(err)
+	}
+	c := d.MustCell("top")
+	c.Ports = []netlist.Port{{Name: "din", Dir: netlist.Input}}
+	pg := c.AddPage(geom.R(0, 0, 176, 136))
+	inst := &schematic.Instance{
+		Name: "I0", Sym: schematic.SymbolKey{Lib: "cdlib", Name: "nand2", View: "symbol"},
+		Placement: geom.Transform{Orient: geom.MY, Offset: geom.Pt(16, 32)},
+		Props:     []schematic.Property{{Name: "instName", Value: "I0", Visible: true, At: geom.Pt(1, 1), Size: 10}},
+	}
+	if err := pg.AddInstance(inst); err != nil {
+		t.Fatal(err)
+	}
+	pg.Wires = append(pg.Wires, &schematic.Wire{Points: []geom.Point{geom.Pt(8, 32), geom.Pt(16, 32)}})
+	pg.Labels = append(pg.Labels, &schematic.Label{Text: "A<0:15>", At: geom.Pt(8, 32), Size: 10})
+	pg.Conns = append(pg.Conns, &schematic.Connector{
+		Kind: schematic.ConnHierIn, Name: "din", At: geom.Pt(8, 32),
+		Sym: schematic.SymbolKey{Lib: "basic", Name: "ipin", View: "symbol"},
+	})
+	pg.Texts = append(pg.Texts, &schematic.Text{S: "sheet 1 of 1", At: geom.Pt(4, 130), SizePts: 12, BaselineOffset: 1})
+	d.Top = "top"
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := sampleDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), ReadOptions{})
+	if err != nil {
+		t.Fatalf("Read: %v\nfile:\n%s", err, buf.String())
+	}
+	if got.Name != "sample" || got.Grid != geom.GridSixteenth {
+		t.Errorf("header: %q %v", got.Name, got.Grid)
+	}
+	if len(got.Globals) != 1 || got.Globals[0] != "VDD" {
+		t.Errorf("globals = %v", got.Globals)
+	}
+	sym, ok := got.Symbol(schematic.SymbolKey{Lib: "cdlib", Name: "nand2", View: "symbol"})
+	if !ok || len(sym.Pins) != 2 || sym.Body != geom.R(0, 0, 4, 4) {
+		t.Fatalf("symbol = %+v ok=%v", sym, ok)
+	}
+	c := got.Cells["top"]
+	if c == nil || len(c.Ports) != 1 || c.Ports[0].Name != "din" {
+		t.Fatalf("cell = %+v", c)
+	}
+	pg := c.Pages[0]
+	inst := pg.Instances["I0"]
+	if inst == nil || inst.Placement.Orient != geom.MY || inst.Placement.Offset != geom.Pt(16, 32) {
+		t.Fatalf("instance = %+v", inst)
+	}
+	if len(inst.Props) != 1 || !inst.Props[0].Visible || inst.Props[0].Size != 10 {
+		t.Errorf("props = %+v", inst.Props)
+	}
+	if len(pg.Wires) != 1 || pg.Wires[0].Points[1] != geom.Pt(16, 32) {
+		t.Errorf("wires = %+v", pg.Wires)
+	}
+	if len(pg.Labels) != 1 || pg.Labels[0].Text != "A<0:15>" {
+		t.Errorf("labels = %+v", pg.Labels[0])
+	}
+	if len(pg.Conns) != 1 || pg.Conns[0].Kind != schematic.ConnHierIn || pg.Conns[0].Name != "din" {
+		t.Errorf("conns = %+v", pg.Conns[0])
+	}
+	if len(pg.Texts) != 1 || pg.Texts[0].BaselineOffset != 1 {
+		t.Errorf("texts = %+v", pg.Texts[0])
+	}
+}
+
+func TestWriteReadWriteStable(t *testing.T) {
+	d := sampleDesign(t)
+	var b1, b2 bytes.Buffer
+	if err := Write(&b1, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(b1.Bytes()), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b2, got); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("write/read/write not stable")
+	}
+}
+
+func TestLintRejectsNonconformingData(t *testing.T) {
+	// A postfix bus label is illegal in the CD dialect; the strict reader
+	// must reject it when linting — the paper's "target tool rejects the
+	// source tool's data" failure, reproduced.
+	d := sampleDesign(t)
+	d.Cells["top"].Pages[0].Labels = append(d.Cells["top"].Pages[0].Labels,
+		&schematic.Label{Text: "bad<0:3>-", At: geom.Pt(40, 40), Size: 10})
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()), ReadOptions{Lint: true}); !errors.Is(err, ErrFormat) {
+		t.Errorf("lint read error = %v, want ErrFormat", err)
+	}
+	// Without lint it loads.
+	if _, err := Read(bytes.NewReader(buf.Bytes()), ReadOptions{}); err != nil {
+		t.Errorf("non-lint read failed: %v", err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"not a design", "(foo bar)"},
+		{"two forms", "(design a)(design b)"},
+		{"unknown form", "(design a (mystery 1))"},
+		{"bad grid", `(design a (grid "1/7in"))`},
+		{"bad cell item", "(design a (cell c (widget 1)))"},
+		{"bad pin", "(design a (library l (symbol s v (pin))))"},
+		{"bad port dir", "(design a (cell c (port p sideways)))"},
+		{"dup cell", "(design a (cell c) (cell c))"},
+		{"unbalanced", "(design a"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(c.src), ReadOptions{}); err == nil {
+				t.Errorf("Read(%q) succeeded, want error", c.src)
+			}
+		})
+	}
+}
+
+func TestQuoteSymEdgeCases(t *testing.T) {
+	d := schematic.NewDesign("name with space", geom.GridSixteenth)
+	d.MustCell("plain")
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "name with space" {
+		t.Errorf("name = %q", got.Name)
+	}
+}
+
+func TestExtractAfterRoundTrip(t *testing.T) {
+	d := sampleDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlA, err := schematic.Extract(d, Dialect.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlB, err := schematic.Extract(got, Dialect.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := netlist.Compare(nlA, nlB, netlist.CompareOptions{}); len(diffs) != 0 {
+		t.Errorf("connectivity changed: %v", diffs)
+	}
+}

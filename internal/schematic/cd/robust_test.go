@@ -1,0 +1,39 @@
+package cd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: the strict reader must reject, never crash on, damaged input.
+func TestReadNeverPanicsOnMutations(t *testing.T) {
+	d := sampleDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+	f := func(pos uint16, b byte) bool {
+		mut := append([]byte(nil), base...)
+		mut[int(pos)%len(mut)] = b
+		_, _ = Read(bytes.NewReader(mut), ReadOptions{Lint: pos%2 == 0})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadNeverPanicsOnTruncations(t *testing.T) {
+	d := sampleDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for i := 0; i <= len(s); i += 5 {
+		_, _ = Read(strings.NewReader(s[:i]), ReadOptions{})
+	}
+}

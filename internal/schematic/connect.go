@@ -1,0 +1,558 @@
+package schematic
+
+import (
+	"fmt"
+	"sort"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+)
+
+// Connectivity extraction. The drawing (wires, pins, labels, connectors) is
+// resolved into electrical nets, producing a netlist.Netlist that the
+// Section 2 verification step can compare independently of either tool.
+//
+// The dialects differ exactly where the paper says they do:
+//   - the permissive source tool "connects same signal names across
+//     multiple pages implicitly" (ImplicitCrossPage);
+//   - the strict target tool "requires these connections to be explicit by
+//     using off-page connectors" (RequireOffPage).
+
+// ExtractOptions controls net resolution.
+type ExtractOptions struct {
+	// ImplicitCrossPage merges same-named nets across pages of a cell even
+	// without off-page connectors (Viewlogic-like behaviour).
+	ImplicitCrossPage bool
+	// RequireOffPage merges nets across pages only when both sides carry an
+	// off-page connector with the net's name (Cadence-like behaviour).
+	RequireOffPage bool
+	// AutoPrefix names anonymous nets; default "N$".
+	AutoPrefix string
+	// Bus, when set, canonicalizes label and connector names under the
+	// tool's bus syntax before net matching, so that e.g. "A0" and "A<0>"
+	// are the same net in a condensed-syntax tool but different nets in an
+	// explicit-syntax tool.
+	Bus *BusSyntax
+}
+
+// canonSyntax renders canonical net names: explicit ranges, postfix
+// markers preserved verbatim.
+var canonSyntax = BusSyntax{PostfixIndicators: true}
+
+// canonName maps a written net name to its canonical electrical name under
+// the syntax rules; unparseable names pass through unchanged.
+func canonName(name string, syn *BusSyntax, known map[string]bool) string {
+	if syn == nil {
+		return name
+	}
+	ref, err := ParseBus(name, *syn, known)
+	if err != nil {
+		return name
+	}
+	out, err := FormatBus(ref, canonSyntax)
+	if err != nil {
+		return name
+	}
+	return out
+}
+
+// pointSet is a union-find over page points.
+type pointSet struct {
+	parent map[geom.Point]geom.Point
+}
+
+func newPointSet() *pointSet {
+	return &pointSet{parent: make(map[geom.Point]geom.Point)}
+}
+
+func (ps *pointSet) add(p geom.Point) {
+	if _, ok := ps.parent[p]; !ok {
+		ps.parent[p] = p
+	}
+}
+
+func (ps *pointSet) find(p geom.Point) geom.Point {
+	ps.add(p)
+	root := p
+	for ps.parent[root] != root {
+		root = ps.parent[root]
+	}
+	for ps.parent[p] != root {
+		ps.parent[p], p = root, ps.parent[p]
+	}
+	return root
+}
+
+func (ps *pointSet) union(a, b geom.Point) {
+	ra, rb := ps.find(a), ps.find(b)
+	if ra != rb {
+		ps.parent[ra] = rb
+	}
+}
+
+// onSegment reports whether p lies on the Manhattan segment a-b.
+func onSegment(p, a, b geom.Point) bool {
+	if a.X == b.X { // vertical
+		lo, hi := a.Y, b.Y
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return p.X == a.X && p.Y >= lo && p.Y <= hi
+	}
+	if a.Y == b.Y { // horizontal
+		lo, hi := a.X, b.X
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return p.Y == a.Y && p.X >= lo && p.X <= hi
+	}
+	return false
+}
+
+// pageNet is an intermediate per-page net group.
+type pageNet struct {
+	labels  []string
+	conns   []*Connector
+	pins    []pinRef
+	anchor  geom.Point // deterministic naming anchor (min point)
+	hasWire bool
+}
+
+type pinRef struct {
+	inst string
+	pin  string
+}
+
+// extractPage groups a page's geometry into electrical nodes.
+func extractPage(d *Design, pg *Page) (map[geom.Point]*pageNet, error) {
+	ps := newPointSet()
+	// All points of a wire are common.
+	for _, w := range pg.Wires {
+		for i := 0; i < len(w.Points); i++ {
+			ps.add(w.Points[i])
+			if i > 0 {
+				ps.union(w.Points[i-1], w.Points[i])
+			}
+		}
+	}
+	// Anchor points (pins, labels, connectors) join any segment they lie on,
+	// and wire endpoints joining other wires' segments make T junctions.
+	var anchors []geom.Point
+	for _, w := range pg.Wires {
+		anchors = append(anchors, w.Points...)
+	}
+	for _, in := range pg.InstanceNames() {
+		inst := pg.Instances[in]
+		sym, ok := d.Symbol(inst.Sym)
+		if !ok {
+			return nil, fmt.Errorf("%w: symbol %s for instance %q", ErrNotFound, inst.Sym, in)
+		}
+		for _, p := range sym.Pins {
+			anchors = append(anchors, inst.Placement.Apply(p.Pos))
+		}
+	}
+	for _, l := range pg.Labels {
+		anchors = append(anchors, l.At)
+	}
+	for _, c := range pg.Conns {
+		anchors = append(anchors, c.At)
+	}
+	for _, a := range anchors {
+		ps.add(a)
+		for _, w := range pg.Wires {
+			for i := 0; i+1 < len(w.Points); i++ {
+				if onSegment(a, w.Points[i], w.Points[i+1]) {
+					ps.union(a, w.Points[i])
+				}
+			}
+		}
+	}
+
+	groups := make(map[geom.Point]*pageNet)
+	get := func(p geom.Point) *pageNet {
+		root := ps.find(p)
+		g, ok := groups[root]
+		if !ok {
+			g = &pageNet{anchor: p}
+			groups[root] = g
+		}
+		if less(p, g.anchor) {
+			g.anchor = p
+		}
+		return g
+	}
+	for _, w := range pg.Wires {
+		if len(w.Points) > 0 {
+			get(w.Points[0]).hasWire = true
+		}
+	}
+	for _, l := range pg.Labels {
+		g := get(l.At)
+		g.labels = append(g.labels, l.Text)
+	}
+	for _, c := range pg.Conns {
+		g := get(c.At)
+		g.conns = append(g.conns, c)
+	}
+	for _, in := range pg.InstanceNames() {
+		inst := pg.Instances[in]
+		sym, _ := d.Symbol(inst.Sym)
+		for _, p := range sym.Pins {
+			abs := inst.Placement.Apply(p.Pos)
+			// An unconnected pin forms no group unless something else is
+			// at the same point.
+			root := ps.find(abs)
+			g, ok := groups[root]
+			if !ok {
+				g = &pageNet{anchor: abs}
+				groups[root] = g
+			}
+			g.pins = append(g.pins, pinRef{inst: in, pin: p.Name})
+		}
+	}
+	return groups, nil
+}
+
+func less(a, b geom.Point) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+
+// netName decides a group's name: sorted labels first, then connector
+// names, then a pin-derived auto name (stable across migrations, which
+// relocate geometry but keep instance names), then the geometric fallback.
+func (g *pageNet) netName(auto string) string {
+	if len(g.labels) > 0 {
+		ls := append([]string(nil), g.labels...)
+		sort.Strings(ls)
+		return ls[0]
+	}
+	if len(g.conns) > 0 {
+		names := make([]string, 0, len(g.conns))
+		for _, c := range g.conns {
+			names = append(names, c.Name)
+		}
+		sort.Strings(names)
+		return names[0]
+	}
+	if len(g.pins) > 0 {
+		min := g.pins[0].inst + "." + g.pins[0].pin
+		for _, p := range g.pins[1:] {
+			if s := p.inst + "." + p.pin; s < min {
+				min = s
+			}
+		}
+		return "N$" + min
+	}
+	return auto
+}
+
+// isDangling reports whether the group is a single unconnected pin (or
+// empty); such groups produce no net.
+func (g *pageNet) isDangling() bool {
+	return !g.hasWire && len(g.labels) == 0 && len(g.conns) == 0 && len(g.pins) <= 1
+}
+
+// Extract resolves the full design into a netlist. Each schematic cell
+// becomes a netlist cell; symbols used by instances become primitive cells
+// named "lib:name" unless a schematic cell of the same name exists, in which
+// case the instance is hierarchical.
+func Extract(d *Design, opts ExtractOptions) (*netlist.Netlist, error) {
+	if opts.AutoPrefix == "" {
+		opts.AutoPrefix = "N$"
+	}
+	nl := netlist.New()
+	nl.Top = d.Top
+
+	// Primitive masters on demand.
+	ensureMaster := func(sym *Symbol) (string, error) {
+		if _, ok := d.Cells[sym.Name]; ok {
+			return sym.Name, nil // hierarchical reference
+		}
+		name := sym.Lib + ":" + sym.Name
+		if _, ok := nl.Cell(name); ok {
+			return name, nil
+		}
+		c, err := nl.AddCell(name)
+		if err != nil {
+			return "", err
+		}
+		c.Primitive = true
+		for _, p := range sym.Pins {
+			if err := c.AddPort(p.Name, p.Dir); err != nil {
+				return "", err
+			}
+		}
+		return name, nil
+	}
+
+	for _, cn := range d.CellNames() {
+		c := d.Cells[cn]
+		knownBuses := CollectBusBases(c)
+		nc, err := nl.AddCell(cn)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range c.Ports {
+			if err := nc.AddPort(p.Name, p.Dir); err != nil {
+				return nil, err
+			}
+		}
+
+		// Per-page groups, then cross-page stitching by name.
+		type namedGroup struct {
+			page int
+			name string
+			g    *pageNet
+			off  bool // has an off-page connector
+		}
+		var all []namedGroup
+		auto := 0
+		for pi, pg := range c.Pages {
+			groups, err := extractPage(d, pg)
+			if err != nil {
+				return nil, err
+			}
+			// Deterministic order by anchor.
+			keys := make([]geom.Point, 0, len(groups))
+			for k := range groups {
+				keys = append(keys, groups[k].anchor)
+			}
+			sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+			seen := make(map[*pageNet]bool)
+			ordered := make([]*pageNet, 0, len(groups))
+			for _, k := range keys {
+				for _, g := range groups {
+					if g.anchor == k && !seen[g] {
+						seen[g] = true
+						ordered = append(ordered, g)
+					}
+				}
+			}
+			for _, g := range ordered {
+				if g.isDangling() {
+					continue
+				}
+				autoName := fmt.Sprintf("%s%d_%d", opts.AutoPrefix, pi+1, auto)
+				auto++
+				name := canonName(g.netName(autoName), opts.Bus, knownBuses)
+				hasOff := false
+				for _, conn := range g.conns {
+					if conn.Kind == ConnOffPage {
+						hasOff = true
+					}
+					// Hierarchy connectors also declare ports when the cell
+					// interface does not list them yet.
+					switch conn.Kind {
+					case ConnHierIn, ConnHierOut, ConnHierBidir:
+						if _, ok := nc.Port(conn.Name); !ok {
+							dir := netlist.Input
+							if conn.Kind == ConnHierOut {
+								dir = netlist.Output
+							} else if conn.Kind == ConnHierBidir {
+								dir = netlist.Inout
+							}
+							if err := nc.AddPort(conn.Name, dir); err != nil {
+								return nil, err
+							}
+						}
+					}
+				}
+				all = append(all, namedGroup{page: pi, name: name, g: g, off: hasOff})
+			}
+		}
+
+		// Merge decision per name. Globals always merge; otherwise the
+		// dialect rules apply.
+		merged := make(map[string][]namedGroup)
+		for _, ng := range all {
+			merged[ng.name] = append(merged[ng.name], ng)
+		}
+		names := make([]string, 0, len(merged))
+		for n := range merged {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			grps := merged[name]
+			mergeAll := d.IsGlobal(name)
+			if !mergeAll {
+				pages := map[int]bool{}
+				for _, ng := range grps {
+					pages[ng.page] = true
+				}
+				if len(pages) <= 1 {
+					mergeAll = true // same-page same-name groups always join
+				} else if opts.ImplicitCrossPage {
+					mergeAll = true
+				} else if opts.RequireOffPage {
+					// merge only the subset that carries off-page connectors
+					mergeAll = false
+				}
+			}
+			if mergeAll {
+				nt := nc.EnsureNet(name)
+				nt.Global = d.IsGlobal(name)
+				for _, ng := range grps {
+					for _, pr := range ng.g.pins {
+						if err := connectPin(d, c, nc, nl, ensureMaster, pr, name); err != nil {
+							return nil, err
+						}
+					}
+				}
+				continue
+			}
+			// Explicit mode: groups with off-page connectors merge under the
+			// shared name; others get page-qualified distinct nets — this is
+			// precisely the data loss the paper warns about when implicit
+			// connections are not made explicit before migration.
+			offNet := ""
+			for _, ng := range grps {
+				var netName string
+				if ng.off {
+					if offNet == "" {
+						offNet = name
+						nt := nc.EnsureNet(name)
+						nt.Global = d.IsGlobal(name)
+					}
+					netName = offNet
+				} else {
+					netName = fmt.Sprintf("%s@p%d", name, ng.page+1)
+					nc.EnsureNet(netName)
+				}
+				for _, pr := range ng.g.pins {
+					if err := connectPin(d, c, nc, nl, ensureMaster, pr, netName); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return nl, nil
+}
+
+// connectPin records one instance-pin connection, creating the netlist
+// instance and its primitive master on first touch.
+func connectPin(d *Design, c *Cell, nc *netlist.Cell, nl *netlist.Netlist,
+	ensureMaster func(*Symbol) (string, error), pr pinRef, net string) error {
+	inst := findInstance(c, pr.inst)
+	if inst == nil {
+		return fmt.Errorf("%w: instance %q", ErrNotFound, pr.inst)
+	}
+	sym, ok := d.Symbol(inst.Sym)
+	if !ok {
+		return fmt.Errorf("%w: symbol %s", ErrNotFound, inst.Sym)
+	}
+	master, err := ensureMaster(sym)
+	if err != nil {
+		return err
+	}
+	ni, ok := nc.Instances[pr.inst]
+	if !ok {
+		ni, err = nc.AddInstance(pr.inst, master)
+		if err != nil {
+			return err
+		}
+		for _, p := range inst.Props {
+			ni.Attrs[p.Name] = p.Value
+		}
+	}
+	return nc.Connect(pr.inst, pr.pin, net)
+}
+
+func findInstance(c *Cell, name string) *Instance {
+	for _, pg := range c.Pages {
+		if inst, ok := pg.Instances[name]; ok {
+			return inst
+		}
+	}
+	return nil
+}
+
+// FloatingEnd is a wire endpoint that touches nothing else — the condition
+// under which the paper's migration "added off-page connectors to the end
+// of wires if a floating wire was determined".
+type FloatingEnd struct {
+	Page  int
+	Wire  int
+	Point geom.Point
+	// Name of the net the wire belongs to, when labelled.
+	Net string
+}
+
+// FloatingEnds finds all floating wire endpoints in a cell.
+func FloatingEnds(d *Design, c *Cell) ([]FloatingEnd, error) {
+	var out []FloatingEnd
+	for pi, pg := range c.Pages {
+		// Build the set of "anchored" points: pins, connectors, labels.
+		anchored := make(map[geom.Point]bool)
+		for _, in := range pg.InstanceNames() {
+			inst := pg.Instances[in]
+			sym, ok := d.Symbol(inst.Sym)
+			if !ok {
+				continue // unknown symbol: its pins cannot anchor wires
+			}
+			for _, p := range sym.Pins {
+				anchored[inst.Placement.Apply(p.Pos)] = true
+			}
+		}
+		for _, cn := range pg.Conns {
+			anchored[cn.At] = true
+		}
+		// Count endpoint occupancy across wires.
+		occupancy := make(map[geom.Point]int)
+		for _, w := range pg.Wires {
+			if len(w.Points) < 2 {
+				continue
+			}
+			occupancy[w.Points[0]]++
+			occupancy[w.Points[len(w.Points)-1]]++
+		}
+		for wi, w := range pg.Wires {
+			if len(w.Points) < 2 {
+				continue
+			}
+			for _, end := range []geom.Point{w.Points[0], w.Points[len(w.Points)-1]} {
+				if anchored[end] || occupancy[end] > 1 {
+					continue
+				}
+				// Also not floating if it lands mid-segment of another wire.
+				touches := false
+				for wj, w2 := range pg.Wires {
+					if wj == wi {
+						continue
+					}
+					for i := 0; i+1 < len(w2.Points); i++ {
+						if onSegment(end, w2.Points[i], w2.Points[i+1]) {
+							touches = true
+							break
+						}
+					}
+					if touches {
+						break
+					}
+				}
+				if touches {
+					continue
+				}
+				name := wireNetName(pg, w)
+				out = append(out, FloatingEnd{Page: pi, Wire: wi, Point: end, Net: name})
+			}
+		}
+	}
+	return out, nil
+}
+
+// wireNetName finds a label attached to the wire, if any.
+func wireNetName(pg *Page, w *Wire) string {
+	for _, l := range pg.Labels {
+		for i := 0; i+1 < len(w.Points); i++ {
+			if onSegment(l.At, w.Points[i], w.Points[i+1]) {
+				return l.Text
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,389 @@
+package schematic
+
+import (
+	"strings"
+	"testing"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+)
+
+func TestExtractSimpleChain(t *testing.T) {
+	d := buildTwoGateDesign(t)
+	nl, err := Extract(d, ExtractOptions{ImplicitCrossPage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("extracted netlist invalid: %v", err)
+	}
+	top, ok := nl.Cell("top")
+	if !ok {
+		t.Fatal("no top cell")
+	}
+	u1 := top.Instances["u1"]
+	u2 := top.Instances["u2"]
+	if u1 == nil || u2 == nil {
+		t.Fatalf("instances missing: %v", top.InstanceNames())
+	}
+	if u1.Conns["A"] != "in" {
+		t.Errorf("u1.A on %q, want in", u1.Conns["A"])
+	}
+	if u1.Conns["B"] != "in" { // tied to A by the vertical stub
+		t.Errorf("u1.B on %q, want in", u1.Conns["B"])
+	}
+	if u1.Conns["Y"] != "mid" || u2.Conns["A"] != "mid" {
+		t.Errorf("mid net: u1.Y=%q u2.A=%q", u1.Conns["Y"], u2.Conns["A"])
+	}
+	if u2.Conns["B"] != "mid" { // T-junction stub onto the mid wire
+		t.Errorf("u2.B on %q, want mid (T junction)", u2.Conns["B"])
+	}
+	if u2.Conns["Y"] != "out" {
+		t.Errorf("u2.Y on %q, want out", u2.Conns["Y"])
+	}
+	// Primitive master created with ports.
+	prim, ok := nl.Cell("std:nand2")
+	if !ok || !prim.Primitive || len(prim.Ports) != 3 {
+		t.Errorf("primitive master: %+v ok=%v", prim, ok)
+	}
+}
+
+func TestExtractAutoNamesDeterministic(t *testing.T) {
+	d := buildTwoGateDesign(t)
+	// Remove the "mid" label; net gets an auto name, stable across runs.
+	top := d.Cells["top"]
+	var keep []*Label
+	for _, l := range top.Pages[0].Labels {
+		if l.Text != "mid" {
+			keep = append(keep, l)
+		}
+	}
+	top.Pages[0].Labels = keep
+	var names []string
+	for i := 0; i < 3; i++ {
+		nl, err := Extract(d, ExtractOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := nl.Cell("top")
+		names = append(names, c.Instances["u2"].Conns["A"])
+	}
+	if names[0] != names[1] || names[1] != names[2] {
+		t.Errorf("auto names unstable: %v", names)
+	}
+	if !strings.HasPrefix(names[0], "N$") {
+		t.Errorf("auto name %q lacks prefix", names[0])
+	}
+}
+
+func TestExtractCrossPageImplicitVsExplicit(t *testing.T) {
+	// No off-page connectors.
+	d := buildTwoPageDesign(t, false)
+
+	// Implicit (vl): the pages join on the shared name.
+	nl, err := Extract(d, ExtractOptions{ImplicitCrossPage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _ := nl.Cell("top")
+	if top.Instances["u1"].Conns["Y"] != "link" || top.Instances["u2"].Conns["A"] != "link" {
+		t.Errorf("implicit merge failed: u1.Y=%q u2.A=%q",
+			top.Instances["u1"].Conns["Y"], top.Instances["u2"].Conns["A"])
+	}
+
+	// Explicit (cd): without connectors the nets stay page-local — this is
+	// the silent connectivity loss the paper warns about.
+	nl2, err := Extract(d, ExtractOptions{RequireOffPage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top2, _ := nl2.Cell("top")
+	y := top2.Instances["u1"].Conns["Y"]
+	a := top2.Instances["u2"].Conns["A"]
+	if y == a {
+		t.Errorf("explicit mode should split the net, both on %q", y)
+	}
+	if !strings.HasPrefix(y, "link@p") || !strings.HasPrefix(a, "link@p") {
+		t.Errorf("page-local names = %q, %q", y, a)
+	}
+
+	// With off-page connectors the explicit dialect joins them again.
+	d2 := buildTwoPageDesign(t, true)
+	nl3, err := Extract(d2, ExtractOptions{RequireOffPage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top3, _ := nl3.Cell("top")
+	if top3.Instances["u1"].Conns["Y"] != "link" || top3.Instances["u2"].Conns["A"] != "link" {
+		t.Errorf("off-page merge failed: u1.Y=%q u2.A=%q",
+			top3.Instances["u1"].Conns["Y"], top3.Instances["u2"].Conns["A"])
+	}
+}
+
+func TestExtractGlobalsAlwaysMerge(t *testing.T) {
+	d := buildTwoPageDesign(t, false)
+	// Relabel the shared net as VDD and declare it global.
+	for _, pg := range d.Cells["top"].Pages {
+		for _, l := range pg.Labels {
+			l.Text = "VDD"
+		}
+	}
+	d.Globals = []string{"VDD"}
+	nl, err := Extract(d, ExtractOptions{RequireOffPage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _ := nl.Cell("top")
+	if top.Instances["u1"].Conns["Y"] != "VDD" || top.Instances["u2"].Conns["A"] != "VDD" {
+		t.Error("global nets must merge across pages even in explicit mode")
+	}
+	if !top.Nets["VDD"].Global {
+		t.Error("VDD should be flagged Global")
+	}
+}
+
+func TestExtractHierConnectorsDeclarePorts(t *testing.T) {
+	d := NewDesign("h", geom.GridTenth)
+	addNand2(t, d, "std")
+	c := d.MustCell("blk")
+	pg := c.AddPage(R00(110, 85))
+	u := &Instance{Name: "u1", Sym: SymbolKey{"std", "nand2", "sym"}, Placement: geom.Transform{Offset: geom.Pt(10, 10)}}
+	pg.AddInstance(u)
+	pg.Wires = append(pg.Wires, &Wire{Points: []geom.Point{geom.Pt(4, 10), geom.Pt(10, 10)}})
+	pg.Conns = append(pg.Conns, &Connector{Kind: ConnHierIn, Name: "din", At: geom.Pt(4, 10)})
+	pg.Wires = append(pg.Wires, &Wire{Points: []geom.Point{geom.Pt(14, 10), geom.Pt(20, 10)}})
+	pg.Conns = append(pg.Conns, &Connector{Kind: ConnHierOut, Name: "dout", At: geom.Pt(20, 10)})
+	nl, err := Extract(d, ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, _ := nl.Cell("blk")
+	pin, ok := blk.Port("din")
+	if !ok || pin.Dir != netlist.Input {
+		t.Errorf("din port: %+v %v", pin, ok)
+	}
+	pout, ok := blk.Port("dout")
+	if !ok || pout.Dir != netlist.Output {
+		t.Errorf("dout port: %+v %v", pout, ok)
+	}
+	// Nets take the connector names.
+	if blk.Instances["u1"].Conns["A"] != "din" || blk.Instances["u1"].Conns["Y"] != "dout" {
+		t.Errorf("conns = %v", blk.Instances["u1"].Conns)
+	}
+}
+
+func TestExtractHierarchicalInstance(t *testing.T) {
+	// A cell instantiating another schematic cell (symbol name == cell name).
+	d := NewDesign("h2", geom.GridTenth)
+	addNand2(t, d, "std")
+	// Symbol for the sub-block.
+	sub := &Symbol{Name: "blk", View: "sym", Body: geom.R(0, 0, 4, 2),
+		Pins: []SymbolPin{{Name: "din", Pos: geom.Pt(0, 0), Dir: netlist.Input}}}
+	d.EnsureLibrary("work").AddSymbol(sub)
+	blk := d.MustCell("blk")
+	bp := blk.AddPage(R00(50, 50))
+	bu := &Instance{Name: "g", Sym: SymbolKey{"std", "nand2", "sym"}, Placement: geom.Transform{Offset: geom.Pt(10, 10)}}
+	bp.AddInstance(bu)
+	bp.Wires = append(bp.Wires, &Wire{Points: []geom.Point{geom.Pt(4, 10), geom.Pt(10, 10)}})
+	bp.Conns = append(bp.Conns, &Connector{Kind: ConnHierIn, Name: "din", At: geom.Pt(4, 10)})
+
+	top := d.MustCell("top")
+	tp := top.AddPage(R00(50, 50))
+	ti := &Instance{Name: "x1", Sym: SymbolKey{"work", "blk", "sym"}, Placement: geom.Transform{Offset: geom.Pt(20, 20)}}
+	tp.AddInstance(ti)
+	tp.Wires = append(tp.Wires, &Wire{Points: []geom.Point{geom.Pt(16, 20), geom.Pt(20, 20)}})
+	tp.Labels = append(tp.Labels, &Label{Text: "sig", At: geom.Pt(16, 20)})
+	d.Top = "top"
+
+	nl, err := Extract(d, ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("hierarchical netlist invalid: %v", err)
+	}
+	tc, _ := nl.Cell("top")
+	if tc.Instances["x1"].Master != "blk" {
+		t.Errorf("master = %q, want blk (hierarchical)", tc.Instances["x1"].Master)
+	}
+	if tc.Instances["x1"].Conns["din"] != "sig" {
+		t.Errorf("x1.din on %q", tc.Instances["x1"].Conns["din"])
+	}
+}
+
+func TestExtractUnknownSymbolError(t *testing.T) {
+	d := NewDesign("bad", geom.GridTenth)
+	c := d.MustCell("top")
+	pg := c.AddPage(R00(50, 50))
+	pg.AddInstance(&Instance{Name: "u1", Sym: SymbolKey{"ghost", "gone", "sym"}})
+	if _, err := Extract(d, ExtractOptions{}); err == nil {
+		t.Error("Extract should fail on unknown symbol")
+	}
+}
+
+func TestFloatingEnds(t *testing.T) {
+	d := buildTwoGateDesign(t)
+	top := d.Cells["top"]
+	// The "in" stub end at (4,10) carries a label but labels do not anchor;
+	// in this design (4,10) and (40,10) are label-only ends. Add one more
+	// genuinely floating unlabelled wire.
+	top.Pages[0].Wires = append(top.Pages[0].Wires, &Wire{Points: []geom.Point{geom.Pt(60, 60), geom.Pt(70, 60)}})
+	ends, err := FloatingEnds(d, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected floating: (4,10) [net in], (40,10) [net out], (60,60) and
+	// (70,60) [unnamed].
+	if len(ends) != 4 {
+		t.Fatalf("FloatingEnds = %d (%v), want 4", len(ends), ends)
+	}
+	byPoint := map[geom.Point]string{}
+	for _, e := range ends {
+		byPoint[e.Point] = e.Net
+	}
+	if byPoint[geom.Pt(4, 10)] != "in" || byPoint[geom.Pt(40, 10)] != "out" {
+		t.Errorf("net names: %v", byPoint)
+	}
+	if byPoint[geom.Pt(60, 60)] != "" {
+		t.Errorf("unnamed floating end got net %q", byPoint[geom.Pt(60, 60)])
+	}
+}
+
+func TestOnSegment(t *testing.T) {
+	cases := []struct {
+		p, a, b geom.Point
+		want    bool
+	}{
+		{geom.Pt(5, 0), geom.Pt(0, 0), geom.Pt(10, 0), true},
+		{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(10, 0), true}, // endpoint
+		{geom.Pt(11, 0), geom.Pt(0, 0), geom.Pt(10, 0), false},
+		{geom.Pt(5, 1), geom.Pt(0, 0), geom.Pt(10, 0), false},
+		{geom.Pt(0, 5), geom.Pt(0, 10), geom.Pt(0, 0), true}, // reversed vertical
+		{geom.Pt(1, 1), geom.Pt(0, 0), geom.Pt(2, 2), false}, // diagonal segments never match
+	}
+	for _, c := range cases {
+		if got := onSegment(c.p, c.a, c.b); got != c.want {
+			t.Errorf("onSegment(%v,%v,%v) = %v, want %v", c.p, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDesignValidateAndStats(t *testing.T) {
+	d := buildTwoGateDesign(t)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid design rejected: %v", err)
+	}
+	s := d.Stats()
+	if s.Cells != 1 || s.Instances != 2 || s.Wires != 5 || s.Labels != 3 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.Segments != 6 {
+		t.Errorf("Segments = %d, want 6", s.Segments)
+	}
+	// Non-Manhattan wire.
+	bad := d.Clone()
+	bad.Cells["top"].Pages[0].Wires = append(bad.Cells["top"].Pages[0].Wires,
+		&Wire{Points: []geom.Point{geom.Pt(0, 0), geom.Pt(5, 5)}})
+	if err := bad.Validate(); err == nil {
+		t.Error("non-Manhattan wire accepted")
+	}
+	// Unknown symbol.
+	bad2 := d.Clone()
+	bad2.Cells["top"].Pages[0].Instances["u1"].Sym = SymbolKey{"x", "y", "z"}
+	if err := bad2.Validate(); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+}
+
+func TestDesignCloneIsDeep(t *testing.T) {
+	d := buildTwoGateDesign(t)
+	cp := d.Clone()
+	cp.Cells["top"].Pages[0].Wires[0].Points[0] = geom.Pt(99, 99)
+	cp.Cells["top"].Pages[0].Labels[0].Text = "mutated"
+	cp.Libraries["std"].Symbols["nand2:sym"].Pins[0].Name = "Z"
+	if d.Cells["top"].Pages[0].Wires[0].Points[0] == geom.Pt(99, 99) {
+		t.Error("Clone shares wire points")
+	}
+	if d.Cells["top"].Pages[0].Labels[0].Text == "mutated" {
+		t.Error("Clone shares labels")
+	}
+	if d.Libraries["std"].Symbols["nand2:sym"].Pins[0].Name == "Z" {
+		t.Error("Clone shares symbol pins")
+	}
+}
+
+func TestPropertyHelpers(t *testing.T) {
+	props := []Property{{Name: "a", Value: "1"}, {Name: "b", Value: "2"}}
+	p, ok := FindProp(props, "b")
+	if !ok || p.Value != "2" {
+		t.Errorf("FindProp = %+v %v", p, ok)
+	}
+	props = SetProp(props, Property{Name: "b", Value: "3"})
+	if p, _ := FindProp(props, "b"); p.Value != "3" {
+		t.Error("SetProp replace failed")
+	}
+	props = SetProp(props, Property{Name: "c", Value: "4"})
+	if len(props) != 3 {
+		t.Error("SetProp append failed")
+	}
+	props = DelProp(props, "a")
+	if _, ok := FindProp(props, "a"); ok {
+		t.Error("DelProp failed")
+	}
+}
+
+func TestInstancePinPos(t *testing.T) {
+	d := buildTwoGateDesign(t)
+	sym, _ := d.Symbol(SymbolKey{"std", "nand2", "sym"})
+	inst := d.Cells["top"].Pages[0].Instances["u1"]
+	pos, ok := inst.PinPos(sym, "Y")
+	if !ok || pos != geom.Pt(14, 10) {
+		t.Errorf("PinPos = %v %v", pos, ok)
+	}
+	if _, ok := inst.PinPos(sym, "nope"); ok {
+		t.Error("PinPos found nonexistent pin")
+	}
+	// Rotated instance.
+	rot := &Instance{Name: "r", Sym: inst.Sym, Placement: geom.Transform{Orient: geom.R90, Offset: geom.Pt(50, 50)}}
+	pos, _ = rot.PinPos(sym, "Y") // local (4,0) -> R90 (0,4) -> +50,50
+	if pos != geom.Pt(50, 54) {
+		t.Errorf("rotated PinPos = %v", pos)
+	}
+}
+
+func TestLibraryDuplicateSymbol(t *testing.T) {
+	d := NewDesign("x", geom.GridTenth)
+	addNand2(t, d, "std")
+	err := d.EnsureLibrary("std").AddSymbol(&Symbol{Name: "nand2", View: "sym"})
+	if err == nil {
+		t.Error("duplicate symbol accepted")
+	}
+	if _, ok := d.Symbol(SymbolKey{"nolib", "x", "y"}); ok {
+		t.Error("found symbol in nonexistent library")
+	}
+}
+
+func TestConnKindParseString(t *testing.T) {
+	for k := ConnOffPage; k <= ConnGlobal; k++ {
+		back, err := ParseConnKind(k.String())
+		if err != nil || back != k {
+			t.Errorf("round trip %v: %v %v", k, back, err)
+		}
+	}
+	if _, err := ParseConnKind("bogus"); err == nil {
+		t.Error("ParseConnKind accepted nonsense")
+	}
+}
+
+func TestDuplicateCellAndInstance(t *testing.T) {
+	d := NewDesign("x", geom.GridTenth)
+	d.MustCell("a")
+	if _, err := d.AddCell("a"); err == nil {
+		t.Error("duplicate cell accepted")
+	}
+	pg := d.Cells["a"].AddPage(R00(10, 10))
+	pg.AddInstance(&Instance{Name: "i"})
+	if err := pg.AddInstance(&Instance{Name: "i"}); err == nil {
+		t.Error("duplicate instance accepted")
+	}
+}

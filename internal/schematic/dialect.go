@@ -1,0 +1,214 @@
+package schematic
+
+import (
+	"fmt"
+	"sort"
+
+	"cadinterop/internal/geom"
+)
+
+// FontMetrics captures the cosmetic text differences of Section 2: "Font
+// characters in Viewlogic are typically smaller than in Cadence, and the
+// origin of each character is offset from the baseline. For example, if the
+// character 'E' is placed on a line in Viewlogic, it may appear as an 'F'
+// when translated directly" — i.e. the bottom stroke falls below the line.
+type FontMetrics struct {
+	// PointsPerGrid scales text: nominal point size per grid unit of height.
+	PointsPerGrid float64
+	// BaselineOffset is the vertical distance from the glyph origin to the
+	// baseline, in grid units. Tools that anchor glyphs differently need
+	// text translated by the difference.
+	BaselineOffset int
+}
+
+// Dialect describes one schematic tool's conventions — the full checklist
+// of Section 2 issues in machine-readable form.
+type Dialect struct {
+	Name string
+	// Grid is the drawing grid (1/10 inch vs 1/16 inch in the paper).
+	Grid geom.Grid
+	// PinSpacing is the required pin pitch in grid units (2 in both paper
+	// dialects: 2/10 inch and 2/16 inch respectively).
+	PinSpacing int
+	// Bus is the tool's bus naming syntax.
+	Bus BusSyntax
+	// ImplicitCrossPage: nets connect across pages just by sharing a name.
+	ImplicitCrossPage bool
+	// RequireOffPage: cross-page connections must use off-page connectors.
+	RequireOffPage bool
+	// RequireHierConnectors: cell ports must be declared by hierarchy
+	// connector symbols on the sheet.
+	RequireHierConnectors bool
+	// Font holds the text metrics.
+	Font FontMetrics
+	// StandardProps lists property names the tool treats as standard; any
+	// other property is tool-specific and needs explicit mapping.
+	StandardProps []string
+	// ConnectorLib names the library its connector symbols come from.
+	ConnectorLib string
+}
+
+// Two concrete dialects modeled on the paper's migration.
+var (
+	// VL is the permissive Viewlogic-like source dialect.
+	VL = Dialect{
+		Name:              "vl",
+		Grid:              geom.GridTenth,
+		PinSpacing:        2,
+		Bus:               VLSyntax,
+		ImplicitCrossPage: true,
+		Font:              FontMetrics{PointsPerGrid: 8, BaselineOffset: 0},
+		StandardProps:     []string{"refdes", "value", "part", "model"},
+		ConnectorLib:      "vlconn",
+	}
+	// CD is the strict Cadence-like target dialect.
+	CD = Dialect{
+		Name:                  "cd",
+		Grid:                  geom.GridSixteenth,
+		PinSpacing:            2,
+		Bus:                   CDSyntax,
+		RequireOffPage:        true,
+		RequireHierConnectors: true,
+		Font:                  FontMetrics{PointsPerGrid: 10, BaselineOffset: 1},
+		StandardProps:         []string{"instName", "cellValue", "partName", "modelName"},
+		ConnectorLib:          "basic",
+	}
+)
+
+// ExtractOptions derives net-resolution options from the dialect rules.
+func (dl Dialect) ExtractOptions() ExtractOptions {
+	bus := dl.Bus
+	return ExtractOptions{
+		ImplicitCrossPage: dl.ImplicitCrossPage,
+		RequireOffPage:    dl.RequireOffPage,
+		Bus:               &bus,
+	}
+}
+
+// Violation is one dialect-conformance problem in a design.
+type Violation struct {
+	Rule   string
+	Cell   string
+	Page   int
+	Object string
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] cell %q page %d %s: %s", v.Rule, v.Cell, v.Page, v.Object, v.Detail)
+}
+
+// Check validates that a design obeys the dialect's rules. It returns all
+// violations found — the migration pre-flight checklist the paper tells
+// every CAD manager to build.
+func (dl Dialect) Check(d *Design) []Violation {
+	var out []Violation
+	for _, cn := range d.CellNames() {
+		c := d.Cells[cn]
+		knownBuses := CollectBusBases(c)
+		hierDeclared := make(map[string]bool)
+		crossPageNames := make(map[string][]int) // label -> pages seen
+		offPageNames := make(map[string]map[int]bool)
+		for pi, pg := range c.Pages {
+			for _, in := range pg.InstanceNames() {
+				inst := pg.Instances[in]
+				if !geom.OnGrid(inst.Placement.Offset.X, 1) || !geom.OnGrid(inst.Placement.Offset.Y, 1) {
+					out = append(out, Violation{Rule: "grid", Cell: cn, Page: pi + 1, Object: in, Detail: "origin off grid"})
+				}
+				sym, ok := d.Symbol(inst.Sym)
+				if !ok {
+					out = append(out, Violation{Rule: "symbol", Cell: cn, Page: pi + 1, Object: in, Detail: "unknown symbol " + inst.Sym.String()})
+					continue
+				}
+				for _, p := range sym.Pins {
+					if dl.PinSpacing > 1 && (!geom.OnGrid(p.Pos.X, dl.PinSpacing) || !geom.OnGrid(p.Pos.Y, dl.PinSpacing)) {
+						out = append(out, Violation{Rule: "pin-spacing", Cell: cn, Page: pi + 1,
+							Object: in + "." + p.Name,
+							Detail: fmt.Sprintf("pin at %s not on %d-unit pitch", p.Pos, dl.PinSpacing)})
+					}
+				}
+			}
+			for _, l := range pg.Labels {
+				if _, err := ParseBus(l.Text, dl.Bus, knownBuses); err != nil {
+					out = append(out, Violation{Rule: "bus-syntax", Cell: cn, Page: pi + 1, Object: l.Text, Detail: err.Error()})
+				}
+				crossPageNames[l.Text] = appendPage(crossPageNames[l.Text], pi)
+			}
+			for _, conn := range pg.Conns {
+				switch conn.Kind {
+				case ConnHierIn, ConnHierOut, ConnHierBidir:
+					hierDeclared[conn.Name] = true
+				case ConnOffPage:
+					if offPageNames[conn.Name] == nil {
+						offPageNames[conn.Name] = make(map[int]bool)
+					}
+					offPageNames[conn.Name][pi] = true
+				}
+			}
+		}
+		if dl.RequireHierConnectors {
+			for _, p := range c.Ports {
+				if !hierDeclared[p.Name] {
+					out = append(out, Violation{Rule: "hier-connector", Cell: cn, Page: 0, Object: p.Name,
+						Detail: "port has no hierarchy connector on any page"})
+				}
+			}
+		}
+		if dl.RequireOffPage {
+			for name, pages := range crossPageNames {
+				if len(pages) < 2 || d.IsGlobal(name) {
+					continue
+				}
+				for _, pi := range pages {
+					if !offPageNames[name][pi] {
+						out = append(out, Violation{Rule: "off-page", Cell: cn, Page: pi + 1, Object: name,
+							Detail: "net spans pages without an off-page connector here"})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cell != out[j].Cell {
+			return out[i].Cell < out[j].Cell
+		}
+		if out[i].Page != out[j].Page {
+			return out[i].Page < out[j].Page
+		}
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+func appendPage(pages []int, p int) []int {
+	for _, q := range pages {
+		if q == p {
+			return pages
+		}
+	}
+	return append(pages, p)
+}
+
+// TranslateTextBaseline adjusts a text anchor between two dialects' font
+// conventions so glyphs sit on the line rather than across it.
+func TranslateTextBaseline(at geom.Point, from, to FontMetrics) geom.Point {
+	return geom.Pt(at.X, at.Y+from.BaselineOffset-to.BaselineOffset)
+}
+
+// ScaleTextSize converts a point size between dialect font scales, rounding
+// to the nearest whole point and never below 1.
+func ScaleTextSize(size int, from, to FontMetrics) int {
+	if from.PointsPerGrid == 0 {
+		return size
+	}
+	scaled := float64(size) * to.PointsPerGrid / from.PointsPerGrid
+	out := int(scaled + 0.5)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package schematic
+
+import (
+	"testing"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+)
+
+func TestDialectCheckCleanDesign(t *testing.T) {
+	d := buildTwoGateDesign(t)
+	if v := VL.Check(d); len(v) != 0 {
+		t.Errorf("clean design has VL violations: %v", v)
+	}
+}
+
+func TestDialectCheckPinSpacing(t *testing.T) {
+	d := NewDesign("x", geom.GridTenth)
+	sym := &Symbol{Name: "odd", View: "sym",
+		Pins: []SymbolPin{{Name: "P", Pos: geom.Pt(1, 0), Dir: netlist.Input}}} // off 2-pitch
+	d.EnsureLibrary("l").AddSymbol(sym)
+	c := d.MustCell("top")
+	pg := c.AddPage(R00(50, 50))
+	pg.AddInstance(&Instance{Name: "u", Sym: SymbolKey{"l", "odd", "sym"}})
+	vs := VL.Check(d)
+	if !hasRule(vs, "pin-spacing") {
+		t.Errorf("violations = %v", vs)
+	}
+}
+
+func TestDialectCheckBusSyntax(t *testing.T) {
+	d := buildTwoGateDesign(t)
+	pg := d.Cells["top"].Pages[0]
+	pg.Labels = append(pg.Labels, &Label{Text: "bad<0:15>-", At: geom.Pt(50, 50)})
+	// VL permits the postfix form.
+	if vs := VL.Check(d); hasRule(vs, "bus-syntax") {
+		t.Errorf("VL rejected its own syntax: %v", vs)
+	}
+	// CD rejects it.
+	if vs := CD.Check(d); !hasRule(vs, "bus-syntax") {
+		t.Errorf("CD accepted a postfix bus name: %v", vs)
+	}
+}
+
+func TestDialectCheckOffPage(t *testing.T) {
+	d := buildTwoPageDesign(t, false)
+	vs := CD.Check(d)
+	if !hasRule(vs, "off-page") {
+		t.Errorf("CD should demand off-page connectors: %v", vs)
+	}
+	// VL does not care.
+	if vs := VL.Check(d); hasRule(vs, "off-page") {
+		t.Errorf("VL demanded off-page connectors: %v", vs)
+	}
+	// With connectors the violation clears.
+	d2 := buildTwoPageDesign(t, true)
+	if vs := CD.Check(d2); hasRule(vs, "off-page") {
+		t.Errorf("CD still complains with connectors present: %v", vs)
+	}
+	// Globals are exempt.
+	d3 := buildTwoPageDesign(t, false)
+	for _, pg := range d3.Cells["top"].Pages {
+		for _, l := range pg.Labels {
+			l.Text = "GND"
+		}
+	}
+	d3.Globals = []string{"GND"}
+	if vs := CD.Check(d3); hasRule(vs, "off-page") {
+		t.Errorf("CD complains about global nets: %v", vs)
+	}
+}
+
+func TestDialectCheckHierConnectors(t *testing.T) {
+	d := buildTwoGateDesign(t) // has Ports in, out but no hierarchy connectors
+	vs := CD.Check(d)
+	if !hasRule(vs, "hier-connector") {
+		t.Errorf("CD should demand hierarchy connectors: %v", vs)
+	}
+	// Adding the connectors clears it.
+	pg := d.Cells["top"].Pages[0]
+	pg.Conns = append(pg.Conns,
+		&Connector{Kind: ConnHierIn, Name: "in", At: geom.Pt(4, 10)},
+		&Connector{Kind: ConnHierOut, Name: "out", At: geom.Pt(40, 10)})
+	if vs := CD.Check(d); hasRule(vs, "hier-connector") {
+		t.Errorf("violations persist: %v", vs)
+	}
+}
+
+func TestDialectExtractOptions(t *testing.T) {
+	if o := VL.ExtractOptions(); !o.ImplicitCrossPage || o.RequireOffPage {
+		t.Errorf("VL options = %+v", o)
+	}
+	if o := CD.ExtractOptions(); o.ImplicitCrossPage || !o.RequireOffPage {
+		t.Errorf("CD options = %+v", o)
+	}
+}
+
+func TestFontTranslation(t *testing.T) {
+	// The "E becomes F" fix: VL anchors glyphs on the baseline, CD one grid
+	// unit above; translating VL->CD must shift text down by the delta.
+	at := geom.Pt(10, 20)
+	out := TranslateTextBaseline(at, VL.Font, CD.Font)
+	if out != geom.Pt(10, 19) {
+		t.Errorf("baseline translate = %v, want (10,19)", out)
+	}
+	// And back.
+	back := TranslateTextBaseline(out, CD.Font, VL.Font)
+	if back != at {
+		t.Errorf("round trip = %v", back)
+	}
+	// Size scaling 8pt VL -> 10pt CD.
+	if s := ScaleTextSize(8, VL.Font, CD.Font); s != 10 {
+		t.Errorf("ScaleTextSize = %d, want 10", s)
+	}
+	if s := ScaleTextSize(1, CD.Font, VL.Font); s < 1 {
+		t.Errorf("ScaleTextSize floor = %d", s)
+	}
+	if s := ScaleTextSize(7, FontMetrics{}, CD.Font); s != 7 {
+		t.Errorf("zero metrics should pass through, got %d", s)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Rule: "grid", Cell: "top", Page: 1, Object: "u1", Detail: "off grid"}
+	s := v.String()
+	if s == "" || len(s) < 10 {
+		t.Errorf("Violation.String = %q", s)
+	}
+}
+
+func hasRule(vs []Violation, rule string) bool {
+	for _, v := range vs {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}

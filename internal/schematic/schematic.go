@@ -1,0 +1,466 @@
+// Package schematic defines a tool-neutral schematic object model:
+// symbol libraries, hierarchical cells with multi-page sheets, placed
+// instances, wires, net labels, connectors and properties — everything the
+// paper's Section 2 migration had to carry from one capture system to
+// another. Connectivity extraction (connect.go) turns the geometric
+// drawing into a netlist.Netlist for independent verification, and bus.go
+// implements the per-dialect bus naming syntaxes whose mismatch is one of
+// the section's headline issues.
+package schematic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+)
+
+// Errors.
+var (
+	ErrDuplicate = errors.New("schematic: duplicate name")
+	ErrNotFound  = errors.New("schematic: not found")
+)
+
+// Property is a named attribute with display information. Whether a
+// property is "standard" or tool-specific is a dialect concern; the model
+// just carries them.
+type Property struct {
+	Name    string
+	Value   string
+	Visible bool
+	At      geom.Point // placement relative to owner origin
+	Size    int        // text size in points
+}
+
+// FindProp returns the first property with the given name.
+func FindProp(props []Property, name string) (Property, bool) {
+	for _, p := range props {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Property{}, false
+}
+
+// SetProp replaces or appends a property by name and returns the new slice.
+func SetProp(props []Property, p Property) []Property {
+	for i := range props {
+		if props[i].Name == p.Name {
+			props[i] = p
+			return props
+		}
+	}
+	return append(props, p)
+}
+
+// DelProp removes a property by name and returns the new slice.
+func DelProp(props []Property, name string) []Property {
+	out := props[:0]
+	for _, p := range props {
+		if p.Name != name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SymbolPin is a connection point on a symbol body, in symbol-local
+// coordinates (grid units of the owning dialect).
+type SymbolPin struct {
+	Name string
+	Pos  geom.Point
+	Dir  netlist.PortDir
+}
+
+// Symbol is a library component graphic with pins.
+type Symbol struct {
+	Lib, Name, View string
+	Body            geom.Rect
+	Pins            []SymbolPin
+	Graphics        []geom.Rect // body artwork as segments/rects
+	Props           []Property
+}
+
+// Pin finds a pin by name.
+func (s *Symbol) Pin(name string) (SymbolPin, bool) {
+	for _, p := range s.Pins {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return SymbolPin{}, false
+}
+
+// Key returns the lib/name/view identity of the symbol.
+func (s *Symbol) Key() SymbolKey { return SymbolKey{s.Lib, s.Name, s.View} }
+
+// SymbolKey identifies a symbol by library, cell and view name — the triple
+// the paper's replacement maps are keyed on.
+type SymbolKey struct {
+	Lib, Name, View string
+}
+
+// String implements fmt.Stringer.
+func (k SymbolKey) String() string { return k.Lib + ":" + k.Name + ":" + k.View }
+
+// Library is a named set of symbols.
+type Library struct {
+	Name    string
+	Symbols map[string]*Symbol // keyed by Name:View
+}
+
+// symKey builds the map key for a symbol name/view pair.
+func symKey(name, view string) string { return name + ":" + view }
+
+// AddSymbol registers a symbol in the library.
+func (l *Library) AddSymbol(s *Symbol) error {
+	k := symKey(s.Name, s.View)
+	if _, ok := l.Symbols[k]; ok {
+		return fmt.Errorf("%w: symbol %s in library %s", ErrDuplicate, k, l.Name)
+	}
+	s.Lib = l.Name
+	l.Symbols[k] = s
+	return nil
+}
+
+// Symbol looks up a symbol by name and view.
+func (l *Library) Symbol(name, view string) (*Symbol, bool) {
+	s, ok := l.Symbols[symKey(name, view)]
+	return s, ok
+}
+
+// Instance is a placed symbol occurrence on a page.
+type Instance struct {
+	Name      string
+	Sym       SymbolKey
+	Placement geom.Transform
+	Props     []Property
+}
+
+// PinPos returns the absolute position of the named pin given the symbol
+// definition.
+func (i *Instance) PinPos(sym *Symbol, pin string) (geom.Point, bool) {
+	p, ok := sym.Pin(pin)
+	if !ok {
+		return geom.Point{}, false
+	}
+	return i.Placement.Apply(p.Pos), true
+}
+
+// Wire is a polyline of points; consecutive points form segments. All
+// points on a wire are electrically common.
+type Wire struct {
+	Points []geom.Point
+}
+
+// Segments returns the wire as individual segments.
+func (w *Wire) Segments() []geom.Rect {
+	if len(w.Points) < 2 {
+		return nil
+	}
+	segs := make([]geom.Rect, 0, len(w.Points)-1)
+	for i := 0; i+1 < len(w.Points); i++ {
+		a, b := w.Points[i], w.Points[i+1]
+		segs = append(segs, geom.Rect{Min: a, Max: b}) // NOT canonicalized: order preserved
+	}
+	return segs
+}
+
+// Label attaches a net name to the wire passing through At.
+type Label struct {
+	Text   string
+	At     geom.Point
+	Size   int
+	Offset geom.Point // text origin offset from baseline — a cosmetic issue in §2
+}
+
+// ConnKind classifies connectors.
+type ConnKind uint8
+
+// Connector kinds. Hierarchy connectors (In/Out/Bidir) declare cell ports;
+// off-page connectors stitch a net across pages; global connectors bind a
+// net to a design-wide global (power, ground).
+const (
+	ConnOffPage ConnKind = iota
+	ConnHierIn
+	ConnHierOut
+	ConnHierBidir
+	ConnGlobal
+)
+
+var connKindNames = [...]string{"offpage", "in", "out", "bidir", "global"}
+
+// String implements fmt.Stringer.
+func (k ConnKind) String() string {
+	if int(k) < len(connKindNames) {
+		return connKindNames[k]
+	}
+	return fmt.Sprintf("ConnKind(%d)", uint8(k))
+}
+
+// ParseConnKind parses a connector kind name.
+func ParseConnKind(s string) (ConnKind, error) {
+	for i, n := range connKindNames {
+		if n == s {
+			return ConnKind(i), nil
+		}
+	}
+	return ConnOffPage, fmt.Errorf("schematic: unknown connector kind %q", s)
+}
+
+// Connector is a named connection marker placed on a wire end.
+type Connector struct {
+	Kind   ConnKind
+	Name   string // the net/port name it carries
+	At     geom.Point
+	Sym    SymbolKey // the connector symbol used to draw it (dialect specific)
+	Orient geom.Orientation
+}
+
+// Text is free annotation (title blocks, notes). Its font metrics matter
+// only cosmetically — the paper's "E becomes F" complaint lives here.
+type Text struct {
+	S              string
+	At             geom.Point
+	SizePts        int
+	BaselineOffset int // vertical offset of glyph origin from baseline
+}
+
+// Page is one sheet of a cell's schematic.
+type Page struct {
+	Index     int
+	Size      geom.Rect
+	Instances map[string]*Instance
+	Wires     []*Wire
+	Labels    []*Label
+	Conns     []*Connector
+	Texts     []*Text
+}
+
+// NewPage returns an empty page.
+func NewPage(index int, size geom.Rect) *Page {
+	return &Page{Index: index, Size: size, Instances: make(map[string]*Instance)}
+}
+
+// AddInstance places an instance, rejecting duplicates.
+func (p *Page) AddInstance(inst *Instance) error {
+	if _, ok := p.Instances[inst.Name]; ok {
+		return fmt.Errorf("%w: instance %q on page %d", ErrDuplicate, inst.Name, p.Index)
+	}
+	p.Instances[inst.Name] = inst
+	return nil
+}
+
+// InstanceNames returns sorted instance names.
+func (p *Page) InstanceNames() []string {
+	out := make([]string, 0, len(p.Instances))
+	for n := range p.Instances {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cell is a design unit: an interface plus one or more schematic pages.
+type Cell struct {
+	Name  string
+	Ports []netlist.Port
+	Pages []*Page
+}
+
+// AddPage appends a page and returns it.
+func (c *Cell) AddPage(size geom.Rect) *Page {
+	p := NewPage(len(c.Pages)+1, size)
+	c.Pages = append(c.Pages, p)
+	return p
+}
+
+// Design is a complete schematic database: libraries plus cells.
+type Design struct {
+	Name      string
+	Grid      geom.Grid
+	Libraries map[string]*Library
+	Cells     map[string]*Cell
+	Top       string
+	// Globals lists net names treated as design-wide globals (VDD, GND...).
+	Globals []string
+}
+
+// NewDesign returns an empty design on the given grid.
+func NewDesign(name string, grid geom.Grid) *Design {
+	return &Design{
+		Name:      name,
+		Grid:      grid,
+		Libraries: make(map[string]*Library),
+		Cells:     make(map[string]*Cell),
+	}
+}
+
+// EnsureLibrary returns the named library, creating it if needed.
+func (d *Design) EnsureLibrary(name string) *Library {
+	if l, ok := d.Libraries[name]; ok {
+		return l
+	}
+	l := &Library{Name: name, Symbols: make(map[string]*Symbol)}
+	d.Libraries[name] = l
+	return l
+}
+
+// Symbol resolves a symbol key across libraries.
+func (d *Design) Symbol(k SymbolKey) (*Symbol, bool) {
+	l, ok := d.Libraries[k.Lib]
+	if !ok {
+		return nil, false
+	}
+	return l.Symbol(k.Name, k.View)
+}
+
+// AddCell registers a new cell.
+func (d *Design) AddCell(name string) (*Cell, error) {
+	if _, ok := d.Cells[name]; ok {
+		return nil, fmt.Errorf("%w: cell %q", ErrDuplicate, name)
+	}
+	c := &Cell{Name: name}
+	d.Cells[name] = c
+	return c, nil
+}
+
+// MustCell is AddCell that panics on error, for generators and tests.
+func (d *Design) MustCell(name string) *Cell {
+	c, err := d.AddCell(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// CellNames returns sorted cell names.
+func (d *Design) CellNames() []string {
+	out := make([]string, 0, len(d.Cells))
+	for n := range d.Cells {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsGlobal reports whether a net name is in the design's global list.
+func (d *Design) IsGlobal(name string) bool {
+	for _, g := range d.Globals {
+		if g == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarizes a design for reports.
+type Stats struct {
+	Cells, Pages, Instances, Wires, Segments, Labels, Connectors int
+}
+
+// Stats computes aggregate counts.
+func (d *Design) Stats() Stats {
+	var s Stats
+	s.Cells = len(d.Cells)
+	for _, c := range d.Cells {
+		s.Pages += len(c.Pages)
+		for _, p := range c.Pages {
+			s.Instances += len(p.Instances)
+			s.Wires += len(p.Wires)
+			for _, w := range p.Wires {
+				s.Segments += len(w.Segments())
+			}
+			s.Labels += len(p.Labels)
+			s.Connectors += len(p.Conns)
+		}
+	}
+	return s
+}
+
+// Validate checks that every instance references a known symbol and that
+// all geometry lies within its page bounds. Problems are accumulated.
+func (d *Design) Validate() error {
+	var probs []string
+	for _, cn := range d.CellNames() {
+		c := d.Cells[cn]
+		for _, pg := range c.Pages {
+			for _, in := range pg.InstanceNames() {
+				inst := pg.Instances[in]
+				if _, ok := d.Symbol(inst.Sym); !ok {
+					probs = append(probs, fmt.Sprintf("cell %q page %d: instance %q references unknown symbol %s", cn, pg.Index, in, inst.Sym))
+				}
+				if !inst.Placement.Orient.Valid() {
+					probs = append(probs, fmt.Sprintf("cell %q page %d: instance %q has invalid orientation", cn, pg.Index, in))
+				}
+			}
+			for wi, w := range pg.Wires {
+				if len(w.Points) < 2 {
+					probs = append(probs, fmt.Sprintf("cell %q page %d: wire %d has %d points", cn, pg.Index, wi, len(w.Points)))
+				}
+				for i := 0; i+1 < len(w.Points); i++ {
+					a, b := w.Points[i], w.Points[i+1]
+					if a.X != b.X && a.Y != b.Y {
+						probs = append(probs, fmt.Sprintf("cell %q page %d: wire %d segment %d is non-Manhattan", cn, pg.Index, wi, i))
+					}
+				}
+			}
+		}
+	}
+	if len(probs) == 0 {
+		return nil
+	}
+	sort.Strings(probs)
+	return fmt.Errorf("%w: %d problems: %s", ErrNotFound, len(probs), probs[0])
+}
+
+// Clone returns a deep copy of the design.
+func (d *Design) Clone() *Design {
+	out := NewDesign(d.Name, d.Grid)
+	out.Top = d.Top
+	out.Globals = append([]string(nil), d.Globals...)
+	for _, lib := range d.Libraries {
+		nl := out.EnsureLibrary(lib.Name)
+		for _, s := range lib.Symbols {
+			cp := &Symbol{
+				Lib: s.Lib, Name: s.Name, View: s.View, Body: s.Body,
+				Pins:     append([]SymbolPin(nil), s.Pins...),
+				Graphics: append([]geom.Rect(nil), s.Graphics...),
+				Props:    append([]Property(nil), s.Props...),
+			}
+			nl.Symbols[symKey(cp.Name, cp.View)] = cp
+		}
+	}
+	for name, c := range d.Cells {
+		nc := &Cell{Name: name, Ports: append([]netlist.Port(nil), c.Ports...)}
+		for _, pg := range c.Pages {
+			np := NewPage(pg.Index, pg.Size)
+			for in, inst := range pg.Instances {
+				np.Instances[in] = &Instance{
+					Name: inst.Name, Sym: inst.Sym, Placement: inst.Placement,
+					Props: append([]Property(nil), inst.Props...),
+				}
+			}
+			for _, w := range pg.Wires {
+				np.Wires = append(np.Wires, &Wire{Points: append([]geom.Point(nil), w.Points...)})
+			}
+			for _, l := range pg.Labels {
+				cp := *l
+				np.Labels = append(np.Labels, &cp)
+			}
+			for _, cn := range pg.Conns {
+				cp := *cn
+				np.Conns = append(np.Conns, &cp)
+			}
+			for _, tx := range pg.Texts {
+				cp := *tx
+				np.Texts = append(np.Texts, &cp)
+			}
+			nc.Pages = append(nc.Pages, np)
+		}
+		out.Cells[name] = nc
+	}
+	return out
+}

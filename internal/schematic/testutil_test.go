@@ -1,0 +1,103 @@
+package schematic
+
+import (
+	"testing"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+)
+
+// R00 builds a rectangle anchored at the origin.
+func R00(w, h int) geom.Rect { return geom.R(0, 0, w, h) }
+
+// addNand2 registers a two-input gate symbol in lib with pins on the
+// dialect's 2-unit pin pitch.
+func addNand2(t testing.TB, d *Design, lib string) *Symbol {
+	t.Helper()
+	sym := &Symbol{
+		Name: "nand2",
+		View: "sym",
+		Body: geom.R(0, 0, 4, 4),
+		Pins: []SymbolPin{
+			{Name: "A", Pos: geom.Pt(0, 0), Dir: netlist.Input},
+			{Name: "B", Pos: geom.Pt(0, 2), Dir: netlist.Input},
+			{Name: "Y", Pos: geom.Pt(4, 0), Dir: netlist.Output},
+		},
+	}
+	if err := d.EnsureLibrary(lib).AddSymbol(sym); err != nil {
+		t.Fatal(err)
+	}
+	return sym
+}
+
+// buildTwoGateDesign wires two nand2 gates in series on one page:
+//
+//	in --(u1.A)  u1.Y --wire-- u2.A  u2.Y -- out
+//
+// with labels "in" on u1.A's stub, "mid" on the joining wire and "out" on
+// u2.Y's stub.
+func buildTwoGateDesign(t testing.TB) *Design {
+	t.Helper()
+	d := NewDesign("two_gate", geom.GridTenth)
+	addNand2(t, d, "std")
+	c := d.MustCell("top")
+	c.Ports = []netlist.Port{{Name: "in", Dir: netlist.Input}, {Name: "out", Dir: netlist.Output}}
+	pg := c.AddPage(R00(110, 85))
+
+	u1 := &Instance{Name: "u1", Sym: SymbolKey{"std", "nand2", "sym"}, Placement: geom.Transform{Offset: geom.Pt(10, 10)}}
+	u2 := &Instance{Name: "u2", Sym: SymbolKey{"std", "nand2", "sym"}, Placement: geom.Transform{Offset: geom.Pt(30, 10)}}
+	if err := pg.AddInstance(u1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.AddInstance(u2); err != nil {
+		t.Fatal(err)
+	}
+	// Input stub to u1.A at (10,10).
+	pg.Wires = append(pg.Wires, &Wire{Points: []geom.Point{geom.Pt(4, 10), geom.Pt(10, 10)}})
+	pg.Labels = append(pg.Labels, &Label{Text: "in", At: geom.Pt(4, 10), Size: 8})
+	// u1.B tied to u1.A for simplicity: vertical stub (10,10)-(10,12).
+	pg.Wires = append(pg.Wires, &Wire{Points: []geom.Point{geom.Pt(10, 10), geom.Pt(10, 12)}})
+	// Joining wire u1.Y (14,10) to u2.A (30,10).
+	pg.Wires = append(pg.Wires, &Wire{Points: []geom.Point{geom.Pt(14, 10), geom.Pt(30, 10)}})
+	pg.Labels = append(pg.Labels, &Label{Text: "mid", At: geom.Pt(20, 10), Size: 8})
+	// u2.B stub tied down to the mid wire via (30,12)-(28,12)-(28,10).
+	pg.Wires = append(pg.Wires, &Wire{Points: []geom.Point{geom.Pt(30, 12), geom.Pt(28, 12), geom.Pt(28, 10)}})
+	// Output stub from u2.Y (34,10).
+	pg.Wires = append(pg.Wires, &Wire{Points: []geom.Point{geom.Pt(34, 10), geom.Pt(40, 10)}})
+	pg.Labels = append(pg.Labels, &Label{Text: "out", At: geom.Pt(40, 10), Size: 8})
+	d.Top = "top"
+	return d
+}
+
+// buildTwoPageDesign puts one gate per page with the shared net "link"
+// labelled on both pages; whether the pages connect depends on the dialect
+// (implicit vs off-page connectors).
+func buildTwoPageDesign(t testing.TB, withOffPage bool) *Design {
+	t.Helper()
+	d := NewDesign("two_page", geom.GridTenth)
+	addNand2(t, d, "std")
+	c := d.MustCell("top")
+	p1 := c.AddPage(R00(110, 85))
+	p2 := c.AddPage(R00(110, 85))
+
+	u1 := &Instance{Name: "u1", Sym: SymbolKey{"std", "nand2", "sym"}, Placement: geom.Transform{Offset: geom.Pt(10, 10)}}
+	if err := p1.AddInstance(u1); err != nil {
+		t.Fatal(err)
+	}
+	p1.Wires = append(p1.Wires, &Wire{Points: []geom.Point{geom.Pt(14, 10), geom.Pt(20, 10)}})
+	p1.Labels = append(p1.Labels, &Label{Text: "link", At: geom.Pt(20, 10), Size: 8})
+
+	u2 := &Instance{Name: "u2", Sym: SymbolKey{"std", "nand2", "sym"}, Placement: geom.Transform{Offset: geom.Pt(10, 10)}}
+	if err := p2.AddInstance(u2); err != nil {
+		t.Fatal(err)
+	}
+	p2.Wires = append(p2.Wires, &Wire{Points: []geom.Point{geom.Pt(4, 10), geom.Pt(10, 10)}})
+	p2.Labels = append(p2.Labels, &Label{Text: "link", At: geom.Pt(4, 10), Size: 8})
+
+	if withOffPage {
+		p1.Conns = append(p1.Conns, &Connector{Kind: ConnOffPage, Name: "link", At: geom.Pt(20, 10)})
+		p2.Conns = append(p2.Conns, &Connector{Kind: ConnOffPage, Name: "link", At: geom.Pt(4, 10)})
+	}
+	d.Top = "top"
+	return d
+}

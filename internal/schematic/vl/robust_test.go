@@ -1,0 +1,40 @@
+package vl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness: Read must never panic on corrupted files — the receiving
+// tool in a data exchange cannot assume the sender was sane.
+func TestReadNeverPanicsOnMutations(t *testing.T) {
+	d := sampleDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+	f := func(pos uint16, b byte) bool {
+		mut := append([]byte(nil), base...)
+		mut[int(pos)%len(mut)] = b
+		_, _ = Read(bytes.NewReader(mut))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadNeverPanicsOnTruncations(t *testing.T) {
+	d := sampleDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for i := 0; i <= len(s); i += 7 {
+		_, _ = Read(strings.NewReader(s[:i]))
+	}
+}

@@ -1,0 +1,391 @@
+// Package vl serializes schematic designs in the Viewlogic-like dialect's
+// native file format: a terse record-per-line form in the spirit of
+// Viewdraw WIR files. The format carries the dialect's permissive
+// conventions — condensed bus syntax in labels, no mandatory connectors —
+// which is precisely why reading it into a stricter tool needs the
+// migrate package.
+package vl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+	"cadinterop/internal/schematic"
+)
+
+// ErrFormat reports malformed vl input.
+var ErrFormat = errors.New("vl: format error")
+
+// Dialect is the Viewlogic-like dialect description.
+var Dialect = schematic.VL
+
+// Write serializes the design.
+func Write(w io.Writer, d *schematic.Design) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "V vl 1\n")
+	fmt.Fprintf(bw, "D %s %s\n", d.Name, d.Grid.Name)
+	if len(d.Globals) > 0 {
+		fmt.Fprintf(bw, "G %s\n", strings.Join(d.Globals, " "))
+	}
+	libNames := make([]string, 0, len(d.Libraries))
+	for n := range d.Libraries {
+		libNames = append(libNames, n)
+	}
+	sort.Strings(libNames)
+	for _, ln := range libNames {
+		lib := d.Libraries[ln]
+		fmt.Fprintf(bw, "Y %s\n", ln)
+		symKeys := make([]string, 0, len(lib.Symbols))
+		for k := range lib.Symbols {
+			symKeys = append(symKeys, k)
+		}
+		sort.Strings(symKeys)
+		for _, sk := range symKeys {
+			s := lib.Symbols[sk]
+			fmt.Fprintf(bw, "S %s %s %d %d %d %d\n", s.Name, s.View,
+				s.Body.Min.X, s.Body.Min.Y, s.Body.Max.X, s.Body.Max.Y)
+			for _, p := range s.Pins {
+				fmt.Fprintf(bw, "P %s %d %d %s\n", p.Name, p.Pos.X, p.Pos.Y, p.Dir)
+			}
+			for _, pr := range s.Props {
+				writeProp(bw, pr)
+			}
+			fmt.Fprintf(bw, "E\n")
+		}
+	}
+	for _, cn := range d.CellNames() {
+		c := d.Cells[cn]
+		fmt.Fprintf(bw, "C %s\n", cn)
+		for _, p := range c.Ports {
+			fmt.Fprintf(bw, "R %s %s\n", p.Name, p.Dir)
+		}
+		for _, pg := range c.Pages {
+			fmt.Fprintf(bw, "U %d %d %d %d %d\n", pg.Index,
+				pg.Size.Min.X, pg.Size.Min.Y, pg.Size.Max.X, pg.Size.Max.Y)
+			for _, in := range pg.InstanceNames() {
+				inst := pg.Instances[in]
+				fmt.Fprintf(bw, "I %s %s:%s:%s %d %d %s\n", inst.Name,
+					inst.Sym.Lib, inst.Sym.Name, inst.Sym.View,
+					inst.Placement.Offset.X, inst.Placement.Offset.Y, inst.Placement.Orient)
+				for _, pr := range inst.Props {
+					writeProp(bw, pr)
+				}
+			}
+			for _, wr := range pg.Wires {
+				fmt.Fprintf(bw, "W")
+				for _, pt := range wr.Points {
+					fmt.Fprintf(bw, " %d %d", pt.X, pt.Y)
+				}
+				fmt.Fprintf(bw, "\n")
+			}
+			for _, l := range pg.Labels {
+				fmt.Fprintf(bw, "L %s %d %d %d %d %d\n", l.Text, l.At.X, l.At.Y, l.Size, l.Offset.X, l.Offset.Y)
+			}
+			for _, cx := range pg.Conns {
+				fmt.Fprintf(bw, "O %s %s %d %d %s:%s:%s %s\n", cx.Kind, cx.Name,
+					cx.At.X, cx.At.Y, cx.Sym.Lib, cx.Sym.Name, cx.Sym.View, cx.Orient)
+			}
+			for _, tx := range pg.Texts {
+				fmt.Fprintf(bw, "T %s %d %d %d %d\n", strconv.Quote(tx.S), tx.At.X, tx.At.Y, tx.SizePts, tx.BaselineOffset)
+			}
+			fmt.Fprintf(bw, "Z\n")
+		}
+		fmt.Fprintf(bw, "X\n")
+	}
+	return bw.Flush()
+}
+
+func writeProp(w io.Writer, p schematic.Property) {
+	vis := 0
+	if p.Visible {
+		vis = 1
+	}
+	fmt.Fprintf(w, "A %s %d %d %d %d %s\n", p.Name, vis, p.At.X, p.At.Y, p.Size, strconv.Quote(p.Value))
+}
+
+// Read parses a design previously written by Write (or produced by another
+// tool emitting the same records).
+func Read(r io.Reader) (*schematic.Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var (
+		d       *schematic.Design
+		lib     *schematic.Library
+		sym     *schematic.Symbol
+		cell    *schematic.Cell
+		page    *schematic.Page
+		lineNo  int
+		lastOwn *[]schematic.Property // receiver for A records
+	)
+	fail := func(msg string, args ...any) error {
+		return fmt.Errorf("%w: line %d: %s", ErrFormat, lineNo, fmt.Sprintf(msg, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "V":
+			if len(f) != 3 || f[1] != "vl" {
+				return nil, fail("bad version record %q", line)
+			}
+		case "D":
+			if len(f) != 3 {
+				return nil, fail("bad design record")
+			}
+			grid, err := parseGrid(f[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			d = schematic.NewDesign(f[1], grid)
+		case "G":
+			if d == nil {
+				return nil, fail("G before D")
+			}
+			d.Globals = append(d.Globals, f[1:]...)
+		case "Y":
+			if d == nil || len(f) != 2 {
+				return nil, fail("bad library record")
+			}
+			lib = d.EnsureLibrary(f[1])
+		case "S":
+			if lib == nil || len(f) != 7 {
+				return nil, fail("bad symbol record")
+			}
+			x0, y0, x1, y1, err := atoi4(f[3], f[4], f[5], f[6])
+			if err != nil {
+				return nil, fail("symbol body: %v", err)
+			}
+			sym = &schematic.Symbol{Name: f[1], View: f[2], Body: geom.R(x0, y0, x1, y1)}
+			lastOwn = &sym.Props
+		case "P":
+			if sym == nil || len(f) != 5 {
+				return nil, fail("bad pin record")
+			}
+			x, err1 := strconv.Atoi(f[2])
+			y, err2 := strconv.Atoi(f[3])
+			dir, err3 := netlist.ParsePortDir(f[4])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fail("pin fields")
+			}
+			sym.Pins = append(sym.Pins, schematic.SymbolPin{Name: f[1], Pos: geom.Pt(x, y), Dir: dir})
+		case "E":
+			if lib == nil || sym == nil {
+				return nil, fail("E outside symbol")
+			}
+			if err := lib.AddSymbol(sym); err != nil {
+				return nil, fail("%v", err)
+			}
+			sym = nil
+			lastOwn = nil
+		case "C":
+			if d == nil || len(f) != 2 {
+				return nil, fail("bad cell record")
+			}
+			var err error
+			cell, err = d.AddCell(f[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+		case "R":
+			if cell == nil || len(f) != 3 {
+				return nil, fail("bad port record")
+			}
+			dir, err := netlist.ParsePortDir(f[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cell.Ports = append(cell.Ports, netlist.Port{Name: f[1], Dir: dir})
+		case "U":
+			if cell == nil || len(f) != 6 {
+				return nil, fail("bad page record")
+			}
+			x0, y0, x1, y1, err := atoi4(f[2], f[3], f[4], f[5])
+			if err != nil {
+				return nil, fail("page size: %v", err)
+			}
+			page = cell.AddPage(geom.R(x0, y0, x1, y1))
+		case "I":
+			if page == nil || len(f) != 6 {
+				return nil, fail("bad instance record")
+			}
+			key, err := parseSymKey(f[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			x, err1 := strconv.Atoi(f[3])
+			y, err2 := strconv.Atoi(f[4])
+			o, err3 := geom.ParseOrientation(f[5])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fail("instance placement")
+			}
+			inst := &schematic.Instance{Name: f[1], Sym: key,
+				Placement: geom.Transform{Orient: o, Offset: geom.Pt(x, y)}}
+			if err := page.AddInstance(inst); err != nil {
+				return nil, fail("%v", err)
+			}
+			lastOwn = &inst.Props
+		case "A":
+			if lastOwn == nil || len(f) < 7 {
+				return nil, fail("A record without owner")
+			}
+			vis, err1 := strconv.Atoi(f[2])
+			x, err2 := strconv.Atoi(f[3])
+			y, err3 := strconv.Atoi(f[4])
+			size, err4 := strconv.Atoi(f[5])
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return nil, fail("property fields")
+			}
+			val, err := strconv.Unquote(strings.Join(f[6:], " "))
+			if err != nil {
+				return nil, fail("property value: %v", err)
+			}
+			*lastOwn = append(*lastOwn, schematic.Property{
+				Name: f[1], Value: val, Visible: vis != 0, At: geom.Pt(x, y), Size: size})
+		case "W":
+			if page == nil || len(f) < 5 || len(f)%2 == 0 {
+				return nil, fail("bad wire record")
+			}
+			var pts []geom.Point
+			for i := 1; i+1 < len(f); i += 2 {
+				x, err1 := strconv.Atoi(f[i])
+				y, err2 := strconv.Atoi(f[i+1])
+				if err1 != nil || err2 != nil {
+					return nil, fail("wire coordinates")
+				}
+				pts = append(pts, geom.Pt(x, y))
+			}
+			page.Wires = append(page.Wires, &schematic.Wire{Points: pts})
+		case "L":
+			if page == nil || len(f) != 7 {
+				return nil, fail("bad label record")
+			}
+			x, err1 := strconv.Atoi(f[2])
+			y, err2 := strconv.Atoi(f[3])
+			size, err3 := strconv.Atoi(f[4])
+			ox, err4 := strconv.Atoi(f[5])
+			oy, err5 := strconv.Atoi(f[6])
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+				return nil, fail("label fields")
+			}
+			page.Labels = append(page.Labels, &schematic.Label{
+				Text: f[1], At: geom.Pt(x, y), Size: size, Offset: geom.Pt(ox, oy)})
+		case "O":
+			if page == nil || len(f) != 7 {
+				return nil, fail("bad connector record")
+			}
+			kind, err := schematic.ParseConnKind(f[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			x, err1 := strconv.Atoi(f[3])
+			y, err2 := strconv.Atoi(f[4])
+			key, err3 := parseSymKey(f[5])
+			o, err4 := geom.ParseOrientation(f[6])
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return nil, fail("connector fields")
+			}
+			page.Conns = append(page.Conns, &schematic.Connector{
+				Kind: kind, Name: f[2], At: geom.Pt(x, y), Sym: key, Orient: o})
+		case "T":
+			if page == nil || len(f) < 5 {
+				return nil, fail("bad text record")
+			}
+			// Quoted string may contain spaces: re-split from the raw line.
+			rest := strings.TrimSpace(line[1:])
+			s, tail, err := unquotePrefix(rest)
+			if err != nil {
+				return nil, fail("text string: %v", err)
+			}
+			tf := strings.Fields(tail)
+			if len(tf) != 4 {
+				return nil, fail("text fields")
+			}
+			x, err1 := strconv.Atoi(tf[0])
+			y, err2 := strconv.Atoi(tf[1])
+			size, err3 := strconv.Atoi(tf[2])
+			bo, err4 := strconv.Atoi(tf[3])
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				return nil, fail("text numbers")
+			}
+			page.Texts = append(page.Texts, &schematic.Text{S: s, At: geom.Pt(x, y), SizePts: size, BaselineOffset: bo})
+		case "Z":
+			page = nil
+			lastOwn = nil
+		case "X":
+			cell = nil
+			page = nil
+			lastOwn = nil
+		default:
+			return nil, fail("unknown record %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return nil, fmt.Errorf("%w: no design record", ErrFormat)
+	}
+	return d, nil
+}
+
+// atoi4 converts four decimal fields at once.
+func atoi4(a, b, c, d string) (int, int, int, int, error) {
+	x0, e1 := strconv.Atoi(a)
+	y0, e2 := strconv.Atoi(b)
+	x1, e3 := strconv.Atoi(c)
+	y1, e4 := strconv.Atoi(d)
+	for _, e := range []error{e1, e2, e3, e4} {
+		if e != nil {
+			return 0, 0, 0, 0, e
+		}
+	}
+	return x0, y0, x1, y1, nil
+}
+
+func parseGrid(name string) (geom.Grid, error) {
+	switch name {
+	case geom.GridTenth.Name:
+		return geom.GridTenth, nil
+	case geom.GridSixteenth.Name:
+		return geom.GridSixteenth, nil
+	default:
+		return geom.Grid{}, fmt.Errorf("unknown grid %q", name)
+	}
+}
+
+func parseSymKey(s string) (schematic.SymbolKey, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return schematic.SymbolKey{}, fmt.Errorf("bad symbol key %q", s)
+	}
+	return schematic.SymbolKey{Lib: parts[0], Name: parts[1], View: parts[2]}, nil
+}
+
+// unquotePrefix splits a leading Go-quoted string from the rest of the line.
+func unquotePrefix(s string) (string, string, error) {
+	if !strings.HasPrefix(s, "\"") {
+		return "", "", fmt.Errorf("expected quoted string")
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			out, err := strconv.Unquote(s[:i+1])
+			return out, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}

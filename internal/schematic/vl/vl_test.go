@@ -1,0 +1,206 @@
+package vl
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+	"cadinterop/internal/schematic"
+)
+
+// sampleDesign builds a representative design exercising every record type.
+func sampleDesign(t testing.TB) *schematic.Design {
+	t.Helper()
+	d := schematic.NewDesign("sample", geom.GridTenth)
+	d.Globals = []string{"VDD", "GND"}
+	lib := d.EnsureLibrary("std")
+	sym := &schematic.Symbol{
+		Name: "nand2", View: "sym", Body: geom.R(0, 0, 4, 4),
+		Pins: []schematic.SymbolPin{
+			{Name: "A", Pos: geom.Pt(0, 0), Dir: netlist.Input},
+			{Name: "Y", Pos: geom.Pt(4, 0), Dir: netlist.Output},
+		},
+		Props: []schematic.Property{{Name: "model", Value: "nd2 fast", Visible: true, At: geom.Pt(1, 1), Size: 8}},
+	}
+	if err := lib.AddSymbol(sym); err != nil {
+		t.Fatal(err)
+	}
+	c := d.MustCell("top")
+	c.Ports = []netlist.Port{{Name: "in", Dir: netlist.Input}}
+	pg := c.AddPage(geom.R(0, 0, 110, 85))
+	inst := &schematic.Instance{
+		Name: "u1", Sym: schematic.SymbolKey{Lib: "std", Name: "nand2", View: "sym"},
+		Placement: geom.Transform{Orient: geom.R90, Offset: geom.Pt(10, 20)},
+		Props:     []schematic.Property{{Name: "refdes", Value: "U1", Visible: true, At: geom.Pt(2, 3), Size: 8}},
+	}
+	if err := pg.AddInstance(inst); err != nil {
+		t.Fatal(err)
+	}
+	pg.Wires = append(pg.Wires, &schematic.Wire{Points: []geom.Point{geom.Pt(4, 10), geom.Pt(10, 10), geom.Pt(10, 20)}})
+	pg.Labels = append(pg.Labels, &schematic.Label{Text: "A<0:15>-", At: geom.Pt(4, 10), Size: 8, Offset: geom.Pt(0, 1)})
+	pg.Conns = append(pg.Conns, &schematic.Connector{
+		Kind: schematic.ConnOffPage, Name: "link", At: geom.Pt(10, 20),
+		Sym: schematic.SymbolKey{Lib: "vlconn", Name: "off", View: "sym"}, Orient: geom.MX,
+	})
+	pg.Texts = append(pg.Texts, &schematic.Text{S: "page one title", At: geom.Pt(5, 80), SizePts: 10, BaselineOffset: 0})
+	d.Top = "top"
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := sampleDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v\nfile:\n%s", err, buf.String())
+	}
+	if got.Name != d.Name || got.Grid != d.Grid {
+		t.Errorf("header: %q %v", got.Name, got.Grid)
+	}
+	if len(got.Globals) != 2 || got.Globals[0] != "VDD" {
+		t.Errorf("globals = %v", got.Globals)
+	}
+	sym, ok := got.Symbol(schematic.SymbolKey{Lib: "std", Name: "nand2", View: "sym"})
+	if !ok {
+		t.Fatal("symbol lost")
+	}
+	if len(sym.Pins) != 2 || sym.Pins[1].Pos != geom.Pt(4, 0) {
+		t.Errorf("pins = %+v", sym.Pins)
+	}
+	if len(sym.Props) != 1 || sym.Props[0].Value != "nd2 fast" {
+		t.Errorf("symbol props = %+v", sym.Props)
+	}
+	c := got.Cells["top"]
+	if c == nil || len(c.Pages) != 1 {
+		t.Fatalf("cell/pages: %+v", c)
+	}
+	if len(c.Ports) != 1 || c.Ports[0].Name != "in" {
+		t.Errorf("ports = %+v", c.Ports)
+	}
+	pg := c.Pages[0]
+	inst := pg.Instances["u1"]
+	if inst == nil || inst.Placement.Orient != geom.R90 || inst.Placement.Offset != geom.Pt(10, 20) {
+		t.Fatalf("instance = %+v", inst)
+	}
+	if len(inst.Props) != 1 || inst.Props[0].Name != "refdes" || !inst.Props[0].Visible {
+		t.Errorf("inst props = %+v", inst.Props)
+	}
+	if len(pg.Wires) != 1 || len(pg.Wires[0].Points) != 3 {
+		t.Errorf("wires = %+v", pg.Wires)
+	}
+	if len(pg.Labels) != 1 || pg.Labels[0].Text != "A<0:15>-" || pg.Labels[0].Offset != geom.Pt(0, 1) {
+		t.Errorf("labels = %+v", pg.Labels[0])
+	}
+	if len(pg.Conns) != 1 || pg.Conns[0].Kind != schematic.ConnOffPage || pg.Conns[0].Orient != geom.MX {
+		t.Errorf("conns = %+v", pg.Conns[0])
+	}
+	if len(pg.Texts) != 1 || pg.Texts[0].S != "page one title" {
+		t.Errorf("texts = %+v", pg.Texts[0])
+	}
+}
+
+func TestRoundTripStableOutput(t *testing.T) {
+	d := sampleDesign(t)
+	var b1, b2 bytes.Buffer
+	if err := Write(&b1, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b2, got); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Errorf("write/read/write not stable:\n--- first\n%s\n--- second\n%s", b1.String(), b2.String())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"bad version", "V xx 1\n"},
+		{"unknown record", "V vl 1\nD d 1/10in\nQ zz\n"},
+		{"G before D", "V vl 1\nG VDD\n"},
+		{"bad grid", "V vl 1\nD d 1/7in\n"},
+		{"pin outside symbol", "V vl 1\nD d 1/10in\nP A 0 0 input\n"},
+		{"bad wire odd coords", "V vl 1\nD d 1/10in\nC c\nU 1 0 0 9 9\nW 1 2 3\n"},
+		{"instance before page", "V vl 1\nD d 1/10in\nC c\nI u1 a:b:c 0 0 R0\n"},
+		{"bad orientation", "V vl 1\nD d 1/10in\nC c\nU 1 0 0 9 9\nI u1 a:b:c 0 0 R45\n"},
+		{"bad symkey", "V vl 1\nD d 1/10in\nC c\nU 1 0 0 9 9\nI u1 ab 0 0 R0\n"},
+		{"dup cell", "V vl 1\nD d 1/10in\nC c\nX\nC c\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(c.src)); err == nil {
+				t.Errorf("Read(%q) succeeded, want error", c.src)
+			}
+		})
+	}
+}
+
+func TestReadErrFormatSentinel(t *testing.T) {
+	_, err := Read(strings.NewReader("V vl 1\nD d 1/10in\nQ\n"))
+	if !errors.Is(err, ErrFormat) {
+		t.Errorf("error = %v, want ErrFormat", err)
+	}
+}
+
+func TestReadCommentsAndBlankLines(t *testing.T) {
+	src := "# a comment\nV vl 1\n\nD d 1/10in\n"
+	d, err := Read(strings.NewReader(src))
+	if err != nil || d.Name != "d" {
+		t.Errorf("Read = %v, %v", d, err)
+	}
+}
+
+func TestQuotedTextWithSpaces(t *testing.T) {
+	d := schematic.NewDesign("t", geom.GridTenth)
+	c := d.MustCell("c")
+	pg := c.AddPage(geom.R(0, 0, 10, 10))
+	pg.Texts = append(pg.Texts, &schematic.Text{S: `title "quoted" \ back`, At: geom.Pt(1, 2), SizePts: 8})
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cells["c"].Pages[0].Texts[0].S != `title "quoted" \ back` {
+		t.Errorf("text = %q", got.Cells["c"].Pages[0].Texts[0].S)
+	}
+}
+
+func TestExtractAfterRoundTrip(t *testing.T) {
+	// Connectivity must survive serialization.
+	d := sampleDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlA, err := schematic.Extract(d, Dialect.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlB, err := schematic.Extract(got, Dialect.ExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := netlist.Compare(nlA, nlB, netlist.CompareOptions{}); len(diffs) != 0 {
+		t.Errorf("connectivity changed: %v", diffs)
+	}
+}

@@ -1,0 +1,423 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"cadinterop/internal/hdl"
+)
+
+func TestValueMapProperties(t *testing.T) {
+	if !Strict.Lossless() {
+		t.Error("Strict map must be lossless")
+	}
+	if Optimistic.Lossless() {
+		t.Error("Optimistic map must be lossy")
+	}
+	// Round trips.
+	v := NewValue(4, 0b1010)
+	if !Strict.RoundTrip(v).Eq(v) {
+		t.Error("Strict round trip changed a known value")
+	}
+	x := AllX(2)
+	rt := Optimistic.RoundTrip(x)
+	if rt.HasXZ() {
+		t.Errorf("Optimistic should resolve x to 0, got %v", rt)
+	}
+	if rt.Val != 0 {
+		t.Errorf("Optimistic x -> %v, want 0", rt)
+	}
+	// Z folds to X under Optimistic.
+	z := AllZ(1)
+	if got := Optimistic.RoundTrip(z); got.Bit(0) != LX {
+		t.Errorf("Optimistic z -> %v, want x", got.Bit(0))
+	}
+}
+
+func TestV9String(t *testing.T) {
+	if VU.String() != "U" || VD.String() != "-" || VH.String() != "H" {
+		t.Error("V9 names wrong")
+	}
+}
+
+// buildCoSimPair splits a two-stage design across two kernels:
+// kernel A drives "mid" from input logic; kernel B computes out = mid & en.
+func buildCoSimPair(t testing.TB, opts Options) (*Kernel, *Kernel) {
+	t.Helper()
+	srcA := `
+module partA;
+  reg drive;
+  wire mid;
+  assign mid = drive;
+  initial begin
+    drive = 0;
+    #10 drive = 1;
+    #30 drive = 0;
+  end
+endmodule`
+	srcB := `
+module partB;
+  reg en;
+  wire mid_in;
+  wire out;
+  assign out = mid_in & en;
+  initial begin
+    en = 1;
+  end
+endmodule`
+	da := hdl.MustParse(srcA)
+	db := hdl.MustParse(srcB)
+	ka, err := Elaborate(da, "partA", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := Elaborate(db, "partB", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ka, kb
+}
+
+func TestCoSimLockstep(t *testing.T) {
+	ka, kb := buildCoSimPair(t, Options{})
+	cs, err := NewCoSim(ka, kb, []BoundarySignal{{A: "mid", B: "mid_in", AtoB: true}}, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := kb.Signal("out")
+	if out.Value().Val != 0 || out.Value().HasXZ() {
+		t.Errorf("out = %v, want 0 (drive dropped at t=40)", out.Value())
+	}
+	// The trace on kernel B must show out rising then falling, proving the
+	// bridge carried the mid transition at t=10 and t=40.
+	var rises, falls int
+	for _, c := range kb.Trace() {
+		if c.Signal == "out" {
+			if c.New.Val == 1 && !c.New.HasXZ() {
+				rises++
+				if c.Time != 10 {
+					t.Errorf("out rose at t=%d, want 10", c.Time)
+				}
+			}
+			if c.New.Val == 0 && !c.New.HasXZ() && c.Old.Val == 1 && !c.Old.HasXZ() {
+				falls++
+				if c.Time != 40 {
+					t.Errorf("out fell at t=%d, want 40", c.Time)
+				}
+			}
+		}
+	}
+	if rises != 1 || falls != 1 {
+		t.Errorf("out transitions: %d rises, %d falls", rises, falls)
+	}
+	if cs.Crossings == 0 {
+		t.Error("no boundary crossings recorded")
+	}
+	if cs.Distorted != 0 {
+		t.Errorf("strict map distorted %d crossings", cs.Distorted)
+	}
+}
+
+// TestCoSimValueSetLoss demonstrates the §3.1 hazard: the same split
+// design, co-simulated through a lossy vendor mapping, yields a different
+// result than the strict mapping when an unknown crosses the boundary.
+func TestCoSimValueSetLoss(t *testing.T) {
+	// Kernel A drives an uninitialized (x) reg across the boundary.
+	srcA := `
+module partA;
+  reg drive;      // never initialized: stays x
+  wire mid;
+  assign mid = drive;
+  initial #50 $finish;
+endmodule`
+	srcB := `
+module partB;
+  wire mid_in;
+  wire out;
+  assign out = mid_in;
+endmodule`
+	run := func(m ValueMap) (Value, int) {
+		ka, err := Elaborate(hdl.MustParse(srcA), "partA", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := Elaborate(hdl.MustParse(srcB), "partB", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := NewCoSim(ka, kb, []BoundarySignal{{A: "mid", B: "mid_in", AtoB: true}}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		out, _ := kb.Signal("out")
+		return out.Value(), cs.Distorted
+	}
+	strictOut, strictDist := run(Strict)
+	optOut, optDist := run(Optimistic)
+	if !strictOut.HasXZ() {
+		t.Errorf("strict cosim should propagate x, got %v", strictOut)
+	}
+	if optOut.HasXZ() {
+		t.Errorf("optimistic cosim should resolve x, got %v", optOut)
+	}
+	if optOut.Val != 0 {
+		t.Errorf("optimistic out = %v, want 0", optOut)
+	}
+	if strictDist != 0 {
+		t.Errorf("strict distortions = %d", strictDist)
+	}
+	if optDist == 0 {
+		t.Error("optimistic mapping reported no distortion")
+	}
+}
+
+func TestCoSimAgainstMonolithicReference(t *testing.T) {
+	// The same logic in one kernel is the golden reference; a strict-mapped
+	// cosim must match it exactly on the output.
+	mono := `
+module top;
+  reg drive, en;
+  wire mid, out;
+  assign mid = drive;
+  assign out = mid & en;
+  initial begin
+    en = 1; drive = 0;
+    #10 drive = 1;
+    #30 drive = 0;
+  end
+endmodule`
+	km, err := Elaborate(hdl.MustParse(mono), "top", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := km.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// Compare known-value transitions only: the bridge's settle loop may
+	// produce an extra x-domain transition at t=0 before the first
+	// exchange, which carries no logical information.
+	knownOut := func(tr []Change) []Change {
+		var out []Change
+		for _, c := range tr {
+			if c.Signal == "out" && !c.New.HasXZ() {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	ref := knownOut(km.Trace())
+
+	ka, kb := buildCoSimPair(t, Options{})
+	cs, err := NewCoSim(ka, kb, []BoundarySignal{{A: "mid", B: "mid_in", AtoB: true}}, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	got := knownOut(kb.Trace())
+	if len(ref) != len(got) {
+		t.Fatalf("transition counts differ: mono %d vs cosim %d", len(ref), len(got))
+	}
+	for i := range ref {
+		if ref[i].Time != got[i].Time || !ref[i].New.Eq(got[i].New) {
+			t.Errorf("transition %d: mono (t=%d %v) vs cosim (t=%d %v)",
+				i, ref[i].Time, ref[i].New, got[i].Time, got[i].New)
+		}
+	}
+}
+
+func TestCoSimErrors(t *testing.T) {
+	ka, kb := buildCoSimPair(t, Options{})
+	defer ka.Kill()
+	defer kb.Kill()
+	if _, err := NewCoSim(ka, kb, []BoundarySignal{{A: "ghost", B: "mid_in", AtoB: true}}, Strict); !errors.Is(err, ErrCoSim) {
+		t.Errorf("bad A signal: %v", err)
+	}
+	if _, err := NewCoSim(ka, kb, []BoundarySignal{{A: "mid", B: "ghost", AtoB: true}}, Strict); !errors.Is(err, ErrCoSim) {
+		t.Errorf("bad B signal: %v", err)
+	}
+}
+
+func TestInjectUnknownSignal(t *testing.T) {
+	ka, _ := buildCoSimPair(t, Options{})
+	defer ka.Kill()
+	if err := ka.Inject("nope", NewValue(1, 1)); !errors.Is(err, ErrElab) {
+		t.Errorf("Inject error = %v", err)
+	}
+}
+
+func TestResolveTableProperties(t *testing.T) {
+	all := []V9{VU, VX, V0, V1, VZ, VW, VL, VH, VD}
+	// Commutative.
+	for _, a := range all {
+		for _, b := range all {
+			if Resolve(a, b) != Resolve(b, a) {
+				t.Fatalf("Resolve(%v,%v) not commutative", a, b)
+			}
+		}
+	}
+	// Associative (required for ResolveAll to be well defined).
+	for _, a := range all {
+		for _, b := range all {
+			for _, c := range all {
+				if Resolve(Resolve(a, b), c) != Resolve(a, Resolve(b, c)) {
+					t.Fatalf("Resolve not associative at (%v,%v,%v)", a, b, c)
+				}
+			}
+		}
+	}
+	// Z is the identity — except for don't-care, which resolves to X
+	// (IEEE 1164: '-' driven against anything is unknown).
+	for _, a := range all {
+		if a == VD {
+			if Resolve(VZ, a) != VX {
+				t.Error("Z vs - should be X")
+			}
+			continue
+		}
+		if Resolve(VZ, a) != a {
+			t.Errorf("Z not identity for %v", a)
+		}
+	}
+	// U dominates; 0 vs 1 contention is X; weak loses to strong.
+	if Resolve(VU, V1) != VU || Resolve(V0, V1) != VX {
+		t.Error("domination rules wrong")
+	}
+	if Resolve(VL, V1) != V1 || Resolve(VH, V0) != V0 {
+		t.Error("weak vs strong wrong")
+	}
+	// Weak contention stays weak-unknown.
+	if Resolve(VL, VH) != VW {
+		t.Error("L vs H should be W")
+	}
+	// Out-of-range is X, empty driver list is Z.
+	if Resolve(V9(42), V0) != VX {
+		t.Error("out of range")
+	}
+	if ResolveAll(nil) != VZ {
+		t.Error("empty drivers should read Z")
+	}
+	if ResolveAll([]V9{VL, VZ, V1}) != V1 {
+		t.Error("fold wrong")
+	}
+}
+
+// TestMultiDriverBoundarySemantics shows the §3.1 semantic gap: two
+// drivers on one node are resolvable in the 9-value world (weak pull-up
+// overridden by a strong 0) but have no 4-value answer other than x.
+func TestMultiDriverBoundarySemantics(t *testing.T) {
+	drivers9 := []V9{VH, V0} // pull-up plus strong driver
+	resolved := ResolveAll(drivers9)
+	if resolved != V0 {
+		t.Fatalf("9-value resolution = %v, want 0", resolved)
+	}
+	// Crossing into the 4-value world the resolved value survives...
+	if Strict.To4[resolved] != L0 {
+		t.Error("resolved value crossed wrong")
+	}
+	// ...but mapping the drivers individually and resolving with 4-value
+	// logic cannot express "weak H": it degrades to 1, and 1-vs-0 is x.
+	a4 := Strict.To4[VH] // -> 1
+	b4 := Strict.To4[V0] // -> 0
+	if a4 != L1 || b4 != L0 {
+		t.Fatalf("unexpected mapping: %v %v", a4, b4)
+	}
+	// The 4-value "resolution" of conflicting strong drivers is x.
+	if got := bitResolve4(a4, b4); got != LX {
+		t.Fatalf("4-value contention = %v, want x", got)
+	}
+	// The bridge that maps drivers before resolving gets x where the
+	// 9-value simulator computes 0 — silent divergence.
+}
+
+// bitResolve4 is the 4-value multi-driver rule: agreement wins, Z yields,
+// disagreement is x.
+func bitResolve4(a, b Bit) Bit {
+	switch {
+	case a == b:
+		return a
+	case a == LZ:
+		return b
+	case b == LZ:
+		return a
+	default:
+		return LX
+	}
+}
+
+// TestCoSimCycleDefinitionSkew reproduces the other half of §3.1's
+// co-simulation complaint: two backplanes with different simulation-cycle
+// definitions. A signal that crosses the boundary twice in one instant
+// (A -> B -> A) converges under an iterating bridge but arrives stale
+// under a once-per-instant bridge.
+func TestCoSimCycleDefinitionSkew(t *testing.T) {
+	srcA := `
+module partA;
+  reg drive;
+  wire mid;
+  wire back_in;
+  wire out;
+  assign mid = drive;
+  assign out = back_in;
+  initial begin
+    drive = 0;
+    #10 drive = 1;
+    #10 $finish;
+  end
+endmodule`
+	srcB := `
+module partB;
+  wire mid_in;
+  wire back;
+  assign back = ~mid_in;
+endmodule`
+	boundary := []BoundarySignal{
+		{A: "mid", B: "mid_in", AtoB: true},
+		{A: "back_in", B: "back", AtoB: false},
+	}
+	// Compare the timeline of known-value transitions on A's "out".
+	run := func(once bool) []Change {
+		ka, err := Elaborate(hdl.MustParse(srcA), "partA", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := Elaborate(hdl.MustParse(srcB), "partB", Options{DisableTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := NewCoSim(ka, kb, boundary, Strict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs.ExchangeOnce = once
+		if err := cs.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		var outs []Change
+		for _, c := range ka.Trace() {
+			if c.Signal == "out" && !c.New.HasXZ() {
+				outs = append(outs, c)
+			}
+		}
+		return outs
+	}
+	settled := run(false)
+	// Settling bridge: out = ~drive combinationally: 1 at t=0, 0 at t=10.
+	if len(settled) < 2 || settled[0].Time != 0 || settled[0].New.Val != 1 ||
+		settled[1].Time != 10 || settled[1].New.Val != 0 {
+		t.Fatalf("settling timeline = %v", settled)
+	}
+	skewed := run(true)
+	// Coarse bridge: the second boundary crossing misses the instant, so
+	// out's first known value arrives late (not at t=0).
+	if len(skewed) > 0 && skewed[0].Time == 0 && skewed[0].New.Val == 1 {
+		t.Errorf("skewed timeline should not match the settled one: %v", skewed)
+	}
+}

@@ -1,0 +1,771 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"cadinterop/internal/hdl"
+)
+
+// process is one always/initial block executed as a coroutine. The
+// scheduler and the process goroutine alternate strictly: exactly one side
+// runs at a time, so all kernel state is effectively single-threaded.
+type process struct {
+	id     int
+	name   string
+	ctx    *scopeCtx
+	body   hdl.Stmt
+	always bool
+	noSens bool
+	sens   hdl.SensList
+
+	started bool
+	done    bool
+	resume  chan resumeMsg
+	yield   chan yieldMsg
+
+	// waitItems is non-nil while blocked on events; entries are registered
+	// in the corresponding signals' waiter lists.
+	waitSignals []*Signal
+
+	// zeroLoopGuard counts resumes without time advancing.
+	lastResumeTime uint64
+	resumeCount    int
+}
+
+type resumeMsg struct {
+	stop bool
+}
+
+type yieldKind uint8
+
+const (
+	yDelay yieldKind = iota
+	yWait
+	yDone
+	yFinish
+)
+
+type yieldMsg struct {
+	kind  yieldKind
+	delay uint64
+	sens  hdl.SensList
+}
+
+// stopSentinel unwinds a stopped process goroutine.
+type stopSentinel struct{}
+
+func newProcess(id int, name string, ctx *scopeCtx, body hdl.Stmt) *process {
+	return &process{
+		id:     id,
+		name:   name,
+		ctx:    ctx,
+		body:   body,
+		resume: make(chan resumeMsg),
+		yield:  make(chan yieldMsg),
+	}
+}
+
+// start launches the process goroutine. It immediately blocks waiting for
+// its first resume.
+func (p *process) start(k *Kernel) {
+	p.started = true
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopSentinel); ok {
+					return
+				}
+				panic(r)
+			}
+		}()
+		// Initial handshake: wait to be scheduled the first time.
+		p.block(yieldMsg{kind: yWait, sens: initialSens(p)})
+		for {
+			if p.always && !p.noSens && !p.sens.All && len(p.sens.Items) > 0 {
+				// The wait happened before entry (standard always @(...)).
+			}
+			k.execStmt(p, p.body)
+			if !p.always {
+				p.block(yieldMsg{kind: yDone})
+				return
+			}
+			if p.noSens {
+				// Free-running always: yield a zero delay each iteration so
+				// the scheduler's watchdog can catch delay-free bodies
+				// instead of deadlocking inside the goroutine.
+				p.block(yieldMsg{kind: yDelay, delay: 0})
+				continue
+			}
+			p.block(yieldMsg{kind: yWait, sens: p.sens})
+		}
+	}()
+}
+
+// initialSens is what the process waits on before its first activation:
+// initial blocks and free-running always blocks start at t=0 (empty wait),
+// sensitivity-list always blocks wait for their list.
+func initialSens(p *process) hdl.SensList {
+	if p.always && !p.noSens {
+		return p.sens
+	}
+	return hdl.SensList{} // immediate start
+}
+
+// block yields to the scheduler and waits to be resumed; a stop command
+// unwinds the goroutine.
+func (p *process) block(msg yieldMsg) {
+	p.yield <- msg
+	cmd := <-p.resume
+	if cmd.stop {
+		panic(stopSentinel{})
+	}
+}
+
+// resumeUntilBlocked hands control to the process and handles its next
+// yield: registering waits, scheduling delays, or retiring it.
+func (k *Kernel) resumeUntilBlocked(p *process) {
+	if p.done {
+		return
+	}
+	// Zero-delay loop watchdog.
+	if p.lastResumeTime == k.now {
+		p.resumeCount++
+		if p.resumeCount > k.opts.MaxEventsPerStep {
+			p.done = true
+			k.stopped = true
+			k.log = append(k.log, fmt.Sprintf("FATAL: zero-delay loop in %s at t=%d", p.name, k.now))
+			return
+		}
+	} else {
+		p.lastResumeTime = k.now
+		p.resumeCount = 0
+	}
+	p.resume <- resumeMsg{}
+	msg := <-p.yield
+	switch msg.kind {
+	case yDelay:
+		k.schedule(k.now+msg.delay, event{kind: evResume, name: p.name, proc: p})
+	case yWait:
+		if len(msg.sens.Items) == 0 && !msg.sens.All {
+			// Immediate start (initial block bootstrap).
+			k.schedule(k.now, event{kind: evResume, name: p.name, proc: p})
+			return
+		}
+		k.registerWait(p, msg.sens)
+	case yDone:
+		p.done = true
+	case yFinish:
+		p.done = true
+		k.stopped = true
+	}
+}
+
+// registerWait parks the process on its sensitivity list.
+func (k *Kernel) registerWait(p *process, sens hdl.SensList) {
+	var items []hdl.SensItem
+	if sens.All {
+		// @*: compute the read set of the body.
+		reads := make(map[string]bool)
+		hdl.WalkStmts(p.body, func(s hdl.Stmt) {
+			switch st := s.(type) {
+			case *hdl.AssignStmt:
+				hdl.ReadSignals(st.RHS, reads)
+				if st.LHS.Index != nil {
+					hdl.ReadSignals(st.LHS.Index, reads)
+				}
+			case *hdl.If:
+				hdl.ReadSignals(st.Cond, reads)
+			case *hdl.Case:
+				hdl.ReadSignals(st.Subject, reads)
+				for _, it := range st.Items {
+					for _, e := range it.Exprs {
+						hdl.ReadSignals(e, reads)
+					}
+				}
+			case *hdl.SysCall:
+				for _, a := range st.Args {
+					hdl.ReadSignals(a, reads)
+				}
+			}
+		})
+		for name := range reads {
+			items = append(items, hdl.SensItem{Edge: hdl.EdgeAny, Signal: name})
+		}
+	} else {
+		items = sens.Items
+	}
+	for _, it := range items {
+		sig, ok := p.ctx.lookup(it.Signal)
+		if !ok {
+			continue
+		}
+		sig.waiters = append(sig.waiters, &procWait{proc: p, edge: it.Edge})
+		p.waitSignals = append(p.waitSignals, sig)
+	}
+}
+
+// unregisterWait removes the process from all waiter lists.
+func (k *Kernel) unregisterWait(p *process) {
+	for _, sig := range p.waitSignals {
+		out := sig.waiters[:0]
+		for _, w := range sig.waiters {
+			if w.proc != p {
+				out = append(out, w)
+			}
+		}
+		sig.waiters = out
+	}
+	p.waitSignals = nil
+}
+
+// --- statement execution (runs on the process goroutine) -----------------
+
+// execStmt interprets one statement for process p. Wait points call
+// p.block, suspending the goroutine until the scheduler resumes it.
+func (k *Kernel) execStmt(p *process, s hdl.Stmt) {
+	if k.stopped || s == nil {
+		return
+	}
+	switch st := s.(type) {
+	case *hdl.Block:
+		for _, sub := range st.Stmts {
+			if k.stopped {
+				return
+			}
+			k.execStmt(p, sub)
+		}
+	case *hdl.AssignStmt:
+		k.execAssign(p, st)
+	case *hdl.If:
+		cond := k.eval(p.ctx, st.Cond, p)
+		if cond.IsTrue() == L1 {
+			k.execStmt(p, st.Then)
+		} else if st.Else != nil {
+			k.execStmt(p, st.Else)
+		}
+	case *hdl.Case:
+		subj := k.eval(p.ctx, st.Subject, p)
+		var def *hdl.CaseItem
+		matched := false
+		for i := range st.Items {
+			it := &st.Items[i]
+			if len(it.Exprs) == 0 {
+				def = it
+				continue
+			}
+			for _, e := range it.Exprs {
+				ev := k.eval(p.ctx, e, p)
+				if ev.Resize(subj.Width).Eq(subj) {
+					k.execStmt(p, it.Body)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				break
+			}
+		}
+		if !matched && def != nil {
+			k.execStmt(p, def.Body)
+		}
+	case *hdl.DelayStmt:
+		p.block(yieldMsg{kind: yDelay, delay: st.Delay})
+		k.execStmt(p, st.Stmt)
+	case *hdl.EventWait:
+		p.block(yieldMsg{kind: yWait, sens: st.Sens})
+		k.execStmt(p, st.Stmt)
+	case *hdl.Forever:
+		for !k.stopped {
+			k.execStmt(p, st.Body)
+		}
+	case *hdl.SysCall:
+		k.execSysCall(p, st)
+	}
+}
+
+func (k *Kernel) execAssign(p *process, st *hdl.AssignStmt) {
+	sig, ok := p.ctx.lookup(st.LHS.Name)
+	if !ok {
+		return
+	}
+	rhs := k.eval(p.ctx, st.RHS, p)
+	if st.NonBlocking {
+		val := k.applyLHS(p.ctx, sig, st.LHS, rhs, p)
+		k.races.RecordWrite(p.id, sig.Name, k.now, false)
+		k.scheduleNBA(k.now+st.Delay, event{kind: evCommit, name: sig.Name, sig: sig, val: val})
+		return
+	}
+	if st.Delay > 0 {
+		// Intra-assignment delay: RHS already evaluated; block, then commit.
+		p.block(yieldMsg{kind: yDelay, delay: st.Delay})
+	}
+	val := k.applyLHS(p.ctx, sig, st.LHS, rhs, p)
+	k.races.RecordWrite(p.id, sig.Name, k.now, true)
+	k.commit(sig, val)
+}
+
+// applyLHS folds a bit/part select assignment into a full-width value.
+func (k *Kernel) applyLHS(ctx *scopeCtx, sig *Signal, lhs *hdl.Ident, rhs Value, p *process) Value {
+	switch {
+	case lhs.Index != nil:
+		idxV := k.eval(ctx, lhs.Index, p)
+		if idxV.HasXZ() {
+			return AllX(sig.Width)
+		}
+		off := sig.bitOffset(int(idxV.Val))
+		out := sig.val
+		out = out.SetBit(off, rhs.Bit(0))
+		return out
+	case lhs.HasPart:
+		lo := sig.bitOffset(lhs.PartLSB)
+		hi := sig.bitOffset(lhs.PartMSB)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		out := sig.val
+		for i := 0; lo+i <= hi; i++ {
+			out = out.SetBit(lo+i, rhs.Bit(i))
+		}
+		return out
+	default:
+		return rhs.Resize(sig.Width)
+	}
+}
+
+// commit writes a value immediately (blocking-assignment semantics) and
+// queues a notify event so watchers observe it in policy order.
+func (k *Kernel) commit(sig *Signal, val Value) {
+	old := sig.val
+	if old.Eq(val) {
+		return
+	}
+	sig.val = val
+	sig.lastChange = k.now
+	if isPosedge(old, val) {
+		sig.lastPosRef = k.now
+	}
+	if !k.opts.DisableTrace {
+		k.trace = append(k.trace, Change{Time: k.now, Signal: sig.Name, Old: old, New: val})
+	}
+	k.runTimingChecks(sig, old, val)
+	k.schedule(k.now, event{kind: evNotify, name: sig.Name, sig: sig, old: old, val: val})
+}
+
+func (k *Kernel) execSysCall(p *process, st *hdl.SysCall) {
+	switch st.Name {
+	case "display", "write":
+		k.log = append(k.log, k.formatDisplay(p.ctx, st.Args, p))
+	case "finish", "stop":
+		p.block(yieldMsg{kind: yFinish})
+	case "time":
+		// $time as a statement: log it.
+		k.log = append(k.log, fmt.Sprintf("%d", k.now))
+	default:
+		// Registered PLI tasks get the call; unknown tasks are ignored,
+		// like most simulators' default (§3.4: a missing vendor PLI
+		// library fails silently).
+		k.callPLI(p, st)
+	}
+}
+
+func (k *Kernel) formatDisplay(ctx *scopeCtx, args []hdl.Expr, p *process) string {
+	if len(args) == 0 {
+		return ""
+	}
+	fmtStr, ok := args[0].(*hdl.StringLit)
+	if !ok {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = k.eval(ctx, a, p).String()
+		}
+		return strings.Join(parts, " ")
+	}
+	var b strings.Builder
+	argIdx := 1
+	s := fmtStr.Value
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' || i+1 >= len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		verb := s[i]
+		if verb == '%' {
+			b.WriteByte('%')
+			continue
+		}
+		if verb == 't' {
+			fmt.Fprintf(&b, "%d", k.now)
+			continue
+		}
+		if argIdx >= len(args) {
+			b.WriteString("<missing>")
+			continue
+		}
+		v := k.eval(ctx, args[argIdx], p)
+		argIdx++
+		switch verb {
+		case 'd':
+			if v.HasXZ() {
+				b.WriteString("x")
+			} else {
+				fmt.Fprintf(&b, "%d", v.Val&mask(v.Width))
+			}
+		case 'b':
+			vs := v.String()
+			if idx := strings.IndexByte(vs, 'b'); idx >= 0 {
+				b.WriteString(vs[idx+1:])
+			} else {
+				fmt.Fprintf(&b, "%b", v.Val&mask(v.Width))
+			}
+		case 'h', 'x':
+			if v.HasXZ() {
+				b.WriteString("x")
+			} else {
+				fmt.Fprintf(&b, "%x", v.Val&mask(v.Width))
+			}
+		default:
+			b.WriteString(v.String())
+		}
+	}
+	return b.String()
+}
+
+// --- expression evaluation ------------------------------------------------
+
+// eval computes an expression value in a scope; p (may be nil for
+// continuous assigns) attributes reads for race detection.
+func (k *Kernel) eval(ctx *scopeCtx, e hdl.Expr, p *process) Value {
+	switch x := e.(type) {
+	case *hdl.Number:
+		return Value{Width: x.Width, Val: x.Val, XZ: x.XZ}
+	case *hdl.StringLit:
+		return NewValue(1, 0)
+	case *hdl.Ident:
+		sig, ok := ctx.lookup(x.Name)
+		if !ok {
+			return AllX(1)
+		}
+		if p != nil {
+			k.races.RecordRead(p.id, sig.Name, k.now)
+		}
+		switch {
+		case x.Index != nil:
+			idxV := k.eval(ctx, x.Index, p)
+			if idxV.HasXZ() {
+				return AllX(1)
+			}
+			off := sig.bitOffset(int(idxV.Val))
+			return Select(sig.val, off, off)
+		case x.HasPart:
+			lo := sig.bitOffset(x.PartLSB)
+			hi := sig.bitOffset(x.PartMSB)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			return Select(sig.val, hi, lo)
+		default:
+			return sig.val
+		}
+	case *hdl.Unary:
+		v := k.eval(ctx, x.X, p)
+		switch x.Op {
+		case "~":
+			return Not(v)
+		case "!":
+			return LogicalNot(v)
+		case "-":
+			return Neg(v)
+		case "&":
+			return ReduceAnd(v)
+		case "|":
+			return ReduceOr(v)
+		case "^":
+			return ReduceXor(v)
+		}
+		return AllX(v.Width)
+	case *hdl.Binary:
+		l := k.eval(ctx, x.L, p)
+		r := k.eval(ctx, x.R, p)
+		switch x.Op {
+		case "&":
+			return And(l, r)
+		case "|":
+			return Or(l, r)
+		case "^":
+			return Xor(l, r)
+		case "&&":
+			return LogicalAnd(l, r)
+		case "||":
+			return LogicalOr(l, r)
+		case "==", "!=", "<", "<=", ">", ">=":
+			return Compare(x.Op, l, r)
+		default:
+			return Arith(x.Op, l, r)
+		}
+	case *hdl.Ternary:
+		return TernaryMerge(k.eval(ctx, x.Cond, p), k.eval(ctx, x.Then, p), k.eval(ctx, x.Else, p))
+	case *hdl.Concat:
+		parts := make([]Value, len(x.Parts))
+		for i, pt := range x.Parts {
+			parts[i] = k.eval(ctx, pt, p)
+		}
+		return ConcatValues(parts)
+	default:
+		return AllX(1)
+	}
+}
+
+// --- run loop --------------------------------------------------------------
+
+// Bootstrap launches process goroutines and queues the t=0 evaluations.
+// It is idempotent; Run calls it automatically, and co-simulation harnesses
+// call it before interleaved RunUntil stepping.
+func (k *Kernel) Bootstrap() {
+	if k.booted {
+		return
+	}
+	k.booted = true
+	for _, p := range k.procs {
+		if !p.started {
+			p.start(k)
+			// Consume the bootstrap yield.
+			msg := <-p.yield
+			if msg.kind == yWait && len(msg.sens.Items) == 0 && !msg.sens.All {
+				k.schedule(0, event{kind: evResume, name: p.name, proc: p})
+			} else {
+				k.registerWait(p, msg.sens)
+			}
+		}
+	}
+	for _, a := range k.assigns {
+		k.schedule(0, event{kind: evEval, name: a.name, asgn: a})
+	}
+}
+
+// NextEventTime reports the earliest pending event time.
+func (k *Kernel) NextEventTime() (uint64, bool) {
+	return k.queue.nextTime()
+}
+
+// Stopped reports whether $finish (or a fatal condition) ended the run.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Inject commits a value onto a signal from outside the kernel — the
+// co-simulation bridge's write port.
+func (k *Kernel) Inject(name string, v Value) error {
+	sig, ok := k.signals[name]
+	if !ok {
+		return fmt.Errorf("%w: no signal %q", ErrElab, name)
+	}
+	k.commit(sig, v.Resize(sig.Width))
+	return nil
+}
+
+// Kill terminates all process goroutines. Idempotent; Run calls it on
+// return, stepping harnesses must call it when done.
+func (k *Kernel) Kill() { k.killAll() }
+
+// AdvanceTo moves the kernel clock forward to t without processing events
+// past t (there are none ≤ t after RunUntil(t)). Co-simulation bridges call
+// it so injected values are stamped at the synchronized time.
+func (k *Kernel) AdvanceTo(t uint64) {
+	if t > k.now {
+		k.races.EndStep(k.now)
+		k.now = t
+	}
+}
+
+// Run simulates until maxTime or until the design goes quiet or $finish.
+func (k *Kernel) Run(maxTime uint64) error {
+	defer k.killAll()
+	if err := k.RunUntil(maxTime); err != nil {
+		return err
+	}
+	k.races.EndStep(k.now)
+	return nil
+}
+
+// RunUntil processes every event with time <= maxTime and returns with the
+// kernel paused (goroutines alive) for further stepping or injection.
+func (k *Kernel) RunUntil(maxTime uint64) error {
+	k.Bootstrap()
+	k.maxTime = maxTime
+	for !k.stopped {
+		t, ok := k.queue.nextTime()
+		if !ok {
+			return nil // quiet
+		}
+		if t > maxTime {
+			return nil
+		}
+		if t > k.now {
+			k.races.EndStep(k.now)
+		}
+		k.now = t
+		b := k.queue.buckets[t]
+		dispatched := 0
+		for {
+			e, ok := k.pickNext(b)
+			if !ok {
+				// Active region drained: promote NBAs.
+				if len(b.nba) > 0 {
+					b.active = append(b.active, b.nba...)
+					b.nba = nil
+					continue
+				}
+				break
+			}
+			dispatched++
+			if dispatched > k.opts.MaxEventsPerStep {
+				return fmt.Errorf("%w: event storm at t=%d (possible zero-delay loop)", ErrRuntime, t)
+			}
+			k.dispatch(e)
+			if k.stopped {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func (k *Kernel) dispatch(e event) {
+	switch e.kind {
+	case evCommit:
+		k.commit(e.sig, e.val)
+	case evNotify:
+		// Wake processes whose wait matches the edge.
+		edge := edgeOf(e.old, e.val)
+		var toWake []*process
+		for _, w := range e.sig.waiters {
+			if edgeMatches(w.edge, edge) {
+				toWake = append(toWake, w.proc)
+			}
+		}
+		for _, p := range toWake {
+			k.unregisterWait(p)
+			k.schedule(k.now, event{kind: evResume, name: p.name, proc: p})
+		}
+		// Re-evaluate continuous assigns reading this signal.
+		for _, a := range e.sig.assigns {
+			k.schedule(k.now, event{kind: evEval, name: a.name, asgn: a})
+		}
+	case evResume:
+		if !e.proc.done {
+			k.resumeUntilBlocked(e.proc)
+		}
+	case evEval:
+		a := e.asgn
+		sig, ok := a.ctx.lookup(a.lhs.Name)
+		if !ok {
+			return
+		}
+		rhs := k.eval(a.ctx, a.rhs, nil)
+		val := k.applyLHS(a.ctx, sig, a.lhs, rhs, nil)
+		if a.delay == 0 {
+			k.commit(sig, val)
+		} else {
+			k.schedule(k.now+a.delay, event{kind: evCommit, name: sig.Name, sig: sig, val: val})
+		}
+	}
+}
+
+// edgeOf classifies a change on bit 0.
+func edgeOf(old, nw Value) hdl.EdgeKind {
+	o, n := old.Bit(0), nw.Bit(0)
+	if o == n {
+		return hdl.EdgeAny
+	}
+	if isPosBits(o, n) {
+		return hdl.EdgePos
+	}
+	if isPosBits(n, o) {
+		return hdl.EdgeNeg
+	}
+	return hdl.EdgeAny
+}
+
+func isPosBits(o, n Bit) bool {
+	// IEEE: posedge is 0->1, 0->x/z, x/z->1.
+	switch {
+	case o == L0 && n == L1:
+		return true
+	case o == L0 && (n == LX || n == LZ):
+		return true
+	case (o == LX || o == LZ) && n == L1:
+		return true
+	}
+	return false
+}
+
+func isPosedge(old, nw Value) bool { return isPosBits(old.Bit(0), nw.Bit(0)) }
+
+func edgeMatches(want, got hdl.EdgeKind) bool {
+	if want == hdl.EdgeAny {
+		return true
+	}
+	return want == got
+}
+
+// killAll stops every live process goroutine. At any quiescent point each
+// live goroutine is blocked receiving on its resume channel, so an
+// unbuffered send succeeds; goroutines that already unwound simply decline.
+func (k *Kernel) killAll() {
+	for _, p := range k.procs {
+		if !p.started {
+			continue
+		}
+		select {
+		case p.resume <- resumeMsg{stop: true}:
+		default:
+		}
+		p.done = true
+	}
+}
+
+// runTimingChecks fires $setup/$hold windows affected by a commit.
+func (k *Kernel) runTimingChecks(sig *Signal, old, nw Value) {
+	for _, tc := range sig.checks {
+		switch tc.kind {
+		case "setup":
+			// On a posedge of the reference, the data signal must have been
+			// stable for at least limit.
+			if sig == tc.ref && isPosedge(old, nw) {
+				delta := int64(k.now) - int64(tc.data.lastChange)
+				violated := delta < int64(tc.limit)
+				if k.opts.Pre16aPaths && delta == 0 {
+					// Pre-1.6a behaviour: a simultaneous data change is not
+					// flagged — the drift users pin with +pre_16a_path.
+					violated = false
+				}
+				if violated {
+					k.violations = append(k.violations, Violation{
+						Time: k.now, Kind: "setup", Scope: tc.scope,
+						Data: tc.data.Name, Ref: tc.ref.Name,
+						Slack: delta - int64(tc.limit),
+					})
+				}
+			}
+		case "hold":
+			// A data change too soon after the reference edge violates.
+			if sig == tc.data {
+				delta := int64(k.now) - int64(tc.ref.lastPosRef)
+				violated := delta < int64(tc.limit)
+				if tc.ref.lastPosRef == 0 && tc.ref.lastChange == 0 {
+					violated = false // no reference edge seen yet
+				}
+				if k.opts.Pre16aPaths && delta == 0 {
+					violated = false
+				}
+				if violated {
+					k.violations = append(k.violations, Violation{
+						Time: k.now, Kind: "hold", Scope: tc.scope,
+						Data: tc.data.Name, Ref: tc.ref.Name,
+						Slack: delta - int64(tc.limit),
+					})
+				}
+			}
+		}
+	}
+}

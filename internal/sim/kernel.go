@@ -1,0 +1,482 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"cadinterop/internal/hdl"
+)
+
+// Errors.
+var (
+	// ErrElab reports elaboration failures (unknown modules, bad bindings).
+	ErrElab = errors.New("sim: elaboration error")
+	// ErrRuntime reports simulation failures (zero-delay loops, watchdog).
+	ErrRuntime = errors.New("sim: runtime error")
+)
+
+// Policy selects the ordering of simultaneous events — the knob the
+// language leaves undefined and real simulators disagree on.
+type Policy uint8
+
+// Policies. All are legitimate under IEEE 1364; a model whose results
+// depend on the choice has a race.
+const (
+	PolicyFIFO   Policy = iota // oldest event first
+	PolicyLIFO                 // newest event first
+	PolicyByName               // lexicographic by object name
+	PolicyReverseName
+)
+
+var policyNames = [...]string{"fifo", "lifo", "byname", "reversename"}
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// AllPolicies lists every ordering, for divergence experiments.
+func AllPolicies() []Policy {
+	return []Policy{PolicyFIFO, PolicyLIFO, PolicyByName, PolicyReverseName}
+}
+
+// Signal is one elaborated net or reg.
+type Signal struct {
+	Name  string // hierarchical name
+	Width int
+	MSB   int
+	LSB   int
+	IsReg bool
+	val   Value
+	// static watchers: continuous assigns reading this signal.
+	assigns []*contAssign
+	// dynamic watchers: blocked processes with a matching wait item.
+	waiters []*procWait
+	// timing checks watching this signal.
+	checks []*timingCheck
+	// lastChange is the time of the most recent value commit.
+	lastChange uint64
+	lastPosRef uint64 // most recent posedge time (for hold checks)
+}
+
+// Value returns the signal's current value.
+func (s *Signal) Value() Value { return s.val }
+
+// bitOffset maps a declared index to a storage offset.
+func (s *Signal) bitOffset(idx int) int {
+	if s.MSB >= s.LSB {
+		return idx - s.LSB
+	}
+	return s.LSB - idx
+}
+
+type procWait struct {
+	proc *process
+	edge hdl.EdgeKind
+}
+
+// contAssign is an elaborated continuous assignment.
+type contAssign struct {
+	id    int
+	name  string
+	lhs   *hdl.Ident
+	rhs   hdl.Expr
+	delay uint64
+	ctx   *scopeCtx
+}
+
+// timingCheck is an elaborated $setup/$hold.
+type timingCheck struct {
+	kind  string // "setup" or "hold"
+	data  *Signal
+	ref   *Signal
+	limit uint64
+	scope string
+}
+
+// Violation is a reported timing-check failure.
+type Violation struct {
+	Time  uint64
+	Kind  string
+	Scope string
+	Data  string
+	Ref   string
+	Slack int64 // observed margin minus limit (negative = violated by)
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%d %s violation in %s: data %s vs ref %s (slack %d)",
+		v.Time, v.Kind, v.Scope, v.Data, v.Ref, v.Slack)
+}
+
+// scopeCtx resolves local names to elaborated signals for one instance
+// scope.
+type scopeCtx struct {
+	path string
+	sigs map[string]*Signal
+}
+
+func (c *scopeCtx) lookup(name string) (*Signal, bool) {
+	s, ok := c.sigs[name]
+	return s, ok
+}
+
+// Options configures a simulation kernel.
+type Options struct {
+	Policy Policy
+	// Pre16aPaths restores the pre-1.6a timing-check behaviour: a data
+	// change simultaneous with the reference edge is NOT a violation
+	// (mirroring Verilog-XL's "+pre_16a_path" compatibility option).
+	Pre16aPaths bool
+	// MaxEventsPerStep guards against zero-delay loops; default 100000.
+	MaxEventsPerStep int
+	// TraceAll records every value change (default on).
+	DisableTrace bool
+}
+
+// Kernel is one elaborated, runnable simulation.
+type Kernel struct {
+	opts    Options
+	signals map[string]*Signal
+	order   []string // deterministic signal order
+	assigns []*contAssign
+	procs   []*process
+	checks  []*timingCheck
+
+	queue   eventQueue
+	seq     int
+	now     uint64
+	stopped bool
+	booted  bool
+	maxTime uint64
+
+	trace      []Change
+	log        []string
+	violations []Violation
+	races      *RaceDetector
+	pli        map[string]PLIFunc
+}
+
+// Change is one traced value change.
+type Change struct {
+	Time   uint64
+	Signal string
+	Old    Value
+	New    Value
+}
+
+// Elaborate flattens the design hierarchy under top and builds a kernel.
+func Elaborate(d *hdl.Design, top string, opts Options) (*Kernel, error) {
+	if opts.MaxEventsPerStep <= 0 {
+		opts.MaxEventsPerStep = 100000
+	}
+	k := &Kernel{
+		opts:    opts,
+		signals: make(map[string]*Signal),
+		races:   NewRaceDetector(),
+	}
+	m, ok := d.Module(top)
+	if !ok {
+		return nil, fmt.Errorf("%w: no module %q", ErrElab, top)
+	}
+	if err := k.instantiate(d, m, "", nil); err != nil {
+		return nil, err
+	}
+	sort.Strings(k.order)
+	// Register static watchers for continuous assigns.
+	for _, a := range k.assigns {
+		reads := make(map[string]bool)
+		hdl.ReadSignals(a.rhs, reads)
+		if a.lhs.Index != nil {
+			hdl.ReadSignals(a.lhs.Index, reads)
+		}
+		for name := range reads {
+			if sig, ok := a.ctx.lookup(name); ok {
+				sig.assigns = append(sig.assigns, a)
+			}
+		}
+	}
+	return k, nil
+}
+
+// instantiate elaborates module m at hierarchical prefix, with port
+// bindings mapping formal port names to parent signals.
+func (k *Kernel) instantiate(d *hdl.Design, m *hdl.Module, prefix string, bindings map[string]*Signal) error {
+	ctx := &scopeCtx{path: prefix, sigs: make(map[string]*Signal)}
+	infos := hdl.Signals(m)
+	names := make([]string, 0, len(infos))
+	for n := range infos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		si := infos[n]
+		if si.Width > 64 {
+			return fmt.Errorf("%w: signal %q is %d bits wide (max 64)", ErrElab, joinPath(prefix, n), si.Width)
+		}
+		if bound, ok := bindings[n]; ok {
+			if bound.Width != si.Width {
+				return fmt.Errorf("%w: %s: port %q width %d connected to %q width %d",
+					ErrElab, joinPath(prefix, m.Name), n, si.Width, bound.Name, bound.Width)
+			}
+			ctx.sigs[n] = bound
+			continue
+		}
+		full := joinPath(prefix, n)
+		sig := &Signal{Name: full, Width: si.Width, MSB: si.MSB, LSB: si.LSB, IsReg: si.Kind == hdl.DeclReg}
+		if si.Width == 1 {
+			sig.MSB, sig.LSB = 0, 0
+		}
+		if sig.IsReg {
+			sig.val = AllX(si.Width)
+		} else {
+			sig.val = AllZ(si.Width)
+		}
+		k.signals[full] = sig
+		k.order = append(k.order, full)
+		ctx.sigs[n] = sig
+	}
+	for _, item := range m.Items {
+		switch it := item.(type) {
+		case *hdl.Assign:
+			a := &contAssign{
+				id:    len(k.assigns),
+				name:  fmt.Sprintf("%s.assign@%s", joinPath(prefix, ""), it.Pos),
+				lhs:   it.LHS,
+				rhs:   it.RHS,
+				delay: it.Delay,
+				ctx:   ctx,
+			}
+			k.assigns = append(k.assigns, a)
+		case *hdl.Always:
+			p := newProcess(len(k.procs), joinPath(prefix, fmt.Sprintf("always@%s", it.Pos)), ctx, it.Body)
+			p.always = true
+			p.sens = it.Sens
+			p.noSens = it.NoSens
+			k.procs = append(k.procs, p)
+		case *hdl.Initial:
+			p := newProcess(len(k.procs), joinPath(prefix, fmt.Sprintf("initial@%s", it.Pos)), ctx, it.Body)
+			k.procs = append(k.procs, p)
+		case *hdl.Instance:
+			sub, ok := d.Module(it.Module)
+			if !ok {
+				return fmt.Errorf("%w: unknown module %q", ErrElab, it.Module)
+			}
+			childBind := make(map[string]*Signal)
+			for ci, c := range it.Conns {
+				var formal string
+				if c.Port != "" {
+					formal = c.Port
+				} else {
+					if ci >= len(sub.Ports) {
+						return fmt.Errorf("%w: too many positional connections on %s", ErrElab, it.Name)
+					}
+					formal = sub.Ports[ci]
+				}
+				if c.Expr == nil {
+					continue // open
+				}
+				id, ok := c.Expr.(*hdl.Ident)
+				if !ok || id.Index != nil || id.HasPart {
+					return fmt.Errorf("%w: instance %s port %s: only whole-signal connections supported",
+						ErrElab, it.Name, formal)
+				}
+				actual, ok := ctx.lookup(id.Name)
+				if !ok {
+					return fmt.Errorf("%w: instance %s port %s: unknown signal %q", ErrElab, it.Name, formal, id.Name)
+				}
+				childBind[formal] = actual
+			}
+			if err := k.instantiate(d, sub, joinPath(prefix, it.Name), childBind); err != nil {
+				return err
+			}
+		case *hdl.TimingCheck:
+			data, ok := ctx.lookup(it.Data)
+			if !ok {
+				return fmt.Errorf("%w: timing check data %q undeclared", ErrElab, it.Data)
+			}
+			ref, ok := ctx.lookup(it.Ref)
+			if !ok {
+				return fmt.Errorf("%w: timing check ref %q undeclared", ErrElab, it.Ref)
+			}
+			tc := &timingCheck{kind: it.Name, data: data, ref: ref, limit: it.Limit,
+				scope: joinPath(prefix, m.Name)}
+			k.checks = append(k.checks, tc)
+			data.checks = append(data.checks, tc)
+			ref.checks = append(ref.checks, tc)
+		}
+	}
+	return nil
+}
+
+func joinPath(prefix, name string) string {
+	switch {
+	case prefix == "":
+		return name
+	case name == "":
+		return prefix
+	default:
+		return prefix + "." + name
+	}
+}
+
+// Signal returns an elaborated signal by hierarchical name.
+func (k *Kernel) Signal(name string) (*Signal, bool) {
+	s, ok := k.signals[name]
+	return s, ok
+}
+
+// SignalNames returns all signal names sorted.
+func (k *Kernel) SignalNames() []string { return append([]string(nil), k.order...) }
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() uint64 { return k.now }
+
+// Log returns the $display output lines.
+func (k *Kernel) Log() []string { return append([]string(nil), k.log...) }
+
+// Violations returns the timing-check violations observed.
+func (k *Kernel) Violations() []Violation { return append([]Violation(nil), k.violations...) }
+
+// Trace returns the recorded value changes.
+func (k *Kernel) Trace() []Change { return append([]Change(nil), k.trace...) }
+
+// Races returns the race detector's findings.
+func (k *Kernel) Races() []Race { return k.races.Races() }
+
+// FinalValues snapshots every signal's value at the end of simulation.
+func (k *Kernel) FinalValues() map[string]Value {
+	out := make(map[string]Value, len(k.signals))
+	for n, s := range k.signals {
+		out[n] = s.val
+	}
+	return out
+}
+
+// --- event queue ---------------------------------------------------------
+
+type evKind uint8
+
+const (
+	evCommit evKind = iota // commit a scheduled value (assign result / NBA)
+	evNotify               // fan out a committed change to watchers
+	evResume               // resume a process (delay expiry or wakeup)
+	evEval                 // evaluate a continuous assignment
+)
+
+type event struct {
+	seq  int
+	kind evKind
+	name string // ordering key for name policies
+	sig  *Signal
+	val  Value
+	old  Value
+	proc *process
+	asgn *contAssign
+}
+
+type bucket struct {
+	active []event
+	nba    []event
+}
+
+type eventQueue struct {
+	times   []uint64 // min-heap
+	buckets map[uint64]*bucket
+}
+
+func (q *eventQueue) Len() int           { return len(q.times) }
+func (q *eventQueue) Less(i, j int) bool { return q.times[i] < q.times[j] }
+func (q *eventQueue) Swap(i, j int)      { q.times[i], q.times[j] = q.times[j], q.times[i] }
+func (q *eventQueue) Push(x any)         { q.times = append(q.times, x.(uint64)) }
+func (q *eventQueue) Pop() any {
+	old := q.times
+	n := len(old)
+	x := old[n-1]
+	q.times = old[:n-1]
+	return x
+}
+
+func (q *eventQueue) bucketAt(t uint64) *bucket {
+	if q.buckets == nil {
+		q.buckets = make(map[uint64]*bucket)
+	}
+	b, ok := q.buckets[t]
+	if !ok {
+		b = &bucket{}
+		q.buckets[t] = b
+		heap.Push(q, t)
+	}
+	return b
+}
+
+func (q *eventQueue) nextTime() (uint64, bool) {
+	for len(q.times) > 0 {
+		t := q.times[0]
+		b := q.buckets[t]
+		if b == nil || (len(b.active) == 0 && len(b.nba) == 0) {
+			heap.Pop(q)
+			delete(q.buckets, t)
+			continue
+		}
+		return t, true
+	}
+	return 0, false
+}
+
+// schedule adds an event at time t in the active region.
+func (k *Kernel) schedule(t uint64, e event) {
+	e.seq = k.seq
+	k.seq++
+	b := k.queue.bucketAt(t)
+	b.active = append(b.active, e)
+}
+
+// scheduleNBA adds a non-blocking update at time t.
+func (k *Kernel) scheduleNBA(t uint64, e event) {
+	e.seq = k.seq
+	k.seq++
+	b := k.queue.bucketAt(t)
+	b.nba = append(b.nba, e)
+}
+
+// pickNext removes and returns the next active event per policy.
+func (k *Kernel) pickNext(b *bucket) (event, bool) {
+	if len(b.active) == 0 {
+		return event{}, false
+	}
+	best := 0
+	for i := 1; i < len(b.active); i++ {
+		if k.better(b.active[i], b.active[best]) {
+			best = i
+		}
+	}
+	e := b.active[best]
+	b.active = append(b.active[:best], b.active[best+1:]...)
+	return e, true
+}
+
+func (k *Kernel) better(a, b event) bool {
+	switch k.opts.Policy {
+	case PolicyLIFO:
+		return a.seq > b.seq
+	case PolicyByName:
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.seq < b.seq
+	case PolicyReverseName:
+		if a.name != b.name {
+			return a.name > b.name
+		}
+		return a.seq < b.seq
+	default: // FIFO
+		return a.seq < b.seq
+	}
+}

@@ -1,0 +1,619 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"cadinterop/internal/hdl"
+)
+
+// runSim elaborates and runs src to maxTime under opts, failing on error.
+func runSim(t testing.TB, src, top string, maxTime uint64, opts Options) *Kernel {
+	t.Helper()
+	d, err := hdl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	k, err := Elaborate(d, top, opts)
+	if err != nil {
+		t.Fatalf("elaborate: %v", err)
+	}
+	if err := k.Run(maxTime); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return k
+}
+
+// val fetches a signal's final value.
+func val(t testing.TB, k *Kernel, name string) Value {
+	t.Helper()
+	s, ok := k.Signal(name)
+	if !ok {
+		t.Fatalf("signal %q not found (have %v)", name, k.SignalNames())
+	}
+	return s.Value()
+}
+
+func TestCombinationalAssign(t *testing.T) {
+	k := runSim(t, `
+module top;
+  reg a, b;
+  wire y, n;
+  assign y = a & b;
+  assign n = ~a;
+  initial begin
+    a = 1; b = 1;
+    #10 b = 0;
+    #10 $finish;
+  end
+endmodule`, "top", 100, Options{})
+	if v := val(t, k, "y"); v.Val != 0 {
+		t.Errorf("y = %v, want 0 after b drops", v)
+	}
+	if v := val(t, k, "n"); v.Val != 0 {
+		t.Errorf("n = %v", v)
+	}
+	// Mid-sim the trace must show y rising then falling.
+	var ys []Value
+	for _, c := range k.Trace() {
+		if c.Signal == "y" {
+			ys = append(ys, c.New)
+		}
+	}
+	if len(ys) < 2 || ys[len(ys)-2].Val != 1 || ys[len(ys)-1].Val != 0 {
+		t.Errorf("y trace = %v", ys)
+	}
+}
+
+func TestAssignDelay(t *testing.T) {
+	k := runSim(t, `
+module top;
+  reg a;
+  wire y;
+  assign #5 y = a;
+  initial begin
+    a = 1;
+    #20 $finish;
+  end
+endmodule`, "top", 100, Options{})
+	// y should have committed at t=5, not t=0.
+	for _, c := range k.Trace() {
+		if c.Signal == "y" && c.New.Val == 1 {
+			if c.Time != 5 {
+				t.Errorf("y rose at t=%d, want 5", c.Time)
+			}
+			return
+		}
+	}
+	t.Error("y never rose")
+}
+
+func TestDFFAndClockGen(t *testing.T) {
+	k := runSim(t, `
+module dff(clk, d, q);
+  input clk, d;
+  output q;
+  reg q;
+  always @(posedge clk) q <= d;
+endmodule
+module top;
+  reg clk, d;
+  wire q;
+  dff u(.clk(clk), .d(d), .q(q));
+  initial begin
+    clk = 0; d = 1;
+    #100 $finish;
+  end
+  always begin
+    #5 clk = ~clk;
+  end
+endmodule`, "top", 200, Options{})
+	if v := val(t, k, "q"); v.Val != 1 || v.HasXZ() {
+		t.Errorf("q = %v, want 1", v)
+	}
+	// q must rise at the first posedge, t=10 (clk toggles at 5: 0->1? no:
+	// starts 0, toggles at 5 -> 1).
+	for _, c := range k.Trace() {
+		if c.Signal == "q" && c.New.Val == 1 && !c.New.HasXZ() {
+			if c.Time != 5 {
+				t.Errorf("q rose at t=%d, want 5", c.Time)
+			}
+			break
+		}
+	}
+}
+
+func TestHierarchyShiftRegister(t *testing.T) {
+	k := runSim(t, `
+module dff(clk, d, q);
+  input clk, d;
+  output q;
+  reg q;
+  always @(posedge clk) q <= d;
+endmodule
+module top;
+  reg clk, din;
+  wire s1, s2;
+  dff f1(.clk(clk), .d(din), .q(s1));
+  dff f2(.clk(clk), .d(s1), .q(s2));
+  initial begin
+    clk = 0; din = 1;
+    #10 clk = 1;  // edge 1: s1 <= 1
+    #10 clk = 0;
+    #10 clk = 1;  // edge 2: s2 <= s1(old=1)
+    #10 $finish;
+  end
+endmodule`, "top", 200, Options{})
+	if v := val(t, k, "s1"); v.Val != 1 {
+		t.Errorf("s1 = %v", v)
+	}
+	if v := val(t, k, "s2"); v.Val != 1 || v.HasXZ() {
+		t.Errorf("s2 = %v (NBA ordering broken: s2 must see pre-edge s1)", v)
+	}
+	// Flattened names exist.
+	if _, ok := k.Signal("f1.q"); !ok {
+		// f1.q is aliased to s1; the alias shares the parent's signal.
+		t.Log("f1.q aliased to s1 — expected for port-bound signals")
+	}
+}
+
+func TestNBASemantics(t *testing.T) {
+	// The classic swap: with NBAs both regs exchange values.
+	k := runSim(t, `
+module top;
+  reg clk, a, b;
+  always @(posedge clk) a <= b;
+  always @(posedge clk) b <= a;
+  initial begin
+    clk = 0; a = 1; b = 0;
+    #10 clk = 1;
+    #10 $finish;
+  end
+endmodule`, "top", 100, Options{})
+	if val(t, k, "a").Val != 0 || val(t, k, "b").Val != 1 {
+		t.Errorf("swap failed: a=%v b=%v", val(t, k, "a"), val(t, k, "b"))
+	}
+}
+
+// TestSchedulerDivergence reproduces §3.1: a model with a blocking-write
+// race gives different results under different legitimate event orderings,
+// while the non-blocking version is stable — and the race detector blames
+// the model, not the simulator.
+func TestSchedulerDivergence(t *testing.T) {
+	racy := `
+module top;
+  reg clk, b, r;
+  always @(posedge clk) b = 1;
+  always @(posedge clk) r = b;
+  initial begin
+    clk = 0; b = 0; r = 0;
+    #10 clk = 1;
+    #10 $finish;
+  end
+endmodule`
+	results := map[uint64]bool{}
+	races := 0
+	for _, pol := range AllPolicies() {
+		k := runSim(t, racy, "top", 100, Options{Policy: pol})
+		v := val(t, k, "r")
+		if v.HasXZ() {
+			t.Fatalf("policy %v: r = %v", pol, v)
+		}
+		results[v.Val] = true
+		if len(k.Races()) > 0 {
+			races++
+		}
+	}
+	if len(results) < 2 {
+		t.Errorf("racy model gave a single result %v across policies — no divergence", results)
+	}
+	if races != len(AllPolicies()) {
+		t.Errorf("race detector fired on %d/%d policies", races, len(AllPolicies()))
+	}
+
+	clean := strings.Replace(racy, "b = 1", "b <= 1", 1)
+	clean = strings.Replace(clean, "r = b", "r <= b", 1)
+	cleanResults := map[uint64]bool{}
+	for _, pol := range AllPolicies() {
+		k := runSim(t, clean, "top", 100, Options{Policy: pol})
+		cleanResults[val(t, k, "r").Val] = true
+		for _, race := range k.Races() {
+			if race.Kind == RaceReadWrite {
+				t.Errorf("policy %v: NBA model flagged with read-write race: %v", pol, race)
+			}
+		}
+	}
+	if len(cleanResults) != 1 {
+		t.Errorf("NBA model diverged: %v", cleanResults)
+	}
+}
+
+func TestRaceDetectorKinds(t *testing.T) {
+	// Write-write: two processes blocking-write the same reg at one time.
+	k := runSim(t, `
+module top;
+  reg clk, s;
+  always @(posedge clk) s = 0;
+  always @(posedge clk) s = 1;
+  initial begin clk = 0; s = 0; #10 clk = 1; #10 $finish; end
+endmodule`, "top", 100, Options{})
+	foundWW := false
+	for _, r := range k.Races() {
+		if r.Kind == RaceWriteWrite && strings.HasSuffix(r.Signal, "s") {
+			foundWW = true
+		}
+	}
+	if !foundWW {
+		t.Errorf("write-write race not detected: %v", k.Races())
+	}
+}
+
+func TestIfCaseExecution(t *testing.T) {
+	k := runSim(t, `
+module top;
+  reg [1:0] sel;
+  reg [3:0] out;
+  always @(sel) begin
+    case (sel)
+      2'b00: out = 4'd1;
+      2'b01: out = 4'd2;
+      2'b10, 2'b11: out = 4'd3;
+      default: out = 4'd15;
+    endcase
+  end
+  initial begin
+    sel = 0;
+    #5 sel = 1;
+    #5 sel = 2;
+    #5 $finish;
+  end
+endmodule`, "top", 100, Options{})
+	if v := val(t, k, "out"); v.Val != 3 {
+		t.Errorf("out = %v, want 3", v)
+	}
+}
+
+func TestVectorsSelectsInSim(t *testing.T) {
+	k := runSim(t, `
+module top;
+  reg [7:0] data;
+  wire [3:0] hi;
+  wire b0;
+  wire [8:0] cat;
+  assign hi = data[7:4];
+  assign b0 = data[0];
+  assign cat = {data, b0};
+  initial begin
+    data = 8'hA5;
+    #10 $finish;
+  end
+endmodule`, "top", 100, Options{})
+	if v := val(t, k, "hi"); v.Val != 0xA {
+		t.Errorf("hi = %v", v)
+	}
+	if v := val(t, k, "b0"); v.Val != 1 {
+		t.Errorf("b0 = %v", v)
+	}
+	if v := val(t, k, "cat"); v.Val != (0xA5<<1|1) || v.Width != 9 {
+		t.Errorf("cat = %v", v)
+	}
+}
+
+func TestBitSelectWrite(t *testing.T) {
+	k := runSim(t, `
+module top;
+  reg [3:0] v;
+  initial begin
+    v = 4'b0000;
+    v[2] = 1;
+    v[0] = 1;
+    #10 $finish;
+  end
+endmodule`, "top", 100, Options{})
+	if got := val(t, k, "v"); got.Val != 0b0101 {
+		t.Errorf("v = %v", got)
+	}
+}
+
+func TestDisplayAndFinish(t *testing.T) {
+	k := runSim(t, `
+module top;
+  reg [7:0] n;
+  initial begin
+    n = 8'd42;
+    $display("n=%d at %t", n, 0);
+    $display("bin=%b hex=%h", n, n);
+    #5 $finish;
+    n = 8'd99; // unreachable
+  end
+endmodule`, "top", 100, Options{})
+	log := k.Log()
+	if len(log) != 2 {
+		t.Fatalf("log = %v", log)
+	}
+	if log[0] != "n=42 at 0" {
+		t.Errorf("log[0] = %q", log[0])
+	}
+	if log[1] != "bin=101010 hex=2a" {
+		t.Errorf("log[1] = %q", log[1])
+	}
+	if v := val(t, k, "n"); v.Val != 42 {
+		t.Errorf("$finish did not stop execution: n = %v", v)
+	}
+}
+
+func TestTimingChecksSetupHold(t *testing.T) {
+	src := `
+module ff(clk, d);
+  input clk, d;
+  $setup(d, clk, 3);
+  $hold(clk, d, 2);
+endmodule
+module top;
+  reg clk, d;
+  ff u(.clk(clk), .d(d));
+  initial begin
+    clk = 0; d = 0;
+    #10 d = 1;   // t=10
+    #2 clk = 1;  // t=12: setup delta 2 < 3 -> violation
+    #1 d = 0;    // t=13: hold delta 1 < 2 -> violation
+    #10 $finish;
+  end
+endmodule`
+	k := runSim(t, src, "top", 100, Options{})
+	var setup, hold int
+	for _, v := range k.Violations() {
+		switch v.Kind {
+		case "setup":
+			setup++
+			if v.Slack != -1 {
+				t.Errorf("setup slack = %d, want -1", v.Slack)
+			}
+		case "hold":
+			hold++
+		}
+	}
+	if setup != 1 || hold != 1 {
+		t.Errorf("violations: setup=%d hold=%d (%v)", setup, hold, k.Violations())
+	}
+}
+
+// TestPre16aPathsCompat reproduces §3.1's backward-compatibility drift:
+// a data change simultaneous with the clock edge is flagged by the new
+// behaviour but not under the +pre_16a_path compatibility option.
+func TestPre16aPathsCompat(t *testing.T) {
+	src := `
+module ff(clk, d);
+  input clk, d;
+  $setup(d, clk, 3);
+endmodule
+module top;
+  reg clk, d;
+  ff u(.clk(clk), .d(d));
+  initial begin
+    clk = 0; d = 0;
+    #10 begin
+      d = 1;
+      clk = 1;  // simultaneous with the data change
+    end
+    #10 $finish;
+  end
+endmodule`
+	kNew := runSim(t, src, "top", 100, Options{})
+	kOld := runSim(t, src, "top", 100, Options{Pre16aPaths: true})
+	if len(kNew.Violations()) != 1 {
+		t.Errorf("new behaviour: %d violations, want 1 (%v)", len(kNew.Violations()), kNew.Violations())
+	}
+	if len(kOld.Violations()) != 0 {
+		t.Errorf("pre-16a behaviour: %d violations, want 0 (%v)", len(kOld.Violations()), kOld.Violations())
+	}
+}
+
+func TestZeroDelayLoopWatchdog(t *testing.T) {
+	d := hdl.MustParse(`
+module top;
+  reg a;
+  initial a = 0;
+  always begin
+    a = ~a;
+  end
+endmodule`)
+	k, err := Elaborate(d, "top", Options{MaxEventsPerStep: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = k.Run(100)
+	// Either the kernel error or the fatal log must fire.
+	fatal := false
+	for _, l := range k.Log() {
+		if strings.Contains(l, "zero-delay loop") {
+			fatal = true
+		}
+	}
+	if err == nil && !fatal {
+		t.Error("zero-delay loop not caught")
+	}
+	if err != nil && !errors.Is(err, ErrRuntime) {
+		t.Errorf("error = %v, want ErrRuntime", err)
+	}
+}
+
+func TestEventWaitInInitial(t *testing.T) {
+	k := runSim(t, `
+module top;
+  reg clk, seen;
+  initial begin
+    clk = 0; seen = 0;
+    @(posedge clk);
+    seen = 1;
+    $finish;
+  end
+  initial begin
+    #7 clk = 1;
+  end
+endmodule`, "top", 100, Options{})
+	if v := val(t, k, "seen"); v.Val != 1 {
+		t.Errorf("seen = %v", v)
+	}
+	if k.Now() != 7 {
+		t.Errorf("finished at t=%d, want 7", k.Now())
+	}
+}
+
+func TestForeverWithDelay(t *testing.T) {
+	k := runSim(t, `
+module top;
+  reg clk;
+  reg [7:0] count;
+  initial begin
+    clk = 0; count = 0;
+    forever #5 clk = ~clk;
+  end
+  always @(posedge clk) count <= count + 1;
+  initial #52 $finish;
+endmodule`, "top", 200, Options{})
+	// Posedges at 5,15,25,35,45: count = 5.
+	if v := val(t, k, "count"); v.Val != 5 {
+		t.Errorf("count = %v, want 5", v)
+	}
+}
+
+func TestElaborationErrors(t *testing.T) {
+	cases := []struct{ name, src, top string }{
+		{"no top", "module a; endmodule", "zz"},
+		{"unknown child", "module top; ghost u(); endmodule", "top"},
+		{"width mismatch", `
+module sub(p); input p; endmodule
+module top; reg [3:0] w; sub u(.p(w)); endmodule`, "top"},
+		{"expr connection", `
+module sub(p); input p; endmodule
+module top; reg a, b; sub u(.p(a & b)); endmodule`, "top"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d, err := hdl.Parse(c.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if _, err := Elaborate(d, c.top, Options{}); !errors.Is(err, ErrElab) {
+				t.Errorf("error = %v, want ErrElab", err)
+			}
+		})
+	}
+}
+
+func TestUninitializedRegIsX(t *testing.T) {
+	k := runSim(t, `
+module top;
+  reg r;
+  wire w;
+  wire y;
+  assign y = r & w;
+  initial #10 $finish;
+endmodule`, "top", 100, Options{})
+	if v := val(t, k, "r"); !v.HasXZ() {
+		t.Errorf("uninitialized reg = %v, want x", v)
+	}
+	if v := val(t, k, "w"); v.Bit(0) != LZ {
+		t.Errorf("undriven wire = %v, want z", v)
+	}
+}
+
+func TestTraceAndFinalValues(t *testing.T) {
+	k := runSim(t, `
+module top;
+  reg a;
+  initial begin
+    a = 0;
+    #5 a = 1;
+    #5 a = 0;
+    #5 $finish;
+  end
+endmodule`, "top", 100, Options{})
+	var times []uint64
+	for _, c := range k.Trace() {
+		if c.Signal == "a" {
+			times = append(times, c.Time)
+		}
+	}
+	// x->0 at 0, 0->1 at 5, 1->0 at 10.
+	if len(times) != 3 || times[0] != 0 || times[1] != 5 || times[2] != 10 {
+		t.Errorf("trace times = %v", times)
+	}
+	fv := k.FinalValues()
+	if fv["a"].Val != 0 {
+		t.Errorf("final a = %v", fv["a"])
+	}
+	// Tracing can be disabled.
+	k2 := runSim(t, "module top; reg a; initial begin a = 0; #5 a = 1; end endmodule",
+		"top", 100, Options{DisableTrace: true})
+	if len(k2.Trace()) != 0 {
+		t.Error("DisableTrace did not suppress the trace")
+	}
+}
+
+func TestIntraAssignmentDelay(t *testing.T) {
+	// b = #3 a: RHS sampled at t, committed at t+3, even if a changes.
+	k := runSim(t, `
+module top;
+  reg a, b;
+  initial begin
+    a = 1; b = 0;
+    b = #3 a;
+    $display("b=%d at %t", b, 0);
+    $finish;
+  end
+  initial #1 a = 0;
+endmodule`, "top", 100, Options{})
+	log := k.Log()
+	if len(log) != 1 || log[0] != "b=1 at 3" {
+		t.Errorf("log = %v (intra-assignment delay must sample RHS early)", log)
+	}
+}
+
+// TestNoGoroutineLeaks: every process goroutine must unwind when its
+// kernel is killed or finishes, across many runs.
+func TestNoGoroutineLeaks(t *testing.T) {
+	src := `
+module top;
+  reg clk;
+  reg [3:0] n;
+  initial begin clk = 0; n = 0; end
+  always #5 clk = ~clk;
+  always @(posedge clk) n <= n + 1;
+  initial #95 $finish;
+endmodule`
+	d := hdl.MustParse(src)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		k, err := Elaborate(d, "top", Options{DisableTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Run(1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Allow the runtime a moment to retire unwound goroutines.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after 50 runs", before, runtime.NumGoroutine())
+}
+
+func TestElaborateRejectsWideVectors(t *testing.T) {
+	d := hdl.MustParse(`
+module top;
+  reg [99:0] big;
+endmodule`)
+	if _, err := Elaborate(d, "top", Options{}); !errors.Is(err, ErrElab) {
+		t.Errorf("error = %v, want ErrElab", err)
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cadinterop/internal/hdl"
+)
+
+// PLI support — Section 3.4: "Verilog simulators provide a PLI (programming
+// language interface), which allows the user to link custom C language
+// modules to the simulator." Here user tasks are Go functions registered by
+// name; a $mytask(...) call in procedural code invokes the function with
+// the evaluated arguments. The paper's complaint — that compiling and
+// linking PLI modules is platform- and simulator-specific — is modeled by
+// the registry being per-kernel: the same source runs on a kernel without
+// the task registered and silently ignores the call, exactly like a
+// simulator missing a vendor's PLI library.
+
+// PLIFunc is a user task implementation. args holds the evaluated
+// expression arguments (string literals arrive as 1-bit zero values; use
+// the raw strings channel via $display semantics if text is needed).
+type PLIFunc func(c *PLICtx, args []Value)
+
+// PLICtx gives a PLI task controlled access to the kernel.
+type PLICtx struct {
+	k    *Kernel
+	proc *process
+	// TaskName is the invoked $name.
+	TaskName string
+}
+
+// Now returns the current simulation time.
+func (c *PLICtx) Now() uint64 { return c.k.now }
+
+// Log appends a line to the simulation log.
+func (c *PLICtx) Log(format string, args ...any) {
+	c.k.log = append(c.k.log, fmt.Sprintf(format, args...))
+}
+
+// Peek reads any signal by hierarchical name.
+func (c *PLICtx) Peek(name string) (Value, bool) {
+	s, ok := c.k.signals[name]
+	if !ok {
+		return Value{}, false
+	}
+	return s.val, true
+}
+
+// Poke deposits a value onto a signal (the PLI "put value" service).
+func (c *PLICtx) Poke(name string, v Value) error {
+	return c.k.Inject(name, v)
+}
+
+// Finish stops the simulation from inside a task.
+func (c *PLICtx) Finish() {
+	c.k.stopped = true
+}
+
+// RegisterPLI binds a user task; a procedural $name(...) call invokes fn.
+// Registration must happen before Run/Bootstrap.
+func (k *Kernel) RegisterPLI(name string, fn PLIFunc) {
+	if k.pli == nil {
+		k.pli = make(map[string]PLIFunc)
+	}
+	k.pli[strings.TrimPrefix(name, "$")] = fn
+}
+
+// PLITasks lists registered task names.
+func (k *Kernel) PLITasks() []string {
+	out := make([]string, 0, len(k.pli))
+	for n := range k.pli {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// callPLI dispatches a system call to a registered task; reports whether a
+// task consumed it.
+func (k *Kernel) callPLI(p *process, st *hdl.SysCall) bool {
+	fn, ok := k.pli[st.Name]
+	if !ok {
+		return false
+	}
+	args := make([]Value, len(st.Args))
+	for i, a := range st.Args {
+		args[i] = k.eval(p.ctx, a, p)
+	}
+	fn(&PLICtx{k: k, proc: p, TaskName: st.Name}, args)
+	return true
+}

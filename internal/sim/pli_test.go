@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cadinterop/internal/hdl"
+)
+
+func TestPLIUserTask(t *testing.T) {
+	src := `
+module top;
+  reg [7:0] v;
+  reg probe;
+  initial begin
+    v = 8'd7;
+    $score(v, 8'd3);
+    #5 $finish;
+  end
+endmodule`
+	d := hdl.MustParse(src)
+	k, err := Elaborate(d, "top", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Value
+	k.RegisterPLI("$score", func(c *PLICtx, args []Value) {
+		got = append(got, args...)
+		c.Log("score called at t=%d with %d args", c.Now(), len(args))
+		// Peek and poke the design like a real PLI module.
+		if v, ok := c.Peek("v"); !ok || v.Val != 7 {
+			t.Errorf("Peek v = %v %v", v, ok)
+		}
+		if err := c.Poke("probe", NewValue(1, 1)); err != nil {
+			t.Errorf("Poke: %v", err)
+		}
+	})
+	if tasks := k.PLITasks(); len(tasks) != 1 || tasks[0] != "score" {
+		t.Errorf("PLITasks = %v", tasks)
+	}
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Val != 7 || got[1].Val != 3 {
+		t.Errorf("args = %v", got)
+	}
+	if s, _ := k.Signal("probe"); s.Value().Val != 1 {
+		t.Errorf("probe = %v (Poke failed)", s.Value())
+	}
+	foundLog := false
+	for _, l := range k.Log() {
+		if strings.Contains(l, "score called at t=0") {
+			foundLog = true
+		}
+	}
+	if !foundLog {
+		t.Errorf("log = %v", k.Log())
+	}
+}
+
+// TestPLIMissingLibraryIsSilent reproduces §3.4: the same source on a
+// kernel without the vendor task registered runs, silently skipping the
+// call — like a simulator missing the PLI library.
+func TestPLIMissingLibraryIsSilent(t *testing.T) {
+	src := `
+module top;
+  reg r;
+  initial begin
+    r = 0;
+    $vendor_magic(r);
+    r = 1;
+    $finish;
+  end
+endmodule`
+	d := hdl.MustParse(src)
+	k, err := Elaborate(d, "top", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := k.Signal("r"); s.Value().Val != 1 {
+		t.Errorf("r = %v: execution did not continue past the unknown task", s.Value())
+	}
+}
+
+func TestPLIFinish(t *testing.T) {
+	src := `
+module top;
+  reg r;
+  initial begin
+    r = 0;
+    $abort_now;
+    r = 1; // unreachable
+  end
+endmodule`
+	d := hdl.MustParse(src)
+	k, err := Elaborate(d, "top", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterPLI("abort_now", func(c *PLICtx, _ []Value) { c.Finish() })
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := k.Signal("r"); s.Value().Val != 0 {
+		t.Errorf("r = %v: Finish did not stop execution", s.Value())
+	}
+}
+
+func TestWriteVCD(t *testing.T) {
+	src := `
+module top;
+  reg clk;
+  reg [3:0] count;
+  initial begin
+    clk = 0; count = 0;
+    #5 clk = 1;
+    count = 4'd5;
+    #5 clk = 0;
+    #5 $finish;
+  end
+endmodule`
+	d := hdl.MustParse(src)
+	k, err := Elaborate(d, "top", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := k.WriteVCD(&b, "1ns"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$var reg 1 ! clk $end",
+		"$var reg 4 \" count $end",
+		"$dumpvars",
+		"#0", "#5",
+		"b0101 \"", // count = 5
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Initial x state for regs appears in dumpvars.
+	if !strings.Contains(out, "x!") {
+		t.Errorf("VCD should dump initial x for clk:\n%s", out)
+	}
+}
+
+func TestVCDIDs(t *testing.T) {
+	if vcdID(0) != "!" {
+		t.Errorf("vcdID(0) = %q", vcdID(0))
+	}
+	if vcdID(93) != "~" {
+		t.Errorf("vcdID(93) = %q", vcdID(93))
+	}
+	if vcdID(94) != "!!" {
+		t.Errorf("vcdID(94) = %q", vcdID(94))
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}

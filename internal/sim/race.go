@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RaceKind classifies detected races.
+type RaceKind uint8
+
+// Race kinds. The paper: "if different simulators give different results
+// when simulating the same model, there is a race condition in the model
+// ... However, determining whether a discrepancy between the simulations is
+// due to a model race condition or to a simulator bug can be troublesome."
+// The detector makes that determination mechanical.
+const (
+	// RaceWriteWrite: two processes wrote the same signal in the same time
+	// step; the final value depends on scheduler order.
+	RaceWriteWrite RaceKind = iota
+	// RaceReadWrite: one process blocking-wrote a signal another process
+	// read in the same step; the read's view depends on scheduler order.
+	// Non-blocking writes are exempt — they are the race-free idiom.
+	RaceReadWrite
+)
+
+var raceKindNames = [...]string{"write-write", "read-write"}
+
+// String implements fmt.Stringer.
+func (k RaceKind) String() string {
+	if int(k) < len(raceKindNames) {
+		return raceKindNames[k]
+	}
+	return fmt.Sprintf("RaceKind(%d)", uint8(k))
+}
+
+// Race is one detected hazard.
+type Race struct {
+	Kind   RaceKind
+	Time   uint64
+	Signal string
+	Procs  []int // ids of the involved processes
+}
+
+// String implements fmt.Stringer.
+func (r Race) String() string {
+	return fmt.Sprintf("t=%d %s race on %s (procs %v)", r.Time, r.Kind, r.Signal, r.Procs)
+}
+
+// RaceDetector accumulates per-timestep access records.
+type RaceDetector struct {
+	// per-step state
+	writes         map[string]map[int]bool // sig -> procs that wrote (any kind)
+	blockingWrites map[string]map[int]bool // sig -> procs that blocking-wrote
+	reads          map[string]map[int]bool // sig -> procs that read
+
+	seen  map[string]bool // dedup key
+	races []Race
+}
+
+// NewRaceDetector returns an empty detector.
+func NewRaceDetector() *RaceDetector {
+	return &RaceDetector{
+		writes:         make(map[string]map[int]bool),
+		blockingWrites: make(map[string]map[int]bool),
+		reads:          make(map[string]map[int]bool),
+		seen:           make(map[string]bool),
+	}
+}
+
+// RecordWrite notes a procedural write.
+func (rd *RaceDetector) RecordWrite(proc int, sig string, _ uint64, blocking bool) {
+	add(rd.writes, sig, proc)
+	if blocking {
+		add(rd.blockingWrites, sig, proc)
+	}
+}
+
+// RecordRead notes a procedural read.
+func (rd *RaceDetector) RecordRead(proc int, sig string, _ uint64) {
+	add(rd.reads, sig, proc)
+}
+
+func add(m map[string]map[int]bool, sig string, proc int) {
+	s, ok := m[sig]
+	if !ok {
+		s = make(map[int]bool)
+		m[sig] = s
+	}
+	s[proc] = true
+}
+
+// EndStep closes the current time step, emitting races found in it.
+func (rd *RaceDetector) EndStep(t uint64) {
+	for sig, writers := range rd.writes {
+		if len(writers) > 1 {
+			rd.emit(Race{Kind: RaceWriteWrite, Time: t, Signal: sig, Procs: keys(writers)})
+		}
+	}
+	for sig, writers := range rd.blockingWrites {
+		readers, ok := rd.reads[sig]
+		if !ok {
+			continue
+		}
+		var procs []int
+		for r := range readers {
+			if !writers[r] {
+				procs = append(procs, r)
+			}
+		}
+		if len(procs) > 0 {
+			all := append(keys(writers), procs...)
+			sort.Ints(all)
+			rd.emit(Race{Kind: RaceReadWrite, Time: t, Signal: sig, Procs: all})
+		}
+	}
+	rd.writes = make(map[string]map[int]bool)
+	rd.blockingWrites = make(map[string]map[int]bool)
+	rd.reads = make(map[string]map[int]bool)
+}
+
+func (rd *RaceDetector) emit(r Race) {
+	key := fmt.Sprintf("%d/%s/%v", r.Kind, r.Signal, r.Procs)
+	if rd.seen[key] {
+		return
+	}
+	rd.seen[key] = true
+	rd.races = append(rd.races, r)
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Races returns all distinct races found so far, ordered by first
+// occurrence.
+func (rd *RaceDetector) Races() []Race {
+	return append([]Race(nil), rd.races...)
+}

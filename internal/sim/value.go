@@ -1,0 +1,428 @@
+// Package sim is an event-driven logic simulator for the hdl AST,
+// engineered to reproduce the Section 3.1 interoperability phenomena:
+//
+//   - pluggable orderings for simultaneous events, because "the simulation
+//     cycle and processing order for simultaneous events are not completely
+//     defined by the language" and different simulators legitimately
+//     disagree;
+//   - a race detector that separates model races from simulator bugs;
+//   - timing checks with a Pre16aPaths backward-compatibility switch
+//     mirroring Verilog-XL's "+pre_16a_path" option;
+//   - a second kernel personality with a 9-value signal set and a
+//     co-simulation bridge whose value mapping is lossy in exactly the way
+//     mixed Verilog/VHDL simulation is.
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a 4-state logic vector up to 64 bits wide using the (a,b)
+// encoding per bit: 0=(0,0), 1=(1,0), z=(0,1), x=(1,1). Bit i's a-bit lives
+// in Val, its b-bit in XZ.
+type Value struct {
+	Width int
+	Val   uint64
+	XZ    uint64
+}
+
+// Bit is one 4-state scalar.
+type Bit uint8
+
+// The four states.
+const (
+	L0 Bit = iota // logic 0
+	L1            // logic 1
+	LZ            // high impedance
+	LX            // unknown
+)
+
+// String implements fmt.Stringer.
+func (b Bit) String() string {
+	switch b {
+	case L0:
+		return "0"
+	case L1:
+		return "1"
+	case LZ:
+		return "z"
+	default:
+		return "x"
+	}
+}
+
+func mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(w) - 1
+}
+
+// NewValue builds a known value from an integer.
+func NewValue(width int, v uint64) Value {
+	return Value{Width: width, Val: v & mask(width)}
+}
+
+// AllX returns a width-wide all-unknown value (the reg power-up state).
+func AllX(width int) Value {
+	return Value{Width: width, Val: mask(width), XZ: mask(width)}
+}
+
+// AllZ returns a width-wide all-Z value (the undriven wire state).
+func AllZ(width int) Value {
+	return Value{Width: width, Val: 0, XZ: mask(width)}
+}
+
+// Bit extracts bit i (0-based from LSB); out-of-range reads X.
+func (v Value) Bit(i int) Bit {
+	if i < 0 || i >= v.Width {
+		return LX
+	}
+	a := v.Val >> uint(i) & 1
+	b := v.XZ >> uint(i) & 1
+	return Bit(a | b<<1) // (a,b): 00->0 01->1 10->z 11->x with our order
+}
+
+// SetBit returns v with bit i set to b.
+func (v Value) SetBit(i int, b Bit) Value {
+	if i < 0 || i >= v.Width {
+		return v
+	}
+	av := uint64(b) & 1
+	bv := uint64(b) >> 1 & 1
+	v.Val = v.Val&^(1<<uint(i)) | av<<uint(i)
+	v.XZ = v.XZ&^(1<<uint(i)) | bv<<uint(i)
+	return v
+}
+
+// HasXZ reports whether any bit is x or z.
+func (v Value) HasXZ() bool { return v.XZ&mask(v.Width) != 0 }
+
+// Eq reports exact 4-state equality (the === notion).
+func (v Value) Eq(o Value) bool {
+	m := mask(v.Width)
+	om := mask(o.Width)
+	return v.Width == o.Width && v.Val&m == o.Val&om && v.XZ&m == o.XZ&om
+}
+
+// IsTrue reports the 3-valued truthiness of v: 1 when any bit is definitely
+// 1, 0 when all bits are definitely 0, X otherwise.
+func (v Value) IsTrue() Bit {
+	m := mask(v.Width)
+	ones := v.Val & ^v.XZ & m
+	if ones != 0 {
+		return L1
+	}
+	if v.XZ&m != 0 {
+		return LX
+	}
+	return L0
+}
+
+// Resize zero-extends or truncates to width w (x/z bits preserved).
+func (v Value) Resize(w int) Value {
+	out := Value{Width: w, Val: v.Val & mask(w) & mask(v.Width), XZ: v.XZ & mask(w) & mask(v.Width)}
+	return out
+}
+
+// String renders the value in Verilog literal style.
+func (v Value) String() string {
+	if !v.HasXZ() {
+		return fmt.Sprintf("%d'd%d", v.Width, v.Val&mask(v.Width))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d'b", v.Width)
+	for i := v.Width - 1; i >= 0; i-- {
+		b.WriteString(v.Bit(i).String())
+	}
+	return b.String()
+}
+
+// --- bitwise logic -------------------------------------------------------
+
+// bitAnd implements 4-state AND per bit: 0 dominates, x/z otherwise taint.
+func bitAnd(a, b Bit) Bit {
+	if a == L0 || b == L0 {
+		return L0
+	}
+	if a == L1 && b == L1 {
+		return L1
+	}
+	return LX
+}
+
+func bitOr(a, b Bit) Bit {
+	if a == L1 || b == L1 {
+		return L1
+	}
+	if a == L0 && b == L0 {
+		return L0
+	}
+	return LX
+}
+
+func bitXor(a, b Bit) Bit {
+	if a == LX || a == LZ || b == LX || b == LZ {
+		return LX
+	}
+	return Bit((uint8(a) ^ uint8(b)) & 1)
+}
+
+func bitNot(a Bit) Bit {
+	switch a {
+	case L0:
+		return L1
+	case L1:
+		return L0
+	default:
+		return LX
+	}
+}
+
+func bitwise(a, b Value, op func(Bit, Bit) Bit) Value {
+	w := a.Width
+	if b.Width > w {
+		w = b.Width
+	}
+	out := NewValue(w, 0)
+	for i := 0; i < w; i++ {
+		out = out.SetBit(i, op(padBit(a, i), padBit(b, i)))
+	}
+	return out
+}
+
+// padBit reads bit i of v, zero-extending beyond the width (Verilog
+// zero-extends operands in context).
+func padBit(v Value, i int) Bit {
+	if i >= v.Width {
+		return L0
+	}
+	return v.Bit(i)
+}
+
+// And returns a & b.
+func And(a, b Value) Value { return bitwise(a, b, bitAnd) }
+
+// Or returns a | b.
+func Or(a, b Value) Value { return bitwise(a, b, bitOr) }
+
+// Xor returns a ^ b.
+func Xor(a, b Value) Value { return bitwise(a, b, bitXor) }
+
+// Not returns ~a.
+func Not(a Value) Value {
+	out := NewValue(a.Width, 0)
+	for i := 0; i < a.Width; i++ {
+		out = out.SetBit(i, bitNot(a.Bit(i)))
+	}
+	return out
+}
+
+// --- reductions ----------------------------------------------------------
+
+// ReduceAnd returns &a as a 1-bit value.
+func ReduceAnd(a Value) Value {
+	acc := L1
+	for i := 0; i < a.Width; i++ {
+		acc = bitAnd(acc, a.Bit(i))
+	}
+	return scalar(acc)
+}
+
+// ReduceOr returns |a.
+func ReduceOr(a Value) Value {
+	acc := L0
+	for i := 0; i < a.Width; i++ {
+		acc = bitOr(acc, a.Bit(i))
+	}
+	return scalar(acc)
+}
+
+// ReduceXor returns ^a.
+func ReduceXor(a Value) Value {
+	acc := L0
+	for i := 0; i < a.Width; i++ {
+		acc = bitXor(acc, a.Bit(i))
+	}
+	return scalar(acc)
+}
+
+func scalar(b Bit) Value {
+	switch b {
+	case L0:
+		return NewValue(1, 0)
+	case L1:
+		return NewValue(1, 1)
+	case LZ:
+		return Value{Width: 1, Val: 0, XZ: 1}
+	default:
+		return Value{Width: 1, Val: 1, XZ: 1}
+	}
+}
+
+// --- arithmetic and comparison ------------------------------------------
+
+// Arith performs +, -, *, /, %, <<, >> with x-propagation: any unknown
+// operand bit poisons the whole result.
+func Arith(op string, a, b Value) Value {
+	w := a.Width
+	if b.Width > w {
+		w = b.Width
+	}
+	// Shifts are self-determined by the left operand, per IEEE 1364.
+	if op == "<<" || op == ">>" {
+		w = a.Width
+	}
+	if a.HasXZ() || b.HasXZ() {
+		return AllX(w)
+	}
+	av := a.Val & mask(a.Width)
+	bv := b.Val & mask(b.Width)
+	var r uint64
+	switch op {
+	case "+":
+		r = av + bv
+	case "-":
+		r = av - bv
+	case "*":
+		r = av * bv
+	case "/":
+		if bv == 0 {
+			return AllX(w)
+		}
+		r = av / bv
+	case "%":
+		if bv == 0 {
+			return AllX(w)
+		}
+		r = av % bv
+	case "<<":
+		if bv >= 64 {
+			r = 0
+		} else {
+			r = av << bv
+		}
+	case ">>":
+		if bv >= 64 {
+			r = 0
+		} else {
+			r = av >> bv
+		}
+	default:
+		return AllX(w)
+	}
+	return NewValue(w, r)
+}
+
+// Compare evaluates ==, !=, <, <=, >, >= returning a 1-bit value; unknown
+// operands yield x (the Verilog logical-equality semantics).
+func Compare(op string, a, b Value) Value {
+	if a.HasXZ() || b.HasXZ() {
+		return scalar(LX)
+	}
+	av := a.Val & mask(a.Width)
+	bv := b.Val & mask(b.Width)
+	var r bool
+	switch op {
+	case "==":
+		r = av == bv
+	case "!=":
+		r = av != bv
+	case "<":
+		r = av < bv
+	case "<=":
+		r = av <= bv
+	case ">":
+		r = av > bv
+	case ">=":
+		r = av >= bv
+	default:
+		return scalar(LX)
+	}
+	if r {
+		return NewValue(1, 1)
+	}
+	return NewValue(1, 0)
+}
+
+// LogicalAnd implements && on truthiness with 3-valued logic.
+func LogicalAnd(a, b Value) Value { return scalar(bitAnd(a.IsTrue(), b.IsTrue())) }
+
+// LogicalOr implements ||.
+func LogicalOr(a, b Value) Value { return scalar(bitOr(a.IsTrue(), b.IsTrue())) }
+
+// LogicalNot implements !.
+func LogicalNot(a Value) Value { return scalar(bitNot(a.IsTrue())) }
+
+// TernaryMerge implements cond ? t : e. An unknown condition merges the two
+// arms bitwise: equal bits survive, differing bits become x — the IEEE 1364
+// rule.
+func TernaryMerge(cond, t, e Value) Value {
+	switch cond.IsTrue() {
+	case L1:
+		return t
+	case L0:
+		return e
+	default:
+		w := t.Width
+		if e.Width > w {
+			w = e.Width
+		}
+		out := NewValue(w, 0)
+		for i := 0; i < w; i++ {
+			tb, eb := padBit(t, i), padBit(e, i)
+			if tb == eb && (tb == L0 || tb == L1) {
+				out = out.SetBit(i, tb)
+			} else {
+				out = out.SetBit(i, LX)
+			}
+		}
+		return out
+	}
+}
+
+// ConcatValues implements {a, b, ...} with the leftmost part in the most
+// significant position.
+func ConcatValues(parts []Value) Value {
+	total := 0
+	for _, p := range parts {
+		total += p.Width
+	}
+	if total > 64 {
+		total = 64
+	}
+	out := NewValue(total, 0)
+	pos := total
+	for _, p := range parts {
+		pos -= p.Width
+		for i := 0; i < p.Width; i++ {
+			if pos+i >= 0 && pos+i < 64 {
+				out = out.SetBit(pos+i, p.Bit(i))
+			}
+		}
+	}
+	return out
+}
+
+// Select extracts bit range [msb:lsb] (indices in declared terms where the
+// signal's own range maps to bit offsets handled by the caller).
+func Select(v Value, msb, lsb int) Value {
+	w := msb - lsb + 1
+	if w < 1 {
+		w = 1
+	}
+	out := NewValue(w, 0)
+	for i := 0; i < w; i++ {
+		out = out.SetBit(i, v.Bit(lsb+i))
+	}
+	return out
+}
+
+// Neg returns two's-complement negation.
+func Neg(a Value) Value {
+	if a.HasXZ() {
+		return AllX(a.Width)
+	}
+	return NewValue(a.Width, -a.Val)
+}

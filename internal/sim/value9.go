@@ -1,0 +1,141 @@
+package sim
+
+import "fmt"
+
+// V9 is a 9-value logic state in the VHDL std_logic style — the "other"
+// signal value set of the paper's co-simulation problem ("Inconsistencies
+// in the signal value set (e.g. 0, 1, x, and z) ... are common sources of
+// problems").
+type V9 uint8
+
+// The nine states.
+const (
+	VU V9 = iota // uninitialized
+	VX           // forcing unknown
+	V0           // forcing 0
+	V1           // forcing 1
+	VZ           // high impedance
+	VW           // weak unknown
+	VL           // weak 0
+	VH           // weak 1
+	VD           // don't care '-'
+)
+
+var v9Names = [...]string{"U", "X", "0", "1", "Z", "W", "L", "H", "-"}
+
+// String implements fmt.Stringer.
+func (v V9) String() string {
+	if int(v) < len(v9Names) {
+		return v9Names[v]
+	}
+	return fmt.Sprintf("V9(%d)", uint8(v))
+}
+
+// resolutionTable is the IEEE 1164 std_logic resolution function: the
+// value of a node driven by two sources. Unlike the 4-value world — where
+// multiple drivers are simply a netlist error — the 9-value world resolves
+// contention through drive strengths, and the two worlds' answers differ
+// exactly where co-simulation bridges get into trouble.
+var resolutionTable = [9][9]V9{
+	//         U   X   0   1   Z   W   L   H   -
+	/* U */ {VU, VU, VU, VU, VU, VU, VU, VU, VU},
+	/* X */ {VU, VX, VX, VX, VX, VX, VX, VX, VX},
+	/* 0 */ {VU, VX, V0, VX, V0, V0, V0, V0, VX},
+	/* 1 */ {VU, VX, VX, V1, V1, V1, V1, V1, VX},
+	/* Z */ {VU, VX, V0, V1, VZ, VW, VL, VH, VX},
+	/* W */ {VU, VX, V0, V1, VW, VW, VW, VW, VX},
+	/* L */ {VU, VX, V0, V1, VL, VW, VL, VW, VX},
+	/* H */ {VU, VX, V0, V1, VH, VW, VW, VH, VX},
+	/* - */ {VU, VX, VX, VX, VX, VX, VX, VX, VX},
+}
+
+// Resolve combines two simultaneous drivers per the 9-value resolution
+// function. It is commutative and associative, so multi-driver nodes fold
+// with it.
+func Resolve(a, b V9) V9 {
+	if a > VD || b > VD {
+		return VX
+	}
+	return resolutionTable[a][b]
+}
+
+// ResolveAll folds a driver list; an empty list reads Z (undriven).
+func ResolveAll(drivers []V9) V9 {
+	out := VZ
+	for _, d := range drivers {
+		out = Resolve(out, d)
+	}
+	return out
+}
+
+// ValueMap translates between the 4-value and 9-value sets. Real
+// co-simulation backplanes each bake in their own table; the differences
+// between tables are exactly the interoperability hazard, so the map is
+// data, not code.
+type ValueMap struct {
+	Name string
+	// To9 maps each of the four states (indexed by Bit) to a 9-value state.
+	To9 [4]V9
+	// To4 maps each of the nine states to a 4-value state.
+	To4 [9]Bit
+}
+
+// Strict is the lossless, pessimistic mapping: unknowns stay unknown in
+// both directions; weak values degrade to their strong equivalents.
+var Strict = ValueMap{
+	Name: "strict",
+	To9:  [4]V9{L0: V0, L1: V1, LZ: VZ, LX: VX},
+	To4: [9]Bit{
+		VU: LX, VX: LX, V0: L0, V1: L1, VZ: LZ,
+		VW: LX, VL: L0, VH: L1, VD: LX,
+	},
+}
+
+// Optimistic is a lossy vendor mapping observed in practice: it resolves
+// unknowns to 0 crossing into the 4-value world (some gateways do this to
+// keep two-state cores running) and folds Z to X. Co-simulating through it
+// silently converts x-propagation into hard 0s.
+var Optimistic = ValueMap{
+	Name: "optimistic",
+	To9:  [4]V9{L0: V0, L1: V1, LZ: VZ, LX: VX},
+	To4: [9]Bit{
+		VU: L0, VX: L0, V0: L0, V1: L1, VZ: LX,
+		VW: L0, VL: L0, VH: L1, VD: L0,
+	},
+}
+
+// Map4To9 converts a 4-state vector into 9-value states, LSB first.
+func (m ValueMap) Map4To9(v Value) []V9 {
+	out := make([]V9, v.Width)
+	for i := 0; i < v.Width; i++ {
+		out[i] = m.To9[v.Bit(i)]
+	}
+	return out
+}
+
+// Map9To4 converts 9-value states (LSB first) into a 4-state vector.
+func (m ValueMap) Map9To4(vs []V9) Value {
+	out := NewValue(len(vs), 0)
+	for i, v := range vs {
+		out = out.SetBit(i, m.To4[v])
+	}
+	return out
+}
+
+// RoundTrip pushes a 4-state value across the bridge and back, returning
+// what the far side eventually hands back — the end-to-end distortion of
+// one crossing.
+func (m ValueMap) RoundTrip(v Value) Value {
+	return m.Map9To4(m.Map4To9(v))
+}
+
+// Lossless reports whether the map preserves every 4-state value across a
+// round trip.
+func (m ValueMap) Lossless() bool {
+	for _, b := range []Bit{L0, L1, LZ, LX} {
+		if m.To4[m.To9[b]] != b {
+			return false
+		}
+	}
+	return true
+}

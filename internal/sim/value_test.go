@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitTables(t *testing.T) {
+	// AND: 0 dominates; OR: 1 dominates; XOR: x/z taint.
+	cases := []struct {
+		op      string
+		a, b, w Bit
+	}{
+		{"and", L0, LX, L0},
+		{"and", L1, L1, L1},
+		{"and", L1, LX, LX},
+		{"and", LZ, L1, LX},
+		{"or", L1, LX, L1},
+		{"or", L0, L0, L0},
+		{"or", L0, LZ, LX},
+		{"xor", L1, L0, L1},
+		{"xor", L1, L1, L0},
+		{"xor", L1, LX, LX},
+		{"xor", LZ, L0, LX},
+	}
+	for _, c := range cases {
+		var got Bit
+		switch c.op {
+		case "and":
+			got = bitAnd(c.a, c.b)
+		case "or":
+			got = bitOr(c.a, c.b)
+		case "xor":
+			got = bitXor(c.a, c.b)
+		}
+		if got != c.w {
+			t.Errorf("%s(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.w)
+		}
+	}
+	if bitNot(L0) != L1 || bitNot(L1) != L0 || bitNot(LX) != LX || bitNot(LZ) != LX {
+		t.Error("bitNot table wrong")
+	}
+}
+
+func TestValueBitAccess(t *testing.T) {
+	v := NewValue(4, 0b1010)
+	if v.Bit(0) != L0 || v.Bit(1) != L1 || v.Bit(3) != L1 {
+		t.Errorf("bits of %v wrong", v)
+	}
+	if v.Bit(9) != LX {
+		t.Error("out of range read should be X")
+	}
+	v = v.SetBit(0, LX)
+	if v.Bit(0) != LX || !v.HasXZ() {
+		t.Errorf("SetBit X failed: %v", v)
+	}
+	v = v.SetBit(0, LZ)
+	if v.Bit(0) != LZ {
+		t.Errorf("SetBit Z failed: %v", v)
+	}
+}
+
+func TestValueStates(t *testing.T) {
+	if x := AllX(8); !x.HasXZ() || x.Bit(7) != LX {
+		t.Errorf("AllX = %v", x)
+	}
+	if z := AllZ(8); z.Bit(0) != LZ {
+		t.Errorf("AllZ = %v", z)
+	}
+	if NewValue(8, 0xff).HasXZ() {
+		t.Error("known value reports XZ")
+	}
+}
+
+func TestIsTrue(t *testing.T) {
+	if NewValue(4, 2).IsTrue() != L1 {
+		t.Error("nonzero should be true")
+	}
+	if NewValue(4, 0).IsTrue() != L0 {
+		t.Error("zero should be false")
+	}
+	if AllX(4).IsTrue() != LX {
+		t.Error("all-x should be X")
+	}
+	// A definite 1 anywhere wins even with other x bits.
+	v := AllX(4).SetBit(2, L1)
+	if v.IsTrue() != LX && v.IsTrue() != L1 {
+		t.Errorf("mixed = %v", v.IsTrue())
+	}
+	v2 := NewValue(4, 0).SetBit(1, L1).SetBit(0, LX)
+	if v2.IsTrue() != L1 {
+		t.Errorf("definite 1 with x = %v", v2.IsTrue())
+	}
+}
+
+func TestArithXPoisoning(t *testing.T) {
+	a := NewValue(8, 5)
+	b := NewValue(8, 3)
+	if r := Arith("+", a, b); r.Val != 8 || r.HasXZ() {
+		t.Errorf("5+3 = %v", r)
+	}
+	if r := Arith("*", a, b); r.Val != 15 {
+		t.Errorf("5*3 = %v", r)
+	}
+	if r := Arith("-", b, a); r.Val&mask(8) != 0xfe {
+		t.Errorf("3-5 = %v", r)
+	}
+	if r := Arith("+", a, AllX(8)); !r.HasXZ() {
+		t.Error("x must poison arithmetic")
+	}
+	if r := Arith("/", a, NewValue(8, 0)); !r.HasXZ() {
+		t.Error("divide by zero must be x")
+	}
+	if r := Arith("<<", NewValue(8, 1), NewValue(8, 3)); r.Val != 8 {
+		t.Errorf("1<<3 = %v", r)
+	}
+	if r := Arith(">>", NewValue(8, 8), NewValue(8, 2)); r.Val != 2 {
+		t.Errorf("8>>2 = %v", r)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a, b := NewValue(8, 5), NewValue(8, 3)
+	if Compare("==", a, a).Val != 1 || Compare("==", a, b).Val != 0 {
+		t.Error("== wrong")
+	}
+	if Compare("!=", a, b).Val != 1 {
+		t.Error("!= wrong")
+	}
+	if Compare("<", b, a).Val != 1 || Compare(">=", a, b).Val != 1 {
+		t.Error("ordering wrong")
+	}
+	if r := Compare("==", a, AllX(8)); !r.HasXZ() {
+		t.Error("compare with x must be x")
+	}
+}
+
+func TestLogicalOps(t *testing.T) {
+	tr, fa := NewValue(1, 1), NewValue(1, 0)
+	if LogicalAnd(tr, tr).Val != 1 || LogicalAnd(tr, fa).Val != 0 {
+		t.Error("&& wrong")
+	}
+	if LogicalOr(fa, tr).Val != 1 || LogicalOr(fa, fa).Val != 0 {
+		t.Error("|| wrong")
+	}
+	if LogicalNot(tr).Val != 0 || LogicalNot(fa).Val != 1 {
+		t.Error("! wrong")
+	}
+	// 0 && x = 0; 1 || x = 1 (short-circuit semantics in 3-value logic).
+	if LogicalAnd(fa, AllX(1)).Val != 0 || LogicalAnd(fa, AllX(1)).HasXZ() {
+		t.Error("0 && x should be 0")
+	}
+	if LogicalOr(tr, AllX(1)).Val != 1 {
+		t.Error("1 || x should be 1")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	v := NewValue(4, 0b1111)
+	if ReduceAnd(v).Val != 1 {
+		t.Error("&1111 = 1")
+	}
+	if ReduceAnd(NewValue(4, 0b1110)).Val != 0 {
+		t.Error("&1110 = 0")
+	}
+	if ReduceOr(NewValue(4, 0)).Val != 0 || ReduceOr(NewValue(4, 2)).Val != 1 {
+		t.Error("| wrong")
+	}
+	if ReduceXor(NewValue(4, 0b0111)).Val != 1 || ReduceXor(NewValue(4, 0b0011)).Val != 0 {
+		t.Error("^ wrong")
+	}
+	// 0 anywhere makes &x0 definite 0.
+	mixed := AllX(4).SetBit(0, L0)
+	if ReduceAnd(mixed).Val != 0 || ReduceAnd(mixed).HasXZ() {
+		t.Error("&(xxx0) should be 0")
+	}
+}
+
+func TestTernaryMerge(t *testing.T) {
+	a, b := NewValue(4, 0b1010), NewValue(4, 0b1001)
+	if r := TernaryMerge(NewValue(1, 1), a, b); !r.Eq(a) {
+		t.Errorf("true merge = %v", r)
+	}
+	if r := TernaryMerge(NewValue(1, 0), a, b); !r.Eq(b) {
+		t.Errorf("false merge = %v", r)
+	}
+	// Unknown cond: agreeing bits survive, differing bits x.
+	r := TernaryMerge(AllX(1), a, b)
+	if r.Bit(3) != L1 { // both have bit3=1
+		t.Errorf("agreeing bit = %v", r.Bit(3))
+	}
+	if r.Bit(0) != LX || r.Bit(1) != LX {
+		t.Errorf("differing bits = %v %v", r.Bit(0), r.Bit(1))
+	}
+}
+
+func TestConcatSelect(t *testing.T) {
+	r := ConcatValues([]Value{NewValue(2, 0b10), NewValue(3, 0b011)})
+	if r.Width != 5 || r.Val != 0b10011 {
+		t.Errorf("concat = %v", r)
+	}
+	s := Select(NewValue(8, 0b10110100), 5, 2)
+	if s.Width != 4 || s.Val != 0b1101 {
+		t.Errorf("select = %v", s)
+	}
+}
+
+func TestResizeNeg(t *testing.T) {
+	v := NewValue(8, 0xAB)
+	if r := v.Resize(4); r.Width != 4 || r.Val != 0xB {
+		t.Errorf("truncate = %v", r)
+	}
+	if r := v.Resize(16); r.Width != 16 || r.Val != 0xAB {
+		t.Errorf("extend = %v", r)
+	}
+	if r := Neg(NewValue(4, 1)); r.Val != 0xF {
+		t.Errorf("neg = %v", r)
+	}
+	if r := Neg(AllX(4)); !r.HasXZ() {
+		t.Error("neg x = x")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if s := NewValue(4, 10).String(); s != "4'd10" {
+		t.Errorf("String = %q", s)
+	}
+	v := NewValue(3, 0b101).SetBit(1, LX)
+	if s := v.String(); s != "3'b1x1" {
+		t.Errorf("String = %q", s)
+	}
+	if BitStr := LZ.String(); BitStr != "z" {
+		t.Errorf("Bit String = %q", BitStr)
+	}
+}
+
+// Property: De Morgan holds for definite values.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(a, b uint16) bool {
+		va, vb := NewValue(16, uint64(a)), NewValue(16, uint64(b))
+		lhs := Not(And(va, vb))
+		rhs := Or(Not(va), Not(vb))
+		return lhs.Eq(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: double negation is identity on any 4-state value.
+func TestQuickDoubleNot(t *testing.T) {
+	f := func(val, xz uint16) bool {
+		v := Value{Width: 16, Val: uint64(val), XZ: uint64(xz)}
+		// ~~v normalizes z to x, so compare ~~v with ~~(~~v).
+		once := Not(Not(v))
+		twice := Not(Not(once))
+		return once.Eq(twice)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: concat width is the sum of part widths (≤64).
+func TestQuickConcatWidth(t *testing.T) {
+	f := func(a, b uint8) bool {
+		wa, wb := int(a%16)+1, int(b%16)+1
+		r := ConcatValues([]Value{NewValue(wa, 0), NewValue(wb, 0)})
+		return r.Width == wa+wb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cadinterop/internal/naming"
+	"cadinterop/internal/netlist"
+)
+
+// EmitVerilog renders a synthesized cell back to HDL source, so the gate
+// network can be re-simulated with the sim package and compared against
+// the original RTL — the mechanical form of "what you simulated is not
+// what you synthesized". Nets whose names carry bit-select characters are
+// emitted as escaped identifiers (feeding the §3.3 escaped-identifier
+// machinery its natural diet). Cells containing latches cannot be emitted:
+// the latch's level-sensitive feedback has no acyclic assign form.
+func EmitVerilog(nl *netlist.Netlist, cellName string) (string, error) {
+	c, ok := nl.Cell(cellName)
+	if !ok {
+		return "", fmt.Errorf("%w: no cell %q", ErrSynth, cellName)
+	}
+	var b strings.Builder
+	esc := naming.EscapeVerilog
+	ports := make([]string, len(c.Ports))
+	for i, p := range c.Ports {
+		ports[i] = esc(p.Name)
+	}
+	fmt.Fprintf(&b, "module %s(%s);\n", cellName, strings.Join(ports, ", "))
+	for _, p := range c.Ports {
+		dir := "input"
+		switch p.Dir {
+		case netlist.Output:
+			dir = "output"
+		case netlist.Inout:
+			dir = "inout"
+		}
+		fmt.Fprintf(&b, "  %s %s;\n", dir, esc(p.Name))
+	}
+	// Wire and reg declarations: DFF/latch outputs are regs.
+	regNets := make(map[string]bool)
+	for _, in := range c.InstanceNames() {
+		inst := c.Instances[in]
+		if inst.Master == GateDFF || inst.Master == GateLatch {
+			regNets[inst.Conns["Q"]] = true
+		}
+		if inst.Master == GateLatch {
+			return "", fmt.Errorf("%w: cell %q contains latches; level-sensitive feedback has no assign form", ErrSynth, cellName)
+		}
+	}
+	isPort := make(map[string]bool)
+	for _, p := range c.Ports {
+		isPort[p.Name] = true
+	}
+	for _, n := range c.NetNames() {
+		if isPort[n] {
+			if regNets[n] {
+				fmt.Fprintf(&b, "  reg %s;\n", esc(n))
+			}
+			continue
+		}
+		if regNets[n] {
+			fmt.Fprintf(&b, "  reg %s;\n", esc(n))
+		} else {
+			fmt.Fprintf(&b, "  wire %s;\n", esc(n))
+		}
+	}
+	// Gates in deterministic order.
+	names := c.InstanceNames()
+	sort.Strings(names)
+	for _, in := range names {
+		inst := c.Instances[in]
+		g := inst.Conns
+		switch inst.Master {
+		case GateInv:
+			fmt.Fprintf(&b, "  assign %s = ~%s;\n", esc(g["Y"]), esc(g["A"]))
+		case GateBuf:
+			fmt.Fprintf(&b, "  assign %s = %s;\n", esc(g["Y"]), esc(g["A"]))
+		case GateAnd:
+			fmt.Fprintf(&b, "  assign %s = %s & %s;\n", esc(g["Y"]), esc(g["A"]), esc(g["B"]))
+		case GateOr:
+			fmt.Fprintf(&b, "  assign %s = %s | %s;\n", esc(g["Y"]), esc(g["A"]), esc(g["B"]))
+		case GateXor:
+			fmt.Fprintf(&b, "  assign %s = %s ^ %s;\n", esc(g["Y"]), esc(g["A"]), esc(g["B"]))
+		case GateMux:
+			fmt.Fprintf(&b, "  assign %s = %s ? %s : %s;\n", esc(g["Y"]), esc(g["S"]), esc(g["D1"]), esc(g["D0"]))
+		case GateDFF:
+			fmt.Fprintf(&b, "  always @(posedge %s) %s <= %s;\n", esc(g["CK"]), esc(g["Q"]), esc(g["D"]))
+		case GateTie0:
+			fmt.Fprintf(&b, "  assign %s = 1'b0;\n", esc(g["Y"]))
+		case GateTie1:
+			fmt.Fprintf(&b, "  assign %s = 1'b1;\n", esc(g["Y"]))
+		default:
+			return "", fmt.Errorf("%w: cannot emit instance of %q (hierarchical emission unsupported)", ErrSynth, inst.Master)
+		}
+	}
+	fmt.Fprintf(&b, "endmodule\n")
+	return b.String(), nil
+}

@@ -1,0 +1,322 @@
+package synth
+
+import (
+	"fmt"
+
+	"cadinterop/internal/hdl"
+)
+
+// synthExpr lowers an expression to gates, returning one net name per
+// result bit, LSB first.
+func (b *builder) synthExpr(e hdl.Expr) ([]string, error) {
+	switch x := e.(type) {
+	case *hdl.Number:
+		if x.XZ != 0 {
+			return nil, fmt.Errorf("%w: x/z literal in synthesized logic", ErrUnsupported)
+		}
+		out := make([]string, x.Width)
+		for i := 0; i < x.Width; i++ {
+			out[i] = b.constNet(x.Val>>uint(i)&1 == 1)
+		}
+		return out, nil
+	case *hdl.Ident:
+		si := b.sigs[x.Name]
+		if si == nil {
+			return nil, fmt.Errorf("%w: unknown signal %q", ErrSynth, x.Name)
+		}
+		switch {
+		case x.Index != nil:
+			n, ok := x.Index.(*hdl.Number)
+			if !ok || n.XZ != 0 {
+				return nil, fmt.Errorf("%w: non-constant bit select", ErrUnsupported)
+			}
+			return []string{b.bitNet(x.Name, offsetOf(si, int(n.Val)))}, nil
+		case x.HasPart:
+			lo, hi := offsetOf(si, x.PartLSB), offsetOf(si, x.PartMSB)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			var out []string
+			for i := lo; i <= hi; i++ {
+				out = append(out, b.bitNet(x.Name, i))
+			}
+			return out, nil
+		default:
+			return b.sigBits(x.Name), nil
+		}
+	case *hdl.Unary:
+		return b.synthUnary(x)
+	case *hdl.Binary:
+		return b.synthBinary(x)
+	case *hdl.Ternary:
+		return b.synthTernary(x)
+	case *hdl.Concat:
+		var out []string
+		// Rightmost part is least significant.
+		for i := len(x.Parts) - 1; i >= 0; i-- {
+			bits, err := b.synthExpr(x.Parts[i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bits...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: expression %T", ErrUnsupported, e)
+	}
+}
+
+func (b *builder) synthUnary(x *hdl.Unary) ([]string, error) {
+	bits, err := b.synthExpr(x.X)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "~":
+		out := make([]string, len(bits))
+		for i, a := range bits {
+			out[i] = b.fresh()
+			b.newGate(GateInv, map[string]string{"A": a, "Y": out[i]})
+		}
+		return out, nil
+	case "!":
+		or := b.reduceTree(GateOr, bits)
+		y := b.fresh()
+		b.newGate(GateInv, map[string]string{"A": or, "Y": y})
+		return []string{y}, nil
+	case "&":
+		return []string{b.reduceTree(GateAnd, bits)}, nil
+	case "|":
+		return []string{b.reduceTree(GateOr, bits)}, nil
+	case "^":
+		return []string{b.reduceTree(GateXor, bits)}, nil
+	case "-":
+		// -a = ~a + 1
+		inv := make([]string, len(bits))
+		for i, a := range bits {
+			inv[i] = b.fresh()
+			b.newGate(GateInv, map[string]string{"A": a, "Y": inv[i]})
+		}
+		one := make([]string, len(bits))
+		one[0] = b.constNet(true)
+		for i := 1; i < len(bits); i++ {
+			one[i] = b.constNet(false)
+		}
+		sum, _ := b.adder(inv, one, b.constNet(false))
+		return sum, nil
+	default:
+		return nil, fmt.Errorf("%w: unary %q", ErrUnsupported, x.Op)
+	}
+}
+
+func (b *builder) synthBinary(x *hdl.Binary) ([]string, error) {
+	l, err := b.synthExpr(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.synthExpr(x.R)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "&", "|", "^":
+		gate := map[string]string{"&": GateAnd, "|": GateOr, "^": GateXor}[x.Op]
+		w := maxLen(l, r)
+		out := make([]string, w)
+		for i := 0; i < w; i++ {
+			out[i] = b.fresh()
+			b.newGate(gate, map[string]string{"A": b.bitOrZero(l, i), "B": b.bitOrZero(r, i), "Y": out[i]})
+		}
+		return out, nil
+	case "&&":
+		la := b.reduceTree(GateOr, l)
+		ra := b.reduceTree(GateOr, r)
+		y := b.fresh()
+		b.newGate(GateAnd, map[string]string{"A": la, "B": ra, "Y": y})
+		return []string{y}, nil
+	case "||":
+		la := b.reduceTree(GateOr, l)
+		ra := b.reduceTree(GateOr, r)
+		y := b.fresh()
+		b.newGate(GateOr, map[string]string{"A": la, "B": ra, "Y": y})
+		return []string{y}, nil
+	case "==", "!=":
+		w := maxLen(l, r)
+		diffs := make([]string, w)
+		for i := 0; i < w; i++ {
+			diffs[i] = b.fresh()
+			b.newGate(GateXor, map[string]string{"A": b.bitOrZero(l, i), "B": b.bitOrZero(r, i), "Y": diffs[i]})
+		}
+		anyDiff := b.reduceTree(GateOr, diffs)
+		if x.Op == "!=" {
+			return []string{anyDiff}, nil
+		}
+		y := b.fresh()
+		b.newGate(GateInv, map[string]string{"A": anyDiff, "Y": y})
+		return []string{y}, nil
+	case "+":
+		w := maxLen(l, r)
+		sum, _ := b.adder(b.extend(l, w), b.extend(r, w), b.constNet(false))
+		return sum, nil
+	case "-":
+		w := maxLen(l, r)
+		rx := b.extend(r, w)
+		inv := make([]string, w)
+		for i, a := range rx {
+			inv[i] = b.fresh()
+			b.newGate(GateInv, map[string]string{"A": a, "Y": inv[i]})
+		}
+		sum, _ := b.adder(b.extend(l, w), inv, b.constNet(true))
+		return sum, nil
+	case "<", "<=", ">", ">=":
+		return b.comparator(x.Op, l, r)
+	case "<<", ">>":
+		n, ok := x.R.(*hdl.Number)
+		if !ok || n.XZ != 0 {
+			return nil, fmt.Errorf("%w: non-constant shift amount", ErrUnsupported)
+		}
+		sh := int(n.Val)
+		out := make([]string, len(l))
+		for i := range out {
+			var src int
+			if x.Op == "<<" {
+				src = i - sh
+			} else {
+				src = i + sh
+			}
+			if src >= 0 && src < len(l) {
+				out[i] = l[src]
+			} else {
+				out[i] = b.constNet(false)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: binary %q (no hardware mapping)", ErrUnsupported, x.Op)
+	}
+}
+
+func (b *builder) synthTernary(x *hdl.Ternary) ([]string, error) {
+	cond, err := b.synthExpr(x.Cond)
+	if err != nil {
+		return nil, err
+	}
+	s := b.reduceTree(GateOr, cond)
+	t, err := b.synthExpr(x.Then)
+	if err != nil {
+		return nil, err
+	}
+	e, err := b.synthExpr(x.Else)
+	if err != nil {
+		return nil, err
+	}
+	w := maxLen(t, e)
+	out := make([]string, w)
+	for i := 0; i < w; i++ {
+		out[i] = b.fresh()
+		b.newGate(GateMux, map[string]string{
+			"D0": b.bitOrZero(e, i), "D1": b.bitOrZero(t, i), "S": s, "Y": out[i]})
+	}
+	return out, nil
+}
+
+// adder builds a ripple-carry adder; returns sum bits and carry out.
+func (b *builder) adder(l, r []string, cin string) ([]string, string) {
+	w := maxLen(l, r)
+	sum := make([]string, w)
+	carry := cin
+	for i := 0; i < w; i++ {
+		a, bb := b.bitOrZero(l, i), b.bitOrZero(r, i)
+		axb := b.fresh()
+		b.newGate(GateXor, map[string]string{"A": a, "B": bb, "Y": axb})
+		sum[i] = b.fresh()
+		b.newGate(GateXor, map[string]string{"A": axb, "B": carry, "Y": sum[i]})
+		and1 := b.fresh()
+		b.newGate(GateAnd, map[string]string{"A": a, "B": bb, "Y": and1})
+		and2 := b.fresh()
+		b.newGate(GateAnd, map[string]string{"A": axb, "B": carry, "Y": and2})
+		cout := b.fresh()
+		b.newGate(GateOr, map[string]string{"A": and1, "B": and2, "Y": cout})
+		carry = cout
+	}
+	return sum, carry
+}
+
+// comparator builds an unsigned magnitude comparator via a borrow chain.
+func (b *builder) comparator(op string, l, r []string) ([]string, error) {
+	w := maxLen(l, r)
+	// lt = borrow out of l - r.
+	lt := func(a, c []string) string {
+		borrow := b.constNet(false)
+		for i := 0; i < w; i++ {
+			ai, bi := b.bitOrZero(a, i), b.bitOrZero(c, i)
+			na := b.fresh()
+			b.newGate(GateInv, map[string]string{"A": ai, "Y": na})
+			t1 := b.fresh()
+			b.newGate(GateAnd, map[string]string{"A": na, "B": bi, "Y": t1})
+			eq := b.fresh()
+			b.newGate(GateXor, map[string]string{"A": ai, "B": bi, "Y": eq})
+			neq := b.fresh()
+			b.newGate(GateInv, map[string]string{"A": eq, "Y": neq})
+			t2 := b.fresh()
+			b.newGate(GateAnd, map[string]string{"A": neq, "B": borrow, "Y": t2})
+			nb := b.fresh()
+			b.newGate(GateOr, map[string]string{"A": t1, "B": t2, "Y": nb})
+			borrow = nb
+		}
+		return borrow
+	}
+	switch op {
+	case "<":
+		return []string{lt(l, r)}, nil
+	case ">":
+		return []string{lt(r, l)}, nil
+	case "<=":
+		g := lt(r, l)
+		y := b.fresh()
+		b.newGate(GateInv, map[string]string{"A": g, "Y": y})
+		return []string{y}, nil
+	case ">=":
+		g := lt(l, r)
+		y := b.fresh()
+		b.newGate(GateInv, map[string]string{"A": g, "Y": y})
+		return []string{y}, nil
+	}
+	return nil, fmt.Errorf("%w: comparator %q", ErrUnsupported, op)
+}
+
+// reduceTree folds bits with a binary gate into one net.
+func (b *builder) reduceTree(gate string, bits []string) string {
+	if len(bits) == 0 {
+		return b.constNet(false)
+	}
+	acc := bits[0]
+	for _, next := range bits[1:] {
+		y := b.fresh()
+		b.newGate(gate, map[string]string{"A": acc, "B": next, "Y": y})
+		acc = y
+	}
+	return acc
+}
+
+func (b *builder) bitOrZero(bits []string, i int) string {
+	if i < len(bits) {
+		return bits[i]
+	}
+	return b.constNet(false)
+}
+
+func (b *builder) extend(bits []string, w int) []string {
+	out := make([]string, w)
+	for i := 0; i < w; i++ {
+		out[i] = b.bitOrZero(bits, i)
+	}
+	return out
+}
+
+func maxLen(a, b []string) int {
+	if len(a) > len(b) {
+		return len(a)
+	}
+	return len(b)
+}

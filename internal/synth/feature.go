@@ -1,0 +1,376 @@
+// Package synth implements RTL synthesis for the hdl subset along with the
+// Section 3.2 interoperability machinery: per-vendor synthesizable-subset
+// profiles ("for a given HDL, there is no standardization of the
+// synthesizable subset across synthesis vendors"), subset intersection
+// checking for portable models, sensitivity-list completion (the paper's
+// always @(a or b) example, where "the synthesis software interprets your
+// model as if out was sensitive to signals a, b and c"), latch inference,
+// and gate-level netlist emission back to HDL so simulation can expose
+// simulator/synthesizer interpretation mismatches.
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cadinterop/internal/hdl"
+)
+
+// Errors.
+var (
+	// ErrUnsupported reports a construct outside the tool's subset.
+	ErrUnsupported = errors.New("synth: unsupported construct")
+	// ErrSynth reports synthesis failures.
+	ErrSynth = errors.New("synth: error")
+)
+
+// Feature enumerates HDL constructs whose synthesizability varies by
+// vendor.
+type Feature uint8
+
+// Features.
+const (
+	FeatInitialBlock Feature = iota
+	FeatDelayControl
+	FeatEventInBody // @(...) inside a body
+	FeatCaseStmt
+	FeatCaseDefault
+	FeatPartSelect
+	FeatBitSelect
+	FeatConcat
+	FeatTernary
+	FeatArithAdd
+	FeatArithSub
+	FeatArithMul
+	FeatArithDiv
+	FeatShift
+	FeatRelational // < <= > >=
+	FeatEquality
+	FeatTriState // z literals
+	FeatXLiteral
+	FeatNonBlocking
+	FeatBlockingInClocked
+	FeatMultipleDrivers
+	FeatAsyncControl // more than one edge item in a clocked sens list
+	FeatFreeRunning  // always with no sensitivity
+	FeatForever
+	FeatEscapedIdent
+	featCount
+)
+
+var featureNames = [...]string{
+	"initial-block", "delay-control", "event-in-body", "case", "case-default",
+	"part-select", "bit-select", "concat", "ternary", "add", "sub", "mul",
+	"div", "shift", "relational", "equality", "tristate", "x-literal",
+	"nonblocking", "blocking-in-clocked", "multiple-drivers", "async-control",
+	"free-running", "forever", "escaped-ident",
+}
+
+// String implements fmt.Stringer.
+func (f Feature) String() string {
+	if int(f) < len(featureNames) {
+		return featureNames[f]
+	}
+	return fmt.Sprintf("Feature(%d)", uint8(f))
+}
+
+// Use is one occurrence of a feature in a module.
+type Use struct {
+	Feature Feature
+	Module  string
+	Pos     hdl.Pos
+	Detail  string
+}
+
+// Analyze scans a design and returns every feature occurrence.
+func Analyze(d *hdl.Design) []Use {
+	var uses []Use
+	for _, name := range d.Order {
+		m := d.Modules[name]
+		add := func(f Feature, pos hdl.Pos, detail string) {
+			uses = append(uses, Use{Feature: f, Module: name, Pos: pos, Detail: detail})
+		}
+		drivers := map[string]int{}
+		for _, item := range m.Items {
+			switch it := item.(type) {
+			case *hdl.Assign:
+				if it.Delay > 0 {
+					add(FeatDelayControl, it.Pos, "assign delay")
+				}
+				analyzeExpr(it.RHS, name, it.Pos, add)
+				drivers[it.LHS.Name]++
+			case *hdl.Initial:
+				add(FeatInitialBlock, it.Pos, "")
+				local := map[string]int{}
+				analyzeStmt(it.Body, name, it.Pos, false, add, local)
+				for sig := range local {
+					drivers[sig]++
+				}
+			case *hdl.Always:
+				clocked := false
+				edges := 0
+				for _, s := range it.Sens.Items {
+					if s.Edge != hdl.EdgeAny {
+						edges++
+						clocked = true
+					}
+				}
+				if edges > 1 {
+					add(FeatAsyncControl, it.Pos, fmt.Sprintf("%d edge items", edges))
+				}
+				if it.NoSens {
+					add(FeatFreeRunning, it.Pos, "")
+				}
+				// Multiple assignments within one block are one structural
+				// driver; only cross-block contention counts.
+				local := map[string]int{}
+				analyzeStmt(it.Body, name, it.Pos, clocked, add, local)
+				for sig := range local {
+					drivers[sig]++
+				}
+			}
+		}
+		for sig, n := range drivers {
+			if n > 1 {
+				add(FeatMultipleDrivers, m.Pos, sig)
+			}
+		}
+		for _, p := range m.Ports {
+			if strings.HasPrefix(p, "\\") {
+				add(FeatEscapedIdent, m.Pos, p)
+			}
+		}
+	}
+	sort.Slice(uses, func(i, j int) bool {
+		if uses[i].Module != uses[j].Module {
+			return uses[i].Module < uses[j].Module
+		}
+		if uses[i].Pos.Line != uses[j].Pos.Line {
+			return uses[i].Pos.Line < uses[j].Pos.Line
+		}
+		return uses[i].Feature < uses[j].Feature
+	})
+	return uses
+}
+
+func analyzeStmt(s hdl.Stmt, mod string, pos hdl.Pos, clocked bool, add func(Feature, hdl.Pos, string), drivers map[string]int) {
+	hdl.WalkStmts(s, func(sub hdl.Stmt) {
+		switch st := sub.(type) {
+		case *hdl.AssignStmt:
+			if st.Delay > 0 {
+				add(FeatDelayControl, st.Pos, "intra-assignment delay")
+			}
+			if st.NonBlocking {
+				add(FeatNonBlocking, st.Pos, "")
+			} else if clocked {
+				add(FeatBlockingInClocked, st.Pos, st.LHS.Name)
+			}
+			drivers[st.LHS.Name]++
+			analyzeExpr(st.RHS, mod, st.Pos, add)
+			if st.LHS.Index != nil {
+				add(FeatBitSelect, st.Pos, st.LHS.Name)
+			}
+			if st.LHS.HasPart {
+				add(FeatPartSelect, st.Pos, st.LHS.Name)
+			}
+		case *hdl.Case:
+			add(FeatCaseStmt, pos, "")
+			for _, it := range st.Items {
+				if len(it.Exprs) == 0 {
+					add(FeatCaseDefault, pos, "")
+				}
+				for _, e := range it.Exprs {
+					analyzeExpr(e, mod, pos, add)
+				}
+			}
+			analyzeExpr(st.Subject, mod, pos, add)
+		case *hdl.If:
+			analyzeExpr(st.Cond, mod, pos, add)
+		case *hdl.DelayStmt:
+			add(FeatDelayControl, pos, "delay statement")
+		case *hdl.EventWait:
+			add(FeatEventInBody, pos, "")
+		case *hdl.Forever:
+			add(FeatForever, pos, "")
+		}
+	})
+}
+
+func analyzeExpr(e hdl.Expr, mod string, pos hdl.Pos, add func(Feature, hdl.Pos, string)) {
+	hdl.WalkExprs(e, func(sub hdl.Expr) {
+		switch x := sub.(type) {
+		case *hdl.Ident:
+			if x.Index != nil {
+				add(FeatBitSelect, pos, x.Name)
+			}
+			if x.HasPart {
+				add(FeatPartSelect, pos, x.Name)
+			}
+			if strings.HasPrefix(x.Name, "\\") {
+				add(FeatEscapedIdent, pos, x.Name)
+			}
+		case *hdl.Number:
+			if x.XZ != 0 {
+				if x.XZ & ^x.Val != 0 { // any z bit
+					add(FeatTriState, pos, "")
+				}
+				if x.XZ&x.Val != 0 { // any x bit
+					add(FeatXLiteral, pos, "")
+				}
+			}
+		case *hdl.Ternary:
+			add(FeatTernary, pos, "")
+		case *hdl.Concat:
+			add(FeatConcat, pos, "")
+		case *hdl.Binary:
+			switch x.Op {
+			case "+":
+				add(FeatArithAdd, pos, "")
+			case "-":
+				add(FeatArithSub, pos, "")
+			case "*":
+				add(FeatArithMul, pos, "")
+			case "/", "%":
+				add(FeatArithDiv, pos, "")
+			case "<<", ">>":
+				add(FeatShift, pos, "")
+			case "<", "<=", ">", ">=":
+				add(FeatRelational, pos, "")
+			case "==", "!=":
+				add(FeatEquality, pos, "")
+			}
+		}
+	})
+}
+
+// Profile is one vendor's synthesizable subset: the set of features it
+// accepts, plus features it ignores with a warning (like initial blocks).
+type Profile struct {
+	Name    string
+	Accepts map[Feature]bool
+	// Ignores lists features the tool skips with a warning instead of
+	// rejecting (the classic "initial blocks are ignored in synthesis").
+	Ignores map[Feature]bool
+}
+
+// baseAccepts are features every profile shares.
+func baseAccepts() map[Feature]bool {
+	return map[Feature]bool{
+		FeatCaseStmt: true, FeatCaseDefault: true, FeatBitSelect: true,
+		FeatTernary: true, FeatEquality: true, FeatNonBlocking: true,
+		FeatArithAdd: true,
+	}
+}
+
+// Three synthetic vendors whose subsets differ exactly where real vendors'
+// did.
+var (
+	// VendorA is the broad subset: arithmetic-rich, no tristate.
+	VendorA = Profile{
+		Name: "vendorA",
+		Accepts: merge(baseAccepts(), map[Feature]bool{
+			FeatPartSelect: true, FeatConcat: true, FeatArithSub: true,
+			FeatArithMul: true, FeatShift: true, FeatRelational: true,
+			FeatAsyncControl: true, FeatBlockingInClocked: true,
+		}),
+		Ignores: map[Feature]bool{FeatInitialBlock: true, FeatDelayControl: true},
+	}
+	// VendorB is the conservative subset: structural style only.
+	VendorB = Profile{
+		Name: "vendorB",
+		Accepts: merge(baseAccepts(), map[Feature]bool{
+			FeatPartSelect: true, FeatConcat: true, FeatTriState: true,
+			FeatXLiteral: true,
+		}),
+		Ignores: map[Feature]bool{FeatInitialBlock: true},
+	}
+	// VendorC is the arithmetic-averse subset with relational support.
+	VendorC = Profile{
+		Name: "vendorC",
+		Accepts: merge(baseAccepts(), map[Feature]bool{
+			FeatRelational: true, FeatShift: true, FeatArithSub: true,
+			FeatAsyncControl: true,
+		}),
+		Ignores: map[Feature]bool{FeatInitialBlock: true, FeatDelayControl: true},
+	}
+)
+
+func merge(a, b map[Feature]bool) map[Feature]bool {
+	out := make(map[Feature]bool, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// AllVendors lists the built-in profiles.
+func AllVendors() []Profile { return []Profile{VendorA, VendorB, VendorC} }
+
+// Verdict is the result of checking a design against a profile.
+type Verdict struct {
+	Profile  string
+	Accepted bool
+	// Rejections lists uses outside the subset.
+	Rejections []Use
+	// Warnings lists ignored-construct uses.
+	Warnings []Use
+}
+
+// CheckProfile tests a design against one vendor's subset.
+func CheckProfile(d *hdl.Design, p Profile) Verdict {
+	v := Verdict{Profile: p.Name, Accepted: true}
+	for _, u := range Analyze(d) {
+		switch {
+		case p.Accepts[u.Feature]:
+		case p.Ignores[u.Feature]:
+			v.Warnings = append(v.Warnings, u)
+		default:
+			v.Accepted = false
+			v.Rejections = append(v.Rejections, u)
+		}
+	}
+	return v
+}
+
+// Intersection builds the profile accepting exactly what every given
+// profile accepts — the paper's advice: "it should be written using only
+// those HDL constructs contained in the intersection of the vendors'
+// subsets."
+func Intersection(profiles ...Profile) Profile {
+	if len(profiles) == 0 {
+		return Profile{Name: "intersection(empty)", Accepts: map[Feature]bool{}, Ignores: map[Feature]bool{}}
+	}
+	out := Profile{
+		Name:    "intersection",
+		Accepts: make(map[Feature]bool),
+		Ignores: make(map[Feature]bool),
+	}
+	var names []string
+	for f := Feature(0); f < featCount; f++ {
+		acceptAll := true
+		ignoreAll := true
+		for _, p := range profiles {
+			if !p.Accepts[f] {
+				acceptAll = false
+			}
+			if !p.Accepts[f] && !p.Ignores[f] {
+				ignoreAll = false
+			}
+		}
+		if acceptAll {
+			out.Accepts[f] = true
+		} else if ignoreAll {
+			out.Ignores[f] = true
+		}
+	}
+	for _, p := range profiles {
+		names = append(names, p.Name)
+	}
+	out.Name = "intersection(" + strings.Join(names, ",") + ")"
+	return out
+}

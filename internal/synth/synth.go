@@ -1,0 +1,676 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cadinterop/internal/hdl"
+	"cadinterop/internal/netlist"
+)
+
+// Gate primitive cell names produced by synthesis.
+const (
+	GateInv   = "INV"
+	GateBuf   = "BUF"
+	GateAnd   = "AND2"
+	GateOr    = "OR2"
+	GateXor   = "XOR2"
+	GateMux   = "MUX2"
+	GateDFF   = "DFF"
+	GateLatch = "LATCH"
+	GateTie0  = "TIE0"
+	GateTie1  = "TIE1"
+)
+
+// SensCompletion records one sensitivity-list completion: the paper's
+// always @(a or b) body reading c. The simulator honours the declared
+// list; synthesis behaves as if the effective list were written.
+type SensCompletion struct {
+	Module    string
+	Pos       hdl.Pos
+	Declared  []string
+	Effective []string
+	// Missing = Effective - Declared: the signals whose changes the
+	// simulation will miss but the hardware will not.
+	Missing []string
+}
+
+// InferredLatch records one latch inference (incomplete assignment in a
+// combinational block).
+type InferredLatch struct {
+	Module string
+	Signal string
+	Bits   int
+}
+
+// Report accumulates synthesis results.
+type Report struct {
+	Gates       int
+	DFFs        int
+	Latches     []InferredLatch
+	Completions []SensCompletion
+	Warnings    []string
+}
+
+// Options configures synthesis.
+type Options struct {
+	// Profile, when set, rejects designs using features outside the
+	// subset before synthesis begins.
+	Profile *Profile
+}
+
+// Synthesize compiles the design into a gate-level netlist. Each HDL module
+// becomes a netlist cell; gate primitives are added as primitive cells.
+func Synthesize(d *hdl.Design, top string, opts Options) (*netlist.Netlist, *Report, error) {
+	if probs := hdl.Check(d); len(probs) > 0 {
+		return nil, nil, fmt.Errorf("%w: design has %d semantic problems (first: %s)", ErrSynth, len(probs), probs[0])
+	}
+	if opts.Profile != nil {
+		v := CheckProfile(d, *opts.Profile)
+		if !v.Accepted {
+			return nil, nil, fmt.Errorf("%w: profile %s rejects %d uses (first: %s at %s)",
+				ErrUnsupported, opts.Profile.Name, len(v.Rejections),
+				v.Rejections[0].Feature, v.Rejections[0].Pos)
+		}
+	}
+	if _, ok := d.Module(top); !ok {
+		return nil, nil, fmt.Errorf("%w: no module %q", ErrSynth, top)
+	}
+	nl := netlist.New()
+	nl.Top = top
+	rep := &Report{}
+	addGatePrimitives(nl)
+	// Synthesize all modules reachable from top, bottom-up.
+	done := make(map[string]bool)
+	var build func(name string) error
+	build = func(name string) error {
+		if done[name] {
+			return nil
+		}
+		done[name] = true
+		m := d.Modules[name]
+		for _, item := range m.Items {
+			if inst, ok := item.(*hdl.Instance); ok {
+				if err := build(inst.Module); err != nil {
+					return err
+				}
+			}
+		}
+		b := &builder{nl: nl, d: d, m: m, rep: rep, sigs: hdl.Signals(m)}
+		return b.run()
+	}
+	if err := build(top); err != nil {
+		return nil, nil, err
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("%w: synthesized netlist invalid: %v", ErrSynth, err)
+	}
+	return nl, rep, nil
+}
+
+func addGatePrimitives(nl *netlist.Netlist) {
+	add := func(name string, ins []string, outs []string) {
+		c := nl.MustCell(name)
+		c.Primitive = true
+		for _, p := range ins {
+			c.AddPort(p, netlist.Input)
+		}
+		for _, p := range outs {
+			c.AddPort(p, netlist.Output)
+		}
+	}
+	add(GateInv, []string{"A"}, []string{"Y"})
+	add(GateBuf, []string{"A"}, []string{"Y"})
+	add(GateAnd, []string{"A", "B"}, []string{"Y"})
+	add(GateOr, []string{"A", "B"}, []string{"Y"})
+	add(GateXor, []string{"A", "B"}, []string{"Y"})
+	add(GateMux, []string{"D0", "D1", "S"}, []string{"Y"})
+	add(GateDFF, []string{"CK", "D"}, []string{"Q"})
+	add(GateLatch, []string{"D"}, []string{"Q"})
+	add(GateTie0, nil, []string{"Y"})
+	add(GateTie1, nil, []string{"Y"})
+}
+
+// builder synthesizes one module.
+type builder struct {
+	nl   *netlist.Netlist
+	d    *hdl.Design
+	m    *hdl.Module
+	cell *netlist.Cell
+	sigs map[string]*hdl.SignalInfo
+	rep  *Report
+	n    int // gate counter
+}
+
+// bitNet names the net for one bit of a signal.
+func (b *builder) bitNet(name string, bit int) string {
+	si := b.sigs[name]
+	if si != nil && si.Width == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s[%d]", name, bit)
+}
+
+// sigBits returns all bit nets of a signal, LSB first.
+func (b *builder) sigBits(name string) []string {
+	si := b.sigs[name]
+	w := 1
+	if si != nil {
+		w = si.Width
+	}
+	out := make([]string, w)
+	for i := 0; i < w; i++ {
+		out[i] = b.bitNet(name, i)
+	}
+	return out
+}
+
+func (b *builder) newGate(kind string, conns map[string]string) {
+	name := fmt.Sprintf("g%d_%s", b.n, strings.ToLower(kind))
+	b.n++
+	inst, err := b.cell.AddInstance(name, kind)
+	if err != nil {
+		panic(err) // name is unique by construction
+	}
+	for p, net := range conns {
+		b.cell.EnsureNet(net)
+		inst.Conns[p] = net
+	}
+	if kind == GateDFF {
+		b.rep.DFFs++
+	} else {
+		b.rep.Gates++
+	}
+}
+
+// fresh allocates an internal net.
+func (b *builder) fresh() string {
+	name := fmt.Sprintf("n%d", b.n)
+	b.n++
+	b.cell.EnsureNet(name)
+	return name
+}
+
+// constNet returns a net tied to 0 or 1 (created on demand, shared).
+func (b *builder) constNet(one bool) string {
+	name := "const0"
+	kind := GateTie0
+	if one {
+		name = "const1"
+		kind = GateTie1
+	}
+	if _, ok := b.cell.Nets[name]; !ok {
+		b.cell.EnsureNet(name)
+		b.newGate(kind, map[string]string{"Y": name})
+	}
+	return name
+}
+
+func (b *builder) run() error {
+	cell, err := b.nl.AddCell(b.m.Name)
+	if err != nil {
+		return err
+	}
+	b.cell = cell
+	// Ports, bit-blasted.
+	for _, p := range b.m.Ports {
+		si := b.sigs[p]
+		dir := netlist.Input
+		if si != nil {
+			switch si.Dir {
+			case hdl.DeclOutput:
+				dir = netlist.Output
+			case hdl.DeclInout:
+				dir = netlist.Inout
+			}
+		}
+		for _, net := range b.sigBits(p) {
+			if err := cell.AddPort(net, dir); err != nil {
+				return err
+			}
+			cell.EnsureNet(net)
+		}
+	}
+	for _, item := range b.m.Items {
+		switch it := item.(type) {
+		case *hdl.Decl:
+			// Declarations allocate nets lazily via EnsureNet.
+		case *hdl.Assign:
+			bits, err := b.synthExpr(it.RHS)
+			if err != nil {
+				return fmt.Errorf("%s: %w", it.Pos, err)
+			}
+			if err := b.drive(it.LHS, bits); err != nil {
+				return fmt.Errorf("%s: %w", it.Pos, err)
+			}
+		case *hdl.Always:
+			if err := b.synthAlways(it); err != nil {
+				return err
+			}
+		case *hdl.Initial:
+			b.rep.Warnings = append(b.rep.Warnings,
+				fmt.Sprintf("%s: %s: initial block ignored in synthesis", b.m.Name, it.Pos))
+		case *hdl.Instance:
+			if err := b.synthInstance(it); err != nil {
+				return err
+			}
+		case *hdl.TimingCheck:
+			b.rep.Warnings = append(b.rep.Warnings,
+				fmt.Sprintf("%s: %s: timing check ignored in synthesis", b.m.Name, it.Pos))
+		default:
+			_ = it
+		}
+	}
+	return nil
+}
+
+// drive connects computed bits to an lvalue (whole signal, bit or part).
+func (b *builder) drive(lhs *hdl.Ident, bits []string) error {
+	si := b.sigs[lhs.Name]
+	if si == nil {
+		return fmt.Errorf("%w: unknown lvalue %q", ErrSynth, lhs.Name)
+	}
+	var targets []string
+	switch {
+	case lhs.Index != nil:
+		n, ok := lhs.Index.(*hdl.Number)
+		if !ok || n.XZ != 0 {
+			return fmt.Errorf("%w: lvalue bit select must be constant", ErrUnsupported)
+		}
+		targets = []string{b.bitNet(lhs.Name, offsetOf(si, int(n.Val)))}
+	case lhs.HasPart:
+		lo, hi := offsetOf(si, lhs.PartLSB), offsetOf(si, lhs.PartMSB)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for i := lo; i <= hi; i++ {
+			targets = append(targets, b.bitNet(lhs.Name, i))
+		}
+	default:
+		targets = b.sigBits(lhs.Name)
+	}
+	for i, tgt := range targets {
+		b.newGate(GateBuf, map[string]string{"A": b.bitOrZero(bits, i), "Y": tgt})
+	}
+	return nil
+}
+
+func offsetOf(si *hdl.SignalInfo, idx int) int {
+	if si.MSB >= si.LSB {
+		return idx - si.LSB
+	}
+	return si.LSB - idx
+}
+
+// synthInstance wires a child module cell.
+func (b *builder) synthInstance(it *hdl.Instance) error {
+	sub := b.d.Modules[it.Module]
+	subSigs := hdl.Signals(sub)
+	inst, err := b.cell.AddInstance(it.Name, it.Module)
+	if err != nil {
+		return err
+	}
+	for ci, c := range it.Conns {
+		var formal string
+		if c.Port != "" {
+			formal = c.Port
+		} else {
+			if ci >= len(sub.Ports) {
+				return fmt.Errorf("%w: too many positional conns on %s", ErrSynth, it.Name)
+			}
+			formal = sub.Ports[ci]
+		}
+		if c.Expr == nil {
+			continue
+		}
+		id, ok := c.Expr.(*hdl.Ident)
+		if !ok || id.Index != nil || id.HasPart {
+			return fmt.Errorf("%w: instance %s port %s: only whole-signal connections supported", ErrUnsupported, it.Name, formal)
+		}
+		fsi := subSigs[formal]
+		w := 1
+		if fsi != nil {
+			w = fsi.Width
+		}
+		actualBits := b.sigBits(id.Name)
+		for i := 0; i < w; i++ {
+			formalNet := formal
+			if w > 1 {
+				formalNet = fmt.Sprintf("%s[%d]", formal, i)
+			}
+			actual := b.bitOrZero(actualBits, i)
+			b.cell.EnsureNet(actual)
+			inst.Conns[formalNet] = actual
+		}
+	}
+	return nil
+}
+
+// --- always blocks ---------------------------------------------------------
+
+func (b *builder) synthAlways(a *hdl.Always) error {
+	if a.NoSens {
+		return fmt.Errorf("%w: %s: free-running always block", ErrUnsupported, a.Pos)
+	}
+	edges := 0
+	for _, s := range a.Sens.Items {
+		if s.Edge != hdl.EdgeAny {
+			edges++
+		}
+	}
+	if edges > 1 {
+		return fmt.Errorf("%w: %s: multiple edge events (async control unsupported)", ErrUnsupported, a.Pos)
+	}
+	if edges == 1 {
+		return b.synthClocked(a)
+	}
+	return b.synthCombinational(a)
+}
+
+// synthCombinational handles level-sensitive blocks: symbolic execution,
+// sensitivity completion, latch inference.
+func (b *builder) synthCombinational(a *hdl.Always) error {
+	env := make(symEnv)
+	if err := symExec(a.Body, env); err != nil {
+		return fmt.Errorf("%s: %w", a.Pos, err)
+	}
+	// Sensitivity completion: effective list = signals read by the block.
+	reads := make(map[string]bool)
+	for _, e := range env {
+		hdl.ReadSignals(e, reads)
+	}
+	// Also conditions that guarded no assignment still count via body walk.
+	hdl.WalkStmts(a.Body, func(s hdl.Stmt) {
+		switch st := s.(type) {
+		case *hdl.If:
+			hdl.ReadSignals(st.Cond, reads)
+		case *hdl.Case:
+			hdl.ReadSignals(st.Subject, reads)
+		case *hdl.AssignStmt:
+			hdl.ReadSignals(st.RHS, reads)
+		}
+	})
+	for target := range env {
+		delete(reads, target) // self-reference is feedback, not sensitivity
+	}
+	if !a.Sens.All {
+		declared := make(map[string]bool)
+		var declaredList []string
+		for _, s := range a.Sens.Items {
+			declared[s.Signal] = true
+			declaredList = append(declaredList, s.Signal)
+		}
+		var missing, effective []string
+		for r := range reads {
+			effective = append(effective, r)
+			if !declared[r] {
+				missing = append(missing, r)
+			}
+		}
+		sort.Strings(missing)
+		sort.Strings(effective)
+		if len(missing) > 0 {
+			b.rep.Completions = append(b.rep.Completions, SensCompletion{
+				Module: b.m.Name, Pos: a.Pos,
+				Declared: declaredList, Effective: effective, Missing: missing,
+			})
+		}
+	}
+	// Emit logic per target.
+	targets := make([]string, 0, len(env))
+	for t := range env {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	for _, target := range targets {
+		expr := env[target]
+		si := b.sigs[target]
+		if si == nil {
+			return fmt.Errorf("%w: unknown target %q", ErrSynth, target)
+		}
+		selfRef := readsSignal(expr, target)
+		bits, err := b.synthExpr(expr)
+		if err != nil {
+			return fmt.Errorf("%s: target %s: %w", a.Pos, target, err)
+		}
+		tbits := b.sigBits(target)
+		if selfRef {
+			// Incomplete assignment: latch inference. The feedback is
+			// natural: the D expression reads the target's own nets.
+			b.rep.Latches = append(b.rep.Latches, InferredLatch{
+				Module: b.m.Name, Signal: target, Bits: len(tbits)})
+			for i, q := range tbits {
+				b.newGate(GateLatch, map[string]string{"D": b.bitOrZero(bits, i), "Q": q})
+			}
+			continue
+		}
+		for i, q := range tbits {
+			b.newGate(GateBuf, map[string]string{"A": b.bitOrZero(bits, i), "Y": q})
+		}
+	}
+	return nil
+}
+
+// synthClocked handles single-edge blocks: DFG inference with hold muxes.
+func (b *builder) synthClocked(a *hdl.Always) error {
+	var clk string
+	var neg bool
+	for _, s := range a.Sens.Items {
+		if s.Edge != hdl.EdgeAny {
+			clk = s.Signal
+			neg = s.Edge == hdl.EdgeNeg
+		}
+	}
+	env := make(symEnv)
+	if err := symExec(a.Body, env); err != nil {
+		return fmt.Errorf("%s: %w", a.Pos, err)
+	}
+	clkNet := b.bitNet(clk, 0)
+	if neg {
+		inv := b.fresh()
+		b.newGate(GateInv, map[string]string{"A": clkNet, "Y": inv})
+		clkNet = inv
+	}
+	targets := make([]string, 0, len(env))
+	for t := range env {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	for _, target := range targets {
+		expr := env[target]
+		bits, err := b.synthExpr(expr)
+		if err != nil {
+			return fmt.Errorf("%s: target %s: %w", a.Pos, target, err)
+		}
+		tbits := b.sigBits(target)
+		for i, q := range tbits {
+			b.newGate(GateDFF, map[string]string{"CK": clkNet, "D": b.bitOrZero(bits, i), "Q": q})
+		}
+	}
+	return nil
+}
+
+// --- symbolic execution -----------------------------------------------------
+
+// symEnv maps assignment targets to their value expressions in terms of
+// block-entry signal values.
+type symEnv map[string]hdl.Expr
+
+func (e symEnv) clone() symEnv {
+	out := make(symEnv, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// symExec interprets a statement, updating env.
+func symExec(s hdl.Stmt, env symEnv) error {
+	switch st := s.(type) {
+	case nil:
+		return nil
+	case *hdl.Block:
+		for _, sub := range st.Stmts {
+			if err := symExec(sub, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *hdl.AssignStmt:
+		if st.Delay > 0 {
+			return fmt.Errorf("%w: delays in synthesized blocks", ErrUnsupported)
+		}
+		if st.LHS.Index != nil || st.LHS.HasPart {
+			return fmt.Errorf("%w: bit/part-select targets in always blocks", ErrUnsupported)
+		}
+		env[st.LHS.Name] = substitute(st.RHS, env)
+		return nil
+	case *hdl.If:
+		cond := substitute(st.Cond, env)
+		thenEnv := env.clone()
+		if err := symExec(st.Then, thenEnv); err != nil {
+			return err
+		}
+		elseEnv := env.clone()
+		if st.Else != nil {
+			if err := symExec(st.Else, elseEnv); err != nil {
+				return err
+			}
+		}
+		mergeEnvs(env, cond, thenEnv, elseEnv)
+		return nil
+	case *hdl.Case:
+		subj := substitute(st.Subject, env)
+		// Desugar to an if-else chain, last default (or hold) innermost.
+		return symExecCase(subj, st.Items, env)
+	case *hdl.SysCall:
+		return nil // display etc: no hardware
+	case *hdl.DelayStmt, *hdl.EventWait, *hdl.Forever:
+		return fmt.Errorf("%w: timing controls in synthesized blocks", ErrUnsupported)
+	default:
+		return fmt.Errorf("%w: statement %T", ErrUnsupported, s)
+	}
+}
+
+func symExecCase(subj hdl.Expr, items []hdl.CaseItem, env symEnv) error {
+	var defaultItem *hdl.CaseItem
+	var arms []hdl.CaseItem
+	for i := range items {
+		if len(items[i].Exprs) == 0 {
+			defaultItem = &items[i]
+		} else {
+			arms = append(arms, items[i])
+		}
+	}
+	// Build from the innermost (default) outward.
+	baseEnv := env.clone()
+	if defaultItem != nil {
+		if err := symExec(defaultItem.Body, baseEnv); err != nil {
+			return err
+		}
+	}
+	// Process arms in reverse so the first arm has priority.
+	for i := len(arms) - 1; i >= 0; i-- {
+		arm := arms[i]
+		armEnv := env.clone()
+		if err := symExec(arm.Body, armEnv); err != nil {
+			return err
+		}
+		var cond hdl.Expr
+		for _, e := range arm.Exprs {
+			eq := &hdl.Binary{Op: "==", L: subj, R: substitute(e, env)}
+			if cond == nil {
+				cond = eq
+			} else {
+				cond = &hdl.Binary{Op: "||", L: cond, R: eq}
+			}
+		}
+		next := make(symEnv)
+		mergeInto(next, cond, armEnv, baseEnv)
+		baseEnv = next
+	}
+	for k, v := range baseEnv {
+		env[k] = v
+	}
+	return nil
+}
+
+// mergeEnvs writes the merged then/else environments back into env.
+func mergeEnvs(env symEnv, cond hdl.Expr, thenEnv, elseEnv symEnv) {
+	out := make(symEnv)
+	mergeInto(out, cond, thenEnv, elseEnv)
+	for k, v := range out {
+		env[k] = v
+	}
+}
+
+// mergeInto computes, for every target in either branch, the muxed value.
+// A target missing from a branch holds its entry value — or, when it was
+// never assigned on entry, its previous value (self-reference → latch).
+func mergeInto(out symEnv, cond hdl.Expr, thenEnv, elseEnv symEnv) {
+	keys := make(map[string]bool)
+	for k := range thenEnv {
+		keys[k] = true
+	}
+	for k := range elseEnv {
+		keys[k] = true
+	}
+	for k := range keys {
+		tv, tok := thenEnv[k]
+		ev, eok := elseEnv[k]
+		if !tok {
+			tv = &hdl.Ident{Name: k} // hold
+		}
+		if !eok {
+			ev = &hdl.Ident{Name: k}
+		}
+		if tok && eok && exprEqual(tv, ev) {
+			out[k] = tv
+			continue
+		}
+		out[k] = &hdl.Ternary{Cond: cond, Then: tv, Else: ev}
+	}
+}
+
+// substitute rewrites signal references through env (blocking-assignment
+// ordering semantics).
+func substitute(e hdl.Expr, env symEnv) hdl.Expr {
+	switch x := e.(type) {
+	case *hdl.Ident:
+		if x.Index == nil && !x.HasPart {
+			if v, ok := env[x.Name]; ok {
+				return v
+			}
+		}
+		return x
+	case *hdl.Unary:
+		return &hdl.Unary{Op: x.Op, X: substitute(x.X, env)}
+	case *hdl.Binary:
+		return &hdl.Binary{Op: x.Op, L: substitute(x.L, env), R: substitute(x.R, env)}
+	case *hdl.Ternary:
+		return &hdl.Ternary{Cond: substitute(x.Cond, env), Then: substitute(x.Then, env), Else: substitute(x.Else, env)}
+	case *hdl.Concat:
+		parts := make([]hdl.Expr, len(x.Parts))
+		for i, p := range x.Parts {
+			parts[i] = substitute(p, env)
+		}
+		return &hdl.Concat{Parts: parts}
+	default:
+		return e
+	}
+}
+
+func exprEqual(a, b hdl.Expr) bool {
+	return hdl.ExprString(a) == hdl.ExprString(b)
+}
+
+func readsSignal(e hdl.Expr, name string) bool {
+	found := false
+	hdl.WalkExprs(e, func(sub hdl.Expr) {
+		if id, ok := sub.(*hdl.Ident); ok && id.Name == name {
+			found = true
+		}
+	})
+	return found
+}

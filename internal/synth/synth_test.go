@@ -1,0 +1,658 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cadinterop/internal/hdl"
+	"cadinterop/internal/sim"
+)
+
+// --- feature analysis and profiles ----------------------------------------
+
+func TestAnalyzeFindsFeatures(t *testing.T) {
+	d := hdl.MustParse(`
+module m(a, b, y);
+  input [3:0] a, b;
+  output [3:0] y;
+  reg [3:0] y;
+  wire w;
+  assign w = a[0];
+  initial y = 0;
+  always @(a or b) begin
+    if (a < b) y = a * b;
+    else y = {a[1], b[3:1]};
+  end
+endmodule`)
+	uses := Analyze(d)
+	want := []Feature{FeatInitialBlock, FeatBitSelect, FeatRelational, FeatArithMul, FeatConcat, FeatPartSelect}
+	for _, f := range want {
+		found := false
+		for _, u := range uses {
+			if u.Feature == f {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("feature %v not found in %v", f, uses)
+		}
+	}
+}
+
+func TestAnalyzeMultipleDriversAndClocked(t *testing.T) {
+	d := hdl.MustParse(`
+module m(clk, y);
+  input clk;
+  output y;
+  reg y;
+  always @(posedge clk) y = 1;
+  always @(posedge clk) y <= 0;
+endmodule`)
+	uses := Analyze(d)
+	var md, bic, nb int
+	for _, u := range uses {
+		switch u.Feature {
+		case FeatMultipleDrivers:
+			md++
+		case FeatBlockingInClocked:
+			bic++
+		case FeatNonBlocking:
+			nb++
+		}
+	}
+	if md != 1 || bic != 1 || nb != 1 {
+		t.Errorf("md=%d bic=%d nb=%d, want 1 each (%v)", md, bic, nb, uses)
+	}
+}
+
+func TestCheckProfileAcceptRejectWarn(t *testing.T) {
+	d := hdl.MustParse(`
+module m(a, b, y);
+  input [3:0] a, b;
+  output [3:0] y;
+  initial $display("hi");
+  assign y = a * b;
+endmodule`)
+	// VendorA accepts multiply and ignores the initial block.
+	vA := CheckProfile(d, VendorA)
+	if !vA.Accepted {
+		t.Errorf("vendorA rejected: %v", vA.Rejections)
+	}
+	if len(vA.Warnings) == 0 {
+		t.Error("vendorA should warn about the initial block")
+	}
+	// VendorB rejects multiply.
+	vB := CheckProfile(d, VendorB)
+	if vB.Accepted {
+		t.Error("vendorB should reject multiply")
+	}
+}
+
+func TestIntersectionIsSubsetOfAll(t *testing.T) {
+	inter := Intersection(VendorA, VendorB, VendorC)
+	for f := range inter.Accepts {
+		for _, p := range AllVendors() {
+			if !p.Accepts[f] {
+				t.Errorf("intersection accepts %v but %s does not", f, p.Name)
+			}
+		}
+	}
+	// Multiply is only in VendorA: must not be in the intersection.
+	if inter.Accepts[FeatArithMul] {
+		t.Error("intersection must drop multiply")
+	}
+	// Base features survive.
+	if !inter.Accepts[FeatCaseStmt] || !inter.Accepts[FeatTernary] {
+		t.Error("intersection lost base features")
+	}
+	// A design accepted by the intersection is accepted by every vendor —
+	// the paper's portability rule.
+	portable := hdl.MustParse(`
+module p(s, a, b, y);
+  input s, a, b;
+  output y;
+  reg y;
+  always @(s or a or b) begin
+    case (s)
+      1'b0: y = a;
+      default: y = b;
+    endcase
+  end
+endmodule`)
+	if v := CheckProfile(portable, inter); !v.Accepted {
+		t.Fatalf("portable model rejected by intersection: %v", v.Rejections)
+	}
+	for _, p := range AllVendors() {
+		if v := CheckProfile(portable, p); !v.Accepted {
+			t.Errorf("portable model rejected by %s: %v", p.Name, v.Rejections)
+		}
+	}
+}
+
+func TestIntersectionEmpty(t *testing.T) {
+	p := Intersection()
+	if len(p.Accepts) != 0 {
+		t.Error("empty intersection should accept nothing")
+	}
+}
+
+// --- synthesis and equivalence ---------------------------------------------
+
+// evalComb evaluates a combinational design by injecting input values and
+// letting the kernel settle; returns output signal values.
+func evalComb(t testing.TB, d *hdl.Design, top string, inputs map[string]sim.Value, outputs []string) map[string]sim.Value {
+	t.Helper()
+	k, err := sim.Elaborate(d, top, sim.Options{DisableTrace: true})
+	if err != nil {
+		t.Fatalf("elaborate %s: %v", top, err)
+	}
+	defer k.Kill()
+	k.Bootstrap()
+	if err := k.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range inputs {
+		if err := k.Inject(name, v); err != nil {
+			t.Fatalf("inject %s: %v", name, err)
+		}
+	}
+	if err := k.RunUntil(1000); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]sim.Value, len(outputs))
+	for _, o := range outputs {
+		s, ok := k.Signal(o)
+		if !ok {
+			t.Fatalf("no output %q (have %v)", o, k.SignalNames())
+		}
+		out[o] = s.Value()
+	}
+	return out
+}
+
+// injectVec drives a vector across the original module (one signal) and the
+// emitted gate module (escaped per-bit signals).
+func rtlInputs(name string, width int, val uint64) map[string]sim.Value {
+	return map[string]sim.Value{name: sim.NewValue(width, val)}
+}
+
+func gateInputs(name string, width int, val uint64) map[string]sim.Value {
+	out := make(map[string]sim.Value, width)
+	if width == 1 {
+		out[name] = sim.NewValue(1, val&1)
+		return out
+	}
+	for i := 0; i < width; i++ {
+		out[fmt.Sprintf("\\%s[%d]", name, i)] = sim.NewValue(1, val>>uint(i)&1)
+	}
+	return out
+}
+
+func gateOutput(t testing.TB, vals map[string]sim.Value, name string, width int) uint64 {
+	t.Helper()
+	if width == 1 {
+		v := vals[name]
+		if v.HasXZ() {
+			t.Fatalf("gate output %s = %v", name, v)
+		}
+		return v.Val
+	}
+	var out uint64
+	for i := 0; i < width; i++ {
+		v := vals[fmt.Sprintf("\\%s[%d]", name, i)]
+		if v.HasXZ() {
+			t.Fatalf("gate output %s[%d] = %v", name, i, v)
+		}
+		out |= (v.Val & 1) << uint(i)
+	}
+	return out
+}
+
+// checkEquiv synthesizes src, emits gates, and compares RTL vs gate
+// simulation on random stimulus.
+func checkEquiv(t *testing.T, src, top string, inW map[string]int, outW map[string]int, samples int) {
+	t.Helper()
+	d := hdl.MustParse(src)
+	nl, rep, err := Synthesize(d, top, Options{})
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	if rep.Gates == 0 {
+		t.Fatal("no gates produced")
+	}
+	v, err := EmitVerilog(nl, top)
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	gd, err := hdl.Parse(v)
+	if err != nil {
+		t.Fatalf("parse emitted: %v\n%s", err, v)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for s := 0; s < samples; s++ {
+		rtlIn := make(map[string]sim.Value)
+		gateIn := make(map[string]sim.Value)
+		vals := make(map[string]uint64)
+		for name, w := range inW {
+			val := rng.Uint64() & (1<<uint(w) - 1)
+			vals[name] = val
+			for k2, v2 := range rtlInputs(name, w, val) {
+				rtlIn[k2] = v2
+			}
+			for k2, v2 := range gateInputs(name, w, val) {
+				gateIn[k2] = v2
+			}
+		}
+		var outs []string
+		for name := range outW {
+			outs = append(outs, name)
+		}
+		rtlOut := evalComb(t, d, top, rtlIn, outs)
+		var gateOuts []string
+		for name, w := range outW {
+			if w == 1 {
+				gateOuts = append(gateOuts, name)
+			} else {
+				for i := 0; i < w; i++ {
+					gateOuts = append(gateOuts, fmt.Sprintf("\\%s[%d]", name, i))
+				}
+			}
+		}
+		gateOut := evalComb(t, gd, top, gateIn, gateOuts)
+		for name, w := range outW {
+			rv := rtlOut[name]
+			if rv.HasXZ() {
+				t.Fatalf("sample %d (%v): rtl %s = %v", s, vals, name, rv)
+			}
+			gv := gateOutput(t, gateOut, name, w)
+			if rv.Val != gv {
+				t.Fatalf("sample %d (%v): %s rtl=%d gates=%d", s, vals, name, rv.Val, gv)
+			}
+		}
+	}
+}
+
+func TestSynthesizeSimpleGatesEquiv(t *testing.T) {
+	checkEquiv(t, `
+module comb(a, b, y);
+  input [3:0] a, b;
+  output [3:0] y;
+  assign y = (a & b) | ~(a ^ b);
+endmodule`, "comb",
+		map[string]int{"a": 4, "b": 4}, map[string]int{"y": 4}, 12)
+}
+
+func TestSynthesizeAdderSubEquiv(t *testing.T) {
+	checkEquiv(t, `
+module addsub(a, b, s, d);
+  input [4:0] a, b;
+  output [4:0] s, d;
+  assign s = a + b;
+  assign d = a - b;
+endmodule`, "addsub",
+		map[string]int{"a": 5, "b": 5}, map[string]int{"s": 5, "d": 5}, 16)
+}
+
+func TestSynthesizeComparatorsEquiv(t *testing.T) {
+	checkEquiv(t, `
+module cmp(a, b, lt, le, gt, ge, eq, ne);
+  input [3:0] a, b;
+  output lt, le, gt, ge, eq, ne;
+  assign lt = a < b;
+  assign le = a <= b;
+  assign gt = a > b;
+  assign ge = a >= b;
+  assign eq = a == b;
+  assign ne = a != b;
+endmodule`, "cmp",
+		map[string]int{"a": 4, "b": 4},
+		map[string]int{"lt": 1, "le": 1, "gt": 1, "ge": 1, "eq": 1, "ne": 1}, 20)
+}
+
+func TestSynthesizeMuxCaseEquiv(t *testing.T) {
+	checkEquiv(t, `
+module pick(s, a, b, c, y);
+  input [1:0] s;
+  input [2:0] a, b, c;
+  output [2:0] y;
+  reg [2:0] y;
+  always @(s or a or b or c) begin
+    case (s)
+      2'b00: y = a;
+      2'b01: y = b;
+      default: y = c;
+    endcase
+  end
+endmodule`, "pick",
+		map[string]int{"s": 2, "a": 3, "b": 3, "c": 3}, map[string]int{"y": 3}, 16)
+}
+
+func TestSynthesizeIfElseChainEquiv(t *testing.T) {
+	checkEquiv(t, `
+module sel(en, a, b, y);
+  input en;
+  input [3:0] a, b;
+  output [3:0] y;
+  reg [3:0] y;
+  always @(en or a or b) begin
+    if (en) y = a + 1;
+    else y = b;
+  end
+endmodule`, "sel",
+		map[string]int{"en": 1, "a": 4, "b": 4}, map[string]int{"y": 4}, 16)
+}
+
+func TestSynthesizeShiftConcatEquiv(t *testing.T) {
+	checkEquiv(t, `
+module shc(a, y, z);
+  input [3:0] a;
+  output [3:0] y;
+  output [7:0] z;
+  assign y = a << 1;
+  assign z = {a, a >> 2};
+endmodule`, "shc",
+		map[string]int{"a": 4}, map[string]int{"y": 4, "z": 8}, 12)
+}
+
+func TestSynthesizeLogicalOpsEquiv(t *testing.T) {
+	checkEquiv(t, `
+module lg(a, b, y);
+  input [2:0] a, b;
+  output y;
+  assign y = (a && b) || !(a != 0);
+endmodule`, "lg",
+		map[string]int{"a": 3, "b": 3}, map[string]int{"y": 1}, 12)
+}
+
+// TestSensitivityCompletionMismatch reproduces the paper's §3.2 example
+// verbatim: always @(a or b) out = a & b & c. Synthesis completes the
+// sensitivity list; simulation honours the written one; a change on c
+// alone makes the two disagree.
+func TestSensitivityCompletionMismatch(t *testing.T) {
+	src := `
+module style(a, b, c, out);
+  input a, b, c;
+  output out;
+  reg out;
+  always @(a or b)
+    out = a & b & c;
+endmodule`
+	d := hdl.MustParse(src)
+	nl, rep, err := Synthesize(d, "style", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completions) != 1 {
+		t.Fatalf("completions = %+v", rep.Completions)
+	}
+	comp := rep.Completions[0]
+	if len(comp.Missing) != 1 || comp.Missing[0] != "c" {
+		t.Errorf("missing = %v, want [c]", comp.Missing)
+	}
+
+	v, err := EmitVerilog(nl, "style")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd := hdl.MustParse(v)
+
+	// Drive a=1,b=1,c=0, then raise only c.
+	step1 := map[string]sim.Value{
+		"a": sim.NewValue(1, 1), "b": sim.NewValue(1, 1), "c": sim.NewValue(1, 0)}
+
+	runSeq := func(dd *hdl.Design) sim.Value {
+		k, err := sim.Elaborate(dd, "style", sim.Options{DisableTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer k.Kill()
+		k.Bootstrap()
+		for n, v := range step1 {
+			k.Inject(n, v)
+		}
+		if err := k.RunUntil(100); err != nil {
+			t.Fatal(err)
+		}
+		k.AdvanceTo(100)
+		// Now change ONLY c.
+		k.Inject("c", sim.NewValue(1, 1))
+		if err := k.RunUntil(200); err != nil {
+			t.Fatal(err)
+		}
+		s, _ := k.Signal("out")
+		return s.Value()
+	}
+	rtlOut := runSeq(d)
+	gateOut := runSeq(gd)
+	// RTL: out was computed when a/b last changed with c=0 -> 0, and the
+	// c-only change does not retrigger the block.
+	if rtlOut.Val != 0 || rtlOut.HasXZ() {
+		t.Errorf("rtl out = %v, want 0 (stale)", rtlOut)
+	}
+	// Gates: combinational logic follows c -> 1.
+	if gateOut.Val != 1 || gateOut.HasXZ() {
+		t.Errorf("gate out = %v, want 1 (hardware sees c)", gateOut)
+	}
+}
+
+func TestLatchInference(t *testing.T) {
+	d := hdl.MustParse(`
+module lat(en, d, q);
+  input en;
+  input [1:0] d;
+  output [1:0] q;
+  reg [1:0] q;
+  always @(en or d)
+    if (en) q = d;
+endmodule`)
+	nl, rep, err := Synthesize(d, "lat", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Latches) != 1 || rep.Latches[0].Signal != "q" || rep.Latches[0].Bits != 2 {
+		t.Errorf("latches = %+v", rep.Latches)
+	}
+	// Latched cells cannot be emitted as acyclic assigns.
+	if _, err := EmitVerilog(nl, "lat"); err == nil {
+		t.Error("EmitVerilog should refuse latch cells")
+	}
+	// Complete assignment infers no latch.
+	d2 := hdl.MustParse(`
+module nolat(en, d, q);
+  input en;
+  input [1:0] d;
+  output [1:0] q;
+  reg [1:0] q;
+  always @(en or d)
+    if (en) q = d;
+    else q = 0;
+endmodule`)
+	_, rep2, err := Synthesize(d2, "nolat", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Latches) != 0 {
+		t.Errorf("unexpected latches: %+v", rep2.Latches)
+	}
+}
+
+func TestSynthesizeDFFEquivalence(t *testing.T) {
+	src := `
+module ff(clk, d, q);
+  input clk;
+  input [1:0] d;
+  output [1:0] q;
+  reg [1:0] q;
+  always @(posedge clk) q <= d + 1;
+endmodule`
+	d := hdl.MustParse(src)
+	nl, rep, err := Synthesize(d, "ff", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DFFs != 2 {
+		t.Errorf("DFFs = %d, want 2", rep.DFFs)
+	}
+	v, err := EmitVerilog(nl, "ff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd := hdl.MustParse(v)
+
+	clockIn := func(dd *hdl.Design, clkName string, dIn func(uint64) map[string]sim.Value, qOut func(*sim.Kernel) uint64) []uint64 {
+		k, err := sim.Elaborate(dd, "ff", sim.Options{DisableTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer k.Kill()
+		k.Bootstrap()
+		k.Inject(clkName, sim.NewValue(1, 0))
+		k.RunUntil(5)
+		var got []uint64
+		tt := uint64(10)
+		for _, din := range []uint64{1, 2, 3, 0} {
+			for n, vv := range dIn(din) {
+				k.Inject(n, vv)
+			}
+			k.RunUntil(tt)
+			k.AdvanceTo(tt)
+			k.Inject(clkName, sim.NewValue(1, 1))
+			k.RunUntil(tt + 4)
+			k.AdvanceTo(tt + 4)
+			k.Inject(clkName, sim.NewValue(1, 0))
+			k.RunUntil(tt + 8)
+			k.AdvanceTo(tt + 8)
+			got = append(got, qOut(k))
+			tt += 10
+		}
+		return got
+	}
+	rtlSeq := clockIn(d, "clk",
+		func(v uint64) map[string]sim.Value { return rtlInputs("d", 2, v) },
+		func(k *sim.Kernel) uint64 {
+			s, _ := k.Signal("q")
+			if s.Value().HasXZ() {
+				t.Fatal("rtl q is x")
+			}
+			return s.Value().Val
+		})
+	gateSeq := clockIn(gd, "clk",
+		func(v uint64) map[string]sim.Value { return gateInputs("d", 2, v) },
+		func(k *sim.Kernel) uint64 {
+			var out uint64
+			for i := 0; i < 2; i++ {
+				s, ok := k.Signal(fmt.Sprintf("\\q[%d]", i))
+				if !ok || s.Value().HasXZ() {
+					t.Fatalf("gate q[%d] bad", i)
+				}
+				out |= (s.Value().Val & 1) << uint(i)
+			}
+			return out
+		})
+	for i := range rtlSeq {
+		want := rtlSeq[i]
+		if gateSeq[i] != want {
+			t.Errorf("cycle %d: rtl q=%d gate q=%d", i, want, gateSeq[i])
+		}
+	}
+}
+
+func TestSynthesizeHierarchy(t *testing.T) {
+	d := hdl.MustParse(`
+module inv(a, y);
+  input a;
+  output y;
+  assign y = ~a;
+endmodule
+module top(x, z);
+  input x;
+  output z;
+  wire m;
+  inv u1(.a(x), .y(m));
+  inv u2(.a(m), .y(z));
+endmodule`)
+	nl, _, err := Synthesize(d, "top", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topCell, _ := nl.Cell("top")
+	if len(topCell.Instances) != 2 {
+		t.Errorf("top instances = %v", topCell.InstanceNames())
+	}
+	if _, ok := nl.Cell("inv"); !ok {
+		t.Error("child cell missing")
+	}
+	if err := nl.Validate(); err != nil {
+		t.Errorf("netlist invalid: %v", err)
+	}
+}
+
+func TestSynthesizeProfileRejection(t *testing.T) {
+	d := hdl.MustParse(`
+module m(a, b, y);
+  input [3:0] a, b;
+  output [7:0] y;
+  assign y = a * b;
+endmodule`)
+	p := VendorB
+	if _, _, err := Synthesize(d, "m", Options{Profile: &p}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("error = %v, want ErrUnsupported", err)
+	}
+	// Multiply is not in our gate mapping either.
+	if _, _, err := Synthesize(d, "m", Options{}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("core error = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	cases := []struct{ name, src, top string }{
+		{"bad top", "module a(); endmodule", "zz"},
+		{"semantic problems", "module m(y); output y; assign y = ghost; endmodule", "m"},
+		{"free running", "module m(); reg r; always r = ~r; endmodule", "m"},
+		{"async control", `
+module m(c, r, q); input c, r; output q; reg q;
+always @(posedge c or negedge r) q <= 1;
+endmodule`, "m"},
+		{"delay in block", `
+module m(a, q); input a; output q; reg q;
+always @(a) q = #5 a;
+endmodule`, "m"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d, err := hdl.Parse(c.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := Synthesize(d, c.top, Options{}); err == nil {
+				t.Error("Synthesize succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestReportWarnings(t *testing.T) {
+	d := hdl.MustParse(`
+module m(clk, d, q);
+  input clk, d;
+  output q;
+  reg q;
+  initial q = 0;
+  $setup(d, clk, 3);
+  always @(posedge clk) q <= d;
+endmodule`)
+	_, rep, err := Synthesize(d, "m", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(rep.Warnings, "\n")
+	if !strings.Contains(joined, "initial block ignored") {
+		t.Errorf("warnings = %v", rep.Warnings)
+	}
+	if !strings.Contains(joined, "timing check ignored") {
+		t.Errorf("warnings = %v", rep.Warnings)
+	}
+}

@@ -1,0 +1,135 @@
+package workflow
+
+import (
+	"fmt"
+
+	"cadinterop/internal/al"
+)
+
+// ALAction runs a workflow step written in a/L — making Section 5's "open
+// language environment" concrete with the repository's own embedded
+// language: "the actions invoked from the process description can be
+// implemented in any programming language desired by the flow developer."
+//
+// The script must define (action) returning a number, which becomes the
+// step's exit status under the usual default policy. The workflow API is
+// bound as foreign functions:
+//
+//	(data-get name)        -> content or #f
+//	(data-put name value)  -> version number
+//	(var-get name)         -> value or #f
+//	(var-set name value)   -> value
+//	(task-name)            -> the running task's name
+//	(block-name)           -> the owning block ("" at top level)
+type ALAction struct {
+	Script string
+}
+
+// Lang implements Action.
+func (ALAction) Lang() string { return "a/L" }
+
+// Run implements Action. Script errors map to exit status 127, like a
+// shell failing to exec — the default policy then fails the step.
+func (a ALAction) Run(c *Ctx) int {
+	env := al.NewEnv()
+	bindWorkflowAPI(env, c)
+	if _, err := al.Run(a.Script, env); err != nil {
+		c.Instance.log(c.Task, "failed", fmt.Sprintf("a/L load error: %v", err))
+		return 127
+	}
+	fn, err := env.Lookup(al.Symbol("action"))
+	if err != nil {
+		c.Instance.log(c.Task, "failed", "a/L script defines no (action)")
+		return 127
+	}
+	res, err := al.Apply(fn, nil)
+	if err != nil {
+		c.Instance.log(c.Task, "failed", fmt.Sprintf("a/L runtime error: %v", err))
+		return 127
+	}
+	if n, ok := res.(al.Num); ok {
+		return int(n)
+	}
+	// Non-numeric results follow Scheme truthiness: #f fails.
+	if !al.Truthy(res) {
+		return 1
+	}
+	return 0
+}
+
+func bindWorkflowAPI(env *al.Env, c *Ctx) {
+	str := func(v al.Value) (string, error) {
+		switch x := v.(type) {
+		case al.Str:
+			return string(x), nil
+		case al.Symbol:
+			return string(x), nil
+		case al.Num:
+			return x.Repr(), nil
+		default:
+			return "", fmt.Errorf("expected string, got %s", v.Repr())
+		}
+	}
+	env.RegisterFunc("data-get", func(args []al.Value) (al.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("data-get wants 1 arg")
+		}
+		name, err := str(args[0])
+		if err != nil {
+			return nil, err
+		}
+		content, _, ok := c.Data().Get(name)
+		if !ok {
+			return al.Bool(false), nil
+		}
+		return al.Str(content), nil
+	})
+	env.RegisterFunc("data-put", func(args []al.Value) (al.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("data-put wants 2 args")
+		}
+		name, err := str(args[0])
+		if err != nil {
+			return nil, err
+		}
+		content, err := str(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return al.Num(c.Data().Put(name, content)), nil
+	})
+	env.RegisterFunc("var-get", func(args []al.Value) (al.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("var-get wants 1 arg")
+		}
+		name, err := str(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := c.Var(name); ok {
+			return al.Str(v), nil
+		}
+		return al.Bool(false), nil
+	})
+	env.RegisterFunc("var-set", func(args []al.Value) (al.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("var-set wants 2 args")
+		}
+		name, err := str(args[0])
+		if err != nil {
+			return nil, err
+		}
+		val, err := str(args[1])
+		if err != nil {
+			return nil, err
+		}
+		c.SetVar(name, val)
+		return al.Str(val), nil
+	})
+	env.RegisterFunc("task-name", func([]al.Value) (al.Value, error) {
+		return al.Str(c.Task), nil
+	})
+	env.RegisterFunc("block-name", func([]al.Value) (al.Value, error) {
+		return al.Str(c.Block), nil
+	})
+}

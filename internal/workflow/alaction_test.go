@@ -1,0 +1,105 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestALActionRunsScripts(t *testing.T) {
+	store := NewMemStore()
+	tpl := &Template{Name: "alflow", Steps: []*StepDef{
+		{Name: "produce", Action: ALAction{Script: `
+			(define (action)
+			  (data-put "netlist" (string-append "gates for " (task-name)))
+			  (var-set "gate.count" "42")
+			  0)`}},
+		{Name: "check", Action: ALAction{Script: `
+			(define (action)
+			  (let ((n (data-get "netlist")))
+			    (if (and n (string-contains? n "gates"))
+			        0
+			        1)))`},
+			StartAfter: []string{"produce"}},
+	}}
+	in, err := Instantiate(tpl, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run("u"); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Complete() {
+		t.Fatalf("incomplete: %v", in.Status())
+	}
+	content, _, ok := store.Get("netlist")
+	if !ok || !strings.Contains(content, "gates for produce") {
+		t.Errorf("netlist = %q %v", content, ok)
+	}
+	if v, ok := in.Vars["gate.count"]; !ok || v != "42" {
+		t.Errorf("gate.count = %q", v)
+	}
+	if (ALAction{}).Lang() != "a/L" {
+		t.Error("Lang wrong")
+	}
+}
+
+func TestALActionFailurePaths(t *testing.T) {
+	cases := []struct {
+		name, script string
+	}{
+		{"parse error", "((("},
+		{"no action fn", "(define x 1)"},
+		{"runtime error", `(define (action) (error "boom"))`},
+		{"false result", `(define (action) #f)`},
+		{"nonzero status", `(define (action) 3)`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tpl := &Template{Name: "f", Steps: []*StepDef{
+				{Name: "s", Action: ALAction{Script: c.script}},
+			}}
+			in, err := Instantiate(tpl, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := in.Run("u"); err != nil {
+				t.Fatal(err)
+			}
+			if in.Tasks["s"].State != Failed {
+				t.Errorf("state = %v, want Failed", in.Tasks["s"].State)
+			}
+		})
+	}
+	// Truthy non-number passes.
+	tpl := &Template{Name: "ok", Steps: []*StepDef{
+		{Name: "s", Action: ALAction{Script: `(define (action) "fine")`}},
+	}}
+	in, _ := Instantiate(tpl, nil, nil)
+	in.Run("u")
+	if in.Tasks["s"].State != Done {
+		t.Errorf("truthy result state = %v", in.Tasks["s"].State)
+	}
+}
+
+func TestALActionPerBlock(t *testing.T) {
+	sub := &Template{Name: "b", Steps: []*StepDef{
+		{Name: "stamp", Action: ALAction{Script: `
+			(define (action)
+			  (data-put (string-append "stamp:" (block-name)) (block-name))
+			  0)`}},
+	}}
+	tpl := &Template{Name: "t", Steps: []*StepDef{{Name: "blocks", SubFlow: sub}}}
+	store := NewMemStore()
+	in, err := Instantiate(tpl, store, []string{"cpu", "dsp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run("u"); err != nil {
+		t.Fatal(err)
+	}
+	for _, blk := range []string{"cpu", "dsp"} {
+		if v, _, ok := store.Get("stamp:" + blk); !ok || v != blk {
+			t.Errorf("stamp:%s = %q %v", blk, v, ok)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the instance's task graph in Graphviz dot syntax, with nodes
+// colored by state — the "captured graphically" view Section 5 opens with:
+// "Creating a workflow involves first capturing the structure of the flow
+// graphically."
+func (in *Instance) DOT(title string) string {
+	colors := map[TaskState]string{
+		Pending:    "white",
+		Ready:      "lightyellow",
+		Running:    "lightblue",
+		Done:       "palegreen",
+		Failed:     "salmon",
+		Skipped:    "lightgray",
+		NeedsRerun: "orange",
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10 shape=box style=filled];\n", title)
+	// Group sub-flow tasks per block in clusters for legibility.
+	blocks := make(map[string][]string)
+	var plain []string
+	for _, name := range in.TaskNames() {
+		t := in.Tasks[name]
+		if t.Block != "" {
+			blocks[t.Block] = append(blocks[t.Block], name)
+		} else {
+			plain = append(plain, name)
+		}
+	}
+	node := func(name string) {
+		t := in.Tasks[name]
+		fill, ok := colors[t.State]
+		if !ok {
+			fill = "white"
+		}
+		label := fmt.Sprintf("%s\\n[%v]", name, t.State)
+		if t.Def.Action != nil {
+			label = fmt.Sprintf("%s\\n[%v, %s]", name, t.State, t.Def.Action.Lang())
+		}
+		fmt.Fprintf(&b, "  %q [label=%q fillcolor=%s];\n", name, label, fill)
+	}
+	for _, name := range plain {
+		node(name)
+	}
+	blockNames := make([]string, 0, len(blocks))
+	for blk := range blocks {
+		blockNames = append(blockNames, blk)
+	}
+	sort.Strings(blockNames)
+	for i, blk := range blockNames {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, blk)
+		for _, name := range blocks[blk] {
+			b.WriteString("  ")
+			node(name)
+		}
+		fmt.Fprintf(&b, "  }\n")
+	}
+	for _, name := range in.TaskNames() {
+		t := in.Tasks[name]
+		for _, dep := range t.startAfter {
+			fmt.Fprintf(&b, "  %q -> %q;\n", dep, name)
+		}
+		for _, dep := range t.finishRequires {
+			fmt.Fprintf(&b, "  %q -> %q [style=dashed label=finish fontsize=8];\n", dep, name)
+		}
+	}
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DataStore is the data-management seam. Section 5 insists workflow and
+// data management stay architecturally separate: "It should be possible to
+// build a flow that contains as much data management as is required - but
+// no more than is required." MemStore is the SCCS/RCS-and-make level;
+// VersionedStore is the commercial-PDM level. The engine cannot tell them
+// apart.
+type DataStore interface {
+	// Put stores content under name and returns the new version number.
+	Put(name, content string) int
+	// Get returns the latest content and version.
+	Get(name string) (content string, version int, ok bool)
+	// Stamp returns a monotonically increasing modification stamp.
+	Stamp(name string) (int, bool)
+}
+
+// MemStore is the minimal data manager: latest-value-only with stamps.
+type MemStore struct {
+	items map[string]memItem
+	tick  int
+}
+
+type memItem struct {
+	content string
+	version int
+	stamp   int
+}
+
+// NewMemStore returns an empty minimal store.
+func NewMemStore() *MemStore {
+	return &MemStore{items: make(map[string]memItem)}
+}
+
+// Put implements DataStore.
+func (s *MemStore) Put(name, content string) int {
+	s.tick++
+	it := s.items[name]
+	it.content = content
+	it.version++
+	it.stamp = s.tick
+	s.items[name] = it
+	return it.version
+}
+
+// Get implements DataStore.
+func (s *MemStore) Get(name string) (string, int, bool) {
+	it, ok := s.items[name]
+	return it.content, it.version, ok
+}
+
+// Stamp implements DataStore.
+func (s *MemStore) Stamp(name string) (int, bool) {
+	it, ok := s.items[name]
+	return it.stamp, ok
+}
+
+// VersionedStore keeps full history with retrieval by version — the
+// "much more sophisticated level of data management" option.
+type VersionedStore struct {
+	hist map[string][]versionEntry
+	tick int
+}
+
+type versionEntry struct {
+	content string
+	stamp   int
+}
+
+// NewVersionedStore returns an empty versioned store.
+func NewVersionedStore() *VersionedStore {
+	return &VersionedStore{hist: make(map[string][]versionEntry)}
+}
+
+// Put implements DataStore.
+func (s *VersionedStore) Put(name, content string) int {
+	s.tick++
+	s.hist[name] = append(s.hist[name], versionEntry{content: content, stamp: s.tick})
+	return len(s.hist[name])
+}
+
+// Get implements DataStore.
+func (s *VersionedStore) Get(name string) (string, int, bool) {
+	h := s.hist[name]
+	if len(h) == 0 {
+		return "", 0, false
+	}
+	return h[len(h)-1].content, len(h), true
+}
+
+// Stamp implements DataStore.
+func (s *VersionedStore) Stamp(name string) (int, bool) {
+	h := s.hist[name]
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[len(h)-1].stamp, true
+}
+
+// GetVersion retrieves historical content (1-based version).
+func (s *VersionedStore) GetVersion(name string, version int) (string, bool) {
+	h := s.hist[name]
+	if version < 1 || version > len(h) {
+		return "", false
+	}
+	return h[version-1].content, true
+}
+
+// History returns the version count per item.
+func (s *VersionedStore) History() map[string]int {
+	out := make(map[string]int, len(s.hist))
+	for n, h := range s.hist {
+		out[n] = len(h)
+	}
+	return out
+}
+
+// Metrics aggregates the collected process data: "these collected metrics
+// can later be analyzed and used to tune the process, providing a
+// closed-loop, continuously improving process environment."
+type Metrics struct {
+	// PerTask rows keyed by task name.
+	PerTask map[string]TaskMetrics
+	// Span is the virtual-clock length of the run.
+	Span int
+	// Notifications is the rework-notification count.
+	Notifications int
+}
+
+// TaskMetrics is one task's collected numbers.
+type TaskMetrics struct {
+	Attempts int
+	Failures int
+	Duration int // virtual ticks actually spent running
+}
+
+// CollectMetrics computes metrics from an instance's event log and tasks.
+func CollectMetrics(in *Instance) *Metrics {
+	m := &Metrics{PerTask: make(map[string]TaskMetrics)}
+	for name, t := range in.Tasks {
+		tm := m.PerTask[name]
+		tm.Attempts = t.Attempts
+		if t.FinishedAt > t.StartedAt {
+			tm.Duration += t.FinishedAt - t.StartedAt
+		}
+		m.PerTask[name] = tm
+	}
+	for _, e := range in.Events {
+		if e.Kind == "failed" {
+			tm := m.PerTask[e.Task]
+			tm.Failures++
+			m.PerTask[e.Task] = tm
+		}
+		if e.Tick > m.Span {
+			m.Span = e.Tick
+		}
+	}
+	m.Notifications = len(in.Notifications)
+	return m
+}
+
+// Bottlenecks returns task names ordered by descending total duration —
+// the tuning loop's first question.
+func (m *Metrics) Bottlenecks(topN int) []string {
+	names := make([]string, 0, len(m.PerTask))
+	for n := range m.PerTask {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := m.PerTask[names[i]], m.PerTask[names[j]]
+		if a.Duration != b.Duration {
+			return a.Duration > b.Duration
+		}
+		return names[i] < names[j]
+	})
+	if topN > 0 && topN < len(names) {
+		names = names[:topN]
+	}
+	return names
+}
+
+// Summary renders a one-line metrics digest.
+func (m *Metrics) Summary() string {
+	var attempts, failures int
+	for _, tm := range m.PerTask {
+		attempts += tm.Attempts
+		failures += tm.Failures
+	}
+	return fmt.Sprintf("tasks=%d attempts=%d failures=%d span=%d notifications=%d",
+		len(m.PerTask), attempts, failures, m.Span, m.Notifications)
+}

@@ -1,0 +1,579 @@
+// Package workflow implements the Section 5 workflow management engine
+// with every characteristic the paper says a workflow product suite must
+// have: environment independence (actions are opaque callables in any
+// "language"), an open language environment, flexible tool management
+// (separate process per step or feature calls into a running tool),
+// default zero/non-zero status policy with an API override, hierarchical
+// design support (per-block sub-flows from one template), open and
+// flexible data management behind a small interface, architectural
+// separation of workflow and data management, flexible dependency
+// management (start and finish dependencies, conditions, permissions,
+// reset rules), data-maturity checks, data variables as metadata proxies,
+// trigger-based rework notification, and collected metrics for closing the
+// process-improvement loop.
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Errors.
+var (
+	ErrTemplate   = errors.New("workflow: bad template")
+	ErrPermission = errors.New("workflow: permission denied")
+	ErrState      = errors.New("workflow: bad state")
+)
+
+// TaskState is the lifecycle state of one task instance.
+type TaskState uint8
+
+// Task states.
+const (
+	Pending TaskState = iota
+	Ready
+	Running
+	Done
+	Failed
+	Skipped
+	NeedsRerun
+)
+
+var stateNames = [...]string{"pending", "ready", "running", "done", "failed", "skipped", "needs-rerun"}
+
+// String implements fmt.Stringer.
+func (s TaskState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("TaskState(%d)", uint8(s))
+}
+
+// Ctx is what an action sees while running: the workflow API through which
+// "the tool can exchange (set/get) metadata (task state, data variable
+// state and value) with the workflow".
+type Ctx struct {
+	Task     string
+	Block    string
+	Instance *Instance
+	// explicit, when set by SetStatus, overrides the default zero/non-zero
+	// policy for this run.
+	explicit *TaskState
+}
+
+// Data returns the instance's data store.
+func (c *Ctx) Data() DataStore { return c.Instance.Data }
+
+// SetVar sets a workflow data variable (metadata separate from design
+// data).
+func (c *Ctx) SetVar(name, value string) {
+	c.Instance.Vars[name] = value
+}
+
+// Var reads a data variable.
+func (c *Ctx) Var(name string) (string, bool) {
+	v, ok := c.Instance.Vars[name]
+	return v, ok
+}
+
+// SetStatus explicitly sets the task's completion state, overriding the
+// default policy — "support is provided in the API to set the state of a
+// step to an explicit value based on whatever criteria is necessary".
+func (c *Ctx) SetStatus(s TaskState) {
+	c.explicit = &s
+}
+
+// Action is a step's work. Implementations may wrap shell commands, RPC
+// calls into a running tool, or plain Go functions — the engine only sees
+// the returned status, preserving the paper's "any programming language"
+// openness.
+type Action interface {
+	// Run executes the action; the int is the tool's exit status.
+	Run(c *Ctx) int
+	// Lang describes the implementation language (reporting only).
+	Lang() string
+}
+
+// FuncAction adapts a Go function.
+type FuncAction struct {
+	Language string
+	Fn       func(c *Ctx) int
+}
+
+// Run implements Action.
+func (f FuncAction) Run(c *Ctx) int { return f.Fn(c) }
+
+// Lang implements Action.
+func (f FuncAction) Lang() string {
+	if f.Language == "" {
+		return "go"
+	}
+	return f.Language
+}
+
+// MaturityCheck gates a step on data state: "File existence, date/time
+// stamps, file contents and other means can be used to determine data
+// maturity."
+type MaturityCheck struct {
+	// Item is the data item name.
+	Item string
+	// Exists requires the item to exist.
+	Exists bool
+	// NewerThan, when non-empty, requires Item's stamp to be newer than
+	// this other item's stamp.
+	NewerThan string
+	// Contains, when non-empty, requires the content to contain it.
+	Contains string
+}
+
+// StepDef is one template step.
+type StepDef struct {
+	Name   string
+	Action Action
+	// StartAfter lists steps that must be Done before this one is ready —
+	// "start dependencies".
+	StartAfter []string
+	// FinishRequires lists steps that must be Done before this one may
+	// complete (it runs but holds) — "finish dependencies".
+	FinishRequires []string
+	// Condition, when set, must return true for the step to run; false
+	// skips it.
+	Condition func(in *Instance) bool
+	// Permissions lists roles allowed to run/reset the step; empty = any.
+	Permissions []string
+	// Inputs gate the step on maturity checks.
+	Inputs []MaturityCheck
+	// Outputs names data items this step produces (for trigger wiring).
+	Outputs []string
+	// SubFlow expands this step into a per-block copy of another template —
+	// "Each design block in the hierarchy can be developed using the same
+	// sub-flow template, but the data and process status is kept separate
+	// for each block."
+	SubFlow *Template
+}
+
+// Template is a captured workflow structure.
+type Template struct {
+	Name  string
+	Steps []*StepDef
+}
+
+// Validate checks the template graph: unique names, known dependencies, no
+// cycles.
+func (t *Template) Validate() error {
+	names := make(map[string]*StepDef, len(t.Steps))
+	for _, s := range t.Steps {
+		if s.Name == "" {
+			return fmt.Errorf("%w: unnamed step", ErrTemplate)
+		}
+		if _, dup := names[s.Name]; dup {
+			return fmt.Errorf("%w: duplicate step %q", ErrTemplate, s.Name)
+		}
+		names[s.Name] = s
+		if s.Action == nil && s.SubFlow == nil {
+			return fmt.Errorf("%w: step %q has neither action nor sub-flow", ErrTemplate, s.Name)
+		}
+		if s.SubFlow != nil {
+			if err := s.SubFlow.Validate(); err != nil {
+				return fmt.Errorf("step %q: %w", s.Name, err)
+			}
+		}
+	}
+	for _, s := range t.Steps {
+		for _, d := range append(append([]string{}, s.StartAfter...), s.FinishRequires...) {
+			if _, ok := names[d]; !ok {
+				return fmt.Errorf("%w: step %q depends on unknown step %q", ErrTemplate, s.Name, d)
+			}
+		}
+	}
+	// Cycle check over StartAfter.
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(n string) error
+	visit = func(n string) error {
+		switch state[n] {
+		case 1:
+			return fmt.Errorf("%w: dependency cycle through %q", ErrTemplate, n)
+		case 2:
+			return nil
+		}
+		state[n] = 1
+		for _, d := range names[n].StartAfter {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[n] = 2
+		return nil
+	}
+	for _, s := range t.Steps {
+		if err := visit(s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Task is one runnable occurrence of a step in an instance.
+type Task struct {
+	Name     string // hierarchical: "step" or "parent/block/step"
+	Block    string // owning block for sub-flow tasks ("" at top)
+	Def      *StepDef
+	State    TaskState
+	Attempts int
+	// Status is the last action exit status.
+	Status int
+	// StartedAt/FinishedAt are virtual-clock ticks.
+	StartedAt, FinishedAt int
+	// startAfter/finishRequires are resolved hierarchical names.
+	startAfter     []string
+	finishRequires []string
+}
+
+// Event is one log entry.
+type Event struct {
+	Tick int
+	Task string
+	Kind string // "start", "done", "failed", "skipped", "rerun", "notify"
+	Msg  string
+}
+
+// Instance is a deployed workflow.
+type Instance struct {
+	Template *Template
+	Tasks    map[string]*Task
+	Data     DataStore
+	Vars     map[string]string
+	// triggers: data item -> tasks to mark for rework on change.
+	triggers map[string][]string
+	// consumers: data item -> tasks with a maturity input on it.
+	consumers map[string][]string
+	Events    []Event
+	clock     int
+	// Notifications collects trigger-based user notifications.
+	Notifications []string
+}
+
+// Instantiate deploys a template. blocks lists the design hierarchy blocks
+// sub-flow steps expand over (may be empty when no step has a SubFlow).
+func Instantiate(t *Template, data DataStore, blocks []string) (*Instance, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if data == nil {
+		data = NewMemStore()
+	}
+	in := &Instance{
+		Template:  t,
+		Tasks:     make(map[string]*Task),
+		Data:      data,
+		Vars:      make(map[string]string),
+		triggers:  make(map[string][]string),
+		consumers: make(map[string][]string),
+	}
+	for _, s := range t.Steps {
+		if s.SubFlow == nil {
+			in.addTask(s.Name, "", s, s.StartAfter, s.FinishRequires)
+			continue
+		}
+		if len(blocks) == 0 {
+			return nil, fmt.Errorf("%w: step %q has a sub-flow but no blocks were given", ErrTemplate, s.Name)
+		}
+		// Expand per block: sub-step names are "step/block/substep".
+		var blockFinals []string
+		for _, blk := range blocks {
+			prefix := s.Name + "/" + blk + "/"
+			finals := make(map[string]bool)
+			for _, sub := range s.SubFlow.Steps {
+				finals[prefix+sub.Name] = true
+			}
+			for _, sub := range s.SubFlow.Steps {
+				var deps []string
+				// Sub-step deps stay inside the block.
+				for _, d := range sub.StartAfter {
+					deps = append(deps, prefix+d)
+					delete(finals, prefix+d)
+				}
+				// First sub-steps inherit the parent step's start deps.
+				if len(sub.StartAfter) == 0 {
+					deps = append(deps, s.StartAfter...)
+				}
+				var fin []string
+				for _, d := range sub.FinishRequires {
+					fin = append(fin, prefix+d)
+				}
+				in.addTask(prefix+sub.Name, blk, sub, deps, fin)
+			}
+			for f := range finals {
+				blockFinals = append(blockFinals, f)
+			}
+		}
+		// A synthetic join task represents the parent step's completion.
+		sort.Strings(blockFinals)
+		join := &StepDef{Name: s.Name, Action: FuncAction{Fn: func(*Ctx) int { return 0 }}}
+		in.addTask(s.Name, "", join, blockFinals, s.FinishRequires)
+	}
+	// Wire triggers: any task producing item X notifies consumers of X.
+	for name, task := range in.Tasks {
+		for _, chk := range task.Def.Inputs {
+			in.consumers[chk.Item] = append(in.consumers[chk.Item], name)
+		}
+	}
+	for item := range in.consumers {
+		sort.Strings(in.consumers[item])
+	}
+	return in, nil
+}
+
+func (in *Instance) addTask(name, block string, def *StepDef, startAfter, finishRequires []string) {
+	in.Tasks[name] = &Task{
+		Name:           name,
+		Block:          block,
+		Def:            def,
+		State:          Pending,
+		startAfter:     append([]string(nil), startAfter...),
+		finishRequires: append([]string(nil), finishRequires...),
+	}
+}
+
+// TaskNames returns all task names sorted.
+func (in *Instance) TaskNames() []string {
+	out := make([]string, 0, len(in.Tasks))
+	for n := range in.Tasks {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// allowed checks step permissions.
+func allowed(def *StepDef, role string) bool {
+	if len(def.Permissions) == 0 {
+		return true
+	}
+	for _, p := range def.Permissions {
+		if p == role {
+			return true
+		}
+	}
+	return false
+}
+
+// readyToStart evaluates start dependencies and maturity inputs.
+func (in *Instance) readyToStart(t *Task) (bool, string) {
+	for _, d := range t.startAfter {
+		dep, ok := in.Tasks[d]
+		if !ok || dep.State != Done {
+			return false, "waiting for " + d
+		}
+	}
+	for _, chk := range t.Def.Inputs {
+		if ok, why := in.checkMaturity(chk); !ok {
+			return false, why
+		}
+	}
+	return true, ""
+}
+
+// checkMaturity evaluates one data maturity condition.
+func (in *Instance) checkMaturity(chk MaturityCheck) (bool, string) {
+	content, _, exists := in.Data.Get(chk.Item)
+	if chk.Exists && !exists {
+		return false, fmt.Sprintf("data %q missing", chk.Item)
+	}
+	if chk.NewerThan != "" {
+		a, okA := in.Data.Stamp(chk.Item)
+		b, okB := in.Data.Stamp(chk.NewerThan)
+		if !okA {
+			return false, fmt.Sprintf("data %q missing", chk.Item)
+		}
+		if okB && a <= b {
+			return false, fmt.Sprintf("data %q stale relative to %q", chk.Item, chk.NewerThan)
+		}
+	}
+	if chk.Contains != "" && !strings.Contains(content, chk.Contains) {
+		return false, fmt.Sprintf("data %q lacks %q", chk.Item, chk.Contains)
+	}
+	return true, ""
+}
+
+// Ready lists tasks whose start dependencies and inputs are satisfied.
+func (in *Instance) Ready() []string {
+	var out []string
+	for _, n := range in.TaskNames() {
+		t := in.Tasks[n]
+		if t.State != Pending && t.State != NeedsRerun {
+			continue
+		}
+		if ok, _ := in.readyToStart(t); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RunTask executes one task as role. The default policy maps exit status
+// zero to Done and non-zero to Failed "without the developer having to
+// explicitly set the task state"; Ctx.SetStatus overrides.
+func (in *Instance) RunTask(name, role string) error {
+	t, ok := in.Tasks[name]
+	if !ok {
+		return fmt.Errorf("%w: no task %q", ErrState, name)
+	}
+	if !allowed(t.Def, role) {
+		return fmt.Errorf("%w: role %q cannot run %q", ErrPermission, role, name)
+	}
+	if t.State == Done || t.State == Running {
+		return fmt.Errorf("%w: task %q is %v", ErrState, name, t.State)
+	}
+	if ok, why := in.readyToStart(t); !ok {
+		return fmt.Errorf("%w: task %q not ready: %s", ErrState, name, why)
+	}
+	if t.Def.Condition != nil && !t.Def.Condition(in) {
+		t.State = Skipped
+		in.log(name, "skipped", "condition false")
+		return nil
+	}
+	in.clock++
+	t.State = Running
+	t.Attempts++
+	t.StartedAt = in.clock
+	in.log(name, "start", fmt.Sprintf("attempt %d (%s action)", t.Attempts, t.Def.Action.Lang()))
+
+	before := in.snapshotStamps(t.Def.Outputs)
+	ctx := &Ctx{Task: name, Block: t.Block, Instance: in}
+	status := t.Def.Action.Run(ctx)
+	in.clock++
+	t.FinishedAt = in.clock
+	t.Status = status
+
+	// Finish dependencies: the task may not complete before they do.
+	for _, d := range t.finishRequires {
+		dep, ok := in.Tasks[d]
+		if !ok || dep.State != Done {
+			t.State = Pending
+			in.log(name, "failed", fmt.Sprintf("finish dependency %q incomplete", d))
+			return fmt.Errorf("%w: task %q finish dependency %q incomplete", ErrState, name, d)
+		}
+	}
+
+	final := Done
+	if ctx.explicit != nil {
+		final = *ctx.explicit
+	} else if status != 0 {
+		final = Failed
+	}
+	t.State = final
+	switch final {
+	case Done:
+		in.log(name, "done", fmt.Sprintf("status %d", status))
+		in.fireTriggers(t, before)
+	case Failed:
+		in.log(name, "failed", fmt.Sprintf("status %d", status))
+	default:
+		in.log(name, "done", fmt.Sprintf("explicit state %v", final))
+	}
+	return nil
+}
+
+// snapshotStamps records output item stamps before a run.
+func (in *Instance) snapshotStamps(items []string) map[string]int {
+	out := make(map[string]int, len(items))
+	for _, it := range items {
+		if s, ok := in.Data.Stamp(it); ok {
+			out[it] = s
+		} else {
+			out[it] = -1
+		}
+	}
+	return out
+}
+
+// fireTriggers marks downstream consumers of changed outputs for rework —
+// "Trigger-based procedures provide the ability to notify the user when
+// something has changed in the design that does, or might, require them to
+// rework some of their steps."
+func (in *Instance) fireTriggers(t *Task, before map[string]int) {
+	for _, item := range t.Def.Outputs {
+		now, ok := in.Data.Stamp(item)
+		if !ok || now == before[item] {
+			continue
+		}
+		for _, consumer := range in.consumers[item] {
+			ct := in.Tasks[consumer]
+			if ct.State == Done {
+				ct.State = NeedsRerun
+				msg := fmt.Sprintf("data %q changed by %q: task %q needs rerun", item, t.Name, consumer)
+				in.Notifications = append(in.Notifications, msg)
+				in.log(consumer, "rerun", msg)
+			}
+		}
+	}
+}
+
+// Reset returns a completed or failed task to pending — "When can I reset
+// and rerun this step?" is a permission-guarded decision.
+func (in *Instance) Reset(name, role string) error {
+	t, ok := in.Tasks[name]
+	if !ok {
+		return fmt.Errorf("%w: no task %q", ErrState, name)
+	}
+	if !allowed(t.Def, role) {
+		return fmt.Errorf("%w: role %q cannot reset %q", ErrPermission, role, name)
+	}
+	if t.State == Running {
+		return fmt.Errorf("%w: task %q is running", ErrState, name)
+	}
+	t.State = Pending
+	in.log(name, "rerun", "reset by "+role)
+	return nil
+}
+
+// Run drives the instance to quiescence: repeatedly runs every ready task
+// as role until nothing is ready or progress stops. Failed tasks are not
+// retried automatically.
+func (in *Instance) Run(role string) error {
+	for {
+		ready := in.Ready()
+		progressed := false
+		for _, name := range ready {
+			t := in.Tasks[name]
+			if t.State == Pending || t.State == NeedsRerun {
+				if err := in.RunTask(name, role); err != nil {
+					if errors.Is(err, ErrPermission) {
+						continue // someone else's step
+					}
+					return err
+				}
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil
+		}
+	}
+}
+
+// Status summarizes task states.
+func (in *Instance) Status() map[TaskState]int {
+	out := make(map[TaskState]int)
+	for _, t := range in.Tasks {
+		out[t.State]++
+	}
+	return out
+}
+
+// Complete reports whether every task is Done or Skipped.
+func (in *Instance) Complete() bool {
+	for _, t := range in.Tasks {
+		if t.State != Done && t.State != Skipped {
+			return false
+		}
+	}
+	return true
+}
+
+func (in *Instance) log(task, kind, msg string) {
+	in.Events = append(in.Events, Event{Tick: in.clock, Task: task, Kind: kind, Msg: msg})
+}

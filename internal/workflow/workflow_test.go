@@ -1,0 +1,507 @@
+package workflow
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// ok returns an action that records its run and succeeds.
+func ok(ran *[]string, name string) Action {
+	return FuncAction{Fn: func(c *Ctx) int {
+		*ran = append(*ran, name)
+		return 0
+	}}
+}
+
+// linTemplate builds spec -> design -> verify.
+func linTemplate(ran *[]string) *Template {
+	return &Template{
+		Name: "lin",
+		Steps: []*StepDef{
+			{Name: "spec", Action: ok(ran, "spec")},
+			{Name: "design", Action: ok(ran, "design"), StartAfter: []string{"spec"}},
+			{Name: "verify", Action: ok(ran, "verify"), StartAfter: []string{"design"}},
+		},
+	}
+}
+
+func TestTemplateValidate(t *testing.T) {
+	var ran []string
+	if err := linTemplate(&ran).Validate(); err != nil {
+		t.Fatalf("valid template rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		tpl  *Template
+	}{
+		{"unnamed", &Template{Steps: []*StepDef{{Action: ok(&ran, "x")}}}},
+		{"duplicate", &Template{Steps: []*StepDef{
+			{Name: "a", Action: ok(&ran, "a")}, {Name: "a", Action: ok(&ran, "a")}}}},
+		{"no action", &Template{Steps: []*StepDef{{Name: "a"}}}},
+		{"unknown dep", &Template{Steps: []*StepDef{
+			{Name: "a", Action: ok(&ran, "a"), StartAfter: []string{"ghost"}}}}},
+		{"cycle", &Template{Steps: []*StepDef{
+			{Name: "a", Action: ok(&ran, "a"), StartAfter: []string{"b"}},
+			{Name: "b", Action: ok(&ran, "b"), StartAfter: []string{"a"}}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.tpl.Validate(); !errors.Is(err, ErrTemplate) {
+				t.Errorf("error = %v, want ErrTemplate", err)
+			}
+		})
+	}
+}
+
+func TestRunLinearFlow(t *testing.T) {
+	var ran []string
+	in, err := Instantiate(linTemplate(&ran), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initially only spec is ready.
+	if r := in.Ready(); len(r) != 1 || r[0] != "spec" {
+		t.Fatalf("Ready = %v", r)
+	}
+	if err := in.Run("anyone"); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Complete() {
+		t.Fatalf("incomplete: %v", in.Status())
+	}
+	want := []string{"spec", "design", "verify"}
+	if strings.Join(ran, ",") != strings.Join(want, ",") {
+		t.Errorf("order = %v", ran)
+	}
+}
+
+func TestDefaultStatusPolicy(t *testing.T) {
+	// Non-zero exit fails the step by default — no explicit state setting.
+	tpl := &Template{Name: "p", Steps: []*StepDef{
+		{Name: "good", Action: FuncAction{Fn: func(*Ctx) int { return 0 }}},
+		{Name: "bad", Action: FuncAction{Fn: func(*Ctx) int { return 3 }}},
+		{Name: "after", Action: FuncAction{Fn: func(*Ctx) int { return 0 }}, StartAfter: []string{"bad"}},
+	}}
+	in, err := Instantiate(tpl, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run("u"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks["good"].State != Done {
+		t.Errorf("good = %v", in.Tasks["good"].State)
+	}
+	if in.Tasks["bad"].State != Failed || in.Tasks["bad"].Status != 3 {
+		t.Errorf("bad = %v status %d", in.Tasks["bad"].State, in.Tasks["bad"].Status)
+	}
+	if in.Tasks["after"].State != Pending {
+		t.Errorf("after should stay blocked: %v", in.Tasks["after"].State)
+	}
+}
+
+func TestExplicitStatusOverride(t *testing.T) {
+	// The API override: exit 1 but explicitly Done — "a more complex
+	// integration".
+	tpl := &Template{Name: "e", Steps: []*StepDef{
+		{Name: "odd", Action: FuncAction{Fn: func(c *Ctx) int {
+			c.SetStatus(Done)
+			return 1 // tool returns non-zero but the integration knows better
+		}}},
+	}}
+	in, _ := Instantiate(tpl, nil, nil)
+	if err := in.Run("u"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks["odd"].State != Done {
+		t.Errorf("odd = %v, want Done via explicit API", in.Tasks["odd"].State)
+	}
+}
+
+func TestConditionsSkip(t *testing.T) {
+	tpl := &Template{Name: "c", Steps: []*StepDef{
+		{Name: "opt", Action: FuncAction{Fn: func(*Ctx) int { return 0 }},
+			Condition: func(*Instance) bool { return false }},
+	}}
+	in, _ := Instantiate(tpl, nil, nil)
+	if err := in.Run("u"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks["opt"].State != Skipped {
+		t.Errorf("opt = %v", in.Tasks["opt"].State)
+	}
+	if !in.Complete() {
+		t.Error("skipped tasks should count as complete")
+	}
+}
+
+func TestPermissions(t *testing.T) {
+	var ran []string
+	tpl := &Template{Name: "perm", Steps: []*StepDef{
+		{Name: "signoff", Action: ok(&ran, "signoff"), Permissions: []string{"manager"}},
+	}}
+	in, _ := Instantiate(tpl, nil, nil)
+	if err := in.RunTask("signoff", "intern"); !errors.Is(err, ErrPermission) {
+		t.Errorf("error = %v, want ErrPermission", err)
+	}
+	if err := in.RunTask("signoff", "manager"); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Reset("signoff", "intern"); !errors.Is(err, ErrPermission) {
+		t.Errorf("reset error = %v", err)
+	}
+	if err := in.Reset("signoff", "manager"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks["signoff"].State != Pending {
+		t.Error("reset did not return task to pending")
+	}
+	// Run drives only the steps the role may touch.
+	if err := in.Run("intern"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks["signoff"].State == Done {
+		t.Error("intern ran a manager step")
+	}
+}
+
+func TestMaturityChecks(t *testing.T) {
+	store := NewMemStore()
+	tpl := &Template{Name: "m", Steps: []*StepDef{
+		{Name: "syn", Action: FuncAction{Fn: func(c *Ctx) int {
+			c.Data().Put("netlist", "module top; endmodule")
+			return 0
+		}}, Outputs: []string{"netlist"}},
+		{Name: "route", Action: FuncAction{Fn: func(*Ctx) int { return 0 }},
+			StartAfter: []string{"syn"},
+			Inputs:     []MaturityCheck{{Item: "netlist", Exists: true, Contains: "module"}}},
+	}}
+	in, err := Instantiate(tpl, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// route is blocked by both the dep and the data.
+	if err := in.RunTask("route", "u"); !errors.Is(err, ErrState) {
+		t.Errorf("premature route: %v", err)
+	}
+	if err := in.Run("u"); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Complete() {
+		t.Fatalf("incomplete: %v", in.Status())
+	}
+	// Content check failure path.
+	store2 := NewMemStore()
+	store2.Put("netlist", "garbage")
+	tpl2 := &Template{Name: "m2", Steps: []*StepDef{
+		{Name: "route", Action: FuncAction{Fn: func(*Ctx) int { return 0 }},
+			Inputs: []MaturityCheck{{Item: "netlist", Exists: true, Contains: "module"}}},
+	}}
+	in2, _ := Instantiate(tpl2, store2, nil)
+	in2.Run("u")
+	if in2.Tasks["route"].State == Done {
+		t.Error("route ran on immature data")
+	}
+}
+
+func TestMaturityNewerThan(t *testing.T) {
+	store := NewMemStore()
+	store.Put("rtl", "v1")
+	store.Put("netlist", "n1") // newer than rtl
+	chk := MaturityCheck{Item: "netlist", NewerThan: "rtl"}
+	in := &Instance{Data: store}
+	if ok, _ := in.checkMaturity(chk); !ok {
+		t.Error("fresh netlist reported stale")
+	}
+	store.Put("rtl", "v2") // rtl now newer
+	if ok, why := in.checkMaturity(chk); ok {
+		t.Error("stale netlist reported fresh")
+	} else if !strings.Contains(why, "stale") {
+		t.Errorf("why = %q", why)
+	}
+	if ok, _ := in.checkMaturity(MaturityCheck{Item: "ghost", NewerThan: "rtl"}); ok {
+		t.Error("missing item passed NewerThan")
+	}
+}
+
+func TestTriggersMarkRework(t *testing.T) {
+	store := NewMemStore()
+	tpl := &Template{Name: "t", Steps: []*StepDef{
+		{Name: "rtl", Action: FuncAction{Fn: func(c *Ctx) int {
+			c.Data().Put("rtl.v", "always @(posedge clk)")
+			return 0
+		}}, Outputs: []string{"rtl.v"}},
+		{Name: "lint", Action: FuncAction{Fn: func(*Ctx) int { return 0 }},
+			StartAfter: []string{"rtl"},
+			Inputs:     []MaturityCheck{{Item: "rtl.v", Exists: true}}},
+	}}
+	in, err := Instantiate(tpl, store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run("u"); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Complete() {
+		t.Fatal("flow incomplete")
+	}
+	// Re-run rtl: its output changes, lint must be marked NeedsRerun and a
+	// notification recorded.
+	if err := in.Reset("rtl", "u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.RunTask("rtl", "u"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks["lint"].State != NeedsRerun {
+		t.Errorf("lint = %v, want NeedsRerun", in.Tasks["lint"].State)
+	}
+	if len(in.Notifications) == 0 {
+		t.Error("no rework notification")
+	}
+	// Run drains the rework.
+	if err := in.Run("u"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks["lint"].State != Done {
+		t.Errorf("lint after rework = %v", in.Tasks["lint"].State)
+	}
+}
+
+func TestHierarchicalSubFlows(t *testing.T) {
+	var ran []string
+	sub := &Template{Name: "blockflow", Steps: []*StepDef{
+		{Name: "synth", Action: FuncAction{Fn: func(c *Ctx) int {
+			ran = append(ran, c.Block+"/synth")
+			return 0
+		}}},
+		{Name: "pnr", Action: FuncAction{Fn: func(c *Ctx) int {
+			ran = append(ran, c.Block+"/pnr")
+			return 0
+		}}, StartAfter: []string{"synth"}},
+	}}
+	tpl := &Template{Name: "chip", Steps: []*StepDef{
+		{Name: "plan", Action: ok(&ran, "plan")},
+		{Name: "blocks", SubFlow: sub, StartAfter: []string{"plan"}},
+		{Name: "assemble", Action: ok(&ran, "assemble"), StartAfter: []string{"blocks"}},
+	}}
+	in, err := Instantiate(tpl, nil, []string{"cpu", "dsp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task naming: blocks/cpu/synth etc.
+	names := in.TaskNames()
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"blocks/cpu/synth", "blocks/cpu/pnr", "blocks/dsp/synth", "blocks/dsp/pnr", "blocks", "plan", "assemble"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing task %q in %v", want, names)
+		}
+	}
+	if err := in.Run("u"); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Complete() {
+		t.Fatalf("incomplete: %v", in.Status())
+	}
+	// Per-block ordering held; assemble ran last.
+	pos := map[string]int{}
+	for i, r := range ran {
+		pos[r] = i
+	}
+	if pos["cpu/synth"] > pos["cpu/pnr"] || pos["dsp/synth"] > pos["dsp/pnr"] {
+		t.Errorf("block order broken: %v", ran)
+	}
+	if pos["assemble"] != len(ran)-1 {
+		t.Errorf("assemble not last: %v", ran)
+	}
+	if pos["plan"] != 0 {
+		t.Errorf("plan not first: %v", ran)
+	}
+}
+
+func TestSubFlowWithoutBlocks(t *testing.T) {
+	sub := &Template{Name: "s", Steps: []*StepDef{{Name: "x", Action: FuncAction{Fn: func(*Ctx) int { return 0 }}}}}
+	tpl := &Template{Name: "t", Steps: []*StepDef{{Name: "b", SubFlow: sub}}}
+	if _, err := Instantiate(tpl, nil, nil); !errors.Is(err, ErrTemplate) {
+		t.Errorf("error = %v, want ErrTemplate", err)
+	}
+}
+
+func TestDataVariablesAsProxies(t *testing.T) {
+	tpl := &Template{Name: "v", Steps: []*StepDef{
+		{Name: "measure", Action: FuncAction{Fn: func(c *Ctx) int {
+			c.SetVar("timing.slack", "-120ps")
+			return 0
+		}}},
+		{Name: "check", Action: FuncAction{Fn: func(c *Ctx) int {
+			if v, ok := c.Var("timing.slack"); ok && strings.HasPrefix(v, "-") {
+				return 1 // negative slack fails the gate
+			}
+			return 0
+		}}, StartAfter: []string{"measure"}},
+	}}
+	in, _ := Instantiate(tpl, nil, nil)
+	if err := in.Run("u"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks["check"].State != Failed {
+		t.Errorf("check = %v, want Failed on negative slack", in.Tasks["check"].State)
+	}
+}
+
+func TestFinishDependencies(t *testing.T) {
+	// "Other events might be used to insure that a task does not complete
+	// too soon."
+	tpl := &Template{Name: "f", Steps: []*StepDef{
+		{Name: "slowSibling", Action: FuncAction{Fn: func(*Ctx) int { return 0 }}},
+		{Name: "gated", Action: FuncAction{Fn: func(*Ctx) int { return 0 }},
+			FinishRequires: []string{"slowSibling"}},
+	}}
+	in, _ := Instantiate(tpl, nil, nil)
+	// Run gated first: it executes but cannot complete.
+	err := in.RunTask("gated", "u")
+	if !errors.Is(err, ErrState) {
+		t.Errorf("error = %v, want ErrState", err)
+	}
+	if in.Tasks["gated"].State != Pending {
+		t.Errorf("gated = %v, want Pending again", in.Tasks["gated"].State)
+	}
+	// After the sibling completes, gated can too.
+	if err := in.RunTask("slowSibling", "u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.RunTask("gated", "u"); err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks["gated"].State != Done {
+		t.Errorf("gated = %v", in.Tasks["gated"].State)
+	}
+}
+
+func TestStoresInterchangeable(t *testing.T) {
+	// The same flow runs against either data manager (architectural
+	// separation).
+	for _, store := range []DataStore{NewMemStore(), NewVersionedStore()} {
+		tpl := &Template{Name: "s", Steps: []*StepDef{
+			{Name: "w", Action: FuncAction{Fn: func(c *Ctx) int {
+				c.Data().Put("f", "v1")
+				c.Data().Put("f", "v2")
+				return 0
+			}}},
+		}}
+		in, _ := Instantiate(tpl, store, nil)
+		if err := in.Run("u"); err != nil {
+			t.Fatal(err)
+		}
+		content, version, ok := store.Get("f")
+		if !ok || content != "v2" || version != 2 {
+			t.Errorf("%T: Get = %q v%d %v", store, content, version, ok)
+		}
+	}
+	// VersionedStore keeps history; MemStore does not.
+	vs := NewVersionedStore()
+	vs.Put("f", "a")
+	vs.Put("f", "b")
+	if old, ok := vs.GetVersion("f", 1); !ok || old != "a" {
+		t.Errorf("GetVersion = %q %v", old, ok)
+	}
+	if _, ok := vs.GetVersion("f", 9); ok {
+		t.Error("bogus version found")
+	}
+	if vs.History()["f"] != 2 {
+		t.Error("history count wrong")
+	}
+	if _, _, ok := NewMemStore().Get("nothere"); ok {
+		t.Error("empty store returned data")
+	}
+	if _, ok := NewVersionedStore().Stamp("x"); ok {
+		t.Error("stamp on empty versioned store")
+	}
+}
+
+func TestMetricsAndBottlenecks(t *testing.T) {
+	var ran []string
+	in, _ := Instantiate(linTemplate(&ran), nil, nil)
+	in.Run("u")
+	m := CollectMetrics(in)
+	if len(m.PerTask) != 3 {
+		t.Fatalf("PerTask = %v", m.PerTask)
+	}
+	for name, tm := range m.PerTask {
+		if tm.Attempts != 1 || tm.Duration == 0 {
+			t.Errorf("%s metrics = %+v", name, tm)
+		}
+	}
+	if m.Span == 0 {
+		t.Error("zero span")
+	}
+	b := m.Bottlenecks(2)
+	if len(b) != 2 {
+		t.Errorf("Bottlenecks = %v", b)
+	}
+	if !strings.Contains(m.Summary(), "tasks=3") {
+		t.Errorf("Summary = %q", m.Summary())
+	}
+}
+
+func TestRunTaskStateErrors(t *testing.T) {
+	var ran []string
+	in, _ := Instantiate(linTemplate(&ran), nil, nil)
+	if err := in.RunTask("ghost", "u"); !errors.Is(err, ErrState) {
+		t.Errorf("ghost: %v", err)
+	}
+	in.RunTask("spec", "u")
+	if err := in.RunTask("spec", "u"); !errors.Is(err, ErrState) {
+		t.Errorf("double run: %v", err)
+	}
+	if err := in.Reset("ghost", "u"); !errors.Is(err, ErrState) {
+		t.Errorf("reset ghost: %v", err)
+	}
+}
+
+func TestActionLang(t *testing.T) {
+	if (FuncAction{}).Lang() != "go" {
+		t.Error("default lang")
+	}
+	if (FuncAction{Language: "perl"}).Lang() != "perl" {
+		t.Error("custom lang")
+	}
+	if Pending.String() != "pending" || NeedsRerun.String() != "needs-rerun" {
+		t.Error("state names")
+	}
+}
+
+func TestInstanceDOT(t *testing.T) {
+	var ran []string
+	sub := &Template{Name: "b", Steps: []*StepDef{
+		{Name: "work", Action: ok(&ran, "w")},
+		{Name: "check", Action: ok(&ran, "c"), StartAfter: []string{"work"},
+			FinishRequires: []string{"work"}},
+	}}
+	tpl := &Template{Name: "t", Steps: []*StepDef{
+		{Name: "plan", Action: ok(&ran, "p")},
+		{Name: "blocks", SubFlow: sub, StartAfter: []string{"plan"}},
+	}}
+	in, err := Instantiate(tpl, nil, []string{"cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.RunTask("plan", "u")
+	dot := in.DOT("flow")
+	for _, want := range []string{
+		`digraph "flow"`,
+		`fillcolor=palegreen`, // plan done
+		`subgraph cluster_0`,  // block cluster
+		`label="cpu"`,
+		`"plan" -> "blocks/cpu/work"`,
+		`style=dashed label=finish`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces")
+	}
+}

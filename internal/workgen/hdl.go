@@ -1,0 +1,191 @@
+package workgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// HDLOptions sizes a generated combinational module.
+type HDLOptions struct {
+	// Gates is the number of generated assign statements.
+	Gates int
+	// Inputs is the primary input count.
+	Inputs int
+	// Seed drives structure selection.
+	Seed int64
+	// UseMultiply sprinkles * operators (vendor-subset bait).
+	UseMultiply bool
+	// UsePartSelect sprinkles part selects.
+	UsePartSelect bool
+	// UseTristate sprinkles z literals.
+	UseTristate bool
+	// UseRelational sprinkles < comparisons.
+	UseRelational bool
+}
+
+// CombModule generates Verilog source for a random combinational module
+// named after the options, for subset-checking and synthesis experiments.
+func CombModule(name string, opts HDLOptions) string {
+	if opts.Gates < 1 {
+		opts.Gates = 1
+	}
+	if opts.Inputs < 2 {
+		opts.Inputs = 2
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var b strings.Builder
+	var ports []string
+	for i := 0; i < opts.Inputs; i++ {
+		ports = append(ports, fmt.Sprintf("i%d", i))
+	}
+	ports = append(ports, "out")
+	fmt.Fprintf(&b, "module %s(%s);\n", name, strings.Join(ports, ", "))
+	for i := 0; i < opts.Inputs; i++ {
+		fmt.Fprintf(&b, "  input [3:0] i%d;\n", i)
+	}
+	fmt.Fprintf(&b, "  output [3:0] out;\n")
+	sigs := make([]string, 0, opts.Inputs+opts.Gates)
+	for i := 0; i < opts.Inputs; i++ {
+		sigs = append(sigs, fmt.Sprintf("i%d", i))
+	}
+	ops := []string{"&", "|", "^"}
+	for g := 0; g < opts.Gates; g++ {
+		w := fmt.Sprintf("w%d", g)
+		fmt.Fprintf(&b, "  wire [3:0] %s;\n", w)
+		a := sigs[rng.Intn(len(sigs))]
+		c := sigs[rng.Intn(len(sigs))]
+		switch {
+		case opts.UseMultiply && g%7 == 3:
+			fmt.Fprintf(&b, "  assign %s = %s * %s;\n", w, a, c)
+		case opts.UsePartSelect && g%5 == 2:
+			fmt.Fprintf(&b, "  assign %s = {%s[1:0], %s[3:2]};\n", w, a, c)
+		case opts.UseTristate && g%11 == 5:
+			fmt.Fprintf(&b, "  assign %s = %s & 4'bzz11;\n", w, a)
+		case opts.UseRelational && g%6 == 4:
+			fmt.Fprintf(&b, "  assign %s = (%s < %s) ? %s : ~%s;\n", w, a, c, a, c)
+		default:
+			op := ops[rng.Intn(len(ops))]
+			if rng.Intn(4) == 0 {
+				fmt.Fprintf(&b, "  assign %s = ~(%s %s %s);\n", w, a, op, c)
+			} else {
+				fmt.Fprintf(&b, "  assign %s = %s %s %s;\n", w, a, op, c)
+			}
+		}
+		sigs = append(sigs, w)
+	}
+	fmt.Fprintf(&b, "  assign out = %s;\n", sigs[len(sigs)-1])
+	fmt.Fprintf(&b, "endmodule\n")
+	return b.String()
+}
+
+// RacyDesign generates a testbench with n independent blocking-assignment
+// races (the paper's §3.1 hazard); when clean is true the same design is
+// written with the race-free non-blocking idiom instead.
+func RacyDesign(n int, clean bool) string {
+	if n < 1 {
+		n = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "module top;\n  reg clk;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  reg b%d, r%d;\n", i, i)
+	}
+	op := "="
+	if clean {
+		op = "<="
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  always @(posedge clk) b%d %s 1;\n", i, op)
+		fmt.Fprintf(&b, "  always @(posedge clk) r%d %s b%d;\n", i, op, i)
+	}
+	fmt.Fprintf(&b, "  initial begin\n    clk = 0;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    b%d = 0; r%d = 0;\n", i, i)
+	}
+	fmt.Fprintf(&b, "    #10 clk = 1;\n    #10 $finish;\n  end\nendmodule\n")
+	return b.String()
+}
+
+// TimingDesign generates a DUT with a $setup check plus a stimulus whose
+// data-to-clock separations sweep the given deltas (0 means simultaneous).
+// The number of violations depends on the simulator's timing-check
+// semantics — the Pre16aPaths compatibility drift of §3.1.
+func TimingDesign(limit int, deltas []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module ff(clk, d);\n  input clk, d;\n  $setup(d, clk, %d);\nendmodule\n", limit)
+	fmt.Fprintf(&b, "module top;\n  reg clk, d;\n  ff u(.clk(clk), .d(d));\n")
+	fmt.Fprintf(&b, "  initial begin\n    clk = 0; d = 0;\n")
+	period := limit*4 + 8
+	for i, delta := range deltas {
+		v := (i + 1) % 2
+		if delta == 0 {
+			fmt.Fprintf(&b, "    #%d begin d = %d; clk = 1; end\n", period, v)
+		} else {
+			fmt.Fprintf(&b, "    #%d d = %d;\n", period-delta, v)
+			fmt.Fprintf(&b, "    #%d clk = 1;\n", delta)
+		}
+		fmt.Fprintf(&b, "    #%d clk = 0;\n", period/2)
+	}
+	fmt.Fprintf(&b, "    #10 $finish;\n  end\nendmodule\n")
+	return b.String()
+}
+
+// SensitivityDesign generates a module with n always blocks whose
+// sensitivity lists each omit one read signal — the §3.2 modeling-style
+// trap at scale.
+func SensitivityDesign(n int) string {
+	if n < 1 {
+		n = 1
+	}
+	var b strings.Builder
+	var ports []string
+	for i := 0; i < n; i++ {
+		ports = append(ports, fmt.Sprintf("a%d, b%d, c%d, o%d", i, i, i, i))
+	}
+	fmt.Fprintf(&b, "module style(%s);\n", strings.Join(ports, ", "))
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  input a%d, b%d, c%d;\n  output o%d;\n  reg o%d;\n", i, i, i, i, i)
+		fmt.Fprintf(&b, "  always @(a%d or b%d)\n    o%d = a%d & b%d & c%d;\n", i, i, i, i, i, i)
+	}
+	fmt.Fprintf(&b, "endmodule\n")
+	return b.String()
+}
+
+// NameCorpus generates n signal names with long shared prefixes (to
+// provoke 8-character aliasing), sprinkled VHDL keywords, and characters
+// needing escapes.
+func NameCorpus(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	prefixes := []string{"cntr_reset", "data_valid", "mem_addr_b", "fifo_full_"}
+	keywords := []string{"in", "out", "buffer", "signal", "entity"}
+	var out []string
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			out = append(out, keywords[rng.Intn(len(keywords))])
+		case 1:
+			out = append(out, fmt.Sprintf("bus[%d]", rng.Intn(32)))
+		default:
+			out = append(out, fmt.Sprintf("%s%d", prefixes[rng.Intn(len(prefixes))], rng.Intn(100)))
+		}
+	}
+	return out
+}
+
+// HierPaths generates n hierarchical instance paths of the given depth for
+// flattening experiments.
+func HierPaths(n, depth int, seed int64) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	levels := []string{"core", "alu", "fpu", "lsu", "dec", "mul_div", "reg_file"}
+	var out [][]string
+	for i := 0; i < n; i++ {
+		path := []string{"top"}
+		for d := 1; d < depth; d++ {
+			path = append(path, fmt.Sprintf("%s%d", levels[rng.Intn(len(levels))], rng.Intn(4)))
+		}
+		path = append(path, fmt.Sprintf("net%d", i))
+		out = append(out, path)
+	}
+	return out
+}

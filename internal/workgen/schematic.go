@@ -1,0 +1,227 @@
+package workgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/migrate"
+	"cadinterop/internal/netlist"
+	"cadinterop/internal/schematic"
+)
+
+// SchematicOptions sizes a generated Exar-style migration workload.
+type SchematicOptions struct {
+	// Instances is the total component count.
+	Instances int
+	// Pages spreads the instances across sheets.
+	Pages int
+	// Seed varies component mix and analog properties.
+	Seed int64
+	// AnalogFraction is the approximate fraction of analog (res) parts
+	// carrying non-standard properties, in percent.
+	AnalogFraction int
+}
+
+// SchematicWorkload is a complete migration scenario: source design,
+// qualified target libraries and the replacement maps.
+type SchematicWorkload struct {
+	Design  *schematic.Design
+	Targets []*schematic.Library
+	Maps    []migrate.SymbolMap
+}
+
+// MigrateOptions builds the standard full-featured migration options for
+// the workload (all Section 2 rules enabled).
+func (w *SchematicWorkload) MigrateOptions() migrate.Options {
+	return migrate.Options{
+		From:       schematic.VL,
+		To:         schematic.CD,
+		TargetLibs: w.Targets,
+		Symbols:    w.Maps,
+		PropRules: []migrate.PropRule{
+			{Action: migrate.PropRename, Name: "refdes", NewName: "instName"},
+			{Action: migrate.PropAdd, Name: "view", NewValue: "symbol"},
+		},
+		Callbacks: []migrate.Callback{{
+			PropName: "spice",
+			Script: `(define (transform name value)
+			           (map (lambda (p)
+			                  (let ((kv (string-split p ":")))
+			                    (list (string-append "m_" (string-downcase (car kv)))
+			                          (nth 1 kv))))
+			                (string-split value " ")))`,
+		}},
+		GlobalMap: map[string]string{"VDD": "vdd!", "GND": "gnd!"},
+	}
+}
+
+// Schematic generates a vl-dialect design of chained components across
+// pages, with every net labelled, condensed and postfix bus labels,
+// implicit cross-page nets, globals, and analog properties — the complete
+// Section 2 obstacle course at the requested scale.
+func Schematic(opts SchematicOptions) *SchematicWorkload {
+	if opts.Instances < 2 {
+		opts.Instances = 2
+	}
+	if opts.Pages < 1 {
+		opts.Pages = 1
+	}
+	if opts.AnalogFraction <= 0 {
+		opts.AnalogFraction = 20
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	d := schematic.NewDesign("gen", geom.GridTenth)
+	d.Globals = []string{"VDD", "GND"}
+	vlstd := d.EnsureLibrary("vlstd")
+	vlstd.AddSymbol(&schematic.Symbol{
+		Name: "nand2", View: "sym", Body: geom.R(0, 0, 4, 4),
+		Pins: []schematic.SymbolPin{
+			{Name: "A", Pos: geom.Pt(0, 0), Dir: netlist.Input},
+			{Name: "B", Pos: geom.Pt(0, 2), Dir: netlist.Input},
+			{Name: "Y", Pos: geom.Pt(4, 0), Dir: netlist.Output},
+		},
+	})
+	vlstd.AddSymbol(&schematic.Symbol{
+		Name: "res", View: "sym", Body: geom.R(0, 0, 2, 2),
+		Pins: []schematic.SymbolPin{
+			{Name: "P", Pos: geom.Pt(0, 0), Dir: netlist.Inout},
+			{Name: "N", Pos: geom.Pt(0, 2), Dir: netlist.Inout},
+		},
+	})
+
+	c := d.MustCell("top")
+	c.Ports = []netlist.Port{
+		{Name: "n0000", Dir: netlist.Input},
+		{Name: fmt.Sprintf("n%04d", opts.Instances), Dir: netlist.Output},
+	}
+	perPage := (opts.Instances + opts.Pages - 1) / opts.Pages
+	cols := 8
+	pageH := ((perPage+cols-1)/cols)*10 + 30
+
+	type pinLoc struct {
+		page *schematic.Page
+		pos  geom.Point
+	}
+	var prevY *pinLoc
+	idx := 0
+	for pg := 0; pg < opts.Pages; pg++ {
+		page := c.AddPage(geom.R(0, 0, cols*14+20, pageH))
+		count := perPage
+		if rem := opts.Instances - idx; rem < count {
+			count = rem
+		}
+		for i := 0; i < count; i++ {
+			col, row := i%cols, i/cols
+			pos := geom.Pt(col*14+10, row*10+10)
+			isRes := rng.Intn(100) < opts.AnalogFraction
+			name := fmt.Sprintf("u%04d", idx)
+			inst := &schematic.Instance{Name: name, Placement: geom.Transform{Offset: pos}}
+			var inPin, outPin geom.Point
+			if isRes {
+				inst.Sym = schematic.SymbolKey{Lib: "vlstd", Name: "res", View: "sym"}
+				inst.Props = []schematic.Property{
+					{Name: "refdes", Value: fmt.Sprintf("R%d", idx), Visible: true, Size: 8},
+					{Name: "spice", Value: fmt.Sprintf("W:%d.%d L:0.%d", 1+rng.Intn(9), rng.Intn(10), 1+rng.Intn(9)), Size: 8},
+				}
+				inPin = pos // P
+				outPin = pos.Add(geom.Pt(0, 2))
+			} else {
+				inst.Sym = schematic.SymbolKey{Lib: "vlstd", Name: "nand2", View: "sym"}
+				inst.Props = []schematic.Property{
+					{Name: "refdes", Value: fmt.Sprintf("U%d", idx), Visible: true, Size: 8},
+				}
+				inPin = pos // A
+				outPin = pos.Add(geom.Pt(4, 0))
+			}
+			page.AddInstance(inst)
+
+			// Chain: previous output to this input via a labelled wire.
+			net := fmt.Sprintf("n%04d", idx)
+			if prevY != nil && prevY.page == page {
+				page.Wires = append(page.Wires, manhattan(prevY.pos, inPin)...)
+				page.Labels = append(page.Labels, &schematic.Label{Text: net, At: prevY.pos, Size: 8})
+			} else {
+				// Page entry: stub with the net label (implicit cross-page
+				// continuation of the previous page's exit label).
+				stub := geom.Pt(inPin.X-4, inPin.Y)
+				page.Wires = append(page.Wires, &schematic.Wire{Points: []geom.Point{stub, inPin}})
+				page.Labels = append(page.Labels, &schematic.Label{Text: net, At: stub, Size: 8})
+			}
+			// Exit stub from the output, labelled with the next net name.
+			next := fmt.Sprintf("n%04d", idx+1)
+			exit := geom.Pt(outPin.X+4, outPin.Y)
+			page.Wires = append(page.Wires, &schematic.Wire{Points: []geom.Point{outPin, exit}})
+			page.Labels = append(page.Labels, &schematic.Label{Text: next, At: exit, Size: 8})
+			prevY = &pinLoc{page: page, pos: exit}
+			idx++
+		}
+		// Page decorations: bus labels in VL syntax (declaration + a
+		// condensed bit + a postfix marker) and a global stub.
+		// Alphabetic suffix: a digit-final base would swallow the condensed
+		// bit digits ("BUS00" would parse as bus "BUS" bit 0, not BUS0[0]).
+		busBase := fmt.Sprintf("BUS%c", 'A'+pg%26)
+		y := pageH - 12
+		page.Wires = append(page.Wires,
+			&schematic.Wire{Points: []geom.Point{geom.Pt(10, y), geom.Pt(30, y)}},
+			&schematic.Wire{Points: []geom.Point{geom.Pt(10, y+4), geom.Pt(30, y+4)}},
+			&schematic.Wire{Points: []geom.Point{geom.Pt(40, y), geom.Pt(60, y)}},
+			&schematic.Wire{Points: []geom.Point{geom.Pt(40, y+4), geom.Pt(60, y+4)}},
+		)
+		page.Labels = append(page.Labels,
+			&schematic.Label{Text: fmt.Sprintf("%s<0:3>", busBase), At: geom.Pt(10, y), Size: 8},
+			&schematic.Label{Text: busBase + "0", At: geom.Pt(10, y+4), Size: 8}, // condensed bit 0
+			&schematic.Label{Text: fmt.Sprintf("%s<0:3>-", busBase), At: geom.Pt(40, y), Size: 8},
+			&schematic.Label{Text: "VDD", At: geom.Pt(40, y+4), Size: 8},
+		)
+		page.Texts = append(page.Texts, &schematic.Text{
+			S: fmt.Sprintf("generated page %d", pg+1), At: geom.Pt(4, pageH-4), SizePts: 8})
+	}
+	d.Top = "top"
+
+	// Target library: renamed cells, renamed pins, and the output pin
+	// moved diagonally (forcing rip-up/reroute on every chained output).
+	cdstd := &schematic.Library{Name: "cdstd", Symbols: map[string]*schematic.Symbol{}}
+	cdstd.AddSymbol(&schematic.Symbol{
+		Name: "nd2", View: "symbol", Body: geom.R(0, 0, 4, 4),
+		Pins: []schematic.SymbolPin{
+			{Name: "IN1", Pos: geom.Pt(0, 0), Dir: netlist.Input},
+			{Name: "IN2", Pos: geom.Pt(0, 2), Dir: netlist.Input},
+			{Name: "OUT", Pos: geom.Pt(2, 4), Dir: netlist.Output},
+		},
+	})
+	cdstd.AddSymbol(&schematic.Symbol{
+		Name: "resistor", View: "symbol", Body: geom.R(0, 0, 2, 2),
+		Pins: []schematic.SymbolPin{
+			{Name: "PLUS", Pos: geom.Pt(0, 0), Dir: netlist.Inout},
+			{Name: "MINUS", Pos: geom.Pt(0, 2), Dir: netlist.Inout},
+		},
+	})
+	maps := []migrate.SymbolMap{
+		{
+			From:   schematic.SymbolKey{Lib: "vlstd", Name: "nand2", View: "sym"},
+			To:     schematic.SymbolKey{Lib: "cdstd", Name: "nd2", View: "symbol"},
+			PinMap: map[string]string{"A": "IN1", "B": "IN2", "Y": "OUT"},
+		},
+		{
+			From:   schematic.SymbolKey{Lib: "vlstd", Name: "res", View: "sym"},
+			To:     schematic.SymbolKey{Lib: "cdstd", Name: "resistor", View: "symbol"},
+			PinMap: map[string]string{"P": "PLUS", "N": "MINUS"},
+		},
+	}
+	return &SchematicWorkload{Design: d, Targets: []*schematic.Library{cdstd}, Maps: maps}
+}
+
+// manhattan builds a single polyline wire from a to b using an L-jog when
+// needed.
+func manhattan(a, b geom.Point) []*schematic.Wire {
+	if a == b {
+		return nil
+	}
+	if a.X == b.X || a.Y == b.Y {
+		return []*schematic.Wire{{Points: []geom.Point{a, b}}}
+	}
+	corner := geom.Pt(b.X, a.Y)
+	return []*schematic.Wire{{Points: []geom.Point{a, corner, b}}}
+}

@@ -1,0 +1,216 @@
+package workgen
+
+import (
+	"strings"
+	"testing"
+
+	"cadinterop/internal/hdl"
+	"cadinterop/internal/migrate"
+	"cadinterop/internal/netlist"
+	"cadinterop/internal/schematic"
+	"cadinterop/internal/sim"
+	"cadinterop/internal/synth"
+)
+
+func TestSchematicWorkloadValid(t *testing.T) {
+	w := Schematic(SchematicOptions{Instances: 40, Pages: 3, Seed: 7})
+	if err := w.Design.Validate(); err != nil {
+		t.Fatalf("generated design invalid: %v", err)
+	}
+	s := w.Design.Stats()
+	if s.Instances != 40 || s.Pages != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	// VL dialect accepts the generated design.
+	if vs := schematic.VL.Check(w.Design); len(vs) != 0 {
+		t.Errorf("VL violations: %v", vs)
+	}
+	// Extraction succeeds under the source dialect.
+	if _, err := schematic.Extract(w.Design, schematic.VL.ExtractOptions()); err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+}
+
+func TestSchematicWorkloadMigratesClean(t *testing.T) {
+	w := Schematic(SchematicOptions{Instances: 30, Pages: 2, Seed: 3})
+	out, rep, err := migrate.Migrate(w.Design, w.MigrateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Verification) != 0 {
+		for i, d := range rep.Verification {
+			if i > 8 {
+				break
+			}
+			t.Logf("diff: %s", d)
+		}
+		t.Fatalf("verification: %s", netlist.Summary(rep.Verification))
+	}
+	if vs := schematic.CD.Check(out); len(vs) != 0 {
+		t.Errorf("CD violations on migrated design: %v", vs[:minInt(len(vs), 5)])
+	}
+	if rep.ReplacedInstances != 30 {
+		t.Errorf("replaced = %d", rep.ReplacedInstances)
+	}
+	if rep.ReroutedPins == 0 || rep.BusRenames == 0 || rep.ConnectorsAdded == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestSchematicDeterministic(t *testing.T) {
+	a := Schematic(SchematicOptions{Instances: 20, Pages: 2, Seed: 5})
+	b := Schematic(SchematicOptions{Instances: 20, Pages: 2, Seed: 5})
+	if a.Design.Stats() != b.Design.Stats() {
+		t.Error("same seed produced different designs")
+	}
+}
+
+func TestCombModuleParsesAndSynthesizes(t *testing.T) {
+	src := CombModule("gen", HDLOptions{Gates: 30, Inputs: 4, Seed: 9})
+	d, err := hdl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	if probs := hdl.Check(d); len(probs) != 0 {
+		t.Fatalf("check: %v", probs)
+	}
+	if _, _, err := synth.Synthesize(d, "gen", synth.Options{}); err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+}
+
+func TestCombModuleFeatureMix(t *testing.T) {
+	src := CombModule("mix", HDLOptions{Gates: 40, Inputs: 4, Seed: 1,
+		UseMultiply: true, UsePartSelect: true, UseTristate: true, UseRelational: true})
+	d, err := hdl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	uses := synth.Analyze(d)
+	found := map[synth.Feature]bool{}
+	for _, u := range uses {
+		found[u.Feature] = true
+	}
+	for _, f := range []synth.Feature{synth.FeatArithMul, synth.FeatPartSelect, synth.FeatTriState, synth.FeatRelational} {
+		if !found[f] {
+			t.Errorf("feature %v not present in generated source", f)
+		}
+	}
+}
+
+func TestRacyDesignDivergesCleanDoesNot(t *testing.T) {
+	racy := RacyDesign(3, false)
+	clean := RacyDesign(3, true)
+	run := func(src string, pol sim.Policy) map[string]sim.Value {
+		d := hdl.MustParse(src)
+		k, err := sim.Elaborate(d, "top", sim.Options{Policy: pol, DisableTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		return k.FinalValues()
+	}
+	rFIFO := run(racy, sim.PolicyFIFO)
+	rLIFO := run(racy, sim.PolicyLIFO)
+	diverged := false
+	for name, v := range rFIFO {
+		if strings.HasPrefix(name, "r") && !v.Eq(rLIFO[name]) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("racy design did not diverge across policies")
+	}
+	cFIFO := run(clean, sim.PolicyFIFO)
+	cLIFO := run(clean, sim.PolicyLIFO)
+	for name, v := range cFIFO {
+		if !v.Eq(cLIFO[name]) {
+			t.Errorf("clean design diverged on %s", name)
+		}
+	}
+}
+
+func TestTimingDesignViolationCounts(t *testing.T) {
+	// Deltas: 1 (violates), limit+1 (ok), 0 (simultaneous: version
+	// dependent).
+	src := TimingDesign(3, []int{1, 4, 0})
+	d := hdl.MustParse(src)
+	run := func(pre16a bool) int {
+		k, err := sim.Elaborate(d, "top", sim.Options{Pre16aPaths: pre16a, DisableTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Run(10000); err != nil {
+			t.Fatal(err)
+		}
+		return len(k.Violations())
+	}
+	newCount := run(false)
+	oldCount := run(true)
+	if newCount != 2 { // delta=1 and delta=0
+		t.Errorf("new-semantics violations = %d, want 2", newCount)
+	}
+	if oldCount != 1 { // only delta=1
+		t.Errorf("pre-16a violations = %d, want 1", oldCount)
+	}
+}
+
+func TestSensitivityDesign(t *testing.T) {
+	src := SensitivityDesign(4)
+	d := hdl.MustParse(src)
+	_, rep, err := synth.Synthesize(d, "style", synth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completions) != 4 {
+		t.Errorf("completions = %d, want 4", len(rep.Completions))
+	}
+}
+
+func TestNameCorpusAndHierPaths(t *testing.T) {
+	names := NameCorpus(200, 1)
+	if len(names) != 200 {
+		t.Fatalf("corpus size = %d", len(names))
+	}
+	var kw, esc int
+	for _, n := range names {
+		if n == "in" || n == "out" || n == "buffer" || n == "signal" || n == "entity" {
+			kw++
+		}
+		if strings.Contains(n, "[") {
+			esc++
+		}
+	}
+	if kw == 0 || esc == 0 {
+		t.Errorf("corpus lacks variety: kw=%d esc=%d", kw, esc)
+	}
+	paths := HierPaths(50, 4, 2)
+	if len(paths) != 50 || len(paths[0]) != 5 {
+		t.Errorf("paths = %d x %d", len(paths), len(paths[0]))
+	}
+}
+
+func TestPhysDesignGeneratorValid(t *testing.T) {
+	d, fp, err := PhysDesign(PhysOptions{Cells: 30, Seed: 1, CriticalNets: 2, Keepouts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Lib.Validate(); err != nil {
+		t.Fatalf("library: %v", err)
+	}
+	if err := d.Nets.Validate(); err != nil {
+		t.Fatalf("netlist: %v", err)
+	}
+	if len(fp.NetRules) != 2 || len(fp.Keepouts) != 2 || len(fp.Pins) != 2 {
+		t.Errorf("floorplan = %+v", fp)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
