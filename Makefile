@@ -1,0 +1,27 @@
+# Tier-1 gate. `make check` is what CI (and every commit) should pass:
+# build + vet + full tests, plus the race detector on every package that
+# imports internal/par — the repo's entire concurrency surface
+# (DESIGN.md §5a). RACE_PKGS is computed, not hand-listed, so a new
+# par-importing package is race-gated automatically.
+
+GO ?= go
+RACE_PKGS = $(shell $(GO) list -f '{{.ImportPath}} {{join .Deps " "}}' ./... | grep 'cadinterop/internal/par' | cut -d' ' -f1)
+
+.PHONY: check build vet test race bench
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .

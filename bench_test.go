@@ -14,9 +14,12 @@ import (
 	"cadinterop/internal/backplane"
 	"cadinterop/internal/core"
 	"cadinterop/internal/experiments"
+	"cadinterop/internal/floorplan"
 	"cadinterop/internal/hdl"
 	"cadinterop/internal/migrate"
 	"cadinterop/internal/naming"
+	"cadinterop/internal/par"
+	"cadinterop/internal/phys"
 	"cadinterop/internal/place"
 	"cadinterop/internal/route"
 	"cadinterop/internal/sim"
@@ -364,5 +367,110 @@ func BenchmarkExp12Interchange(b *testing.B) {
 		if _, err := experiments.E12Interchange(20); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkExpAll measures the whole harness sequentially (the
+// Workers(1) serial reference) and fanned out across GOMAXPROCS
+// workers. The two variants produce byte-identical reports — see
+// TestAllDeterministic — so the ratio is pure scheduling win.
+func BenchmarkExpAll(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		opt  par.Option
+	}{
+		{"sequential", par.Workers(1)},
+		{"parallel", par.Workers(0)},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.All(v.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBackplaneFanout measures translating one floorplan into every
+// tool dialect serially versus concurrently (each flow regenerates its
+// own design, places and routes under the translated constraints).
+func BenchmarkBackplaneFanout(b *testing.B) {
+	gen := func() (*phys.Design, *floorplan.Floorplan, error) {
+		return workgen.PhysDesign(workgen.PhysOptions{
+			Cells: 32, Seed: 11, CriticalNets: 3, Keepouts: 1})
+	}
+	for _, v := range []struct {
+		name string
+		opt  par.Option
+	}{
+		{"sequential", par.Workers(1)},
+		{"parallel", par.Workers(0)},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := backplane.RunFlows(gen, backplane.AllTools(), 5, v.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRouteParallel measures the speculative parallel router against
+// its own sequential mode on a congested design with rule-carrying nets.
+// Output is byte-identical either way (TestRouteParallelEquivalence).
+func BenchmarkRouteParallel(b *testing.B) {
+	d, fp, err := workgen.PhysDesign(workgen.PhysOptions{
+		Cells: 48, Seed: 7, CriticalNets: 4, Keepouts: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := place.Place(d, place.Options{Seed: 5}); err != nil {
+		b.Fatal(err)
+	}
+	rules := make(map[string]route.Rule, len(fp.NetRules))
+	for _, r := range fp.NetRules {
+		w := max(r.WidthTracks, 1)
+		rules[r.Net] = route.Rule{WidthTracks: w, SpacingTracks: r.SpacingTracks, Shield: r.Shield}
+	}
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := route.Route(d, route.Options{
+					Pitch: 5, Rules: rules, Workers: v.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkgenCorpus measures generating the E6 model corpus serially
+// versus per-index in parallel.
+func BenchmarkWorkgenCorpus(b *testing.B) {
+	opt := func(i int) workgen.HDLOptions {
+		return workgen.HDLOptions{
+			Gates: 20 + i%30, Inputs: 3, Seed: int64(i),
+			UseMultiply: i%3 == 0, UsePartSelect: i%4 == 1, UseRelational: i%2 == 1}
+	}
+	for _, v := range []struct {
+		name string
+		opt  par.Option
+	}{
+		{"sequential", par.Workers(1)},
+		{"parallel", par.Workers(0)},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				workgen.CombModules("m", 64, opt, v.opt)
+			}
+		})
 	}
 }

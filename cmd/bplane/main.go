@@ -1,7 +1,9 @@
 // Command bplane demonstrates the Section 4 P&R backplane: one floorplan
 // translated into each tool dialect, with the loss report and the measured
 // quality damage when the design is actually placed and routed under the
-// translated (possibly impoverished) constraints.
+// translated (possibly impoverished) constraints. Dialects run
+// concurrently across -j workers; the output is identical at every worker
+// count.
 package main
 
 import (
@@ -10,6 +12,9 @@ import (
 	"os"
 
 	"cadinterop/internal/backplane"
+	"cadinterop/internal/floorplan"
+	"cadinterop/internal/par"
+	"cadinterop/internal/phys"
 	"cadinterop/internal/workgen"
 )
 
@@ -19,15 +24,16 @@ func main() {
 		seed  = flag.Int64("seed", 11, "generator seed")
 		tool  = flag.String("tool", "", "run only one tool dialect (toolP|toolQ|toolR)")
 		loss  = flag.Bool("loss", false, "print the full loss report")
+		jobs  = flag.Int("j", 0, "worker count (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
-	if err := run(*cells, *seed, *tool, *loss); err != nil {
+	if err := run(*cells, *seed, *tool, *loss, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "bplane:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cells int, seed int64, only string, printLoss bool) error {
+func run(cells int, seed int64, only string, printLoss bool, jobs int) error {
 	tools := backplane.AllTools()
 	if only != "" {
 		var sel []backplane.ToolDialect
@@ -41,18 +47,17 @@ func run(cells int, seed int64, only string, printLoss bool) error {
 		}
 		tools = sel
 	}
+	gen := func() (*phys.Design, *floorplan.Floorplan, error) {
+		return workgen.PhysDesign(workgen.PhysOptions{
+			Cells: cells, Seed: seed, CriticalNets: 3, Keepouts: 1})
+	}
+	results, err := backplane.RunFlows(gen, tools, 5, par.Workers(jobs))
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%-8s %6s %10s %8s %8s %6s %12s %10s\n",
 		"tool", "lost", "degraded", "HPWL", "wirelen", "vias", "violations", "unrouted")
-	for _, tool := range tools {
-		d, fp, err := workgen.PhysDesign(workgen.PhysOptions{
-			Cells: cells, Seed: seed, CriticalNets: 3, Keepouts: 1})
-		if err != nil {
-			return err
-		}
-		res, err := backplane.RunFlow(d, fp, tool, 5)
-		if err != nil {
-			return err
-		}
+	for _, res := range results {
 		var dropped, degraded int
 		for _, it := range res.Loss.Items {
 			if it.Kind == backplane.LossDropped {
@@ -62,7 +67,7 @@ func run(cells int, seed int64, only string, printLoss bool) error {
 			}
 		}
 		fmt.Printf("%-8s %6d %10d %8d %8d %6d %12d %10d\n",
-			tool.Name, dropped, degraded, res.Place.FinalHPWL,
+			res.Tool, dropped, degraded, res.Place.FinalHPWL,
 			res.Route.Wirelength, res.Route.Vias, len(res.Violations), len(res.Route.Failed))
 		if printLoss {
 			for _, it := range res.Loss.Items {
@@ -71,6 +76,20 @@ func run(cells int, seed int64, only string, printLoss bool) error {
 			for _, v := range res.Violations {
 				fmt.Println("    AUDIT:", v)
 			}
+		}
+	}
+	if merged := backplane.MergeLoss(results); len(results) > 1 && len(merged) > 0 {
+		fmt.Printf("\nconstraint loss by class (per tool: ")
+		for i, res := range results {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Print(res.Tool)
+		}
+		fmt.Println(")")
+		for _, cl := range merged {
+			fmt.Printf("  %-14s dropped=%-3d degraded=%-3d per-tool=%v\n",
+				cl.Class, cl.Dropped, cl.Degraded, cl.PerTool)
 		}
 	}
 	return nil

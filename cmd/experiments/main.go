@@ -1,24 +1,51 @@
 // Command experiments runs the full constructed-experiment harness
-// (E1–E11, see EXPERIMENTS.md) and prints every report. Pass experiment
-// ids to run a subset.
+// (E1–E12, see EXPERIMENTS.md) and prints every report. Positional
+// arguments select a subset by experiment id. The harness fans out
+// across -j workers; output is byte-identical at every worker count.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"cadinterop/internal/experiments"
+	"cadinterop/internal/par"
 )
 
 func main() {
-	reports, err := experiments.All()
-	if err != nil {
+	var (
+		jobs       = flag.Int("j", 0, "worker count (0 = GOMAXPROCS, 1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+	)
+	flag.Parse()
+	if err := run(*jobs, *cpuprofile, *memprofile, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+func run(jobs int, cpuprofile, memprofile string, ids []string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	reports, err := experiments.All(par.Workers(jobs))
+	if err != nil {
+		return err
+	}
 	want := map[string]bool{}
-	for _, arg := range os.Args[1:] {
-		want[arg] = true
+	for _, id := range ids {
+		want[id] = true
 	}
 	for _, r := range reports {
 		if len(want) > 0 && !want[r.ID] {
@@ -26,4 +53,15 @@ func main() {
 		}
 		fmt.Println(r.String())
 	}
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"cadinterop/internal/floorplan"
 	"cadinterop/internal/geom"
+	"cadinterop/internal/par"
 	"cadinterop/internal/phys"
 	"cadinterop/internal/place"
 	"cadinterop/internal/route"
@@ -329,8 +330,10 @@ func FullRules(fp *floorplan.Floorplan) map[string]route.Rule {
 }
 
 // RunFlow places and routes the design using ONE tool's translated
-// constraints, then audits against the full floorplan intent.
-func RunFlow(d *phys.Design, fp *floorplan.Floorplan, tool ToolDialect, seed int64) (*FlowResult, error) {
+// constraints, then audits against the full floorplan intent. Options
+// bound the router's internal worker pool (par.Workers(1) forces the
+// fully-serial reference flow).
+func RunFlow(d *phys.Design, fp *floorplan.Floorplan, tool ToolDialect, seed int64, opts ...par.Option) (*FlowResult, error) {
 	in, loss := Translate(fp, d.Lib, tool)
 	pres, err := place.Place(d, place.Options{Seed: seed, Keepouts: in.Keepouts})
 	if err != nil {
@@ -340,6 +343,7 @@ func RunFlow(d *phys.Design, fp *floorplan.Floorplan, tool ToolDialect, seed int
 		Pitch:    5, // half the layer pitch: room for width/spacing rules
 		Rules:    in.RouteRules,
 		Keepouts: in.Keepouts,
+		Workers:  par.N(opts...),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", tool.Name, err)
@@ -351,4 +355,68 @@ func RunFlow(d *phys.Design, fp *floorplan.Floorplan, tool ToolDialect, seed int
 		Violations: route.Audit(rres, FullRules(fp)),
 		Loss:       loss,
 	}, nil
+}
+
+// RunFlows drives every tool dialect concurrently — the Section 4
+// backplane as a fan-out: the same designer intent hits N tools at once,
+// exactly the handoff shape modern flows have. Because place and route
+// write placements into the design, each flow gets a private design and
+// floorplan from gen (gen must be safe to call concurrently; generators in
+// internal/workgen are). Results come back in tool order and are
+// byte-identical to running the tools one at a time.
+func RunFlows(gen func() (*phys.Design, *floorplan.Floorplan, error), tools []ToolDialect, seed int64, opts ...par.Option) ([]*FlowResult, error) {
+	return par.Map(len(tools), func(i int) (*FlowResult, error) {
+		d, fp, err := gen()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tools[i].Name, err)
+		}
+		return RunFlow(d, fp, tools[i], seed, opts...)
+	}, opts...)
+}
+
+// ClassLoss aggregates translation loss for one constraint class across
+// every dialect of a fan-out.
+type ClassLoss struct {
+	Class    string
+	Dropped  int
+	Degraded int
+	// PerTool counts loss items per dialect, indexed like the merged
+	// result order (tool order, not completion order).
+	PerTool []int
+}
+
+// MergeLoss folds the per-dialect loss reports of a fan-out into
+// per-class aggregates. The merge is deterministic regardless of the
+// concurrency that produced the inputs: classes sort alphabetically and
+// per-tool counts follow the result slice's tool order.
+func MergeLoss(results []*FlowResult) []ClassLoss {
+	byClass := make(map[string]*ClassLoss)
+	for ti, res := range results {
+		if res == nil || res.Loss == nil {
+			continue
+		}
+		for _, it := range res.Loss.Items {
+			cl := byClass[it.Class]
+			if cl == nil {
+				cl = &ClassLoss{Class: it.Class, PerTool: make([]int, len(results))}
+				byClass[it.Class] = cl
+			}
+			if it.Kind == LossDropped {
+				cl.Dropped++
+			} else {
+				cl.Degraded++
+			}
+			cl.PerTool[ti]++
+		}
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	out := make([]ClassLoss, 0, len(classes))
+	for _, c := range classes {
+		out = append(out, *byClass[c])
+	}
+	return out
 }

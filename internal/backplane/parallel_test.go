@@ -1,0 +1,123 @@
+package backplane
+
+import (
+	"reflect"
+	"testing"
+
+	"cadinterop/internal/floorplan"
+	"cadinterop/internal/par"
+	"cadinterop/internal/phys"
+	"cadinterop/internal/workgen"
+)
+
+func gen(t *testing.T) func() (*phys.Design, *floorplan.Floorplan, error) {
+	t.Helper()
+	return func() (*phys.Design, *floorplan.Floorplan, error) {
+		return workgen.PhysDesign(workgen.PhysOptions{
+			Cells: 24, Seed: 11, CriticalNets: 3, Keepouts: 1})
+	}
+}
+
+// flowView is the comparable part of a FlowResult.
+type flowView struct {
+	Tool       string
+	HPWL       int
+	Wirelength int
+	Vias       int
+	Failed     []string
+	Violations int
+	LossItems  []LossItem
+}
+
+func views(results []*FlowResult) []flowView {
+	out := make([]flowView, len(results))
+	for i, r := range results {
+		out[i] = flowView{
+			Tool:       r.Tool,
+			HPWL:       r.Place.FinalHPWL,
+			Wirelength: r.Route.Wirelength,
+			Vias:       r.Route.Vias,
+			Failed:     r.Route.Failed,
+			Violations: len(r.Violations),
+			LossItems:  r.Loss.Items,
+		}
+	}
+	return out
+}
+
+// TestRunFlowsEquivalence: the concurrent dialect fan-out must return
+// results in tool order, byte-identical to running each tool serially.
+func TestRunFlowsEquivalence(t *testing.T) {
+	tools := AllTools()
+	ref, err := RunFlows(gen(t), tools, 5, par.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != len(tools) {
+		t.Fatalf("results = %d, want %d", len(ref), len(tools))
+	}
+	for i, r := range ref {
+		if r.Tool != tools[i].Name {
+			t.Fatalf("result %d is %s, want %s (tool order must survive the fan-out)", i, r.Tool, tools[i].Name)
+		}
+	}
+	refLoss := MergeLoss(ref)
+	for _, workers := range []int{2, 3, 8} {
+		got, err := RunFlows(gen(t), tools, 5, par.Workers(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(views(got), views(ref)) {
+			t.Errorf("workers=%d diverges from serial fan-out:\nseq: %+v\npar: %+v",
+				workers, views(ref), views(got))
+		}
+		if !reflect.DeepEqual(MergeLoss(got), refLoss) {
+			t.Errorf("workers=%d: merged loss diverges", workers)
+		}
+	}
+}
+
+// TestMergeLoss: classes sort alphabetically, per-tool counts follow tool
+// order, and drop/degrade tallies add up.
+func TestMergeLoss(t *testing.T) {
+	results, err := RunFlows(gen(t), AllTools(), 5, par.Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := MergeLoss(results)
+	if len(merged) == 0 {
+		t.Fatal("no loss classes merged; toolQ/toolR must lose constraints")
+	}
+	total := 0
+	for i, cl := range merged {
+		if i > 0 && merged[i-1].Class >= cl.Class {
+			t.Errorf("classes out of order: %q before %q", merged[i-1].Class, cl.Class)
+		}
+		if len(cl.PerTool) != len(results) {
+			t.Fatalf("class %s: PerTool has %d entries, want %d", cl.Class, len(cl.PerTool), len(results))
+		}
+		perToolSum := 0
+		for _, n := range cl.PerTool {
+			perToolSum += n
+		}
+		if perToolSum != cl.Dropped+cl.Degraded {
+			t.Errorf("class %s: per-tool sum %d != dropped %d + degraded %d",
+				cl.Class, perToolSum, cl.Dropped, cl.Degraded)
+		}
+		total += perToolSum
+	}
+	// Cross-check against the per-flow loss reports.
+	want := 0
+	for _, r := range results {
+		want += len(r.Loss.Items)
+	}
+	if total != want {
+		t.Errorf("merged items = %d, want %d", total, want)
+	}
+	// toolP (index 0) is the full-featured dialect: it loses nothing.
+	for _, cl := range merged {
+		if cl.PerTool[0] != 0 {
+			t.Errorf("class %s: toolP lost %d items, want 0", cl.Class, cl.PerTool[0])
+		}
+	}
+}

@@ -13,10 +13,13 @@ import (
 	"cadinterop/internal/backplane"
 	"cadinterop/internal/core"
 	"cadinterop/internal/exchange"
+	"cadinterop/internal/floorplan"
 	"cadinterop/internal/hdl"
 	"cadinterop/internal/migrate"
 	"cadinterop/internal/naming"
 	"cadinterop/internal/netlist"
+	"cadinterop/internal/par"
+	"cadinterop/internal/phys"
 	"cadinterop/internal/schematic"
 	"cadinterop/internal/sim"
 	"cadinterop/internal/synth"
@@ -42,31 +45,37 @@ func (r *Report) addf(format string, args ...any) {
 
 // E1ComponentReplacement measures the Figure 1 operation at several design
 // sizes: how many net segments rip-up/reroute touches and how graphically
-// similar the result stays.
-func E1ComponentReplacement(sizes []int) (*Report, error) {
+// similar the result stays. Sizes are independent migrations, so they fan
+// out across workers; rows land in size order either way.
+func E1ComponentReplacement(sizes []int, opts ...par.Option) (*Report, error) {
 	r := &Report{ID: "E1", Title: "component replacement (Figure 1): rip-up fraction and graphical similarity"}
 	r.addf("%8s %10s %8s %8s %12s %8s", "insts", "segments", "ripped", "added", "similarity", "verify")
-	for _, n := range sizes {
+	rows, err := par.Map(len(sizes), func(i int) (string, error) {
+		n := sizes[i]
 		w := workgen.Schematic(workgen.SchematicOptions{Instances: n, Pages: 1 + n/60, Seed: 42})
 		_, rep, err := migrate.Migrate(w.Design, w.MigrateOptions())
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		verdict := "clean"
 		if len(rep.Verification) != 0 {
 			verdict = fmt.Sprintf("%d diffs", len(rep.Verification))
 		}
-		r.addf("%8d %10d %8d %8d %11.1f%% %8s",
+		return fmt.Sprintf("%8d %10d %8d %8d %11.1f%% %8s",
 			n, rep.TotalSegments, rep.RippedSegments, rep.AddedSegments,
-			rep.GeometricSimilarity*100, verdict)
+			rep.GeometricSimilarity*100, verdict), nil
+	}, opts...)
+	if err != nil {
+		return nil, err
 	}
+	r.Lines = append(r.Lines, rows...)
 	return r, nil
 }
 
 // E2MigrationAblation disables each Section 2 translation rule in turn and
 // counts the verification diffs and target-dialect violations that appear:
 // every rule is load-bearing.
-func E2MigrationAblation(instances int) (*Report, error) {
+func E2MigrationAblation(instances int, opts ...par.Option) (*Report, error) {
 	r := &Report{ID: "E2", Title: "migration rule ablation: verification diffs when one rule is dropped"}
 	r.addf("%-18s %14s %16s", "ablated rule", "verify diffs", "CD violations")
 	type ab struct {
@@ -81,17 +90,23 @@ func E2MigrationAblation(instances int) (*Report, error) {
 		{"properties", func(o *migrate.Options) { o.DisableProps = true }},
 		{"cosmetics", func(o *migrate.Options) { o.DisableCosmetics = true }},
 	}
-	for _, c := range cases {
+	// Each ablation migrates its own fresh workload, so the cases fan out.
+	rows, err := par.Map(len(cases), func(i int) (string, error) {
+		c := cases[i]
 		w := workgen.Schematic(workgen.SchematicOptions{Instances: instances, Pages: 3, Seed: 42})
-		opts := w.MigrateOptions()
-		c.apply(&opts)
-		out, rep, err := migrate.Migrate(w.Design, opts)
+		mo := w.MigrateOptions()
+		c.apply(&mo)
+		out, rep, err := migrate.Migrate(w.Design, mo)
 		if err != nil {
-			return nil, err
+			return "", err
 		}
 		vs := schematic.CD.Check(out)
-		r.addf("%-18s %14d %16d", c.name, len(rep.Verification), len(vs))
+		return fmt.Sprintf("%-18s %14d %16d", c.name, len(rep.Verification), len(vs)), nil
+	}, opts...)
+	if err != nil {
+		return nil, err
 	}
+	r.Lines = append(r.Lines, rows...)
 	return r, nil
 }
 
@@ -227,32 +242,52 @@ endmodule`
 
 // E6SubsetIntersection checks a generated model corpus against each vendor
 // subset and the intersection: the paper's portability rule quantified.
-func E6SubsetIntersection(models int) (*Report, error) {
+// Corpus generation and profile checking both fan out per model; the
+// acceptance tallies are folded in model order afterwards, so counts (and
+// the non-portability check) match the sequential loop exactly.
+func E6SubsetIntersection(models int, opts ...par.Option) (*Report, error) {
 	r := &Report{ID: "E6", Title: "synthesizable-subset acceptance: per vendor vs intersection"}
-	accept := map[string]int{}
 	vendors := synth.AllVendors()
 	inter := synth.Intersection(vendors...)
 	profiles := append(append([]synth.Profile{}, vendors...), inter)
-	portable := 0
-	interAccepted := 0
-	for i := 0; i < models; i++ {
-		src := workgen.CombModule("m", workgen.HDLOptions{
+	srcs := workgen.CombModules("m", models, func(i int) workgen.HDLOptions {
+		return workgen.HDLOptions{
 			Gates: 20 + i%30, Inputs: 3, Seed: int64(i),
 			UseMultiply:   i%3 == 0,
 			UsePartSelect: i%4 == 1,
 			UseTristate:   i%5 == 2,
 			UseRelational: i%2 == 1,
-		})
-		d := hdl.MustParse(src)
+		}
+	}, opts...)
+	type verdicts struct {
+		vendorOK []bool
+		interOK  bool
+	}
+	checked, err := par.Map(models, func(i int) (verdicts, error) {
+		d := hdl.MustParse(srcs[i])
+		v := verdicts{vendorOK: make([]bool, len(vendors))}
+		for vi, vend := range vendors {
+			v.vendorOK[vi] = synth.CheckProfile(d, vend).Accepted
+		}
+		v.interOK = synth.CheckProfile(d, inter).Accepted
+		return v, nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	accept := map[string]int{}
+	portable := 0
+	interAccepted := 0
+	for _, v := range checked {
 		allOK := true
-		for _, v := range vendors {
-			if synth.CheckProfile(d, v).Accepted {
-				accept[v.Name]++
+		for vi, vend := range vendors {
+			if v.vendorOK[vi] {
+				accept[vend.Name]++
 			} else {
 				allOK = false
 			}
 		}
-		if synth.CheckProfile(d, inter).Accepted {
+		if v.interOK {
 			interAccepted++
 			accept[inter.Name]++
 			if !allOK {
@@ -355,7 +390,7 @@ func E8Naming(names int) (*Report, error) {
 		r.addf("significance %2d chars: %3d alias groups, %4d names affected", limit, len(groups), aliased)
 	}
 	kw := naming.KeywordCollisions(corpus)
-	r.addf("VHDL keyword collisions: %d distinct (%v...)", len(kw), kw[:minInt(3, len(kw))])
+	r.addf("VHDL keyword collisions: %d distinct (%v...)", len(kw), kw[:min(3, len(kw))])
 	renames, err := naming.RenameForVHDL(dedupStrings(corpus))
 	if err != nil {
 		return nil, err
@@ -380,20 +415,22 @@ func E8Naming(names int) (*Report, error) {
 }
 
 // E9BackplaneLoss drives one floorplan into each P&R tool dialect and
-// reports constraint loss and resulting quality damage.
-func E9BackplaneLoss(cells int) (*Report, error) {
+// reports constraint loss and resulting quality damage. The dialects run
+// concurrently via backplane.RunFlows — each flow regenerates the design
+// from the same options, so no placement state is shared — and results
+// come back in tool order.
+func E9BackplaneLoss(cells int, opts ...par.Option) (*Report, error) {
 	r := &Report{ID: "E9", Title: "P&R backplane: constraint loss per tool dialect and QoR damage"}
 	r.addf("%-8s %6s %10s %6s %6s %12s %12s", "tool", "lost", "degraded", "HPWL", "WL", "violations", "unrouted")
-	for _, tool := range backplane.AllTools() {
-		d, fp, err := workgen.PhysDesign(workgen.PhysOptions{
+	gen := func() (*phys.Design, *floorplan.Floorplan, error) {
+		return workgen.PhysDesign(workgen.PhysOptions{
 			Cells: cells, Seed: 11, CriticalNets: 3, Keepouts: 1})
-		if err != nil {
-			return nil, err
-		}
-		res, err := backplane.RunFlow(d, fp, tool, 5)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := backplane.RunFlows(gen, backplane.AllTools(), 5, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		var dropped, degraded int
 		for _, it := range res.Loss.Items {
 			if it.Kind == backplane.LossDropped {
@@ -403,7 +440,7 @@ func E9BackplaneLoss(cells int) (*Report, error) {
 			}
 		}
 		r.addf("%-8s %6d %10d %6d %6d %12d %12d",
-			tool.Name, dropped, degraded, res.Place.FinalHPWL, res.Route.Wirelength,
+			res.Tool, dropped, degraded, res.Place.FinalHPWL, res.Route.Wirelength,
 			len(res.Violations), len(res.Route.Failed))
 	}
 	return r, nil
@@ -543,43 +580,43 @@ func E11Methodology(blocks int) (*Report, error) {
 	return r, nil
 }
 
-// All runs every experiment with default parameters.
-func All() ([]*Report, error) {
-	var out []*Report
-	steps := []func() (*Report, error){
-		func() (*Report, error) { return E1ComponentReplacement([]int{50, 100, 200}) },
-		func() (*Report, error) { return E2MigrationAblation(100) },
+// defaultSteps is the harness at default parameters, in report order.
+// Every entry is independent of the others (fresh workloads, no shared
+// mutable state), which is what lets All fan them out across workers. The
+// worker options thread down into the experiments that have internal
+// fan-outs of their own (E1, E2, E6, E9), so par.Workers(1) makes the
+// whole harness fully serial.
+func defaultSteps(opts []par.Option) []func() (*Report, error) {
+	return []func() (*Report, error){
+		func() (*Report, error) { return E1ComponentReplacement([]int{50, 100, 200}, opts...) },
+		func() (*Report, error) { return E2MigrationAblation(100, opts...) },
 		func() (*Report, error) { return E3SchedulerDivergence(4) },
 		func() (*Report, error) { return E4TimingCompat(3) },
 		E5CoSim,
-		func() (*Report, error) { return E6SubsetIntersection(60) },
+		func() (*Report, error) { return E6SubsetIntersection(60, opts...) },
 		func() (*Report, error) { return E7SensitivityCompletion(6) },
 		func() (*Report, error) { return E8Naming(400) },
-		func() (*Report, error) { return E9BackplaneLoss(32) },
+		func() (*Report, error) { return E9BackplaneLoss(32, opts...) },
 		func() (*Report, error) { return E10Workflow(6) },
 		func() (*Report, error) { return E11Methodology(12) },
 		func() (*Report, error) { return E12Interchange(20) },
 	}
-	for _, f := range steps {
-		r, err := f()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+// All runs every experiment with default parameters, fanned out across a
+// bounded worker pool; reports come back in experiment order regardless of
+// completion order, so the output is byte-identical to a sequential run
+// (pass par.Workers(1) for the serial reference).
+func All(opts ...par.Option) ([]*Report, error) {
+	steps := defaultSteps(opts)
+	return par.Map(len(steps), func(i int) (*Report, error) {
+		return steps[i]()
+	}, opts...)
 }
 
 func dedupStrings(in []string) []string {
-	seen := map[string]bool{}
-	var out []string
+	seen := make(map[string]bool, len(in))
+	out := make([]string, 0, len(in))
 	for _, s := range in {
 		if !seen[s] {
 			seen[s] = true

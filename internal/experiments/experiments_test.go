@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"runtime"
 	"strings"
 	"testing"
+
+	"cadinterop/internal/par"
 )
 
 func TestE1(t *testing.T) {
@@ -231,26 +234,40 @@ func TestE12(t *testing.T) {
 }
 
 // TestAllDeterministic: the entire harness must be bit-for-bit reproducible
-// (fixed seeds, no wall-clock dependence) so EXPERIMENTS.md can promise it.
+// (fixed seeds, no wall-clock dependence) so EXPERIMENTS.md can promise it —
+// and the parallel fan-out must be byte-identical to the sequential
+// reference, run twice so scheduling nondeterminism gets a chance to show.
 func TestAllDeterministic(t *testing.T) {
 	if testing.Short() {
-		t.Skip("double harness run in short mode")
+		t.Skip("multiple harness runs in short mode")
 	}
-	a, err := All()
+	ref, err := All(par.Workers(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := All()
-	if err != nil {
-		t.Fatal(err)
+	runs := []struct {
+		name string
+		opts []par.Option
+	}{
+		{"sequential-again", []par.Option{par.Workers(1)}},
+		{"parallel-gomaxprocs", []par.Option{par.Workers(runtime.GOMAXPROCS(0))}},
+		{"parallel-4", []par.Option{par.Workers(4)}},
+		{"parallel-4-again", []par.Option{par.Workers(4)}},
 	}
-	if len(a) != len(b) {
-		t.Fatalf("report counts differ: %d vs %d", len(a), len(b))
-	}
-	for i := range a {
-		if a[i].String() != b[i].String() {
-			t.Errorf("%s not deterministic:\n--- first\n%s\n--- second\n%s",
-				a[i].ID, a[i], b[i])
+	for _, tc := range runs {
+		run, opts := tc.name, tc.opts
+		got, err := All(opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", run, err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("%s: report counts differ: %d vs %d", run, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].String() != ref[i].String() {
+				t.Errorf("%s: %s diverges from sequential reference:\n--- sequential\n%s\n--- %s\n%s",
+					run, ref[i].ID, ref[i], run, got[i])
+			}
 		}
 	}
 }

@@ -1,0 +1,168 @@
+// Package par is a deterministic parallel-execution layer: a bounded
+// worker pool whose observable behaviour — result order and the error it
+// returns — is identical whether work runs on one goroutine or many. The
+// ROADMAP wants hot paths to run "as fast as the hardware allows", but
+// DESIGN.md §5b values determinism above raw speed, so every primitive here
+// collects results in submission order and propagates the lowest-index
+// error, exactly what a sequential loop would have surfaced first. Callers
+// keep a serial reference implementation for free: Workers(1) runs the
+// identical code path inline, with early exit, on the calling goroutine.
+//
+// Functions passed to this package must be safe to call concurrently with
+// each other (no shared mutable state without synchronization). Under
+// Workers(n>1) a function after a failing index may still run — results
+// must therefore not depend on later indices being skipped.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// cfg carries resolved options.
+type cfg struct {
+	workers int
+}
+
+// Option configures a par call.
+type Option func(*cfg)
+
+// Workers bounds the worker pool at n goroutines. n <= 0 (and the
+// default) means runtime.GOMAXPROCS(0). Workers(1) is the sequential
+// fallback: work runs inline on the caller's goroutine, in order, stopping
+// at the first error — the serial reference every parallel call site can be
+// tested against.
+func Workers(n int) Option {
+	return func(c *cfg) { c.workers = n }
+}
+
+// N reports the worker count the options resolve to (GOMAXPROCS when
+// unset), for callers that forward it into a plain configuration field
+// such as route.Options.Workers instead of spawning workers themselves.
+func N(opts ...Option) int {
+	c := cfg{}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.workers
+}
+
+// resolve applies options and clamps the worker count to the job size.
+func resolve(n int, opts []Option) int {
+	c := cfg{}
+	for _, o := range opts {
+		o(&c)
+	}
+	w := c.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn for every index in [0, n) and returns the results in index
+// order. On error it returns the error with the lowest index — the same
+// error a sequential loop would have returned — and no results. Under
+// Workers(1) indices after a failure are never evaluated; under more
+// workers some may be (their results are discarded).
+func Map[T any](n int, fn func(i int) (T, error), opts ...Option) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	if w := resolve(n, opts); w > 1 {
+		errs := make([]error, n)
+		run(n, w, func(i int) error {
+			var err error
+			out[i], err = fn(i)
+			errs[i] = err
+			return err
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	for i := 0; i < n; i++ {
+		v, err := fn(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ForEach runs fn for every index in [0, n), returning the lowest-index
+// error (nil if all succeed). Ordering guarantees match Map.
+func ForEach(n int, fn func(i int) error, opts ...Option) error {
+	if n <= 0 {
+		return nil
+	}
+	if w := resolve(n, opts); w > 1 {
+		errs := make([]error, n)
+		run(n, w, func(i int) error {
+			errs[i] = fn(i)
+			return errs[i]
+		})
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Do runs every function, returning the lowest-index error. It is ForEach
+// over a fixed task list.
+func Do(fns []func() error, opts ...Option) error {
+	return ForEach(len(fns), func(i int) error { return fns[i]() }, opts...)
+}
+
+// run dispatches indices [0, n) across w worker goroutines via an atomic
+// cursor. After any function fails, workers stop claiming new indices
+// (best effort — in-flight work completes), bounding wasted work while the
+// caller still reports the lowest-index error deterministically.
+func run(n, w int, fn func(i int) error) {
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if fn(i) != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,119 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 7, 64} {
+		out, err := Map(100, func(i int) (int, error) { return i * i, nil }, Workers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: len=%d", w, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d", w, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(0, func(int) (string, error) { return "x", nil })
+	if err != nil || out != nil {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestLowestIndexError(t *testing.T) {
+	// Several indices fail; every worker count must report index 3's error,
+	// the one a sequential loop hits first.
+	for _, w := range []int{1, 2, 8} {
+		_, err := Map(50, func(i int) (int, error) {
+			if i == 3 || i == 17 || i == 40 {
+				return 0, fmt.Errorf("fail at %d", i)
+			}
+			return i, nil
+		}, Workers(w))
+		if err == nil || err.Error() != "fail at 3" {
+			t.Fatalf("workers=%d: err=%v", w, err)
+		}
+	}
+}
+
+func TestSequentialEarlyExit(t *testing.T) {
+	// Workers(1) must never evaluate indices after the first failure.
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(10, func(i int) error {
+		calls.Add(1)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	}, Workers(1))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls=%d, want 3", calls.Load())
+	}
+}
+
+func TestParallelStopsClaiming(t *testing.T) {
+	// After a failure, workers stop claiming new work: far fewer than n
+	// calls should happen when index 0 fails immediately.
+	var calls atomic.Int64
+	_ = ForEach(100000, func(i int) error {
+		calls.Add(1)
+		return errors.New("always")
+	}, Workers(4))
+	if c := calls.Load(); c > 1000 {
+		t.Fatalf("calls=%d, expected early stop", c)
+	}
+}
+
+func TestForEachParallelRuns(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single CPU")
+	}
+	// With enough blocking tasks, at least two goroutines must be live at
+	// once: use a rendezvous of size 2.
+	gate := make(chan struct{})
+	err := ForEach(2, func(i int) error {
+		select {
+		case gate <- struct{}{}:
+		case <-gate:
+		}
+		return nil
+	}, Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b atomic.Bool
+	err := Do([]func() error{
+		func() error { a.Store(true); return nil },
+		func() error { b.Store(true); return nil },
+	})
+	if err != nil || !a.Load() || !b.Load() {
+		t.Fatalf("a=%v b=%v err=%v", a.Load(), b.Load(), err)
+	}
+	want := errors.New("second")
+	err = Do([]func() error{
+		func() error { return nil },
+		func() error { return want },
+	}, Workers(2))
+	if !errors.Is(err, want) {
+		t.Fatalf("err=%v", err)
+	}
+}

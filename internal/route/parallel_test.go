@@ -1,0 +1,152 @@
+package route
+
+import (
+	"reflect"
+	"testing"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/place"
+	"cadinterop/internal/workgen"
+)
+
+// routedView is the comparable part of a Result.
+type routedView struct {
+	Segments    map[string][]Segment
+	Wirelength  int
+	Vias        int
+	Failed      []string
+	FailReasons []string
+	ShieldLen   int
+	Audit       []Violation
+}
+
+func view(res *Result, rules map[string]Rule) routedView {
+	return routedView{
+		Segments:    res.Segments,
+		Wirelength:  res.Wirelength,
+		Vias:        res.Vias,
+		Failed:      res.Failed,
+		FailReasons: res.FailReasons,
+		ShieldLen:   res.ShieldLen,
+		Audit:       Audit(res, rules),
+	}
+}
+
+// TestRouteParallelEquivalence: the speculative parallel router must
+// produce byte-identical results to the sequential reference at every
+// worker count, across design sizes, congestion levels (including designs
+// that trigger the multi-pass rip-up loop) and rule mixes.
+func TestRouteParallelEquivalence(t *testing.T) {
+	cases := []workgen.PhysOptions{
+		{Cells: 12, Seed: 3},
+		{Cells: 24, Seed: 11, CriticalNets: 3, Keepouts: 1},
+		{Cells: 40, Seed: 13},
+		{Cells: 48, Seed: 7, CriticalNets: 4, Keepouts: 2},
+	}
+	for _, c := range cases {
+		d, fp, err := workgen.PhysDesign(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := place.Place(d, place.Options{Seed: 5}); err != nil {
+			t.Fatal(err)
+		}
+		rules := make(map[string]Rule, len(fp.NetRules))
+		for _, r := range fp.NetRules {
+			w := r.WidthTracks
+			if w < 1 {
+				w = 1
+			}
+			rules[r.Net] = Rule{WidthTracks: w, SpacingTracks: r.SpacingTracks, Shield: r.Shield}
+		}
+		var kos []geom.Rect
+		for _, k := range fp.Keepouts {
+			kos = append(kos, k.Rect)
+		}
+		opts := func(workers int) Options {
+			return Options{Pitch: 5, Rules: rules, Keepouts: kos, Workers: workers}
+		}
+		ref, err := Route(d, opts(1))
+		if err != nil {
+			t.Fatalf("cells=%d seed=%d sequential: %v", c.Cells, c.Seed, err)
+		}
+		refView := view(ref, rules)
+		if ref.SpecCommitted != 0 || ref.SpecRecomputed != 0 {
+			t.Errorf("sequential run must not speculate: %d/%d", ref.SpecCommitted, ref.SpecRecomputed)
+		}
+		speculated := 0
+		for _, workers := range []int{2, 4, 8} {
+			got, err := Route(d, opts(workers))
+			if err != nil {
+				t.Fatalf("cells=%d seed=%d workers=%d: %v", c.Cells, c.Seed, workers, err)
+			}
+			speculated += got.SpecCommitted
+			if gv := view(got, rules); !reflect.DeepEqual(gv, refView) {
+				t.Errorf("cells=%d seed=%d workers=%d diverges from sequential:\nseq: %+v\npar: %+v",
+					c.Cells, c.Seed, workers, refView, gv)
+			}
+		}
+		if speculated == 0 {
+			t.Errorf("cells=%d seed=%d: no speculation ever committed — the parallel path is not being exercised",
+				c.Cells, c.Seed)
+		}
+	}
+}
+
+// TestSpecViewSemantics: a speculative view must mask its own writes,
+// record only fall-through reads, and mirror the live grid's out-of-bounds
+// behaviour.
+func TestSpecViewSemantics(t *testing.T) {
+	g := NewGrid(geom.R(0, 0, 100, 100), 10)
+	g.set(0, 3, 3, "a")
+	v := newSpecView(g)
+	if v.Owner(0, -1, 0) != "#" {
+		t.Error("out-of-bounds should read blocked")
+	}
+	if len(v.reads) != 0 {
+		t.Error("out-of-bounds reads must not be recorded")
+	}
+	if v.Owner(0, 3, 3) != "a" {
+		t.Error("fall-through read broken")
+	}
+	if len(v.reads) != 1 {
+		t.Errorf("reads = %d, want 1", len(v.reads))
+	}
+	v.set(0, 3, 3, "b")
+	if v.Owner(0, 3, 3) != "b" {
+		t.Error("overlay write not visible to the view")
+	}
+	if g.Owner(0, 3, 3) != "a" {
+		t.Error("overlay write leaked to the live grid")
+	}
+	if len(v.reads) != 1 {
+		t.Error("overlay hits must not be recorded as reads")
+	}
+	v.set(1, -5, 0, "x") // must not panic or corrupt the overlay
+	if v.Owner(1, 0, 0) != "" {
+		t.Error("out-of-bounds overlay write corrupted a real cell")
+	}
+}
+
+// TestGridWriteRecording: with recording armed, every set lands in the
+// record; the committer relies on this to invalidate stale speculations.
+func TestGridWriteRecording(t *testing.T) {
+	g := NewGrid(geom.R(0, 0, 100, 100), 10)
+	g.record = make(map[int]struct{})
+	g.set(0, 1, 2, "n")
+	g.set(1, 3, 4, "n")
+	g.set(0, -1, 0, "n") // out of bounds: ignored, not recorded
+	if len(g.record) != 2 {
+		t.Fatalf("record = %d writes, want 2", len(g.record))
+	}
+	v := newSpecView(g)
+	v.Owner(0, 1, 2)
+	if !conflicts(v.reads, g.record) {
+		t.Error("read of a written cell must conflict")
+	}
+	v2 := newSpecView(g)
+	v2.Owner(0, 9, 9)
+	if conflicts(v2.reads, g.record) {
+		t.Error("disjoint read must not conflict")
+	}
+}

@@ -11,9 +11,11 @@ package route
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"cadinterop/internal/geom"
+	"cadinterop/internal/par"
 	"cadinterop/internal/phys"
 )
 
@@ -44,6 +46,12 @@ type Options struct {
 	// pin-adjacent cells cost the same as open fabric) — the ablation knob
 	// for the router's key design choice.
 	PlainBFS bool
+	// Workers bounds the speculative-search worker pool of the multi-pass
+	// rip-up loop. 0 means GOMAXPROCS; 1 forces the serial reference path.
+	// The routed result is byte-identical at every setting: parallel
+	// searches commit in canonical net order and any speculation invalidated
+	// by an earlier commit is recomputed on the live grid.
+	Workers int
 }
 
 // Segment is one routed wire piece in grid coordinates.
@@ -60,8 +68,14 @@ type Result struct {
 	Failed      []string
 	FailReasons []string
 	ShieldLen   int
-	grid        *Grid
-	rules       map[string]Rule
+	// SpecCommitted / SpecRecomputed count speculative searches that
+	// committed verbatim vs. were invalidated by an earlier commit and
+	// recomputed; both stay 0 on the sequential path. Observability only:
+	// routed output never depends on them.
+	SpecCommitted  int
+	SpecRecomputed int
+	grid           *Grid
+	rules          map[string]Rule
 }
 
 // Grid is the routing fabric occupancy: per layer, per cell, the owning
@@ -74,6 +88,10 @@ type Grid struct {
 	pin   []bool // pin landing cells (both layers), exempt from spacing
 	// plainBFS disables congestion-aware costs (ablation).
 	plainBFS bool
+	// record, when non-nil, collects every cell index written — the
+	// committer of a speculative batch uses it to invalidate later
+	// speculations whose searches read those cells.
+	record map[int]struct{}
 }
 
 // NewGrid allocates a fabric covering the die.
@@ -107,8 +125,63 @@ func (g *Grid) set(layer, x, y int, net string) {
 	if x < 0 || y < 0 || x >= g.W || y >= g.H {
 		return
 	}
+	if g.record != nil {
+		g.record[(layer*g.H+y)*g.W+x] = struct{}{}
+	}
 	g.own[layer][y*g.W+x] = net
 }
+
+func (g *Grid) size() (int, int) { return g.W, g.H }
+func (g *Grid) plain() bool      { return g.plainBFS }
+
+// fabric is the grid surface the search phase runs against: the live Grid
+// during sequential routing and commits, or a specView during speculation.
+type fabric interface {
+	Owner(layer, x, y int) string
+	set(layer, x, y int, net string)
+	isPin(x, y int) bool
+	size() (w, h int)
+	plain() bool
+}
+
+// specView is a copy-on-write view of a Grid for speculative search:
+// writes land in a private overlay, reads fall through to the underlying
+// grid and are recorded. If the committer later proves the recorded
+// footprint disjoint from every cell written by earlier commits of the
+// same batch, the search would have unfolded identically on the live grid
+// — the speculation can be replayed verbatim.
+type specView struct {
+	g       *Grid
+	overlay map[int]string
+	reads   map[int]struct{}
+}
+
+func newSpecView(g *Grid) *specView {
+	return &specView{g: g, overlay: make(map[int]string), reads: make(map[int]struct{})}
+}
+
+func (v *specView) Owner(layer, x, y int) string {
+	if x < 0 || y < 0 || x >= v.g.W || y >= v.g.H {
+		return "#"
+	}
+	i := (layer*v.g.H+y)*v.g.W + x
+	if o, ok := v.overlay[i]; ok {
+		return o
+	}
+	v.reads[i] = struct{}{}
+	return v.g.own[layer][y*v.g.W+x]
+}
+
+func (v *specView) set(layer, x, y int, net string) {
+	if x < 0 || y < 0 || x >= v.g.W || y >= v.g.H {
+		return
+	}
+	v.overlay[(layer*v.g.H+y)*v.g.W+x] = net
+}
+
+func (v *specView) isPin(x, y int) bool { return v.g.isPin(x, y) }
+func (v *specView) size() (int, int)    { return v.g.W, v.g.H }
+func (v *specView) plain() bool         { return v.g.plainBFS }
 
 // Route connects every multi-pin net of the design's top cell.
 func Route(d *phys.Design, opts Options) (*Result, error) {
@@ -250,17 +323,183 @@ func rotateTail(order []string, keep, k int) []string {
 	return out
 }
 
-// routeAll routes every net in order on the given fabric.
+// normRule clamps a net rule to a routable minimum width.
+func normRule(r Rule) Rule {
+	if r.WidthTracks < 1 {
+		r.WidthTracks = 1
+	}
+	return r
+}
+
+// routeAll routes every net in order on the given fabric. With more than
+// one worker it speculates: a batch of upcoming nets with pairwise-disjoint
+// (rule-expanded) pin bounding boxes searches concurrently against the
+// current grid, then commits strictly in canonical net order; any
+// speculation whose read footprint overlaps a cell written by an earlier
+// commit of the same batch is discarded and recomputed on the live grid.
+// The routed result is therefore byte-identical to the sequential router's
+// at any worker count.
 func routeAll(g *Grid, res *Result, order []string, netPins map[string][]geom.Point, opts Options) {
-	for _, net := range order {
-		rule := opts.Rules[net]
-		if rule.WidthTracks < 1 {
-			rule.WidthTracks = 1
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(order) < 2 {
+		for _, net := range order {
+			routeOne(g, res, net, netPins[net], normRule(opts.Rules[net]))
 		}
-		if err := routeNet(g, res, net, netPins[net], rule); err != nil {
-			res.Failed = append(res.Failed, net)
-			res.FailReasons = append(res.FailReasons, err.Error())
+		return
+	}
+	for start := 0; start < len(order); {
+		batch := nextBatch(order[start:], netPins, opts, 4*workers)
+		start += len(batch)
+		if len(batch) == 1 {
+			routeOne(g, res, batch[0], netPins[batch[0]], normRule(opts.Rules[batch[0]]))
+			continue
 		}
+		specs := make([]*speculation, len(batch))
+		par.ForEach(len(batch), func(j int) error {
+			v := newSpecView(g)
+			net := batch[j]
+			paths, err := netPaths(v, net, netPins[net], normRule(opts.Rules[net]))
+			specs[j] = &speculation{paths: paths, err: err, reads: v.reads}
+			return nil
+		}, par.Workers(workers))
+		g.record = make(map[int]struct{})
+		for j, net := range batch {
+			rule := normRule(opts.Rules[net])
+			if sp := specs[j]; !conflicts(sp.reads, g.record) {
+				res.SpecCommitted++
+				commitSpec(g, res, net, netPins[net], sp, rule)
+			} else {
+				// Stale speculation: an earlier commit touched fabric this
+				// search observed. Recompute on the live grid — the slow
+				// path the sequential router always takes.
+				res.SpecRecomputed++
+				routeOne(g, res, net, netPins[net], rule)
+			}
+		}
+		g.record = nil
+	}
+}
+
+// routeOne routes a single net on the live grid and books failures.
+func routeOne(g *Grid, res *Result, net string, pins []geom.Point, rule Rule) {
+	if err := routeNet(g, res, net, pins, rule); err != nil {
+		res.Failed = append(res.Failed, net)
+		res.FailReasons = append(res.FailReasons, err.Error())
+	}
+}
+
+// speculation is one net's search run against a stale grid snapshot.
+type speculation struct {
+	paths [][]node
+	err   error
+	reads map[int]struct{}
+}
+
+// conflicts reports whether any speculatively-read cell was since written.
+func conflicts(reads, written map[int]struct{}) bool {
+	small, big := written, reads
+	if len(reads) < len(written) {
+		small, big = reads, written
+	}
+	for i := range small {
+		if _, ok := big[i]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// nextBatch returns the longest contiguous prefix (capped at max) of the
+// remaining order whose nets have pairwise-disjoint pin bounding boxes,
+// each expanded by the net's rule reach (width, spacing, shield) plus a
+// detour margin. Disjointness is only a speculation-success heuristic —
+// correctness comes from the committer's footprint check — but commits
+// must follow canonical order, so the batch stops at the first overlap.
+func nextBatch(rest []string, netPins map[string][]geom.Point, opts Options, max int) []string {
+	if max > len(rest) {
+		max = len(rest)
+	}
+	boxes := make([]geom.Rect, 0, max)
+	n := 0
+	for n < max {
+		r := normRule(opts.Rules[rest[n]])
+		margin := 2 + r.WidthTracks + r.SpacingTracks
+		if r.Shield {
+			margin++
+		}
+		box := pinBBox(netPins[rest[n]]).Expand(margin)
+		clash := false
+		for _, b := range boxes {
+			if box.Overlaps(b) {
+				clash = true
+				break
+			}
+		}
+		if clash {
+			break
+		}
+		boxes = append(boxes, box)
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return rest[:n]
+}
+
+// pinBBox is the bounding box of a net's pins in grid coordinates.
+func pinBBox(pins []geom.Point) geom.Rect {
+	r := geom.Rect{Min: pins[0], Max: pins[0]}
+	for _, p := range pins[1:] {
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.X > r.Max.X {
+			r.Max.X = p.X
+		}
+		if p.Y > r.Max.Y {
+			r.Max.Y = p.Y
+		}
+	}
+	return r
+}
+
+// commitSpec replays a clean speculation onto the live grid: the claims the
+// search made on its overlay land on real fabric in canonical order, then
+// shields and clearance halos grow exactly as the sequential router would
+// have grown them at this point in the order.
+func commitSpec(g *Grid, res *Result, net string, pins []geom.Point, sp *speculation, rule Rule) {
+	pinRule := Rule{WidthTracks: 1}
+	claim(g, net, node{0, pins[0].X, pins[0].Y}, pinRule)
+	for _, path := range sp.paths {
+		for i, n := range path {
+			switch {
+			case i == 0:
+				// success cell: already owned by the net
+			case i == len(path)-1:
+				claim(g, net, n, pinRule)
+			default:
+				claim(g, net, n, rule)
+			}
+		}
+	}
+	recordPaths(res, net, sp.paths)
+	if sp.err != nil {
+		res.Failed = append(res.Failed, net)
+		res.FailReasons = append(res.FailReasons, sp.err.Error())
+		return
+	}
+	if rule.Shield {
+		res.ShieldLen += addShields(g, res, net)
+	}
+	if rule.SpacingTracks > 0 {
+		addHalo(g, net, rule.SpacingTracks)
 	}
 }
 
@@ -331,46 +570,15 @@ type node struct {
 	l, x, y int
 }
 
-// routeNet maze-routes one net, connecting pins one at a time to the grown
-// net region.
+// routeNet maze-routes one net on the live grid, connecting pins one at a
+// time to the grown net region.
 func routeNet(g *Grid, res *Result, net string, pins []geom.Point, rule Rule) error {
-	// Seed: first pin on both layers. Pins claim at width 1 — the width
-	// rule governs wires; pad cells must not stomp on neighbors' halos.
-	seed := pins[0]
-	pinRule := Rule{WidthTracks: 1}
-	claim(g, net, node{0, seed.X, seed.Y}, pinRule)
-	for _, target := range pins[1:] {
-		if g.Owner(0, target.X, target.Y) == net {
-			continue // already on the net (shared pin cell)
-		}
-		path, err := bfs(g, net, node{0, target.X, target.Y}, rule)
-		if err != nil {
-			return err
-		}
-		// Claim the path and record segments. The pin landing itself
-		// claims at width 1 like the seed did, and the success cell
-		// (path[0]) is already owned by the net — re-claiming it at full
-		// width would stomp neighbors the search never verified.
-		for i, n := range path {
-			switch {
-			case i == 0:
-				// already owned; no claim
-			case i == len(path)-1:
-				claim(g, net, n, pinRule)
-			default:
-				claim(g, net, n, rule)
-			}
-			if i > 0 {
-				p := path[i-1]
-				if p.l != n.l {
-					res.Vias++
-				} else {
-					res.Wirelength++
-					res.Segments[net] = append(res.Segments[net], Segment{
-						Layer: n.l, A: geom.Pt(p.x, p.y), B: geom.Pt(n.x, n.y)})
-				}
-			}
-		}
+	paths, err := netPaths(g, net, pins, rule)
+	// Partial progress stays claimed and booked even when a later pin
+	// fails — the rip-up pass rebuilds the fabric from scratch anyway.
+	recordPaths(res, net, paths)
+	if err != nil {
+		return err
 	}
 	if rule.Shield {
 		res.ShieldLen += addShields(g, res, net)
@@ -381,6 +589,61 @@ func routeNet(g *Grid, res *Result, net string, pins []geom.Point, rule Rule) er
 		addHalo(g, net, rule.SpacingTracks)
 	}
 	return nil
+}
+
+// netPaths is the search phase of one net: seed the first pin, then maze-
+// route every remaining pin to the grown region, claiming cells on f as it
+// goes. Paths found before an error are returned with it, so partial
+// progress can be replayed exactly.
+func netPaths(f fabric, net string, pins []geom.Point, rule Rule) ([][]node, error) {
+	// Seed: first pin on both layers. Pins claim at width 1 — the width
+	// rule governs wires; pad cells must not stomp on neighbors' halos.
+	seed := pins[0]
+	pinRule := Rule{WidthTracks: 1}
+	claim(f, net, node{0, seed.X, seed.Y}, pinRule)
+	var paths [][]node
+	for _, target := range pins[1:] {
+		if f.Owner(0, target.X, target.Y) == net {
+			continue // already on the net (shared pin cell)
+		}
+		path, err := bfs(f, net, node{0, target.X, target.Y}, rule)
+		if err != nil {
+			return paths, err
+		}
+		// Claim the path. The pin landing itself claims at width 1 like
+		// the seed did, and the success cell (path[0]) is already owned by
+		// the net — re-claiming it at full width would stomp neighbors the
+		// search never verified.
+		for i, n := range path {
+			switch {
+			case i == 0:
+				// already owned; no claim
+			case i == len(path)-1:
+				claim(f, net, n, pinRule)
+			default:
+				claim(f, net, n, rule)
+			}
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// recordPaths books the segments, wirelength and via counts of a net's
+// search paths into the result.
+func recordPaths(res *Result, net string, paths [][]node) {
+	for _, path := range paths {
+		for i := 1; i < len(path); i++ {
+			p, n := path[i-1], path[i]
+			if p.l != n.l {
+				res.Vias++
+			} else {
+				res.Wirelength++
+				res.Segments[net] = append(res.Segments[net], Segment{
+					Layer: n.l, A: geom.Pt(p.x, p.y), B: geom.Pt(n.x, n.y)})
+			}
+		}
+	}
 }
 
 // addHalo reserves free cells within dist perpendicular tracks of the
@@ -414,14 +677,14 @@ func addHalo(g *Grid, net string, dist int) {
 }
 
 // claim marks a cell (and its width expansion) as owned by net.
-func claim(g *Grid, net string, n node, rule Rule) {
-	g.set(n.l, n.x, n.y, net)
+func claim(f fabric, net string, n node, rule Rule) {
+	f.set(n.l, n.x, n.y, net)
 	// Width expansion perpendicular to the layer direction.
 	for w := 1; w < rule.WidthTracks; w++ {
 		if n.l == 0 {
-			g.set(n.l, n.x, n.y+w, net)
+			f.set(n.l, n.x, n.y+w, net)
 		} else {
-			g.set(n.l, n.x+w, n.y, net)
+			f.set(n.l, n.x+w, n.y, net)
 		}
 	}
 }
@@ -429,26 +692,27 @@ func claim(g *Grid, net string, n node, rule Rule) {
 // usable reports whether the net may occupy cell n under its rule: the
 // cell (and width expansion) must be free or already the net's own, and
 // the spacing clearance must hold against foreign nets.
-func usable(g *Grid, net string, n node, rule Rule) bool {
+func usable(f fabric, net string, n node, rule Rule) bool {
+	w, h := f.size()
 	cells := []node{n}
-	for w := 1; w < rule.WidthTracks; w++ {
+	for i := 1; i < rule.WidthTracks; i++ {
 		if n.l == 0 {
-			cells = append(cells, node{n.l, n.x, n.y + w})
+			cells = append(cells, node{n.l, n.x, n.y + i})
 		} else {
-			cells = append(cells, node{n.l, n.x + w, n.y})
+			cells = append(cells, node{n.l, n.x + i, n.y})
 		}
 	}
 	for _, c := range cells {
-		if c.x < 0 || c.y < 0 || c.x >= g.W || c.y >= g.H {
+		if c.x < 0 || c.y < 0 || c.x >= w || c.y >= h {
 			return false
 		}
-		if o := g.Owner(c.l, c.x, c.y); !ownCell(o, net) && o != "" {
+		if o := f.Owner(c.l, c.x, c.y); !ownCell(o, net) && o != "" {
 			return false
 		}
 		// Spacing: foreign occupants within the clearance window fail.
 		// Pin landing pads are exempt — spacing rules govern parallel
 		// wires, not fixed pin geometry.
-		if g.isPin(c.x, c.y) {
+		if f.isPin(c.x, c.y) {
 			continue
 		}
 		for s := 1; s <= rule.SpacingTracks; s++ {
@@ -459,12 +723,12 @@ func usable(g *Grid, net string, n node, rule Rule) bool {
 				cells2 = []node{{c.l, c.x - s, c.y}, {c.l, c.x + s, c.y}}
 			}
 			for _, c2 := range cells2 {
-				if g.isPin(c2.x, c2.y) {
+				if f.isPin(c2.x, c2.y) {
 					continue
 				}
 				// Spacing measures to real foreign wires; shields, halos
 				// and blockages are not aggressors.
-				o := g.Owner(c2.l, c2.x, c2.y)
+				o := f.Owner(c2.l, c2.x, c2.y)
 				if o != "" && !ownCell(o, net) && o != "#" && o[0] != '!' && o[0] != '~' {
 					return false
 				}
@@ -496,13 +760,13 @@ func isShieldOf(owner, net string) bool {
 // owned by net. The cost function is congestion-aware: vias cost extra and
 // cells adjacent to pin landing pads are discouraged, so wires prefer open
 // fabric and leave pin escapes for the nets that need them.
-func bfs(g *Grid, net string, from node, rule Rule) ([]node, error) {
+func bfs(f fabric, net string, from node, rule Rule) ([]node, error) {
 	// The pin landing needs only its own cell (width rules govern wires).
-	if !usable(g, net, from, Rule{WidthTracks: 1}) {
+	if !usable(f, net, from, Rule{WidthTracks: 1}) {
 		return nil, fmt.Errorf("%w: net %s pin cell blocked", ErrRoute, net)
 	}
 	viaCost, pinAdjCost := 3, 4
-	if g.plainBFS {
+	if f.plain() {
 		viaCost, pinAdjCost = 1, 0
 	}
 	prev := make(map[node]node)
@@ -517,7 +781,7 @@ func bfs(g *Grid, net string, from node, rule Rule) ([]node, error) {
 			if dist[cur] != d {
 				continue // stale entry
 			}
-			if g.Owner(cur.l, cur.x, cur.y) == net {
+			if f.Owner(cur.l, cur.x, cur.y) == net {
 				var path []node
 				for n := cur; ; {
 					path = append(path, n)
@@ -530,15 +794,15 @@ func bfs(g *Grid, net string, from node, rule Rule) ([]node, error) {
 				return path, nil
 			}
 			for _, nb := range neighbors(cur) {
-				owner := g.Owner(nb.l, nb.x, nb.y)
-				if !(owner == net || (ownCell(owner, net) || owner == "") && usable(g, net, nb, rule)) {
+				owner := f.Owner(nb.l, nb.x, nb.y)
+				if !(owner == net || (ownCell(owner, net) || owner == "") && usable(f, net, nb, rule)) {
 					continue
 				}
 				step := 1
 				if nb.l != cur.l {
 					step = viaCost
 				}
-				if owner != net && nearPin(g, nb) {
+				if owner != net && nearPin(f, nb) {
 					step += pinAdjCost
 				}
 				nd := d + step
@@ -558,12 +822,12 @@ func bfs(g *Grid, net string, from node, rule Rule) ([]node, error) {
 }
 
 // nearPin reports whether a cell is a pin pad or directly adjacent to one.
-func nearPin(g *Grid, n node) bool {
-	if g.isPin(n.x, n.y) {
+func nearPin(f fabric, n node) bool {
+	if f.isPin(n.x, n.y) {
 		return true
 	}
-	return g.isPin(n.x-1, n.y) || g.isPin(n.x+1, n.y) ||
-		g.isPin(n.x, n.y-1) || g.isPin(n.x, n.y+1)
+	return f.isPin(n.x-1, n.y) || f.isPin(n.x+1, n.y) ||
+		f.isPin(n.x, n.y-1) || f.isPin(n.x, n.y+1)
 }
 
 // neighbors yields legal moves: along the layer's direction, plus vias.

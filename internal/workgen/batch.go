@@ -1,0 +1,53 @@
+package workgen
+
+import (
+	"cadinterop/internal/floorplan"
+	"cadinterop/internal/par"
+	"cadinterop/internal/phys"
+)
+
+// This file fans workload generation out across workers. Every generator
+// in the package is a pure function of its options, so per-index
+// generation parallelizes trivially; results come back in index order and
+// are byte-identical to a sequential loop (pass par.Workers(1) for the
+// serial reference).
+
+// CombModules generates a corpus of n combinational modules; element i is
+// always CombModule(name, opt(i)) regardless of worker count.
+func CombModules(name string, n int, opt func(i int) HDLOptions, popts ...par.Option) []string {
+	out, _ := par.Map(n, func(i int) (string, error) {
+		return CombModule(name, opt(i)), nil
+	}, popts...)
+	return out
+}
+
+// Schematics generates one migration workload per option set.
+func Schematics(opts []SchematicOptions, popts ...par.Option) []*SchematicWorkload {
+	out, _ := par.Map(len(opts), func(i int) (*SchematicWorkload, error) {
+		return Schematic(opts[i]), nil
+	}, popts...)
+	return out
+}
+
+// PhysDesigns generates one physical design and floorplan per option set.
+// On error the lowest-index failure is reported, as a sequential loop
+// would have done.
+func PhysDesigns(opts []PhysOptions, popts ...par.Option) ([]*phys.Design, []*floorplan.Floorplan, error) {
+	type pair struct {
+		d  *phys.Design
+		fp *floorplan.Floorplan
+	}
+	pairs, err := par.Map(len(opts), func(i int) (pair, error) {
+		d, fp, err := PhysDesign(opts[i])
+		return pair{d, fp}, err
+	}, popts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds := make([]*phys.Design, len(pairs))
+	fps := make([]*floorplan.Floorplan, len(pairs))
+	for i, p := range pairs {
+		ds[i], fps[i] = p.d, p.fp
+	}
+	return ds, fps, nil
+}
