@@ -7,9 +7,17 @@
 GO ?= go
 RACE_PKGS = $(shell $(GO) list -f '{{.ImportPath}} {{join .Deps " "}}' ./... | grep 'cadinterop/internal/par' | cut -d' ' -f1)
 
-.PHONY: check build vet test race bench
+# Benchmarks aggregated into BENCH_PR2.json. Override BENCH / BENCH_COUNT
+# for a quicker or broader sweep; set BASELINE to a saved `go test -bench`
+# output to record per-metric deltas alongside the current numbers.
+BENCH ?= BenchmarkRouteParallel|BenchmarkExp9BackplaneLoss|BenchmarkExp3SchedulerDivergence|BenchmarkExpAll
+BENCH_COUNT ?= 5
+BENCH_OUT ?= BENCH_PR2.json
+BASELINE ?=
 
-check: build vet test race
+.PHONY: check build vet test race allocs bench
+
+check: build vet test race allocs
 
 build:
 	$(GO) build ./...
@@ -23,5 +31,13 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Allocation-regression gate: the AllocsPerRun tests (tagged !race) that pin
+# the router's and the sim kernel's steady-state hot paths at ~zero
+# allocations (DESIGN.md §5c).
+allocs:
+	$(GO) test -run 'Allocs' ./internal/route ./internal/sim
+
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) -run '^$$' . | tee bench_out.txt
+	$(GO) run ./tools/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o $(BENCH_OUT) bench_out.txt
+	@rm -f bench_out.txt

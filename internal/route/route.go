@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 
 	"cadinterop/internal/geom"
 	"cadinterop/internal/par"
@@ -78,29 +79,39 @@ type Result struct {
 	rules          map[string]Rule
 }
 
-// Grid is the routing fabric occupancy: per layer, per cell, the owning
-// net ("" = free, "#" = blocked, "!"+net = shield of net, "~"+net =
-// clearance halo of net, "?"+net = pending pin reservation).
+// Grid is the routing fabric occupancy: per layer, per cell, an interned
+// owner ID (see intern.go for the encoding; Owner decodes back to the
+// string vocabulary "" = free, "#" = blocked, "!"+net = shield, "~"+net =
+// clearance halo, "?"+net = pending pin reservation).
 type Grid struct {
 	W, H  int
 	Pitch int
-	own   [2][]string
+	tab   *internTable
+	own   [2][]int32
 	pin   []bool // pin landing cells (both layers), exempt from spacing
 	// plainBFS disables congestion-aware costs (ablation).
 	plainBFS bool
-	// record, when non-nil, collects every cell index written — the
-	// committer of a speculative batch uses it to invalidate later
-	// speculations whose searches read those cells.
-	record map[int]struct{}
+	// Speculative-commit write recording (armRecording in scratch.go):
+	// while armed, every in-bounds set stamps its cell so the committer of
+	// a speculative batch can invalidate later speculations whose searches
+	// read those cells.
+	recording   bool
+	recordEpoch uint32
+	recordStamp []uint32
+	// Pools of search scratch and speculative views sized for this grid;
+	// steady-state routing leases and returns the same buffers instead of
+	// allocating per net (DESIGN.md §5c).
+	scratchPool sync.Pool
+	viewPool    sync.Pool
 }
 
 // NewGrid allocates a fabric covering the die.
 func NewGrid(die geom.Rect, pitch int) *Grid {
 	w := die.Dx()/pitch + 1
 	h := die.Dy()/pitch + 1
-	g := &Grid{W: w, H: h, Pitch: pitch, pin: make([]bool, w*h)}
+	g := &Grid{W: w, H: h, Pitch: pitch, tab: newInternTable(), pin: make([]bool, w*h)}
 	for l := 0; l < 2; l++ {
-		g.own[l] = make([]string, w*h)
+		g.own[l] = make([]int32, w*h)
 	}
 	return g
 }
@@ -113,75 +124,48 @@ func (g *Grid) isPin(x, y int) bool {
 	return g.pin[y*g.W+x]
 }
 
-// Owner returns the occupant of a cell.
+// Owner returns the occupant of a cell as a string; out-of-bounds and
+// keepout cells both decode to the blockage sentinel "#". Net names that
+// would collide with the sentinel vocabulary are rejected by Route, so the
+// decoding is unambiguous.
 func (g *Grid) Owner(layer, x, y int) string {
+	return g.tab.decode(g.owner(layer, x, y))
+}
+
+// owner returns the interned occupant of a cell.
+func (g *Grid) owner(layer, x, y int) int32 {
 	if x < 0 || y < 0 || x >= g.W || y >= g.H {
-		return "#"
+		return cellBlocked
 	}
 	return g.own[layer][y*g.W+x]
 }
 
-func (g *Grid) set(layer, x, y int, net string) {
+func (g *Grid) set(layer, x, y int, id int32) {
 	if x < 0 || y < 0 || x >= g.W || y >= g.H {
 		return
 	}
-	if g.record != nil {
-		g.record[(layer*g.H+y)*g.W+x] = struct{}{}
+	if g.recording {
+		g.recordStamp[(layer*g.H+y)*g.W+x] = g.recordEpoch
 	}
-	g.own[layer][y*g.W+x] = net
+	g.own[layer][y*g.W+x] = id
 }
 
 func (g *Grid) size() (int, int) { return g.W, g.H }
 func (g *Grid) plain() bool      { return g.plainBFS }
+func (g *Grid) base() *Grid      { return g }
 
 // fabric is the grid surface the search phase runs against: the live Grid
 // during sequential routing and commits, or a specView during speculation.
+// All cell traffic is interned IDs; strings exist only at the package
+// boundary.
 type fabric interface {
-	Owner(layer, x, y int) string
-	set(layer, x, y int, net string)
+	owner(layer, x, y int) int32
+	set(layer, x, y int, id int32)
 	isPin(x, y int) bool
 	size() (w, h int)
 	plain() bool
+	base() *Grid
 }
-
-// specView is a copy-on-write view of a Grid for speculative search:
-// writes land in a private overlay, reads fall through to the underlying
-// grid and are recorded. If the committer later proves the recorded
-// footprint disjoint from every cell written by earlier commits of the
-// same batch, the search would have unfolded identically on the live grid
-// — the speculation can be replayed verbatim.
-type specView struct {
-	g       *Grid
-	overlay map[int]string
-	reads   map[int]struct{}
-}
-
-func newSpecView(g *Grid) *specView {
-	return &specView{g: g, overlay: make(map[int]string), reads: make(map[int]struct{})}
-}
-
-func (v *specView) Owner(layer, x, y int) string {
-	if x < 0 || y < 0 || x >= v.g.W || y >= v.g.H {
-		return "#"
-	}
-	i := (layer*v.g.H+y)*v.g.W + x
-	if o, ok := v.overlay[i]; ok {
-		return o
-	}
-	v.reads[i] = struct{}{}
-	return v.g.own[layer][y*v.g.W+x]
-}
-
-func (v *specView) set(layer, x, y int, net string) {
-	if x < 0 || y < 0 || x >= v.g.W || y >= v.g.H {
-		return
-	}
-	v.overlay[(layer*v.g.H+y)*v.g.W+x] = net
-}
-
-func (v *specView) isPin(x, y int) bool { return v.g.isPin(x, y) }
-func (v *specView) size() (int, int)    { return v.g.W, v.g.H }
-func (v *specView) plain() bool         { return v.g.plainBFS }
 
 // Route connects every multi-pin net of the design's top cell.
 func Route(d *phys.Design, opts Options) (*Result, error) {
@@ -200,8 +184,8 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 		y1 := gridMax(ko.Max.Y-d.Die.Min.Y, opts.Pitch)
 		for x := x0; x <= x1; x++ {
 			for y := y0; y <= y1; y++ {
-				g.set(0, x, y, "#")
-				g.set(1, x, y, "#")
+				g.set(0, x, y, cellBlocked)
+				g.set(1, x, y, cellBlocked)
 			}
 		}
 	}
@@ -213,7 +197,9 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 	}
 	top := d.TopCell()
 
-	// Gather pins per net in grid coordinates.
+	// Gather pins per net in grid coordinates. Net names are validated
+	// against the reserved marker vocabulary here, before any of them is
+	// interned into a grid.
 	netPins := make(map[string][]geom.Point)
 	for _, in := range top.InstanceNames() {
 		inst := top.Instances[in]
@@ -226,6 +212,9 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 			net := inst.Conns[pin]
 			if opts.SkipNets[net] {
 				continue
+			}
+			if err := checkNetName(net); err != nil {
+				return nil, err
 			}
 			pos, err := d.PinPos(in, pin)
 			if err != nil {
@@ -240,25 +229,7 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 	// through another net's landing pad. Reserved cells carry a pending
 	// marker ("?net"): foreign nets treat them as obstacles, the owning
 	// net may claim them, and they do not count as connected yet.
-	{
-		names := make([]string, 0, len(netPins))
-		for n := range netPins {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			for _, p := range netPins[n] {
-				if p.X >= 0 && p.Y >= 0 && p.X < g.W && p.Y < g.H {
-					g.pin[p.Y*g.W+p.X] = true
-				}
-				// Pins live on the horizontal layer only; the layer above
-				// stays routable for through-traffic.
-				if g.Owner(0, p.X, p.Y) == "" {
-					g.set(0, p.X, p.Y, "?"+n)
-				}
-			}
-		}
-	}
+	reservePins(g, netPins)
 
 	// Net ordering: constrained nets first (they need clean fabric), then
 	// by pin count descending, then name.
@@ -308,6 +279,28 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 	return best, nil
 }
 
+// reservePins marks pin landing cells and reserves them with the pending
+// marker in canonical net order.
+func reservePins(g *Grid, netPins map[string][]geom.Point) {
+	names := make([]string, 0, len(netPins))
+	for n := range netPins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, p := range netPins[n] {
+			if p.X >= 0 && p.Y >= 0 && p.X < g.W && p.Y < g.H {
+				g.pin[p.Y*g.W+p.X] = true
+			}
+			// Pins live on the horizontal layer only; the layer above
+			// stays routable for through-traffic.
+			if g.owner(0, p.X, p.Y) == cellEmpty {
+				g.set(0, p.X, p.Y, g.tab.intern(n)|kindPending)
+			}
+		}
+	}
+}
+
 // rotateTail rotates the portion of order after the first keep entries by
 // k positions.
 func rotateTail(order []string, keep, k int) []string {
@@ -346,7 +339,7 @@ func routeAll(g *Grid, res *Result, order []string, netPins map[string][]geom.Po
 	}
 	if workers == 1 || len(order) < 2 {
 		for _, net := range order {
-			routeOne(g, res, net, netPins[net], normRule(opts.Rules[net]))
+			routeOne(g, res, net, g.tab.intern(net), netPins[net], normRule(opts.Rules[net]))
 		}
 		return
 	}
@@ -354,38 +347,45 @@ func routeAll(g *Grid, res *Result, order []string, netPins map[string][]geom.Po
 		batch := nextBatch(order[start:], netPins, opts, 4*workers)
 		start += len(batch)
 		if len(batch) == 1 {
-			routeOne(g, res, batch[0], netPins[batch[0]], normRule(opts.Rules[batch[0]]))
+			routeOne(g, res, batch[0], g.tab.intern(batch[0]), netPins[batch[0]], normRule(opts.Rules[batch[0]]))
 			continue
+		}
+		// Intern the whole batch before fanning out: the intern table is
+		// written only from the committer's goroutine.
+		sigs := make([]int32, len(batch))
+		for j, net := range batch {
+			sigs[j] = g.tab.intern(net)
 		}
 		specs := make([]*speculation, len(batch))
 		par.ForEach(len(batch), func(j int) error {
 			v := newSpecView(g)
 			net := batch[j]
-			paths, err := netPaths(v, net, netPins[net], normRule(opts.Rules[net]))
-			specs[j] = &speculation{paths: paths, err: err, reads: v.reads}
+			paths, err := netPaths(v, sigs[j], netPins[net], normRule(opts.Rules[net]))
+			specs[j] = &speculation{paths: paths, err: err, view: v}
 			return nil
 		}, par.Workers(workers))
-		g.record = make(map[int]struct{})
+		g.armRecording()
 		for j, net := range batch {
 			rule := normRule(opts.Rules[net])
-			if sp := specs[j]; !conflicts(sp.reads, g.record) {
+			if sp := specs[j]; !g.conflictsWith(sp.view.reads) {
 				res.SpecCommitted++
-				commitSpec(g, res, net, netPins[net], sp, rule)
+				commitSpec(g, res, net, sigs[j], netPins[net], sp, rule)
 			} else {
 				// Stale speculation: an earlier commit touched fabric this
 				// search observed. Recompute on the live grid — the slow
 				// path the sequential router always takes.
 				res.SpecRecomputed++
-				routeOne(g, res, net, netPins[net], rule)
+				routeOne(g, res, net, sigs[j], netPins[net], rule)
 			}
+			g.putView(specs[j].view)
 		}
-		g.record = nil
+		g.disarmRecording()
 	}
 }
 
 // routeOne routes a single net on the live grid and books failures.
-func routeOne(g *Grid, res *Result, net string, pins []geom.Point, rule Rule) {
-	if err := routeNet(g, res, net, pins, rule); err != nil {
+func routeOne(g *Grid, res *Result, net string, sig int32, pins []geom.Point, rule Rule) {
+	if err := routeNet(g, res, net, sig, pins, rule); err != nil {
 		res.Failed = append(res.Failed, net)
 		res.FailReasons = append(res.FailReasons, err.Error())
 	}
@@ -395,21 +395,7 @@ func routeOne(g *Grid, res *Result, net string, pins []geom.Point, rule Rule) {
 type speculation struct {
 	paths [][]node
 	err   error
-	reads map[int]struct{}
-}
-
-// conflicts reports whether any speculatively-read cell was since written.
-func conflicts(reads, written map[int]struct{}) bool {
-	small, big := written, reads
-	if len(reads) < len(written) {
-		small, big = reads, written
-	}
-	for i := range small {
-		if _, ok := big[i]; ok {
-			return true
-		}
-	}
-	return false
+	view  *specView
 }
 
 // nextBatch returns the longest contiguous prefix (capped at max) of the
@@ -474,18 +460,18 @@ func pinBBox(pins []geom.Point) geom.Rect {
 // search made on its overlay land on real fabric in canonical order, then
 // shields and clearance halos grow exactly as the sequential router would
 // have grown them at this point in the order.
-func commitSpec(g *Grid, res *Result, net string, pins []geom.Point, sp *speculation, rule Rule) {
+func commitSpec(g *Grid, res *Result, net string, sig int32, pins []geom.Point, sp *speculation, rule Rule) {
 	pinRule := Rule{WidthTracks: 1}
-	claim(g, net, node{0, pins[0].X, pins[0].Y}, pinRule)
+	claim(g, sig, node{0, pins[0].X, pins[0].Y}, pinRule)
 	for _, path := range sp.paths {
 		for i, n := range path {
 			switch {
 			case i == 0:
 				// success cell: already owned by the net
 			case i == len(path)-1:
-				claim(g, net, n, pinRule)
+				claim(g, sig, n, pinRule)
 			default:
-				claim(g, net, n, rule)
+				claim(g, sig, n, rule)
 			}
 		}
 	}
@@ -496,10 +482,10 @@ func commitSpec(g *Grid, res *Result, net string, pins []geom.Point, sp *specula
 		return
 	}
 	if rule.Shield {
-		res.ShieldLen += addShields(g, res, net)
+		res.ShieldLen += addShields(g, sig)
 	}
 	if rule.SpacingTracks > 0 {
-		addHalo(g, net, rule.SpacingTracks)
+		addHalo(g, sig, rule.SpacingTracks)
 	}
 }
 
@@ -535,26 +521,12 @@ func freshGrid(d *phys.Design, opts Options, netPins map[string][]geom.Point) *G
 		y1 := gridMax(ko.Max.Y-d.Die.Min.Y, opts.Pitch)
 		for x := x0; x <= x1; x++ {
 			for y := y0; y <= y1; y++ {
-				g.set(0, x, y, "#")
-				g.set(1, x, y, "#")
+				g.set(0, x, y, cellBlocked)
+				g.set(1, x, y, cellBlocked)
 			}
 		}
 	}
-	names := make([]string, 0, len(netPins))
-	for n := range netPins {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		for _, p := range netPins[n] {
-			if p.X >= 0 && p.Y >= 0 && p.X < g.W && p.Y < g.H {
-				g.pin[p.Y*g.W+p.X] = true
-			}
-			if g.Owner(0, p.X, p.Y) == "" {
-				g.set(0, p.X, p.Y, "?"+n)
-			}
-		}
-	}
+	reservePins(g, netPins)
 	return g
 }
 
@@ -572,8 +544,8 @@ type node struct {
 
 // routeNet maze-routes one net on the live grid, connecting pins one at a
 // time to the grown net region.
-func routeNet(g *Grid, res *Result, net string, pins []geom.Point, rule Rule) error {
-	paths, err := netPaths(g, net, pins, rule)
+func routeNet(g *Grid, res *Result, net string, sig int32, pins []geom.Point, rule Rule) error {
+	paths, err := netPaths(g, sig, pins, rule)
 	// Partial progress stays claimed and booked even when a later pin
 	// fails — the rip-up pass rebuilds the fabric from scratch anyway.
 	recordPaths(res, net, paths)
@@ -581,12 +553,12 @@ func routeNet(g *Grid, res *Result, net string, pins []geom.Point, rule Rule) er
 		return err
 	}
 	if rule.Shield {
-		res.ShieldLen += addShields(g, res, net)
+		res.ShieldLen += addShields(g, sig)
 	}
 	if rule.SpacingTracks > 0 {
 		// Spacing is symmetric: reserve a clearance halo so nets routed
 		// later cannot violate this net's rule either.
-		addHalo(g, net, rule.SpacingTracks)
+		addHalo(g, sig, rule.SpacingTracks)
 	}
 	return nil
 }
@@ -595,18 +567,18 @@ func routeNet(g *Grid, res *Result, net string, pins []geom.Point, rule Rule) er
 // route every remaining pin to the grown region, claiming cells on f as it
 // goes. Paths found before an error are returned with it, so partial
 // progress can be replayed exactly.
-func netPaths(f fabric, net string, pins []geom.Point, rule Rule) ([][]node, error) {
+func netPaths(f fabric, sig int32, pins []geom.Point, rule Rule) ([][]node, error) {
 	// Seed: first pin on both layers. Pins claim at width 1 — the width
 	// rule governs wires; pad cells must not stomp on neighbors' halos.
 	seed := pins[0]
 	pinRule := Rule{WidthTracks: 1}
-	claim(f, net, node{0, seed.X, seed.Y}, pinRule)
+	claim(f, sig, node{0, seed.X, seed.Y}, pinRule)
 	var paths [][]node
 	for _, target := range pins[1:] {
-		if f.Owner(0, target.X, target.Y) == net {
+		if f.owner(0, target.X, target.Y) == sig {
 			continue // already on the net (shared pin cell)
 		}
-		path, err := bfs(f, net, node{0, target.X, target.Y}, rule)
+		path, err := bfs(f, sig, node{0, target.X, target.Y}, rule)
 		if err != nil {
 			return paths, err
 		}
@@ -619,9 +591,9 @@ func netPaths(f fabric, net string, pins []geom.Point, rule Rule) ([][]node, err
 			case i == 0:
 				// already owned; no claim
 			case i == len(path)-1:
-				claim(f, net, n, pinRule)
+				claim(f, sig, n, pinRule)
 			default:
-				claim(f, net, n, rule)
+				claim(f, sig, n, rule)
 			}
 		}
 		paths = append(paths, path)
@@ -650,23 +622,23 @@ func recordPaths(res *Result, net string, paths [][]node) {
 // net's wires using the clearance marker "~net" — an obstacle to foreign
 // nets that audits ignore, distinct from the shield marker because a
 // clearance halo is empty space, not a grounded wire.
-func addHalo(g *Grid, net string, dist int) {
-	marker := "~" + net
+func addHalo(g *Grid, sig int32, dist int) {
+	marker := sig | kindHalo
 	for l := 0; l < 2; l++ {
 		for y := 0; y < g.H; y++ {
 			for x := 0; x < g.W; x++ {
-				if g.Owner(l, x, y) != net {
+				if g.owner(l, x, y) != sig {
 					continue
 				}
 				for s := 1; s <= dist; s++ {
-					var cells []node
-					if l == 0 {
-						cells = []node{{l, x, y - s}, {l, x, y + s}}
-					} else {
-						cells = []node{{l, x - s, y}, {l, x + s, y}}
-					}
-					for _, c := range cells {
-						if c.x >= 0 && c.y >= 0 && c.x < g.W && c.y < g.H && g.Owner(c.l, c.x, c.y) == "" {
+					for _, d := range [2]int{-s, s} {
+						c := node{l, x, y}
+						if l == 0 {
+							c.y += d
+						} else {
+							c.x += d
+						}
+						if c.x >= 0 && c.y >= 0 && c.x < g.W && c.y < g.H && g.owner(c.l, c.x, c.y) == cellEmpty {
 							g.set(c.l, c.x, c.y, marker)
 						}
 					}
@@ -677,14 +649,14 @@ func addHalo(g *Grid, net string, dist int) {
 }
 
 // claim marks a cell (and its width expansion) as owned by net.
-func claim(f fabric, net string, n node, rule Rule) {
-	f.set(n.l, n.x, n.y, net)
+func claim(f fabric, sig int32, n node, rule Rule) {
+	f.set(n.l, n.x, n.y, sig)
 	// Width expansion perpendicular to the layer direction.
 	for w := 1; w < rule.WidthTracks; w++ {
 		if n.l == 0 {
-			f.set(n.l, n.x, n.y+w, net)
+			f.set(n.l, n.x, n.y+w, sig)
 		} else {
-			f.set(n.l, n.x+w, n.y, net)
+			f.set(n.l, n.x+w, n.y, sig)
 		}
 	}
 }
@@ -692,21 +664,19 @@ func claim(f fabric, net string, n node, rule Rule) {
 // usable reports whether the net may occupy cell n under its rule: the
 // cell (and width expansion) must be free or already the net's own, and
 // the spacing clearance must hold against foreign nets.
-func usable(f fabric, net string, n node, rule Rule) bool {
+func usable(f fabric, sig int32, n node, rule Rule) bool {
 	w, h := f.size()
-	cells := []node{n}
-	for i := 1; i < rule.WidthTracks; i++ {
+	for i := 0; i < rule.WidthTracks; i++ {
+		c := n
 		if n.l == 0 {
-			cells = append(cells, node{n.l, n.x, n.y + i})
+			c.y += i
 		} else {
-			cells = append(cells, node{n.l, n.x + i, n.y})
+			c.x += i
 		}
-	}
-	for _, c := range cells {
 		if c.x < 0 || c.y < 0 || c.x >= w || c.y >= h {
 			return false
 		}
-		if o := f.Owner(c.l, c.x, c.y); !ownCell(o, net) && o != "" {
+		if o := f.owner(c.l, c.x, c.y); o != cellEmpty && !ownCell(o, sig) {
 			return false
 		}
 		// Spacing: foreign occupants within the clearance window fail.
@@ -716,20 +686,19 @@ func usable(f fabric, net string, n node, rule Rule) bool {
 			continue
 		}
 		for s := 1; s <= rule.SpacingTracks; s++ {
-			var cells2 []node
-			if c.l == 0 {
-				cells2 = []node{{c.l, c.x, c.y - s}, {c.l, c.x, c.y + s}}
-			} else {
-				cells2 = []node{{c.l, c.x - s, c.y}, {c.l, c.x + s, c.y}}
-			}
-			for _, c2 := range cells2 {
+			for _, d := range [2]int{-s, s} {
+				c2 := c
+				if c.l == 0 {
+					c2.y += d
+				} else {
+					c2.x += d
+				}
 				if f.isPin(c2.x, c2.y) {
 					continue
 				}
 				// Spacing measures to real foreign wires; shields, halos
 				// and blockages are not aggressors.
-				o := f.Owner(c2.l, c2.x, c2.y)
-				if o != "" && !ownCell(o, net) && o != "#" && o[0] != '!' && o[0] != '~' {
+				if spacingAggressor(f.owner(c2.l, c2.x, c2.y), sig) {
 					return false
 				}
 			}
@@ -738,87 +707,89 @@ func usable(f fabric, net string, n node, rule Rule) bool {
 	return true
 }
 
-// ownCell reports whether a cell owner is the net itself or its pending
-// pin reservation.
-func ownCell(owner, net string) bool {
-	return owner == net || owner == "?"+net
-}
-
-// foreignSignal reports whether a cell owner is another net's signal wire
-// (not free, not blockage, not shield, not halo, not a pending pin, not
-// our own).
-func foreignSignal(owner, net string) bool {
-	return owner != "" && !ownCell(owner, net) && owner != "#" &&
-		owner[0] != '!' && owner[0] != '~' && owner[0] != '?'
-}
-
-func isShieldOf(owner, net string) bool {
-	return owner == "!"+net
-}
-
 // bfs is a uniform-cost search from the target back to any cell already
 // owned by net. The cost function is congestion-aware: vias cost extra and
 // cells adjacent to pin landing pads are discouraged, so wires prefer open
-// fabric and leave pin escapes for the nets that need them.
-func bfs(f fabric, net string, from node, rule Rule) ([]node, error) {
+// fabric and leave pin escapes for the nets that need them. All visited/
+// cost/frontier state lives in pooled scratch (scratch.go); the only
+// allocation per call is the returned path, which the caller retains.
+func bfs(f fabric, sig int32, from node, rule Rule) ([]node, error) {
 	// The pin landing needs only its own cell (width rules govern wires).
-	if !usable(f, net, from, Rule{WidthTracks: 1}) {
-		return nil, fmt.Errorf("%w: net %s pin cell blocked", ErrRoute, net)
+	if !usable(f, sig, from, Rule{WidthTracks: 1}) {
+		return nil, fmt.Errorf("%w: net %s pin cell blocked", ErrRoute, f.base().tab.decode(sig))
 	}
 	viaCost, pinAdjCost := 3, 4
 	if f.plain() {
 		viaCost, pinAdjCost = 1, 0
 	}
-	prev := make(map[node]node)
-	dist := map[node]int{from: 0}
-	// Bucket queue: costs are small integers.
-	buckets := map[int][]node{0: {from}}
+	g := f.base()
+	w, h := f.size()
+	lsize := w * h
+	sc := g.getScratch()
+	defer g.putScratch(sc)
+	sc.reset()
+	start := int32(from.l*lsize + from.y*w + from.x)
+	sc.setDist(start, 0, -1)
+	sc.push(0, start)
 	maxCost := 0
 	for d := 0; d <= maxCost+1; d++ {
-		for len(buckets[d]) > 0 {
-			cur := buckets[d][len(buckets[d])-1]
-			buckets[d] = buckets[d][:len(buckets[d])-1]
-			if dist[cur] != d {
+		if d >= len(sc.buckets) {
+			continue
+		}
+		for len(sc.buckets[d]) > 0 {
+			bkt := sc.buckets[d]
+			ci := bkt[len(bkt)-1]
+			sc.buckets[d] = bkt[:len(bkt)-1]
+			if sc.dist[ci] != int32(d) {
 				continue // stale entry
 			}
-			if f.Owner(cur.l, cur.x, cur.y) == net {
-				var path []node
-				for n := cur; ; {
-					path = append(path, n)
-					p, ok := prev[n]
-					if !ok {
+			cur := node{int(ci) / lsize, int(ci) % w, (int(ci) % lsize) / w}
+			if f.owner(cur.l, cur.x, cur.y) == sig {
+				// Reconstruct target-to-net order: count first, then fill,
+				// so the path is a single right-sized allocation.
+				steps := 1
+				for i := ci; sc.prev[i] >= 0; i = sc.prev[i] {
+					steps++
+				}
+				path := make([]node, steps)
+				i := ci
+				for j := 0; ; j++ {
+					path[j] = node{int(i) / lsize, int(i) % w, (int(i) % lsize) / w}
+					p := sc.prev[i]
+					if p < 0 {
 						break
 					}
-					n = p
+					i = p
 				}
 				return path, nil
 			}
-			for _, nb := range neighbors(cur) {
-				owner := f.Owner(nb.l, nb.x, nb.y)
-				if !(owner == net || (ownCell(owner, net) || owner == "") && usable(f, net, nb, rule)) {
+			for t := 0; t < 3; t++ {
+				nb := neighbor(cur, t)
+				owner := f.owner(nb.l, nb.x, nb.y)
+				if !(owner == sig || (owner == cellEmpty || ownCell(owner, sig)) && usable(f, sig, nb, rule)) {
 					continue
 				}
 				step := 1
 				if nb.l != cur.l {
 					step = viaCost
 				}
-				if owner != net && nearPin(f, nb) {
+				if owner != sig && nearPin(f, nb) {
 					step += pinAdjCost
 				}
 				nd := d + step
-				if old, ok := dist[nb]; ok && old <= nd {
+				ni := int32(nb.l*lsize + nb.y*w + nb.x)
+				if sc.visited(ni) && int(sc.dist[ni]) <= nd {
 					continue
 				}
-				dist[nb] = nd
-				prev[nb] = cur
-				buckets[nd] = append(buckets[nd], nb)
+				sc.setDist(ni, int32(nd), ci)
+				sc.push(nd, ni)
 				if nd > maxCost {
 					maxCost = nd
 				}
 			}
 		}
 	}
-	return nil, fmt.Errorf("%w: net %s unroutable", ErrRoute, net)
+	return nil, fmt.Errorf("%w: net %s unroutable", ErrRoute, g.tab.decode(sig))
 }
 
 // nearPin reports whether a cell is a pin pad or directly adjacent to one.
@@ -830,37 +801,45 @@ func nearPin(f fabric, n node) bool {
 		f.isPin(n.x, n.y-1) || f.isPin(n.x, n.y+1)
 }
 
-// neighbors yields legal moves: along the layer's direction, plus vias.
-func neighbors(n node) []node {
-	var out []node
-	if n.l == 0 { // horizontal layer
-		out = append(out, node{0, n.x - 1, n.y}, node{0, n.x + 1, n.y})
-	} else {
-		out = append(out, node{1, n.x, n.y - 1}, node{1, n.x, n.y + 1})
+// neighbor yields legal move t (0,1 = along the layer's direction, 2 =
+// via), matching the expansion order of the original slice-returning
+// helper without its per-visit allocation.
+func neighbor(n node, t int) node {
+	switch t {
+	case 0:
+		if n.l == 0 {
+			return node{0, n.x - 1, n.y}
+		}
+		return node{1, n.x, n.y - 1}
+	case 1:
+		if n.l == 0 {
+			return node{0, n.x + 1, n.y}
+		}
+		return node{1, n.x, n.y + 1}
+	default:
+		return node{1 - n.l, n.x, n.y}
 	}
-	out = append(out, node{1 - n.l, n.x, n.y})
-	return out
 }
 
 // addShields occupies free tracks adjacent to the net's wires with shield
 // markers and returns the shield wirelength added.
-func addShields(g *Grid, res *Result, net string) int {
+func addShields(g *Grid, sig int32) int {
 	added := 0
-	marker := "!" + net
+	marker := sig | kindShield
 	for l := 0; l < 2; l++ {
 		for y := 0; y < g.H; y++ {
 			for x := 0; x < g.W; x++ {
-				if g.Owner(l, x, y) != net {
+				if g.owner(l, x, y) != sig {
 					continue
 				}
-				var adj []node
-				if l == 0 {
-					adj = []node{{l, x, y - 1}, {l, x, y + 1}}
-				} else {
-					adj = []node{{l, x - 1, y}, {l, x + 1, y}}
-				}
-				for _, a := range adj {
-					if a.x >= 0 && a.y >= 0 && a.x < g.W && a.y < g.H && g.Owner(a.l, a.x, a.y) == "" {
+				for _, d := range [2]int{-1, 1} {
+					a := node{l, x, y}
+					if l == 0 {
+						a.y += d
+					} else {
+						a.x += d
+					}
+					if a.x >= 0 && a.y >= 0 && a.x < g.W && a.y < g.H && g.owner(a.l, a.x, a.y) == cellEmpty {
 						g.set(a.l, a.x, a.y, marker)
 						added++
 					}
@@ -889,28 +868,33 @@ func (v Violation) String() string {
 // any single foreign net, in grid units.
 func (r *Result) CouplingRun(net string) (worstNet string, run int) {
 	g := r.grid
-	runs := make(map[string]int)
+	sig, ok := g.tab.lookup(net)
+	if !ok {
+		return "", 0
+	}
+	runs := make(map[int32]int)
 	for l := 0; l < 2; l++ {
 		for y := 0; y < g.H; y++ {
 			for x := 0; x < g.W; x++ {
-				if g.Owner(l, x, y) != net {
+				if g.owner(l, x, y) != sig {
 					continue
 				}
-				var adj []node
-				if l == 0 {
-					adj = []node{{l, x, y - 1}, {l, x, y + 1}}
-				} else {
-					adj = []node{{l, x - 1, y}, {l, x + 1, y}}
-				}
-				for _, a := range adj {
-					if o := g.Owner(a.l, a.x, a.y); foreignSignal(o, net) {
+				for _, d := range [2]int{-1, 1} {
+					a := node{l, x, y}
+					if l == 0 {
+						a.y += d
+					} else {
+						a.x += d
+					}
+					if o := g.owner(a.l, a.x, a.y); foreignSignal(o, sig) {
 						runs[o]++
 					}
 				}
 			}
 		}
 	}
-	for n, c := range runs {
+	for o, c := range runs {
+		n := g.tab.decode(o)
 		if c > run || (c == run && n < worstNet) {
 			worstNet, run = n, c
 		}
@@ -921,29 +905,33 @@ func (r *Result) CouplingRun(net string) (worstNet string, run int) {
 // actualMinWidth computes the narrowest point of a routed net in tracks.
 func (r *Result) actualMinWidth(net string) int {
 	g := r.grid
+	sig, ok := g.tab.lookup(net)
+	if !ok {
+		return 0
+	}
 	min := 1 << 30
 	found := false
 	for l := 0; l < 2; l++ {
 		for y := 0; y < g.H; y++ {
 			for x := 0; x < g.W; x++ {
-				if g.Owner(l, x, y) != net || g.isPin(x, y) {
+				if g.owner(l, x, y) != sig || g.isPin(x, y) {
 					continue
 				}
 				found = true
 				// Count contiguous own cells perpendicular.
 				w := 1
 				if l == 0 {
-					for d := 1; g.Owner(l, x, y+d) == net; d++ {
+					for d := 1; g.owner(l, x, y+d) == sig; d++ {
 						w++
 					}
-					for d := 1; g.Owner(l, x, y-d) == net; d++ {
+					for d := 1; g.owner(l, x, y-d) == sig; d++ {
 						w++
 					}
 				} else {
-					for d := 1; g.Owner(l, x+d, y) == net; d++ {
+					for d := 1; g.owner(l, x+d, y) == sig; d++ {
 						w++
 					}
-					for d := 1; g.Owner(l, x-d, y) == net; d++ {
+					for d := 1; g.owner(l, x-d, y) == sig; d++ {
 						w++
 					}
 				}
@@ -964,24 +952,28 @@ func (r *Result) actualMinWidth(net string) int {
 func (r *Result) minClearance(net string, window int) int {
 	g := r.grid
 	min := window + 1
+	sig, ok := g.tab.lookup(net)
+	if !ok {
+		return min
+	}
 	for l := 0; l < 2; l++ {
 		for y := 0; y < g.H; y++ {
 			for x := 0; x < g.W; x++ {
-				if g.Owner(l, x, y) != net || g.isPin(x, y) {
+				if g.owner(l, x, y) != sig || g.isPin(x, y) {
 					continue
 				}
 				for s := 1; s <= window; s++ {
-					var cells []node
-					if l == 0 {
-						cells = []node{{l, x, y - s}, {l, x, y + s}}
-					} else {
-						cells = []node{{l, x - s, y}, {l, x + s, y}}
-					}
-					for _, c := range cells {
+					for _, d := range [2]int{-s, s} {
+						c := node{l, x, y}
+						if l == 0 {
+							c.y += d
+						} else {
+							c.x += d
+						}
 						if g.isPin(c.x, c.y) {
 							continue
 						}
-						if o := g.Owner(c.l, c.x, c.y); foreignSignal(o, net) {
+						if o := g.owner(c.l, c.x, c.y); foreignSignal(o, sig) {
 							if s < min {
 								min = s
 							}
@@ -998,26 +990,30 @@ func (r *Result) minClearance(net string, window int) int {
 // shield- or self-occupied.
 func (r *Result) shieldCoverage(net string) float64 {
 	g := r.grid
+	sig, ok := g.tab.lookup(net)
+	if !ok {
+		return 1
+	}
 	var total, covered int
 	for l := 0; l < 2; l++ {
 		for y := 0; y < g.H; y++ {
 			for x := 0; x < g.W; x++ {
-				if g.Owner(l, x, y) != net || g.isPin(x, y) {
+				if g.owner(l, x, y) != sig || g.isPin(x, y) {
 					continue
 				}
-				var adj []node
-				if l == 0 {
-					adj = []node{{l, x, y - 1}, {l, x, y + 1}}
-				} else {
-					adj = []node{{l, x - 1, y}, {l, x + 1, y}}
-				}
-				for _, a := range adj {
+				for _, d := range [2]int{-1, 1} {
+					a := node{l, x, y}
+					if l == 0 {
+						a.y += d
+					} else {
+						a.x += d
+					}
 					if a.x < 0 || a.y < 0 || a.x >= g.W || a.y >= g.H {
 						continue
 					}
 					total++
-					o := g.Owner(a.l, a.x, a.y)
-					if ownCell(o, net) || isShieldOf(o, net) || g.isPin(a.x, a.y) {
+					o := g.owner(a.l, a.x, a.y)
+					if ownCell(o, sig) || isShieldOf(o, sig) || g.isPin(a.x, a.y) {
 						covered++
 					}
 				}

@@ -229,9 +229,13 @@ func TestGridBounds(t *testing.T) {
 	if g.Owner(0, -1, 0) != "#" || g.Owner(1, 0, 999) != "#" {
 		t.Error("out-of-bounds should read blocked")
 	}
-	g.set(0, 5, 5, "x")
+	x := g.tab.intern("x")
+	if g.Owner(0, 5, 5) != "" {
+		t.Error("fresh grid cell should be empty")
+	}
+	g.set(0, 5, 5, x)
 	if g.Owner(0, 5, 5) != "x" {
 		t.Error("set/get broken")
 	}
-	g.set(0, -1, -1, "x") // must not panic
+	g.set(0, -1, -1, x) // must not panic
 }

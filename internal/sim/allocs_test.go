@@ -1,0 +1,56 @@
+//go:build !race
+
+// AllocsPerRun is meaningless under the race detector's instrumentation,
+// so the alloc-regression tests are compiled out of `go test -race`.
+
+package sim
+
+import (
+	"testing"
+
+	"cadinterop/internal/hdl"
+)
+
+// TestEventLoopAllocs: a clocked design stepping in steady state must not
+// allocate per cycle — event buckets come off the queue's free list, wait
+// entries off the process's pool, the race detector's records are
+// epoch-reset, and the name policies compare interned ranks. The
+// pre-interning kernel allocated dozens of objects per clock edge.
+func TestEventLoopAllocs(t *testing.T) {
+	src := `
+module dff(clk, d, q);
+  input clk, d;
+  output q;
+  reg q;
+  always @(posedge clk) q <= d;
+endmodule
+module top;
+  reg clk, d;
+  wire q;
+  dff u(.clk(clk), .d(d), .q(q));
+  initial begin
+    clk = 0; d = 1;
+  end
+  always begin
+    #5 clk = ~clk;
+  end
+endmodule`
+	k, err := Elaborate(hdl.MustParse(src), "top", Options{Policy: PolicyByName, DisableTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Kill()
+	now := uint64(1000)
+	if err := k.RunUntil(now); err != nil { // warm every pool and free list
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		now += 100 // ten full clock cycles per run
+		if err := k.RunUntil(now); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 5 {
+		t.Errorf("event loop allocates %.1f objects per 10 clock cycles, want <= 5", avg)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"cadinterop/internal/hdl"
@@ -13,6 +14,7 @@ import (
 type process struct {
 	id     int
 	name   string
+	rank   int32 // interned ordering key (see Kernel.assignRanks)
 	ctx    *scopeCtx
 	body   hdl.Stmt
 	always bool
@@ -27,6 +29,14 @@ type process struct {
 	// waitItems is non-nil while blocked on events; entries are registered
 	// in the corresponding signals' waiter lists.
 	waitSignals []*Signal
+	// waitPool is the backing storage for the procWait entries currently
+	// registered; reused across blocks so a process that waits every cycle
+	// does not allocate per wait.
+	waitPool []procWait
+	// allItems caches the @*-inferred sensitivity list (the body is
+	// static, so its read set is too).
+	allItems    []hdl.SensItem
+	allComputed bool
 
 	// zeroLoopGuard counts resumes without time advancing.
 	lastResumeTime uint64
@@ -145,11 +155,11 @@ func (k *Kernel) resumeUntilBlocked(p *process) {
 	msg := <-p.yield
 	switch msg.kind {
 	case yDelay:
-		k.schedule(k.now+msg.delay, event{kind: evResume, name: p.name, proc: p})
+		k.schedule(k.now+msg.delay, event{kind: evResume, rank: p.rank, proc: p})
 	case yWait:
 		if len(msg.sens.Items) == 0 && !msg.sens.All {
 			// Immediate start (initial block bootstrap).
-			k.schedule(k.now, event{kind: evResume, name: p.name, proc: p})
+			k.schedule(k.now, event{kind: evResume, rank: p.rank, proc: p})
 			return
 		}
 		k.registerWait(p, msg.sens)
@@ -165,44 +175,66 @@ func (k *Kernel) resumeUntilBlocked(p *process) {
 func (k *Kernel) registerWait(p *process, sens hdl.SensList) {
 	var items []hdl.SensItem
 	if sens.All {
-		// @*: compute the read set of the body.
-		reads := make(map[string]bool)
-		hdl.WalkStmts(p.body, func(s hdl.Stmt) {
-			switch st := s.(type) {
-			case *hdl.AssignStmt:
-				hdl.ReadSignals(st.RHS, reads)
-				if st.LHS.Index != nil {
-					hdl.ReadSignals(st.LHS.Index, reads)
-				}
-			case *hdl.If:
-				hdl.ReadSignals(st.Cond, reads)
-			case *hdl.Case:
-				hdl.ReadSignals(st.Subject, reads)
-				for _, it := range st.Items {
-					for _, e := range it.Exprs {
-						hdl.ReadSignals(e, reads)
-					}
-				}
-			case *hdl.SysCall:
-				for _, a := range st.Args {
-					hdl.ReadSignals(a, reads)
-				}
-			}
-		})
-		for name := range reads {
-			items = append(items, hdl.SensItem{Edge: hdl.EdgeAny, Signal: name})
-		}
+		items = p.sensAllItems()
 	} else {
 		items = sens.Items
 	}
+	// Wait entries live in the process's reusable pool; pre-sizing keeps
+	// the entry addresses stable while they sit in waiter lists.
+	if cap(p.waitPool) < len(items) {
+		p.waitPool = make([]procWait, 0, len(items))
+	}
+	p.waitPool = p.waitPool[:0]
 	for _, it := range items {
 		sig, ok := p.ctx.lookup(it.Signal)
 		if !ok {
 			continue
 		}
-		sig.waiters = append(sig.waiters, &procWait{proc: p, edge: it.Edge})
+		p.waitPool = append(p.waitPool, procWait{proc: p, edge: it.Edge})
+		sig.waiters = append(sig.waiters, &p.waitPool[len(p.waitPool)-1])
 		p.waitSignals = append(p.waitSignals, sig)
 	}
+}
+
+// sensAllItems computes (once) the @*-inferred sensitivity list: the body's
+// read set, sorted by name so registration order is deterministic.
+func (p *process) sensAllItems() []hdl.SensItem {
+	if p.allComputed {
+		return p.allItems
+	}
+	p.allComputed = true
+	reads := make(map[string]bool)
+	hdl.WalkStmts(p.body, func(s hdl.Stmt) {
+		switch st := s.(type) {
+		case *hdl.AssignStmt:
+			hdl.ReadSignals(st.RHS, reads)
+			if st.LHS.Index != nil {
+				hdl.ReadSignals(st.LHS.Index, reads)
+			}
+		case *hdl.If:
+			hdl.ReadSignals(st.Cond, reads)
+		case *hdl.Case:
+			hdl.ReadSignals(st.Subject, reads)
+			for _, it := range st.Items {
+				for _, e := range it.Exprs {
+					hdl.ReadSignals(e, reads)
+				}
+			}
+		case *hdl.SysCall:
+			for _, a := range st.Args {
+				hdl.ReadSignals(a, reads)
+			}
+		}
+	})
+	names := make([]string, 0, len(reads))
+	for name := range reads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p.allItems = append(p.allItems, hdl.SensItem{Edge: hdl.EdgeAny, Signal: name})
+	}
+	return p.allItems
 }
 
 // unregisterWait removes the process from all waiter lists.
@@ -216,7 +248,7 @@ func (k *Kernel) unregisterWait(p *process) {
 		}
 		sig.waiters = out
 	}
-	p.waitSignals = nil
+	p.waitSignals = p.waitSignals[:0]
 }
 
 // --- statement execution (runs on the process goroutine) -----------------
@@ -293,7 +325,7 @@ func (k *Kernel) execAssign(p *process, st *hdl.AssignStmt) {
 	if st.NonBlocking {
 		val := k.applyLHS(p.ctx, sig, st.LHS, rhs, p)
 		k.races.RecordWrite(p.id, sig.Name, k.now, false)
-		k.scheduleNBA(k.now+st.Delay, event{kind: evCommit, name: sig.Name, sig: sig, val: val})
+		k.scheduleNBA(k.now+st.Delay, event{kind: evCommit, rank: sig.rank, sig: sig, val: val})
 		return
 	}
 	if st.Delay > 0 {
@@ -349,7 +381,7 @@ func (k *Kernel) commit(sig *Signal, val Value) {
 		k.trace = append(k.trace, Change{Time: k.now, Signal: sig.Name, Old: old, New: val})
 	}
 	k.runTimingChecks(sig, old, val)
-	k.schedule(k.now, event{kind: evNotify, name: sig.Name, sig: sig, old: old, val: val})
+	k.schedule(k.now, event{kind: evNotify, rank: sig.rank, sig: sig, old: old, val: val})
 }
 
 func (k *Kernel) execSysCall(p *process, st *hdl.SysCall) {
@@ -533,14 +565,14 @@ func (k *Kernel) Bootstrap() {
 			// Consume the bootstrap yield.
 			msg := <-p.yield
 			if msg.kind == yWait && len(msg.sens.Items) == 0 && !msg.sens.All {
-				k.schedule(0, event{kind: evResume, name: p.name, proc: p})
+				k.schedule(0, event{kind: evResume, rank: p.rank, proc: p})
 			} else {
 				k.registerWait(p, msg.sens)
 			}
 		}
 	}
 	for _, a := range k.assigns {
-		k.schedule(0, event{kind: evEval, name: a.name, asgn: a})
+		k.schedule(0, event{kind: evEval, rank: a.rank, asgn: a})
 	}
 }
 
@@ -609,10 +641,12 @@ func (k *Kernel) RunUntil(maxTime uint64) error {
 		for {
 			e, ok := k.pickNext(b)
 			if !ok {
-				// Active region drained: promote NBAs.
+				// Active region drained: promote NBAs. The nba slice is
+				// truncated, not dropped, so its storage is reused by the
+				// next step's non-blocking updates.
 				if len(b.nba) > 0 {
 					b.active = append(b.active, b.nba...)
-					b.nba = nil
+					b.nba = b.nba[:0]
 					continue
 				}
 				break
@@ -635,21 +669,23 @@ func (k *Kernel) dispatch(e event) {
 	case evCommit:
 		k.commit(e.sig, e.val)
 	case evNotify:
-		// Wake processes whose wait matches the edge.
+		// Wake processes whose wait matches the edge. The wake list is a
+		// reusable kernel buffer: unregisterWait mutates waiter lists, so
+		// matches are collected before any process is unparked.
 		edge := edgeOf(e.old, e.val)
-		var toWake []*process
+		k.toWake = k.toWake[:0]
 		for _, w := range e.sig.waiters {
 			if edgeMatches(w.edge, edge) {
-				toWake = append(toWake, w.proc)
+				k.toWake = append(k.toWake, w.proc)
 			}
 		}
-		for _, p := range toWake {
+		for _, p := range k.toWake {
 			k.unregisterWait(p)
-			k.schedule(k.now, event{kind: evResume, name: p.name, proc: p})
+			k.schedule(k.now, event{kind: evResume, rank: p.rank, proc: p})
 		}
 		// Re-evaluate continuous assigns reading this signal.
 		for _, a := range e.sig.assigns {
-			k.schedule(k.now, event{kind: evEval, name: a.name, asgn: a})
+			k.schedule(k.now, event{kind: evEval, rank: a.rank, asgn: a})
 		}
 	case evResume:
 		if !e.proc.done {
@@ -666,7 +702,7 @@ func (k *Kernel) dispatch(e event) {
 		if a.delay == 0 {
 			k.commit(sig, val)
 		} else {
-			k.schedule(k.now+a.delay, event{kind: evCommit, name: sig.Name, sig: sig, val: val})
+			k.schedule(k.now+a.delay, event{kind: evCommit, rank: sig.rank, sig: sig, val: val})
 		}
 	}
 }

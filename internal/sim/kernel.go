@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -52,7 +51,11 @@ type Signal struct {
 	MSB   int
 	LSB   int
 	IsReg bool
-	val   Value
+	// rank is the signal's position in the sorted universe of event-source
+	// names (see assignRanks); the name-ordering policies compare ranks
+	// instead of strings on the hot path.
+	rank int32
+	val  Value
 	// static watchers: continuous assigns reading this signal.
 	assigns []*contAssign
 	// dynamic watchers: blocked processes with a matching wait item.
@@ -84,6 +87,7 @@ type procWait struct {
 type contAssign struct {
 	id    int
 	name  string
+	rank  int32
 	lhs   *hdl.Ident
 	rhs   hdl.Expr
 	delay uint64
@@ -161,6 +165,11 @@ type Kernel struct {
 	violations []Violation
 	races      *RaceDetector
 	pli        map[string]PLIFunc
+
+	// toWake is dispatch's reusable wake list; valid only inside the
+	// evNotify branch (the scheduler is single-threaded and dispatch does
+	// not re-enter itself).
+	toWake []*process
 }
 
 // Change is one traced value change.
@@ -202,7 +211,45 @@ func Elaborate(d *hdl.Design, top string, opts Options) (*Kernel, error) {
 			}
 		}
 	}
+	k.assignRanks()
 	return k, nil
+}
+
+// assignRanks interns every name that can appear as an event ordering key —
+// signals, processes, continuous assigns — into a rank: the name's position
+// in the sorted, deduplicated universe. Because every orderable name is in
+// the universe, comparing two ranks gives exactly the same answer as
+// comparing the two names, so PolicyByName/PolicyReverseName stay
+// byte-identical while the hot-path comparison becomes one integer compare.
+func (k *Kernel) assignRanks() {
+	names := make([]string, 0, len(k.order)+len(k.procs)+len(k.assigns))
+	names = append(names, k.order...)
+	for _, p := range k.procs {
+		names = append(names, p.name)
+	}
+	for _, a := range k.assigns {
+		names = append(names, a.name)
+	}
+	sort.Strings(names)
+	uniq := names[:0]
+	for i, n := range names {
+		if i == 0 || n != names[i-1] {
+			uniq = append(uniq, n)
+		}
+	}
+	rank := make(map[string]int32, len(uniq))
+	for i, n := range uniq {
+		rank[n] = int32(i)
+	}
+	for _, s := range k.signals {
+		s.rank = rank[s.Name]
+	}
+	for _, p := range k.procs {
+		p.rank = rank[p.name]
+	}
+	for _, a := range k.assigns {
+		a.rank = rank[a.name]
+	}
 }
 
 // instantiate elaborates module m at hierarchical prefix, with port
@@ -373,7 +420,7 @@ const (
 type event struct {
 	seq  int
 	kind evKind
-	name string // ordering key for name policies
+	rank int32 // interned ordering key for the name policies (assignRanks)
 	sig  *Signal
 	val  Value
 	old  Value
@@ -386,21 +433,50 @@ type bucket struct {
 	nba    []event
 }
 
+// eventQueue is a min-heap of pending times plus per-time event buckets.
+// The heap is hand-rolled on []uint64 — container/heap's any-typed
+// interface would box every pushed time — and drained buckets go to a free
+// list so steady-state stepping reuses event storage instead of
+// reallocating it each time step.
 type eventQueue struct {
 	times   []uint64 // min-heap
 	buckets map[uint64]*bucket
+	free    []*bucket
 }
 
-func (q *eventQueue) Len() int           { return len(q.times) }
-func (q *eventQueue) Less(i, j int) bool { return q.times[i] < q.times[j] }
-func (q *eventQueue) Swap(i, j int)      { q.times[i], q.times[j] = q.times[j], q.times[i] }
-func (q *eventQueue) Push(x any)         { q.times = append(q.times, x.(uint64)) }
-func (q *eventQueue) Pop() any {
-	old := q.times
-	n := len(old)
-	x := old[n-1]
-	q.times = old[:n-1]
-	return x
+func (q *eventQueue) pushTime(t uint64) {
+	q.times = append(q.times, t)
+	i := len(q.times) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.times[parent] <= q.times[i] {
+			break
+		}
+		q.times[parent], q.times[i] = q.times[i], q.times[parent]
+		i = parent
+	}
+}
+
+func (q *eventQueue) popTime() {
+	n := len(q.times) - 1
+	q.times[0] = q.times[n]
+	q.times = q.times[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && q.times[l] < q.times[s] {
+			s = l
+		}
+		if r < n && q.times[r] < q.times[s] {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q.times[i], q.times[s] = q.times[s], q.times[i]
+		i = s
+	}
 }
 
 func (q *eventQueue) bucketAt(t uint64) *bucket {
@@ -409,9 +485,14 @@ func (q *eventQueue) bucketAt(t uint64) *bucket {
 	}
 	b, ok := q.buckets[t]
 	if !ok {
-		b = &bucket{}
+		if n := len(q.free); n > 0 {
+			b = q.free[n-1]
+			q.free = q.free[:n-1]
+		} else {
+			b = &bucket{}
+		}
 		q.buckets[t] = b
-		heap.Push(q, t)
+		q.pushTime(t)
 	}
 	return b
 }
@@ -421,8 +502,13 @@ func (q *eventQueue) nextTime() (uint64, bool) {
 		t := q.times[0]
 		b := q.buckets[t]
 		if b == nil || (len(b.active) == 0 && len(b.nba) == 0) {
-			heap.Pop(q)
+			q.popTime()
 			delete(q.buckets, t)
+			if b != nil {
+				b.active = b.active[:0]
+				b.nba = b.nba[:0]
+				q.free = append(q.free, b)
+			}
 			continue
 		}
 		return t, true
@@ -467,13 +553,13 @@ func (k *Kernel) better(a, b event) bool {
 	case PolicyLIFO:
 		return a.seq > b.seq
 	case PolicyByName:
-		if a.name != b.name {
-			return a.name < b.name
+		if a.rank != b.rank {
+			return a.rank < b.rank
 		}
 		return a.seq < b.seq
 	case PolicyReverseName:
-		if a.name != b.name {
-			return a.name > b.name
+		if a.rank != b.rank {
+			return a.rank > b.rank
 		}
 		return a.seq < b.seq
 	default: // FIFO

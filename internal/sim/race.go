@@ -46,12 +46,23 @@ func (r Race) String() string {
 	return fmt.Sprintf("t=%d %s race on %s (procs %v)", r.Time, r.Kind, r.Signal, r.Procs)
 }
 
+// sigAccess is one signal's access record for the current time step. The
+// records persist across steps — a record is considered empty whenever its
+// epoch lags the detector's, so "clearing" the step is one counter bump
+// instead of reallocating per-signal maps.
+type sigAccess struct {
+	sig             string
+	epoch           uint32
+	writers         []int // procs that wrote (any kind)
+	blockingWriters []int // procs that blocking-wrote
+	readers         []int // procs that read
+}
+
 // RaceDetector accumulates per-timestep access records.
 type RaceDetector struct {
-	// per-step state
-	writes         map[string]map[int]bool // sig -> procs that wrote (any kind)
-	blockingWrites map[string]map[int]bool // sig -> procs that blocking-wrote
-	reads          map[string]map[int]bool // sig -> procs that read
+	access  map[string]*sigAccess
+	touched []*sigAccess // records live this step, in first-access order
+	epoch   uint32
 
 	seen  map[string]bool // dedup key
 	races []Race
@@ -60,62 +71,100 @@ type RaceDetector struct {
 // NewRaceDetector returns an empty detector.
 func NewRaceDetector() *RaceDetector {
 	return &RaceDetector{
-		writes:         make(map[string]map[int]bool),
-		blockingWrites: make(map[string]map[int]bool),
-		reads:          make(map[string]map[int]bool),
-		seen:           make(map[string]bool),
+		access: make(map[string]*sigAccess),
+		seen:   make(map[string]bool),
+		epoch:  1,
 	}
+}
+
+// get returns the signal's live record for this step, reviving a stale one
+// in place.
+func (rd *RaceDetector) get(sig string) *sigAccess {
+	a, ok := rd.access[sig]
+	if !ok {
+		a = &sigAccess{sig: sig}
+		rd.access[sig] = a
+	}
+	if a.epoch != rd.epoch {
+		a.epoch = rd.epoch
+		a.writers = a.writers[:0]
+		a.blockingWriters = a.blockingWriters[:0]
+		a.readers = a.readers[:0]
+		rd.touched = append(rd.touched, a)
+	}
+	return a
+}
+
+// addProc appends a proc id if absent; the per-step sets are tiny, so a
+// linear scan beats a map.
+func addProc(s []int, proc int) []int {
+	for _, p := range s {
+		if p == proc {
+			return s
+		}
+	}
+	return append(s, proc)
 }
 
 // RecordWrite notes a procedural write.
 func (rd *RaceDetector) RecordWrite(proc int, sig string, _ uint64, blocking bool) {
-	add(rd.writes, sig, proc)
+	a := rd.get(sig)
+	a.writers = addProc(a.writers, proc)
 	if blocking {
-		add(rd.blockingWrites, sig, proc)
+		a.blockingWriters = addProc(a.blockingWriters, proc)
 	}
 }
 
 // RecordRead notes a procedural read.
 func (rd *RaceDetector) RecordRead(proc int, sig string, _ uint64) {
-	add(rd.reads, sig, proc)
+	a := rd.get(sig)
+	a.readers = addProc(a.readers, proc)
 }
 
-func add(m map[string]map[int]bool, sig string, proc int) {
-	s, ok := m[sig]
-	if !ok {
-		s = make(map[int]bool)
-		m[sig] = s
-	}
-	s[proc] = true
-}
-
-// EndStep closes the current time step, emitting races found in it.
+// EndStep closes the current time step, emitting races found in it: all
+// write-write hazards first, then read-write, each in deterministic
+// first-access order (the old map-keyed detector iterated in random order).
 func (rd *RaceDetector) EndStep(t uint64) {
-	for sig, writers := range rd.writes {
-		if len(writers) > 1 {
-			rd.emit(Race{Kind: RaceWriteWrite, Time: t, Signal: sig, Procs: keys(writers)})
+	for _, a := range rd.touched {
+		if len(a.writers) > 1 {
+			procs := append([]int(nil), a.writers...)
+			sort.Ints(procs)
+			rd.emit(Race{Kind: RaceWriteWrite, Time: t, Signal: a.sig, Procs: procs})
 		}
 	}
-	for sig, writers := range rd.blockingWrites {
-		readers, ok := rd.reads[sig]
-		if !ok {
+	for _, a := range rd.touched {
+		if len(a.blockingWriters) == 0 {
 			continue
 		}
 		var procs []int
-		for r := range readers {
-			if !writers[r] {
+		for _, r := range a.readers {
+			if !containsProc(a.blockingWriters, r) {
 				procs = append(procs, r)
 			}
 		}
 		if len(procs) > 0 {
-			all := append(keys(writers), procs...)
+			all := append(append([]int(nil), a.blockingWriters...), procs...)
 			sort.Ints(all)
-			rd.emit(Race{Kind: RaceReadWrite, Time: t, Signal: sig, Procs: all})
+			rd.emit(Race{Kind: RaceReadWrite, Time: t, Signal: a.sig, Procs: all})
 		}
 	}
-	rd.writes = make(map[string]map[int]bool)
-	rd.blockingWrites = make(map[string]map[int]bool)
-	rd.reads = make(map[string]map[int]bool)
+	rd.touched = rd.touched[:0]
+	rd.epoch++
+	if rd.epoch == 0 { // wraparound: invalidate every record the slow way
+		for _, a := range rd.access {
+			a.epoch = 0
+		}
+		rd.epoch = 1
+	}
+}
+
+func containsProc(s []int, proc int) bool {
+	for _, p := range s {
+		if p == proc {
+			return true
+		}
+	}
+	return false
 }
 
 func (rd *RaceDetector) emit(r Race) {
@@ -125,15 +174,6 @@ func (rd *RaceDetector) emit(r Race) {
 	}
 	rd.seen[key] = true
 	rd.races = append(rd.races, r)
-}
-
-func keys(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
 }
 
 // Races returns all distinct races found so far, ordered by first

@@ -1,0 +1,208 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON file so benchmark numbers can be committed and
+// compared across PRs. Repeated runs of the same benchmark (-count N) are
+// aggregated into a mean; an optional -baseline file of the same format is
+// merged in with percentage deltas per metric.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count 5 . | benchjson -o BENCH.json
+//	benchjson -baseline old.txt -o BENCH.json current.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is the aggregated result of one benchmark's runs.
+type Metrics struct {
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Delta is the relative change from baseline to current, in percent
+// (negative = improvement).
+type Delta struct {
+	NsPct     float64 `json:"ns_pct"`
+	BytesPct  float64 `json:"bytes_pct"`
+	AllocsPct float64 `json:"allocs_pct"`
+}
+
+// Entry is one benchmark's record in the output file.
+type Entry struct {
+	Current  Metrics  `json:"current"`
+	Baseline *Metrics `json:"baseline,omitempty"`
+	Delta    *Delta   `json:"delta,omitempty"`
+}
+
+// Report is the top-level output document.
+type Report struct {
+	Goos       string           `json:"goos,omitempty"`
+	Goarch     string           `json:"goarch,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+type accum struct {
+	runs   int
+	ns     float64
+	bytes  float64
+	allocs float64
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON file (default stdout)")
+	baseline := flag.String("baseline", "", "optional baseline benchmark output to diff against")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	cur, meta, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	rep := Report{Goos: meta["goos"], Goarch: meta["goarch"], CPU: meta["cpu"],
+		Benchmarks: make(map[string]Entry, len(cur))}
+	var base map[string]*accum
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base, _, err = parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for name, a := range cur {
+		e := Entry{Current: a.metrics()}
+		if b, ok := base[name]; ok {
+			bm := b.metrics()
+			e.Baseline = &bm
+			e.Delta = &Delta{
+				NsPct:     pct(bm.NsPerOp, e.Current.NsPerOp),
+				BytesPct:  pct(bm.BytesPerOp, e.Current.BytesPerOp),
+				AllocsPct: pct(bm.AllocsPerOp, e.Current.AllocsPerOp),
+			}
+		}
+		rep.Benchmarks[name] = e
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	// A human-readable summary on stderr, sorted for stable output.
+	names := make([]string, 0, len(rep.Benchmarks))
+	for n := range rep.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := rep.Benchmarks[n]
+		line := fmt.Sprintf("%-40s %12.0f ns/op %12.0f B/op %10.0f allocs/op",
+			n, e.Current.NsPerOp, e.Current.BytesPerOp, e.Current.AllocsPerOp)
+		if e.Delta != nil {
+			line += fmt.Sprintf("   (ns %+.1f%%, allocs %+.1f%%)", e.Delta.NsPct, e.Delta.AllocsPct)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+}
+
+func (a *accum) metrics() Metrics {
+	n := float64(a.runs)
+	return Metrics{Runs: a.runs, NsPerOp: a.ns / n, BytesPerOp: a.bytes / n, AllocsPerOp: a.allocs / n}
+}
+
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+// parse reads `go test -bench` output, aggregating repeated runs per
+// benchmark name (the -count suffix of runs, e.g. "-8", is kept as printed
+// — GOMAXPROCS is part of the identity).
+func parse(r io.Reader) (map[string]*accum, map[string]string, error) {
+	res := make(map[string]*accum)
+	meta := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, key := range []string{"goos", "goarch", "cpu"} {
+			if strings.HasPrefix(line, key+":") {
+				meta[key] = strings.TrimSpace(strings.TrimPrefix(line, key+":"))
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name N ns/op-value "ns/op" [B-value "B/op" allocs-value "allocs/op"]
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		a, ok := res[name]
+		if !ok {
+			a = &accum{}
+			res[name] = a
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		a.runs++
+		a.ns += ns
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				a.bytes += v
+			case "allocs/op":
+				a.allocs += v
+			}
+		}
+	}
+	return res, meta, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
