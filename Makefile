@@ -2,10 +2,13 @@
 # build + vet + full tests, plus the race detector on every package that
 # imports internal/par — the repo's entire concurrency surface
 # (DESIGN.md §5a). RACE_PKGS is computed, not hand-listed, so a new
-# par-importing package is race-gated automatically.
+# par-importing package is race-gated automatically. RACE_EXTRA adds the
+# failure-path packages: fault's injector is drawn from concurrently, and
+# workflow hosts the retry/fault engine.
 
 GO ?= go
 RACE_PKGS = $(shell $(GO) list -f '{{.ImportPath}} {{join .Deps " "}}' ./... | grep 'cadinterop/internal/par' | cut -d' ' -f1)
+RACE_EXTRA = cadinterop/internal/workflow cadinterop/internal/fault
 
 # Benchmarks aggregated into BENCH_PR2.json. Override BENCH / BENCH_COUNT
 # for a quicker or broader sweep; set BASELINE to a saved `go test -bench`
@@ -29,7 +32,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race $(RACE_PKGS) $(RACE_EXTRA)
 
 # Allocation-regression gate: the AllocsPerRun tests (tagged !race) that pin
 # the router's and the sim kernel's steady-state hot paths at ~zero

@@ -370,6 +370,16 @@ func BenchmarkExp12Interchange(b *testing.B) {
 	}
 }
 
+// BenchmarkExp13FaultRobustness measures the fault-injected workflow
+// sweep: six rate×policy runs of the hierarchical flow per iteration.
+func BenchmarkExp13FaultRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E13FaultRobustness(6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExpAll measures the whole harness sequentially (the
 // Workers(1) serial reference) and fanned out across GOMAXPROCS
 // workers. The two variants produce byte-identical reports — see

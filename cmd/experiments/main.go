@@ -1,7 +1,10 @@
 // Command experiments runs the full constructed-experiment harness
-// (E1–E12, see EXPERIMENTS.md) and prints every report. Positional
-// arguments select a subset by experiment id. The harness fans out
-// across -j workers; output is byte-identical at every worker count.
+// (E1–E13, see EXPERIMENTS.md) and prints every report. Positional
+// arguments select a subset by experiment id — only the selected
+// experiments run. The harness fans out across -j workers; output is
+// byte-identical at every worker count. A failing experiment degrades to
+// a FAILED report in its slot; the rest of the harness still prints, and
+// the exit status reports the first failure.
 package main
 
 import (
@@ -39,19 +42,12 @@ func run(jobs int, cpuprofile, memprofile string, ids []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	reports, err := experiments.All(par.Workers(jobs))
+	reports, err := experiments.Run(ids, par.Workers(jobs))
+	for _, r := range reports {
+		fmt.Println(r.String())
+	}
 	if err != nil {
 		return err
-	}
-	want := map[string]bool{}
-	for _, id := range ids {
-		want[id] = true
-	}
-	for _, r := range reports {
-		if len(want) > 0 && !want[r.ID] {
-			continue
-		}
-		fmt.Println(r.String())
 	}
 	if memprofile != "" {
 		f, err := os.Create(memprofile)

@@ -2,7 +2,11 @@
 // (Section 5): per-block sub-flows from one template, default zero/non-zero
 // status policy, data-maturity gates, trigger-based rework and collected
 // metrics. A mid-run floorplan change demonstrates the rework
-// notification path.
+// notification path. With -faults seed:rate the run injects deterministic
+// tool failures (crash / bad exit / hang / corrupt output), keeps driving
+// everything not downstream of a permanent failure, and prints the
+// partial-failure summary; -retries arms a per-step retry policy against
+// the injected faults.
 package main
 
 import (
@@ -10,35 +14,66 @@ import (
 	"fmt"
 	"os"
 
+	"cadinterop/internal/fault"
 	"cadinterop/internal/workflow"
 )
 
+// config carries the command's flag settings into run.
+type config struct {
+	blocks      int
+	storeKind   string
+	printEvents bool
+	rework      bool
+	printDot    bool
+	faultSpec   string
+	retries     int
+}
+
 func main() {
-	var (
-		blocks    = flag.Int("blocks", 4, "design blocks in the hierarchy")
-		store     = flag.String("store", "mem", "data manager: mem|versioned")
-		events    = flag.Bool("events", false, "print the event log")
-		dot       = flag.Bool("dot", false, "print the flow graph in Graphviz dot syntax and exit")
-		injectFix = flag.Bool("rework", true, "change the floorplan mid-run to fire rework triggers")
-	)
+	var cfg config
+	flag.IntVar(&cfg.blocks, "blocks", 4, "design blocks in the hierarchy")
+	flag.StringVar(&cfg.storeKind, "store", "mem", "data manager: mem|versioned")
+	flag.BoolVar(&cfg.printEvents, "events", false, "print the event log")
+	flag.BoolVar(&cfg.printDot, "dot", false, "print the flow graph in Graphviz dot syntax and exit")
+	flag.BoolVar(&cfg.rework, "rework", true, "change the floorplan mid-run to fire rework triggers")
+	flag.StringVar(&cfg.faultSpec, "faults", "", "inject deterministic tool failures, as seed:rate (e.g. 7:0.3)")
+	flag.IntVar(&cfg.retries, "retries", 0, "max attempts per step when faults are injected (0 = single attempt)")
 	flag.Parse()
-	if err := run(*blocks, *store, *events, *injectFix, *dot); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "flowrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(blocks int, storeKind string, printEvents, rework, printDot bool) error {
+// applyRetry arms every step of the template — and recursively every
+// sub-flow step — with the same retry policy.
+func applyRetry(tpl *workflow.Template, p workflow.RetryPolicy) {
+	for _, s := range tpl.Steps {
+		s.Retry = p
+		if s.SubFlow != nil {
+			applyRetry(s.SubFlow, p)
+		}
+	}
+}
+
+func run(cfg config) error {
 	var store workflow.DataStore
-	switch storeKind {
+	switch cfg.storeKind {
 	case "mem":
 		store = workflow.NewMemStore()
 	case "versioned":
 		store = workflow.NewVersionedStore()
 	default:
-		return fmt.Errorf("unknown store %q", storeKind)
+		return fmt.Errorf("unknown store %q", cfg.storeKind)
 	}
-	blockNames := make([]string, blocks)
+	var inj *fault.Injector
+	if cfg.faultSpec != "" {
+		var err error
+		if inj, err = fault.ParseSpec(cfg.faultSpec); err != nil {
+			return err
+		}
+	}
+	blockNames := make([]string, cfg.blocks)
 	for i := range blockNames {
 		blockNames[i] = fmt.Sprintf("blk%02d", i)
 	}
@@ -71,15 +106,22 @@ func run(blocks int, storeKind string, printEvents, rework, printDot bool) error
 		{Name: "signoff", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int { return 0 }},
 			StartAfter: []string{"assemble"}, Permissions: []string{"manager"}},
 	}}
+	if cfg.retries > 1 {
+		applyRetry(tpl, workflow.RetryPolicy{MaxAttempts: cfg.retries, Backoff: 2, AttemptTimeout: 16})
+	}
 	in, err := workflow.Instantiate(tpl, store, blockNames)
 	if err != nil {
 		return err
 	}
+	in.Faults = inj
 	fmt.Printf("instantiated %q: %d tasks over %d blocks (store: %s)\n",
-		tpl.Name, len(in.Tasks), blocks, storeKind)
-	if printDot {
+		tpl.Name, len(in.Tasks), cfg.blocks, cfg.storeKind)
+	if cfg.printDot {
 		fmt.Print(in.DOT(tpl.Name))
 		return nil
+	}
+	if inj != nil {
+		return runWithFaults(in, cfg, inj)
 	}
 	if err := in.Run("engineer"); err != nil {
 		return err
@@ -89,7 +131,7 @@ func run(blocks int, storeKind string, printEvents, rework, printDot bool) error
 	}
 	fmt.Printf("first pass complete: %v\n", statusLine(in))
 
-	if rework {
+	if cfg.rework {
 		if err := in.Reset("plan", "engineer"); err != nil {
 			return err
 		}
@@ -108,6 +150,54 @@ func run(blocks int, storeKind string, printEvents, rework, printDot bool) error
 		fmt.Printf("after rework: %v\n", statusLine(in))
 	}
 
+	finish(in, cfg.printEvents, store)
+	return nil
+}
+
+// runWithFaults drives the instance in continue-on-error mode: every task
+// not downstream of a permanently failed one completes, and the rest come
+// back as a partial-failure summary instead of an abort.
+func runWithFaults(in *workflow.Instance, cfg config, inj *fault.Injector) error {
+	in.RunContinue("engineer")
+	sum := in.RunContinue("manager")
+	fmt.Printf("first pass (faults %s): %s\n", inj.Spec(), sum)
+	printDamage(in, sum)
+
+	if cfg.rework && in.Tasks["plan"].State == workflow.Done {
+		if err := in.Reset("plan", "engineer"); err != nil {
+			return err
+		}
+		if err := in.RunTask("plan", "engineer"); err != nil {
+			return err
+		}
+		for _, n := range in.Notifications {
+			fmt.Println("NOTIFY:", n)
+		}
+		in.RunContinue("engineer")
+		sum = in.RunContinue("manager")
+		fmt.Printf("after rework: %s\n", sum)
+		printDamage(in, sum)
+	}
+
+	finish(in, cfg.printEvents, in.Data)
+	return nil
+}
+
+// printDamage lists failed tasks and blocked-task reasons in task order.
+func printDamage(in *workflow.Instance, sum *workflow.RunSummary) {
+	for _, name := range sum.Failed {
+		t := in.Tasks[name]
+		fmt.Printf("FAILED:  %-26s status %d after %d attempt(s)\n", name, t.Status, t.Attempts)
+	}
+	for _, name := range in.TaskNames() {
+		if why, ok := sum.Blocked[name]; ok {
+			fmt.Printf("BLOCKED: %-26s %s\n", name, why)
+		}
+	}
+}
+
+// finish prints the metrics tail shared by both run modes.
+func finish(in *workflow.Instance, printEvents bool, store workflow.DataStore) {
 	m := workflow.CollectMetrics(in)
 	fmt.Println("metrics:", m.Summary())
 	fmt.Println("bottlenecks:", m.Bottlenecks(3))
@@ -119,7 +209,6 @@ func run(blocks int, storeKind string, printEvents, rework, printDot bool) error
 	if vs, ok := store.(*workflow.VersionedStore); ok {
 		fmt.Println("data history:", vs.History())
 	}
-	return nil
 }
 
 func statusLine(in *workflow.Instance) string {

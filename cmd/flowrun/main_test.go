@@ -2,26 +2,66 @@ package main
 
 import "testing"
 
+func base() config {
+	return config{blocks: 3, storeKind: "mem", rework: true}
+}
+
 func TestRunMemStore(t *testing.T) {
-	if err := run(3, "mem", true, true, false); err != nil {
+	cfg := base()
+	cfg.printEvents = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunVersionedNoRework(t *testing.T) {
-	if err := run(2, "versioned", false, false, false); err != nil {
+	cfg := base()
+	cfg.blocks = 2
+	cfg.storeKind = "versioned"
+	cfg.rework = false
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadStore(t *testing.T) {
-	if err := run(2, "cloud", false, false, false); err == nil {
+	cfg := base()
+	cfg.storeKind = "cloud"
+	if err := run(cfg); err == nil {
 		t.Error("unknown store accepted")
 	}
 }
 
 func TestRunDotMode(t *testing.T) {
-	if err := run(2, "mem", false, false, true); err != nil {
+	cfg := base()
+	cfg.blocks = 2
+	cfg.printDot = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	cfg := base()
+	cfg.faultSpec = "7:0.3"
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithFaultsAndRetries(t *testing.T) {
+	cfg := base()
+	cfg.faultSpec = "7:0.3"
+	cfg.retries = 3
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFaultSpec(t *testing.T) {
+	cfg := base()
+	cfg.faultSpec = "not-a-spec"
+	if err := run(cfg); err == nil {
+		t.Error("bad fault spec accepted")
 	}
 }

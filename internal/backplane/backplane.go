@@ -302,12 +302,16 @@ func Translate(fp *floorplan.Floorplan, lib *phys.Library, tool ToolDialect) (*T
 }
 
 // FlowResult is the outcome of driving one tool with translated input.
+// A faulted tool still yields a result entry: Err records the failure and
+// the physical fields stay nil, so one dead dialect never loses the rest
+// of the fan-out.
 type FlowResult struct {
 	Tool       string
 	Place      *place.Result
 	Route      *route.Result
 	Violations []route.Violation
 	Loss       *Loss
+	Err        error
 }
 
 // FullRules converts the floorplan's net rules to router form, for
@@ -364,14 +368,28 @@ func RunFlow(d *phys.Design, fp *floorplan.Floorplan, tool ToolDialect, seed int
 // floorplan from gen (gen must be safe to call concurrently; generators in
 // internal/workgen are). Results come back in tool order and are
 // byte-identical to running the tools one at a time.
+//
+// Degradation is graceful: a tool that fails still occupies its slot in
+// the result slice, carrying the error in FlowResult.Err with nil physical
+// fields — one dead dialect never loses the others' runs. The returned
+// error is the lowest-index tool's error (what a sequential fail-fast loop
+// would have surfaced), so callers that abort on error see unchanged
+// behaviour, while callers that inspect per-entry Err keep every
+// surviving flow.
 func RunFlows(gen func() (*phys.Design, *floorplan.Floorplan, error), tools []ToolDialect, seed int64, opts ...par.Option) ([]*FlowResult, error) {
-	return par.Map(len(tools), func(i int) (*FlowResult, error) {
+	results, errs := par.MapAll(len(tools), func(i int) (*FlowResult, error) {
 		d, fp, err := gen()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", tools[i].Name, err)
+			err = fmt.Errorf("%s: %w", tools[i].Name, err)
+			return &FlowResult{Tool: tools[i].Name, Err: err}, err
 		}
-		return RunFlow(d, fp, tools[i], seed, opts...)
+		res, err := RunFlow(d, fp, tools[i], seed, opts...)
+		if err != nil {
+			return &FlowResult{Tool: tools[i].Name, Err: err}, err
+		}
+		return res, nil
 	}, opts...)
+	return results, par.FirstError(errs)
 }
 
 // ClassLoss aggregates translation loss for one constraint class across

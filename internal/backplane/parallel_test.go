@@ -1,7 +1,9 @@
 package backplane
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"cadinterop/internal/floorplan"
@@ -73,6 +75,65 @@ func TestRunFlowsEquivalence(t *testing.T) {
 		}
 		if !reflect.DeepEqual(MergeLoss(got), refLoss) {
 			t.Errorf("workers=%d: merged loss diverges", workers)
+		}
+	}
+}
+
+// TestRunFlowsDegradation: a faulted tool yields a recorded error entry
+// in its slot, not a lost run — at every worker count — and the returned
+// error is the lowest-index tool's, matching a sequential fail-fast loop.
+func TestRunFlowsDegradation(t *testing.T) {
+	tools := AllTools()
+	// Every gen call fails: all entries must survive as error records.
+	for _, workers := range []int{1, 2, 8} {
+		bad := func() (*phys.Design, *floorplan.Floorplan, error) {
+			return nil, nil, errors.New("library server down")
+		}
+		results, err := RunFlows(bad, tools, 5, par.Workers(workers))
+		if err == nil || !strings.Contains(err.Error(), tools[0].Name) {
+			t.Fatalf("workers=%d: err = %v, want lowest-index tool %s", workers, err, tools[0].Name)
+		}
+		if len(results) != len(tools) {
+			t.Fatalf("workers=%d: %d results, want %d (degraded, not lost)", workers, len(results), len(tools))
+		}
+		for i, r := range results {
+			if r == nil || r.Tool != tools[i].Name {
+				t.Fatalf("workers=%d: slot %d = %+v, want error entry for %s", workers, i, r, tools[i].Name)
+			}
+			if r.Err == nil || r.Place != nil || r.Route != nil {
+				t.Errorf("workers=%d: slot %d: Err=%v Place=%v Route=%v", workers, i, r.Err, r.Place, r.Route)
+			}
+		}
+		// MergeLoss tolerates the degraded entries.
+		if loss := MergeLoss(results); len(loss) != 0 {
+			t.Errorf("workers=%d: merged loss from dead flows: %v", workers, loss)
+		}
+	}
+	// Mixed case, serial so call k maps to tool k: only the middle tool's
+	// gen fails; the others' flows must be intact and the middle slot must
+	// carry the error.
+	calls := 0
+	mixed := func() (*phys.Design, *floorplan.Floorplan, error) {
+		calls++
+		if calls == 2 {
+			return nil, nil, errors.New("checkout conflict")
+		}
+		return workgen.PhysDesign(workgen.PhysOptions{
+			Cells: 24, Seed: 11, CriticalNets: 3, Keepouts: 1})
+	}
+	results, err := RunFlows(mixed, tools, 5, par.Workers(1))
+	if err == nil || !strings.Contains(err.Error(), tools[1].Name) {
+		t.Fatalf("err = %v, want %s's failure", err, tools[1].Name)
+	}
+	for i, r := range results {
+		if i == 1 {
+			if r.Err == nil {
+				t.Errorf("slot 1 lost its error")
+			}
+			continue
+		}
+		if r.Err != nil || r.Place == nil || r.Route == nil {
+			t.Errorf("slot %d (%s) degraded alongside the faulted tool: %+v", i, tools[i].Name, r)
 		}
 	}
 }

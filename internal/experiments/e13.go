@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cadinterop/internal/fault"
+	"cadinterop/internal/workflow"
+)
+
+// e13Seed keeps E13's failure schedule fixed: the whole point of the
+// experiment is that the same seed reproduces the same schedule at any
+// worker count. 22 is chosen so damage is graduated — the planning task
+// survives first attempts at both rates, so the table shows partial
+// completion rather than one root failure blocking everything.
+const e13Seed = 22
+
+// e13Flow builds the hierarchical tapeout flow E13 stresses: plan fans
+// out to per-block rtl → synth → signoff chains wired with real data
+// items and content maturity checks (so corruption faults are caught
+// downstream, not at the faulted task), then assemble joins the signoffs.
+// Every step carries the given retry policy.
+func e13Flow(blocks int, retry workflow.RetryPolicy) (*workflow.Template, []string) {
+	step := func(name string, fn func(*workflow.Ctx) int) *workflow.StepDef {
+		return &workflow.StepDef{Name: name, Action: workflow.FuncAction{Fn: fn}, Retry: retry}
+	}
+	plan := step("plan", func(c *workflow.Ctx) int {
+		c.Advance(1)
+		c.Data().Put("floorplan", "v1")
+		return 0
+	})
+	plan.Outputs = []string{"floorplan"}
+	steps := []*workflow.StepDef{plan}
+	var signoffs []string
+	for i := 0; i < blocks; i++ {
+		blk := fmt.Sprintf("blk%02d", i)
+		rtlItem := "rtl:" + blk
+		netItem := "netlist:" + blk
+		rtl := step(blk+"/rtl", func(c *workflow.Ctx) int {
+			c.Advance(1)
+			c.Data().Put(rtlItem, "module "+blk)
+			return 0
+		})
+		rtl.StartAfter = []string{"plan"}
+		rtl.Inputs = []workflow.MaturityCheck{{Item: "floorplan", Exists: true, Contains: "v1"}}
+		rtl.Outputs = []string{rtlItem}
+		synth := step(blk+"/synth", func(c *workflow.Ctx) int {
+			c.Advance(2)
+			c.Data().Put(netItem, "gates for "+blk)
+			return 0
+		})
+		synth.StartAfter = []string{blk + "/rtl"}
+		synth.Inputs = []workflow.MaturityCheck{{Item: rtlItem, Exists: true, Contains: "module"}}
+		synth.Outputs = []string{netItem}
+		signoff := step(blk+"/signoff", func(c *workflow.Ctx) int {
+			c.Advance(1)
+			return 0
+		})
+		signoff.StartAfter = []string{blk + "/synth"}
+		signoff.Inputs = []workflow.MaturityCheck{{Item: netItem, Exists: true, Contains: "gates"}}
+		steps = append(steps, rtl, synth, signoff)
+		signoffs = append(signoffs, blk+"/signoff")
+	}
+	assemble := step("assemble", func(c *workflow.Ctx) int {
+		c.Advance(2)
+		return 0
+	})
+	assemble.StartAfter = signoffs
+	assemble.Inputs = []workflow.MaturityCheck{{Item: "floorplan", Exists: true, Contains: "v1"}}
+	steps = append(steps, assemble)
+	return &workflow.Template{Name: "tapeout-faulted", Steps: steps}, signoffs
+}
+
+// E13FaultRobustness injects deterministic tool failures into the
+// hierarchical tapeout flow and measures how far each retry policy
+// carries it: a ContinueOnError run must complete every task that is not
+// downstream of a permanently failed one, record the rest as failed or
+// blocked with reasons, and survive a rework trigger on the surviving
+// portion. The schedule is a pure function of (seed, task, attempt), so
+// this table is byte-identical at any worker count.
+func E13FaultRobustness(blocks int) (*Report, error) {
+	r := &Report{ID: "E13", Title: "flow robustness under injected tool failure (seed 22)"}
+	policies := []struct {
+		name  string
+		retry workflow.RetryPolicy
+	}{
+		{"no-retry", workflow.RetryPolicy{}},
+		{"retry3", workflow.RetryPolicy{MaxAttempts: 3, Backoff: 2, AttemptTimeout: 8}},
+	}
+	r.addf("%5s %9s %6s %9s %7s %8s %9s %7s %14s",
+		"rate", "policy", "tasks", "complete", "failed", "blocked", "attempts", "wasted", "notifications")
+	for _, rate := range []float64{0, 0.2, 0.4} {
+		for _, pol := range policies {
+			tpl, _ := e13Flow(blocks, pol.retry)
+			in, err := workflow.Instantiate(tpl, workflow.NewMemStore(), nil)
+			if err != nil {
+				return nil, err
+			}
+			if rate > 0 {
+				in.Faults = fault.New(e13Seed, rate)
+			}
+			sum := in.RunContinue("engineer")
+			// Rework phase: when planning survived, change the floorplan and
+			// drive the rework wave through whatever else survived.
+			if in.Tasks["plan"].State == workflow.Done {
+				if err := in.Reset("plan", "engineer"); err != nil {
+					return nil, err
+				}
+				if err := in.RunTask("plan", "engineer"); err != nil {
+					return nil, err
+				}
+				sum = in.RunContinue("engineer")
+			}
+			m := workflow.CollectMetrics(in)
+			var attempts, wasted int
+			for _, tm := range m.PerTask {
+				attempts += tm.Attempts
+				wasted += tm.Failures
+			}
+			if rate == 0 && sum.Completed != sum.Tasks {
+				return nil, fmt.Errorf("fault-free run incomplete: %s", sum)
+			}
+			r.addf("%5.2f %9s %6d %9d %7d %8d %9d %7d %14d",
+				rate, pol.name, sum.Tasks, sum.Completed, len(sum.Failed), len(sum.Blocked),
+				attempts, wasted, m.Notifications)
+		}
+	}
+	// One narrative row: the worst-case schedule's visible damage, so the
+	// table's numbers stay connected to concrete failures.
+	tpl, _ := e13Flow(blocks, workflow.RetryPolicy{})
+	in, err := workflow.Instantiate(tpl, workflow.NewMemStore(), nil)
+	if err != nil {
+		return nil, err
+	}
+	in.Faults = fault.New(e13Seed, 0.4)
+	sum := in.RunContinue("engineer")
+	for _, name := range sum.Failed {
+		r.addf("failed: %-14s status %d after %d attempt(s)", name, in.Tasks[name].Status, in.Tasks[name].Attempts)
+	}
+	for _, name := range in.TaskNames() {
+		if why, ok := sum.Blocked[name]; ok {
+			r.addf("blocked: %-13s %s", name, why)
+		}
+	}
+	return r, nil
+}

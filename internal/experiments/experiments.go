@@ -426,11 +426,14 @@ func E9BackplaneLoss(cells int, opts ...par.Option) (*Report, error) {
 		return workgen.PhysDesign(workgen.PhysOptions{
 			Cells: cells, Seed: 11, CriticalNets: 3, Keepouts: 1})
 	}
-	results, err := backplane.RunFlows(gen, backplane.AllTools(), 5, opts...)
-	if err != nil {
-		return nil, err
-	}
+	// Degrade, don't abort: a faulted dialect still gets a row (its error)
+	// while the surviving tools report normally.
+	results, _ := backplane.RunFlows(gen, backplane.AllTools(), 5, opts...)
 	for _, res := range results {
+		if res.Err != nil {
+			r.addf("%-8s FAILED: %v", res.Tool, res.Err)
+			continue
+		}
 		var dropped, degraded int
 		for _, it := range res.Loss.Items {
 			if it.Kind == backplane.LossDropped {
@@ -580,26 +583,35 @@ func E11Methodology(blocks int) (*Report, error) {
 	return r, nil
 }
 
-// defaultSteps is the harness at default parameters, in report order.
-// Every entry is independent of the others (fresh workloads, no shared
-// mutable state), which is what lets All fan them out across workers. The
+// entry pairs an experiment id with its default-parameter runner, so the
+// harness can run a named subset and label a failed run by id.
+type entry struct {
+	id    string
+	title string
+	run   func(opts []par.Option) (*Report, error)
+}
+
+// registry is the harness at default parameters, in report order. Every
+// entry is independent of the others (fresh workloads, no shared mutable
+// state), which is what lets the harness fan them out across workers. The
 // worker options thread down into the experiments that have internal
 // fan-outs of their own (E1, E2, E6, E9), so par.Workers(1) makes the
 // whole harness fully serial.
-func defaultSteps(opts []par.Option) []func() (*Report, error) {
-	return []func() (*Report, error){
-		func() (*Report, error) { return E1ComponentReplacement([]int{50, 100, 200}, opts...) },
-		func() (*Report, error) { return E2MigrationAblation(100, opts...) },
-		func() (*Report, error) { return E3SchedulerDivergence(4) },
-		func() (*Report, error) { return E4TimingCompat(3) },
-		E5CoSim,
-		func() (*Report, error) { return E6SubsetIntersection(60, opts...) },
-		func() (*Report, error) { return E7SensitivityCompletion(6) },
-		func() (*Report, error) { return E8Naming(400) },
-		func() (*Report, error) { return E9BackplaneLoss(32, opts...) },
-		func() (*Report, error) { return E10Workflow(6) },
-		func() (*Report, error) { return E11Methodology(12) },
-		func() (*Report, error) { return E12Interchange(20) },
+func registry() []entry {
+	return []entry{
+		{"E1", "component replacement", func(o []par.Option) (*Report, error) { return E1ComponentReplacement([]int{50, 100, 200}, o...) }},
+		{"E2", "migration rule ablation", func(o []par.Option) (*Report, error) { return E2MigrationAblation(100, o...) }},
+		{"E3", "scheduler divergence", func(o []par.Option) (*Report, error) { return E3SchedulerDivergence(4) }},
+		{"E4", "timing-check compatibility", func(o []par.Option) (*Report, error) { return E4TimingCompat(3) }},
+		{"E5", "co-simulation value mapping", func(o []par.Option) (*Report, error) { return E5CoSim() }},
+		{"E6", "synthesizable-subset intersection", func(o []par.Option) (*Report, error) { return E6SubsetIntersection(60, o...) }},
+		{"E7", "sensitivity-list completion", func(o []par.Option) (*Report, error) { return E7SensitivityCompletion(6) }},
+		{"E8", "identifier interoperability", func(o []par.Option) (*Report, error) { return E8Naming(400) }},
+		{"E9", "P&R backplane loss", func(o []par.Option) (*Report, error) { return E9BackplaneLoss(32, o...) }},
+		{"E10", "workflow engine", func(o []par.Option) (*Report, error) { return E10Workflow(6) }},
+		{"E11", "methodology at scale", func(o []par.Option) (*Report, error) { return E11Methodology(12) }},
+		{"E12", "neutral interchange", func(o []par.Option) (*Report, error) { return E12Interchange(20) }},
+		{"E13", "fault robustness", func(o []par.Option) (*Report, error) { return E13FaultRobustness(6) }},
 	}
 }
 
@@ -608,10 +620,45 @@ func defaultSteps(opts []par.Option) []func() (*Report, error) {
 // completion order, so the output is byte-identical to a sequential run
 // (pass par.Workers(1) for the serial reference).
 func All(opts ...par.Option) ([]*Report, error) {
-	steps := defaultSteps(opts)
-	return par.Map(len(steps), func(i int) (*Report, error) {
-		return steps[i]()
+	return Run(nil, opts...)
+}
+
+// Run executes the named experiments (every registered one when ids is
+// empty) with graceful degradation: an experiment that errors still
+// yields a report entry in its slot — ID, a FAILED title, and the error —
+// instead of losing the whole harness run. The returned error is the
+// lowest-id failure (nil when all succeed), so callers keep the familiar
+// abort-on-error option while the report slice stays complete. Unknown
+// ids fail fast before anything runs.
+func Run(ids []string, opts ...par.Option) ([]*Report, error) {
+	all := registry()
+	selected := all
+	if len(ids) > 0 {
+		byID := make(map[string]entry, len(all))
+		for _, e := range all {
+			byID[e.id] = e
+		}
+		selected = selected[:0:0]
+		for _, id := range ids {
+			e, ok := byID[strings.ToUpper(id)]
+			if !ok {
+				return nil, fmt.Errorf("unknown experiment %q (have E1..E%d)", id, len(all))
+			}
+			selected = append(selected, e)
+		}
+	}
+	reports, errs := par.MapAll(len(selected), func(i int) (*Report, error) {
+		rep, err := selected[i].run(opts)
+		if err != nil {
+			return &Report{
+				ID:    selected[i].id,
+				Title: fmt.Sprintf("FAILED: %s", selected[i].title),
+				Lines: []string{fmt.Sprintf("error: %v", err)},
+			}, err
+		}
+		return rep, nil
 	}, opts...)
+	return reports, par.FirstError(errs)
 }
 
 func dedupStrings(in []string) []string {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -209,13 +210,64 @@ func TestAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 12 {
+	if len(reports) != 13 {
 		t.Fatalf("reports = %d", len(reports))
 	}
 	for _, r := range reports {
 		if r.String() == "" || len(r.Lines) == 0 {
 			t.Errorf("empty report %s", r.ID)
 		}
+		if strings.Contains(r.Title, "FAILED") {
+			t.Errorf("experiment %s failed: %v", r.ID, r.Lines)
+		}
+	}
+}
+
+func TestRunSelected(t *testing.T) {
+	reports, err := Run([]string{"E13", "e3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || reports[0].ID != "E13" || reports[1].ID != "E3" {
+		t.Fatalf("reports = %+v", reports)
+	}
+	if _, err := Run([]string{"E99"}); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestE13(t *testing.T) {
+	r, err := E13FaultRobustness(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	// Header + 6 policy×rate rows at minimum.
+	if len(r.Lines) < 7 {
+		t.Fatalf("lines = %v", r.Lines)
+	}
+	// Rate-0 rows complete everything: tasks == complete, 0 failed/blocked.
+	tasks := 4*3 + 2 // per-block rtl/synth/signoff + plan + assemble
+	for _, row := range r.Lines[1:3] {
+		f := strings.Fields(row)
+		if f[0] != "0.00" {
+			t.Fatalf("row order: %q", row)
+		}
+		if f[2] != fmt.Sprint(tasks) || f[3] != fmt.Sprint(tasks) || f[4] != "0" || f[5] != "0" {
+			t.Errorf("fault-free row not fully complete: %q", row)
+		}
+	}
+	// Injected rates must actually damage the no-retry runs somewhere.
+	if !strings.Contains(joined, "failed:") && !strings.Contains(joined, "blocked:") {
+		t.Errorf("no visible damage at rate 0.4:\n%s", joined)
+	}
+	// Determinism: a second run renders byte-identically.
+	again, err := E13FaultRobustness(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != again.String() {
+		t.Errorf("E13 not reproducible:\n--- first\n%s\n--- second\n%s", r, again)
 	}
 }
 

@@ -1,0 +1,191 @@
+// Package fault is a deterministic, seeded fault injector for the
+// failure-facing layers of the workbench. Real CAD flows fail mid-run —
+// tools crash, hang, exit nonzero, or hand off corrupted data — and the
+// Section 5 workflow engine exists precisely because "when can I reset and
+// rerun this step?" is a first-class question. This package makes those
+// failures reproducible: every fault is a pure function of (seed, key,
+// attempt), so a given seed yields the exact same failure schedule
+// regardless of call order, wall clock, or worker count. That is the same
+// determinism contract internal/par gives results and errors (DESIGN.md
+// §5a), extended to the failures themselves.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies one injected failure mode.
+type Kind uint8
+
+// Fault kinds. Crash and Timeout model a tool that never produced its
+// outputs (died mid-run / hung until killed); Exit models a tool that ran
+// to completion but reported failure; Corrupt models the most insidious
+// handoff failure — the tool "succeeds" while its outputs are garbage,
+// which only downstream data-maturity checks can catch.
+const (
+	None Kind = iota
+	Crash
+	Exit
+	Timeout
+	Corrupt
+)
+
+var kindNames = [...]string{"none", "crash", "exit", "timeout", "corrupt"}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Conventional exit statuses for faults that kill the tool from outside,
+// mirroring what a shell reports for SIGKILL and timeout(1).
+const (
+	CrashStatus   = 137
+	TimeoutStatus = 124
+)
+
+// Corrupted is what a Corrupt fault leaves in place of an output item's
+// content: the handoff happened (the item exists, its stamp moved) but the
+// data itself is gone — so existence checks pass while content checks fail.
+const Corrupted = "\x00FAULT-CORRUPT\x00"
+
+// Fault is one scheduled failure.
+type Fault struct {
+	Kind Kind
+	// ExitStatus is the injected nonzero status for Exit faults.
+	ExitStatus int
+	// Ticks is the virtual-clock time a Timeout fault's hang consumes
+	// before the driver gives up on the tool.
+	Ticks int
+}
+
+// Injector deals faults at a configured rate from a seeded schedule. The
+// zero Injector and the nil *Injector inject nothing. An Injector is
+// immutable after construction and therefore safe for concurrent use.
+type Injector struct {
+	seed  uint64
+	rate  float64
+	kinds []Kind
+}
+
+// New returns an injector that faults each drawn (key, attempt) pair with
+// probability rate (clamped to [0, 1]), choosing uniformly among all four
+// fault kinds. The schedule is fixed by seed at construction.
+func New(seed int64, rate float64) *Injector {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Injector{
+		seed:  uint64(seed),
+		rate:  rate,
+		kinds: []Kind{Crash, Exit, Timeout, Corrupt},
+	}
+}
+
+// Only returns a copy of the injector restricted to the given kinds; the
+// schedule of *which* draws fault is unchanged (it depends only on seed,
+// key, and attempt), only the dealt kinds differ.
+func (inj *Injector) Only(kinds ...Kind) *Injector {
+	cp := *inj
+	cp.kinds = append([]Kind(nil), kinds...)
+	return &cp
+}
+
+// Seed returns the construction seed, for reporting.
+func (inj *Injector) Seed() int64 { return int64(inj.seed) }
+
+// Rate returns the per-draw fault probability, for reporting.
+func (inj *Injector) Rate() float64 { return inj.rate }
+
+// Spec renders the injector in the "seed:rate" flag form ParseSpec reads.
+func (inj *Injector) Spec() string {
+	return fmt.Sprintf("%d:%g", inj.Seed(), inj.rate)
+}
+
+// Draw returns the fault scheduled for the attempt-th try of key (attempts
+// count from 1). It is a pure function of (seed, key, attempt): two
+// injectors with the same seed and rate agree on every draw, in any order,
+// at any concurrency — which is what makes an injected failure schedule a
+// reproducible experiment input rather than flakiness.
+func (inj *Injector) Draw(key string, attempt int) Fault {
+	if inj == nil || inj.rate <= 0 || len(inj.kinds) == 0 {
+		return Fault{}
+	}
+	h := fnv64(key)
+	h ^= uint64(attempt) * 0x9e3779b97f4a7c15
+	x := splitmix64(h ^ splitmix64(inj.seed))
+	if float64(x>>11)/(1<<53) >= inj.rate {
+		return Fault{}
+	}
+	x = splitmix64(x)
+	kind := inj.kinds[int(x%uint64(len(inj.kinds)))]
+	x = splitmix64(x)
+	return Fault{
+		Kind:       kind,
+		ExitStatus: 1 + int(x%7),
+		Ticks:      3 + int((x>>8)%13),
+	}
+}
+
+// Schedule tabulates every fault the injector would deal for attempts
+// 1..maxAttempts of each key, one "key attempt kind" line per fault, in
+// key order. It is the reproducibility artifact tests compare across runs
+// and worker counts.
+func (inj *Injector) Schedule(keys []string, maxAttempts int) []string {
+	var out []string
+	for _, k := range keys {
+		for a := 1; a <= maxAttempts; a++ {
+			if f := inj.Draw(k, a); f.Kind != None {
+				out = append(out, fmt.Sprintf("%s %d %s", k, a, f.Kind))
+			}
+		}
+	}
+	return out
+}
+
+// ParseSpec parses the "seed:rate" flag form, e.g. "7:0.25".
+func ParseSpec(s string) (*Injector, error) {
+	seedStr, rateStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("fault: bad spec %q, want \"seed:rate\"", s)
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("fault: bad seed in %q: %v", s, err)
+	}
+	rate, err := strconv.ParseFloat(rateStr, 64)
+	if err != nil {
+		return nil, fmt.Errorf("fault: bad rate in %q: %v", s, err)
+	}
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("fault: rate %g out of [0,1] in %q", rate, s)
+	}
+	return New(seed, rate), nil
+}
+
+// fnv64 is FNV-1a over the key bytes.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 is the standard 64-bit finalizer; one call per draw keeps the
+// injector allocation-free and stateless.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("task%02d", i)
+	}
+	return out
+}
+
+// TestDrawIsPure: the same (seed, key, attempt) always yields the same
+// fault, independent of draw order — the determinism the whole experiment
+// rests on.
+func TestDrawIsPure(t *testing.T) {
+	a := New(7, 0.5)
+	b := New(7, 0.5)
+	ks := keys(40)
+	// Draw forward on a, backward on b.
+	var fwd, bwd []Fault
+	for _, k := range ks {
+		for at := 1; at <= 3; at++ {
+			fwd = append(fwd, a.Draw(k, at))
+		}
+	}
+	for i := len(ks) - 1; i >= 0; i-- {
+		for at := 3; at >= 1; at-- {
+			bwd = append(bwd, b.Draw(ks[i], at))
+		}
+	}
+	for i := range fwd {
+		j := len(bwd) - 1 - i
+		if fwd[i] != bwd[j] {
+			t.Fatalf("draw order changed the schedule: %+v vs %+v", fwd[i], bwd[j])
+		}
+	}
+}
+
+// TestDrawConcurrent: draws from many goroutines agree with serial draws
+// (the injector is immutable; run under -race this is the proof).
+func TestDrawConcurrent(t *testing.T) {
+	inj := New(11, 0.4)
+	ks := keys(64)
+	want := make([]Fault, len(ks))
+	for i, k := range ks {
+		want[i] = inj.Draw(k, 1)
+	}
+	got := make([]Fault, len(ks))
+	var wg sync.WaitGroup
+	for i := range ks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = inj.Draw(ks[i], 1)
+		}(i)
+	}
+	wg.Wait()
+	if !reflect.DeepEqual(got, want) {
+		t.Error("concurrent draws diverge from serial draws")
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	a, b := New(1, 0.5), New(2, 0.5)
+	same := true
+	for _, k := range keys(50) {
+		if a.Draw(k, 1) != b.Draw(k, 1) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	if f := New(3, 0).Draw("x", 1); f.Kind != None {
+		t.Errorf("rate 0 faulted: %+v", f)
+	}
+	var nilInj *Injector
+	if f := nilInj.Draw("x", 1); f.Kind != None {
+		t.Errorf("nil injector faulted: %+v", f)
+	}
+	full := New(3, 1)
+	for _, k := range keys(20) {
+		f := full.Draw(k, 1)
+		if f.Kind == None {
+			t.Errorf("rate 1 spared %q", k)
+		}
+		if f.ExitStatus < 1 || f.Ticks < 1 {
+			t.Errorf("degenerate payload: %+v", f)
+		}
+	}
+	// Observed rate roughly tracks the configured rate.
+	inj := New(9, 0.3)
+	hits := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		if inj.Draw(fmt.Sprintf("k%d", i), 1).Kind != None {
+			hits++
+		}
+	}
+	if got := float64(hits) / float64(n); got < 0.2 || got > 0.4 {
+		t.Errorf("observed rate %.3f, want ~0.3", got)
+	}
+}
+
+func TestOnlyRestrictsKinds(t *testing.T) {
+	inj := New(5, 1).Only(Crash)
+	for _, k := range keys(10) {
+		if f := inj.Draw(k, 1); f.Kind != Crash {
+			t.Errorf("Only(Crash) dealt %v", f.Kind)
+		}
+	}
+}
+
+func TestScheduleStable(t *testing.T) {
+	inj := New(13, 0.35)
+	ks := keys(30)
+	a := inj.Schedule(ks, 3)
+	b := New(13, 0.35).Schedule(ks, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("schedules diverge for the same seed")
+	}
+	if len(a) == 0 {
+		t.Error("no faults scheduled at rate 0.35 over 90 draws")
+	}
+	for _, row := range a {
+		if f := strings.Fields(row); len(f) != 3 {
+			t.Errorf("bad schedule row %q", row)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	inj, err := ParseSpec("7:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Seed() != 7 || inj.Rate() != 0.25 {
+		t.Errorf("seed=%d rate=%g", inj.Seed(), inj.Rate())
+	}
+	if inj.Spec() != "7:0.25" {
+		t.Errorf("Spec = %q", inj.Spec())
+	}
+	for _, bad := range []string{"", "7", "x:0.5", "7:x", "7:1.5", "7:-0.1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if None.String() != "none" || Corrupt.String() != "corrupt" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should show its value")
+	}
+}

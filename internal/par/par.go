@@ -138,11 +138,71 @@ func Do(fns []func() error, opts ...Option) error {
 	return ForEach(len(fns), func(i int) error { return fns[i]() }, opts...)
 }
 
+// MapAll runs fn for EVERY index in [0, n) — no early exit — and returns
+// all results alongside a per-index error slice. It is the graceful-
+// degradation variant of Map: a failing index costs that one entry, not
+// the whole batch. Both slices are always length n and index-aligned;
+// errs is nil when every index succeeded. Combine with FirstError to
+// recover Map's lowest-index error semantics.
+func MapAll[T any](n int, fn func(i int) (T, error), opts ...Option) ([]T, []error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	any := false
+	if w := resolve(n, opts); w > 1 {
+		var anyErr atomic.Bool
+		runAll(n, w, func(i int) {
+			var err error
+			out[i], err = fn(i)
+			errs[i] = err
+			if err != nil {
+				anyErr.Store(true)
+			}
+		})
+		any = anyErr.Load()
+	} else {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+			if errs[i] != nil {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return out, nil
+	}
+	return out, errs
+}
+
+// FirstError returns the lowest-index non-nil error — the error a
+// sequential fail-fast loop would have surfaced — or nil. It is how MapAll
+// callers reduce a per-index error slice back to Map's contract.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // run dispatches indices [0, n) across w worker goroutines via an atomic
 // cursor. After any function fails, workers stop claiming new indices
 // (best effort — in-flight work completes), bounding wasted work while the
 // caller still reports the lowest-index error deterministically.
 func run(n, w int, fn func(i int) error) {
+	runDispatch(n, w, fn, true)
+}
+
+// runAll dispatches indices [0, n) across w workers with no early exit —
+// every index runs exactly once regardless of failures elsewhere.
+func runAll(n, w int, fn func(i int)) {
+	runDispatch(n, w, func(i int) error { fn(i); return nil }, false)
+}
+
+func runDispatch(n, w int, fn func(i int) error, earlyExit bool) {
 	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -151,7 +211,7 @@ func run(n, w int, fn func(i int) error) {
 		go func() {
 			defer wg.Done()
 			for {
-				if failed.Load() {
+				if earlyExit && failed.Load() {
 					return
 				}
 				i := int(next.Add(1)) - 1

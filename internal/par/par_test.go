@@ -99,6 +99,62 @@ func TestForEachParallelRuns(t *testing.T) {
 	}
 }
 
+func TestMapAllRunsEveryIndex(t *testing.T) {
+	// Unlike Map, failures must not stop later indices from running, at any
+	// worker count.
+	for _, w := range []int{1, 2, 8} {
+		var calls atomic.Int64
+		out, errs := MapAll(50, func(i int) (int, error) {
+			calls.Add(1)
+			if i%7 == 3 {
+				return -1, fmt.Errorf("fail at %d", i)
+			}
+			return i * 2, nil
+		}, Workers(w))
+		if calls.Load() != 50 {
+			t.Fatalf("workers=%d: calls=%d, want all 50", w, calls.Load())
+		}
+		if len(out) != 50 || len(errs) != 50 {
+			t.Fatalf("workers=%d: len(out)=%d len(errs)=%d", w, len(out), len(errs))
+		}
+		for i := 0; i < 50; i++ {
+			if i%7 == 3 {
+				if errs[i] == nil || errs[i].Error() != fmt.Sprintf("fail at %d", i) {
+					t.Fatalf("workers=%d: errs[%d]=%v", w, i, errs[i])
+				}
+			} else if errs[i] != nil || out[i] != i*2 {
+				t.Fatalf("workers=%d: out[%d]=%d errs[%d]=%v", w, i, out[i], i, errs[i])
+			}
+		}
+	}
+}
+
+func TestMapAllCleanReturnsNilErrs(t *testing.T) {
+	out, errs := MapAll(10, func(i int) (int, error) { return i, nil }, Workers(4))
+	if errs != nil {
+		t.Fatalf("errs=%v, want nil on clean run", errs)
+	}
+	if len(out) != 10 {
+		t.Fatalf("len=%d", len(out))
+	}
+	if out2, errs2 := MapAll(0, func(int) (int, error) { return 0, nil }); out2 != nil || errs2 != nil {
+		t.Fatalf("empty: out=%v errs=%v", out2, errs2)
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if err := FirstError(nil); err != nil {
+		t.Fatalf("nil slice: %v", err)
+	}
+	if err := FirstError([]error{nil, nil}); err != nil {
+		t.Fatalf("all nil: %v", err)
+	}
+	a, b := errors.New("a"), errors.New("b")
+	if err := FirstError([]error{nil, a, b}); !errors.Is(err, a) {
+		t.Fatalf("err=%v, want lowest-index error", err)
+	}
+}
+
 func TestDo(t *testing.T) {
 	var a, b atomic.Bool
 	err := Do([]func() error{

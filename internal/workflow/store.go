@@ -134,9 +134,14 @@ type Metrics struct {
 
 // TaskMetrics is one task's collected numbers.
 type TaskMetrics struct {
+	// Attempts counts every attempt ever made, across retries and reruns.
 	Attempts int
+	// Failures counts failed attempts (the "failed" events in the log).
 	Failures int
-	Duration int // virtual ticks actually spent running
+	// Duration is the virtual ticks actually spent running, summed over
+	// every attempt of the task's most recent run — not just the last
+	// attempt's ticks.
+	Duration int
 }
 
 // CollectMetrics computes metrics from an instance's event log and tasks.
@@ -145,9 +150,7 @@ func CollectMetrics(in *Instance) *Metrics {
 	for name, t := range in.Tasks {
 		tm := m.PerTask[name]
 		tm.Attempts = t.Attempts
-		if t.FinishedAt > t.StartedAt {
-			tm.Duration += t.FinishedAt - t.StartedAt
-		}
+		tm.Duration += t.RunTicks
 		m.PerTask[name] = tm
 	}
 	for _, e := range in.Events {

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"cadinterop/internal/fault"
 )
 
 // Errors.
@@ -30,7 +32,10 @@ var (
 // TaskState is the lifecycle state of one task instance.
 type TaskState uint8
 
-// Task states.
+// Task states. Held is the parked state of a task whose action ran (and
+// wrote its outputs) but whose finish dependencies are incomplete: it must
+// not silently re-run — the side effects already happened — and it
+// completes automatically once the dependencies do.
 const (
 	Pending TaskState = iota
 	Ready
@@ -39,9 +44,10 @@ const (
 	Failed
 	Skipped
 	NeedsRerun
+	Held
 )
 
-var stateNames = [...]string{"pending", "ready", "running", "done", "failed", "skipped", "needs-rerun"}
+var stateNames = [...]string{"pending", "ready", "running", "done", "failed", "skipped", "needs-rerun", "held"}
 
 // String implements fmt.Stringer.
 func (s TaskState) String() string {
@@ -76,6 +82,15 @@ func (c *Ctx) SetVar(name, value string) {
 func (c *Ctx) Var(name string) (string, bool) {
 	v, ok := c.Instance.Vars[name]
 	return v, ok
+}
+
+// Advance consumes n virtual-clock ticks — how a long-running tool reports
+// elapsed time to the engine. The per-attempt RetryPolicy timeout is
+// enforced against this clock.
+func (c *Ctx) Advance(n int) {
+	if n > 0 {
+		c.Instance.clock += n
+	}
 }
 
 // SetStatus explicitly sets the task's completion state, overriding the
@@ -128,6 +143,32 @@ type MaturityCheck struct {
 	Contains string
 }
 
+// RetryPolicy bounds how one RunTask invocation handles failing attempts.
+// All budgets are in virtual-clock ticks, so retry behaviour is exactly as
+// deterministic as the rest of the engine.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per RunTask invocation;
+	// values below 1 mean a single attempt (no retry).
+	MaxAttempts int
+	// Backoff is the virtual-tick wait before the first retry, doubling on
+	// each further retry. 0 retries immediately.
+	Backoff int
+	// AttemptTimeout is the per-attempt tick budget, measured from attempt
+	// start to action return on the instance clock (Ctx.Advance and
+	// injected hangs consume it). An attempt that exceeds it fails with
+	// fault.TimeoutStatus even if the tool reported success. 0 disables
+	// the check.
+	AttemptTimeout int
+}
+
+// Injector is the fault-injection seam: internal/fault's seeded injector
+// satisfies it, and tests can script exact failure schedules. Draw must be
+// a pure function of (task, attempt) so schedules reproduce across runs
+// and worker counts.
+type Injector interface {
+	Draw(task string, attempt int) fault.Fault
+}
+
 // StepDef is one template step.
 type StepDef struct {
 	Name   string
@@ -143,6 +184,9 @@ type StepDef struct {
 	Condition func(in *Instance) bool
 	// Permissions lists roles allowed to run/reset the step; empty = any.
 	Permissions []string
+	// Retry bounds attempts, backoff, and the per-attempt timeout for this
+	// step. The zero value keeps the historical single-attempt behaviour.
+	Retry RetryPolicy
 	// Inputs gate the step on maturity checks.
 	Inputs []MaturityCheck
 	// Outputs names data items this step produces (for trigger wiring).
@@ -224,8 +268,15 @@ type Task struct {
 	Attempts int
 	// Status is the last action exit status.
 	Status int
-	// StartedAt/FinishedAt are virtual-clock ticks.
+	// StartedAt/FinishedAt are virtual-clock ticks of the last attempt.
 	StartedAt, FinishedAt int
+	// RunTicks is the total virtual time spent running across every
+	// attempt of the most recent RunTask invocation (backoff waits are
+	// excluded — the task was not running).
+	RunTicks int
+	// heldFinal is the completion state a Held task assumes once its
+	// finish dependencies complete.
+	heldFinal TaskState
 	// startAfter/finishRequires are resolved hierarchical names.
 	startAfter     []string
 	finishRequires []string
@@ -235,7 +286,7 @@ type Task struct {
 type Event struct {
 	Tick int
 	Task string
-	Kind string // "start", "done", "failed", "skipped", "rerun", "notify"
+	Kind string // "start", "done", "failed", "skipped", "rerun", "notify", "held", "retry", "fault"
 	Msg  string
 }
 
@@ -253,6 +304,9 @@ type Instance struct {
 	clock     int
 	// Notifications collects trigger-based user notifications.
 	Notifications []string
+	// Faults, when non-nil, injects deterministic tool failures into every
+	// attempt (see internal/fault). Nil runs fault-free.
+	Faults Injector
 }
 
 // Instantiate deploys a template. blocks lists the design hierarchy blocks
@@ -415,7 +469,14 @@ func (in *Instance) Ready() []string {
 
 // RunTask executes one task as role. The default policy maps exit status
 // zero to Done and non-zero to Failed "without the developer having to
-// explicitly set the task state"; Ctx.SetStatus overrides.
+// explicitly set the task state"; Ctx.SetStatus overrides. Failing
+// attempts are retried per the step's RetryPolicy with virtual-clock
+// backoff. If the finish dependencies are incomplete after a successful
+// attempt, the task parks in Held — its action has already run and written
+// outputs, so it must not silently re-run — and completes automatically
+// once the dependencies do. Triggers fire on output change regardless of
+// the completion outcome: downstream consumers of changed data need their
+// rework marking whether or not this task managed to complete.
 func (in *Instance) RunTask(name, role string) error {
 	t, ok := in.Tasks[name]
 	if !ok {
@@ -424,7 +485,7 @@ func (in *Instance) RunTask(name, role string) error {
 	if !allowed(t.Def, role) {
 		return fmt.Errorf("%w: role %q cannot run %q", ErrPermission, role, name)
 	}
-	if t.State == Done || t.State == Running {
+	if t.State == Done || t.State == Running || t.State == Held {
 		return fmt.Errorf("%w: task %q is %v", ErrState, name, t.State)
 	}
 	if ok, why := in.readyToStart(t); !ok {
@@ -435,46 +496,211 @@ func (in *Instance) RunTask(name, role string) error {
 		in.log(name, "skipped", "condition false")
 		return nil
 	}
+
+	maxAttempts := t.Def.Retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	before := in.snapshotStamps(t.Def.Outputs)
+	t.RunTicks = 0
+	var status int
+	var final TaskState
+	for attempt := 1; ; attempt++ {
+		status, final = in.runAttempt(t)
+		if final != Failed || attempt >= maxAttempts {
+			break
+		}
+		if b := backoffTicks(t.Def.Retry, attempt); b > 0 {
+			in.clock += b
+			in.log(name, "retry", fmt.Sprintf("backoff %d ticks before attempt %d", b, t.Attempts+1))
+		} else {
+			in.log(name, "retry", fmt.Sprintf("attempt %d", t.Attempts+1))
+		}
+	}
+	t.Status = status
+
+	if final == Failed {
+		t.State = Failed
+		in.fireTriggers(t, before)
+		return nil
+	}
+
+	// Finish dependencies: the task may not complete before they do. The
+	// action has run and its outputs are written, so park — don't reset.
+	if d, held := in.incompleteFinishDep(t); held {
+		t.State = Held
+		t.heldFinal = final
+		in.log(name, "held", fmt.Sprintf("finish dependency %q incomplete; completion deferred", d))
+		in.fireTriggers(t, before)
+		return nil
+	}
+
+	in.complete(t, final, status)
+	in.fireTriggers(t, before)
+	if t.State == Done {
+		in.promoteHeld()
+	}
+	return nil
+}
+
+// runAttempt executes one attempt of t — fault injection, the action, and
+// the per-attempt timeout check — returning the attempt's exit status and
+// the completion state it argues for. Failing attempts log their own
+// "failed" event so CollectMetrics counts every failure, not just final
+// ones.
+func (in *Instance) runAttempt(t *Task) (status int, final TaskState) {
 	in.clock++
 	t.State = Running
 	t.Attempts++
 	t.StartedAt = in.clock
-	in.log(name, "start", fmt.Sprintf("attempt %d (%s action)", t.Attempts, t.Def.Action.Lang()))
+	in.log(t.Name, "start", fmt.Sprintf("attempt %d (%s action)", t.Attempts, t.Def.Action.Lang()))
 
-	before := in.snapshotStamps(t.Def.Outputs)
-	ctx := &Ctx{Task: name, Block: t.Block, Instance: in}
-	status := t.Def.Action.Run(ctx)
+	var f fault.Fault
+	if in.Faults != nil {
+		f = in.Faults.Draw(t.Name, t.Attempts)
+	}
+	ctx := &Ctx{Task: t.Name, Block: t.Block, Instance: in}
+	switch f.Kind {
+	case fault.Crash:
+		// The tool died before producing anything; the action never ran.
+		in.log(t.Name, "fault", fmt.Sprintf("injected crash on attempt %d", t.Attempts))
+		status = fault.CrashStatus
+	case fault.Timeout:
+		// The tool hung; the driver killed it after the hang consumed the
+		// attempt's whole tick budget.
+		ticks := f.Ticks
+		if to := t.Def.Retry.AttemptTimeout; to > 0 && ticks <= to {
+			ticks = to + 1
+		}
+		in.clock += ticks
+		in.log(t.Name, "fault", fmt.Sprintf("injected hang of %d ticks on attempt %d", ticks, t.Attempts))
+		status = fault.TimeoutStatus
+	case fault.Exit:
+		// The tool ran to completion — outputs written — but reported
+		// failure; the injected status overrides whatever it claimed.
+		t.Def.Action.Run(ctx)
+		ctx.explicit = nil
+		in.log(t.Name, "fault", fmt.Sprintf("injected exit status %d on attempt %d", f.ExitStatus, t.Attempts))
+		status = f.ExitStatus
+	case fault.Corrupt:
+		// The tool "succeeded" but its outputs are garbage — only
+		// downstream data-maturity checks can catch this one.
+		status = t.Def.Action.Run(ctx)
+		n := in.corruptOutputs(t)
+		in.log(t.Name, "fault", fmt.Sprintf("injected corruption of %d output item(s) on attempt %d", n, t.Attempts))
+	default:
+		status = t.Def.Action.Run(ctx)
+	}
+	elapsed := in.clock - t.StartedAt
 	in.clock++
 	t.FinishedAt = in.clock
-	t.Status = status
+	t.RunTicks += t.FinishedAt - t.StartedAt
 
-	// Finish dependencies: the task may not complete before they do.
+	timedOut := false
+	if to := t.Def.Retry.AttemptTimeout; to > 0 && elapsed > to {
+		timedOut = true
+		status = fault.TimeoutStatus
+	}
+	final = Done
+	switch {
+	case timedOut:
+		final = Failed
+		in.log(t.Name, "failed", fmt.Sprintf("status %d: attempt %d exceeded timeout (%d ticks > budget %d)",
+			status, t.Attempts, elapsed, t.Def.Retry.AttemptTimeout))
+		return status, final
+	case ctx.explicit != nil:
+		final = *ctx.explicit
+	case status != 0:
+		final = Failed
+	}
+	if final == Failed {
+		in.log(t.Name, "failed", fmt.Sprintf("status %d", status))
+	}
+	return status, final
+}
+
+// corruptOutputs replaces every existing output item of t with the
+// fault.Corrupted marker: the handoff happened (stamps move, existence
+// checks pass) but the content is gone.
+func (in *Instance) corruptOutputs(t *Task) int {
+	n := 0
+	for _, item := range t.Def.Outputs {
+		if _, _, ok := in.Data.Get(item); ok {
+			in.Data.Put(item, fault.Corrupted)
+			n++
+		}
+	}
+	return n
+}
+
+// backoffTicks is the virtual wait before retrying after failed attempt
+// number `attempt` within one RunTask invocation (exponential doubling).
+func backoffTicks(p RetryPolicy, attempt int) int {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	return p.Backoff << (attempt - 1)
+}
+
+// incompleteFinishDep returns the first finish dependency of t that is not
+// Done, in declaration order.
+func (in *Instance) incompleteFinishDep(t *Task) (string, bool) {
 	for _, d := range t.finishRequires {
 		dep, ok := in.Tasks[d]
 		if !ok || dep.State != Done {
-			t.State = Pending
-			in.log(name, "failed", fmt.Sprintf("finish dependency %q incomplete", d))
-			return fmt.Errorf("%w: task %q finish dependency %q incomplete", ErrState, name, d)
+			return d, true
 		}
 	}
+	return "", false
+}
 
-	final := Done
-	if ctx.explicit != nil {
-		final = *ctx.explicit
-	} else if status != 0 {
-		final = Failed
-	}
+// complete moves t to its final state, logging by the actual state — an
+// explicit SetStatus(Skipped) logs "skipped", not "done", so
+// CollectMetrics' event-kind scan stays truthful.
+func (in *Instance) complete(t *Task, final TaskState, status int) {
 	t.State = final
-	switch final {
-	case Done:
-		in.log(name, "done", fmt.Sprintf("status %d", status))
-		in.fireTriggers(t, before)
-	case Failed:
-		in.log(name, "failed", fmt.Sprintf("status %d", status))
-	default:
-		in.log(name, "done", fmt.Sprintf("explicit state %v", final))
+	if final == Done {
+		in.log(t.Name, "done", fmt.Sprintf("status %d", status))
+		return
 	}
-	return nil
+	in.log(t.Name, eventKind(final), fmt.Sprintf("explicit state %v", final))
+}
+
+// eventKind maps a final task state to its event-log kind.
+func eventKind(s TaskState) string {
+	switch s {
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Skipped:
+		return "skipped"
+	case NeedsRerun:
+		return "rerun"
+	default:
+		return s.String()
+	}
+}
+
+// promoteHeld completes every Held task whose finish dependencies are now
+// satisfied, to fixpoint (a promotion can satisfy another held task's
+// dependency). Their triggers fired when they parked; only the completion
+// itself is pending.
+func (in *Instance) promoteHeld() {
+	for changed := true; changed; {
+		changed = false
+		for _, name := range in.TaskNames() {
+			t := in.Tasks[name]
+			if t.State != Held {
+				continue
+			}
+			if _, held := in.incompleteFinishDep(t); held {
+				continue
+			}
+			in.complete(t, t.heldFinal, t.Status)
+			changed = true
+		}
+	}
 }
 
 // snapshotStamps records output item stamps before a run.
@@ -513,7 +739,10 @@ func (in *Instance) fireTriggers(t *Task, before map[string]int) {
 }
 
 // Reset returns a completed or failed task to pending — "When can I reset
-// and rerun this step?" is a permission-guarded decision.
+// and rerun this step?" is a permission-guarded decision. A NeedsRerun
+// task keeps its rework marking: it is already pending re-execution, and
+// flattening it to plain Pending would discard the trigger linkage its
+// notification recorded.
 func (in *Instance) Reset(name, role string) error {
 	t, ok := in.Tasks[name]
 	if !ok {
@@ -525,34 +754,141 @@ func (in *Instance) Reset(name, role string) error {
 	if t.State == Running {
 		return fmt.Errorf("%w: task %q is running", ErrState, name)
 	}
+	if t.State == NeedsRerun {
+		in.log(name, "rerun", "reset by "+role+" (rework marking preserved)")
+		return nil
+	}
 	t.State = Pending
+	t.heldFinal = Pending
 	in.log(name, "rerun", "reset by "+role)
 	return nil
 }
 
 // Run drives the instance to quiescence: repeatedly runs every ready task
 // as role until nothing is ready or progress stops. Failed tasks are not
-// retried automatically.
+// retried automatically (per-attempt retry is the RetryPolicy's job). A
+// task that errors with ErrState is skipped, not fatal — one bad task must
+// not strand unrelated ready work — and all collected errors are returned
+// joined once the instance is quiescent.
 func (in *Instance) Run(role string) error {
+	var errs []error
 	for {
 		ready := in.Ready()
 		progressed := false
 		for _, name := range ready {
 			t := in.Tasks[name]
-			if t.State == Pending || t.State == NeedsRerun {
-				if err := in.RunTask(name, role); err != nil {
-					if errors.Is(err, ErrPermission) {
-						continue // someone else's step
-					}
-					return err
-				}
+			if t.State != Pending && t.State != NeedsRerun {
+				continue
+			}
+			err := in.RunTask(name, role)
+			switch {
+			case err == nil:
 				progressed = true
+			case errors.Is(err, ErrPermission):
+				// someone else's step
+			default:
+				errs = append(errs, err)
 			}
 		}
 		if !progressed {
-			return nil
+			return errors.Join(errs...)
 		}
 	}
+}
+
+// RunSummary is the partial-failure report of a ContinueOnError run: what
+// completed, what permanently failed, and why everything else could not
+// run.
+type RunSummary struct {
+	// Completed counts tasks that are Done or Skipped at quiescence.
+	Completed int
+	// Tasks is the instance's task count, for rate reporting.
+	Tasks int
+	// Failed lists permanently failed tasks (retry budgets exhausted),
+	// sorted.
+	Failed []string
+	// Blocked maps every task that could not reach a final state to the
+	// reason, e.g. a failed ancestor, an unmet maturity check, or an
+	// incomplete finish dependency.
+	Blocked map[string]string
+	// Errors are the ErrState errors the quiescence loop collected.
+	Errors []error
+}
+
+// String renders a one-line digest.
+func (s *RunSummary) String() string {
+	return fmt.Sprintf("completed=%d/%d failed=%d blocked=%d errors=%d",
+		s.Completed, s.Tasks, len(s.Failed), len(s.Blocked), len(s.Errors))
+}
+
+// RunContinue is the ContinueOnError run mode: it drives all unblocked
+// work to quiescence — a faulted task costs only its own downstream, never
+// the run — and reports a partial-failure summary instead of aborting on
+// the first ErrState.
+func (in *Instance) RunContinue(role string) *RunSummary {
+	err := in.Run(role)
+	s := &RunSummary{Blocked: make(map[string]string), Tasks: len(in.Tasks)}
+	if err != nil {
+		if joined, ok := err.(interface{ Unwrap() []error }); ok {
+			s.Errors = joined.Unwrap()
+		} else {
+			s.Errors = []error{err}
+		}
+	}
+	for _, name := range in.TaskNames() {
+		t := in.Tasks[name]
+		switch t.State {
+		case Done, Skipped:
+			s.Completed++
+		case Failed:
+			s.Failed = append(s.Failed, name)
+		case Held:
+			d, _ := in.incompleteFinishDep(t)
+			s.Blocked[name] = fmt.Sprintf("held on finish dependency %q", d)
+		default:
+			s.Blocked[name] = in.blockedReason(t)
+		}
+	}
+	return s
+}
+
+// blockedReason explains why a pending task did not run: a permanently
+// failed ancestor if there is one (first in deterministic dependency
+// order), otherwise the start-readiness verdict.
+func (in *Instance) blockedReason(t *Task) string {
+	if f := in.failedAncestor(t.Name, make(map[string]bool)); f != "" {
+		return fmt.Sprintf("downstream of failed task %q", f)
+	}
+	if ok, why := in.readyToStart(t); !ok {
+		return why
+	}
+	return "ready but not run (permission-gated for this role)"
+}
+
+// failedAncestor walks start dependencies depth-first in declaration order
+// and returns the first Failed task found ("" if none).
+func (in *Instance) failedAncestor(name string, seen map[string]bool) string {
+	t := in.Tasks[name]
+	if t == nil {
+		return ""
+	}
+	for _, d := range t.startAfter {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		dep := in.Tasks[d]
+		if dep == nil {
+			continue
+		}
+		if dep.State == Failed {
+			return d
+		}
+		if f := in.failedAncestor(d, seen); f != "" {
+			return f
+		}
+	}
+	return ""
 }
 
 // Status summarizes task states.

@@ -353,29 +353,40 @@ func TestDataVariablesAsProxies(t *testing.T) {
 func TestFinishDependencies(t *testing.T) {
 	// "Other events might be used to insure that a task does not complete
 	// too soon."
+	runs := 0
 	tpl := &Template{Name: "f", Steps: []*StepDef{
 		{Name: "slowSibling", Action: FuncAction{Fn: func(*Ctx) int { return 0 }}},
-		{Name: "gated", Action: FuncAction{Fn: func(*Ctx) int { return 0 }},
+		{Name: "gated", Action: FuncAction{Fn: func(*Ctx) int { runs++; return 0 }},
 			FinishRequires: []string{"slowSibling"}},
 	}}
 	in, _ := Instantiate(tpl, nil, nil)
-	// Run gated first: it executes but cannot complete.
-	err := in.RunTask("gated", "u")
-	if !errors.Is(err, ErrState) {
-		t.Errorf("error = %v, want ErrState", err)
+	// Run gated first: it executes but cannot complete — it parks in Held
+	// rather than resetting to Pending (its side effects already happened).
+	if err := in.RunTask("gated", "u"); err != nil {
+		t.Fatalf("holding is not an error: %v", err)
 	}
-	if in.Tasks["gated"].State != Pending {
-		t.Errorf("gated = %v, want Pending again", in.Tasks["gated"].State)
+	if in.Tasks["gated"].State != Held {
+		t.Errorf("gated = %v, want Held", in.Tasks["gated"].State)
 	}
-	// After the sibling completes, gated can too.
+	// A held task must not silently re-run.
+	if err := in.RunTask("gated", "u"); !errors.Is(err, ErrState) {
+		t.Errorf("re-running held task: error = %v, want ErrState", err)
+	}
+	if runs != 1 {
+		t.Errorf("gated action ran %d times, want 1", runs)
+	}
+	// Once the sibling completes, gated completes automatically.
 	if err := in.RunTask("slowSibling", "u"); err != nil {
 		t.Fatal(err)
 	}
-	if err := in.RunTask("gated", "u"); err != nil {
-		t.Fatal(err)
-	}
 	if in.Tasks["gated"].State != Done {
-		t.Errorf("gated = %v", in.Tasks["gated"].State)
+		t.Errorf("gated = %v, want Done via promotion", in.Tasks["gated"].State)
+	}
+	if runs != 1 {
+		t.Errorf("promotion re-ran the action: %d runs", runs)
+	}
+	if !in.Complete() {
+		t.Errorf("flow incomplete: %v", in.Status())
 	}
 }
 
