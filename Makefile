@@ -18,7 +18,12 @@ BENCH_COUNT ?= 5
 BENCH_OUT ?= BENCH_PR2.json
 BASELINE ?=
 
-.PHONY: check build vet test race allocs bench
+# Parser packages with native fuzz targets and committed seed corpora
+# (testdata/fuzz/FuzzParse). FUZZTIME is per package.
+FUZZ_PKGS = ./internal/al ./internal/hdl ./internal/exchange ./internal/schematic/vl ./internal/schematic/cd
+FUZZTIME ?= 10s
+
+.PHONY: check build vet test race allocs bench fuzz
 
 check: build vet test race allocs
 
@@ -39,6 +44,15 @@ race:
 # allocations (DESIGN.md §5c).
 allocs:
 	$(GO) test -run 'Allocs' ./internal/route ./internal/sim
+
+# Fuzz smoke: every parser fuzz target runs FUZZTIME from its committed
+# corpus without crashing (DESIGN.md §5e). Not part of `check` — the
+# deterministic prefix/mutation sweeps cover the same contract there.
+fuzz:
+	@for pkg in $(FUZZ_PKGS); do \
+		echo "fuzz $$pkg"; \
+		$(GO) test -run '^$$' -fuzz 'FuzzParse' -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+	done
 
 bench:
 	$(GO) test -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) -run '^$$' . | tee bench_out.txt

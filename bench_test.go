@@ -77,7 +77,7 @@ func BenchmarkExp2MigrationAblation(b *testing.B) {
 // under every legitimate event-ordering policy.
 func BenchmarkExp3SchedulerDivergence(b *testing.B) {
 	src := workgen.RacyDesign(4, false)
-	d := hdl.MustParse(src)
+	d := mustParse(src)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, pol := range sim.AllPolicies() {
@@ -96,7 +96,7 @@ func BenchmarkExp3SchedulerDivergence(b *testing.B) {
 // semantics.
 func BenchmarkExp4TimingCompat(b *testing.B) {
 	src := workgen.TimingDesign(3, []int{0, 1, 2, 3, 4})
-	d := hdl.MustParse(src)
+	d := mustParse(src)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, pre := range []bool{false, true} {
@@ -131,8 +131,8 @@ module partB;
   wire out;
   assign out = mid_in;
 endmodule`
-	da := hdl.MustParse(srcA)
-	db := hdl.MustParse(srcB)
+	da := mustParse(srcA)
+	db := mustParse(srcB)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ka, err := sim.Elaborate(da, "partA", sim.Options{DisableTrace: true})
@@ -161,7 +161,7 @@ func BenchmarkExp6SubsetIntersection(b *testing.B) {
 		src := workgen.CombModule("m", workgen.HDLOptions{
 			Gates: 25, Inputs: 3, Seed: int64(i),
 			UseMultiply: i%3 == 0, UsePartSelect: i%4 == 1, UseRelational: i%2 == 1})
-		designs = append(designs, hdl.MustParse(src))
+		designs = append(designs, mustParse(src))
 	}
 	profiles := append(synth.AllVendors(), synth.Intersection(synth.AllVendors()...))
 	b.ResetTimer()
@@ -178,7 +178,7 @@ func BenchmarkExp6SubsetIntersection(b *testing.B) {
 // completion plus gate-level re-simulation of the emitted netlist.
 func BenchmarkExp7SensitivityCompletion(b *testing.B) {
 	src := workgen.SensitivityDesign(6)
-	d := hdl.MustParse(src)
+	d := mustParse(src)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nl, _, err := synth.Synthesize(d, "style", synth.Options{})

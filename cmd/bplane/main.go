@@ -12,6 +12,8 @@ import (
 	"os"
 
 	"cadinterop/internal/backplane"
+	"cadinterop/internal/diag"
+	"cadinterop/internal/filecheck"
 	"cadinterop/internal/floorplan"
 	"cadinterop/internal/par"
 	"cadinterop/internal/phys"
@@ -20,20 +22,39 @@ import (
 
 func main() {
 	var (
-		cells = flag.Int("cells", 24, "standard cell count in the generated design")
-		seed  = flag.Int64("seed", 11, "generator seed")
-		tool  = flag.String("tool", "", "run only one tool dialect (toolP|toolQ|toolR)")
-		loss  = flag.Bool("loss", false, "print the full loss report")
-		jobs  = flag.Int("j", 0, "worker count (0 = GOMAXPROCS, 1 = sequential)")
+		cells     = flag.Int("cells", 24, "standard cell count in the generated design")
+		seed      = flag.Int64("seed", 11, "generator seed")
+		tool      = flag.String("tool", "", "run only one tool dialect (toolP|toolQ|toolR)")
+		loss      = flag.Bool("loss", false, "print the full loss report")
+		jobs      = flag.Int("j", 0, "worker count (0 = GOMAXPROCS, 1 = sequential)")
+		check     = flag.Bool("check", false, "vet the interchange files given as arguments (reader by extension) and exit")
+		strict    = flag.Bool("strict", true, "with -check: abort a file on its first error-severity diagnostic")
+		lenient   = flag.Bool("lenient", false, "with -check: quarantine malformed records and keep parsing")
+		roundTrip = flag.Bool("roundtrip", false, "gate each dialect's flow on an exchange round-trip integrity check")
 	)
 	flag.Parse()
-	if err := run(*cells, *seed, *tool, *loss, *jobs); err != nil {
+	if *check {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "bplane: -check needs file arguments")
+			os.Exit(2)
+		}
+		mode := diag.Strict
+		if *lenient || !*strict {
+			mode = diag.Lenient
+		}
+		if err := filecheck.Files(os.Stdout, flag.Args(), mode); err != nil {
+			fmt.Fprintln(os.Stderr, "bplane:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*cells, *seed, *tool, *loss, *jobs, *roundTrip); err != nil {
 		fmt.Fprintln(os.Stderr, "bplane:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cells int, seed int64, only string, printLoss bool, jobs int) error {
+func run(cells int, seed int64, only string, printLoss bool, jobs int, roundTrip bool) error {
 	tools := backplane.AllTools()
 	if only != "" {
 		var sel []backplane.ToolDialect
@@ -51,13 +72,17 @@ func run(cells int, seed int64, only string, printLoss bool, jobs int) error {
 		return workgen.PhysDesign(workgen.PhysOptions{
 			Cells: cells, Seed: seed, CriticalNets: 3, Keepouts: 1})
 	}
-	results, err := backplane.RunFlows(gen, tools, 5, par.Workers(jobs))
-	if err != nil {
+	results, err := backplane.RunFlowsChecked(gen, tools, 5, roundTrip, par.Workers(jobs))
+	if err != nil && !roundTrip {
 		return err
 	}
 	fmt.Printf("%-8s %6s %10s %8s %8s %6s %12s %10s\n",
 		"tool", "lost", "degraded", "HPWL", "wirelen", "vias", "violations", "unrouted")
 	for _, res := range results {
+		if res.Err != nil {
+			fmt.Printf("%-8s FAILED: %v\n", res.Tool, res.Err)
+			continue
+		}
 		var dropped, degraded int
 		for _, it := range res.Loss.Items {
 			if it.Kind == backplane.LossDropped {
@@ -92,5 +117,7 @@ func run(cells int, seed int64, only string, printLoss bool, jobs int) error {
 				cl.Class, cl.Dropped, cl.Degraded, cl.PerTool)
 		}
 	}
-	return nil
+	// With -roundtrip a gate failure was printed per tool above; still exit
+	// non-zero so scripts notice.
+	return err
 }

@@ -3,25 +3,31 @@ package main
 import "testing"
 
 func TestRunAllTools(t *testing.T) {
-	if err := run(20, 11, "", false, 0); err != nil {
+	if err := run(20, 11, "", false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllToolsSequential(t *testing.T) {
-	if err := run(20, 11, "", false, 1); err != nil {
+	if err := run(20, 11, "", false, 1, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunOneToolWithLoss(t *testing.T) {
-	if err := run(16, 7, "toolQ", true, 2); err != nil {
+	if err := run(16, 7, "toolQ", true, 2, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRoundTripGate(t *testing.T) {
+	if err := run(16, 7, "", false, 0, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownTool(t *testing.T) {
-	if err := run(16, 7, "toolZ", false, 0); err == nil {
+	if err := run(16, 7, "toolZ", false, 0, false); err == nil {
 		t.Error("unknown tool accepted")
 	}
 }

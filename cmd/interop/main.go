@@ -12,6 +12,8 @@ import (
 	"strings"
 
 	"cadinterop/internal/core"
+	"cadinterop/internal/diag"
+	"cadinterop/internal/filecheck"
 	"cadinterop/internal/workflow"
 )
 
@@ -22,8 +24,26 @@ func main() {
 		optimize = flag.Bool("optimize", false, "apply the three optimization moves and report deltas")
 		problems = flag.Int("problems", 0, "print the first N problems of the best-in-class analysis")
 		flow     = flag.Bool("flow", false, "deploy the methodology as a workflow and run it to completion")
+		check    = flag.Bool("check", false, "vet the interchange files given as arguments (reader by extension) and exit")
+		strict   = flag.Bool("strict", true, "with -check: abort a file on its first error-severity diagnostic")
+		lenient  = flag.Bool("lenient", false, "with -check: quarantine malformed records and keep parsing")
 	)
 	flag.Parse()
+	if *check {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "interop: -check needs file arguments")
+			os.Exit(2)
+		}
+		mode := diag.Strict
+		if *lenient || !*strict {
+			mode = diag.Lenient
+		}
+		if err := filecheck.Files(os.Stdout, flag.Args(), mode); err != nil {
+			fmt.Fprintln(os.Stderr, "interop:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*blocks, *scenario, *optimize, *problems, *flow); err != nil {
 		fmt.Fprintln(os.Stderr, "interop:", err)
 		os.Exit(1)

@@ -34,7 +34,7 @@ import (
 // hand-off.
 func TestRTLToSiliconPipeline(t *testing.T) {
 	src := workgen.CombModule("unit", workgen.HDLOptions{Gates: 12, Inputs: 3, Seed: 5})
-	design := hdl.MustParse(src)
+	design := mustParse(src)
 	nl, rep, err := synth.Synthesize(design, "unit", synth.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +170,7 @@ func TestSimVsSynthRandomEquivalence(t *testing.T) {
 	for trial := 0; trial < 3; trial++ {
 		src := workgen.CombModule("dut", workgen.HDLOptions{
 			Gates: 15 + trial*10, Inputs: 3, Seed: int64(trial) + 100})
-		d := hdl.MustParse(src)
+		d := mustParse(src)
 		nl, _, err := synth.Synthesize(d, "dut", synth.Options{})
 		if err != nil {
 			t.Fatal(err)
@@ -179,7 +179,7 @@ func TestSimVsSynthRandomEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		gd := hdl.MustParse(v)
+		gd := mustParse(v)
 		for sample := 0; sample < 4; sample++ {
 			ins := make(map[string]uint64, 3)
 			for i := 0; i < 3; i++ {

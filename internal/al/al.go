@@ -105,6 +105,45 @@ var (
 
 // ---------------------------------------------------------------------------
 // Reader
+//
+// The reader carries byte offsets on every token and builds an optional
+// position tree mirroring the value tree, so the interchange readers built
+// on top of a/L (exchange, cd) can attach file positions to their
+// diagnostics — "detect, don't silently accept" needs a place to point at.
+
+// MaxDepth bounds list nesting. Without it a hostile input of open parens
+// drives the recursive-descent reader arbitrarily deep; with it malformed
+// nesting is an ordinary parse error.
+const MaxDepth = 2000
+
+// PosTree mirrors the shape of one parsed Value: Off is the byte offset of
+// the expression's first token, and for a List, Kids holds one subtree per
+// element. Atoms have nil Kids.
+type PosTree struct {
+	Off  int
+	Kids []*PosTree
+}
+
+// Kid returns the i-th child subtree, falling back to the parent's own
+// position when the index is out of range — diagnostics always get a
+// position, at worst the enclosing form's.
+func (p *PosTree) Kid(i int) *PosTree {
+	if p == nil {
+		return nil
+	}
+	if i >= 0 && i < len(p.Kids) {
+		return p.Kids[i]
+	}
+	return &PosTree{Off: p.Off}
+}
+
+// Offset returns the node's byte offset, -1 for a nil tree.
+func (p *PosTree) Offset() int {
+	if p == nil {
+		return -1
+	}
+	return p.Off
+}
 
 type lexer struct {
 	src string
@@ -128,18 +167,20 @@ func (lx *lexer) skipSpace() {
 	}
 }
 
-func (lx *lexer) next() (tok string, err error) {
+// next returns the token text and its starting byte offset. EOF is the
+// empty token at offset len(src).
+func (lx *lexer) next() (tok string, off int, err error) {
 	lx.skipSpace()
 	if lx.pos >= len(lx.src) {
-		return "", nil // EOF signalled by empty token
+		return "", len(lx.src), nil // EOF signalled by empty token
 	}
+	start := lx.pos
 	c := lx.src[lx.pos]
 	switch c {
 	case '(', ')', '\'':
 		lx.pos++
-		return string(c), nil
+		return string(c), start, nil
 	case '"':
-		start := lx.pos
 		lx.pos++
 		for lx.pos < len(lx.src) {
 			if lx.src[lx.pos] == '\\' {
@@ -148,13 +189,12 @@ func (lx *lexer) next() (tok string, err error) {
 			}
 			if lx.src[lx.pos] == '"' {
 				lx.pos++
-				return lx.src[start:lx.pos], nil
+				return lx.src[start:lx.pos], start, nil
 			}
 			lx.pos++
 		}
-		return "", fmt.Errorf("%w: unterminated string", ErrParse)
+		return "", start, fmt.Errorf("%w: offset %d: unterminated string", ErrParse, start)
 	default:
-		start := lx.pos
 		for lx.pos < len(lx.src) {
 			c := lx.src[lx.pos]
 			if c == '(' || c == ')' || c == '\'' || c == '"' || c == ';' ||
@@ -163,34 +203,98 @@ func (lx *lexer) next() (tok string, err error) {
 			}
 			lx.pos++
 		}
-		return lx.src[start:lx.pos], nil
+		return lx.src[start:lx.pos], start, nil
 	}
 }
 
-func (lx *lexer) peek() (string, error) {
+func (lx *lexer) peek() (string, int, error) {
 	save := lx.pos
-	tok, err := lx.next()
+	tok, off, err := lx.next()
 	lx.pos = save
-	return tok, err
+	return tok, off, err
 }
 
 // Parse reads all expressions in src.
 func Parse(src string) ([]Value, error) {
+	vs, _, err := ParseTracked(src)
+	return vs, err
+}
+
+// ParseTracked reads all expressions in src, returning a position tree per
+// expression alongside the values.
+func ParseTracked(src string) ([]Value, []*PosTree, error) {
 	lx := &lexer{src: src}
 	var out []Value
+	var trees []*PosTree
 	for {
-		tok, err := lx.peek()
+		tok, _, err := lx.peek()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if tok == "" {
-			return out, nil
+			return out, trees, nil
 		}
-		v, err := parseExpr(lx)
+		v, pt, err := parseExpr(lx, 0)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, v)
+		trees = append(trees, pt)
+	}
+}
+
+// ParseRecover reads all expressions in src with toplevel error recovery:
+// a malformed toplevel form is reported via report (offset, message) and
+// skipped — the reader resynchronizes at the next balanced toplevel
+// position and keeps going. It returns every form that did parse.
+func ParseRecover(src string, report func(off int, msg string)) ([]Value, []*PosTree) {
+	lx := &lexer{src: src}
+	var out []Value
+	var trees []*PosTree
+	for {
+		tok, off, err := lx.peek()
+		if err != nil {
+			report(off, err.Error())
+			lx.next() // consume the broken token (advances past the bad lexeme)
+			continue
+		}
+		if tok == "" {
+			return out, trees
+		}
+		v, pt, err := parseExpr(lx, 0)
+		if err != nil {
+			report(off, err.Error())
+			lx.resync()
+			continue
+		}
+		out = append(out, v)
+		trees = append(trees, pt)
+	}
+}
+
+// resync consumes tokens until the paren depth returns to balance at a
+// toplevel boundary (or EOF), the recovery point after a parse error.
+func (lx *lexer) resync() {
+	depth := 0
+	for {
+		tok, _, err := lx.next()
+		if err != nil {
+			// A broken token (unterminated string) eats the rest of the
+			// input anyway; stop here.
+			lx.pos = len(lx.src)
+			return
+		}
+		switch tok {
+		case "":
+			return
+		case "(":
+			depth++
+		case ")":
+			if depth <= 1 {
+				return
+			}
+			depth--
+		}
 	}
 }
 
@@ -206,57 +310,63 @@ func ParseOne(src string) (Value, error) {
 	return vs[0], nil
 }
 
-func parseExpr(lx *lexer) (Value, error) {
-	tok, err := lx.next()
-	if err != nil {
-		return nil, err
+func parseExpr(lx *lexer, depth int) (Value, *PosTree, error) {
+	if depth > MaxDepth {
+		return nil, nil, fmt.Errorf("%w: offset %d: nesting deeper than %d", ErrParse, lx.pos, MaxDepth)
 	}
+	tok, off, err := lx.next()
+	if err != nil {
+		return nil, nil, err
+	}
+	pt := &PosTree{Off: off}
 	switch {
 	case tok == "":
-		return nil, fmt.Errorf("%w: unexpected end of input", ErrParse)
+		return nil, nil, fmt.Errorf("%w: unexpected end of input", ErrParse)
 	case tok == "(":
 		var items List
 		for {
-			p, err := lx.peek()
+			p, _, err := lx.peek()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if p == "" {
-				return nil, fmt.Errorf("%w: unterminated list", ErrParse)
+				return nil, nil, fmt.Errorf("%w: offset %d: unterminated list", ErrParse, off)
 			}
 			if p == ")" {
 				lx.next()
-				return items, nil
+				return items, pt, nil
 			}
-			item, err := parseExpr(lx)
+			item, kid, err := parseExpr(lx, depth+1)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			items = append(items, item)
+			pt.Kids = append(pt.Kids, kid)
 		}
 	case tok == ")":
-		return nil, fmt.Errorf("%w: unexpected )", ErrParse)
+		return nil, nil, fmt.Errorf("%w: offset %d: unexpected )", ErrParse, off)
 	case tok == "'":
-		q, err := parseExpr(lx)
+		q, kid, err := parseExpr(lx, depth+1)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return List{Symbol("quote"), q}, nil
+		pt.Kids = []*PosTree{{Off: off}, kid}
+		return List{Symbol("quote"), q}, pt, nil
 	case tok[0] == '"':
 		s, err := strconv.Unquote(tok)
 		if err != nil {
-			return nil, fmt.Errorf("%w: bad string %s: %v", ErrParse, tok, err)
+			return nil, nil, fmt.Errorf("%w: offset %d: bad string %s: %v", ErrParse, off, tok, err)
 		}
-		return Str(s), nil
+		return Str(s), pt, nil
 	case tok == "#t":
-		return Bool(true), nil
+		return Bool(true), pt, nil
 	case tok == "#f":
-		return Bool(false), nil
+		return Bool(false), pt, nil
 	default:
 		if n, err := strconv.ParseFloat(tok, 64); err == nil {
-			return Num(n), nil
+			return Num(n), pt, nil
 		}
-		return Symbol(tok), nil
+		return Symbol(tok), pt, nil
 	}
 }
 

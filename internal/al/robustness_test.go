@@ -1,0 +1,50 @@
+package al
+
+import (
+	"testing"
+
+	"cadinterop/internal/diag/diagtest"
+)
+
+// alCandidate is the robustness contract for the a/L reader: for any bytes,
+// strict parse either succeeds or errors, and lenient parse recovers —
+// neither may panic.
+func alCandidate(data []byte) error {
+	src := string(data)
+	ParseRecover(src, func(off int, msg string) {})
+	_, _, err := ParseTracked(src)
+	return err
+}
+
+const alSweepSrc = `(define (transform name value)
+  (map (lambda (p)
+         (let ((kv (string-split p ":")))
+           (list (string-append "m_" (car kv)) (nth 1 kv))))
+       (string-split value " ")))
+(define (classify n) (if (< n 10) "small" 'large))
+(list 1 2.5 -3 "str \" escaped" (quote (a b c)))`
+
+func TestPrefixSweep(t *testing.T) {
+	diagtest.PrefixSweep(t, []byte(alSweepSrc), 1, alCandidate)
+}
+
+func TestMutationSweep(t *testing.T) {
+	diagtest.MutationSweep(t, []byte(alSweepSrc), 0xa1, 400, alCandidate)
+}
+
+func TestTruncateMidline(t *testing.T) {
+	diagtest.TruncateMidline(t, []byte(alSweepSrc), alCandidate)
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add(alSweepSrc)
+	f.Add("(a b (c))")
+	f.Add("'(quote . 1)")
+	f.Add("((((((((((")
+	f.Add(`("unterminated`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if err := alCandidate([]byte(src)); err != nil && diagtest.IsViolation(err) {
+			t.Fatal(err)
+		}
+	})
+}

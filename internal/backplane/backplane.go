@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"cadinterop/internal/exchange"
 	"cadinterop/internal/floorplan"
 	"cadinterop/internal/geom"
 	"cadinterop/internal/par"
@@ -377,11 +378,28 @@ func RunFlow(d *phys.Design, fp *floorplan.Floorplan, tool ToolDialect, seed int
 // behaviour, while callers that inspect per-entry Err keep every
 // surviving flow.
 func RunFlows(gen func() (*phys.Design, *floorplan.Floorplan, error), tools []ToolDialect, seed int64, opts ...par.Option) ([]*FlowResult, error) {
+	return RunFlowsChecked(gen, tools, seed, false, opts...)
+}
+
+// RunFlowsChecked is RunFlows with an optional interchange integrity gate.
+// When roundTrip is true, each tool's private netlist is round-tripped
+// through the exchange format (write → read under checksum/manifest guards →
+// semantic compare) before the flow runs, so interchange corruption is
+// caught at the handoff instead of surfacing as silent quality-of-results
+// damage downstream. A gate failure occupies the tool's result slot via
+// FlowResult.Err, like any other per-tool failure.
+func RunFlowsChecked(gen func() (*phys.Design, *floorplan.Floorplan, error), tools []ToolDialect, seed int64, roundTrip bool, opts ...par.Option) ([]*FlowResult, error) {
 	results, errs := par.MapAll(len(tools), func(i int) (*FlowResult, error) {
 		d, fp, err := gen()
 		if err != nil {
 			err = fmt.Errorf("%s: %w", tools[i].Name, err)
 			return &FlowResult{Tool: tools[i].Name, Err: err}, err
+		}
+		if roundTrip {
+			if err := exchange.VerifyRoundTrip(d.Nets); err != nil {
+				err = fmt.Errorf("%s: interchange gate: %w", tools[i].Name, err)
+				return &FlowResult{Tool: tools[i].Name, Err: err}, err
+			}
 		}
 		res, err := RunFlow(d, fp, tools[i], seed, opts...)
 		if err != nil {

@@ -1,0 +1,290 @@
+// Package diag is the shared diagnostics layer for the interchange data
+// plane. The paper's central failure mode is translators that silently
+// drop or corrupt data in transit between tools (§1–§2, §4); the discipline
+// this package enforces is "detect, don't silently accept": every reader
+// either parses, recovers with position-carrying diagnostics, or fails
+// loudly — it never crashes and never loses data without a record.
+//
+// A Collector accumulates structured diagnostics (severity, stable code,
+// source name, byte/line position) on behalf of one parse. In Strict mode
+// the first error-severity diagnostic aborts the parse; in Lenient mode the
+// malformed record is quarantined, the diagnostic is kept, and parsing
+// continues so the caller gets a partial design plus the full damage
+// report.
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic.
+type Severity uint8
+
+// Severities. Error marks data that could not be represented (lost or
+// rejected); Warning marks data accepted with degradation; Info is
+// narration (e.g. "integrity trailer absent").
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+var sevNames = [...]string{"info", "warning", "error"}
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if int(s) < len(sevNames) {
+		return sevNames[s]
+	}
+	return fmt.Sprintf("Severity(%d)", uint8(s))
+}
+
+// Pos is a source position. Offset is the byte offset from the start of
+// the input (-1 = unknown); Line and Col are 1-based (0 = unknown).
+type Pos struct {
+	Offset    int
+	Line, Col int
+}
+
+// NoPos is the unknown position.
+var NoPos = Pos{Offset: -1}
+
+// String renders "line:col", falling back to "@offset" or "?".
+func (p Pos) String() string {
+	switch {
+	case p.Line > 0:
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	case p.Offset >= 0:
+		return fmt.Sprintf("@%d", p.Offset)
+	default:
+		return "?"
+	}
+}
+
+// LineCol computes the 1-based line and column of a byte offset in src,
+// upgrading an offset-only Pos to a line-carrying one.
+func LineCol(src string, off int) Pos {
+	if off < 0 {
+		return NoPos
+	}
+	if off > len(src) {
+		off = len(src)
+	}
+	line, col := 1, 1
+	for i := 0; i < off; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return Pos{Offset: off, Line: line, Col: col}
+}
+
+// Diagnostic is one structured finding.
+type Diagnostic struct {
+	Sev    Severity
+	Code   string // stable short slug: "parse", "record", "integrity", ...
+	Source string // file or stream name ("" = unnamed input)
+	Pos    Pos
+	Msg    string
+}
+
+// String renders "source:line:col: severity: [code] msg" — the format the
+// CLIs print and editors can jump on.
+func (d Diagnostic) String() string {
+	src := d.Source
+	if src == "" {
+		src = "<input>"
+	}
+	return fmt.Sprintf("%s:%s: %s: [%s] %s", src, d.Pos, d.Sev, d.Code, d.Msg)
+}
+
+// Mode selects the failure policy of a reader.
+type Mode uint8
+
+// Modes. Strict is the default everywhere current callers parse trusted
+// input: the first error-severity diagnostic aborts. Lenient quarantines
+// the malformed record and keeps going.
+const (
+	Strict Mode = iota
+	Lenient
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Lenient {
+		return "lenient"
+	}
+	return "strict"
+}
+
+// Sentinel errors.
+var (
+	// ErrAbort marks errors produced by a strict-mode abort (or by hitting
+	// the diagnostic limit in lenient mode).
+	ErrAbort = errors.New("diag: parse aborted")
+	// ErrLimit marks an abort caused by exceeding Collector.Limit.
+	ErrLimit = errors.New("diag: too many diagnostics")
+)
+
+// DiagError is the error form of a Diagnostic. It unwraps to the owning
+// reader's sentinel (e.g. exchange.ErrFormat) so existing errors.Is checks
+// keep working, and matches ErrAbort.
+type DiagError struct {
+	Diag     Diagnostic
+	Sentinel error
+}
+
+// Error implements error.
+func (e *DiagError) Error() string {
+	if e.Sentinel != nil {
+		return fmt.Sprintf("%v: %s", e.Sentinel, e.Diag)
+	}
+	return e.Diag.String()
+}
+
+// Unwrap exposes the sentinel.
+func (e *DiagError) Unwrap() error { return e.Sentinel }
+
+// Is matches ErrAbort in addition to the sentinel chain.
+func (e *DiagError) Is(target error) bool { return target == ErrAbort }
+
+// DefaultLimit bounds runaway diagnostic floods from pathological inputs
+// (every line malformed in a multi-megabyte file).
+const DefaultLimit = 1000
+
+// Collector accumulates diagnostics for one parse.
+type Collector struct {
+	Mode   Mode
+	Source string
+	// Sentinel is wrapped into abort errors so the owning package's
+	// errors.Is contract survives the retrofit.
+	Sentinel error
+	// Limit caps collected diagnostics (0 = DefaultLimit). Exceeding it
+	// aborts even in lenient mode.
+	Limit int
+	Diags []Diagnostic
+}
+
+// New returns a collector.
+func New(mode Mode, source string, sentinel error) *Collector {
+	return &Collector{Mode: mode, Source: source, Sentinel: sentinel}
+}
+
+func (c *Collector) limit() int {
+	if c.Limit > 0 {
+		return c.Limit
+	}
+	return DefaultLimit
+}
+
+// Report records a diagnostic. It returns a non-nil abort error exactly
+// when parsing must stop: error severity in strict mode, or the collector
+// limit was exceeded. A nil return means "quarantined — keep parsing".
+func (c *Collector) Report(sev Severity, code string, pos Pos, format string, args ...any) error {
+	d := Diagnostic{Sev: sev, Code: code, Source: c.Source, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	if len(c.Diags) < c.limit() {
+		c.Diags = append(c.Diags, d)
+	} else {
+		return &DiagError{
+			Diag: Diagnostic{Sev: Error, Code: "limit", Source: c.Source, Pos: pos,
+				Msg: fmt.Sprintf("more than %d diagnostics; giving up", c.limit())},
+			Sentinel: ErrLimit,
+		}
+	}
+	if sev == Error && c.Mode == Strict {
+		return &DiagError{Diag: d, Sentinel: c.Sentinel}
+	}
+	return nil
+}
+
+// Errorf reports an error-severity diagnostic.
+func (c *Collector) Errorf(code string, pos Pos, format string, args ...any) error {
+	return c.Report(Error, code, pos, format, args...)
+}
+
+// Warnf reports a warning; warnings never abort.
+func (c *Collector) Warnf(code string, pos Pos, format string, args ...any) {
+	_ = c.Report(Warning, code, pos, format, args...)
+}
+
+// Infof reports an informational note; never aborts.
+func (c *Collector) Infof(code string, pos Pos, format string, args ...any) {
+	_ = c.Report(Info, code, pos, format, args...)
+}
+
+// HasErrors reports whether any error-severity diagnostic was collected.
+func (c *Collector) HasErrors() bool { return c.ErrorCount() > 0 }
+
+// ErrorCount counts error-severity diagnostics.
+func (c *Collector) ErrorCount() int {
+	n := 0
+	for _, d := range c.Diags {
+		if d.Sev == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// Err summarizes the collected error diagnostics as a single error (nil
+// when there are none). Lenient-mode callers use it to decide whether the
+// partial result is trustworthy.
+func (c *Collector) Err() error {
+	n := c.ErrorCount()
+	if n == 0 {
+		return nil
+	}
+	var first Diagnostic
+	for _, d := range c.Diags {
+		if d.Sev == Error {
+			first = d
+			break
+		}
+	}
+	return &DiagError{Diag: first, Sentinel: c.Sentinel}
+}
+
+// Render formats all diagnostics, one per line, in collection order.
+func Render(diags []Diagnostic) string {
+	lines := make([]string, len(diags))
+	for i, d := range diags {
+		lines[i] = d.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Count tallies diagnostics by severity.
+func Count(diags []Diagnostic, sev Severity) int {
+	n := 0
+	for _, d := range diags {
+		if d.Sev == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Sort orders diagnostics by position (source, offset, line, col), keeping
+// the collection order stable for equal positions — reports stay
+// deterministic however the reader traversed the input.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		if a.Pos.Offset != b.Pos.Offset {
+			return a.Pos.Offset < b.Pos.Offset
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Col < b.Pos.Col
+	})
+}

@@ -1,0 +1,134 @@
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestLineCol(t *testing.T) {
+	src := "ab\ncd\n"
+	cases := []struct {
+		off       int
+		line, col int
+	}{
+		{0, 1, 1}, {1, 1, 2}, {2, 1, 3}, {3, 2, 1}, {4, 2, 2}, {6, 3, 1},
+	}
+	for _, c := range cases {
+		p := LineCol(src, c.off)
+		if p.Line != c.line || p.Col != c.col {
+			t.Errorf("LineCol(%d) = %d:%d, want %d:%d", c.off, p.Line, p.Col, c.line, c.col)
+		}
+	}
+	if p := LineCol(src, -1); p != NoPos {
+		t.Errorf("LineCol(-1) = %v, want NoPos", p)
+	}
+	if p := LineCol(src, 999); p.Line != 3 {
+		t.Errorf("LineCol(clamped) line = %d, want 3", p.Line)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Sev: Error, Code: "parse", Source: "x.ex", Pos: Pos{Offset: 7, Line: 2, Col: 3}, Msg: "boom"}
+	want := "x.ex:2:3: error: [parse] boom"
+	if got := d.String(); got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+	d2 := Diagnostic{Sev: Warning, Code: "record", Pos: NoPos, Msg: "m"}
+	if got := d2.String(); got != "<input>:?: warning: [record] m" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestStrictAbortsOnFirstError(t *testing.T) {
+	sentinel := errors.New("pkg: bad format")
+	c := New(Strict, "a.ex", sentinel)
+	c.Warnf("record", NoPos, "degraded")
+	if err := c.Errorf("parse", Pos{Offset: 3}, "broken"); err == nil {
+		t.Fatal("strict Errorf returned nil")
+	} else {
+		if !errors.Is(err, sentinel) {
+			t.Errorf("abort error does not unwrap to sentinel: %v", err)
+		}
+		if !errors.Is(err, ErrAbort) {
+			t.Errorf("abort error does not match ErrAbort: %v", err)
+		}
+	}
+	if len(c.Diags) != 2 {
+		t.Errorf("diags = %d, want 2 (warning + error)", len(c.Diags))
+	}
+}
+
+func TestLenientCollects(t *testing.T) {
+	c := New(Lenient, "", nil)
+	for i := 0; i < 5; i++ {
+		if err := c.Errorf("record", Pos{Offset: i}, "bad %d", i); err != nil {
+			t.Fatalf("lenient Errorf aborted: %v", err)
+		}
+	}
+	if !c.HasErrors() || c.ErrorCount() != 5 {
+		t.Errorf("ErrorCount = %d, want 5", c.ErrorCount())
+	}
+	if err := c.Err(); err == nil {
+		t.Error("Err() nil with collected errors")
+	} else if !strings.Contains(err.Error(), "bad 0") {
+		t.Errorf("Err() should summarize first error, got %v", err)
+	}
+	c2 := New(Lenient, "", nil)
+	c2.Warnf("w", NoPos, "only warnings")
+	if c2.Err() != nil {
+		t.Error("Err() non-nil with only warnings")
+	}
+}
+
+func TestLimitAborts(t *testing.T) {
+	c := New(Lenient, "", nil)
+	c.Limit = 3
+	var aborted error
+	for i := 0; i < 10 && aborted == nil; i++ {
+		aborted = c.Errorf("record", NoPos, "x")
+	}
+	if aborted == nil {
+		t.Fatal("limit never aborted")
+	}
+	if !errors.Is(aborted, ErrLimit) {
+		t.Errorf("limit abort does not match ErrLimit: %v", aborted)
+	}
+	if len(c.Diags) != 3 {
+		t.Errorf("diags = %d, want limit 3", len(c.Diags))
+	}
+}
+
+func TestRenderCountSort(t *testing.T) {
+	diags := []Diagnostic{
+		{Sev: Error, Code: "b", Source: "f", Pos: Pos{Offset: 9, Line: 2, Col: 1}, Msg: "later"},
+		{Sev: Warning, Code: "a", Source: "f", Pos: Pos{Offset: 2, Line: 1, Col: 3}, Msg: "earlier"},
+	}
+	Sort(diags)
+	if diags[0].Msg != "earlier" {
+		t.Errorf("sort order wrong: %v", diags)
+	}
+	if Count(diags, Error) != 1 || Count(diags, Warning) != 1 {
+		t.Error("count wrong")
+	}
+	r := Render(diags)
+	if !strings.Contains(r, "earlier") || !strings.Contains(r, "\n") {
+		t.Errorf("render: %q", r)
+	}
+}
+
+func TestSeverityModeStrings(t *testing.T) {
+	for _, c := range []struct {
+		got, want string
+	}{
+		{Info.String(), "info"}, {Warning.String(), "warning"}, {Error.String(), "error"},
+		{Severity(9).String(), "Severity(9)"},
+		{Strict.String(), "strict"}, {Lenient.String(), "lenient"},
+		{fmt.Sprint(Pos{Offset: 5}), "@5"},
+	} {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}

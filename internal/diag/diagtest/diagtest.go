@@ -1,0 +1,120 @@
+// Package diagtest holds the shared robustness-sweep helpers behind the
+// data-plane hardening tests: every reader in the repo must satisfy the
+// same property — for arbitrary input it either parses, recovers with
+// diagnostics, or returns an error; it never panics, and a successful
+// parse never yields a design that fails its own Validate. The sweeps are
+// deterministic (no wall clock, no math/rand) so a failure reproduces
+// byte-for-byte.
+package diagtest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ParseFn feeds one candidate input to the reader under test. It returns
+// the reader's error (nil on success). The function itself should also run
+// any post-parse validation the package promises for successful parses and
+// fold violations into the returned error via ValidateViolation.
+type ParseFn func(data []byte) error
+
+// ValidateViolation wraps a Validate failure on a successfully-parsed
+// design so sweeps can tell "input rejected" (fine) from "input accepted
+// but the result is broken" (a bug).
+func ValidateViolation(err error) error {
+	return fmt.Errorf("accepted input produced invalid design: %w", err)
+}
+
+// IsViolation reports whether err came from ValidateViolation.
+func IsViolation(err error) bool {
+	return err != nil && len(err.Error()) >= len(violationPrefix) && err.Error()[:len(violationPrefix)] == violationPrefix
+}
+
+const violationPrefix = "accepted input produced invalid design"
+
+// PrefixSweep feeds every byte-prefix of src (stepping by step, always
+// including the empty and full inputs) to parse. A panic or a
+// ValidateViolation fails the test with the offending prefix length.
+func PrefixSweep(t *testing.T, src []byte, step int, parse ParseFn) {
+	t.Helper()
+	if step <= 0 {
+		step = 1
+	}
+	for i := 0; ; i += step {
+		if i > len(src) {
+			i = len(src)
+		}
+		runCandidate(t, fmt.Sprintf("prefix[:%d]", i), src[:i], parse)
+		if i == len(src) {
+			return
+		}
+	}
+}
+
+// MutationSweep corrupts single bytes of src at deterministic positions
+// with deterministic replacement values (a splitmix64 schedule seeded by
+// seed, the same hashing discipline as internal/fault) and feeds each
+// mutant to parse. trials counts mutants.
+func MutationSweep(t *testing.T, src []byte, seed uint64, trials int, parse ParseFn) {
+	t.Helper()
+	if len(src) == 0 {
+		return
+	}
+	x := seed
+	for n := 0; n < trials; n++ {
+		x = Splitmix64(x)
+		pos := int(x % uint64(len(src)))
+		x = Splitmix64(x)
+		b := byte(x)
+		if src[pos] == b {
+			b ^= 0xff
+		}
+		mut := append([]byte(nil), src...)
+		mut[pos] = b
+		runCandidate(t, fmt.Sprintf("mutant#%d pos=%d byte=0x%02x", n, pos, b), mut, parse)
+	}
+}
+
+// TruncateMidline additionally sweeps truncations that end exactly at and
+// just after every newline — the boundaries where line-based readers
+// change state.
+func TruncateMidline(t *testing.T, src []byte, parse ParseFn) {
+	t.Helper()
+	for i, c := range src {
+		if c != '\n' {
+			continue
+		}
+		runCandidate(t, fmt.Sprintf("trunc-at-newline[:%d]", i), src[:i], parse)
+		runCandidate(t, fmt.Sprintf("trunc-past-newline[:%d]", i+1), src[:i+1], parse)
+	}
+}
+
+// runCandidate invokes parse under a panic guard.
+func runCandidate(t *testing.T, label string, data []byte, parse ParseFn) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: reader panicked: %v\ninput: %q", label, r, clip(data))
+		}
+	}()
+	if err := parse(data); err != nil && IsViolation(err) {
+		t.Fatalf("%s: %v\ninput: %q", label, err, clip(data))
+	}
+}
+
+func clip(b []byte) string {
+	const max = 200
+	if len(b) <= max {
+		return string(b)
+	}
+	return string(b[:max]) + "..."
+}
+
+// Splitmix64 is the standard 64-bit finalizer used for all deterministic
+// sweep schedules (matching internal/fault's discipline).
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -14,19 +14,29 @@ package exchange
 
 import (
 	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"cadinterop/internal/al"
+	"cadinterop/internal/diag"
 	"cadinterop/internal/naming"
 	"cadinterop/internal/netlist"
 )
 
 // ErrFormat reports malformed interchange input.
 var ErrFormat = errors.New("exchange: format error")
+
+// ErrIntegrity reports a failed round-trip integrity check: the trailer
+// checksum or element manifest does not match the content, or a required
+// trailer is absent.
+var ErrIntegrity = errors.New("exchange: integrity check failed")
 
 // WriteOptions models the consuming tool's name restrictions.
 type WriteOptions struct {
@@ -35,10 +45,54 @@ type WriteOptions struct {
 	NameLimit int
 	// VHDLSafe additionally renames VHDL keywords and illegal characters.
 	VHDLSafe bool
+	// Trailer appends an integrity trailer comment — a sha256 of the body
+	// plus an element-count manifest — that Read verifies. Off by default
+	// so existing writers stay byte-identical; guarded paths
+	// (VerifyRoundTrip, the backplane/migrate gates, E14) turn it on.
+	Trailer bool
 }
 
 // Write serializes the netlist.
 func Write(w io.Writer, nl *netlist.Netlist, opts WriteOptions) error {
+	if !opts.Trailer {
+		return writeBody(w, nl, opts)
+	}
+	var buf bytes.Buffer
+	if err := writeBody(&buf, nl, opts); err != nil {
+		return err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	ct := countElems(nl)
+	fmt.Fprintf(&buf, "; integrity sha256:%s cells=%d ports=%d nets=%d insts=%d conns=%d attrs=%d\n",
+		hex.EncodeToString(sum[:]), ct.cells, ct.ports, ct.nets, ct.insts, ct.conns, ct.attrs)
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// elemCounts is the element manifest carried by the integrity trailer.
+type elemCounts struct {
+	cells, ports, nets, insts, conns, attrs int
+}
+
+func countElems(nl *netlist.Netlist) elemCounts {
+	var ct elemCounts
+	ct.cells = len(nl.Cells)
+	for _, c := range nl.Cells {
+		ct.ports += len(c.Ports)
+		ct.nets += len(c.Nets)
+		ct.insts += len(c.Instances)
+		for _, nt := range c.Nets {
+			ct.attrs += len(nt.Attrs)
+		}
+		for _, inst := range c.Instances {
+			ct.conns += len(inst.Conns)
+			ct.attrs += len(inst.Attrs)
+		}
+	}
+	return ct
+}
+
+func writeBody(w io.Writer, nl *netlist.Netlist, opts WriteOptions) error {
 	bw := bufio.NewWriter(w)
 	ext := newExternalizer(opts)
 
@@ -187,27 +241,107 @@ func needsQuoting(s string) bool {
 	return s[0] >= '0' && s[0] <= '9'
 }
 
-// Read parses an interchange file, restoring renamed identifiers.
+// ReadOptions selects the reader's failure policy.
+type ReadOptions struct {
+	// Mode: diag.Strict (default) aborts on the first error-severity
+	// diagnostic; diag.Lenient quarantines the malformed record and keeps
+	// parsing, returning a partial netlist plus the full damage report.
+	Mode diag.Mode
+	// Source names the input in diagnostics ("" = "<input>").
+	Source string
+	// RequireTrailer makes a missing integrity trailer an error. Guarded
+	// paths set it: corruption that deletes the trailer line must be
+	// detected, not silently accepted.
+	RequireTrailer bool
+}
+
+// Read parses an interchange file, restoring renamed identifiers. It is the
+// strict-mode entry point: the first malformed record aborts.
 func Read(r io.Reader) (*netlist.Netlist, error) {
+	nl, _, err := ReadWithDiagnostics(r, ReadOptions{})
+	return nl, err
+}
+
+// ReadWithDiagnostics parses an interchange file under the given policy.
+// The diagnostics slice is returned in both outcomes; in lenient mode a
+// non-nil netlist with error diagnostics means "partial design — these
+// records were quarantined".
+func ReadWithDiagnostics(r io.Reader, opts ReadOptions) (*netlist.Netlist, []diag.Diagnostic, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	exprs, err := al.Parse(string(data))
+	return ReadBytes(data, opts)
+}
+
+// ReadBytes is ReadWithDiagnostics over an in-memory input.
+func ReadBytes(data []byte, opts ReadOptions) (*netlist.Netlist, []diag.Diagnostic, error) {
+	col := diag.New(opts.Mode, opts.Source, ErrFormat)
+	rd := &exReader{src: string(data), col: col}
+	nl, err := rd.read(opts.RequireTrailer)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		return nil, col.Diags, err
+	}
+	if nl == nil {
+		// The toplevel (edif ...) form itself was quarantined; there is
+		// nothing to recover.
+		return nil, col.Diags, fmt.Errorf("%w: no usable (edif ...) form", ErrFormat)
+	}
+	if opts.Mode == diag.Strict {
+		if err := col.Err(); err != nil {
+			return nil, col.Diags, err
+		}
+	}
+	return nl, col.Diags, nil
+}
+
+type exReader struct {
+	src string
+	col *diag.Collector
+}
+
+// pos upgrades a parse-tree node to a line/column position.
+func (rd *exReader) pos(pt *al.PosTree) diag.Pos {
+	return diag.LineCol(rd.src, pt.Offset())
+}
+
+func (rd *exReader) read(requireTrailer bool) (*netlist.Netlist, error) {
+	trailer, terr := rd.checkTrailer(requireTrailer)
+	if terr != nil {
+		return nil, terr
+	}
+
+	var exprs []al.Value
+	var trees []*al.PosTree
+	if rd.col.Mode == diag.Lenient {
+		var aborted error
+		exprs, trees = al.ParseRecover(rd.src, func(off int, msg string) {
+			if aborted == nil {
+				aborted = rd.col.Errorf("parse", diag.LineCol(rd.src, off), "%s", msg)
+			}
+		})
+		if aborted != nil {
+			return nil, aborted
+		}
+	} else {
+		var err error
+		exprs, trees, err = al.ParseTracked(rd.src)
+		if err != nil {
+			return nil, rd.col.Errorf("parse", diag.NoPos, "%v", err)
+		}
 	}
 	if len(exprs) != 1 {
-		return nil, fmt.Errorf("%w: expected one (edif ...) form", ErrFormat)
+		return nil, rd.col.Errorf("parse", diag.NoPos, "expected one (edif ...) form, got %d", len(exprs))
 	}
 	top, ok := exprs[0].(al.List)
+	tt := trees[0]
 	if !ok || len(top) < 2 || !isSym(top[0], "edif") {
-		return nil, fmt.Errorf("%w: missing (edif ...) form", ErrFormat)
+		return nil, rd.col.Errorf("parse", rd.pos(tt), "missing (edif ...) form")
 	}
 
 	// First pass: collect the rename table.
 	renames := make(map[string]string)
-	for _, item := range top[2:] {
+	for i, item := range top[2:] {
 		l, ok := item.(al.List)
 		if !ok || len(l) == 0 {
 			continue
@@ -216,7 +350,10 @@ func Read(r io.Reader) (*netlist.Netlist, error) {
 			alias, err1 := symStr(l[1])
 			orig, err2 := symStr(l[2])
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("%w: bad rename", ErrFormat)
+				if err := rd.col.Errorf("record", rd.pos(tt.Kid(i+2)), "bad rename"); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			renames[alias] = orig
 		}
@@ -229,95 +366,300 @@ func Read(r io.Reader) (*netlist.Netlist, error) {
 	}
 
 	nl := netlist.New()
-	for _, item := range top[2:] {
+	for i, item := range top[2:] {
+		it := tt.Kid(i + 2)
 		l, ok := item.(al.List)
 		if !ok || len(l) == 0 {
-			return nil, fmt.Errorf("%w: unexpected item %s", ErrFormat, item.Repr())
+			if err := rd.col.Errorf("record", rd.pos(it), "unexpected item %s", item.Repr()); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		head, _ := l[0].(al.Symbol)
 		switch head {
 		case "rename":
 			// handled in the first pass
 		case "design":
+			if len(l) < 2 {
+				if err := rd.col.Errorf("record", rd.pos(it), "design needs a name"); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			name, err := symStr(l[1])
 			if err != nil {
-				return nil, fmt.Errorf("%w: design name", ErrFormat)
+				if err := rd.col.Errorf("record", rd.pos(it.Kid(1)), "design name: %v", err); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			nl.Top = restore(name)
 		case "cell":
-			if err := readCell(nl, l, restore); err != nil {
+			if err := rd.readCell(nl, l, it, restore); err != nil {
 				return nil, err
 			}
 		default:
-			return nil, fmt.Errorf("%w: unknown form %q", ErrFormat, head)
+			if err := rd.col.Errorf("record", rd.pos(it), "unknown form %q", head); err != nil {
+				return nil, err
+			}
 		}
+	}
+	if trailer != nil {
+		got := countElems(nl)
+		if got != *trailer {
+			if err := rd.integrityErr(diag.NoPos,
+				"element manifest mismatch: trailer says cells=%d ports=%d nets=%d insts=%d conns=%d attrs=%d, parsed cells=%d ports=%d nets=%d insts=%d conns=%d attrs=%d",
+				trailer.cells, trailer.ports, trailer.nets, trailer.insts, trailer.conns, trailer.attrs,
+				got.cells, got.ports, got.nets, got.insts, got.conns, got.attrs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := rd.reconcile(nl); err != nil {
+		return nil, err
 	}
 	return nl, nil
 }
 
-func readCell(nl *netlist.Netlist, l al.List, restore func(string) string) error {
-	if len(l) < 2 {
-		return fmt.Errorf("%w: cell needs a name", ErrFormat)
-	}
-	name, err := symStr(l[1])
-	if err != nil {
-		return fmt.Errorf("%w: cell name", ErrFormat)
-	}
-	c, err := nl.AddCell(restore(name))
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrFormat, err)
-	}
-	for _, item := range l[2:] {
-		il, ok := item.(al.List)
-		if !ok || len(il) == 0 {
-			return fmt.Errorf("%w: bad cell item %s", ErrFormat, item.Repr())
+// reconcile enforces referential integrity on the parsed netlist: an
+// instance of an undefined cell, or a connection to a port or net that does
+// not exist (whether the file was written that way or a lenient-mode
+// quarantine orphaned the reference). In strict mode the first dangling
+// reference aborts the read; in lenient mode the orphan is cascade-dropped
+// with a warning, so the partial design handed back still passes Validate —
+// no data is lost without a record either way.
+func (rd *exReader) reconcile(nl *netlist.Netlist) error {
+	report := func(format string, args ...any) error {
+		if rd.col.Mode == diag.Lenient {
+			rd.col.Warnf("quarantine", diag.NoPos, format, args...)
+			return nil
 		}
-		head, _ := il[0].(al.Symbol)
-		switch head {
-		case "interface":
-			for _, pi := range il[1:] {
-				pl, ok := pi.(al.List)
-				if !ok || len(pl) != 3 || !isSym(pl[0], "port") {
-					return fmt.Errorf("%w: bad port %s", ErrFormat, pi.Repr())
-				}
-				pname, err1 := symStr(pl[1])
-				dname, err2 := symStr(pl[2])
-				if err1 != nil || err2 != nil {
-					return fmt.Errorf("%w: port fields", ErrFormat)
-				}
-				dir, err := netlist.ParsePortDir(dname)
-				if err != nil {
-					return fmt.Errorf("%w: %v", ErrFormat, err)
-				}
-				if err := c.AddPort(restore(pname), dir); err != nil {
-					return fmt.Errorf("%w: %v", ErrFormat, err)
-				}
-			}
-		case "primitive":
-			c.Primitive = true
-		case "contents":
-			if err := readContents(c, il, restore); err != nil {
+		return rd.col.Errorf("dangling", diag.NoPos, format, args...)
+	}
+	if nl.Top != "" {
+		if _, ok := nl.Cell(nl.Top); !ok {
+			if err := report("design references undefined cell %q", nl.Top); err != nil {
 				return err
 			}
-		default:
-			return fmt.Errorf("%w: unknown cell item %q", ErrFormat, head)
+			nl.Top = ""
+		}
+	}
+	for _, cn := range nl.CellNames() {
+		c, _ := nl.Cell(cn)
+		for _, in := range c.InstanceNames() {
+			inst := c.Instances[in]
+			master, ok := nl.Cell(inst.Master)
+			if !ok {
+				if err := report("cell %q instance %q: master %q undefined", cn, in, inst.Master); err != nil {
+					return err
+				}
+				delete(c.Instances, in)
+				continue
+			}
+			ports := make([]string, 0, len(inst.Conns))
+			for p := range inst.Conns {
+				ports = append(ports, p)
+			}
+			sort.Strings(ports)
+			for _, port := range ports {
+				net := inst.Conns[port]
+				if _, ok := master.Port(port); !ok {
+					if err := report("cell %q instance %q connection %s=%s: master %q has no port %q",
+						cn, in, port, net, inst.Master, port); err != nil {
+						return err
+					}
+					delete(inst.Conns, port)
+					continue
+				}
+				if _, ok := c.Nets[net]; !ok {
+					if err := report("cell %q instance %q connection %s=%s: net undefined", cn, in, port, net); err != nil {
+						return err
+					}
+					delete(inst.Conns, port)
+				}
+			}
 		}
 	}
 	return nil
 }
 
-func readContents(c *netlist.Cell, l al.List, restore func(string) string) error {
-	for _, item := range l[1:] {
+// checkTrailer locates and verifies the integrity trailer. It returns the
+// manifest counts when a trailer with a valid checksum is present, nil when
+// absent (and not required).
+func (rd *exReader) checkTrailer(require bool) (*elemCounts, error) {
+	line, start := lastLine(rd.src)
+	const prefix = "; integrity sha256:"
+	if !strings.HasPrefix(line, prefix) {
+		if require {
+			return nil, rd.integrityErr(diag.NoPos, "required integrity trailer is absent")
+		}
+		rd.col.Infof("integrity", diag.NoPos, "integrity trailer absent; content not verified")
+		return nil, nil
+	}
+	pos := diag.LineCol(rd.src, start)
+	fields := strings.Fields(line[len("; "):])
+	// fields[0] = "integrity", fields[1] = "sha256:<hex>", then k=v counts.
+	if len(fields) < 2 || !strings.HasPrefix(fields[1], "sha256:") {
+		return nil, rd.integrityErr(pos, "malformed integrity trailer")
+	}
+	wantSum := strings.TrimPrefix(fields[1], "sha256:")
+	got := sha256.Sum256([]byte(rd.src[:start]))
+	if hex.EncodeToString(got[:]) != wantSum {
+		return nil, rd.integrityErr(pos, "content checksum mismatch: body does not match sha256 in trailer")
+	}
+	var ct elemCounts
+	seen := 0
+	for _, f := range fields[2:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, rd.integrityErr(pos, "malformed count %q in integrity trailer", f)
+		}
+		switch k {
+		case "cells":
+			ct.cells = n
+		case "ports":
+			ct.ports = n
+		case "nets":
+			ct.nets = n
+		case "insts":
+			ct.insts = n
+		case "conns":
+			ct.conns = n
+		case "attrs":
+			ct.attrs = n
+		default:
+			continue
+		}
+		seen++
+	}
+	if seen != 6 {
+		return nil, rd.integrityErr(pos, "integrity trailer manifest incomplete (%d of 6 counts)", seen)
+	}
+	return &ct, nil
+}
+
+// integrityErr reports an integrity failure. In strict mode it always
+// aborts with ErrIntegrity in the chain; in lenient mode it is recorded and
+// nil is returned so the body still gets parsed (the caller sees the
+// diagnostic).
+func (rd *exReader) integrityErr(pos diag.Pos, format string, args ...any) error {
+	if err := rd.col.Errorf("integrity", pos, format, args...); err != nil {
+		return &diag.DiagError{Diag: rd.col.Diags[len(rd.col.Diags)-1], Sentinel: ErrIntegrity}
+	}
+	return nil
+}
+
+// lastLine returns the last non-empty line of src and its byte offset.
+func lastLine(src string) (string, int) {
+	end := len(src)
+	for end > 0 && (src[end-1] == '\n' || src[end-1] == '\r') {
+		end--
+	}
+	start := strings.LastIndexByte(src[:end], '\n') + 1
+	return src[start:end], start
+}
+
+// readCell parses one (cell ...) form. A returned non-nil error is an
+// abort; recoverable problems are reported and the offending record
+// skipped.
+func (rd *exReader) readCell(nl *netlist.Netlist, l al.List, lt *al.PosTree, restore func(string) string) error {
+	if len(l) < 2 {
+		return rd.col.Errorf("record", rd.pos(lt), "cell needs a name")
+	}
+	name, err := symStr(l[1])
+	if err != nil {
+		return rd.col.Errorf("record", rd.pos(lt.Kid(1)), "cell name: %v", err)
+	}
+	c, err := nl.AddCell(restore(name))
+	if err != nil {
+		return rd.col.Errorf("record", rd.pos(lt), "%v", err)
+	}
+	for i, item := range l[2:] {
+		it := lt.Kid(i + 2)
 		il, ok := item.(al.List)
 		if !ok || len(il) == 0 {
-			return fmt.Errorf("%w: bad contents item", ErrFormat)
+			if err := rd.col.Errorf("record", rd.pos(it), "bad cell item %s", item.Repr()); err != nil {
+				return err
+			}
+			continue
+		}
+		head, _ := il[0].(al.Symbol)
+		switch head {
+		case "interface":
+			for j, pi := range il[1:] {
+				pt := it.Kid(j + 1)
+				pl, ok := pi.(al.List)
+				if !ok || len(pl) != 3 || !isSym(pl[0], "port") {
+					if err := rd.col.Errorf("record", rd.pos(pt), "bad port %s", pi.Repr()); err != nil {
+						return err
+					}
+					continue
+				}
+				pname, err1 := symStr(pl[1])
+				dname, err2 := symStr(pl[2])
+				if err1 != nil || err2 != nil {
+					if err := rd.col.Errorf("record", rd.pos(pt), "port fields"); err != nil {
+						return err
+					}
+					continue
+				}
+				dir, err := netlist.ParsePortDir(dname)
+				if err != nil {
+					if err := rd.col.Errorf("record", rd.pos(pt.Kid(2)), "%v", err); err != nil {
+						return err
+					}
+					continue
+				}
+				if err := c.AddPort(restore(pname), dir); err != nil {
+					if err := rd.col.Errorf("record", rd.pos(pt), "%v", err); err != nil {
+						return err
+					}
+				}
+			}
+		case "primitive":
+			c.Primitive = true
+		case "contents":
+			if err := rd.readContents(c, il, it, restore); err != nil {
+				return err
+			}
+		default:
+			if err := rd.col.Errorf("record", rd.pos(it), "unknown cell item %q", head); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (rd *exReader) readContents(c *netlist.Cell, l al.List, lt *al.PosTree, restore func(string) string) error {
+	for i, item := range l[1:] {
+		it := lt.Kid(i + 1)
+		il, ok := item.(al.List)
+		if !ok || len(il) == 0 {
+			if err := rd.col.Errorf("record", rd.pos(it), "bad contents item"); err != nil {
+				return err
+			}
+			continue
 		}
 		head, _ := il[0].(al.Symbol)
 		switch head {
 		case "net":
+			if len(il) < 2 {
+				if err := rd.col.Errorf("record", rd.pos(it), "net needs a name"); err != nil {
+					return err
+				}
+				continue
+			}
 			name, err := symStr(il[1])
 			if err != nil {
-				return fmt.Errorf("%w: net name", ErrFormat)
+				if err := rd.col.Errorf("record", rd.pos(it.Kid(1)), "net name: %v", err); err != nil {
+					return err
+				}
+				continue
 			}
 			nt := c.EnsureNet(restore(name))
 			for _, sub := range il[2:] {
@@ -335,61 +677,101 @@ func readContents(c *netlist.Cell, l al.List, restore func(string) string) error
 				}
 			}
 		case "instance":
-			name, err := symStr(il[1])
-			if err != nil {
-				return fmt.Errorf("%w: instance name", ErrFormat)
-			}
-			var master string
-			var inst *netlist.Instance
-			for _, sub := range il[2:] {
-				sl, ok := sub.(al.List)
-				if !ok || len(sl) == 0 {
-					continue
-				}
-				switch {
-				case isSym(sl[0], "of") && len(sl) == 2:
-					m, err := symStr(sl[1])
-					if err != nil {
-						return fmt.Errorf("%w: master", ErrFormat)
-					}
-					master = restore(m)
-					inst, err = c.AddInstance(restore(name), master)
-					if err != nil {
-						return fmt.Errorf("%w: %v", ErrFormat, err)
-					}
-				case isSym(sl[0], "joined"):
-					if inst == nil {
-						return fmt.Errorf("%w: joined before of", ErrFormat)
-					}
-					for _, ji := range sl[1:] {
-						jl, ok := ji.(al.List)
-						if !ok || len(jl) != 2 {
-							return fmt.Errorf("%w: bad joined pair %s", ErrFormat, ji.Repr())
-						}
-						port, err1 := symStr(jl[0])
-						net, err2 := symStr(jl[1])
-						if err1 != nil || err2 != nil {
-							return fmt.Errorf("%w: joined fields", ErrFormat)
-						}
-						if err := c.Connect(restore(name), restore(port), restore(net)); err != nil {
-							return fmt.Errorf("%w: %v", ErrFormat, err)
-						}
-					}
-				case isSym(sl[0], "property") && len(sl) == 3:
-					if inst == nil {
-						return fmt.Errorf("%w: property before of", ErrFormat)
-					}
-					k, _ := symStr(sl[1])
-					v, _ := symStr(sl[2])
-					inst.Attrs[k] = v
-				}
-			}
-			if inst == nil {
-				return fmt.Errorf("%w: instance %q missing (of ...)", ErrFormat, name)
+			if err := rd.readInstance(c, il, it, restore); err != nil {
+				return err
 			}
 		default:
-			return fmt.Errorf("%w: unknown contents item %q", ErrFormat, head)
+			if err := rd.col.Errorf("record", rd.pos(it), "unknown contents item %q", head); err != nil {
+				return err
+			}
 		}
+	}
+	return nil
+}
+
+func (rd *exReader) readInstance(c *netlist.Cell, il al.List, it *al.PosTree, restore func(string) string) error {
+	if len(il) < 2 {
+		return rd.col.Errorf("record", rd.pos(it), "instance needs a name")
+	}
+	name, err := symStr(il[1])
+	if err != nil {
+		return rd.col.Errorf("record", rd.pos(it.Kid(1)), "instance name: %v", err)
+	}
+	var inst *netlist.Instance
+	for j, sub := range il[2:] {
+		st := it.Kid(j + 2)
+		sl, ok := sub.(al.List)
+		if !ok || len(sl) == 0 {
+			continue
+		}
+		switch {
+		case isSym(sl[0], "of") && len(sl) == 2:
+			m, err := symStr(sl[1])
+			if err != nil {
+				return rd.col.Errorf("record", rd.pos(st.Kid(1)), "master: %v", err)
+			}
+			inst, err = c.AddInstance(restore(name), restore(m))
+			if err != nil {
+				return rd.col.Errorf("record", rd.pos(st), "%v", err)
+			}
+		case isSym(sl[0], "joined"):
+			if inst == nil {
+				return rd.col.Errorf("record", rd.pos(st), "joined before of")
+			}
+			for k, ji := range sl[1:] {
+				jt := st.Kid(k + 1)
+				jl, ok := ji.(al.List)
+				if !ok || len(jl) != 2 {
+					if err := rd.col.Errorf("record", rd.pos(jt), "bad joined pair %s", ji.Repr()); err != nil {
+						return err
+					}
+					continue
+				}
+				port, err1 := symStr(jl[0])
+				net, err2 := symStr(jl[1])
+				if err1 != nil || err2 != nil {
+					if err := rd.col.Errorf("record", rd.pos(jt), "joined fields"); err != nil {
+						return err
+					}
+					continue
+				}
+				if err := c.Connect(restore(name), restore(port), restore(net)); err != nil {
+					if err := rd.col.Errorf("record", rd.pos(jt), "%v", err); err != nil {
+						return err
+					}
+				}
+			}
+		case isSym(sl[0], "property") && len(sl) == 3:
+			if inst == nil {
+				return rd.col.Errorf("record", rd.pos(st), "property before of")
+			}
+			k, _ := symStr(sl[1])
+			v, _ := symStr(sl[2])
+			inst.Attrs[k] = v
+		}
+	}
+	if inst == nil {
+		return rd.col.Errorf("record", rd.pos(it), "instance %q missing (of ...)", name)
+	}
+	return nil
+}
+
+// VerifyRoundTrip writes nl (with the integrity trailer), reads it back in
+// strict guarded mode, and semantically compares the result against the
+// original — attributes included. A nil return certifies the design
+// survives the interchange trip losslessly; any loss is named, not silent.
+func VerifyRoundTrip(nl *netlist.Netlist) error {
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, WriteOptions{Trailer: true}); err != nil {
+		return fmt.Errorf("roundtrip write: %w", err)
+	}
+	got, _, err := ReadBytes(buf.Bytes(), ReadOptions{Source: "roundtrip", RequireTrailer: true})
+	if err != nil {
+		return fmt.Errorf("roundtrip read: %w", err)
+	}
+	diffs := netlist.Compare(nl, got, netlist.CompareOptions{CompareAttrs: true})
+	if len(diffs) > 0 {
+		return fmt.Errorf("%w: round-trip mismatch: %d diffs, first: %s", ErrIntegrity, len(diffs), diffs[0])
 	}
 	return nil
 }

@@ -16,11 +16,11 @@ import (
 func sample(t testing.TB) *netlist.Netlist {
 	t.Helper()
 	nl := netlist.New()
-	inv := nl.MustCell("INV")
+	inv := mustCell(nl, "INV")
 	inv.Primitive = true
 	inv.AddPort("A", netlist.Input)
 	inv.AddPort("Y", netlist.Output)
-	top := nl.MustCell("top_level_module_with_a_long_name")
+	top := mustCell(nl, "top_level_module_with_a_long_name")
 	top.AddPort("in", netlist.Input)   // VHDL keyword
 	top.AddPort("out", netlist.Output) // VHDL keyword
 	top.EnsureNet("in")
@@ -100,7 +100,7 @@ func TestRenameMechanismRestoresOriginals(t *testing.T) {
 func TestNameLimitUniquification(t *testing.T) {
 	// Two names sharing an 8-char prefix must externalize uniquely.
 	nl := netlist.New()
-	c := nl.MustCell("c")
+	c := mustCell(nl, "c")
 	c.EnsureNet("cntr_reset1")
 	c.EnsureNet("cntr_reset2")
 	var buf bytes.Buffer
@@ -156,11 +156,11 @@ func TestQuickRoundTripAnyLimit(t *testing.T) {
 		size := int(n%10) + 1
 		lim := int(limit % 24) // 0..23; 0 = unlimited
 		nl := netlist.New()
-		inv := nl.MustCell("INV")
+		inv := mustCell(nl, "INV")
 		inv.Primitive = true
 		inv.AddPort("A", netlist.Input)
 		inv.AddPort("Y", netlist.Output)
-		top := nl.MustCell("extremely_long_top_cell_name")
+		top := mustCell(nl, "extremely_long_top_cell_name")
 		prev := "primary_input_net_name"
 		top.EnsureNet(prev)
 		for i := 0; i < size; i++ {

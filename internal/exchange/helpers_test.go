@@ -1,0 +1,13 @@
+package exchange
+
+import "cadinterop/internal/netlist"
+
+// mustCell adds a cell with a test-unique name; the panic (which fails the
+// test) replaces the deleted production netlist MustCell.
+func mustCell(n *netlist.Netlist, name string) *netlist.Cell {
+	c, err := n.AddCell(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

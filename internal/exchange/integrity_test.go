@@ -1,0 +1,180 @@
+package exchange
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"cadinterop/internal/diag"
+	"cadinterop/internal/netlist"
+)
+
+// dropAttrLine removes the first line carrying a (property ...) form,
+// simulating a translator that silently loses an attribute in transit —
+// the paper's central data-plane failure.
+func dropAttrLine(t *testing.T, src string) string {
+	t.Helper()
+	lines := strings.Split(src, "\n")
+	for i, l := range lines {
+		if strings.Contains(l, "(property voltage") {
+			// Remove just the property form, keeping the net record.
+			lines[i] = strings.Replace(l, ` (property voltage "3.3")`, "", 1)
+			return strings.Join(lines, "\n")
+		}
+	}
+	t.Fatal("no property line in sample output")
+	return ""
+}
+
+// TestAttributeDropSlipsWithoutGuards documents the failure the guards
+// exist for: with no trailer and a name-only compare, a dropped attribute
+// survives write → corrupt → read → compare with no complaint at all.
+func TestAttributeDropSlipsWithoutGuards(t *testing.T) {
+	nl := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := dropAttrLine(t, buf.String())
+	got, err := Read(bytes.NewReader([]byte(corrupted)))
+	if err != nil {
+		t.Fatalf("unguarded read rejected the corrupted file: %v", err)
+	}
+	if diffs := netlist.Compare(nl, got, netlist.CompareOptions{}); len(diffs) != 0 {
+		t.Fatalf("attr-blind compare unexpectedly caught the drop: %v", diffs)
+	}
+}
+
+// TestAttributeDropCaughtByChecksum: the same corruption against a guarded
+// file trips the content checksum.
+func TestAttributeDropCaughtByChecksum(t *testing.T) {
+	nl := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, WriteOptions{Trailer: true}); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := dropAttrLine(t, buf.String())
+	_, _, err := ReadBytes([]byte(corrupted), ReadOptions{RequireTrailer: true})
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("checksum guard missed the attribute drop: err=%v", err)
+	}
+}
+
+// TestAttributeDropCaughtByCompare: even without the trailer, the
+// attribute-aware semantic compare sees the loss.
+func TestAttributeDropCaughtByCompare(t *testing.T) {
+	nl := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := dropAttrLine(t, buf.String())
+	got, err := Read(bytes.NewReader([]byte(corrupted)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := netlist.Compare(nl, got, netlist.CompareOptions{CompareAttrs: true})
+	if len(diffs) == 0 {
+		t.Fatal("attribute-aware compare missed the dropped attribute")
+	}
+	found := false
+	for _, d := range diffs {
+		if d.Kind == netlist.DiffAttrMismatch {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an attr-mismatch diff, got %v", diffs)
+	}
+}
+
+func TestVerifyRoundTripClean(t *testing.T) {
+	if err := VerifyRoundTrip(sample(t)); err != nil {
+		t.Fatalf("clean netlist failed round-trip: %v", err)
+	}
+}
+
+func TestManifestCountMismatch(t *testing.T) {
+	nl := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, WriteOptions{Trailer: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the manifest itself: claim one more net than the body has.
+	src := strings.Replace(buf.String(), "nets=4", "nets=5", 1)
+	_, _, err := ReadBytes([]byte(src), ReadOptions{RequireTrailer: true})
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("tampered manifest accepted: err=%v", err)
+	}
+}
+
+func TestRequireTrailerAbsent(t *testing.T) {
+	nl := sample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := ReadBytes(buf.Bytes(), ReadOptions{RequireTrailer: true})
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("missing required trailer accepted: err=%v", err)
+	}
+}
+
+// TestLenientQuarantineRecord: a malformed record inside a cell is
+// quarantined in lenient mode — diagnostics carry position, the rest of the
+// netlist survives, and the partial result still validates.
+func TestLenientQuarantineRecord(t *testing.T) {
+	src := `(edif demo
+  (cell INV
+    (interface (port A input) (port Y output) (bogus-form))
+    (primitive)
+  )
+  (cell top
+    (interface (port in input))
+    (contents
+      (net n1)
+      (instance u0 (of INV) (joined (A n1)))
+    )
+  )
+)`
+	nl, diags, err := ReadBytes([]byte(src), ReadOptions{Mode: diag.Lenient, Source: "demo.edf"})
+	if err != nil {
+		t.Fatalf("lenient read aborted: %v", err)
+	}
+	if diag.Count(diags, diag.Error) == 0 {
+		t.Fatal("bogus record produced no diagnostics")
+	}
+	if _, ok := nl.Cell("top"); !ok {
+		t.Fatal("healthy cell lost")
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("lenient partial netlist invalid: %v", err)
+	}
+	// The same input under strict mode refuses.
+	if _, _, err := ReadBytes([]byte(src), ReadOptions{Source: "demo.edf"}); !errors.Is(err, ErrFormat) {
+		t.Fatalf("strict mode accepted bogus record: err=%v", err)
+	}
+}
+
+// TestDanglingMasterRefused: a well-formed file whose instance references a
+// cell the file never defines must not be accepted in strict mode (the
+// netlist would fail Validate), and must be cascade-dropped in lenient mode.
+func TestDanglingMasterRefused(t *testing.T) {
+	src := `(edif demo
+  (cell top (interface) (contents (net n) (instance u0 (of GHOST) (joined (A n)))))
+  (design top))`
+	if _, _, err := ReadBytes([]byte(src), ReadOptions{}); err == nil {
+		t.Fatal("strict mode accepted an instance of an undefined master")
+	}
+	nl, diags, err := ReadBytes([]byte(src), ReadOptions{Mode: diag.Lenient})
+	if err != nil {
+		t.Fatalf("lenient read aborted: %v", err)
+	}
+	if diag.Count(diags, diag.Warning) == 0 {
+		t.Fatal("cascade drop left no record")
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("lenient result invalid: %v", err)
+	}
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"cadinterop/internal/al"
+	"cadinterop/internal/diag"
+	"cadinterop/internal/exchange"
+	"cadinterop/internal/hdl"
+	"cadinterop/internal/schematic/cd"
+	"cadinterop/internal/schematic/vl"
+	"cadinterop/internal/synth"
+	"cadinterop/internal/workgen"
+)
+
+// e14Seed fixes E14's corruption schedules. The schedule is a pure function
+// of (seed, reader, rate index, trial, byte index) — the same discipline as
+// internal/fault — so the table is byte-identical across runs and worker
+// counts.
+const e14Seed = 14
+
+// e14Trials is the number of corrupted copies per (reader, mode, rate) cell.
+const e14Trials = 10
+
+// e14Rates are the per-byte corruption probabilities swept.
+var e14Rates = []float64{0.002, 0.01, 0.05}
+
+// e14fnv is FNV-1a over the key bytes (same discipline as internal/fault).
+func e14fnv(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// e14mix is the standard splitmix64 finalizer.
+func e14mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// e14corrupt flips bytes of src at the given rate. Each flip XORs with a
+// nonzero mask, so a selected byte always changes. The decision and mask
+// for byte i depend only on (seed, i).
+func e14corrupt(src string, seed uint64, rate float64) string {
+	b := []byte(src)
+	for i := range b {
+		x := e14mix(seed ^ uint64(i))
+		if float64(x>>11)/(1<<53) < rate {
+			b[i] ^= byte(e14mix(x)>>56) | 1
+		}
+	}
+	return string(b)
+}
+
+// e14Outcome classifies one corrupted-parse trial.
+type e14Outcome uint8
+
+const (
+	e14Detected e14Outcome = iota // reader reported an error or error diagnostic
+	e14Crashed                    // reader panicked
+	e14Silent                     // accepted without complaint, semantics changed
+	e14Clean                      // accepted without complaint, semantics intact
+)
+
+// e14Reader adapts one parser to the harness: parse returns a semantic
+// fingerprint of the accepted result plus whether any error was reported
+// (returned error or error-severity diagnostic).
+type e14Reader struct {
+	name  string
+	src   string
+	parse func(src string, mode diag.Mode) (fp string, detected bool)
+}
+
+func e14HasError(diags []diag.Diagnostic) bool {
+	for _, d := range diags {
+		if d.Sev == diag.Error {
+			return true
+		}
+	}
+	return false
+}
+
+// e14Trial parses one corrupted copy, guarding against panics (a crash is a
+// table outcome, not a harness failure).
+func e14Trial(rd e14Reader, mode diag.Mode, src, baseFP string) (out e14Outcome) {
+	defer func() {
+		if recover() != nil {
+			out = e14Crashed
+		}
+	}()
+	fp, detected := rd.parse(src, mode)
+	switch {
+	case detected:
+		return e14Detected
+	case fp == baseFP:
+		return e14Clean
+	default:
+		return e14Silent
+	}
+}
+
+// e14HDLFingerprint summarizes a parsed HDL design: module order, ports and
+// item types. Coarser than full re-serialization but sensitive to any
+// structural damage.
+func e14HDLFingerprint(d *hdl.Design) string {
+	var b bytes.Buffer
+	for _, name := range d.Order {
+		m := d.Modules[name]
+		fmt.Fprintf(&b, "module %s %v\n", name, m.Ports)
+		for _, it := range m.Items {
+			fmt.Fprintf(&b, " %T\n", it)
+		}
+	}
+	return b.String()
+}
+
+// e14Readers builds the reader suite over freshly generated valid sources.
+func e14Readers() ([]e14Reader, error) {
+	// HDL source and the netlist synthesized from it (for the exchange rows).
+	hdlSrc := workgen.CombModule("unit", workgen.HDLOptions{Gates: 24, Inputs: 3, Seed: e14Seed})
+	d, err := hdl.Parse(hdlSrc)
+	if err != nil {
+		return nil, err
+	}
+	nl, _, err := synth.Synthesize(d, "unit", synth.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var plain, guarded bytes.Buffer
+	if err := exchange.Write(&plain, nl, exchange.WriteOptions{}); err != nil {
+		return nil, err
+	}
+	if err := exchange.Write(&guarded, nl, exchange.WriteOptions{Trailer: true}); err != nil {
+		return nil, err
+	}
+
+	// Schematic source in each dialect.
+	w := workgen.Schematic(workgen.SchematicOptions{Instances: 24, Pages: 2, Seed: e14Seed})
+	var vlSrc bytes.Buffer
+	if err := vl.Write(&vlSrc, w.Design); err != nil {
+		return nil, err
+	}
+	var cdSrc bytes.Buffer
+	if err := cd.Write(&cdSrc, w.Design); err != nil {
+		return nil, err
+	}
+
+	// An a/L script (the migration callback language).
+	alSrc := `(define (transform name value)
+  (map (lambda (p)
+         (let ((kv (string-split p ":")))
+           (list (string-append "m_" (car kv)) (nth 1 kv))))
+       (string-split value " ")))
+(define (classify n) (if (< n 10) "small" "large"))`
+
+	exchangeParse := func(requireTrailer bool) func(string, diag.Mode) (string, bool) {
+		return func(src string, mode diag.Mode) (string, bool) {
+			got, diags, err := exchange.ReadBytes([]byte(src), exchange.ReadOptions{
+				Mode: mode, Source: "e14", RequireTrailer: requireTrailer,
+			})
+			if err != nil || e14HasError(diags) {
+				return "", true
+			}
+			var out bytes.Buffer
+			if err := exchange.Write(&out, got, exchange.WriteOptions{}); err != nil {
+				return "", true
+			}
+			return out.String(), false
+		}
+	}
+
+	return []e14Reader{
+		{name: "al", src: alSrc, parse: func(src string, mode diag.Mode) (string, bool) {
+			if mode == diag.Strict {
+				vals, err := al.Parse(src)
+				if err != nil {
+					return "", true
+				}
+				return fmt.Sprintf("%#v", vals), false
+			}
+			reported := false
+			vals, _ := al.ParseRecover(src, func(off int, msg string) { reported = true })
+			return fmt.Sprintf("%#v", vals), reported
+		}},
+		{name: "hdl", src: hdlSrc, parse: func(src string, mode diag.Mode) (string, bool) {
+			got, diags, err := hdl.ParseWithDiagnostics(src, hdl.ParseOptions{Mode: mode, Source: "e14"})
+			if err != nil || e14HasError(diags) {
+				return "", true
+			}
+			return e14HDLFingerprint(got), false
+		}},
+		{name: "vl", src: vlSrc.String(), parse: func(src string, mode diag.Mode) (string, bool) {
+			got, diags, err := vl.ReadWithDiagnostics(bytes.NewReader([]byte(src)), vl.ReadOptions{Mode: mode, Source: "e14"})
+			if err != nil || e14HasError(diags) {
+				return "", true
+			}
+			var out bytes.Buffer
+			if err := vl.Write(&out, got); err != nil {
+				return "", true
+			}
+			return out.String(), false
+		}},
+		{name: "cd", src: cdSrc.String(), parse: func(src string, mode diag.Mode) (string, bool) {
+			got, diags, err := cd.ReadBytes([]byte(src), cd.ReadOptions{Mode: mode, Source: "e14"})
+			if err != nil || e14HasError(diags) {
+				return "", true
+			}
+			var out bytes.Buffer
+			if err := cd.Write(&out, got); err != nil {
+				return "", true
+			}
+			return out.String(), false
+		}},
+		{name: "exchange", src: plain.String(), parse: exchangeParse(false)},
+		{name: "exchange+guard", src: guarded.String(), parse: exchangeParse(true)},
+	}, nil
+}
+
+// E14CorruptionRobustness corrupts valid interchange sources at swept
+// per-byte rates and tabulates, per reader per mode, how each parse ends:
+// detected (error reported), crashed (panic), silently accepted with
+// changed semantics, or accepted with semantics intact. The paper's
+// interchange formats are only as trustworthy as their readers' refusal to
+// guess — the guarded exchange rows show the checksum/manifest trailer
+// driving silent acceptance to zero.
+func E14CorruptionRobustness() (*Report, error) {
+	r := &Report{ID: "E14", Title: "interchange corruption robustness (seed 14)"}
+	readers, err := e14Readers()
+	if err != nil {
+		return nil, err
+	}
+	modes := []struct {
+		name string
+		mode diag.Mode
+	}{{"strict", diag.Strict}, {"lenient", diag.Lenient}}
+
+	r.addf("%15s %8s %6s %7s %9s %8s %7s %6s",
+		"reader", "mode", "rate", "trials", "detected", "crashed", "silent", "clean")
+	guardedStrictSilent := 0
+	for _, rd := range readers {
+		// The pristine fingerprint must come from a clean strict parse.
+		baseFP, detected := rd.parse(rd.src, diag.Strict)
+		if detected {
+			return nil, fmt.Errorf("e14: pristine %s source rejected", rd.name)
+		}
+		for _, m := range modes {
+			for ri, rate := range e14Rates {
+				var count [4]int
+				for trial := 0; trial < e14Trials; trial++ {
+					key := fmt.Sprintf("%s|%d|%d", rd.name, ri, trial)
+					seed := e14mix(e14fnv(key) ^ e14mix(e14Seed))
+					src := e14corrupt(rd.src, seed, rate)
+					count[e14Trial(rd, m.mode, src, baseFP)]++
+				}
+				if rd.name == "exchange+guard" && m.name == "strict" {
+					guardedStrictSilent += count[e14Silent]
+				}
+				r.addf("%15s %8s %6.3f %7d %9d %8d %7d %6d",
+					rd.name, m.name, rate, e14Trials,
+					count[e14Detected], count[e14Crashed], count[e14Silent], count[e14Clean])
+			}
+		}
+	}
+	r.addf("guarded strict silent accepts: %d (integrity target: 0)", guardedStrictSilent)
+	if guardedStrictSilent != 0 {
+		return nil, fmt.Errorf("e14: %d corruptions slipped past the integrity guard", guardedStrictSilent)
+	}
+	return r, nil
+}

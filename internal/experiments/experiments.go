@@ -123,7 +123,10 @@ func E3SchedulerDivergence(pairs int) (*Report, error) {
 		outcomes := map[string]bool{}
 		races := 0
 		for _, pol := range sim.AllPolicies() {
-			d := hdl.MustParse(src)
+			d, err := hdl.Parse(src)
+			if err != nil {
+				return nil, err
+			}
 			k, err := sim.Elaborate(d, "top", sim.Options{Policy: pol, DisableTrace: true})
 			if err != nil {
 				return nil, err
@@ -157,7 +160,10 @@ func E4TimingCompat(limit int) (*Report, error) {
 	for delta := 0; delta <= limit+1; delta++ {
 		src := workgen.TimingDesign(limit, []int{delta})
 		count := func(pre bool) (int, error) {
-			d := hdl.MustParse(src)
+			d, err := hdl.Parse(src)
+			if err != nil {
+				return 0, err
+			}
 			k, err := sim.Elaborate(d, "top", sim.Options{Pre16aPaths: pre, DisableTrace: true})
 			if err != nil {
 				return 0, err
@@ -209,11 +215,19 @@ module partB;
   assign out = mid_in;
 endmodule`
 	for _, m := range []sim.ValueMap{sim.Strict, sim.Optimistic} {
-		ka, err := sim.Elaborate(hdl.MustParse(srcA), "partA", sim.Options{DisableTrace: true})
+		da, err := hdl.Parse(srcA)
 		if err != nil {
 			return nil, err
 		}
-		kb, err := sim.Elaborate(hdl.MustParse(srcB), "partB", sim.Options{})
+		db, err := hdl.Parse(srcB)
+		if err != nil {
+			return nil, err
+		}
+		ka, err := sim.Elaborate(da, "partA", sim.Options{DisableTrace: true})
+		if err != nil {
+			return nil, err
+		}
+		kb, err := sim.Elaborate(db, "partB", sim.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -264,7 +278,10 @@ func E6SubsetIntersection(models int, opts ...par.Option) (*Report, error) {
 		interOK  bool
 	}
 	checked, err := par.Map(models, func(i int) (verdicts, error) {
-		d := hdl.MustParse(srcs[i])
+		d, err := hdl.Parse(srcs[i])
+		if err != nil {
+			return verdicts{}, err
+		}
 		v := verdicts{vendorOK: make([]bool, len(vendors))}
 		for vi, vend := range vendors {
 			v.vendorOK[vi] = synth.CheckProfile(d, vend).Accepted
@@ -314,7 +331,10 @@ func E6SubsetIntersection(models int, opts ...par.Option) (*Report, error) {
 func E7SensitivityCompletion(blocks int) (*Report, error) {
 	r := &Report{ID: "E7", Title: "sensitivity-list completion: simulation vs synthesized hardware"}
 	src := workgen.SensitivityDesign(blocks)
-	d := hdl.MustParse(src)
+	d, err := hdl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
 	nl, rep, err := synth.Synthesize(d, "style", synth.Options{})
 	if err != nil {
 		return nil, err
@@ -323,7 +343,10 @@ func E7SensitivityCompletion(blocks int) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	gd := hdl.MustParse(v)
+	gd, err := hdl.Parse(v)
+	if err != nil {
+		return nil, err
+	}
 
 	// Drive each block's a=b=1, c=0, settle; then raise only c.
 	mismatches := 0
@@ -612,6 +635,7 @@ func registry() []entry {
 		{"E11", "methodology at scale", func(o []par.Option) (*Report, error) { return E11Methodology(12) }},
 		{"E12", "neutral interchange", func(o []par.Option) (*Report, error) { return E12Interchange(20) }},
 		{"E13", "fault robustness", func(o []par.Option) (*Report, error) { return E13FaultRobustness(6) }},
+		{"E14", "interchange corruption robustness", func(o []par.Option) (*Report, error) { return E14CorruptionRobustness() }},
 	}
 }
 
@@ -681,7 +705,10 @@ func dedupStrings(in []string) []string {
 func E12Interchange(gates int) (*Report, error) {
 	r := &Report{ID: "E12", Title: "neutral interchange: rename burden vs consumer name limits"}
 	src := workgen.CombModule("unit", workgen.HDLOptions{Gates: gates, Inputs: 3, Seed: 4})
-	d := hdl.MustParse(src)
+	d, err := hdl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
 	nl, _, err := synth.Synthesize(d, "unit", synth.Options{})
 	if err != nil {
 		return nil, err

@@ -210,7 +210,7 @@ func TestAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 13 {
+	if len(reports) != 14 {
 		t.Fatalf("reports = %d", len(reports))
 	}
 	for _, r := range reports {

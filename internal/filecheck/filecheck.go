@@ -1,0 +1,106 @@
+// Package filecheck vets interchange files from the command line: it picks
+// a reader by file extension, parses under the requested strict/lenient
+// mode, and renders the structured diagnostics in the editor-jumpable
+// "source:line:col: severity: [code] msg" form. It is the shared engine
+// behind the CLIs' -check/-strict/-lenient flags.
+package filecheck
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cadinterop/internal/al"
+	"cadinterop/internal/diag"
+	"cadinterop/internal/exchange"
+	"cadinterop/internal/hdl"
+	"cadinterop/internal/schematic/cd"
+	"cadinterop/internal/schematic/vl"
+)
+
+// Extensions maps recognized file extensions to reader names (for help
+// text and error messages).
+var Extensions = map[string]string{
+	".edf": "exchange", ".edif": "exchange",
+	".vl": "viewlogic", ".wir": "viewlogic",
+	".cd": "cadence", ".cds": "cadence",
+	".v":  "hdl",
+	".al": "a/L", ".il": "a/L",
+}
+
+// CheckBytes parses named data with the reader selected by the name's
+// extension. The returned diagnostics carry positions; the returned error
+// is non-nil exactly when the parse aborted (in strict mode, any
+// error-severity diagnostic; in lenient mode, only unrecoverable damage).
+func CheckBytes(name string, data []byte, mode diag.Mode) ([]diag.Diagnostic, error) {
+	switch strings.ToLower(filepath.Ext(name)) {
+	case ".edf", ".edif":
+		_, diags, err := exchange.ReadBytes(data, exchange.ReadOptions{Mode: mode, Source: name})
+		return diags, err
+	case ".vl", ".wir":
+		_, diags, err := vl.ReadWithDiagnostics(bytes.NewReader(data), vl.ReadOptions{Mode: mode, Source: name})
+		return diags, err
+	case ".cd", ".cds":
+		_, diags, err := cd.ReadBytes(data, cd.ReadOptions{Mode: mode, Source: name})
+		return diags, err
+	case ".v":
+		_, diags, err := hdl.ParseWithDiagnostics(string(data), hdl.ParseOptions{Mode: mode, Source: name})
+		return diags, err
+	case ".al", ".il":
+		src := string(data)
+		if mode == diag.Strict {
+			if _, err := al.Parse(src); err != nil {
+				d := diag.Diagnostic{Sev: diag.Error, Code: "parse", Source: name, Pos: diag.NoPos, Msg: err.Error()}
+				return []diag.Diagnostic{d}, err
+			}
+			return nil, nil
+		}
+		var diags []diag.Diagnostic
+		al.ParseRecover(src, func(off int, msg string) {
+			diags = append(diags, diag.Diagnostic{
+				Sev: diag.Error, Code: "parse", Source: name, Pos: diag.LineCol(src, off), Msg: msg,
+			})
+		})
+		return diags, nil
+	default:
+		return nil, fmt.Errorf("unrecognized extension %q (known: .edf .edif .vl .wir .cd .cds .v .al .il)", filepath.Ext(name))
+	}
+}
+
+// CheckFile reads and vets one file.
+func CheckFile(path string, mode diag.Mode) ([]diag.Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return CheckBytes(path, data, mode)
+}
+
+// Files vets every path, printing diagnostics and a per-file summary to w.
+// The returned error is non-nil when the run should exit non-zero: any
+// file whose parse aborted — which in strict mode is any file carrying an
+// error-severity diagnostic.
+func Files(w io.Writer, paths []string, mode diag.Mode) error {
+	var firstErr error
+	for _, p := range paths {
+		diags, err := CheckFile(p, mode)
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
+		errs, warns := diag.Count(diags, diag.Error), diag.Count(diags, diag.Warning)
+		verdict := "ok"
+		if err != nil {
+			verdict = "FAILED"
+		} else if errs > 0 {
+			verdict = "recovered"
+		}
+		fmt.Fprintf(w, "%s: %s (%s mode, %d error(s), %d warning(s))\n", p, verdict, mode, errs, warns)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	return firstErr
+}

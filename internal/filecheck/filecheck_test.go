@@ -1,0 +1,79 @@
+package filecheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cadinterop/internal/diag"
+)
+
+const goodV = "module m(a);\n  input a;\nendmodule\n"
+const badV = "module m(a);\n  input a\nendmodule\nmodule ok; endmodule\n"
+
+func TestCheckBytesDispatch(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		ok   bool
+	}{
+		{"a.v", goodV, true},
+		{"a.edf", "(edif d (cell c (interface) (primitive)))", true},
+		{"a.cd", `(design d (grid "1/16in"))`, true},
+		{"a.al", "(a (b c))", true},
+		{"a.vl", "V vl 1\nD d 1/10in\n", true},
+		{"bad.v", badV, false},
+		{"a.nope", "", false},
+	}
+	for _, tc := range cases {
+		_, err := CheckBytes(tc.name, []byte(tc.data), diag.Strict)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: err = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestCheckBytesLenientRecovers(t *testing.T) {
+	diags, err := CheckBytes("bad.v", []byte(badV), diag.Lenient)
+	if err != nil {
+		t.Fatalf("lenient check aborted: %v", err)
+	}
+	if diag.Count(diags, diag.Error) == 0 {
+		t.Fatal("no diagnostics for malformed module")
+	}
+	// Diagnostics must be jumpable: source and position present.
+	d := diags[0]
+	if d.Source != "bad.v" || d.Pos.Line == 0 {
+		t.Errorf("diagnostic not positioned: %v", d)
+	}
+}
+
+func TestFilesSummaryAndExit(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.v")
+	bad := filepath.Join(dir, "bad.v")
+	if err := os.WriteFile(good, []byte(goodV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte(badV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := Files(&sb, []string{good, bad}, diag.Strict); err == nil {
+		t.Error("strict run over a bad file returned nil (exit code would be 0)")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "good.v: ok") || !strings.Contains(out, "bad.v: FAILED") {
+		t.Errorf("strict summary:\n%s", out)
+	}
+
+	sb.Reset()
+	if err := Files(&sb, []string{good, bad}, diag.Lenient); err != nil {
+		t.Errorf("lenient run aborted: %v", err)
+	}
+	if out := sb.String(); !strings.Contains(out, "bad.v: recovered") {
+		t.Errorf("lenient summary:\n%s", out)
+	}
+}

@@ -1,0 +1,11 @@
+package hdl
+
+// mustParse parses a known-good source; the panic (which fails the test)
+// replaces the deleted production MustParse.
+func mustParse(src string) *Design {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

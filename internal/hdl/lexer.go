@@ -72,6 +72,32 @@ func lex(src string) ([]token, error) {
 	}
 }
 
+// lexRecover tokenizes with recovery: a lexical error is reported (with the
+// position where it was detected) and the offending byte skipped, so the
+// token stream always ends in tEOF. report returning false aborts.
+func lexRecover(src string, report func(pos Pos, msg string) bool) []token {
+	lx := &lexer{src: src, line: 1, col: 1}
+	for {
+		errPos := Pos{lx.line, lx.col}
+		tok, err := lx.next()
+		if err != nil {
+			if !report(errPos, err.Error()) {
+				return nil
+			}
+			if lx.pos < len(lx.src) {
+				lx.advance()
+				continue
+			}
+			lx.toks = append(lx.toks, token{kind: tEOF, pos: Pos{lx.line, lx.col}})
+			return lx.toks
+		}
+		lx.toks = append(lx.toks, tok)
+		if tok.kind == tEOF {
+			return lx.toks
+		}
+	}
+}
+
 func (lx *lexer) advance() byte {
 	c := lx.src[lx.pos]
 	lx.pos++

@@ -4,43 +4,124 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"cadinterop/internal/diag"
 )
 
-// Parse parses Verilog-subset source text into a Design.
+// maxParseDepth bounds statement/expression nesting so adversarial inputs
+// (e.g. thousands of unmatched "(" or "~") error out instead of exhausting
+// the goroutine stack.
+const maxParseDepth = 2000
+
+// ParseOptions configures ParseWithDiagnostics.
+type ParseOptions struct {
+	Mode   diag.Mode // Strict (default) aborts on first error; Lenient quarantines
+	Source string    // name used in diagnostic positions
+}
+
+// Parse parses Verilog-subset source text into a Design. It is strict: the
+// first lexical or syntax error aborts.
 func Parse(src string) (*Design, error) {
-	toks, err := lex(src)
-	if err != nil {
-		return nil, err
+	d, _, err := ParseWithDiagnostics(src, ParseOptions{})
+	return d, err
+}
+
+// ParseWithDiagnostics parses with structured diagnostics. In lenient mode a
+// module that fails to parse is quarantined — the parser reports the error
+// and resynchronizes at the next "module" keyword — and a partial Design is
+// returned alongside the collected diagnostics.
+func ParseWithDiagnostics(src string, opts ParseOptions) (*Design, []diag.Diagnostic, error) {
+	col := diag.New(opts.Mode, opts.Source, ErrSyntax)
+	var abort error
+	toks := lexRecover(src, func(pos Pos, msg string) bool {
+		abort = col.Errorf("lex", diag.Pos{Offset: -1, Line: pos.Line, Col: pos.Col}, "%s", stripSyntaxPrefix(msg))
+		return abort == nil
+	})
+	if abort != nil {
+		return nil, col.Diags, abort
 	}
 	p := &parser{toks: toks}
 	d := &Design{Modules: make(map[string]*Module)}
 	for !p.at(tEOF, "") {
+		start := p.cur().pos
 		m, err := p.parseModule()
-		if err != nil {
-			return nil, err
+		if err == nil {
+			if _, dup := d.Modules[m.Name]; dup {
+				err = fmt.Errorf("duplicate module %q", m.Name)
+				start = m.Pos
+			}
 		}
-		if _, dup := d.Modules[m.Name]; dup {
-			return nil, fmt.Errorf("%w: %s: duplicate module %q", ErrSyntax, m.Pos, m.Name)
+		if err != nil {
+			msg := stripSyntaxPrefix(err.Error())
+			dp := diag.Pos{Offset: -1, Line: start.Line, Col: start.Col}
+			if ep, rest, ok := splitPosPrefix(msg); ok {
+				dp, msg = ep, rest
+			}
+			if aerr := col.Errorf("parse", dp, "%s", msg); aerr != nil {
+				return nil, col.Diags, aerr
+			}
+			p.resyncModule()
+			continue
 		}
 		d.Modules[m.Name] = m
 		d.Order = append(d.Order, m.Name)
 	}
-	return d, nil
+	return d, col.Diags, nil
 }
 
-// MustParse is Parse for tests and generators; it panics on error.
-func MustParse(src string) *Design {
-	d, err := Parse(src)
-	if err != nil {
-		panic(err)
+// stripSyntaxPrefix removes the "hdl: syntax error: " sentinel prefix so
+// diagnostics don't repeat it; the collector re-attaches the sentinel.
+func stripSyntaxPrefix(msg string) string {
+	return strings.TrimPrefix(msg, ErrSyntax.Error()+": ")
+}
+
+// splitPosPrefix peels a leading "line:col: " (the form parser errors embed
+// via Pos.String) off msg so the position lands in the diagnostic's Pos
+// field instead of being printed twice.
+func splitPosPrefix(msg string) (diag.Pos, string, bool) {
+	colon := strings.Index(msg, ":")
+	if colon <= 0 {
+		return diag.Pos{}, msg, false
 	}
-	return d
+	end := strings.Index(msg[colon+1:], ": ")
+	if end < 0 {
+		return diag.Pos{}, msg, false
+	}
+	line, err1 := strconv.Atoi(msg[:colon])
+	col, err2 := strconv.Atoi(msg[colon+1 : colon+1+end])
+	if err1 != nil || err2 != nil || line <= 0 || col <= 0 {
+		return diag.Pos{}, msg, false
+	}
+	return diag.Pos{Offset: -1, Line: line, Col: col}, msg[colon+1+end+2:], true
 }
 
 type parser struct {
-	toks []token
-	i    int
+	toks  []token
+	i     int
+	depth int
 }
+
+// resyncModule skips tokens until the next "module" keyword (or EOF) so a
+// quarantined module doesn't poison the rest of the stream. It always makes
+// progress: at least one token is consumed unless already at EOF.
+func (p *parser) resyncModule() {
+	if !p.at(tEOF, "") {
+		p.next()
+	}
+	for !p.at(tEOF, "") && !p.at(tKeyword, "module") {
+		p.next()
+	}
+}
+
+func (p *parser) enter(pos Pos) error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return fmt.Errorf("%w: %s: nesting deeper than %d", ErrSyntax, pos, maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) cur() token  { return p.toks[p.i] }
 func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
@@ -459,6 +540,10 @@ func (p *parser) parseInstance() (Item, error) {
 }
 
 func (p *parser) parseStmt() (Stmt, error) {
+	if err := p.enter(p.cur().pos); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case t.kind == tKeyword && t.text == "begin":
@@ -667,6 +752,10 @@ var binPrec = map[string]int{
 }
 
 func (p *parser) parseExpr() (Expr, error) {
+	if err := p.enter(p.cur().pos); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	return p.parseTernary()
 }
 
@@ -719,6 +808,10 @@ func (p *parser) parseBinary(minPrec int) (Expr, error) {
 }
 
 func (p *parser) parseUnary() (Expr, error) {
+	if err := p.enter(p.cur().pos); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	if t.kind == tPunct {
 		switch t.text {

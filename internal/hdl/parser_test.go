@@ -39,7 +39,7 @@ endmodule`)
 }
 
 func TestParseVectorsAndSelects(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module v(d, q);
   input [7:0] d;
   output [7:0] q;
@@ -77,7 +77,7 @@ endmodule`)
 }
 
 func TestParseAlwaysForms(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module a(clk, d, q);
   input clk, d;
   output q;
@@ -120,7 +120,7 @@ endmodule`)
 }
 
 func TestParseStatements(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module s(x);
   input x;
   reg a, b;
@@ -168,7 +168,7 @@ endmodule`)
 }
 
 func TestParseInstances(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module inv(a, y);
   input a;
   output y;
@@ -265,7 +265,7 @@ endmodule`)
 }
 
 func TestParseTimingChecks(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module t(clk, d);
   input clk, d;
   $setup(d, clk, 3);
@@ -283,7 +283,7 @@ endmodule`)
 }
 
 func TestParseOperatorPrecedence(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module p(); wire w; assign w = 1 + 2 * 3 == 7 && 1 | 0; endmodule`)
 	a := d.Modules["p"].Items[1].(*Assign)
 	// && binds looser than |, which binds looser than ==.
@@ -295,7 +295,7 @@ module p(); wire w; assign w = 1 + 2 * 3 == 7 && 1 | 0; endmodule`)
 }
 
 func TestParseTernaryAndConcat(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module tc(s, a, b);
   input s, a, b;
   wire y;
@@ -383,7 +383,7 @@ func TestCheckSemantics(t *testing.T) {
 }
 
 func TestCheckCleanDesign(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module dff(clk, d, q);
   input clk, d;
   output q;
@@ -403,7 +403,7 @@ endmodule`)
 }
 
 func TestWalkHelpers(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module w(a, b);
   input a, b;
   wire y;
@@ -423,7 +423,7 @@ endmodule`)
 }
 
 func TestExprStringForms(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module x();
   wire [3:0] v;
   wire w;
@@ -452,7 +452,7 @@ func TestKeywordsExported(t *testing.T) {
 }
 
 func TestCheckRejectsWideVectors(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module w(q);
   output [99:0] q;
 endmodule`)
@@ -467,7 +467,7 @@ endmodule`)
 		t.Errorf("wide vector not rejected: %v", probs)
 	}
 	// 64 bits exactly is fine.
-	d2 := MustParse(`
+	d2 := mustParse(`
 module ok(q);
   output [63:0] q;
 endmodule`)

@@ -1,0 +1,99 @@
+package hdl
+
+import (
+	"testing"
+
+	"cadinterop/internal/diag"
+	"cadinterop/internal/diag/diagtest"
+)
+
+// hdlCandidate is the robustness contract for the Verilog-subset parser:
+// strict and lenient parses of arbitrary bytes must return (not panic).
+func hdlCandidate(data []byte) error {
+	src := string(data)
+	for _, mode := range []diag.Mode{diag.Strict, diag.Lenient} {
+		if _, _, err := ParseWithDiagnostics(src, ParseOptions{Mode: mode, Source: "sweep"}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+const hdlSweepSrc = `module unit(a, b, sel, y);
+  input a, b, sel;
+  output y;
+  wire [3:0] t;
+  reg r;
+  assign t = {a, b, ~a & b, a ^ b};
+  assign y = sel ? t[0] : (a | b);
+  always @(posedge sel or negedge a)
+    if (a) r <= 1'b1;
+    else begin
+      r <= 4'hA;
+    end
+endmodule
+module top(o);
+  output o;
+  wire w;
+  unit u0(.a(w), .b(w), .sel(w), .y(o));
+endmodule`
+
+func TestPrefixSweep(t *testing.T) {
+	diagtest.PrefixSweep(t, []byte(hdlSweepSrc), 1, hdlCandidate)
+}
+
+func TestMutationSweep(t *testing.T) {
+	diagtest.MutationSweep(t, []byte(hdlSweepSrc), 0xd1, 400, hdlCandidate)
+}
+
+func TestTruncateMidline(t *testing.T) {
+	diagtest.TruncateMidline(t, []byte(hdlSweepSrc), hdlCandidate)
+}
+
+func TestDepthLimit(t *testing.T) {
+	deep := "module m(y); output y; assign y = "
+	for i := 0; i < 3*maxParseDepth; i++ {
+		deep += "~"
+	}
+	deep += "1; endmodule"
+	if _, err := Parse(deep); err == nil {
+		t.Fatal("deeply nested unary expression accepted")
+	}
+	open := "module m(y); output y; assign y = "
+	for i := 0; i < 3*maxParseDepth; i++ {
+		open += "("
+	}
+	if _, err := Parse(open); err == nil {
+		t.Fatal("deeply nested parens accepted")
+	}
+}
+
+func TestLenientModuleQuarantine(t *testing.T) {
+	src := "module good1(a); input a; endmodule\n" +
+		"module bad(; endmodule\n" +
+		"module good2(b); input b; endmodule\n"
+	d, diags, err := ParseWithDiagnostics(src, ParseOptions{Mode: diag.Lenient, Source: "t.v"})
+	if err != nil {
+		t.Fatalf("lenient parse aborted: %v", err)
+	}
+	if diag.Count(diags, diag.Error) == 0 {
+		t.Fatal("bad module produced no diagnostics")
+	}
+	if len(d.Order) != 2 || d.Modules["good1"] == nil || d.Modules["good2"] == nil {
+		t.Fatalf("expected good1+good2 to survive, got %v", d.Order)
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add(hdlSweepSrc)
+	f.Add("module m; endmodule")
+	f.Add("module m(a); input a; assign a = 1'bx; endmodule")
+	f.Add("module \\esc~id (x); inout x; endmodule")
+	f.Add("/* unterminated")
+	f.Add("module m; initial $display(\"hi\", 4'd12); endmodule")
+	f.Fuzz(func(t *testing.T, src string) {
+		if err := hdlCandidate([]byte(src)); err != nil && diagtest.IsViolation(err) {
+			t.Fatal(err)
+		}
+	})
+}

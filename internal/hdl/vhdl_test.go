@@ -9,7 +9,7 @@ import (
 // valid Verilog signal names but VHDL reserved words; the translator must
 // rename them and report the renames (each a broken analysis script).
 func TestEmitVHDLPaperExample(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module pass(in, out);
   input in;
   output out;
@@ -45,7 +45,7 @@ endmodule`)
 }
 
 func TestEmitVHDLClockedAndVectors(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module reg8(clk, rst, d, q);
   input clk, rst;
   input [7:0] d;
@@ -79,7 +79,7 @@ endmodule`)
 }
 
 func TestEmitVHDLExpressions(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module ops(a, b, s, y, bit0);
   input [3:0] a, b;
   input s;
@@ -104,7 +104,7 @@ endmodule`)
 }
 
 func TestEmitVHDLNegedgeAndEscaped(t *testing.T) {
-	d := MustParse(`
+	d := mustParse(`
 module n(ck, \data[0] , q);
   input ck, \data[0] ;
   output q;
@@ -143,7 +143,7 @@ endmodule`},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			d := MustParse(c.src)
+			d := mustParse(c.src)
 			if _, err := EmitVHDL(d, "m"); err == nil {
 				t.Error("unsupported construct translated")
 			}

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"cadinterop/internal/al"
+	"cadinterop/internal/exchange"
 	"cadinterop/internal/geom"
 	"cadinterop/internal/netlist"
 	"cadinterop/internal/schematic"
@@ -97,6 +98,11 @@ type Options struct {
 	KeepUnmapped bool
 	// SkipVerify disables the final independent verification pass.
 	SkipVerify bool
+	// VerifyRoundTrip additionally round-trips the migrated design's
+	// extracted netlist through the exchange format under checksum and
+	// manifest guards (write → guarded read → semantic compare), failing
+	// the migration if the interchange path would corrupt it.
+	VerifyRoundTrip bool
 
 	// Ablation switches for the E2 experiment: each disables one
 	// translation rule so its contribution to correctness is measurable.
@@ -137,6 +143,9 @@ type Report struct {
 	// GeometricSimilarity is the fraction of wire segments unchanged by
 	// rip-up/reroute — the paper's "appeared graphically very similar".
 	GeometricSimilarity float64
+	// RoundTripChecked is set when the optional interchange round-trip
+	// gate ran (and passed — a failing gate fails the migration).
+	RoundTripChecked bool
 }
 
 // Migrate translates src into the target dialect. src is not modified.
@@ -238,6 +247,20 @@ func Migrate(src *schematic.Design, opts Options) (*schematic.Design, *Report, e
 				}
 			}
 		}
+	}
+
+	// Stage 10: optional interchange round-trip gate. The migrated design
+	// is only as good as its ability to survive the next tool handoff, so
+	// extract its netlist and push it through the guarded exchange path.
+	if opts.VerifyRoundTrip {
+		cand, err := schematic.Extract(out, opts.To.ExtractOptions())
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := exchange.VerifyRoundTrip(cand); err != nil {
+			return nil, nil, fmt.Errorf("%w: interchange round-trip: %v", ErrVerify, err)
+		}
+		rep.RoundTripChecked = true
 	}
 	return out, rep, nil
 }

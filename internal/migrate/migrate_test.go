@@ -44,7 +44,7 @@ func exarFixture(t testing.TB) (*schematic.Design, []*schematic.Library, []Symbo
 		t.Fatal(err)
 	}
 
-	c := d.MustCell("top")
+	c := mustCell(d, "top")
 	c.Ports = []netlist.Port{
 		{Name: "in", Dir: netlist.Input},
 		{Name: "out", Dir: netlist.Output},
@@ -654,5 +654,26 @@ func TestStructuralFallbackSeparatesNamingFromDamage(t *testing.T) {
 	}
 	if rep2.StructuralMatch != nil {
 		t.Error("clean migration should not compute the fallback")
+	}
+}
+
+func TestMigrateRoundTripGate(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	opts := stdOptions(libs, maps)
+	opts.VerifyRoundTrip = true
+	_, rep, err := Migrate(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.RoundTripChecked {
+		t.Error("RoundTripChecked not set after gated migration")
+	}
+	// Gate off: the flag must stay clear.
+	_, rep, err = Migrate(d, stdOptions(libs, maps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RoundTripChecked {
+		t.Error("RoundTripChecked set without the gate")
 	}
 }

@@ -21,12 +21,16 @@ const (
 	DiffConnMismatch
 	DiffPortMismatch
 	DiffGlobalMismatch
+	DiffAttrMismatch
+	DiffPrimitiveMismatch
+	DiffTopMismatch
 )
 
 var diffKindNames = [...]string{
 	"missing-cell", "extra-cell", "missing-net", "extra-net",
 	"missing-instance", "extra-instance", "master-mismatch",
 	"connection-mismatch", "port-mismatch", "global-mismatch",
+	"attr-mismatch", "primitive-mismatch", "top-mismatch",
 }
 
 // String implements fmt.Stringer.
@@ -90,6 +94,11 @@ type CompareOptions struct {
 	// IgnoreCells names cells (golden side) excluded from comparison, e.g.
 	// connector pseudo-cells a dialect requires but the other omits.
 	IgnoreCells map[string]bool
+	// CompareAttrs additionally compares net/instance attributes, cell
+	// Primitive flags, and the Top designation — full-fidelity comparison
+	// for round-trip integrity guards. Historically Compare checked
+	// connectivity only, which is exactly how attribute loss stayed silent.
+	CompareAttrs bool
 }
 
 // Compare verifies that candidate implements the same connectivity as
@@ -117,11 +126,55 @@ func Compare(golden, candidate *Netlist, opts CompareOptions) []Diff {
 			diffs = append(diffs, Diff{Kind: DiffExtraCell, Cell: cname})
 		}
 	}
+	if opts.CompareAttrs {
+		if want := opts.CellRename.Apply(golden.Top); want != candidate.Top {
+			diffs = append(diffs, Diff{Kind: DiffTopMismatch, Cell: candidate.Top,
+				Detail: fmt.Sprintf("top %q in golden (maps to %q), %q in candidate", golden.Top, want, candidate.Top)})
+		}
+	}
+	return diffs
+}
+
+// compareAttrs diffs two attribute maps for one object.
+func compareAttrs(cell, object string, golden, candidate map[string]string) []Diff {
+	var diffs []Diff
+	keys := make([]string, 0, len(golden))
+	for k := range golden {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cv, ok := candidate[k]
+		if !ok {
+			diffs = append(diffs, Diff{Kind: DiffAttrMismatch, Cell: cell, Object: object,
+				Detail: fmt.Sprintf("attribute %q lost (golden value %q)", k, golden[k])})
+			continue
+		}
+		if cv != golden[k] {
+			diffs = append(diffs, Diff{Kind: DiffAttrMismatch, Cell: cell, Object: object,
+				Detail: fmt.Sprintf("attribute %q is %q in candidate, want %q", k, cv, golden[k])})
+		}
+	}
+	extra := make([]string, 0)
+	for k := range candidate {
+		if _, ok := golden[k]; !ok {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	for _, k := range extra {
+		diffs = append(diffs, Diff{Kind: DiffAttrMismatch, Cell: cell, Object: object,
+			Detail: fmt.Sprintf("attribute %q only in candidate (value %q)", k, candidate[k])})
+	}
 	return diffs
 }
 
 func compareCell(gc, cc *Cell, opts CompareOptions) []Diff {
 	var diffs []Diff
+	if opts.CompareAttrs && gc.Primitive != cc.Primitive {
+		diffs = append(diffs, Diff{Kind: DiffPrimitiveMismatch, Cell: cc.Name,
+			Detail: fmt.Sprintf("primitive=%v in golden, %v in candidate", gc.Primitive, cc.Primitive)})
+	}
 	// Ports: set comparison under rename, with direction check. A port name
 	// maps through the cell's own pin map when one exists (library masters
 	// whose pins were renamed), otherwise through the net map (cell ports
@@ -170,6 +223,9 @@ func compareCell(gc, cc *Cell, opts CompareOptions) []Diff {
 			diffs = append(diffs, Diff{Kind: DiffGlobalMismatch, Cell: cc.Name, Object: want,
 				Detail: fmt.Sprintf("global=%v in golden, %v in candidate", gc.Nets[gn].Global, cn.Global)})
 		}
+		if opts.CompareAttrs {
+			diffs = append(diffs, compareAttrs(cc.Name, want, gc.Nets[gn].Attrs, cn.Attrs)...)
+		}
 	}
 	for _, cn := range cc.NetNames() {
 		if !matchedNets[cn] {
@@ -189,6 +245,9 @@ func compareCell(gc, cc *Cell, opts CompareOptions) []Diff {
 			continue
 		}
 		matchedInsts[want] = true
+		if opts.CompareAttrs {
+			diffs = append(diffs, compareAttrs(cc.Name, want, gInst.Attrs, ci.Attrs)...)
+		}
 		wantMaster := opts.CellRename.Apply(gInst.Master)
 		if ci.Master != wantMaster {
 			diffs = append(diffs, Diff{Kind: DiffMasterMismatch, Cell: cc.Name, Object: want,

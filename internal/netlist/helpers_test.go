@@ -1,0 +1,11 @@
+package netlist
+
+// mustCell adds a cell with a test-unique name; the panic (which fails the
+// test) replaces the deleted production MustCell.
+func mustCell(n *Netlist, name string) *Cell {
+	c, err := n.AddCell(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -117,16 +117,6 @@ func (n *Netlist) AddCell(name string) (*Cell, error) {
 	return c, nil
 }
 
-// MustCell is AddCell for static construction in tests and generators;
-// it panics on error.
-func (n *Netlist) MustCell(name string) *Cell {
-	c, err := n.AddCell(name)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // Cell returns a cell definition by name.
 func (n *Netlist) Cell(name string) (*Cell, bool) {
 	c, ok := n.Cells[name]

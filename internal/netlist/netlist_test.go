@@ -13,7 +13,7 @@ import (
 func buildInverterChain(t testing.TB, n int) *Netlist {
 	t.Helper()
 	nl := New()
-	inv := nl.MustCell("INV")
+	inv := mustCell(nl, "INV")
 	inv.Primitive = true
 	if err := inv.AddPort("A", Input); err != nil {
 		t.Fatal(err)
@@ -21,7 +21,7 @@ func buildInverterChain(t testing.TB, n int) *Netlist {
 	if err := inv.AddPort("Y", Output); err != nil {
 		t.Fatal(err)
 	}
-	top := nl.MustCell("top")
+	top := mustCell(nl, "top")
 	top.AddPort("in", Input)
 	top.AddPort("out", Output)
 	top.EnsureNet("in")
@@ -60,7 +60,7 @@ func TestAddCellDuplicate(t *testing.T) {
 
 func TestPortsNetsInstances(t *testing.T) {
 	nl := New()
-	c := nl.MustCell("c")
+	c := mustCell(nl, "c")
 	if err := c.AddPort("p", Input); err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestCompareDetectsEachKind(t *testing.T) {
 	})
 	t.Run("extra-cell", func(t *testing.T) {
 		cand := buildInverterChain(t, 3)
-		cand.MustCell("stray")
+		mustCell(cand, "stray")
 		diffs := Compare(golden, cand, CompareOptions{})
 		if !hasKind(diffs, DiffExtraCell) {
 			t.Errorf("diffs = %v", diffs)
@@ -224,7 +224,7 @@ func TestCompareDetectsEachKind(t *testing.T) {
 	})
 	t.Run("master-mismatch", func(t *testing.T) {
 		cand := buildInverterChain(t, 3)
-		buf := cand.MustCell("BUF")
+		buf := mustCell(cand, "BUF")
 		buf.AddPort("A", Input)
 		buf.AddPort("Y", Output)
 		cand.Cells["top"].Instances["u0"].Master = "BUF"
@@ -266,11 +266,11 @@ func TestCompareDetectsEachKind(t *testing.T) {
 func TestCompareWithRenameMaps(t *testing.T) {
 	golden := buildInverterChain(t, 2)
 	cand := New()
-	inv := cand.MustCell("INVX1") // vendor renamed the master
+	inv := mustCell(cand, "INVX1") // vendor renamed the master
 	inv.Primitive = true
 	inv.AddPort("A", Input)
 	inv.AddPort("Y", Output)
-	top := cand.MustCell("top")
+	top := mustCell(cand, "top")
 	top.AddPort("in", Input)
 	top.AddPort("out", Output)
 	top.EnsureNet("in")
@@ -298,7 +298,7 @@ func TestCompareWithRenameMaps(t *testing.T) {
 func TestCompareIgnoreCells(t *testing.T) {
 	golden := buildInverterChain(t, 1)
 	cand := buildInverterChain(t, 1)
-	golden.MustCell("offpage_conn") // pseudo-cell only golden has
+	mustCell(golden, "offpage_conn") // pseudo-cell only golden has
 	diffs := Compare(golden, cand, CompareOptions{IgnoreCells: map[string]bool{"offpage_conn": true}})
 	if len(diffs) != 0 {
 		t.Errorf("IgnoreCells not honored: %v", diffs)

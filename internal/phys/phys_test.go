@@ -45,11 +45,11 @@ func buildDesign(t testing.TB) *Design {
 		t.Fatal(err)
 	}
 	nl := netlist.New()
-	buf := nl.MustCell("BUFX1")
+	buf := mustCell(nl, "BUFX1")
 	buf.Primitive = true
 	buf.AddPort("A", netlist.Input)
 	buf.AddPort("Y", netlist.Output)
-	top := nl.MustCell("chip")
+	top := mustCell(nl, "chip")
 	top.AddInstance("u1", "BUFX1")
 	top.AddInstance("u2", "BUFX1")
 	top.Connect("u1", "Y", "n1")
@@ -221,7 +221,7 @@ func TestNewDesignErrors(t *testing.T) {
 	if _, err := NewDesign("x", geom.R(0, 0, 10, 10), lib, nl, "ghost"); !errors.Is(err, ErrBadDesign) {
 		t.Errorf("missing top: %v", err)
 	}
-	top := nl.MustCell("top")
+	top := mustCell(nl, "top")
 	top.AddInstance("u1", "NOMACRO")
 	if _, err := NewDesign("x", geom.R(0, 0, 10, 10), lib, nl, "top"); !errors.Is(err, ErrBadDesign) {
 		t.Errorf("missing macro: %v", err)

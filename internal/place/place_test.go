@@ -30,11 +30,11 @@ func mkDesign(t testing.TB, n int, die geom.Rect) *phys.Design {
 		},
 	})
 	nl := netlist.New()
-	buf := nl.MustCell("BUF")
+	buf := mustCell(nl, "BUF")
 	buf.Primitive = true
 	buf.AddPort("A", netlist.Input)
 	buf.AddPort("Y", netlist.Output)
-	top := nl.MustCell("chip")
+	top := mustCell(nl, "chip")
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("u%02d", i)
 		top.AddInstance(name, "BUF")

@@ -30,11 +30,11 @@ func chainDesign(t testing.TB, n int) *phys.Design {
 		},
 	})
 	nl := netlist.New()
-	buf := nl.MustCell("BUF")
+	buf := mustCell(nl, "BUF")
 	buf.Primitive = true
 	buf.AddPort("A", netlist.Input)
 	buf.AddPort("Y", netlist.Output)
-	top := nl.MustCell("chip")
+	top := mustCell(nl, "chip")
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("u%d", i)
 		top.AddInstance(name, "BUF")

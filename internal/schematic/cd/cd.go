@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"cadinterop/internal/al"
+	"cadinterop/internal/diag"
 	"cadinterop/internal/geom"
 	"cadinterop/internal/netlist"
 	"cadinterop/internal/schematic"
@@ -134,425 +135,615 @@ type ReadOptions struct {
 	// Lint runs the CD dialect checker after parsing and fails the read on
 	// violations — modeling the target tool rejecting nonconforming data.
 	Lint bool
+	// Mode: diag.Strict (default) aborts at the first malformed record;
+	// diag.Lenient quarantines the record and continues.
+	Mode diag.Mode
+	// Source names the input in diagnostics ("" = "<input>").
+	Source string
 }
 
-// Read parses a design from s-expression form.
+// Read parses a design from s-expression form (strict-mode entry point).
 func Read(r io.Reader, opts ReadOptions) (*schematic.Design, error) {
+	d, _, err := ReadWithDiagnostics(r, opts)
+	return d, err
+}
+
+// ReadWithDiagnostics parses under the given policy. Quarantine granularity
+// is the record: a malformed symbol, port, instance, wire, label, connector
+// or text form is skipped with a position-carrying diagnostic and the rest
+// of the design is still imported.
+func ReadWithDiagnostics(r io.Reader, opts ReadOptions) (*schematic.Design, []diag.Diagnostic, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	exprs, err := al.Parse(string(data))
+	return ReadBytes(data, opts)
+}
+
+// ReadBytes is ReadWithDiagnostics over an in-memory input.
+func ReadBytes(data []byte, opts ReadOptions) (*schematic.Design, []diag.Diagnostic, error) {
+	col := diag.New(opts.Mode, opts.Source, ErrFormat)
+	rd := &cdReader{src: string(data), col: col}
+	d, err := rd.read(opts.Lint)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		return nil, col.Diags, err
+	}
+	if d == nil {
+		// The toplevel (design ...) form itself was quarantined; there is
+		// nothing to recover.
+		return nil, col.Diags, fmt.Errorf("%w: no usable (design ...) form", ErrFormat)
+	}
+	if err := schematic.Reconcile(d, col); err != nil {
+		return nil, col.Diags, err
+	}
+	if opts.Mode == diag.Strict {
+		if err := col.Err(); err != nil {
+			return nil, col.Diags, err
+		}
+	}
+	return d, col.Diags, nil
+}
+
+type cdReader struct {
+	src string
+	col *diag.Collector
+}
+
+func (rd *cdReader) pos(pt *al.PosTree) diag.Pos {
+	return diag.LineCol(rd.src, pt.Offset())
+}
+
+func (rd *cdReader) read(lint bool) (*schematic.Design, error) {
+	var exprs []al.Value
+	var trees []*al.PosTree
+	if rd.col.Mode == diag.Lenient {
+		var aborted error
+		exprs, trees = al.ParseRecover(rd.src, func(off int, msg string) {
+			if aborted == nil {
+				aborted = rd.col.Errorf("parse", diag.LineCol(rd.src, off), "%s", msg)
+			}
+		})
+		if aborted != nil {
+			return nil, aborted
+		}
+	} else {
+		var err error
+		exprs, trees, err = al.ParseTracked(rd.src)
+		if err != nil {
+			return nil, rd.col.Errorf("parse", diag.NoPos, "%v", err)
+		}
 	}
 	if len(exprs) != 1 {
-		return nil, fmt.Errorf("%w: expected one (design ...) form, got %d", ErrFormat, len(exprs))
+		return nil, rd.col.Errorf("parse", diag.NoPos, "expected one (design ...) form, got %d", len(exprs))
 	}
 	top, ok := exprs[0].(al.List)
+	tt := trees[0]
 	if !ok || len(top) < 2 || !isSym(top[0], "design") {
-		return nil, fmt.Errorf("%w: missing (design ...) form", ErrFormat)
+		return nil, rd.col.Errorf("parse", rd.pos(tt), "missing (design ...) form")
 	}
 	name, err := symOrStr(top[1])
 	if err != nil {
-		return nil, fmt.Errorf("%w: design name: %v", ErrFormat, err)
+		return nil, rd.col.Errorf("record", rd.pos(tt.Kid(1)), "design name: %v", err)
 	}
 	d := schematic.NewDesign(name, geom.GridSixteenth)
-	for _, item := range top[2:] {
+	for i, item := range top[2:] {
+		it := tt.Kid(i + 2)
 		l, ok := item.(al.List)
 		if !ok || len(l) == 0 {
-			return nil, fmt.Errorf("%w: unexpected item %s", ErrFormat, item.Repr())
+			if err := rd.col.Errorf("record", rd.pos(it), "unexpected item %s", item.Repr()); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		head, _ := l[0].(al.Symbol)
 		switch head {
 		case "grid":
-			gname, err := symOrStr(l[1])
+			err := func() error {
+				if len(l) < 2 {
+					return fmt.Errorf("grid needs a name")
+				}
+				gname, err := symOrStr(l[1])
+				if err != nil {
+					return fmt.Errorf("grid: %v", err)
+				}
+				switch gname {
+				case geom.GridTenth.Name:
+					d.Grid = geom.GridTenth
+				case geom.GridSixteenth.Name:
+					d.Grid = geom.GridSixteenth
+				default:
+					return fmt.Errorf("unknown grid %q", gname)
+				}
+				return nil
+			}()
 			if err != nil {
-				return nil, fmt.Errorf("%w: grid: %v", ErrFormat, err)
-			}
-			switch gname {
-			case geom.GridTenth.Name:
-				d.Grid = geom.GridTenth
-			case geom.GridSixteenth.Name:
-				d.Grid = geom.GridSixteenth
-			default:
-				return nil, fmt.Errorf("%w: unknown grid %q", ErrFormat, gname)
+				if aerr := rd.col.Errorf("record", rd.pos(it), "%v", err); aerr != nil {
+					return nil, aerr
+				}
 			}
 		case "globals":
-			for _, g := range l[1:] {
+			for j, g := range l[1:] {
 				s, err := symOrStr(g)
 				if err != nil {
-					return nil, fmt.Errorf("%w: global: %v", ErrFormat, err)
+					if aerr := rd.col.Errorf("record", rd.pos(it.Kid(j+1)), "global: %v", err); aerr != nil {
+						return nil, aerr
+					}
+					continue
 				}
 				d.Globals = append(d.Globals, s)
 			}
 		case "library":
-			if err := readLibrary(d, l); err != nil {
+			if err := rd.readLibrary(d, l, it); err != nil {
 				return nil, err
 			}
 		case "cell":
-			if err := readCell(d, l); err != nil {
+			if err := rd.readCell(d, l, it); err != nil {
 				return nil, err
 			}
 		default:
-			return nil, fmt.Errorf("%w: unknown form %q", ErrFormat, head)
+			if err := rd.col.Errorf("record", rd.pos(it), "unknown form %q", head); err != nil {
+				return nil, err
+			}
 		}
 	}
-	if opts.Lint {
+	if lint {
 		if vs := schematic.CD.Check(d); len(vs) > 0 {
-			return nil, fmt.Errorf("%w: dialect violations: %d (first: %s)", ErrFormat, len(vs), vs[0])
+			if err := rd.col.Errorf("lint", diag.NoPos, "dialect violations: %d (first: %s)", len(vs), vs[0]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return d, nil
 }
 
-func readLibrary(d *schematic.Design, l al.List) error {
+func (rd *cdReader) readLibrary(d *schematic.Design, l al.List, lt *al.PosTree) error {
 	if len(l) < 2 {
-		return fmt.Errorf("%w: library needs a name", ErrFormat)
+		return rd.col.Errorf("record", rd.pos(lt), "library needs a name")
 	}
 	name, err := symOrStr(l[1])
 	if err != nil {
-		return fmt.Errorf("%w: library name: %v", ErrFormat, err)
+		return rd.col.Errorf("record", rd.pos(lt.Kid(1)), "library name: %v", err)
 	}
 	lib := d.EnsureLibrary(name)
-	for _, item := range l[2:] {
-		sl, ok := item.(al.List)
-		if !ok || len(sl) < 3 || !isSym(sl[0], "symbol") {
-			return fmt.Errorf("%w: expected (symbol ...), got %s", ErrFormat, item.Repr())
-		}
-		sname, err1 := symOrStr(sl[1])
-		sview, err2 := symOrStr(sl[2])
-		if err1 != nil || err2 != nil {
-			return fmt.Errorf("%w: symbol name/view", ErrFormat)
-		}
-		sym := &schematic.Symbol{Name: sname, View: sview}
-		for _, sub := range sl[3:] {
-			ssl, ok := sub.(al.List)
-			if !ok || len(ssl) == 0 {
-				return fmt.Errorf("%w: bad symbol item %s", ErrFormat, sub.Repr())
+	for i, item := range l[2:] {
+		it := lt.Kid(i + 2)
+		sym, err := parseSymbol(item)
+		if err != nil {
+			if aerr := rd.col.Errorf("record", rd.pos(it), "%v", err); aerr != nil {
+				return aerr
 			}
-			h, _ := ssl[0].(al.Symbol)
-			switch h {
-			case "body":
-				xs, err := nums(ssl[1:], 4)
-				if err != nil {
-					return fmt.Errorf("%w: body: %v", ErrFormat, err)
-				}
-				sym.Body = geom.R(xs[0], xs[1], xs[2], xs[3])
-			case "pin":
-				if len(ssl) != 5 {
-					return fmt.Errorf("%w: pin wants (pin name x y dir)", ErrFormat)
-				}
-				pname, err := symOrStr(ssl[1])
-				if err != nil {
-					return fmt.Errorf("%w: pin name: %v", ErrFormat, err)
-				}
-				xs, err := nums(ssl[2:4], 2)
-				if err != nil {
-					return fmt.Errorf("%w: pin pos: %v", ErrFormat, err)
-				}
-				dname, err := symOrStr(ssl[4])
-				if err != nil {
-					return fmt.Errorf("%w: pin dir: %v", ErrFormat, err)
-				}
-				dir, err := netlist.ParsePortDir(dname)
-				if err != nil {
-					return fmt.Errorf("%w: %v", ErrFormat, err)
-				}
-				sym.Pins = append(sym.Pins, schematic.SymbolPin{Name: pname, Pos: geom.Pt(xs[0], xs[1]), Dir: dir})
-			case "prop":
-				p, err := readProp(ssl)
-				if err != nil {
-					return err
-				}
-				sym.Props = append(sym.Props, p)
-			default:
-				return fmt.Errorf("%w: unknown symbol item %q", ErrFormat, h)
-			}
+			continue
 		}
 		if err := lib.AddSymbol(sym); err != nil {
-			return fmt.Errorf("%w: %v", ErrFormat, err)
+			if aerr := rd.col.Errorf("record", rd.pos(it), "%v", err); aerr != nil {
+				return aerr
+			}
 		}
 	}
 	return nil
 }
 
-func readCell(d *schematic.Design, l al.List) error {
+// parseSymbol parses one (symbol name view ...) form; errors are plain
+// (un-wrapped) so the caller can attach a position.
+func parseSymbol(item al.Value) (*schematic.Symbol, error) {
+	sl, ok := item.(al.List)
+	if !ok || len(sl) < 3 || !isSym(sl[0], "symbol") {
+		return nil, fmt.Errorf("expected (symbol ...), got %s", item.Repr())
+	}
+	sname, err1 := symOrStr(sl[1])
+	sview, err2 := symOrStr(sl[2])
+	if err1 != nil || err2 != nil {
+		return nil, fmt.Errorf("symbol name/view")
+	}
+	sym := &schematic.Symbol{Name: sname, View: sview}
+	for _, sub := range sl[3:] {
+		ssl, ok := sub.(al.List)
+		if !ok || len(ssl) == 0 {
+			return nil, fmt.Errorf("bad symbol item %s", sub.Repr())
+		}
+		h, _ := ssl[0].(al.Symbol)
+		switch h {
+		case "body":
+			xs, err := nums(ssl[1:], 4)
+			if err != nil {
+				return nil, fmt.Errorf("body: %v", err)
+			}
+			sym.Body = geom.R(xs[0], xs[1], xs[2], xs[3])
+		case "pin":
+			if len(ssl) != 5 {
+				return nil, fmt.Errorf("pin wants (pin name x y dir)")
+			}
+			pname, err := symOrStr(ssl[1])
+			if err != nil {
+				return nil, fmt.Errorf("pin name: %v", err)
+			}
+			xs, err := nums(ssl[2:4], 2)
+			if err != nil {
+				return nil, fmt.Errorf("pin pos: %v", err)
+			}
+			dname, err := symOrStr(ssl[4])
+			if err != nil {
+				return nil, fmt.Errorf("pin dir: %v", err)
+			}
+			dir, err := netlist.ParsePortDir(dname)
+			if err != nil {
+				return nil, err
+			}
+			sym.Pins = append(sym.Pins, schematic.SymbolPin{Name: pname, Pos: geom.Pt(xs[0], xs[1]), Dir: dir})
+		case "prop":
+			p, err := readProp(ssl)
+			if err != nil {
+				return nil, err
+			}
+			sym.Props = append(sym.Props, p)
+		default:
+			return nil, fmt.Errorf("unknown symbol item %q", h)
+		}
+	}
+	return sym, nil
+}
+
+func (rd *cdReader) readCell(d *schematic.Design, l al.List, lt *al.PosTree) error {
 	if len(l) < 2 {
-		return fmt.Errorf("%w: cell needs a name", ErrFormat)
+		return rd.col.Errorf("record", rd.pos(lt), "cell needs a name")
 	}
 	name, err := symOrStr(l[1])
 	if err != nil {
-		return fmt.Errorf("%w: cell name: %v", ErrFormat, err)
+		return rd.col.Errorf("record", rd.pos(lt.Kid(1)), "cell name: %v", err)
 	}
 	cell, err := d.AddCell(name)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrFormat, err)
+		return rd.col.Errorf("record", rd.pos(lt), "%v", err)
 	}
-	for _, item := range l[2:] {
+	for i, item := range l[2:] {
+		it := lt.Kid(i + 2)
 		cl, ok := item.(al.List)
 		if !ok || len(cl) == 0 {
-			return fmt.Errorf("%w: bad cell item %s", ErrFormat, item.Repr())
+			if err := rd.col.Errorf("record", rd.pos(it), "bad cell item %s", item.Repr()); err != nil {
+				return err
+			}
+			continue
 		}
 		h, _ := cl[0].(al.Symbol)
 		switch h {
 		case "port":
-			if len(cl) != 3 {
-				return fmt.Errorf("%w: port wants (port name dir)", ErrFormat)
-			}
-			pname, err1 := symOrStr(cl[1])
-			dname, err2 := symOrStr(cl[2])
-			if err1 != nil || err2 != nil {
-				return fmt.Errorf("%w: port fields", ErrFormat)
-			}
-			dir, err := netlist.ParsePortDir(dname)
+			err := func() error {
+				if len(cl) != 3 {
+					return fmt.Errorf("port wants (port name dir)")
+				}
+				pname, err1 := symOrStr(cl[1])
+				dname, err2 := symOrStr(cl[2])
+				if err1 != nil || err2 != nil {
+					return fmt.Errorf("port fields")
+				}
+				dir, err := netlist.ParsePortDir(dname)
+				if err != nil {
+					return err
+				}
+				cell.Ports = append(cell.Ports, netlist.Port{Name: pname, Dir: dir})
+				return nil
+			}()
 			if err != nil {
-				return fmt.Errorf("%w: %v", ErrFormat, err)
+				if aerr := rd.col.Errorf("record", rd.pos(it), "%v", err); aerr != nil {
+					return aerr
+				}
 			}
-			cell.Ports = append(cell.Ports, netlist.Port{Name: pname, Dir: dir})
 		case "page":
-			if err := readPage(cell, cl); err != nil {
+			if err := rd.readPage(cell, cl, it); err != nil {
 				return err
 			}
 		default:
-			return fmt.Errorf("%w: unknown cell item %q", ErrFormat, h)
+			if err := rd.col.Errorf("record", rd.pos(it), "unknown cell item %q", h); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-func readPage(cell *schematic.Cell, l al.List) error {
+func (rd *cdReader) readPage(cell *schematic.Cell, l al.List, lt *al.PosTree) error {
 	var size geom.Rect
-	body := l[2:]
+	body := l
+	bodyStart := len(l) // consume nothing by default
+	if len(l) >= 2 {
+		bodyStart = 2 // (page index ...)
+	}
 	if len(l) >= 3 {
 		if sl, ok := l[2].(al.List); ok && len(sl) == 5 && isSym(sl[0], "size") {
 			xs, err := nums(sl[1:], 4)
 			if err != nil {
-				return fmt.Errorf("%w: page size: %v", ErrFormat, err)
+				if aerr := rd.col.Errorf("record", rd.pos(lt.Kid(2)), "page size: %v", err); aerr != nil {
+					return aerr
+				}
+			} else {
+				size = geom.R(xs[0], xs[1], xs[2], xs[3])
 			}
-			size = geom.R(xs[0], xs[1], xs[2], xs[3])
-			body = l[3:]
+			bodyStart = 3
 		}
 	}
+	body = l[bodyStart:]
 	pg := cell.AddPage(size)
-	for _, item := range body {
+	for i, item := range body {
+		it := lt.Kid(i + bodyStart)
 		il, ok := item.(al.List)
 		if !ok || len(il) == 0 {
-			return fmt.Errorf("%w: bad page item %s", ErrFormat, item.Repr())
+			if err := rd.col.Errorf("record", rd.pos(it), "bad page item %s", item.Repr()); err != nil {
+				return err
+			}
+			continue
 		}
 		h, _ := il[0].(al.Symbol)
+		var err error
 		switch h {
 		case "inst":
-			inst := &schematic.Instance{}
-			iname, err := symOrStr(il[1])
-			if err != nil {
-				return fmt.Errorf("%w: inst name: %v", ErrFormat, err)
-			}
-			inst.Name = iname
-			for _, sub := range il[2:] {
-				sl, ok := sub.(al.List)
-				if !ok || len(sl) == 0 {
-					return fmt.Errorf("%w: bad inst item %s", ErrFormat, sub.Repr())
-				}
-				sh, _ := sl[0].(al.Symbol)
-				switch sh {
-				case "of":
-					if len(sl) != 4 {
-						return fmt.Errorf("%w: of wants lib name view", ErrFormat)
-					}
-					lib, e1 := symOrStr(sl[1])
-					nm, e2 := symOrStr(sl[2])
-					vw, e3 := symOrStr(sl[3])
-					if e1 != nil || e2 != nil || e3 != nil {
-						return fmt.Errorf("%w: of fields", ErrFormat)
-					}
-					inst.Sym = schematic.SymbolKey{Lib: lib, Name: nm, View: vw}
-				case "at":
-					xs, err := nums(sl[1:], 2)
-					if err != nil {
-						return fmt.Errorf("%w: at: %v", ErrFormat, err)
-					}
-					inst.Placement.Offset = geom.Pt(xs[0], xs[1])
-				case "orient":
-					oname, err := symOrStr(sl[1])
-					if err != nil {
-						return fmt.Errorf("%w: orient: %v", ErrFormat, err)
-					}
-					o, err := geom.ParseOrientation(oname)
-					if err != nil {
-						return fmt.Errorf("%w: %v", ErrFormat, err)
-					}
-					inst.Placement.Orient = o
-				case "prop":
-					p, err := readProp(sl)
-					if err != nil {
-						return err
-					}
-					inst.Props = append(inst.Props, p)
-				default:
-					return fmt.Errorf("%w: unknown inst item %q", ErrFormat, sh)
-				}
-			}
-			if err := pg.AddInstance(inst); err != nil {
-				return fmt.Errorf("%w: %v", ErrFormat, err)
+			var inst *schematic.Instance
+			inst, err = parseInst(il)
+			if err == nil {
+				err = pg.AddInstance(inst)
 			}
 		case "wire":
-			var pts []geom.Point
-			for _, sub := range il[1:] {
-				pl, ok := sub.(al.List)
-				if !ok || len(pl) != 2 {
-					return fmt.Errorf("%w: wire point %s", ErrFormat, sub.Repr())
-				}
-				xs, err := nums(pl, 2)
-				if err != nil {
-					return fmt.Errorf("%w: wire point: %v", ErrFormat, err)
-				}
-				pts = append(pts, geom.Pt(xs[0], xs[1]))
+			var w *schematic.Wire
+			w, err = parseWire(il)
+			if err == nil {
+				pg.Wires = append(pg.Wires, w)
 			}
-			pg.Wires = append(pg.Wires, &schematic.Wire{Points: pts})
 		case "label":
-			lb := &schematic.Label{}
-			txt, err := symOrStr(il[1])
-			if err != nil {
-				return fmt.Errorf("%w: label text: %v", ErrFormat, err)
+			var lb *schematic.Label
+			lb, err = parseLabel(il)
+			if err == nil {
+				pg.Labels = append(pg.Labels, lb)
 			}
-			lb.Text = txt
-			for _, sub := range il[2:] {
-				sl, _ := sub.(al.List)
-				if sl == nil || len(sl) == 0 {
-					continue
-				}
-				sh, _ := sl[0].(al.Symbol)
-				switch sh {
-				case "at":
-					xs, err := nums(sl[1:], 2)
-					if err != nil {
-						return fmt.Errorf("%w: label at: %v", ErrFormat, err)
-					}
-					lb.At = geom.Pt(xs[0], xs[1])
-				case "size":
-					xs, err := nums(sl[1:], 1)
-					if err != nil {
-						return fmt.Errorf("%w: label size: %v", ErrFormat, err)
-					}
-					lb.Size = xs[0]
-				case "offset":
-					xs, err := nums(sl[1:], 2)
-					if err != nil {
-						return fmt.Errorf("%w: label offset: %v", ErrFormat, err)
-					}
-					lb.Offset = geom.Pt(xs[0], xs[1])
-				}
-			}
-			pg.Labels = append(pg.Labels, lb)
 		case "conn":
-			if len(il) < 3 {
-				return fmt.Errorf("%w: conn wants kind and name", ErrFormat)
+			var cx *schematic.Connector
+			cx, err = parseConn(il)
+			if err == nil {
+				pg.Conns = append(pg.Conns, cx)
 			}
-			kname, err := symOrStr(il[1])
-			if err != nil {
-				return fmt.Errorf("%w: conn kind: %v", ErrFormat, err)
-			}
-			kind, err := schematic.ParseConnKind(kname)
-			if err != nil {
-				return fmt.Errorf("%w: %v", ErrFormat, err)
-			}
-			cname, err := symOrStr(il[2])
-			if err != nil {
-				return fmt.Errorf("%w: conn name: %v", ErrFormat, err)
-			}
-			cx := &schematic.Connector{Kind: kind, Name: cname}
-			for _, sub := range il[3:] {
-				sl, _ := sub.(al.List)
-				if sl == nil || len(sl) == 0 {
-					continue
-				}
-				sh, _ := sl[0].(al.Symbol)
-				switch sh {
-				case "at":
-					xs, err := nums(sl[1:], 2)
-					if err != nil {
-						return fmt.Errorf("%w: conn at: %v", ErrFormat, err)
-					}
-					cx.At = geom.Pt(xs[0], xs[1])
-				case "of":
-					if len(sl) != 4 {
-						return fmt.Errorf("%w: conn of wants 3 parts", ErrFormat)
-					}
-					lib, e1 := symOrStr(sl[1])
-					nm, e2 := symOrStr(sl[2])
-					vw, e3 := symOrStr(sl[3])
-					if e1 != nil || e2 != nil || e3 != nil {
-						return fmt.Errorf("%w: conn of fields", ErrFormat)
-					}
-					cx.Sym = schematic.SymbolKey{Lib: lib, Name: nm, View: vw}
-				case "orient":
-					oname, err := symOrStr(sl[1])
-					if err != nil {
-						return fmt.Errorf("%w: conn orient: %v", ErrFormat, err)
-					}
-					o, err := geom.ParseOrientation(oname)
-					if err != nil {
-						return fmt.Errorf("%w: %v", ErrFormat, err)
-					}
-					cx.Orient = o
-				}
-			}
-			pg.Conns = append(pg.Conns, cx)
 		case "text":
-			tx := &schematic.Text{}
-			s, err := symOrStr(il[1])
-			if err != nil {
-				return fmt.Errorf("%w: text: %v", ErrFormat, err)
+			var tx *schematic.Text
+			tx, err = parseText(il)
+			if err == nil {
+				pg.Texts = append(pg.Texts, tx)
 			}
-			tx.S = s
-			for _, sub := range il[2:] {
-				sl, _ := sub.(al.List)
-				if sl == nil || len(sl) == 0 {
-					continue
-				}
-				sh, _ := sl[0].(al.Symbol)
-				switch sh {
-				case "at":
-					xs, err := nums(sl[1:], 2)
-					if err != nil {
-						return fmt.Errorf("%w: text at: %v", ErrFormat, err)
-					}
-					tx.At = geom.Pt(xs[0], xs[1])
-				case "size":
-					xs, err := nums(sl[1:], 1)
-					if err != nil {
-						return fmt.Errorf("%w: text size: %v", ErrFormat, err)
-					}
-					tx.SizePts = xs[0]
-				case "baseline":
-					xs, err := nums(sl[1:], 1)
-					if err != nil {
-						return fmt.Errorf("%w: text baseline: %v", ErrFormat, err)
-					}
-					tx.BaselineOffset = xs[0]
-				}
-			}
-			pg.Texts = append(pg.Texts, tx)
 		default:
-			return fmt.Errorf("%w: unknown page item %q", ErrFormat, h)
+			err = fmt.Errorf("unknown page item %q", h)
+		}
+		if err != nil {
+			if aerr := rd.col.Errorf("record", rd.pos(it), "%v", err); aerr != nil {
+				return aerr
+			}
 		}
 	}
 	return nil
+}
+
+func parseInst(il al.List) (*schematic.Instance, error) {
+	if len(il) < 2 {
+		return nil, fmt.Errorf("inst needs a name")
+	}
+	inst := &schematic.Instance{}
+	iname, err := symOrStr(il[1])
+	if err != nil {
+		return nil, fmt.Errorf("inst name: %v", err)
+	}
+	inst.Name = iname
+	for _, sub := range il[2:] {
+		sl, ok := sub.(al.List)
+		if !ok || len(sl) == 0 {
+			return nil, fmt.Errorf("bad inst item %s", sub.Repr())
+		}
+		sh, _ := sl[0].(al.Symbol)
+		switch sh {
+		case "of":
+			if len(sl) != 4 {
+				return nil, fmt.Errorf("of wants lib name view")
+			}
+			lib, e1 := symOrStr(sl[1])
+			nm, e2 := symOrStr(sl[2])
+			vw, e3 := symOrStr(sl[3])
+			if e1 != nil || e2 != nil || e3 != nil {
+				return nil, fmt.Errorf("of fields")
+			}
+			inst.Sym = schematic.SymbolKey{Lib: lib, Name: nm, View: vw}
+		case "at":
+			xs, err := nums(sl[1:], 2)
+			if err != nil {
+				return nil, fmt.Errorf("at: %v", err)
+			}
+			inst.Placement.Offset = geom.Pt(xs[0], xs[1])
+		case "orient":
+			if len(sl) != 2 {
+				return nil, fmt.Errorf("orient wants a name")
+			}
+			oname, err := symOrStr(sl[1])
+			if err != nil {
+				return nil, fmt.Errorf("orient: %v", err)
+			}
+			o, err := geom.ParseOrientation(oname)
+			if err != nil {
+				return nil, err
+			}
+			inst.Placement.Orient = o
+		case "prop":
+			p, err := readProp(sl)
+			if err != nil {
+				return nil, err
+			}
+			inst.Props = append(inst.Props, p)
+		default:
+			return nil, fmt.Errorf("unknown inst item %q", sh)
+		}
+	}
+	return inst, nil
+}
+
+func parseWire(il al.List) (*schematic.Wire, error) {
+	var pts []geom.Point
+	for _, sub := range il[1:] {
+		pl, ok := sub.(al.List)
+		if !ok || len(pl) != 2 {
+			return nil, fmt.Errorf("wire point %s", sub.Repr())
+		}
+		xs, err := nums(pl, 2)
+		if err != nil {
+			return nil, fmt.Errorf("wire point: %v", err)
+		}
+		pts = append(pts, geom.Pt(xs[0], xs[1]))
+	}
+	return &schematic.Wire{Points: pts}, nil
+}
+
+func parseLabel(il al.List) (*schematic.Label, error) {
+	if len(il) < 2 {
+		return nil, fmt.Errorf("label needs text")
+	}
+	lb := &schematic.Label{}
+	txt, err := symOrStr(il[1])
+	if err != nil {
+		return nil, fmt.Errorf("label text: %v", err)
+	}
+	lb.Text = txt
+	for _, sub := range il[2:] {
+		sl, _ := sub.(al.List)
+		if len(sl) == 0 {
+			continue
+		}
+		sh, _ := sl[0].(al.Symbol)
+		switch sh {
+		case "at":
+			xs, err := nums(sl[1:], 2)
+			if err != nil {
+				return nil, fmt.Errorf("label at: %v", err)
+			}
+			lb.At = geom.Pt(xs[0], xs[1])
+		case "size":
+			xs, err := nums(sl[1:], 1)
+			if err != nil {
+				return nil, fmt.Errorf("label size: %v", err)
+			}
+			lb.Size = xs[0]
+		case "offset":
+			xs, err := nums(sl[1:], 2)
+			if err != nil {
+				return nil, fmt.Errorf("label offset: %v", err)
+			}
+			lb.Offset = geom.Pt(xs[0], xs[1])
+		}
+	}
+	return lb, nil
+}
+
+func parseConn(il al.List) (*schematic.Connector, error) {
+	if len(il) < 3 {
+		return nil, fmt.Errorf("conn wants kind and name")
+	}
+	kname, err := symOrStr(il[1])
+	if err != nil {
+		return nil, fmt.Errorf("conn kind: %v", err)
+	}
+	kind, err := schematic.ParseConnKind(kname)
+	if err != nil {
+		return nil, err
+	}
+	cname, err := symOrStr(il[2])
+	if err != nil {
+		return nil, fmt.Errorf("conn name: %v", err)
+	}
+	cx := &schematic.Connector{Kind: kind, Name: cname}
+	for _, sub := range il[3:] {
+		sl, _ := sub.(al.List)
+		if len(sl) == 0 {
+			continue
+		}
+		sh, _ := sl[0].(al.Symbol)
+		switch sh {
+		case "at":
+			xs, err := nums(sl[1:], 2)
+			if err != nil {
+				return nil, fmt.Errorf("conn at: %v", err)
+			}
+			cx.At = geom.Pt(xs[0], xs[1])
+		case "of":
+			if len(sl) != 4 {
+				return nil, fmt.Errorf("conn of wants 3 parts")
+			}
+			lib, e1 := symOrStr(sl[1])
+			nm, e2 := symOrStr(sl[2])
+			vw, e3 := symOrStr(sl[3])
+			if e1 != nil || e2 != nil || e3 != nil {
+				return nil, fmt.Errorf("conn of fields")
+			}
+			cx.Sym = schematic.SymbolKey{Lib: lib, Name: nm, View: vw}
+		case "orient":
+			if len(sl) != 2 {
+				return nil, fmt.Errorf("conn orient wants a name")
+			}
+			oname, err := symOrStr(sl[1])
+			if err != nil {
+				return nil, fmt.Errorf("conn orient: %v", err)
+			}
+			o, err := geom.ParseOrientation(oname)
+			if err != nil {
+				return nil, err
+			}
+			cx.Orient = o
+		}
+	}
+	return cx, nil
+}
+
+func parseText(il al.List) (*schematic.Text, error) {
+	if len(il) < 2 {
+		return nil, fmt.Errorf("text needs a string")
+	}
+	tx := &schematic.Text{}
+	s, err := symOrStr(il[1])
+	if err != nil {
+		return nil, fmt.Errorf("text: %v", err)
+	}
+	tx.S = s
+	for _, sub := range il[2:] {
+		sl, _ := sub.(al.List)
+		if len(sl) == 0 {
+			continue
+		}
+		sh, _ := sl[0].(al.Symbol)
+		switch sh {
+		case "at":
+			xs, err := nums(sl[1:], 2)
+			if err != nil {
+				return nil, fmt.Errorf("text at: %v", err)
+			}
+			tx.At = geom.Pt(xs[0], xs[1])
+		case "size":
+			xs, err := nums(sl[1:], 1)
+			if err != nil {
+				return nil, fmt.Errorf("text size: %v", err)
+			}
+			tx.SizePts = xs[0]
+		case "baseline":
+			xs, err := nums(sl[1:], 1)
+			if err != nil {
+				return nil, fmt.Errorf("text baseline: %v", err)
+			}
+			tx.BaselineOffset = xs[0]
+		}
+	}
+	return tx, nil
 }
 
 func readProp(l al.List) (schematic.Property, error) {
 	var p schematic.Property
 	if len(l) < 3 {
-		return p, fmt.Errorf("%w: prop wants name and value", ErrFormat)
+		return p, fmt.Errorf("prop wants name and value")
 	}
 	name, err := symOrStr(l[1])
 	if err != nil {
-		return p, fmt.Errorf("%w: prop name: %v", ErrFormat, err)
+		return p, fmt.Errorf("prop name: %v", err)
 	}
 	val, err := symOrStr(l[2])
 	if err != nil {
-		return p, fmt.Errorf("%w: prop value: %v", ErrFormat, err)
+		return p, fmt.Errorf("prop value: %v", err)
 	}
 	p.Name, p.Value = name, val
 	for _, sub := range l[3:] {
@@ -570,13 +761,13 @@ func readProp(l al.List) (schematic.Property, error) {
 			case "at":
 				xs, err := nums(sv[1:], 2)
 				if err != nil {
-					return p, fmt.Errorf("%w: prop at: %v", ErrFormat, err)
+					return p, fmt.Errorf("prop at: %v", err)
 				}
 				p.At = geom.Pt(xs[0], xs[1])
 			case "size":
 				xs, err := nums(sv[1:], 1)
 				if err != nil {
-					return p, fmt.Errorf("%w: prop size: %v", ErrFormat, err)
+					return p, fmt.Errorf("prop size: %v", err)
 				}
 				p.Size = xs[0]
 			}

@@ -28,7 +28,7 @@ func sampleDesign(t testing.TB) *schematic.Design {
 	if err := lib.AddSymbol(sym); err != nil {
 		t.Fatal(err)
 	}
-	c := d.MustCell("top")
+	c := mustCell(d, "top")
 	c.Ports = []netlist.Port{{Name: "din", Dir: netlist.Input}}
 	pg := c.AddPage(geom.R(0, 0, 176, 136))
 	inst := &schematic.Instance{
@@ -160,7 +160,7 @@ func TestReadErrors(t *testing.T) {
 
 func TestQuoteSymEdgeCases(t *testing.T) {
 	d := schematic.NewDesign("name with space", geom.GridSixteenth)
-	d.MustCell("plain")
+	mustCell(d, "plain")
 	var buf bytes.Buffer
 	if err := Write(&buf, d); err != nil {
 		t.Fatal(err)

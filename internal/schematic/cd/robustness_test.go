@@ -1,0 +1,80 @@
+package cd
+
+import (
+	"bytes"
+	"testing"
+
+	"cadinterop/internal/diag"
+	"cadinterop/internal/diag/diagtest"
+)
+
+// cdCandidate is the robustness contract for the Cadence reader: under both
+// modes, arbitrary bytes either parse, recover, or error — never a panic,
+// and never an accepted design that fails Validate.
+func cdCandidate(data []byte) error {
+	for _, mode := range []diag.Mode{diag.Strict, diag.Lenient} {
+		d, _, err := ReadBytes(data, ReadOptions{Mode: mode, Source: "sweep"})
+		if err != nil {
+			continue
+		}
+		if d != nil {
+			if verr := d.Validate(); verr != nil {
+				return diagtest.ValidateViolation(verr)
+			}
+		}
+	}
+	return nil
+}
+
+func cdSweepSource(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleDesign(t)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestPrefixSweep(t *testing.T) {
+	diagtest.PrefixSweep(t, cdSweepSource(t), 1, cdCandidate)
+}
+
+func TestMutationSweep(t *testing.T) {
+	diagtest.MutationSweep(t, cdSweepSource(t), 0xc1, 400, cdCandidate)
+}
+
+func TestTruncateMidline(t *testing.T) {
+	diagtest.TruncateMidline(t, cdSweepSource(t), cdCandidate)
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add(cdSweepSource(f))
+	f.Add([]byte("(design d (grid 10))"))
+	f.Add([]byte("(design d (grid 10) (cell c (page 1)))"))
+	f.Add([]byte("(design"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := cdCandidate(data); err != nil && diagtest.IsViolation(err) {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestLenientQuarantine: an instance referencing a symbol the file never
+// defines is cascade-dropped in lenient mode (with a diagnostic) so the
+// partial design still validates; strict mode refuses the file.
+func TestLenientQuarantine(t *testing.T) {
+	src := bytes.Replace(cdSweepSource(t), []byte("(of cdlib nand2 symbol)"), []byte("(of cdlib ghost symbol)"), 1)
+	d, diags, err := ReadBytes(src, ReadOptions{Mode: diag.Lenient, Source: "bad.cd"})
+	if err != nil {
+		t.Fatalf("lenient read aborted: %v", err)
+	}
+	if diag.Count(diags, diag.Error) == 0 {
+		t.Fatal("dangling instance produced no diagnostics")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("lenient partial design invalid: %v", err)
+	}
+	if _, _, err := ReadBytes(src, ReadOptions{Source: "bad.cd"}); err == nil {
+		t.Fatal("strict mode accepted dangling instance")
+	}
+}

@@ -145,7 +145,7 @@ func TestExtractGlobalsAlwaysMerge(t *testing.T) {
 func TestExtractHierConnectorsDeclarePorts(t *testing.T) {
 	d := NewDesign("h", geom.GridTenth)
 	addNand2(t, d, "std")
-	c := d.MustCell("blk")
+	c := mustCell(d, "blk")
 	pg := c.AddPage(R00(110, 85))
 	u := &Instance{Name: "u1", Sym: SymbolKey{"std", "nand2", "sym"}, Placement: geom.Transform{Offset: geom.Pt(10, 10)}}
 	pg.AddInstance(u)
@@ -180,14 +180,14 @@ func TestExtractHierarchicalInstance(t *testing.T) {
 	sub := &Symbol{Name: "blk", View: "sym", Body: geom.R(0, 0, 4, 2),
 		Pins: []SymbolPin{{Name: "din", Pos: geom.Pt(0, 0), Dir: netlist.Input}}}
 	d.EnsureLibrary("work").AddSymbol(sub)
-	blk := d.MustCell("blk")
+	blk := mustCell(d, "blk")
 	bp := blk.AddPage(R00(50, 50))
 	bu := &Instance{Name: "g", Sym: SymbolKey{"std", "nand2", "sym"}, Placement: geom.Transform{Offset: geom.Pt(10, 10)}}
 	bp.AddInstance(bu)
 	bp.Wires = append(bp.Wires, &Wire{Points: []geom.Point{geom.Pt(4, 10), geom.Pt(10, 10)}})
 	bp.Conns = append(bp.Conns, &Connector{Kind: ConnHierIn, Name: "din", At: geom.Pt(4, 10)})
 
-	top := d.MustCell("top")
+	top := mustCell(d, "top")
 	tp := top.AddPage(R00(50, 50))
 	ti := &Instance{Name: "x1", Sym: SymbolKey{"work", "blk", "sym"}, Placement: geom.Transform{Offset: geom.Pt(20, 20)}}
 	tp.AddInstance(ti)
@@ -213,7 +213,7 @@ func TestExtractHierarchicalInstance(t *testing.T) {
 
 func TestExtractUnknownSymbolError(t *testing.T) {
 	d := NewDesign("bad", geom.GridTenth)
-	c := d.MustCell("top")
+	c := mustCell(d, "top")
 	pg := c.AddPage(R00(50, 50))
 	pg.AddInstance(&Instance{Name: "u1", Sym: SymbolKey{"ghost", "gone", "sym"}})
 	if _, err := Extract(d, ExtractOptions{}); err == nil {
@@ -377,7 +377,7 @@ func TestConnKindParseString(t *testing.T) {
 
 func TestDuplicateCellAndInstance(t *testing.T) {
 	d := NewDesign("x", geom.GridTenth)
-	d.MustCell("a")
+	mustCell(d, "a")
 	if _, err := d.AddCell("a"); err == nil {
 		t.Error("duplicate cell accepted")
 	}

@@ -19,7 +19,7 @@ func TestDialectCheckPinSpacing(t *testing.T) {
 	sym := &Symbol{Name: "odd", View: "sym",
 		Pins: []SymbolPin{{Name: "P", Pos: geom.Pt(1, 0), Dir: netlist.Input}}} // off 2-pitch
 	d.EnsureLibrary("l").AddSymbol(sym)
-	c := d.MustCell("top")
+	c := mustCell(d, "top")
 	pg := c.AddPage(R00(50, 50))
 	pg.AddInstance(&Instance{Name: "u", Sym: SymbolKey{"l", "odd", "sym"}})
 	vs := VL.Check(d)

@@ -1,0 +1,11 @@
+package schematic
+
+// mustCell adds a cell with a test-unique name; the panic (which fails the
+// test) replaces the deleted production MustCell.
+func mustCell(d *Design, name string) *Cell {
+	c, err := d.AddCell(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,58 @@
+package schematic
+
+import (
+	"cadinterop/internal/diag"
+)
+
+// Reconcile enforces the Validate invariants on a freshly-parsed design on
+// behalf of a reader: every problem Validate would find becomes a
+// structured diagnostic instead of a latent broken design. In strict mode
+// the first problem aborts (the collector returns the abort error); in
+// lenient mode the offending object is dropped so the surviving design
+// passes Validate, and the drop is recorded. Readers call this at the end
+// of their parse in both modes.
+func Reconcile(d *Design, col *diag.Collector) error {
+	for _, cn := range d.CellNames() {
+		c := d.Cells[cn]
+		for _, pg := range c.Pages {
+			for _, in := range pg.InstanceNames() {
+				inst := pg.Instances[in]
+				if _, ok := d.Symbol(inst.Sym); !ok {
+					if err := col.Errorf("reconcile", diag.NoPos,
+						"cell %q page %d: dropping instance %q: unknown symbol %s", cn, pg.Index, in, inst.Sym); err != nil {
+						return err
+					}
+					delete(pg.Instances, in)
+					continue
+				}
+				if !inst.Placement.Orient.Valid() {
+					if err := col.Errorf("reconcile", diag.NoPos,
+						"cell %q page %d: dropping instance %q: invalid orientation", cn, pg.Index, in); err != nil {
+						return err
+					}
+					delete(pg.Instances, in)
+				}
+			}
+			kept := pg.Wires[:0]
+			for wi, w := range pg.Wires {
+				bad := len(w.Points) < 2
+				for i := 0; !bad && i+1 < len(w.Points); i++ {
+					a, b := w.Points[i], w.Points[i+1]
+					if a.X != b.X && a.Y != b.Y {
+						bad = true
+					}
+				}
+				if bad {
+					if err := col.Errorf("reconcile", diag.NoPos,
+						"cell %q page %d: dropping wire %d: degenerate or non-Manhattan", cn, pg.Index, wi); err != nil {
+						return err
+					}
+					continue
+				}
+				kept = append(kept, w)
+			}
+			pg.Wires = kept
+		}
+	}
+	return nil
+}

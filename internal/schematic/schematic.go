@@ -327,15 +327,6 @@ func (d *Design) AddCell(name string) (*Cell, error) {
 	return c, nil
 }
 
-// MustCell is AddCell that panics on error, for generators and tests.
-func (d *Design) MustCell(name string) *Cell {
-	c, err := d.AddCell(name)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // CellNames returns sorted cell names.
 func (d *Design) CellNames() []string {
 	out := make([]string, 0, len(d.Cells))

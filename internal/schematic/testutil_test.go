@@ -40,7 +40,7 @@ func buildTwoGateDesign(t testing.TB) *Design {
 	t.Helper()
 	d := NewDesign("two_gate", geom.GridTenth)
 	addNand2(t, d, "std")
-	c := d.MustCell("top")
+	c := mustCell(d, "top")
 	c.Ports = []netlist.Port{{Name: "in", Dir: netlist.Input}, {Name: "out", Dir: netlist.Output}}
 	pg := c.AddPage(R00(110, 85))
 
@@ -76,7 +76,7 @@ func buildTwoPageDesign(t testing.TB, withOffPage bool) *Design {
 	t.Helper()
 	d := NewDesign("two_page", geom.GridTenth)
 	addNand2(t, d, "std")
-	c := d.MustCell("top")
+	c := mustCell(d, "top")
 	p1 := c.AddPage(R00(110, 85))
 	p2 := c.AddPage(R00(110, 85))
 

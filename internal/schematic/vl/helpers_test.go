@@ -1,0 +1,13 @@
+package vl
+
+import "cadinterop/internal/schematic"
+
+// mustCell adds a cell with a test-unique name; the panic (which fails the
+// test) replaces the deleted production schematic MustCell.
+func mustCell(d *schematic.Design, name string) *schematic.Cell {
+	c, err := d.AddCell(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

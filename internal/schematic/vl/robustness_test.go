@@ -1,0 +1,80 @@
+package vl
+
+import (
+	"bytes"
+	"testing"
+
+	"cadinterop/internal/diag"
+	"cadinterop/internal/diag/diagtest"
+)
+
+// vlCandidate is the robustness contract for the Viewlogic reader: under
+// both modes, arbitrary bytes either parse, recover, or error — never a
+// panic, and never an accepted design that fails Validate.
+func vlCandidate(data []byte) error {
+	for _, mode := range []diag.Mode{diag.Strict, diag.Lenient} {
+		d, _, err := ReadWithDiagnostics(bytes.NewReader(data), ReadOptions{Mode: mode, Source: "sweep"})
+		if err != nil {
+			continue
+		}
+		if d != nil {
+			if verr := d.Validate(); verr != nil {
+				return diagtest.ValidateViolation(verr)
+			}
+		}
+	}
+	return nil
+}
+
+func vlSweepSource(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleDesign(t)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestPrefixSweep(t *testing.T) {
+	diagtest.PrefixSweep(t, vlSweepSource(t), 1, vlCandidate)
+}
+
+func TestMutationSweep(t *testing.T) {
+	diagtest.MutationSweep(t, vlSweepSource(t), 0xb1, 400, vlCandidate)
+}
+
+func TestTruncateMidline(t *testing.T) {
+	diagtest.TruncateMidline(t, vlSweepSource(t), vlCandidate)
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add(vlSweepSource(f))
+	f.Add([]byte("DESIGN d 10\n"))
+	f.Add([]byte("DESIGN d 10\nCELL c\nPAGE 1\nNET n\n"))
+	f.Add([]byte("|no design line\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := vlCandidate(data); err != nil && diagtest.IsViolation(err) {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestLenientQuarantine: an instance referencing a symbol the file never
+// defines is cascade-dropped in lenient mode (with a diagnostic) so the
+// partial design still validates; strict mode refuses the file.
+func TestLenientQuarantine(t *testing.T) {
+	src := bytes.Replace(vlSweepSource(t), []byte("std:nand2:sym"), []byte("std:ghost:sym"), 1)
+	d, diags, err := ReadWithDiagnostics(bytes.NewReader(src), ReadOptions{Mode: diag.Lenient, Source: "bad.vl"})
+	if err != nil {
+		t.Fatalf("lenient read aborted: %v", err)
+	}
+	if diag.Count(diags, diag.Error) == 0 {
+		t.Fatal("dangling instance produced no diagnostics")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("lenient partial design invalid: %v", err)
+	}
+	if _, _, err := ReadWithDiagnostics(bytes.NewReader(src), ReadOptions{Source: "bad.vl"}); err == nil {
+		t.Fatal("strict mode accepted dangling instance")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cadinterop/internal/diag"
 	"cadinterop/internal/geom"
 	"cadinterop/internal/netlist"
 	"cadinterop/internal/schematic"
@@ -110,11 +111,29 @@ func writeProp(w io.Writer, p schematic.Property) {
 	fmt.Fprintf(w, "A %s %d %d %d %d %s\n", p.Name, vis, p.At.X, p.At.Y, p.Size, strconv.Quote(p.Value))
 }
 
+// ReadOptions selects the reader's failure policy.
+type ReadOptions struct {
+	// Mode: diag.Strict (default) aborts at the first malformed record;
+	// diag.Lenient quarantines the record (diagnostic kept) and continues.
+	Mode diag.Mode
+	// Source names the input in diagnostics ("" = "<input>").
+	Source string
+}
+
 // Read parses a design previously written by Write (or produced by another
-// tool emitting the same records).
+// tool emitting the same records). It is the strict-mode entry point.
 func Read(r io.Reader) (*schematic.Design, error) {
+	d, _, err := ReadWithDiagnostics(r, ReadOptions{})
+	return d, err
+}
+
+// ReadWithDiagnostics parses under the given policy. In lenient mode each
+// malformed record is quarantined — skipped with an error diagnostic
+// carrying its line number — and the partial design is returned.
+func ReadWithDiagnostics(r io.Reader, opts ReadOptions) (*schematic.Design, []diag.Diagnostic, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	col := diag.New(opts.Mode, opts.Source, ErrFormat)
 	var (
 		d       *schematic.Design
 		lib     *schematic.Library
@@ -125,7 +144,7 @@ func Read(r io.Reader) (*schematic.Design, error) {
 		lastOwn *[]schematic.Property // receiver for A records
 	)
 	fail := func(msg string, args ...any) error {
-		return fmt.Errorf("%w: line %d: %s", ErrFormat, lineNo, fmt.Sprintf(msg, args...))
+		return fmt.Errorf(msg, args...)
 	}
 	for sc.Scan() {
 		lineNo++
@@ -134,209 +153,225 @@ func Read(r io.Reader) (*schematic.Design, error) {
 			continue
 		}
 		f := strings.Fields(line)
-		switch f[0] {
-		case "V":
-			if len(f) != 3 || f[1] != "vl" {
-				return nil, fail("bad version record %q", line)
-			}
-		case "D":
-			if len(f) != 3 {
-				return nil, fail("bad design record")
-			}
-			grid, err := parseGrid(f[2])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			d = schematic.NewDesign(f[1], grid)
-		case "G":
-			if d == nil {
-				return nil, fail("G before D")
-			}
-			d.Globals = append(d.Globals, f[1:]...)
-		case "Y":
-			if d == nil || len(f) != 2 {
-				return nil, fail("bad library record")
-			}
-			lib = d.EnsureLibrary(f[1])
-		case "S":
-			if lib == nil || len(f) != 7 {
-				return nil, fail("bad symbol record")
-			}
-			x0, y0, x1, y1, err := atoi4(f[3], f[4], f[5], f[6])
-			if err != nil {
-				return nil, fail("symbol body: %v", err)
-			}
-			sym = &schematic.Symbol{Name: f[1], View: f[2], Body: geom.R(x0, y0, x1, y1)}
-			lastOwn = &sym.Props
-		case "P":
-			if sym == nil || len(f) != 5 {
-				return nil, fail("bad pin record")
-			}
-			x, err1 := strconv.Atoi(f[2])
-			y, err2 := strconv.Atoi(f[3])
-			dir, err3 := netlist.ParsePortDir(f[4])
-			if err1 != nil || err2 != nil || err3 != nil {
-				return nil, fail("pin fields")
-			}
-			sym.Pins = append(sym.Pins, schematic.SymbolPin{Name: f[1], Pos: geom.Pt(x, y), Dir: dir})
-		case "E":
-			if lib == nil || sym == nil {
-				return nil, fail("E outside symbol")
-			}
-			if err := lib.AddSymbol(sym); err != nil {
-				return nil, fail("%v", err)
-			}
-			sym = nil
-			lastOwn = nil
-		case "C":
-			if d == nil || len(f) != 2 {
-				return nil, fail("bad cell record")
-			}
-			var err error
-			cell, err = d.AddCell(f[1])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-		case "R":
-			if cell == nil || len(f) != 3 {
-				return nil, fail("bad port record")
-			}
-			dir, err := netlist.ParsePortDir(f[2])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			cell.Ports = append(cell.Ports, netlist.Port{Name: f[1], Dir: dir})
-		case "U":
-			if cell == nil || len(f) != 6 {
-				return nil, fail("bad page record")
-			}
-			x0, y0, x1, y1, err := atoi4(f[2], f[3], f[4], f[5])
-			if err != nil {
-				return nil, fail("page size: %v", err)
-			}
-			page = cell.AddPage(geom.R(x0, y0, x1, y1))
-		case "I":
-			if page == nil || len(f) != 6 {
-				return nil, fail("bad instance record")
-			}
-			key, err := parseSymKey(f[2])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			x, err1 := strconv.Atoi(f[3])
-			y, err2 := strconv.Atoi(f[4])
-			o, err3 := geom.ParseOrientation(f[5])
-			if err1 != nil || err2 != nil || err3 != nil {
-				return nil, fail("instance placement")
-			}
-			inst := &schematic.Instance{Name: f[1], Sym: key,
-				Placement: geom.Transform{Orient: o, Offset: geom.Pt(x, y)}}
-			if err := page.AddInstance(inst); err != nil {
-				return nil, fail("%v", err)
-			}
-			lastOwn = &inst.Props
-		case "A":
-			if lastOwn == nil || len(f) < 7 {
-				return nil, fail("A record without owner")
-			}
-			vis, err1 := strconv.Atoi(f[2])
-			x, err2 := strconv.Atoi(f[3])
-			y, err3 := strconv.Atoi(f[4])
-			size, err4 := strconv.Atoi(f[5])
-			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
-				return nil, fail("property fields")
-			}
-			val, err := strconv.Unquote(strings.Join(f[6:], " "))
-			if err != nil {
-				return nil, fail("property value: %v", err)
-			}
-			*lastOwn = append(*lastOwn, schematic.Property{
-				Name: f[1], Value: val, Visible: vis != 0, At: geom.Pt(x, y), Size: size})
-		case "W":
-			if page == nil || len(f) < 5 || len(f)%2 == 0 {
-				return nil, fail("bad wire record")
-			}
-			var pts []geom.Point
-			for i := 1; i+1 < len(f); i += 2 {
-				x, err1 := strconv.Atoi(f[i])
-				y, err2 := strconv.Atoi(f[i+1])
-				if err1 != nil || err2 != nil {
-					return nil, fail("wire coordinates")
+		// handle one record; a non-nil return is a malformed-record report,
+		// not an abort — the mode decides below.
+		err := func() error {
+			switch f[0] {
+			case "V":
+				if len(f) != 3 || f[1] != "vl" {
+					return fail("bad version record %q", line)
 				}
-				pts = append(pts, geom.Pt(x, y))
+			case "D":
+				if len(f) != 3 {
+					return fail("bad design record")
+				}
+				grid, err := parseGrid(f[2])
+				if err != nil {
+					return fail("%v", err)
+				}
+				d = schematic.NewDesign(f[1], grid)
+			case "G":
+				if d == nil {
+					return fail("G before D")
+				}
+				d.Globals = append(d.Globals, f[1:]...)
+			case "Y":
+				if d == nil || len(f) != 2 {
+					return fail("bad library record")
+				}
+				lib = d.EnsureLibrary(f[1])
+			case "S":
+				if lib == nil || len(f) != 7 {
+					return fail("bad symbol record")
+				}
+				x0, y0, x1, y1, err := atoi4(f[3], f[4], f[5], f[6])
+				if err != nil {
+					return fail("symbol body: %v", err)
+				}
+				sym = &schematic.Symbol{Name: f[1], View: f[2], Body: geom.R(x0, y0, x1, y1)}
+				lastOwn = &sym.Props
+			case "P":
+				if sym == nil || len(f) != 5 {
+					return fail("bad pin record")
+				}
+				x, err1 := strconv.Atoi(f[2])
+				y, err2 := strconv.Atoi(f[3])
+				dir, err3 := netlist.ParsePortDir(f[4])
+				if err1 != nil || err2 != nil || err3 != nil {
+					return fail("pin fields")
+				}
+				sym.Pins = append(sym.Pins, schematic.SymbolPin{Name: f[1], Pos: geom.Pt(x, y), Dir: dir})
+			case "E":
+				if lib == nil || sym == nil {
+					return fail("E outside symbol")
+				}
+				if err := lib.AddSymbol(sym); err != nil {
+					return fail("%v", err)
+				}
+				sym = nil
+				lastOwn = nil
+			case "C":
+				if d == nil || len(f) != 2 {
+					return fail("bad cell record")
+				}
+				var err error
+				cell, err = d.AddCell(f[1])
+				if err != nil {
+					return fail("%v", err)
+				}
+			case "R":
+				if cell == nil || len(f) != 3 {
+					return fail("bad port record")
+				}
+				dir, err := netlist.ParsePortDir(f[2])
+				if err != nil {
+					return fail("%v", err)
+				}
+				cell.Ports = append(cell.Ports, netlist.Port{Name: f[1], Dir: dir})
+			case "U":
+				if cell == nil || len(f) != 6 {
+					return fail("bad page record")
+				}
+				x0, y0, x1, y1, err := atoi4(f[2], f[3], f[4], f[5])
+				if err != nil {
+					return fail("page size: %v", err)
+				}
+				page = cell.AddPage(geom.R(x0, y0, x1, y1))
+			case "I":
+				if page == nil || len(f) != 6 {
+					return fail("bad instance record")
+				}
+				key, err := parseSymKey(f[2])
+				if err != nil {
+					return fail("%v", err)
+				}
+				x, err1 := strconv.Atoi(f[3])
+				y, err2 := strconv.Atoi(f[4])
+				o, err3 := geom.ParseOrientation(f[5])
+				if err1 != nil || err2 != nil || err3 != nil {
+					return fail("instance placement")
+				}
+				inst := &schematic.Instance{Name: f[1], Sym: key,
+					Placement: geom.Transform{Orient: o, Offset: geom.Pt(x, y)}}
+				if err := page.AddInstance(inst); err != nil {
+					return fail("%v", err)
+				}
+				lastOwn = &inst.Props
+			case "A":
+				if lastOwn == nil || len(f) < 7 {
+					return fail("A record without owner")
+				}
+				vis, err1 := strconv.Atoi(f[2])
+				x, err2 := strconv.Atoi(f[3])
+				y, err3 := strconv.Atoi(f[4])
+				size, err4 := strconv.Atoi(f[5])
+				if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+					return fail("property fields")
+				}
+				val, err := strconv.Unquote(strings.Join(f[6:], " "))
+				if err != nil {
+					return fail("property value: %v", err)
+				}
+				*lastOwn = append(*lastOwn, schematic.Property{
+					Name: f[1], Value: val, Visible: vis != 0, At: geom.Pt(x, y), Size: size})
+			case "W":
+				if page == nil || len(f) < 5 || len(f)%2 == 0 {
+					return fail("bad wire record")
+				}
+				var pts []geom.Point
+				for i := 1; i+1 < len(f); i += 2 {
+					x, err1 := strconv.Atoi(f[i])
+					y, err2 := strconv.Atoi(f[i+1])
+					if err1 != nil || err2 != nil {
+						return fail("wire coordinates")
+					}
+					pts = append(pts, geom.Pt(x, y))
+				}
+				page.Wires = append(page.Wires, &schematic.Wire{Points: pts})
+			case "L":
+				if page == nil || len(f) != 7 {
+					return fail("bad label record")
+				}
+				x, err1 := strconv.Atoi(f[2])
+				y, err2 := strconv.Atoi(f[3])
+				size, err3 := strconv.Atoi(f[4])
+				ox, err4 := strconv.Atoi(f[5])
+				oy, err5 := strconv.Atoi(f[6])
+				if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+					return fail("label fields")
+				}
+				page.Labels = append(page.Labels, &schematic.Label{
+					Text: f[1], At: geom.Pt(x, y), Size: size, Offset: geom.Pt(ox, oy)})
+			case "O":
+				if page == nil || len(f) != 7 {
+					return fail("bad connector record")
+				}
+				kind, err := schematic.ParseConnKind(f[1])
+				if err != nil {
+					return fail("%v", err)
+				}
+				x, err1 := strconv.Atoi(f[3])
+				y, err2 := strconv.Atoi(f[4])
+				key, err3 := parseSymKey(f[5])
+				o, err4 := geom.ParseOrientation(f[6])
+				if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+					return fail("connector fields")
+				}
+				page.Conns = append(page.Conns, &schematic.Connector{
+					Kind: kind, Name: f[2], At: geom.Pt(x, y), Sym: key, Orient: o})
+			case "T":
+				if page == nil || len(f) < 5 {
+					return fail("bad text record")
+				}
+				// Quoted string may contain spaces: re-split from the raw line.
+				rest := strings.TrimSpace(line[1:])
+				s, tail, err := unquotePrefix(rest)
+				if err != nil {
+					return fail("text string: %v", err)
+				}
+				tf := strings.Fields(tail)
+				if len(tf) != 4 {
+					return fail("text fields")
+				}
+				x, err1 := strconv.Atoi(tf[0])
+				y, err2 := strconv.Atoi(tf[1])
+				size, err3 := strconv.Atoi(tf[2])
+				bo, err4 := strconv.Atoi(tf[3])
+				if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+					return fail("text numbers")
+				}
+				page.Texts = append(page.Texts, &schematic.Text{S: s, At: geom.Pt(x, y), SizePts: size, BaselineOffset: bo})
+			case "Z":
+				page = nil
+				lastOwn = nil
+			case "X":
+				cell = nil
+				page = nil
+				lastOwn = nil
+			default:
+				return fail("unknown record %q", f[0])
 			}
-			page.Wires = append(page.Wires, &schematic.Wire{Points: pts})
-		case "L":
-			if page == nil || len(f) != 7 {
-				return nil, fail("bad label record")
+			return nil
+		}()
+		if err != nil {
+			if aerr := col.Errorf("record", diag.Pos{Offset: -1, Line: lineNo, Col: 1}, "%v", err); aerr != nil {
+				return nil, col.Diags, aerr
 			}
-			x, err1 := strconv.Atoi(f[2])
-			y, err2 := strconv.Atoi(f[3])
-			size, err3 := strconv.Atoi(f[4])
-			ox, err4 := strconv.Atoi(f[5])
-			oy, err5 := strconv.Atoi(f[6])
-			if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
-				return nil, fail("label fields")
-			}
-			page.Labels = append(page.Labels, &schematic.Label{
-				Text: f[1], At: geom.Pt(x, y), Size: size, Offset: geom.Pt(ox, oy)})
-		case "O":
-			if page == nil || len(f) != 7 {
-				return nil, fail("bad connector record")
-			}
-			kind, err := schematic.ParseConnKind(f[1])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			x, err1 := strconv.Atoi(f[3])
-			y, err2 := strconv.Atoi(f[4])
-			key, err3 := parseSymKey(f[5])
-			o, err4 := geom.ParseOrientation(f[6])
-			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
-				return nil, fail("connector fields")
-			}
-			page.Conns = append(page.Conns, &schematic.Connector{
-				Kind: kind, Name: f[2], At: geom.Pt(x, y), Sym: key, Orient: o})
-		case "T":
-			if page == nil || len(f) < 5 {
-				return nil, fail("bad text record")
-			}
-			// Quoted string may contain spaces: re-split from the raw line.
-			rest := strings.TrimSpace(line[1:])
-			s, tail, err := unquotePrefix(rest)
-			if err != nil {
-				return nil, fail("text string: %v", err)
-			}
-			tf := strings.Fields(tail)
-			if len(tf) != 4 {
-				return nil, fail("text fields")
-			}
-			x, err1 := strconv.Atoi(tf[0])
-			y, err2 := strconv.Atoi(tf[1])
-			size, err3 := strconv.Atoi(tf[2])
-			bo, err4 := strconv.Atoi(tf[3])
-			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
-				return nil, fail("text numbers")
-			}
-			page.Texts = append(page.Texts, &schematic.Text{S: s, At: geom.Pt(x, y), SizePts: size, BaselineOffset: bo})
-		case "Z":
-			page = nil
-			lastOwn = nil
-		case "X":
-			cell = nil
-			page = nil
-			lastOwn = nil
-		default:
-			return nil, fail("unknown record %q", f[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, col.Diags, err
 	}
 	if d == nil {
-		return nil, fmt.Errorf("%w: no design record", ErrFormat)
+		if err := col.Errorf("record", diag.NoPos, "no design record"); err != nil {
+			return nil, col.Diags, err
+		}
+		return nil, col.Diags, fmt.Errorf("%w: no design record", ErrFormat)
 	}
-	return d, nil
+	if err := schematic.Reconcile(d, col); err != nil {
+		return nil, col.Diags, err
+	}
+	return d, col.Diags, nil
 }
 
 // atoi4 converts four decimal fields at once.

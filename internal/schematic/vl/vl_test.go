@@ -28,7 +28,7 @@ func sampleDesign(t testing.TB) *schematic.Design {
 	if err := lib.AddSymbol(sym); err != nil {
 		t.Fatal(err)
 	}
-	c := d.MustCell("top")
+	c := mustCell(d, "top")
 	c.Ports = []netlist.Port{{Name: "in", Dir: netlist.Input}}
 	pg := c.AddPage(geom.R(0, 0, 110, 85))
 	inst := &schematic.Instance{
@@ -165,7 +165,7 @@ func TestReadCommentsAndBlankLines(t *testing.T) {
 
 func TestQuotedTextWithSpaces(t *testing.T) {
 	d := schematic.NewDesign("t", geom.GridTenth)
-	c := d.MustCell("c")
+	c := mustCell(d, "c")
 	pg := c.AddPage(geom.R(0, 0, 10, 10))
 	pg.Texts = append(pg.Texts, &schematic.Text{S: `title "quoted" \ back`, At: geom.Pt(1, 2), SizePts: 8})
 	var buf bytes.Buffer

@@ -7,8 +7,6 @@ package sim
 
 import (
 	"testing"
-
-	"cadinterop/internal/hdl"
 )
 
 // TestEventLoopAllocs: a clocked design stepping in steady state must not
@@ -35,7 +33,7 @@ module top;
     #5 clk = ~clk;
   end
 endmodule`
-	k, err := Elaborate(hdl.MustParse(src), "top", Options{Policy: PolicyByName, DisableTrace: true})
+	k, err := Elaborate(mustParse(src), "top", Options{Policy: PolicyByName, DisableTrace: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,8 +3,6 @@ package sim
 import (
 	"errors"
 	"testing"
-
-	"cadinterop/internal/hdl"
 )
 
 func TestValueMapProperties(t *testing.T) {
@@ -65,8 +63,8 @@ module partB;
     en = 1;
   end
 endmodule`
-	da := hdl.MustParse(srcA)
-	db := hdl.MustParse(srcB)
+	da := mustParse(srcA)
+	db := mustParse(srcB)
 	ka, err := Elaborate(da, "partA", opts)
 	if err != nil {
 		t.Fatal(err)
@@ -140,11 +138,11 @@ module partB;
   assign out = mid_in;
 endmodule`
 	run := func(m ValueMap) (Value, int) {
-		ka, err := Elaborate(hdl.MustParse(srcA), "partA", Options{})
+		ka, err := Elaborate(mustParse(srcA), "partA", Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		kb, err := Elaborate(hdl.MustParse(srcB), "partB", Options{})
+		kb, err := Elaborate(mustParse(srcB), "partB", Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -192,7 +190,7 @@ module top;
     #30 drive = 0;
   end
 endmodule`
-	km, err := Elaborate(hdl.MustParse(mono), "top", Options{})
+	km, err := Elaborate(mustParse(mono), "top", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,11 +382,11 @@ endmodule`
 	}
 	// Compare the timeline of known-value transitions on A's "out".
 	run := func(once bool) []Change {
-		ka, err := Elaborate(hdl.MustParse(srcA), "partA", Options{})
+		ka, err := Elaborate(mustParse(srcA), "partA", Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		kb, err := Elaborate(hdl.MustParse(srcB), "partB", Options{DisableTrace: true})
+		kb, err := Elaborate(mustParse(srcB), "partB", Options{DisableTrace: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,13 @@
+package sim
+
+import "cadinterop/internal/hdl"
+
+// mustParse parses a known-good generated source; the panic (which fails
+// the test) replaces the deleted production hdl.MustParse.
+func mustParse(src string) *hdl.Design {
+	d, err := hdl.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -413,7 +413,7 @@ endmodule`
 }
 
 func TestZeroDelayLoopWatchdog(t *testing.T) {
-	d := hdl.MustParse(`
+	d := mustParse(`
 module top;
   reg a;
   initial a = 0;
@@ -586,7 +586,7 @@ module top;
   always @(posedge clk) n <= n + 1;
   initial #95 $finish;
 endmodule`
-	d := hdl.MustParse(src)
+	d := mustParse(src)
 	before := runtime.NumGoroutine()
 	for i := 0; i < 50; i++ {
 		k, err := Elaborate(d, "top", Options{DisableTrace: true})
@@ -609,7 +609,7 @@ endmodule`
 }
 
 func TestElaborateRejectsWideVectors(t *testing.T) {
-	d := hdl.MustParse(`
+	d := mustParse(`
 module top;
   reg [99:0] big;
 endmodule`)

@@ -3,8 +3,6 @@ package sim
 import (
 	"strings"
 	"testing"
-
-	"cadinterop/internal/hdl"
 )
 
 func TestPLIUserTask(t *testing.T) {
@@ -18,7 +16,7 @@ module top;
     #5 $finish;
   end
 endmodule`
-	d := hdl.MustParse(src)
+	d := mustParse(src)
 	k, err := Elaborate(d, "top", Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +70,7 @@ module top;
     $finish;
   end
 endmodule`
-	d := hdl.MustParse(src)
+	d := mustParse(src)
 	k, err := Elaborate(d, "top", Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -95,7 +93,7 @@ module top;
     r = 1; // unreachable
   end
 endmodule`
-	d := hdl.MustParse(src)
+	d := mustParse(src)
 	k, err := Elaborate(d, "top", Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +120,7 @@ module top;
     #5 $finish;
   end
 endmodule`
-	d := hdl.MustParse(src)
+	d := mustParse(src)
 	k, err := Elaborate(d, "top", Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -80,7 +80,9 @@ func Synthesize(d *hdl.Design, top string, opts Options) (*netlist.Netlist, *Rep
 	nl := netlist.New()
 	nl.Top = top
 	rep := &Report{}
-	addGatePrimitives(nl)
+	if err := addGatePrimitives(nl); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrSynth, err)
+	}
 	// Synthesize all modules reachable from top, bottom-up.
 	done := make(map[string]bool)
 	var build func(name string) error
@@ -109,9 +111,12 @@ func Synthesize(d *hdl.Design, top string, opts Options) (*netlist.Netlist, *Rep
 	return nl, rep, nil
 }
 
-func addGatePrimitives(nl *netlist.Netlist) {
-	add := func(name string, ins []string, outs []string) {
-		c := nl.MustCell(name)
+func addGatePrimitives(nl *netlist.Netlist) error {
+	add := func(name string, ins []string, outs []string) error {
+		c, err := nl.AddCell(name)
+		if err != nil {
+			return err
+		}
 		c.Primitive = true
 		for _, p := range ins {
 			c.AddPort(p, netlist.Input)
@@ -119,17 +124,29 @@ func addGatePrimitives(nl *netlist.Netlist) {
 		for _, p := range outs {
 			c.AddPort(p, netlist.Output)
 		}
+		return nil
 	}
-	add(GateInv, []string{"A"}, []string{"Y"})
-	add(GateBuf, []string{"A"}, []string{"Y"})
-	add(GateAnd, []string{"A", "B"}, []string{"Y"})
-	add(GateOr, []string{"A", "B"}, []string{"Y"})
-	add(GateXor, []string{"A", "B"}, []string{"Y"})
-	add(GateMux, []string{"D0", "D1", "S"}, []string{"Y"})
-	add(GateDFF, []string{"CK", "D"}, []string{"Q"})
-	add(GateLatch, []string{"D"}, []string{"Q"})
-	add(GateTie0, nil, []string{"Y"})
-	add(GateTie1, nil, []string{"Y"})
+	gates := []struct {
+		name      string
+		ins, outs []string
+	}{
+		{GateInv, []string{"A"}, []string{"Y"}},
+		{GateBuf, []string{"A"}, []string{"Y"}},
+		{GateAnd, []string{"A", "B"}, []string{"Y"}},
+		{GateOr, []string{"A", "B"}, []string{"Y"}},
+		{GateXor, []string{"A", "B"}, []string{"Y"}},
+		{GateMux, []string{"D0", "D1", "S"}, []string{"Y"}},
+		{GateDFF, []string{"CK", "D"}, []string{"Q"}},
+		{GateLatch, []string{"D"}, []string{"Q"}},
+		{GateTie0, nil, []string{"Y"}},
+		{GateTie1, nil, []string{"Y"}},
+	}
+	for _, g := range gates {
+		if err := add(g.name, g.ins, g.outs); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // builder synthesizes one module.

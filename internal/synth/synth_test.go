@@ -14,7 +14,7 @@ import (
 // --- feature analysis and profiles ----------------------------------------
 
 func TestAnalyzeFindsFeatures(t *testing.T) {
-	d := hdl.MustParse(`
+	d := mustParse(`
 module m(a, b, y);
   input [3:0] a, b;
   output [3:0] y;
@@ -43,7 +43,7 @@ endmodule`)
 }
 
 func TestAnalyzeMultipleDriversAndClocked(t *testing.T) {
-	d := hdl.MustParse(`
+	d := mustParse(`
 module m(clk, y);
   input clk;
   output y;
@@ -69,7 +69,7 @@ endmodule`)
 }
 
 func TestCheckProfileAcceptRejectWarn(t *testing.T) {
-	d := hdl.MustParse(`
+	d := mustParse(`
 module m(a, b, y);
   input [3:0] a, b;
   output [3:0] y;
@@ -110,7 +110,7 @@ func TestIntersectionIsSubsetOfAll(t *testing.T) {
 	}
 	// A design accepted by the intersection is accepted by every vendor —
 	// the paper's portability rule.
-	portable := hdl.MustParse(`
+	portable := mustParse(`
 module p(s, a, b, y);
   input s, a, b;
   output y;
@@ -215,7 +215,7 @@ func gateOutput(t testing.TB, vals map[string]sim.Value, name string, width int)
 // simulation on random stimulus.
 func checkEquiv(t *testing.T, src, top string, inW map[string]int, outW map[string]int, samples int) {
 	t.Helper()
-	d := hdl.MustParse(src)
+	d := mustParse(src)
 	nl, rep, err := Synthesize(d, top, Options{})
 	if err != nil {
 		t.Fatalf("synthesize: %v", err)
@@ -380,7 +380,7 @@ module style(a, b, c, out);
   always @(a or b)
     out = a & b & c;
 endmodule`
-	d := hdl.MustParse(src)
+	d := mustParse(src)
 	nl, rep, err := Synthesize(d, "style", Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -397,7 +397,7 @@ endmodule`
 	if err != nil {
 		t.Fatal(err)
 	}
-	gd := hdl.MustParse(v)
+	gd := mustParse(v)
 
 	// Drive a=1,b=1,c=0, then raise only c.
 	step1 := map[string]sim.Value{
@@ -439,7 +439,7 @@ endmodule`
 }
 
 func TestLatchInference(t *testing.T) {
-	d := hdl.MustParse(`
+	d := mustParse(`
 module lat(en, d, q);
   input en;
   input [1:0] d;
@@ -460,7 +460,7 @@ endmodule`)
 		t.Error("EmitVerilog should refuse latch cells")
 	}
 	// Complete assignment infers no latch.
-	d2 := hdl.MustParse(`
+	d2 := mustParse(`
 module nolat(en, d, q);
   input en;
   input [1:0] d;
@@ -488,7 +488,7 @@ module ff(clk, d, q);
   reg [1:0] q;
   always @(posedge clk) q <= d + 1;
 endmodule`
-	d := hdl.MustParse(src)
+	d := mustParse(src)
 	nl, rep, err := Synthesize(d, "ff", Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -500,7 +500,7 @@ endmodule`
 	if err != nil {
 		t.Fatal(err)
 	}
-	gd := hdl.MustParse(v)
+	gd := mustParse(v)
 
 	clockIn := func(dd *hdl.Design, clkName string, dIn func(uint64) map[string]sim.Value, qOut func(*sim.Kernel) uint64) []uint64 {
 		k, err := sim.Elaborate(dd, "ff", sim.Options{DisableTrace: true})
@@ -561,7 +561,7 @@ endmodule`
 }
 
 func TestSynthesizeHierarchy(t *testing.T) {
-	d := hdl.MustParse(`
+	d := mustParse(`
 module inv(a, y);
   input a;
   output y;
@@ -591,7 +591,7 @@ endmodule`)
 }
 
 func TestSynthesizeProfileRejection(t *testing.T) {
-	d := hdl.MustParse(`
+	d := mustParse(`
 module m(a, b, y);
   input [3:0] a, b;
   output [7:0] y;
@@ -635,7 +635,7 @@ endmodule`, "m"},
 }
 
 func TestReportWarnings(t *testing.T) {
-	d := hdl.MustParse(`
+	d := mustParse(`
 module m(clk, d, q);
   input clk, d;
   output q;

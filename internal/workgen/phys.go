@@ -93,13 +93,19 @@ func PhysDesign(opts PhysOptions) (*phys.Design, *floorplan.Floorplan, error) {
 	nl := netlist.New()
 	for _, mn := range []string{"BUFX1", "NAND2X1"} {
 		m, _ := lib.Macro(mn)
-		c := nl.MustCell(mn)
+		c, err := nl.AddCell(mn)
+		if err != nil {
+			return nil, nil, err
+		}
 		c.Primitive = true
 		for _, p := range m.Pins {
 			c.AddPort(p.Name, p.Dir)
 		}
 	}
-	top := nl.MustCell("chip")
+	top, err := nl.AddCell("chip")
+	if err != nil {
+		return nil, nil, err
+	}
 	for i := 0; i < opts.Cells; i++ {
 		name := fmt.Sprintf("u%04d", i)
 		master := "BUFX1"

@@ -91,7 +91,11 @@ func Schematic(opts SchematicOptions) *SchematicWorkload {
 		},
 	})
 
-	c := d.MustCell("top")
+	c, err := d.AddCell("top")
+	if err != nil {
+		// Unreachable: d was created fresh above, so "top" cannot collide.
+		panic("workgen: fresh design rejected cell: " + err.Error())
+	}
 	c.Ports = []netlist.Port{
 		{Name: "n0000", Dir: netlist.Input},
 		{Name: fmt.Sprintf("n%04d", opts.Instances), Dir: netlist.Output},

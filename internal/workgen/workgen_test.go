@@ -102,7 +102,7 @@ func TestRacyDesignDivergesCleanDoesNot(t *testing.T) {
 	racy := RacyDesign(3, false)
 	clean := RacyDesign(3, true)
 	run := func(src string, pol sim.Policy) map[string]sim.Value {
-		d := hdl.MustParse(src)
+		d := mustParse(src)
 		k, err := sim.Elaborate(d, "top", sim.Options{Policy: pol, DisableTrace: true})
 		if err != nil {
 			t.Fatal(err)
@@ -136,7 +136,7 @@ func TestTimingDesignViolationCounts(t *testing.T) {
 	// Deltas: 1 (violates), limit+1 (ok), 0 (simultaneous: version
 	// dependent).
 	src := TimingDesign(3, []int{1, 4, 0})
-	d := hdl.MustParse(src)
+	d := mustParse(src)
 	run := func(pre16a bool) int {
 		k, err := sim.Elaborate(d, "top", sim.Options{Pre16aPaths: pre16a, DisableTrace: true})
 		if err != nil {
@@ -159,7 +159,7 @@ func TestTimingDesignViolationCounts(t *testing.T) {
 
 func TestSensitivityDesign(t *testing.T) {
 	src := SensitivityDesign(4)
-	d := hdl.MustParse(src)
+	d := mustParse(src)
 	_, rep, err := synth.Synthesize(d, "style", synth.Options{})
 	if err != nil {
 		t.Fatal(err)

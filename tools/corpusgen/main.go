@@ -1,0 +1,195 @@
+// Command corpusgen regenerates the committed fuzz seed corpora under each
+// parser package's testdata/fuzz/FuzzParse/ directory. Seeds are a mix of
+// handwritten pathological inputs and rich valid sources produced by the
+// writers, so `go test -fuzz` starts from both shores of the input space.
+// Run from the repository root: go run ./tools/corpusgen
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"cadinterop/internal/exchange"
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+	"cadinterop/internal/schematic"
+	"cadinterop/internal/schematic/cd"
+	"cadinterop/internal/schematic/vl"
+)
+
+// write encodes one seed in the `go test fuzz v1` corpus format. asString
+// selects string(...) (for parsers taking string) vs []byte(...).
+func write(dir string, n int, data string, asString bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	form := "[]byte(%s)\n"
+	if asString {
+		form = "string(%s)\n"
+	}
+	body := "go test fuzz v1\n" + fmt.Sprintf(form, strconv.Quote(data))
+	return os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", n)), []byte(body), 0o644)
+}
+
+// sampleNetlist mirrors the exchange package's test sample: awkward names,
+// attributes, globals and a primitive cell.
+func sampleNetlist() (*netlist.Netlist, error) {
+	nl := netlist.New()
+	inv, err := nl.AddCell("INV")
+	if err != nil {
+		return nil, err
+	}
+	inv.Primitive = true
+	inv.AddPort("A", netlist.Input)
+	inv.AddPort("Y", netlist.Output)
+	top, err := nl.AddCell("top_level_module_with_a_long_name")
+	if err != nil {
+		return nil, err
+	}
+	top.AddPort("in", netlist.Input)
+	top.AddPort("out", netlist.Output)
+	top.EnsureNet("in")
+	top.EnsureNet("out")
+	vdd := top.EnsureNet("VDD")
+	vdd.Global = true
+	vdd.Attrs["voltage"] = "3.3"
+	u0, _ := top.AddInstance("u0", "INV")
+	_ = u0
+	top.Connect("u0", "A", "in")
+	top.Connect("u0", "Y", "out")
+	nl.Top = "top_level_module_with_a_long_name"
+	return nl, nil
+}
+
+// sampleSchematic mirrors the vl/cd packages' test sample design.
+func sampleSchematic() (*schematic.Design, error) {
+	d := schematic.NewDesign("sample", geom.GridTenth)
+	d.Globals = []string{"VDD", "GND"}
+	lib := d.EnsureLibrary("std")
+	sym := &schematic.Symbol{
+		Name: "nand2", View: "sym", Body: geom.R(0, 0, 4, 4),
+		Pins: []schematic.SymbolPin{
+			{Name: "A", Pos: geom.Pt(0, 0), Dir: netlist.Input},
+			{Name: "Y", Pos: geom.Pt(4, 0), Dir: netlist.Output},
+		},
+	}
+	if err := lib.AddSymbol(sym); err != nil {
+		return nil, err
+	}
+	c, err := d.AddCell("top")
+	if err != nil {
+		return nil, err
+	}
+	c.Ports = []netlist.Port{{Name: "in", Dir: netlist.Input}}
+	pg := c.AddPage(geom.R(0, 0, 110, 85))
+	inst := &schematic.Instance{
+		Name: "u1", Sym: schematic.SymbolKey{Lib: "std", Name: "nand2", View: "sym"},
+		Placement: geom.Transform{Orient: geom.R90, Offset: geom.Pt(10, 20)},
+	}
+	if err := pg.AddInstance(inst); err != nil {
+		return nil, err
+	}
+	pg.Wires = append(pg.Wires, &schematic.Wire{Points: []geom.Point{geom.Pt(4, 10), geom.Pt(10, 10), geom.Pt(10, 20)}})
+	pg.Labels = append(pg.Labels, &schematic.Label{Text: "A<0:15>-", At: geom.Pt(4, 10), Size: 8, Offset: geom.Pt(0, 1)})
+	d.Top = "top"
+	return d, nil
+}
+
+const hdlSeed = `module unit(a, b, sel, y);
+  input a, b, sel;
+  output y;
+  wire [3:0] t;
+  reg r;
+  assign t = {a, b, ~a & b, a ^ b};
+  assign y = sel ? t[0] : (a | b);
+  always @(posedge sel or negedge a)
+    if (a) r <= 1'b1;
+    else begin
+      r <= 4'hA;
+    end
+endmodule`
+
+const alSeed = `(define (transform name value)
+  (map (lambda (p)
+         (let ((kv (string-split p ":")))
+           (list (string-append "m_" (car kv)) (nth 1 kv))))
+       (string-split value " ")))
+(list 1 2.5 -3 "str \" escaped" (quote (a b c)))`
+
+func run() error {
+	// a/L and hdl take string fuzz arguments.
+	for i, s := range []string{alSeed, "(a b (c))", "'(quote . 1)", "((((((((((", `("unterminated`} {
+		if err := write("internal/al/testdata/fuzz/FuzzParse", i+1, s, true); err != nil {
+			return err
+		}
+	}
+	hdlSeeds := []string{
+		hdlSeed,
+		"module m; endmodule",
+		"module m(a); input a; assign a = 1'bx; endmodule",
+		"module \\esc~id (x); inout x; endmodule",
+		"/* unterminated",
+		"module m; initial $display(\"hi\", 4'd12); endmodule",
+	}
+	for i, s := range hdlSeeds {
+		if err := write("internal/hdl/testdata/fuzz/FuzzParse", i+1, s, true); err != nil {
+			return err
+		}
+	}
+
+	// exchange, vl and cd take []byte fuzz arguments.
+	nl, err := sampleNetlist()
+	if err != nil {
+		return err
+	}
+	var exbuf bytes.Buffer
+	if err := exchange.Write(&exbuf, nl, exchange.WriteOptions{NameLimit: 12, VHDLSafe: true, Trailer: true}); err != nil {
+		return err
+	}
+	exSeeds := []string{
+		exbuf.String(),
+		"(edif (cell INV (interface (port A input) (port Y output)) (primitive)))",
+		"(edif",
+		";\n",
+	}
+	for i, s := range exSeeds {
+		if err := write("internal/exchange/testdata/fuzz/FuzzParse", i+1, s, false); err != nil {
+			return err
+		}
+	}
+
+	d, err := sampleSchematic()
+	if err != nil {
+		return err
+	}
+	var vlbuf, cdbuf bytes.Buffer
+	if err := vl.Write(&vlbuf, d); err != nil {
+		return err
+	}
+	if err := cd.Write(&cdbuf, d); err != nil {
+		return err
+	}
+	vlSeeds := []string{vlbuf.String(), "DESIGN d 10\n", "|no design line\n"}
+	for i, s := range vlSeeds {
+		if err := write("internal/schematic/vl/testdata/fuzz/FuzzParse", i+1, s, false); err != nil {
+			return err
+		}
+	}
+	cdSeeds := []string{cdbuf.String(), "(design d (grid 10))", "(design"}
+	for i, s := range cdSeeds {
+		if err := write("internal/schematic/cd/testdata/fuzz/FuzzParse", i+1, s, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+}
