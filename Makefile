@@ -8,12 +8,12 @@
 
 GO ?= go
 RACE_PKGS = $(shell $(GO) list -f '{{.ImportPath}} {{join .Deps " "}}' ./... | grep 'cadinterop/internal/par' | cut -d' ' -f1)
-RACE_EXTRA = cadinterop/internal/workflow cadinterop/internal/fault
+RACE_EXTRA = cadinterop/internal/workflow cadinterop/internal/fault cadinterop/internal/obs
 
 # Benchmarks aggregated into BENCH_PR2.json. Override BENCH / BENCH_COUNT
 # for a quicker or broader sweep; set BASELINE to a saved `go test -bench`
 # output to record per-metric deltas alongside the current numbers.
-BENCH ?= BenchmarkRouteParallel|BenchmarkExp9BackplaneLoss|BenchmarkExp3SchedulerDivergence|BenchmarkExpAll
+BENCH ?= BenchmarkRouteParallel|BenchmarkExp9BackplaneLoss|BenchmarkExp3SchedulerDivergence|BenchmarkExpAll|BenchmarkObsOverhead
 BENCH_COUNT ?= 5
 BENCH_OUT ?= BENCH_PR2.json
 BASELINE ?=
@@ -23,7 +23,15 @@ BASELINE ?=
 FUZZ_PKGS = ./internal/al ./internal/hdl ./internal/exchange ./internal/schematic/vl ./internal/schematic/cd
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race allocs bench fuzz
+# Coverage gate: aggregate statement coverage across ./internal/... and
+# ./cmd/... must hold ≥ COVER_MIN, and internal/obs — the observability
+# layer whose no-op paths are easy to leave untested — must hold ≥
+# COVER_OBS_MIN on its own.
+COVER_MIN ?= 70.0
+COVER_OBS_MIN ?= 90.0
+COVER_OUT ?= cover.out
+
+.PHONY: check build vet test race allocs bench fuzz cover
 
 check: build vet test race allocs
 
@@ -43,7 +51,23 @@ race:
 # the router's and the sim kernel's steady-state hot paths at ~zero
 # allocations (DESIGN.md §5c).
 allocs:
-	$(GO) test -run 'Allocs' ./internal/route ./internal/sim
+	$(GO) test -run 'Allocs' ./internal/route ./internal/sim ./internal/obs ./internal/workflow
+
+# Coverage gate (see COVER_MIN / COVER_OBS_MIN above). One merged profile
+# over every package, then the same profile filtered to internal/obs —
+# both totals come from `go tool cover -func`, so they are
+# statement-weighted, and obs statements exercised by other packages'
+# tests count toward its gate.
+cover:
+	$(GO) test -coverprofile=$(COVER_OUT) -coverpkg=./internal/...,./cmd/... ./... > /dev/null
+	@$(GO) tool cover -func=$(COVER_OUT) | tail -1 | awk '{ t = $$3 + 0; \
+		printf "aggregate coverage: %.1f%% (min $(COVER_MIN)%%)\n", t; \
+		if (t < $(COVER_MIN)) { print "FAIL: aggregate coverage below $(COVER_MIN)%"; exit 1 } }'
+	@head -1 $(COVER_OUT) > $(COVER_OUT).obs && grep '/internal/obs/' $(COVER_OUT) >> $(COVER_OUT).obs && \
+	$(GO) tool cover -func=$(COVER_OUT).obs | tail -1 | awk '{ t = $$3 + 0; \
+		printf "internal/obs coverage: %.1f%% (min $(COVER_OBS_MIN)%%)\n", t; \
+		if (t < $(COVER_OBS_MIN)) { print "FAIL: internal/obs coverage below $(COVER_OBS_MIN)%"; exit 1 } }' && \
+	rm -f $(COVER_OUT).obs
 
 # Fuzz smoke: every parser fuzz target runs FUZZTIME from its committed
 # corpus without crashing (DESIGN.md §5e). Not part of `check` — the

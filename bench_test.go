@@ -14,10 +14,12 @@ import (
 	"cadinterop/internal/backplane"
 	"cadinterop/internal/core"
 	"cadinterop/internal/experiments"
+	"cadinterop/internal/fault"
 	"cadinterop/internal/floorplan"
 	"cadinterop/internal/hdl"
 	"cadinterop/internal/migrate"
 	"cadinterop/internal/naming"
+	"cadinterop/internal/obs"
 	"cadinterop/internal/par"
 	"cadinterop/internal/phys"
 	"cadinterop/internal/place"
@@ -460,6 +462,84 @@ func BenchmarkRouteParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures the observability layer against the same
+// workload with it off. The disabled sub-benchmarks are the regression
+// reference: instrumentation compiles to nil-receiver no-ops when no
+// recorder or registry is attached, so "disabled" must track the
+// pre-observability numbers (ISSUE 5 budget: ≤2% ns/op) while "observed"
+// shows the real cost of live counters and spans.
+func BenchmarkObsOverhead(b *testing.B) {
+	d, fp, err := workgen.PhysDesign(workgen.PhysOptions{
+		Cells: 48, Seed: 7, CriticalNets: 4, Keepouts: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := place.Place(d, place.Options{Seed: 5}); err != nil {
+		b.Fatal(err)
+	}
+	rules := make(map[string]route.Rule, len(fp.NetRules))
+	for _, r := range fp.NetRules {
+		w := max(r.WidthTracks, 1)
+		rules[r.Net] = route.Rule{WidthTracks: w, SpacingTracks: r.SpacingTracks, Shield: r.Shield}
+	}
+	routeOnce := func(b *testing.B, reg *obs.Registry) {
+		if _, err := route.Route(d, route.Options{Pitch: 5, Rules: rules, Metrics: reg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("route-disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			routeOnce(b, nil)
+		}
+	})
+	b.Run("route-observed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			routeOnce(b, obs.NewRegistry())
+		}
+	})
+
+	flowOnce := func(b *testing.B, observed bool) {
+		steps := []*workflow.StepDef{
+			{Name: "plan", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+				c.Data().Put("fp", "v1")
+				return 0
+			}}, Outputs: []string{"fp"}, Retry: workflow.RetryPolicy{MaxAttempts: 3, Backoff: 2}},
+		}
+		for i := 0; i < 12; i++ {
+			steps = append(steps, &workflow.StepDef{
+				Name:       fmt.Sprintf("blk%d", i),
+				Action:     workflow.FuncAction{Fn: func(*workflow.Ctx) int { return 0 }},
+				StartAfter: []string{"plan"},
+				Retry:      workflow.RetryPolicy{MaxAttempts: 3, Backoff: 2, AttemptTimeout: 12},
+			})
+		}
+		in, err := workflow.Instantiate(&workflow.Template{Name: "b", Steps: steps}, workflow.NewMemStore(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in.Faults = fault.New(99, 0.3)
+		if observed {
+			rec := obs.New(in)
+			root := rec.Start(0, "bench")
+			in.Observe(rec, root)
+			in.RunContinue("u")
+			rec.End(root)
+		} else {
+			in.RunContinue("u")
+		}
+	}
+	b.Run("workflow-disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			flowOnce(b, false)
+		}
+	})
+	b.Run("workflow-observed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			flowOnce(b, true)
+		}
+	})
 }
 
 // BenchmarkWorkgenCorpus measures generating the E6 model corpus serially

@@ -15,22 +15,38 @@ import (
 	"cadinterop/internal/diag"
 	"cadinterop/internal/filecheck"
 	"cadinterop/internal/floorplan"
+	"cadinterop/internal/obs"
 	"cadinterop/internal/par"
 	"cadinterop/internal/phys"
 	"cadinterop/internal/workgen"
 )
 
+// config carries the command's flag settings into run.
+type config struct {
+	cells       int
+	seed        int64
+	tool        string
+	printLoss   bool
+	jobs        int
+	roundTrip   bool
+	traceFile   string
+	metricsFile string
+}
+
 func main() {
+	var cfg config
+	flag.IntVar(&cfg.cells, "cells", 24, "standard cell count in the generated design")
+	flag.Int64Var(&cfg.seed, "seed", 11, "generator seed")
+	flag.StringVar(&cfg.tool, "tool", "", "run only one tool dialect (toolP|toolQ|toolR)")
+	flag.BoolVar(&cfg.printLoss, "loss", false, "print the full loss report")
+	flag.IntVar(&cfg.jobs, "j", 0, "worker count (0 = GOMAXPROCS, 1 = sequential)")
+	flag.StringVar(&cfg.traceFile, "trace", "", "write the span trace to this file (.json = Chrome trace, .jsonl = JSON lines, else text tree)")
+	flag.StringVar(&cfg.metricsFile, "metrics", "", "write the metrics registry to this file as text")
+	flag.BoolVar(&cfg.roundTrip, "roundtrip", false, "gate each dialect's flow on an exchange round-trip integrity check")
 	var (
-		cells     = flag.Int("cells", 24, "standard cell count in the generated design")
-		seed      = flag.Int64("seed", 11, "generator seed")
-		tool      = flag.String("tool", "", "run only one tool dialect (toolP|toolQ|toolR)")
-		loss      = flag.Bool("loss", false, "print the full loss report")
-		jobs      = flag.Int("j", 0, "worker count (0 = GOMAXPROCS, 1 = sequential)")
-		check     = flag.Bool("check", false, "vet the interchange files given as arguments (reader by extension) and exit")
-		strict    = flag.Bool("strict", true, "with -check: abort a file on its first error-severity diagnostic")
-		lenient   = flag.Bool("lenient", false, "with -check: quarantine malformed records and keep parsing")
-		roundTrip = flag.Bool("roundtrip", false, "gate each dialect's flow on an exchange round-trip integrity check")
+		check   = flag.Bool("check", false, "vet the interchange files given as arguments (reader by extension) and exit")
+		strict  = flag.Bool("strict", true, "with -check: abort a file on its first error-severity diagnostic")
+		lenient = flag.Bool("lenient", false, "with -check: quarantine malformed records and keep parsing")
 	)
 	flag.Parse()
 	if *check {
@@ -48,33 +64,52 @@ func main() {
 		}
 		return
 	}
-	if err := run(*cells, *seed, *tool, *loss, *jobs, *roundTrip); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bplane:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cells int, seed int64, only string, printLoss bool, jobs int, roundTrip bool) error {
+func run(cfg config) error {
 	tools := backplane.AllTools()
-	if only != "" {
+	if cfg.tool != "" {
 		var sel []backplane.ToolDialect
 		for _, t := range tools {
-			if t.Name == only {
+			if t.Name == cfg.tool {
 				sel = append(sel, t)
 			}
 		}
 		if len(sel) == 0 {
-			return fmt.Errorf("unknown tool %q", only)
+			return fmt.Errorf("unknown tool %q", cfg.tool)
 		}
 		tools = sel
 	}
 	gen := func() (*phys.Design, *floorplan.Floorplan, error) {
 		return workgen.PhysDesign(workgen.PhysOptions{
-			Cells: cells, Seed: seed, CriticalNets: 3, Keepouts: 1})
+			Cells: cfg.cells, Seed: cfg.seed, CriticalNets: 3, Keepouts: 1})
 	}
-	results, err := backplane.RunFlowsChecked(gen, tools, 5, roundTrip, par.Workers(jobs))
-	if err != nil && !roundTrip {
+	// Each tool's flow traces into a private child recorder on its own
+	// virtual clock; the children merge in tool order, so the trace is
+	// byte-identical at every -j.
+	var rec *obs.Recorder
+	if cfg.traceFile != "" || cfg.metricsFile != "" {
+		rec = obs.New(nil)
+	}
+	results, err := backplane.RunFlowsObserved(gen, tools, 5, cfg.roundTrip, rec, par.Workers(cfg.jobs))
+	if err != nil && !cfg.roundTrip {
 		return err
+	}
+	if rec != nil {
+		if cfg.traceFile != "" {
+			if werr := rec.WriteTraceFile(cfg.traceFile); werr != nil {
+				return werr
+			}
+		}
+		if cfg.metricsFile != "" {
+			if werr := rec.WriteMetricsFile(cfg.metricsFile); werr != nil {
+				return werr
+			}
+		}
 	}
 	fmt.Printf("%-8s %6s %10s %8s %8s %6s %12s %10s\n",
 		"tool", "lost", "degraded", "HPWL", "wirelen", "vias", "violations", "unrouted")
@@ -94,7 +129,7 @@ func run(cells int, seed int64, only string, printLoss bool, jobs int, roundTrip
 		fmt.Printf("%-8s %6d %10d %8d %8d %6d %12d %10d\n",
 			res.Tool, dropped, degraded, res.Place.FinalHPWL,
 			res.Route.Wirelength, res.Route.Vias, len(res.Violations), len(res.Route.Failed))
-		if printLoss {
+		if cfg.printLoss {
 			for _, it := range res.Loss.Items {
 				fmt.Println("   ", it)
 			}

@@ -1,33 +1,59 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunAllTools(t *testing.T) {
-	if err := run(20, 11, "", false, 0, false); err != nil {
+	if err := run(config{cells: 20, seed: 11}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllToolsSequential(t *testing.T) {
-	if err := run(20, 11, "", false, 1, false); err != nil {
+	if err := run(config{cells: 20, seed: 11, jobs: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunOneToolWithLoss(t *testing.T) {
-	if err := run(16, 7, "toolQ", true, 2, false); err != nil {
+	if err := run(config{cells: 16, seed: 7, tool: "toolQ", printLoss: true, jobs: 2}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRoundTripGate(t *testing.T) {
-	if err := run(16, 7, "", false, 0, true); err != nil {
+	if err := run(config{cells: 16, seed: 7, roundTrip: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownTool(t *testing.T) {
-	if err := run(16, 7, "toolZ", false, 0, false); err == nil {
+	if err := run(config{cells: 16, seed: 7, tool: "toolZ"}); err == nil {
 		t.Error("unknown tool accepted")
+	}
+}
+
+func TestRunWritesTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		cells:       16,
+		seed:        7,
+		traceFile:   filepath.Join(dir, "trace.txt"),
+		metricsFile: filepath.Join(dir, "metrics.txt"),
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cfg.traceFile, cfg.metricsFile} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Errorf("%s: empty", p)
+		}
 	}
 }

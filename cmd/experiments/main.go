@@ -1,10 +1,11 @@
 // Command experiments runs the full constructed-experiment harness
-// (E1–E13, see EXPERIMENTS.md) and prints every report. Positional
+// (E1–E15, see EXPERIMENTS.md) and prints every report. Positional
 // arguments select a subset by experiment id — only the selected
 // experiments run. The harness fans out across -j workers; output is
 // byte-identical at every worker count. A failing experiment degrades to
 // a FAILED report in its slot; the rest of the harness still prints, and
-// the exit status reports the first failure.
+// the exit status reports the first failure. -trace and -metrics dump
+// the harness's deterministic span trace and metric registry.
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"runtime/pprof"
 
 	"cadinterop/internal/experiments"
+	"cadinterop/internal/obs"
 	"cadinterop/internal/par"
 )
 
@@ -22,15 +24,17 @@ func main() {
 		jobs       = flag.Int("j", 0, "worker count (0 = GOMAXPROCS, 1 = sequential)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+		traceFile  = flag.String("trace", "", "write the span trace to this file (.json = Chrome trace, .jsonl = JSON lines, else text tree)")
+		metrics    = flag.String("metrics", "", "write the metrics registry to this file as text")
 	)
 	flag.Parse()
-	if err := run(*jobs, *cpuprofile, *memprofile, flag.Args()); err != nil {
+	if err := run(*jobs, *cpuprofile, *memprofile, *traceFile, *metrics, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(jobs int, cpuprofile, memprofile string, ids []string) error {
+func run(jobs int, cpuprofile, memprofile, traceFile, metricsFile string, ids []string) error {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -42,22 +46,41 @@ func run(jobs int, cpuprofile, memprofile string, ids []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	reports, err := experiments.Run(ids, par.Workers(jobs))
+	var rec *obs.Recorder
+	if traceFile != "" || metricsFile != "" {
+		rec = obs.New(nil)
+	}
+	reports, err := experiments.RunObserved(ids, rec, par.Workers(jobs))
 	for _, r := range reports {
 		fmt.Println(r.String())
 	}
+	// The profile and observability files land even when an experiment
+	// failed: a degraded run is exactly the one worth inspecting.
+	if memprofile != "" {
+		if werr := writeMemProfile(memprofile); werr != nil {
+			return werr
+		}
+	}
+	if rec != nil {
+		if traceFile != "" {
+			if werr := rec.WriteTraceFile(traceFile); werr != nil {
+				return werr
+			}
+		}
+		if metricsFile != "" {
+			if werr := rec.WriteMetricsFile(metricsFile); werr != nil {
+				return werr
+			}
+		}
+	}
+	return err
+}
+
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if memprofile != "" {
-		f, err := os.Create(memprofile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			return err
-		}
-	}
-	return nil
+	defer f.Close()
+	return pprof.WriteHeapProfile(f)
 }

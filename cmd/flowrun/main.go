@@ -6,7 +6,8 @@
 // tool failures (crash / bad exit / hang / corrupt output), keeps driving
 // everything not downstream of a permanent failure, and prints the
 // partial-failure summary; -retries arms a per-step retry policy against
-// the injected faults.
+// the injected faults. -trace and -metrics dump the deterministic span
+// trace and metric registry driven by the engine's virtual clock.
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"cadinterop/internal/fault"
+	"cadinterop/internal/obs"
 	"cadinterop/internal/workflow"
 )
 
@@ -27,6 +29,8 @@ type config struct {
 	printDot    bool
 	faultSpec   string
 	retries     int
+	traceFile   string
+	metricsFile string
 }
 
 func main() {
@@ -38,6 +42,8 @@ func main() {
 	flag.BoolVar(&cfg.rework, "rework", true, "change the floorplan mid-run to fire rework triggers")
 	flag.StringVar(&cfg.faultSpec, "faults", "", "inject deterministic tool failures, as seed:rate (e.g. 7:0.3)")
 	flag.IntVar(&cfg.retries, "retries", 0, "max attempts per step when faults are injected (0 = single attempt)")
+	flag.StringVar(&cfg.traceFile, "trace", "", "write the span trace to this file (.json = Chrome trace, .jsonl = JSON lines, else text tree)")
+	flag.StringVar(&cfg.metricsFile, "metrics", "", "write the metrics registry to this file as text")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "flowrun:", err)
@@ -120,8 +126,20 @@ func run(cfg config) error {
 		fmt.Print(in.DOT(tpl.Name))
 		return nil
 	}
+	// The recorder runs on the instance's own virtual clock, so the trace
+	// and metrics files are byte-identical for identical flag settings.
+	var rec *obs.Recorder
+	var root obs.SpanID
+	if cfg.traceFile != "" || cfg.metricsFile != "" {
+		rec = obs.New(in)
+		root = rec.Start(0, "flowrun")
+		in.Observe(rec, root)
+	}
 	if inj != nil {
-		return runWithFaults(in, cfg, inj)
+		if err := runWithFaults(in, cfg, inj); err != nil {
+			return err
+		}
+		return writeObs(rec, root, cfg)
 	}
 	if err := in.Run("engineer"); err != nil {
 		return err
@@ -151,6 +169,26 @@ func run(cfg config) error {
 	}
 
 	finish(in, cfg.printEvents, store)
+	return writeObs(rec, root, cfg)
+}
+
+// writeObs ends the root span and lands the trace and metrics files named
+// by -trace / -metrics. No-op when observability was never attached.
+func writeObs(rec *obs.Recorder, root obs.SpanID, cfg config) error {
+	if rec == nil {
+		return nil
+	}
+	rec.End(root)
+	if cfg.traceFile != "" {
+		if err := rec.WriteTraceFile(cfg.traceFile); err != nil {
+			return err
+		}
+	}
+	if cfg.metricsFile != "" {
+		if err := rec.WriteMetricsFile(cfg.metricsFile); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

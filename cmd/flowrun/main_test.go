@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func base() config {
 	return config{blocks: 3, storeKind: "mem", rework: true}
@@ -63,5 +68,69 @@ func TestRunBadFaultSpec(t *testing.T) {
 	cfg.faultSpec = "not-a-spec"
 	if err := run(cfg); err == nil {
 		t.Error("bad fault spec accepted")
+	}
+}
+
+// TestRunGoldenTrace: two identically configured faulted runs with
+// retries write byte-identical trace and metrics files, the trace nests
+// retry attempts as child spans under their task, and backoff waits show
+// up as events — the whole file is a function of the flags alone.
+func TestRunGoldenTrace(t *testing.T) {
+	render := func(dir string) (string, string) {
+		cfg := base()
+		cfg.faultSpec = "7:0.3"
+		cfg.retries = 3
+		cfg.traceFile = filepath.Join(dir, "trace.txt")
+		cfg.metricsFile = filepath.Join(dir, "metrics.txt")
+		if err := run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		trace, err := os.ReadFile(cfg.traceFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metrics, err := os.ReadFile(cfg.metricsFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(trace), string(metrics)
+	}
+	traceA, metricsA := render(t.TempDir())
+	traceB, metricsB := render(t.TempDir())
+	if traceA != traceB {
+		t.Errorf("same flags, different traces:\n--- a\n%s\n--- b\n%s", traceA, traceB)
+	}
+	if metricsA != metricsB {
+		t.Errorf("same flags, different metrics:\n--- a\n%s\n--- b\n%s", metricsA, metricsB)
+	}
+	if !strings.HasPrefix(traceA, "flowrun [") {
+		t.Errorf("trace root is not flowrun:\n%s", traceA)
+	}
+	// Seed 7 at rate 0.3 faults several attempts; with retries armed the
+	// trace must show second attempts and backoff events.
+	for _, want := range []string{"attempt", "n=2", "fault", "backoff"} {
+		if !strings.Contains(traceA, want) {
+			t.Errorf("trace lacks %q:\n%s", want, traceA)
+		}
+	}
+	if !strings.Contains(metricsA, "counter workflow.retries") {
+		t.Errorf("metrics lack retry counter:\n%s", metricsA)
+	}
+}
+
+// TestRunTraceChromeFormat: a .json trace path selects the Chrome
+// trace_event exporter.
+func TestRunTraceChromeFormat(t *testing.T) {
+	cfg := base()
+	cfg.traceFile = filepath.Join(t.TempDir(), "trace.json")
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(cfg.traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"traceEvents"`) {
+		t.Errorf("not a Chrome trace:\n%s", b)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"cadinterop/internal/exchange"
 	"cadinterop/internal/floorplan"
 	"cadinterop/internal/geom"
+	"cadinterop/internal/obs"
 	"cadinterop/internal/par"
 	"cadinterop/internal/phys"
 	"cadinterop/internal/place"
@@ -339,25 +340,55 @@ func FullRules(fp *floorplan.Floorplan) map[string]route.Rule {
 // bound the router's internal worker pool (par.Workers(1) forces the
 // fully-serial reference flow).
 func RunFlow(d *phys.Design, fp *floorplan.Floorplan, tool ToolDialect, seed int64, opts ...par.Option) (*FlowResult, error) {
+	return runFlow(d, fp, tool, seed, nil, 0, nil, opts...)
+}
+
+// runFlow is RunFlow with tracing: each stage of the tool's flow —
+// translate, place, route, audit — gets a child span under parent in
+// rec, annotated with the stage's headline numbers, and the router's
+// counters land in reg. All three observability arguments may be nil.
+func runFlow(d *phys.Design, fp *floorplan.Floorplan, tool ToolDialect, seed int64,
+	rec *obs.Recorder, parent obs.SpanID, reg *obs.Registry, opts ...par.Option) (*FlowResult, error) {
+	tsp := rec.Start(parent, "translate")
 	in, loss := Translate(fp, d.Lib, tool)
+	rec.AttrInt(tsp, "loss", int64(len(loss.Items)))
+	rec.End(tsp)
+
+	psp := rec.Start(parent, "place")
 	pres, err := place.Place(d, place.Options{Seed: seed, Keepouts: in.Keepouts})
 	if err != nil {
+		rec.End(psp)
 		return nil, fmt.Errorf("%s: %w", tool.Name, err)
 	}
+	rec.AttrInt(psp, "hpwl", int64(pres.FinalHPWL))
+	rec.End(psp)
+
+	rsp := rec.Start(parent, "route")
 	rres, err := route.Route(d, route.Options{
 		Pitch:    5, // half the layer pitch: room for width/spacing rules
 		Rules:    in.RouteRules,
 		Keepouts: in.Keepouts,
 		Workers:  par.N(opts...),
+		Metrics:  reg,
 	})
 	if err != nil {
+		rec.End(rsp)
 		return nil, fmt.Errorf("%s: %w", tool.Name, err)
 	}
+	rec.AttrInt(rsp, "wirelen", int64(rres.Wirelength))
+	rec.AttrInt(rsp, "vias", int64(rres.Vias))
+	rec.AttrInt(rsp, "unrouted", int64(len(rres.Failed)))
+	rec.End(rsp)
+
+	asp := rec.Start(parent, "audit")
+	violations := route.Audit(rres, FullRules(fp))
+	rec.AttrInt(asp, "violations", int64(len(violations)))
+	rec.End(asp)
 	return &FlowResult{
 		Tool:       tool.Name,
 		Place:      pres,
 		Route:      rres,
-		Violations: route.Audit(rres, FullRules(fp)),
+		Violations: violations,
 		Loss:       loss,
 	}, nil
 }
@@ -389,25 +420,93 @@ func RunFlows(gen func() (*phys.Design, *floorplan.Floorplan, error), tools []To
 // damage downstream. A gate failure occupies the tool's result slot via
 // FlowResult.Err, like any other per-tool failure.
 func RunFlowsChecked(gen func() (*phys.Design, *floorplan.Floorplan, error), tools []ToolDialect, seed int64, roundTrip bool, opts ...par.Option) ([]*FlowResult, error) {
+	return RunFlowsObserved(gen, tools, seed, roundTrip, nil, opts...)
+}
+
+// RunFlowsObserved is RunFlowsChecked with observability attached. Each
+// tool's flow records into a private child recorder on its own
+// step-clock — flows run concurrently, but each child is single-writer
+// and deterministic — and the children merge under one "backplane" span
+// in canonical tool order once the fan-out completes, so the final trace
+// is byte-identical at every worker count. Fan-out loss and failure
+// totals, the router's counters, and the pool's queue metrics land in
+// rec's registry. rec may be nil (plain RunFlowsChecked).
+func RunFlowsObserved(gen func() (*phys.Design, *floorplan.Floorplan, error), tools []ToolDialect, seed int64, roundTrip bool, rec *obs.Recorder, opts ...par.Option) ([]*FlowResult, error) {
+	reg := rec.Metrics()
+	var children []*obs.Recorder
+	if rec != nil {
+		children = make([]*obs.Recorder, len(tools))
+		for i := range children {
+			children[i] = obs.New(nil)
+		}
+		opts = append(opts, par.Metrics(reg))
+	}
 	results, errs := par.MapAll(len(tools), func(i int) (*FlowResult, error) {
+		var crec *obs.Recorder
+		if children != nil {
+			crec = children[i]
+		}
+		sp := crec.Start(0, tools[i].Name)
 		d, fp, err := gen()
 		if err != nil {
 			err = fmt.Errorf("%s: %w", tools[i].Name, err)
+			crec.Attr(sp, "state", "failed")
+			crec.End(sp)
 			return &FlowResult{Tool: tools[i].Name, Err: err}, err
 		}
 		if roundTrip {
 			if err := exchange.VerifyRoundTrip(d.Nets); err != nil {
 				err = fmt.Errorf("%s: interchange gate: %w", tools[i].Name, err)
+				crec.Event(sp, "roundtrip-gate", "failed")
+				crec.Attr(sp, "state", "failed")
+				crec.End(sp)
 				return &FlowResult{Tool: tools[i].Name, Err: err}, err
 			}
 		}
-		res, err := RunFlow(d, fp, tools[i], seed, opts...)
+		res, err := runFlow(d, fp, tools[i], seed, crec, sp, reg, opts...)
 		if err != nil {
+			crec.Attr(sp, "state", "failed")
+			crec.End(sp)
 			return &FlowResult{Tool: tools[i].Name, Err: err}, err
 		}
+		crec.End(sp)
 		return res, nil
 	}, opts...)
+	if rec != nil {
+		root := rec.Start(0, "backplane")
+		rec.AttrInt(root, "tools", int64(len(tools)))
+		for _, c := range children {
+			rec.Merge(root, c)
+		}
+		rec.End(root)
+		recordLossMetrics(reg, results)
+	}
 	return results, par.FirstError(errs)
+}
+
+// recordLossMetrics totals the fan-out's translation damage and failures
+// into reg — the in-situ record of where constraint fidelity went.
+func recordLossMetrics(reg *obs.Registry, results []*FlowResult) {
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		if res.Err != nil {
+			reg.Counter("backplane.flows.failed").Inc()
+			continue
+		}
+		reg.Counter("backplane.flows.ok").Inc()
+		if res.Loss == nil {
+			continue
+		}
+		for _, it := range res.Loss.Items {
+			if it.Kind == LossDropped {
+				reg.Counter("backplane.loss.dropped").Inc()
+			} else {
+				reg.Counter("backplane.loss.degraded").Inc()
+			}
+		}
+	}
 }
 
 // ClassLoss aggregates translation loss for one constraint class across

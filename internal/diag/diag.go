@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"cadinterop/internal/obs"
 )
 
 // Severity ranks a diagnostic.
@@ -268,6 +270,28 @@ func Count(diags []Diagnostic, sev Severity) int {
 		}
 	}
 	return n
+}
+
+// Observe lands diagnostics in reg as counters: one per severity
+// ("diag.info" / "diag.warning" / "diag.error") and one per stable code
+// ("diag.code.<code>"). Counts accumulate across calls, so one registry
+// can total a whole sweep of parses. No-op on a nil registry.
+func Observe(reg *obs.Registry, diags []Diagnostic) {
+	if reg == nil {
+		return
+	}
+	for _, d := range diags {
+		reg.Counter("diag." + d.Sev.String()).Inc()
+		if d.Code != "" {
+			reg.Counter("diag.code." + d.Code).Inc()
+		}
+	}
+}
+
+// Observe lands this collector's diagnostics in reg (see the package
+// function). A parse typically calls it once, after the reader returns.
+func (c *Collector) Observe(reg *obs.Registry) {
+	Observe(reg, c.Diags)
 }
 
 // Sort orders diagnostics by position (source, offset, line, col), keeping

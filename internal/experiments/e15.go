@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"cadinterop/internal/fault"
+	"cadinterop/internal/obs"
+	"cadinterop/internal/workflow"
+)
+
+// E15Observability reruns the E13 faulted tapeout flow with the
+// observability layer attached and tabulates where the virtual wall
+// clock and the attempts go: per retry policy and fault rate, total
+// engine ticks, attempts, retries, faults absorbed, ticks spent waiting
+// in backoff, and the size of the resulting span trace. Everything is
+// driven by the engine's virtual clock and the deterministic fault
+// schedule, so the table is byte-identical at any worker count — the
+// trace itself is validated against the span invariants before any
+// number is reported.
+func E15Observability(blocks int) (*Report, error) {
+	r := &Report{ID: "E15", Title: "observability: wall-clock and retry accounting under injected faults (seed 22)"}
+	policies := []struct {
+		name  string
+		retry workflow.RetryPolicy
+	}{
+		{"no-retry", workflow.RetryPolicy{}},
+		{"retry3", workflow.RetryPolicy{MaxAttempts: 3, Backoff: 2, AttemptTimeout: 8}},
+	}
+	r.addf("%5s %9s %6s %9s %8s %7s %8s %6s %9s",
+		"rate", "policy", "ticks", "attempts", "retries", "faults", "backoff", "spans", "complete")
+	for _, rate := range []float64{0, 0.2, 0.4} {
+		for _, pol := range policies {
+			tpl, _ := e13Flow(blocks, pol.retry)
+			in, err := workflow.Instantiate(tpl, workflow.NewMemStore(), nil)
+			if err != nil {
+				return nil, err
+			}
+			if rate > 0 {
+				in.Faults = fault.New(e13Seed, rate)
+			}
+			rec := obs.New(in)
+			root := rec.Start(0, "tapeout-faulted")
+			in.Observe(rec, root)
+			sum := in.RunContinue("engineer")
+			rec.End(root)
+			if err := rec.Check(); err != nil {
+				return nil, err
+			}
+			reg := rec.Metrics()
+			r.addf("%5.2f %9s %6d %9d %8d %7d %8d %6d %6d/%-2d",
+				rate, pol.name, in.Ticks(),
+				reg.Counter("workflow.attempts").Value(),
+				reg.Counter("workflow.retries").Value(),
+				reg.Counter("workflow.faults").Value(),
+				reg.Counter("workflow.backoff.ticks").Value(),
+				rec.SpanCount(), sum.Completed, sum.Tasks)
+		}
+	}
+	return r, nil
+}

@@ -18,6 +18,7 @@ import (
 	"cadinterop/internal/migrate"
 	"cadinterop/internal/naming"
 	"cadinterop/internal/netlist"
+	"cadinterop/internal/obs"
 	"cadinterop/internal/par"
 	"cadinterop/internal/phys"
 	"cadinterop/internal/schematic"
@@ -636,6 +637,7 @@ func registry() []entry {
 		{"E12", "neutral interchange", func(o []par.Option) (*Report, error) { return E12Interchange(20) }},
 		{"E13", "fault robustness", func(o []par.Option) (*Report, error) { return E13FaultRobustness(6) }},
 		{"E14", "interchange corruption robustness", func(o []par.Option) (*Report, error) { return E14CorruptionRobustness() }},
+		{"E15", "observability accounting", func(o []par.Option) (*Report, error) { return E15Observability(6) }},
 	}
 }
 
@@ -655,6 +657,17 @@ func All(opts ...par.Option) ([]*Report, error) {
 // abort-on-error option while the report slice stays complete. Unknown
 // ids fail fast before anything runs.
 func Run(ids []string, opts ...par.Option) ([]*Report, error) {
+	return RunObserved(ids, nil, opts...)
+}
+
+// RunObserved is Run with observability attached. Each experiment traces
+// into a private child recorder on its own step clock — experiments run
+// concurrently, but each child is single-writer — and the children merge
+// under one "experiments" span in registry order after the fan-out, so
+// the trace is byte-identical at every worker count. The harness worker
+// pool records its queue-depth and occupancy metrics into rec's
+// registry. A nil rec is Run exactly.
+func RunObserved(ids []string, rec *obs.Recorder, opts ...par.Option) ([]*Report, error) {
 	all := registry()
 	selected := all
 	if len(ids) > 0 {
@@ -671,17 +684,42 @@ func Run(ids []string, opts ...par.Option) ([]*Report, error) {
 			selected = append(selected, e)
 		}
 	}
+	var children []*obs.Recorder
+	if rec != nil {
+		children = make([]*obs.Recorder, len(selected))
+		for i := range children {
+			children[i] = obs.New(nil)
+		}
+		opts = append(opts, par.Metrics(rec.Metrics()))
+	}
 	reports, errs := par.MapAll(len(selected), func(i int) (*Report, error) {
+		var crec *obs.Recorder
+		if children != nil {
+			crec = children[i]
+		}
+		sp := crec.Start(0, selected[i].id)
 		rep, err := selected[i].run(opts)
 		if err != nil {
+			crec.Attr(sp, "status", "failed")
+			crec.End(sp)
 			return &Report{
 				ID:    selected[i].id,
 				Title: fmt.Sprintf("FAILED: %s", selected[i].title),
 				Lines: []string{fmt.Sprintf("error: %v", err)},
 			}, err
 		}
+		crec.AttrInt(sp, "lines", int64(len(rep.Lines)))
+		crec.End(sp)
 		return rep, nil
 	}, opts...)
+	if rec != nil {
+		root := rec.Start(0, "experiments")
+		rec.AttrInt(root, "selected", int64(len(selected)))
+		for _, c := range children {
+			rec.Merge(root, c)
+		}
+		rec.End(root)
+	}
 	return reports, par.FirstError(errs)
 }
 

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"strings"
 	"testing"
 
+	"cadinterop/internal/obs"
 	"cadinterop/internal/par"
 )
 
@@ -210,7 +212,7 @@ func TestAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 14 {
+	if len(reports) != 15 {
 		t.Fatalf("reports = %d", len(reports))
 	}
 	for _, r := range reports {
@@ -282,6 +284,77 @@ func TestE12(t *testing.T) {
 	}
 	if !strings.Contains(joined, "unlimited") {
 		t.Errorf("report:\n%s", joined)
+	}
+}
+
+func TestE15(t *testing.T) {
+	r, err := E15Observability(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Lines) != 7 { // header + 3 rates × 2 policies
+		t.Fatalf("lines = %v", r.Lines)
+	}
+	// Fault-free rows: no retries, no faults, no backoff, all complete.
+	tasks := 4*3 + 2
+	for _, row := range r.Lines[1:3] {
+		f := strings.Fields(row)
+		if f[0] != "0.00" {
+			t.Fatalf("row order: %q", row)
+		}
+		if f[3] != fmt.Sprint(tasks) || f[4] != "0" || f[5] != "0" || f[6] != "0" {
+			t.Errorf("fault-free row shows fault accounting: %q", row)
+		}
+	}
+	// The retry3 rows at nonzero rates must spend ticks on backoff and
+	// recover more tasks than no-retry at the same rate.
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "retry3") {
+		t.Fatalf("report:\n%s", joined)
+	}
+	// Determinism: byte-identical on a second run.
+	again, err := E15Observability(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != again.String() {
+		t.Errorf("E15 not reproducible:\n--- first\n%s\n--- second\n%s", r, again)
+	}
+}
+
+// TestRunObservedTraceDeterministic: the harness-level trace — one span
+// per experiment merged in registry order — must be byte-identical at
+// every worker count, and the registry must show the pool metrics.
+func TestRunObservedTraceDeterministic(t *testing.T) {
+	render := func(workers int) (string, []*Report) {
+		rec := obs.New(nil)
+		reports, err := RunObserved([]string{"E10", "E13", "E15"}, rec, par.Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Check(); err != nil {
+			t.Fatalf("workers=%d: span invariants: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteTree(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), reports
+	}
+	ref, reports := render(1)
+	for _, id := range []string{"E10", "E13", "E15"} {
+		if !strings.Contains(ref, id+" [") {
+			t.Errorf("no span for %s:\n%s", id, ref)
+		}
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for _, workers := range []int{2, 8} {
+		got, _ := render(workers)
+		if got != ref {
+			t.Errorf("workers=%d trace diverges:\n--- serial\n%s\n--- par\n%s", workers, ref, got)
+		}
 	}
 }
 

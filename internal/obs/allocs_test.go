@@ -1,0 +1,51 @@
+package obs
+
+import "testing"
+
+// The disabled path — nil recorder, nil registry, nil instruments — must
+// cost zero allocations per call. These are the regression guards for
+// the instrumented hot paths (route/sim/par/workflow call these methods
+// unconditionally with obs off).
+
+func TestAllocsNilRecorder(t *testing.T) {
+	var r *Recorder
+	if n := testing.AllocsPerRun(200, func() {
+		id := r.Start(0, "span")
+		r.AttrInt(id, "k", 1)
+		r.EventN(id, "e", 2)
+		r.End(id)
+	}); n != 0 {
+		t.Errorf("nil recorder path allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestAllocsNilInstruments(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h", 1, 2, 4)
+	if n := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(5)
+		h.Observe(7)
+	}); n != 0 {
+		t.Errorf("nil instrument path allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestAllocsLiveInstruments(t *testing.T) {
+	// Pre-resolved live instruments must also be allocation-free per
+	// operation (lookup is the only allocating step; hot paths cache it).
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h", 1, 2, 4)
+	if n := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		g.Set(9)
+		h.Observe(3)
+	}); n != 0 {
+		t.Errorf("live instrument path allocates %.1f/op, want 0", n)
+	}
+}

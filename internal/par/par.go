@@ -18,15 +18,27 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"cadinterop/internal/obs"
 )
 
 // cfg carries resolved options.
 type cfg struct {
 	workers int
+	reg     *obs.Registry
 }
 
 // Option configures a par call.
 type Option func(*cfg)
+
+// Metrics records pool behaviour into reg: a "par.queue.depth"
+// histogram (work remaining as each index is claimed — deterministic,
+// each depth in [0,n) observed exactly once per call) and a
+// "par.workers" gauge (workers granted; its max is the pool's high-water
+// mark). A nil reg records nothing at zero cost.
+func Metrics(reg *obs.Registry) Option {
+	return func(c *cfg) { c.reg = reg }
+}
 
 // Workers bounds the worker pool at n goroutines. n <= 0 (and the
 // default) means runtime.GOMAXPROCS(0). Workers(1) is the sequential
@@ -52,7 +64,8 @@ func N(opts ...Option) int {
 }
 
 // resolve applies options and clamps the worker count to the job size.
-func resolve(n int, opts []Option) int {
+// The returned pool carries the (possibly nil) metric instruments.
+func resolve(n int, opts []Option) (int, pool) {
 	c := cfg{}
 	for _, o := range opts {
 		o(&c)
@@ -67,7 +80,25 @@ func resolve(n int, opts []Option) int {
 	if w < 1 {
 		w = 1
 	}
-	return w
+	// Nil-registry lookups return nil instruments whose methods no-op.
+	p := pool{
+		depth:   c.reg.Histogram("par.queue.depth", 1, 2, 4, 8, 16, 32, 64),
+		workers: c.reg.Gauge("par.workers"),
+	}
+	p.workers.Set(int64(w))
+	return w, p
+}
+
+// pool carries the per-call metric instruments (nil when Metrics was
+// not given).
+type pool struct {
+	depth   *obs.Histogram
+	workers *obs.Gauge
+}
+
+// claimed records that index i of n was handed to a worker.
+func (p pool) claimed(i, n int) {
+	p.depth.Observe(int64(n - 1 - i))
 }
 
 // Map runs fn for every index in [0, n) and returns the results in index
@@ -80,9 +111,9 @@ func Map[T any](n int, fn func(i int) (T, error), opts ...Option) ([]T, error) {
 		return nil, nil
 	}
 	out := make([]T, n)
-	if w := resolve(n, opts); w > 1 {
+	if w, p := resolve(n, opts); w > 1 {
 		errs := make([]error, n)
-		run(n, w, func(i int) error {
+		run(n, w, p, func(i int) error {
 			var err error
 			out[i], err = fn(i)
 			errs[i] = err
@@ -94,13 +125,15 @@ func Map[T any](n int, fn func(i int) (T, error), opts ...Option) ([]T, error) {
 			}
 		}
 		return out, nil
-	}
-	for i := 0; i < n; i++ {
-		v, err := fn(i)
-		if err != nil {
-			return nil, err
+	} else {
+		for i := 0; i < n; i++ {
+			p.claimed(i, n)
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
 		}
-		out[i] = v
 	}
 	return out, nil
 }
@@ -111,9 +144,9 @@ func ForEach(n int, fn func(i int) error, opts ...Option) error {
 	if n <= 0 {
 		return nil
 	}
-	if w := resolve(n, opts); w > 1 {
+	if w, p := resolve(n, opts); w > 1 {
 		errs := make([]error, n)
-		run(n, w, func(i int) error {
+		run(n, w, p, func(i int) error {
 			errs[i] = fn(i)
 			return errs[i]
 		})
@@ -122,11 +155,12 @@ func ForEach(n int, fn func(i int) error, opts ...Option) error {
 				return err
 			}
 		}
-		return nil
-	}
-	for i := 0; i < n; i++ {
-		if err := fn(i); err != nil {
-			return err
+	} else {
+		for i := 0; i < n; i++ {
+			p.claimed(i, n)
+			if err := fn(i); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -151,9 +185,9 @@ func MapAll[T any](n int, fn func(i int) (T, error), opts ...Option) ([]T, []err
 	out := make([]T, n)
 	errs := make([]error, n)
 	any := false
-	if w := resolve(n, opts); w > 1 {
+	if w, p := resolve(n, opts); w > 1 {
 		var anyErr atomic.Bool
-		runAll(n, w, func(i int) {
+		runAll(n, w, p, func(i int) {
 			var err error
 			out[i], err = fn(i)
 			errs[i] = err
@@ -164,6 +198,7 @@ func MapAll[T any](n int, fn func(i int) (T, error), opts ...Option) ([]T, []err
 		any = anyErr.Load()
 	} else {
 		for i := 0; i < n; i++ {
+			p.claimed(i, n)
 			out[i], errs[i] = fn(i)
 			if errs[i] != nil {
 				any = true
@@ -192,17 +227,17 @@ func FirstError(errs []error) error {
 // cursor. After any function fails, workers stop claiming new indices
 // (best effort — in-flight work completes), bounding wasted work while the
 // caller still reports the lowest-index error deterministically.
-func run(n, w int, fn func(i int) error) {
-	runDispatch(n, w, fn, true)
+func run(n, w int, p pool, fn func(i int) error) {
+	runDispatch(n, w, p, fn, true)
 }
 
 // runAll dispatches indices [0, n) across w workers with no early exit —
 // every index runs exactly once regardless of failures elsewhere.
-func runAll(n, w int, fn func(i int)) {
-	runDispatch(n, w, func(i int) error { fn(i); return nil }, false)
+func runAll(n, w int, p pool, fn func(i int)) {
+	runDispatch(n, w, p, func(i int) error { fn(i); return nil }, false)
 }
 
-func runDispatch(n, w int, fn func(i int) error, earlyExit bool) {
+func runDispatch(n, w int, p pool, fn func(i int) error, earlyExit bool) {
 	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -218,6 +253,7 @@ func runDispatch(n, w int, fn func(i int) error, earlyExit bool) {
 				if i >= n {
 					return
 				}
+				p.claimed(i, n)
 				if fn(i) != nil {
 					failed.Store(true)
 				}

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"cadinterop/internal/geom"
+	"cadinterop/internal/obs"
 	"cadinterop/internal/par"
 	"cadinterop/internal/phys"
 )
@@ -53,6 +54,12 @@ type Options struct {
 	// searches commit in canonical net order and any speculation invalidated
 	// by an earlier commit is recomputed on the live grid.
 	Workers int
+	// Metrics, when non-nil, receives router counters: nets routed/failed,
+	// rip-up passes, speculative commit/recompute outcomes, bfs searches and
+	// scratch-pool reuse. Counts tied to speculation scheduling (spec.*,
+	// bfs.*) vary with Workers; the routed result never does. Nil costs one
+	// nil check per increment (DESIGN.md §5f).
+	Metrics *obs.Registry
 }
 
 // Segment is one routed wire piece in grid coordinates.
@@ -103,6 +110,15 @@ type Grid struct {
 	// allocating per net (DESIGN.md §5c).
 	scratchPool sync.Pool
 	viewPool    sync.Pool
+	// Pre-resolved search counters (nil when Options.Metrics is unset).
+	mSearches     *obs.Counter
+	mScratchReuse *obs.Counter
+}
+
+// observe resolves the grid's search counters from reg (nil = disabled).
+func (g *Grid) observe(reg *obs.Registry) {
+	g.mSearches = reg.Counter("route.bfs.searches")
+	g.mScratchReuse = reg.Counter("route.bfs.scratch.reuse")
 }
 
 // NewGrid allocates a fabric covering the die.
@@ -174,6 +190,7 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 	}
 	g := NewGrid(d.Die, opts.Pitch)
 	g.plainBFS = opts.PlainBFS
+	g.observe(opts.Metrics)
 	// Block keepouts on both layers.
 	for _, ko := range opts.Keepouts {
 		x0 := (ko.Min.X - d.Die.Min.X) / opts.Pitch
@@ -253,6 +270,7 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 
 	routeAll(g, res, nets, netPins, opts)
 	if len(res.Failed) == 0 {
+		recordRouteMetrics(opts.Metrics, res, len(nets), 0)
 		return res, nil
 	}
 
@@ -261,7 +279,9 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 	// to a few passes; keep the best attempt.
 	best := res
 	order := nets
+	passes := 0
 	for pass := 0; pass < 6 && len(best.Failed) > 0; pass++ {
+		passes++
 		order = promoteFailed(order, best.Failed)
 		if pass > 0 {
 			// Perturb the tail so successive passes explore different
@@ -276,7 +296,22 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 			best = attempt
 		}
 	}
+	recordRouteMetrics(opts.Metrics, best, len(nets), passes)
 	return best, nil
+}
+
+// recordRouteMetrics lands the routing outcome in the registry (no-op on
+// nil): totals are per-Route sums, so repeated calls accumulate across a
+// whole flow or experiment.
+func recordRouteMetrics(reg *obs.Registry, res *Result, nets, passes int) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("route.nets.routed").Add(int64(nets - len(res.Failed)))
+	reg.Counter("route.nets.failed").Add(int64(len(res.Failed)))
+	reg.Counter("route.ripup.passes").Add(int64(passes))
+	reg.Counter("route.spec.committed").Add(int64(res.SpecCommitted))
+	reg.Counter("route.spec.recomputed").Add(int64(res.SpecRecomputed))
 }
 
 // reservePins marks pin landing cells and reserves them with the pending
@@ -514,6 +549,7 @@ func promoteFailed(order, failed []string) []string {
 func freshGrid(d *phys.Design, opts Options, netPins map[string][]geom.Point) *Grid {
 	g := NewGrid(d.Die, opts.Pitch)
 	g.plainBFS = opts.PlainBFS
+	g.observe(opts.Metrics)
 	for _, ko := range opts.Keepouts {
 		x0 := (ko.Min.X - d.Die.Min.X) / opts.Pitch
 		y0 := (ko.Min.Y - d.Die.Min.Y) / opts.Pitch

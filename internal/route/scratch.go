@@ -59,7 +59,9 @@ func (sc *searchScratch) setDist(i, d, from int32) {
 
 // getScratch leases a search scratch sized for this grid.
 func (g *Grid) getScratch() *searchScratch {
+	g.mSearches.Inc()
 	if v := g.scratchPool.Get(); v != nil {
+		g.mScratchReuse.Inc()
 		return v.(*searchScratch)
 	}
 	return newSearchScratch(2 * g.W * g.H)
@@ -77,7 +79,7 @@ func (g *Grid) putScratch(sc *searchScratch) { g.scratchPool.Put(sc) }
 // state.
 type specView struct {
 	g       *Grid
-	overlay []int32  // private writes; valid iff ostamp[i] == oepoch
+	overlay []int32 // private writes; valid iff ostamp[i] == oepoch
 	ostamp  []uint32
 	oepoch  uint32
 	reads   []int32  // fall-through read footprint, deduplicated

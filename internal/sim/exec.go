@@ -647,11 +647,13 @@ func (k *Kernel) RunUntil(maxTime uint64) error {
 				if len(b.nba) > 0 {
 					b.active = append(b.active, b.nba...)
 					b.nba = b.nba[:0]
+					k.mDelta.Inc()
 					continue
 				}
 				break
 			}
 			dispatched++
+			k.mDispatched.Inc()
 			if dispatched > k.opts.MaxEventsPerStep {
 				return fmt.Errorf("%w: event storm at t=%d (possible zero-delay loop)", ErrRuntime, t)
 			}

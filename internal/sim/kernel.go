@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"cadinterop/internal/hdl"
+	"cadinterop/internal/obs"
 )
 
 // Errors.
@@ -142,6 +143,11 @@ type Options struct {
 	MaxEventsPerStep int
 	// TraceAll records every value change (default on).
 	DisableTrace bool
+	// Metrics, when non-nil, receives kernel counters — events dispatched,
+	// delta-cycle (NBA promotion) rounds — and an event-heap depth gauge.
+	// The kernel is single-threaded and deterministic, so so are they. Nil
+	// costs one nil check per instrumentation point (DESIGN.md §5f).
+	Metrics *obs.Registry
 }
 
 // Kernel is one elaborated, runnable simulation.
@@ -170,6 +176,11 @@ type Kernel struct {
 	// evNotify branch (the scheduler is single-threaded and dispatch does
 	// not re-enter itself).
 	toWake []*process
+
+	// Pre-resolved instruments (nil when Options.Metrics is unset).
+	mDispatched *obs.Counter
+	mDelta      *obs.Counter
+	gHeapDepth  *obs.Gauge
 }
 
 // Change is one traced value change.
@@ -189,6 +200,10 @@ func Elaborate(d *hdl.Design, top string, opts Options) (*Kernel, error) {
 		opts:    opts,
 		signals: make(map[string]*Signal),
 		races:   NewRaceDetector(),
+
+		mDispatched: opts.Metrics.Counter("sim.events.dispatched"),
+		mDelta:      opts.Metrics.Counter("sim.delta.cycles"),
+		gHeapDepth:  opts.Metrics.Gauge("sim.heap.depth"),
 	}
 	m, ok := d.Module(top)
 	if !ok {
@@ -522,6 +537,7 @@ func (k *Kernel) schedule(t uint64, e event) {
 	k.seq++
 	b := k.queue.bucketAt(t)
 	b.active = append(b.active, e)
+	k.gHeapDepth.Set(int64(len(k.queue.times)))
 }
 
 // scheduleNBA adds a non-blocking update at time t.
@@ -530,6 +546,7 @@ func (k *Kernel) scheduleNBA(t uint64, e event) {
 	k.seq++
 	b := k.queue.bucketAt(t)
 	b.nba = append(b.nba, e)
+	k.gHeapDepth.Set(int64(len(k.queue.times)))
 }
 
 // pickNext removes and returns the next active event per policy.

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"cadinterop/internal/fault"
+	"cadinterop/internal/obs"
 )
 
 // Errors.
@@ -277,6 +278,9 @@ type Task struct {
 	// heldFinal is the completion state a Held task assumes once its
 	// finish dependencies complete.
 	heldFinal TaskState
+	// span is the task's trace span for the current RunTask invocation
+	// (0 when tracing is off); promoteHeld appends its completion there.
+	span obs.SpanID
 	// startAfter/finishRequires are resolved hierarchical names.
 	startAfter     []string
 	finishRequires []string
@@ -307,6 +311,51 @@ type Instance struct {
 	// Faults, when non-nil, injects deterministic tool failures into every
 	// attempt (see internal/fault). Nil runs fault-free.
 	Faults Injector
+
+	// tracer is the attached observability recorder (nil = disabled; every
+	// use below is a no-op then). Attach with Observe. Metric handles are
+	// pre-resolved there so hot paths never pay a registry lookup.
+	tracer    *obs.Recorder
+	traceRoot obs.SpanID
+	mAttempts *obs.Counter
+	mRetries  *obs.Counter
+	mFaults   *obs.Counter
+	mHeld     *obs.Counter
+	mPromoted *obs.Counter
+	mDone     *obs.Counter
+	mFailed   *obs.Counter
+	mSkipped  *obs.Counter
+	mBackoff  *obs.Counter
+	hAttempts *obs.Histogram
+}
+
+// Ticks implements obs.Clock over the instance's virtual clock, so an
+// attached recorder stamps spans in engine time: trace timestamps are
+// the same ticks RunTicks and RetryPolicy budgets are measured in, and
+// byte-identical across runs.
+func (in *Instance) Ticks() int64 { return int64(in.clock) }
+
+// Observe attaches rec to the instance: per-task spans (with per-attempt
+// child spans, retry/backoff and fault events, Held transitions) nest
+// under root, and engine counters land in rec's registry. rec should be
+// built over this instance's clock — obs.New(in) — for trace ticks to
+// align with the event log. Observe(nil, 0) detaches; a detached
+// instance pays one nil check per instrumentation point and zero
+// allocations (see TestAllocsWorkflowDisabled).
+func (in *Instance) Observe(rec *obs.Recorder, root obs.SpanID) {
+	in.tracer = rec
+	in.traceRoot = root
+	reg := rec.Metrics()
+	in.mAttempts = reg.Counter("workflow.attempts")
+	in.mRetries = reg.Counter("workflow.retries")
+	in.mFaults = reg.Counter("workflow.faults")
+	in.mHeld = reg.Counter("workflow.held")
+	in.mPromoted = reg.Counter("workflow.promoted")
+	in.mDone = reg.Counter("workflow.tasks.done")
+	in.mFailed = reg.Counter("workflow.tasks.failed")
+	in.mSkipped = reg.Counter("workflow.tasks.skipped")
+	in.mBackoff = reg.Counter("workflow.backoff.ticks")
+	in.hAttempts = reg.Histogram("workflow.attempts.per.task", 1, 2, 3, 5, 8)
 }
 
 // Instantiate deploys a template. blocks lists the design hierarchy blocks
@@ -494,33 +543,48 @@ func (in *Instance) RunTask(name, role string) error {
 	if t.Def.Condition != nil && !t.Def.Condition(in) {
 		t.State = Skipped
 		in.log(name, "skipped", "condition false")
+		in.mSkipped.Inc()
+		sp := in.tracer.Start(in.traceRoot, name)
+		in.tracer.Attr(sp, "state", "skipped")
+		in.tracer.End(sp)
 		return nil
 	}
 
+	t.span = in.tracer.Start(in.traceRoot, name)
 	maxAttempts := t.Def.Retry.MaxAttempts
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
 	before := in.snapshotStamps(t.Def.Outputs)
 	t.RunTicks = 0
+	attempts := 0
 	var status int
 	var final TaskState
 	for attempt := 1; ; attempt++ {
 		status, final = in.runAttempt(t)
+		attempts = attempt
 		if final != Failed || attempt >= maxAttempts {
 			break
 		}
+		in.mRetries.Inc()
 		if b := backoffTicks(t.Def.Retry, attempt); b > 0 {
 			in.clock += b
+			in.mBackoff.Add(int64(b))
+			in.tracer.EventN(t.span, "backoff", int64(b))
 			in.log(name, "retry", fmt.Sprintf("backoff %d ticks before attempt %d", b, t.Attempts+1))
 		} else {
+			in.tracer.EventN(t.span, "backoff", 0)
 			in.log(name, "retry", fmt.Sprintf("attempt %d", t.Attempts+1))
 		}
 	}
 	t.Status = status
+	in.hAttempts.Observe(int64(attempts))
 
 	if final == Failed {
 		t.State = Failed
+		in.mFailed.Inc()
+		in.tracer.Attr(t.span, "state", "failed")
+		in.tracer.End(t.span)
 		in.fireTriggers(t, before)
 		return nil
 	}
@@ -530,12 +594,17 @@ func (in *Instance) RunTask(name, role string) error {
 	if d, held := in.incompleteFinishDep(t); held {
 		t.State = Held
 		t.heldFinal = final
+		in.mHeld.Inc()
+		in.tracer.Event(t.span, "held", d)
+		in.tracer.Attr(t.span, "state", "held")
 		in.log(name, "held", fmt.Sprintf("finish dependency %q incomplete; completion deferred", d))
 		in.fireTriggers(t, before)
 		return nil
 	}
 
 	in.complete(t, final, status)
+	in.tracer.Attr(t.span, "state", final.String())
+	in.tracer.End(t.span)
 	in.fireTriggers(t, before)
 	if t.State == Done {
 		in.promoteHeld()
@@ -553,11 +622,18 @@ func (in *Instance) runAttempt(t *Task) (status int, final TaskState) {
 	t.State = Running
 	t.Attempts++
 	t.StartedAt = in.clock
+	in.mAttempts.Inc()
+	asp := in.tracer.Start(t.span, "attempt")
+	in.tracer.AttrInt(asp, "n", int64(t.Attempts))
 	in.log(t.Name, "start", fmt.Sprintf("attempt %d (%s action)", t.Attempts, t.Def.Action.Lang()))
 
 	var f fault.Fault
 	if in.Faults != nil {
 		f = in.Faults.Draw(t.Name, t.Attempts)
+	}
+	if f.Kind != fault.None {
+		in.mFaults.Inc()
+		in.tracer.Event(asp, "fault", f.Kind.String())
 	}
 	ctx := &Ctx{Task: t.Name, Block: t.Block, Instance: in}
 	switch f.Kind {
@@ -607,6 +683,8 @@ func (in *Instance) runAttempt(t *Task) (status int, final TaskState) {
 		final = Failed
 		in.log(t.Name, "failed", fmt.Sprintf("status %d: attempt %d exceeded timeout (%d ticks > budget %d)",
 			status, t.Attempts, elapsed, t.Def.Retry.AttemptTimeout))
+		in.tracer.AttrInt(asp, "status", int64(status))
+		in.tracer.End(asp)
 		return status, final
 	case ctx.explicit != nil:
 		final = *ctx.explicit
@@ -616,6 +694,8 @@ func (in *Instance) runAttempt(t *Task) (status int, final TaskState) {
 	if final == Failed {
 		in.log(t.Name, "failed", fmt.Sprintf("status %d", status))
 	}
+	in.tracer.AttrInt(asp, "status", int64(status))
+	in.tracer.End(asp)
 	return status, final
 }
 
@@ -659,6 +739,12 @@ func (in *Instance) incompleteFinishDep(t *Task) (string, bool) {
 // CollectMetrics' event-kind scan stays truthful.
 func (in *Instance) complete(t *Task, final TaskState, status int) {
 	t.State = final
+	switch final {
+	case Done:
+		in.mDone.Inc()
+	case Skipped:
+		in.mSkipped.Inc()
+	}
 	if final == Done {
 		in.log(t.Name, "done", fmt.Sprintf("status %d", status))
 		return
@@ -698,6 +784,9 @@ func (in *Instance) promoteHeld() {
 				continue
 			}
 			in.complete(t, t.heldFinal, t.Status)
+			in.mPromoted.Inc()
+			in.tracer.Event(t.span, "promoted", "")
+			in.tracer.End(t.span)
 			changed = true
 		}
 	}
