@@ -10,12 +10,16 @@ GO ?= go
 RACE_PKGS = $(shell $(GO) list -f '{{.ImportPath}} {{join .Deps " "}}' ./... | grep 'cadinterop/internal/par' | cut -d' ' -f1)
 RACE_EXTRA = cadinterop/internal/workflow cadinterop/internal/fault cadinterop/internal/obs
 
-# Benchmarks aggregated into BENCH_PR2.json. Override BENCH / BENCH_COUNT
-# for a quicker or broader sweep; set BASELINE to a saved `go test -bench`
-# output to record per-metric deltas alongside the current numbers.
-BENCH ?= BenchmarkRouteParallel|BenchmarkExp9BackplaneLoss|BenchmarkExp3SchedulerDivergence|BenchmarkExpAll|BenchmarkObsOverhead
+# Benchmarks aggregated into BENCH_PR6.json: the PR 2 sweep plus the scale
+# trajectory (streaming interchange, end-to-end route, sharded batch
+# formation — the last lives in ./internal/route). Override BENCH /
+# BENCH_COUNT for a quicker or broader sweep; set BASELINE to either raw
+# `go test -bench` text or a committed BENCH_*.json (e.g. BENCH_PR2.json)
+# to record per-metric deltas alongside the current numbers.
+BENCH ?= BenchmarkRouteParallel|BenchmarkExp9BackplaneLoss|BenchmarkExp3SchedulerDivergence|BenchmarkExpAll|BenchmarkObsOverhead|BenchmarkExchangeScale|BenchmarkRouteScale|BenchmarkShardBatchFormation
+BENCH_PKGS ?= . ./internal/route
 BENCH_COUNT ?= 5
-BENCH_OUT ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR6.json
 BASELINE ?=
 
 # Parser packages with native fuzz targets and committed seed corpora
@@ -79,6 +83,6 @@ fuzz:
 	done
 
 bench:
-	$(GO) test -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) -run '^$$' . | tee bench_out.txt
+	$(GO) test -bench '$(BENCH)' -benchmem -count $(BENCH_COUNT) -run '^$$' $(BENCH_PKGS) | tee bench_out.txt
 	$(GO) run ./tools/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o $(BENCH_OUT) bench_out.txt
 	@rm -f bench_out.txt

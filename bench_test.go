@@ -8,11 +8,13 @@ package cadinterop
 //	go test -bench=. -benchmem ./...
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
 	"cadinterop/internal/backplane"
 	"cadinterop/internal/core"
+	"cadinterop/internal/exchange"
 	"cadinterop/internal/experiments"
 	"cadinterop/internal/fault"
 	"cadinterop/internal/floorplan"
@@ -540,6 +542,91 @@ func BenchmarkObsOverhead(b *testing.B) {
 			flowOnce(b, true)
 		}
 	})
+}
+
+// BenchmarkExchangeScale measures interchange parse cost per net across
+// three design sizes (10³–10⁵ nets), buffered against streaming. The
+// streaming reader trades a small constant factor for a parse window that
+// stays at the scanner chunk size instead of the whole file — the
+// bytes/op column (and E16's window/input ratio) is the point.
+func BenchmarkExchangeScale(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		var buf bytes.Buffer
+		if _, err := workgen.ScaleExchange(&buf, workgen.ScaleOptions{Nets: n, Seed: 61}); err != nil {
+			b.Fatal(err)
+		}
+		data := buf.Bytes()
+		ropts := exchange.ReadOptions{RequireTrailer: true}
+		for _, v := range []struct {
+			name string
+			read func() error
+		}{
+			{"buffered", func() error {
+				_, _, err := exchange.ReadBytes(data, ropts)
+				return err
+			}},
+			{"streaming", func() error {
+				_, _, err := exchange.ReadStream(bytes.NewReader(data), ropts)
+				return err
+			}},
+		} {
+			b.Run(fmt.Sprintf("nets=%d/%s", n, v.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := v.read(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/net")
+			})
+		}
+	}
+}
+
+// BenchmarkRouteScale measures the router per net at three design sizes:
+// serial, single-region speculative (8 workers), and sharded speculative
+// (8 workers, 4×4 regions). Output is byte-identical across all three
+// (TestScaleShardedRoute, E16). single-region vs sharded isolates what the
+// region grid buys at the same worker count; BenchmarkShardBatchFormation
+// in internal/route measures that admission step alone.
+func BenchmarkRouteScale(b *testing.B) {
+	for _, cells := range []int{48, 96, 192} {
+		d, fp, err := workgen.PhysDesign(workgen.PhysOptions{
+			Cells: cells, Seed: 61, CriticalNets: 6, Keepouts: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := place.Place(d, place.Options{Seed: 5}); err != nil {
+			b.Fatal(err)
+		}
+		rules := make(map[string]route.Rule, len(fp.NetRules))
+		for _, r := range fp.NetRules {
+			rules[r.Net] = route.Rule{
+				WidthTracks: max(r.WidthTracks, 1), SpacingTracks: r.SpacingTracks, Shield: r.Shield}
+		}
+		probe, err := route.Route(d, route.Options{Pitch: 5, Rules: rules, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nets := len(probe.Segments) + len(probe.Failed)
+		for _, v := range []struct {
+			name            string
+			workers, shards int
+		}{
+			{"serial", 1, 1},
+			{"single-region", 8, 1},
+			{"sharded", 8, 4},
+		} {
+			b.Run(fmt.Sprintf("cells=%d/%s", cells, v.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := route.Route(d, route.Options{
+						Pitch: 5, Rules: rules, Workers: v.workers, Shards: v.shards}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nets), "ns/net")
+			})
+		}
+	}
 }
 
 // BenchmarkWorkgenCorpus measures generating the E6 model corpus serially

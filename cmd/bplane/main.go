@@ -28,6 +28,7 @@ type config struct {
 	tool        string
 	printLoss   bool
 	jobs        int
+	shards      int
 	roundTrip   bool
 	traceFile   string
 	metricsFile string
@@ -40,6 +41,7 @@ func main() {
 	flag.StringVar(&cfg.tool, "tool", "", "run only one tool dialect (toolP|toolQ|toolR)")
 	flag.BoolVar(&cfg.printLoss, "loss", false, "print the full loss report")
 	flag.IntVar(&cfg.jobs, "j", 0, "worker count (0 = GOMAXPROCS, 1 = sequential)")
+	flag.IntVar(&cfg.shards, "shards", 0, "split each flow's routing grid into shards×shards regions for batch formation (0/1 = single region); routed output is identical at any setting")
 	flag.StringVar(&cfg.traceFile, "trace", "", "write the span trace to this file (.json = Chrome trace, .jsonl = JSON lines, else text tree)")
 	flag.StringVar(&cfg.metricsFile, "metrics", "", "write the metrics registry to this file as text")
 	flag.BoolVar(&cfg.roundTrip, "roundtrip", false, "gate each dialect's flow on an exchange round-trip integrity check")
@@ -47,6 +49,7 @@ func main() {
 		check   = flag.Bool("check", false, "vet the interchange files given as arguments (reader by extension) and exit")
 		strict  = flag.Bool("strict", true, "with -check: abort a file on its first error-severity diagnostic")
 		lenient = flag.Bool("lenient", false, "with -check: quarantine malformed records and keep parsing")
+		stream  = flag.Bool("stream", false, "with -check: vet via the streaming readers (bounded memory on large files; same verdicts)")
 	)
 	flag.Parse()
 	if *check {
@@ -58,7 +61,8 @@ func main() {
 		if *lenient || !*strict {
 			mode = diag.Lenient
 		}
-		if err := filecheck.Files(os.Stdout, flag.Args(), mode); err != nil {
+		opts := filecheck.Options{Mode: mode, Jobs: cfg.jobs, Shards: cfg.shards, Stream: *stream}
+		if err := filecheck.FilesOpts(os.Stdout, flag.Args(), opts); err != nil {
 			fmt.Fprintln(os.Stderr, "bplane:", err)
 			os.Exit(1)
 		}
@@ -95,7 +99,8 @@ func run(cfg config) error {
 	if cfg.traceFile != "" || cfg.metricsFile != "" {
 		rec = obs.New(nil)
 	}
-	results, err := backplane.RunFlowsObserved(gen, tools, 5, cfg.roundTrip, rec, par.Workers(cfg.jobs))
+	results, err := backplane.RunFlowsObserved(gen, tools, 5, cfg.roundTrip, rec,
+		par.Workers(cfg.jobs), par.Shards(cfg.shards))
 	if err != nil && !cfg.roundTrip {
 		return err
 	}

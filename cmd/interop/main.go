@@ -27,6 +27,9 @@ func main() {
 		check    = flag.Bool("check", false, "vet the interchange files given as arguments (reader by extension) and exit")
 		strict   = flag.Bool("strict", true, "with -check: abort a file on its first error-severity diagnostic")
 		lenient  = flag.Bool("lenient", false, "with -check: quarantine malformed records and keep parsing")
+		jobs     = flag.Int("j", 0, "with -check: worker count vetting files concurrently (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
+		shards   = flag.Int("shards", 0, "with -check: group the file list into this many contiguous work shards per scheduling unit (0 = one per file)")
+		stream   = flag.Bool("stream", false, "with -check: vet via the streaming readers (bounded memory on large files; same verdicts)")
 	)
 	flag.Parse()
 	if *check {
@@ -38,7 +41,8 @@ func main() {
 		if *lenient || !*strict {
 			mode = diag.Lenient
 		}
-		if err := filecheck.Files(os.Stdout, flag.Args(), mode); err != nil {
+		opts := filecheck.Options{Mode: mode, Jobs: *jobs, Shards: *shards, Stream: *stream}
+		if err := filecheck.FilesOpts(os.Stdout, flag.Args(), opts); err != nil {
 			fmt.Fprintln(os.Stderr, "interop:", err)
 			os.Exit(1)
 		}

@@ -148,6 +148,10 @@ func (p *PosTree) Offset() int {
 type lexer struct {
 	src string
 	pos int
+	// base offsets every reported position: the stream scanner (stream.go)
+	// lexes window slices of a larger input and needs absolute offsets in
+	// position trees and error messages. Whole-input parsing leaves it 0.
+	base int
 }
 
 func (lx *lexer) skipSpace() {
@@ -167,19 +171,19 @@ func (lx *lexer) skipSpace() {
 	}
 }
 
-// next returns the token text and its starting byte offset. EOF is the
-// empty token at offset len(src).
+// next returns the token text and its starting byte offset (base-shifted).
+// EOF is the empty token at offset len(src).
 func (lx *lexer) next() (tok string, off int, err error) {
 	lx.skipSpace()
 	if lx.pos >= len(lx.src) {
-		return "", len(lx.src), nil // EOF signalled by empty token
+		return "", lx.base + len(lx.src), nil // EOF signalled by empty token
 	}
 	start := lx.pos
 	c := lx.src[lx.pos]
 	switch c {
 	case '(', ')', '\'':
 		lx.pos++
-		return string(c), start, nil
+		return string(c), lx.base + start, nil
 	case '"':
 		lx.pos++
 		for lx.pos < len(lx.src) {
@@ -189,11 +193,11 @@ func (lx *lexer) next() (tok string, off int, err error) {
 			}
 			if lx.src[lx.pos] == '"' {
 				lx.pos++
-				return lx.src[start:lx.pos], start, nil
+				return lx.src[start:lx.pos], lx.base + start, nil
 			}
 			lx.pos++
 		}
-		return "", start, fmt.Errorf("%w: offset %d: unterminated string", ErrParse, start)
+		return "", lx.base + start, fmt.Errorf("%w: offset %d: unterminated string", ErrParse, lx.base+start)
 	default:
 		for lx.pos < len(lx.src) {
 			c := lx.src[lx.pos]
@@ -203,7 +207,7 @@ func (lx *lexer) next() (tok string, off int, err error) {
 			}
 			lx.pos++
 		}
-		return lx.src[start:lx.pos], start, nil
+		return lx.src[start:lx.pos], lx.base + start, nil
 	}
 }
 
@@ -312,7 +316,7 @@ func ParseOne(src string) (Value, error) {
 
 func parseExpr(lx *lexer, depth int) (Value, *PosTree, error) {
 	if depth > MaxDepth {
-		return nil, nil, fmt.Errorf("%w: offset %d: nesting deeper than %d", ErrParse, lx.pos, MaxDepth)
+		return nil, nil, fmt.Errorf("%w: offset %d: nesting deeper than %d", ErrParse, lx.base+lx.pos, MaxDepth)
 	}
 	tok, off, err := lx.next()
 	if err != nil {

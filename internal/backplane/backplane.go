@@ -369,6 +369,7 @@ func runFlow(d *phys.Design, fp *floorplan.Floorplan, tool ToolDialect, seed int
 		Rules:    in.RouteRules,
 		Keepouts: in.Keepouts,
 		Workers:  par.N(opts...),
+		Shards:   par.ShardsN(opts...),
 		Metrics:  reg,
 	})
 	if err != nil {

@@ -50,19 +50,25 @@ type WriteOptions struct {
 	// so existing writers stay byte-identical; guarded paths
 	// (VerifyRoundTrip, the backplane/migrate gates, E14) turn it on.
 	Trailer bool
+	// Hints prepends a (hints ...) record carrying the element counts so a
+	// streaming reader can pre-size its tables before the records arrive
+	// (the trailer manifest sits at the end, too late for that). Off by
+	// default so existing outputs stay byte-identical.
+	Hints bool
 }
 
 // Write serializes the netlist.
 func Write(w io.Writer, nl *netlist.Netlist, opts WriteOptions) error {
+	ct := countElems(nl)
 	if !opts.Trailer {
-		return writeBody(w, nl, opts)
+		return writeBody(w, nl, opts, ct)
 	}
 	var buf bytes.Buffer
-	if err := writeBody(&buf, nl, opts); err != nil {
+	buf.Grow(128 + 64*ct.cells + 32*(ct.ports+ct.nets+ct.insts+ct.conns+ct.attrs))
+	if err := writeBody(&buf, nl, opts, ct); err != nil {
 		return err
 	}
 	sum := sha256.Sum256(buf.Bytes())
-	ct := countElems(nl)
 	fmt.Fprintf(&buf, "; integrity sha256:%s cells=%d ports=%d nets=%d insts=%d conns=%d attrs=%d\n",
 		hex.EncodeToString(sum[:]), ct.cells, ct.ports, ct.nets, ct.insts, ct.conns, ct.attrs)
 	_, err := w.Write(buf.Bytes())
@@ -92,11 +98,15 @@ func countElems(nl *netlist.Netlist) elemCounts {
 	return ct
 }
 
-func writeBody(w io.Writer, nl *netlist.Netlist, opts WriteOptions) error {
+func writeBody(w io.Writer, nl *netlist.Netlist, opts WriteOptions, ct elemCounts) error {
 	bw := bufio.NewWriter(w)
-	ext := newExternalizer(opts)
+	ext := newExternalizer(opts, ct.cells+ct.ports+ct.nets+ct.insts)
 
 	fmt.Fprintf(bw, "(edif %s\n", ext.name(nlName(nl)))
+	if opts.Hints {
+		fmt.Fprintf(bw, "  (hints (cells %d) (ports %d) (nets %d) (insts %d) (conns %d) (attrs %d))\n",
+			ct.cells, ct.ports, ct.nets, ct.insts, ct.conns, ct.attrs)
+	}
 	for _, cn := range nl.CellNames() {
 		c := nl.Cells[cn]
 		fmt.Fprintf(bw, "  (cell %s\n    (interface", ext.name(cn))
@@ -183,11 +193,11 @@ type externalizer struct {
 	renames map[string]string // alias -> original
 }
 
-func newExternalizer(opts WriteOptions) *externalizer {
+func newExternalizer(opts WriteOptions, names int) *externalizer {
 	return &externalizer{
 		opts:    opts,
-		out:     make(map[string]string),
-		used:    make(map[string]bool),
+		out:     make(map[string]string, names),
+		used:    make(map[string]bool, names),
 		renames: make(map[string]string),
 	}
 }
@@ -298,11 +308,30 @@ func ReadBytes(data []byte, opts ReadOptions) (*netlist.Netlist, []diag.Diagnost
 type exReader struct {
 	src string
 	col *diag.Collector
+	// sc is set by the streaming entry points (stream.go): positions then
+	// resolve against the scanner's window instead of a full source copy.
+	sc *al.Scanner
 }
 
 // pos upgrades a parse-tree node to a line/column position.
 func (rd *exReader) pos(pt *al.PosTree) diag.Pos {
-	return diag.LineCol(rd.src, pt.Offset())
+	return rd.posAt(pt.Offset())
+}
+
+// posAt upgrades a byte offset to a line/column position. In streaming
+// mode an offset already compacted out of the window degrades to
+// offset-only rather than costing the memory bound.
+func (rd *exReader) posAt(off int) diag.Pos {
+	if rd.sc == nil {
+		return diag.LineCol(rd.src, off)
+	}
+	if off < 0 {
+		return diag.NoPos
+	}
+	if line, col, ok := rd.sc.LineColAt(off); ok {
+		return diag.Pos{Offset: off, Line: line, Col: col}
+	}
+	return diag.Pos{Offset: off}
 }
 
 func (rd *exReader) read(requireTrailer bool) (*netlist.Netlist, error) {
@@ -398,6 +427,9 @@ func (rd *exReader) read(requireTrailer bool) (*netlist.Netlist, error) {
 			if err := rd.readCell(nl, l, it, restore); err != nil {
 				return nil, err
 			}
+		case "hints":
+			ct := hintCounts(l)
+			nl.Grow(ct.cells)
 		default:
 			if err := rd.col.Errorf("record", rd.pos(it), "unknown form %q", head); err != nil {
 				return nil, err
@@ -497,15 +529,26 @@ func (rd *exReader) checkTrailer(require bool) (*elemCounts, error) {
 		return nil, nil
 	}
 	pos := diag.LineCol(rd.src, start)
+	sum := sha256.Sum256([]byte(rd.src[:start]))
+	ct, msg := parseTrailerFields(line, sum)
+	if msg != "" {
+		return nil, rd.integrityErr(pos, "%s", msg)
+	}
+	return ct, nil
+}
+
+// parseTrailerFields validates a trailer line against the body checksum
+// and decodes its manifest counts. A non-empty message names the failure;
+// the texts are shared by the buffered and streaming verifiers.
+func parseTrailerFields(line string, bodySum [sha256.Size]byte) (*elemCounts, string) {
 	fields := strings.Fields(line[len("; "):])
 	// fields[0] = "integrity", fields[1] = "sha256:<hex>", then k=v counts.
 	if len(fields) < 2 || !strings.HasPrefix(fields[1], "sha256:") {
-		return nil, rd.integrityErr(pos, "malformed integrity trailer")
+		return nil, "malformed integrity trailer"
 	}
 	wantSum := strings.TrimPrefix(fields[1], "sha256:")
-	got := sha256.Sum256([]byte(rd.src[:start]))
-	if hex.EncodeToString(got[:]) != wantSum {
-		return nil, rd.integrityErr(pos, "content checksum mismatch: body does not match sha256 in trailer")
+	if hex.EncodeToString(bodySum[:]) != wantSum {
+		return nil, "content checksum mismatch: body does not match sha256 in trailer"
 	}
 	var ct elemCounts
 	seen := 0
@@ -516,7 +559,7 @@ func (rd *exReader) checkTrailer(require bool) (*elemCounts, error) {
 		}
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			return nil, rd.integrityErr(pos, "malformed count %q in integrity trailer", f)
+			return nil, fmt.Sprintf("malformed count %q in integrity trailer", f)
 		}
 		switch k {
 		case "cells":
@@ -537,9 +580,46 @@ func (rd *exReader) checkTrailer(require bool) (*elemCounts, error) {
 		seen++
 	}
 	if seen != 6 {
-		return nil, rd.integrityErr(pos, "integrity trailer manifest incomplete (%d of 6 counts)", seen)
+		return nil, fmt.Sprintf("integrity trailer manifest incomplete (%d of 6 counts)", seen)
 	}
-	return &ct, nil
+	return &ct, ""
+}
+
+// hintCounts decodes a (hints (cells N) ...) record. Hints are advisory
+// pre-sizing data, so unknown or malformed entries are ignored, never
+// diagnosed.
+func hintCounts(l al.List) elemCounts {
+	var ct elemCounts
+	for _, sub := range l[1:] {
+		sl, ok := sub.(al.List)
+		if !ok || len(sl) != 2 {
+			continue
+		}
+		key, ok := sl[0].(al.Symbol)
+		if !ok {
+			continue
+		}
+		num, ok := sl[1].(al.Num)
+		n := int(num)
+		if !ok || al.Num(n) != num || n < 0 {
+			continue
+		}
+		switch key {
+		case "cells":
+			ct.cells = n
+		case "ports":
+			ct.ports = n
+		case "nets":
+			ct.nets = n
+		case "insts":
+			ct.insts = n
+		case "conns":
+			ct.conns = n
+		case "attrs":
+			ct.attrs = n
+		}
+	}
+	return ct
 }
 
 // integrityErr reports an integrity failure. In strict mode it always
@@ -579,55 +659,62 @@ func (rd *exReader) readCell(nl *netlist.Netlist, l al.List, lt *al.PosTree, res
 		return rd.col.Errorf("record", rd.pos(lt), "%v", err)
 	}
 	for i, item := range l[2:] {
-		it := lt.Kid(i + 2)
-		il, ok := item.(al.List)
-		if !ok || len(il) == 0 {
-			if err := rd.col.Errorf("record", rd.pos(it), "bad cell item %s", item.Repr()); err != nil {
+		if err := rd.readCellItem(c, item, lt.Kid(i+2), restore); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readCellItem handles one body item of a (cell ...) form. The streaming
+// reader calls it record by record; the buffered reader loops over the
+// materialized cell. A non-nil return is an abort.
+func (rd *exReader) readCellItem(c *netlist.Cell, item al.Value, it *al.PosTree, restore func(string) string) error {
+	il, ok := item.(al.List)
+	if !ok || len(il) == 0 {
+		return rd.col.Errorf("record", rd.pos(it), "bad cell item %s", item.Repr())
+	}
+	head, _ := il[0].(al.Symbol)
+	switch head {
+	case "interface":
+		return rd.readInterface(c, il, it, restore)
+	case "primitive":
+		c.Primitive = true
+	case "contents":
+		return rd.readContents(c, il, it, restore)
+	default:
+		return rd.col.Errorf("record", rd.pos(it), "unknown cell item %q", head)
+	}
+	return nil
+}
+
+func (rd *exReader) readInterface(c *netlist.Cell, il al.List, it *al.PosTree, restore func(string) string) error {
+	for j, pi := range il[1:] {
+		pt := it.Kid(j + 1)
+		pl, ok := pi.(al.List)
+		if !ok || len(pl) != 3 || !isSym(pl[0], "port") {
+			if err := rd.col.Errorf("record", rd.pos(pt), "bad port %s", pi.Repr()); err != nil {
 				return err
 			}
 			continue
 		}
-		head, _ := il[0].(al.Symbol)
-		switch head {
-		case "interface":
-			for j, pi := range il[1:] {
-				pt := it.Kid(j + 1)
-				pl, ok := pi.(al.List)
-				if !ok || len(pl) != 3 || !isSym(pl[0], "port") {
-					if err := rd.col.Errorf("record", rd.pos(pt), "bad port %s", pi.Repr()); err != nil {
-						return err
-					}
-					continue
-				}
-				pname, err1 := symStr(pl[1])
-				dname, err2 := symStr(pl[2])
-				if err1 != nil || err2 != nil {
-					if err := rd.col.Errorf("record", rd.pos(pt), "port fields"); err != nil {
-						return err
-					}
-					continue
-				}
-				dir, err := netlist.ParsePortDir(dname)
-				if err != nil {
-					if err := rd.col.Errorf("record", rd.pos(pt.Kid(2)), "%v", err); err != nil {
-						return err
-					}
-					continue
-				}
-				if err := c.AddPort(restore(pname), dir); err != nil {
-					if err := rd.col.Errorf("record", rd.pos(pt), "%v", err); err != nil {
-						return err
-					}
-				}
-			}
-		case "primitive":
-			c.Primitive = true
-		case "contents":
-			if err := rd.readContents(c, il, it, restore); err != nil {
+		pname, err1 := symStr(pl[1])
+		dname, err2 := symStr(pl[2])
+		if err1 != nil || err2 != nil {
+			if err := rd.col.Errorf("record", rd.pos(pt), "port fields"); err != nil {
 				return err
 			}
-		default:
-			if err := rd.col.Errorf("record", rd.pos(it), "unknown cell item %q", head); err != nil {
+			continue
+		}
+		dir, err := netlist.ParsePortDir(dname)
+		if err != nil {
+			if err := rd.col.Errorf("record", rd.pos(pt.Kid(2)), "%v", err); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := c.AddPort(restore(pname), dir); err != nil {
+			if err := rd.col.Errorf("record", rd.pos(pt), "%v", err); err != nil {
 				return err
 			}
 		}
@@ -637,54 +724,50 @@ func (rd *exReader) readCell(nl *netlist.Netlist, l al.List, lt *al.PosTree, res
 
 func (rd *exReader) readContents(c *netlist.Cell, l al.List, lt *al.PosTree, restore func(string) string) error {
 	for i, item := range l[1:] {
-		it := lt.Kid(i + 1)
-		il, ok := item.(al.List)
-		if !ok || len(il) == 0 {
-			if err := rd.col.Errorf("record", rd.pos(it), "bad contents item"); err != nil {
-				return err
-			}
-			continue
+		if err := rd.readContentsItem(c, item, lt.Kid(i+1), restore); err != nil {
+			return err
 		}
-		head, _ := il[0].(al.Symbol)
-		switch head {
-		case "net":
-			if len(il) < 2 {
-				if err := rd.col.Errorf("record", rd.pos(it), "net needs a name"); err != nil {
-					return err
-				}
+	}
+	return nil
+}
+
+// readContentsItem handles one record of a (contents ...) form — the
+// granularity at which the streaming reader parses, recovers and frees
+// memory. A non-nil return is an abort.
+func (rd *exReader) readContentsItem(c *netlist.Cell, item al.Value, it *al.PosTree, restore func(string) string) error {
+	il, ok := item.(al.List)
+	if !ok || len(il) == 0 {
+		return rd.col.Errorf("record", rd.pos(it), "bad contents item")
+	}
+	head, _ := il[0].(al.Symbol)
+	switch head {
+	case "net":
+		if len(il) < 2 {
+			return rd.col.Errorf("record", rd.pos(it), "net needs a name")
+		}
+		name, err := symStr(il[1])
+		if err != nil {
+			return rd.col.Errorf("record", rd.pos(it.Kid(1)), "net name: %v", err)
+		}
+		nt := c.EnsureNet(restore(name))
+		for _, sub := range il[2:] {
+			sl, ok := sub.(al.List)
+			if !ok || len(sl) == 0 {
 				continue
 			}
-			name, err := symStr(il[1])
-			if err != nil {
-				if err := rd.col.Errorf("record", rd.pos(it.Kid(1)), "net name: %v", err); err != nil {
-					return err
-				}
-				continue
-			}
-			nt := c.EnsureNet(restore(name))
-			for _, sub := range il[2:] {
-				sl, ok := sub.(al.List)
-				if !ok || len(sl) == 0 {
-					continue
-				}
-				switch {
-				case isSym(sl[0], "global"):
-					nt.Global = true
-				case isSym(sl[0], "property") && len(sl) == 3:
-					k, _ := symStr(sl[1])
-					v, _ := symStr(sl[2])
-					nt.Attrs[k] = v
-				}
-			}
-		case "instance":
-			if err := rd.readInstance(c, il, it, restore); err != nil {
-				return err
-			}
-		default:
-			if err := rd.col.Errorf("record", rd.pos(it), "unknown contents item %q", head); err != nil {
-				return err
+			switch {
+			case isSym(sl[0], "global"):
+				nt.Global = true
+			case isSym(sl[0], "property") && len(sl) == 3:
+				k, _ := symStr(sl[1])
+				v, _ := symStr(sl[2])
+				nt.Attrs[k] = v
 			}
 		}
+	case "instance":
+		return rd.readInstance(c, il, it, restore)
+	default:
+		return rd.col.Errorf("record", rd.pos(it), "unknown contents item %q", head)
 	}
 	return nil
 }

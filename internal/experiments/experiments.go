@@ -638,6 +638,7 @@ func registry() []entry {
 		{"E13", "fault robustness", func(o []par.Option) (*Report, error) { return E13FaultRobustness(6) }},
 		{"E14", "interchange corruption robustness", func(o []par.Option) (*Report, error) { return E14CorruptionRobustness() }},
 		{"E15", "observability accounting", func(o []par.Option) (*Report, error) { return E15Observability(6) }},
+		{"E16", "scale: streaming + sharding", func(o []par.Option) (*Report, error) { return E16Scale() }},
 	}
 }
 

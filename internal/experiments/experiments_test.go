@@ -212,7 +212,7 @@ func TestAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 15 {
+	if len(reports) != 16 {
 		t.Fatalf("reports = %d", len(reports))
 	}
 	for _, r := range reports {
@@ -319,6 +319,32 @@ func TestE15(t *testing.T) {
 	}
 	if r.String() != again.String() {
 		t.Errorf("E15 not reproducible:\n--- first\n%s\n--- second\n%s", r, again)
+	}
+}
+
+func TestE16(t *testing.T) {
+	r, err := E16Scale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	// Every equality verdict must hold: streaming parse vs buffered parse,
+	// parsed elements vs manifest, sharded route vs serial route.
+	if strings.Contains(joined, "DIVERGED") || strings.Contains(joined, "MISMATCH") {
+		t.Fatalf("equivalence verdict failed:\n%s", joined)
+	}
+	// Sharded rows must actually exercise regional admission.
+	if !strings.Contains(joined, "2x2") || !strings.Contains(joined, "4x4") {
+		t.Fatalf("sharded rows missing:\n%s", joined)
+	}
+	// Determinism: byte-identical on a second run (window high-water
+	// included — the pipe delivers the same read sizes every time).
+	again, err := E16Scale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != again.String() {
+		t.Errorf("E16 not reproducible:\n--- first\n%s\n--- second\n%s", r, again)
 	}
 }
 

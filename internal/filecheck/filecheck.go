@@ -17,9 +17,35 @@ import (
 	"cadinterop/internal/diag"
 	"cadinterop/internal/exchange"
 	"cadinterop/internal/hdl"
+	"cadinterop/internal/par"
 	"cadinterop/internal/schematic/cd"
 	"cadinterop/internal/schematic/vl"
 )
+
+// Options configures a vetting run.
+type Options struct {
+	// Mode selects the failure policy: diag.Strict aborts a file on its
+	// first error-severity diagnostic, diag.Lenient quarantines malformed
+	// records and keeps parsing.
+	Mode diag.Mode
+	// Jobs bounds the worker pool vetting files concurrently
+	// (0 = GOMAXPROCS, 1 = sequential). Output order and every verdict are
+	// identical at any setting.
+	Jobs int
+	// Shards groups the file list into this many contiguous work shards;
+	// a shard is one scheduling unit for the pool. 0 (the default) means
+	// one shard per file. Purely a granularity knob — output never
+	// changes.
+	Shards int
+	// Stream selects the streaming readers for the formats that have one
+	// (exchange, cadence; viewlogic always streams), so large files are
+	// vetted in bounded memory instead of being read whole. On well-formed
+	// inputs verdicts and diagnostics are identical to the buffered
+	// readers'; on lexically damaged lenient inputs the streaming readers
+	// resynchronize at record granularity and salvage strictly more (see
+	// the documented divergences in exchange.ReadStream).
+	Stream bool
+}
 
 // Extensions maps recognized file extensions to reader names (for help
 // text and error messages).
@@ -72,11 +98,46 @@ func CheckBytes(name string, data []byte, mode diag.Mode) ([]diag.Diagnostic, er
 
 // CheckFile reads and vets one file.
 func CheckFile(path string, mode diag.Mode) ([]diag.Diagnostic, error) {
+	return CheckFileOpts(path, Options{Mode: mode})
+}
+
+// CheckFileOpts vets one file under the full option set. With Stream set,
+// formats with a streaming reader parse straight off the open file in
+// bounded memory; everything else falls back to the buffered path.
+func CheckFileOpts(path string, opts Options) ([]diag.Diagnostic, error) {
+	if opts.Stream {
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ".edf", ".edif":
+			return checkStream(path, func(r io.Reader) ([]diag.Diagnostic, error) {
+				_, diags, err := exchange.ReadStream(r, exchange.ReadOptions{Mode: opts.Mode, Source: path})
+				return diags, err
+			})
+		case ".cd", ".cds":
+			return checkStream(path, func(r io.Reader) ([]diag.Diagnostic, error) {
+				_, diags, err := cd.ReadStream(r, cd.ReadOptions{Mode: opts.Mode, Source: path})
+				return diags, err
+			})
+		case ".vl", ".wir":
+			return checkStream(path, func(r io.Reader) ([]diag.Diagnostic, error) {
+				_, diags, err := vl.ReadWithDiagnostics(r, vl.ReadOptions{Mode: opts.Mode, Source: path})
+				return diags, err
+			})
+		}
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return CheckBytes(path, data, mode)
+	return CheckBytes(path, data, opts.Mode)
+}
+
+func checkStream(path string, read func(io.Reader) ([]diag.Diagnostic, error)) ([]diag.Diagnostic, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return read(f)
 }
 
 // Files vets every path, printing diagnostics and a per-file summary to w.
@@ -84,22 +145,53 @@ func CheckFile(path string, mode diag.Mode) ([]diag.Diagnostic, error) {
 // file whose parse aborted — which in strict mode is any file carrying an
 // error-severity diagnostic.
 func Files(w io.Writer, paths []string, mode diag.Mode) error {
+	return FilesOpts(w, paths, Options{Mode: mode, Jobs: 1})
+}
+
+// FilesOpts is Files under the full option set: the path list is split
+// into Options.Shards contiguous groups and the groups are vetted across
+// Options.Jobs workers. Each file's rendered block — diagnostics followed
+// by its verdict line — is buffered per file and printed in path order,
+// so the output and the returned (lowest-path) error are byte-identical
+// at every Jobs and Shards setting.
+func FilesOpts(w io.Writer, paths []string, opts Options) error {
+	type outcome struct {
+		text string
+		err  error
+	}
+	shards := opts.Shards
+	if shards <= 0 || shards > len(paths) {
+		shards = len(paths)
+	}
+	vetted := make([]outcome, len(paths))
+	par.ForEach(shards, func(s int) error {
+		lo, hi := s*len(paths)/shards, (s+1)*len(paths)/shards
+		for i := lo; i < hi; i++ {
+			var sb strings.Builder
+			diags, err := CheckFileOpts(paths[i], opts)
+			for _, d := range diags {
+				fmt.Fprintln(&sb, d)
+			}
+			errs, warns := diag.Count(diags, diag.Error), diag.Count(diags, diag.Warning)
+			verdict := "ok"
+			if err != nil {
+				verdict = "FAILED"
+			} else if errs > 0 {
+				verdict = "recovered"
+			}
+			fmt.Fprintf(&sb, "%s: %s (%s mode, %d error(s), %d warning(s))\n", paths[i], verdict, opts.Mode, errs, warns)
+			if err != nil {
+				err = fmt.Errorf("%s: %w", paths[i], err)
+			}
+			vetted[i] = outcome{sb.String(), err}
+		}
+		return nil
+	}, par.Workers(opts.Jobs))
 	var firstErr error
-	for _, p := range paths {
-		diags, err := CheckFile(p, mode)
-		for _, d := range diags {
-			fmt.Fprintln(w, d)
-		}
-		errs, warns := diag.Count(diags, diag.Error), diag.Count(diags, diag.Warning)
-		verdict := "ok"
-		if err != nil {
-			verdict = "FAILED"
-		} else if errs > 0 {
-			verdict = "recovered"
-		}
-		fmt.Fprintf(w, "%s: %s (%s mode, %d error(s), %d warning(s))\n", p, verdict, mode, errs, warns)
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("%s: %w", p, err)
+	for _, o := range vetted {
+		io.WriteString(w, o.text)
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
 		}
 	}
 	return firstErr

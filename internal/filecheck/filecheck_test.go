@@ -1,8 +1,10 @@
 package filecheck
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -46,6 +48,108 @@ func TestCheckBytesLenientRecovers(t *testing.T) {
 	d := diags[0]
 	if d.Source != "bad.v" || d.Pos.Line == 0 {
 		t.Errorf("diagnostic not positioned: %v", d)
+	}
+}
+
+// writeCorpus lays down a mixed-format, mixed-health file set and returns
+// the paths in lexical order.
+func writeCorpus(t *testing.T) []string {
+	t.Helper()
+	dir := t.TempDir()
+	corpus := map[string]string{
+		"a_good.edf": "(edif d (cell c (interface) (primitive)))",
+		"b_bad.edf":  "(edif d (cell c (interface)",
+		"c_good.cd":  `(design d (grid "1/16in"))`,
+		"d_good.vl":  "V vl 1\nD d 1/10in\n",
+		"e_bad.v":    badV,
+		"f_good.v":   goodV,
+		"g_good.al":  "(a (b c))",
+	}
+	var paths []string
+	for name, data := range corpus {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+func TestFilesOptsIdenticalAcrossKnobs(t *testing.T) {
+	// Jobs and Shards are pure scheduling knobs: for a fixed (Mode, Stream)
+	// the rendered output and returned error never change. Stream picks a
+	// different reader, so it gets its own reference run.
+	paths := writeCorpus(t)
+	for _, mode := range []diag.Mode{diag.Strict, diag.Lenient} {
+		for _, streaming := range []bool{false, true} {
+			var ref strings.Builder
+			refErr := FilesOpts(&ref, paths, Options{Mode: mode, Jobs: 1, Stream: streaming})
+			for _, jobs := range []int{1, 4, 8} {
+				for _, shards := range []int{0, 1, 3, 100} {
+					var sb strings.Builder
+					err := FilesOpts(&sb, paths, Options{Mode: mode, Jobs: jobs, Shards: shards, Stream: streaming})
+					if sb.String() != ref.String() {
+						t.Fatalf("%s jobs=%d shards=%d stream=%v output diverged:\n--- ref ---\n%s--- got ---\n%s",
+							mode, jobs, shards, streaming, ref.String(), sb.String())
+					}
+					if (err == nil) != (refErr == nil) || (err != nil && err.Error() != refErr.Error()) {
+						t.Fatalf("%s jobs=%d shards=%d stream=%v err = %v, want %v",
+							mode, jobs, shards, streaming, err, refErr)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFilesOptsFirstErrorIsLowestPath(t *testing.T) {
+	paths := writeCorpus(t)
+	err := FilesOpts(io.Discard, paths, Options{Mode: diag.Strict, Jobs: 8})
+	if err == nil {
+		t.Fatal("strict run over bad files returned nil")
+	}
+	// b_bad.edf sorts before e_bad.v; parallel runs must still surface it.
+	if !strings.Contains(err.Error(), "b_bad.edf") {
+		t.Fatalf("first error = %v, want the lowest failing path b_bad.edf", err)
+	}
+}
+
+func TestCheckFileOptsStreamMatchesBuffered(t *testing.T) {
+	// On well-formed inputs the streaming readers are byte-equivalent to
+	// the buffered ones. On lexically damaged lenient inputs they diverge
+	// by design (streaming salvages at record granularity; see
+	// exchange.ReadStream) — there both must still surface the damage as
+	// error-severity diagnostics, but the exact messages differ.
+	paths := writeCorpus(t)
+	for _, p := range paths {
+		damaged := strings.Contains(filepath.Base(p), "_bad.")
+		for _, mode := range []diag.Mode{diag.Strict, diag.Lenient} {
+			bufDiags, bufErr := CheckFileOpts(p, Options{Mode: mode})
+			strDiags, strErr := CheckFileOpts(p, Options{Mode: mode, Stream: true})
+			if damaged {
+				if diag.Count(bufDiags, diag.Error) == 0 && bufErr == nil {
+					t.Errorf("%s %s: buffered reader missed the damage", filepath.Base(p), mode)
+				}
+				if diag.Count(strDiags, diag.Error) == 0 && strErr == nil {
+					t.Errorf("%s %s: streaming reader missed the damage", filepath.Base(p), mode)
+				}
+				continue
+			}
+			if (bufErr == nil) != (strErr == nil) {
+				t.Errorf("%s %s: buffered err %v vs stream err %v", filepath.Base(p), mode, bufErr, strErr)
+			}
+			if len(bufDiags) != len(strDiags) {
+				t.Errorf("%s %s: %d buffered diags vs %d streamed", filepath.Base(p), mode, len(bufDiags), len(strDiags))
+				continue
+			}
+			for i := range bufDiags {
+				if bufDiags[i].String() != strDiags[i].String() {
+					t.Errorf("%s %s diag %d: %v vs %v", filepath.Base(p), mode, i, bufDiags[i], strDiags[i])
+				}
+			}
+		}
 	}
 }
 

@@ -117,6 +117,21 @@ func (n *Netlist) AddCell(name string) (*Cell, error) {
 	return c, nil
 }
 
+// Grow pre-sizes the cell table for about n further AddCell calls, so
+// bulk loaders (the streaming interchange reader, generators) avoid
+// incremental map growth on the hot path. Advisory: a wrong n costs
+// memory or rehashes, never correctness.
+func (n *Netlist) Grow(cells int) {
+	if cells <= 0 {
+		return
+	}
+	m := make(map[string]*Cell, len(n.Cells)+cells)
+	for k, v := range n.Cells {
+		m[k] = v
+	}
+	n.Cells = m
+}
+
 // Cell returns a cell definition by name.
 func (n *Netlist) Cell(name string) (*Cell, bool) {
 	c, ok := n.Cells[name]
@@ -152,6 +167,25 @@ func (c *Cell) Port(name string) (Port, bool) {
 		}
 	}
 	return Port{}, false
+}
+
+// GrowContents pre-sizes the cell's net and instance tables for about
+// nets / insts further additions (see Netlist.Grow).
+func (c *Cell) GrowContents(nets, insts int) {
+	if nets > 0 {
+		m := make(map[string]*Net, len(c.Nets)+nets)
+		for k, v := range c.Nets {
+			m[k] = v
+		}
+		c.Nets = m
+	}
+	if insts > 0 {
+		m := make(map[string]*Instance, len(c.Instances)+insts)
+		for k, v := range c.Instances {
+			m[k] = v
+		}
+		c.Instances = m
+	}
 }
 
 // AddNet creates a net inside the cell.

@@ -25,6 +25,7 @@ import (
 // cfg carries resolved options.
 type cfg struct {
 	workers int
+	shards  int
 	reg     *obs.Registry
 }
 
@@ -61,6 +62,29 @@ func N(opts ...Option) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return c.workers
+}
+
+// Shards records an advisory domain-decomposition hint: how many regions
+// or work groups a spatial consumer — the sharded router's region grid,
+// filecheck's work-list grouping — should split its domain into. The pool
+// primitives in this package ignore it; it rides the option list so entry
+// points can thread one knob set (workers + shards) through call chains
+// that end in a configuration struct such as route.Options. 0 (the
+// default) lets each consumer pick its own decomposition.
+func Shards(n int) Option {
+	return func(c *cfg) { c.shards = n }
+}
+
+// ShardsN reports the shard hint the options resolve to (0 when unset).
+func ShardsN(opts ...Option) int {
+	c := cfg{}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.shards < 0 {
+		return 0
+	}
+	return c.shards
 }
 
 // resolve applies options and clamps the worker count to the job size.

@@ -36,6 +36,34 @@ func TestBFSAllocs(t *testing.T) {
 	}
 }
 
+// TestInternGrowAllocs: a table grown to its final net count must intern
+// without rehashing the map or reallocating the decode slab — the only
+// allocations per name are the map entry and the four precomputed decode
+// strings (three of them concatenations). The bound stays tight so a
+// presize regression (growth reallocations back on the hot path) fails
+// loudly.
+func TestInternGrowAllocs(t *testing.T) {
+	const nets = 512
+	names := make([]string, nets)
+	for i := range names {
+		names[i] = "net" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		tab := newInternTable()
+		tab.grow(nets)
+		for _, n := range names {
+			tab.intern(n)
+		}
+	})
+	// Per name: one strs entry is pre-reserved (0 allocs), the three
+	// prefixed decode forms allocate, and the map stores the entry without
+	// rehash (~1 amortized). Fixed cost: table, slab, map. Anything above
+	// ~4.5/name means growth reallocation crept back in.
+	if perName := (avg - 8) / nets; perName > 4.5 {
+		t.Errorf("grown intern table allocates %.2f objects per name (%.0f total), want <= 4.5", perName, avg)
+	}
+}
+
 // TestSpecViewAllocs: leasing, using and returning a speculative view must
 // not allocate once the pool is warm — overlays and read footprints are
 // epoch-reset, not rebuilt.

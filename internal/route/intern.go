@@ -85,6 +85,24 @@ func (t *internTable) intern(name string) int32 {
 	return i << 2
 }
 
+// grow pre-sizes the table for n more nets so steady-state interning never
+// rehashes the map or reallocates the decode slab. Called with the final
+// net count before pin reservation; a fresh table additionally swaps its
+// map for one with the right bucket count.
+func (t *internTable) grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if need := len(t.strs) + n; cap(t.strs) < need {
+		strs := make([][4]string, len(t.strs), need)
+		copy(strs, t.strs)
+		t.strs = strs
+	}
+	if len(t.ids) == 0 {
+		t.ids = make(map[string]int32, n)
+	}
+}
+
 // lookup returns the signal ID for a name already in the table.
 func (t *internTable) lookup(name string) (int32, bool) {
 	i, ok := t.ids[name]

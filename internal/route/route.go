@@ -54,6 +54,15 @@ type Options struct {
 	// searches commit in canonical net order and any speculation invalidated
 	// by an earlier commit is recomputed on the live grid.
 	Workers int
+	// Shards splits the grid into Shards×Shards rectangular regions for
+	// speculative batch formation (shard.go): nets whose rule-expanded pin
+	// bounding box fits inside one region are admitted against that region
+	// alone, so large designs form bigger batches with cheaper admission
+	// checks. 0 or 1 disables sharding; it has no effect when Workers == 1.
+	// Sharding only changes how batches are formed — commits still follow
+	// canonical net order — so the routed result stays byte-identical to
+	// the sequential router at every Shards setting.
+	Shards int
 	// Metrics, when non-nil, receives router counters: nets routed/failed,
 	// rip-up passes, speculative commit/recompute outcomes, bfs searches and
 	// scratch-pool reuse. Counts tied to speculation scheduling (spec.*,
@@ -82,6 +91,12 @@ type Result struct {
 	// routed output never depends on them.
 	SpecCommitted  int
 	SpecRecomputed int
+	// ShardInterior / ShardBoundary count batch admissions of nets whose
+	// rule-expanded pin box fit inside one shard region vs crossed a seam;
+	// both stay 0 unless Options.Shards > 1 and the parallel path runs.
+	// Observability only, and deterministic for fixed Options.
+	ShardInterior int
+	ShardBoundary int
 	grid           *Grid
 	rules          map[string]Rule
 }
@@ -216,9 +231,11 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 
 	// Gather pins per net in grid coordinates. Net names are validated
 	// against the reserved marker vocabulary here, before any of them is
-	// interned into a grid.
-	netPins := make(map[string][]geom.Point)
-	for _, in := range top.InstanceNames() {
+	// interned into a grid. The map is pre-sized from the instance count —
+	// a chain design has about one net per instance (DESIGN.md §5c).
+	instNames := top.InstanceNames()
+	netPins := make(map[string][]geom.Point, len(instNames)+1)
+	for _, in := range instNames {
 		inst := top.Instances[in]
 		pins := make([]string, 0, len(inst.Conns))
 		for p := range inst.Conns {
@@ -245,7 +262,10 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 	// Pre-reserve every pin cell on both layers so no net can route
 	// through another net's landing pad. Reserved cells carry a pending
 	// marker ("?net"): foreign nets treat them as obstacles, the owning
-	// net may claim them, and they do not count as connected yet.
+	// net may claim them, and they do not count as connected yet. The
+	// intern table is grown to final size first so the hot path never
+	// rehashes or reallocates it (allocs_test.go locks this in).
+	g.tab.grow(len(netPins))
 	reservePins(g, netPins)
 
 	// Net ordering: constrained nets first (they need clean fabric), then
@@ -312,6 +332,8 @@ func recordRouteMetrics(reg *obs.Registry, res *Result, nets, passes int) {
 	reg.Counter("route.ripup.passes").Add(int64(passes))
 	reg.Counter("route.spec.committed").Add(int64(res.SpecCommitted))
 	reg.Counter("route.spec.recomputed").Add(int64(res.SpecRecomputed))
+	reg.Counter("route.shard.interior").Add(int64(res.ShardInterior))
+	reg.Counter("route.shard.boundary").Add(int64(res.ShardBoundary))
 }
 
 // reservePins marks pin landing cells and reserves them with the pending
@@ -378,8 +400,26 @@ func routeAll(g *Grid, res *Result, order []string, netPins map[string][]geom.Po
 		}
 		return
 	}
+	// Region sharding: cheaper admission checks and a batch cap that grows
+	// with the region count, so large grids keep every worker fed.
+	batchCap := 4 * workers
+	var sm *shardMap
+	if opts.Shards > 1 {
+		sm = newShardMap(g.W, g.H, opts.Shards)
+		if c := sm.s * sm.s; c > batchCap {
+			batchCap = c
+		}
+	}
 	for start := 0; start < len(order); {
-		batch := nextBatch(order[start:], netPins, opts, 4*workers)
+		var batch []string
+		if sm != nil {
+			var ni, nb int
+			batch, ni, nb = sm.nextBatch(order[start:], netPins, opts, batchCap)
+			res.ShardInterior += ni
+			res.ShardBoundary += nb
+		} else {
+			batch = nextBatch(order[start:], netPins, opts, batchCap)
+		}
 		start += len(batch)
 		if len(batch) == 1 {
 			routeOne(g, res, batch[0], g.tab.intern(batch[0]), netPins[batch[0]], normRule(opts.Rules[batch[0]]))
@@ -447,11 +487,7 @@ func nextBatch(rest []string, netPins map[string][]geom.Point, opts Options, max
 	n := 0
 	for n < max {
 		r := normRule(opts.Rules[rest[n]])
-		margin := 2 + r.WidthTracks + r.SpacingTracks
-		if r.Shield {
-			margin++
-		}
-		box := pinBBox(netPins[rest[n]]).Expand(margin)
+		box := pinBBox(netPins[rest[n]]).Expand(ruleMargin(r))
 		clash := false
 		for _, b := range boxes {
 			if box.Overlaps(b) {
@@ -469,6 +505,16 @@ func nextBatch(rest []string, netPins map[string][]geom.Point, opts Options, max
 		n = 1
 	}
 	return rest[:n]
+}
+
+// ruleMargin is the bounding-box expansion batch formation applies to a
+// net: detour slack plus the rule's reach (width, spacing, shield).
+func ruleMargin(r Rule) int {
+	m := 2 + r.WidthTracks + r.SpacingTracks
+	if r.Shield {
+		m++
+	}
+	return m
 }
 
 // pinBBox is the bounding box of a net's pins in grid coordinates.
@@ -562,6 +608,7 @@ func freshGrid(d *phys.Design, opts Options, netPins map[string][]geom.Point) *G
 			}
 		}
 	}
+	g.tab.grow(len(netPins))
 	reservePins(g, netPins)
 	return g
 }

@@ -1,0 +1,149 @@
+package route
+
+import "cadinterop/internal/geom"
+
+// Region sharding accelerates speculative batch formation on large grids.
+// The fabric is split into Shards×Shards rectangular regions; a net whose
+// rule-expanded pin bounding box fits inside a single region ("interior")
+// only needs disjointness checks against boxes admitted in that same
+// region, while a seam-crossing net ("boundary") is checked conservatively
+// against every admitted box. The admitted set keeps the same invariant as
+// nextBatch — pairwise-disjoint expanded boxes, taken as a contiguous
+// prefix of canonical order — so the speculative commit machinery is
+// untouched and the routed result stays byte-identical to the sequential
+// router. Sharding changes only how much work each batch carries and how
+// cheaply admission is decided.
+
+// shardMap is the region decomposition of one grid: cut lines at i*W/s and
+// i*H/s, so region (cx, cy) covers cells [xCut[cx], xCut[cx+1]-1] ×
+// [yCut[cy], yCut[cy+1]-1]. Regions are disjoint as closed cell sets,
+// which is what makes interior nets of different regions automatically
+// non-overlapping. The admission scratch lives on the map and is reused
+// across batches — nextBatch is only ever called from the committer's
+// goroutine, one batch at a time.
+type shardMap struct {
+	s          int
+	w, h       int
+	xCut, yCut []int
+	perRegion  [][]geom.Rect
+	seam       []geom.Rect
+}
+
+// newShardMap builds an s×s decomposition of a w×h grid, clamping s so no
+// region is empty on a degenerate grid.
+func newShardMap(w, h, s int) *shardMap {
+	if s > w {
+		s = w
+	}
+	if s > h {
+		s = h
+	}
+	if s < 1 {
+		s = 1
+	}
+	m := &shardMap{
+		s: s, w: w, h: h,
+		xCut: make([]int, s+1), yCut: make([]int, s+1),
+		perRegion: make([][]geom.Rect, s*s),
+	}
+	for i := 0; i <= s; i++ {
+		m.xCut[i] = i * w / s
+		m.yCut[i] = i * h / s
+	}
+	return m
+}
+
+// cutIndex locates coordinate v in the cut sequence cut[i] = i*extent/s:
+// the i with cut[i] <= v < cut[i+1], clamped to [0, s-1] for out-of-grid
+// values (expanded boxes can reach past the die). Because the cuts are
+// uniform, v*s/extent lands at most one region low, so the lookup is O(1)
+// arithmetic plus a bounded correction instead of a scan over the cuts.
+func cutIndex(cut []int, s, extent, v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= extent {
+		return s - 1
+	}
+	i := v * s / extent
+	for i < s-1 && v >= cut[i+1] {
+		i++
+	}
+	return i
+}
+
+// regionOf classifies a box: interior (both corners in the same region,
+// whose index it returns) or boundary (crosses at least one seam).
+func (m *shardMap) regionOf(b geom.Rect) (region int, interior bool) {
+	cx0 := cutIndex(m.xCut, m.s, m.w, b.Min.X)
+	cx1 := cutIndex(m.xCut, m.s, m.w, b.Max.X)
+	cy0 := cutIndex(m.yCut, m.s, m.h, b.Min.Y)
+	cy1 := cutIndex(m.yCut, m.s, m.h, b.Max.Y)
+	if cx0 == cx1 && cy0 == cy1 {
+		return cy0*m.s + cx0, true
+	}
+	return -1, false
+}
+
+// nextBatch is the sharded analogue of the package-level nextBatch: the
+// longest contiguous prefix (capped at max) of the remaining order whose
+// rule-expanded pin boxes are pairwise disjoint. Interior nets verify
+// disjointness only against their own region's admitted boxes plus the
+// boundary set; boundary nets verify against everything. The batch stops
+// at the first clash because commits must follow canonical net order.
+// It also reports how many admitted nets were interior vs boundary.
+func (m *shardMap) nextBatch(rest []string, netPins map[string][]geom.Point, opts Options, max int) (batch []string, interior, boundary int) {
+	if max > len(rest) {
+		max = len(rest)
+	}
+	for i := range m.perRegion {
+		m.perRegion[i] = m.perRegion[i][:0]
+	}
+	seam := m.seam[:0]
+	n := 0
+admit:
+	for n < max {
+		r := normRule(opts.Rules[rest[n]])
+		box := pinBBox(netPins[rest[n]]).Expand(ruleMargin(r))
+		if reg, in := m.regionOf(box); in {
+			for _, b := range m.perRegion[reg] {
+				if box.Overlaps(b) {
+					break admit
+				}
+			}
+			for _, b := range seam {
+				if box.Overlaps(b) {
+					break admit
+				}
+			}
+			m.perRegion[reg] = append(m.perRegion[reg], box)
+			interior++
+		} else {
+			for _, bs := range m.perRegion {
+				for _, b := range bs {
+					if box.Overlaps(b) {
+						break admit
+					}
+				}
+			}
+			for _, b := range seam {
+				if box.Overlaps(b) {
+					break admit
+				}
+			}
+			seam = append(seam, box)
+			boundary++
+		}
+		n++
+	}
+	m.seam = seam[:0]
+	if n == 0 {
+		n = 1
+		if _, in := m.regionOf(pinBBox(netPins[rest[0]]).Expand(ruleMargin(normRule(opts.Rules[rest[0]])))); in {
+			interior = 1
+		} else {
+			boundary = 1
+		}
+	}
+	return rest[:n], interior, boundary
+}

@@ -1,0 +1,95 @@
+package route
+
+import (
+	"fmt"
+	"testing"
+
+	"cadinterop/internal/geom"
+)
+
+// Batch-formation benchmark: the work sharding actually changes. Admission
+// into a speculative batch requires the candidate's rule-expanded pin box
+// to be disjoint from every box already admitted — all-pairs against the
+// whole batch in the flat planner, but only against the candidate's own
+// region (plus the seam set) in the sharded one. At a batch cap sized for
+// a wide worker pool the flat check is quadratic in the cap, so planning
+// cost per net grows with the cap while the sharded planner's stays near
+// constant for interior nets. This isolates planning from BFS search,
+// which dwarfs it in end-to-end runs (BenchmarkRouteScale at the repo
+// root) and needs real cores to show the speculation win.
+
+// synthPins lays out n two-pin nets on a grid that grows with n: mostly
+// short local nets, every 24th net a long seam-crosser. Deterministic
+// split-mix sequence, no allocation beyond the returned tables.
+func synthPins(n int) (order []string, pins map[string][]geom.Point, w, h int) {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	w, h = 8*side, 8*side
+	order = make([]string, n)
+	pins = make(map[string][]geom.Point, n)
+	x := uint64(61)
+	for i := 0; i < n; i++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		px := int(z % uint64(w-8))
+		py := int((z >> 20) % uint64(h-8))
+		dx, dy := 1+int(z>>40)%4, 1+int(z>>50)%4
+		if i%24 == 0 {
+			dx = w / 3 // long net: guaranteed to cross shard seams
+		}
+		name := fmt.Sprintf("n%07d", i)
+		order[i] = name
+		pins[name] = []geom.Point{geom.Pt(px, py), geom.Pt(px+dx, py+dy)}
+	}
+	return order, pins, w, h
+}
+
+// planAll forms every batch for the given order and returns how many
+// batches it took (fewer batches = fewer commit barriers).
+func planAll(sm *shardMap, order []string, pins map[string][]geom.Point, opts Options, cap int) int {
+	batches := 0
+	for start := 0; start < len(order); {
+		var batch []string
+		if sm != nil {
+			batch, _, _ = sm.nextBatch(order[start:], pins, opts, cap)
+		} else {
+			batch = nextBatch(order[start:], pins, opts, cap)
+		}
+		start += len(batch)
+		batches++
+	}
+	return batches
+}
+
+// BenchmarkShardBatchFormation: flat versus 8×8-sharded batch planning at
+// three design sizes, batch cap 256 (a 16-worker pool's appetite). The
+// sharded planner must come out faster at the largest size — that is the
+// optimization's reason to exist.
+func BenchmarkShardBatchFormation(b *testing.B) {
+	const batchCap = 256
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		order, pins, w, h := synthPins(n)
+		opts := Options{}
+		for _, v := range []struct {
+			name string
+			sm   *shardMap
+		}{
+			{"flat", nil},
+			{"sharded", newShardMap(w, h, 8)},
+		} {
+			b.Run(fmt.Sprintf("nets=%d/%s", n, v.name), func(b *testing.B) {
+				batches := 0
+				for i := 0; i < b.N; i++ {
+					batches = planAll(v.sm, order, pins, opts, batchCap)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/net")
+				b.ReportMetric(float64(batches), "batches")
+			})
+		}
+	}
+}

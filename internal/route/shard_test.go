@@ -1,0 +1,251 @@
+package route
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+	"cadinterop/internal/phys"
+)
+
+// TestShardMapGeometry pins down the region decomposition: cut lines at
+// i*W/s, closed-cell regions, out-of-grid boxes clamped, degenerate grids
+// clamped to one region per cell.
+func TestShardMapGeometry(t *testing.T) {
+	m := newShardMap(81, 41, 2)
+	if got, want := m.xCut, []int{0, 40, 81}; !reflect.DeepEqual(got, want) {
+		t.Errorf("xCut = %v, want %v", got, want)
+	}
+	if got, want := m.yCut, []int{0, 20, 41}; !reflect.DeepEqual(got, want) {
+		t.Errorf("yCut = %v, want %v", got, want)
+	}
+	cases := []struct {
+		box      geom.Rect
+		region   int
+		interior bool
+	}{
+		{geom.R(0, 0, 39, 19), 0, true},     // fills region (0,0)
+		{geom.R(40, 0, 80, 19), 1, true},    // fills region (1,0)
+		{geom.R(5, 20, 10, 40), 2, true},    // region (0,1)
+		{geom.R(41, 21, 80, 40), 3, true},   // region (1,1)
+		{geom.R(39, 5, 40, 6), -1, false},   // exactly straddles the x seam
+		{geom.R(5, 19, 6, 20), -1, false},   // exactly straddles the y seam
+		{geom.R(-4, -4, 10, 10), 0, true},   // clamped below
+		{geom.R(70, 30, 99, 99), 3, true},   // clamped above
+		{geom.R(-9, -9, 99, 99), -1, false}, // spans everything
+	}
+	for _, c := range cases {
+		reg, in := m.regionOf(c.box)
+		if reg != c.region || in != c.interior {
+			t.Errorf("regionOf(%v) = (%d, %v), want (%d, %v)", c.box, reg, in, c.region, c.interior)
+		}
+	}
+	// A shard count beyond the grid size clamps to one region per cell.
+	if m := newShardMap(3, 100, 8); m.s != 3 {
+		t.Errorf("clamped s = %d, want 3", m.s)
+	}
+	if m := newShardMap(100, 1, 4); m.s != 1 {
+		t.Errorf("clamped s = %d, want 1", m.s)
+	}
+}
+
+// seamChain builds a six-buffer chain on a 400×200 die placed so that, at
+// pitch 5 with a 2×2 shard map (seams at grid x=40 / DBU 200 and grid y=20
+// / DBU 100), net n3 straddles the vertical seam and net n5 crosses both
+// seams: u0..u4 sit in one row with a gap over the seam, u5 in a second
+// row past the horizontal seam.
+func seamChain(t testing.TB) *phys.Design {
+	t.Helper()
+	tech := phys.Tech{
+		Name: "t",
+		Layers: []phys.Layer{
+			{Name: "M1", Dir: phys.Horizontal, Pitch: 10, MinWidth: 4, MinSpace: 4},
+			{Name: "M2", Dir: phys.Vertical, Pitch: 10, MinWidth: 4, MinSpace: 4},
+		},
+		SiteWidth: 10, SiteHeight: 20,
+	}
+	lib := phys.NewLibrary(tech)
+	lib.AddMacro(&phys.Macro{
+		Name: "BUF", Size: geom.Pt(40, 20), Site: "core",
+		Pins: []*phys.Pin{
+			{Name: "A", Dir: netlist.Input, Shapes: []phys.Shape{{Layer: "M1", Rect: geom.R(0, 8, 4, 12)}}, Access: phys.AccessWest},
+			{Name: "Y", Dir: netlist.Output, Shapes: []phys.Shape{{Layer: "M1", Rect: geom.R(36, 8, 40, 12)}}, Access: phys.AccessEast},
+		},
+	})
+	nl := netlist.New()
+	buf := mustCell(nl, "BUF")
+	buf.Primitive = true
+	buf.AddPort("A", netlist.Input)
+	buf.AddPort("Y", netlist.Output)
+	top := mustCell(nl, "chip")
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("u%d", i)
+		top.AddInstance(name, "BUF")
+		top.Connect(name, "A", fmt.Sprintf("n%d", i))
+		top.Connect(name, "Y", fmt.Sprintf("n%d", i+1))
+	}
+	nl.Top = "chip"
+	d, err := phys.NewDesign("chip", geom.R(0, 0, 400, 200), lib, nl, "chip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pos := range []geom.Point{
+		{X: 10, Y: 40}, {X: 80, Y: 40}, {X: 130, Y: 40}, // row 0
+		{X: 215, Y: 40}, {X: 285, Y: 40}, // row 0: u2.Y→u3.A jumps DBU 200
+		{X: 130, Y: 120}, // row 1: u4.Y→u5.A crosses both seams
+	} {
+		d.Placements[fmt.Sprintf("u%d", i)] = phys.Placement{Pos: pos}
+	}
+	return d
+}
+
+// netCellBox computes a net's pin bounding box in grid cells the same way
+// Route does, so tests can assert seam-straddling without reaching into
+// the router's internals mid-run.
+func netCellBox(t *testing.T, d *phys.Design, pitch int, pins [][2]string) geom.Rect {
+	t.Helper()
+	var box geom.Rect
+	for i, ip := range pins {
+		pos, err := d.PinPos(ip[0], ip[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := geom.Pt((pos.X-d.Die.Min.X)/pitch, (pos.Y-d.Die.Min.Y)/pitch)
+		if i == 0 {
+			box = geom.Rect{Min: p, Max: p}
+		} else {
+			box = box.Union(geom.Rect{Min: p, Max: p})
+		}
+	}
+	return box
+}
+
+// TestShardSeamEdgeCases covers the three seam hazards: a net whose pin
+// bounding box exactly straddles a region boundary, a keepout spanning two
+// shards, and a critical net with a shield rule crossing a seam. Every
+// configuration must be byte-identical to the serial router — same
+// segments, counters, failures, audit, and every decoded grid cell.
+func TestShardSeamEdgeCases(t *testing.T) {
+	d := seamChain(t)
+	const pitch = 5
+	sm := newShardMap(d.Die.Dx()/pitch+1, d.Die.Dy()/pitch+1, 2)
+
+	cases := []struct {
+		name     string
+		rules    map[string]Rule
+		keepouts []geom.Rect
+	}{
+		{name: "net-straddles-vertical-seam"},
+		{name: "keepout-spans-two-shards",
+			keepouts: []geom.Rect{geom.R(180, 60, 260, 90)}},
+		{name: "shield-rule-crosses-seam",
+			rules: map[string]Rule{"n3": {WidthTracks: 2, SpacingTracks: 1, Shield: true}}},
+	}
+
+	// Geometry preconditions: the hazards actually cross seams, or the
+	// subtests would silently exercise nothing.
+	n3 := netCellBox(t, d, pitch, [][2]string{{"u2", "Y"}, {"u3", "A"}})
+	if _, in := sm.regionOf(n3); in {
+		t.Fatalf("net n3 box %v does not straddle a seam", n3)
+	}
+	n5 := netCellBox(t, d, pitch, [][2]string{{"u4", "Y"}, {"u5", "A"}})
+	if _, in := sm.regionOf(n5); in {
+		t.Fatalf("net n5 box %v does not straddle a seam", n5)
+	}
+	ko := cases[1].keepouts[0]
+	koCells := geom.R(ko.Min.X/pitch, ko.Min.Y/pitch, gridMax(ko.Max.X, pitch), gridMax(ko.Max.Y, pitch))
+	if _, in := sm.regionOf(koCells); in {
+		t.Fatalf("keepout cells %v do not span two shards", koCells)
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := func(workers, shards int) Options {
+				return Options{Pitch: pitch, Rules: tc.rules, Keepouts: tc.keepouts,
+					Workers: workers, Shards: shards}
+			}
+			ref, err := Route(d, opts(1, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := view(ref, tc.rules)
+			for _, workers := range []int{1, 8} {
+				for _, shards := range []int{2, 4} {
+					got, err := Route(d, opts(workers, shards))
+					if err != nil {
+						t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+					}
+					if gv := view(got, tc.rules); !reflect.DeepEqual(gv, want) {
+						t.Fatalf("workers=%d shards=%d diverges from serial:\nref: %+v\ngot: %+v",
+							workers, shards, want, gv)
+					}
+					g, rg := got.grid, ref.grid
+					if g.W != rg.W || g.H != rg.H {
+						t.Fatalf("workers=%d shards=%d: grid %dx%d vs serial %dx%d",
+							workers, shards, g.W, g.H, rg.W, rg.H)
+					}
+					for l := 0; l < 2; l++ {
+						for y := 0; y < g.H; y++ {
+							for x := 0; x < g.W; x++ {
+								if g.Owner(l, x, y) != rg.Owner(l, x, y) {
+									t.Fatalf("workers=%d shards=%d: cell (%d,%d,%d) = %q, serial %q",
+										workers, shards, l, x, y, g.Owner(l, x, y), rg.Owner(l, x, y))
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardBatchAdmission checks the sharded batch former directly: on the
+// seam chain the interior nets of distinct regions batch together, the
+// seam-crossing nets are classified boundary, and the batch remains a
+// contiguous prefix with pairwise-disjoint expanded boxes.
+func TestShardBatchAdmission(t *testing.T) {
+	d := seamChain(t)
+	const pitch = 5
+	g := NewGrid(d.Die, pitch)
+	top := d.TopCell()
+	netPins := make(map[string][]geom.Point)
+	for _, in := range top.InstanceNames() {
+		inst := top.Instances[in]
+		for pin, net := range inst.Conns {
+			pos, err := d.PinPos(in, pin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			netPins[net] = append(netPins[net], geom.Pt(pos.X/pitch, pos.Y/pitch))
+		}
+	}
+	order := []string{"n1", "n5", "n2", "n3", "n4"}
+	opts := Options{Pitch: pitch}
+	sm := newShardMap(g.W, g.H, 2)
+	batch, interior, boundary := sm.nextBatch(order, netPins, opts, 16)
+	if interior+boundary != len(batch) {
+		t.Fatalf("classified %d+%d nets, batch has %d", interior, boundary, len(batch))
+	}
+	if boundary == 0 {
+		t.Errorf("batch %v admitted no boundary nets; n5 crosses both seams", batch)
+	}
+	// The batch is a contiguous prefix of the given order.
+	for i, net := range batch {
+		if net != order[i] {
+			t.Fatalf("batch %v is not a contiguous prefix of %v", batch, order)
+		}
+	}
+	// Admitted boxes are pairwise disjoint after rule expansion.
+	for i := range batch {
+		bi := pinBBox(netPins[batch[i]]).Expand(ruleMargin(normRule(opts.Rules[batch[i]])))
+		for j := i + 1; j < len(batch); j++ {
+			bj := pinBBox(netPins[batch[j]]).Expand(ruleMargin(normRule(opts.Rules[batch[j]])))
+			if bi.Overlaps(bj) {
+				t.Errorf("admitted boxes %s=%v and %s=%v overlap", batch[i], bi, batch[j], bj)
+			}
+		}
+	}
+}

@@ -187,10 +187,26 @@ func ReadBytes(data []byte, opts ReadOptions) (*schematic.Design, []diag.Diagnos
 type cdReader struct {
 	src string
 	col *diag.Collector
+	// sc is set by the streaming reader; positions then resolve against
+	// the scanner's window instead of a full-input buffer.
+	sc *al.Scanner
 }
 
 func (rd *cdReader) pos(pt *al.PosTree) diag.Pos {
-	return diag.LineCol(rd.src, pt.Offset())
+	return rd.posAt(pt.Offset())
+}
+
+func (rd *cdReader) posAt(off int) diag.Pos {
+	if rd.sc != nil {
+		if off < 0 {
+			return diag.NoPos
+		}
+		if line, col, ok := rd.sc.LineColAt(off); ok {
+			return diag.Pos{Offset: off, Line: line, Col: col}
+		}
+		return diag.Pos{Offset: off}
+	}
+	return diag.LineCol(rd.src, off)
 }
 
 func (rd *cdReader) read(lint bool) (*schematic.Design, error) {
@@ -227,63 +243,8 @@ func (rd *cdReader) read(lint bool) (*schematic.Design, error) {
 	}
 	d := schematic.NewDesign(name, geom.GridSixteenth)
 	for i, item := range top[2:] {
-		it := tt.Kid(i + 2)
-		l, ok := item.(al.List)
-		if !ok || len(l) == 0 {
-			if err := rd.col.Errorf("record", rd.pos(it), "unexpected item %s", item.Repr()); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		head, _ := l[0].(al.Symbol)
-		switch head {
-		case "grid":
-			err := func() error {
-				if len(l) < 2 {
-					return fmt.Errorf("grid needs a name")
-				}
-				gname, err := symOrStr(l[1])
-				if err != nil {
-					return fmt.Errorf("grid: %v", err)
-				}
-				switch gname {
-				case geom.GridTenth.Name:
-					d.Grid = geom.GridTenth
-				case geom.GridSixteenth.Name:
-					d.Grid = geom.GridSixteenth
-				default:
-					return fmt.Errorf("unknown grid %q", gname)
-				}
-				return nil
-			}()
-			if err != nil {
-				if aerr := rd.col.Errorf("record", rd.pos(it), "%v", err); aerr != nil {
-					return nil, aerr
-				}
-			}
-		case "globals":
-			for j, g := range l[1:] {
-				s, err := symOrStr(g)
-				if err != nil {
-					if aerr := rd.col.Errorf("record", rd.pos(it.Kid(j+1)), "global: %v", err); aerr != nil {
-						return nil, aerr
-					}
-					continue
-				}
-				d.Globals = append(d.Globals, s)
-			}
-		case "library":
-			if err := rd.readLibrary(d, l, it); err != nil {
-				return nil, err
-			}
-		case "cell":
-			if err := rd.readCell(d, l, it); err != nil {
-				return nil, err
-			}
-		default:
-			if err := rd.col.Errorf("record", rd.pos(it), "unknown form %q", head); err != nil {
-				return nil, err
-			}
+		if err := rd.readDesignItem(d, item, tt.Kid(i+2)); err != nil {
+			return nil, err
 		}
 	}
 	if lint {
@@ -296,6 +257,57 @@ func (rd *cdReader) read(lint bool) (*schematic.Design, error) {
 	return d, nil
 }
 
+// readDesignItem handles one direct child of the (design ...) form.
+func (rd *cdReader) readDesignItem(d *schematic.Design, item al.Value, it *al.PosTree) error {
+	l, ok := item.(al.List)
+	if !ok || len(l) == 0 {
+		return rd.col.Errorf("record", rd.pos(it), "unexpected item %s", item.Repr())
+	}
+	head, _ := l[0].(al.Symbol)
+	switch head {
+	case "grid":
+		err := func() error {
+			if len(l) < 2 {
+				return fmt.Errorf("grid needs a name")
+			}
+			gname, err := symOrStr(l[1])
+			if err != nil {
+				return fmt.Errorf("grid: %v", err)
+			}
+			switch gname {
+			case geom.GridTenth.Name:
+				d.Grid = geom.GridTenth
+			case geom.GridSixteenth.Name:
+				d.Grid = geom.GridSixteenth
+			default:
+				return fmt.Errorf("unknown grid %q", gname)
+			}
+			return nil
+		}()
+		if err != nil {
+			return rd.col.Errorf("record", rd.pos(it), "%v", err)
+		}
+	case "globals":
+		for j, g := range l[1:] {
+			s, err := symOrStr(g)
+			if err != nil {
+				if aerr := rd.col.Errorf("record", rd.pos(it.Kid(j+1)), "global: %v", err); aerr != nil {
+					return aerr
+				}
+				continue
+			}
+			d.Globals = append(d.Globals, s)
+		}
+	case "library":
+		return rd.readLibrary(d, l, it)
+	case "cell":
+		return rd.readCell(d, l, it)
+	default:
+		return rd.col.Errorf("record", rd.pos(it), "unknown form %q", head)
+	}
+	return nil
+}
+
 func (rd *cdReader) readLibrary(d *schematic.Design, l al.List, lt *al.PosTree) error {
 	if len(l) < 2 {
 		return rd.col.Errorf("record", rd.pos(lt), "library needs a name")
@@ -306,19 +318,21 @@ func (rd *cdReader) readLibrary(d *schematic.Design, l al.List, lt *al.PosTree) 
 	}
 	lib := d.EnsureLibrary(name)
 	for i, item := range l[2:] {
-		it := lt.Kid(i + 2)
-		sym, err := parseSymbol(item)
-		if err != nil {
-			if aerr := rd.col.Errorf("record", rd.pos(it), "%v", err); aerr != nil {
-				return aerr
-			}
-			continue
+		if err := rd.readLibraryItem(lib, item, lt.Kid(i+2)); err != nil {
+			return err
 		}
-		if err := lib.AddSymbol(sym); err != nil {
-			if aerr := rd.col.Errorf("record", rd.pos(it), "%v", err); aerr != nil {
-				return aerr
-			}
-		}
+	}
+	return nil
+}
+
+// readLibraryItem parses one (symbol ...) record into the library.
+func (rd *cdReader) readLibraryItem(lib *schematic.Library, item al.Value, it *al.PosTree) error {
+	sym, err := parseSymbol(item)
+	if err != nil {
+		return rd.col.Errorf("record", rd.pos(it), "%v", err)
+	}
+	if err := lib.AddSymbol(sym); err != nil {
+		return rd.col.Errorf("record", rd.pos(it), "%v", err)
 	}
 	return nil
 }
@@ -396,47 +410,45 @@ func (rd *cdReader) readCell(d *schematic.Design, l al.List, lt *al.PosTree) err
 		return rd.col.Errorf("record", rd.pos(lt), "%v", err)
 	}
 	for i, item := range l[2:] {
-		it := lt.Kid(i + 2)
-		cl, ok := item.(al.List)
-		if !ok || len(cl) == 0 {
-			if err := rd.col.Errorf("record", rd.pos(it), "bad cell item %s", item.Repr()); err != nil {
-				return err
-			}
-			continue
+		if err := rd.readCellItem(cell, item, lt.Kid(i+2)); err != nil {
+			return err
 		}
-		h, _ := cl[0].(al.Symbol)
-		switch h {
-		case "port":
-			err := func() error {
-				if len(cl) != 3 {
-					return fmt.Errorf("port wants (port name dir)")
-				}
-				pname, err1 := symOrStr(cl[1])
-				dname, err2 := symOrStr(cl[2])
-				if err1 != nil || err2 != nil {
-					return fmt.Errorf("port fields")
-				}
-				dir, err := netlist.ParsePortDir(dname)
-				if err != nil {
-					return err
-				}
-				cell.Ports = append(cell.Ports, netlist.Port{Name: pname, Dir: dir})
-				return nil
-			}()
+	}
+	return nil
+}
+
+// readCellItem handles one direct child of a (cell ...) form.
+func (rd *cdReader) readCellItem(cell *schematic.Cell, item al.Value, it *al.PosTree) error {
+	cl, ok := item.(al.List)
+	if !ok || len(cl) == 0 {
+		return rd.col.Errorf("record", rd.pos(it), "bad cell item %s", item.Repr())
+	}
+	h, _ := cl[0].(al.Symbol)
+	switch h {
+	case "port":
+		err := func() error {
+			if len(cl) != 3 {
+				return fmt.Errorf("port wants (port name dir)")
+			}
+			pname, err1 := symOrStr(cl[1])
+			dname, err2 := symOrStr(cl[2])
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("port fields")
+			}
+			dir, err := netlist.ParsePortDir(dname)
 			if err != nil {
-				if aerr := rd.col.Errorf("record", rd.pos(it), "%v", err); aerr != nil {
-					return aerr
-				}
-			}
-		case "page":
-			if err := rd.readPage(cell, cl, it); err != nil {
 				return err
 			}
-		default:
-			if err := rd.col.Errorf("record", rd.pos(it), "unknown cell item %q", h); err != nil {
-				return err
-			}
+			cell.Ports = append(cell.Ports, netlist.Port{Name: pname, Dir: dir})
+			return nil
+		}()
+		if err != nil {
+			return rd.col.Errorf("record", rd.pos(it), "%v", err)
 		}
+	case "page":
+		return rd.readPage(cell, cl, it)
+	default:
+		return rd.col.Errorf("record", rd.pos(it), "unknown cell item %q", h)
 	}
 	return nil
 }
@@ -464,55 +476,57 @@ func (rd *cdReader) readPage(cell *schematic.Cell, l al.List, lt *al.PosTree) er
 	body = l[bodyStart:]
 	pg := cell.AddPage(size)
 	for i, item := range body {
-		it := lt.Kid(i + bodyStart)
-		il, ok := item.(al.List)
-		if !ok || len(il) == 0 {
-			if err := rd.col.Errorf("record", rd.pos(it), "bad page item %s", item.Repr()); err != nil {
-				return err
-			}
-			continue
+		if err := rd.readPageItem(pg, item, lt.Kid(i+bodyStart)); err != nil {
+			return err
 		}
-		h, _ := il[0].(al.Symbol)
-		var err error
-		switch h {
-		case "inst":
-			var inst *schematic.Instance
-			inst, err = parseInst(il)
-			if err == nil {
-				err = pg.AddInstance(inst)
-			}
-		case "wire":
-			var w *schematic.Wire
-			w, err = parseWire(il)
-			if err == nil {
-				pg.Wires = append(pg.Wires, w)
-			}
-		case "label":
-			var lb *schematic.Label
-			lb, err = parseLabel(il)
-			if err == nil {
-				pg.Labels = append(pg.Labels, lb)
-			}
-		case "conn":
-			var cx *schematic.Connector
-			cx, err = parseConn(il)
-			if err == nil {
-				pg.Conns = append(pg.Conns, cx)
-			}
-		case "text":
-			var tx *schematic.Text
-			tx, err = parseText(il)
-			if err == nil {
-				pg.Texts = append(pg.Texts, tx)
-			}
-		default:
-			err = fmt.Errorf("unknown page item %q", h)
+	}
+	return nil
+}
+
+// readPageItem parses one page record (inst, wire, label, conn, text).
+func (rd *cdReader) readPageItem(pg *schematic.Page, item al.Value, it *al.PosTree) error {
+	il, ok := item.(al.List)
+	if !ok || len(il) == 0 {
+		return rd.col.Errorf("record", rd.pos(it), "bad page item %s", item.Repr())
+	}
+	h, _ := il[0].(al.Symbol)
+	var err error
+	switch h {
+	case "inst":
+		var inst *schematic.Instance
+		inst, err = parseInst(il)
+		if err == nil {
+			err = pg.AddInstance(inst)
 		}
-		if err != nil {
-			if aerr := rd.col.Errorf("record", rd.pos(it), "%v", err); aerr != nil {
-				return aerr
-			}
+	case "wire":
+		var w *schematic.Wire
+		w, err = parseWire(il)
+		if err == nil {
+			pg.Wires = append(pg.Wires, w)
 		}
+	case "label":
+		var lb *schematic.Label
+		lb, err = parseLabel(il)
+		if err == nil {
+			pg.Labels = append(pg.Labels, lb)
+		}
+	case "conn":
+		var cx *schematic.Connector
+		cx, err = parseConn(il)
+		if err == nil {
+			pg.Conns = append(pg.Conns, cx)
+		}
+	case "text":
+		var tx *schematic.Text
+		tx, err = parseText(il)
+		if err == nil {
+			pg.Texts = append(pg.Texts, tx)
+		}
+	default:
+		err = fmt.Errorf("unknown page item %q", h)
+	}
+	if err != nil {
+		return rd.col.Errorf("record", rd.pos(it), "%v", err)
 	}
 	return nil
 }

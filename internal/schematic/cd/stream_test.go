@@ -1,0 +1,204 @@
+package cd
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/iotest"
+
+	"cadinterop/internal/diag"
+	"cadinterop/internal/geom"
+	"cadinterop/internal/schematic"
+)
+
+// assertStreamEquiv runs the buffered and streaming readers over the same
+// bytes and asserts identical design, diagnostics and error — once with
+// normal reads and once byte-at-a-time to stress window-edge refills.
+func assertStreamEquiv(t *testing.T, data []byte, opts ReadOptions) {
+	t.Helper()
+	bd, bdiags, berr := ReadBytes(data, opts)
+	for _, chunked := range []bool{false, true} {
+		r := bytes.NewReader(data)
+		var sd *schematic.Design
+		var sdiags []diag.Diagnostic
+		var serr error
+		if chunked {
+			sd, sdiags, serr = ReadStream(iotest.OneByteReader(r), opts)
+		} else {
+			sd, sdiags, serr = ReadStream(r, opts)
+		}
+		label := fmt.Sprintf("chunked=%v", chunked)
+		if (berr == nil) != (serr == nil) || (berr != nil && berr.Error() != serr.Error()) {
+			t.Fatalf("%s: error mismatch:\nbuffered: %v\nstream:   %v", label, berr, serr)
+		}
+		if !reflect.DeepEqual(bdiags, sdiags) {
+			t.Fatalf("%s: diagnostics mismatch:\nbuffered:\n%s\nstream:\n%s", label, diag.Render(bdiags), diag.Render(sdiags))
+		}
+		if !reflect.DeepEqual(bd, sd) {
+			t.Fatalf("%s: design mismatch:\nbuffered: %+v\nstream:   %+v", label, bd, sd)
+		}
+	}
+}
+
+// TestStreamEquivalenceWritten: a full writer round trip reads back
+// identically through both readers in both modes, with and without lint.
+func TestStreamEquivalenceWritten(t *testing.T) {
+	d := sampleDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []diag.Mode{diag.Strict, diag.Lenient} {
+		for _, lint := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v/lint=%v", mode, lint), func(t *testing.T) {
+				assertStreamEquiv(t, buf.Bytes(), ReadOptions{Mode: mode, Lint: lint})
+			})
+		}
+	}
+}
+
+// TestStreamEquivalenceHandwritten pins the diagnostic contract on inputs
+// with semantic damage and structural oddities.
+func TestStreamEquivalenceHandwritten(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		lenient bool // lenient only (strict order diverges by design)
+		strict  bool // strict only (lenient streaming salvages by design)
+	}{
+		{name: "empty", src: ""},
+		{name: "comment-only", src: "; nothing\n"},
+		{name: "lone-atom", src: "x"},
+		{name: "empty-list", src: "()"},
+		{name: "not-design", src: "(foo bar)"},
+		{name: "design-too-short", src: "(design)"},
+		{name: "two-forms", src: "(design a)(design b)", lenient: true},
+		{name: "design-bad-name", src: "(design (x))"},
+		{name: "unexpected-atom-item", src: "(design a stray)"},
+		{name: "unexpected-empty-item", src: "(design a ())"},
+		{name: "unknown-form", src: "(design a (mystery 1))"},
+		{name: "grid-no-name", src: "(design a (grid))"},
+		{name: "bad-grid", src: `(design a (grid "1/7in"))`},
+		{name: "good-grid", src: `(design a (grid "1/10in"))`},
+		{name: "globals", src: `(design a (globals "VDD" "GND"))`},
+		{name: "bad-global", src: "(design a (globals (x)))", lenient: true},
+		{name: "library-no-name", src: "(design a (library))"},
+		{name: "library-bad-name", src: "(design a (library (x) (symbol s v)))"},
+		{name: "bad-symbol", src: "(design a (library l (frob)))"},
+		{name: "bad-pin", src: "(design a (library l (symbol s v (pin))))"},
+		{name: "dup-symbol", src: "(design a (library l (symbol s v) (symbol s v)))", lenient: true},
+		{name: "cell-no-name", src: "(design a (cell))"},
+		{name: "cell-bad-name", src: "(design a (cell (x) (port p input)))"},
+		{name: "dup-cell", src: "(design a (cell c) (cell c))", lenient: true},
+		{name: "bad-cell-item", src: "(design a (cell c stray))"},
+		{name: "unknown-cell-item", src: "(design a (cell c (widget 1)))"},
+		{name: "bad-port", src: "(design a (cell c (port p)))"},
+		{name: "bad-port-dir", src: "(design a (cell c (port p sideways)))"},
+		{name: "empty-page", src: "(design a (cell c (page)))"},
+		{name: "page-no-size", src: "(design a (cell c (page 1)))"},
+		{name: "page-size", src: "(design a (cell c (page 1 (size 0 0 10 10))))"},
+		{name: "page-bad-size", src: "(design a (cell c (page 1 (size 0 0 x 10))))"},
+		{name: "page-short-size", src: "(design a (cell c (page 1 (size 0 0) (wire (0 0) (1 1)))))"},
+		{name: "bad-page-item", src: "(design a (cell c (page 1 (size 0 0 9 9) stray)))"},
+		{name: "unknown-page-item", src: "(design a (cell c (page 1 (size 0 0 9 9) (gizmo))))"},
+		{name: "bad-inst", src: "(design a (cell c (page 1 (size 0 0 9 9) (inst))))"},
+		{name: "bad-inst-of", src: "(design a (cell c (page 1 (size 0 0 9 9) (inst i (of l)))))"},
+		{name: "bad-wire-point", src: "(design a (cell c (page 1 (size 0 0 9 9) (wire (0)))))"},
+		{name: "bad-label", src: "(design a (cell c (page 1 (size 0 0 9 9) (label))))"},
+		{name: "bad-conn", src: "(design a (cell c (page 1 (size 0 0 9 9) (conn pin))))"},
+		{name: "bad-text", src: "(design a (cell c (page 1 (size 0 0 9 9) (text))))"},
+		{name: "dangling-conn", src: `(design a (cell c (page 1 (size 0 0 9 9) (conn hier-in "p" (at 1 1) (of l s v) (orient R0)))))`, lenient: true},
+		{name: "unbalanced-design", src: "(design a", strict: true},
+		{name: "unbalanced-page", src: "(design a (cell c (page 1 (size 0 0 9 9) (wire (0 0) (1 1))", strict: true},
+		{name: "stray-close", src: ") (design a)", strict: true},
+	}
+	for _, tc := range cases {
+		modes := []diag.Mode{diag.Strict, diag.Lenient}
+		if tc.lenient {
+			modes = modes[1:]
+		}
+		if tc.strict {
+			modes = modes[:1]
+		}
+		for _, mode := range modes {
+			t.Run(fmt.Sprintf("%s/%v", tc.name, mode), func(t *testing.T) {
+				assertStreamEquiv(t, []byte(tc.src), ReadOptions{Mode: mode})
+			})
+		}
+	}
+}
+
+// TestStreamRecordResync: on a lexically broken record the buffered
+// reader's toplevel-granular recovery salvages nothing, while the
+// streaming reader resynchronizes at the record boundary and keeps every
+// intact record.
+func TestStreamRecordResync(t *testing.T) {
+	src := `(design a (cell c (page 1 (size 0 0 9 9) (wire (0 0) (4 0)) (label "bad\q" (at 1 1)) (text "ok" (at 2 2)))))`
+	opts := ReadOptions{Mode: diag.Lenient}
+
+	bd, _, berr := ReadBytes([]byte(src), opts)
+	if bd != nil || berr == nil {
+		t.Fatalf("buffered reader unexpectedly salvaged the broken input: d=%v err=%v", bd, berr)
+	}
+
+	sd, sdiags, serr := ReadStream(strings.NewReader(src), opts)
+	if serr != nil {
+		t.Fatalf("streaming read: %v", serr)
+	}
+	pg := sd.Cells["c"].Pages[0]
+	if len(pg.Wires) != 1 || len(pg.Texts) != 1 {
+		t.Errorf("salvage lost records: wires=%d texts=%d", len(pg.Wires), len(pg.Texts))
+	}
+	if diag.Count(sdiags, diag.Error) != 1 {
+		t.Errorf("want exactly one parse diagnostic, got:\n%s", diag.Render(sdiags))
+	}
+
+	// A stray toplevel close paren: the buffered recovery consumes it and
+	// the form after it, losing the design; streaming skips only the paren.
+	stray := ") (design a (cell c))"
+	if bd, _, err := ReadBytes([]byte(stray), opts); bd != nil || err == nil {
+		t.Fatalf("buffered reader unexpectedly salvaged after stray ): d=%v err=%v", bd, err)
+	}
+	sd2, _, err := ReadStream(strings.NewReader(stray), opts)
+	if err != nil || sd2 == nil || sd2.Cells["c"] == nil {
+		t.Errorf("streaming salvage after stray ) failed: d=%v err=%v", sd2, err)
+	}
+}
+
+// TestStreamBoundedWindow: a schematic far larger than the scanner chunk
+// parses with the window held near the chunk size.
+func TestStreamBoundedWindow(t *testing.T) {
+	d := schematic.NewDesign("big", geom.GridSixteenth)
+	c := mustCell(d, "top")
+	pg := c.AddPage(geom.R(0, 0, 1<<14, 1<<14))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		pg.Wires = append(pg.Wires, &schematic.Wire{Points: []geom.Point{
+			geom.Pt(i, 0), geom.Pt(i, 100),
+		}})
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	total := buf.Len()
+
+	sd, _, stats, err := ReadStreamStats(bytes.NewReader(buf.Bytes()), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InputBytes != int64(total) {
+		t.Errorf("InputBytes = %d, want %d", stats.InputBytes, total)
+	}
+	if limit := 3 * 32 << 10; stats.MaxWindow > limit {
+		t.Errorf("MaxWindow = %d, want <= %d (input %d bytes)", stats.MaxWindow, limit, total)
+	}
+	if stats.MaxWindow*4 > total {
+		t.Errorf("MaxWindow = %d is not small relative to the %d-byte input", stats.MaxWindow, total)
+	}
+	if got := len(sd.Cells["top"].Pages[0].Wires); got != n {
+		t.Errorf("wires = %d, want %d", got, n)
+	}
+}

@@ -1,0 +1,80 @@
+package workgen
+
+import (
+	"bytes"
+	"testing"
+
+	"cadinterop/internal/diag"
+	"cadinterop/internal/exchange"
+	"cadinterop/internal/netlist"
+)
+
+// TestScaleExchangeMatchesWriter pins the streaming emitter to the real
+// interchange writer: same options, byte-identical file. This is the
+// contract that lets ScaleExchange skip materializing the netlist.
+func TestScaleExchangeMatchesWriter(t *testing.T) {
+	for _, opts := range []ScaleOptions{
+		{Nets: 2},
+		{Nets: 500, Seed: 7},
+		{Nets: 1000, Seed: 999},
+	} {
+		var stream bytes.Buffer
+		info, err := ScaleExchange(&stream, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		var ref bytes.Buffer
+		if err := exchange.Write(&ref, ScaleNetlist(opts), exchange.WriteOptions{Trailer: true, Hints: true}); err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !bytes.Equal(stream.Bytes(), ref.Bytes()) {
+			t.Fatalf("%+v: streamed emitter diverges from exchange.Write\nstream %d bytes, ref %d bytes",
+				opts, stream.Len(), ref.Len())
+		}
+		if info.Bytes != int64(stream.Len()) {
+			t.Errorf("%+v: info.Bytes = %d, want %d", opts, info.Bytes, stream.Len())
+		}
+	}
+}
+
+// TestScaleExchangeParses: the emitted file survives a strict guarded read
+// (trailer required) with no diagnostics above info, and the parsed design
+// matches the manifest.
+func TestScaleExchangeParses(t *testing.T) {
+	opts := ScaleOptions{Nets: 2000, Seed: 3}
+	var buf bytes.Buffer
+	info, err := ScaleExchange(&buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, diags, err := exchange.ReadBytes(buf.Bytes(), exchange.ReadOptions{RequireTrailer: true})
+	if err != nil {
+		t.Fatalf("read: %v\n%s", err, diag.Render(diags))
+	}
+	if n := diag.Count(diags, diag.Error) + diag.Count(diags, diag.Warning); n != 0 {
+		t.Fatalf("%d unexpected diagnostics:\n%s", n, diag.Render(diags))
+	}
+	st := nl.Stats()
+	if st.Cells != info.Cells || st.Nets != info.Nets || st.Instances != info.Insts || st.Pins != info.Conns {
+		t.Errorf("parsed stats %+v do not match manifest %+v", st, info)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Errorf("parsed netlist invalid: %v", err)
+	}
+}
+
+// TestScaleNetlistDeterminism: same options, same design; the seed matters.
+func TestScaleNetlistDeterminism(t *testing.T) {
+	a := ScaleNetlist(ScaleOptions{Nets: 300, Seed: 11})
+	b := ScaleNetlist(ScaleOptions{Nets: 300, Seed: 11})
+	if diffs := netlist.Compare(a, b, netlist.CompareOptions{CompareAttrs: true}); len(diffs) != 0 {
+		t.Fatalf("same options, %d diffs, first: %s", len(diffs), diffs[0])
+	}
+	c := ScaleNetlist(ScaleOptions{Nets: 300, Seed: 12})
+	if diffs := netlist.Compare(a, c, netlist.CompareOptions{CompareAttrs: true}); len(diffs) == 0 {
+		t.Fatal("different seeds produced identical designs")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}

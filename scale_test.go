@@ -4,11 +4,18 @@ package cadinterop
 // the unit tests use. Skipped in -short mode.
 
 import (
+	"bytes"
+	"io"
+	"reflect"
 	"testing"
 
 	"cadinterop/internal/core"
+	"cadinterop/internal/diag"
+	"cadinterop/internal/exchange"
 	"cadinterop/internal/migrate"
 	"cadinterop/internal/netlist"
+	"cadinterop/internal/place"
+	"cadinterop/internal/route"
 	"cadinterop/internal/schematic"
 	"cadinterop/internal/workflow"
 	"cadinterop/internal/workgen"
@@ -31,6 +38,103 @@ func TestScaleMigration(t *testing.T) {
 	}
 	if vs := schematic.CD.Check(out); len(vs) != 0 {
 		t.Errorf("CD violations at scale: %d (first: %v)", len(vs), vs[0])
+	}
+}
+
+// TestScaleStreamingInterchange is the 100×-scale acceptance check for the
+// streaming reader: a 10⁵-net design parses to the identical netlist and
+// diagnostics as the buffered reader, and the parse window — the only
+// input-proportional memory the streaming path would otherwise need —
+// stays near the 32KB scanner chunk instead of the ~10MB file. The same
+// design is then parsed a second time straight off the generator through
+// an io.Pipe, so no byte of the file is ever materialized.
+func TestScaleStreamingInterchange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	opts := workgen.ScaleOptions{Nets: 100_000, Seed: 61}
+	var buf bytes.Buffer
+	info, err := workgen.ScaleExchange(&buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropts := exchange.ReadOptions{RequireTrailer: true}
+
+	bnl, bdiags, berr := exchange.ReadBytes(buf.Bytes(), ropts)
+	if berr != nil {
+		t.Fatalf("buffered read: %v", berr)
+	}
+	snl, sdiags, stats, serr := exchange.ReadStreamStats(bytes.NewReader(buf.Bytes()), ropts)
+	if serr != nil {
+		t.Fatalf("streaming read: %v", serr)
+	}
+	if !reflect.DeepEqual(bdiags, sdiags) {
+		t.Fatalf("diagnostics mismatch:\nbuffered:\n%s\nstream:\n%s", diag.Render(bdiags), diag.Render(sdiags))
+	}
+	if !reflect.DeepEqual(bnl, snl) {
+		t.Fatal("streaming netlist differs from buffered netlist")
+	}
+	if stats.InputBytes != info.Bytes {
+		t.Errorf("InputBytes = %d, want %d", stats.InputBytes, info.Bytes)
+	}
+	if limit := 3 * 32 << 10; stats.MaxWindow > limit {
+		t.Errorf("MaxWindow = %d, want <= %d (input %d bytes)", stats.MaxWindow, limit, info.Bytes)
+	}
+
+	pr, pw := io.Pipe()
+	go func() {
+		_, err := workgen.ScaleExchange(pw, opts)
+		pw.CloseWithError(err)
+	}()
+	pnl, pdiags, perr := exchange.ReadStream(pr, ropts)
+	if perr != nil {
+		t.Fatalf("piped read: %v", perr)
+	}
+	if !reflect.DeepEqual(bnl, pnl) || !reflect.DeepEqual(bdiags, pdiags) {
+		t.Fatal("piped streaming parse differs from buffered parse")
+	}
+	if st := pnl.Stats(); st.Nets != info.Nets || st.Instances != info.Insts {
+		t.Errorf("parsed %d nets / %d insts, manifest says %d / %d",
+			st.Nets, st.Instances, info.Nets, info.Insts)
+	}
+}
+
+// TestScaleShardedRoute: the byte-identity of sharded routing, pinned by
+// unit and property tests at small grids, must hold on a design an order
+// of magnitude past them.
+func TestScaleShardedRoute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	d, fp, err := workgen.PhysDesign(workgen.PhysOptions{
+		Cells: 192, Seed: 61, CriticalNets: 6, Keepouts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := place.Place(d, place.Options{Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	rules := make(map[string]route.Rule, len(fp.NetRules))
+	for _, r := range fp.NetRules {
+		rules[r.Net] = route.Rule{
+			WidthTracks: max(r.WidthTracks, 1), SpacingTracks: r.SpacingTracks, Shield: r.Shield}
+	}
+	ref, err := route.Route(d, route.Options{Pitch: 5, Rules: rules, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4} {
+		got, err := route.Route(d, route.Options{Pitch: 5, Rules: rules, Workers: 8, Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(got.Segments, ref.Segments) ||
+			got.Wirelength != ref.Wirelength || got.Vias != ref.Vias ||
+			!reflect.DeepEqual(got.Failed, ref.Failed) ||
+			!reflect.DeepEqual(got.FailReasons, ref.FailReasons) ||
+			got.ShieldLen != ref.ShieldLen {
+			t.Errorf("shards=%d: routed output diverges from serial reference", shards)
+		}
 	}
 }
 

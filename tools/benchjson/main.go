@@ -1,13 +1,16 @@
 // Command benchjson converts `go test -bench -benchmem` output into a
 // machine-readable JSON file so benchmark numbers can be committed and
 // compared across PRs. Repeated runs of the same benchmark (-count N) are
-// aggregated into a mean; an optional -baseline file of the same format is
-// merged in with percentage deltas per metric.
+// aggregated into a mean; custom b.ReportMetric units (ns/net, batches, …)
+// ride along under "extra". An optional -baseline file is merged in with
+// percentage deltas per metric — it may be either raw `go test -bench`
+// text or a JSON report this tool wrote earlier (a committed BENCH_*.json
+// from a prior PR), detected by content.
 //
 // Usage:
 //
 //	go test -bench . -benchmem -count 5 . | benchjson -o BENCH.json
-//	benchjson -baseline old.txt -o BENCH.json current.txt
+//	benchjson -baseline BENCH_PR2.json -o BENCH_PR6.json current.txt
 package main
 
 import (
@@ -22,20 +25,24 @@ import (
 	"strings"
 )
 
-// Metrics is the aggregated result of one benchmark's runs.
+// Metrics is the aggregated result of one benchmark's runs. Extra holds
+// custom b.ReportMetric units (e.g. "ns/net") as means across runs.
 type Metrics struct {
-	Runs        int     `json:"runs"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Delta is the relative change from baseline to current, in percent
-// (negative = improvement).
+// (negative = improvement). ExtraPct covers custom units present in both
+// runs.
 type Delta struct {
-	NsPct     float64 `json:"ns_pct"`
-	BytesPct  float64 `json:"bytes_pct"`
-	AllocsPct float64 `json:"allocs_pct"`
+	NsPct     float64            `json:"ns_pct"`
+	BytesPct  float64            `json:"bytes_pct"`
+	AllocsPct float64            `json:"allocs_pct"`
+	ExtraPct  map[string]float64 `json:"extra_pct,omitempty"`
 }
 
 // Entry is one benchmark's record in the output file.
@@ -58,6 +65,7 @@ type accum struct {
 	ns     float64
 	bytes  float64
 	allocs float64
+	extra  map[string]float64
 }
 
 func main() {
@@ -84,28 +92,32 @@ func main() {
 
 	rep := Report{Goos: meta["goos"], Goarch: meta["goarch"], CPU: meta["cpu"],
 		Benchmarks: make(map[string]Entry, len(cur))}
-	var base map[string]*accum
+	var base map[string]Metrics
 	if *baseline != "" {
-		f, err := os.Open(*baseline)
-		if err != nil {
-			fatal(err)
-		}
-		base, _, err = parse(f)
-		f.Close()
+		var err error
+		base, err = loadBaseline(*baseline)
 		if err != nil {
 			fatal(err)
 		}
 	}
 	for name, a := range cur {
 		e := Entry{Current: a.metrics()}
-		if b, ok := base[name]; ok {
-			bm := b.metrics()
+		if bm, ok := base[name]; ok {
 			e.Baseline = &bm
-			e.Delta = &Delta{
+			d := Delta{
 				NsPct:     pct(bm.NsPerOp, e.Current.NsPerOp),
 				BytesPct:  pct(bm.BytesPerOp, e.Current.BytesPerOp),
 				AllocsPct: pct(bm.AllocsPerOp, e.Current.AllocsPerOp),
 			}
+			for unit, cv := range e.Current.Extra {
+				if bv, ok := bm.Extra[unit]; ok && bv != 0 {
+					if d.ExtraPct == nil {
+						d.ExtraPct = make(map[string]float64)
+					}
+					d.ExtraPct[unit] = pct(bv, cv)
+				}
+			}
+			e.Delta = &d
 		}
 		rep.Benchmarks[name] = e
 	}
@@ -132,6 +144,9 @@ func main() {
 		e := rep.Benchmarks[n]
 		line := fmt.Sprintf("%-40s %12.0f ns/op %12.0f B/op %10.0f allocs/op",
 			n, e.Current.NsPerOp, e.Current.BytesPerOp, e.Current.AllocsPerOp)
+		if v, ok := e.Current.Extra["ns/net"]; ok {
+			line += fmt.Sprintf(" %8.1f ns/net", v)
+		}
 		if e.Delta != nil {
 			line += fmt.Sprintf("   (ns %+.1f%%, allocs %+.1f%%)", e.Delta.NsPct, e.Delta.AllocsPct)
 		}
@@ -141,7 +156,43 @@ func main() {
 
 func (a *accum) metrics() Metrics {
 	n := float64(a.runs)
-	return Metrics{Runs: a.runs, NsPerOp: a.ns / n, BytesPerOp: a.bytes / n, AllocsPerOp: a.allocs / n}
+	m := Metrics{Runs: a.runs, NsPerOp: a.ns / n, BytesPerOp: a.bytes / n, AllocsPerOp: a.allocs / n}
+	if len(a.extra) > 0 {
+		m.Extra = make(map[string]float64, len(a.extra))
+		for unit, sum := range a.extra {
+			m.Extra[unit] = sum / n
+		}
+	}
+	return m
+}
+
+// loadBaseline reads a baseline as either a JSON report written by this
+// tool (sniffed by a leading '{') or raw `go test -bench` text.
+func loadBaseline(path string) (map[string]Metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if trimmed := strings.TrimSpace(string(data)); strings.HasPrefix(trimmed, "{") {
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", path, err)
+		}
+		base := make(map[string]Metrics, len(rep.Benchmarks))
+		for name, e := range rep.Benchmarks {
+			base[name] = e.Current
+		}
+		return base, nil
+	}
+	accums, _, err := parse(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	base := make(map[string]Metrics, len(accums))
+	for name, a := range accums {
+		base[name] = a.metrics()
+	}
+	return base, nil
 }
 
 func pct(base, cur float64) float64 {
@@ -191,11 +242,19 @@ func parse(r io.Reader) (map[string]*accum, map[string]string, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "B/op":
 				a.bytes += v
 			case "allocs/op":
 				a.allocs += v
+			case "MB/s":
+				// throughput is derivable from ns/op; skip
+			default:
+				// custom b.ReportMetric units (ns/net, batches, ...)
+				if a.extra == nil {
+					a.extra = make(map[string]float64)
+				}
+				a.extra[unit] += v
 			}
 		}
 	}

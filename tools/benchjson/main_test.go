@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+cpu: TestCPU
+BenchmarkRouteScale/nets=1000/serial-8    100    1000000 ns/op    2048 B/op    10 allocs/op    170.0 ns/net
+BenchmarkRouteScale/nets=1000/serial-8    100    1200000 ns/op    2048 B/op    10 allocs/op    180.0 ns/net
+BenchmarkPlain-8    50    500 ns/op
+PASS
+`
+
+func TestParseAggregatesAndExtras(t *testing.T) {
+	res, meta, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta["cpu"] != "TestCPU" || meta["goos"] != "linux" {
+		t.Errorf("meta = %v", meta)
+	}
+	a, ok := res["RouteScale/nets=1000/serial-8"]
+	if !ok {
+		t.Fatalf("benchmark missing from %v", res)
+	}
+	m := a.metrics()
+	if m.Runs != 2 || m.NsPerOp != 1100000 || m.BytesPerOp != 2048 || m.AllocsPerOp != 10 {
+		t.Errorf("aggregated metrics = %+v", m)
+	}
+	if got := m.Extra["ns/net"]; got != 175 {
+		t.Errorf("ns/net mean = %v, want 175", got)
+	}
+	if p, ok := res["Plain-8"]; !ok || p.metrics().NsPerOp != 500 {
+		t.Errorf("plain benchmark = %+v", p)
+	}
+}
+
+func TestLoadBaselineJSONAndText(t *testing.T) {
+	dir := t.TempDir()
+
+	rep := Report{Benchmarks: map[string]Entry{
+		"RouteScale/nets=1000/serial-8": {Current: Metrics{
+			Runs: 3, NsPerOp: 900000, BytesPerOp: 1024, AllocsPerOp: 8,
+			Extra: map[string]float64{"ns/net": 150},
+		}},
+	}}
+	buf, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, ok := base["RouteScale/nets=1000/serial-8"]
+	if !ok || bm.NsPerOp != 900000 || bm.Extra["ns/net"] != 150 {
+		t.Errorf("JSON baseline = %+v", bm)
+	}
+
+	textPath := filepath.Join(dir, "base.txt")
+	if err := os.WriteFile(textPath, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err = loadBaseline(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm := base["RouteScale/nets=1000/serial-8"]; bm.NsPerOp != 1100000 || bm.Extra["ns/net"] != 175 {
+		t.Errorf("text baseline = %+v", bm)
+	}
+}
