@@ -3,24 +3,26 @@
 # imports internal/par — the repo's entire concurrency surface
 # (DESIGN.md §5a). RACE_PKGS is computed, not hand-listed, so a new
 # par-importing package is race-gated automatically. RACE_EXTRA adds the
-# failure-path packages: fault's injector is drawn from concurrently, and
-# workflow hosts the retry/fault engine.
+# failure-path packages: fault's injector is drawn from concurrently,
+# workflow hosts the retry/fault engine, and memo's cache is shared
+# across fan-out workers.
 
 GO ?= go
 RACE_PKGS = $(shell $(GO) list -f '{{.ImportPath}} {{join .Deps " "}}' ./... | grep 'cadinterop/internal/par' | cut -d' ' -f1)
-RACE_EXTRA = cadinterop/internal/workflow cadinterop/internal/fault cadinterop/internal/obs
+RACE_EXTRA = cadinterop/internal/workflow cadinterop/internal/fault cadinterop/internal/obs cadinterop/internal/memo
 
-# Benchmarks aggregated into BENCH_PR6.json: the PR 2 sweep plus the scale
+# Benchmarks aggregated into BENCH_PR7.json: the PR 2 sweep, the scale
 # trajectory (streaming interchange, end-to-end route, sharded batch
-# formation — the last lives in ./internal/route). Override BENCH /
-# BENCH_COUNT for a quicker or broader sweep; set BASELINE to either raw
-# `go test -bench` text or a committed BENCH_*.json (e.g. BENCH_PR2.json)
-# to record per-metric deltas alongside the current numbers.
-BENCH ?= BenchmarkRouteParallel|BenchmarkExp9BackplaneLoss|BenchmarkExp3SchedulerDivergence|BenchmarkExpAll|BenchmarkObsOverhead|BenchmarkExchangeScale|BenchmarkRouteScale|BenchmarkShardBatchFormation
+# formation — the last lives in ./internal/route), and the repeat-work
+# pair (incremental reroute, warm flow cache) whose reroute-frac and
+# hit-rate ride along under "extra". Override BENCH / BENCH_COUNT for a
+# quicker or broader sweep; BASELINE defaults to the previous PR's
+# committed numbers so per-metric deltas land in the report.
+BENCH ?= BenchmarkRouteParallel|BenchmarkExp9BackplaneLoss|BenchmarkExp3SchedulerDivergence|BenchmarkExpAll|BenchmarkObsOverhead|BenchmarkExchangeScale|BenchmarkRouteScale|BenchmarkShardBatchFormation|BenchmarkRouteIncremental|BenchmarkFlowCacheWarm
 BENCH_PKGS ?= . ./internal/route
 BENCH_COUNT ?= 5
-BENCH_OUT ?= BENCH_PR6.json
-BASELINE ?=
+BENCH_OUT ?= BENCH_PR7.json
+BASELINE ?= BENCH_PR6.json
 
 # Parser packages with native fuzz targets and committed seed corpora
 # (testdata/fuzz/FuzzParse). FUZZTIME is per package.
@@ -53,9 +55,9 @@ race:
 
 # Allocation-regression gate: the AllocsPerRun tests (tagged !race) that pin
 # the router's and the sim kernel's steady-state hot paths at ~zero
-# allocations (DESIGN.md §5c).
+# allocations (DESIGN.md §5c), plus the memo cache's hit path.
 allocs:
-	$(GO) test -run 'Allocs' ./internal/route ./internal/sim ./internal/obs ./internal/workflow
+	$(GO) test -run 'Allocs' ./internal/route ./internal/sim ./internal/obs ./internal/workflow ./internal/memo
 
 # Coverage gate (see COVER_MIN / COVER_OBS_MIN above). One merged profile
 # over every package, then the same profile filtered to internal/obs —

@@ -18,7 +18,9 @@ import (
 	"cadinterop/internal/experiments"
 	"cadinterop/internal/fault"
 	"cadinterop/internal/floorplan"
+	"cadinterop/internal/geom"
 	"cadinterop/internal/hdl"
+	"cadinterop/internal/memo"
 	"cadinterop/internal/migrate"
 	"cadinterop/internal/naming"
 	"cadinterop/internal/obs"
@@ -650,4 +652,96 @@ func BenchmarkWorkgenCorpus(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRouteIncremental measures incremental rip-up/reroute against
+// the full router on the sparse pair-grid workload where the locality it
+// exploits actually exists: a one-instance nudge dirties one pair's nets
+// while every other net's search footprint stays untouched. ns/net is
+// normalized over the design total (not the rerouted subset) so the two
+// modes are directly comparable; reroute-frac reports how small the
+// ripped-up subset actually was. Byte-identity of the incremental result
+// is the E17 experiment's job — here it is only asserted not to fall
+// back to a full reroute, which would make the comparison vacuous.
+func BenchmarkRouteIncremental(b *testing.B) {
+	for _, k := range []int{4, 6} {
+		d, err := workgen.SparsePairs(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := route.Options{Pitch: 10, Workers: 1}
+		prev, err := route.Route(d, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst := fmt.Sprintf("p%02db", (k*k)/2)
+		old, err := d.InstanceRect(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl := d.Placements[inst]
+		pl.Pos = pl.Pos.Add(geom.Pt(20, 0))
+		d.Placements[inst] = pl
+		nu, err := d.InstanceRect(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dirty := old.Union(nu)
+		total := 3 * k * k
+		b.Run(fmt.Sprintf("k=%d/full", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := route.Route(d, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(total), "ns/net")
+		})
+		b.Run(fmt.Sprintf("k=%d/incremental", k), func(b *testing.B) {
+			rerouted := 0
+			for i := 0; i < b.N; i++ {
+				res, err := route.RouteIncremental(prev, d, dirty, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.IncrementalFallback != "" {
+					b.Fatalf("fell back to full reroute: %s", res.IncrementalFallback)
+				}
+				rerouted = len(res.ReroutedNets)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(total), "ns/net")
+			b.ReportMetric(float64(rerouted)/float64(total), "reroute-frac")
+		})
+	}
+}
+
+// BenchmarkFlowCacheWarm measures a fully warm backplane fan-out — every
+// flow served from the content-addressed cache, zero tool executions —
+// against the uncached fan-out it replaces. hit-rate is the cache's
+// cumulative ratio, which converges to 1 as the warm iterations pile up.
+func BenchmarkFlowCacheWarm(b *testing.B) {
+	gen := func() (*phys.Design, *floorplan.Floorplan, error) {
+		return workgen.PhysDesign(workgen.PhysOptions{
+			Cells: 24, Seed: 17, CriticalNets: 3, Keepouts: 1})
+	}
+	tools := backplane.AllTools()
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := backplane.RunFlows(gen, tools, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := memo.New(nil)
+		if _, err := backplane.RunFlows(gen, tools, 5, par.Cache(cache)); err != nil {
+			b.Fatal(err) // prime the cache outside the timed loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := backplane.RunFlows(gen, tools, 5, par.Cache(cache)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(cache.HitRate(), "hit-rate")
+	})
 }

@@ -15,6 +15,7 @@ import (
 	"cadinterop/internal/diag"
 	"cadinterop/internal/filecheck"
 	"cadinterop/internal/floorplan"
+	"cadinterop/internal/memo"
 	"cadinterop/internal/obs"
 	"cadinterop/internal/par"
 	"cadinterop/internal/phys"
@@ -32,6 +33,8 @@ type config struct {
 	roundTrip   bool
 	traceFile   string
 	metricsFile string
+	cache       bool
+	cacheDir    string
 }
 
 func main() {
@@ -45,6 +48,8 @@ func main() {
 	flag.StringVar(&cfg.traceFile, "trace", "", "write the span trace to this file (.json = Chrome trace, .jsonl = JSON lines, else text tree)")
 	flag.StringVar(&cfg.metricsFile, "metrics", "", "write the metrics registry to this file as text")
 	flag.BoolVar(&cfg.roundTrip, "roundtrip", false, "gate each dialect's flow on an exchange round-trip integrity check")
+	flag.BoolVar(&cfg.cache, "cache", false, "memoize per-tool flow results by content address (in memory)")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "persist the flow cache under this directory so repeat runs skip unchanged flows (implies -cache)")
 	var (
 		check   = flag.Bool("check", false, "vet the interchange files given as arguments (reader by extension) and exit")
 		strict  = flag.Bool("strict", true, "with -check: abort a file on its first error-severity diagnostic")
@@ -61,7 +66,12 @@ func main() {
 		if *lenient || !*strict {
 			mode = diag.Lenient
 		}
-		opts := filecheck.Options{Mode: mode, Jobs: cfg.jobs, Shards: cfg.shards, Stream: *stream}
+		cache, cerr := openCache(cfg, nil)
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, "bplane:", cerr)
+			os.Exit(1)
+		}
+		opts := filecheck.Options{Mode: mode, Jobs: cfg.jobs, Shards: cfg.shards, Stream: *stream, Cache: cache}
 		if err := filecheck.FilesOpts(os.Stdout, flag.Args(), opts); err != nil {
 			fmt.Fprintln(os.Stderr, "bplane:", err)
 			os.Exit(1)
@@ -72,6 +82,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bplane:", err)
 		os.Exit(1)
 	}
+}
+
+// openCache resolves the -cache/-cache-dir flags into a memo cache (nil =
+// memoization off), registering its counters in reg when given.
+func openCache(cfg config, reg *obs.Registry) (*memo.Cache, error) {
+	if cfg.cacheDir != "" {
+		return memo.NewDir(cfg.cacheDir, reg)
+	}
+	if cfg.cache {
+		return memo.New(reg), nil
+	}
+	return nil, nil
 }
 
 func run(cfg config) error {
@@ -99,8 +121,14 @@ func run(cfg config) error {
 	if cfg.traceFile != "" || cfg.metricsFile != "" {
 		rec = obs.New(nil)
 	}
+	// The cache registers its hit/miss counters in the same registry the
+	// -metrics file is written from, so warm runs are auditable.
+	cache, err := openCache(cfg, rec.Metrics())
+	if err != nil {
+		return err
+	}
 	results, err := backplane.RunFlowsObserved(gen, tools, 5, cfg.roundTrip, rec,
-		par.Workers(cfg.jobs), par.Shards(cfg.shards))
+		par.Workers(cfg.jobs), par.Shards(cfg.shards), par.Cache(cache))
 	if err != nil && !cfg.roundTrip {
 		return err
 	}

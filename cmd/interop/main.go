@@ -14,6 +14,7 @@ import (
 	"cadinterop/internal/core"
 	"cadinterop/internal/diag"
 	"cadinterop/internal/filecheck"
+	"cadinterop/internal/memo"
 	"cadinterop/internal/workflow"
 )
 
@@ -30,6 +31,8 @@ func main() {
 		jobs     = flag.Int("j", 0, "with -check: worker count vetting files concurrently (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
 		shards   = flag.Int("shards", 0, "with -check: group the file list into this many contiguous work shards per scheduling unit (0 = one per file)")
 		stream   = flag.Bool("stream", false, "with -check: vet via the streaming readers (bounded memory on large files; same verdicts)")
+		useCache = flag.Bool("cache", false, "with -check: memoize each file's verdict by content address (in memory)")
+		cacheDir = flag.String("cache-dir", "", "with -check: persist the verdict cache under this directory so repeat vets of unchanged files skip re-parsing (implies -cache)")
 	)
 	flag.Parse()
 	if *check {
@@ -41,7 +44,17 @@ func main() {
 		if *lenient || !*strict {
 			mode = diag.Lenient
 		}
-		opts := filecheck.Options{Mode: mode, Jobs: *jobs, Shards: *shards, Stream: *stream}
+		var cache *memo.Cache
+		if *cacheDir != "" {
+			var err error
+			if cache, err = memo.NewDir(*cacheDir, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "interop:", err)
+				os.Exit(1)
+			}
+		} else if *useCache {
+			cache = memo.New(nil)
+		}
+		opts := filecheck.Options{Mode: mode, Jobs: *jobs, Shards: *shards, Stream: *stream, Cache: cache}
 		if err := filecheck.FilesOpts(os.Stdout, flag.Args(), opts); err != nil {
 			fmt.Fprintln(os.Stderr, "interop:", err)
 			os.Exit(1)

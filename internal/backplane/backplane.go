@@ -18,6 +18,7 @@ import (
 	"cadinterop/internal/exchange"
 	"cadinterop/internal/floorplan"
 	"cadinterop/internal/geom"
+	"cadinterop/internal/memo"
 	"cadinterop/internal/obs"
 	"cadinterop/internal/par"
 	"cadinterop/internal/phys"
@@ -349,6 +350,10 @@ func RunFlow(d *phys.Design, fp *floorplan.Floorplan, tool ToolDialect, seed int
 // counters land in reg. All three observability arguments may be nil.
 func runFlow(d *phys.Design, fp *floorplan.Floorplan, tool ToolDialect, seed int64,
 	rec *obs.Recorder, parent obs.SpanID, reg *obs.Registry, opts ...par.Option) (*FlowResult, error) {
+	// Every actual tool execution counts here — a warm cache hit in
+	// RunFlowsObserved never reaches this function, so the counter is the
+	// ground truth for "did any tool really run".
+	reg.Counter("backplane.tool_execs").Inc()
 	tsp := rec.Start(parent, "translate")
 	in, loss := Translate(fp, d.Lib, tool)
 	rec.AttrInt(tsp, "loss", int64(len(loss.Items)))
@@ -434,6 +439,7 @@ func RunFlowsChecked(gen func() (*phys.Design, *floorplan.Floorplan, error), too
 // rec's registry. rec may be nil (plain RunFlowsChecked).
 func RunFlowsObserved(gen func() (*phys.Design, *floorplan.Floorplan, error), tools []ToolDialect, seed int64, roundTrip bool, rec *obs.Recorder, opts ...par.Option) ([]*FlowResult, error) {
 	reg := rec.Metrics()
+	cache := par.CacheOf(opts...)
 	var children []*obs.Recorder
 	if rec != nil {
 		children = make([]*obs.Recorder, len(tools))
@@ -464,11 +470,33 @@ func RunFlowsObserved(gen func() (*phys.Design, *floorplan.Floorplan, error), to
 				return &FlowResult{Tool: tools[i].Name, Err: err}, err
 			}
 		}
+		// Memoization: a prior clean run of the same (netlist, floorplan,
+		// library, dialect, seed) answers without executing the tool. The
+		// interchange gate above still runs warm — it guards the handoff,
+		// not the tool.
+		key, keyed := memo.Key{}, false
+		if cache != nil {
+			if k, ok := flowKey(d, fp, tools[i], seed, roundTrip); ok {
+				key, keyed = k, true
+				if data, hit := cache.Get(key); hit {
+					if res, ok := decodeFlow(data); ok {
+						crec.Event(sp, "cache", "hit")
+						crec.End(sp)
+						return res, nil
+					}
+				}
+			}
+		}
 		res, err := runFlow(d, fp, tools[i], seed, crec, sp, reg, opts...)
 		if err != nil {
 			crec.Attr(sp, "state", "failed")
 			crec.End(sp)
 			return &FlowResult{Tool: tools[i].Name, Err: err}, err
+		}
+		if keyed {
+			if enc, ok := encodeFlow(res); ok {
+				cache.Put(key, enc)
+			}
 		}
 		crec.End(sp)
 		return res, nil

@@ -859,6 +859,18 @@ func VerifyRoundTrip(nl *netlist.Netlist) error {
 	return nil
 }
 
+// Fingerprint is the hex SHA-256 of the netlist's canonical exchange
+// serialization (no integrity trailer) — a stable content address for
+// memoization keys (internal/memo): two netlists hash equal exactly when
+// their interchange form is byte-identical.
+func Fingerprint(nl *netlist.Netlist) (string, error) {
+	h := sha256.New()
+	if err := Write(h, nl, WriteOptions{}); err != nil {
+		return "", fmt.Errorf("fingerprint: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
 func isSym(v al.Value, s string) bool {
 	sym, ok := v.(al.Symbol)
 	return ok && string(sym) == s

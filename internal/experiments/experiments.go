@@ -47,14 +47,19 @@ func (r *Report) addf(format string, args ...any) {
 // E1ComponentReplacement measures the Figure 1 operation at several design
 // sizes: how many net segments rip-up/reroute touches and how graphically
 // similar the result stays. Sizes are independent migrations, so they fan
-// out across workers; rows land in size order either way.
+// out across workers; rows land in size order either way. A cache riding
+// the option list (par.Cache) memoizes each size's migration, so harness
+// reruns with a persistent cache answer E1 without re-migrating.
 func E1ComponentReplacement(sizes []int, opts ...par.Option) (*Report, error) {
 	r := &Report{ID: "E1", Title: "component replacement (Figure 1): rip-up fraction and graphical similarity"}
 	r.addf("%8s %10s %8s %8s %12s %8s", "insts", "segments", "ripped", "added", "similarity", "verify")
+	cache := par.CacheOf(opts...)
 	rows, err := par.Map(len(sizes), func(i int) (string, error) {
 		n := sizes[i]
 		w := workgen.Schematic(workgen.SchematicOptions{Instances: n, Pages: 1 + n/60, Seed: 42})
-		_, rep, err := migrate.Migrate(w.Design, w.MigrateOptions())
+		mo := w.MigrateOptions()
+		mo.Cache = cache
+		_, rep, err := migrate.Migrate(w.Design, mo)
 		if err != nil {
 			return "", err
 		}
@@ -639,6 +644,7 @@ func registry() []entry {
 		{"E14", "interchange corruption robustness", func(o []par.Option) (*Report, error) { return E14CorruptionRobustness() }},
 		{"E15", "observability accounting", func(o []par.Option) (*Report, error) { return E15Observability(6) }},
 		{"E16", "scale: streaming + sharding", func(o []par.Option) (*Report, error) { return E16Scale() }},
+		{"E17", "memoization + incremental reroute", func(o []par.Option) (*Report, error) { return E17Memoization() }},
 	}
 }
 

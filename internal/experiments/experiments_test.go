@@ -212,7 +212,7 @@ func TestAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 16 {
+	if len(reports) != 17 {
 		t.Fatalf("reports = %d", len(reports))
 	}
 	for _, r := range reports {
@@ -221,6 +221,33 @@ func TestAllExperiments(t *testing.T) {
 		}
 		if strings.Contains(r.Title, "FAILED") {
 			t.Errorf("experiment %s failed: %v", r.ID, r.Lines)
+		}
+	}
+}
+
+func TestE17(t *testing.T) {
+	r, err := E17Memoization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	if strings.Contains(joined, "DIVERGED") {
+		t.Errorf("identity verdict failed:\n%s", joined)
+	}
+	// The incremental path must actually engage (no fallback column entries)
+	// and the warm flow pass must run zero tools.
+	for _, line := range r.Lines {
+		f := strings.Fields(line)
+		if len(f) > 1 && f[0] == "warm" && f[1] != "0" {
+			t.Errorf("warm pass executed %s tools:\n%s", f[1], joined)
+		}
+	}
+	if !strings.Contains(joined, "identical") {
+		t.Errorf("no identity verdicts rendered:\n%s", joined)
+	}
+	for _, bad := range []string{"dirty-set-too-large", "reroute-failed", "options-changed"} {
+		if strings.Contains(joined, bad) {
+			t.Errorf("incremental fallback %q tripped:\n%s", bad, joined)
 		}
 	}
 }

@@ -7,16 +7,21 @@ package filecheck
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"cadinterop/internal/al"
 	"cadinterop/internal/diag"
 	"cadinterop/internal/exchange"
 	"cadinterop/internal/hdl"
+	"cadinterop/internal/memo"
 	"cadinterop/internal/par"
 	"cadinterop/internal/schematic/cd"
 	"cadinterop/internal/schematic/vl"
@@ -45,6 +50,11 @@ type Options struct {
 	// resynchronize at record granularity and salvage strictly more (see
 	// the documented divergences in exchange.ReadStream).
 	Stream bool
+	// Cache memoizes each file's rendered diagnostics block and abort
+	// verdict by (content hash, path, mode, stream); see internal/memo.
+	// Repeat vets of unchanged files are answered without re-parsing. Nil
+	// disables memoization.
+	Cache *memo.Cache
 }
 
 // Extensions maps recognized file extensions to reader names (for help
@@ -167,23 +177,8 @@ func FilesOpts(w io.Writer, paths []string, opts Options) error {
 	par.ForEach(shards, func(s int) error {
 		lo, hi := s*len(paths)/shards, (s+1)*len(paths)/shards
 		for i := lo; i < hi; i++ {
-			var sb strings.Builder
-			diags, err := CheckFileOpts(paths[i], opts)
-			for _, d := range diags {
-				fmt.Fprintln(&sb, d)
-			}
-			errs, warns := diag.Count(diags, diag.Error), diag.Count(diags, diag.Warning)
-			verdict := "ok"
-			if err != nil {
-				verdict = "FAILED"
-			} else if errs > 0 {
-				verdict = "recovered"
-			}
-			fmt.Fprintf(&sb, "%s: %s (%s mode, %d error(s), %d warning(s))\n", paths[i], verdict, opts.Mode, errs, warns)
-			if err != nil {
-				err = fmt.Errorf("%s: %w", paths[i], err)
-			}
-			vetted[i] = outcome{sb.String(), err}
+			text, err := vetFile(paths[i], opts)
+			vetted[i] = outcome{text, err}
 		}
 		return nil
 	}, par.Workers(opts.Jobs))
@@ -195,4 +190,93 @@ func FilesOpts(w io.Writer, paths []string, opts Options) error {
 		}
 	}
 	return firstErr
+}
+
+// vetFile produces one file's rendered block and abort verdict, consulting
+// the cache when Options.Cache is set. The key is content-addressed (file
+// bytes) plus path, mode, and stream — path included because diagnostics
+// embed it, so identical bytes under two names must not share an entry.
+func vetFile(path string, opts Options) (string, error) {
+	if opts.Cache == nil {
+		return renderFile(path, opts)
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		return renderFile(path, opts) // unreadable: uncached failure path
+	}
+	sum := sha256.Sum256(data)
+	key := memo.Key{
+		Content: hex.EncodeToString(sum[:]),
+		Tool:    "filecheck",
+		Options: memo.NewFP("filecheck.Options/v1").
+			Str("path", path).
+			Int("mode", int(opts.Mode)).
+			Bool("stream", opts.Stream).
+			Sum(),
+	}
+	if enc, ok := opts.Cache.Get(key); ok {
+		if text, err, ok := decodeVet(enc); ok {
+			return text, err
+		}
+	}
+	text, err := renderFile(path, opts)
+	opts.Cache.Put(key, encodeVet(text, err))
+	return text, err
+}
+
+// renderFile vets one file and renders its diagnostics block — every
+// diagnostic line followed by the verdict line — returning the abort error
+// (wrapped with the path) when the parse gave up.
+func renderFile(path string, opts Options) (string, error) {
+	var sb strings.Builder
+	diags, err := CheckFileOpts(path, opts)
+	for _, d := range diags {
+		fmt.Fprintln(&sb, d)
+	}
+	errs, warns := diag.Count(diags, diag.Error), diag.Count(diags, diag.Warning)
+	verdict := "ok"
+	if err != nil {
+		verdict = "FAILED"
+	} else if errs > 0 {
+		verdict = "recovered"
+	}
+	fmt.Fprintf(&sb, "%s: %s (%s mode, %d error(s), %d warning(s))\n", path, verdict, opts.Mode, errs, warns)
+	if err != nil {
+		err = fmt.Errorf("%s: %w", path, err)
+	}
+	return sb.String(), err
+}
+
+// vetHeader versions the cached-vet payload.
+const vetHeader = "filecheck/v1"
+
+// encodeVet serializes a rendered block plus abort verdict: a header line
+// carrying the quoted abort message ("" = clean), then the block verbatim.
+func encodeVet(text string, err error) []byte {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	return []byte(fmt.Sprintf("%s %q\n%s", vetHeader, msg, text))
+}
+
+// decodeVet inverts encodeVet; !ok means the entry is unusable and the
+// caller re-vets.
+func decodeVet(data []byte) (string, error, bool) {
+	head, text, found := strings.Cut(string(data), "\n")
+	if !found {
+		return "", nil, false
+	}
+	rest, cut := strings.CutPrefix(head, vetHeader+" ")
+	if !cut {
+		return "", nil, false
+	}
+	msg, uerr := strconv.Unquote(rest)
+	if uerr != nil {
+		return "", nil, false
+	}
+	if msg != "" {
+		return text, errors.New(msg), true
+	}
+	return text, nil, true
 }

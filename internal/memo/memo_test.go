@@ -1,0 +1,223 @@
+package memo
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cadinterop/internal/obs"
+)
+
+func TestMemoryHitMiss(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(reg)
+	k := Key{Content: "abc", Tool: "route", Options: "fp1"}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(k, []byte("payload"))
+	v, ok := c.Get(k)
+	if !ok || string(v) != "payload" {
+		t.Fatalf("Get = %q, %v; want payload hit", v, ok)
+	}
+	// Any single component flip must miss.
+	for _, k2 := range []Key{
+		{Content: "abd", Tool: "route", Options: "fp1"},
+		{Content: "abc", Tool: "migrate", Options: "fp1"},
+		{Content: "abc", Tool: "route", Options: "fp2"},
+	} {
+		if _, ok := c.Get(k2); ok {
+			t.Errorf("key %+v unexpectedly hit", k2)
+		}
+	}
+	if c.Hits() != 1 || c.Misses() != 4 {
+		t.Errorf("hits/misses = %d/%d, want 1/4", c.Hits(), c.Misses())
+	}
+	if got := c.HitRate(); got != 0.2 {
+		t.Errorf("HitRate = %v, want 0.2", got)
+	}
+	if v := reg.Counter("memo.hits").Value(); v != 1 {
+		t.Errorf("memo.hits counter = %d, want 1", v)
+	}
+	if v := reg.Counter("memo.misses").Value(); v != 4 {
+		t.Errorf("memo.misses counter = %d, want 4", v)
+	}
+	if v := reg.Counter("memo.puts").Value(); v != 1 {
+		t.Errorf("memo.puts counter = %d, want 1", v)
+	}
+	if v := reg.Counter("memo.put_bytes").Value(); v != int64(len("payload")) {
+		t.Errorf("memo.put_bytes counter = %d, want %d", v, len("payload"))
+	}
+}
+
+// TestKeyFraming: the key triple is length-framed, so shifting bytes
+// between adjacent components must not collide.
+func TestKeyFraming(t *testing.T) {
+	a := Key{Content: "ab", Tool: "c", Options: "d"}
+	b := Key{Content: "a", Tool: "bc", Options: "d"}
+	if a.id() == b.id() {
+		t.Fatal("length framing failed: shifted components collide")
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Content: "sha", Tool: "route", Options: "fp"}
+	// Payloads with and without trailing newline, empty, and one that
+	// embeds a fake trailer line — the arithmetic split must not be fooled.
+	payloads := [][]byte{
+		[]byte("line1\nline2\n"),
+		[]byte("no trailing newline"),
+		{},
+		[]byte("x\n; integrity sha256:" + strings.Repeat("0", 64) + " bytes=1\ny"),
+	}
+	for i, p := range payloads {
+		ki := k
+		ki.Content = k.Content + string(rune('a'+i))
+		c1.Put(ki, p)
+	}
+	// A second cache over the same directory must serve every entry from
+	// disk with the payload intact.
+	c2, err := NewDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		ki := k
+		ki.Content = k.Content + string(rune('a'+i))
+		v, ok := c2.Get(ki)
+		if !ok || string(v) != string(p) {
+			t.Errorf("payload %d: disk Get = %q, %v; want %q", i, v, ok, p)
+		}
+	}
+	if c2.Hits() != int64(len(payloads)) {
+		t.Errorf("disk hits = %d, want %d", c2.Hits(), len(payloads))
+	}
+}
+
+func TestDiskCorruptionIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Content: "sha", Tool: "route", Options: "fp"}
+	c.Put(k, []byte("precious payload bytes"))
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v ents, err %v; want exactly 1 entry", len(ents), err)
+	}
+	path := filepath.Join(dir, ents[0].Name())
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptions := map[string][]byte{
+		"flipped payload byte": append([]byte("X"), orig[1:]...),
+		"truncated":            orig[:len(orig)-5],
+		"trailer stripped":     orig[:22],
+		"empty":                {},
+	}
+	for name, data := range corruptions {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewDir(dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := fresh.Get(k); ok {
+			t.Errorf("%s: corrupt entry served as hit (%q)", name, v)
+		}
+	}
+	// Restoring the original bytes restores the hit.
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fresh.Get(k); !ok || string(v) != "precious payload bytes" {
+		t.Errorf("restored entry Get = %q, %v; want hit", v, ok)
+	}
+}
+
+func TestNilCacheNoOp(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get(Key{Content: "x"}); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(Key{Content: "x"}, []byte("y"))
+	if c.Hits() != 0 || c.Misses() != 0 || c.HitRate() != 0 {
+		t.Fatal("nil cache counted something")
+	}
+}
+
+func TestFPFields(t *testing.T) {
+	base := func() string {
+		return NewFP("test/v1").Str("s", "v").Int("i", 3).Bool("b", true).
+			Strs("list", []string{"a", "b"}).StrMap("m", map[string]string{"k1": "v1", "k2": "v2"}).
+			BoolSet("set", map[string]bool{"on": true, "off": false}).Sum()
+	}
+	if base() != base() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	// Map iteration order must not matter; false set entries hash as absent.
+	same := NewFP("test/v1").Str("s", "v").Int("i", 3).Bool("b", true).
+		Strs("list", []string{"a", "b"}).StrMap("m", map[string]string{"k2": "v2", "k1": "v1"}).
+		BoolSet("set", map[string]bool{"on": true}).Sum()
+	if same != base() {
+		t.Fatal("insertion order or false set entries changed the fingerprint")
+	}
+	flips := map[string]string{
+		"kind": NewFP("test/v2").Str("s", "v").Int("i", 3).Bool("b", true).
+			Strs("list", []string{"a", "b"}).StrMap("m", map[string]string{"k1": "v1", "k2": "v2"}).
+			BoolSet("set", map[string]bool{"on": true}).Sum(),
+		"str": NewFP("test/v1").Str("s", "w").Int("i", 3).Bool("b", true).
+			Strs("list", []string{"a", "b"}).StrMap("m", map[string]string{"k1": "v1", "k2": "v2"}).
+			BoolSet("set", map[string]bool{"on": true}).Sum(),
+		"int": NewFP("test/v1").Str("s", "v").Int("i", 4).Bool("b", true).
+			Strs("list", []string{"a", "b"}).StrMap("m", map[string]string{"k1": "v1", "k2": "v2"}).
+			BoolSet("set", map[string]bool{"on": true}).Sum(),
+		"bool": NewFP("test/v1").Str("s", "v").Int("i", 3).Bool("b", false).
+			Strs("list", []string{"a", "b"}).StrMap("m", map[string]string{"k1": "v1", "k2": "v2"}).
+			BoolSet("set", map[string]bool{"on": true}).Sum(),
+		"list order": NewFP("test/v1").Str("s", "v").Int("i", 3).Bool("b", true).
+			Strs("list", []string{"b", "a"}).StrMap("m", map[string]string{"k1": "v1", "k2": "v2"}).
+			BoolSet("set", map[string]bool{"on": true}).Sum(),
+		"map value": NewFP("test/v1").Str("s", "v").Int("i", 3).Bool("b", true).
+			Strs("list", []string{"a", "b"}).StrMap("m", map[string]string{"k1": "v1", "k2": "vX"}).
+			BoolSet("set", map[string]bool{"on": true}).Sum(),
+		"set member": NewFP("test/v1").Str("s", "v").Int("i", 3).Bool("b", true).
+			Strs("list", []string{"a", "b"}).StrMap("m", map[string]string{"k1": "v1", "k2": "v2"}).
+			BoolSet("set", map[string]bool{"on": true, "extra": true}).Sum(),
+	}
+	seen := map[string]string{base(): "base"}
+	for name, sum := range flips {
+		if prev, dup := seen[sum]; dup {
+			t.Errorf("flip %q collides with %q", name, prev)
+		}
+		seen[sum] = name
+	}
+}
+
+// TestFPFraming: adjacent fields must be framed — moving bytes between a
+// field's name and value, or between two list elements, must change the sum.
+func TestFPFraming(t *testing.T) {
+	a := NewFP("t").Str("ab", "c").Sum()
+	b := NewFP("t").Str("a", "bc").Sum()
+	if a == b {
+		t.Fatal("name/value framing failed")
+	}
+	c := NewFP("t").Strs("l", []string{"ab", "c"}).Sum()
+	d := NewFP("t").Strs("l", []string{"a", "bc"}).Sum()
+	if c == d {
+		t.Fatal("list element framing failed")
+	}
+}

@@ -1,0 +1,147 @@
+package migrate
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"cadinterop/internal/memo"
+	"cadinterop/internal/schematic"
+	"cadinterop/internal/schematic/cd"
+)
+
+// TestMigrateCacheWarmHit runs the same migration twice through one cache:
+// the second run must be answered from the cache and be byte-equivalent —
+// identical report and identical canonical serialization of the output.
+func TestMigrateCacheWarmHit(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	opts := stdOptions(libs, maps)
+	opts.Cache = memo.New(nil)
+
+	out1, rep1, err := Migrate(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, rep2, err := Migrate(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opts.Cache.Hits(); got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+	if got := opts.Cache.Misses(); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Errorf("cached report differs:\ncold %+v\nwarm %+v", rep1, rep2)
+	}
+	var b1, b2 bytes.Buffer
+	if err := cd.Write(&b1, out1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cd.Write(&b2, out2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("cached design serialization differs from cold run")
+	}
+}
+
+// TestMigrateCacheSkipsDirtyResults: a migration that completes but carries
+// verification diffs (here: severed cross-page nets from the connector
+// ablation) must never be stored.
+func TestMigrateCacheSkipsDirtyResults(t *testing.T) {
+	d, libs, maps := exarFixture(t)
+	opts := stdOptions(libs, maps)
+	opts.DisableConnectors = true // severs cross-page nets: real damage
+	opts.Cache = memo.New(nil)
+
+	_, rep, err := Migrate(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Verification) == 0 {
+		t.Fatal("fixture no longer produces verification diffs")
+	}
+	_, _, err = Migrate(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opts.Cache.Hits(); got != 0 {
+		t.Errorf("dirty migration was cached: hits = %d", got)
+	}
+	if got := opts.Cache.Misses(); got != 2 {
+		t.Errorf("misses = %d, want 2", got)
+	}
+}
+
+// TestMigrateOptionsFingerprint pins the cache-key contract for
+// migrate.Options: ignored fields (the cache handle itself) hash equal,
+// order-insensitive fields hash equal under reordering, and every semantic
+// flip changes the fingerprint (forcing a miss).
+func TestMigrateOptionsFingerprint(t *testing.T) {
+	_, libs, maps := exarFixture(t)
+	base := func() Options { return stdOptions(libs, maps) }
+
+	cases := []struct {
+		name     string
+		mutate   func(*Options)
+		wantSame bool
+	}{
+		{"identical", func(o *Options) {}, true},
+		{"cache handle ignored", func(o *Options) { o.Cache = memo.New(nil) }, true},
+		{"target lib order irrelevant", func(o *Options) {
+			libs2 := make([]*schematic.Library, len(o.TargetLibs))
+			for i, l := range o.TargetLibs {
+				libs2[len(libs2)-1-i] = l
+			}
+			o.TargetLibs = libs2
+		}, true},
+		{"standard props are a set", func(o *Options) {
+			sp := append([]string(nil), o.To.StandardProps...)
+			for i, j := 0, len(sp)-1; i < j; i, j = i+1, j-1 {
+				sp[i], sp[j] = sp[j], sp[i]
+			}
+			o.To.StandardProps = sp
+		}, true},
+		{"global map entry", func(o *Options) {
+			o.GlobalMap = map[string]string{"VDD": "vcc!"}
+		}, false},
+		{"prop rule order is semantic", func(o *Options) {
+			pr := append([]PropRule(nil), o.PropRules...)
+			pr[0], pr[1] = pr[1], pr[0]
+			o.PropRules = pr
+		}, false},
+		{"symbol map offset", func(o *Options) {
+			sm := append([]SymbolMap(nil), o.Symbols...)
+			sm[0].Offset.X++
+			o.Symbols = sm
+		}, false},
+		{"pin spacing", func(o *Options) { o.To.PinSpacing++ }, false},
+		{"bus syntax", func(o *Options) { o.To.Bus.ExplicitOnly = !o.To.Bus.ExplicitOnly }, false},
+		{"keep unmapped", func(o *Options) { o.KeepUnmapped = true }, false},
+		{"skip verify", func(o *Options) { o.SkipVerify = true }, false},
+		{"round trip gate", func(o *Options) { o.VerifyRoundTrip = true }, false},
+		{"ablation flag", func(o *Options) { o.DisableBusXlate = true }, false},
+		{"callback script", func(o *Options) {
+			cb := append([]Callback(nil), o.Callbacks...)
+			cb[0].Script += " ; tweaked"
+			o.Callbacks = cb
+		}, false},
+	}
+
+	ref := base().Fingerprint()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base()
+			tc.mutate(&o)
+			got := o.Fingerprint()
+			if tc.wantSame && got != ref {
+				t.Errorf("fingerprint changed; want equal to base")
+			}
+			if !tc.wantSame && got == ref {
+				t.Errorf("fingerprint unchanged; want a miss")
+			}
+		})
+	}
+}

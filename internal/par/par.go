@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cadinterop/internal/memo"
 	"cadinterop/internal/obs"
 )
 
@@ -27,6 +28,7 @@ type cfg struct {
 	workers int
 	shards  int
 	reg     *obs.Registry
+	cache   *memo.Cache
 }
 
 // Option configures a par call.
@@ -73,6 +75,26 @@ func N(opts ...Option) int {
 // default) lets each consumer pick its own decomposition.
 func Shards(n int) Option {
 	return func(c *cfg) { c.shards = n }
+}
+
+// Cache attaches a content-addressed result cache (see internal/memo) to
+// the option list. Like Shards, the pool primitives ignore it; it rides
+// the option list so entry points can hand one knob set to call chains —
+// the backplane's per-tool memoization, migrate's translation cache —
+// that consult it via CacheOf. A nil cache (and the default) disables
+// memoization: every consumer treats Get/Put on a nil *memo.Cache as a
+// no-op miss.
+func Cache(c *memo.Cache) Option {
+	return func(o *cfg) { o.cache = c }
+}
+
+// CacheOf reports the cache the options resolve to (nil when unset).
+func CacheOf(opts ...Option) *memo.Cache {
+	c := cfg{}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c.cache
 }
 
 // ShardsN reports the shard hint the options resolve to (0 when unset).

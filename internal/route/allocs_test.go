@@ -23,11 +23,11 @@ func TestBFSAllocs(t *testing.T) {
 	claim(g, sig, node{0, 5, 5}, Rule{WidthTracks: 1})
 	rule := Rule{WidthTracks: 1, SpacingTracks: 1}
 	from := node{0, 35, 35}
-	if _, err := bfs(g, sig, from, rule); err != nil { // warm the pool
+	if _, _, err := bfs(g, sig, from, rule); err != nil { // warm the pool
 		t.Fatal(err)
 	}
 	avg := testing.AllocsPerRun(100, func() {
-		if _, err := bfs(g, sig, from, rule); err != nil {
+		if _, _, err := bfs(g, sig, from, rule); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"cadinterop/internal/geom"
 	"cadinterop/internal/obs"
@@ -97,8 +96,32 @@ type Result struct {
 	// Observability only, and deterministic for fixed Options.
 	ShardInterior int
 	ShardBoundary int
-	grid           *Grid
-	rules          map[string]Rule
+	// ReroutedNets lists, in canonical order, the nets RouteIncremental
+	// actually ripped up and rerouted; nil for a full Route. Observability
+	// only: excluded from the byte-identity bar like the counters above.
+	ReroutedNets []string
+	// IncrementalFallback names the soundness condition that forced
+	// RouteIncremental down the full-Route path ("" = the incremental path
+	// ran). Observability only.
+	IncrementalFallback string
+	grid                *Grid
+	rules               map[string]Rule
+	// Replay metadata for RouteIncremental: the inputs this result was
+	// produced from (pins per net, canonical order, die/pitch/options
+	// fingerprint) and per-net accounting (search probe box, vias, shield
+	// length) so surviving nets' totals can be reassembled without
+	// re-searching. pass0 records that the result came from the first
+	// routing pass in canonical order — a clean rip-up attempt uses a
+	// rotated order, which the incremental replay cannot reproduce.
+	pins      map[string][]geom.Point
+	order     []string
+	probe     map[string]geom.Rect
+	netVias   map[string]int
+	netShield map[string]int
+	die       geom.Rect
+	pitch     int
+	fp        string
+	pass0     bool
 }
 
 // Grid is the routing fabric occupancy: per layer, per cell, an interned
@@ -122,9 +145,11 @@ type Grid struct {
 	recordStamp []uint32
 	// Pools of search scratch and speculative views sized for this grid;
 	// steady-state routing leases and returns the same buffers instead of
-	// allocating per net (DESIGN.md §5c).
-	scratchPool sync.Pool
-	viewPool    sync.Pool
+	// allocating per net (DESIGN.md §5c). Held by pointer so the
+	// incremental replay's same-sized clone can share its source grid's
+	// warm pool instead of re-allocating O(grid) scratch for a handful of
+	// dirty nets.
+	pools *gridPools
 	// Pre-resolved search counters (nil when Options.Metrics is unset).
 	mSearches     *obs.Counter
 	mScratchReuse *obs.Counter
@@ -140,7 +165,8 @@ func (g *Grid) observe(reg *obs.Registry) {
 func NewGrid(die geom.Rect, pitch int) *Grid {
 	w := die.Dx()/pitch + 1
 	h := die.Dy()/pitch + 1
-	g := &Grid{W: w, H: h, Pitch: pitch, tab: newInternTable(), pin: make([]bool, w*h)}
+	g := &Grid{W: w, H: h, Pitch: pitch, tab: newInternTable(), pin: make([]bool, w*h),
+		pools: &gridPools{}}
 	for l := 0; l < 2; l++ {
 		g.own[l] = make([]int32, w*h)
 	}
@@ -227,36 +253,10 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 		grid:     g,
 		rules:    opts.Rules,
 	}
-	top := d.TopCell()
 
-	// Gather pins per net in grid coordinates. Net names are validated
-	// against the reserved marker vocabulary here, before any of them is
-	// interned into a grid. The map is pre-sized from the instance count —
-	// a chain design has about one net per instance (DESIGN.md §5c).
-	instNames := top.InstanceNames()
-	netPins := make(map[string][]geom.Point, len(instNames)+1)
-	for _, in := range instNames {
-		inst := top.Instances[in]
-		pins := make([]string, 0, len(inst.Conns))
-		for p := range inst.Conns {
-			pins = append(pins, p)
-		}
-		sort.Strings(pins)
-		for _, pin := range pins {
-			net := inst.Conns[pin]
-			if opts.SkipNets[net] {
-				continue
-			}
-			if err := checkNetName(net); err != nil {
-				return nil, err
-			}
-			pos, err := d.PinPos(in, pin)
-			if err != nil {
-				return nil, err
-			}
-			gp := geom.Pt((pos.X-d.Die.Min.X)/opts.Pitch, (pos.Y-d.Die.Min.Y)/opts.Pitch)
-			netPins[net] = append(netPins[net], gp)
-		}
+	netPins, err := gatherNetPins(d, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	// Pre-reserve every pin cell on both layers so no net can route
@@ -268,28 +268,13 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 	g.tab.grow(len(netPins))
 	reservePins(g, netPins)
 
-	// Net ordering: constrained nets first (they need clean fabric), then
-	// by pin count descending, then name.
-	nets := make([]string, 0, len(netPins))
-	for n, ps := range netPins {
-		if len(ps) >= 2 {
-			nets = append(nets, n)
-		}
-	}
-	sort.Slice(nets, func(i, j int) bool {
-		_, ci := opts.Rules[nets[i]]
-		_, cj := opts.Rules[nets[j]]
-		if ci != cj {
-			return ci
-		}
-		if len(netPins[nets[i]]) != len(netPins[nets[j]]) {
-			return len(netPins[nets[i]]) > len(netPins[nets[j]])
-		}
-		return nets[i] < nets[j]
-	})
+	nets := orderNets(netPins, opts)
 
 	routeAll(g, res, nets, netPins, opts)
 	if len(res.Failed) == 0 {
+		// pass0: this result came from the first pass in canonical order,
+		// so RouteIncremental can replay it net-by-net.
+		stampReplayMeta(res, d, opts, netPins, nets, true)
 		recordRouteMetrics(opts.Metrics, res, len(nets), 0)
 		return res, nil
 	}
@@ -316,8 +301,80 @@ func Route(d *phys.Design, opts Options) (*Result, error) {
 			best = attempt
 		}
 	}
+	stampReplayMeta(best, d, opts, netPins, nets, false)
 	recordRouteMetrics(opts.Metrics, best, len(nets), passes)
 	return best, nil
+}
+
+// gatherNetPins collects pins per net in grid coordinates. Net names are
+// validated against the reserved marker vocabulary here, before any of
+// them is interned into a grid. The map is pre-sized from the instance
+// count — a chain design has about one net per instance (DESIGN.md §5c).
+// opts.Pitch must already be normalized.
+func gatherNetPins(d *phys.Design, opts Options) (map[string][]geom.Point, error) {
+	top := d.TopCell()
+	instNames := top.InstanceNames()
+	netPins := make(map[string][]geom.Point, len(instNames)+1)
+	for _, in := range instNames {
+		inst := top.Instances[in]
+		pins := make([]string, 0, len(inst.Conns))
+		for p := range inst.Conns {
+			pins = append(pins, p)
+		}
+		sort.Strings(pins)
+		for _, pin := range pins {
+			net := inst.Conns[pin]
+			if opts.SkipNets[net] {
+				continue
+			}
+			if err := checkNetName(net); err != nil {
+				return nil, err
+			}
+			pos, err := d.PinPos(in, pin)
+			if err != nil {
+				return nil, err
+			}
+			gp := geom.Pt((pos.X-d.Die.Min.X)/opts.Pitch, (pos.Y-d.Die.Min.Y)/opts.Pitch)
+			netPins[net] = append(netPins[net], gp)
+		}
+	}
+	return netPins, nil
+}
+
+// orderNets returns the multi-pin nets in canonical routing order:
+// constrained nets first (they need clean fabric), then by pin count
+// descending, then name.
+func orderNets(netPins map[string][]geom.Point, opts Options) []string {
+	nets := make([]string, 0, len(netPins))
+	for n, ps := range netPins {
+		if len(ps) >= 2 {
+			nets = append(nets, n)
+		}
+	}
+	sort.Slice(nets, func(i, j int) bool {
+		_, ci := opts.Rules[nets[i]]
+		_, cj := opts.Rules[nets[j]]
+		if ci != cj {
+			return ci
+		}
+		if len(netPins[nets[i]]) != len(netPins[nets[j]]) {
+			return len(netPins[nets[i]]) > len(netPins[nets[j]])
+		}
+		return nets[i] < nets[j]
+	})
+	return nets
+}
+
+// stampReplayMeta records the inputs a result was routed from so
+// RouteIncremental can later rip up just a dirty subset (see Result's
+// unexported fields).
+func stampReplayMeta(res *Result, d *phys.Design, opts Options, netPins map[string][]geom.Point, order []string, pass0 bool) {
+	res.pins = netPins
+	res.order = order
+	res.die = d.Die
+	res.pitch = opts.Pitch
+	res.fp = opts.Fingerprint()
+	res.pass0 = pass0
 }
 
 // recordRouteMetrics lands the routing outcome in the registry (no-op on
@@ -435,8 +492,8 @@ func routeAll(g *Grid, res *Result, order []string, netPins map[string][]geom.Po
 		par.ForEach(len(batch), func(j int) error {
 			v := newSpecView(g)
 			net := batch[j]
-			paths, err := netPaths(v, sigs[j], netPins[net], normRule(opts.Rules[net]))
-			specs[j] = &speculation{paths: paths, err: err, view: v}
+			paths, probe, err := netPaths(v, sigs[j], netPins[net], normRule(opts.Rules[net]))
+			specs[j] = &speculation{paths: paths, probe: probe, err: err, view: v}
 			return nil
 		}, par.Workers(workers))
 		g.armRecording()
@@ -469,6 +526,7 @@ func routeOne(g *Grid, res *Result, net string, sig int32, pins []geom.Point, ru
 // speculation is one net's search run against a stale grid snapshot.
 type speculation struct {
 	paths [][]node
+	probe geom.Rect
 	err   error
 	view  *specView
 }
@@ -556,6 +614,7 @@ func commitSpec(g *Grid, res *Result, net string, sig int32, pins []geom.Point, 
 			}
 		}
 	}
+	res.setProbe(net, sp.probe)
 	recordPaths(res, net, sp.paths)
 	if sp.err != nil {
 		res.Failed = append(res.Failed, net)
@@ -563,7 +622,7 @@ func commitSpec(g *Grid, res *Result, net string, sig int32, pins []geom.Point, 
 		return
 	}
 	if rule.Shield {
-		res.ShieldLen += addShields(g, sig)
+		res.addShieldLen(net, addShields(g, sig))
 	}
 	if rule.SpacingTracks > 0 {
 		addHalo(g, sig, rule.SpacingTracks)
@@ -628,7 +687,8 @@ type node struct {
 // routeNet maze-routes one net on the live grid, connecting pins one at a
 // time to the grown net region.
 func routeNet(g *Grid, res *Result, net string, sig int32, pins []geom.Point, rule Rule) error {
-	paths, err := netPaths(g, sig, pins, rule)
+	paths, probe, err := netPaths(g, sig, pins, rule)
+	res.setProbe(net, probe)
 	// Partial progress stays claimed and booked even when a later pin
 	// fails — the rip-up pass rebuilds the fabric from scratch anyway.
 	recordPaths(res, net, paths)
@@ -636,7 +696,7 @@ func routeNet(g *Grid, res *Result, net string, sig int32, pins []geom.Point, ru
 		return err
 	}
 	if rule.Shield {
-		res.ShieldLen += addShields(g, sig)
+		res.addShieldLen(net, addShields(g, sig))
 	}
 	if rule.SpacingTracks > 0 {
 		// Spacing is symmetric: reserve a clearance halo so nets routed
@@ -646,24 +706,53 @@ func routeNet(g *Grid, res *Result, net string, sig int32, pins []geom.Point, ru
 	return nil
 }
 
+// setProbe records the bounding box of fabric a net's searches examined
+// (replay metadata for RouteIncremental; maps are lazy so hand-built
+// Results in tests keep working). Repeated calls union.
+func (res *Result) setProbe(net string, probe geom.Rect) {
+	if res.probe == nil {
+		res.probe = make(map[string]geom.Rect)
+	}
+	if prev, ok := res.probe[net]; ok {
+		probe = prev.Union(probe)
+	}
+	res.probe[net] = probe
+}
+
+// addShieldLen books shield wirelength both in the total and per net.
+func (res *Result) addShieldLen(net string, added int) {
+	res.ShieldLen += added
+	if added == 0 {
+		return
+	}
+	if res.netShield == nil {
+		res.netShield = make(map[string]int)
+	}
+	res.netShield[net] += added
+}
+
 // netPaths is the search phase of one net: seed the first pin, then maze-
 // route every remaining pin to the grown region, claiming cells on f as it
 // goes. Paths found before an error are returned with it, so partial
-// progress can be replayed exactly.
-func netPaths(f fabric, sig int32, pins []geom.Point, rule Rule) ([][]node, error) {
+// progress can be replayed exactly. The second return is the net's probe
+// box: the union of the fabric regions its searches examined (see bfs),
+// seeded with the pin bounding box.
+func netPaths(f fabric, sig int32, pins []geom.Point, rule Rule) ([][]node, geom.Rect, error) {
 	// Seed: first pin on both layers. Pins claim at width 1 — the width
 	// rule governs wires; pad cells must not stomp on neighbors' halos.
 	seed := pins[0]
 	pinRule := Rule{WidthTracks: 1}
 	claim(f, sig, node{0, seed.X, seed.Y}, pinRule)
 	var paths [][]node
+	probe := pinBBox(pins)
 	for _, target := range pins[1:] {
 		if f.owner(0, target.X, target.Y) == sig {
 			continue // already on the net (shared pin cell)
 		}
-		path, err := bfs(f, sig, node{0, target.X, target.Y}, rule)
+		path, box, err := bfs(f, sig, node{0, target.X, target.Y}, rule)
+		probe = probe.Union(box)
 		if err != nil {
-			return paths, err
+			return paths, probe, err
 		}
 		// Claim the path. The pin landing itself claims at width 1 like
 		// the seed did, and the success cell (path[0]) is already owned by
@@ -681,7 +770,7 @@ func netPaths(f fabric, sig int32, pins []geom.Point, rule Rule) ([][]node, erro
 		}
 		paths = append(paths, path)
 	}
-	return paths, nil
+	return paths, probe, nil
 }
 
 // recordPaths books the segments, wirelength and via counts of a net's
@@ -692,6 +781,10 @@ func recordPaths(res *Result, net string, paths [][]node) {
 			p, n := path[i-1], path[i]
 			if p.l != n.l {
 				res.Vias++
+				if res.netVias == nil {
+					res.netVias = make(map[string]int)
+				}
+				res.netVias[net]++
 			} else {
 				res.Wirelength++
 				res.Segments[net] = append(res.Segments[net], Segment{
@@ -796,10 +889,20 @@ func usable(f fabric, sig int32, n node, rule Rule) bool {
 // fabric and leave pin escapes for the nets that need them. All visited/
 // cost/frontier state lives in pooled scratch (scratch.go); the only
 // allocation per call is the returned path, which the caller retains.
-func bfs(f fabric, sig int32, from node, rule Rule) ([]node, error) {
+//
+// The second return is the probe box: the bounding box of every cell the
+// search examined, valid on success and failure alike. The search reads
+// fabric only at examined cells plus their width/spacing/near-pin windows,
+// so anything outside this box expanded by that rule margin cannot have
+// influenced the outcome. RouteIncremental uses the box to decide which
+// surviving nets a dirty region could re-decide; a cost-radius bound would
+// be hopelessly loose here because via and pin-adjacency penalties inflate
+// cost far beyond geometric distance.
+func bfs(f fabric, sig int32, from node, rule Rule) ([]node, geom.Rect, error) {
+	probe := geom.Rect{Min: geom.Pt(from.x, from.y), Max: geom.Pt(from.x, from.y)}
 	// The pin landing needs only its own cell (width rules govern wires).
 	if !usable(f, sig, from, Rule{WidthTracks: 1}) {
-		return nil, fmt.Errorf("%w: net %s pin cell blocked", ErrRoute, f.base().tab.decode(sig))
+		return nil, probe, fmt.Errorf("%w: net %s pin cell blocked", ErrRoute, f.base().tab.decode(sig))
 	}
 	viaCost, pinAdjCost := 3, 4
 	if f.plain() {
@@ -844,10 +947,22 @@ func bfs(f fabric, sig int32, from node, rule Rule) ([]node, error) {
 					}
 					i = p
 				}
-				return path, nil
+				return path, probe, nil
 			}
 			for t := 0; t < 3; t++ {
 				nb := neighbor(cur, t)
+				// Every examined neighbor is a fabric read — grow the probe
+				// box before any rejection (vias share x,y, so the box is 2D).
+				if nb.x < probe.Min.X {
+					probe.Min.X = nb.x
+				} else if nb.x > probe.Max.X {
+					probe.Max.X = nb.x
+				}
+				if nb.y < probe.Min.Y {
+					probe.Min.Y = nb.y
+				} else if nb.y > probe.Max.Y {
+					probe.Max.Y = nb.y
+				}
 				owner := f.owner(nb.l, nb.x, nb.y)
 				if !(owner == sig || (owner == cellEmpty || ownCell(owner, sig)) && usable(f, sig, nb, rule)) {
 					continue
@@ -872,7 +987,7 @@ func bfs(f fabric, sig int32, from node, rule Rule) ([]node, error) {
 			}
 		}
 	}
-	return nil, fmt.Errorf("%w: net %s unroutable", ErrRoute, g.tab.decode(sig))
+	return nil, probe, fmt.Errorf("%w: net %s unroutable", ErrRoute, g.tab.decode(sig))
 }
 
 // nearPin reports whether a cell is a pin pad or directly adjacent to one.

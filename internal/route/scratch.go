@@ -1,5 +1,7 @@
 package route
 
+import "sync"
+
 // Pooled scratch for the search phases. Every buffer is a flat slice
 // indexed by (layer*H + y)*W + x and validity is tracked with epoch stamps:
 // "clearing" a buffer is a single counter increment, not an O(cells) wipe.
@@ -57,17 +59,28 @@ func (sc *searchScratch) setDist(i, d, from int32) {
 	sc.stamp[i] = sc.epoch
 }
 
+// gridPools holds a grid's leased scratch and speculative views. It is a
+// separate allocation so equally-sized grids can share one warm pool: the
+// incremental replay clones the fabric but inherits the source grid's
+// pools, and every buffer inside is sized by the shared W×H. sync.Pool
+// hands out exclusive ownership, so sharing is safe even when the source
+// grid is still routing concurrently.
+type gridPools struct {
+	scratch sync.Pool
+	view    sync.Pool
+}
+
 // getScratch leases a search scratch sized for this grid.
 func (g *Grid) getScratch() *searchScratch {
 	g.mSearches.Inc()
-	if v := g.scratchPool.Get(); v != nil {
+	if v := g.pools.scratch.Get(); v != nil {
 		g.mScratchReuse.Inc()
 		return v.(*searchScratch)
 	}
 	return newSearchScratch(2 * g.W * g.H)
 }
 
-func (g *Grid) putScratch(sc *searchScratch) { g.scratchPool.Put(sc) }
+func (g *Grid) putScratch(sc *searchScratch) { g.pools.scratch.Put(sc) }
 
 // specView is a copy-on-write view of a Grid for speculative search:
 // writes land in a private epoch-stamped overlay, reads fall through to the
@@ -87,10 +100,13 @@ type specView struct {
 	repoch  uint32
 }
 
-// newSpecView leases a view from the grid's pool.
+// newSpecView leases a view from the grid's pool. The pool may be shared
+// with an equally-sized clone (gridPools), so the leased view is re-aimed
+// at this grid — its buffers are scratch, its g is not.
 func newSpecView(g *Grid) *specView {
-	if v := g.viewPool.Get(); v != nil {
+	if v := g.pools.view.Get(); v != nil {
 		sv := v.(*specView)
+		sv.g = g
 		sv.resetView()
 		return sv
 	}
@@ -105,7 +121,7 @@ func newSpecView(g *Grid) *specView {
 	}
 }
 
-func (g *Grid) putView(v *specView) { g.viewPool.Put(v) }
+func (g *Grid) putView(v *specView) { g.pools.view.Put(v) }
 
 // resetView invalidates the overlay and read footprint by epoch bump.
 func (v *specView) resetView() {

@@ -144,8 +144,13 @@ func main() {
 		e := rep.Benchmarks[n]
 		line := fmt.Sprintf("%-40s %12.0f ns/op %12.0f B/op %10.0f allocs/op",
 			n, e.Current.NsPerOp, e.Current.BytesPerOp, e.Current.AllocsPerOp)
-		if v, ok := e.Current.Extra["ns/net"]; ok {
-			line += fmt.Sprintf(" %8.1f ns/net", v)
+		units := make([]string, 0, len(e.Current.Extra))
+		for u := range e.Current.Extra {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			line += fmt.Sprintf(" %10.4g %s", e.Current.Extra[u], u)
 		}
 		if e.Delta != nil {
 			line += fmt.Sprintf("   (ns %+.1f%%, allocs %+.1f%%)", e.Delta.NsPct, e.Delta.AllocsPct)
