@@ -3,23 +3,20 @@
 // quality damage when the design is actually placed and routed under the
 // translated (possibly impoverished) constraints. Dialects run
 // concurrently across -j workers; the output is identical at every worker
-// count.
+// count. The run itself lives in internal/serve — the same entry point the
+// interop daemon exposes as /v1/translate — so a daemon response and this
+// command's stdout are byte-identical by construction.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"cadinterop/internal/backplane"
-	"cadinterop/internal/diag"
-	"cadinterop/internal/filecheck"
-	"cadinterop/internal/floorplan"
 	"cadinterop/internal/memo"
 	"cadinterop/internal/obs"
-	"cadinterop/internal/par"
-	"cadinterop/internal/phys"
-	"cadinterop/internal/workgen"
+	"cadinterop/internal/serve"
 )
 
 // config carries the command's flag settings into run.
@@ -62,17 +59,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bplane: -check needs file arguments")
 			os.Exit(2)
 		}
-		mode := diag.Strict
-		if *lenient || !*strict {
-			mode = diag.Lenient
-		}
-		cache, cerr := openCache(cfg, nil)
-		if cerr != nil {
-			fmt.Fprintln(os.Stderr, "bplane:", cerr)
-			os.Exit(1)
-		}
-		opts := filecheck.Options{Mode: mode, Jobs: cfg.jobs, Shards: cfg.shards, Stream: *stream, Cache: cache}
-		if err := filecheck.FilesOpts(os.Stdout, flag.Args(), opts); err != nil {
+		if err := runCheck(cfg, flag.Args(), *lenient || !*strict, *stream); err != nil {
 			fmt.Fprintln(os.Stderr, "bplane:", err)
 			os.Exit(1)
 		}
@@ -96,39 +83,46 @@ func openCache(cfg config, reg *obs.Registry) (*memo.Cache, error) {
 	return nil, nil
 }
 
+// runCheck vets the argument files. The cache's hit/miss counters land in
+// the same registry -metrics is written from — the -check path used to
+// open the cache with a nil registry, which silently dropped memo.hits/
+// memo.misses in exactly the mode the CI cold-vs-warm gate audits.
+func runCheck(cfg config, files []string, lenient, stream bool) error {
+	var rec *obs.Recorder
+	if cfg.metricsFile != "" {
+		rec = obs.New(nil)
+	}
+	cache, cerr := openCache(cfg, rec.Metrics())
+	if cerr != nil {
+		return cerr
+	}
+	req := serve.CheckRequest{Files: files, Lenient: lenient, Jobs: cfg.jobs, Shards: cfg.shards, Stream: stream}
+	err := serve.Check(context.Background(), os.Stdout, req, cache)
+	if cfg.metricsFile != "" {
+		if werr := rec.WriteMetricsFile(cfg.metricsFile); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
 func run(cfg config) error {
-	tools := backplane.AllTools()
-	if cfg.tool != "" {
-		var sel []backplane.ToolDialect
-		for _, t := range tools {
-			if t.Name == cfg.tool {
-				sel = append(sel, t)
-			}
-		}
-		if len(sel) == 0 {
-			return fmt.Errorf("unknown tool %q", cfg.tool)
-		}
-		tools = sel
-	}
-	gen := func() (*phys.Design, *floorplan.Floorplan, error) {
-		return workgen.PhysDesign(workgen.PhysOptions{
-			Cells: cfg.cells, Seed: cfg.seed, CriticalNets: 3, Keepouts: 1})
-	}
-	// Each tool's flow traces into a private child recorder on its own
-	// virtual clock; the children merge in tool order, so the trace is
-	// byte-identical at every -j.
+	// The flow fan-out traces into rec; the cache registers its hit/miss
+	// counters in the same registry the -metrics file is written from, so
+	// warm runs are auditable.
 	var rec *obs.Recorder
 	if cfg.traceFile != "" || cfg.metricsFile != "" {
 		rec = obs.New(nil)
 	}
-	// The cache registers its hit/miss counters in the same registry the
-	// -metrics file is written from, so warm runs are auditable.
 	cache, err := openCache(cfg, rec.Metrics())
 	if err != nil {
 		return err
 	}
-	results, err := backplane.RunFlowsObserved(gen, tools, 5, cfg.roundTrip, rec,
-		par.Workers(cfg.jobs), par.Shards(cfg.shards), par.Cache(cache))
+	req := serve.TranslateRequest{
+		Cells: cfg.cells, Seed: cfg.seed, Tool: cfg.tool, Loss: cfg.printLoss,
+		Jobs: cfg.jobs, Shards: cfg.shards, RoundTrip: cfg.roundTrip,
+	}
+	err = serve.Translate(context.Background(), os.Stdout, req, rec, cache)
 	if err != nil && !cfg.roundTrip {
 		return err
 	}
@@ -142,47 +136,6 @@ func run(cfg config) error {
 			if werr := rec.WriteMetricsFile(cfg.metricsFile); werr != nil {
 				return werr
 			}
-		}
-	}
-	fmt.Printf("%-8s %6s %10s %8s %8s %6s %12s %10s\n",
-		"tool", "lost", "degraded", "HPWL", "wirelen", "vias", "violations", "unrouted")
-	for _, res := range results {
-		if res.Err != nil {
-			fmt.Printf("%-8s FAILED: %v\n", res.Tool, res.Err)
-			continue
-		}
-		var dropped, degraded int
-		for _, it := range res.Loss.Items {
-			if it.Kind == backplane.LossDropped {
-				dropped++
-			} else {
-				degraded++
-			}
-		}
-		fmt.Printf("%-8s %6d %10d %8d %8d %6d %12d %10d\n",
-			res.Tool, dropped, degraded, res.Place.FinalHPWL,
-			res.Route.Wirelength, res.Route.Vias, len(res.Violations), len(res.Route.Failed))
-		if cfg.printLoss {
-			for _, it := range res.Loss.Items {
-				fmt.Println("   ", it)
-			}
-			for _, v := range res.Violations {
-				fmt.Println("    AUDIT:", v)
-			}
-		}
-	}
-	if merged := backplane.MergeLoss(results); len(results) > 1 && len(merged) > 0 {
-		fmt.Printf("\nconstraint loss by class (per tool: ")
-		for i, res := range results {
-			if i > 0 {
-				fmt.Print(" ")
-			}
-			fmt.Print(res.Tool)
-		}
-		fmt.Println(")")
-		for _, cl := range merged {
-			fmt.Printf("  %-14s dropped=%-3d degraded=%-3d per-tool=%v\n",
-				cl.Class, cl.Dropped, cl.Degraded, cl.PerTool)
 		}
 	}
 	// With -roundtrip a gate failure was printed per tool above; still exit

@@ -37,13 +37,21 @@ func main() {
 	}
 }
 
-func run(jobs int, cpuprofile, memprofile, traceFile, metricsFile string, useCache bool, cacheDir string, ids []string) error {
+func run(jobs int, cpuprofile, memprofile, traceFile, metricsFile string, useCache bool, cacheDir string, ids []string) (err error) {
 	if cpuprofile != "" {
-		f, err := os.Create(cpuprofile)
-		if err != nil {
-			return err
+		f, cerr := os.Create(cpuprofile)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		// Close is checked, not deferred-and-dropped: the profile flushes
+		// at StopCPUProfile, and a short write or full disk can surface
+		// only at Close — a truncated profile with exit 0 is worse than
+		// no profile.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return err
 		}
@@ -95,6 +103,9 @@ func writeMemProfile(path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return pprof.WriteHeapProfile(f)
+	werr := pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

@@ -7,17 +7,19 @@
 // everything not downstream of a permanent failure, and prints the
 // partial-failure summary; -retries arms a per-step retry policy against
 // the injected faults. -trace and -metrics dump the deterministic span
-// trace and metric registry driven by the engine's virtual clock.
+// trace and metric registry driven by the engine's virtual clock. The run
+// itself lives in internal/serve — the same entry point the interop
+// daemon exposes as /v1/flow — so a daemon response and this command's
+// stdout are byte-identical by construction.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"cadinterop/internal/fault"
-	"cadinterop/internal/obs"
-	"cadinterop/internal/workflow"
+	"cadinterop/internal/serve"
 )
 
 // config carries the command's flag settings into run.
@@ -51,206 +53,27 @@ func main() {
 	}
 }
 
-// applyRetry arms every step of the template — and recursively every
-// sub-flow step — with the same retry policy.
-func applyRetry(tpl *workflow.Template, p workflow.RetryPolicy) {
-	for _, s := range tpl.Steps {
-		s.Retry = p
-		if s.SubFlow != nil {
-			applyRetry(s.SubFlow, p)
-		}
-	}
-}
-
 func run(cfg config) error {
-	var store workflow.DataStore
-	switch cfg.storeKind {
-	case "mem":
-		store = workflow.NewMemStore()
-	case "versioned":
-		store = workflow.NewVersionedStore()
-	default:
-		return fmt.Errorf("unknown store %q", cfg.storeKind)
-	}
-	var inj *fault.Injector
-	if cfg.faultSpec != "" {
-		var err error
-		if inj, err = fault.ParseSpec(cfg.faultSpec); err != nil {
-			return err
-		}
-	}
-	blockNames := make([]string, cfg.blocks)
-	for i := range blockNames {
-		blockNames[i] = fmt.Sprintf("blk%02d", i)
-	}
-	sub := &workflow.Template{Name: "blockflow", Steps: []*workflow.StepDef{
-		{Name: "rtl", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
-			c.Data().Put("rtl:"+c.Block, "module "+c.Block)
-			return 0
-		}}},
-		{Name: "synth", Action: workflow.FuncAction{Language: "tcl", Fn: func(c *workflow.Ctx) int {
-			c.Data().Put("netlist:"+c.Block, "gates for "+c.Block)
-			return 0
-		}}, StartAfter: []string{"rtl"}},
-		{Name: "verify", Action: workflow.FuncAction{Language: "perl", Fn: func(c *workflow.Ctx) int {
-			if _, _, ok := c.Data().Get("netlist:" + c.Block); !ok {
-				return 1
-			}
-			return 0
-		}}, StartAfter: []string{"synth"}},
-	}}
-	tpl := &workflow.Template{Name: "tapeout", Steps: []*workflow.StepDef{
-		{Name: "plan", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
-			c.Data().Put("floorplan", "rev1")
-			c.SetVar("floorplan.rev", "1")
-			return 0
-		}}, Outputs: []string{"floorplan"}},
-		{Name: "blocks", SubFlow: sub, StartAfter: []string{"plan"}},
-		{Name: "assemble", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int { return 0 }},
-			StartAfter: []string{"blocks"},
-			Inputs:     []workflow.MaturityCheck{{Item: "floorplan", Exists: true}}},
-		{Name: "signoff", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int { return 0 }},
-			StartAfter: []string{"assemble"}, Permissions: []string{"manager"}},
-	}}
-	if cfg.retries > 1 {
-		applyRetry(tpl, workflow.RetryPolicy{MaxAttempts: cfg.retries, Backoff: 2, AttemptTimeout: 16})
-	}
-	in, err := workflow.Instantiate(tpl, store, blockNames)
-	if err != nil {
-		return err
-	}
-	in.Faults = inj
-	fmt.Printf("instantiated %q: %d tasks over %d blocks (store: %s)\n",
-		tpl.Name, len(in.Tasks), cfg.blocks, cfg.storeKind)
-	if cfg.printDot {
-		fmt.Print(in.DOT(tpl.Name))
-		return nil
+	req := serve.FlowRequest{
+		Blocks: cfg.blocks, Store: cfg.storeKind, Events: cfg.printEvents,
+		Dot: cfg.printDot, Rework: &cfg.rework, Faults: cfg.faultSpec, Retries: cfg.retries,
 	}
 	// The recorder runs on the instance's own virtual clock, so the trace
 	// and metrics files are byte-identical for identical flag settings.
-	var rec *obs.Recorder
-	var root obs.SpanID
-	if cfg.traceFile != "" || cfg.metricsFile != "" {
-		rec = obs.New(in)
-		root = rec.Start(0, "flowrun")
-		in.Observe(rec, root)
-	}
-	if inj != nil {
-		if err := runWithFaults(in, cfg, inj); err != nil {
-			return err
-		}
-		return writeObs(rec, root, cfg)
-	}
-	if err := in.Run("engineer"); err != nil {
+	withObs := cfg.traceFile != "" || cfg.metricsFile != ""
+	rec, err := serve.Flow(context.Background(), os.Stdout, req, withObs)
+	if err != nil {
 		return err
 	}
-	if err := in.Run("manager"); err != nil {
-		return err
-	}
-	fmt.Printf("first pass complete: %v\n", statusLine(in))
-
-	if cfg.rework {
-		if err := in.Reset("plan", "engineer"); err != nil {
-			return err
-		}
-		if err := in.RunTask("plan", "engineer"); err != nil {
-			return err
-		}
-		for _, n := range in.Notifications {
-			fmt.Println("NOTIFY:", n)
-		}
-		if err := in.Run("engineer"); err != nil {
-			return err
-		}
-		if err := in.Run("manager"); err != nil {
-			return err
-		}
-		fmt.Printf("after rework: %v\n", statusLine(in))
-	}
-
-	finish(in, cfg.printEvents, store)
-	return writeObs(rec, root, cfg)
-}
-
-// writeObs ends the root span and lands the trace and metrics files named
-// by -trace / -metrics. No-op when observability was never attached.
-func writeObs(rec *obs.Recorder, root obs.SpanID, cfg config) error {
-	if rec == nil {
-		return nil
-	}
-	rec.End(root)
 	if cfg.traceFile != "" {
-		if err := rec.WriteTraceFile(cfg.traceFile); err != nil {
-			return err
+		if werr := rec.WriteTraceFile(cfg.traceFile); werr != nil {
+			return werr
 		}
 	}
 	if cfg.metricsFile != "" {
-		if err := rec.WriteMetricsFile(cfg.metricsFile); err != nil {
-			return err
+		if werr := rec.WriteMetricsFile(cfg.metricsFile); werr != nil {
+			return werr
 		}
 	}
 	return nil
-}
-
-// runWithFaults drives the instance in continue-on-error mode: every task
-// not downstream of a permanently failed one completes, and the rest come
-// back as a partial-failure summary instead of an abort.
-func runWithFaults(in *workflow.Instance, cfg config, inj *fault.Injector) error {
-	in.RunContinue("engineer")
-	sum := in.RunContinue("manager")
-	fmt.Printf("first pass (faults %s): %s\n", inj.Spec(), sum)
-	printDamage(in, sum)
-
-	if cfg.rework && in.Tasks["plan"].State == workflow.Done {
-		if err := in.Reset("plan", "engineer"); err != nil {
-			return err
-		}
-		if err := in.RunTask("plan", "engineer"); err != nil {
-			return err
-		}
-		for _, n := range in.Notifications {
-			fmt.Println("NOTIFY:", n)
-		}
-		in.RunContinue("engineer")
-		sum = in.RunContinue("manager")
-		fmt.Printf("after rework: %s\n", sum)
-		printDamage(in, sum)
-	}
-
-	finish(in, cfg.printEvents, in.Data)
-	return nil
-}
-
-// printDamage lists failed tasks and blocked-task reasons in task order.
-func printDamage(in *workflow.Instance, sum *workflow.RunSummary) {
-	for _, name := range sum.Failed {
-		t := in.Tasks[name]
-		fmt.Printf("FAILED:  %-26s status %d after %d attempt(s)\n", name, t.Status, t.Attempts)
-	}
-	for _, name := range in.TaskNames() {
-		if why, ok := sum.Blocked[name]; ok {
-			fmt.Printf("BLOCKED: %-26s %s\n", name, why)
-		}
-	}
-}
-
-// finish prints the metrics tail shared by both run modes.
-func finish(in *workflow.Instance, printEvents bool, store workflow.DataStore) {
-	m := workflow.CollectMetrics(in)
-	fmt.Println("metrics:", m.Summary())
-	fmt.Println("bottlenecks:", m.Bottlenecks(3))
-	if printEvents {
-		for _, e := range in.Events {
-			fmt.Printf("t=%-4d %-28s %-8s %s\n", e.Tick, e.Task, e.Kind, e.Msg)
-		}
-	}
-	if vs, ok := store.(*workflow.VersionedStore); ok {
-		fmt.Println("data history:", vs.History())
-	}
-}
-
-func statusLine(in *workflow.Instance) string {
-	s := in.Status()
-	return fmt.Sprintf("done=%d failed=%d pending=%d complete=%v",
-		s[workflow.Done], s[workflow.Failed], s[workflow.Pending], in.Complete())
 }

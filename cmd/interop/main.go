@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -12,9 +13,8 @@ import (
 	"strings"
 
 	"cadinterop/internal/core"
-	"cadinterop/internal/diag"
-	"cadinterop/internal/filecheck"
 	"cadinterop/internal/memo"
+	"cadinterop/internal/serve"
 	"cadinterop/internal/workflow"
 )
 
@@ -40,10 +40,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "interop: -check needs file arguments")
 			os.Exit(2)
 		}
-		mode := diag.Strict
-		if *lenient || !*strict {
-			mode = diag.Lenient
-		}
+		// The vet itself is serve.Check — the entry point the interop
+		// daemon exposes as /v1/check — so daemon responses and this
+		// command's stdout are byte-identical by construction.
 		var cache *memo.Cache
 		if *cacheDir != "" {
 			var err error
@@ -54,8 +53,11 @@ func main() {
 		} else if *useCache {
 			cache = memo.New(nil)
 		}
-		opts := filecheck.Options{Mode: mode, Jobs: *jobs, Shards: *shards, Stream: *stream, Cache: cache}
-		if err := filecheck.FilesOpts(os.Stdout, flag.Args(), opts); err != nil {
+		req := serve.CheckRequest{
+			Files: flag.Args(), Lenient: *lenient || !*strict,
+			Jobs: *jobs, Shards: *shards, Stream: *stream,
+		}
+		if err := serve.Check(context.Background(), os.Stdout, req, cache); err != nil {
 			fmt.Fprintln(os.Stderr, "interop:", err)
 			os.Exit(1)
 		}

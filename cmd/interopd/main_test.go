@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"cadinterop/internal/serve"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its
+// address, a cancel that triggers the graceful drain, and the channel
+// carrying daemon's return value.
+func startDaemon(t *testing.T, cfg serve.Config) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	var logs bytes.Buffer
+	go func() { done <- daemon(ctx, cfg, ln, &logs) }()
+	return ln.Addr().String(), cancel, done
+}
+
+func TestDaemonClientDrain(t *testing.T) {
+	addr, cancel, done := startDaemon(t, serve.Config{Workers: 2})
+
+	// A client flow request prints exactly the CLI's stdout and exits 0.
+	var out, errw bytes.Buffer
+	if code := client(addr, "/v1/flow", "", `{"blocks":2}`, &out, &errw); code != 0 {
+		t.Fatalf("client exit %d, stderr %q", code, errw.String())
+	}
+	var want bytes.Buffer
+	req := serve.FlowRequest{Blocks: 2}
+	if _, err := serve.Flow(context.Background(), &want, req.WithDefaults(), false); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != want.String() {
+		t.Errorf("daemon output differs from direct run:\n--- daemon\n%s--- direct\n%s", out.String(), want.String())
+	}
+
+	// Debug endpoints are reachable through the client's GET mode.
+	out.Reset()
+	if code := client(addr, "", "/debug/metrics", "", &out, &errw); code != 0 {
+		t.Fatalf("metrics exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "serve.flow.served") {
+		t.Errorf("metrics missing serve.flow.served:\n%s", out.String())
+	}
+
+	// An engine error surfaces as the CLI exit status, not a transport error.
+	out.Reset()
+	errw.Reset()
+	if code := client(addr, "/v1/translate", "", `{"tool":"nope"}`, &out, &errw); code != 1 {
+		t.Errorf("bad tool: exit %d, want 1 (stderr %q)", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "unknown tool") {
+		t.Errorf("stderr %q missing engine error", errw.String())
+	}
+
+	// Cancel = SIGTERM: the daemon drains and returns nil.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("drain returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}
+
+func TestClientConnectionRefused(t *testing.T) {
+	// A port from a just-closed listener: nothing is serving there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	var out, errw bytes.Buffer
+	if code := client(addr, "/v1/flow", "", "{}", &out, &errw); code != 2 {
+		t.Errorf("exit %d, want 2 for transport failure", code)
+	}
+}

@@ -13,20 +13,20 @@
 //
 // With -gen N the tool instead generates an N-instance demonstration
 // workload (design, targets and maps) and migrates that.
+//
+// The migration itself lives in internal/serve — the same entry point the
+// interop daemon exposes as /v1/migrate — so a daemon response and this
+// command's stdout are byte-identical by construction.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 
-	"cadinterop/internal/migrate"
-	"cadinterop/internal/netlist"
-	"cadinterop/internal/schematic"
-	"cadinterop/internal/schematic/cd"
-	"cadinterop/internal/schematic/vl"
-	"cadinterop/internal/workgen"
+	"cadinterop/internal/serve"
 )
 
 func main() {
@@ -47,175 +47,25 @@ func main() {
 }
 
 func run(inFile, libFile, mapFile, outFile string, gen int, seed int64, verbose bool) error {
-	var (
-		design *schematic.Design
-		opts   migrate.Options
-	)
-	if gen > 0 {
-		w := workgen.Schematic(workgen.SchematicOptions{Instances: gen, Pages: 1 + gen/60, Seed: seed})
-		design = w.Design
-		opts = w.MigrateOptions()
-	} else {
-		if inFile == "" || libFile == "" || mapFile == "" {
-			return fmt.Errorf("need -in, -lib and -map (or -gen N)")
-		}
-		f, err := os.Open(inFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		design, err = vl.Read(f)
-		if err != nil {
-			return err
-		}
-		lf, err := os.Open(libFile)
-		if err != nil {
-			return err
-		}
-		defer lf.Close()
-		libDesign, err := cd.Read(lf, cd.ReadOptions{})
-		if err != nil {
-			return err
-		}
-		opts = migrate.Options{From: schematic.VL, To: schematic.CD}
-		for _, lib := range libDesign.Libraries {
-			opts.TargetLibs = append(opts.TargetLibs, lib)
-		}
-		if err := parseMapFile(mapFile, &opts); err != nil {
-			return err
-		}
-	}
-
-	out, rep, err := migrate.Migrate(design, opts)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("migrated %q: %d instances replaced, %d pins rerouted (%d ripped, %d added segments)\n",
-		design.Name, rep.ReplacedInstances, rep.ReroutedPins, rep.RippedSegments, rep.AddedSegments)
-	fmt.Printf("bus renames: %d, global renames: %d, property changes: %d, callbacks: %d\n",
-		rep.BusRenames, rep.GlobalRenames, rep.PropChanges, rep.CallbackRuns)
-	fmt.Printf("connectors added: %d, text adjusted: %d, geometric similarity: %.1f%%\n",
-		rep.ConnectorsAdded, rep.TextAdjusted, rep.GeometricSimilarity*100)
-	fmt.Printf("verification: %s\n", netlist.Summary(rep.Verification))
-	if rep.StructuralMatch != nil {
-		if *rep.StructuralMatch {
-			fmt.Println("structural second opinion: tops match up to renaming (naming fallout only)")
-		} else {
-			fmt.Println("structural second opinion: connectivity damaged")
-		}
-	}
-	if verbose {
-		for _, d := range rep.Verification {
-			fmt.Println("  ", d)
-		}
-	}
-	w := os.Stdout
+	req := serve.MigrateRequest{Gen: gen, Seed: seed, In: inFile, Lib: libFile, Map: mapFile, Verbose: verbose}
+	designW := io.Writer(os.Stdout)
+	var outF *os.File
 	if outFile != "" {
 		f, err := os.Create(outFile)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		outF = f
+		designW = f
 	}
-	if err := cd.Write(w, out); err != nil {
-		return err
-	}
-	if len(rep.Verification) != 0 {
-		return fmt.Errorf("verification found %d diffs", len(rep.Verification))
-	}
-	return nil
-}
-
-// parseMapFile loads SYM/GLOBAL/PROP/CALLBACK directives.
-func parseMapFile(path string, opts *migrate.Options) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	for ln, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		f := strings.Fields(line)
-		bad := func(msg string) error {
-			return fmt.Errorf("%s:%d: %s: %q", path, ln+1, msg, line)
-		}
-		switch f[0] {
-		case "SYM":
-			if len(f) < 3 {
-				return bad("SYM wants from and to")
-			}
-			from, err := parseKey(f[1])
-			if err != nil {
-				return bad(err.Error())
-			}
-			to, err := parseKey(f[2])
-			if err != nil {
-				return bad(err.Error())
-			}
-			m := migrate.SymbolMap{From: from, To: to, PinMap: map[string]string{}}
-			for _, pm := range f[3:] {
-				kv := strings.SplitN(pm, "=", 2)
-				if len(kv) != 2 {
-					return bad("bad pin map " + pm)
-				}
-				m.PinMap[kv[0]] = kv[1]
-			}
-			opts.Symbols = append(opts.Symbols, m)
-		case "GLOBAL":
-			if len(f) != 3 {
-				return bad("GLOBAL wants from and to")
-			}
-			if opts.GlobalMap == nil {
-				opts.GlobalMap = map[string]string{}
-			}
-			opts.GlobalMap[f[1]] = f[2]
-		case "PROP":
-			if len(f) < 3 {
-				return bad("PROP wants an action")
-			}
-			switch f[1] {
-			case "rename":
-				if len(f) != 4 {
-					return bad("PROP rename wants old and new")
-				}
-				opts.PropRules = append(opts.PropRules, migrate.PropRule{
-					Action: migrate.PropRename, Name: f[2], NewName: f[3]})
-			case "delete":
-				opts.PropRules = append(opts.PropRules, migrate.PropRule{
-					Action: migrate.PropDelete, Name: f[2]})
-			case "add":
-				if len(f) != 4 {
-					return bad("PROP add wants name and value")
-				}
-				opts.PropRules = append(opts.PropRules, migrate.PropRule{
-					Action: migrate.PropAdd, Name: f[2], NewValue: f[3]})
-			default:
-				return bad("unknown PROP action")
-			}
-		case "CALLBACK":
-			if len(f) != 3 {
-				return bad("CALLBACK wants prop name and script file")
-			}
-			script, err := os.ReadFile(f[2])
-			if err != nil {
-				return err
-			}
-			opts.Callbacks = append(opts.Callbacks, migrate.Callback{
-				PropName: f[1], Script: string(script)})
-		default:
-			return bad("unknown directive")
+	err := serve.Migrate(context.Background(), os.Stdout, designW, req, nil)
+	// Close is a real write on buffered filesystems: a short write or a
+	// full disk can surface only here, and a deferred Close would swallow
+	// it — the migrated design would be silently truncated with exit 0.
+	if outF != nil {
+		if cerr := outF.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}
-	return nil
-}
-
-func parseKey(s string) (schematic.SymbolKey, error) {
-	parts := strings.Split(s, ":")
-	if len(parts) != 3 {
-		return schematic.SymbolKey{}, fmt.Errorf("bad symbol key %q (want lib:cell:view)", s)
-	}
-	return schematic.SymbolKey{Lib: parts[0], Name: parts[1], View: parts[2]}, nil
+	return err
 }

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"cadinterop/internal/geom"
-	"cadinterop/internal/migrate"
 	"cadinterop/internal/schematic"
 	"cadinterop/internal/schematic/cd"
 	"cadinterop/internal/schematic/vl"
@@ -115,38 +114,13 @@ func TestRunArgErrors(t *testing.T) {
 	}
 }
 
-func TestParseMapFileErrors(t *testing.T) {
-	dir := t.TempDir()
-	cases := []struct{ name, text string }{
-		{"bad directive", "FROB x y\n"},
-		{"bad sym", "SYM onlyone\n"},
-		{"bad key", "SYM ab cd:ef:gh\n"},
-		{"bad pinmap", "SYM a:b:c d:e:f nopins\n"},
-		{"bad global", "GLOBAL onlyone\n"},
-		{"bad prop", "PROP frobnicate x\n"},
-		{"bad prop rename", "PROP rename onlyold\n"},
-		{"bad callback", "CALLBACK propname\n"},
-	}
-	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			p := filepath.Join(dir, "m.txt")
-			if err := os.WriteFile(p, []byte(c.text), 0o644); err != nil {
-				t.Fatal(err)
-			}
-			var opts migrate.Options
-			if err := parseMapFile(p, &opts); err == nil {
-				t.Errorf("accepted %q", c.text)
-			}
-		})
-	}
-	// Comments and blanks are fine.
-	p := filepath.Join(dir, "ok.txt")
-	os.WriteFile(p, []byte("# comment\n\nGLOBAL a b\n"), 0o644)
-	var opts migrate.Options
-	if err := parseMapFile(p, &opts); err != nil {
-		t.Errorf("clean file rejected: %v", err)
-	}
-	if opts.GlobalMap["a"] != "b" {
-		t.Errorf("GlobalMap = %v", opts.GlobalMap)
+// TestRunOutputCloseError: the -out file's Close error must surface as a
+// non-zero exit, not vanish in a defer — a full disk often only reports
+// at Close. A directory target makes os.Create itself fail; the
+// close-path helper test lives with serve.Migrate's writer contract in
+// internal/serve.
+func TestRunOutputCloseError(t *testing.T) {
+	if err := run("", "", "", t.TempDir(), 10, 42, false); err == nil {
+		t.Error("unwritable -out target accepted")
 	}
 }

@@ -194,16 +194,33 @@ func trailerFor(payload []byte) string {
 }
 
 // writeEntry persists payload+trailer atomically; errors are swallowed
-// (the in-memory entry already exists).
+// (the in-memory entry already exists). The temp file name comes from
+// os.CreateTemp, never a fixed "path.tmp": concurrent writers of the same
+// key — daemon requests sharing one cache dir, or two -cache-dir processes
+// — must each stage into a private file, or their truncate/rename pairs
+// can interleave and publish a torn entry. With private temp files the
+// final rename is the only shared step, and rename is atomic: readers see
+// either a complete old entry or a complete new one.
 func writeEntry(path string, payload []byte) {
 	data := make([]byte, 0, len(payload)+96)
 	data = append(data, payload...)
 	data = append(data, trailerFor(payload)...)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
 		return
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmp, 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
 		os.Remove(tmp)
 	}
 }

@@ -1,9 +1,12 @@
 package memo
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"cadinterop/internal/obs"
@@ -145,6 +148,102 @@ func TestDiskCorruptionIsMiss(t *testing.T) {
 	}
 	if v, ok := fresh.Get(k); !ok || string(v) != "precious payload bytes" {
 		t.Errorf("restored entry Get = %q, %v; want hit", v, ok)
+	}
+}
+
+// TestConcurrentWritersOneKey hammers a single key from N goroutines
+// spread over independent Cache instances sharing one directory — the
+// daemon picture (many requests, one cache dir) and the two-process
+// `-cache-dir` picture at once. Writers race distinct payloads for the
+// same entry file; readers poll it the whole time. With a fixed
+// `path+".tmp"` temp name two writers could interleave truncate/rename
+// and publish a torn file; with per-writer temp files every observed
+// read must pass the integrity trailer and equal one of the payloads
+// that was actually written.
+func TestConcurrentWritersOneKey(t *testing.T) {
+	dir := t.TempDir()
+	k := Key{Content: "contended", Tool: "route", Options: "fp"}
+	const writers, rounds = 8, 40
+
+	payloads := make([][]byte, writers)
+	valid := make(map[string]bool, writers)
+	for i := range payloads {
+		payloads[i] = []byte(strings.Repeat(fmt.Sprintf("writer %d payload\n", i), i+1))
+		valid[string(payloads[i])] = true
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	var served atomic.Int64
+	// Readers: fresh caches so every Get goes to disk, not memory.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := NewDir(dir, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := c.Get(k); ok {
+					served.Add(1)
+					if !valid[string(v)] {
+						torn.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	var wwg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wwg.Add(1)
+		go func(i int) {
+			defer wwg.Done()
+			for n := 0; n < rounds; n++ {
+				c, err := NewDir(dir, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				c.Put(k, payloads[i])
+			}
+		}(i)
+	}
+	wwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	if torn.Load() != 0 {
+		t.Fatalf("%d torn reads served past the integrity trailer", torn.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no reads overlapped the writes; test proved nothing")
+	}
+	// After the dust settles the entry must verify and hold a real payload,
+	// and no temp files may be left behind.
+	c, err := NewDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.Get(k)
+	if !ok || !valid[string(v)] {
+		t.Fatalf("final Get = %q, %v; want one of the written payloads", v, ok)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("stale temp file left behind: %s", e.Name())
+		}
 	}
 }
 

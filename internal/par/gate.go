@@ -1,0 +1,121 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+
+	"cadinterop/internal/obs"
+)
+
+// ErrShed reports that an admission Gate refused a request outright:
+// every worker slot was busy and the bounded wait queue was full. The
+// caller should shed the whole unit of work (the serve layer maps it to
+// HTTP 503 + Retry-After) rather than wait — by construction nothing
+// was started, so nothing needs unwinding.
+var ErrShed = errors.New("par: admission queue full")
+
+// Gate is the long-lived counterpart of this package's one-shot pools: a
+// global worker budget with a bounded wait queue, for callers that admit
+// independent units of work over time (daemon requests) instead of
+// fanning out a fixed index range. Admission is strictly
+// accept-or-refuse: a unit either gets a slot (possibly after a bounded
+// wait), or is refused before any of its work starts. That is the
+// load-shedding policy DESIGN.md §5i requires — over-budget requests are
+// turned away whole; they are never half-run, so shared state (the memo
+// cache, the obs registries) only ever sees completed units.
+//
+// All methods are safe for concurrent use. The zero Gate is not usable;
+// construct with NewGate.
+type Gate struct {
+	slots chan struct{} // capacity = worker budget; a send is an admission
+	queue chan struct{} // capacity = wait-queue bound; a send is a waiter
+	n     int
+
+	cAdmitted, cQueued, cShed, cCanceled *obs.Counter
+	gInflight                            *obs.Gauge
+}
+
+// NewGate returns a Gate with a budget of workers slots and a wait queue
+// bounded at queue waiters. workers <= 0 defaults to GOMAXPROCS; queue <
+// 0 defaults to workers (one queued unit per slot), and queue == 0 means
+// shed immediately whenever every slot is busy. Counters land in reg
+// (nil = disabled): par.gate.admitted, par.gate.queued, par.gate.shed,
+// par.gate.canceled, and the par.gate.inflight gauge whose max is the
+// high-water mark of concurrently held slots.
+func NewGate(workers, queue int, reg *obs.Registry) *Gate {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue < 0 {
+		queue = workers
+	}
+	return &Gate{
+		slots:     make(chan struct{}, workers),
+		queue:     make(chan struct{}, queue),
+		n:         workers,
+		cAdmitted: reg.Counter("par.gate.admitted"),
+		cQueued:   reg.Counter("par.gate.queued"),
+		cShed:     reg.Counter("par.gate.shed"),
+		cCanceled: reg.Counter("par.gate.canceled"),
+		gInflight: reg.Gauge("par.gate.inflight"),
+	}
+}
+
+// Workers reports the slot budget the gate resolved to.
+func (g *Gate) Workers() int { return g.n }
+
+// Acquire claims one worker slot. If a slot is free it is granted
+// immediately. Otherwise the caller joins the bounded wait queue; if the
+// queue too is full, Acquire refuses with ErrShed without blocking. A
+// queued caller waits until a slot frees or ctx is done, whichever comes
+// first — a deadline spent queueing returns ctx.Err() and releases the
+// queue position, so a stale request can never occupy a slot.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted()
+		return nil
+	default:
+	}
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		g.cShed.Inc()
+		return ErrShed
+	}
+	g.cQueued.Inc()
+	defer func() { <-g.queue }()
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted()
+		return nil
+	case <-ctx.Done():
+		g.cCanceled.Inc()
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot claimed by a successful Acquire. Releasing
+// without holding a slot is a programming error and panics.
+func (g *Gate) Release() {
+	select {
+	case <-g.slots:
+		g.gInflight.Set(int64(len(g.slots)))
+	default:
+		panic("par: Gate.Release without Acquire")
+	}
+}
+
+// InFlight reports the slots currently held.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Waiting reports the callers currently queued for a slot.
+func (g *Gate) Waiting() int { return len(g.queue) }
+
+// admitted records a granted slot on the counters and the in-flight
+// gauge (whose max watermark is the pool's high-water mark).
+func (g *Gate) admitted() {
+	g.cAdmitted.Inc()
+	g.gInflight.Set(int64(len(g.slots)))
+}

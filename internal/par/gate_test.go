@@ -1,0 +1,181 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cadinterop/internal/obs"
+)
+
+// TestGateImmediateAdmission: free slots are granted without queueing.
+func TestGateImmediateAdmission(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := NewGate(2, 0, reg)
+	if g.Workers() != 2 {
+		t.Fatalf("Workers = %d, want 2", g.Workers())
+	}
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	if v := reg.Counter("par.gate.admitted").Value(); v != 2 {
+		t.Fatalf("admitted = %d, want 2", v)
+	}
+	g.Release()
+	g.Release()
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+}
+
+// TestGateShedsWhenFull: with all slots busy and a zero queue, Acquire
+// refuses immediately with ErrShed and counts the refusal.
+func TestGateShedsWhenFull(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := NewGate(1, 0, reg)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("Acquire over budget = %v, want ErrShed", err)
+	}
+	if v := reg.Counter("par.gate.shed").Value(); v != 1 {
+		t.Fatalf("shed = %d, want 1", v)
+	}
+	g.Release()
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire after release = %v", err)
+	}
+	g.Release()
+}
+
+// TestGateQueueAdmitsInBound: a full gate with queue capacity parks the
+// caller until a slot frees instead of shedding.
+func TestGateQueueAdmitsInBound(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := NewGate(1, 1, reg)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(context.Background()) }()
+	// Wait for the second caller to be queued, then free the slot.
+	for i := 0; g.Waiting() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if g.Waiting() != 1 {
+		t.Fatal("second caller never queued")
+	}
+	g.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued Acquire = %v, want admission", err)
+	}
+	g.Release()
+	if v := reg.Counter("par.gate.queued").Value(); v != 1 {
+		t.Fatalf("queued = %d, want 1", v)
+	}
+}
+
+// TestGateCanceledWhileQueued: a deadline spent queueing returns the
+// context error and releases the queue position.
+func TestGateCanceledWhileQueued(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := NewGate(1, 1, reg)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(ctx) }()
+	for i := 0; g.Waiting() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Acquire = %v, want context.Canceled", err)
+	}
+	if g.Waiting() != 0 {
+		t.Fatal("canceled waiter left its queue position occupied")
+	}
+	if v := reg.Counter("par.gate.canceled").Value(); v != 1 {
+		t.Fatalf("canceled = %d, want 1", v)
+	}
+	g.Release()
+}
+
+// TestGateReleaseWithoutAcquirePanics: the misuse is loud, not silent.
+func TestGateReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	NewGate(1, 0, nil).Release()
+}
+
+// TestGateConcurrentAccounting hammers a small gate from many goroutines
+// and checks the books: every outcome is admitted, shed, or canceled;
+// admitted outcomes reconcile exactly with the counter; the budget was
+// never exceeded (observed via the gate's own in-flight high-water
+// mark); and after the storm the gate is empty and reusable.
+func TestGateConcurrentAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	const workers, queue, callers = 3, 2, 64
+	g := NewGate(workers, queue, reg)
+	var admitted, shed atomic.Int64
+	var over atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := g.Acquire(context.Background())
+			switch {
+			case err == nil:
+				if n := g.InFlight(); n > workers {
+					over.Add(1)
+				}
+				admitted.Add(1)
+				g.Release()
+			case errors.Is(err, ErrShed):
+				shed.Add(1)
+			default:
+				t.Errorf("unexpected Acquire error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if over.Load() != 0 {
+		t.Fatalf("budget exceeded %d times", over.Load())
+	}
+	if admitted.Load()+shed.Load() != callers {
+		t.Fatalf("outcomes = %d admitted + %d shed, want %d total",
+			admitted.Load(), shed.Load(), callers)
+	}
+	if v := reg.Counter("par.gate.admitted").Value(); v != admitted.Load() {
+		t.Fatalf("admitted counter %d != observed %d", v, admitted.Load())
+	}
+	if v := reg.Counter("par.gate.shed").Value(); v != shed.Load() {
+		t.Fatalf("shed counter %d != observed %d", v, shed.Load())
+	}
+	if hw := reg.Gauge("par.gate.inflight").Max(); hw > workers {
+		t.Fatalf("in-flight high-water %d exceeds budget %d", hw, workers)
+	}
+	if g.InFlight() != 0 || g.Waiting() != 0 {
+		t.Fatalf("gate not drained: inflight=%d waiting=%d", g.InFlight(), g.Waiting())
+	}
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("gate unusable after storm: %v", err)
+	}
+	g.Release()
+}

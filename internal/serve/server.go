@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"cadinterop/internal/memo"
+	"cadinterop/internal/obs"
+	"cadinterop/internal/par"
+)
+
+// Config sizes one Server.
+type Config struct {
+	// Workers is the global worker budget: at most this many requests
+	// execute engine work at once (0 = GOMAXPROCS).
+	Workers int
+	// Queue bounds the admission wait queue. -1 means one queued request
+	// per worker slot; 0 sheds the moment every slot is busy.
+	Queue int
+	// Deadline is the default per-request wall-clock deadline (0 = none);
+	// a request's deadline_ms field overrides it.
+	Deadline time.Duration
+	// CacheMem / CacheDir select the shared memo cache every request
+	// consults: in-memory, persistent under a directory, or (neither) off.
+	CacheMem bool
+	CacheDir string
+	// Traces is how many recent per-request traces /debug/trace retains
+	// (0 = 32).
+	Traces int
+	// LogSize bounds the request log /debug/requests serves (0 = 1024).
+	LogSize int
+}
+
+// Response is the JSON body of every /v1 endpoint: the exact bytes the
+// corresponding CLI would print to stdout, the message it would print to
+// stderr, and its exit status.
+type Response struct {
+	Output string `json:"output"`
+	Error  string `json:"error,omitempty"`
+	Exit   int    `json:"exit"`
+}
+
+// RequestLog is one completed (or refused) request in the server's
+// bounded log: id in admission order, short endpoint name, HTTP status.
+type RequestLog struct {
+	ID       int64
+	Endpoint string
+	Status   int
+}
+
+// Server is the long-lived interop service: four engine endpoints
+// (/v1/translate, /v1/check, /v1/migrate, /v1/flow), debug introspection
+// (/debug/metrics, /debug/trace, /debug/requests), and /healthz. Every
+// request passes the admission gate before touching an engine; requests
+// the gate refuses are answered 503 + Retry-After with no work started,
+// so overload can never corrupt the shared cache or the registries.
+type Server struct {
+	cfg   Config
+	gate  *par.Gate
+	reg   *obs.Registry
+	cache *memo.Cache
+	mux   *http.ServeMux
+
+	mu     sync.Mutex
+	nextID int64
+	traces []traceEntry
+	log    []RequestLog
+}
+
+type traceEntry struct {
+	id  int64
+	ep  string
+	rec *obs.Recorder
+}
+
+// New builds a Server: one registry for server-lifetime metrics (request
+// outcomes, gate accounting, and the shared cache's hit/miss counters all
+// land there), one admission gate, one memo cache shared by every
+// request.
+func New(cfg Config) (*Server, error) {
+	if cfg.Traces <= 0 {
+		cfg.Traces = 32
+	}
+	if cfg.LogSize <= 0 {
+		cfg.LogSize = 1024
+	}
+	reg := obs.NewRegistry()
+	var cache *memo.Cache
+	if cfg.CacheDir != "" {
+		var err error
+		if cache, err = memo.NewDir(cfg.CacheDir, reg); err != nil {
+			return nil, err
+		}
+	} else if cfg.CacheMem {
+		cache = memo.New(reg)
+	}
+	s := &Server{
+		cfg:   cfg,
+		gate:  par.NewGate(cfg.Workers, cfg.Queue, reg),
+		reg:   reg,
+		cache: cache,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/translate", post(s, "translate",
+		func(ctx context.Context, w *bytes.Buffer, req TranslateRequest) (*obs.Recorder, error) {
+			rec := obs.New(nil)
+			root := rec.Start(0, "serve.translate")
+			err := Translate(ctx, w, req.WithDefaults(), rec, s.cache)
+			rec.End(root)
+			return rec, err
+		}))
+	s.mux.HandleFunc("/v1/check", post(s, "check",
+		func(ctx context.Context, w *bytes.Buffer, req CheckRequest) (*obs.Recorder, error) {
+			rec := obs.New(nil)
+			root := rec.Start(0, "serve.check")
+			rec.AttrInt(root, "files", int64(len(req.Files)))
+			err := Check(ctx, w, req, s.cache)
+			rec.End(root)
+			return rec, err
+		}))
+	s.mux.HandleFunc("/v1/migrate", post(s, "migrate",
+		func(ctx context.Context, w *bytes.Buffer, req MigrateRequest) (*obs.Recorder, error) {
+			rec := obs.New(nil)
+			root := rec.Start(0, "serve.migrate")
+			err := Migrate(ctx, w, w, req.WithDefaults(), s.cache)
+			rec.End(root)
+			return rec, err
+		}))
+	s.mux.HandleFunc("/v1/flow", post(s, "flow",
+		func(ctx context.Context, w *bytes.Buffer, req FlowRequest) (*obs.Recorder, error) {
+			return Flow(ctx, w, req.WithDefaults(), true)
+		}))
+	s.mux.HandleFunc("/debug/metrics", s.debugMetrics)
+	s.mux.HandleFunc("/debug/trace", s.debugTrace)
+	s.mux.HandleFunc("/debug/requests", s.debugRequests)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Gate exposes the admission gate (operational introspection and the
+// overload tests, which hold its slots to force deterministic shedding).
+func (s *Server) Gate() *par.Gate { return s.gate }
+
+// Metrics exposes the server-lifetime registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Cache exposes the shared memo cache (nil when caching is off).
+func (s *Server) Cache() *memo.Cache { return s.cache }
+
+// Requests snapshots the request log, oldest first.
+func (s *Server) Requests() []RequestLog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RequestLog(nil), s.log...)
+}
+
+// deadlined is implemented by every request struct: the per-request
+// deadline override in milliseconds (0 = server default).
+type deadlined interface{ deadlineMS() int64 }
+
+// post adapts one engine closure into an admission-gated HTTP handler.
+// The closure renders the CLI-identical output into its buffer and
+// returns the request's recorder for /debug/trace.
+func post[R deadlined](s *Server, ep string, run func(context.Context, *bytes.Buffer, R) (*obs.Recorder, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		s.count(ep, "requests")
+		var req R
+		if r.ContentLength != 0 {
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+				s.finishReq(ep, http.StatusBadRequest)
+				return
+			}
+		}
+		ctx := r.Context()
+		if d := requestDeadline(req.deadlineMS(), s.cfg.Deadline); d > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		// Admission: a slot, a bounded wait, or a clean refusal. Nothing
+		// below this line runs for a shed request.
+		if err := s.gate.Acquire(ctx); err != nil {
+			if errors.Is(err, par.ErrShed) {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "over budget: request shed, retry later", http.StatusServiceUnavailable)
+				s.count(ep, "shed")
+				s.finishReq(ep, http.StatusServiceUnavailable)
+			} else {
+				http.Error(w, "deadline expired while queued for admission", http.StatusGatewayTimeout)
+				s.count(ep, "timeout")
+				s.finishReq(ep, http.StatusGatewayTimeout)
+			}
+			return
+		}
+		defer s.gate.Release()
+		var buf bytes.Buffer
+		rec, err := run(ctx, &buf, req)
+		rec.Close()
+		s.keepTrace(ep, rec)
+		if err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			http.Error(w, "deadline exceeded at an engine stage boundary", http.StatusGatewayTimeout)
+			s.count(ep, "timeout")
+			s.finishReq(ep, http.StatusGatewayTimeout)
+			return
+		}
+		resp := Response{Output: buf.String()}
+		if err != nil {
+			resp.Error = err.Error()
+			resp.Exit = 1
+			s.count(ep, "errors")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+		s.count(ep, "served")
+		s.finishReq(ep, http.StatusOK)
+	}
+}
+
+// requestDeadline resolves the effective wall-clock deadline.
+func requestDeadline(overrideMS int64, def time.Duration) time.Duration {
+	if overrideMS > 0 {
+		return time.Duration(overrideMS) * time.Millisecond
+	}
+	return def
+}
+
+// count bumps the endpoint-scoped and server-global counters for one
+// outcome kind (requests, served, shed, timeout, errors).
+func (s *Server) count(ep, kind string) {
+	s.reg.Counter("serve." + kind).Inc()
+	s.reg.Counter("serve." + ep + "." + kind).Inc()
+}
+
+// finishReq appends one entry to the bounded request log.
+func (s *Server) finishReq(ep string, status int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.log = append(s.log, RequestLog{ID: s.nextID, Endpoint: ep, Status: status})
+	if len(s.log) > s.cfg.LogSize {
+		s.log = s.log[len(s.log)-s.cfg.LogSize:]
+	}
+}
+
+// keepTrace retains one request's recorder in the /debug/trace ring.
+func (s *Server) keepTrace(ep string, rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traces = append(s.traces, traceEntry{id: s.nextID + 1, ep: ep, rec: rec})
+	if len(s.traces) > s.cfg.Traces {
+		s.traces = s.traces[len(s.traces)-s.cfg.Traces:]
+	}
+}
+
+// debugMetrics renders the server-lifetime registry in the canonical
+// text metrics format: request outcomes, gate accounting, memo hit/miss.
+func (s *Server) debugMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reg.Write(w)
+}
+
+// debugTrace renders the retained per-request traces, oldest first, each
+// as its text span tree under a header line.
+func (s *Server) debugTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.mu.Lock()
+	entries := append([]traceEntry(nil), s.traces...)
+	s.mu.Unlock()
+	for _, e := range entries {
+		fmt.Fprintf(w, "== request %d %s ==\n", e.id, e.ep)
+		e.rec.WriteTree(w)
+	}
+}
+
+// debugRequests renders the request log, one "id endpoint status" line
+// per request, oldest first.
+func (s *Server) debugRequests(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, e := range s.Requests() {
+		fmt.Fprintf(w, "%d %s %d\n", e.ID, e.Endpoint, e.Status)
+	}
+}
