@@ -4,12 +4,12 @@
 # (DESIGN.md §5a). RACE_PKGS is computed, not hand-listed, so a new
 # par-importing package is race-gated automatically. RACE_EXTRA adds the
 # failure-path packages: fault's injector is drawn from concurrently,
-# workflow hosts the retry/fault engine, and memo's cache is shared
-# across fan-out workers.
+# workflow hosts the retry/fault engine, memo's cache is shared across
+# fan-out workers, and journal backs the daemon's request log.
 
 GO ?= go
 RACE_PKGS = $(shell $(GO) list -f '{{.ImportPath}} {{join .Deps " "}}' ./... | grep 'cadinterop/internal/par' | cut -d' ' -f1)
-RACE_EXTRA = cadinterop/internal/workflow cadinterop/internal/fault cadinterop/internal/obs cadinterop/internal/memo
+RACE_EXTRA = cadinterop/internal/workflow cadinterop/internal/fault cadinterop/internal/obs cadinterop/internal/memo cadinterop/internal/journal
 
 # Benchmarks aggregated into BENCH_PR7.json: the PR 2 sweep, the scale
 # trajectory (streaming interchange, end-to-end route, sharded batch
@@ -24,9 +24,10 @@ BENCH_COUNT ?= 5
 BENCH_OUT ?= BENCH_PR7.json
 BASELINE ?= BENCH_PR6.json
 
-# Parser packages with native fuzz targets and committed seed corpora
-# (testdata/fuzz/FuzzParse). FUZZTIME is per package.
-FUZZ_PKGS = ./internal/al ./internal/hdl ./internal/exchange ./internal/schematic/vl ./internal/schematic/cd
+# Packages with native fuzz targets and committed seed corpora
+# (testdata/fuzz/FuzzParse for the parsers, FuzzJournalReplay for the
+# WAL recovery path). FUZZTIME is per package.
+FUZZ_PKGS = ./internal/al ./internal/hdl ./internal/exchange ./internal/schematic/vl ./internal/schematic/cd ./internal/journal
 FUZZTIME ?= 10s
 
 # Coverage gate: aggregate statement coverage across ./internal/... and
@@ -75,13 +76,15 @@ cover:
 		if (t < $(COVER_OBS_MIN)) { print "FAIL: internal/obs coverage below $(COVER_OBS_MIN)%"; exit 1 } }' && \
 	rm -f $(COVER_OUT).obs
 
-# Fuzz smoke: every parser fuzz target runs FUZZTIME from its committed
-# corpus without crashing (DESIGN.md §5e). Not part of `check` — the
+# Fuzz smoke: every fuzz target runs FUZZTIME from its committed corpus
+# without crashing (DESIGN.md §5e, §5j). Not part of `check` — the
 # deterministic prefix/mutation sweeps cover the same contract there.
+# -fuzz 'Fuzz' matches the single target in each package (FuzzParse in
+# the parsers, FuzzJournalReplay in journal).
 fuzz:
 	@for pkg in $(FUZZ_PKGS); do \
 		echo "fuzz $$pkg"; \
-		$(GO) test -run '^$$' -fuzz 'FuzzParse' -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+		$(GO) test -run '^$$' -fuzz 'Fuzz' -fuzztime $(FUZZTIME) -parallel 1 $$pkg || exit 1; \
 	done
 
 bench:

@@ -11,6 +11,14 @@
 // itself lives in internal/serve — the same entry point the interop
 // daemon exposes as /v1/flow — so a daemon response and this command's
 // stdout are byte-identical by construction.
+//
+// -journal FILE appends every workflow state transition to a durable,
+// integrity-framed run journal as it happens; if the process dies
+// mid-run, -journal FILE -resume replays the journal (reconstructing
+// task states, retry counters, and the virtual clock) and continues from
+// the exact crash point, printing output byte-identical to an
+// uninterrupted run. On resume the run configuration comes from the
+// journal's own header, so no other flags need repeating.
 package main
 
 import (
@@ -33,6 +41,9 @@ type config struct {
 	retries     int
 	traceFile   string
 	metricsFile string
+	journalFile string
+	resume      bool
+	crashAfter  int
 }
 
 func main() {
@@ -46,6 +57,9 @@ func main() {
 	flag.IntVar(&cfg.retries, "retries", 0, "max attempts per step when faults are injected (0 = single attempt)")
 	flag.StringVar(&cfg.traceFile, "trace", "", "write the span trace to this file (.json = Chrome trace, .jsonl = JSON lines, else text tree)")
 	flag.StringVar(&cfg.metricsFile, "metrics", "", "write the metrics registry to this file as text")
+	flag.StringVar(&cfg.journalFile, "journal", "", "append every state transition to this durable run journal")
+	flag.BoolVar(&cfg.resume, "resume", false, "resume the run recorded in -journal from its crash point")
+	flag.IntVar(&cfg.crashAfter, "journal-crash", 0, "testing: kill the process (exit 137) after N journal appends")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "flowrun:", err)
@@ -57,6 +71,7 @@ func run(cfg config) error {
 	req := serve.FlowRequest{
 		Blocks: cfg.blocks, Store: cfg.storeKind, Events: cfg.printEvents,
 		Dot: cfg.printDot, Rework: &cfg.rework, Faults: cfg.faultSpec, Retries: cfg.retries,
+		Journal: cfg.journalFile, Resume: cfg.resume, JournalCrash: cfg.crashAfter,
 	}
 	// The recorder runs on the instance's own virtual clock, so the trace
 	// and metrics files are byte-identical for identical flag settings.

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -115,6 +120,94 @@ func TestRunGoldenTrace(t *testing.T) {
 	}
 	if !strings.Contains(metricsA, "counter workflow.retries") {
 		t.Errorf("metrics lack retry counter:\n%s", metricsA)
+	}
+}
+
+// TestHelperFlowrun is not a test: it is the subprocess body for the
+// crash-resume test below, running one journaled flowrun according to
+// FLOWRUN_* environment variables and exiting before the test framework
+// can print anything.
+func TestHelperFlowrun(t *testing.T) {
+	if os.Getenv("FLOWRUN_HELPER") != "1" {
+		t.Skip("subprocess helper")
+	}
+	cfg := base()
+	cfg.blocks = 2
+	cfg.faultSpec = "7:0.3"
+	cfg.retries = 3
+	cfg.journalFile = os.Getenv("FLOWRUN_JOURNAL")
+	cfg.metricsFile = os.Getenv("FLOWRUN_METRICS")
+	cfg.resume = os.Getenv("FLOWRUN_RESUME") == "1"
+	cfg.crashAfter, _ = strconv.Atoi(os.Getenv("FLOWRUN_CRASH"))
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "flowrun:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// flowrunHelper re-executes the test binary as a flowrun subprocess.
+func flowrunHelper(t *testing.T, journal, metrics string, resume bool, crash int) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperFlowrun")
+	cmd.Env = append(os.Environ(),
+		"FLOWRUN_HELPER=1",
+		"FLOWRUN_JOURNAL="+journal,
+		"FLOWRUN_METRICS="+metrics,
+		"FLOWRUN_CRASH="+strconv.Itoa(crash),
+	)
+	if resume {
+		cmd.Env = append(cmd.Env, "FLOWRUN_RESUME=1")
+	}
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if err != nil && errb.Len() > 0 {
+		t.Logf("subprocess stderr: %s", errb.String())
+	}
+	return out.String(), err
+}
+
+// TestRunCrashResume kills a journaled run mid-flight — a real process
+// death via the -journal-crash hook — then resumes it and requires
+// stdout and the metrics file to be byte-identical to an uninterrupted
+// reference run.
+func TestRunCrashResume(t *testing.T) {
+	dir := t.TempDir()
+	refMetrics := filepath.Join(dir, "m_ref.txt")
+	refOut, err := flowrunHelper(t, filepath.Join(dir, "ref.wal"), refMetrics, false, 0)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	wal := filepath.Join(dir, "run.wal")
+	crashOut, err := flowrunHelper(t, wal, filepath.Join(dir, "m_crash.txt"), false, 25)
+	var xerr *exec.ExitError
+	if !errors.As(err, &xerr) || xerr.ExitCode() != 137 {
+		t.Fatalf("crashing run: err = %v, want exit status 137", err)
+	}
+	if crashOut == refOut {
+		t.Fatal("crashed run somehow printed the full reference output")
+	}
+
+	resMetrics := filepath.Join(dir, "m_res.txt")
+	resOut, err := flowrunHelper(t, wal, resMetrics, true, 0)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if resOut != refOut {
+		t.Fatalf("resumed stdout differs from reference\n--- resumed ---\n%s\n--- reference ---\n%s", resOut, refOut)
+	}
+	a, err := os.ReadFile(refMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(resMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("resumed metrics differ from reference\n--- resumed ---\n%s\n--- reference ---\n%s", b, a)
 	}
 }
 

@@ -10,7 +10,11 @@
 //
 //	interopd -addr :8347 -j 4 -queue 8 -deadline 30s -cache-dir /var/cache/interop
 //
-// SIGTERM / interrupt drains in-flight requests before exiting.
+// SIGTERM / interrupt drains in-flight requests before exiting. With
+// -request-log FILE the request log behind /debug/requests is journaled
+// durably (integrity-framed, fsync'd per request) and replayed on
+// startup, so a restarted daemon still reports the traffic it served in
+// earlier lives.
 //
 // Client mode (used by the CI smoke job; no third-party tools needed):
 //
@@ -44,6 +48,7 @@ func main() {
 		cacheMem = flag.Bool("cache", false, "share an in-memory memo cache across requests")
 		cacheDir = flag.String("cache-dir", "", "persist the shared memo cache under this directory (implies -cache)")
 		traces   = flag.Int("traces", 0, "recent per-request traces retained for /debug/trace (0 = 32)")
+		reqLog   = flag.String("request-log", "", "persist the request log to this journal file and replay it on startup")
 		postPath = flag.String("post", "", "client mode: POST this path on -addr and print the response output")
 		body     = flag.String("body", "", "client mode: JSON request body for -post")
 		getPath  = flag.String("get", "", "client mode: GET this path on -addr and print the response body")
@@ -55,6 +60,7 @@ func main() {
 	cfg := serve.Config{
 		Workers: *workers, Queue: *queue, Deadline: *deadline,
 		CacheMem: *cacheMem, CacheDir: *cacheDir, Traces: *traces,
+		RequestLog: *reqLog,
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -76,6 +82,7 @@ func daemon(ctx context.Context, cfg serve.Config, ln net.Listener, logw io.Writ
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	srv := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

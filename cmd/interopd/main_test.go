@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"net"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -72,6 +73,74 @@ func TestDaemonClientDrain(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not drain")
+	}
+}
+
+// TestDaemonRequestLogSurvivesRestart: with -request-log, the request
+// history behind /debug/requests outlives a full SIGTERM/restart cycle
+// — the second daemon life reports the first life's traffic and keeps
+// numbering where it left off.
+func TestDaemonRequestLogSurvivesRestart(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "requests.wal")
+	cfg := serve.Config{Workers: 2, RequestLog: logPath}
+
+	addr, cancel, done := startDaemon(t, cfg)
+	var out, errw bytes.Buffer
+	for i := 0; i < 3; i++ {
+		out.Reset()
+		if code := client(addr, "/v1/flow", "", `{"blocks":2}`, &out, &errw); code != 0 {
+			t.Fatalf("request %d: exit %d, stderr %q", i, code, errw.String())
+		}
+	}
+	out.Reset()
+	if code := client(addr, "", "/debug/requests", "", &out, &errw); code != 0 {
+		t.Fatalf("debug/requests exit %d: %s", code, errw.String())
+	}
+	firstLife := out.String()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+
+	addr, cancel, done = startDaemon(t, cfg)
+	out.Reset()
+	if code := client(addr, "", "/debug/requests", "", &out, &errw); code != 0 {
+		t.Fatalf("restarted debug/requests exit %d: %s", code, errw.String())
+	}
+	// Debug GETs are not engine requests and are not journaled, so the
+	// restarted daemon must report exactly the first life's three flow
+	// requests, verbatim.
+	if out.String() != firstLife {
+		t.Errorf("restarted /debug/requests differs:\n--- first life\n%s--- second life\n%s", firstLife, out.String())
+	}
+	if !strings.Contains(out.String(), "3 flow") {
+		t.Errorf("restarted log missing request 3:\n%s", out.String())
+	}
+	// New traffic continues the sequence: request 4 in life two.
+	out.Reset()
+	if code := client(addr, "/v1/flow", "", `{"blocks":2}`, &out, &errw); code != 0 {
+		t.Fatalf("post-restart flow: exit %d, stderr %q", code, errw.String())
+	}
+	out.Reset()
+	if code := client(addr, "", "/debug/requests", "", &out, &errw); code != 0 {
+		t.Fatalf("second debug/requests exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "4 flow") {
+		t.Errorf("post-restart log did not continue to ID 4:\n%s", out.String())
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("second drain returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second daemon did not drain")
 	}
 }
 

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+
+	"cadinterop/internal/fault"
+	"cadinterop/internal/journal"
+	"cadinterop/internal/workflow"
+)
+
+// e18Digest captures everything a resumed run must reproduce exactly:
+// the event stream, per-task end state, and the run summary. The sweep
+// compares resumed digests byte-for-byte against the uninterrupted run.
+func e18Digest(in *workflow.Instance, sum *workflow.RunSummary) string {
+	var b strings.Builder
+	for _, e := range in.Events {
+		fmt.Fprintf(&b, "t=%d %s %s %s\n", e.Tick, e.Task, e.Kind, e.Msg)
+	}
+	for _, n := range in.TaskNames() {
+		tk := in.Tasks[n]
+		fmt.Fprintf(&b, "%s %v a=%d s=%d rt=%d %d..%d\n",
+			n, tk.State, tk.Attempts, tk.Status, tk.RunTicks, tk.StartedAt, tk.FinishedAt)
+	}
+	fmt.Fprintf(&b, "sum %s clock %d\n", sum, in.Ticks())
+	return b.String()
+}
+
+// e18Run drives one journaled E13-style faulted flow (rework included)
+// and returns its digest. j may be nil (journal off).
+func e18Run(retry workflow.RetryPolicy, rate float64, j *workflow.FlowJournal) (string, error) {
+	tpl, _ := e13Flow(3, retry)
+	in, err := workflow.Instantiate(tpl, workflow.NewMemStore(), nil)
+	if err != nil {
+		return "", err
+	}
+	if rate > 0 {
+		in.Faults = fault.New(e13Seed, rate)
+	}
+	in.AttachJournal(j)
+	sum := in.RunContinue("engineer")
+	if in.JournalErr() == nil && in.Tasks["plan"].State == workflow.Done {
+		if err := in.Reset("plan", "engineer"); err != nil {
+			return "", err
+		}
+		if err := in.RunTask("plan", "engineer"); err == nil {
+			sum = in.RunContinue("engineer")
+		}
+	}
+	if jerr := in.JournalErr(); jerr != nil {
+		return "", jerr
+	}
+	return e18Digest(in, sum), nil
+}
+
+// E18CrashResume measures the durable journal's crash-exact resume
+// guarantee (DESIGN.md §5j): for each retry policy, one journaled faulted
+// run is recorded, then "crashed" at every record boundary — the prefix a
+// kill leaves behind after torn-tail truncation — and resumed. A resume
+// is exact when its digest (events, task states, summary, clock) matches
+// the uninterrupted run byte-for-byte. The table also counts divergence
+// flags (must be zero: every prefix of a genuine journal resumes clean)
+// and proves a mutated journal is flagged, not blended. Everything is a
+// pure function of (seed, policy), so the report is byte-identical at any
+// harness worker count.
+func E18CrashResume() (*Report, error) {
+	r := &Report{ID: "E18", Title: "crash-exact resume from the durable run journal (seed 22)"}
+	policies := []struct {
+		name  string
+		retry workflow.RetryPolicy
+	}{
+		{"no-retry", workflow.RetryPolicy{}},
+		{"retry3", workflow.RetryPolicy{MaxAttempts: 3, Backoff: 2, AttemptTimeout: 8}},
+	}
+	r.addf("%9s %5s %8s %13s %7s %9s", "policy", "rate", "records", "crash points", "exact", "diverged")
+	for _, pol := range policies {
+		for _, rate := range []float64{0, 0.4} {
+			// Journal off and journal on must agree before any crash matters.
+			plain, err := e18Run(pol.retry, rate, nil)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			ref, err := e18Run(pol.retry, rate, workflow.NewFlowJournal(journal.NewWriter(&buf)))
+			if err != nil {
+				return nil, err
+			}
+			if ref != plain {
+				return nil, fmt.Errorf("%s rate %.1f: journal-on run differs from journal-off", pol.name, rate)
+			}
+			recs, valid, err := journal.Scan(buf.Bytes())
+			if err != nil || valid != buf.Len() {
+				return nil, fmt.Errorf("%s rate %.1f: journal does not scan clean: %v", pol.name, rate, err)
+			}
+			exact, diverged := 0, 0
+			for k := 1; k <= len(recs); k++ {
+				got, jerr := e18Run(pol.retry, rate, workflow.ResumeFlowJournal(nil, recs[:k]))
+				switch {
+				case errors.Is(jerr, workflow.ErrJournalDiverged):
+					diverged++
+				case jerr != nil:
+					return nil, fmt.Errorf("%s rate %.1f crash point %d: %v", pol.name, rate, k, jerr)
+				case got == ref:
+					exact++
+				}
+			}
+			r.addf("%9s %5.1f %8d %13d %7d %9d", pol.name, rate, len(recs), len(recs), exact, diverged)
+			if exact != len(recs) || diverged != 0 {
+				return nil, fmt.Errorf("%s rate %.1f: %d/%d crash points exact, %d diverged",
+					pol.name, rate, exact, len(recs), diverged)
+			}
+		}
+	}
+	// Mutation safety: flip one byte in a mid-journal payload and re-frame;
+	// the resume must latch the divergence flag, never blend the bad state.
+	var buf bytes.Buffer
+	if _, err := e18Run(policies[1].retry, 0.4, workflow.NewFlowJournal(journal.NewWriter(&buf))); err != nil {
+		return nil, err
+	}
+	recs, _, _ := journal.Scan(buf.Bytes())
+	mid := len(recs) / 2
+	p := append([]byte(nil), recs[mid].Payload...)
+	p[len(p)/2] ^= 0x01
+	recs[mid].Payload = p
+	_, jerr := e18Run(policies[1].retry, 0.4, workflow.ResumeFlowJournal(nil, recs))
+	if !errors.Is(jerr, workflow.ErrJournalDiverged) {
+		return nil, fmt.Errorf("mutated journal resumed without divergence flag: %v", jerr)
+	}
+	r.addf("mutated mid-journal record: resume flagged ErrJournalDiverged (state never blended)")
+	return r, nil
+}

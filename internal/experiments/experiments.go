@@ -645,6 +645,7 @@ func registry() []entry {
 		{"E15", "observability accounting", func(o []par.Option) (*Report, error) { return E15Observability(6) }},
 		{"E16", "scale: streaming + sharding", func(o []par.Option) (*Report, error) { return E16Scale() }},
 		{"E17", "memoization + incremental reroute", func(o []par.Option) (*Report, error) { return E17Memoization() }},
+		{"E18", "crash-exact journal resume", func(o []par.Option) (*Report, error) { return E18CrashResume() }},
 	}
 }
 

@@ -212,7 +212,7 @@ func TestAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 17 {
+	if len(reports) != 18 {
 		t.Fatalf("reports = %d", len(reports))
 	}
 	for _, r := range reports {
@@ -249,6 +249,37 @@ func TestE17(t *testing.T) {
 		if strings.Contains(joined, bad) {
 			t.Errorf("incremental fallback %q tripped:\n%s", bad, joined)
 		}
+	}
+}
+
+// TestE18 runs the crash-resume sweep twice: the report must render every
+// crash point as exact with zero divergence flags, and be byte-identical
+// across runs (E18CrashResume already hard-fails internally on any
+// non-exact resume, so the assertions here pin the rendered table).
+func TestE18(t *testing.T) {
+	r, err := E18CrashResume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "ErrJournalDiverged") {
+		t.Errorf("mutation-safety line missing:\n%s", joined)
+	}
+	for _, line := range r.Lines[1:] {
+		f := strings.Fields(line)
+		if len(f) == 6 && f[len(f)-1] != "0" {
+			t.Errorf("diverged column nonzero: %s", line)
+		}
+		if len(f) == 6 && f[3] != f[4] {
+			t.Errorf("crash points %s != exact %s: %s", f[3], f[4], line)
+		}
+	}
+	r2, err := E18CrashResume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.String() != r.String() {
+		t.Errorf("E18 not deterministic:\n--- a\n%s\n--- b\n%s", r, r2)
 	}
 }
 

@@ -1,0 +1,95 @@
+package journal_test
+
+// The fuzz target lives in journal's external test package so it can pull
+// in the journaltest workflow fixture: internal/workflow imports journal,
+// so an in-package target could not resume a real flow without an import
+// cycle.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cadinterop/internal/journal"
+	"cadinterop/internal/journal/journaltest"
+)
+
+// FuzzJournalReplay drives arbitrary bytes through the full recovery
+// path — Scan, OpenFile's torn-tail truncation, and workflow resume —
+// and holds the journal's two safety properties under any mutation:
+//
+//  1. Recovery never panics, whatever the bytes.
+//  2. Resume never lands in silently divergent state: a resumed run
+//     either reproduces the reference digest exactly (the input was a
+//     valid prefix of the reference journal) or surfaces an error
+//     (typically workflow.ErrJournalDiverged). There is no third
+//     outcome.
+func FuzzJournalReplay(f *testing.F) {
+	refDigest, refBytes, err := journaltest.Reference()
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Inline seeds; the committed corpus under testdata/fuzz (regenerated
+	// by tools/corpusgen) extends these with torn tails, bit flips, and
+	// trivia.
+	f.Add(refBytes)
+	f.Add(refBytes[:len(refBytes)/2])
+	f.Add([]byte{})
+	f.Add([]byte("payload\n; wal sha256:deadbeef bytes=7 seq=1\n"))
+
+	dir, err := os.MkdirTemp("", "fuzzjournal")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { os.RemoveAll(dir) })
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, err := journal.Scan(data)
+		if valid > len(data) || (err == nil && valid != len(data)) {
+			t.Fatalf("Scan: valid=%d of %d, err=%v", valid, len(data), err)
+		}
+		// Stability: rescanning the valid prefix yields the same records
+		// with no remainder.
+		recs2, valid2, err2 := journal.Scan(data[:valid])
+		if err2 != nil || valid2 != valid || len(recs2) != len(recs) {
+			t.Fatalf("rescan of valid prefix unstable: valid=%d/%d err=%v recs=%d/%d",
+				valid2, valid, err2, len(recs2), len(recs))
+		}
+		for i := range recs {
+			if recs2[i].Seq != recs[i].Seq || !bytes.Equal(recs2[i].Payload, recs[i].Payload) {
+				t.Fatalf("rescan record %d differs", i)
+			}
+		}
+
+		// OpenFile must recover the same prefix from disk, truncating the
+		// torn suffix durably.
+		path := filepath.Join(dir, "fuzz.wal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		frecs, w, err := journal.OpenFile(path)
+		if err != nil {
+			t.Fatalf("OpenFile on scannable input: %v", err)
+		}
+		w.Close()
+		if len(frecs) != len(recs) {
+			t.Fatalf("OpenFile recovered %d records, Scan %d", len(frecs), len(recs))
+		}
+		ondisk, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ondisk, data[:valid]) {
+			t.Fatalf("OpenFile left %d bytes, want the %d-byte valid prefix", len(ondisk), valid)
+		}
+
+		// Resume: exact reference digest or a flagged error — never a
+		// silently different run.
+		digest, jerr := journaltest.Resume(recs)
+		if jerr == nil && digest != refDigest {
+			t.Fatalf("resume of mutated journal succeeded with divergent state\n--- resumed ---\n%s\n--- reference ---\n%s",
+				digest, refDigest)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+// Package journaltest provides a deterministic journaled-workflow fixture
+// shared by the journal fuzz target (FuzzJournalReplay, which lives in
+// journal's external test package to break the workflow→journal import
+// cycle) and the committed-corpus generator (tools/corpusgen). The fixture
+// mirrors internal/workflow's own sweep template: a faulted six-step flow
+// crossing retries with backoff, Held parks, conditional skips, explicit
+// SetStatus, virtual-clock advances, vars, data puts with maturity gates,
+// and trigger-based rework — every journaled transition kind.
+package journaltest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+
+	"cadinterop/internal/fault"
+	"cadinterop/internal/journal"
+	"cadinterop/internal/obs"
+	"cadinterop/internal/workflow"
+)
+
+// FaultSpec is the fixture's fault schedule: seed 11 at rate 0.3 faults
+// several attempts, so the journal records retries and backoff, not just
+// clean completions.
+const FaultSpec = "11:0.3"
+
+// Template builds the fixture flow.
+func Template() *workflow.Template {
+	return &workflow.Template{Name: "jfix", Steps: []*workflow.StepDef{
+		{Name: "plan", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			c.Data().Put("floorplan", "rev1")
+			c.SetVar("floorplan.rev", "1")
+			return 0
+		}}, Outputs: []string{"floorplan"}},
+		{Name: "rtl", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			c.Advance(2)
+			c.Data().Put("rtl", "module top")
+			return 0
+		}}, StartAfter: []string{"plan"},
+			Inputs:  []workflow.MaturityCheck{{Item: "floorplan", Exists: true}},
+			Outputs: []string{"rtl"},
+			Retry:   workflow.RetryPolicy{MaxAttempts: 3, Backoff: 2, AttemptTimeout: 8}},
+		{Name: "synth", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			c.Advance(3)
+			c.Data().Put("netlist", "gates")
+			return 0
+		}}, StartAfter: []string{"rtl"},
+			Inputs:         []workflow.MaturityCheck{{Item: "rtl", Exists: true}},
+			Outputs:        []string{"netlist"},
+			FinishRequires: []string{"lint"},
+			Retry:          workflow.RetryPolicy{MaxAttempts: 3, Backoff: 2, AttemptTimeout: 8}},
+		{Name: "lint", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			c.SetStatus(workflow.Skipped)
+			return 0
+		}}, StartAfter: []string{"rtl"}},
+		{Name: "docs", Action: workflow.FuncAction{Fn: func(*workflow.Ctx) int { return 0 }},
+			StartAfter: []string{"plan"},
+			Condition:  func(*workflow.Instance) bool { return false }},
+		{Name: "signoff", Action: workflow.FuncAction{Fn: func(c *workflow.Ctx) int {
+			if _, _, ok := c.Data().Get("netlist"); !ok {
+				return 1
+			}
+			return 0
+		}}, StartAfter: []string{"synth"},
+			Inputs:      []workflow.MaturityCheck{{Item: "netlist", Exists: true, NewerThan: "floorplan"}},
+			Permissions: []string{"manager"},
+			Retry:       workflow.RetryPolicy{MaxAttempts: 3, Backoff: 2, AttemptTimeout: 8}},
+	}}
+}
+
+// Run drives one fixture run with j attached (j may be nil for a
+// journal-free run), returning the digest of everything resume must
+// reproduce — events, task end-state, summary, metrics, vars, clock, obs
+// trace — and the run's journal error, if any.
+func Run(j *workflow.FlowJournal) (string, error) {
+	inj, err := fault.ParseSpec(FaultSpec)
+	if err != nil {
+		return "", err
+	}
+	in, err := workflow.Instantiate(Template(), workflow.NewMemStore(), nil)
+	if err != nil {
+		return "", err
+	}
+	in.Faults = inj
+	in.AttachJournal(j)
+	rec := obs.New(in)
+	root := rec.Start(0, "jfix")
+	in.Observe(rec, root)
+
+	in.RunContinue("engineer")
+	sum := in.RunContinue("manager")
+	if in.JournalErr() == nil && in.Tasks["plan"].State == workflow.Done {
+		if err := in.Reset("plan", "engineer"); err == nil {
+			if err := in.RunTask("plan", "engineer"); err == nil {
+				in.RunContinue("engineer")
+				sum = in.RunContinue("manager")
+			}
+		}
+	}
+	rec.End(root)
+
+	var b strings.Builder
+	for _, e := range in.Events {
+		fmt.Fprintf(&b, "t=%d %s %s %s\n", e.Tick, e.Task, e.Kind, e.Msg)
+	}
+	for _, n := range in.TaskNames() {
+		tk := in.Tasks[n]
+		fmt.Fprintf(&b, "task %s state=%v attempts=%d status=%d runticks=%d started=%d finished=%d\n",
+			n, tk.State, tk.Attempts, tk.Status, tk.RunTicks, tk.StartedAt, tk.FinishedAt)
+	}
+	fmt.Fprintf(&b, "summary %s\n", sum)
+	fmt.Fprintf(&b, "clock %d vars %v\n", in.Ticks(), in.Vars)
+	rec.Close()
+	if err := rec.WriteTree(&b); err != nil {
+		return "", err
+	}
+	if err := rec.Metrics().Write(&b); err != nil {
+		return "", err
+	}
+	return b.String(), in.JournalErr()
+}
+
+// Reference runs the uninterrupted live fixture, returning its digest and
+// the full journal bytes.
+func Reference() (string, []byte, error) {
+	var buf bytes.Buffer
+	digest, jerr := Run(workflow.NewFlowJournal(journal.NewWriter(&buf)))
+	if jerr != nil {
+		return "", nil, jerr
+	}
+	if _, valid, err := journal.Scan(buf.Bytes()); err != nil || valid != buf.Len() {
+		return "", nil, fmt.Errorf("reference journal does not scan clean: valid=%d/%d err=%w", valid, buf.Len(), err)
+	}
+	return digest, buf.Bytes(), nil
+}
+
+// Resume replays recs into a fresh fixture run and reports how it ended:
+// the digest on clean convergence, or the run's journal error (resume of
+// mutated or foreign records must surface workflow.ErrJournalDiverged,
+// never a silently different digest — FuzzJournalReplay's core property).
+func Resume(recs []journal.Rec) (string, error) {
+	return Run(workflow.ResumeFlowJournal(nil, recs))
+}
+
+// Diverged reports whether err is the divergence latch.
+func Diverged(err error) bool { return errors.Is(err, workflow.ErrJournalDiverged) }

@@ -193,14 +193,39 @@ func trailerFor(payload []byte) string {
 	return fmt.Sprintf("; integrity sha256:%s bytes=%d\n", hex.EncodeToString(sum[:]), len(payload))
 }
 
-// writeEntry persists payload+trailer atomically; errors are swallowed
-// (the in-memory entry already exists). The temp file name comes from
-// os.CreateTemp, never a fixed "path.tmp": concurrent writers of the same
-// key — daemon requests sharing one cache dir, or two -cache-dir processes
-// — must each stage into a private file, or their truncate/rename pairs
-// can interleave and publish a torn entry. With private temp files the
+// Durability seams for writeEntry, swappable in tests to assert ordering:
+// the temp file's contents must be synced before the rename publishes it,
+// and the parent directory synced after, or a power loss can leave the
+// final name pointing at an empty or half-written entry.
+var (
+	memoSyncFile = func(f *os.File) error { return f.Sync() }
+	memoSyncDir  = func(dir string) error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		serr := d.Sync()
+		if cerr := d.Close(); serr == nil {
+			serr = cerr
+		}
+		return serr
+	}
+	memoRename = os.Rename
+)
+
+// writeEntry persists payload+trailer atomically and durably; errors are
+// swallowed (the in-memory entry already exists). The temp file name comes
+// from os.CreateTemp, never a fixed "path.tmp": concurrent writers of the
+// same key — daemon requests sharing one cache dir, or two -cache-dir
+// processes — must each stage into a private file, or their truncate/rename
+// pairs can interleave and publish a torn entry. With private temp files the
 // final rename is the only shared step, and rename is atomic: readers see
-// either a complete old entry or a complete new one.
+// either a complete old entry or a complete new one. The fsync before the
+// rename and the directory fsync after it extend that guarantee across
+// power loss: rename-before-sync can journal the name change while the
+// data blocks are still in the page cache, surfacing after reboot as an
+// entry full of zeros that passes no integrity check but still cost a
+// read to reject.
 func writeEntry(path string, payload []byte) {
 	data := make([]byte, 0, len(payload)+96)
 	data = append(data, payload...)
@@ -211,6 +236,9 @@ func writeEntry(path string, payload []byte) {
 	}
 	tmp := f.Name()
 	_, werr := f.Write(data)
+	if werr == nil {
+		werr = memoSyncFile(f)
+	}
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}
@@ -218,11 +246,13 @@ func writeEntry(path string, payload []byte) {
 		werr = os.Chmod(tmp, 0o644)
 	}
 	if werr == nil {
-		werr = os.Rename(tmp, path)
+		werr = memoRename(tmp, path)
 	}
 	if werr != nil {
 		os.Remove(tmp)
+		return
 	}
+	memoSyncDir(filepath.Dir(path))
 }
 
 // readEntry loads and verifies one on-disk entry, returning the payload.

@@ -103,6 +103,83 @@ func TestDiskRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWriteEntryDurabilityOrder pins the crash-safety protocol of
+// writeEntry: the temp file's data must reach disk (fsync) before the
+// rename publishes it under the final name, and the parent directory is
+// synced after the rename. Rename-before-sync is the classic bug — the
+// name change can be journaled while the data is still in the page
+// cache, so a power loss resurrects the entry as zeros.
+func TestWriteEntryDurabilityOrder(t *testing.T) {
+	origFile, origDir, origRename := memoSyncFile, memoSyncDir, memoRename
+	defer func() { memoSyncFile, memoSyncDir, memoRename = origFile, origDir, origRename }()
+
+	var order []string
+	memoSyncFile = func(f *os.File) error {
+		order = append(order, "sync-file")
+		return origFile(f)
+	}
+	memoSyncDir = func(dir string) error {
+		order = append(order, "sync-dir")
+		return origDir(dir)
+	}
+	memoRename = func(old, new string) error {
+		order = append(order, "rename")
+		return origRename(old, new)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry")
+	writeEntry(path, []byte("durable payload"))
+
+	want := []string{"sync-file", "rename", "sync-dir"}
+	if len(order) != len(want) {
+		t.Fatalf("durability steps = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("durability step %d = %s, want %s (full order %v)", i, order[i], want[i], order)
+		}
+	}
+	// And the published entry reads back clean.
+	got, err := readEntry(path)
+	if err != nil || string(got) != "durable payload" {
+		t.Fatalf("readEntry = %q, %v", got, err)
+	}
+}
+
+// TestWriteEntrySyncFailureAborts: if the data fsync fails, the rename
+// must never happen — publishing an unsynced entry is the exact failure
+// the protocol exists to prevent.
+func TestWriteEntrySyncFailureAborts(t *testing.T) {
+	origFile, origRename := memoSyncFile, memoRename
+	defer func() { memoSyncFile, memoRename = origFile, origRename }()
+
+	memoSyncFile = func(f *os.File) error { return fmt.Errorf("disk full") }
+	renamed := false
+	memoRename = func(old, new string) error {
+		renamed = true
+		return origRename(old, new)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry")
+	writeEntry(path, []byte("payload"))
+	if renamed {
+		t.Fatal("entry was published despite a failed data sync")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("final path exists after aborted write: %v", err)
+	}
+	// The temp file must have been cleaned up, not leaked.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("aborted write leaked files: %v", ents)
+	}
+}
+
 func TestDiskCorruptionIsMiss(t *testing.T) {
 	dir := t.TempDir()
 	c, err := NewDir(dir, nil)

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cadinterop/internal/journal"
+	"cadinterop/internal/obs"
+)
+
+// journaledFlowReq is the sweep workload: a faulted, retried two-block
+// tapeout flow — small enough to resume at every record boundary, rich
+// enough to cross retries, backoff, rework, and partial failure.
+func journaledFlowReq(journalFile string, resume bool) FlowRequest {
+	rework := true
+	return FlowRequest{
+		Blocks: 2, Store: "versioned", Events: true, Rework: &rework,
+		Faults: "7:0.3", Retries: 3,
+		Journal: journalFile, Resume: resume,
+	}
+}
+
+// runJournaledFlow executes one Flow call, returning stdout bytes and
+// the obs trace+metrics rendering.
+func runJournaledFlow(t *testing.T, req FlowRequest) (string, string) {
+	t.Helper()
+	var out bytes.Buffer
+	rec, err := Flow(context.Background(), &out, req, true)
+	if err != nil {
+		t.Fatalf("Flow(%+v): %v", req, err)
+	}
+	return out.String(), renderObs(t, rec)
+}
+
+func renderObs(t *testing.T, rec *obs.Recorder) string {
+	t.Helper()
+	var b strings.Builder
+	if err := rec.WriteTree(&b); err != nil {
+		t.Fatalf("WriteTree: %v", err)
+	}
+	if err := rec.Metrics().Write(&b); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	return b.String()
+}
+
+// TestFlowCrashResumeSweep is the service-level crash-point sweep: a
+// journaled flowrun killed after any number of appends and resumed must
+// print byte-identical stdout and obs accounting to the uninterrupted
+// run, and its journal file must converge to the same bytes.
+func TestFlowCrashResumeSweep(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.wal")
+	refOut, refObs := runJournaledFlow(t, journaledFlowReq(refPath, false))
+
+	refBytes, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, valid, err := journal.Scan(refBytes)
+	if err != nil || valid != len(refBytes) {
+		t.Fatalf("reference journal does not scan clean: %d/%d, %v", valid, len(refBytes), err)
+	}
+	if len(recs) < 50 {
+		t.Fatalf("reference journal has only %d records; workload too thin for a sweep", len(recs))
+	}
+
+	// The journal with new features off must not exist at all, and output
+	// must match the journaled run.
+	plainReq := journaledFlowReq("", false)
+	plainOut, plainObs := runJournaledFlow(t, plainReq)
+	if plainOut != refOut || plainObs != refObs {
+		t.Fatal("journal-on output differs from journal-off output")
+	}
+
+	// k starts at 1: the run header is appended before any work (and
+	// before the crash hook can arm), so every real crash leaves at least
+	// one record. An empty journal is refused, not resumed.
+	for k := 1; k <= len(recs); k++ {
+		path := filepath.Join(dir, "crash.wal")
+		writePrefix(t, path, recs[:k])
+		out, obsText := runJournaledFlow(t, journaledFlowReq(path, true))
+		if out != refOut {
+			t.Fatalf("crash point %d/%d: resumed stdout differs\n--- resumed ---\n%s\n--- reference ---\n%s",
+				k, len(recs), out, refOut)
+		}
+		if obsText != refObs {
+			t.Fatalf("crash point %d/%d: resumed obs accounting differs", k, len(recs))
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, refBytes) {
+			t.Fatalf("crash point %d/%d: resumed journal bytes differ from reference", k, len(recs))
+		}
+	}
+}
+
+// writePrefix materializes the first k records as a journal file —
+// byte-for-byte what a crash at that boundary leaves behind (after
+// torn-tail truncation).
+func writePrefix(t *testing.T, path string, recs []journal.Rec) {
+	t.Helper()
+	if err := os.RemoveAll(path); err != nil {
+		t.Fatal(err)
+	}
+	_, w, err := journal.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlowResumeIgnoresCallerFlags: the journal header, not the resuming
+// caller's flags, defines the run. A resume launched with entirely
+// different settings still reproduces the original.
+func TestFlowResumeIgnoresCallerFlags(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.wal")
+	refOut, _ := runJournaledFlow(t, journaledFlowReq(path, false))
+
+	refBytes, _ := os.ReadFile(path)
+	recs, _, _ := journal.Scan(refBytes)
+	crash := filepath.Join(dir, "crash.wal")
+	writePrefix(t, crash, recs[:len(recs)/2])
+
+	out, _ := runJournaledFlow(t, FlowRequest{
+		Blocks: 9, Store: "mem", Faults: "1:0.9", Retries: 1,
+		Journal: crash, Resume: true,
+	})
+	if out != refOut {
+		t.Fatal("resume did not take its configuration from the journal header")
+	}
+}
+
+// TestFlowJournalRefusesOverwrite: starting a fresh run over a journal
+// that already holds one must fail, not clobber it.
+func TestFlowJournalRefusesOverwrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	runJournaledFlow(t, journaledFlowReq(path, false))
+	var out bytes.Buffer
+	_, err := Flow(context.Background(), &out, journaledFlowReq(path, false), false)
+	if err == nil || !strings.Contains(err.Error(), "already holds a run") {
+		t.Fatalf("fresh run over existing journal: err = %v, want refusal", err)
+	}
+}
+
+// TestFlowResumeEmptyJournalFails: resuming nothing is an error, not a
+// silent fresh start.
+func TestFlowResumeEmptyJournalFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.wal")
+	var out bytes.Buffer
+	_, err := Flow(context.Background(), &out, journaledFlowReq(path, true), false)
+	if err == nil || !strings.Contains(err.Error(), "no valid records") {
+		t.Fatalf("resume of empty journal: err = %v, want refusal", err)
+	}
+}
+
+// TestFlowResumeCorruptTailTruncates: a torn tail (mid-append crash) is
+// truncated and the run still resumes exactly.
+func TestFlowResumeCorruptTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.wal")
+	refOut, _ := runJournaledFlow(t, journaledFlowReq(path, false))
+	refBytes, _ := os.ReadFile(path)
+	recs, _, _ := journal.Scan(refBytes)
+
+	crash := filepath.Join(dir, "crash.wal")
+	writePrefix(t, crash, recs[:len(recs)/3])
+	f, err := os.OpenFile(crash, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"k":"attempt","t":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out, _ := runJournaledFlow(t, journaledFlowReq(crash, true))
+	if out != refOut {
+		t.Fatal("resume after torn tail did not reproduce the reference run")
+	}
+}

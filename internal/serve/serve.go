@@ -20,6 +20,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -31,6 +32,7 @@ import (
 	"cadinterop/internal/fault"
 	"cadinterop/internal/filecheck"
 	"cadinterop/internal/floorplan"
+	"cadinterop/internal/journal"
 	"cadinterop/internal/memo"
 	"cadinterop/internal/migrate"
 	"cadinterop/internal/netlist"
@@ -420,6 +422,21 @@ type FlowRequest struct {
 	// on the engine's own deterministic clock.
 	AttemptTicks int   `json:"attempt_ticks,omitempty"`
 	DeadlineMS   int64 `json:"deadline_ms,omitempty"`
+	// Journal names a durable run-journal file: every workflow state
+	// transition is appended (fsync'd per record) as it happens, so a
+	// killed run leaves an exact record of how far it got. "" disables
+	// journaling — and the run is then byte-identical to a journaled one.
+	Journal string `json:"journal,omitempty"`
+	// Resume replays an existing journal instead of starting fresh: the
+	// run configuration comes from the journal's own header (flags other
+	// than the journal path are ignored), recovered records are validated
+	// and applied, and execution continues live from the crash point. The
+	// resumed run's output is byte-identical to an uninterrupted one.
+	Resume bool `json:"resume,omitempty"`
+	// JournalCrash > 0 arms the deterministic crash hook: the process
+	// exits with status 137 after that many journal appends — the
+	// crash-resume smoke's way of dying at an exact record boundary.
+	JournalCrash int `json:"journal_crash,omitempty"`
 }
 
 // WithDefaults fills zero fields with the cmd/flowrun flag defaults.
@@ -447,6 +464,15 @@ func (r FlowRequest) rework() bool { return r.Rework == nil || *r.Rework }
 func Flow(ctx context.Context, w io.Writer, req FlowRequest, withObs bool) (*obs.Recorder, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	var fj *workflow.FlowJournal
+	if req.Journal != "" {
+		var err error
+		fj, req, err = openFlowJournal(req)
+		if err != nil {
+			return nil, err
+		}
+		defer fj.Close()
 	}
 	var store workflow.DataStore
 	switch req.Store {
@@ -509,6 +535,7 @@ func Flow(ctx context.Context, w io.Writer, req FlowRequest, withObs bool) (*obs
 		return nil, err
 	}
 	in.Faults = inj
+	in.AttachJournal(fj)
 	fmt.Fprintf(w, "instantiated %q: %d tasks over %d blocks (store: %s)\n",
 		tpl.Name, len(in.Tasks), req.Blocks, req.Store)
 	if req.Dot {
@@ -527,6 +554,9 @@ func Flow(ctx context.Context, w io.Writer, req FlowRequest, withObs bool) (*obs
 	if inj != nil {
 		err := runWithFaults(ctx, in, w, req, inj)
 		rec.End(root)
+		if err == nil {
+			err = in.JournalErr()
+		}
 		return rec, err
 	}
 	if err := in.Run("engineer"); err != nil {
@@ -561,7 +591,80 @@ func Flow(ctx context.Context, w io.Writer, req FlowRequest, withObs bool) (*obs
 
 	finish(in, w, req.Events, store)
 	rec.End(root)
-	return rec, nil
+	return rec, in.JournalErr()
+}
+
+// openFlowJournal opens req.Journal and returns the bound journal plus
+// the effective request. Fresh mode refuses a journal that already holds
+// a run (resuming must be explicit — silently restarting over a crashed
+// run's journal would destroy the very state it exists to preserve) and
+// stamps the canonical run config as the journal header. Resume mode
+// reads the config back from that header: the journal, not the caller's
+// flags, defines the run being continued.
+func openFlowJournal(req FlowRequest) (*workflow.FlowJournal, FlowRequest, error) {
+	recs, jw, err := journal.OpenFile(req.Journal)
+	if err != nil {
+		return nil, req, err
+	}
+	fail := func(err error) (*workflow.FlowJournal, FlowRequest, error) {
+		jw.Close()
+		return nil, req, err
+	}
+	if !req.Resume {
+		if len(recs) > 0 {
+			return fail(fmt.Errorf("journal %q already holds a run (%d records); use resume to continue it", req.Journal, len(recs)))
+		}
+		fj := workflow.NewFlowJournal(jw)
+		meta, err := json.Marshal(canonicalFlowConfig(req))
+		if err != nil {
+			return fail(err)
+		}
+		if err := fj.Meta("begin", meta); err != nil {
+			return fail(err)
+		}
+		if req.JournalCrash > 0 {
+			jw.CrashAfter(req.JournalCrash)
+		}
+		return fj, req, nil
+	}
+	if len(recs) == 0 {
+		return fail(fmt.Errorf("journal %q has no valid records to resume", req.Journal))
+	}
+	kind, meta, err := workflow.DecodeMeta(recs[0].Payload)
+	if err != nil {
+		return fail(err)
+	}
+	if kind != "begin" {
+		return fail(fmt.Errorf("journal %q does not start with a run header (got %q record)", req.Journal, kind))
+	}
+	var saved FlowRequest
+	if err := json.Unmarshal(meta, &saved); err != nil {
+		return fail(fmt.Errorf("journal %q run header: %w", req.Journal, err))
+	}
+	// The journaled config drives the run; only runtime concerns carry
+	// over from the caller.
+	saved.Journal, saved.Resume = req.Journal, true
+	saved.JournalCrash, saved.DeadlineMS = req.JournalCrash, req.DeadlineMS
+	fj := workflow.ResumeFlowJournal(jw, recs)
+	if err := fj.Meta("begin", meta); err != nil {
+		return fail(err)
+	}
+	if req.JournalCrash > 0 {
+		jw.CrashAfter(req.JournalCrash)
+	}
+	return fj, saved, nil
+}
+
+// canonicalFlowConfig is the run configuration stamped into (and read
+// back from) a journal header: the engine-visible settings, with the
+// rework tri-state resolved and the runtime-only fields cleared so the
+// header is stable across the crash/resume boundary.
+func canonicalFlowConfig(req FlowRequest) FlowRequest {
+	c := req.WithDefaults()
+	rw := c.rework()
+	c.Rework = &rw
+	c.Journal, c.Resume, c.JournalCrash, c.DeadlineMS = "", false, 0, 0
+	return c
 }
 
 // applyRetry arms every step of the template — and recursively every
@@ -581,6 +684,9 @@ func applyRetry(tpl *workflow.Template, p workflow.RetryPolicy) {
 func runWithFaults(ctx context.Context, in *workflow.Instance, w io.Writer, req FlowRequest, inj *fault.Injector) error {
 	in.RunContinue("engineer")
 	sum := in.RunContinue("manager")
+	if err := in.JournalErr(); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "first pass (faults %s): %s\n", inj.Spec(), sum)
 	printDamage(in, w, sum)
 
@@ -599,6 +705,9 @@ func runWithFaults(ctx context.Context, in *workflow.Instance, w io.Writer, req 
 		}
 		in.RunContinue("engineer")
 		sum = in.RunContinue("manager")
+		if err := in.JournalErr(); err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "after rework: %s\n", sum)
 		printDamage(in, w, sum)
 	}
@@ -622,6 +731,10 @@ func printDamage(in *workflow.Instance, w io.Writer, sum *workflow.RunSummary) {
 
 // finish prints the metrics tail shared by both run modes.
 func finish(in *workflow.Instance, w io.Writer, printEvents bool, store workflow.DataStore) {
+	// A journaled run wraps the store; the report wants the real one.
+	if u, ok := store.(interface{ Unwrap() workflow.DataStore }); ok {
+		store = u.Unwrap()
+	}
 	m := workflow.CollectMetrics(in)
 	fmt.Fprintln(w, "metrics:", m.Summary())
 	fmt.Fprintln(w, "bottlenecks:", m.Bottlenecks(3))

@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"cadinterop/internal/journal"
 	"cadinterop/internal/memo"
 	"cadinterop/internal/obs"
 	"cadinterop/internal/par"
@@ -35,6 +37,11 @@ type Config struct {
 	Traces int
 	// LogSize bounds the request log /debug/requests serves (0 = 1024).
 	LogSize int
+	// RequestLog, when non-empty, persists the request log to this
+	// journal file (append-only, integrity-framed, fsync'd per record)
+	// and replays it on startup, so a restarted daemon still answers
+	// "what did I serve". "" keeps the log in memory only.
+	RequestLog string
 }
 
 // Response is the JSON body of every /v1 endpoint: the exact bytes the
@@ -49,9 +56,9 @@ type Response struct {
 // RequestLog is one completed (or refused) request in the server's
 // bounded log: id in admission order, short endpoint name, HTTP status.
 type RequestLog struct {
-	ID       int64
-	Endpoint string
-	Status   int
+	ID       int64  `json:"id"`
+	Endpoint string `json:"endpoint"`
+	Status   int    `json:"status"`
 }
 
 // Server is the long-lived interop service: four engine endpoints
@@ -71,6 +78,10 @@ type Server struct {
 	nextID int64
 	traces []traceEntry
 	log    []RequestLog
+	// reqlog, when non-nil, is the durable request journal: every
+	// finished request is appended (under mu) before the in-memory log
+	// moves on, and startup replays it (see Config.RequestLog).
+	reqlog *journal.Writer
 }
 
 type traceEntry struct {
@@ -105,6 +116,27 @@ func New(cfg Config) (*Server, error) {
 		gate:  par.NewGate(cfg.Workers, cfg.Queue, reg),
 		reg:   reg,
 		cache: cache,
+	}
+	if cfg.RequestLog != "" {
+		recs, w, err := journal.OpenFile(cfg.RequestLog)
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range recs {
+			var e RequestLog
+			if err := json.Unmarshal(rec.Payload, &e); err != nil {
+				w.Close()
+				return nil, fmt.Errorf("request log %q record %d: %w", cfg.RequestLog, rec.Seq, err)
+			}
+			s.log = append(s.log, e)
+			if e.ID > s.nextID {
+				s.nextID = e.ID
+			}
+		}
+		if len(s.log) > cfg.LogSize {
+			s.log = s.log[len(s.log)-cfg.LogSize:]
+		}
+		s.reqlog = w
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/translate", post(s, "translate",
@@ -197,7 +229,7 @@ func post[R deadlined](s *Server, ep string, run func(context.Context, *bytes.Bu
 		// below this line runs for a shed request.
 		if err := s.gate.Acquire(ctx); err != nil {
 			if errors.Is(err, par.ErrShed) {
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", s.retryAfter())
 				http.Error(w, "over budget: request shed, retry later", http.StatusServiceUnavailable)
 				s.count(ep, "shed")
 				s.finishReq(ep, http.StatusServiceUnavailable)
@@ -232,6 +264,20 @@ func post[R deadlined](s *Server, ep string, run func(context.Context, *bytes.Bu
 	}
 }
 
+// retryAfter derives the shed response's Retry-After seconds from the
+// current overload depth: one second per full worker-budget's worth of
+// work already admitted or queued ahead, so clients back off
+// proportionally instead of stampeding back in lockstep one second
+// later regardless of how deep the backlog is.
+func (s *Server) retryAfter() string {
+	workers := s.gate.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	depth := s.gate.InFlight() + s.gate.Waiting()
+	return strconv.Itoa(1 + depth/workers)
+}
+
 // requestDeadline resolves the effective wall-clock deadline.
 func requestDeadline(overrideMS int64, def time.Duration) time.Duration {
 	if overrideMS > 0 {
@@ -247,15 +293,41 @@ func (s *Server) count(ep, kind string) {
 	s.reg.Counter("serve." + ep + "." + kind).Inc()
 }
 
-// finishReq appends one entry to the bounded request log.
+// finishReq appends one entry to the bounded request log, journaling it
+// durably first when a request journal is configured. A journal write
+// failure must never fail the request being served — it is counted
+// (serve.reqlog.errors) and the in-memory log continues.
 func (s *Server) finishReq(ep string, status int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	s.log = append(s.log, RequestLog{ID: s.nextID, Endpoint: ep, Status: status})
+	e := RequestLog{ID: s.nextID, Endpoint: ep, Status: status}
+	if s.reqlog != nil {
+		payload, err := json.Marshal(e)
+		if err == nil {
+			err = s.reqlog.Append(payload)
+		}
+		if err != nil {
+			s.reg.Counter("serve.reqlog.errors").Inc()
+		}
+	}
+	s.log = append(s.log, e)
 	if len(s.log) > s.cfg.LogSize {
 		s.log = s.log[len(s.log)-s.cfg.LogSize:]
 	}
+}
+
+// Close releases server-held resources (the request journal). Safe to
+// call once after the listener has drained.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reqlog == nil {
+		return nil
+	}
+	err := s.reqlog.Close()
+	s.reqlog = nil
+	return err
 }
 
 // keepTrace retains one request's recorder in the /debug/trace ring.

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterGrowsWithOverload: the shed response's Retry-After must
+// scale with how much work is already admitted or queued, not sit at a
+// constant 1 — otherwise every shed client retries in lockstep one
+// second later into the same backlog.
+func TestRetryAfterGrowsWithOverload(t *testing.T) {
+	s, err := New(Config{Workers: 2, Queue: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.retryAfter(); got != "1" {
+		t.Fatalf("idle Retry-After = %s, want 1", got)
+	}
+
+	// Fill both worker slots.
+	for i := 0; i < 2; i++ {
+		if err := s.gate.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	busy := s.retryAfter()
+	if busy != "2" {
+		t.Fatalf("slots-full Retry-After = %s, want 2", busy)
+	}
+
+	// Stack four waiters behind them; Retry-After must keep growing.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.gate.Acquire(ctx)
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.gate.Waiting() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never queued: waiting=%d", s.gate.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	deep := s.retryAfter()
+	if deep != "4" {
+		t.Fatalf("deep-overload Retry-After = %s, want 4 (inflight=2 waiting=4 workers=2)", deep)
+	}
+	cancel()
+	wg.Wait()
+	s.gate.Release()
+	s.gate.Release()
+}
+
+// TestShedResponseCarriesDerivedRetryAfter: end-to-end, a shed request's
+// header reflects the live overload depth (here 1 inflight / 1 worker =
+// 2), not the old hardcoded 1.
+func TestShedResponseCarriesDerivedRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Queue: 0})
+	if err := s.Gate().Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Gate().Release()
+	resp, err := http.Post(ts.URL+"/v1/flow", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want 2", got)
+	}
+}
+
+// TestRequestLogWraparound: pushing far more requests than LogSize
+// through concurrent writers must leave exactly the last LogSize
+// entries, oldest first, consecutive IDs, no duplicates or gaps — and
+// every snapshot taken mid-stream must satisfy the same invariant (run
+// under -race; make check does).
+func TestRequestLogWraparound(t *testing.T) {
+	const logSize, writers, perWriter = 8, 16, 8
+	s, err := New(Config{Workers: 1, LogSize: logSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent snapshot readers racing the writers.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				checkLogInvariant(t, s.Requests(), logSize, false)
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		ww.Add(1)
+		go func(i int) {
+			defer ww.Done()
+			for j := 0; j < perWriter; j++ {
+				s.finishReq(fmt.Sprintf("ep%d", i), 200)
+			}
+		}(i)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	got := s.Requests()
+	checkLogInvariant(t, got, logSize, true)
+	if got[len(got)-1].ID != writers*perWriter {
+		t.Fatalf("last ID = %d, want %d", got[len(got)-1].ID, writers*perWriter)
+	}
+}
+
+// checkLogInvariant asserts a request-log snapshot is oldest-first with
+// strictly consecutive IDs (no duplicates, no gaps) and within bounds.
+// full additionally requires the log to be at capacity.
+func checkLogInvariant(t *testing.T, log []RequestLog, logSize int, full bool) {
+	t.Helper()
+	if len(log) > logSize {
+		t.Fatalf("log holds %d entries, bound is %d", len(log), logSize)
+	}
+	if full && len(log) != logSize {
+		t.Fatalf("log holds %d entries, want full %d", len(log), logSize)
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].ID != log[i-1].ID+1 {
+			t.Fatalf("log not consecutive at %d: %d then %d", i, log[i-1].ID, log[i].ID)
+		}
+	}
+}
+
+// TestRequestJournalSurvivesRestart is the daemon half of ROADMAP item
+// 1: a server built over the same request-log journal reports the prior
+// life's traffic, continues its ID sequence, and keeps /debug/requests
+// byte-identical across the restart boundary.
+func TestRequestJournalSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "requests.wal")
+
+	s1, ts1 := newTestServer(t, Config{Workers: 2, RequestLog: path})
+	for i := 0; i < 3; i++ {
+		if st, _, _ := postJSON(t, ts1.URL+"/v1/flow", `{"blocks":2}`); st != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, st)
+		}
+	}
+	// A refused request (bad body) must be journaled too.
+	if st, _, _ := postJSON(t, ts1.URL+"/v1/flow", `{broken`); st != http.StatusBadRequest {
+		t.Fatal("bad body accepted")
+	}
+	before := s1.Requests()
+	if len(before) != 4 {
+		t.Fatalf("first life logged %d requests, want 4", len(before))
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{Workers: 2, RequestLog: path})
+	defer s2.Close()
+	after := s2.Requests()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("restarted server log differs:\nbefore %v\nafter  %v", before, after)
+	}
+	// New traffic continues the ID sequence rather than colliding.
+	if st, _, _ := postJSON(t, ts2.URL+"/v1/flow", `{"blocks":2}`); st != http.StatusOK {
+		t.Fatal("post-restart request failed")
+	}
+	got := s2.Requests()
+	if len(got) != 5 || got[4].ID != 5 {
+		t.Fatalf("post-restart log = %v, want 5 entries ending at ID 5", got)
+	}
+}
+
+// TestRequestJournalReplayRespectsLogSize: a journal longer than LogSize
+// replays only the newest LogSize entries (the bounded ring semantics),
+// while the ID sequence still continues from the journal's true tail.
+func TestRequestJournalReplayRespectsLogSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "requests.wal")
+	s1, err := New(Config{Workers: 1, LogSize: 100, RequestLog: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s1.finishReq("flow", 200)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{Workers: 1, LogSize: 4, RequestLog: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.Requests()
+	if len(got) != 4 || got[0].ID != 7 || got[3].ID != 10 {
+		t.Fatalf("replayed log = %v, want IDs 7..10", got)
+	}
+	s2.finishReq("flow", 200)
+	got = s2.Requests()
+	if got[len(got)-1].ID != 11 {
+		t.Fatalf("next ID = %d, want 11", got[len(got)-1].ID)
+	}
+}

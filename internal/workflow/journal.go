@@ -1,0 +1,315 @@
+package workflow
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"cadinterop/internal/journal"
+)
+
+// ErrJournalDiverged reports that replaying a journal produced a state
+// transition different from the journaled one: the journal was mutated,
+// or belongs to a different run. The engine halts rather than continue
+// from unverifiable state.
+var ErrJournalDiverged = errors.New("workflow: journal diverged from live run")
+
+// JKV is one ordered key/value effect inside an action record: a data
+// item put or a variable set, in execution order (put order is
+// stamp-significant in the data stores).
+type JKV struct {
+	K string `json:"k"`
+	V string `json:"v"`
+}
+
+// jrec is the payload of one journal record. Kinds:
+//
+//	"begin"   run header (Meta carries the canonical run config)
+//	"attempt" an attempt started (Task, Attempt, Clock after start)
+//	"action"  the tool ran: its raw status and captured effects — the only
+//	          record replay *applies*; everything else re-derives
+//	"finish"  an attempt ended (raw status, argued final state, Clock)
+//	"state"   a task state transition (skip, fail, hold, complete,
+//	          needs-rerun, reset)
+//	"tick"    a retry backoff consumed Ticks virtual ticks
+//
+// All but "action" are validation records: during replay the re-executing
+// engine must produce them byte-for-byte, so any corruption or foreign
+// record surfaces as ErrJournalDiverged instead of silently skewed state.
+// Field keys are one letter because a run emits thousands of these.
+type jrec struct {
+	Kind    string          `json:"k"`
+	Task    string          `json:"t,omitempty"`
+	Attempt int             `json:"a,omitempty"`
+	Status  int             `json:"x,omitempty"`
+	State   int             `json:"s,omitempty"`
+	Held    int             `json:"h,omitempty"`
+	Clock   int             `json:"c,omitempty"`
+	Ticks   int             `json:"n,omitempty"`
+	Explict *int            `json:"e,omitempty"`
+	Puts    []JKV           `json:"p,omitempty"`
+	Vars    []JKV           `json:"v,omitempty"`
+	Meta    json.RawMessage `json:"m,omitempty"`
+}
+
+// actionEffects captures what one live action did to the instance, for
+// the action record. Replay applies these instead of re-running the tool
+// — the action is the one place the engine treats as a black box, so its
+// effects are the one thing the journal must carry rather than re-derive.
+type actionEffects struct {
+	puts  []JKV
+	vars  []JKV
+	ticks int
+}
+
+// FlowJournal binds an Instance to a journal stream. It has two modes:
+// live (every transition is appended durably) and replay (every
+// transition is validated against the journaled record, and action
+// effects are applied from the journal instead of running tools). A
+// resumed journal starts in replay mode and flips to live exactly when
+// the replay cursor is exhausted — which is exactly the point the crashed
+// process died at, so the continuation is seamless at any record
+// boundary. The first error (divergence or append failure) latches and
+// turns every later step into a no-op; the engine surfaces it via
+// Instance.JournalErr.
+type FlowJournal struct {
+	w      *journal.Writer
+	replay []journal.Rec
+	pos    int
+	err    error
+	// capture, when armed, collects the running action's effects.
+	capture *actionEffects
+}
+
+// NewFlowJournal starts a live journal over w (which may be nil: the
+// journal then validates nothing and writes nothing — useful for replay-
+// only verification).
+func NewFlowJournal(w *journal.Writer) *FlowJournal { return &FlowJournal{w: w} }
+
+// ResumeFlowJournal starts a journal in replay mode over the recovered
+// records, appending to w once they are exhausted.
+func ResumeFlowJournal(w *journal.Writer, recs []journal.Rec) *FlowJournal {
+	return &FlowJournal{w: w, replay: recs}
+}
+
+// Err returns the latched journal error, if any.
+func (j *FlowJournal) Err() error {
+	if j == nil {
+		return nil
+	}
+	return j.err
+}
+
+// Replaying reports whether the journal is still consuming recovered
+// records (false once flipped to live).
+func (j *FlowJournal) Replaying() bool { return j != nil && j.pos < len(j.replay) }
+
+// Close closes the underlying writer, if any.
+func (j *FlowJournal) Close() error {
+	if j == nil || j.w == nil {
+		return nil
+	}
+	return j.w.Close()
+}
+
+func (j *FlowJournal) fail(err error) {
+	if j.err == nil {
+		j.err = err
+	}
+}
+
+// step emits r: in replay mode the next journaled record must match it
+// byte-for-byte; in live mode it is appended durably.
+func (j *FlowJournal) step(r jrec) {
+	if j == nil || j.err != nil {
+		return
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		j.fail(fmt.Errorf("workflow: journal encode: %w", err))
+		return
+	}
+	if j.pos < len(j.replay) {
+		got := j.replay[j.pos]
+		j.pos++
+		if !bytes.Equal(got.Payload, payload) {
+			j.fail(fmt.Errorf("%w: record %d is %s, live run produced %s",
+				ErrJournalDiverged, got.Seq, got.Payload, payload))
+		}
+		return
+	}
+	if j.w == nil {
+		return
+	}
+	if err := j.w.Append(payload); err != nil {
+		j.fail(fmt.Errorf("workflow: journal append: %w", err))
+	}
+}
+
+// Meta emits (or, on resume, validates) a metadata record — the run
+// header carrying the canonical config. It returns the latched error so
+// callers can refuse to start a run whose header does not check out.
+func (j *FlowJournal) Meta(kind string, meta []byte) error {
+	j.step(jrec{Kind: kind, Meta: json.RawMessage(meta)})
+	return j.Err()
+}
+
+// DecodeMeta extracts the kind and metadata of a journal record payload
+// (used to read a run header before deciding how to resume).
+func DecodeMeta(payload []byte) (kind string, meta []byte, err error) {
+	var r jrec
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return "", nil, fmt.Errorf("workflow: journal header: %w", err)
+	}
+	return r.Kind, []byte(r.Meta), nil
+}
+
+// nextAction pops the upcoming replay record if the cursor is mid-replay.
+// It must be an action record for (task, attempt) — anything else means
+// the journal and the run have come apart.
+func (j *FlowJournal) nextAction(task string, attempt int) (*jrec, bool) {
+	if j == nil || j.err != nil || j.pos >= len(j.replay) {
+		return nil, false
+	}
+	rec := j.replay[j.pos]
+	var r jrec
+	if err := json.Unmarshal(rec.Payload, &r); err != nil {
+		j.fail(fmt.Errorf("%w: record %d undecodable: %v", ErrJournalDiverged, rec.Seq, err))
+		return nil, false
+	}
+	if r.Kind != "action" || r.Task != task || r.Attempt != attempt {
+		j.fail(fmt.Errorf("%w: record %d is %s, live run expected an action record for %q attempt %d",
+			ErrJournalDiverged, rec.Seq, rec.Payload, task, attempt))
+		return nil, false
+	}
+	j.pos++
+	return &r, true
+}
+
+// AttachJournal binds j to the instance: every state transition from now
+// on is journaled (or validated, on resume), and the data store is
+// wrapped so action puts are captured into action records. Attach before
+// running anything; a nil j detaches.
+func (in *Instance) AttachJournal(j *FlowJournal) {
+	if js, ok := in.Data.(*journalStore); ok {
+		in.Data = js.DataStore
+	}
+	in.journal = j
+	if j != nil {
+		in.Data = &journalStore{DataStore: in.Data, j: j}
+	}
+}
+
+// JournalErr returns the attached journal's latched error (nil when no
+// journal is attached or everything has checked out so far).
+func (in *Instance) JournalErr() error { return in.journal.Err() }
+
+// runAction executes (or replays) t's action for the current attempt.
+// Live: run the tool, capturing its effects — data puts, variable sets,
+// clock ticks, explicit status — into a durable action record. Replay:
+// apply the recorded effects instead of running the tool, returning the
+// recorded raw status. Everything around the action (fault draws, retry
+// arithmetic, logging, obs spans) re-executes deterministically in both
+// modes, which is what makes a resumed run byte-identical.
+func (in *Instance) runAction(ctx *Ctx, t *Task) int {
+	j := in.journal
+	if j == nil {
+		return t.Def.Action.Run(ctx)
+	}
+	if r, ok := j.nextAction(t.Name, t.Attempts); ok {
+		for _, p := range r.Puts {
+			in.Data.Put(p.K, p.V)
+		}
+		for _, v := range r.Vars {
+			in.Vars[v.K] = v.V
+		}
+		if r.Ticks > 0 {
+			in.clock += r.Ticks
+		}
+		if r.Explict != nil {
+			s := TaskState(*r.Explict)
+			ctx.explicit = &s
+		}
+		return r.Status
+	}
+	if j.err != nil {
+		return 0
+	}
+	eff := &actionEffects{}
+	j.capture = eff
+	status := t.Def.Action.Run(ctx)
+	j.capture = nil
+	r := jrec{Kind: "action", Task: t.Name, Attempt: t.Attempts,
+		Status: status, Ticks: eff.ticks, Puts: eff.puts, Vars: eff.vars}
+	if ctx.explicit != nil {
+		e := int(*ctx.explicit)
+		r.Explict = &e
+	}
+	j.step(r)
+	return status
+}
+
+// noteTicks records action-consumed clock ticks into the armed capture.
+func (in *Instance) noteTicks(n int) {
+	if in.journal != nil && in.journal.capture != nil {
+		in.journal.capture.ticks += n
+	}
+}
+
+// noteVar records an action variable set into the armed capture.
+func (in *Instance) noteVar(name, value string) {
+	if in.journal != nil && in.journal.capture != nil {
+		in.journal.capture.vars = append(in.journal.capture.vars, JKV{K: name, V: value})
+	}
+}
+
+// jattempt journals an attempt start.
+func (in *Instance) jattempt(t *Task) {
+	in.journal.step(jrec{Kind: "attempt", Task: t.Name, Attempt: t.Attempts, Clock: in.clock})
+}
+
+// jfinish journals an attempt end: raw status and the final state it
+// argues for.
+func (in *Instance) jfinish(t *Task, status int, final TaskState) {
+	in.journal.step(jrec{Kind: "finish", Task: t.Name, Attempt: t.Attempts,
+		Status: status, State: int(final), Clock: in.clock})
+}
+
+// jtick journals a retry backoff wait.
+func (in *Instance) jtick(name string, ticks int) {
+	in.journal.step(jrec{Kind: "tick", Task: name, Ticks: ticks, Clock: in.clock})
+}
+
+// jstate journals a task state transition.
+func (in *Instance) jstate(name string, s TaskState, status int) {
+	in.journal.step(jrec{Kind: "state", Task: name, State: int(s), Status: status, Clock: in.clock})
+}
+
+// jheld journals a Held park, carrying the deferred completion state.
+func (in *Instance) jheld(t *Task) {
+	in.journal.step(jrec{Kind: "state", Task: t.Name, State: int(Held),
+		Held: int(t.heldFinal), Clock: in.clock})
+}
+
+// journalStore wraps the instance's data store so action puts are
+// captured into the running action record. Outside an action (engine-
+// internal puts like corruptOutputs, and replay's own applications) it is
+// a transparent passthrough.
+type journalStore struct {
+	DataStore
+	j *FlowJournal
+}
+
+// Put implements DataStore, capturing the put when an action is live.
+func (s *journalStore) Put(name, content string) int {
+	v := s.DataStore.Put(name, content)
+	if c := s.j.capture; c != nil {
+		c.puts = append(c.puts, JKV{K: name, V: content})
+	}
+	return v
+}
+
+// Unwrap exposes the wrapped store (serve's finish report needs the
+// concrete VersionedStore for its history line).
+func (s *journalStore) Unwrap() DataStore { return s.DataStore }

@@ -1,0 +1,265 @@
+package workflow
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cadinterop/internal/fault"
+	"cadinterop/internal/journal"
+	"cadinterop/internal/obs"
+)
+
+// journalFlowTemplate exercises every journaled transition kind: retries
+// with backoff (faults), Held parks (finish dependencies), conditional
+// skips, explicit SetStatus, Ctx.Advance ticks, SetVar, data puts with
+// maturity gates, and trigger-based rework.
+func journalFlowTemplate() *Template {
+	return &Template{Name: "jflow", Steps: []*StepDef{
+		{Name: "plan", Action: FuncAction{Fn: func(c *Ctx) int {
+			c.Data().Put("floorplan", "rev1")
+			c.SetVar("floorplan.rev", "1")
+			return 0
+		}}, Outputs: []string{"floorplan"}},
+		{Name: "rtl", Action: FuncAction{Fn: func(c *Ctx) int {
+			c.Advance(2)
+			c.Data().Put("rtl", "module top")
+			return 0
+		}}, StartAfter: []string{"plan"},
+			Inputs:  []MaturityCheck{{Item: "floorplan", Exists: true}},
+			Outputs: []string{"rtl"},
+			Retry:   RetryPolicy{MaxAttempts: 3, Backoff: 2, AttemptTimeout: 8}},
+		{Name: "synth", Action: FuncAction{Fn: func(c *Ctx) int {
+			c.Advance(3)
+			c.Data().Put("netlist", "gates")
+			return 0
+		}}, StartAfter: []string{"rtl"},
+			Inputs:         []MaturityCheck{{Item: "rtl", Exists: true}},
+			Outputs:        []string{"netlist"},
+			FinishRequires: []string{"lint"},
+			Retry:          RetryPolicy{MaxAttempts: 3, Backoff: 2, AttemptTimeout: 8}},
+		{Name: "lint", Action: FuncAction{Fn: func(c *Ctx) int {
+			c.SetStatus(Skipped)
+			return 0
+		}}, StartAfter: []string{"rtl"}},
+		{Name: "docs", Action: FuncAction{Fn: func(*Ctx) int { return 0 }},
+			StartAfter: []string{"plan"},
+			Condition:  func(*Instance) bool { return false }},
+		{Name: "signoff", Action: FuncAction{Fn: func(c *Ctx) int {
+			if _, _, ok := c.Data().Get("netlist"); !ok {
+				return 1
+			}
+			return 0
+		}}, StartAfter: []string{"synth"},
+			Inputs:      []MaturityCheck{{Item: "netlist", Exists: true, NewerThan: "floorplan"}},
+			Permissions: []string{"manager"},
+			Retry:       RetryPolicy{MaxAttempts: 3, Backoff: 2, AttemptTimeout: 8}},
+	}}
+}
+
+// driveJournalFlow is the deterministic run script the sweep replays: two
+// role passes, then floorplan rework when plan survived. It mirrors
+// serve.Flow's drive shape (RunContinue + Reset/RunTask + RunContinue).
+func driveJournalFlow(in *Instance) *RunSummary {
+	in.RunContinue("engineer")
+	sum := in.RunContinue("manager")
+	if in.JournalErr() != nil {
+		return sum
+	}
+	if in.Tasks["plan"].State == Done {
+		if err := in.Reset("plan", "engineer"); err != nil {
+			return sum
+		}
+		if err := in.RunTask("plan", "engineer"); err != nil {
+			return sum
+		}
+		in.RunContinue("engineer")
+		sum = in.RunContinue("manager")
+	}
+	return sum
+}
+
+// journalDigest captures everything resume must reproduce exactly:
+// events, task end-state, RunSummary, metrics, vars, notifications,
+// clock, and the full obs trace + metrics text.
+func journalDigest(t *testing.T, in *Instance, sum *RunSummary, rec *obs.Recorder) string {
+	t.Helper()
+	var b strings.Builder
+	for _, e := range in.Events {
+		fmt.Fprintf(&b, "t=%d %s %s %s\n", e.Tick, e.Task, e.Kind, e.Msg)
+	}
+	for _, n := range in.TaskNames() {
+		tk := in.Tasks[n]
+		fmt.Fprintf(&b, "task %s state=%v attempts=%d status=%d runticks=%d started=%d finished=%d\n",
+			n, tk.State, tk.Attempts, tk.Status, tk.RunTicks, tk.StartedAt, tk.FinishedAt)
+	}
+	fmt.Fprintf(&b, "summary %s\n", sum)
+	fmt.Fprintf(&b, "metrics %s\n", CollectMetrics(in).Summary())
+	fmt.Fprintf(&b, "clock %d vars %v notifications %v\n", in.Ticks(), in.Vars, in.Notifications)
+	rec.Close()
+	if err := rec.WriteTree(&b); err != nil {
+		t.Fatalf("WriteTree: %v", err)
+	}
+	if err := rec.Metrics().Write(&b); err != nil {
+		t.Fatalf("metrics Write: %v", err)
+	}
+	return b.String()
+}
+
+// runJournaledFlow builds a fresh faulted instance over the template,
+// attaches j, drives it, and digests the result.
+func runJournaledFlow(t *testing.T, j *FlowJournal) (string, error) {
+	t.Helper()
+	inj, err := fault.ParseSpec("11:0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Instantiate(journalFlowTemplate(), NewMemStore(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Faults = inj
+	in.AttachJournal(j)
+	rec := obs.New(in)
+	root := rec.Start(0, "jflow")
+	in.Observe(rec, root)
+	sum := driveJournalFlow(in)
+	rec.End(root)
+	return journalDigest(t, in, sum, rec), in.JournalErr()
+}
+
+// referenceJournal runs the uninterrupted live run once and returns its
+// digest plus the full journal bytes and records.
+func referenceJournal(t *testing.T) (string, []byte, []journal.Rec) {
+	t.Helper()
+	var buf bytes.Buffer
+	digest, jerr := runJournaledFlow(t, NewFlowJournal(journal.NewWriter(&buf)))
+	if jerr != nil {
+		t.Fatalf("live run journal error: %v", jerr)
+	}
+	recs, valid, err := journal.Scan(buf.Bytes())
+	if err != nil || valid != buf.Len() {
+		t.Fatalf("live journal does not scan clean: valid=%d/%d err=%v", valid, buf.Len(), err)
+	}
+	if len(recs) < 30 {
+		t.Fatalf("flow journaled only %d records; template not exercising enough transitions", len(recs))
+	}
+	return digest, buf.Bytes(), recs
+}
+
+// TestJournalResumeEveryCrashPoint is the crash-point sweep: truncating
+// the journal at every record boundary (what a kill leaves behind, after
+// torn-tail truncation) and resuming must reproduce the uninterrupted
+// run exactly — events, task states, RunSummary, metrics, obs trace —
+// and the resumed journal file must converge to the same bytes.
+func TestJournalResumeEveryCrashPoint(t *testing.T) {
+	refDigest, refBytes, recs := referenceJournal(t)
+	for k := 0; k <= len(recs); k++ {
+		// Rebuild the surviving prefix through a fresh writer: framing is
+		// deterministic, so this is the crashed process's file verbatim.
+		var buf bytes.Buffer
+		w := journal.NewWriter(&buf)
+		for _, r := range recs[:k] {
+			if err := w.Append(r.Payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		digest, jerr := runJournaledFlow(t, ResumeFlowJournal(w, recs[:k]))
+		if jerr != nil {
+			t.Fatalf("crash point %d: resume diverged: %v", k, jerr)
+		}
+		if digest != refDigest {
+			t.Fatalf("crash point %d/%d: resumed digest differs from reference\n--- resumed ---\n%s\n--- reference ---\n%s",
+				k, len(recs), digest, refDigest)
+		}
+		if !bytes.Equal(buf.Bytes(), refBytes) {
+			t.Fatalf("crash point %d/%d: resumed journal bytes differ from reference", k, len(recs))
+		}
+	}
+}
+
+// TestJournalDivergenceDetected proves mutated records cannot be resumed
+// into silently different state: altering any one payload either breaks
+// the frame (caught by Scan) or surfaces ErrJournalDiverged.
+func TestJournalDivergenceDetected(t *testing.T) {
+	_, _, recs := referenceJournal(t)
+	// Mutate a mid-journal record's payload and re-frame the whole journal
+	// so only the semantic content (not the trailer) is wrong.
+	mid := len(recs) / 2
+	mut := make([]journal.Rec, len(recs))
+	copy(mut, recs)
+	p := append([]byte(nil), mut[mid].Payload...)
+	p[len(p)/2] ^= 0x01
+	mut[mid].Payload = p
+	_, jerr := runJournaledFlow(t, ResumeFlowJournal(nil, mut))
+	if !errors.Is(jerr, ErrJournalDiverged) {
+		t.Fatalf("mutated record %d: err = %v, want ErrJournalDiverged", mid, jerr)
+	}
+}
+
+// TestJournalForeignRunDetected proves a journal from a different run
+// configuration (different fault schedule) is flagged, not blended.
+func TestJournalForeignRunDetected(t *testing.T) {
+	_, _, recs := referenceJournal(t)
+	inj, err := fault.ParseSpec("12:0.3") // different seed than the journal's 11
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Instantiate(journalFlowTemplate(), NewMemStore(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Faults = inj
+	in.AttachJournal(ResumeFlowJournal(nil, recs))
+	rec := obs.New(in)
+	root := rec.Start(0, "jflow")
+	in.Observe(rec, root)
+	driveJournalFlow(in)
+	rec.End(root)
+	if jerr := in.JournalErr(); !errors.Is(jerr, ErrJournalDiverged) {
+		t.Fatalf("foreign-schedule resume: err = %v, want ErrJournalDiverged", jerr)
+	}
+}
+
+// TestJournalOffIsIdentical proves attaching no journal changes nothing:
+// the same flow with and without a live journal produces identical
+// digests (the journal is pure observation).
+func TestJournalOffIsIdentical(t *testing.T) {
+	withJ, _, _ := referenceJournal(t)
+	without, jerr := runJournaledFlow(t, nil)
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	if without != withJ {
+		t.Fatalf("journal-off digest differs from journal-on\n--- off ---\n%s\n--- on ---\n%s", without, withJ)
+	}
+}
+
+// TestJournalMetaRoundTrip covers the run-header record: written live,
+// validated on resume, and rejected when the config differs.
+func TestJournalMetaRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewFlowJournal(journal.NewWriter(&buf))
+	meta := []byte(`{"blocks":4,"store":"mem"}`)
+	if err := j.Meta("begin", meta); err != nil {
+		t.Fatalf("Meta live: %v", err)
+	}
+	recs, _, err := journal.Scan(buf.Bytes())
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("scan: recs=%d err=%v", len(recs), err)
+	}
+	kind, got, err := DecodeMeta(recs[0].Payload)
+	if err != nil || kind != "begin" || !bytes.Equal(got, meta) {
+		t.Fatalf("DecodeMeta = %q %q %v", kind, got, err)
+	}
+	r := ResumeFlowJournal(nil, recs)
+	if err := r.Meta("begin", meta); err != nil {
+		t.Fatalf("Meta resume: %v", err)
+	}
+	r2 := ResumeFlowJournal(nil, recs)
+	if err := r2.Meta("begin", []byte(`{"blocks":8,"store":"mem"}`)); !errors.Is(err, ErrJournalDiverged) {
+		t.Fatalf("Meta with different config: err = %v, want ErrJournalDiverged", err)
+	}
+}

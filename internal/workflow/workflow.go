@@ -77,6 +77,7 @@ func (c *Ctx) Data() DataStore { return c.Instance.Data }
 // data).
 func (c *Ctx) SetVar(name, value string) {
 	c.Instance.Vars[name] = value
+	c.Instance.noteVar(name, value)
 }
 
 // Var reads a data variable.
@@ -91,6 +92,7 @@ func (c *Ctx) Var(name string) (string, bool) {
 func (c *Ctx) Advance(n int) {
 	if n > 0 {
 		c.Instance.clock += n
+		c.Instance.noteTicks(n)
 	}
 }
 
@@ -311,6 +313,9 @@ type Instance struct {
 	// Faults, when non-nil, injects deterministic tool failures into every
 	// attempt (see internal/fault). Nil runs fault-free.
 	Faults Injector
+	// journal, when non-nil, records (or on resume validates) every state
+	// transition durably. Attach with AttachJournal; see journal.go.
+	journal *FlowJournal
 
 	// tracer is the attached observability recorder (nil = disabled; every
 	// use below is a no-op then). Attach with Observe. Metric handles are
@@ -527,6 +532,9 @@ func (in *Instance) Ready() []string {
 // the completion outcome: downstream consumers of changed data need their
 // rework marking whether or not this task managed to complete.
 func (in *Instance) RunTask(name, role string) error {
+	if err := in.JournalErr(); err != nil {
+		return err
+	}
 	t, ok := in.Tasks[name]
 	if !ok {
 		return fmt.Errorf("%w: no task %q", ErrState, name)
@@ -543,6 +551,7 @@ func (in *Instance) RunTask(name, role string) error {
 	if t.Def.Condition != nil && !t.Def.Condition(in) {
 		t.State = Skipped
 		in.log(name, "skipped", "condition false")
+		in.jstate(name, Skipped, 0)
 		in.mSkipped.Inc()
 		sp := in.tracer.Start(in.traceRoot, name)
 		in.tracer.Attr(sp, "state", "skipped")
@@ -572,9 +581,11 @@ func (in *Instance) RunTask(name, role string) error {
 			in.mBackoff.Add(int64(b))
 			in.tracer.EventN(t.span, "backoff", int64(b))
 			in.log(name, "retry", fmt.Sprintf("backoff %d ticks before attempt %d", b, t.Attempts+1))
+			in.jtick(name, b)
 		} else {
 			in.tracer.EventN(t.span, "backoff", 0)
 			in.log(name, "retry", fmt.Sprintf("attempt %d", t.Attempts+1))
+			in.jtick(name, 0)
 		}
 	}
 	t.Status = status
@@ -582,6 +593,7 @@ func (in *Instance) RunTask(name, role string) error {
 
 	if final == Failed {
 		t.State = Failed
+		in.jstate(name, Failed, status)
 		in.mFailed.Inc()
 		in.tracer.Attr(t.span, "state", "failed")
 		in.tracer.End(t.span)
@@ -594,6 +606,7 @@ func (in *Instance) RunTask(name, role string) error {
 	if d, held := in.incompleteFinishDep(t); held {
 		t.State = Held
 		t.heldFinal = final
+		in.jheld(t)
 		in.mHeld.Inc()
 		in.tracer.Event(t.span, "held", d)
 		in.tracer.Attr(t.span, "state", "held")
@@ -626,6 +639,7 @@ func (in *Instance) runAttempt(t *Task) (status int, final TaskState) {
 	asp := in.tracer.Start(t.span, "attempt")
 	in.tracer.AttrInt(asp, "n", int64(t.Attempts))
 	in.log(t.Name, "start", fmt.Sprintf("attempt %d (%s action)", t.Attempts, t.Def.Action.Lang()))
+	in.jattempt(t)
 
 	var f fault.Fault
 	if in.Faults != nil {
@@ -654,18 +668,18 @@ func (in *Instance) runAttempt(t *Task) (status int, final TaskState) {
 	case fault.Exit:
 		// The tool ran to completion — outputs written — but reported
 		// failure; the injected status overrides whatever it claimed.
-		t.Def.Action.Run(ctx)
+		in.runAction(ctx, t)
 		ctx.explicit = nil
 		in.log(t.Name, "fault", fmt.Sprintf("injected exit status %d on attempt %d", f.ExitStatus, t.Attempts))
 		status = f.ExitStatus
 	case fault.Corrupt:
 		// The tool "succeeded" but its outputs are garbage — only
 		// downstream data-maturity checks can catch this one.
-		status = t.Def.Action.Run(ctx)
+		status = in.runAction(ctx, t)
 		n := in.corruptOutputs(t)
 		in.log(t.Name, "fault", fmt.Sprintf("injected corruption of %d output item(s) on attempt %d", n, t.Attempts))
 	default:
-		status = t.Def.Action.Run(ctx)
+		status = in.runAction(ctx, t)
 	}
 	elapsed := in.clock - t.StartedAt
 	in.clock++
@@ -685,6 +699,7 @@ func (in *Instance) runAttempt(t *Task) (status int, final TaskState) {
 			status, t.Attempts, elapsed, t.Def.Retry.AttemptTimeout))
 		in.tracer.AttrInt(asp, "status", int64(status))
 		in.tracer.End(asp)
+		in.jfinish(t, status, final)
 		return status, final
 	case ctx.explicit != nil:
 		final = *ctx.explicit
@@ -696,6 +711,7 @@ func (in *Instance) runAttempt(t *Task) (status int, final TaskState) {
 	}
 	in.tracer.AttrInt(asp, "status", int64(status))
 	in.tracer.End(asp)
+	in.jfinish(t, status, final)
 	return status, final
 }
 
@@ -739,6 +755,7 @@ func (in *Instance) incompleteFinishDep(t *Task) (string, bool) {
 // CollectMetrics' event-kind scan stays truthful.
 func (in *Instance) complete(t *Task, final TaskState, status int) {
 	t.State = final
+	in.jstate(t.Name, final, status)
 	switch final {
 	case Done:
 		in.mDone.Inc()
@@ -819,6 +836,7 @@ func (in *Instance) fireTriggers(t *Task, before map[string]int) {
 			ct := in.Tasks[consumer]
 			if ct.State == Done {
 				ct.State = NeedsRerun
+				in.jstate(consumer, NeedsRerun, 0)
 				msg := fmt.Sprintf("data %q changed by %q: task %q needs rerun", item, t.Name, consumer)
 				in.Notifications = append(in.Notifications, msg)
 				in.log(consumer, "rerun", msg)
@@ -845,11 +863,13 @@ func (in *Instance) Reset(name, role string) error {
 	}
 	if t.State == NeedsRerun {
 		in.log(name, "rerun", "reset by "+role+" (rework marking preserved)")
+		in.jstate(name, NeedsRerun, 0)
 		return nil
 	}
 	t.State = Pending
 	t.heldFinal = Pending
 	in.log(name, "rerun", "reset by "+role)
+	in.jstate(name, Pending, 0)
 	return nil
 }
 
@@ -870,6 +890,13 @@ func (in *Instance) Run(role string) error {
 				continue
 			}
 			err := in.RunTask(name, role)
+			if jerr := in.JournalErr(); jerr != nil {
+				// Journal divergence invalidates the whole run: stop
+				// immediately instead of driving more tasks from suspect
+				// state.
+				errs = append(errs, jerr)
+				return errors.Join(errs...)
+			}
 			switch {
 			case err == nil:
 				progressed = true

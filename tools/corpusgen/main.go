@@ -14,6 +14,7 @@ import (
 
 	"cadinterop/internal/exchange"
 	"cadinterop/internal/geom"
+	"cadinterop/internal/journal/journaltest"
 	"cadinterop/internal/netlist"
 	"cadinterop/internal/schematic"
 	"cadinterop/internal/schematic/cd"
@@ -181,6 +182,30 @@ func run() error {
 	cdSeeds := []string{cdbuf.String(), "(design d (grid 10))", "(design"}
 	for i, s := range cdSeeds {
 		if err := write("internal/schematic/cd/testdata/fuzz/FuzzParse", i+1, s, false); err != nil {
+			return err
+		}
+	}
+
+	// journal replay seeds: the fixture's complete reference journal plus
+	// the failure shapes recovery must absorb — a mid-record truncation (a
+	// torn tail from a crash during append), a clean record-boundary
+	// prefix, a single flipped byte (disk damage), and trailer trivia.
+	_, ref, err := journaltest.Reference()
+	if err != nil {
+		return err
+	}
+	flipped := append([]byte(nil), ref...)
+	flipped[len(flipped)/2] ^= 0x01
+	jSeeds := []string{
+		string(ref),
+		string(ref[:len(ref)/2]),
+		string(ref) + `{"k":"attempt","t":"torn`,
+		string(flipped),
+		"payload\n; wal sha256:deadbeef bytes=7 seq=1\n",
+		"\n\n",
+	}
+	for i, s := range jSeeds {
+		if err := write("internal/journal/testdata/fuzz/FuzzJournalReplay", i+1, s, false); err != nil {
 			return err
 		}
 	}
