@@ -7,6 +7,7 @@ package journal_test
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -63,25 +64,44 @@ func FuzzJournalReplay(f *testing.F) {
 		}
 
 		// OpenFile must recover the same prefix from disk, truncating the
-		// torn suffix durably.
+		// torn suffix durably — unless the bytes hold no valid record at
+		// all, in which case the file is not a journal and must be refused
+		// byte-for-byte intact, never truncated to zero.
 		path := filepath.Join(dir, "fuzz.wal")
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		frecs, w, err := journal.OpenFile(path)
-		if err != nil {
-			t.Fatalf("OpenFile on scannable input: %v", err)
-		}
-		w.Close()
-		if len(frecs) != len(recs) {
-			t.Fatalf("OpenFile recovered %d records, Scan %d", len(frecs), len(recs))
-		}
-		ondisk, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(ondisk, data[:valid]) {
-			t.Fatalf("OpenFile left %d bytes, want the %d-byte valid prefix", len(ondisk), valid)
+		if len(data) > 0 && len(recs) == 0 {
+			if err == nil {
+				w.Close()
+				t.Fatalf("OpenFile adopted a %d-byte file with no valid records", len(data))
+			}
+			if !errors.Is(err, journal.ErrNotJournal) {
+				t.Fatalf("OpenFile refusal: err = %v, want ErrNotJournal", err)
+			}
+			ondisk, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if !bytes.Equal(ondisk, data) {
+				t.Fatalf("refused OpenFile modified the file: %d of %d bytes left", len(ondisk), len(data))
+			}
+		} else {
+			if err != nil {
+				t.Fatalf("OpenFile on scannable input: %v", err)
+			}
+			w.Close()
+			if len(frecs) != len(recs) {
+				t.Fatalf("OpenFile recovered %d records, Scan %d", len(frecs), len(recs))
+			}
+			ondisk, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if !bytes.Equal(ondisk, data[:valid]) {
+				t.Fatalf("OpenFile left %d bytes, want the %d-byte valid prefix", len(ondisk), valid)
+			}
 		}
 
 		// Resume: exact reference digest or a flagged error — never a

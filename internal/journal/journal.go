@@ -35,6 +35,14 @@ var (
 	// ErrTorn reports that a scan stopped before the end of its input: the
 	// remaining bytes are a torn or corrupt suffix, not valid records.
 	ErrTorn = errors.New("journal: torn or corrupt record")
+	// ErrNotJournal refuses a non-empty file containing no valid records:
+	// that is some other file handed to us by mistake, not a journal with
+	// a torn tail, and truncating it would destroy its contents.
+	ErrNotJournal = errors.New("journal: existing file is not a journal")
+	// ErrLocked reports that another process holds the journal open;
+	// concurrent appenders would interleave writes at the same offset and
+	// corrupt the file despite per-record framing.
+	ErrLocked = errors.New("journal: file is locked by another process")
 )
 
 // CrashExitStatus is the process exit status of the CrashAfter test hook,
@@ -191,9 +199,24 @@ func (w *Writer) Close() error {
 // to append after them. The truncation and the file's existence are both
 // fsync'd (file and parent directory), so the recovered state is itself
 // durable before any new record lands.
+//
+// Two refusals guard the recovery path. A non-empty file with no valid
+// records at all is ErrNotJournal: it is some other file, and truncating
+// it to zero would destroy data never placed under journal management —
+// a torn tail is only cut when at least one valid record precedes it.
+// (The cost: a journal torn during its very first append must be removed
+// by hand before the path can be reused.) And the open takes an exclusive
+// advisory lock on the file, so a second process journaling or resuming
+// the same path fails fast with ErrLocked instead of interleaving
+// appends; the kernel drops the lock with the descriptor, so a crashed
+// holder's journal is immediately resumable.
 func OpenFile(path string) ([]Rec, *Writer, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := lockFile(f, path); err != nil {
+		f.Close()
 		return nil, nil, err
 	}
 	data, err := io.ReadAll(f)
@@ -202,6 +225,11 @@ func OpenFile(path string) ([]Rec, *Writer, error) {
 		return nil, nil, err
 	}
 	recs, valid, _ := Scan(data)
+	if len(data) > 0 && len(recs) == 0 {
+		f.Close()
+		return nil, nil, fmt.Errorf("%w: %q holds %d bytes with no valid records; refusing to truncate (remove the file to start a journal at this path)",
+			ErrNotJournal, path, len(data))
+	}
 	if valid < len(data) {
 		if err := f.Truncate(int64(valid)); err != nil {
 			f.Close()

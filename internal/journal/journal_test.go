@@ -191,6 +191,67 @@ func TestOpenFileTruncatesTornTail(t *testing.T) {
 	}
 }
 
+// A non-empty file with no valid records is not a journal with a torn
+// tail — it is somebody else's data. OpenFile must refuse it untouched,
+// not truncate it to zero.
+func TestOpenFileRefusesForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	content := []byte("design review notes\nnot a journal\n")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := OpenFile(path)
+	if !errors.Is(err, ErrNotJournal) {
+		t.Fatalf("OpenFile on foreign file: err = %v, want ErrNotJournal", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("refused OpenFile modified the file: %q", got)
+	}
+}
+
+// A torn tail is only truncated when at least one valid record precedes
+// it; a file that is nothing but a torn first record is refused like any
+// other foreign file.
+func TestOpenFileRefusesTornFirstRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	if err := os.WriteFile(path, []byte("payload\n; wal sha256:dead"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFile(path); !errors.Is(err, ErrNotJournal) {
+		t.Fatalf("OpenFile on torn-first-record file: err = %v, want ErrNotJournal", err)
+	}
+}
+
+// Two concurrent opens of one journal must not both get a writer: the
+// second fails fast with ErrLocked, and the lock dies with the holder's
+// descriptor so a close (or crash) frees the path immediately.
+func TestOpenFileExcludesSecondHolder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	_, w1, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w1, "one")
+	if _, _, err := OpenFile(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second OpenFile while held: err = %v, want ErrLocked", err)
+	}
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, w2, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile after release: %v", err)
+	}
+	defer w2.Close()
+	if len(recs) != 1 || string(recs[0].Payload) != "one" {
+		t.Fatalf("post-release records = %v, want [one]", recs)
+	}
+}
+
 // File-backed writers must sync on every append, before Append returns —
 // the write-ahead contract. The seam counts syncs.
 func TestAppendSyncsPerRecord(t *testing.T) {

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; keeping a journal
+// single-writer is the operator's responsibility on such platforms.
+func lockFile(f *os.File, path string) error { return nil }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking advisory lock on the open
+// journal file. The lock lives on the descriptor: Writer.Close releases
+// it, and so does any process death, however abrupt — which is exactly
+// the lifetime a write-ahead log wants (a crashed run's journal is
+// resumable the instant the crash lands, while a live holder excludes
+// everyone else).
+func lockFile(f *os.File, path string) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return fmt.Errorf("%w: %q", ErrLocked, path)
+	}
+	return fmt.Errorf("journal: lock %q: %w", path, err)
+}

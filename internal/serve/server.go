@@ -78,8 +78,14 @@ type Server struct {
 	nextID int64
 	traces []traceEntry
 	log    []RequestLog
+	// jmu serializes request completion: it is held across ID assignment
+	// and the journal append so the journal's record order matches ID
+	// order, while mu — which /debug readers and keepTrace take — is only
+	// held for the in-memory updates and never across a per-record fsync.
+	// Lock order: jmu before mu, never the reverse.
+	jmu sync.Mutex
 	// reqlog, when non-nil, is the durable request journal: every
-	// finished request is appended (under mu) before the in-memory log
+	// finished request is appended (under jmu) before the in-memory log
 	// moves on, and startup replays it (see Config.RequestLog).
 	reqlog *journal.Writer
 }
@@ -166,6 +172,14 @@ func New(cfg Config) (*Server, error) {
 		}))
 	s.mux.HandleFunc("/v1/flow", post(s, "flow",
 		func(ctx context.Context, w *bytes.Buffer, req FlowRequest) (*obs.Recorder, error) {
+			// Run journaling is an operator concern, never a client one: a
+			// remote body naming a journal path would make the daemon
+			// open/create files of the client's choosing, and journal_crash
+			// arms a deliberate os.Exit(137) — a one-request daemon kill.
+			// Refuse before Flow can touch either.
+			if req.Journal != "" || req.Resume || req.JournalCrash != 0 {
+				return nil, errors.New("journal, resume, and journal_crash are not accepted over HTTP; run flowrun -journal/-resume on the daemon host instead")
+			}
 			return Flow(ctx, w, req.WithDefaults(), true)
 		}))
 	s.mux.HandleFunc("/debug/metrics", s.debugMetrics)
@@ -296,12 +310,16 @@ func (s *Server) count(ep, kind string) {
 // finishReq appends one entry to the bounded request log, journaling it
 // durably first when a request journal is configured. A journal write
 // failure must never fail the request being served — it is counted
-// (serve.reqlog.errors) and the in-memory log continues.
+// (serve.reqlog.errors) and the in-memory log continues. Only jmu is
+// held across the journal append and its fsync; mu guards the in-memory
+// structures alone, so /debug readers never wait on the disk.
 func (s *Server) finishReq(ep string, status int) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.nextID++
 	e := RequestLog{ID: s.nextID, Endpoint: ep, Status: status}
+	s.mu.Unlock()
 	if s.reqlog != nil {
 		payload, err := json.Marshal(e)
 		if err == nil {
@@ -311,17 +329,19 @@ func (s *Server) finishReq(ep string, status int) {
 			s.reg.Counter("serve.reqlog.errors").Inc()
 		}
 	}
+	s.mu.Lock()
 	s.log = append(s.log, e)
 	if len(s.log) > s.cfg.LogSize {
 		s.log = s.log[len(s.log)-s.cfg.LogSize:]
 	}
+	s.mu.Unlock()
 }
 
 // Close releases server-held resources (the request journal). Safe to
 // call once after the listener has drained.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
 	if s.reqlog == nil {
 		return nil
 	}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -150,6 +152,36 @@ func checkLogInvariant(t *testing.T, log []RequestLog, logSize int, full bool) {
 		if log[i].ID != log[i-1].ID+1 {
 			t.Fatalf("log not consecutive at %d: %d then %d", i, log[i-1].ID, log[i].ID)
 		}
+	}
+}
+
+// TestFlowJournalFieldsRejectedOverHTTP: the daemon must never act on
+// client-supplied journaling. A remote journal path would make the
+// server open/create/lock files of the client's choosing, and
+// journal_crash arms os.Exit(137) — a one-request daemon kill. Every
+// such request is refused before any engine work, and no server-side
+// file appears.
+func TestFlowJournalFieldsRejectedOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	wal := filepath.Join(t.TempDir(), "client.wal")
+	for _, body := range []string{
+		fmt.Sprintf(`{"blocks":2,"journal":%q}`, wal),
+		fmt.Sprintf(`{"blocks":2,"journal":%q,"resume":true}`, wal),
+		`{"blocks":2,"journal_crash":1}`,
+	} {
+		st, resp, _ := postJSON(t, ts.URL+"/v1/flow", body)
+		if st != http.StatusOK || resp.Exit != 1 {
+			t.Fatalf("%s: status %d exit %d, want 200 with exit 1", body, st, resp.Exit)
+		}
+		if !strings.Contains(resp.Error, "not accepted over HTTP") {
+			t.Fatalf("%s: error %q is not the journal refusal", body, resp.Error)
+		}
+		if resp.Output != "" {
+			t.Fatalf("%s: engine ran despite journal fields: %q", body, resp.Output)
+		}
+	}
+	if _, err := os.Stat(wal); !os.IsNotExist(err) {
+		t.Fatalf("daemon created the client-named journal file (stat err: %v)", err)
 	}
 }
 
