@@ -1,0 +1,91 @@
+// Command discover runs the automated interoperability-failure harness
+// (internal/discover, DESIGN.md §5k): seeded adversarial generation over
+// the pairwise dialect matrix, oracle checks, deterministic shrinking, and
+// a machine-readable catalogue. With -promote it ratchets the minimized
+// reproducers into the committed regression corpus; with -assert-promoted
+// it fails if the run surfaced any signature the corpus does not hold
+// (the CI smoke). Output is byte-identical across runs and -j values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cadinterop/internal/discover"
+	"cadinterop/internal/par"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "master seed (case seeds derive from it)")
+	cases := flag.Int("cases", 8, "generated cases per pair")
+	pairsFlag := flag.String("pairs", "", "comma-separated pair subset (default: full matrix)")
+	workers := flag.Int("j", 0, "worker count (0 = GOMAXPROCS, 1 = serial reference)")
+	out := flag.String("o", "", "write the JSON catalogue to this file (default: table only)")
+	promote := flag.String("promote", "", "promote distinct minimized cases into this corpus dir")
+	assert := flag.String("assert-promoted", "", "fail if any finding is missing from this corpus dir")
+	maxShrink := flag.Int("max-shrink", 200, "shrink-step cap per finding")
+	list := flag.Bool("list", false, "list pair names and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(discover.PairNames(), "\n"))
+		return
+	}
+
+	opts := discover.Options{
+		Seed:           *seed,
+		Cases:          *cases,
+		MaxShrinkSteps: *maxShrink,
+	}
+	if *pairsFlag != "" {
+		for _, p := range strings.Split(*pairsFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opts.Pairs = append(opts.Pairs, p)
+			}
+		}
+	}
+	if *workers > 0 {
+		opts.Par = append(opts.Par, par.Workers(*workers))
+	}
+
+	rep, err := discover.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := discover.WriteTable(os.Stdout, rep); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := discover.WriteCatalogue(f, rep); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *promote != "" {
+		n, err := discover.Promote(rep, *promote)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("promoted %d new case(s) to %s\n", n, *promote)
+	}
+	if *assert != "" {
+		if err := discover.AssertPromoted(rep, *assert); err != nil {
+			fatal(err)
+		}
+		fmt.Println("all findings promoted")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "discover:", strings.TrimPrefix(err.Error(), "discover: "))
+	os.Exit(1)
+}

@@ -1,5 +1,5 @@
 // Command experiments runs the full constructed-experiment harness
-// (E1–E18, see EXPERIMENTS.md) and prints every report. Positional
+// (E1–E19, see EXPERIMENTS.md) and prints every report. Positional
 // arguments select a subset by experiment id — only the selected
 // experiments run. The harness fans out across -j workers; output is
 // byte-identical at every worker count. A failing experiment degrades to

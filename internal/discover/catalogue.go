@@ -1,0 +1,47 @@
+package discover
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteCatalogue emits the machine-readable catalogue: indented JSON with
+// findings in canonical order. Byte-identical for identical runs.
+func WriteCatalogue(w io.Writer, r *Report) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("discover: encode catalogue: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadCatalogue parses a catalogue written by WriteCatalogue.
+func ReadCatalogue(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("discover: decode catalogue: %w", err)
+	}
+	return &rep, nil
+}
+
+// WriteTable renders the E19-style pairwise matrix table: cases tried,
+// failures, distinct minimized signatures per pair, plus a totals row.
+func WriteTable(w io.Writer, r *Report) error {
+	if _, err := fmt.Fprintf(w, "%-22s %8s %10s %10s\n", "pair", "cases", "failures", "distinct"); err != nil {
+		return err
+	}
+	var cases, fails, distinct int
+	for _, st := range r.Pairs {
+		cases += st.Cases
+		fails += st.Failures
+		distinct += st.Distinct
+		if _, err := fmt.Fprintf(w, "%-22s %8d %10d %10d\n", st.Pair, st.Cases, st.Failures, st.Distinct); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-22s %8d %10d %10d\n", "total", cases, fails, distinct)
+	return err
+}

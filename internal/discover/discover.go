@@ -1,0 +1,228 @@
+package discover
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"cadinterop/internal/par"
+)
+
+// Options sizes one discovery run.
+type Options struct {
+	// Seed is the run's master seed; every case seed derives from it.
+	Seed int64
+	// Cases is the budget per pair (default 8).
+	Cases int
+	// Pairs filters the matrix to the named pairs (nil = all, in
+	// canonical order). Unknown names are an error.
+	Pairs []string
+	// MaxShrinkSteps caps the reducer's rounds per finding (default 200).
+	MaxShrinkSteps int
+	// Par configures the fan-out pool (par.Workers(1) = serial reference).
+	Par []par.Option
+}
+
+// Case is one catalogued finding: the pair and oracle that detected it,
+// the derivation seed, and the minimized subject ready for replay.
+// Subject holds the minimized payload (JSON for structured kinds, raw
+// source for HDL); Signature is the content address of (kind, pair,
+// oracle, subject) — distinct signatures = distinct minimized reproducers.
+type Case struct {
+	Pair        string `json:"pair"`
+	Index       int    `json:"index"`
+	Seed        int64  `json:"seed"`
+	Oracle      string `json:"oracle"`
+	Detail      string `json:"detail"`
+	Kind        string `json:"kind"`
+	Subject     string `json:"subject"`
+	ShrinkSteps int    `json:"shrinkSteps"`
+	Signature   string `json:"signature"`
+}
+
+// PairStat is one row of the E19 matrix table.
+type PairStat struct {
+	Pair     string `json:"pair"`
+	Cases    int    `json:"cases"`
+	Failures int    `json:"failures"`
+	Distinct int    `json:"distinct"`
+}
+
+// Report is a complete discovery run: per-pair statistics plus every
+// finding in canonical (pair, case-index) order. It is a pure function of
+// Options minus Par — byte-identical across runs and worker counts.
+type Report struct {
+	Seed         int64      `json:"seed"`
+	CasesPerPair int        `json:"casesPerPair"`
+	Pairs        []PairStat `json:"pairs"`
+	Findings     []*Case    `json:"findings"`
+}
+
+// Run executes the discovery matrix: generate → oracle → shrink for every
+// (pair, case index), fanned out through par with ordered results.
+func Run(opts Options) (*Report, error) {
+	if opts.Cases <= 0 {
+		opts.Cases = 8
+	}
+	if opts.MaxShrinkSteps <= 0 {
+		opts.MaxShrinkSteps = 200
+	}
+	pairs, err := selectPairs(opts.Pairs)
+	if err != nil {
+		return nil, err
+	}
+	type unit struct {
+		pair Pair
+		idx  int
+	}
+	units := make([]unit, 0, len(pairs)*opts.Cases)
+	for _, p := range pairs {
+		for i := 0; i < opts.Cases; i++ {
+			units = append(units, unit{pair: p, idx: i})
+		}
+	}
+	results, err := par.Map(len(units), func(i int) (*Case, error) {
+		u := units[i]
+		seed := caseSeed(opts.Seed, u.pair.Name, u.idx)
+		subj := u.pair.Gen(seed, u.idx)
+		f := u.pair.Check(subj)
+		if f == nil {
+			return nil, nil
+		}
+		min, steps := Shrink(subj, u.pair.Check, f.Oracle, opts.MaxShrinkSteps, opts.Par...)
+		// Re-check the minimum: its detail line describes the shipped
+		// reproducer, not the original oversized subject.
+		fm := u.pair.Check(min)
+		if fm == nil {
+			fm = f // unreachable: Shrink only commits reproducing steps
+		}
+		c := &Case{
+			Pair:        u.pair.Name,
+			Index:       u.idx,
+			Seed:        seed,
+			Oracle:      fm.Oracle,
+			Detail:      fm.Detail,
+			Kind:        min.Kind(),
+			Subject:     string(min.Payload()),
+			ShrinkSteps: steps,
+		}
+		c.Signature = signature(c)
+		return c, nil
+	}, opts.Par...)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Seed: opts.Seed, CasesPerPair: opts.Cases}
+	stats := make(map[string]*PairStat, len(pairs))
+	distinct := make(map[string]map[string]bool, len(pairs))
+	for _, p := range pairs {
+		st := &PairStat{Pair: p.Name, Cases: opts.Cases}
+		stats[p.Name] = st
+		distinct[p.Name] = map[string]bool{}
+		rep.Pairs = append(rep.Pairs, *st)
+	}
+	for _, c := range results {
+		if c == nil {
+			continue
+		}
+		rep.Findings = append(rep.Findings, c)
+		stats[c.Pair].Failures++
+		distinct[c.Pair][c.Signature] = true
+	}
+	for i := range rep.Pairs {
+		st := stats[rep.Pairs[i].Pair]
+		st.Distinct = len(distinct[st.Pair])
+		rep.Pairs[i] = *st
+	}
+	return rep, nil
+}
+
+// Replay re-runs a catalogued case's oracle on its stored subject and
+// reports whether the incompatibility is still detected — the contract
+// TestDiscoveredRegressions enforces over the committed corpus: reverting
+// a detection guard makes replay fail.
+func Replay(c *Case) error {
+	p, ok := pairByName(c.Pair)
+	if !ok {
+		return fmt.Errorf("discover: replay: unknown pair %q", c.Pair)
+	}
+	subj, err := DecodeSubject(c.Kind, []byte(c.Subject))
+	if err != nil {
+		return fmt.Errorf("discover: replay %s/%s: %w", c.Pair, shortSig(c.Signature), err)
+	}
+	f := p.Check(subj)
+	if f == nil {
+		return fmt.Errorf("discover: replay %s/%s: incompatibility no longer detected (oracle %s)",
+			c.Pair, shortSig(c.Signature), c.Oracle)
+	}
+	if f.Oracle != c.Oracle {
+		return fmt.Errorf("discover: replay %s/%s: oracle drifted: recorded %s, got %s",
+			c.Pair, shortSig(c.Signature), c.Oracle, f.Oracle)
+	}
+	return nil
+}
+
+func selectPairs(names []string) ([]Pair, error) {
+	all := Pairs()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]Pair, len(all))
+	for _, p := range all {
+		byName[p.Name] = p
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		if _, ok := byName[n]; !ok {
+			return nil, fmt.Errorf("discover: unknown pair %q (have %v)", n, PairNames())
+		}
+		want[n] = true
+	}
+	// Preserve canonical matrix order regardless of filter order.
+	out := make([]Pair, 0, len(want))
+	for _, p := range all {
+		if want[p.Name] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+func pairByName(name string) (Pair, bool) {
+	for _, p := range Pairs() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Pair{}, false
+}
+
+// caseSeed derives a per-case seed by FNV-1a over (run seed, pair, index):
+// stable across pair-subset filters and worker counts, and decorrelated
+// between neighboring cases.
+func caseSeed(seed int64, pair string, idx int) int64 {
+	h := uint64(14695981039346656037)
+	for _, b := range []byte(fmt.Sprintf("%d|%s|%d", seed, pair, idx)) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// signature content-addresses a finding by what it reproduces, not how it
+// was found: seed, case index and shrink path are excluded, so the same
+// minimized reproducer discovered twice collapses to one identity.
+func signature(c *Case) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%s|", c.Kind, c.Pair, c.Oracle)
+	h.Write([]byte(c.Subject))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func shortSig(sig string) string {
+	if len(sig) > 16 {
+		return sig[:16]
+	}
+	return sig
+}

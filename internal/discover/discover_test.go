@@ -1,0 +1,231 @@
+package discover
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cadinterop/internal/par"
+)
+
+// smallOpts is the bounded fixed-seed run used across tests: full matrix,
+// two cases per pair — enough to surface findings in most pairs while
+// keeping the suite fast.
+func smallOpts(workers int) Options {
+	o := Options{Seed: 7, Cases: 2}
+	if workers > 0 {
+		o.Par = []par.Option{par.Workers(workers)}
+	}
+	return o
+}
+
+func catalogueBytes(t *testing.T, o Options) []byte {
+	t.Helper()
+	rep, err := Run(o)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCatalogue(&buf, rep); err != nil {
+		t.Fatalf("WriteCatalogue: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunDeterministic is the harness's core contract: the catalogue is a
+// pure function of (seed, matrix, budget) — byte-identical across repeat
+// runs and across worker counts, shrinking included.
+func TestRunDeterministic(t *testing.T) {
+	serial := catalogueBytes(t, smallOpts(1))
+	again := catalogueBytes(t, smallOpts(1))
+	wide := catalogueBytes(t, smallOpts(8))
+	if !bytes.Equal(serial, again) {
+		t.Fatal("catalogue differs between two serial runs")
+	}
+	if !bytes.Equal(serial, wide) {
+		t.Fatal("catalogue differs between -j 1 and -j 8")
+	}
+}
+
+// TestRunFindsIncompatibilities asserts the adversarial generator plus
+// oracles actually surface seams — a silent-loss finding on the unguarded
+// exchange path and a policy divergence in the sim matrix — and that each
+// minimized case replays from its serialized form.
+func TestRunFindsIncompatibilities(t *testing.T) {
+	rep, err := Run(Options{Seed: 7, Cases: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	byOracle := map[string]int{}
+	for _, c := range rep.Findings {
+		byOracle[c.Oracle]++
+	}
+	for _, want := range []string{"exch:silent-loss", "sim:policy-divergence", "synth:vendor-divergence", "bp:audit-divergence"} {
+		if byOracle[want] == 0 {
+			t.Errorf("no %s finding in fixed-seed run (got %v)", want, byOracle)
+		}
+	}
+	for _, c := range rep.Findings {
+		if err := Replay(c); err != nil {
+			t.Errorf("finding does not replay: %v", err)
+		}
+	}
+}
+
+// TestShrinkReachesFixpoint: a minimized subject admits no further
+// reduction that reproduces its oracle — re-shrinking is a no-op.
+func TestShrinkReachesFixpoint(t *testing.T) {
+	rep, err := Run(Options{Seed: 7, Cases: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("fixed-seed run found nothing to shrink")
+	}
+	for _, c := range rep.Findings[:min(3, len(rep.Findings))] {
+		p, ok := pairByName(c.Pair)
+		if !ok {
+			t.Fatalf("unknown pair %q", c.Pair)
+		}
+		subj, err := DecodeSubject(c.Kind, []byte(c.Subject))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		again, steps := Shrink(subj, p.Check, c.Oracle, 50)
+		if steps != 0 {
+			t.Errorf("%s/%s: minimized case shrank %d more steps to %d bytes",
+				c.Pair, shortSig(c.Signature), steps, len(again.Payload()))
+		}
+	}
+}
+
+// TestSubjectPayloadRoundTrip: decode(kind, payload) re-encodes to the
+// identical payload for every kind — the catalogue stores subjects
+// losslessly.
+func TestSubjectPayloadRoundTrip(t *testing.T) {
+	subjects := []Subject{
+		genSchematic(11, 0),
+		genNetlist(12, 1),
+		genSimHDL(13, 0),
+		genSynthHDL(14, 1),
+		genFlow(15, 2),
+	}
+	for _, s := range subjects {
+		got, err := DecodeSubject(s.Kind(), s.Payload())
+		if err != nil {
+			t.Fatalf("%s: decode: %v", s.Kind(), err)
+		}
+		if !bytes.Equal(got.Payload(), s.Payload()) {
+			t.Errorf("%s: payload not stable through decode/encode", s.Kind())
+		}
+	}
+	if _, err := DecodeSubject("bogus", nil); err == nil {
+		t.Error("unknown kind decoded without error")
+	}
+}
+
+// TestPromoteAndAssert covers the ratchet workflow: promote a run into a
+// fresh corpus, re-promotion is a no-op, the run then passes the
+// assert-promoted gate, and an empty corpus fails it.
+func TestPromoteAndAssert(t *testing.T) {
+	rep, err := Run(Options{Seed: 7, Cases: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("nothing to promote")
+	}
+	dir := t.TempDir()
+	n, err := Promote(rep, dir)
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("promoted zero cases")
+	}
+	n2, err := Promote(rep, dir)
+	if err != nil || n2 != 0 {
+		t.Fatalf("re-promotion wrote %d files (err %v), want 0", n2, err)
+	}
+	cases, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	if len(cases) != n {
+		t.Fatalf("corpus holds %d cases, promoted %d", len(cases), n)
+	}
+	for _, c := range cases {
+		if err := Replay(c); err != nil {
+			t.Errorf("promoted case does not replay: %v", err)
+		}
+	}
+	if err := AssertPromoted(rep, dir); err != nil {
+		t.Errorf("AssertPromoted on promoted corpus: %v", err)
+	}
+	if err := AssertPromoted(rep, filepath.Join(dir, "empty")); err == nil {
+		t.Error("AssertPromoted passed against an empty corpus")
+	} else if !strings.Contains(err.Error(), "unpromoted") {
+		t.Errorf("unexpected gate error: %v", err)
+	}
+}
+
+// TestPairFilter: unknown names error; a subset preserves canonical order.
+func TestPairFilter(t *testing.T) {
+	if _, err := Run(Options{Seed: 1, Cases: 1, Pairs: []string{"nope"}}); err == nil {
+		t.Error("unknown pair accepted")
+	}
+	rep, err := Run(Options{Seed: 7, Cases: 1, Pairs: []string{"exch-plain", "vl-cd"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Pairs) != 2 || rep.Pairs[0].Pair != "vl-cd" || rep.Pairs[1].Pair != "exch-plain" {
+		t.Errorf("filtered stats out of canonical order: %+v", rep.Pairs)
+	}
+}
+
+// TestCatalogueRoundTrip: WriteCatalogue → ReadCatalogue is lossless.
+func TestCatalogueRoundTrip(t *testing.T) {
+	rep, err := Run(Options{Seed: 7, Cases: 1, Pairs: []string{"exch-trailer"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCatalogue(&buf, rep); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadCatalogue(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	var again bytes.Buffer
+	if err := WriteCatalogue(&again, got); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("catalogue not stable through read/write")
+	}
+}
+
+// TestDiscoveredRegressions replays every promoted case in the committed
+// corpus: each catalogued incompatibility must still be DETECTED by its
+// recorded oracle. This is the regression ratchet — reverting a detection
+// guard (attr-aware compare, the integrity trailer, the audit-vs-intent
+// check) makes the corresponding replay fail here.
+func TestDiscoveredRegressions(t *testing.T) {
+	cases, err := LoadCorpus(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("committed corpus is empty — run `go run ./cmd/discover -seed 7 -cases 4 -promote internal/discover/testdata/corpus`")
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Pair+"/"+shortSig(c.Signature), func(t *testing.T) {
+			if err := Replay(c); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

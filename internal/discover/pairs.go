@@ -1,0 +1,408 @@
+package discover
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cadinterop/internal/backplane"
+	"cadinterop/internal/diag"
+	"cadinterop/internal/exchange"
+	"cadinterop/internal/hdl"
+	"cadinterop/internal/migrate"
+	"cadinterop/internal/netlist"
+	"cadinterop/internal/schematic"
+	"cadinterop/internal/schematic/vl"
+	"cadinterop/internal/sim"
+	"cadinterop/internal/synth"
+	"cadinterop/internal/workgen"
+)
+
+// Finding is one detected incompatibility: which oracle fired and a
+// deterministic one-line description of the loss.
+type Finding struct {
+	Oracle string
+	Detail string
+}
+
+// Pair is one cell of the pairwise dialect matrix: a seeded adversarial
+// generator for its subject kind plus the oracle that decides whether a
+// subject crosses the seam intact. Check must be a pure function of the
+// subject (no mutation, no clock, no global state) — the shrinker calls it
+// on every reduction candidate.
+//
+// Oracle philosophy: a LOUD refusal (parse error, migrate error, tool
+// abort) is the seam working as designed and is not a finding; only
+// silent divergence — both sides claim success but disagree semantically —
+// is catalogued. The one exception is the trailer pair, where the guard
+// *rejecting* is the discovery: the same netlist sails through the
+// unguarded path, so the reject localizes a corruption plain mode hides.
+type Pair struct {
+	Name  string
+	Gen   func(seed int64, idx int) Subject
+	Check func(s Subject) *Finding
+}
+
+// Pairs returns the full pairwise matrix in canonical order: schematic
+// capture (vl↔cd), exchange with and without the integrity trailer, the
+// six unordered sim scheduling-policy pairs, the three synth vendor-subset
+// pairs, and the three backplane P&R dialect pairs.
+func Pairs() []Pair {
+	ps := []Pair{
+		{Name: "vl-cd", Gen: genSchematic, Check: checkSchematic},
+		{Name: "exch-plain", Gen: genNetlist, Check: checkExchangePlain},
+		{Name: "exch-trailer", Gen: genNetlist, Check: checkExchangeTrailer},
+	}
+	pols := sim.AllPolicies()
+	for i := 0; i < len(pols); i++ {
+		for j := i + 1; j < len(pols); j++ {
+			a, b := pols[i], pols[j]
+			ps = append(ps, Pair{
+				Name:  fmt.Sprintf("sim-%s-%s", a, b),
+				Gen:   genSimHDL,
+				Check: func(s Subject) *Finding { return checkSimPolicies(s, a, b) },
+			})
+		}
+	}
+	vendors := synth.AllVendors()
+	for i := 0; i < len(vendors); i++ {
+		for j := i + 1; j < len(vendors); j++ {
+			a, b := vendors[i], vendors[j]
+			ps = append(ps, Pair{
+				Name:  fmt.Sprintf("synth-%s-%s", strings.ToLower(a.Name), strings.ToLower(b.Name)),
+				Gen:   genSynthHDL,
+				Check: func(s Subject) *Finding { return checkSynthVendors(s, a, b) },
+			})
+		}
+	}
+	tools := backplane.AllTools()
+	for i := 0; i < len(tools); i++ {
+		for j := i + 1; j < len(tools); j++ {
+			a, b := tools[i], tools[j]
+			ps = append(ps, Pair{
+				Name:  fmt.Sprintf("bp-%s-%s", strings.ToLower(a.Name), strings.ToLower(b.Name)),
+				Gen:   genFlow,
+				Check: func(s Subject) *Finding { return checkBackplane(s, a, b) },
+			})
+		}
+	}
+	return ps
+}
+
+// PairNames lists the matrix's pair names in canonical order.
+func PairNames() []string {
+	ps := Pairs()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// --- vl↔cd schematic capture ---------------------------------------------
+
+func genSchematic(seed int64, idx int) Subject {
+	w := workgen.Schematic(workgen.SchematicOptions{
+		Instances: 3 + idx%4,
+		Pages:     1 + idx%2,
+		Seed:      seed,
+	})
+	workgen.SchematicMutations(w.Design, seed+1, 1+idx%3)
+	return &SchematicSubject{D: w.Design}
+}
+
+// stdMigrateOptions is the fixed vl→cd rule set every schematic subject is
+// migrated under; target libraries and symbol maps are constant across
+// workloads, so a tiny canonical workload supplies them.
+func stdMigrateOptions(d *schematic.Design) migrate.Options {
+	std := workgen.Schematic(workgen.SchematicOptions{Instances: 2})
+	std.Design = d
+	return std.MigrateOptions()
+}
+
+func checkSchematic(s Subject) *Finding {
+	d := s.(*SchematicSubject).D
+	if d.Validate() != nil {
+		return nil // only legal databases count: keeps the shrinker honest
+	}
+	orig, err := schematic.Extract(d, schematic.VL.ExtractOptions())
+	if err != nil {
+		return nil // generator produced an unextractable design: not a seam
+	}
+
+	// Oracle 1: VL write → lenient read → extract → attr-aware compare.
+	// The lenient reader is the "soldier on" tool personality: it reports
+	// success, so any divergence from the original is silent loss.
+	var buf bytes.Buffer
+	if err := vl.Write(&buf, d); err != nil {
+		return nil // writer refused loudly
+	}
+	back, _, err := vl.ReadWithDiagnostics(bytes.NewReader(buf.Bytes()),
+		vl.ReadOptions{Mode: diag.Lenient, Source: "discover"})
+	if err != nil {
+		return &Finding{Oracle: "vl:unreadable-output",
+			Detail: "writer accepted a design its own lenient reader cannot parse"}
+	}
+	// The harness itself discovered that the VL file format carries no
+	// top-cell record at all (back.Top is always empty). Restore it
+	// out-of-band so content loss gets first claim on the verdict, then
+	// report the designation gap on otherwise-clean designs — one oracle
+	// id per root cause keeps the shrinker from sliding between seams.
+	topLost := back.Top != d.Top
+	back.Top = d.Top
+	reNL, err := schematic.Extract(back, schematic.VL.ExtractOptions())
+	if err != nil {
+		return &Finding{Oracle: "vl:reparse-extract-error",
+			Detail: "round-tripped design no longer extracts: " + err.Error()}
+	}
+	if diffs := netlist.Compare(orig, reNL, netlist.CompareOptions{CompareAttrs: true}); len(diffs) > 0 {
+		return &Finding{Oracle: "vl:roundtrip-loss", Detail: diffLine(diffs)}
+	}
+	if topLost {
+		return &Finding{Oracle: "vl:top-loss",
+			Detail: fmt.Sprintf("top designation %q not representable in the vl file format", d.Top)}
+	}
+
+	// Oracle 2: full vl→cd migration; the report's independent
+	// verification pass is the attr-aware compare of source vs target.
+	_, rep, err := migrate.Migrate(d, stdMigrateOptions(d))
+	if err != nil {
+		return nil // migration refused loudly
+	}
+	if len(rep.Verification) > 0 {
+		return &Finding{Oracle: "vlcd:migrate-verify-loss", Detail: diffLine(rep.Verification)}
+	}
+	return nil
+}
+
+// --- exchange round trips ------------------------------------------------
+
+func genNetlist(seed int64, idx int) Subject {
+	nl := workgen.ScaleNetlist(workgen.ScaleOptions{Nets: 4 + idx%5})
+	workgen.NetlistMutations(nl, seed, 1+idx%3)
+	return &NetlistSubject{NL: nl}
+}
+
+// checkExchangePlain round-trips through the unguarded interchange path:
+// plain write, lenient read, no trailer. Divergence here is exactly the
+// silent corruption the paper warns about.
+func checkExchangePlain(s Subject) *Finding {
+	nl := s.(*NetlistSubject).NL
+	if nl.Validate() != nil {
+		return nil // only legal databases count: keeps the shrinker honest
+	}
+	var buf bytes.Buffer
+	if err := exchange.Write(&buf, nl, exchange.WriteOptions{}); err != nil {
+		return nil // writer refused loudly
+	}
+	got, _, err := exchange.ReadBytes(buf.Bytes(), exchange.ReadOptions{
+		Mode: diag.Lenient, Source: "discover"})
+	if err != nil {
+		return &Finding{Oracle: "exch:unreadable-output",
+			Detail: "writer accepted a netlist its own lenient reader cannot parse"}
+	}
+	if diffs := netlist.Compare(nl, got, netlist.CompareOptions{CompareAttrs: true}); len(diffs) > 0 {
+		return &Finding{Oracle: "exch:silent-loss", Detail: diffLine(diffs)}
+	}
+	return nil
+}
+
+// checkExchangeTrailer runs the guarded path. A guard rejection is the
+// finding: the write succeeded, so without the trailer this netlist would
+// cross the seam corrupted and unnoticed (see checkExchangePlain).
+func checkExchangeTrailer(s Subject) *Finding {
+	nl := s.(*NetlistSubject).NL
+	if nl.Validate() != nil {
+		return nil // only legal databases count: keeps the shrinker honest
+	}
+	err := exchange.VerifyRoundTrip(nl)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, exchange.ErrIntegrity) {
+		return &Finding{Oracle: "exch:guard-reject", Detail: firstLine(err.Error())}
+	}
+	// Read-side parse failures mean the written bytes were corrupt enough
+	// to kill even the guarded reader — still a discovery: the producer
+	// claimed success.
+	return &Finding{Oracle: "exch:guard-unreadable", Detail: firstLine(err.Error())}
+}
+
+// --- sim scheduling policies ---------------------------------------------
+
+func genSimHDL(seed int64, idx int) Subject {
+	src := workgen.RacyDesign(1+idx%2, true)
+	src, _ = workgen.MutateHDL(src, workgen.SimHDLMutations(), seed, 1+idx%2)
+	return &HDLSubject{Src: src}
+}
+
+// checkSimPolicies elaborates the same source under two scheduling
+// personalities and compares every final signal value — two simulators
+// both "conforming to the LRM" yet disagreeing is the §3.1 divergence.
+func checkSimPolicies(s Subject, a, b sim.Policy) *Finding {
+	fa, ok := simFinals(s.(*HDLSubject).Src, a)
+	if !ok {
+		return nil
+	}
+	fb, ok := simFinals(s.(*HDLSubject).Src, b)
+	if !ok {
+		return nil
+	}
+	var diverged []string
+	for _, name := range sortedValueKeys(fa) {
+		if va, vb := fa[name], fb[name]; va.String() != vb.String() {
+			diverged = append(diverged, fmt.Sprintf("%s: %s!=%s", name, va, vb))
+		}
+	}
+	if len(diverged) == 0 {
+		return nil
+	}
+	return &Finding{Oracle: "sim:policy-divergence",
+		Detail: fmt.Sprintf("%d signals diverge: %s", len(diverged), strings.Join(diverged, " "))}
+}
+
+func simFinals(src string, pol sim.Policy) (map[string]sim.Value, bool) {
+	d, err := hdl.Parse(src)
+	if err != nil {
+		return nil, false
+	}
+	k, err := sim.Elaborate(d, "top", sim.Options{Policy: pol, DisableTrace: true})
+	if err != nil {
+		return nil, false
+	}
+	if err := k.Run(1000); err != nil {
+		return nil, false
+	}
+	return k.FinalValues(), true
+}
+
+func sortedValueKeys(m map[string]sim.Value) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- synth vendor subsets ------------------------------------------------
+
+func genSynthHDL(seed int64, idx int) Subject {
+	src := workgen.CombModule("gen", workgen.HDLOptions{
+		Gates:  5 + idx%6,
+		Inputs: 2 + idx%2,
+		Seed:   seed,
+	})
+	src, _ = workgen.MutateHDL(src, workgen.SynthHDLMutations(), seed, 1+idx%2)
+	return &HDLSubject{Src: src}
+}
+
+// checkSynthVendors is the portability oracle: the same legal-Verilog
+// module accepted by one vendor subset and rejected by the other.
+func checkSynthVendors(s Subject, a, b synth.Profile) *Finding {
+	d, err := hdl.Parse(s.(*HDLSubject).Src)
+	if err != nil {
+		return nil
+	}
+	va, vb := synth.CheckProfile(d, a), synth.CheckProfile(d, b)
+	if va.Accepted == vb.Accepted {
+		return nil // both take it, or both refuse loudly
+	}
+	rej := va
+	if va.Accepted {
+		rej = vb
+	}
+	feats := make([]string, 0, len(rej.Rejections))
+	seen := map[string]bool{}
+	for _, u := range rej.Rejections {
+		f := fmt.Sprint(u.Feature)
+		if !seen[f] {
+			seen[f] = true
+			feats = append(feats, f)
+		}
+	}
+	sort.Strings(feats)
+	return &Finding{Oracle: "synth:vendor-divergence",
+		Detail: fmt.Sprintf("%s rejects [%s], peer accepts", rej.Profile, strings.Join(feats, " "))}
+}
+
+// --- backplane P&R dialects ----------------------------------------------
+
+func genFlow(seed int64, idx int) Subject {
+	return &FlowSubject{
+		Cells:        4 + idx%4,
+		CriticalNets: 1 + idx%3,
+		Keepouts:     idx % 3,
+		Seed:         seed,
+	}
+}
+
+// checkBackplane drives both tools of the pair with their translated
+// constraint dialects and audits each result against the FULL floorplan
+// intent. Both tools report success; if their audit signatures differ,
+// one dialect silently dropped constraints the other honored.
+func checkBackplane(s Subject, a, b backplane.ToolDialect) *Finding {
+	f := s.(*FlowSubject)
+	d, fp, err := workgen.PhysDesign(workgen.PhysOptions{
+		Cells:        f.Cells,
+		Seed:         f.Seed,
+		CriticalNets: f.CriticalNets,
+		Keepouts:     f.Keepouts,
+	})
+	if err != nil {
+		return nil
+	}
+	ra, err := backplane.RunFlow(d, fp, a, f.Seed)
+	if err != nil || ra.Err != nil {
+		return nil // tool refused loudly
+	}
+	rb, err := backplane.RunFlow(d, fp, b, f.Seed)
+	if err != nil || rb.Err != nil {
+		return nil
+	}
+	sa, sb := auditSig(ra), auditSig(rb)
+	if sa == sb {
+		return nil
+	}
+	return &Finding{Oracle: "bp:audit-divergence",
+		Detail: fmt.Sprintf("%s{%s} vs %s{%s}", ra.Tool, sa, rb.Tool, sb)}
+}
+
+// auditSig summarizes one flow result as "violations/dropped-constraints".
+func auditSig(r *backplane.FlowResult) string {
+	kinds := map[string]int{}
+	for _, v := range r.Violations {
+		kinds[v.Kind]++
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names)+1)
+	for _, k := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, kinds[k]))
+	}
+	if r.Loss != nil && len(r.Loss.Items) > 0 {
+		parts = append(parts, fmt.Sprintf("lost=%d", len(r.Loss.Items)))
+	}
+	if len(parts) == 0 {
+		return "clean"
+	}
+	return strings.Join(parts, ",")
+}
+
+// diffLine renders a diff list as a deterministic one-liner: count plus
+// the first diff (diffs arrive in Compare's canonical order).
+func diffLine(diffs []netlist.Diff) string {
+	return fmt.Sprintf("%d diffs, first: %s", len(diffs), diffs[0])
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,111 @@
+package discover
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Promotion turns discovery runs into a coverage ratchet: each distinct
+// minimized reproducer is written once into a committed corpus directory
+// and replayed forever by TestDiscoveredRegressions, while AssertPromoted
+// lets CI fail a bounded fixed-seed run that surfaces any signature the
+// corpus does not yet hold.
+
+// Promote writes each distinct finding into dir as <pair>-<sig16>.json
+// (one Case per file). Existing files are left untouched — the corpus
+// only grows, and re-promoting an identical run is a no-op. Returns the
+// number of new files written.
+func Promote(r *Report, dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("discover: promote: %w", err)
+	}
+	written := 0
+	seen := map[string]bool{}
+	for _, c := range r.Findings {
+		if seen[c.Signature] {
+			continue
+		}
+		seen[c.Signature] = true
+		path := filepath.Join(dir, corpusFile(c))
+		if _, err := os.Stat(path); err == nil {
+			continue
+		}
+		b, err := json.MarshalIndent(c, "", "  ")
+		if err != nil {
+			return written, fmt.Errorf("discover: promote %s: %w", c.Signature, err)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return written, fmt.Errorf("discover: promote: %w", err)
+		}
+		written++
+	}
+	return written, nil
+}
+
+func corpusFile(c *Case) string {
+	return fmt.Sprintf("%s-%s.json", c.Pair, shortSig(c.Signature))
+}
+
+// LoadCorpus reads every promoted case under dir, sorted by filename. A
+// missing directory is an empty corpus, not an error.
+func LoadCorpus(dir string) ([]*Case, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("discover: corpus: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make([]*Case, 0, len(names))
+	for _, n := range names {
+		b, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, fmt.Errorf("discover: corpus: %w", err)
+		}
+		var c Case
+		if err := json.Unmarshal(b, &c); err != nil {
+			return nil, fmt.Errorf("discover: corpus %s: %w", n, err)
+		}
+		out = append(out, &c)
+	}
+	return out, nil
+}
+
+// AssertPromoted checks a run against the committed corpus and errors if
+// any finding's signature has not been promoted — CI's "zero new
+// unpromoted failures" gate over a fixed-seed bounded run.
+func AssertPromoted(r *Report, dir string) error {
+	corpus, err := LoadCorpus(dir)
+	if err != nil {
+		return err
+	}
+	have := make(map[string]bool, len(corpus))
+	for _, c := range corpus {
+		have[c.Signature] = true
+	}
+	var missing []string
+	seen := map[string]bool{}
+	for _, c := range r.Findings {
+		if !have[c.Signature] && !seen[c.Signature] {
+			seen[c.Signature] = true
+			missing = append(missing, fmt.Sprintf("%s %s (%s)", c.Pair, shortSig(c.Signature), c.Oracle))
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("discover: %d unpromoted finding(s):\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+	return nil
+}

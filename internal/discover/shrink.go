@@ -1,0 +1,49 @@
+package discover
+
+import "cadinterop/internal/par"
+
+// Shrink greedily minimizes a failing subject: each round enumerates the
+// subject's one-step reductions in canonical order and commits the FIRST
+// candidate that still trips the same oracle, looping until no candidate
+// reproduces or maxSteps rounds have been taken. Greedy-first-accept over
+// a canonical candidate order makes the minimum a pure function of
+// (subject, oracle) — no scheduling dependence — so shrink results are
+// byte-identical at any worker count.
+func Shrink(s Subject, check func(Subject) *Finding, oracle string, maxSteps int, popts ...par.Option) (Subject, int) {
+	steps := 0
+	for steps < maxSteps {
+		next := firstReproducing(s.Reductions(), check, oracle, popts...)
+		if next == nil {
+			break
+		}
+		s = next
+		steps++
+	}
+	return s, steps
+}
+
+// shrinkBlock is the candidate-probe batch size. Blocks are scanned in
+// order and the scan stops at the first block containing a hit, so the
+// chosen candidate — the lowest-index reproducer — is independent of both
+// the block size and the worker count; the block only bounds how much
+// speculative oracle work a round may waste.
+const shrinkBlock = 8
+
+// firstReproducing returns the lowest-index candidate whose oracle verdict
+// matches, probing one block at a time through par (ordered results).
+func firstReproducing(cands []Subject, check func(Subject) *Finding, oracle string, popts ...par.Option) Subject {
+	for lo := 0; lo < len(cands); lo += shrinkBlock {
+		hi := min(lo+shrinkBlock, len(cands))
+		block := cands[lo:hi]
+		hits, _ := par.Map(len(block), func(i int) (bool, error) {
+			f := check(block[i])
+			return f != nil && f.Oracle == oracle, nil
+		}, popts...)
+		for i, hit := range hits {
+			if hit {
+				return block[i]
+			}
+		}
+	}
+	return nil
+}

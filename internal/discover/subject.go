@@ -1,0 +1,350 @@
+// Package discover is the automated interoperability-failure harness
+// (ROADMAP item 4, after Sap & Szabo): it drives workgen as a seeded
+// adversarial generator over the pairwise tool-dialect matrix, detects
+// silent semantic loss with the repo's existing guards as oracles, shrinks
+// every failure to a minimal reproducer with a deterministic greedy
+// reducer, and emits a machine-readable catalogue whose minimized cases
+// can be promoted into a committed regression corpus (DESIGN.md §5k).
+//
+// Determinism contract: a run is a pure function of (seed, pair set, case
+// budget). Case seeds derive from an FNV hash of (seed, pair, index); the
+// generator, every oracle and the shrinker consume no wall clock and no
+// global randomness; fan-out goes through internal/par with ordered
+// results. Catalogues are therefore byte-identical across runs and across
+// worker counts — the property the E19 gate enforces.
+package discover
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cadinterop/internal/netlist"
+	"cadinterop/internal/schematic"
+)
+
+// Subject is one generated design under test. Payload is its canonical
+// serialized form (deterministic: encoding/json sorts map keys, HDL
+// subjects are raw source); Reductions enumerates every one-step-smaller
+// variant in a fixed canonical order — the shrinker accepts the first
+// variant that still trips the same oracle, so reduction order IS the
+// minimization result.
+type Subject interface {
+	Kind() string
+	Payload() []byte
+	Reductions() []Subject
+}
+
+// Subject kinds, also the catalogue's decode dispatch keys.
+const (
+	KindSchematic = "schematic"
+	KindNetlist   = "netlist"
+	KindHDL       = "hdl"
+	KindFlow      = "flow"
+)
+
+// DecodeSubject reconstructs a subject from a catalogue entry.
+func DecodeSubject(kind string, payload []byte) (Subject, error) {
+	switch kind {
+	case KindSchematic:
+		var d schematic.Design
+		if err := json.Unmarshal(payload, &d); err != nil {
+			return nil, fmt.Errorf("discover: decode schematic: %w", err)
+		}
+		return &SchematicSubject{D: &d}, nil
+	case KindNetlist:
+		var nl netlist.Netlist
+		if err := json.Unmarshal(payload, &nl); err != nil {
+			return nil, fmt.Errorf("discover: decode netlist: %w", err)
+		}
+		return &NetlistSubject{NL: &nl}, nil
+	case KindHDL:
+		return &HDLSubject{Src: string(payload)}, nil
+	case KindFlow:
+		var f FlowSubject
+		if err := json.Unmarshal(payload, &f); err != nil {
+			return nil, fmt.Errorf("discover: decode flow: %w", err)
+		}
+		return &f, nil
+	}
+	return nil, fmt.Errorf("discover: unknown subject kind %q", kind)
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Subjects are closed types with exported, marshalable fields;
+		// failure here is a programming error, not an input condition.
+		panic("discover: marshal subject: " + err.Error())
+	}
+	return b
+}
+
+// --- schematic subjects --------------------------------------------------
+
+// SchematicSubject wraps a capture-dialect design (the vl↔cd pair).
+type SchematicSubject struct{ D *schematic.Design }
+
+func (s *SchematicSubject) Kind() string    { return KindSchematic }
+func (s *SchematicSubject) Payload() []byte { return mustJSON(s.D) }
+
+// Reductions walks the design in canonical order (sorted cells, pages by
+// index, sorted instances, then slice order) emitting: delete-instance,
+// delete-prop, simplify-prop-value, delete-wire, delete-label,
+// simplify-label-text, delete-global. Each variant is an independent
+// clone; dangling references a deletion introduces are the oracle's
+// problem — a variant that no longer reproduces is simply rejected.
+func (s *SchematicSubject) Reductions() []Subject {
+	var out []Subject
+	emit := func(mut func(d *schematic.Design)) {
+		d := s.D.Clone()
+		mut(d)
+		out = append(out, &SchematicSubject{D: d})
+	}
+	for _, cn := range s.D.CellNames() {
+		c := s.D.Cells[cn]
+		for pi := range c.Pages {
+			pg := c.Pages[pi]
+			for _, in := range pg.InstanceNames() {
+				in := in
+				emit(func(d *schematic.Design) {
+					delete(d.Cells[cn].Pages[pi].Instances, in)
+				})
+				inst := pg.Instances[in]
+				for k := range inst.Props {
+					k := k
+					emit(func(d *schematic.Design) {
+						p := d.Cells[cn].Pages[pi].Instances[in]
+						p.Props = append(p.Props[:k:k], p.Props[k+1:]...)
+					})
+					if inst.Props[k].Value != "v" {
+						emit(func(d *schematic.Design) {
+							d.Cells[cn].Pages[pi].Instances[in].Props[k].Value = "v"
+						})
+					}
+				}
+			}
+			for k := range pg.Wires {
+				k := k
+				emit(func(d *schematic.Design) {
+					p := d.Cells[cn].Pages[pi]
+					p.Wires = append(p.Wires[:k:k], p.Wires[k+1:]...)
+				})
+			}
+			for k := range pg.Conns {
+				k := k
+				emit(func(d *schematic.Design) {
+					p := d.Cells[cn].Pages[pi]
+					p.Conns = append(p.Conns[:k:k], p.Conns[k+1:]...)
+				})
+			}
+			for k := range pg.Texts {
+				k := k
+				emit(func(d *schematic.Design) {
+					p := d.Cells[cn].Pages[pi]
+					p.Texts = append(p.Texts[:k:k], p.Texts[k+1:]...)
+				})
+			}
+			for k := range pg.Labels {
+				k := k
+				emit(func(d *schematic.Design) {
+					p := d.Cells[cn].Pages[pi]
+					p.Labels = append(p.Labels[:k:k], p.Labels[k+1:]...)
+				})
+				if pg.Labels[k].Text != "n" {
+					emit(func(d *schematic.Design) {
+						l := *d.Cells[cn].Pages[pi].Labels[k]
+						l.Text = "n"
+						d.Cells[cn].Pages[pi].Labels[k] = &l
+					})
+				}
+			}
+		}
+	}
+	for _, cn := range s.D.CellNames() {
+		c := s.D.Cells[cn]
+		if len(c.Pages) > 1 {
+			for pi := range c.Pages {
+				pi := pi
+				emit(func(d *schematic.Design) {
+					cc := d.Cells[cn]
+					cc.Pages = append(cc.Pages[:pi:pi], cc.Pages[pi+1:]...)
+					for i, pg := range cc.Pages {
+						pg.Index = i + 1
+					}
+				})
+			}
+		}
+		for k := range c.Ports {
+			k := k
+			emit(func(d *schematic.Design) {
+				cc := d.Cells[cn]
+				cc.Ports = append(cc.Ports[:k:k], cc.Ports[k+1:]...)
+			})
+		}
+	}
+	libs := make([]string, 0, len(s.D.Libraries))
+	for n := range s.D.Libraries {
+		libs = append(libs, n)
+	}
+	sort.Strings(libs)
+	for _, ln := range libs {
+		ln := ln
+		emit(func(d *schematic.Design) { delete(d.Libraries, ln) })
+	}
+	for k := range s.D.Globals {
+		k := k
+		emit(func(d *schematic.Design) {
+			d.Globals = append(d.Globals[:k:k], d.Globals[k+1:]...)
+		})
+	}
+	return out
+}
+
+// --- netlist subjects ----------------------------------------------------
+
+// NetlistSubject wraps a flat netlist (the exchange pairs).
+type NetlistSubject struct{ NL *netlist.Netlist }
+
+func (s *NetlistSubject) Kind() string    { return KindNetlist }
+func (s *NetlistSubject) Payload() []byte { return mustJSON(s.NL) }
+
+// Reductions emits, per sorted cell: delete-cell, delete-instance,
+// delete-net, delete-attr (net and instance, sorted keys),
+// simplify-attr-value, then delete-port.
+func (s *NetlistSubject) Reductions() []Subject {
+	var out []Subject
+	emit := func(mut func(nl *netlist.Netlist)) {
+		nl := s.NL.Clone()
+		mut(nl)
+		out = append(out, &NetlistSubject{NL: nl})
+	}
+	cells := make([]string, 0, len(s.NL.Cells))
+	for n := range s.NL.Cells {
+		cells = append(cells, n)
+	}
+	sort.Strings(cells)
+	for _, cn := range cells {
+		cn := cn
+		c := s.NL.Cells[cn]
+		if cn != s.NL.Top {
+			emit(func(nl *netlist.Netlist) { delete(nl.Cells, cn) })
+		}
+		insts := make([]string, 0, len(c.Instances))
+		for n := range c.Instances {
+			insts = append(insts, n)
+		}
+		sort.Strings(insts)
+		for _, in := range insts {
+			in := in
+			emit(func(nl *netlist.Netlist) { delete(nl.Cells[cn].Instances, in) })
+			for _, key := range sortedKeys(c.Instances[in].Attrs) {
+				key := key
+				emit(func(nl *netlist.Netlist) { delete(nl.Cells[cn].Instances[in].Attrs, key) })
+			}
+		}
+		nets := make([]string, 0, len(c.Nets))
+		for n := range c.Nets {
+			nets = append(nets, n)
+		}
+		sort.Strings(nets)
+		for _, nn := range nets {
+			nn := nn
+			emit(func(nl *netlist.Netlist) { delete(nl.Cells[cn].Nets, nn) })
+			net := c.Nets[nn]
+			for _, key := range sortedKeys(net.Attrs) {
+				key := key
+				emit(func(nl *netlist.Netlist) { delete(nl.Cells[cn].Nets[nn].Attrs, key) })
+				if net.Attrs[key] != "v" {
+					emit(func(nl *netlist.Netlist) { nl.Cells[cn].Nets[nn].Attrs[key] = "v" })
+				}
+			}
+			if net.Global {
+				emit(func(nl *netlist.Netlist) { nl.Cells[cn].Nets[nn].Global = false })
+			}
+		}
+		for k := range c.Ports {
+			k := k
+			emit(func(nl *netlist.Netlist) {
+				cc := nl.Cells[cn]
+				cc.Ports = append(cc.Ports[:k:k], cc.Ports[k+1:]...)
+			})
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- HDL subjects --------------------------------------------------------
+
+// HDLSubject wraps Verilog source (the sim-policy and synth-profile
+// pairs). Payload is the source itself.
+type HDLSubject struct{ Src string }
+
+func (s *HDLSubject) Kind() string    { return KindHDL }
+func (s *HDLSubject) Payload() []byte { return []byte(s.Src) }
+
+// Reductions deletes one body line at a time (never the module header or
+// its endmodule), top to bottom. Variants the parser rejects are weeded
+// out by the oracle re-check.
+func (s *HDLSubject) Reductions() []Subject {
+	lines := strings.Split(s.Src, "\n")
+	var out []Subject
+	for i, ln := range lines {
+		t := strings.TrimSpace(ln)
+		if t == "" || strings.HasPrefix(t, "module") || strings.HasPrefix(t, "endmodule") {
+			continue
+		}
+		rest := make([]string, 0, len(lines)-1)
+		rest = append(rest, lines[:i]...)
+		rest = append(rest, lines[i+1:]...)
+		out = append(out, &HDLSubject{Src: strings.Join(rest, "\n")})
+	}
+	return out
+}
+
+// --- flow subjects -------------------------------------------------------
+
+// FlowSubject is a parametric P&R workload (the backplane pairs): the
+// design is regenerated from these parameters on every check, so the
+// catalogue stores the recipe, not the geometry.
+type FlowSubject struct {
+	Cells        int
+	CriticalNets int
+	Keepouts     int
+	Seed         int64
+}
+
+func (s *FlowSubject) Kind() string    { return KindFlow }
+func (s *FlowSubject) Payload() []byte { return mustJSON(s) }
+
+// Reductions shrinks one parameter at a time toward the floor
+// (2 cells, 0 critical nets, 0 keepouts).
+func (s *FlowSubject) Reductions() []Subject {
+	var out []Subject
+	if s.Cells > 2 {
+		c := *s
+		c.Cells--
+		out = append(out, &c)
+	}
+	if s.CriticalNets > 0 {
+		c := *s
+		c.CriticalNets--
+		out = append(out, &c)
+	}
+	if s.Keepouts > 0 {
+		c := *s
+		c.Keepouts--
+		out = append(out, &c)
+	}
+	return out
+}

@@ -646,6 +646,7 @@ func registry() []entry {
 		{"E16", "scale: streaming + sharding", func(o []par.Option) (*Report, error) { return E16Scale() }},
 		{"E17", "memoization + incremental reroute", func(o []par.Option) (*Report, error) { return E17Memoization() }},
 		{"E18", "crash-exact journal resume", func(o []par.Option) (*Report, error) { return E18CrashResume() }},
+		{"E19", "automated interoperability discovery", func(o []par.Option) (*Report, error) { return E19Discovery(4, o...) }},
 	}
 }
 

@@ -212,7 +212,7 @@ func TestAllExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 18 {
+	if len(reports) != 19 {
 		t.Fatalf("reports = %d", len(reports))
 	}
 	for _, r := range reports {
@@ -280,6 +280,39 @@ func TestE18(t *testing.T) {
 	}
 	if r2.String() != r.String() {
 		t.Errorf("E18 not deterministic:\n--- a\n%s\n--- b\n%s", r, r2)
+	}
+}
+
+// TestE19 pins the discovery matrix: the harness must fire in the seams
+// the repo knows are real (exchange attr keys, sim policy races, synth
+// subset asymmetry, backplane constraint drops), and the rendered table —
+// shrinking included — must be byte-identical across runs and worker
+// counts.
+func TestE19(t *testing.T) {
+	r, err := E19Discovery(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	for _, want := range []string{"vl-cd", "exch-plain", "sim-fifo-lifo", "synth-vendora-vendorb", "bp-toolp-toolq", "total"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("row %q missing:\n%s", want, joined)
+		}
+	}
+	totals := strings.Fields(r.Lines[len(r.Lines)-2])
+	if len(totals) == 4 && totals[2] == "0" {
+		t.Errorf("fixed-seed discovery found zero failures:\n%s", joined)
+	}
+	serial, err := E19Discovery(2, par.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := E19Discovery(2, par.Workers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != r.String() || wide.String() != r.String() {
+		t.Errorf("E19 not worker-count independent:\n--- default\n%s\n--- j1\n%s\n--- j8\n%s", r, serial, wide)
 	}
 }
 

@@ -1,0 +1,178 @@
+package schematic
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cadinterop/internal/diag"
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+)
+
+// Reconcile edge cases the discovery shrinker exposes: designs that end up
+// EMPTY after quarantine, and designs whose deletions leave references
+// dangling (labels and wires naming nets whose instances are gone). Until
+// now only the readers' lenient-parse paths exercised Reconcile; these
+// build the pathological shapes directly.
+
+// edgeDesign builds a one-cell one-page design with a known-good symbol.
+func edgeDesign() *Design {
+	d := NewDesign("edge", geom.GridTenth)
+	lib := d.EnsureLibrary("std")
+	lib.AddSymbol(&Symbol{
+		Name: "buf", View: "sym", Body: geom.R(0, 0, 2, 2),
+		Pins: []SymbolPin{
+			{Name: "A", Pos: geom.Pt(0, 0), Dir: netlist.Input},
+			{Name: "Y", Pos: geom.Pt(2, 0), Dir: netlist.Output},
+		},
+	})
+	c, _ := d.AddCell("top")
+	c.AddPage(geom.R(0, 0, 100, 80))
+	d.Top = "top"
+	return d
+}
+
+func TestReconcileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(d *Design)
+		// wantDropped is the diagnostic substring lenient mode must emit;
+		// empty means the design must reconcile clean.
+		wantDropped string
+		// wantEmpty asserts the page has no instances left afterwards.
+		wantEmpty bool
+	}{
+		{
+			name: "clean design untouched",
+			mut: func(d *Design) {
+				d.Cells["top"].Pages[0].AddInstance(&Instance{
+					Name: "u1", Sym: SymbolKey{Lib: "std", Name: "buf", View: "sym"},
+				})
+			},
+		},
+		{
+			name: "unknown symbol quarantined to empty page",
+			mut: func(d *Design) {
+				d.Cells["top"].Pages[0].AddInstance(&Instance{
+					Name: "u1", Sym: SymbolKey{Lib: "std", Name: "ghost", View: "sym"},
+				})
+			},
+			wantDropped: "unknown symbol",
+			wantEmpty:   true,
+		},
+		{
+			name: "every instance quarantined, wires and labels survive dangling",
+			mut: func(d *Design) {
+				pg := d.Cells["top"].Pages[0]
+				pg.AddInstance(&Instance{Name: "u1", Sym: SymbolKey{Lib: "none", Name: "x", View: "v"}})
+				pg.AddInstance(&Instance{Name: "u2", Sym: SymbolKey{Lib: "none", Name: "y", View: "v"}})
+				pg.Wires = append(pg.Wires, &Wire{Points: []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0)}})
+				pg.Labels = append(pg.Labels, &Label{Text: "orphan", At: geom.Pt(0, 0), Size: 8})
+			},
+			wantDropped: "unknown symbol",
+			wantEmpty:   true,
+		},
+		{
+			name: "invalid orientation quarantined",
+			mut: func(d *Design) {
+				d.Cells["top"].Pages[0].AddInstance(&Instance{
+					Name: "u1", Sym: SymbolKey{Lib: "std", Name: "buf", View: "sym"},
+					Placement: geom.Transform{Orient: geom.Orientation(99)},
+				})
+			},
+			wantDropped: "invalid orientation",
+			wantEmpty:   true,
+		},
+		{
+			name: "degenerate one-point wire dropped",
+			mut: func(d *Design) {
+				pg := d.Cells["top"].Pages[0]
+				pg.Wires = append(pg.Wires, &Wire{Points: []geom.Point{geom.Pt(5, 5)}})
+			},
+			wantDropped: "degenerate or non-Manhattan",
+		},
+		{
+			name: "non-Manhattan wire dropped",
+			mut: func(d *Design) {
+				pg := d.Cells["top"].Pages[0]
+				pg.Wires = append(pg.Wires, &Wire{Points: []geom.Point{geom.Pt(0, 0), geom.Pt(3, 7)}})
+			},
+			wantDropped: "degenerate or non-Manhattan",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Lenient: quarantine and keep going; survivors must Validate.
+			d := edgeDesign()
+			tc.mut(d)
+			col := diag.New(diag.Lenient, "test", errors.New("schematic"))
+			if err := Reconcile(d, col); err != nil {
+				t.Fatalf("lenient Reconcile aborted: %v", err)
+			}
+			if tc.wantDropped == "" && len(col.Diags) != 0 {
+				t.Errorf("clean design produced diagnostics: %v", col.Diags)
+			}
+			if tc.wantDropped != "" {
+				found := false
+				for _, dg := range col.Diags {
+					if strings.Contains(dg.Msg, tc.wantDropped) {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("no %q diagnostic in %v", tc.wantDropped, col.Diags)
+				}
+			}
+			if err := d.Validate(); err != nil {
+				t.Errorf("design invalid after lenient reconcile: %v", err)
+			}
+			if tc.wantEmpty && len(d.Cells["top"].Pages[0].Instances) != 0 {
+				t.Errorf("instances survived quarantine: %v", d.Cells["top"].Pages[0].InstanceNames())
+			}
+
+			// Strict: the first problem must abort instead of mutating.
+			d2 := edgeDesign()
+			tc.mut(d2)
+			col2 := diag.New(diag.Strict, "test", errors.New("schematic"))
+			err := Reconcile(d2, col2)
+			if tc.wantDropped == "" && err != nil {
+				t.Errorf("strict Reconcile rejected a clean design: %v", err)
+			}
+			if tc.wantDropped != "" && err == nil {
+				t.Error("strict Reconcile absorbed a broken design")
+			}
+		})
+	}
+}
+
+// TestReconcileCellDeletionDanglingRefs mirrors the shrinker's
+// delete-instance pass: removing an instance leaves its wires and labels
+// behind, which is legal (dangling geometry is cosmetic, not structural) —
+// Reconcile must not touch them and the design must still Validate and
+// extract.
+func TestReconcileCellDeletionDanglingRefs(t *testing.T) {
+	d := edgeDesign()
+	pg := d.Cells["top"].Pages[0]
+	pg.AddInstance(&Instance{Name: "u1", Sym: SymbolKey{Lib: "std", Name: "buf", View: "sym"}})
+	pg.Wires = append(pg.Wires, &Wire{Points: []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0)}})
+	pg.Labels = append(pg.Labels, &Label{Text: "n1", At: geom.Pt(0, 0), Size: 8})
+	delete(pg.Instances, "u1")
+
+	col := diag.New(diag.Lenient, "test", errors.New("schematic"))
+	if err := Reconcile(d, col); err != nil {
+		t.Fatalf("Reconcile: %v", err)
+	}
+	if len(col.Diags) != 0 {
+		t.Errorf("dangling wires/labels diagnosed: %v", col.Diags)
+	}
+	if len(pg.Wires) != 1 || len(pg.Labels) != 1 {
+		t.Errorf("dangling geometry dropped: wires=%d labels=%d", len(pg.Wires), len(pg.Labels))
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate after deletion: %v", err)
+	}
+	if _, err := Extract(d, VL.ExtractOptions()); err != nil {
+		t.Errorf("Extract after deletion: %v", err)
+	}
+}

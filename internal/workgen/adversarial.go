@@ -1,0 +1,261 @@
+package workgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"cadinterop/internal/geom"
+	"cadinterop/internal/netlist"
+	"cadinterop/internal/schematic"
+)
+
+// Adversarial mutation hooks for the discovery harness (internal/discover).
+// Each hook perturbs a generated workload with the hostile shapes the paper
+// says hide in pairwise seams — names a dialect writer cannot represent,
+// attribute keys that collide with a target tool's standard properties,
+// foreign bus syntax, scheduling races — so the harness's oracles can hunt
+// for silent loss instead of replaying only well-formed designs. Every hook
+// is a pure function of (input, seed): targets are chosen from sorted name
+// lists and a private rand.Source, so identical seeds mutate identically at
+// any worker count.
+
+// HostileNames is the shared pool of adversarial name/value fragments:
+// embedded separators, dialect metacharacters and trailing whitespace —
+// each legal in the in-memory model but hostile to at least one
+// interchange writer's record syntax.
+func HostileNames() []string {
+	return []string{
+		"two words",
+		"paren(net)",
+		"semi;rest",
+		"dq\"uote",
+		"tab\tsep",
+		"trail ",
+		"(open",
+	}
+}
+
+// SchematicMutations applies n seed-deterministic adversarial edits to the
+// design in place and reports each as "kind:token". Edits model a source
+// tool whose database accepts names the VL file syntax cannot carry:
+// hostile property names, label texts and globals, a property colliding
+// with the target dialect's standard instName, and CD-style bus syntax in
+// a VL design. Property values get hostile tokens too — writers quote
+// values, so those serve as the negative-space control.
+func SchematicMutations(d *schematic.Design, seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	toks := HostileNames()
+	cells := d.CellNames()
+	if len(cells) == 0 {
+		return nil
+	}
+	var applied []string
+	for i := 0; i < n; i++ {
+		c := d.Cells[cells[rng.Intn(len(cells))]]
+		if len(c.Pages) == 0 {
+			continue
+		}
+		pg := c.Pages[rng.Intn(len(c.Pages))]
+		tok := toks[rng.Intn(len(toks))]
+		// Off-sheet stub for label mutations: its own net, never merging
+		// with generated geometry (distinct x per edit).
+		stub := []geom.Point{geom.Pt(-(4 + 2*i), -2), geom.Pt(-(4 + 2*i), -6)}
+		switch rng.Intn(6) {
+		case 0: // hostile property name on an instance
+			names := pg.InstanceNames()
+			if len(names) == 0 {
+				continue
+			}
+			inst := pg.Instances[names[rng.Intn(len(names))]]
+			inst.Props = append(inst.Props, schematic.Property{
+				Name: tok, Value: fmt.Sprintf("adv%d", i), Size: 8})
+			applied = append(applied, "prop-name:"+tok)
+		case 1: // hostile net label on a fresh stub wire
+			pg.Wires = append(pg.Wires, &schematic.Wire{Points: stub})
+			pg.Labels = append(pg.Labels, &schematic.Label{Text: tok, At: stub[0], Size: 8})
+			applied = append(applied, "label:"+tok)
+		case 2: // hostile global net name
+			d.Globals = append(d.Globals, tok)
+			applied = append(applied, "global:"+tok)
+		case 3: // collision with the target dialect's standard property
+			names := pg.InstanceNames()
+			if len(names) == 0 {
+				continue
+			}
+			inst := pg.Instances[names[rng.Intn(len(names))]]
+			inst.Props = append(inst.Props, schematic.Property{
+				Name: "instName", Value: fmt.Sprintf("COLL%d", i), Size: 8})
+			applied = append(applied, "prop-collision:instName")
+		case 4: // hostile property value (control: values are quoted)
+			names := pg.InstanceNames()
+			if len(names) == 0 {
+				continue
+			}
+			inst := pg.Instances[names[rng.Intn(len(names))]]
+			inst.Props = append(inst.Props, schematic.Property{
+				Name: fmt.Sprintf("adv%d", i), Value: tok, Size: 8})
+			applied = append(applied, "prop-value:"+tok)
+		case 5: // foreign (CD-style) bus syntax in a VL design
+			txt := fmt.Sprintf("ADV%d[1:0]", i)
+			pg.Wires = append(pg.Wires, &schematic.Wire{Points: stub})
+			pg.Labels = append(pg.Labels, &schematic.Label{Text: txt, At: stub[0], Size: 8})
+			applied = append(applied, "bus-foreign:"+txt)
+		}
+	}
+	return applied
+}
+
+// NetlistMutations applies n seed-deterministic adversarial edits to the
+// netlist in place and reports each as "kind:token". Edits target the
+// exchange writer's seams: attribute keys (emitted raw), net/cell/instance
+// names (aliased but not sanitized), empty keys, and — as the control —
+// attribute values, which the writer quotes.
+func NetlistMutations(nl *netlist.Netlist, seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	toks := HostileNames()
+	cellNames := make([]string, 0, len(nl.Cells))
+	for name := range nl.Cells {
+		cellNames = append(cellNames, name)
+	}
+	sort.Strings(cellNames)
+	if len(cellNames) == 0 {
+		return nil
+	}
+	var applied []string
+	for i := 0; i < n; i++ {
+		c := nl.Cells[cellNames[rng.Intn(len(cellNames))]]
+		tok := toks[rng.Intn(len(toks))]
+		nets := sortedNetNames(c)
+		insts := sortedInstNames(c)
+		switch rng.Intn(6) {
+		case 0: // hostile attribute key on a net
+			if len(nets) == 0 {
+				continue
+			}
+			c.Nets[nets[rng.Intn(len(nets))]].Attrs[tok] = fmt.Sprintf("v%d", i)
+			applied = append(applied, "net-attr-key:"+tok)
+		case 1: // hostile attribute key on an instance
+			if len(insts) == 0 {
+				continue
+			}
+			c.Instances[insts[rng.Intn(len(insts))]].Attrs[tok] = fmt.Sprintf("v%d", i)
+			applied = append(applied, "inst-attr-key:"+tok)
+		case 2: // hostile net name
+			c.EnsureNet(tok)
+			applied = append(applied, "net-name:"+tok)
+		case 3: // empty attribute key on a net
+			if len(nets) == 0 {
+				continue
+			}
+			c.Nets[nets[rng.Intn(len(nets))]].Attrs[""] = fmt.Sprintf("v%d", i)
+			applied = append(applied, "net-attr-empty-key")
+		case 4: // hostile attribute value (control: values are quoted)
+			if len(nets) == 0 {
+				continue
+			}
+			c.Nets[nets[rng.Intn(len(nets))]].Attrs[fmt.Sprintf("adv%d", i)] = tok
+			applied = append(applied, "net-attr-value:"+tok)
+		case 5: // hostile instance name referencing an existing master
+			if len(insts) == 0 {
+				continue
+			}
+			master := c.Instances[insts[rng.Intn(len(insts))]].Master
+			name := tok + fmt.Sprintf("%d", i)
+			if _, err := c.AddInstance(name, master); err == nil {
+				applied = append(applied, "inst-name:"+name)
+			}
+		}
+	}
+	return applied
+}
+
+func sortedNetNames(c *netlist.Cell) []string {
+	out := make([]string, 0, len(c.Nets))
+	for n := range c.Nets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedInstNames(c *netlist.Cell) []string {
+	out := make([]string, 0, len(c.Instances))
+	for n := range c.Instances {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HDLMutation is one named source-level edit; Lines renders the statements
+// to splice in, parameterized by an application index so repeated
+// applications stay distinct.
+type HDLMutation struct {
+	Name  string
+	Lines func(k int) []string
+}
+
+// SimHDLMutations returns self-contained scheduling hazards for testbench
+// modules (anything declaring `reg clk`): blocking-assignment read/write
+// and write/write races whose outcome depends on the kernel's process
+// scheduling policy — the §3.1 divergence, injectable into clean designs.
+func SimHDLMutations() []HDLMutation {
+	return []HDLMutation{
+		{Name: "race-rw", Lines: func(k int) []string {
+			return []string{
+				fmt.Sprintf("  reg advA%d, advB%d;", k, k),
+				fmt.Sprintf("  initial begin advA%d = 0; advB%d = 0; end", k, k),
+				fmt.Sprintf("  always @(posedge clk) advA%d = 1;", k),
+				fmt.Sprintf("  always @(posedge clk) advB%d = advA%d;", k, k),
+			}
+		}},
+		{Name: "race-ww", Lines: func(k int) []string {
+			return []string{
+				fmt.Sprintf("  reg advW%d;", k),
+				fmt.Sprintf("  initial advW%d = 0;", k),
+				fmt.Sprintf("  always @(posedge clk) advW%d = 0;", k),
+				fmt.Sprintf("  always @(posedge clk) advW%d = 1;", k),
+			}
+		}},
+	}
+}
+
+// SynthHDLMutations returns feature-bait statements for combinational
+// modules with [3:0] inputs i0/i1: each uses a construct some vendor
+// profile rejects (multiply, tristate literal, part select, relational),
+// so injected designs land in the asymmetric zones of the subset matrix.
+func SynthHDLMutations() []HDLMutation {
+	wire := func(k int, expr string) []string {
+		return []string{
+			fmt.Sprintf("  wire [3:0] adv%d;", k),
+			fmt.Sprintf("  assign adv%d = %s;", k, expr),
+		}
+	}
+	return []HDLMutation{
+		{Name: "multiply", Lines: func(k int) []string { return wire(k, "i0 * i1") }},
+		{Name: "tristate", Lines: func(k int) []string { return wire(k, "i0 & 4'bzz11") }},
+		{Name: "partselect", Lines: func(k int) []string { return wire(k, "{i0[1:0], i1[3:2]}") }},
+		{Name: "relational", Lines: func(k int) []string { return wire(k, "(i0 < i1) ? i0 : ~i1") }},
+	}
+}
+
+// MutateHDL splices n seed-deterministically chosen mutations from muts
+// into src just before its final endmodule, returning the mutated source
+// and the applied mutation names. Unsuitable input (no endmodule) returns
+// src unchanged.
+func MutateHDL(src string, muts []HDLMutation, seed int64, n int) (string, []string) {
+	idx := strings.LastIndex(src, "endmodule")
+	if idx < 0 || len(muts) == 0 || n <= 0 {
+		return src, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var ins, applied []string
+	for k := 0; k < n; k++ {
+		m := muts[rng.Intn(len(muts))]
+		ins = append(ins, m.Lines(k)...)
+		applied = append(applied, m.Name)
+	}
+	return src[:idx] + strings.Join(ins, "\n") + "\n" + src[idx:], applied
+}

@@ -1,17 +1,21 @@
 // Command corpusgen regenerates the committed fuzz seed corpora under each
 // parser package's testdata/fuzz/FuzzParse/ directory. Seeds are a mix of
-// handwritten pathological inputs and rich valid sources produced by the
-// writers, so `go test -fuzz` starts from both shores of the input space.
+// handwritten pathological inputs, rich valid sources produced by the
+// writers, and the discovery harness's promoted minimized reproducers
+// (internal/discover/testdata/corpus), so `go test -fuzz` starts from both
+// shores of the input space plus every known-interesting boundary case.
 // Run from the repository root: go run ./tools/corpusgen
 package main
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 
+	"cadinterop/internal/discover"
 	"cadinterop/internal/exchange"
 	"cadinterop/internal/geom"
 	"cadinterop/internal/journal/journaltest"
@@ -21,18 +25,104 @@ import (
 	"cadinterop/internal/schematic/vl"
 )
 
-// write encodes one seed in the `go test fuzz v1` corpus format. asString
-// selects string(...) (for parsers taking string) vs []byte(...).
-func write(dir string, n int, data string, asString bool) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
+// corpusBody encodes one seed in the `go test fuzz v1` corpus format.
+// asString selects string(...) (for parsers taking string) vs []byte(...).
+func corpusBody(data string, asString bool) string {
 	form := "[]byte(%s)\n"
 	if asString {
 		form = "string(%s)\n"
 	}
-	body := "go test fuzz v1\n" + fmt.Sprintf(form, strconv.Quote(data))
+	return "go test fuzz v1\n" + fmt.Sprintf(form, strconv.Quote(data))
+}
+
+func write(dir string, n int, data string, asString bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	body := corpusBody(data, asString)
 	return os.WriteFile(filepath.Join(dir, fmt.Sprintf("seed-%02d", n)), []byte(body), 0o644)
+}
+
+// writeDeduped writes a named seed unless some file in dir already holds
+// byte-identical content — rerunning corpusgen after new promotions must
+// only add seeds that genuinely cover new input shapes, never duplicates
+// under a second name.
+func writeDeduped(dir, name, data string, asString bool) error {
+	body := []byte(corpusBody(data, asString))
+	sum := sha256.Sum256(body)
+	entries, err := os.ReadDir(dir)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		if sha256.Sum256(b) == sum {
+			return nil
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), body, 0o644)
+}
+
+// ingestDiscovered renders every promoted discovery reproducer through the
+// writer for its format and seeds the corresponding parser corpus. Names
+// carry the catalogue signature (seed-disc-<sig8>) so a seed traces back
+// to its catalogue entry; the seed- prefix also keeps them outside the
+// .gitignore pattern that hides fuzzer-found hex-named inputs. Flow
+// subjects are parametric — no parser surface to seed — and are skipped.
+func ingestDiscovered(dir string) error {
+	cases, err := discover.LoadCorpus(dir)
+	if err != nil {
+		return err
+	}
+	for _, c := range cases {
+		subj, err := discover.DecodeSubject(c.Kind, []byte(c.Subject))
+		if err != nil {
+			return err
+		}
+		sig := c.Signature
+		if len(sig) > 8 {
+			sig = sig[:8]
+		}
+		name := "seed-disc-" + sig
+		switch s := subj.(type) {
+		case *discover.SchematicSubject:
+			var vb, cb bytes.Buffer
+			if err := vl.Write(&vb, s.D); err != nil {
+				return err
+			}
+			if err := cd.Write(&cb, s.D); err != nil {
+				return err
+			}
+			if err := writeDeduped("internal/schematic/vl/testdata/fuzz/FuzzParse", name, vb.String(), false); err != nil {
+				return err
+			}
+			if err := writeDeduped("internal/schematic/cd/testdata/fuzz/FuzzParse", name, cb.String(), false); err != nil {
+				return err
+			}
+		case *discover.NetlistSubject:
+			var b bytes.Buffer
+			if err := exchange.Write(&b, s.NL, exchange.WriteOptions{Trailer: true}); err != nil {
+				return err
+			}
+			if err := writeDeduped("internal/exchange/testdata/fuzz/FuzzParse", name, b.String(), false); err != nil {
+				return err
+			}
+		case *discover.HDLSubject:
+			if err := writeDeduped("internal/hdl/testdata/fuzz/FuzzParse", name, s.Src, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // sampleNetlist mirrors the exchange package's test sample: awkward names,
@@ -209,7 +299,8 @@ func run() error {
 			return err
 		}
 	}
-	return nil
+
+	return ingestDiscovered("internal/discover/testdata/corpus")
 }
 
 func main() {
